@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Ablation: minimal versus nonminimal turn-model routing.
+ *
+ * The paper argues (Sections 2, 3.4, 7) that nonminimal routing
+ * buys extra adaptiveness — notably for hot spots, and for
+ * negative-first on patterns where every pair falls in a mixed
+ * quadrant (like the matrix transpose, where minimal NF has exactly
+ * one path per pair). This bench quantifies the effect:
+ *
+ *  1. hotspot traffic in a mesh: minimal vs nonminimal west-first;
+ *  2. matrix-transpose: minimal vs nonminimal negative-first (does
+ *     misrouting recover the adaptivity the minimal variant lacks?)
+ *  3. the misroute wait threshold (eager vs patient detours).
+ *
+ * Options: --full (16x16), --seed N.
+ */
+
+#include <cstdio>
+
+#include "turnnet/common/cli.hpp"
+#include "turnnet/common/csv.hpp"
+#include "turnnet/harness/sweep.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+using namespace turnnet;
+
+namespace {
+
+SimConfig
+baseConfig(std::uint64_t seed)
+{
+    SimConfig base;
+    base.warmupCycles = 2000;
+    base.measureCycles = 10000;
+    base.drainCycles = 10000;
+    base.seed = seed;
+    return base;
+}
+
+void
+study(const Mesh &mesh, const char *traffic_name,
+      const char *algorithm, const std::vector<double> &loads,
+      std::uint64_t seed, Table &table)
+{
+    const TrafficPtr traffic = makeTraffic(traffic_name, mesh);
+    for (const bool minimal : {true, false}) {
+        const RoutingPtr routing =
+            makeRouting(algorithm, 2, minimal);
+        SimConfig config = baseConfig(seed);
+        const auto sweep =
+            runLoadSweep(mesh, routing, traffic, loads, config);
+        table.beginRow();
+        table.cell(std::string(traffic_name));
+        table.cell(routing->name());
+        table.cell(maxSustainableThroughput(sweep), 1);
+        table.cell(sweep.front().result.avgTotalLatencyUs, 2);
+        table.cell(sweep.front().result.avgHops, 2);
+        table.cell(sweep.back().result.avgHops, 2);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = CliOptions::parse(argc, argv);
+    const bool full = opts.getBool("full", false);
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    const int side = full ? 16 : 8;
+    const Mesh mesh(side, side);
+
+    const std::vector<double> mesh_loads =
+        full ? std::vector<double>{0.03, 0.05, 0.07, 0.09}
+             : std::vector<double>{0.08, 0.12, 0.16, 0.22};
+    // A hotspot saturates at the hot node's ejection bandwidth
+    // (roughly load * fraction * (N-1) <= 1 flit/cycle), far below
+    // the pattern-wide limits.
+    const std::vector<double> hotspot_loads =
+        full ? std::vector<double>{0.005, 0.01, 0.015, 0.02}
+             : std::vector<double>{0.02, 0.04, 0.06, 0.08};
+
+    Table table("Minimal vs nonminimal turn-model routing, " +
+                mesh.name());
+    table.setHeader({"traffic", "algorithm",
+                     "max sustainable (fl/us)", "latency@low (us)",
+                     "hops@low", "hops@high"});
+    study(mesh, "hotspot", "west-first", hotspot_loads, seed,
+          table);
+    study(mesh, "transpose", "negative-first", mesh_loads, seed,
+          table);
+    study(mesh, "transpose", "west-first", mesh_loads, seed, table);
+    study(mesh, "uniform", "negative-first", mesh_loads, seed,
+          table);
+    table.print();
+
+    // Wait-threshold sensitivity for the transpose/NF case.
+    Table thresholds("Misroute wait threshold: negative-first-nm, "
+                     "matrix transpose, " + mesh.name());
+    thresholds.setHeader({"wait (cycles)",
+                          "max sustainable (fl/us)",
+                          "hops@high"});
+    const TrafficPtr transpose = makeTraffic("transpose", mesh);
+    for (const Cycle wait : {0u, 4u, 16u, 64u}) {
+        SimConfig config = baseConfig(seed);
+        config.misrouteAfterWait = wait;
+        const auto sweep = runLoadSweep(
+            mesh, makeRouting("negative-first", 2, false),
+            transpose, mesh_loads, config);
+        thresholds.beginRow();
+        thresholds.cell(static_cast<long long>(wait));
+        thresholds.cell(maxSustainableThroughput(sweep), 1);
+        thresholds.cell(sweep.back().result.avgHops, 2);
+    }
+    thresholds.print();
+
+    std::printf("\npaper: Section 6 simulates minimal routing only; "
+                "Sections 2/3.4 argue nonminimal variants are more "
+                "adaptive and fault tolerant (e.g. negative-first "
+                "can adapt on mixed-quadrant pairs only via "
+                "nonminimal hops).\n");
+    return 0;
+}

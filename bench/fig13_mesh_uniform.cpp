@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates Figure 13: latency versus throughput for uniform
+ * traffic in a 16x16 mesh, comparing xy with the partially adaptive
+ * west-first, north-last, and negative-first algorithms.
+ *
+ * Options: --quick, --loads a,b,c, --warmup N, --measure N,
+ * --drain N, --seed N, --csv.
+ */
+
+#include "turnnet/harness/figures.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return turnnet::runFigureMain("fig13", argc, argv);
+}

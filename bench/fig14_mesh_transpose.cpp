@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates Figure 14: latency versus throughput for
+ * matrix-transpose traffic in a 16x16 mesh.
+ *
+ * Options: --quick, --loads a,b,c, --warmup N, --measure N,
+ * --drain N, --seed N, --csv.
+ */
+
+#include "turnnet/harness/figures.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return turnnet::runFigureMain("fig14", argc, argv);
+}

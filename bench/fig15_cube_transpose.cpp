@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates Figure 15: latency versus throughput for
+ * matrix-transpose traffic in a binary 8-cube, comparing e-cube
+ * with ABONF, ABOPL, and negative-first (p-cube).
+ *
+ * Options: --quick, --loads a,b,c, --warmup N, --measure N,
+ * --drain N, --seed N, --csv.
+ */
+
+#include "turnnet/harness/figures.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return turnnet::runFigureMain("fig15", argc, argv);
+}

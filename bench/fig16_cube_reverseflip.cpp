@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Regenerates Figure 16: latency versus throughput for reverse-flip
+ * traffic in a binary 8-cube — the workload where the paper reports
+ * partially adaptive routing sustaining four times e-cube's
+ * throughput.
+ *
+ * Options: --quick, --loads a,b,c, --warmup N, --measure N,
+ * --drain N, --seed N, --csv.
+ */
+
+#include "turnnet/harness/figures.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return turnnet::runFigureMain("fig16", argc, argv);
+}

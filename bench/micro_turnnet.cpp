@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): cost of routing-function
+ * evaluation for each algorithm, channel-dependency-graph
+ * construction, reachability-table builds, and simulator cycle
+ * throughput. These bound how fast the figure sweeps can run and
+ * catch performance regressions in the hot paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "turnnet/analysis/cdg.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/turnmodel/prohibition.hpp"
+#include "turnnet/turnmodel/turn_routing.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace {
+
+using namespace turnnet;
+
+void
+BM_RouteMesh(benchmark::State &state, const char *alg)
+{
+    const Mesh mesh(16, 16);
+    const RoutingPtr routing = makeRouting(alg, 2);
+    NodeId src = 0;
+    NodeId dst = 37;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            routing->route(mesh, src, dst, Direction::local()));
+        src = (src + 17) % mesh.numNodes();
+        dst = (dst + 31) % mesh.numNodes();
+        if (src == dst)
+            dst = (dst + 1) % mesh.numNodes();
+    }
+}
+BENCHMARK_CAPTURE(BM_RouteMesh, xy, "xy");
+BENCHMARK_CAPTURE(BM_RouteMesh, west_first, "west-first");
+BENCHMARK_CAPTURE(BM_RouteMesh, negative_first, "negative-first");
+
+void
+BM_RouteHypercube(benchmark::State &state, const char *alg)
+{
+    const Hypercube cube(8);
+    const RoutingPtr routing = makeRouting(alg, 8);
+    NodeId src = 0;
+    NodeId dst = 0b10110101;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            routing->route(cube, src, dst, Direction::local()));
+        src = (src + 1) & 0xFF;
+        dst = (dst + 3) & 0xFF;
+        if (src == dst)
+            dst ^= 1;
+    }
+}
+BENCHMARK_CAPTURE(BM_RouteHypercube, ecube, "ecube");
+BENCHMARK_CAPTURE(BM_RouteHypercube, pcube, "p-cube");
+
+void
+BM_TurnSetRouting(benchmark::State &state)
+{
+    const Mesh mesh(16, 16);
+    const TurnSetRouting wf("wf", westFirstTurns(), true);
+    NodeId src = 0;
+    NodeId dst = 37;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            wf.route(mesh, src, dst, Direction::local()));
+        src = (src + 17) % mesh.numNodes();
+        dst = (dst + 31) % mesh.numNodes();
+        if (src == dst)
+            dst = (dst + 1) % mesh.numNodes();
+    }
+}
+BENCHMARK(BM_TurnSetRouting);
+
+void
+BM_CdgAnalysis(benchmark::State &state)
+{
+    const Mesh mesh(8, 8);
+    const RoutingPtr routing = makeRouting("west-first");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            analyzeDependencies(mesh, *routing));
+}
+BENCHMARK(BM_CdgAnalysis);
+
+void
+BM_SimulatorCycle(benchmark::State &state)
+{
+    const Mesh mesh(16, 16);
+    SimConfig config;
+    config.load = 0.06;
+    config.seed = 1;
+    Simulator sim(mesh, makeRouting("west-first"),
+                  makeTraffic("uniform", mesh), config);
+    // Warm the network into steady state first.
+    for (int i = 0; i < 2000; ++i)
+        sim.step();
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorCycle);
+
+} // namespace
+
+BENCHMARK_MAIN();

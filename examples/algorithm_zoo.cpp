@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The whole zoo on one page: run every registered mesh algorithm
+ * (plus the VC schemes) through an identical workload and print a
+ * one-line scorecard each — deadlock verdict, adaptiveness, and
+ * simulated performance. A fast way to see the design space the
+ * turn model sits in.
+ *
+ *   ./algorithm_zoo [--size 8] [--traffic transpose] [--load 0.12]
+ */
+
+#include <cstdio>
+
+#include "turnnet/analysis/adaptiveness.hpp"
+#include "turnnet/analysis/cdg.hpp"
+#include "turnnet/analysis/vc_cdg.hpp"
+#include "turnnet/common/cli.hpp"
+#include "turnnet/common/csv.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+using namespace turnnet;
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = CliOptions::parse(argc, argv);
+    const int side = static_cast<int>(opts.getInt("size", 8));
+    const std::string pattern =
+        opts.getString("traffic", "transpose");
+    const double load = opts.getDouble("load", 0.12);
+
+    const Mesh mesh(side, side);
+    const TrafficPtr traffic = makeTraffic(pattern, mesh);
+
+    Table table("Algorithm zoo: " + pattern + " traffic at " +
+                std::to_string(load) + " flits/node/cycle on " +
+                mesh.name());
+    table.setHeader({"algorithm", "VCs", "deadlock-free",
+                     "mean S_p/S_f", "accepted (fl/us)",
+                     "latency (us)", "max chan util"});
+
+    const char *const algorithms[] = {
+        "xy",       "west-first",     "north-last",
+        "odd-even", "negative-first", "fully-adaptive",
+        "double-y"};
+
+    for (const char *alg : algorithms) {
+        const VcRoutingPtr routing = makeVcRouting(alg, 2);
+        const bool safe = isVcDeadlockFree(mesh, *routing);
+
+        // Adaptiveness (single-VC algorithms only; double-y is
+        // fully adaptive by construction).
+        std::string ratio = "1.0000 (full)";
+        if (const auto *adapter =
+                dynamic_cast<const SingleVcAdapter *>(
+                    routing.get())) {
+            if (adapter->inner().isMinimal()) {
+                const auto s = summarizeAdaptiveness(
+                    mesh, adapter->inner());
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.4f",
+                              s.meanRatio);
+                ratio = buf;
+            }
+        }
+
+        SimConfig config;
+        config.load = load;
+        config.warmupCycles = 1500;
+        config.measureCycles = 8000;
+        config.drainCycles = 6000;
+        config.seed = static_cast<std::uint64_t>(
+            opts.getInt("seed", 1));
+        // The deadlock-prone baseline needs a watchdog tight
+        // enough to report within the run.
+        config.watchdogCycles = safe ? 100000 : 4000;
+
+        Simulator sim(mesh, routing, traffic, config);
+        const SimResult r = sim.run();
+
+        table.beginRow();
+        table.cell(alg);
+        table.cell(static_cast<long long>(routing->numVcs()));
+        table.cell(std::string(safe ? "yes" : "NO (cyclic CDG)"));
+        table.cell(ratio);
+        table.cell(r.acceptedFlitsPerUsec, 1);
+        table.cell(r.avgTotalLatencyUs, 2);
+        table.cell(r.maxChannelUtilization, 3);
+    }
+    table.print();
+    std::printf("\nS_p/S_f is the paper's degree-of-adaptiveness "
+                "measure (Section 3.4), averaged over all pairs; "
+                "'full' marks fully adaptive schemes. The cyclic-CDG "
+                "baseline may wedge mid-run — that is the point.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Figure 1 story, live: run the same stress workload through
+ * unrestricted minimal fully adaptive routing (cyclic channel
+ * dependency graph — it wedges, and the watchdog catches it) and
+ * through west-first (two turns prohibited — it saturates
+ * gracefully but never stops moving).
+ */
+
+#include <cstdio>
+
+#include "turnnet/analysis/cdg.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+using namespace turnnet;
+
+namespace {
+
+void
+demo(const Mesh &mesh, const char *alg, std::uint64_t seed)
+{
+    const RoutingPtr routing = makeRouting(alg, 2);
+
+    const CdgReport cdg = analyzeDependencies(mesh, *routing);
+    std::printf("%s: channel dependency graph is %s\n", alg,
+                cdg.acyclic ? "ACYCLIC" : "CYCLIC");
+    if (!cdg.acyclic) {
+        std::printf("  witness cycle: %s\n",
+                    cdg.cycleToString(mesh).c_str());
+    }
+
+    SimConfig config;
+    config.load = 0.5;
+    config.lengths = MessageLengthMix::fixed(200);
+    config.watchdogCycles = 8000;
+    config.warmupCycles = 100;
+    config.measureCycles = 40000;
+    config.drainCycles = 100;
+    config.seed = seed;
+
+    Simulator sim(mesh, routing, makeTraffic("uniform", mesh),
+                  config);
+    const SimResult result = sim.run();
+    if (result.deadlocked) {
+        std::printf("  simulation: DEADLOCK detected after %llu "
+                    "cycles — a buffer stalled past the %llu-cycle "
+                    "watchdog\n",
+                    static_cast<unsigned long long>(result.cycles),
+                    static_cast<unsigned long long>(
+                        config.watchdogCycles));
+    } else {
+        std::printf("  simulation: no deadlock in %llu cycles "
+                    "(worst buffer stall %llu); delivered %.0f "
+                    "flits/us%s\n",
+                    static_cast<unsigned long long>(result.cycles),
+                    static_cast<unsigned long long>(
+                        sim.worstFrontStall()),
+                    result.acceptedFlitsPerUsec,
+                    result.sustainable ? ""
+                                       : " (saturated, but alive)");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    const Mesh mesh(4, 4);
+    std::printf("Stress workload: uniform traffic at 0.5 "
+                "flits/node/cycle, 200-flit worms, single-flit "
+                "buffers, %s\n\n", mesh.name().c_str());
+
+    // Seed 3 wedges the unrestricted baseline quickly; any seed
+    // leaves the turn-model algorithms alive.
+    demo(mesh, "fully-adaptive", 3);
+    demo(mesh, "west-first", 3);
+    demo(mesh, "negative-first", 3);
+
+    std::printf("The turn model's point: prohibiting just two of "
+                "the eight turns (a quarter) is what separates the "
+                "survivors from the wedge.\n");
+    return 0;
+}

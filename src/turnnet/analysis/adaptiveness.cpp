@@ -1,0 +1,191 @@
+#include "turnnet/analysis/adaptiveness.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+double
+multinomialPaths(const std::vector<int> &deltas)
+{
+    int total = 0;
+    for (int d : deltas) {
+        TN_ASSERT(d >= 0, "multinomial needs nonnegative deltas");
+        total += d;
+    }
+    // (total)! / prod(d_i!) computed incrementally as a product of
+    // binomials to stay in floating point comfortably.
+    double result = 1.0;
+    int remaining = total;
+    for (int d : deltas) {
+        // multiply by C(remaining, d)
+        for (int i = 1; i <= d; ++i) {
+            result *= static_cast<double>(remaining - d + i);
+            result /= static_cast<double>(i);
+        }
+        remaining -= d;
+    }
+    return std::round(result);
+}
+
+namespace {
+
+/** Per-dimension absolute deltas between two nodes. */
+std::vector<int>
+absDeltas(const Topology &topo, NodeId src, NodeId dest)
+{
+    const Coord cs = topo.coordOf(src);
+    const Coord cd = topo.coordOf(dest);
+    std::vector<int> deltas(topo.numDims());
+    for (int i = 0; i < topo.numDims(); ++i)
+        deltas[i] = std::abs(cd[i] - cs[i]);
+    return deltas;
+}
+
+} // namespace
+
+double
+pathsFullyAdaptive(const Topology &topo, NodeId src, NodeId dest)
+{
+    TN_ASSERT(!topo.hasWrapChannels(),
+              "path counting applies to meshes and hypercubes");
+    return multinomialPaths(absDeltas(topo, src, dest));
+}
+
+double
+pathsTwoPhase(const Topology &topo, DirectionSet phase_one,
+              NodeId src, NodeId dest)
+{
+    TN_ASSERT(!topo.hasWrapChannels(),
+              "path counting applies to meshes and hypercubes");
+    const Coord cs = topo.coordOf(src);
+    const Coord cd = topo.coordOf(dest);
+    std::vector<int> first_leg;
+    std::vector<int> second_leg;
+    for (int i = 0; i < topo.numDims(); ++i) {
+        const int delta = cd[i] - cs[i];
+        if (delta == 0)
+            continue;
+        const Direction needed = delta > 0 ? Direction::positive(i)
+                                           : Direction::negative(i);
+        if (phase_one.contains(needed))
+            first_leg.push_back(std::abs(delta));
+        else
+            second_leg.push_back(std::abs(delta));
+    }
+    return multinomialPaths(first_leg) * multinomialPaths(second_leg);
+}
+
+double
+pathsWestFirst(const Topology &topo, NodeId src, NodeId dest)
+{
+    TN_ASSERT(topo.numDims() == 2, "west-first is a 2D algorithm");
+    DirectionSet phase_one;
+    phase_one.insert(Direction::negative(0));
+    return pathsTwoPhase(topo, phase_one, src, dest);
+}
+
+double
+pathsNorthLast(const Topology &topo, NodeId src, NodeId dest)
+{
+    TN_ASSERT(topo.numDims() == 2, "north-last is a 2D algorithm");
+    DirectionSet phase_one;
+    phase_one.insert(Direction::negative(0));
+    phase_one.insert(Direction::positive(0));
+    phase_one.insert(Direction::negative(1));
+    return pathsTwoPhase(topo, phase_one, src, dest);
+}
+
+double
+pathsNegativeFirst(const Topology &topo, NodeId src, NodeId dest)
+{
+    DirectionSet phase_one;
+    for (int i = 0; i < topo.numDims(); ++i)
+        phase_one.insert(Direction::negative(i));
+    return pathsTwoPhase(topo, phase_one, src, dest);
+}
+
+double
+countPaths(const Topology &topo, const RoutingFunction &routing,
+           NodeId src, NodeId dest)
+{
+    TN_ASSERT(routing.isMinimal(),
+              "exhaustive counting requires a minimal relation");
+    if (src == dest)
+        return 1.0;
+
+    // Memoized DFS over (node, arrival-direction) states. Minimal
+    // routing strictly decreases the distance, so the state graph is
+    // acyclic.
+    const int dirs = 2 * topo.numDims() + 1;
+    std::unordered_map<int, double> memo;
+
+    auto state_of = [&](NodeId node, Direction in_dir) {
+        const int idx = in_dir.isLocal() ? 2 * topo.numDims()
+                                         : in_dir.index();
+        return node * dirs + idx;
+    };
+
+    auto count = [&](auto &&self, NodeId node,
+                     Direction in_dir) -> double {
+        if (node == dest)
+            return 1.0;
+        const int key = state_of(node, in_dir);
+        const auto it = memo.find(key);
+        if (it != memo.end())
+            return it->second;
+        double total = 0.0;
+        routing.route(topo, node, dest, in_dir)
+            .forEach([&](Direction o) {
+                const NodeId nbr = topo.neighbor(node, o);
+                if (nbr != kInvalidNode)
+                    total += self(self, nbr, o);
+            });
+        memo.emplace(key, total);
+        return total;
+    };
+
+    return count(count, src, Direction::local());
+}
+
+AdaptivenessSummary
+summarizeAdaptiveness(const Topology &topo,
+                      const RoutingFunction &routing)
+{
+    AdaptivenessSummary summary;
+    double ratio_sum = 0.0;
+    double paths_sum = 0.0;
+    double full_sum = 0.0;
+    std::uint64_t single = 0;
+    std::uint64_t pairs = 0;
+
+    for (NodeId s = 0; s < topo.numNodes(); ++s) {
+        for (NodeId d = 0; d < topo.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const double sp = countPaths(topo, routing, s, d);
+            const double sf = pathsFullyAdaptive(topo, s, d);
+            TN_ASSERT(sp >= 1.0, "a routing algorithm must connect "
+                                 "every pair");
+            ratio_sum += sp / sf;
+            paths_sum += sp;
+            full_sum += sf;
+            if (sp == 1.0)
+                ++single;
+            ++pairs;
+        }
+    }
+    if (pairs) {
+        const double n = static_cast<double>(pairs);
+        summary.meanRatio = ratio_sum / n;
+        summary.singlePathFraction = static_cast<double>(single) / n;
+        summary.meanPaths = paths_sum / n;
+        summary.meanFullyAdaptive = full_sum / n;
+    }
+    return summary;
+}
+
+} // namespace turnnet

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Degree-of-adaptiveness analysis (Sections 3.4, 4.1, and 5).
+ *
+ * S_algorithm is the number of shortest paths an algorithm permits
+ * between a source and destination; S_f is the fully adaptive count
+ * (a multinomial coefficient). The paper characterizes the partially
+ * adaptive algorithms by S_p and by the ratio S_p / S_f, whose
+ * all-pairs average exceeds 1/2 in 2D meshes and 1/2^(n-1) in
+ * n-dimensional meshes. This module provides the closed forms and an
+ * exhaustive path counter over any minimal routing relation so the
+ * formulas can be validated against the implementations.
+ */
+
+#ifndef TURNNET_ANALYSIS_ADAPTIVENESS_HPP
+#define TURNNET_ANALYSIS_ADAPTIVENESS_HPP
+
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** Multinomial coefficient (sum of deltas)! / prod(delta_i!). */
+double multinomialPaths(const std::vector<int> &deltas);
+
+/**
+ * S_f: shortest paths available to a fully adaptive algorithm
+ * between two mesh/hypercube nodes.
+ */
+double pathsFullyAdaptive(const Topology &topo, NodeId src,
+                          NodeId dest);
+
+/**
+ * Shortest paths of a two-phase algorithm with the given phase-one
+ * direction set: the product of the multinomials of the phase-one
+ * and phase-two legs.
+ */
+double pathsTwoPhase(const Topology &topo, DirectionSet phase_one,
+                     NodeId src, NodeId dest);
+
+/** Closed-form S_west-first for a 2D mesh (Section 3.4). */
+double pathsWestFirst(const Topology &topo, NodeId src, NodeId dest);
+
+/** Closed-form S_north-last for a 2D mesh (Section 3.4). */
+double pathsNorthLast(const Topology &topo, NodeId src, NodeId dest);
+
+/** Closed-form S_negative-first for a mesh (Sections 3.4, 4.1). */
+double pathsNegativeFirst(const Topology &topo, NodeId src,
+                          NodeId dest);
+
+/**
+ * Exhaustive count of the shortest paths a minimal routing relation
+ * permits from @p src to @p dest, by memoized depth-first search
+ * over (node, arrival-direction) states.
+ */
+double countPaths(const Topology &topo, const RoutingFunction &routing,
+                  NodeId src, NodeId dest);
+
+/** Aggregate adaptiveness statistics over all node pairs. */
+struct AdaptivenessSummary
+{
+    /** Mean of S_p / S_f over ordered pairs (src != dest). */
+    double meanRatio = 0.0;
+    /** Fraction of pairs with S_p = 1 (a single permitted path). */
+    double singlePathFraction = 0.0;
+    /** Mean S_p over ordered pairs. */
+    double meanPaths = 0.0;
+    /** Mean S_f over ordered pairs. */
+    double meanFullyAdaptive = 0.0;
+};
+
+/**
+ * Compute the all-pairs adaptiveness summary of a minimal algorithm
+ * by exhaustive counting.
+ */
+AdaptivenessSummary summarizeAdaptiveness(
+    const Topology &topo, const RoutingFunction &routing);
+
+} // namespace turnnet
+
+#endif // TURNNET_ANALYSIS_ADAPTIVENESS_HPP

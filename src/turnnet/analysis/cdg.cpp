@@ -1,0 +1,129 @@
+#include "turnnet/analysis/cdg.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+std::string
+CdgReport::cycleToString(const Topology &topo) const
+{
+    std::string out;
+    for (ChannelId id : cycle) {
+        const Channel &ch = topo.channel(id);
+        if (!out.empty())
+            out += " -> ";
+        out += topo.shape().coordToString(topo.coordOf(ch.src)) +
+               "-" + ch.dir.toString();
+    }
+    return out;
+}
+
+CdgReport
+analyzeDependencies(const Topology &topo,
+                    const RoutingFunction &routing)
+{
+    const int num_channels = topo.numChannels();
+    std::vector<std::vector<ChannelId>> adj(num_channels);
+    // Dedup bitmap, one row per source channel (lazily allocated).
+    std::vector<std::vector<bool>> have(num_channels);
+
+    auto add_edge = [&](ChannelId from, ChannelId to) {
+        auto &row = have[from];
+        if (row.empty())
+            row.assign(num_channels, false);
+        if (!row[to]) {
+            row[to] = true;
+            adj[from].push_back(to);
+        }
+    };
+
+    // For every destination, walk the channels a packet bound there
+    // can legally occupy, starting from every possible injection.
+    std::vector<bool> seen(num_channels);
+    for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
+        std::fill(seen.begin(), seen.end(), false);
+        std::deque<ChannelId> queue;
+
+        for (NodeId src = 0; src < topo.numNodes(); ++src) {
+            if (src == dest)
+                continue;
+            routing.route(topo, src, dest, Direction::local())
+                .forEach([&](Direction d) {
+                    const ChannelId ch = topo.channelFrom(src, d);
+                    if (ch != kInvalidChannel && !seen[ch]) {
+                        seen[ch] = true;
+                        queue.push_back(ch);
+                    }
+                });
+        }
+
+        while (!queue.empty()) {
+            const ChannelId in = queue.front();
+            queue.pop_front();
+            const Channel &in_ch = topo.channel(in);
+            if (in_ch.dst == dest)
+                continue; // next is the ejection channel, no dependency
+            routing.route(topo, in_ch.dst, dest, in_ch.dir)
+                .forEach([&](Direction d) {
+                    const ChannelId out =
+                        topo.channelFrom(in_ch.dst, d);
+                    if (out == kInvalidChannel)
+                        return;
+                    add_edge(in, out);
+                    if (!seen[out]) {
+                        seen[out] = true;
+                        queue.push_back(out);
+                    }
+                });
+        }
+    }
+
+    CdgReport report;
+    for (int c = 0; c < num_channels; ++c) {
+        report.numEdges += adj[c].size();
+        if (!adj[c].empty())
+            ++report.numActiveChannels;
+    }
+
+    // Iterative three-color DFS with cycle extraction.
+    enum : std::uint8_t { White, Gray, Black };
+    std::vector<std::uint8_t> color(num_channels, White);
+    std::vector<ChannelId> stack;
+    std::vector<std::size_t> next_child;
+
+    for (int root = 0; root < num_channels; ++root) {
+        if (color[root] != White)
+            continue;
+        stack.assign(1, root);
+        next_child.assign(1, 0);
+        color[root] = Gray;
+        while (!stack.empty()) {
+            const ChannelId v = stack.back();
+            if (next_child.back() < adj[v].size()) {
+                const ChannelId w = adj[v][next_child.back()++];
+                if (color[w] == Gray) {
+                    // Found a cycle: w .. v on the stack.
+                    report.acyclic = false;
+                    auto it = std::find(stack.begin(), stack.end(), w);
+                    report.cycle.assign(it, stack.end());
+                    return report;
+                }
+                if (color[w] == White) {
+                    color[w] = Gray;
+                    stack.push_back(w);
+                    next_child.push_back(0);
+                }
+            } else {
+                color[v] = Black;
+                stack.pop_back();
+                next_child.pop_back();
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace turnnet

@@ -1,0 +1,146 @@
+#include "turnnet/analysis/path_enum.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+Direction
+lowestDimSelector(NodeId node, DirectionSet candidates)
+{
+    (void)node;
+    return candidates.first();
+}
+
+std::vector<NodeId>
+tracePath(const Topology &topo, const RoutingFunction &routing,
+          NodeId src, NodeId dest, const DirectionSelector &selector)
+{
+    std::vector<NodeId> path{src};
+    NodeId current = src;
+    Direction in_dir = Direction::local();
+    const int hop_bound = 4 * topo.numChannels() + 4;
+
+    while (current != dest) {
+        const DirectionSet candidates =
+            routing.route(topo, current, dest, in_dir);
+        TN_ASSERT(!candidates.empty(), "routing dead-ended at node ",
+                  current, " heading for ", dest);
+        const Direction taken = selector(current, candidates);
+        TN_ASSERT(candidates.contains(taken),
+                  "selector returned a non-candidate direction");
+        const NodeId next = topo.neighbor(current, taken);
+        TN_ASSERT(next != kInvalidNode, "routing left the topology");
+        path.push_back(next);
+        current = next;
+        in_dir = taken;
+        TN_ASSERT(static_cast<int>(path.size()) <= hop_bound,
+                  "path exceeds the livelock bound");
+    }
+    return path;
+}
+
+std::vector<HopChoice>
+traceChoices(const Topology &topo, const RoutingFunction &minimal,
+             const RoutingFunction &nonminimal, NodeId src,
+             NodeId dest, const std::vector<int> &dims_taken)
+{
+    std::vector<HopChoice> rows;
+    NodeId current = src;
+    Direction in_dir = Direction::local();
+
+    for (int dim : dims_taken) {
+        TN_ASSERT(current != dest, "trace continues past destination");
+        const DirectionSet min_set =
+            minimal.route(topo, current, dest, in_dir);
+        const DirectionSet full_set =
+            nonminimal.route(topo, current, dest, in_dir);
+
+        HopChoice row;
+        row.node = current;
+        row.minimalChoices = min_set.size();
+        row.nonminimalExtras = (full_set - min_set).size();
+        row.dimensionTaken = dim;
+        rows.push_back(row);
+
+        // The taken hop must be permitted (by at least the
+        // nonminimal relation). When both signs of the dimension are
+        // permitted, prefer the productive (minimal) one.
+        Direction taken;
+        bool found = false;
+        min_set.forEach([&](Direction d) {
+            if (d.dim() == dim && !found) {
+                taken = d;
+                found = true;
+            }
+        });
+        if (!found) {
+            full_set.forEach([&](Direction d) {
+                if (d.dim() == dim && !found) {
+                    taken = d;
+                    found = true;
+                }
+            });
+        }
+        TN_ASSERT(found, "requested dimension ", dim,
+                  " is not a permitted hop");
+        current = topo.neighbor(current, taken);
+        TN_ASSERT(current != kInvalidNode, "hop left the topology");
+        in_dir = taken;
+    }
+    TN_ASSERT(current == dest, "trace did not end at destination");
+    return rows;
+}
+
+std::string
+renderPath2D(const Topology &topo, const std::vector<NodeId> &path)
+{
+    TN_ASSERT(topo.numDims() == 2, "rendering needs a 2D topology");
+    TN_ASSERT(!path.empty(), "cannot render an empty path");
+    const int w = topo.radix(0);
+    const int h = topo.radix(1);
+
+    // Character canvas: nodes every 4 columns / 2 rows; row 0 at the
+    // bottom (north up).
+    const int cols = 4 * (w - 1) + 1;
+    const int rows = 2 * (h - 1) + 1;
+    std::vector<std::string> canvas(rows, std::string(cols, ' '));
+
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x)
+            canvas[2 * (h - 1 - y)][4 * x] = '.';
+    }
+
+    auto plot = [&](NodeId node, char ch) {
+        const Coord c = topo.coordOf(node);
+        canvas[2 * (h - 1 - c[1])][4 * c[0]] = ch;
+    };
+
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const Coord a = topo.coordOf(path[i]);
+        const Coord b = topo.coordOf(path[i + 1]);
+        const int row_a = 2 * (h - 1 - a[1]);
+        const int col_a = 4 * a[0];
+        if (b[0] > a[0])
+            canvas[row_a].replace(col_a + 1, 3, "-->");
+        else if (b[0] < a[0])
+            canvas[row_a].replace(col_a - 3, 3, "<--");
+        else if (b[1] > a[1])
+            canvas[row_a - 1][col_a] = '^';
+        else
+            canvas[row_a + 1][col_a] = 'v';
+    }
+
+    plot(path.front(), 'S');
+    plot(path.back(), 'D');
+    if (path.front() == path.back())
+        plot(path.front(), '*');
+
+    std::string out;
+    for (const std::string &line : canvas) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace turnnet

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Path tracing and rendering helpers for the paper's worked
+ * examples: the per-hop choice counts of the Section 5 p-cube table
+ * and the example-path figures (5b, 9b, 10b).
+ */
+
+#ifndef TURNNET_ANALYSIS_PATH_ENUM_HPP
+#define TURNNET_ANALYSIS_PATH_ENUM_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** Chooses among permitted directions while tracing a path. */
+using DirectionSelector =
+    std::function<Direction(NodeId node, DirectionSet candidates)>;
+
+/** Selector taking the lowest-dimension candidate (the paper's "xy"
+ *  output selection). */
+Direction lowestDimSelector(NodeId node, DirectionSet candidates);
+
+/**
+ * Follow @p routing from @p src to @p dest, resolving choices with
+ * @p selector. Returns the node sequence including both endpoints.
+ * Fatal if the relation dead-ends or the path exceeds a hop bound
+ * (guards against livelock in buggy relations).
+ */
+std::vector<NodeId>
+tracePath(const Topology &topo, const RoutingFunction &routing,
+          NodeId src, NodeId dest,
+          const DirectionSelector &selector = lowestDimSelector);
+
+/** One row of a per-hop choice trace (the Section 5 table). */
+struct HopChoice
+{
+    NodeId node = kInvalidNode;
+    /** Number of channels the minimal relation permits here. */
+    int minimalChoices = 0;
+    /** Additional channels the nonminimal relation permits. */
+    int nonminimalExtras = 0;
+    /** Dimension actually taken. */
+    int dimensionTaken = -1;
+};
+
+/**
+ * Walk from @p src to @p dest taking the given dimension at each
+ * hop, recording how many choices the minimal and nonminimal
+ * relations offered. Reproduces the per-hop "choices" column of the
+ * Section 5 table.
+ */
+std::vector<HopChoice>
+traceChoices(const Topology &topo, const RoutingFunction &minimal,
+             const RoutingFunction &nonminimal, NodeId src,
+             NodeId dest, const std::vector<int> &dims_taken);
+
+/**
+ * Render a path in a 2D mesh as ASCII art: nodes as dots, the source
+ * as 'S', the destination as 'D', and hops as arrows.
+ */
+std::string renderPath2D(const Topology &topo,
+                         const std::vector<NodeId> &path);
+
+} // namespace turnnet
+
+#endif // TURNNET_ANALYSIS_PATH_ENUM_HPP

@@ -1,0 +1,104 @@
+#include "turnnet/analysis/reachability.hpp"
+
+#include <deque>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+ReachabilityOracle::ReachabilityOracle(LegalFn legal)
+    : legal_(std::move(legal))
+{
+    TN_ASSERT(legal_ != nullptr, "reachability needs a relation");
+}
+
+int
+ReachabilityOracle::stateIndex(const Topology &topo, NodeId node,
+                               Direction in_dir) const
+{
+    const int dirs = 2 * topo.numDims() + 1; // +1 for local
+    const int dir_idx = in_dir.isLocal() ? 2 * topo.numDims()
+                                         : in_dir.index();
+    return node * dirs + dir_idx;
+}
+
+void
+ReachabilityOracle::clear() const
+{
+    cache_.clear();
+    topoKey_.clear();
+}
+
+const std::vector<bool> &
+ReachabilityOracle::table(const Topology &topo, NodeId dest) const
+{
+    const std::string key = topo.name() + "#" +
+                            std::to_string(topo.numNodes()) + "#" +
+                            std::to_string(topo.numChannels());
+    if (topoKey_ != key) {
+        cache_.clear();
+        topoKey_ = key;
+    }
+    auto it = cache_.find(dest);
+    if (it != cache_.end())
+        return it->second;
+
+    const int n = topo.numDims();
+    const int dirs = 2 * n + 1;
+    std::vector<bool> reach(
+        static_cast<std::size_t>(topo.numNodes()) * dirs, false);
+
+    // Backward BFS from the destination: a state (v, in) reaches the
+    // destination iff v == dest, or some legal hop (v -> w along o)
+    // leads to a reaching state (w, o).
+    std::deque<int> queue;
+    auto mark = [&](NodeId node, Direction in_dir) {
+        const int idx = stateIndex(topo, node, in_dir);
+        if (!reach[idx]) {
+            reach[idx] = true;
+            queue.push_back(idx);
+        }
+    };
+
+    for (int d = 0; d < dirs; ++d) {
+        const Direction in_dir = (d == 2 * n)
+                                     ? Direction::local()
+                                     : Direction::fromIndex(d);
+        mark(dest, in_dir);
+    }
+
+    while (!queue.empty()) {
+        const int idx = queue.front();
+        queue.pop_front();
+        const NodeId w = static_cast<NodeId>(idx / dirs);
+        const int d = idx % dirs;
+        if (d == 2 * n)
+            continue; // local arrival states have no predecessors
+        const Direction o = Direction::fromIndex(d);
+
+        // The hop v -> w travelled in direction o.
+        const NodeId v = topo.neighbor(w, o.reversed());
+        if (v == kInvalidNode || topo.neighbor(v, o) != w)
+            continue;
+        for (int f = 0; f <= 2 * n; ++f) {
+            const Direction in_dir = (f == 2 * n)
+                                         ? Direction::local()
+                                         : Direction::fromIndex(f);
+            if (legal_(topo, v, in_dir, o, dest))
+                mark(v, in_dir);
+        }
+    }
+
+    auto [pos, inserted] = cache_.emplace(dest, std::move(reach));
+    TN_ASSERT(inserted, "duplicate reachability table");
+    return pos->second;
+}
+
+bool
+ReachabilityOracle::canReach(const Topology &topo, NodeId node,
+                             Direction in_dir, NodeId dest) const
+{
+    return table(topo, dest)[stateIndex(topo, node, in_dir)];
+}
+
+} // namespace turnnet

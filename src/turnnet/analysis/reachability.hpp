@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Destination-reachability oracle over (node, travel-direction)
+ * states.
+ *
+ * Several routing constructions need to answer: "can a packet that
+ * is at node v and travelling in direction d still reach destination
+ * t if every hop must satisfy a given legality relation?" This
+ * module answers that exactly with a lazy, memoized backward
+ * breadth-first search per destination. It is the machinery behind
+ * the generic turn-set-induced router, the torus wraparound
+ * extensions, and the misroute guard of nonminimal simulation.
+ */
+
+#ifndef TURNNET_ANALYSIS_REACHABILITY_HPP
+#define TURNNET_ANALYSIS_REACHABILITY_HPP
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/**
+ * Lazily computed reachability tables for one (topology, legality
+ * relation) pair. Not thread-safe: tables are memoized internally.
+ */
+class ReachabilityOracle
+{
+  public:
+    /**
+     * Hop legality: may a packet at @p node travelling @p in_dir
+     * (local at the source) take the hop in @p out_dir, given its
+     * destination? The relation must already encode any productivity
+     * (minimality) restriction; the oracle adds nothing but graph
+     * search.
+     */
+    using LegalFn = std::function<bool(
+        const Topology &topo, NodeId node, Direction in_dir,
+        Direction out_dir, NodeId dest)>;
+
+    explicit ReachabilityOracle(LegalFn legal);
+
+    /**
+     * True when a packet at @p node travelling @p in_dir can still
+     * reach @p dest via some sequence of legal hops.
+     */
+    bool canReach(const Topology &topo, NodeId node, Direction in_dir,
+                  NodeId dest) const;
+
+    /** Drop all memoized tables (e.g. between topologies). */
+    void clear() const;
+
+  private:
+    int stateIndex(const Topology &topo, NodeId node,
+                   Direction in_dir) const;
+    const std::vector<bool> &table(const Topology &topo,
+                                   NodeId dest) const;
+
+    LegalFn legal_;
+    /** Structural identity of the cached topology: name plus node
+     *  and channel counts. Address comparison would be unsound —
+     *  consecutive stack-allocated topologies can reuse storage. */
+    mutable std::string topoKey_;
+    mutable std::unordered_map<NodeId, std::vector<bool>> cache_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ANALYSIS_REACHABILITY_HPP

@@ -1,0 +1,130 @@
+#include "turnnet/analysis/vc_cdg.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+VcCdgReport
+analyzeVcDependencies(const Topology &topo,
+                      const VcRoutingFunction &routing)
+{
+    const int v = routing.numVcs();
+    const int vertices = topo.numChannels() * v;
+    auto vertex = [&](ChannelId ch, int vc) {
+        return static_cast<int>(ch) * v + vc;
+    };
+
+    std::vector<std::vector<int>> adj(vertices);
+    std::vector<std::vector<bool>> have(vertices);
+    auto add_edge = [&](int from, int to) {
+        auto &row = have[from];
+        if (row.empty())
+            row.assign(vertices, false);
+        if (!row[to]) {
+            row[to] = true;
+            adj[from].push_back(to);
+        }
+    };
+
+    std::vector<VcCandidate> candidates;
+    std::vector<bool> seen(vertices);
+    for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
+        std::fill(seen.begin(), seen.end(), false);
+        std::deque<int> queue;
+
+        for (NodeId src = 0; src < topo.numNodes(); ++src) {
+            if (src == dest)
+                continue;
+            candidates.clear();
+            routing.route(topo, src, dest, Direction::local(),
+                          kNoVc, candidates);
+            for (const VcCandidate &c : candidates) {
+                const ChannelId ch = topo.channelFrom(src, c.dir);
+                if (ch == kInvalidChannel)
+                    continue;
+                const int idx = vertex(ch, c.vc);
+                if (!seen[idx]) {
+                    seen[idx] = true;
+                    queue.push_back(idx);
+                }
+            }
+        }
+
+        while (!queue.empty()) {
+            const int in_idx = queue.front();
+            queue.pop_front();
+            const ChannelId in_ch =
+                static_cast<ChannelId>(in_idx / v);
+            const int in_vc = in_idx % v;
+            const Channel &ch = topo.channel(in_ch);
+            if (ch.dst == dest)
+                continue;
+            candidates.clear();
+            routing.route(topo, ch.dst, dest, ch.dir, in_vc,
+                          candidates);
+            for (const VcCandidate &c : candidates) {
+                const ChannelId out_ch =
+                    topo.channelFrom(ch.dst, c.dir);
+                if (out_ch == kInvalidChannel)
+                    continue;
+                const int out_idx = vertex(out_ch, c.vc);
+                add_edge(in_idx, out_idx);
+                if (!seen[out_idx]) {
+                    seen[out_idx] = true;
+                    queue.push_back(out_idx);
+                }
+            }
+        }
+    }
+
+    VcCdgReport report;
+    for (int i = 0; i < vertices; ++i)
+        report.numEdges += adj[i].size();
+
+    enum : std::uint8_t { White, Gray, Black };
+    std::vector<std::uint8_t> color(vertices, White);
+    std::vector<int> stack;
+    std::vector<std::size_t> next_child;
+
+    for (int root = 0; root < vertices; ++root) {
+        if (color[root] != White)
+            continue;
+        stack.assign(1, root);
+        next_child.assign(1, 0);
+        color[root] = Gray;
+        while (!stack.empty()) {
+            const int node = stack.back();
+            if (next_child.back() < adj[node].size()) {
+                const int child = adj[node][next_child.back()++];
+                if (color[child] == Gray) {
+                    report.acyclic = false;
+                    const auto it = std::find(stack.begin(),
+                                              stack.end(), child);
+                    for (auto walk = it; walk != stack.end();
+                         ++walk) {
+                        report.cycle.emplace_back(
+                            static_cast<ChannelId>(*walk / v),
+                            *walk % v);
+                    }
+                    return report;
+                }
+                if (color[child] == White) {
+                    color[child] = Gray;
+                    stack.push_back(child);
+                    next_child.push_back(0);
+                }
+            } else {
+                color[node] = Black;
+                stack.pop_back();
+                next_child.pop_back();
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace turnnet

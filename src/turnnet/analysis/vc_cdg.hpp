@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Channel dependency analysis over virtual channels.
+ *
+ * Identical in spirit to analysis/cdg.hpp, but the graph's vertices
+ * are (physical channel, virtual channel) pairs: with virtual
+ * channels, deadlock freedom requires the *extended* dependency
+ * graph to be acyclic (Dally & Seitz). This is what proves the
+ * dateline and double-y schemes correct — and shows that naively
+ * spreading fully adaptive traffic across VCs without rules stays
+ * cyclic.
+ */
+
+#ifndef TURNNET_ANALYSIS_VC_CDG_HPP
+#define TURNNET_ANALYSIS_VC_CDG_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** Result of a virtual-channel dependency analysis. */
+struct VcCdgReport
+{
+    bool acyclic = true;
+    std::size_t numEdges = 0;
+    /** Witness cycle as (channel, vc) pairs when cyclic. */
+    std::vector<std::pair<ChannelId, int>> cycle;
+};
+
+/**
+ * Build the exact dependency graph of @p routing over
+ * (channel, vc) vertices and search for cycles. Only states
+ * reachable from injection contribute edges.
+ */
+VcCdgReport analyzeVcDependencies(const Topology &topo,
+                                  const VcRoutingFunction &routing);
+
+/** Convenience: true when the extended CDG is acyclic. */
+inline bool
+isVcDeadlockFree(const Topology &topo,
+                 const VcRoutingFunction &routing)
+{
+    return analyzeVcDependencies(topo, routing).acyclic;
+}
+
+} // namespace turnnet
+
+#endif // TURNNET_ANALYSIS_VC_CDG_HPP

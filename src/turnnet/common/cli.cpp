@@ -1,0 +1,117 @@
+#include "turnnet/common/cli.hpp"
+
+#include <cstdlib>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+std::vector<std::string>
+splitString(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : s) {
+        if (ch == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+CliOptions
+CliOptions::parse(int argc, const char *const *argv)
+{
+    CliOptions opts;
+    if (argc > 0)
+        opts.program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            opts.positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            opts.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            opts.values_[arg] = argv[++i];
+        } else {
+            opts.values_[arg] = "true";
+        }
+    }
+    return opts;
+}
+
+bool
+CliOptions::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+CliOptions::getString(const std::string &key, const std::string &def) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+CliOptions::getInt(const std::string &key, std::int64_t def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        TN_FATAL("option --", key, " expects an integer, got '",
+                 it->second, "'");
+    return v;
+}
+
+double
+CliOptions::getDouble(const std::string &key, double def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        TN_FATAL("option --", key, " expects a number, got '",
+                 it->second, "'");
+    return v;
+}
+
+bool
+CliOptions::getBool(const std::string &key, bool def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    TN_FATAL("option --", key, " expects a boolean, got '", v, "'");
+}
+
+std::vector<std::string>
+CliOptions::getList(const std::string &key,
+                    const std::vector<std::string> &def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    return splitString(it->second, ',');
+}
+
+} // namespace turnnet

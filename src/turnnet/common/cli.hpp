@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal command-line option parser for the bench and example
+ * binaries: `--name value`, `--name=value`, and boolean `--flag`.
+ */
+
+#ifndef TURNNET_COMMON_CLI_HPP
+#define TURNNET_COMMON_CLI_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace turnnet {
+
+/**
+ * Parsed command line with typed, defaulted lookups. Unknown options
+ * are collected rather than rejected so that wrappers (e.g. test
+ * drivers) can pass through their own flags.
+ */
+class CliOptions
+{
+  public:
+    CliOptions() = default;
+
+    /**
+     * Parse argv. Options may be `--key value`, `--key=value`, or
+     * bare `--key` (stored as "true"). Positional arguments are kept
+     * in order.
+     */
+    static CliOptions parse(int argc, const char *const *argv);
+
+    bool has(const std::string &key) const;
+
+    /** String option with default. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+
+    /** Integer option with default; fatal on malformed value. */
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+
+    /** Real option with default; fatal on malformed value. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Boolean option: absent -> def; bare flag or truthy value. */
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Comma-separated list option. */
+    std::vector<std::string>
+    getList(const std::string &key,
+            const std::vector<std::string> &def = {}) const;
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Program name (argv[0]) if available. */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+/** Split a string on a separator character. */
+std::vector<std::string> splitString(const std::string &s, char sep);
+
+} // namespace turnnet
+
+#endif // TURNNET_COMMON_CLI_HPP

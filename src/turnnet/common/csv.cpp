@@ -1,0 +1,146 @@
+#include "turnnet/common/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+Table::Table(std::string title) : title_(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::beginRow()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::cell(std::string value)
+{
+    TN_ASSERT(!rows_.empty(), "cell() before beginRow()");
+    rows_.back().push_back(std::move(value));
+}
+
+void
+Table::cell(long long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(unsigned long long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    cell(std::string(buf));
+}
+
+const std::string &
+Table::at(std::size_t row, std::size_t col) const
+{
+    return rows_.at(row).at(col);
+}
+
+std::string
+Table::toAligned() const
+{
+    // Column widths over header and all rows.
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c >= widths.size())
+                widths.resize(c + 1, 0);
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream os;
+    auto rule = [&]() {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            os << ' ' << v << std::string(widths[c] - v.size(), ' ')
+               << " |";
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    rule();
+    if (!header_.empty()) {
+        line(header_);
+        rule();
+    }
+    for (const auto &row : rows_)
+        line(row);
+    rule();
+    return os.str();
+}
+
+std::string
+csvQuote(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << csvQuote(cells[c]);
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    const std::string rendered = toAligned();
+    std::fwrite(rendered.data(), 1, rendered.size(), out);
+}
+
+} // namespace turnnet

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small table formatter used by the benchmark harness to print both
+ * human-readable aligned tables and machine-readable CSV.
+ */
+
+#ifndef TURNNET_COMMON_CSV_HPP
+#define TURNNET_COMMON_CSV_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace turnnet {
+
+/**
+ * An in-memory table of strings with typed cell helpers. Rows are
+ * appended cell by cell; the table can then be rendered aligned (for
+ * terminals) or as CSV (for plotting scripts).
+ */
+class Table
+{
+  public:
+    /** @param title Caption printed above the aligned rendering. */
+    explicit Table(std::string title = "");
+
+    /** Set the column headers. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Begin a new row. */
+    void beginRow();
+
+    /** Append a string cell to the current row. */
+    void cell(std::string value);
+
+    /** Append an integer cell. */
+    void cell(long long value);
+
+    /** Append an unsigned integer cell. */
+    void cell(unsigned long long value);
+
+    /** Append a floating-point cell with the given precision. */
+    void cell(double value, int precision = 3);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return header_.size(); }
+    const std::string &title() const { return title_; }
+
+    /** Cell text at (row, col); header is not row 0. */
+    const std::string &at(std::size_t row, std::size_t col) const;
+
+    /** Render as an aligned, boxed table. */
+    std::string toAligned() const;
+
+    /** Render as CSV, header first. */
+    std::string toCsv() const;
+
+    /** Print the aligned rendering to @p out (default stdout). */
+    void print(std::FILE *out = stdout) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Quote a string for CSV if it contains separators or quotes. */
+std::string csvQuote(const std::string &s);
+
+} // namespace turnnet
+
+#endif // TURNNET_COMMON_CSV_HPP

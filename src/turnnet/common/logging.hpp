@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, and
+ * warn()/inform() for status messages that do not stop execution.
+ */
+
+#ifndef TURNNET_COMMON_LOGGING_HPP
+#define TURNNET_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace turnnet {
+
+namespace detail {
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort with a message. Use for conditions that indicate a bug in
+ * turnnet itself, never for bad user input.
+ */
+#define TN_PANIC(...) \
+    ::turnnet::detail::panicImpl(__FILE__, __LINE__, \
+                                 ::turnnet::detail::concat(__VA_ARGS__))
+
+/**
+ * Exit with an error message. Use for conditions caused by the user
+ * (invalid configuration, malformed arguments).
+ */
+#define TN_FATAL(...) \
+    ::turnnet::detail::fatalImpl(__FILE__, __LINE__, \
+                                 ::turnnet::detail::concat(__VA_ARGS__))
+
+/** Panic unless a library invariant holds. */
+#define TN_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            TN_PANIC("assertion failed: ", #cond, ". ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** Warn about suspicious but survivable conditions. */
+#define TN_WARN(...) \
+    ::turnnet::detail::warnImpl(::turnnet::detail::concat(__VA_ARGS__))
+
+/** Print an informational status message. */
+#define TN_INFORM(...) \
+    ::turnnet::detail::informImpl(::turnnet::detail::concat(__VA_ARGS__))
+
+} // namespace turnnet
+
+#endif // TURNNET_COMMON_LOGGING_HPP

@@ -1,0 +1,110 @@
+#include "turnnet/common/rng.hpp"
+
+#include <cmath>
+
+namespace turnnet {
+
+namespace {
+
+/** splitmix64 step, used only for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t x = seed_value;
+    for (auto &word : s_)
+        word = splitmix64(x);
+    // xoshiro256** must not start from the all-zero state; splitmix64
+    // cannot emit four zero words from one stream, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    TN_ASSERT(bound > 0, "nextBounded requires a positive bound");
+    // Lemire-style rejection to avoid modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextInt(std::int64_t lo, std::int64_t hi)
+{
+    TN_ASSERT(lo <= hi, "nextInt requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDoubleOpenLow()
+{
+    return 1.0 - nextDouble();
+}
+
+bool
+Rng::nextBernoulli(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    TN_ASSERT(mean > 0.0, "exponential mean must be positive");
+    return -mean * std::log(nextDoubleOpenLow());
+}
+
+} // namespace turnnet

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * The generator is xoshiro256**, seeded through splitmix64 so that
+ * any 64-bit seed produces a well-mixed state. All distributions the
+ * simulator needs (uniform ints/reals, negative exponential,
+ * Bernoulli) are provided here so simulation results are reproducible
+ * across platforms and standard-library versions.
+ */
+
+#ifndef TURNNET_COMMON_RNG_HPP
+#define TURNNET_COMMON_RNG_HPP
+
+#include <cstdint>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience
+ * distributions. Satisfies the UniformRandomBitGenerator concept.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Reseed the generator, discarding all state. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    std::uint64_t operator()() { return next(); }
+
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ULL; }
+
+    /** Uniform integer in [0, bound), bound > 0, without modulo bias. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform real in [0, 1). */
+    double nextDouble();
+
+    /** Uniform real in (0, 1] — safe as a log() argument. */
+    double nextDoubleOpenLow();
+
+    /** True with probability p. */
+    bool nextBernoulli(double p);
+
+    /**
+     * Negative-exponential variate with the given mean.
+     * This is the interarrival distribution of Section 6.
+     */
+    double nextExponential(double mean);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_COMMON_RNG_HPP

@@ -1,0 +1,257 @@
+#include "turnnet/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+void
+RunningStats::reset()
+{
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0)
+{
+    TN_ASSERT(bins > 0, "histogram needs at least one bin");
+    TN_ASSERT(hi > lo, "histogram range must be non-empty");
+    width_ = (hi - lo) / static_cast<double>(bins);
+    reset();
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    count_ = 0;
+}
+
+void
+Histogram::add(double x)
+{
+    ++count_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        if (idx >= bins_.size()) // guard against FP edge cases
+            idx = bins_.size() - 1;
+        ++bins_[idx];
+    }
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count_);
+    double seen = static_cast<double>(underflow_);
+    if (target <= seen)
+        return lo_;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        const double in_bin = static_cast<double>(bins_[i]);
+        if (target <= seen + in_bin && in_bin > 0) {
+            const double frac = (target - seen) / in_bin;
+            return binLow(i) + frac * width_;
+        }
+        seen += in_bin;
+    }
+    return hi_;
+}
+
+TrendProbe::TrendProbe(double absolute_slack, double relative_slack)
+    : absoluteSlack_(absolute_slack), relativeSlack_(relative_slack)
+{
+    reset();
+}
+
+void
+TrendProbe::reset()
+{
+    samples_.clear();
+    count_ = 0;
+}
+
+void
+TrendProbe::add(double x)
+{
+    ++count_;
+    samples_.push_back(x);
+    // Decimate to bound memory: keep every other sample once large.
+    if (samples_.size() > 4096) {
+        std::vector<double> kept;
+        kept.reserve(samples_.size() / 2);
+        for (std::size_t i = 0; i < samples_.size(); i += 2)
+            kept.push_back(samples_[i]);
+        samples_.swap(kept);
+    }
+}
+
+double
+TrendProbe::earlyMean() const
+{
+    const std::size_t half = samples_.size() / 2;
+    if (half == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < half; ++i)
+        sum += samples_[i];
+    return sum / static_cast<double>(half);
+}
+
+double
+TrendProbe::lateMean() const
+{
+    const std::size_t half = samples_.size() / 2;
+    if (samples_.size() <= half)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = half; i < samples_.size(); ++i)
+        sum += samples_[i];
+    return sum / static_cast<double>(samples_.size() - half);
+}
+
+bool
+TrendProbe::growing() const
+{
+    if (samples_.size() < 8)
+        return false;
+    const double early = earlyMean();
+    const double late = lateMean();
+    return late > early + absoluteSlack_ &&
+           late > early * relativeSlack_;
+}
+
+void
+RateMeter::reset()
+{
+    started_ = false;
+    events_ = 0;
+    startCycle_ = 0;
+    stopCycle_ = 0;
+}
+
+void
+RateMeter::start(std::uint64_t cycle)
+{
+    started_ = true;
+    events_ = 0;
+    startCycle_ = cycle;
+    stopCycle_ = cycle;
+}
+
+void
+RateMeter::add(std::uint64_t n)
+{
+    if (started_)
+        events_ += n;
+}
+
+void
+RateMeter::stop(std::uint64_t cycle)
+{
+    if (started_ && cycle > stopCycle_)
+        stopCycle_ = cycle;
+}
+
+std::uint64_t
+RateMeter::cycles() const
+{
+    return stopCycle_ - startCycle_;
+}
+
+double
+RateMeter::rate() const
+{
+    const std::uint64_t c = cycles();
+    if (c == 0)
+        return 0.0;
+    return static_cast<double>(events_) / static_cast<double>(c);
+}
+
+} // namespace turnnet

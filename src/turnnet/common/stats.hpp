@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Streaming statistics used by the simulator's metrics layer:
+ * Welford mean/variance accumulators, fixed-bin histograms with
+ * quantile queries, and a windowed trend probe used to decide
+ * whether source queues are bounded (the paper's "sustainable
+ * throughput" criterion).
+ */
+
+#ifndef TURNNET_COMMON_STATS_HPP
+#define TURNNET_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace turnnet {
+
+/**
+ * Numerically stable streaming mean / variance / min / max
+ * accumulator (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    RunningStats() { reset(); }
+
+    /** Discard all samples. */
+    void reset();
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const;
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::uint64_t count_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+};
+
+/**
+ * Histogram over [lo, hi) with uniform bins plus underflow/overflow
+ * buckets. Supports approximate quantiles by linear interpolation
+ * within the containing bin.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the tracked range.
+     * @param hi Upper edge of the tracked range (exclusive).
+     * @param bins Number of uniform bins; must be positive.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void reset();
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Count in bin i. */
+    std::uint64_t binCount(std::size_t i) const { return bins_.at(i); }
+
+    /** Number of uniform bins. */
+    std::size_t numBins() const { return bins_.size(); }
+
+    /** Lower edge of bin i. */
+    double binLow(std::size_t i) const;
+
+    /**
+     * Approximate q-quantile (q in [0, 1]). Underflow samples are
+     * treated as lo and overflow samples as hi. Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t underflow_;
+    std::uint64_t overflow_;
+    std::uint64_t count_;
+};
+
+/**
+ * Detects whether a sampled series is growing without bound.
+ *
+ * The probe keeps the mean of the first and second halves of the
+ * samples seen so far (over a sliding, decimated reservoir). The
+ * series is called "unbounded" when the second-half mean exceeds the
+ * first-half mean by more than both an absolute slack and a relative
+ * factor. This mirrors the paper's sustainability test: throughput is
+ * sustainable when the number of packets queued at the sources stays
+ * small and bounded.
+ */
+class TrendProbe
+{
+  public:
+    /**
+     * @param absolute_slack Growth below this is always "bounded".
+     * @param relative_slack Required ratio of late/early means.
+     */
+    explicit TrendProbe(double absolute_slack = 2.0,
+                        double relative_slack = 1.5);
+
+    void reset();
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double earlyMean() const;
+    double lateMean() const;
+
+    /** True when the series appears to grow without bound. */
+    bool growing() const;
+
+  private:
+    double absoluteSlack_;
+    double relativeSlack_;
+    std::vector<double> samples_;
+    std::uint64_t count_;
+};
+
+/** Per-cycle rate meter: events per cycle over a measured interval. */
+class RateMeter
+{
+  public:
+    RateMeter() { reset(); }
+
+    void reset();
+
+    /** Open the measurement window at the given cycle. */
+    void start(std::uint64_t cycle);
+
+    /** Record @p n events. Ignored before start(). */
+    void add(std::uint64_t n = 1);
+
+    /** Close the window at the given cycle. */
+    void stop(std::uint64_t cycle);
+
+    std::uint64_t events() const { return events_; }
+    std::uint64_t cycles() const;
+
+    /** Events per cycle over the window; 0 for an empty window. */
+    double rate() const;
+
+  private:
+    bool started_;
+    std::uint64_t events_;
+    std::uint64_t startCycle_;
+    std::uint64_t stopCycle_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_COMMON_STATS_HPP

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the turnnet library.
+ */
+
+#ifndef TURNNET_COMMON_TYPES_HPP
+#define TURNNET_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace turnnet {
+
+/** Identifier of a node (router + processor pair) in a topology. */
+using NodeId = std::int32_t;
+
+/** Identifier of a unidirectional channel in a topology. */
+using ChannelId = std::int32_t;
+
+/** Simulation time measured in flit cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a packet within one simulation. */
+using PacketId = std::uint64_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** Sentinel for "no channel". */
+inline constexpr ChannelId kInvalidChannel = -1;
+
+/**
+ * Channel bandwidth used throughout the paper's evaluation:
+ * 20 flits per microsecond, i.e. one flit cycle is 0.05 usec.
+ */
+inline constexpr double kFlitsPerMicrosecond = 20.0;
+
+/** Convert a duration in flit cycles to microseconds. */
+inline constexpr double
+cyclesToMicroseconds(double cycles)
+{
+    return cycles / kFlitsPerMicrosecond;
+}
+
+} // namespace turnnet
+
+#endif // TURNNET_COMMON_TYPES_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Canned configurations for the paper's figures (13-16) and a shared
+ * driver used by the bench binaries and the integration tests.
+ */
+
+#ifndef TURNNET_HARNESS_FIGURES_HPP
+#define TURNNET_HARNESS_FIGURES_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/cli.hpp"
+#include "turnnet/harness/sweep.hpp"
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** Everything needed to regenerate one figure. */
+struct FigureSpec
+{
+    std::string id;          // e.g. "fig14"
+    std::string title;       // human-readable description
+    std::string topology;    // makeTopology() spec
+    std::string traffic;     // makeTraffic() name
+    /** Algorithms in plotting order; the first is the nonadaptive
+     *  baseline the paper compares against. */
+    std::vector<std::string> algorithms;
+    std::vector<double> loads;
+    /** What the paper reports, recorded for EXPERIMENTS.md. */
+    std::string paperClaim;
+};
+
+/**
+ * Construct a topology from a spec string: "mesh:16x16",
+ * "cube:8", "torus:8x8". Fatal on malformed specs.
+ */
+std::unique_ptr<Topology> makeTopology(const std::string &spec);
+
+/** The canned spec for "fig13" | "fig14" | "fig15" | "fig16". */
+FigureSpec figureSpec(const std::string &id);
+
+/**
+ * Scale a spec down for fast runs (smaller network, fewer loads):
+ * used by --quick and by the integration tests.
+ */
+FigureSpec quickened(FigureSpec spec);
+
+/**
+ * Run one figure: sweep every algorithm, print the per-algorithm
+ * latency/throughput tables and the cross-algorithm summary
+ * (max sustainable throughput, ratio to the nonadaptive baseline,
+ * mean uncongested hops).
+ *
+ * @return Per-algorithm sweeps, in spec order.
+ */
+std::vector<std::vector<SweepPoint>>
+runFigure(const FigureSpec &spec, const SimConfig &base,
+          bool print_tables = true);
+
+/**
+ * Shared main() body for the fig* bench binaries. Recognized
+ * options: --quick, --loads a,b,c, --warmup N, --measure N,
+ * --drain N, --seed N, --csv.
+ */
+int runFigureMain(const std::string &figure_id, int argc,
+                  const char *const *argv);
+
+} // namespace turnnet
+
+#endif // TURNNET_HARNESS_FIGURES_HPP

@@ -1,0 +1,72 @@
+#include "turnnet/harness/sweep.hpp"
+
+#include <algorithm>
+
+namespace turnnet {
+
+std::vector<SweepPoint>
+runLoadSweep(const Topology &topo, const RoutingPtr &routing,
+             const TrafficPtr &traffic,
+             const std::vector<double> &loads, const SimConfig &base)
+{
+    std::vector<SweepPoint> sweep;
+    sweep.reserve(loads.size());
+    std::uint64_t salt = 1;
+    for (double load : loads) {
+        SimConfig config = base;
+        config.load = load;
+        config.seed = base.seed + 0x9E37 * salt++;
+        Simulator sim(topo, routing, traffic, config);
+        sweep.push_back(SweepPoint{load, sim.run()});
+    }
+    return sweep;
+}
+
+double
+maxSustainableThroughput(const std::vector<SweepPoint> &sweep)
+{
+    double best = 0.0;
+    for (const SweepPoint &p : sweep) {
+        if (p.result.sustainable && !p.result.deadlocked)
+            best = std::max(best, p.result.acceptedFlitsPerUsec);
+    }
+    return best;
+}
+
+double
+baselineHops(const std::vector<SweepPoint> &sweep)
+{
+    for (const SweepPoint &p : sweep) {
+        if (p.result.packetsFinished > 0)
+            return p.result.avgHops;
+    }
+    return 0.0;
+}
+
+Table
+sweepTable(const std::string &title,
+           const std::vector<SweepPoint> &sweep)
+{
+    Table table(title);
+    table.setHeader({"offered(fl/node/cy)", "accepted(fl/us)",
+                     "latency(us)", "p99(us)", "net-lat(us)",
+                     "hops", "queue(pkts)", "status"});
+    for (const SweepPoint &p : sweep) {
+        const SimResult &r = p.result;
+        table.beginRow();
+        table.cell(p.offered, 4);
+        table.cell(r.acceptedFlitsPerUsec, 1);
+        table.cell(r.avgTotalLatencyUs, 2);
+        table.cell(r.p99TotalLatencyUs, 2);
+        table.cell(r.avgNetworkLatencyUs, 2);
+        table.cell(r.avgHops, 2);
+        table.cell(r.avgSourceQueuePackets, 1);
+        table.cell(std::string(r.deadlocked
+                                   ? "DEADLOCK"
+                                   : (r.sustainable ? "ok"
+                                                    : "saturated")));
+    }
+    return table;
+}
+
+} // namespace turnnet

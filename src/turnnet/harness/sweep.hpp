@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Load sweeps: run one (topology, algorithm, traffic) configuration
+ * across a grid of offered loads and report the latency/throughput
+ * series of the paper's figures, plus the maximum sustainable
+ * throughput (the paper's headline comparison).
+ */
+
+#ifndef TURNNET_HARNESS_SWEEP_HPP
+#define TURNNET_HARNESS_SWEEP_HPP
+
+#include <string>
+#include <vector>
+
+#include "turnnet/common/csv.hpp"
+#include "turnnet/network/simulator.hpp"
+
+namespace turnnet {
+
+/** One point of a load sweep. */
+struct SweepPoint
+{
+    double offered = 0.0;
+    SimResult result;
+};
+
+/**
+ * Run @p loads simulations of one configuration (fresh simulator,
+ * deterministic seeds derived from the base seed).
+ */
+std::vector<SweepPoint>
+runLoadSweep(const Topology &topo, const RoutingPtr &routing,
+             const TrafficPtr &traffic,
+             const std::vector<double> &loads, const SimConfig &base);
+
+/**
+ * Highest accepted throughput (flits/usec) over the sustainable
+ * points of a sweep; 0 when no point is sustainable.
+ */
+double maxSustainableThroughput(const std::vector<SweepPoint> &sweep);
+
+/** Mean hop count at the lowest offered load (uncongested paths). */
+double baselineHops(const std::vector<SweepPoint> &sweep);
+
+/** Format one sweep as the standard latency/throughput table. */
+Table sweepTable(const std::string &title,
+                 const std::vector<SweepPoint> &sweep);
+
+} // namespace turnnet
+
+#endif // TURNNET_HARNESS_SWEEP_HPP

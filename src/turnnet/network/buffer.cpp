@@ -1,0 +1,30 @@
+#include "turnnet/network/buffer.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+void
+FlitBuffer::push(const Flit &flit, Cycle arrival)
+{
+    TN_ASSERT(!full(), "flit buffer overflow");
+    entries_.push_back(Entry{flit, arrival});
+}
+
+const FlitBuffer::Entry &
+FlitBuffer::front() const
+{
+    TN_ASSERT(!empty(), "front() on empty flit buffer");
+    return entries_.front();
+}
+
+FlitBuffer::Entry
+FlitBuffer::pop()
+{
+    TN_ASSERT(!empty(), "pop() on empty flit buffer");
+    Entry e = entries_.front();
+    entries_.pop_front();
+    return e;
+}
+
+} // namespace turnnet

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The per-input-channel flit buffer. The paper's routers buffer a
+ * single flit per input channel; the capacity is configurable for
+ * the buffer-depth ablation.
+ */
+
+#ifndef TURNNET_NETWORK_BUFFER_HPP
+#define TURNNET_NETWORK_BUFFER_HPP
+
+#include <cstddef>
+#include <deque>
+
+#include "turnnet/common/types.hpp"
+#include "turnnet/network/flit.hpp"
+
+namespace turnnet {
+
+/** A FIFO flit buffer with fixed capacity. */
+class FlitBuffer
+{
+  public:
+    /** One buffered flit plus its arrival time (for FCFS input
+     *  selection). */
+    struct Entry
+    {
+        Flit flit;
+        Cycle arrival = 0;
+    };
+
+    explicit FlitBuffer(std::size_t capacity = 1)
+        : capacity_(capacity)
+    {
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /** Append a flit; fatal when full. */
+    void push(const Flit &flit, Cycle arrival);
+
+    /** Oldest entry; fatal when empty. */
+    const Entry &front() const;
+
+    /** Remove and return the oldest entry; fatal when empty. */
+    Entry pop();
+
+    /** Discard all contents. */
+    void clear() { entries_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<Entry> entries_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_BUFFER_HPP

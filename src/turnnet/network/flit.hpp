@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Flow-control digits (flits), the unit of wormhole switching.
+ *
+ * Wormhole routing divides each packet into flits; the header flit
+ * carries the routing information (here the destination id) and
+ * leads the packet through the network, body flits follow the path
+ * the header reserved, and the tail flit releases it.
+ */
+
+#ifndef TURNNET_NETWORK_FLIT_HPP
+#define TURNNET_NETWORK_FLIT_HPP
+
+#include <cstdint>
+
+#include "turnnet/common/types.hpp"
+
+namespace turnnet {
+
+/** One flit. Kept small: simulations move millions of these. */
+struct Flit
+{
+    PacketId packet = 0;
+    /** Destination node, replicated from the header for fast access. */
+    NodeId dest = kInvalidNode;
+    /** Position within the packet (0 = header). */
+    std::uint32_t seq = 0;
+    bool head = false;
+    bool tail = false;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_FLIT_HPP

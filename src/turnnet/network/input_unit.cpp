@@ -1,0 +1,4 @@
+#include "turnnet/network/input_unit.hpp"
+
+// InputUnit is header-only; this translation unit anchors it in the
+// library.

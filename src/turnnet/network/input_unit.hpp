@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Input unit: the state a router keeps per input channel — the flit
+ * buffer and the output the in-flight packet has been switched to.
+ */
+
+#ifndef TURNNET_NETWORK_INPUT_UNIT_HPP
+#define TURNNET_NETWORK_INPUT_UNIT_HPP
+
+#include "turnnet/network/buffer.hpp"
+#include "turnnet/topology/direction.hpp"
+
+namespace turnnet {
+
+/** Index of an input or output unit inside the Network. */
+using UnitId = std::int32_t;
+
+/** Sentinel for "no unit". */
+inline constexpr UnitId kNoUnit = -1;
+
+/**
+ * Router state for one input channel (or the node's injection
+ * channel, whose direction is local).
+ */
+class InputUnit
+{
+  public:
+    /**
+     * @param node Router the unit belongs to.
+     * @param in_dir Arrival direction (local for injection).
+     * @param vc Virtual channel index; -1 (kNoVc) for injection.
+     * @param buffer_depth Flits of buffering.
+     */
+    InputUnit(NodeId node, Direction in_dir, int vc,
+              std::size_t buffer_depth)
+        : node_(node), inDir_(in_dir), vc_(vc),
+          buffer_(buffer_depth)
+    {
+    }
+
+    NodeId node() const { return node_; }
+
+    /** Direction packets travel when arriving here (local for the
+     *  injection channel). */
+    Direction inDir() const { return inDir_; }
+
+    /** Virtual channel this unit buffers (-1 for injection). */
+    int vc() const { return vc_; }
+
+    FlitBuffer &buffer() { return buffer_; }
+    const FlitBuffer &buffer() const { return buffer_; }
+
+    /** Output unit the resident packet holds, or kNoUnit. */
+    UnitId assignedOutput() const { return assignedOutput_; }
+    void assignOutput(UnitId out) { assignedOutput_ = out; }
+    void clearOutput() { assignedOutput_ = kNoUnit; }
+
+    /** Reset to the post-construction state. */
+    void
+    reset()
+    {
+        buffer_.clear();
+        assignedOutput_ = kNoUnit;
+    }
+
+  private:
+    NodeId node_;
+    Direction inDir_;
+    int vc_;
+    FlitBuffer buffer_;
+    UnitId assignedOutput_ = kNoUnit;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_INPUT_UNIT_HPP

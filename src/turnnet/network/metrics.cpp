@@ -1,0 +1,22 @@
+#include "turnnet/network/metrics.hpp"
+
+#include <cstdio>
+
+namespace turnnet {
+
+std::string
+SimResult::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s/%s/%s load=%.4f acc=%.1f fl/us lat=%.2f us "
+                  "hops=%.2f %s%s",
+                  topology.c_str(), algorithm.c_str(),
+                  traffic.c_str(), offeredLoad, acceptedFlitsPerUsec,
+                  avgTotalLatencyUs, avgHops,
+                  sustainable ? "sustainable" : "SATURATED",
+                  deadlocked ? " DEADLOCK" : "");
+    return buf;
+}
+
+} // namespace turnnet

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Simulation results: the two characteristics the paper measures —
+ * average communication latency (usec) and sustained network
+ * throughput (flits delivered per usec) — plus supporting detail
+ * (hop counts, queue growth, percentiles, deadlock detection).
+ */
+
+#ifndef TURNNET_NETWORK_METRICS_HPP
+#define TURNNET_NETWORK_METRICS_HPP
+
+#include <string>
+
+#include "turnnet/common/types.hpp"
+
+namespace turnnet {
+
+/** Results of one simulation run. */
+struct SimResult
+{
+    std::string topology;
+    std::string algorithm;
+    std::string traffic;
+
+    /** Requested offered load (flits per node per cycle). */
+    double offeredLoad = 0.0;
+    /** Flits actually generated per node per cycle during the
+     *  measurement window (permutation self-traffic is skipped). */
+    double generatedLoad = 0.0;
+
+    /** Delivered flits per cycle, network wide, measure window. */
+    double acceptedFlitsPerCycle = 0.0;
+    /** Delivered flits per usec, network wide (the paper's
+     *  throughput axis). */
+    double acceptedFlitsPerUsec = 0.0;
+    /** Delivered flits per node per cycle (normalized). */
+    double acceptedPerNodeCycle = 0.0;
+
+    /** Mean source-to-sink latency in usec (queueing included). */
+    double avgTotalLatencyUs = 0.0;
+    /** Mean in-network latency in usec (injection to consumption). */
+    double avgNetworkLatencyUs = 0.0;
+    /** Latency percentiles (total latency, usec). */
+    double p50TotalLatencyUs = 0.0;
+    double p99TotalLatencyUs = 0.0;
+
+    /** Mean router-to-router hops of measured packets. */
+    double avgHops = 0.0;
+
+    /** Mean packets waiting in source queues (sampled). */
+    double avgSourceQueuePackets = 0.0;
+
+    /** Busiest physical channel's utilization (flits/cycle) over
+     *  the measurement window — the concentration bottleneck. */
+    double maxChannelUtilization = 0.0;
+    /** Mean channel utilization (flits/cycle). */
+    double meanChannelUtilization = 0.0;
+
+    std::uint64_t packetsMeasured = 0;
+    std::uint64_t packetsFinished = 0;
+    std::uint64_t packetsUnfinished = 0;
+
+    /** The watchdog saw no progress while flits were in flight. */
+    bool deadlocked = false;
+    /** Source queues stayed bounded during the measure window. */
+    bool sustainable = true;
+
+    /** Total cycles simulated. */
+    Cycle cycles = 0;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_METRICS_HPP

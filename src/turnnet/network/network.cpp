@@ -1,0 +1,193 @@
+#include "turnnet/network/network.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+Network::Network(const Topology &topo, std::size_t buffer_depth,
+                 int num_vcs)
+    : topo_(&topo), numVcs_(num_vcs)
+{
+    TN_ASSERT(buffer_depth >= 1, "buffers hold at least one flit");
+    TN_ASSERT(num_vcs >= 1, "networks need at least one VC");
+    const NodeId nodes = topo.numNodes();
+    const int channels = topo.numChannels();
+
+    inputs_.reserve(static_cast<std::size_t>(channels) * num_vcs +
+                    nodes);
+    outputs_.reserve(static_cast<std::size_t>(channels) * num_vcs +
+                     nodes);
+    routers_.reserve(nodes);
+
+    for (NodeId n = 0; n < nodes; ++n)
+        routers_.emplace_back(n, topo.numDims(), num_vcs);
+
+    // Channel-attached units: for each virtual channel of channel c,
+    // an input unit at its dst buffering arrivals and an output unit
+    // at its src holding the wormhole reservation.
+    for (ChannelId c = 0; c < channels; ++c) {
+        const Channel &ch = topo.channel(c);
+        for (int vc = 0; vc < num_vcs; ++vc) {
+            inputs_.emplace_back(ch.dst, ch.dir, vc, buffer_depth);
+            outputs_.emplace_back(ch.src, ch.dir, c, vc);
+            routers_[ch.dst].addInput(channelInput(c, vc), ch.dir);
+            routers_[ch.src].addOutput(channelOutput(c, vc), ch.dir,
+                                       vc);
+        }
+    }
+
+    // Local units: injection inputs and ejection outputs (one each;
+    // the processor interface is not virtualized).
+    for (NodeId n = 0; n < nodes; ++n) {
+        inputs_.emplace_back(n, Direction::local(), kNoVc,
+                             buffer_depth);
+        outputs_.emplace_back(n, Direction::local(), kInvalidChannel,
+                              0);
+        routers_[n].addInput(injectionInput(n), Direction::local());
+        routers_[n].addOutput(ejectionOutput(n), Direction::local(),
+                              0);
+    }
+}
+
+std::uint64_t
+Network::flitsInFlight() const
+{
+    std::uint64_t total = 0;
+    for (const InputUnit &iu : inputs_)
+        total += iu.buffer().size();
+    return total;
+}
+
+void
+Network::allocateAll(const AllocationContext &ctx)
+{
+    for (Router &r : routers_)
+        r.allocate(inputs_, outputs_, ctx);
+}
+
+std::vector<std::uint8_t>
+Network::resolveMovable(Cycle now) const
+{
+    enum : std::uint8_t { Unknown, InProgress, Yes, No };
+    std::vector<std::uint8_t> state(inputs_.size(), Unknown);
+
+    // Link arbitration: with several virtual channels multiplexed
+    // on one physical link, at most one flit crosses per cycle.
+    // Collect, per physical channel, the input units that want to
+    // send over it, preferring VCs whose downstream buffer has
+    // room, rotating by cycle for fairness. With one VC this always
+    // selects the only candidate.
+    if (numVcs_ > 1) {
+        linkWinner_.assign(topo_->numChannels(), kNoUnit);
+        // Candidates per channel, collected in VC order.
+        std::vector<std::vector<UnitId>> wanting(
+            topo_->numChannels());
+        for (UnitId id = 0;
+             id < static_cast<UnitId>(inputs_.size()); ++id) {
+            const InputUnit &iu = inputs_[id];
+            if (iu.buffer().empty() ||
+                iu.assignedOutput() == kNoUnit) {
+                continue;
+            }
+            const OutputUnit &out = outputs_[iu.assignedOutput()];
+            if (out.isEjection())
+                continue;
+            wanting[out.channel()].push_back(id);
+        }
+        for (ChannelId c = 0; c < topo_->numChannels(); ++c) {
+            const auto &cands = wanting[c];
+            if (cands.empty())
+                continue;
+            // Prefer candidates that can make progress right away.
+            std::vector<UnitId> ready;
+            for (const UnitId id : cands) {
+                const OutputUnit &out =
+                    outputs_[inputs_[id].assignedOutput()];
+                const UnitId down =
+                    channelInput(out.channel(), out.vc());
+                if (!inputs_[down].buffer().full())
+                    ready.push_back(id);
+            }
+            const auto &pool = ready.empty() ? cands : ready;
+            linkWinner_[c] =
+                pool[static_cast<std::size_t>(now) % pool.size()];
+        }
+    }
+
+    auto link_allows = [&](UnitId id, const OutputUnit &out) {
+        if (numVcs_ == 1 || out.isEjection())
+            return true;
+        return linkWinner_[out.channel()] == id;
+    };
+
+    // Iterative chain resolution. The dependency of input unit i is
+    // at most one other input unit (the buffer downstream of its
+    // assigned output), so each chain is a path that either reaches
+    // a free slot / ejection (everyone moves) or closes a cycle or
+    // blocked head (nobody moves).
+    std::vector<UnitId> chain;
+    for (UnitId start = 0;
+         start < static_cast<UnitId>(inputs_.size()); ++start) {
+        if (state[start] != Unknown)
+            continue;
+        chain.clear();
+        UnitId cur = start;
+        std::uint8_t verdict = No;
+        for (;;) {
+            const InputUnit &iu = inputs_[cur];
+            if (state[cur] == Yes || state[cur] == No) {
+                verdict = state[cur];
+                break;
+            }
+            if (state[cur] == InProgress) {
+                // Closed a waiting cycle: a deadlock configuration.
+                verdict = No;
+                break;
+            }
+            if (iu.buffer().empty() ||
+                iu.assignedOutput() == kNoUnit) {
+                verdict = No;
+                state[cur] = No;
+                break;
+            }
+            const OutputUnit &out = outputs_[iu.assignedOutput()];
+            if (!link_allows(cur, out)) {
+                verdict = No;
+                state[cur] = No;
+                break;
+            }
+            if (out.isEjection()) {
+                verdict = Yes;
+                state[cur] = Yes;
+                break;
+            }
+            const UnitId down =
+                channelInput(out.channel(), out.vc());
+            if (!inputs_[down].buffer().full()) {
+                verdict = Yes;
+                state[cur] = Yes;
+                break;
+            }
+            state[cur] = InProgress;
+            chain.push_back(cur);
+            cur = down;
+        }
+        for (const UnitId id : chain)
+            state[id] = verdict;
+    }
+
+    for (std::uint8_t &s : state)
+        s = (s == Yes) ? 1 : 0;
+    return state;
+}
+
+void
+Network::reset()
+{
+    for (InputUnit &iu : inputs_)
+        iu.reset();
+    for (OutputUnit &ou : outputs_)
+        ou.reset();
+}
+
+} // namespace turnnet

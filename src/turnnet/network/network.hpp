@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Network: the complete switching fabric — every router, input
+ * buffer (one per virtual channel), and output reservation — plus
+ * the cycle-synchronous flit movement resolution.
+ *
+ * Movement uses chain resolution: a flit may advance when the
+ * downstream buffer has a free slot, or when the downstream
+ * buffer's own front flit advances in the same cycle. This models
+ * the paper's routers, which "operate asynchronously and
+ * synchronize to simultaneously transmit the flits in a packet":
+ * a worm of full single-flit buffers moves as one. A cycle of full
+ * buffers all waiting on each other is exactly a deadlock
+ * configuration and nothing in it moves.
+ *
+ * With more than one virtual channel per physical link, the link is
+ * time-multiplexed: at most one flit crosses it per cycle, with the
+ * candidate VCs served round-robin.
+ */
+
+#ifndef TURNNET_NETWORK_NETWORK_HPP
+#define TURNNET_NETWORK_NETWORK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "turnnet/network/input_unit.hpp"
+#include "turnnet/network/output_unit.hpp"
+#include "turnnet/network/router.hpp"
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** The assembled switching fabric for one topology. */
+class Network
+{
+  public:
+    /**
+     * @param topo Topology to build on (must outlive the network).
+     * @param buffer_depth Flits per input buffer (the paper uses 1).
+     * @param num_vcs Virtual channels per physical channel.
+     */
+    Network(const Topology &topo, std::size_t buffer_depth,
+            int num_vcs = 1);
+
+    const Topology &topo() const { return *topo_; }
+    int numVcs() const { return numVcs_; }
+
+    /** Input unit buffering virtual channel @p vc of channel @p ch. */
+    UnitId
+    channelInput(ChannelId ch, int vc = 0) const
+    {
+        return static_cast<UnitId>(ch) * numVcs_ + vc;
+    }
+
+    /** Injection input unit of @p node. */
+    UnitId
+    injectionInput(NodeId node) const
+    {
+        return static_cast<UnitId>(topo_->numChannels()) * numVcs_ +
+               node;
+    }
+
+    /** Output unit driving virtual channel @p vc of channel @p ch. */
+    UnitId
+    channelOutput(ChannelId ch, int vc = 0) const
+    {
+        return static_cast<UnitId>(ch) * numVcs_ + vc;
+    }
+
+    /** Ejection output unit of @p node. */
+    UnitId
+    ejectionOutput(NodeId node) const
+    {
+        return static_cast<UnitId>(topo_->numChannels()) * numVcs_ +
+               node;
+    }
+
+    InputUnit &input(UnitId id) { return inputs_[id]; }
+    const InputUnit &input(UnitId id) const { return inputs_[id]; }
+    OutputUnit &output(UnitId id) { return outputs_[id]; }
+    const OutputUnit &output(UnitId id) const { return outputs_[id]; }
+
+    std::size_t numInputs() const { return inputs_.size(); }
+    std::size_t numOutputs() const { return outputs_.size(); }
+
+    Router &router(NodeId node) { return routers_[node]; }
+    const Router &router(NodeId node) const { return routers_[node]; }
+
+    /** Flits currently buffered anywhere in the fabric. */
+    std::uint64_t flitsInFlight() const;
+
+    /** Run the allocation stage of every router. */
+    void allocateAll(const AllocationContext &ctx);
+
+    /**
+     * Chain-resolve which input units' front flits can advance this
+     * cycle. Entry i of the result corresponds to input unit i.
+     * @p now drives the round-robin link arbitration among virtual
+     * channels.
+     */
+    std::vector<std::uint8_t> resolveMovable(Cycle now) const;
+
+    /** Clear all buffers and reservations. */
+    void reset();
+
+  private:
+    const Topology *topo_;
+    int numVcs_;
+    std::vector<InputUnit> inputs_;
+    std::vector<OutputUnit> outputs_;
+    std::vector<Router> routers_;
+    /** Scratch for link arbitration (reused per cycle). */
+    mutable std::vector<UnitId> linkWinner_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_NETWORK_HPP

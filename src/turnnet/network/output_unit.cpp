@@ -1,0 +1,4 @@
+#include "turnnet/network/output_unit.hpp"
+
+// OutputUnit is header-only; this translation unit anchors it in the
+// library.

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Output unit: the state a router keeps per output channel — which
+ * input currently owns it. Wormhole switching reserves an output
+ * from header arrival until the tail flit passes.
+ */
+
+#ifndef TURNNET_NETWORK_OUTPUT_UNIT_HPP
+#define TURNNET_NETWORK_OUTPUT_UNIT_HPP
+
+#include "turnnet/common/types.hpp"
+#include "turnnet/network/input_unit.hpp"
+#include "turnnet/topology/direction.hpp"
+
+namespace turnnet {
+
+/**
+ * Router state for one output channel (or the node's ejection
+ * channel to the local processor).
+ */
+class OutputUnit
+{
+  public:
+    /**
+     * @param node Router this unit belongs to.
+     * @param dir Travel direction of the channel (local = ejection).
+     * @param channel Topology channel id; kInvalidChannel for
+     *        ejection.
+     * @param vc Virtual channel driven on the physical link.
+     */
+    OutputUnit(NodeId node, Direction dir, ChannelId channel,
+               int vc = 0)
+        : node_(node), dir_(dir), channel_(channel), vc_(vc)
+    {
+    }
+
+    NodeId node() const { return node_; }
+    Direction dir() const { return dir_; }
+    ChannelId channel() const { return channel_; }
+    int vc() const { return vc_; }
+    bool isEjection() const { return channel_ == kInvalidChannel; }
+
+    bool free() const { return owner_ == kNoUnit; }
+    UnitId owner() const { return owner_; }
+    void acquire(UnitId input) { owner_ = input; }
+    void release() { owner_ = kNoUnit; }
+
+    void reset() { owner_ = kNoUnit; }
+
+  private:
+    NodeId node_;
+    Direction dir_;
+    ChannelId channel_;
+    int vc_;
+    UnitId owner_ = kNoUnit;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_OUTPUT_UNIT_HPP

@@ -1,0 +1,46 @@
+#include "turnnet/network/packet.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+PacketInfo &
+PacketTable::create(NodeId src, NodeId dest, std::uint32_t length,
+                    Cycle now, bool measured)
+{
+    TN_ASSERT(length >= 1, "packets need at least one flit");
+    const PacketId id = nextId_++;
+    PacketInfo &info = packets_[id];
+    info.id = id;
+    info.src = src;
+    info.dest = dest;
+    info.length = length;
+    info.created = now;
+    info.measured = measured;
+    return info;
+}
+
+PacketInfo &
+PacketTable::at(PacketId id)
+{
+    const auto it = packets_.find(id);
+    TN_ASSERT(it != packets_.end(), "unknown packet ", id);
+    return it->second;
+}
+
+const PacketInfo &
+PacketTable::at(PacketId id) const
+{
+    const auto it = packets_.find(id);
+    TN_ASSERT(it != packets_.end(), "unknown packet ", id);
+    return it->second;
+}
+
+void
+PacketTable::erase(PacketId id)
+{
+    const auto erased = packets_.erase(id);
+    TN_ASSERT(erased == 1, "erasing unknown packet ", id);
+}
+
+} // namespace turnnet

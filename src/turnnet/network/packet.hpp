@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Packet bookkeeping: per-packet metadata and the live-packet table
+ * used for latency and hop accounting.
+ */
+
+#ifndef TURNNET_NETWORK_PACKET_HPP
+#define TURNNET_NETWORK_PACKET_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "turnnet/common/types.hpp"
+
+namespace turnnet {
+
+/** Lifecycle metadata of one packet. */
+struct PacketInfo
+{
+    PacketId id = 0;
+    NodeId src = kInvalidNode;
+    NodeId dest = kInvalidNode;
+    std::uint32_t length = 0;
+
+    /** Cycle the message was generated at the source processor. */
+    Cycle created = 0;
+    /** Cycle the header flit entered the router (left the source
+     *  queue); 0 until injected. */
+    Cycle injected = 0;
+    /** Router-to-router hops taken by the header so far. */
+    std::uint32_t hops = 0;
+    /** Whether this packet belongs to the measurement window. */
+    bool measured = false;
+};
+
+/** Table of packets currently alive in queues or the network. */
+class PacketTable
+{
+  public:
+    /** Register a new packet and return its metadata slot. */
+    PacketInfo &create(NodeId src, NodeId dest, std::uint32_t length,
+                       Cycle now, bool measured);
+
+    /** Metadata of a live packet; fatal if unknown. */
+    PacketInfo &at(PacketId id);
+    const PacketInfo &at(PacketId id) const;
+
+    /** Remove a delivered packet. */
+    void erase(PacketId id);
+
+    std::size_t liveCount() const { return packets_.size(); }
+
+  private:
+    std::unordered_map<PacketId, PacketInfo> packets_;
+    PacketId nextId_ = 1;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_PACKET_HPP

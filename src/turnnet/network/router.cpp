@@ -1,0 +1,147 @@
+#include "turnnet/network/router.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+Router::Router(NodeId node, int num_dims, int num_vcs)
+    : node_(node), numVcs_(num_vcs),
+      outputByDir_(static_cast<std::size_t>(2 * num_dims) *
+                       num_vcs + 1,
+                   kNoUnit)
+{
+    TN_ASSERT(num_vcs >= 1, "routers need at least one VC");
+}
+
+void
+Router::addInput(UnitId unit, Direction in_dir)
+{
+    (void)in_dir;
+    inputs_.push_back(unit);
+}
+
+void
+Router::addOutput(UnitId unit, Direction dir, int vc)
+{
+    outputs_.push_back(unit);
+    const std::size_t idx =
+        dir.isLocal()
+            ? outputByDir_.size() - 1
+            : static_cast<std::size_t>(dir.index()) * numVcs_ + vc;
+    TN_ASSERT(outputByDir_[idx] == kNoUnit,
+              "duplicate output direction at node ", node_);
+    outputByDir_[idx] = unit;
+}
+
+UnitId
+Router::outputFor(Direction dir, int vc) const
+{
+    const std::size_t idx =
+        dir.isLocal()
+            ? outputByDir_.size() - 1
+            : static_cast<std::size_t>(dir.index()) * numVcs_ + vc;
+    return outputByDir_[idx];
+}
+
+UnitId
+Router::ejectionOutput() const
+{
+    return outputByDir_.back();
+}
+
+void
+Router::allocate(std::vector<InputUnit> &inputs,
+                 std::vector<OutputUnit> &outputs,
+                 const AllocationContext &ctx)
+{
+    scratch_.clear();
+
+    auto request = [&](UnitId out, const InputRequest &req) {
+        for (PendingRequests &p : scratch_) {
+            if (p.output == out) {
+                p.requests.push_back(req);
+                return;
+            }
+        }
+        scratch_.push_back(PendingRequests{out, {req}});
+    };
+
+    int port_order = 0;
+    for (const UnitId in_id : inputs_) {
+        const int port = port_order++;
+        InputUnit &iu = inputs[in_id];
+        if (iu.buffer().empty())
+            continue;
+        if (iu.assignedOutput() != kNoUnit)
+            continue; // body/tail flits follow the assigned route
+        const FlitBuffer::Entry &entry = iu.buffer().front();
+        TN_ASSERT(entry.flit.head,
+                  "non-header flit waiting without a route at node ",
+                  node_);
+
+        const NodeId dest = entry.flit.dest;
+        if (dest == node_) {
+            const UnitId ej = ejectionOutput();
+            if (outputs[ej].free())
+                request(ej, InputRequest{in_id, entry.arrival, port});
+            continue;
+        }
+
+        candidateScratch_.clear();
+        ctx.routing.route(ctx.topo, node_, dest, iu.inDir(),
+                          iu.vc(), candidateScratch_);
+
+        // Directions with at least one free permitted (dir, vc).
+        DirectionSet available;
+        for (const VcCandidate &c : candidateScratch_) {
+            const UnitId out = outputFor(c.dir, c.vc);
+            if (out != kNoUnit && outputs[out].free())
+                available.insert(c.dir);
+        }
+        if (available.empty())
+            continue; // every permitted channel is busy: wait
+
+        // Distance-reducing channels are always preferred; a
+        // nonminimal relation's unproductive channels are taken
+        // only when no productive one is free and the header has
+        // waited long enough to justify the detour.
+        const DirectionSet productive =
+            available & ctx.topo.minimalDirections(node_, dest);
+        DirectionSet eligible = productive;
+        if (eligible.empty()) {
+            const Cycle waited = ctx.now - entry.arrival;
+            if (waited < ctx.misrouteAfterWait)
+                continue;
+            eligible = available;
+        }
+
+        const Direction chosen =
+            selectOutput(ctx.outputPolicy, eligible, iu.inDir(),
+                         ctx.topo, node_, dest, ctx.rng);
+
+        // Lowest free permitted VC of the chosen direction.
+        UnitId target = kNoUnit;
+        int best_vc = numVcs_;
+        for (const VcCandidate &c : candidateScratch_) {
+            if (c.dir != chosen || c.vc >= best_vc)
+                continue;
+            const UnitId out = outputFor(c.dir, c.vc);
+            if (out != kNoUnit && outputs[out].free()) {
+                target = out;
+                best_vc = c.vc;
+            }
+        }
+        TN_ASSERT(target != kNoUnit,
+                  "selected direction lost its free channel");
+        request(target, InputRequest{in_id, entry.arrival, port});
+    }
+
+    for (const PendingRequests &p : scratch_) {
+        const InputRequest &winner =
+            selectInput(ctx.inputPolicy, p.requests, ctx.rng);
+        inputs[winner.input].assignOutput(p.output);
+        outputs[p.output].acquire(winner.input);
+    }
+}
+
+} // namespace turnnet

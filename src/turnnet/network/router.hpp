@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Router: per-node switching state and the routing/allocation stage.
+ *
+ * Each router controls the input units of its incoming channels
+ * (one per virtual channel) plus the node's injection channel, and
+ * the output units of its outgoing channels plus the node's
+ * ejection channel. Once per cycle the router computes routes for
+ * waiting header flits, lets the output selection policy choose
+ * among free permitted channels, and arbitrates conflicting headers
+ * with the input selection policy.
+ */
+
+#ifndef TURNNET_NETWORK_ROUTER_HPP
+#define TURNNET_NETWORK_ROUTER_HPP
+
+#include <vector>
+
+#include "turnnet/common/rng.hpp"
+#include "turnnet/network/input_unit.hpp"
+#include "turnnet/network/output_unit.hpp"
+#include "turnnet/network/selection.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+
+namespace turnnet {
+
+/** Context shared by all routers during an allocation pass. */
+struct AllocationContext
+{
+    const Topology &topo;
+    const VcRoutingFunction &routing;
+    InputPolicy inputPolicy;
+    OutputPolicy outputPolicy;
+    Rng &rng;
+    /** Current cycle (for misroute wait accounting). */
+    Cycle now = 0;
+    /**
+     * Cycles a header must have waited before unproductive
+     * (nonminimal) channels become eligible. Only relevant when the
+     * routing relation offers unproductive directions; productive
+     * free channels are always preferred.
+     */
+    Cycle misrouteAfterWait = 0;
+};
+
+/** One node's switching logic. */
+class Router
+{
+  public:
+    /**
+     * @param node Node id.
+     * @param num_dims Topology dimensionality.
+     * @param num_vcs Virtual channels per physical channel.
+     */
+    Router(NodeId node, int num_dims, int num_vcs);
+
+    NodeId node() const { return node_; }
+
+    /** Register the input unit for arriving direction @p in_dir. */
+    void addInput(UnitId unit, Direction in_dir);
+
+    /**
+     * Register the output unit for leaving direction @p dir on
+     * virtual channel @p vc (local = ejection, vc ignored).
+     */
+    void addOutput(UnitId unit, Direction dir, int vc);
+
+    const std::vector<UnitId> &inputs() const { return inputs_; }
+    const std::vector<UnitId> &outputs() const { return outputs_; }
+
+    /** Output unit for (direction, vc), or kNoUnit. */
+    UnitId outputFor(Direction dir, int vc = 0) const;
+
+    /** The ejection output unit. */
+    UnitId ejectionOutput() const;
+
+    /**
+     * The routing/allocation stage: assign free output units to
+     * waiting header flits according to the routing relation and
+     * the selection policies.
+     */
+    void allocate(std::vector<InputUnit> &inputs,
+                  std::vector<OutputUnit> &outputs,
+                  const AllocationContext &ctx);
+
+  private:
+    NodeId node_;
+    int numVcs_;
+    std::vector<UnitId> inputs_;
+    std::vector<UnitId> outputs_;
+    /** Direction-index x vc -> output unit; ejection last. */
+    std::vector<UnitId> outputByDir_;
+
+    /** Scratch request lists, reused across cycles. */
+    struct PendingRequests
+    {
+        UnitId output = kNoUnit;
+        std::vector<InputRequest> requests;
+    };
+    std::vector<PendingRequests> scratch_;
+    std::vector<VcCandidate> candidateScratch_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_ROUTER_HPP

@@ -1,0 +1,141 @@
+#include "turnnet/network/selection.hpp"
+
+#include <cstdlib>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+InputPolicy
+parseInputPolicy(const std::string &name)
+{
+    if (name == "fcfs")
+        return InputPolicy::Fcfs;
+    if (name == "random")
+        return InputPolicy::Random;
+    if (name == "fixed")
+        return InputPolicy::FixedPriority;
+    TN_FATAL("unknown input policy '", name,
+             "' (expected fcfs, random, or fixed)");
+}
+
+OutputPolicy
+parseOutputPolicy(const std::string &name)
+{
+    if (name == "lowest-dim" || name == "xy")
+        return OutputPolicy::LowestDim;
+    if (name == "random")
+        return OutputPolicy::Random;
+    if (name == "straight-first")
+        return OutputPolicy::StraightFirst;
+    if (name == "most-remaining")
+        return OutputPolicy::MostRemaining;
+    TN_FATAL("unknown output policy '", name,
+             "' (expected lowest-dim, random, straight-first, or "
+             "most-remaining)");
+}
+
+std::string
+toString(InputPolicy policy)
+{
+    switch (policy) {
+      case InputPolicy::Fcfs:
+        return "fcfs";
+      case InputPolicy::Random:
+        return "random";
+      case InputPolicy::FixedPriority:
+        return "fixed";
+    }
+    TN_PANIC("bad input policy");
+}
+
+std::string
+toString(OutputPolicy policy)
+{
+    switch (policy) {
+      case OutputPolicy::LowestDim:
+        return "lowest-dim";
+      case OutputPolicy::Random:
+        return "random";
+      case OutputPolicy::StraightFirst:
+        return "straight-first";
+      case OutputPolicy::MostRemaining:
+        return "most-remaining";
+    }
+    TN_PANIC("bad output policy");
+}
+
+const InputRequest &
+selectInput(InputPolicy policy, const std::vector<InputRequest> &reqs,
+            Rng &rng)
+{
+    TN_ASSERT(!reqs.empty(), "arbitrating an empty request list");
+    switch (policy) {
+      case InputPolicy::Fcfs: {
+        const InputRequest *best = &reqs.front();
+        for (const InputRequest &r : reqs) {
+            if (r.headArrival < best->headArrival ||
+                (r.headArrival == best->headArrival &&
+                 r.portOrder < best->portOrder)) {
+                best = &r;
+            }
+        }
+        return *best;
+      }
+      case InputPolicy::Random:
+        return reqs[rng.nextBounded(reqs.size())];
+      case InputPolicy::FixedPriority: {
+        const InputRequest *best = &reqs.front();
+        for (const InputRequest &r : reqs) {
+            if (r.portOrder < best->portOrder)
+                best = &r;
+        }
+        return *best;
+      }
+    }
+    TN_PANIC("bad input policy");
+}
+
+Direction
+selectOutput(OutputPolicy policy, DirectionSet candidates,
+             Direction in_dir, const Topology &topo, NodeId current,
+             NodeId dest, Rng &rng)
+{
+    TN_ASSERT(!candidates.empty(), "selecting from no candidates");
+    switch (policy) {
+      case OutputPolicy::LowestDim:
+        return candidates.first();
+      case OutputPolicy::Random: {
+        const int pick =
+            static_cast<int>(rng.nextBounded(candidates.size()));
+        int index = 0;
+        Direction chosen = candidates.first();
+        candidates.forEach([&](Direction d) {
+            if (index++ == pick)
+                chosen = d;
+        });
+        return chosen;
+      }
+      case OutputPolicy::StraightFirst:
+        if (!in_dir.isLocal() && candidates.contains(in_dir))
+            return in_dir;
+        return candidates.first();
+      case OutputPolicy::MostRemaining: {
+        const Coord cc = topo.coordOf(current);
+        const Coord cd = topo.coordOf(dest);
+        Direction best = candidates.first();
+        int best_remaining = -1;
+        candidates.forEach([&](Direction d) {
+            const int remaining = std::abs(cd[d.dim()] - cc[d.dim()]);
+            if (remaining > best_remaining) {
+                best_remaining = remaining;
+                best = d;
+            }
+        });
+        return best;
+      }
+    }
+    TN_PANIC("bad output policy");
+}
+
+} // namespace turnnet

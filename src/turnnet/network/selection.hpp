@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Input and output selection policies (Section 6).
+ *
+ * When several header flits wait for the same free output channel,
+ * the input selection policy arbitrates; the paper uses local
+ * first-come-first-served, which is fair and therefore prevents
+ * indefinite postponement. When one header may use several free
+ * output channels, the output selection policy chooses; the paper
+ * uses "xy" — the channel along the lowest dimension. Alternative
+ * policies are provided for the selection-policy ablation the paper
+ * defers to reference [19].
+ */
+
+#ifndef TURNNET_NETWORK_SELECTION_HPP
+#define TURNNET_NETWORK_SELECTION_HPP
+
+#include <string>
+#include <vector>
+
+#include "turnnet/common/rng.hpp"
+#include "turnnet/common/types.hpp"
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** Input arbitration policies. */
+enum class InputPolicy
+{
+    /** Earliest header arrival wins (the paper's policy). */
+    Fcfs,
+    /** Uniformly random among requesters. */
+    Random,
+    /** Lowest port index wins (unfair; for the ablation). */
+    FixedPriority,
+};
+
+/** Output channel choice policies. */
+enum class OutputPolicy
+{
+    /** Lowest dimension first (the paper's "xy" policy). */
+    LowestDim,
+    /** Uniformly random among free candidates. */
+    Random,
+    /** Keep travelling straight when possible. */
+    StraightFirst,
+    /** Dimension with the most remaining distance. */
+    MostRemaining,
+};
+
+/** Parse a policy name; fatal on unknown names. */
+InputPolicy parseInputPolicy(const std::string &name);
+OutputPolicy parseOutputPolicy(const std::string &name);
+
+std::string toString(InputPolicy policy);
+std::string toString(OutputPolicy policy);
+
+/** One competitor in an input arbitration round. */
+struct InputRequest
+{
+    /** Input unit wanting the output. */
+    std::int32_t input = -1;
+    /** Arrival cycle of its header flit at this router. */
+    Cycle headArrival = 0;
+    /** Stable tie-break order (port index). */
+    int portOrder = 0;
+};
+
+/**
+ * Pick the winning request according to @p policy. @p rng is used
+ * only by the Random policy.
+ */
+const InputRequest &selectInput(InputPolicy policy,
+                                const std::vector<InputRequest> &reqs,
+                                Rng &rng);
+
+/**
+ * Pick one direction among free candidates according to @p policy.
+ *
+ * @param candidates Non-empty set of free, permitted directions.
+ * @param in_dir Direction the packet is travelling.
+ * @param topo / current / dest Context for distance-aware policies.
+ */
+Direction selectOutput(OutputPolicy policy, DirectionSet candidates,
+                       Direction in_dir, const Topology &topo,
+                       NodeId current, NodeId dest, Rng &rng);
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_SELECTION_HPP

@@ -1,0 +1,342 @@
+#include "turnnet/network/simulator.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+Simulator::Simulator(const Topology &topo, RoutingPtr routing,
+                     TrafficPtr traffic, SimConfig config)
+    : Simulator(topo,
+                std::make_shared<SingleVcAdapter>(std::move(routing)),
+                std::move(traffic), std::move(config))
+{
+}
+
+Simulator::Simulator(const Topology &topo, VcRoutingPtr routing,
+                     TrafficPtr traffic, SimConfig config)
+    : topo_(&topo), routing_(std::move(routing)),
+      config_(std::move(config)),
+      trafficName_(traffic ? traffic->name() : "scripted"),
+      network_(topo, config_.bufferDepth, routing_->numVcs()),
+      queues_(topo.numNodes()),
+      generator_(topo, std::move(traffic), config_.load,
+                 config_.lengths, config_.seed * 0x10001 + 7),
+      arbiterRng_(config_.seed),
+      latencyHistogram_(0.0, 50000.0, 2048)
+{
+    TN_ASSERT(routing_ != nullptr, "simulator needs an algorithm");
+    routing_->checkTopology(topo);
+}
+
+PacketId
+Simulator::injectMessage(NodeId src, NodeId dest,
+                         std::uint32_t length)
+{
+    TN_ASSERT(src != dest, "messages must leave their source");
+    PacketInfo &info =
+        packets_.create(src, dest, length, cycle_, true);
+    queues_[src].enqueue(info.id, dest, length);
+    flitsCreated_ += length;
+    ++measuredCreated_;
+    return info.id;
+}
+
+void
+Simulator::createPacket(NodeId src, NodeId dest,
+                        std::uint32_t length)
+{
+    PacketInfo &info =
+        packets_.create(src, dest, length, cycle_, measuring_);
+    queues_[src].enqueue(info.id, dest, length);
+    flitsCreated_ += length;
+    if (measuring_) {
+        ++measuredCreated_;
+        measuredFlitsGenerated_ += length;
+    }
+}
+
+void
+Simulator::generateTraffic()
+{
+    generator_.generate(cycle_, [this](NodeId src, NodeId dest,
+                                       int length) {
+        createPacket(src, dest, static_cast<std::uint32_t>(length));
+    });
+}
+
+void
+Simulator::deliverFlit(const Flit &flit)
+{
+    ++flitsDelivered_;
+    if (measuring_)
+        ++measureWindowFlitsDelivered_;
+    if (!flit.tail)
+        return;
+
+    PacketInfo &info = packets_.at(flit.packet);
+    ++packetsDelivered_;
+    if (info.measured) {
+        ++measuredFinished_;
+        const double total_us = cyclesToMicroseconds(
+            static_cast<double>(cycle_ - info.created));
+        const double net_us = cyclesToMicroseconds(
+            static_cast<double>(cycle_ - info.injected));
+        totalLatency_.add(total_us);
+        networkLatency_.add(net_us);
+        latencyHistogram_.add(total_us);
+        hops_.add(static_cast<double>(info.hops));
+    }
+    if (onDelivered)
+        onDelivered(info, cycle_);
+    packets_.erase(flit.packet);
+    if (config_.recordPaths)
+        paths_.erase(flit.packet);
+}
+
+void
+Simulator::moveFlits()
+{
+    const std::vector<std::uint8_t> movable =
+        network_.resolveMovable(cycle_);
+
+    if (frontStall_.size() != network_.numInputs())
+        frontStall_.assign(network_.numInputs(), 0);
+
+    moveScratch_.clear();
+    for (UnitId in = 0;
+         in < static_cast<UnitId>(network_.numInputs()); ++in) {
+        if (!movable[in]) {
+            // A buffered flit that cannot move accumulates stall
+            // time; empty buffers are never stalled.
+            if (network_.input(in).buffer().empty())
+                frontStall_[in] = 0;
+            else
+                ++frontStall_[in];
+            continue;
+        }
+        frontStall_[in] = 0;
+        InputUnit &iu = network_.input(in);
+        const UnitId out = iu.assignedOutput();
+        moveScratch_.push_back(Move{in, iu.buffer().pop(), out});
+        if (moveScratch_.back().entry.flit.tail) {
+            network_.output(out).release();
+            iu.clearOutput();
+        }
+    }
+
+    for (const Move &m : moveScratch_) {
+        const OutputUnit &out = network_.output(m.output);
+        if (out.isEjection()) {
+            deliverFlit(m.entry.flit);
+        } else {
+            const UnitId down =
+                network_.channelInput(out.channel(), out.vc());
+            network_.input(down).buffer().push(m.entry.flit, cycle_);
+            if (measuring_) {
+                if (channelFlits_.size() !=
+                    static_cast<std::size_t>(topo_->numChannels())) {
+                    channelFlits_.assign(topo_->numChannels(), 0);
+                }
+                ++channelFlits_[out.channel()];
+            }
+            if (m.entry.flit.head) {
+                if (config_.recordPaths)
+                    paths_[m.entry.flit.packet].push_back(
+                        out.channel());
+                PacketInfo &info = packets_.at(m.entry.flit.packet);
+                ++info.hops;
+                // Livelock safety net: every turn-model relation
+                // routes along strictly monotone channel numbers,
+                // so no packet can revisit a channel.
+                TN_ASSERT(info.hops <= static_cast<std::uint32_t>(
+                              topo_->numChannels() + 1),
+                          "livelock: packet exceeded the channel "
+                          "count in hops");
+            }
+        }
+    }
+}
+
+void
+Simulator::injectFromQueues()
+{
+    for (NodeId n = 0; n < topo_->numNodes(); ++n) {
+        SourceQueue &q = queues_[n];
+        if (q.empty())
+            continue;
+        InputUnit &iu = network_.input(network_.injectionInput(n));
+        if (iu.buffer().full())
+            continue;
+        const Flit flit = q.nextFlit();
+        iu.buffer().push(flit, cycle_);
+        if (flit.head)
+            packets_.at(flit.packet).injected = cycle_;
+    }
+}
+
+void
+Simulator::checkConservation() const
+{
+    std::uint64_t queued = 0;
+    for (const SourceQueue &q : queues_)
+        queued += q.flitCount();
+    const std::uint64_t in_flight = network_.flitsInFlight();
+    TN_ASSERT(flitsCreated_ ==
+                  flitsDelivered_ + in_flight + queued,
+              "flit conservation violated: created=", flitsCreated_,
+              " delivered=", flitsDelivered_, " in-flight=",
+              in_flight, " queued=", queued);
+}
+
+void
+Simulator::step()
+{
+    generateTraffic();
+
+    const AllocationContext ctx{*topo_,
+                                *routing_,
+                                config_.inputPolicy,
+                                config_.outputPolicy,
+                                arbiterRng_,
+                                cycle_,
+                                config_.misrouteAfterWait};
+    network_.allocateAll(ctx);
+    moveFlits();
+    injectFromQueues();
+
+    const Cycle stalled = maxFrontStall();
+    worstStall_ = std::max(worstStall_, stalled);
+    if (stalled > config_.watchdogCycles)
+        deadlocked_ = true;
+    if ((cycle_ & 0x3FF) == 0)
+        checkConservation();
+    ++cycle_;
+}
+
+const std::vector<ChannelId> &
+Simulator::pathOf(PacketId id) const
+{
+    TN_ASSERT(config_.recordPaths,
+              "pathOf() requires config.recordPaths");
+    static const std::vector<ChannelId> kEmpty;
+    const auto it = paths_.find(id);
+    return it == paths_.end() ? kEmpty : it->second;
+}
+
+Cycle
+Simulator::maxFrontStall() const
+{
+    Cycle worst = 0;
+    for (const Cycle stall : frontStall_)
+        worst = std::max(worst, stall);
+    return worst;
+}
+
+bool
+Simulator::idle() const
+{
+    if (network_.flitsInFlight() > 0)
+        return false;
+    for (const SourceQueue &q : queues_) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+bool
+Simulator::runUntilIdle(Cycle max_cycles)
+{
+    const Cycle limit = cycle_ + max_cycles;
+    while (!idle() && cycle_ < limit && !deadlocked_)
+        step();
+    return idle();
+}
+
+std::uint64_t
+Simulator::totalQueuedPackets() const
+{
+    std::uint64_t total = 0;
+    for (const SourceQueue &q : queues_)
+        total += q.packetCount();
+    return total;
+}
+
+SimResult
+Simulator::run()
+{
+    const Cycle measure_start = config_.warmupCycles;
+    const Cycle measure_end =
+        config_.warmupCycles + config_.measureCycles;
+    const Cycle hard_end = measure_end + config_.drainCycles;
+
+    while (!deadlocked_) {
+        measuring_ = cycle_ >= measure_start && cycle_ < measure_end;
+        if (measuring_ &&
+            (cycle_ % config_.queueSampleInterval) == 0) {
+            const auto queued =
+                static_cast<double>(totalQueuedPackets());
+            queueSamples_.add(queued);
+            queueTrend_.add(queued);
+        }
+        step();
+        if (cycle_ >= measure_end &&
+            (measuredFinished_ == measuredCreated_ ||
+             cycle_ >= hard_end)) {
+            break;
+        }
+    }
+
+    SimResult result;
+    result.topology = topo_->name();
+    result.algorithm = routing_->name();
+    result.traffic = trafficName_;
+    result.offeredLoad = config_.load;
+    result.cycles = cycle_;
+    result.deadlocked = deadlocked_;
+
+    const auto nodes = static_cast<double>(topo_->numNodes());
+    const auto window = static_cast<double>(config_.measureCycles);
+    result.generatedLoad =
+        static_cast<double>(measuredFlitsGenerated_) /
+        (nodes * window);
+    result.acceptedFlitsPerCycle =
+        static_cast<double>(measureWindowFlitsDelivered_) / window;
+    result.acceptedFlitsPerUsec =
+        result.acceptedFlitsPerCycle * kFlitsPerMicrosecond;
+    result.acceptedPerNodeCycle =
+        result.acceptedFlitsPerCycle / nodes;
+
+    if (!channelFlits_.empty() && config_.measureCycles > 0) {
+        std::uint64_t busiest = 0;
+        std::uint64_t total = 0;
+        for (const std::uint64_t flits : channelFlits_) {
+            busiest = std::max(busiest, flits);
+            total += flits;
+        }
+        const auto window =
+            static_cast<double>(config_.measureCycles);
+        result.maxChannelUtilization =
+            static_cast<double>(busiest) / window;
+        result.meanChannelUtilization =
+            static_cast<double>(total) /
+            (window * static_cast<double>(channelFlits_.size()));
+    }
+
+    result.avgTotalLatencyUs = totalLatency_.mean();
+    result.avgNetworkLatencyUs = networkLatency_.mean();
+    result.p50TotalLatencyUs = latencyHistogram_.quantile(0.5);
+    result.p99TotalLatencyUs = latencyHistogram_.quantile(0.99);
+    result.avgHops = hops_.mean();
+    result.avgSourceQueuePackets = queueSamples_.mean();
+
+    result.packetsMeasured = measuredCreated_;
+    result.packetsFinished = measuredFinished_;
+    result.packetsUnfinished = measuredCreated_ - measuredFinished_;
+    result.sustainable = !deadlocked_ && !queueTrend_.growing() &&
+                         result.packetsUnfinished <
+                             measuredCreated_ / 10 + 10;
+    return result;
+}
+
+} // namespace turnnet

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The wormhole network simulator (Section 6).
+ *
+ * A cycle-synchronous, flit-level model of the paper's evaluation
+ * substrate: a pair of unidirectional channels between neighboring
+ * routers and between each router and its processor, one flit of
+ * buffering per input channel, local first-come-first-served input
+ * selection, lowest-dimension output selection, unbounded source
+ * queues, and immediate consumption at destinations. One simulator
+ * cycle is one flit time (0.05 usec at the paper's 20 flits/usec
+ * channel rate).
+ *
+ * Each cycle proceeds in phases:
+ *   1. message generation (negative-exponential interarrivals),
+ *   2. routing and output allocation at every router,
+ *   3. chain-resolved flit movement (worms of full single-flit
+ *      buffers advance together),
+ *   4. injection from source queues into the local input buffers,
+ *   5. watchdog / accounting.
+ *
+ * A watchdog flags deadlock when flits are in flight but nothing has
+ * moved for a configurable number of cycles — which reliably fires
+ * for the deadlock-prone fully adaptive baseline and never for the
+ * turn-model algorithms.
+ */
+
+#ifndef TURNNET_NETWORK_SIMULATOR_HPP
+#define TURNNET_NETWORK_SIMULATOR_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+#include <unordered_map>
+
+#include "turnnet/common/rng.hpp"
+#include "turnnet/common/stats.hpp"
+#include "turnnet/network/metrics.hpp"
+#include "turnnet/network/network.hpp"
+#include "turnnet/network/packet.hpp"
+#include "turnnet/network/source_queue.hpp"
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/traffic/generator.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+
+/** Configuration of one simulation run. */
+struct SimConfig
+{
+    /** Offered load in flits per node per cycle; 0 = scripted mode
+     *  (tests inject messages explicitly). */
+    double load = 0.0;
+
+    /** Message length distribution (paper: 10 or 200, 50/50). */
+    MessageLengthMix lengths = MessageLengthMix::paperDefault();
+
+    /** Flits per input-channel buffer (paper: 1). */
+    std::size_t bufferDepth = 1;
+
+    InputPolicy inputPolicy = InputPolicy::Fcfs;
+    OutputPolicy outputPolicy = OutputPolicy::LowestDim;
+
+    Cycle warmupCycles = 10000;
+    Cycle measureCycles = 30000;
+    /** Extra cycles allowed for measured packets to finish. */
+    Cycle drainCycles = 20000;
+
+    /**
+     * A buffered flit that fails to move for this many consecutive
+     * cycles triggers the deadlock verdict. Must exceed the longest
+     * legitimate wormhole wait — roughly the blocking-chain length
+     * times the packet length — which grows with network size and
+     * load (a saturated 16x16 mesh sees legitimate stalls beyond
+     * 10^4 cycles). The conservative default essentially disables
+     * the verdict for ordinary measurement runs; deadlock studies
+     * (which use deliberately cyclic routing) set a tight window
+     * explicitly.
+     */
+    Cycle watchdogCycles = 100000;
+
+    /** Source-queue sampling interval for the sustainability probe. */
+    Cycle queueSampleInterval = 64;
+
+    /**
+     * With a nonminimal routing relation, cycles a header must wait
+     * (all productive channels busy) before a misroute is taken.
+     * 0 = misroute immediately. Ignored by minimal relations, which
+     * never offer unproductive channels.
+     */
+    Cycle misrouteAfterWait = 4;
+
+    /**
+     * Record the channel sequence of every live packet (for tests
+     * and path-level validation). Costs memory per live packet;
+     * meant for scripted runs.
+     */
+    bool recordPaths = false;
+
+    std::uint64_t seed = 1;
+};
+
+/** The simulator. */
+class Simulator
+{
+  public:
+    /**
+     * @param topo Topology (must outlive the simulator).
+     * @param routing Routing algorithm (validated against the
+     *        topology).
+     * @param traffic Pattern for generated traffic; may be null when
+     *        config.load == 0.
+     * @param config Run parameters.
+     */
+    Simulator(const Topology &topo, RoutingPtr routing,
+              TrafficPtr traffic, SimConfig config);
+
+    /**
+     * Virtual-channel variant: the fabric is built with
+     * routing->numVcs() virtual channels per physical channel and
+     * links are time-multiplexed among them.
+     */
+    Simulator(const Topology &topo, VcRoutingPtr routing,
+              TrafficPtr traffic, SimConfig config);
+
+    /** Run the full warmup / measure / drain schedule. */
+    SimResult run();
+
+    /** Advance one cycle (generation through accounting). */
+    void step();
+
+    /**
+     * Enqueue a message explicitly (scripted mode for tests and
+     * examples). The packet is treated as measured.
+     */
+    PacketId injectMessage(NodeId src, NodeId dest,
+                           std::uint32_t length);
+
+    /**
+     * Step until no flit is queued or in flight, or @p max_cycles
+     * pass. Returns true when the network drained.
+     */
+    bool runUntilIdle(Cycle max_cycles);
+
+    Cycle now() const { return cycle_; }
+    bool deadlockDetected() const { return deadlocked_; }
+
+    /** Longest current per-buffer stall, and the longest ever seen
+     *  (diagnostics for calibrating watchdogCycles). */
+    Cycle maxFrontStall() const;
+    Cycle worstFrontStall() const { return worstStall_; }
+
+    /** Flits queued at sources or buffered in the network. */
+    bool idle() const;
+
+    Network &network() { return network_; }
+    const Network &network() const { return network_; }
+    const Topology &topo() const { return *topo_; }
+    const PacketTable &packets() const { return packets_; }
+
+    std::uint64_t flitsCreated() const { return flitsCreated_; }
+    std::uint64_t flitsDelivered() const { return flitsDelivered_; }
+    std::uint64_t packetsDelivered() const { return packetsDelivered_; }
+
+    /** Invoked when a packet's tail is consumed (tests hook this).
+     *  Arguments: metadata, delivery cycle. */
+    std::function<void(const PacketInfo &, Cycle)> onDelivered;
+
+    /**
+     * Channel sequence of a packet (requires config.recordPaths).
+     * Valid while the packet is live and inside the onDelivered
+     * callback for the packet being delivered.
+     */
+    const std::vector<ChannelId> &pathOf(PacketId id) const;
+
+    /**
+     * Flits that crossed each physical channel during the
+     * measurement window (index = ChannelId). Basis of the
+     * channel-load concentration analysis.
+     */
+    const std::vector<std::uint64_t> &
+    channelFlits() const
+    {
+        return channelFlits_;
+    }
+
+  private:
+    void generateTraffic();
+    void createPacket(NodeId src, NodeId dest, std::uint32_t length);
+    void moveFlits();
+    void injectFromQueues();
+    void deliverFlit(const Flit &flit);
+    void checkConservation() const;
+
+    std::uint64_t totalQueuedPackets() const;
+
+    const Topology *topo_;
+    VcRoutingPtr routing_;
+    SimConfig config_;
+    std::string trafficName_;
+
+    Network network_;
+    PacketTable packets_;
+    std::vector<SourceQueue> queues_;
+    MessageGenerator generator_;
+    Rng arbiterRng_;
+
+    Cycle cycle_ = 0;
+    bool measuring_ = false;
+    bool deadlocked_ = false;
+    /** Consecutive cycles each input unit's front flit has been
+     *  stuck. A true deadlock permanently stalls specific buffers,
+     *  which this catches even while unrelated traffic keeps
+     *  moving. */
+    std::vector<Cycle> frontStall_;
+    Cycle worstStall_ = 0;
+    std::vector<std::uint64_t> channelFlits_;
+    std::unordered_map<PacketId, std::vector<ChannelId>> paths_;
+
+    // Counters.
+    std::uint64_t flitsCreated_ = 0;
+    std::uint64_t flitsDelivered_ = 0;
+    std::uint64_t packetsDelivered_ = 0;
+    std::uint64_t measuredCreated_ = 0;
+    std::uint64_t measuredFinished_ = 0;
+    std::uint64_t measuredFlitsGenerated_ = 0;
+    std::uint64_t measureWindowFlitsDelivered_ = 0;
+
+    // Measured-packet statistics.
+    RunningStats totalLatency_;
+    RunningStats networkLatency_;
+    RunningStats hops_;
+    Histogram latencyHistogram_;
+    RunningStats queueSamples_;
+    TrendProbe queueTrend_;
+
+    // Scratch reused across cycles.
+    struct Move
+    {
+        UnitId input;
+        FlitBuffer::Entry entry;
+        UnitId output;
+    };
+    std::vector<Move> moveScratch_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_SIMULATOR_HPP

@@ -1,0 +1,42 @@
+#include "turnnet/network/source_queue.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+void
+SourceQueue::enqueue(PacketId id, NodeId dest, std::uint32_t length)
+{
+    TN_ASSERT(length >= 1, "packets need at least one flit");
+    packets_.push_back(QueuedPacket{id, dest, length, 0});
+    flits_ += length;
+}
+
+Flit
+SourceQueue::nextFlit()
+{
+    TN_ASSERT(!packets_.empty(), "nextFlit() on empty source queue");
+    QueuedPacket &pkt = packets_.front();
+
+    Flit flit;
+    flit.packet = pkt.id;
+    flit.dest = pkt.dest;
+    flit.seq = pkt.nextSeq;
+    flit.head = pkt.nextSeq == 0;
+    flit.tail = pkt.nextSeq + 1 == pkt.length;
+
+    ++pkt.nextSeq;
+    --flits_;
+    if (pkt.nextSeq == pkt.length)
+        packets_.pop_front();
+    return flit;
+}
+
+void
+SourceQueue::clear()
+{
+    packets_.clear();
+    flits_ = 0;
+}
+
+} // namespace turnnet

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-node source queue. Messages blocked from immediately entering
+ * the network are queued at the source processor (Section 6); the
+ * queue is unbounded, and its growth is what decides whether a
+ * throughput level is sustainable. Flits are synthesized lazily at
+ * injection time so saturated runs do not hold per-flit storage.
+ */
+
+#ifndef TURNNET_NETWORK_SOURCE_QUEUE_HPP
+#define TURNNET_NETWORK_SOURCE_QUEUE_HPP
+
+#include <cstdint>
+#include <deque>
+
+#include "turnnet/common/types.hpp"
+#include "turnnet/network/flit.hpp"
+
+namespace turnnet {
+
+/** FIFO of packets waiting to enter the network at one node. */
+class SourceQueue
+{
+  public:
+    /** Append a whole packet. */
+    void enqueue(PacketId id, NodeId dest, std::uint32_t length);
+
+    bool empty() const { return packets_.empty(); }
+
+    /** Packets currently queued (including the one mid-injection). */
+    std::size_t packetCount() const { return packets_.size(); }
+
+    /** Flits not yet injected. */
+    std::uint64_t flitCount() const { return flits_; }
+
+    /**
+     * Synthesize and consume the next flit; fatal when empty. The
+     * head flit of a packet is produced first, the tail last.
+     */
+    Flit nextFlit();
+
+    void clear();
+
+  private:
+    struct QueuedPacket
+    {
+        PacketId id;
+        NodeId dest;
+        std::uint32_t length;
+        std::uint32_t nextSeq;
+    };
+
+    std::deque<QueuedPacket> packets_;
+    std::uint64_t flits_ = 0;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_SOURCE_QUEUE_HPP

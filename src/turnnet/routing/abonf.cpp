@@ -1,0 +1,26 @@
+#include "turnnet/routing/abonf.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+DirectionSet
+AllButOneNegativeFirst::phaseOne(int num_dims) const
+{
+    DirectionSet dirs;
+    for (int i = 0; i + 1 < num_dims; ++i)
+        dirs.insert(Direction::negative(i));
+    return dirs;
+}
+
+void
+AllButOneNegativeFirst::checkTopology(const Topology &topo) const
+{
+    if (topo.numDims() < 2)
+        TN_FATAL(name(), " needs at least two dimensions");
+    if (topo.hasWrapChannels())
+        TN_FATAL(name(), " applies to meshes; use the torus "
+                         "extensions for ", topo.name());
+}
+
+} // namespace turnnet

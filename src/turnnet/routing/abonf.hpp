@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The all-but-one-negative-first (ABONF) routing algorithm
+ * (Section 4.1) — the n-dimensional analog of west-first.
+ *
+ * Route a packet first adaptively in the negative directions of all
+ * but one dimension (here dimensions 0..n-2), then adaptively in the
+ * remaining directions. Turns from a phase-two direction into a
+ * phase-one direction are prohibited — exactly n(n-1) turns, the
+ * Theorem 6 quota.
+ */
+
+#ifndef TURNNET_ROUTING_ABONF_HPP
+#define TURNNET_ROUTING_ABONF_HPP
+
+#include "turnnet/routing/two_phase.hpp"
+
+namespace turnnet {
+
+/** All-but-one-negative-first partially adaptive routing. */
+class AllButOneNegativeFirst : public TwoPhaseRouting
+{
+  public:
+    explicit AllButOneNegativeFirst(bool minimal = true)
+        : TwoPhaseRouting(minimal)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return isMinimal() ? "abonf" : "abonf-nm";
+    }
+
+    DirectionSet phaseOne(int num_dims) const override;
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_ABONF_HPP

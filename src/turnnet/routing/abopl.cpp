@@ -1,0 +1,27 @@
+#include "turnnet/routing/abopl.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+DirectionSet
+AllButOnePositiveLast::phaseOne(int num_dims) const
+{
+    DirectionSet dirs;
+    for (int i = 0; i < num_dims; ++i)
+        dirs.insert(Direction::negative(i));
+    dirs.insert(Direction::positive(0));
+    return dirs;
+}
+
+void
+AllButOnePositiveLast::checkTopology(const Topology &topo) const
+{
+    if (topo.numDims() < 2)
+        TN_FATAL(name(), " needs at least two dimensions");
+    if (topo.hasWrapChannels())
+        TN_FATAL(name(), " applies to meshes; use the torus "
+                         "extensions for ", topo.name());
+}
+
+} // namespace turnnet

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The all-but-one-positive-last (ABOPL) routing algorithm
+ * (Section 4.1) — the n-dimensional analog of north-last.
+ *
+ * Route a packet first adaptively in the negative directions and the
+ * positive direction of dimension 0, then adaptively in the positive
+ * directions of the remaining dimensions. Turns from a phase-two
+ * direction into a phase-one direction are prohibited — n(n-1)
+ * turns, the Theorem 6 quota.
+ */
+
+#ifndef TURNNET_ROUTING_ABOPL_HPP
+#define TURNNET_ROUTING_ABOPL_HPP
+
+#include "turnnet/routing/two_phase.hpp"
+
+namespace turnnet {
+
+/** All-but-one-positive-last partially adaptive routing. */
+class AllButOnePositiveLast : public TwoPhaseRouting
+{
+  public:
+    explicit AllButOnePositiveLast(bool minimal = true)
+        : TwoPhaseRouting(minimal)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return isMinimal() ? "abopl" : "abopl-nm";
+    }
+
+    DirectionSet phaseOne(int num_dims) const override;
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_ABOPL_HPP

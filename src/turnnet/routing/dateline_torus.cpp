@@ -1,0 +1,53 @@
+#include "turnnet/routing/dateline_torus.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+void
+DatelineTorus::checkTopology(const Topology &topo) const
+{
+    if (!topo.hasWrapChannels())
+        TN_FATAL("dateline routing targets tori, not ",
+                 topo.name());
+}
+
+void
+DatelineTorus::route(const Topology &topo, NodeId current,
+                     NodeId dest, Direction in_dir, int in_vc,
+                     std::vector<VcCandidate> &out) const
+{
+    (void)in_dir;
+    (void)in_vc;
+    if (current == dest)
+        return;
+
+    const Coord cc = topo.coordOf(current);
+    const Coord cd = topo.coordOf(dest);
+    for (int i = 0; i < topo.numDims(); ++i) {
+        if (cc[i] == cd[i])
+            continue;
+
+        // Lowest unfinished dimension; shortest way around the
+        // ring, ties resolved toward positive.
+        const int k = topo.radix(i);
+        const int fwd = ((cd[i] - cc[i]) % k + k) % k;
+        const Direction dir = (fwd <= k - fwd)
+                                  ? Direction::positive(i)
+                                  : Direction::negative(i);
+
+        // The dateline of the ring is its wraparound link. A packet
+        // whose remaining journey still includes the wrap travels
+        // on VC 0; one that no longer crosses it (never needed to,
+        // or already has) travels on VC 1. Travelling positive, the
+        // wrap lies ahead exactly when the destination coordinate
+        // is below the current one; symmetrically for negative.
+        const bool wrap_ahead = dir.isPositive() ? cd[i] < cc[i]
+                                                 : cd[i] > cc[i];
+        out.push_back(VcCandidate{dir, wrap_ahead ? 0 : 1});
+        return;
+    }
+    TN_PANIC("unreachable: current != dest with equal coordinates");
+}
+
+} // namespace turnnet

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Dally-Seitz dateline routing for k-ary n-cubes (reference [14] of
+ * the paper): minimal dimension-order routing made deadlock free
+ * with two virtual channels per physical channel.
+ *
+ * Within each unidirectional ring, the wraparound link is the
+ * "dateline". A packet that still has the dateline ahead of it
+ * travels on VC 0; once past (or never needing) the dateline it
+ * travels on VC 1. Splitting the ring's cyclic dependency across
+ * two VCs breaks it: VC0 usage is monotone up to the wrap, VC1
+ * usage monotone after, and dimension order handles the rest. This
+ * is exactly what the turn model avoids paying for — and the
+ * comparison the paper invites: minimal routing *with* extra
+ * channels versus nonminimal routing *without*.
+ */
+
+#ifndef TURNNET_ROUTING_DATELINE_TORUS_HPP
+#define TURNNET_ROUTING_DATELINE_TORUS_HPP
+
+#include "turnnet/routing/vc_routing.hpp"
+
+namespace turnnet {
+
+/** Minimal dimension-order torus routing over two VCs. */
+class DatelineTorus : public VcRoutingFunction
+{
+  public:
+    std::string name() const override { return "dateline"; }
+    int numVcs() const override { return 2; }
+
+    void route(const Topology &topo, NodeId current, NodeId dest,
+               Direction in_dir, int in_vc,
+               std::vector<VcCandidate> &out) const override;
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_DATELINE_TORUS_HPP

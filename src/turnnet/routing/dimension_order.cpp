@@ -1,0 +1,56 @@
+#include "turnnet/routing/dimension_order.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+DirectionSet
+DimensionOrder::route(const Topology &topo, NodeId current,
+                      NodeId dest, Direction in_dir) const
+{
+    (void)in_dir;
+    if (current == dest)
+        return DirectionSet::none();
+
+    const Coord cc = topo.coordOf(current);
+    const Coord cd = topo.coordOf(dest);
+    for (int i = 0; i < topo.numDims(); ++i) {
+        if (cc[i] == cd[i])
+            continue;
+        DirectionSet out;
+        out.insert(cd[i] > cc[i] ? Direction::positive(i)
+                                 : Direction::negative(i));
+        return out;
+    }
+    TN_PANIC("unreachable: current != dest with equal coordinates");
+}
+
+bool
+DimensionOrder::canComplete(const Topology &topo, NodeId node,
+                            NodeId dest, Direction in_dir) const
+{
+    if (node == dest)
+        return true;
+    if (in_dir.isLocal())
+        return true;
+    // Mid-route: dimensions below the one being travelled must be
+    // done, and the current dimension must not need reversing.
+    const Coord cc = topo.coordOf(node);
+    const Coord cd = topo.coordOf(dest);
+    for (int i = 0; i < in_dir.dim(); ++i) {
+        if (cc[i] != cd[i])
+            return false;
+    }
+    const int delta = cd[in_dir.dim()] - cc[in_dir.dim()];
+    return delta * in_dir.sign() >= 0;
+}
+
+void
+DimensionOrder::checkTopology(const Topology &topo) const
+{
+    if (topo.hasWrapChannels())
+        TN_FATAL(name_, " applies to meshes; use the torus "
+                        "extensions for ", topo.name());
+}
+
+} // namespace turnnet

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Nonadaptive dimension-order routing: xy routing in 2D meshes and
+ * e-cube routing in hypercubes (Section 1). A packet is routed along
+ * dimension 0 until that coordinate matches the destination, then
+ * along dimension 1, and so on. Deadlock free because turns only go
+ * from lower to higher dimensions, but completely nonadaptive —
+ * exactly one path per source/destination pair.
+ */
+
+#ifndef TURNNET_ROUTING_DIMENSION_ORDER_HPP
+#define TURNNET_ROUTING_DIMENSION_ORDER_HPP
+
+#include "turnnet/routing/routing_function.hpp"
+
+namespace turnnet {
+
+/** Dimension-order (xy / e-cube) routing for meshes. */
+class DimensionOrder : public RoutingFunction
+{
+  public:
+    /**
+     * @param name Reported name; defaults to the generic
+     *        "dimension-order" (factories use "xy" / "ecube").
+     */
+    explicit DimensionOrder(std::string name = "dimension-order")
+        : name_(std::move(name))
+    {
+    }
+
+    std::string name() const override { return name_; }
+
+    DirectionSet route(const Topology &topo, NodeId current,
+                       NodeId dest, Direction in_dir) const override;
+
+    bool canComplete(const Topology &topo, NodeId node, NodeId dest,
+                     Direction in_dir) const override;
+
+    void checkTopology(const Topology &topo) const override;
+
+  private:
+    std::string name_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_DIMENSION_ORDER_HPP

@@ -1,0 +1,46 @@
+#include "turnnet/routing/double_y.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+void
+DoubleY::checkTopology(const Topology &topo) const
+{
+    if (topo.numDims() != 2 || topo.hasWrapChannels())
+        TN_FATAL("double-y routing targets 2D meshes, not ",
+                 topo.name());
+}
+
+void
+DoubleY::route(const Topology &topo, NodeId current, NodeId dest,
+               Direction in_dir, int in_vc,
+               std::vector<VcCandidate> &out) const
+{
+    (void)in_dir;
+    (void)in_vc;
+    if (current == dest)
+        return;
+
+    const Coord cc = topo.coordOf(current);
+    const Coord cd = topo.coordOf(dest);
+    const int dx = cd[0] - cc[0];
+    const int dy = cd[1] - cc[1];
+
+    // Horizontal hops always use VC 0 (the x channels are not
+    // doubled; their VC 1 is simply never offered).
+    if (dx < 0)
+        out.push_back(VcCandidate{Direction::negative(0), 0});
+    else if (dx > 0)
+        out.push_back(VcCandidate{Direction::positive(0), 0});
+
+    // Vertical hops ride layer 1 while westward work remains and
+    // layer 2 otherwise.
+    const int layer = dx < 0 ? 0 : 1;
+    if (dy < 0)
+        out.push_back(VcCandidate{Direction::negative(1), layer});
+    else if (dy > 0)
+        out.push_back(VcCandidate{Direction::positive(1), layer});
+}
+
+} // namespace turnnet

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Double-y routing: minimal FULLY adaptive routing for 2D meshes
+ * using two virtual channels on the vertical links — the scheme of
+ * the paper's forthcoming reference [18] ("Maximally fully adaptive
+ * routing in 2D meshes").
+ *
+ * Applying Step 1 of the turn model, the vertical channels split
+ * into virtual directions N1/S1 and N2/S2. Packets that still need
+ * to travel west use layer-1 vertical channels; packets travelling
+ * east, or finished with x, use layer 2. The only prohibited
+ * transitions are from layer 2 (or east) back to west/layer 1 —
+ * and minimal routing never wants them, because the sign of the
+ * remaining x correction never flips. Every shortest physical path
+ * is therefore available: S_double-y = S_f, full adaptivity, at
+ * the cost of one extra vertical buffer per router — exactly the
+ * trade the turn model declines.
+ *
+ * Deadlock freedom: within the west phase {W, N1, S1}, x strictly
+ * decreases on W hops and a dependency cycle with zero net x would
+ * have to alternate N1/S1 (prohibited 180s); same for the east
+ * phase; phase transitions are one-way. Verified exactly by the
+ * VC channel-dependency analysis in tests.
+ */
+
+#ifndef TURNNET_ROUTING_DOUBLE_Y_HPP
+#define TURNNET_ROUTING_DOUBLE_Y_HPP
+
+#include "turnnet/routing/vc_routing.hpp"
+
+namespace turnnet {
+
+/** Fully adaptive minimal 2D-mesh routing over doubled y channels. */
+class DoubleY : public VcRoutingFunction
+{
+  public:
+    std::string name() const override { return "double-y"; }
+    int numVcs() const override { return 2; }
+
+    void route(const Topology &topo, NodeId current, NodeId dest,
+               Direction in_dir, int in_vc,
+               std::vector<VcCandidate> &out) const override;
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_DOUBLE_Y_HPP

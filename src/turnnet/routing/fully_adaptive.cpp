@@ -1,0 +1,4 @@
+#include "turnnet/routing/fully_adaptive.hpp"
+
+// FullyAdaptive is header-only; this translation unit anchors it in
+// the library so every routing algorithm has a .cpp home.

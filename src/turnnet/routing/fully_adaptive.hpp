@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal fully adaptive routing WITHOUT extra channels — the
+ * deliberately deadlock-PRONE baseline.
+ *
+ * Offering every shortest-path direction leaves all eight turns of a
+ * 2D mesh permitted, so the abstract cycles of Figure 2 survive and
+ * the four-packet deadlock of Figure 1 can form. This algorithm
+ * exists to demonstrate computationally why the turn model must
+ * prohibit turns: its channel dependency graph is cyclic and the
+ * simulator's watchdog catches it deadlocking under load.
+ */
+
+#ifndef TURNNET_ROUTING_FULLY_ADAPTIVE_HPP
+#define TURNNET_ROUTING_FULLY_ADAPTIVE_HPP
+
+#include "turnnet/routing/routing_function.hpp"
+
+namespace turnnet {
+
+/** Deadlock-prone minimal fully adaptive routing. */
+class FullyAdaptive : public RoutingFunction
+{
+  public:
+    std::string name() const override { return "fully-adaptive"; }
+
+    DirectionSet
+    route(const Topology &topo, NodeId current, NodeId dest,
+          Direction in_dir) const override
+    {
+        (void)in_dir;
+        return topo.minimalDirections(current, dest);
+    }
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_FULLY_ADAPTIVE_HPP

@@ -1,0 +1,24 @@
+#include "turnnet/routing/negative_first.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+DirectionSet
+NegativeFirst::phaseOne(int num_dims) const
+{
+    DirectionSet dirs;
+    for (int i = 0; i < num_dims; ++i)
+        dirs.insert(Direction::negative(i));
+    return dirs;
+}
+
+void
+NegativeFirst::checkTopology(const Topology &topo) const
+{
+    if (topo.hasWrapChannels())
+        TN_FATAL(name(), " applies to meshes; use the torus "
+                         "extensions for ", topo.name());
+}
+
+} // namespace turnnet

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The negative-first routing algorithm (Sections 3.3 and 4.1).
+ *
+ * Route a packet first adaptively in the negative directions, then
+ * adaptively in the positive directions. Every turn from a positive
+ * to a negative direction is prohibited; Theorem 5 proves deadlock
+ * freedom for n-dimensional meshes via the K - n +- X channel
+ * numbering. On a hypercube this algorithm is exactly p-cube
+ * routing.
+ */
+
+#ifndef TURNNET_ROUTING_NEGATIVE_FIRST_HPP
+#define TURNNET_ROUTING_NEGATIVE_FIRST_HPP
+
+#include "turnnet/routing/two_phase.hpp"
+
+namespace turnnet {
+
+/** Negative-first partially adaptive routing for meshes. */
+class NegativeFirst : public TwoPhaseRouting
+{
+  public:
+    /** @param minimal Restrict to shortest paths (paper default). */
+    explicit NegativeFirst(bool minimal = true)
+        : TwoPhaseRouting(minimal)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return isMinimal() ? "negative-first" : "negative-first-nm";
+    }
+
+    DirectionSet phaseOne(int num_dims) const override;
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_NEGATIVE_FIRST_HPP

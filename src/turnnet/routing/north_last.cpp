@@ -1,0 +1,16 @@
+#include "turnnet/routing/north_last.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+void
+NorthLast::checkTopology(const Topology &topo) const
+{
+    if (topo.numDims() != 2)
+        TN_FATAL("north-last applies to 2D meshes, not ",
+                 topo.name());
+    AllButOnePositiveLast::checkTopology(topo);
+}
+
+} // namespace turnnet

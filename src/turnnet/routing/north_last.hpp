@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The north-last routing algorithm for 2D meshes (Section 3.2).
+ *
+ * Route a packet first adaptively west, south, and east, and then
+ * north. The two turns out of north are prohibited (Figure 9a);
+ * Theorem 3 proves deadlock freedom by rotating the west-first
+ * numbering. North-last is the 2D instance of
+ * all-but-one-positive-last.
+ */
+
+#ifndef TURNNET_ROUTING_NORTH_LAST_HPP
+#define TURNNET_ROUTING_NORTH_LAST_HPP
+
+#include "turnnet/routing/abopl.hpp"
+
+namespace turnnet {
+
+/** North-last partially adaptive routing for 2D meshes. */
+class NorthLast : public AllButOnePositiveLast
+{
+  public:
+    explicit NorthLast(bool minimal = true)
+        : AllButOnePositiveLast(minimal)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return isMinimal() ? "north-last" : "north-last-nm";
+    }
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_NORTH_LAST_HPP

@@ -1,0 +1,95 @@
+#include "turnnet/routing/odd_even.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+OddEven::OddEven(bool minimal)
+    : minimal_(minimal),
+      oracle_([this](const Topology &topo, NodeId node,
+                     Direction in_dir, Direction out_dir,
+                     NodeId dest) {
+          return hopLegal(topo, node, in_dir, out_dir, dest);
+      })
+{
+}
+
+void
+OddEven::checkTopology(const Topology &topo) const
+{
+    if (topo.numDims() != 2 || topo.hasWrapChannels())
+        TN_FATAL("odd-even applies to 2D meshes, not ",
+                 topo.name());
+}
+
+bool
+OddEven::turnAllowed(const Topology &topo, NodeId node,
+                     Direction in_dir, Direction out_dir)
+{
+    if (in_dir.isLocal())
+        return true;
+    if (out_dir == in_dir)
+        return true; // straight
+    if (out_dir == in_dir.reversed())
+        return false; // 180 degrees
+    const bool even_column = topo.coordOf(node)[0] % 2 == 0;
+    const bool from_east = in_dir == Direction::positive(0);
+    const bool to_west = out_dir == Direction::negative(0);
+    if (even_column && from_east)
+        return false; // no EN / ES turns in even columns
+    if (!even_column && to_west)
+        return false; // no NW / SW turns in odd columns
+    return true;
+}
+
+bool
+OddEven::hopLegal(const Topology &topo, NodeId node,
+                  Direction in_dir, Direction out_dir,
+                  NodeId dest) const
+{
+    if (!turnAllowed(topo, node, in_dir, out_dir))
+        return false;
+    if (minimal_ &&
+        !topo.minimalDirections(node, dest).contains(out_dir)) {
+        return false;
+    }
+    return topo.neighbor(node, out_dir) != kInvalidNode;
+}
+
+DirectionSet
+OddEven::route(const Topology &topo, NodeId current, NodeId dest,
+               Direction in_dir) const
+{
+    if (current == dest)
+        return DirectionSet::none();
+
+    const DirectionSet scope =
+        minimal_ ? topo.minimalDirections(current, dest)
+                 : topo.directionsFrom(current);
+
+    DirectionSet out;
+    scope.forEach([&](Direction o) {
+        if (!turnAllowed(topo, current, in_dir, o))
+            return;
+        const NodeId nbr = topo.neighbor(current, o);
+        if (nbr == kInvalidNode)
+            return;
+        // Never offer a hop from which the parity rules make the
+        // destination unreachable (e.g. a north turn whose only
+        // continuation would need a west turn in an odd column).
+        if (oracle_.canReach(topo, nbr, o, dest))
+            out.insert(o);
+    });
+    return out;
+}
+
+bool
+OddEven::canComplete(const Topology &topo, NodeId node, NodeId dest,
+                     Direction in_dir) const
+{
+    if (node == dest)
+        return true;
+    return oracle_.canReach(topo, node, in_dir, dest);
+}
+
+} // namespace turnnet

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The odd-even turn model (Chiu, IEEE TPDS 2000) — the best-known
+ * follow-up to the paper reproduced here, and an instance of the
+ * Section 7 program of applying the turn model in new ways.
+ *
+ * Instead of prohibiting the same two turns everywhere (which makes
+ * adaptivity lopsided: west-first packets headed east are fully
+ * adaptive, those headed west get one path), odd-even prohibits
+ * turns based on the COLUMN PARITY of the node:
+ *
+ *   - in even columns: the east-to-north and east-to-south turns;
+ *   - in odd columns: the north-to-west and south-to-west turns.
+ *
+ * No row of nodes allows both turns any rightmost cycle segment
+ * would need, so cycles still cannot close, but the adaptivity is
+ * spread far more evenly across source-destination pairs. The
+ * relation is node-dependent, so it cannot be expressed as a global
+ * TurnSet — demonstrating that the library's exact dependency and
+ * reachability analyses do not assume position-independent rules.
+ */
+
+#ifndef TURNNET_ROUTING_ODD_EVEN_HPP
+#define TURNNET_ROUTING_ODD_EVEN_HPP
+
+#include "turnnet/analysis/reachability.hpp"
+#include "turnnet/routing/routing_function.hpp"
+
+namespace turnnet {
+
+/** Odd-even partially adaptive routing for 2D meshes. */
+class OddEven : public RoutingFunction
+{
+  public:
+    /** @param minimal Restrict to shortest paths (default). */
+    explicit OddEven(bool minimal = true);
+
+    std::string
+    name() const override
+    {
+        return minimal_ ? "odd-even" : "odd-even-nm";
+    }
+
+    bool isMinimal() const override { return minimal_; }
+
+    DirectionSet route(const Topology &topo, NodeId current,
+                       NodeId dest, Direction in_dir) const override;
+
+    bool canComplete(const Topology &topo, NodeId node, NodeId dest,
+                     Direction in_dir) const override;
+
+    void checkTopology(const Topology &topo) const override;
+
+    /**
+     * The parity rule by itself: may a packet travelling @p in_dir
+     * leave @p node in @p out_dir? (Straight moves yes, reversals
+     * no, turns per the column parity of @p node.)
+     */
+    static bool turnAllowed(const Topology &topo, NodeId node,
+                            Direction in_dir, Direction out_dir);
+
+  private:
+    bool hopLegal(const Topology &topo, NodeId node,
+                  Direction in_dir, Direction out_dir,
+                  NodeId dest) const;
+
+    bool minimal_;
+    ReachabilityOracle oracle_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_ODD_EVEN_HPP

@@ -1,0 +1,104 @@
+#include "turnnet/routing/pcube.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+void
+PCube::checkTopology(const Topology &topo) const
+{
+    for (int i = 0; i < topo.numDims(); ++i) {
+        if (topo.radix(i) != 2)
+            TN_FATAL("p-cube applies to hypercubes, not ",
+                     topo.name());
+    }
+    NegativeFirst::checkTopology(topo);
+}
+
+DirectionSet
+PCubeFigure12::route(const Topology &topo, NodeId current,
+                     NodeId dest, Direction in_dir) const
+{
+    if (current == dest)
+        return DirectionSet::none();
+    const int n = topo.numDims();
+    const auto c = static_cast<std::uint32_t>(current);
+    const auto d = static_cast<std::uint32_t>(dest);
+    const std::uint32_t all = n >= 32 ? ~0U : ((1U << n) - 1);
+
+    const bool phase_one = (c & ~d & all) != 0;
+    DirectionSet out;
+    if (phase_one) {
+        // A packet already in phase two (arrived travelling
+        // positive) cannot return to phase one; such a state is
+        // unreachable under this relation, and the honest answer is
+        // the empty set.
+        if (!in_dir.isLocal() && in_dir.isPositive())
+            return DirectionSet::none();
+        std::uint32_t mask = c & all; // any dimension with c_i = 1
+        while (mask) {
+            const int i = __builtin_ctz(mask);
+            mask &= mask - 1;
+            out.insert(Direction::negative(i));
+        }
+    } else {
+        std::uint32_t mask = ~c & d & all;
+        while (mask) {
+            const int i = __builtin_ctz(mask);
+            mask &= mask - 1;
+            out.insert(Direction::positive(i));
+        }
+    }
+    return out;
+}
+
+void
+PCubeFigure12::checkTopology(const Topology &topo) const
+{
+    for (int i = 0; i < topo.numDims(); ++i) {
+        if (topo.radix(i) != 2)
+            TN_FATAL("p-cube applies to hypercubes, not ",
+                     topo.name());
+    }
+}
+
+std::uint32_t
+pcubeMinimalMask(std::uint32_t current, std::uint32_t dest,
+                 int num_dims)
+{
+    const std::uint32_t all =
+        num_dims >= 32 ? ~0U : ((1U << num_dims) - 1);
+    const std::uint32_t phase1 = current & ~dest & all;
+    if (phase1)
+        return phase1;
+    return ~current & dest & all;
+}
+
+std::uint32_t
+pcubeNonminimalExtraMask(std::uint32_t current, std::uint32_t dest,
+                         int num_dims)
+{
+    const std::uint32_t all =
+        num_dims >= 32 ? ~0U : ((1U << num_dims) - 1);
+    // Extras exist only while phase one is in progress.
+    if ((current & ~dest & all) == 0)
+        return 0;
+    return current & dest & all;
+}
+
+double
+pcubePathCount(std::uint32_t src, std::uint32_t dest, int num_dims)
+{
+    const std::uint32_t all =
+        num_dims >= 32 ? ~0U : ((1U << num_dims) - 1);
+    const int h1 = __builtin_popcount(src & ~dest & all);
+    const int h0 = __builtin_popcount(~src & dest & all);
+    double result = 1.0;
+    for (int i = 2; i <= h1; ++i)
+        result *= i;
+    for (int i = 2; i <= h0; ++i)
+        result *= i;
+    return result;
+}
+
+} // namespace turnnet

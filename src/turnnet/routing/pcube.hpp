@@ -1,0 +1,90 @@
+/**
+ * @file
+ * p-cube routing for hypercubes (Section 5).
+ *
+ * The hypercube special case of negative-first has a compact bitwise
+ * expression. With C the current address and D the destination:
+ * phase one routes along any dimension i with c_i = 1 and d_i = 0
+ * (R = C AND NOT D, Figure 11); when R = 0, phase two routes along
+ * any dimension with c_i = 0 and d_i = 1 (R = NOT C AND D). The
+ * nonminimal variant (Figure 12) additionally permits phase-one hops
+ * along dimensions where c_i = 1 and d_i = 1.
+ *
+ * The class inherits the general negative-first relation (they are
+ * provably the same on a hypercube — property-tested); the free
+ * functions expose the paper's bitwise formulation for the Section 5
+ * choice-count table and for cross-checking.
+ */
+
+#ifndef TURNNET_ROUTING_PCUBE_HPP
+#define TURNNET_ROUTING_PCUBE_HPP
+
+#include <cstdint>
+
+#include "turnnet/routing/negative_first.hpp"
+
+namespace turnnet {
+
+/** p-cube routing: negative-first specialized to hypercubes. */
+class PCube : public NegativeFirst
+{
+  public:
+    explicit PCube(bool minimal = true) : NegativeFirst(minimal) {}
+
+    std::string
+    name() const override
+    {
+        return isMinimal() ? "p-cube" : "p-cube-nm";
+    }
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+/**
+ * The nonminimal p-cube algorithm exactly as Figure 12 states it:
+ * while phase one is in progress (C AND NOT D nonzero) the packet
+ * may route along ANY dimension with c_i = 1; afterwards it routes
+ * only along productive 0 -> 1 dimensions. This is a strict subset
+ * of the maximal turn-legal relation (PCube with minimal = false),
+ * which also permits 1 -> 0 detours after phase one — both are
+ * deadlock free, but only Figure 12's counts appear in the paper's
+ * Section 5 table.
+ */
+class PCubeFigure12 : public RoutingFunction
+{
+  public:
+    std::string name() const override { return "p-cube-fig12"; }
+    bool isMinimal() const override { return false; }
+
+    DirectionSet route(const Topology &topo, NodeId current,
+                       NodeId dest, Direction in_dir) const override;
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+/**
+ * Figure 11: dimension mask for minimal p-cube routing. Returns
+ * R = C AND NOT D if nonzero, else NOT C AND D (masked to n bits).
+ */
+std::uint32_t pcubeMinimalMask(std::uint32_t current,
+                               std::uint32_t dest, int num_dims);
+
+/**
+ * Figure 12: extra phase-one dimensions available to nonminimal
+ * p-cube routing (c_i = 1 and d_i = 1); zero once phase one is over.
+ */
+std::uint32_t pcubeNonminimalExtraMask(std::uint32_t current,
+                                       std::uint32_t dest,
+                                       int num_dims);
+
+/**
+ * Number of shortest paths p-cube permits from S to D:
+ * h1! * h0!, with h1 = |S AND NOT D| and h0 = |NOT S AND D|
+ * (Section 5).
+ */
+double pcubePathCount(std::uint32_t src, std::uint32_t dest,
+                      int num_dims);
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_PCUBE_HPP

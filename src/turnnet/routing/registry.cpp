@@ -1,0 +1,93 @@
+#include "turnnet/routing/registry.hpp"
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/routing/abonf.hpp"
+#include "turnnet/routing/abopl.hpp"
+#include "turnnet/routing/dimension_order.hpp"
+#include "turnnet/routing/fully_adaptive.hpp"
+#include "turnnet/routing/negative_first.hpp"
+#include "turnnet/routing/north_last.hpp"
+#include "turnnet/routing/odd_even.hpp"
+#include "turnnet/routing/pcube.hpp"
+#include "turnnet/routing/torus_extensions.hpp"
+#include "turnnet/routing/west_first.hpp"
+#include "turnnet/turnmodel/prohibition.hpp"
+#include "turnnet/turnmodel/turn_routing.hpp"
+
+namespace turnnet {
+
+RoutingPtr
+makeRouting(const std::string &name, int num_dims, bool minimal)
+{
+    // "-nm" suffix selects the nonminimal variant by name.
+    if (name.size() > 3 &&
+        name.compare(name.size() - 3, 3, "-nm") == 0) {
+        return makeRouting(name.substr(0, name.size() - 3),
+                           num_dims, false);
+    }
+    if (name == "xy")
+        return std::make_shared<DimensionOrder>("xy");
+    if (name == "ecube")
+        return std::make_shared<DimensionOrder>("ecube");
+    if (name == "dimension-order")
+        return std::make_shared<DimensionOrder>();
+    if (name == "west-first")
+        return std::make_shared<WestFirst>(minimal);
+    if (name == "north-last")
+        return std::make_shared<NorthLast>(minimal);
+    if (name == "negative-first")
+        return std::make_shared<NegativeFirst>(minimal);
+    if (name == "abonf")
+        return std::make_shared<AllButOneNegativeFirst>(minimal);
+    if (name == "abopl")
+        return std::make_shared<AllButOnePositiveLast>(minimal);
+    if (name == "p-cube" || name == "pcube")
+        return std::make_shared<PCube>(minimal);
+    if (name == "fully-adaptive")
+        return std::make_shared<FullyAdaptive>();
+    if (name == "odd-even")
+        return std::make_shared<OddEven>(minimal);
+    if (name == "nf-torus")
+        return std::make_shared<NegativeFirstTorus>();
+    if (name == "xy-first-hop-wrap") {
+        return std::make_shared<FirstHopWrapTorus>(
+            "xy", dimensionOrderTurns(num_dims));
+    }
+    if (name == "nf-first-hop-wrap") {
+        return std::make_shared<FirstHopWrapTorus>(
+            "negative-first", negativeFirstTurns(num_dims));
+    }
+    if (name.rfind("turnset:", 0) == 0) {
+        const std::string inner = name.substr(8);
+        TurnSet turns(num_dims, true);
+        if (inner == "west-first" && num_dims == 2)
+            turns = westFirstTurns();
+        else if (inner == "north-last" && num_dims == 2)
+            turns = northLastTurns();
+        else if (inner == "negative-first")
+            turns = negativeFirstTurns(num_dims);
+        else if (inner == "abonf")
+            turns = abonfTurns(num_dims);
+        else if (inner == "abopl")
+            turns = aboplTurns(num_dims);
+        else if (inner == "dimension-order" || inner == "xy" ||
+                 inner == "ecube")
+            turns = dimensionOrderTurns(num_dims);
+        else
+            TN_FATAL("unknown turn set '", inner, "'");
+        return std::make_shared<TurnSetRouting>(name, turns, minimal);
+    }
+    TN_FATAL("unknown routing algorithm '", name, "'");
+}
+
+std::vector<std::string>
+routingNames()
+{
+    return {"xy",          "ecube",          "dimension-order",
+            "west-first",  "north-last",     "negative-first",
+            "abonf",       "abopl",          "p-cube",
+            "odd-even",    "fully-adaptive", "nf-torus",
+            "xy-first-hop-wrap", "nf-first-hop-wrap"};
+}
+
+} // namespace turnnet

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Factory for routing algorithms and topologies by name, used by
+ * benches, examples, and tests.
+ */
+
+#ifndef TURNNET_ROUTING_REGISTRY_HPP
+#define TURNNET_ROUTING_REGISTRY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/routing/routing_function.hpp"
+
+namespace turnnet {
+
+/**
+ * Create a routing algorithm by name.
+ *
+ * Recognized names: "xy", "ecube", "dimension-order" (aliases of the
+ * same nonadaptive algorithm), "west-first", "north-last",
+ * "negative-first", "abonf", "abopl", "p-cube", "fully-adaptive",
+ * "nf-torus", "xy-first-hop-wrap", "nf-first-hop-wrap", plus
+ * "turnset:<name>" for the generic turn-set-induced router of the
+ * named algorithm (needs @p num_dims).
+ *
+ * @param name Algorithm name.
+ * @param num_dims Dimensionality, needed by turn-set based entries.
+ * @param minimal Minimal (paper default) or nonminimal variant,
+ *        where the algorithm supports both.
+ * @return The algorithm; fatal on an unknown name.
+ */
+RoutingPtr makeRouting(const std::string &name, int num_dims = 2,
+                       bool minimal = true);
+
+/** Names accepted by makeRouting (excluding aliases). */
+std::vector<std::string> routingNames();
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_REGISTRY_HPP

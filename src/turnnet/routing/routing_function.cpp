@@ -1,0 +1,20 @@
+#include "turnnet/routing/routing_function.hpp"
+
+namespace turnnet {
+
+bool
+RoutingFunction::canComplete(const Topology &topo, NodeId node,
+                             NodeId dest, Direction in_dir) const
+{
+    if (node == dest)
+        return true;
+    return !route(topo, node, dest, in_dir).empty();
+}
+
+void
+RoutingFunction::checkTopology(const Topology &topo) const
+{
+    (void)topo;
+}
+
+} // namespace turnnet

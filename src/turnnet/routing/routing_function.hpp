@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The routing-function abstraction.
+ *
+ * A routing function is a pure relation: given the topology, the
+ * current node, the destination, and the direction the packet is
+ * travelling (local at the source), it returns the set of output
+ * directions the algorithm permits. All adaptivity — choosing among
+ * the permitted channels based on which are free — lives in the
+ * router's selection policies, exactly as in the paper.
+ */
+
+#ifndef TURNNET_ROUTING_ROUTING_FUNCTION_HPP
+#define TURNNET_ROUTING_ROUTING_FUNCTION_HPP
+
+#include <memory>
+#include <string>
+
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/**
+ * Abstract routing function. Implementations must be stateless and
+ * thread-compatible: all methods are const and reentrant.
+ */
+class RoutingFunction
+{
+  public:
+    virtual ~RoutingFunction() = default;
+
+    /** Short identifier, e.g. "west-first". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Output directions permitted for a packet at @p current bound
+     * for @p dest that arrived travelling @p in_dir
+     * (Direction::local() at the source node).
+     *
+     * Never includes the local direction: delivery is the caller's
+     * job when current == dest. Minimal algorithms return only
+     * distance-reducing directions; the set may be empty only when
+     * current == dest.
+     */
+    virtual DirectionSet route(const Topology &topo, NodeId current,
+                               NodeId dest,
+                               Direction in_dir) const = 0;
+
+    /** True when the algorithm only ever shortens the distance. */
+    virtual bool isMinimal() const { return true; }
+
+    /**
+     * True when a packet at @p node travelling @p in_dir can still
+     * reach @p dest under this algorithm's turn rules. Used to guard
+     * nonminimal hops and wraparound extensions. The default answer
+     * is exact for minimal algorithms whose route() never offers a
+     * stranding direction.
+     */
+    virtual bool canComplete(const Topology &topo, NodeId node,
+                             NodeId dest, Direction in_dir) const;
+
+    /**
+     * Validate that this algorithm applies to @p topo; fatal on
+     * mismatch (e.g. west-first on a hypercube). Called by factories
+     * and the simulator once per run.
+     */
+    virtual void checkTopology(const Topology &topo) const;
+};
+
+/** Shared-ownership handle used by registries and configs. */
+using RoutingPtr = std::shared_ptr<const RoutingFunction>;
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_ROUTING_FUNCTION_HPP

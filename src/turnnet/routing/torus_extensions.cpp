@@ -1,0 +1,171 @@
+#include "turnnet/routing/torus_extensions.hpp"
+
+#include <cstdlib>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+bool
+NegativeFirstTorus::classNegative(const Topology &topo, NodeId node,
+                                  Direction dir)
+{
+    const bool wrap = topo.isWrapHop(node, dir);
+    return (dir.isNegative() && !wrap) || (dir.isPositive() && wrap);
+}
+
+void
+NegativeFirstTorus::checkTopology(const Topology &topo) const
+{
+    (void)topo; // on a mesh this degenerates to plain negative-first
+}
+
+DirectionSet
+NegativeFirstTorus::route(const Topology &topo, NodeId current,
+                          NodeId dest, Direction in_dir) const
+{
+    if (current == dest)
+        return DirectionSet::none();
+
+    // Class of the arrival hop: the packet came from
+    // u = neighbor(current, reverse(in_dir)) along in_dir.
+    bool phase_one_allowed = true;
+    if (!in_dir.isLocal()) {
+        const NodeId u = topo.neighbor(current, in_dir.reversed());
+        TN_ASSERT(u != kInvalidNode, "arrival from nonexistent hop");
+        phase_one_allowed = classNegative(topo, u, in_dir);
+    }
+
+    const Coord cc = topo.coordOf(current);
+    const Coord cd = topo.coordOf(dest);
+
+    DirectionSet negative_candidates;
+    DirectionSet positive_candidates;
+    bool negative_needed = false;
+    for (int i = 0; i < topo.numDims(); ++i) {
+        const int k = topo.radix(i);
+        if (cd[i] < cc[i]) {
+            negative_needed = true;
+            // The coordinate-decreasing channels out of this node: a
+            // mesh hop down, and — at the top edge — the wraparound
+            // through the positive port, which jumps to coordinate 0.
+            negative_candidates.insert(Direction::negative(i));
+            if (cc[i] == k - 1 &&
+                topo.isWrapHop(current, Direction::positive(i))) {
+                negative_candidates.insert(Direction::positive(i));
+            }
+        } else if (cd[i] > cc[i]) {
+            // Coordinate-increasing channels: a mesh hop up, and —
+            // at the bottom edge — the wraparound through the
+            // negative port, useful only when it lands exactly on
+            // the destination coordinate (phase two may not
+            // overshoot, since it could never come back down).
+            positive_candidates.insert(Direction::positive(i));
+            if (cc[i] == 0 && cd[i] == k - 1 &&
+                topo.isWrapHop(current, Direction::negative(i))) {
+                positive_candidates.insert(Direction::negative(i));
+            }
+        }
+    }
+
+    if (!phase_one_allowed)
+        return negative_needed ? DirectionSet::none()
+                               : positive_candidates;
+    return negative_needed ? negative_candidates
+                           : positive_candidates;
+}
+
+bool
+NegativeFirstTorus::canComplete(const Topology &topo, NodeId node,
+                                NodeId dest, Direction in_dir) const
+{
+    if (node == dest)
+        return true;
+    if (in_dir.isLocal())
+        return true;
+    const NodeId u = topo.neighbor(node, in_dir.reversed());
+    TN_ASSERT(u != kInvalidNode, "arrival from nonexistent hop");
+    if (classNegative(topo, u, in_dir))
+        return true;
+    // Phase two: every coordinate must already be at or below its
+    // destination value.
+    const Coord cc = topo.coordOf(node);
+    const Coord cd = topo.coordOf(dest);
+    for (int i = 0; i < topo.numDims(); ++i) {
+        if (cd[i] < cc[i])
+            return false;
+    }
+    return true;
+}
+
+FirstHopWrapTorus::FirstHopWrapTorus(std::string inner_name,
+                                     TurnSet turns)
+    : name_(std::move(inner_name) + "+first-hop-wrap"),
+      turns_(std::move(turns)),
+      oracle_([this](const Topology &topo, NodeId node,
+                     Direction in_dir, Direction out_dir,
+                     NodeId dest) {
+          return hopLegal(topo, node, in_dir, out_dir, dest);
+      })
+{
+}
+
+void
+FirstHopWrapTorus::checkTopology(const Topology &topo) const
+{
+    if (topo.numDims() != turns_.numDims())
+        TN_FATAL(name_, " wraps a ", turns_.numDims(),
+                 "-dimensional turn set; topology ", topo.name(),
+                 " has ", topo.numDims(), " dimensions");
+}
+
+bool
+FirstHopWrapTorus::hopLegal(const Topology &topo, NodeId node,
+                            Direction in_dir, Direction out_dir,
+                            NodeId dest) const
+{
+    const NodeId nbr = topo.neighbor(node, out_dir);
+    if (nbr == kInvalidNode)
+        return false;
+    if (topo.isWrapHop(node, out_dir)) {
+        // Wraparound channels carry only first hops that shorten the
+        // torus distance.
+        return in_dir.isLocal() &&
+               topo.distance(nbr, dest) < topo.distance(node, dest);
+    }
+    if (!in_dir.isLocal() && !turns_.allows(in_dir, out_dir))
+        return false;
+    // Mesh hops are productive in the mesh (coordinate-line) metric.
+    const Coord cc = topo.coordOf(node);
+    const Coord cd = topo.coordOf(dest);
+    const int i = out_dir.dim();
+    return (cd[i] - cc[i]) * out_dir.sign() > 0;
+}
+
+DirectionSet
+FirstHopWrapTorus::route(const Topology &topo, NodeId current,
+                         NodeId dest, Direction in_dir) const
+{
+    if (current == dest)
+        return DirectionSet::none();
+    DirectionSet out;
+    topo.directionsFrom(current).forEach([&](Direction o) {
+        if (!hopLegal(topo, current, in_dir, o, dest))
+            return;
+        const NodeId nbr = topo.neighbor(current, o);
+        if (oracle_.canReach(topo, nbr, o, dest))
+            out.insert(o);
+    });
+    return out;
+}
+
+bool
+FirstHopWrapTorus::canComplete(const Topology &topo, NodeId node,
+                               NodeId dest, Direction in_dir) const
+{
+    if (node == dest)
+        return true;
+    return oracle_.canReach(topo, node, in_dir, dest);
+}
+
+} // namespace turnnet

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Extensions of the mesh algorithms to k-ary n-cubes (Section 4.2).
+ *
+ * The paper offers two ways to use a torus's wraparound channels:
+ *
+ *  1. Allow a packet to take a wraparound channel only on its first
+ *     hop, then route within the mesh channels as usual
+ *     (FirstHopWrapTorus). Deadlock freedom follows by numbering the
+ *     wraparound channels above all mesh channels.
+ *
+ *  2. For negative-first: classify every wraparound channel by the
+ *     direction in which it routes packets — a wrap hop from
+ *     coordinate k-1 to 0 routes the packet *negative* even though
+ *     it uses the physically positive port — and then apply
+ *     negative-first over the classes (NegativeFirstTorus). The
+ *     K - n +- X numbering of Theorem 5 still witnesses deadlock
+ *     freedom because it depends only on coordinate sums.
+ *
+ * Both are strictly nonminimal in the torus metric, as the paper
+ * notes all deadlock-free torus algorithms without extra channels
+ * must be for k > 4.
+ */
+
+#ifndef TURNNET_ROUTING_TORUS_EXTENSIONS_HPP
+#define TURNNET_ROUTING_TORUS_EXTENSIONS_HPP
+
+#include <string>
+
+#include "turnnet/analysis/reachability.hpp"
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/turnmodel/turn.hpp"
+
+namespace turnnet {
+
+/** Negative-first over coordinate-change classes (variant 2). */
+class NegativeFirstTorus : public RoutingFunction
+{
+  public:
+    std::string name() const override { return "nf-torus"; }
+
+    /** Strictly nonminimal in the torus metric. */
+    bool isMinimal() const override { return false; }
+
+    DirectionSet route(const Topology &topo, NodeId current,
+                       NodeId dest, Direction in_dir) const override;
+
+    bool canComplete(const Topology &topo, NodeId node, NodeId dest,
+                     Direction in_dir) const override;
+
+    void checkTopology(const Topology &topo) const override;
+
+    /**
+     * True when the hop out of @p node along @p dir decreases the
+     * coordinate (the "negative" class): a non-wrap negative hop or
+     * a wrap hop through the positive port.
+     */
+    static bool classNegative(const Topology &topo, NodeId node,
+                              Direction dir);
+};
+
+/**
+ * Wrap-on-first-hop adapter (variant 1): an inner turn set routes
+ * within the mesh channels (mesh-metric minimal) and wraparound
+ * channels may be used only by a packet's very first hop, when they
+ * reduce torus distance and the inner rules can still finish the
+ * job from the landing point. Reachability is decided exactly by
+ * backward search, so packets are never stranded.
+ */
+class FirstHopWrapTorus : public RoutingFunction
+{
+  public:
+    /**
+     * @param inner_name Name of the mesh algorithm being adapted.
+     * @param turns Its permitted-turn relation.
+     */
+    FirstHopWrapTorus(std::string inner_name, TurnSet turns);
+
+    std::string name() const override { return name_; }
+
+    bool isMinimal() const override { return false; }
+
+    DirectionSet route(const Topology &topo, NodeId current,
+                       NodeId dest, Direction in_dir) const override;
+
+    bool canComplete(const Topology &topo, NodeId node, NodeId dest,
+                     Direction in_dir) const override;
+
+    void checkTopology(const Topology &topo) const override;
+
+  private:
+    bool hopLegal(const Topology &topo, NodeId node, Direction in_dir,
+                  Direction out_dir, NodeId dest) const;
+
+    std::string name_;
+    TurnSet turns_;
+    ReachabilityOracle oracle_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_TORUS_EXTENSIONS_HPP

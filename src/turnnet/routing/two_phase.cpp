@@ -1,0 +1,113 @@
+#include "turnnet/routing/two_phase.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+TwoPhaseRouting::TwoPhaseRouting(bool minimal)
+    : minimal_(minimal),
+      oracle_([this](const Topology &topo, NodeId node,
+                     Direction in_dir, Direction out_dir,
+                     NodeId dest) {
+          (void)dest;
+          return legalNonminimal(topo, node, in_dir)
+              .contains(out_dir);
+      })
+{
+}
+
+DirectionSet
+TwoPhaseRouting::legalNonminimal(const Topology &topo, NodeId node,
+                                 Direction in_dir) const
+{
+    // 180-degree reversals are excluded — Step 6 of the turn model
+    // only incorporates them when they cannot reintroduce cycles,
+    // and a reversal inside phase one can (e.g.
+    // west->east->south->west in north-last).
+    DirectionSet legal = topo.directionsFrom(node);
+    if (in_dir.isLocal())
+        return legal;
+    legal.erase(in_dir.reversed());
+    const DirectionSet phase_one = phaseOne(topo.numDims());
+    if (!phase_one.contains(in_dir))
+        legal = legal - phase_one;
+    return legal;
+}
+
+DirectionSet
+TwoPhaseRouting::route(const Topology &topo, NodeId current,
+                       NodeId dest, Direction in_dir) const
+{
+    if (current == dest)
+        return DirectionSet::none();
+
+    const int n = topo.numDims();
+    const DirectionSet phase_one = phaseOne(n);
+    const bool in_phase_two =
+        !in_dir.isLocal() && !phase_one.contains(in_dir);
+
+    if (minimal_) {
+        DirectionSet productive = topo.minimalDirections(current, dest);
+        if (in_phase_two) {
+            // Turns from phase two back into phase one are
+            // prohibited. (Unreachable for well-formed minimal
+            // traffic, but keep the relation honest for any query.)
+            productive = productive - phase_one;
+            return productive;
+        }
+        const DirectionSet first = productive & phase_one;
+        return first.empty() ? productive : first;
+    }
+
+    // Nonminimal: any legal direction from which the destination
+    // remains reachable under the same legal relation. The
+    // reachability oracle is exact, so packets are never guided
+    // into dead ends (which the no-reversal rule can otherwise
+    // create along mesh boundaries).
+    DirectionSet out;
+    legalNonminimal(topo, current, in_dir).forEach([&](Direction o) {
+        const NodeId nbr = topo.neighbor(current, o);
+        if (nbr == kInvalidNode)
+            return;
+        if (oracle_.canReach(topo, nbr, o, dest))
+            out.insert(o);
+    });
+    return out;
+}
+
+bool
+TwoPhaseRouting::canComplete(const Topology &topo, NodeId node,
+                             NodeId dest, Direction in_dir) const
+{
+    if (node == dest)
+        return true;
+    if (minimal_) {
+        // Minimal traffic can always finish from any state the
+        // minimal relation reaches; honest closed form for others:
+        // once in phase two, every remaining correction must be a
+        // phase-two direction.
+        if (in_dir.isLocal() ||
+            phaseOne(topo.numDims()).contains(in_dir)) {
+            return true;
+        }
+        const DirectionSet phase_two =
+            DirectionSet::all(topo.numDims()) -
+            phaseOne(topo.numDims());
+        const Coord cc = topo.coordOf(node);
+        const Coord cd = topo.coordOf(dest);
+        for (int i = 0; i < topo.numDims(); ++i) {
+            if (cd[i] > cc[i] &&
+                !phase_two.contains(Direction::positive(i))) {
+                return false;
+            }
+            if (cd[i] < cc[i] &&
+                !phase_two.contains(Direction::negative(i))) {
+                return false;
+            }
+        }
+        return true;
+    }
+    return oracle_.canReach(topo, node, in_dir, dest);
+}
+
+} // namespace turnnet

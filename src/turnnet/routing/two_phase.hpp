@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Base class for the paper's two-phase partially adaptive
+ * algorithms.
+ *
+ * West-first, north-last, negative-first, all-but-one-negative-first
+ * and all-but-one-positive-last all share one shape: a packet first
+ * travels adaptively among a set of phase-one directions, then
+ * adaptively among the remaining (phase-two) directions; turns from
+ * phase two back into phase one are prohibited. This base implements
+ * the routing relation, the componentwise reachability closed form,
+ * and minimal/nonminimal modes; concrete algorithms only name their
+ * phase-one set.
+ */
+
+#ifndef TURNNET_ROUTING_TWO_PHASE_HPP
+#define TURNNET_ROUTING_TWO_PHASE_HPP
+
+#include <string>
+
+#include "turnnet/analysis/reachability.hpp"
+#include "turnnet/routing/routing_function.hpp"
+
+namespace turnnet {
+
+/**
+ * A two-phase partially adaptive routing algorithm.
+ *
+ * Minimal mode is closed form and thread-compatible. Nonminimal
+ * mode guards every offered hop with an exact reachability oracle:
+ * the legal relation excludes 180-degree reversals, and near mesh
+ * boundaries that exclusion can create states (e.g. travelling
+ * north in the last column needing to go south) from which a naive
+ * componentwise check wrongly claims the destination reachable.
+ * The oracle memoizes per-destination tables, so nonminimal
+ * instances are NOT thread-safe.
+ */
+class TwoPhaseRouting : public RoutingFunction
+{
+  public:
+    DirectionSet route(const Topology &topo, NodeId current,
+                       NodeId dest, Direction in_dir) const override;
+
+    bool canComplete(const Topology &topo, NodeId node, NodeId dest,
+                     Direction in_dir) const override;
+
+    bool isMinimal() const override { return minimal_; }
+
+    /** Phase-one directions for an n-dimensional topology. */
+    virtual DirectionSet phaseOne(int num_dims) const = 0;
+
+  protected:
+    explicit TwoPhaseRouting(bool minimal);
+
+  private:
+    /**
+     * The nonminimal legal relation: every direction with a channel,
+     * except 180-degree reversals and, once in phase two, phase-one
+     * directions.
+     */
+    DirectionSet legalNonminimal(const Topology &topo, NodeId node,
+                                 Direction in_dir) const;
+
+    bool minimal_;
+    ReachabilityOracle oracle_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_TWO_PHASE_HPP

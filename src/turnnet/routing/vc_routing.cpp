@@ -1,0 +1,20 @@
+#include "turnnet/routing/vc_routing.hpp"
+
+#include "turnnet/routing/dateline_torus.hpp"
+#include "turnnet/routing/double_y.hpp"
+#include "turnnet/routing/registry.hpp"
+
+namespace turnnet {
+
+VcRoutingPtr
+makeVcRouting(const std::string &name, int num_dims, bool minimal)
+{
+    if (name == "dateline")
+        return std::make_shared<DatelineTorus>();
+    if (name == "double-y")
+        return std::make_shared<DoubleY>();
+    return std::make_shared<SingleVcAdapter>(
+        makeRouting(name, num_dims, minimal));
+}
+
+} // namespace turnnet

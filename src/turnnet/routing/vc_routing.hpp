@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Virtual-channel routing.
+ *
+ * The turn model's selling point is deadlock freedom *without*
+ * extra channels; the alternative school (Dally & Seitz [14],
+ * Linder & Harden [16], and the paper's own forthcoming reference
+ * [18]) adds virtual channels — extra buffers multiplexed onto each
+ * physical link — and in exchange gets minimal routing on tori and
+ * full adaptivity on meshes. This module provides the interface for
+ * such algorithms so the library can quantify the trade-off the
+ * paper argues about: performance without extra channels versus
+ * performance with them.
+ *
+ * A VC routing relation maps (node, destination, arrival direction,
+ * arrival virtual channel) to a set of (direction, virtual channel)
+ * candidates. Step 1 of the turn model covers this setting: v
+ * channels in a physical direction are treated as v distinct
+ * virtual directions.
+ */
+
+#ifndef TURNNET_ROUTING_VC_ROUTING_HPP
+#define TURNNET_ROUTING_VC_ROUTING_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** Virtual-channel index at injection (no arrival VC). */
+inline constexpr int kNoVc = -1;
+
+/** One routable (direction, virtual channel) option. */
+struct VcCandidate
+{
+    Direction dir;
+    int vc = 0;
+
+    bool
+    operator==(const VcCandidate &o) const
+    {
+        return dir == o.dir && vc == o.vc;
+    }
+};
+
+/**
+ * A routing relation over virtual channels. Implementations must be
+ * stateless; candidates depend only on the arguments.
+ */
+class VcRoutingFunction
+{
+  public:
+    virtual ~VcRoutingFunction() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Virtual channels multiplexed on each physical channel. */
+    virtual int numVcs() const = 0;
+
+    /**
+     * Append the permitted (direction, vc) candidates for a packet
+     * at @p current bound for @p dest that arrived travelling
+     * @p in_dir on virtual channel @p in_vc (local/kNoVc at the
+     * source).
+     */
+    virtual void route(const Topology &topo, NodeId current,
+                       NodeId dest, Direction in_dir, int in_vc,
+                       std::vector<VcCandidate> &out) const = 0;
+
+    /** Validate applicability; fatal on mismatch. */
+    virtual void
+    checkTopology(const Topology &topo) const
+    {
+        (void)topo;
+    }
+};
+
+using VcRoutingPtr = std::shared_ptr<const VcRoutingFunction>;
+
+/**
+ * Adapts a single-channel routing function to the VC interface
+ * (numVcs() == 1, every candidate on VC 0). The simulator runs all
+ * paper-core algorithms through this adapter.
+ */
+class SingleVcAdapter : public VcRoutingFunction
+{
+  public:
+    explicit SingleVcAdapter(RoutingPtr inner)
+        : inner_(std::move(inner))
+    {
+        TN_ASSERT(inner_ != nullptr,
+                  "adapter needs a routing algorithm");
+    }
+
+    std::string name() const override { return inner_->name(); }
+    int numVcs() const override { return 1; }
+
+    void
+    route(const Topology &topo, NodeId current, NodeId dest,
+          Direction in_dir, int in_vc,
+          std::vector<VcCandidate> &out) const override
+    {
+        (void)in_vc;
+        inner_->route(topo, current, dest, in_dir)
+            .forEach([&](Direction d) {
+                out.push_back(VcCandidate{d, 0});
+            });
+    }
+
+    void
+    checkTopology(const Topology &topo) const override
+    {
+        inner_->checkTopology(topo);
+    }
+
+    const RoutingFunction &inner() const { return *inner_; }
+
+    /** The wrapped single-channel algorithm (shared handle). */
+    const RoutingPtr &innerPtr() const { return inner_; }
+
+  private:
+    RoutingPtr inner_;
+};
+
+/**
+ * Create a VC routing algorithm by name: "dateline" (Dally-Seitz
+ * 2-VC minimal dimension-order routing for tori) or "double-y"
+ * (fully adaptive minimal 2D-mesh routing with two VCs on the y
+ * channels, the scheme of the paper's reference [18]). Any other
+ * name is resolved through makeRouting() and wrapped in a
+ * SingleVcAdapter.
+ */
+VcRoutingPtr makeVcRouting(const std::string &name, int num_dims = 2,
+                           bool minimal = true);
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_VC_ROUTING_HPP

@@ -1,0 +1,16 @@
+#include "turnnet/routing/west_first.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+void
+WestFirst::checkTopology(const Topology &topo) const
+{
+    if (topo.numDims() != 2)
+        TN_FATAL("west-first applies to 2D meshes, not ",
+                 topo.name());
+    AllButOneNegativeFirst::checkTopology(topo);
+}
+
+} // namespace turnnet

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The west-first routing algorithm for 2D meshes (Section 3.1).
+ *
+ * Route a packet first west, if necessary, and then adaptively
+ * south, east, and north. The two turns to the west are prohibited
+ * (Figure 5a); Theorem 2 proves deadlock freedom. West-first is the
+ * 2D instance of all-but-one-negative-first.
+ */
+
+#ifndef TURNNET_ROUTING_WEST_FIRST_HPP
+#define TURNNET_ROUTING_WEST_FIRST_HPP
+
+#include "turnnet/routing/abonf.hpp"
+
+namespace turnnet {
+
+/** West-first partially adaptive routing for 2D meshes. */
+class WestFirst : public AllButOneNegativeFirst
+{
+  public:
+    explicit WestFirst(bool minimal = true)
+        : AllButOneNegativeFirst(minimal)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return isMinimal() ? "west-first" : "west-first-nm";
+    }
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_WEST_FIRST_HPP

@@ -1,0 +1,74 @@
+#include "turnnet/topology/coord.hpp"
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/topology/direction.hpp"
+
+namespace turnnet {
+
+Shape::Shape(std::vector<int> radices) : radices_(std::move(radices))
+{
+    TN_ASSERT(!radices_.empty(), "shape needs at least one dimension");
+    TN_ASSERT(static_cast<int>(radices_.size()) <= kMaxDims,
+              "too many dimensions");
+    long long n = 1;
+    for (int k : radices_) {
+        TN_ASSERT(k >= 2, "every radix must be at least 2");
+        n *= k;
+        TN_ASSERT(n <= 1LL << 30, "topology too large");
+    }
+    numNodes_ = static_cast<NodeId>(n);
+}
+
+Coord
+Shape::coordOf(NodeId node) const
+{
+    TN_ASSERT(node >= 0 && node < numNodes_, "node id out of range");
+    Coord c(radices_.size());
+    NodeId rest = node;
+    for (std::size_t i = 0; i < radices_.size(); ++i) {
+        c[i] = rest % radices_[i];
+        rest /= radices_[i];
+    }
+    return c;
+}
+
+NodeId
+Shape::nodeOf(const Coord &coord) const
+{
+    TN_ASSERT(coord.size() == radices_.size(),
+              "coordinate dimensionality mismatch");
+    NodeId node = 0;
+    for (std::size_t i = radices_.size(); i-- > 0;) {
+        TN_ASSERT(coord[i] >= 0 && coord[i] < radices_[i],
+                  "coordinate out of bounds");
+        node = node * radices_[i] + coord[i];
+    }
+    return node;
+}
+
+bool
+Shape::inBounds(const Coord &coord) const
+{
+    if (coord.size() != radices_.size())
+        return false;
+    for (std::size_t i = 0; i < radices_.size(); ++i) {
+        if (coord[i] < 0 || coord[i] >= radices_[i])
+            return false;
+    }
+    return true;
+}
+
+std::string
+Shape::coordToString(const Coord &coord) const
+{
+    std::string out = "(";
+    for (std::size_t i = 0; i < coord.size(); ++i) {
+        if (i)
+            out += ",";
+        out += std::to_string(coord[i]);
+    }
+    out += ")";
+    return out;
+}
+
+} // namespace turnnet

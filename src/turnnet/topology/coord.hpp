@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Coordinate vectors and mixed-radix node numbering.
+ *
+ * Node identifiers are the mixed-radix encoding of coordinates with
+ * dimension 0 least significant, matching the paper's convention that
+ * a hypercube node's binary address lists bit i for dimension i.
+ */
+
+#ifndef TURNNET_TOPOLOGY_COORD_HPP
+#define TURNNET_TOPOLOGY_COORD_HPP
+
+#include <string>
+#include <vector>
+
+#include "turnnet/common/types.hpp"
+
+namespace turnnet {
+
+/** A coordinate vector, one entry per dimension. */
+using Coord = std::vector<int>;
+
+/**
+ * Mixed-radix shape helper: converts between NodeId and Coord for a
+ * fixed radix vector.
+ */
+class Shape
+{
+  public:
+    /** @param radices Nodes per dimension; every entry must be >= 2. */
+    explicit Shape(std::vector<int> radices);
+
+    int numDims() const { return static_cast<int>(radices_.size()); }
+    int radix(int dim) const { return radices_.at(dim); }
+    const std::vector<int> &radices() const { return radices_; }
+
+    /** Total node count (product of radices). */
+    NodeId numNodes() const { return numNodes_; }
+
+    /** Coordinates of a node id. */
+    Coord coordOf(NodeId node) const;
+
+    /** Node id of a coordinate vector. */
+    NodeId nodeOf(const Coord &coord) const;
+
+    /** True if the coordinate vector is inside the shape. */
+    bool inBounds(const Coord &coord) const;
+
+    /** Render e.g. "(3,1)" for debugging and path dumps. */
+    std::string coordToString(const Coord &coord) const;
+
+  private:
+    std::vector<int> radices_;
+    NodeId numNodes_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TOPOLOGY_COORD_HPP

@@ -1,0 +1,37 @@
+#include "turnnet/topology/direction.hpp"
+
+namespace turnnet {
+
+std::string
+Direction::toString() const
+{
+    if (isLocal())
+        return "local";
+    // Use the paper's compass names for the first two dimensions.
+    switch (dim_) {
+      case 0:
+        return isPositive() ? "east" : "west";
+      case 1:
+        return isPositive() ? "north" : "south";
+      default:
+        return std::string(isPositive() ? "+d" : "-d") +
+               std::to_string(static_cast<int>(dim_));
+    }
+}
+
+std::string
+DirectionSet::toString() const
+{
+    std::string out = "{";
+    bool first_entry = true;
+    forEach([&](Direction d) {
+        if (!first_entry)
+            out += ", ";
+        out += d.toString();
+        first_entry = false;
+    });
+    out += "}";
+    return out;
+}
+
+} // namespace turnnet

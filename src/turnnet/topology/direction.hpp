@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Routing directions and direction sets.
+ *
+ * A direction is a (dimension, sign) pair: sign +1 routes toward
+ * higher coordinates, -1 toward lower coordinates. The distinguished
+ * local direction models the channel pair between a router and its
+ * processor (injection/ejection). Directions are the vocabulary of
+ * the turn model: turns are ordered pairs of directions.
+ */
+
+#ifndef TURNNET_TOPOLOGY_DIRECTION_HPP
+#define TURNNET_TOPOLOGY_DIRECTION_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+/** Maximum number of dimensions a topology may have. */
+inline constexpr int kMaxDims = 30;
+
+/**
+ * A routing direction: a signed dimension, or the local
+ * (processor-side) direction.
+ */
+class Direction
+{
+  public:
+    /** Default-constructed direction is local. */
+    constexpr Direction() : dim_(-1), sign_(0) {}
+
+    /** Network direction along @p dim with @p sign (+1 or -1). */
+    constexpr Direction(int dim, int sign)
+        : dim_(static_cast<std::int8_t>(dim)),
+          sign_(static_cast<std::int8_t>(sign))
+    {
+    }
+
+    /** The processor-side direction. */
+    static constexpr Direction local() { return Direction(); }
+
+    /** Positive direction along @p dim. */
+    static constexpr Direction positive(int dim)
+    {
+        return Direction(dim, +1);
+    }
+
+    /** Negative direction along @p dim. */
+    static constexpr Direction negative(int dim)
+    {
+        return Direction(dim, -1);
+    }
+
+    bool isLocal() const { return sign_ == 0; }
+    bool isPositive() const { return sign_ > 0; }
+    bool isNegative() const { return sign_ < 0; }
+
+    /** Dimension index; -1 for local. */
+    int dim() const { return dim_; }
+
+    /** +1, -1, or 0 for local. */
+    int sign() const { return sign_; }
+
+    /** Direction along the same dimension with opposite sign. */
+    Direction reversed() const
+    {
+        TN_ASSERT(!isLocal(), "local direction has no reverse");
+        return Direction(dim_, -sign_);
+    }
+
+    /**
+     * Dense index for array storage: 2*dim for negative, 2*dim+1 for
+     * positive. Local directions have no index.
+     */
+    int index() const
+    {
+        TN_ASSERT(!isLocal(), "local direction has no index");
+        return 2 * dim_ + (sign_ > 0 ? 1 : 0);
+    }
+
+    /** Inverse of index(). */
+    static Direction fromIndex(int idx)
+    {
+        return Direction(idx / 2, (idx % 2) ? +1 : -1);
+    }
+
+    bool operator==(const Direction &o) const
+    {
+        return dim_ == o.dim_ && sign_ == o.sign_;
+    }
+    bool operator!=(const Direction &o) const { return !(*this == o); }
+    bool operator<(const Direction &o) const
+    {
+        return dim_ != o.dim_ ? dim_ < o.dim_ : sign_ < o.sign_;
+    }
+
+    /**
+     * Human-readable name. 2D meshes use the compass names of the
+     * paper (west/east/south/north); higher dimensions use -d2/+d2.
+     */
+    std::string toString() const;
+
+  private:
+    std::int8_t dim_;
+    std::int8_t sign_;
+};
+
+/**
+ * A set of network directions, stored as a bitmask over direction
+ * indices. Holds up to kMaxDims dimensions; local directions are not
+ * representable (routing to the local processor is handled by the
+ * caller when current == destination).
+ */
+class DirectionSet
+{
+  public:
+    constexpr DirectionSet() : mask_(0) {}
+
+    /** Singleton set. */
+    explicit DirectionSet(Direction d) : mask_(0) { insert(d); }
+
+    static constexpr DirectionSet none() { return DirectionSet(); }
+
+    /** All 2n directions of an n-dimensional topology. */
+    static DirectionSet all(int num_dims)
+    {
+        DirectionSet s;
+        s.mask_ = (num_dims >= kMaxDims * 2)
+                      ? ~0ULL
+                      : ((1ULL << (2 * num_dims)) - 1);
+        return s;
+    }
+
+    void insert(Direction d) { mask_ |= bit(d); }
+    void erase(Direction d) { mask_ &= ~bit(d); }
+    bool contains(Direction d) const { return mask_ & bit(d); }
+
+    bool empty() const { return mask_ == 0; }
+    int size() const { return __builtin_popcountll(mask_); }
+
+    DirectionSet operator|(DirectionSet o) const
+    {
+        DirectionSet s;
+        s.mask_ = mask_ | o.mask_;
+        return s;
+    }
+    DirectionSet operator&(DirectionSet o) const
+    {
+        DirectionSet s;
+        s.mask_ = mask_ & o.mask_;
+        return s;
+    }
+    DirectionSet operator-(DirectionSet o) const
+    {
+        DirectionSet s;
+        s.mask_ = mask_ & ~o.mask_;
+        return s;
+    }
+    bool operator==(DirectionSet o) const { return mask_ == o.mask_; }
+    bool operator!=(DirectionSet o) const { return mask_ != o.mask_; }
+
+    /** Raw bitmask (bit i set means Direction::fromIndex(i)). */
+    std::uint64_t mask() const { return mask_; }
+
+    /** Iterate the contained directions in index order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::uint64_t m = mask_;
+        while (m) {
+            const int idx = __builtin_ctzll(m);
+            m &= m - 1;
+            fn(Direction::fromIndex(idx));
+        }
+    }
+
+    /** The lowest-indexed direction; set must be non-empty. */
+    Direction first() const
+    {
+        TN_ASSERT(mask_ != 0, "first() on empty DirectionSet");
+        return Direction::fromIndex(__builtin_ctzll(mask_));
+    }
+
+    /** Render as e.g. "{west, north}". */
+    std::string toString() const;
+
+  private:
+    static std::uint64_t bit(Direction d)
+    {
+        return 1ULL << d.index();
+    }
+
+    std::uint64_t mask_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TOPOLOGY_DIRECTION_HPP

@@ -1,0 +1,22 @@
+#include "turnnet/topology/hypercube.hpp"
+
+#include <vector>
+
+namespace turnnet {
+
+Hypercube::Hypercube(int n)
+    : Mesh("binary " + std::to_string(n) + "-cube",
+           std::vector<int>(n, 2))
+{
+}
+
+std::string
+Hypercube::addressString(NodeId node) const
+{
+    std::string out;
+    for (int i = numDims() - 1; i >= 0; --i)
+        out += static_cast<char>('0' + bit(node, i));
+    return out;
+}
+
+} // namespace turnnet

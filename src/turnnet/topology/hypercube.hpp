@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Binary n-cube (hypercube) topology.
+ *
+ * A hypercube is an n-dimensional mesh with every radix equal to 2
+ * (equivalently a 2-ary n-cube). Node ids coincide with binary
+ * addresses: bit i of the id is coordinate i. Travelling "positive"
+ * in dimension i flips bit i from 0 to 1; "negative" flips 1 to 0 —
+ * the direction vocabulary used by the negative-first / p-cube
+ * algorithms of Section 5.
+ */
+
+#ifndef TURNNET_TOPOLOGY_HYPERCUBE_HPP
+#define TURNNET_TOPOLOGY_HYPERCUBE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "turnnet/topology/mesh.hpp"
+
+namespace turnnet {
+
+/** A binary n-cube. */
+class Hypercube : public Mesh
+{
+  public:
+    /** @param n Number of dimensions (2^n nodes). */
+    explicit Hypercube(int n);
+
+    /** Bit i of @p node (coordinate in dimension i). */
+    static int
+    bit(NodeId node, int dim)
+    {
+        return (node >> dim) & 1;
+    }
+
+    /** Node with bit @p dim of @p node flipped. */
+    static NodeId
+    flip(NodeId node, int dim)
+    {
+        return node ^ (NodeId(1) << dim);
+    }
+
+    /** Hamming distance (equals mesh distance here). */
+    static int
+    hamming(NodeId a, NodeId b)
+    {
+        return __builtin_popcount(static_cast<unsigned>(a ^ b));
+    }
+
+    /**
+     * Binary address string, most significant bit first, matching
+     * the paper's notation (x_{n-1} ... x_1 x_0 reversed: the paper
+     * writes (x_0, x_1, ..., x_{n-1}); we print bit n-1 leftmost).
+     */
+    std::string addressString(NodeId node) const;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TOPOLOGY_HYPERCUBE_HPP

@@ -1,0 +1,80 @@
+#include "turnnet/topology/mesh.hpp"
+
+#include <cstdlib>
+
+namespace turnnet {
+
+namespace {
+
+std::string
+meshName(const std::vector<int> &radices)
+{
+    std::string name = "mesh(";
+    for (std::size_t i = 0; i < radices.size(); ++i) {
+        if (i)
+            name += "x";
+        name += std::to_string(radices[i]);
+    }
+    name += ")";
+    return name;
+}
+
+} // namespace
+
+Mesh::Mesh(std::vector<int> radices)
+    : Mesh(meshName(radices), radices)
+{
+}
+
+Mesh::Mesh(int width, int height)
+    : Mesh(std::vector<int>{width, height})
+{
+}
+
+Mesh::Mesh(std::string name, std::vector<int> radices)
+    : Topology(std::move(name), Shape(std::move(radices)))
+{
+    buildChannelTable();
+}
+
+NodeId
+Mesh::neighbor(NodeId node, Direction dir) const
+{
+    if (dir.isLocal())
+        return kInvalidNode;
+    if (dir.dim() >= numDims())
+        return kInvalidNode;
+    Coord c = coordOf(node);
+    c[dir.dim()] += dir.sign();
+    if (c[dir.dim()] < 0 || c[dir.dim()] >= radix(dir.dim()))
+        return kInvalidNode;
+    return nodeOf(c);
+}
+
+int
+Mesh::distance(NodeId a, NodeId b) const
+{
+    const Coord ca = coordOf(a);
+    const Coord cb = coordOf(b);
+    int d = 0;
+    for (int i = 0; i < numDims(); ++i)
+        d += std::abs(ca[i] - cb[i]);
+    return d;
+}
+
+DirectionSet
+Mesh::minimalDirections(NodeId cur, NodeId dest) const
+{
+    const Coord cc = coordOf(cur);
+    const Coord cd = coordOf(dest);
+    DirectionSet dirs;
+    for (int i = 0; i < numDims(); ++i) {
+        if (cd[i] > cc[i])
+            dirs.insert(Direction::positive(i));
+        else if (cd[i] < cc[i])
+            dirs.insert(Direction::negative(i));
+    }
+    return dirs;
+}
+
+} // namespace turnnet

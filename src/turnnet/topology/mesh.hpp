@@ -1,0 +1,41 @@
+/**
+ * @file
+ * n-dimensional mesh topology (Section 1 of the paper).
+ *
+ * Nodes are identified by n coordinates; two nodes are neighbors iff
+ * they differ by one in exactly one coordinate. Boundary nodes lack
+ * channels beyond the edge, so node degree ranges from n to 2n.
+ */
+
+#ifndef TURNNET_TOPOLOGY_MESH_HPP
+#define TURNNET_TOPOLOGY_MESH_HPP
+
+#include <vector>
+
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** An n-dimensional mesh with per-dimension radices. */
+class Mesh : public Topology
+{
+  public:
+    /** @param radices Nodes along each dimension (each >= 2). */
+    explicit Mesh(std::vector<int> radices);
+
+    /** Convenience constructor for a 2D mesh (the paper's m x n). */
+    Mesh(int width, int height);
+
+    NodeId neighbor(NodeId node, Direction dir) const override;
+    int distance(NodeId a, NodeId b) const override;
+    DirectionSet minimalDirections(NodeId cur,
+                                   NodeId dest) const override;
+
+  protected:
+    /** Constructor for subclasses that name themselves. */
+    Mesh(std::string name, std::vector<int> radices);
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TOPOLOGY_MESH_HPP

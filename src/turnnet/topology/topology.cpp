@@ -1,0 +1,61 @@
+#include "turnnet/topology/topology.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+Topology::Topology(std::string name, Shape shape)
+    : name_(std::move(name)), shape_(std::move(shape))
+{
+}
+
+void
+Topology::buildChannelTable()
+{
+    const NodeId nodes = numNodes();
+    const int dirs = 2 * numDims();
+
+    channels_.clear();
+    channelLookup_.assign(static_cast<std::size_t>(nodes) * dirs,
+                          kInvalidChannel);
+    fromNode_.assign(nodes, {});
+    intoNode_.assign(nodes, {});
+    outDirs_.assign(nodes, DirectionSet::none());
+
+    for (NodeId node = 0; node < nodes; ++node) {
+        for (int idx = 0; idx < dirs; ++idx) {
+            const Direction dir = Direction::fromIndex(idx);
+            const NodeId nbr = neighbor(node, dir);
+            if (nbr == kInvalidNode)
+                continue;
+            Channel ch;
+            ch.id = static_cast<ChannelId>(channels_.size());
+            ch.src = node;
+            ch.dst = nbr;
+            ch.dir = dir;
+            ch.wrap = isWrapHop(node, dir);
+            hasWrap_ = hasWrap_ || ch.wrap;
+            channelLookup_[static_cast<std::size_t>(node) * dirs +
+                           idx] = ch.id;
+            fromNode_[node].push_back(ch.id);
+            intoNode_[nbr].push_back(ch.id);
+            outDirs_[node].insert(dir);
+            channels_.push_back(ch);
+        }
+    }
+}
+
+ChannelId
+Topology::channelFrom(NodeId node, Direction dir) const
+{
+    TN_ASSERT(node >= 0 && node < numNodes(), "node out of range");
+    if (dir.isLocal())
+        return kInvalidChannel;
+    const int dirs = 2 * numDims();
+    const int idx = dir.index();
+    if (idx >= dirs)
+        return kInvalidChannel;
+    return channelLookup_[static_cast<std::size_t>(node) * dirs + idx];
+}
+
+} // namespace turnnet

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Abstract direct-network topology with an explicit table of
+ * unidirectional channels.
+ *
+ * Every pair of neighboring routers is connected by a pair of
+ * unidirectional channels (one per direction), as in the paper's
+ * simulation setup. The channel table is the substrate for both the
+ * wormhole simulator and the channel-dependency-graph analysis.
+ */
+
+#ifndef TURNNET_TOPOLOGY_TOPOLOGY_HPP
+#define TURNNET_TOPOLOGY_TOPOLOGY_HPP
+
+#include <string>
+#include <vector>
+
+#include "turnnet/common/types.hpp"
+#include "turnnet/topology/coord.hpp"
+#include "turnnet/topology/direction.hpp"
+
+namespace turnnet {
+
+/** One unidirectional router-to-router channel. */
+struct Channel
+{
+    ChannelId id = kInvalidChannel;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    /** Direction a packet travels when using this channel. */
+    Direction dir;
+    /** True for torus wraparound channels. */
+    bool wrap = false;
+};
+
+/**
+ * Base class for direct-network topologies (meshes, tori,
+ * hypercubes). Provides coordinate arithmetic and the channel table;
+ * derived classes define adjacency and distance.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Short identifier, e.g. "mesh(16x16)". */
+    const std::string &name() const { return name_; }
+
+    const Shape &shape() const { return shape_; }
+    int numDims() const { return shape_.numDims(); }
+    int radix(int dim) const { return shape_.radix(dim); }
+    NodeId numNodes() const { return shape_.numNodes(); }
+    Coord coordOf(NodeId node) const { return shape_.coordOf(node); }
+    NodeId nodeOf(const Coord &c) const { return shape_.nodeOf(c); }
+
+    /**
+     * Neighbor of @p node in direction @p dir, or kInvalidNode when
+     * the topology has no channel that way (mesh boundary).
+     */
+    virtual NodeId neighbor(NodeId node, Direction dir) const = 0;
+
+    /** True when the hop from @p node along @p dir wraps around. */
+    virtual bool
+    isWrapHop(NodeId node, Direction dir) const
+    {
+        (void)node;
+        (void)dir;
+        return false;
+    }
+
+    /** Minimal hop distance between two nodes. */
+    virtual int distance(NodeId a, NodeId b) const = 0;
+
+    /**
+     * Directions that strictly reduce distance from @p cur to
+     * @p dest. Empty when cur == dest. In a torus both directions of
+     * a dimension are returned on an exact tie.
+     */
+    virtual DirectionSet minimalDirections(NodeId cur,
+                                           NodeId dest) const = 0;
+
+    /** All network directions with a channel out of @p node. */
+    DirectionSet
+    directionsFrom(NodeId node) const
+    {
+        return outDirs_.at(node);
+    }
+
+    int numChannels() const
+    {
+        return static_cast<int>(channels_.size());
+    }
+
+    /** True when any channel is a torus wraparound. */
+    bool hasWrapChannels() const { return hasWrap_; }
+
+    const Channel &channel(ChannelId id) const
+    {
+        return channels_.at(id);
+    }
+
+    /**
+     * Channel leaving @p node in direction @p dir, or
+     * kInvalidChannel.
+     */
+    ChannelId channelFrom(NodeId node, Direction dir) const;
+
+    /** Channels leaving @p node. */
+    const std::vector<ChannelId> &
+    channelsFrom(NodeId node) const
+    {
+        return fromNode_.at(node);
+    }
+
+    /** Channels entering @p node. */
+    const std::vector<ChannelId> &
+    channelsInto(NodeId node) const
+    {
+        return intoNode_.at(node);
+    }
+
+  protected:
+    Topology(std::string name, Shape shape);
+
+    /**
+     * Enumerate all channels via neighbor(); must be called at the
+     * end of every concrete constructor.
+     */
+    void buildChannelTable();
+
+  private:
+    std::string name_;
+    Shape shape_;
+    std::vector<Channel> channels_;
+    std::vector<ChannelId> channelLookup_;
+    std::vector<std::vector<ChannelId>> fromNode_;
+    std::vector<std::vector<ChannelId>> intoNode_;
+    std::vector<DirectionSet> outDirs_;
+    bool hasWrap_ = false;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TOPOLOGY_TOPOLOGY_HPP

@@ -1,0 +1,111 @@
+#include "turnnet/topology/torus.hpp"
+
+#include <algorithm>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+namespace {
+
+std::string
+torusName(const std::vector<int> &radices)
+{
+    const bool uniform = std::all_of(
+        radices.begin(), radices.end(),
+        [&](int k) { return k == radices.front(); });
+    if (uniform) {
+        return std::to_string(radices.front()) + "-ary " +
+               std::to_string(radices.size()) + "-cube";
+    }
+    std::string name = "torus(";
+    for (std::size_t i = 0; i < radices.size(); ++i) {
+        if (i)
+            name += "x";
+        name += std::to_string(radices[i]);
+    }
+    name += ")";
+    return name;
+}
+
+std::vector<int>
+checkedRadices(std::vector<int> radices)
+{
+    for (int k : radices) {
+        if (k < 3)
+            TN_FATAL("torus radices must be >= 3 (use Hypercube for "
+                     "k = 2), got ", k);
+    }
+    return radices;
+}
+
+} // namespace
+
+Torus::Torus(std::vector<int> radices)
+    : Topology(torusName(radices),
+               Shape(checkedRadices(radices)))
+{
+    buildChannelTable();
+}
+
+Torus::Torus(int k, int n) : Torus(std::vector<int>(n, k))
+{
+}
+
+NodeId
+Torus::neighbor(NodeId node, Direction dir) const
+{
+    if (dir.isLocal() || dir.dim() >= numDims())
+        return kInvalidNode;
+    Coord c = coordOf(node);
+    const int k = radix(dir.dim());
+    c[dir.dim()] = (c[dir.dim()] + dir.sign() + k) % k;
+    return nodeOf(c);
+}
+
+bool
+Torus::isWrapHop(NodeId node, Direction dir) const
+{
+    if (dir.isLocal() || dir.dim() >= numDims())
+        return false;
+    const Coord c = coordOf(node);
+    const int k = radix(dir.dim());
+    return (dir.isPositive() && c[dir.dim()] == k - 1) ||
+           (dir.isNegative() && c[dir.dim()] == 0);
+}
+
+int
+Torus::distance(NodeId a, NodeId b) const
+{
+    const Coord ca = coordOf(a);
+    const Coord cb = coordOf(b);
+    int d = 0;
+    for (int i = 0; i < numDims(); ++i) {
+        const int k = radix(i);
+        const int fwd = ((cb[i] - ca[i]) % k + k) % k;
+        d += std::min(fwd, k - fwd);
+    }
+    return d;
+}
+
+DirectionSet
+Torus::minimalDirections(NodeId cur, NodeId dest) const
+{
+    const Coord cc = coordOf(cur);
+    const Coord cd = coordOf(dest);
+    DirectionSet dirs;
+    for (int i = 0; i < numDims(); ++i) {
+        if (cc[i] == cd[i])
+            continue;
+        const int k = radix(i);
+        const int fwd = ((cd[i] - cc[i]) % k + k) % k;
+        const int bwd = k - fwd;
+        if (fwd <= bwd)
+            dirs.insert(Direction::positive(i));
+        if (bwd <= fwd)
+            dirs.insert(Direction::negative(i));
+    }
+    return dirs;
+}
+
+} // namespace turnnet

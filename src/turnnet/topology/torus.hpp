@@ -1,0 +1,41 @@
+/**
+ * @file
+ * k-ary n-cube (torus) topology.
+ *
+ * Identical to the mesh except that neighbor arithmetic is modular,
+ * which adds wraparound channels. The turn model treats wraparound
+ * channels as a separate set (Step 1/Step 5 of Section 2), so the
+ * channel table tags them. Radices of 2 are rejected here: a 2-ary
+ * n-cube is a hypercube and is modeled by the Hypercube class (modular
+ * +1 and -1 would otherwise denote the same physical link).
+ */
+
+#ifndef TURNNET_TOPOLOGY_TORUS_HPP
+#define TURNNET_TOPOLOGY_TORUS_HPP
+
+#include <vector>
+
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** A torus with per-dimension radices (each >= 3). */
+class Torus : public Topology
+{
+  public:
+    /** @param radices Nodes along each dimension (each >= 3). */
+    explicit Torus(std::vector<int> radices);
+
+    /** Uniform k-ary n-cube. */
+    Torus(int k, int n);
+
+    NodeId neighbor(NodeId node, Direction dir) const override;
+    bool isWrapHop(NodeId node, Direction dir) const override;
+    int distance(NodeId a, NodeId b) const override;
+    DirectionSet minimalDirections(NodeId cur,
+                                   NodeId dest) const override;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TOPOLOGY_TORUS_HPP

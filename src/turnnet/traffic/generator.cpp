@@ -1,0 +1,77 @@
+#include "turnnet/traffic/generator.hpp"
+
+#include <cmath>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+MessageLengthMix
+MessageLengthMix::paperDefault()
+{
+    return MessageLengthMix{{{10, 0.5}, {200, 0.5}}};
+}
+
+MessageLengthMix
+MessageLengthMix::fixed(int length)
+{
+    return MessageLengthMix{{{length, 1.0}}};
+}
+
+double
+MessageLengthMix::mean() const
+{
+    double m = 0.0;
+    for (const auto &[len, p] : entries)
+        m += len * p;
+    return m;
+}
+
+int
+MessageLengthMix::sample(Rng &rng) const
+{
+    double u = rng.nextDouble();
+    for (const auto &[len, p] : entries) {
+        if (u < p)
+            return len;
+        u -= p;
+    }
+    return entries.back().first;
+}
+
+void
+MessageLengthMix::validate() const
+{
+    TN_ASSERT(!entries.empty(), "length mix needs an entry");
+    double total = 0.0;
+    for (const auto &[len, p] : entries) {
+        TN_ASSERT(len >= 1, "message lengths must be positive");
+        TN_ASSERT(p >= 0.0, "probabilities must be nonnegative");
+        total += p;
+    }
+    TN_ASSERT(std::abs(total - 1.0) < 1e-9,
+              "length mix probabilities must sum to 1");
+}
+
+MessageGenerator::MessageGenerator(const Topology &topo,
+                                   TrafficPtr pattern, double load,
+                                   MessageLengthMix mix,
+                                   std::uint64_t seed)
+    : pattern_(std::move(pattern)), load_(load), mix_(std::move(mix)),
+      rng_(seed)
+{
+    TN_ASSERT(load >= 0.0, "offered load must be nonnegative");
+    mix_.validate();
+    if (load_ > 0.0) {
+        TN_ASSERT(pattern_ != nullptr,
+                  "a positive load needs a traffic pattern");
+        meanInterarrival_ = mix_.mean() / load_;
+        next_.resize(topo.numNodes());
+        for (double &t : next_)
+            t = rng_.nextExponential(meanInterarrival_);
+    } else {
+        meanInterarrival_ = 0.0;
+    }
+}
+
+} // namespace turnnet

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Message generation (Section 6): processors generate messages at
+ * intervals drawn from a negative exponential distribution, with
+ * each message equally likely to be one packet of 10 or 200 flits
+ * (both the mix and the rate are configurable).
+ */
+
+#ifndef TURNNET_TRAFFIC_GENERATOR_HPP
+#define TURNNET_TRAFFIC_GENERATOR_HPP
+
+#include <utility>
+#include <vector>
+
+#include "turnnet/common/rng.hpp"
+#include "turnnet/common/types.hpp"
+#include "turnnet/topology/topology.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+
+/** Distribution of message lengths in flits. */
+struct MessageLengthMix
+{
+    /** (length, probability) entries; probabilities must sum to 1. */
+    std::vector<std::pair<int, double>> entries;
+
+    /** The paper's mix: 10 or 200 flits with equal probability. */
+    static MessageLengthMix paperDefault();
+
+    /** A single fixed length. */
+    static MessageLengthMix fixed(int length);
+
+    /** Expected length in flits. */
+    double mean() const;
+
+    /** Draw a length. */
+    int sample(Rng &rng) const;
+
+    /** Fatal unless probabilities are sane. */
+    void validate() const;
+};
+
+/**
+ * Per-node Poisson message source. Offered load is specified in
+ * flits per node per cycle; the message rate is load / mean-length.
+ */
+class MessageGenerator
+{
+  public:
+    /**
+     * @param topo Topology (defines the node count).
+     * @param pattern Destination pattern.
+     * @param load Offered flits per node per cycle; 0 disables.
+     * @param mix Message length distribution.
+     * @param seed RNG seed (generator draws are independent of the
+     *        simulator's arbitration draws).
+     */
+    MessageGenerator(const Topology &topo, TrafficPtr pattern,
+                     double load, MessageLengthMix mix,
+                     std::uint64_t seed);
+
+    /**
+     * Produce every message whose arrival time is <= @p cycle.
+     * @p emit is called as emit(src, dest, length); messages whose
+     * pattern destination equals the source are skipped (the node
+     * idles), but still consume an arrival slot.
+     */
+    template <typename Fn>
+    void
+    generate(Cycle cycle, Fn &&emit)
+    {
+        if (load_ <= 0.0)
+            return;
+        const double now = static_cast<double>(cycle);
+        for (NodeId n = 0; n < static_cast<NodeId>(next_.size());
+             ++n) {
+            while (next_[n] <= now) {
+                next_[n] += rng_.nextExponential(meanInterarrival_);
+                const NodeId dst = pattern_->dest(n, rng_);
+                if (dst == n)
+                    continue;
+                emit(n, dst, mix_.sample(rng_));
+            }
+        }
+    }
+
+    double load() const { return load_; }
+    const MessageLengthMix &mix() const { return mix_; }
+
+  private:
+    TrafficPtr pattern_;
+    double load_;
+    MessageLengthMix mix_;
+    double meanInterarrival_;
+    std::vector<double> next_;
+    Rng rng_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TRAFFIC_GENERATOR_HPP

@@ -1,0 +1,181 @@
+#include "turnnet/traffic/pattern.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+namespace {
+
+/** Number of address bits when every radix is 2; fatal otherwise. */
+int
+hypercubeDims(const Topology &topo, const char *pattern)
+{
+    for (int i = 0; i < topo.numDims(); ++i) {
+        if (topo.radix(i) != 2)
+            TN_FATAL(pattern, " traffic needs a hypercube, not ",
+                     topo.name());
+    }
+    return topo.numDims();
+}
+
+} // namespace
+
+NodeId
+UniformTraffic::dest(NodeId src, Rng &rng) const
+{
+    TN_ASSERT(numNodes_ >= 2, "uniform traffic needs two nodes");
+    // Uniform over the other nodes: skip the source.
+    const auto pick = static_cast<NodeId>(
+        rng.nextBounded(static_cast<std::uint64_t>(numNodes_ - 1)));
+    return pick >= src ? pick + 1 : pick;
+}
+
+MeshTransposeTraffic::MeshTransposeTraffic(const Topology &topo)
+    : topo_(&topo)
+{
+    if (topo.numDims() != 2 || topo.radix(0) != topo.radix(1))
+        TN_FATAL("transpose traffic needs a square 2D mesh, not ",
+                 topo.name());
+}
+
+NodeId
+MeshTransposeTraffic::map(NodeId src) const
+{
+    Coord c = topo_->coordOf(src);
+    std::swap(c[0], c[1]);
+    return topo_->nodeOf(c);
+}
+
+CubeTransposeTraffic::CubeTransposeTraffic(const Topology &topo)
+    : numDims_(hypercubeDims(topo, "transpose-cube"))
+{
+    if (numDims_ % 2 != 0)
+        TN_FATAL("transpose-cube needs an even number of dimensions");
+}
+
+NodeId
+CubeTransposeTraffic::map(NodeId src) const
+{
+    const int half = numDims_ / 2;
+    NodeId out = 0;
+    for (int i = 0; i < numDims_; ++i) {
+        int bit = (src >> ((i + half) % numDims_)) & 1;
+        if (i == 0 || i == half)
+            bit ^= 1;
+        out |= static_cast<NodeId>(bit) << i;
+    }
+    return out;
+}
+
+ReverseFlipTraffic::ReverseFlipTraffic(const Topology &topo)
+    : numDims_(hypercubeDims(topo, "reverse-flip"))
+{
+}
+
+NodeId
+ReverseFlipTraffic::map(NodeId src) const
+{
+    NodeId out = 0;
+    for (int i = 0; i < numDims_; ++i) {
+        const int bit = ((src >> (numDims_ - 1 - i)) & 1) ^ 1;
+        out |= static_cast<NodeId>(bit) << i;
+    }
+    return out;
+}
+
+BitComplementTraffic::BitComplementTraffic(const Topology &topo)
+    : numDims_(hypercubeDims(topo, "bit-complement"))
+{
+}
+
+NodeId
+BitComplementTraffic::map(NodeId src) const
+{
+    return ~src & ((NodeId(1) << numDims_) - 1);
+}
+
+BitReverseTraffic::BitReverseTraffic(const Topology &topo)
+    : numDims_(hypercubeDims(topo, "bit-reverse"))
+{
+}
+
+NodeId
+BitReverseTraffic::map(NodeId src) const
+{
+    NodeId out = 0;
+    for (int i = 0; i < numDims_; ++i) {
+        const int bit = (src >> (numDims_ - 1 - i)) & 1;
+        out |= static_cast<NodeId>(bit) << i;
+    }
+    return out;
+}
+
+ShuffleTraffic::ShuffleTraffic(const Topology &topo)
+    : numDims_(hypercubeDims(topo, "shuffle"))
+{
+}
+
+NodeId
+ShuffleTraffic::map(NodeId src) const
+{
+    const NodeId mask = (NodeId(1) << numDims_) - 1;
+    return ((src << 1) | (src >> (numDims_ - 1))) & mask;
+}
+
+TornadoTraffic::TornadoTraffic(const Topology &topo) : topo_(&topo)
+{
+}
+
+NodeId
+TornadoTraffic::map(NodeId src) const
+{
+    Coord c = topo_->coordOf(src);
+    const int k = topo_->radix(0);
+    c[0] = (c[0] + (k - 1) / 2) % k;
+    return topo_->nodeOf(c);
+}
+
+HotspotTraffic::HotspotTraffic(const Topology &topo, NodeId hot,
+                               double fraction)
+    : numNodes_(topo.numNodes()), hot_(hot), fraction_(fraction)
+{
+    TN_ASSERT(hot >= 0 && hot < numNodes_, "hot node out of range");
+    TN_ASSERT(fraction >= 0.0 && fraction <= 1.0,
+              "hotspot fraction must be a probability");
+}
+
+NodeId
+HotspotTraffic::dest(NodeId src, Rng &rng) const
+{
+    if (src != hot_ && rng.nextBernoulli(fraction_))
+        return hot_;
+    const auto pick = static_cast<NodeId>(
+        rng.nextBounded(static_cast<std::uint64_t>(numNodes_ - 1)));
+    return pick >= src ? pick + 1 : pick;
+}
+
+TrafficPtr
+makeTraffic(const std::string &name, const Topology &topo)
+{
+    if (name == "uniform")
+        return std::make_shared<UniformTraffic>(topo);
+    if (name == "transpose")
+        return std::make_shared<MeshTransposeTraffic>(topo);
+    if (name == "transpose-cube")
+        return std::make_shared<CubeTransposeTraffic>(topo);
+    if (name == "reverse-flip")
+        return std::make_shared<ReverseFlipTraffic>(topo);
+    if (name == "bit-complement")
+        return std::make_shared<BitComplementTraffic>(topo);
+    if (name == "bit-reverse")
+        return std::make_shared<BitReverseTraffic>(topo);
+    if (name == "shuffle")
+        return std::make_shared<ShuffleTraffic>(topo);
+    if (name == "tornado")
+        return std::make_shared<TornadoTraffic>(topo);
+    if (name == "hotspot")
+        return std::make_shared<HotspotTraffic>(topo, 0, 0.2);
+    TN_FATAL("unknown traffic pattern '", name, "'");
+}
+
+} // namespace turnnet

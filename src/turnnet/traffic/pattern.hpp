@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Message traffic patterns (Section 6).
+ *
+ * The paper evaluates three workloads: uniform, matrix-transpose
+ * (with an explicit embedding into the hypercube), and reverse-flip.
+ * Several further classics (bit-complement, bit-reverse, shuffle,
+ * tornado, hotspot) are provided for the workload ablation — the
+ * paper's closing remark calls for more realistic distributions, and
+ * these are the standard candidates.
+ */
+
+#ifndef TURNNET_TRAFFIC_PATTERN_HPP
+#define TURNNET_TRAFFIC_PATTERN_HPP
+
+#include <memory>
+#include <string>
+
+#include "turnnet/common/rng.hpp"
+#include "turnnet/common/types.hpp"
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/**
+ * A traffic pattern maps a source node to a destination, possibly
+ * randomly. A pattern may return the source itself, meaning the node
+ * generates no network traffic for that message slot (e.g. the
+ * diagonal of the matrix transpose).
+ */
+class TrafficPattern
+{
+  public:
+    virtual ~TrafficPattern() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Destination of a message generated at @p src. */
+    virtual NodeId dest(NodeId src, Rng &rng) const = 0;
+
+    /** True when the pattern is a fixed permutation of nodes. */
+    virtual bool isPermutation() const { return false; }
+};
+
+using TrafficPtr = std::shared_ptr<const TrafficPattern>;
+
+/** Every message goes to a uniformly random other node. */
+class UniformTraffic : public TrafficPattern
+{
+  public:
+    explicit UniformTraffic(const Topology &topo)
+        : numNodes_(topo.numNodes())
+    {
+    }
+
+    std::string name() const override { return "uniform"; }
+    NodeId dest(NodeId src, Rng &rng) const override;
+
+  private:
+    NodeId numNodes_;
+};
+
+/** Base class for fixed permutations. */
+class PermutationTraffic : public TrafficPattern
+{
+  public:
+    NodeId
+    dest(NodeId src, Rng &rng) const override
+    {
+        (void)rng;
+        return map(src);
+    }
+
+    bool isPermutation() const override { return true; }
+
+    /** The permutation itself. */
+    virtual NodeId map(NodeId src) const = 0;
+};
+
+/**
+ * Matrix transpose on a square 2D mesh: the processor at row i and
+ * column j sends to the one at row j and column i. (With coordinates
+ * (x, y) = (column, row), this swaps the coordinates.)
+ */
+class MeshTransposeTraffic : public PermutationTraffic
+{
+  public:
+    explicit MeshTransposeTraffic(const Topology &topo);
+
+    std::string name() const override { return "transpose"; }
+    NodeId map(NodeId src) const override;
+
+  private:
+    const Topology *topo_;
+};
+
+/**
+ * The paper's hypercube embedding of the matrix transpose: node
+ * (x_0, ..., x_{n-1}) sends to
+ * (~x_{n/2}, x_{n/2+1}, ..., x_{n-1}, ~x_0, x_1, ..., x_{n/2-1}) —
+ * the address halves swap and the first bit of each half is
+ * complemented. For n = 8 this is exactly the mapping of Section 6.
+ */
+class CubeTransposeTraffic : public PermutationTraffic
+{
+  public:
+    explicit CubeTransposeTraffic(const Topology &topo);
+
+    std::string name() const override { return "transpose-cube"; }
+    NodeId map(NodeId src) const override;
+
+  private:
+    int numDims_;
+};
+
+/**
+ * Reverse-flip: (x_0, ..., x_{n-1}) sends to
+ * (~x_{n-1}, ..., ~x_0) — the address is bit-reversed and
+ * complemented (Section 6).
+ */
+class ReverseFlipTraffic : public PermutationTraffic
+{
+  public:
+    explicit ReverseFlipTraffic(const Topology &topo);
+
+    std::string name() const override { return "reverse-flip"; }
+    NodeId map(NodeId src) const override;
+
+  private:
+    int numDims_;
+};
+
+/** Bit-complement: every address bit is inverted. */
+class BitComplementTraffic : public PermutationTraffic
+{
+  public:
+    explicit BitComplementTraffic(const Topology &topo);
+
+    std::string name() const override { return "bit-complement"; }
+    NodeId map(NodeId src) const override;
+
+  private:
+    int numDims_;
+};
+
+/** Bit-reverse: the address bits are reversed. */
+class BitReverseTraffic : public PermutationTraffic
+{
+  public:
+    explicit BitReverseTraffic(const Topology &topo);
+
+    std::string name() const override { return "bit-reverse"; }
+    NodeId map(NodeId src) const override;
+
+  private:
+    int numDims_;
+};
+
+/** Perfect shuffle: the address bits rotate left by one. */
+class ShuffleTraffic : public PermutationTraffic
+{
+  public:
+    explicit ShuffleTraffic(const Topology &topo);
+
+    std::string name() const override { return "shuffle"; }
+    NodeId map(NodeId src) const override;
+
+  private:
+    int numDims_;
+};
+
+/**
+ * Tornado on dimension 0: each node sends halfway around (or across)
+ * its row, a classic adversary for dimension-ordered routing.
+ */
+class TornadoTraffic : public PermutationTraffic
+{
+  public:
+    explicit TornadoTraffic(const Topology &topo);
+
+    std::string name() const override { return "tornado"; }
+    NodeId map(NodeId src) const override;
+
+  private:
+    const Topology *topo_;
+};
+
+/**
+ * Hotspot: with probability @p fraction a message goes to the fixed
+ * hot node, otherwise to a uniformly random other node.
+ */
+class HotspotTraffic : public TrafficPattern
+{
+  public:
+    HotspotTraffic(const Topology &topo, NodeId hot, double fraction);
+
+    std::string name() const override { return "hotspot"; }
+    NodeId dest(NodeId src, Rng &rng) const override;
+
+  private:
+    NodeId numNodes_;
+    NodeId hot_;
+    double fraction_;
+};
+
+/**
+ * Create a pattern by name: "uniform", "transpose",
+ * "transpose-cube", "reverse-flip", "bit-complement", "bit-reverse",
+ * "shuffle", "tornado", "hotspot". Fatal on unknown names or
+ * topology mismatch.
+ */
+TrafficPtr makeTraffic(const std::string &name, const Topology &topo);
+
+} // namespace turnnet
+
+#endif // TURNNET_TRAFFIC_PATTERN_HPP

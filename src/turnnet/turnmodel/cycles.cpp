@@ -1,0 +1,59 @@
+#include "turnnet/turnmodel/cycles.hpp"
+
+namespace turnnet {
+
+bool
+AbstractCycle::brokenBy(const TurnSet &set) const
+{
+    for (const Turn &t : turns) {
+        if (!set.allows(t))
+            return true;
+    }
+    return false;
+}
+
+std::vector<AbstractCycle>
+abstractCycles(int num_dims)
+{
+    std::vector<AbstractCycle> cycles;
+    for (int a = 0; a < num_dims; ++a) {
+        for (int b = a + 1; b < num_dims; ++b) {
+            // With +a drawn as east and +b as north, the clockwise
+            // cycle is east->south->west->north->east and the
+            // counterclockwise cycle the reverse rotation.
+            const Direction east = Direction::positive(a);
+            const Direction west = Direction::negative(a);
+            const Direction north = Direction::positive(b);
+            const Direction south = Direction::negative(b);
+
+            AbstractCycle cw;
+            cw.dimA = a;
+            cw.dimB = b;
+            cw.clockwise = true;
+            cw.turns = {Turn(east, south), Turn(south, west),
+                        Turn(west, north), Turn(north, east)};
+            cycles.push_back(cw);
+
+            AbstractCycle ccw;
+            ccw.dimA = a;
+            ccw.dimB = b;
+            ccw.clockwise = false;
+            ccw.turns = {Turn(east, north), Turn(north, west),
+                         Turn(west, south), Turn(south, east)};
+            cycles.push_back(ccw);
+        }
+    }
+    return cycles;
+}
+
+bool
+breaksAllCycles(const TurnSet &set)
+{
+    for (const AbstractCycle &cycle : abstractCycles(set.numDims())) {
+        if (!cycle.brokenBy(set))
+            return false;
+    }
+    return true;
+}
+
+} // namespace turnnet

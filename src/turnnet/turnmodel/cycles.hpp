@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Abstract cycles of turns (Step 3 of the turn model).
+ *
+ * In each of the n(n-1)/2 planes of an n-dimensional mesh, the eight
+ * 90-degree turns form two abstract cycles of four turns each — one
+ * clockwise, one counterclockwise (Figure 2 of the paper). Breaking
+ * every abstract cycle is necessary for deadlock freedom; Theorem 1
+ * shows at least one turn per cycle (a quarter of all turns) must be
+ * prohibited.
+ */
+
+#ifndef TURNNET_TURNMODEL_CYCLES_HPP
+#define TURNNET_TURNMODEL_CYCLES_HPP
+
+#include <array>
+#include <vector>
+
+#include "turnnet/turnmodel/turn.hpp"
+
+namespace turnnet {
+
+/** One abstract cycle: four turns chaining around a plane. */
+struct AbstractCycle
+{
+    /** The plane's lower dimension. */
+    int dimA = 0;
+    /** The plane's higher dimension. */
+    int dimB = 1;
+    /** True for the clockwise cycle of the plane. */
+    bool clockwise = true;
+    /** The four turns, in cyclic order. */
+    std::array<Turn, 4> turns;
+
+    /** True if @p set prohibits at least one turn of this cycle. */
+    bool brokenBy(const TurnSet &set) const;
+};
+
+/**
+ * Enumerate the 2 * n(n-1)/2 = n(n-1) abstract cycles of an
+ * n-dimensional mesh, plane by plane.
+ */
+std::vector<AbstractCycle> abstractCycles(int num_dims);
+
+/** True when @p set prohibits at least one turn in every cycle. */
+bool breaksAllCycles(const TurnSet &set);
+
+/**
+ * Number of turns Theorem 1 proves must be prohibited: n(n-1),
+ * a quarter of the 4n(n-1) turns.
+ */
+inline int
+minimumProhibitedTurns(int num_dims)
+{
+    return num_dims * (num_dims - 1);
+}
+
+} // namespace turnnet
+
+#endif // TURNNET_TURNMODEL_CYCLES_HPP

@@ -1,0 +1,145 @@
+#include "turnnet/turnmodel/numbering.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+namespace {
+
+std::uint64_t
+pack4(std::uint64_t tier, std::uint64_t a, std::uint64_t b,
+      std::uint64_t c)
+{
+    TN_ASSERT(tier < (1ULL << 16) && a < (1ULL << 16) &&
+                  b < (1ULL << 16) && c < (1ULL << 16),
+              "numbering field overflow");
+    return (tier << 48) | (a << 32) | (b << 16) | c;
+}
+
+} // namespace
+
+std::uint64_t
+WestFirstNumbering::key(const Topology &topo, ChannelId ch) const
+{
+    TN_ASSERT(topo.numDims() == 2,
+              "west-first numbering applies to 2D meshes");
+    const Channel &c = topo.channel(ch);
+    TN_ASSERT(!c.wrap, "west-first numbering applies to meshes");
+    const Coord src = topo.coordOf(c.src);
+    const int x = src[0];
+    const int y = src[1];
+    const int m = topo.radix(0);
+    const int n = topo.radix(1);
+
+    if (c.dir == Direction::negative(0)) {
+        // Westward: above everything, lower the farther west.
+        return pack4(2, x, 0, 0);
+    }
+    if (c.dir == Direction::positive(0)) {
+        // Eastward: lower the farther east, below the vertical
+        // channels of its own column.
+        return pack4(0, m - 1 - x, 0, 0);
+    }
+    if (c.dir == Direction::positive(1)) {
+        // Northward: in the column group, lower the farther north.
+        return pack4(0, m - 1 - x, 1, n - 1 - y);
+    }
+    // Southward: in the column group, lower the farther south.
+    return pack4(0, m - 1 - x, 1, y);
+}
+
+std::uint64_t
+NegativeFirstNumbering::key(const Topology &topo, ChannelId ch) const
+{
+    const Channel &c = topo.channel(ch);
+    const Coord src = topo.coordOf(c.src);
+    const Coord dst = topo.coordOf(c.dst);
+    const int dim = c.dir.dim();
+
+    // Classify by coordinate change so torus wraparound channels are
+    // handled the way Section 4.2 prescribes: a wrap hop from
+    // coordinate k-1 to 0 routes the packet "negative".
+    const bool coordinate_increases = dst[dim] > src[dim];
+
+    int sum_radices = 0;
+    for (int i = 0; i < topo.numDims(); ++i)
+        sum_radices += topo.radix(i);
+    int coord_sum = 0;
+    for (int v : src)
+        coord_sum += v;
+
+    const int base = sum_radices - topo.numDims(); // K - n
+    const int value =
+        coordinate_increases ? base + coord_sum : base - coord_sum;
+    TN_ASSERT(value >= 0, "negative-first key underflow");
+    return static_cast<std::uint64_t>(value);
+}
+
+bool
+verifyMonotonic(const Topology &topo, const RoutingFunction &routing,
+                const ChannelNumbering &numbering,
+                MonotonicViolation *violation)
+{
+    const bool increasing = numbering.increasing();
+
+    for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
+        // Forward BFS over channels reachable by packets bound for
+        // this destination, checking each permitted channel-to-
+        // channel transition for strict monotonicity.
+        std::vector<bool> seen(topo.numChannels(), false);
+        std::deque<ChannelId> queue;
+
+        for (NodeId src = 0; src < topo.numNodes(); ++src) {
+            if (src == dest)
+                continue;
+            routing.route(topo, src, dest, Direction::local())
+                .forEach([&](Direction d) {
+                    const ChannelId ch = topo.channelFrom(src, d);
+                    if (ch != kInvalidChannel && !seen[ch]) {
+                        seen[ch] = true;
+                        queue.push_back(ch);
+                    }
+                });
+        }
+
+        bool ok = true;
+        while (!queue.empty() && ok) {
+            const ChannelId in = queue.front();
+            queue.pop_front();
+            const Channel &in_ch = topo.channel(in);
+            const NodeId v = in_ch.dst;
+            if (v == dest)
+                continue;
+            routing.route(topo, v, dest, in_ch.dir)
+                .forEach([&](Direction d) {
+                    const ChannelId out = topo.channelFrom(v, d);
+                    if (out == kInvalidChannel)
+                        return;
+                    const std::uint64_t ki = numbering.key(topo, in);
+                    const std::uint64_t ko = numbering.key(topo, out);
+                    const bool monotone =
+                        increasing ? ko > ki : ko < ki;
+                    if (!monotone) {
+                        if (violation) {
+                            violation->in = in;
+                            violation->out = out;
+                            violation->dest = dest;
+                        }
+                        ok = false;
+                    }
+                    if (!seen[out]) {
+                        seen[out] = true;
+                        queue.push_back(out);
+                    }
+                });
+        }
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace turnnet

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Channel numberings from the deadlock-freedom proofs.
+ *
+ * Dally and Seitz showed a routing algorithm is deadlock free if the
+ * network's channels can be numbered so every packet is routed along
+ * strictly decreasing (or increasing) numbers. The paper's proofs of
+ * Theorems 2 (west-first) and 5 (negative-first) construct such
+ * numberings; this module implements them so the proofs can be run
+ * as property tests: every transition the routing relation permits
+ * must be strictly monotone in the numbering.
+ */
+
+#ifndef TURNNET_TURNMODEL_NUMBERING_HPP
+#define TURNNET_TURNMODEL_NUMBERING_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** A total order on channels witnessing deadlock freedom. */
+class ChannelNumbering
+{
+  public:
+    virtual ~ChannelNumbering() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Order key of a channel. */
+    virtual std::uint64_t key(const Topology &topo,
+                              ChannelId ch) const = 0;
+
+    /**
+     * True when routes must follow strictly increasing keys;
+     * false for strictly decreasing.
+     */
+    virtual bool increasing() const = 0;
+};
+
+/**
+ * The Theorem 2 numbering for west-first routing on a 2D mesh:
+ * westward channels are numbered above all others and decrease going
+ * west; eastward/northward/southward channels decrease going east,
+ * with vertical channels in a column numbered above the eastward
+ * channel leaving it. Routes follow strictly decreasing keys.
+ */
+class WestFirstNumbering : public ChannelNumbering
+{
+  public:
+    std::string name() const override { return "west-first"; }
+    std::uint64_t key(const Topology &topo,
+                      ChannelId ch) const override;
+    bool increasing() const override { return false; }
+};
+
+/**
+ * The Theorem 5 numbering for negative-first routing on an
+ * n-dimensional mesh (and, via coordinate-change classification, on
+ * tori): a channel leaving a node whose coordinates sum to X is
+ * numbered K - n + X when it increases a coordinate and K - n - X
+ * when it decreases one, where K is the sum of the radices. Routes
+ * follow strictly increasing keys.
+ */
+class NegativeFirstNumbering : public ChannelNumbering
+{
+  public:
+    std::string name() const override { return "negative-first"; }
+    std::uint64_t key(const Topology &topo,
+                      ChannelId ch) const override;
+    bool increasing() const override { return true; }
+};
+
+/** A violation found by verifyMonotonic(). */
+struct MonotonicViolation
+{
+    ChannelId in = kInvalidChannel;
+    ChannelId out = kInvalidChannel;
+    NodeId dest = kInvalidNode;
+};
+
+/**
+ * Check that every channel-to-channel transition permitted by
+ * @p routing (for any destination, from any reachable arrival) is
+ * strictly monotone under @p numbering. Returns true when the
+ * numbering witnesses deadlock freedom; otherwise fills
+ * @p violation (if non-null) with a counterexample.
+ */
+bool verifyMonotonic(const Topology &topo,
+                     const RoutingFunction &routing,
+                     const ChannelNumbering &numbering,
+                     MonotonicViolation *violation = nullptr);
+
+} // namespace turnnet
+
+#endif // TURNNET_TURNMODEL_NUMBERING_HPP

@@ -1,0 +1,195 @@
+#include "turnnet/turnmodel/prohibition.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+TurnSet
+dimensionOrderTurns(int num_dims)
+{
+    TurnSet set(num_dims, true);
+    for (int f = 0; f < 2 * num_dims; ++f) {
+        for (int t = 0; t < 2 * num_dims; ++t) {
+            const Turn turn(Direction::fromIndex(f),
+                            Direction::fromIndex(t));
+            if (turn.is90Degree() && turn.to.dim() < turn.from.dim())
+                set.prohibit(turn);
+        }
+    }
+    return set;
+}
+
+TurnSet
+westFirstTurns()
+{
+    TurnSet set(2, true);
+    const Direction west = Direction::negative(0);
+    const Direction north = Direction::positive(1);
+    const Direction south = Direction::negative(1);
+    set.prohibit(Turn(south, west));
+    set.prohibit(Turn(north, west));
+    return set;
+}
+
+TurnSet
+northLastTurns()
+{
+    TurnSet set(2, true);
+    const Direction west = Direction::negative(0);
+    const Direction east = Direction::positive(0);
+    const Direction north = Direction::positive(1);
+    set.prohibit(Turn(north, west));
+    set.prohibit(Turn(north, east));
+    return set;
+}
+
+TurnSet
+negativeFirstTurns(int num_dims)
+{
+    TurnSet set(num_dims, true);
+    for (int f = 0; f < num_dims; ++f) {
+        for (int t = 0; t < num_dims; ++t) {
+            if (f == t)
+                continue;
+            set.prohibit(Turn(Direction::positive(f),
+                              Direction::negative(t)));
+        }
+    }
+    return set;
+}
+
+TurnSet
+abonfTurns(int num_dims)
+{
+    TN_ASSERT(num_dims >= 2, "ABONF needs at least two dimensions");
+    // Phase one: negative directions of dimensions 0..n-2.
+    // Phase two: every other direction. Turns from phase two back
+    // into phase one are prohibited.
+    auto in_phase_one = [&](Direction d) {
+        return d.isNegative() && d.dim() < num_dims - 1;
+    };
+    TurnSet set(num_dims, true);
+    for (int f = 0; f < 2 * num_dims; ++f) {
+        for (int t = 0; t < 2 * num_dims; ++t) {
+            const Turn turn(Direction::fromIndex(f),
+                            Direction::fromIndex(t));
+            if (turn.is90Degree() && !in_phase_one(turn.from) &&
+                in_phase_one(turn.to)) {
+                set.prohibit(turn);
+            }
+        }
+    }
+    return set;
+}
+
+TurnSet
+aboplTurns(int num_dims)
+{
+    TN_ASSERT(num_dims >= 2, "ABOPL needs at least two dimensions");
+    // Phase one: all negative directions plus the positive direction
+    // of dimension 0. Phase two: positive directions of dimensions
+    // 1..n-1. Turns from phase two back into phase one are
+    // prohibited.
+    auto in_phase_two = [&](Direction d) {
+        return d.isPositive() && d.dim() >= 1;
+    };
+    TurnSet set(num_dims, true);
+    for (int f = 0; f < 2 * num_dims; ++f) {
+        for (int t = 0; t < 2 * num_dims; ++t) {
+            const Turn turn(Direction::fromIndex(f),
+                            Direction::fromIndex(t));
+            if (turn.is90Degree() && in_phase_two(turn.from) &&
+                !in_phase_two(turn.to)) {
+                set.prohibit(turn);
+            }
+        }
+    }
+    return set;
+}
+
+std::string
+TwoTurnChoice::toString() const
+{
+    return "prohibit " + fromClockwise.toString() + " and " +
+           fromCounterclockwise.toString();
+}
+
+std::vector<TwoTurnChoice>
+enumerateTwoTurnChoices()
+{
+    const auto cycles = abstractCycles(2);
+    TN_ASSERT(cycles.size() == 2, "a 2D mesh has two abstract cycles");
+    const AbstractCycle &cw = cycles[0].clockwise ? cycles[0]
+                                                  : cycles[1];
+    const AbstractCycle &ccw = cycles[0].clockwise ? cycles[1]
+                                                   : cycles[0];
+
+    std::vector<TwoTurnChoice> choices;
+    for (const Turn &a : cw.turns) {
+        for (const Turn &b : ccw.turns) {
+            TwoTurnChoice choice;
+            choice.fromClockwise = a;
+            choice.fromCounterclockwise = b;
+            choice.turns = TurnSet(2, true);
+            choice.turns.prohibit(a);
+            choice.turns.prohibit(b);
+            choices.push_back(choice);
+        }
+    }
+    TN_ASSERT(choices.size() == 16, "16 two-turn choices expected");
+    return choices;
+}
+
+namespace {
+
+/**
+ * One element of the dihedral symmetry group of the square acting on
+ * directions: an optional axis swap followed by per-axis sign flips.
+ */
+struct Symmetry
+{
+    bool swapAxes;
+    std::array<int, 2> flip;
+
+    Direction
+    apply(Direction d) const
+    {
+        const int new_dim = swapAxes ? 1 - d.dim() : d.dim();
+        return Direction(new_dim, d.sign() * flip[new_dim]);
+    }
+
+    Turn
+    apply(Turn t) const
+    {
+        return Turn(apply(t.from), apply(t.to));
+    }
+};
+
+} // namespace
+
+std::string
+symmetryClass(const TwoTurnChoice &choice)
+{
+    std::string best;
+    for (bool swap_axes : {false, true}) {
+        for (int fx : {+1, -1}) {
+            for (int fy : {+1, -1}) {
+                const Symmetry sym{swap_axes, {fx, fy}};
+                Turn a = sym.apply(choice.fromClockwise);
+                Turn b = sym.apply(choice.fromCounterclockwise);
+                if (b < a)
+                    std::swap(a, b);
+                const std::string key =
+                    a.toString() + " / " + b.toString();
+                if (best.empty() || key < best)
+                    best = key;
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace turnnet

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Turn prohibition planning (Steps 4-6 of the turn model).
+ *
+ * Provides the canonical turn sets of every algorithm the paper
+ * derives, plus the enumeration of all ways to prohibit one turn per
+ * abstract cycle in a 2D mesh — the 16 choices of Section 3, of
+ * which 12 prevent deadlock and 3 are unique up to symmetry.
+ */
+
+#ifndef TURNNET_TURNMODEL_PROHIBITION_HPP
+#define TURNNET_TURNMODEL_PROHIBITION_HPP
+
+#include <string>
+#include <vector>
+
+#include "turnnet/turnmodel/cycles.hpp"
+#include "turnnet/turnmodel/turn.hpp"
+
+namespace turnnet {
+
+/** Turn set of xy / dimension-order routing: only low-to-high
+ *  dimension turns are permitted (Figure 3 generalized). */
+TurnSet dimensionOrderTurns(int num_dims);
+
+/** Turn set of 2D west-first: the two turns to the west are
+ *  prohibited (Figure 5a). */
+TurnSet westFirstTurns();
+
+/** Turn set of 2D north-last: the two turns when travelling north
+ *  are prohibited (Figure 9a). */
+TurnSet northLastTurns();
+
+/** Turn set of negative-first in n dimensions: every turn from a
+ *  positive to a negative direction is prohibited (Figure 10a for
+ *  n = 2; Section 4.1 in general). */
+TurnSet negativeFirstTurns(int num_dims);
+
+/**
+ * Turn set of all-but-one-negative-first (the n-dimensional analog
+ * of west-first): packets travel first in the negative directions of
+ * dimensions 0..n-2, then adaptively in the remaining directions, so
+ * every turn from a phase-two direction back into a phase-one
+ * direction is prohibited.
+ */
+TurnSet abonfTurns(int num_dims);
+
+/**
+ * Turn set of all-but-one-positive-last (the n-dimensional analog of
+ * north-last): phase one is all negative directions plus +d0, phase
+ * two the positive directions of dimensions 1..n-1; turns from phase
+ * two back into phase one are prohibited.
+ */
+TurnSet aboplTurns(int num_dims);
+
+/** One prohibited-pair choice for a 2D mesh. */
+struct TwoTurnChoice
+{
+    Turn fromClockwise;
+    Turn fromCounterclockwise;
+    TurnSet turns{2};
+
+    std::string toString() const;
+};
+
+/**
+ * All 16 ways to prohibit one turn from each of the two abstract
+ * cycles of a 2D mesh (Section 3). Deadlock freedom of each choice
+ * must be decided by channel-dependency analysis — breaking both
+ * abstract cycles is necessary but, as Figure 4 shows, not
+ * sufficient.
+ */
+std::vector<TwoTurnChoice> enumerateTwoTurnChoices();
+
+/**
+ * Canonical symmetry class of a 2D two-turn prohibition: rotations
+ * and reflections of the mesh map prohibition choices onto each
+ * other; the 12 deadlock-free choices fall into 3 classes
+ * (west-first, north-last, negative-first). Returns a string key
+ * identical for symmetric choices.
+ */
+std::string symmetryClass(const TwoTurnChoice &choice);
+
+} // namespace turnnet
+
+#endif // TURNNET_TURNMODEL_PROHIBITION_HPP

@@ -1,0 +1,132 @@
+#include "turnnet/turnmodel/turn.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+std::string
+Turn::toString() const
+{
+    return from.toString() + "->" + to.toString();
+}
+
+TurnSet::TurnSet(int num_dims, bool allow_all)
+    : numDims_(num_dims),
+      matrix_(static_cast<std::size_t>(2 * num_dims) * 2 * num_dims,
+              false)
+{
+    TN_ASSERT(num_dims >= 1 && num_dims <= kMaxDims,
+              "bad dimensionality for TurnSet");
+    if (!allow_all)
+        return;
+    // "Allow all" means all 90-degree turns; 180-degree turns stay
+    // prohibited unless explicitly incorporated (Step 6 of the
+    // model), and straight moves are always legal regardless of the
+    // matrix.
+    for (int f = 0; f < 2 * numDims_; ++f) {
+        for (int t = 0; t < 2 * numDims_; ++t) {
+            const Turn turn(Direction::fromIndex(f),
+                            Direction::fromIndex(t));
+            if (turn.is90Degree())
+                matrix_[bitIndex(turn)] = true;
+        }
+    }
+}
+
+int
+TurnSet::bitIndex(Turn t) const
+{
+    TN_ASSERT(!t.from.isLocal() && !t.to.isLocal(),
+              "turn sets cover network directions only");
+    TN_ASSERT(t.from.dim() < numDims_ && t.to.dim() < numDims_,
+              "turn direction outside topology dimensionality");
+    return t.from.index() * 2 * numDims_ + t.to.index();
+}
+
+void
+TurnSet::allow(Turn t)
+{
+    matrix_[bitIndex(t)] = true;
+}
+
+void
+TurnSet::prohibit(Turn t)
+{
+    TN_ASSERT(!t.isStraight(), "straight moves cannot be prohibited");
+    matrix_[bitIndex(t)] = false;
+}
+
+bool
+TurnSet::allows(Turn t) const
+{
+    if (t.isStraight())
+        return true;
+    return matrix_[bitIndex(t)];
+}
+
+std::vector<Turn>
+TurnSet::allowed90() const
+{
+    std::vector<Turn> out;
+    for (int f = 0; f < 2 * numDims_; ++f) {
+        for (int t = 0; t < 2 * numDims_; ++t) {
+            const Turn turn(Direction::fromIndex(f),
+                            Direction::fromIndex(t));
+            if (turn.is90Degree() && allows(turn))
+                out.push_back(turn);
+        }
+    }
+    return out;
+}
+
+std::vector<Turn>
+TurnSet::prohibited90() const
+{
+    std::vector<Turn> out;
+    for (int f = 0; f < 2 * numDims_; ++f) {
+        for (int t = 0; t < 2 * numDims_; ++t) {
+            const Turn turn(Direction::fromIndex(f),
+                            Direction::fromIndex(t));
+            if (turn.is90Degree() && !allows(turn))
+                out.push_back(turn);
+        }
+    }
+    return out;
+}
+
+int
+TurnSet::numAllowed90() const
+{
+    return static_cast<int>(allowed90().size());
+}
+
+DirectionSet
+TurnSet::legalOutputs(Direction from) const
+{
+    DirectionSet outs;
+    if (from.isLocal())
+        return DirectionSet::all(numDims_);
+    for (int t = 0; t < 2 * numDims_; ++t) {
+        const Direction to = Direction::fromIndex(t);
+        if (allows(Turn(from, to)))
+            outs.insert(to);
+    }
+    return outs;
+}
+
+std::string
+TurnSet::toString() const
+{
+    std::string out = "prohibited: {";
+    bool first_entry = true;
+    for (const Turn &t : prohibited90()) {
+        if (!first_entry)
+            out += ", ";
+        out += t.toString();
+        first_entry = false;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace turnnet

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Turns and turn sets — the vocabulary of the turn model (Section 2).
+ *
+ * A turn is an ordered pair of directions: the direction a packet is
+ * travelling and the direction it changes to at a router. Turns
+ * between different dimensions are 90-degree turns; a reversal within
+ * one dimension is a 180-degree turn. (0-degree turns arise only with
+ * multiple virtual channels per physical direction, which the
+ * paper-scope topologies do not have.)
+ *
+ * A TurnSet records which turns a routing algorithm permits. The
+ * turn model designs algorithms by starting from all turns and
+ * prohibiting just enough of them to break every abstract cycle.
+ */
+
+#ifndef TURNNET_TURNMODEL_TURN_HPP
+#define TURNNET_TURNMODEL_TURN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "turnnet/topology/direction.hpp"
+
+namespace turnnet {
+
+/** An ordered pair of travel directions. */
+struct Turn
+{
+    Direction from;
+    Direction to;
+
+    Turn() = default;
+    Turn(Direction f, Direction t) : from(f), to(t) {}
+
+    /** True for turns between distinct dimensions. */
+    bool
+    is90Degree() const
+    {
+        return !from.isLocal() && !to.isLocal() &&
+               from.dim() != to.dim();
+    }
+
+    /** True for reversals within one dimension. */
+    bool
+    is180Degree() const
+    {
+        return !from.isLocal() && !to.isLocal() &&
+               from.dim() == to.dim() && from.sign() != to.sign();
+    }
+
+    /** True for continuations in the same direction (not a turn). */
+    bool
+    isStraight() const
+    {
+        return from == to;
+    }
+
+    bool operator==(const Turn &o) const
+    {
+        return from == o.from && to == o.to;
+    }
+    bool operator<(const Turn &o) const
+    {
+        return from != o.from ? from < o.from : to < o.to;
+    }
+
+    /** Render e.g. "east->north". */
+    std::string toString() const;
+};
+
+/**
+ * The set of permitted turns for an n-dimensional topology, stored
+ * as a boolean matrix over direction indices. Straight continuations
+ * are always permitted (they are not turns); 180-degree turns are
+ * representable but excluded from the 90-degree accounting that
+ * Theorems 1 and 6 are about.
+ */
+class TurnSet
+{
+  public:
+    /**
+     * @param num_dims Dimensionality of the topology.
+     * @param allow_all Start with every turn permitted (then
+     *        prohibit), or with none.
+     */
+    explicit TurnSet(int num_dims, bool allow_all = true);
+
+    int numDims() const { return numDims_; }
+
+    /** Permit a turn. */
+    void allow(Turn t);
+
+    /** Prohibit a turn. */
+    void prohibit(Turn t);
+
+    /** Whether a turn is permitted. Straight moves always are. */
+    bool allows(Turn t) const;
+
+    /** Whether the out-direction is legal given the in-direction. */
+    bool
+    allows(Direction from, Direction to) const
+    {
+        return allows(Turn(from, to));
+    }
+
+    /** All permitted 90-degree turns. */
+    std::vector<Turn> allowed90() const;
+
+    /** All prohibited 90-degree turns. */
+    std::vector<Turn> prohibited90() const;
+
+    /** Count of permitted 90-degree turns. */
+    int numAllowed90() const;
+
+    /**
+     * Total number of 90-degree turns in an n-dimensional topology:
+     * 4n(n-1) (Section 2).
+     */
+    static int
+    total90Turns(int num_dims)
+    {
+        return 4 * num_dims * (num_dims - 1);
+    }
+
+    /**
+     * Directions reachable from @p from under the permitted turn
+     * relation (including straight continuation).
+     */
+    DirectionSet legalOutputs(Direction from) const;
+
+    bool operator==(const TurnSet &o) const
+    {
+        return numDims_ == o.numDims_ && matrix_ == o.matrix_;
+    }
+
+    /** Render the prohibited 90-degree turns for debugging. */
+    std::string toString() const;
+
+  private:
+    int bitIndex(Turn t) const;
+
+    int numDims_;
+    std::vector<bool> matrix_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TURNMODEL_TURN_HPP

@@ -1,0 +1,74 @@
+#include "turnnet/turnmodel/turn_routing.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+TurnSetRouting::TurnSetRouting(std::string name, TurnSet turns,
+                               bool minimal)
+    : name_(std::move(name)), turns_(std::move(turns)),
+      minimal_(minimal),
+      oracle_([this](const Topology &topo, NodeId node,
+                     Direction in_dir, Direction out_dir,
+                     NodeId dest) {
+          return hopLegal(topo, node, in_dir, out_dir, dest);
+      })
+{
+}
+
+void
+TurnSetRouting::checkTopology(const Topology &topo) const
+{
+    if (topo.numDims() != turns_.numDims())
+        TN_FATAL(name_, " is a ", turns_.numDims(),
+                 "-dimensional turn set; topology ", topo.name(),
+                 " has ", topo.numDims(), " dimensions");
+}
+
+bool
+TurnSetRouting::hopLegal(const Topology &topo, NodeId node,
+                         Direction in_dir, Direction out_dir,
+                         NodeId dest) const
+{
+    if (!in_dir.isLocal() && !turns_.allows(in_dir, out_dir))
+        return false;
+    if (minimal_ &&
+        !topo.minimalDirections(node, dest).contains(out_dir)) {
+        return false;
+    }
+    return topo.neighbor(node, out_dir) != kInvalidNode;
+}
+
+DirectionSet
+TurnSetRouting::route(const Topology &topo, NodeId current,
+                      NodeId dest, Direction in_dir) const
+{
+    if (current == dest)
+        return DirectionSet::none();
+
+    const DirectionSet legal = turns_.legalOutputs(in_dir);
+    const DirectionSet scope =
+        minimal_ ? topo.minimalDirections(current, dest)
+                 : topo.directionsFrom(current);
+
+    DirectionSet out;
+    (legal & scope).forEach([&](Direction o) {
+        const NodeId nbr = topo.neighbor(current, o);
+        if (nbr == kInvalidNode)
+            return;
+        if (oracle_.canReach(topo, nbr, o, dest))
+            out.insert(o);
+    });
+    return out;
+}
+
+bool
+TurnSetRouting::canComplete(const Topology &topo, NodeId node,
+                            NodeId dest, Direction in_dir) const
+{
+    if (node == dest)
+        return true;
+    return oracle_.canReach(topo, node, in_dir, dest);
+}
+
+} // namespace turnnet

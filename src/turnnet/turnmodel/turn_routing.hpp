@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The generic routing function induced by a turn set.
+ *
+ * This is the turn model made executable: given any set of permitted
+ * turns, TurnSetRouting routes packets along channels whose use
+ * never takes an illegal turn *and* from which the destination
+ * remains reachable under the same turn rules. The reachability
+ * filter is what makes the induced relation a valid routing
+ * algorithm — without it, a minimal adaptive router could take a
+ * legal turn into a state from which every continuation is
+ * prohibited (e.g. west-first offering north first to a northwest
+ * destination and then being unable to turn west).
+ *
+ * The named algorithms of Sections 3-5 are independent, closed-form
+ * implementations; their equivalence with the TurnSetRouting induced
+ * by their turn sets is property-tested.
+ */
+
+#ifndef TURNNET_TURNMODEL_TURN_ROUTING_HPP
+#define TURNNET_TURNMODEL_TURN_ROUTING_HPP
+
+#include <string>
+
+#include "turnnet/analysis/reachability.hpp"
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/turnmodel/turn.hpp"
+
+namespace turnnet {
+
+/**
+ * Routing function induced by a turn set.
+ *
+ * Unlike the hand-written algorithms this class memoizes
+ * per-destination reachability tables, so a single instance is NOT
+ * thread-safe.
+ */
+class TurnSetRouting : public RoutingFunction
+{
+  public:
+    /**
+     * @param name Identifier reported by name().
+     * @param turns The permitted-turn relation.
+     * @param minimal Restrict to distance-reducing directions.
+     */
+    TurnSetRouting(std::string name, TurnSet turns,
+                   bool minimal = true);
+
+    std::string name() const override { return name_; }
+    bool isMinimal() const override { return minimal_; }
+
+    DirectionSet route(const Topology &topo, NodeId current,
+                       NodeId dest, Direction in_dir) const override;
+
+    bool canComplete(const Topology &topo, NodeId node, NodeId dest,
+                     Direction in_dir) const override;
+
+    void checkTopology(const Topology &topo) const override;
+
+    const TurnSet &turns() const { return turns_; }
+
+  private:
+    /** Hop legality fed to the reachability oracle. */
+    bool hopLegal(const Topology &topo, NodeId node, Direction in_dir,
+                  Direction out_dir, NodeId dest) const;
+
+    std::string name_;
+    TurnSet turns_;
+    bool minimal_;
+    ReachabilityOracle oracle_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TURNMODEL_TURN_ROUTING_HPP

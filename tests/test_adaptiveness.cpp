@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Degree-of-adaptiveness tests (Sections 3.4 and 4.1): the closed
+ * forms match exhaustive enumeration, and the paper's aggregate
+ * claims hold — S_p = 1 for at least half the pairs, yet the mean
+ * S_p/S_f stays above 1/2 in 2D and above 1/2^(n-1) in general.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/analysis/adaptiveness.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(Multinomial, BasicValues)
+{
+    EXPECT_EQ(multinomialPaths({}), 1.0);
+    EXPECT_EQ(multinomialPaths({5}), 1.0);
+    EXPECT_EQ(multinomialPaths({2, 2}), 6.0);
+    EXPECT_EQ(multinomialPaths({3, 1}), 4.0);
+    EXPECT_EQ(multinomialPaths({1, 1, 1}), 6.0);
+    EXPECT_EQ(multinomialPaths({2, 1, 1}), 12.0);
+    EXPECT_EQ(multinomialPaths({15, 15}), 155117520.0);
+}
+
+TEST(FullyAdaptiveCount, IsTheBinomialIn2D)
+{
+    const Mesh mesh(8, 8);
+    // (dx, dy) = (3, 2) -> C(5,2) = 10.
+    EXPECT_EQ(pathsFullyAdaptive(mesh, mesh.nodeOf({1, 1}),
+                                 mesh.nodeOf({4, 3})),
+              10.0);
+    // Straight line -> 1.
+    EXPECT_EQ(pathsFullyAdaptive(mesh, mesh.nodeOf({0, 0}),
+                                 mesh.nodeOf({0, 7})),
+              1.0);
+}
+
+TEST(FullyAdaptiveCount, MatchesEnumeration)
+{
+    const Mesh mesh(5, 5);
+    const RoutingPtr adaptive = makeRouting("fully-adaptive");
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(countPaths(mesh, *adaptive, s, d),
+                      pathsFullyAdaptive(mesh, s, d));
+        }
+    }
+}
+
+TEST(ClosedForms, MatchEnumerationForAllPartialAlgorithms)
+{
+    const Mesh mesh(6, 6);
+    struct Entry
+    {
+        const char *name;
+        double (*formula)(const Topology &, NodeId, NodeId);
+    };
+    const Entry entries[] = {
+        {"west-first", &pathsWestFirst},
+        {"north-last", &pathsNorthLast},
+        {"negative-first", &pathsNegativeFirst},
+    };
+    for (const Entry &e : entries) {
+        const RoutingPtr routing = makeRouting(e.name, 2);
+        for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+            for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                EXPECT_EQ(countPaths(mesh, *routing, s, d),
+                          e.formula(mesh, s, d))
+                    << e.name << " " << s << " -> " << d;
+            }
+        }
+    }
+}
+
+TEST(ClosedForms, XyAlwaysHasExactlyOnePath)
+{
+    const Mesh mesh(5, 5);
+    const RoutingPtr xy = makeRouting("xy");
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(countPaths(mesh, *xy, s, d), 1.0);
+        }
+    }
+}
+
+TEST(Section34, HalfThePairsHaveASinglePath)
+{
+    // "S_p = 1 for at least half of the source-destination pairs."
+    const Mesh mesh(8, 8);
+    for (const char *alg :
+         {"west-first", "north-last", "negative-first"}) {
+        const auto summary =
+            summarizeAdaptiveness(mesh, *makeRouting(alg, 2));
+        EXPECT_GE(summary.singlePathFraction, 0.5) << alg;
+    }
+}
+
+TEST(Section34, MeanRatioExceedsOneHalfIn2D)
+{
+    // "Averaged across all source-destination pairs,
+    //  S_p / S_f > 1/2."
+    const Mesh mesh(8, 8);
+    for (const char *alg :
+         {"west-first", "north-last", "negative-first"}) {
+        const auto summary =
+            summarizeAdaptiveness(mesh, *makeRouting(alg, 2));
+        EXPECT_GT(summary.meanRatio, 0.5) << alg;
+        EXPECT_LT(summary.meanRatio, 1.0) << alg;
+    }
+}
+
+TEST(Section41, MeanRatioExceedsHalfToTheNMinus1)
+{
+    // n-dimensional claim: mean S_p/S_f > 1/2^(n-1).
+    const Mesh mesh3({4, 4, 4});
+    for (const char *alg : {"negative-first", "abonf", "abopl"}) {
+        const auto summary =
+            summarizeAdaptiveness(mesh3, *makeRouting(alg, 3));
+        EXPECT_GT(summary.meanRatio, 1.0 / 4.0) << alg;
+    }
+    const Hypercube cube(5);
+    const auto pc = summarizeAdaptiveness(cube, *makeRouting(
+                                                    "p-cube", 5));
+    EXPECT_GT(pc.meanRatio, 1.0 / 16.0);
+}
+
+TEST(Section41, AdaptivenessDropsWithDimension)
+{
+    // The relative adaptiveness of negative-first decreases as n
+    // grows (Section 4.1's discussion).
+    const Mesh mesh2(4, 4);
+    const Mesh mesh3({4, 4, 4});
+    const auto r2 =
+        summarizeAdaptiveness(mesh2, *makeRouting("negative-first",
+                                                  2));
+    const auto r3 =
+        summarizeAdaptiveness(mesh3, *makeRouting("negative-first",
+                                                  3));
+    EXPECT_GT(r2.meanRatio, r3.meanRatio);
+}
+
+TEST(TwoPhaseFormula, AgreesWithSpecificFormulas)
+{
+    const Mesh mesh(7, 7);
+    DirectionSet wf_phase1;
+    wf_phase1.insert(Direction::negative(0));
+    for (NodeId s = 0; s < mesh.numNodes(); s += 5) {
+        for (NodeId d = 0; d < mesh.numNodes(); d += 3) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(pathsTwoPhase(mesh, wf_phase1, s, d),
+                      pathsWestFirst(mesh, s, d));
+        }
+    }
+}
+
+TEST(Summary, FullyAdaptiveHasRatioOne)
+{
+    const Mesh mesh(4, 4);
+    const auto summary =
+        summarizeAdaptiveness(mesh, *makeRouting("fully-adaptive"));
+    EXPECT_DOUBLE_EQ(summary.meanRatio, 1.0);
+    EXPECT_DOUBLE_EQ(summary.meanPaths, summary.meanFullyAdaptive);
+}
+
+} // namespace
+} // namespace turnnet

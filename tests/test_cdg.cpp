@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Channel-dependency-graph verdicts for every shipped algorithm:
+ * the turn-model algorithms are deadlock free on every applicable
+ * topology, while unrestricted fully adaptive routing (no extra
+ * channels) is cyclic — the computational content of Figures 1-4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "turnnet/analysis/cdg.hpp"
+#include "turnnet/routing/fully_adaptive.hpp"
+#include "turnnet/routing/pcube.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+
+namespace turnnet {
+namespace {
+
+struct MeshCase
+{
+    std::string algorithm;
+};
+
+class MeshAlgorithmCdg : public ::testing::TestWithParam<MeshCase>
+{
+};
+
+TEST_P(MeshAlgorithmCdg, AcyclicOn2DMeshes)
+{
+    const RoutingPtr routing = makeRouting(GetParam().algorithm, 2);
+    for (const auto &[w, h] :
+         {std::pair{4, 4}, {6, 6}, {5, 3}, {2, 7}}) {
+        const Mesh mesh(w, h);
+        const CdgReport report = analyzeDependencies(mesh, *routing);
+        EXPECT_TRUE(report.acyclic)
+            << routing->name() << " on " << mesh.name() << ": "
+            << report.cycleToString(mesh);
+        EXPECT_GT(report.numEdges, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperAlgorithms, MeshAlgorithmCdg,
+    ::testing::Values(MeshCase{"xy"}, MeshCase{"west-first"},
+                      MeshCase{"north-last"},
+                      MeshCase{"negative-first"},
+                      MeshCase{"turnset:west-first"},
+                      MeshCase{"turnset:north-last"},
+                      MeshCase{"turnset:negative-first"}),
+    [](const auto &info) {
+        std::string name = info.param.algorithm;
+        for (char &ch : name)
+            if (ch == '-' || ch == ':')
+                ch = '_';
+        return name;
+    });
+
+TEST(Cdg, NDimensionalAlgorithmsAcyclic)
+{
+    const Mesh mesh3d({3, 3, 3});
+    const Mesh mesh3d_rect({4, 2, 3});
+    for (const char *alg :
+         {"dimension-order", "negative-first", "abonf", "abopl"}) {
+        const RoutingPtr routing = makeRouting(alg, 3);
+        EXPECT_TRUE(isDeadlockFree(mesh3d, *routing)) << alg;
+        EXPECT_TRUE(isDeadlockFree(mesh3d_rect, *routing)) << alg;
+    }
+}
+
+TEST(Cdg, HypercubeAlgorithmsAcyclic)
+{
+    const Hypercube cube(4);
+    for (const char *alg :
+         {"ecube", "p-cube", "negative-first", "abonf", "abopl"}) {
+        const RoutingPtr routing = makeRouting(alg, 4);
+        EXPECT_TRUE(isDeadlockFree(cube, *routing)) << alg;
+    }
+}
+
+TEST(Cdg, NonminimalVariantsAcyclic)
+{
+    // Nonminimal routing uses more turns (and more dependencies) but
+    // the prohibited turns still break every cycle.
+    const Mesh mesh(4, 4);
+    for (const char *alg :
+         {"west-first", "north-last", "negative-first"}) {
+        const RoutingPtr routing = makeRouting(alg, 2, false);
+        EXPECT_TRUE(isDeadlockFree(mesh, *routing)) << alg;
+    }
+    const Hypercube cube(4);
+    EXPECT_TRUE(
+        isDeadlockFree(cube, *makeRouting("p-cube", 4, false)));
+    EXPECT_TRUE(isDeadlockFree(cube, PCubeFigure12()));
+}
+
+TEST(Cdg, FullyAdaptiveIsCyclicOnMeshes)
+{
+    // Figure 1: minimal fully adaptive routing without extra
+    // channels deadlocks. Its CDG contains the abstract cycles.
+    const FullyAdaptive adaptive;
+    for (const auto &[w, h] : {std::pair{3, 3}, {4, 4}, {5, 3}}) {
+        const Mesh mesh(w, h);
+        const CdgReport report = analyzeDependencies(mesh, adaptive);
+        EXPECT_FALSE(report.acyclic) << mesh.name();
+        EXPECT_GE(report.cycle.size(), 4u);
+    }
+}
+
+TEST(Cdg, FullyAdaptiveIsCyclicOnHypercubes)
+{
+    const FullyAdaptive adaptive;
+    EXPECT_FALSE(isDeadlockFree(Hypercube(3), adaptive));
+    EXPECT_FALSE(isDeadlockFree(Hypercube(4), adaptive));
+}
+
+TEST(Cdg, WitnessCycleIsARealDependencyCycle)
+{
+    const FullyAdaptive adaptive;
+    const Mesh mesh(4, 4);
+    const CdgReport report = analyzeDependencies(mesh, adaptive);
+    ASSERT_FALSE(report.acyclic);
+    ASSERT_GE(report.cycle.size(), 2u);
+    // Consecutive channels in the witness share a router.
+    for (std::size_t i = 0; i < report.cycle.size(); ++i) {
+        const Channel &cur = mesh.channel(report.cycle[i]);
+        const Channel &next = mesh.channel(
+            report.cycle[(i + 1) % report.cycle.size()]);
+        EXPECT_EQ(cur.dst, next.src);
+    }
+    EXPECT_FALSE(report.cycleToString(mesh).empty());
+}
+
+TEST(Cdg, XyHasFewerDependenciesThanAdaptive)
+{
+    // Adaptiveness shows up as extra dependency edges; xy routing,
+    // being nonadaptive, has the fewest.
+    const Mesh mesh(5, 5);
+    const auto xy = analyzeDependencies(mesh, *makeRouting("xy"));
+    const auto wf =
+        analyzeDependencies(mesh, *makeRouting("west-first"));
+    const auto fa = analyzeDependencies(mesh, FullyAdaptive());
+    EXPECT_LT(xy.numEdges, wf.numEdges);
+    EXPECT_LT(wf.numEdges, fa.numEdges);
+}
+
+TEST(Cdg, TorusExtensionsAcyclic)
+{
+    const Torus small(4, 2);
+    const Torus odd(5, 2);
+    for (const char *alg :
+         {"nf-torus", "xy-first-hop-wrap", "nf-first-hop-wrap"}) {
+        const RoutingPtr routing = makeRouting(alg, 2);
+        EXPECT_TRUE(isDeadlockFree(small, *routing)) << alg;
+        EXPECT_TRUE(isDeadlockFree(odd, *routing)) << alg;
+    }
+    const Torus cube3(std::vector<int>{3, 3, 3});
+    EXPECT_TRUE(isDeadlockFree(cube3, *makeRouting("nf-torus", 3)));
+}
+
+TEST(Cdg, MinimalAdaptiveOnTorusIsCyclic)
+{
+    // Without extra channels even *dimension-order-style* minimal
+    // routing deadlocks on a torus with k > 4 because of the
+    // wraparound cycles (Section 4.2); fully adaptive minimal is
+    // cyclic already at k = 4.
+    const FullyAdaptive adaptive;
+    EXPECT_FALSE(isDeadlockFree(Torus(4, 2), adaptive));
+    EXPECT_FALSE(isDeadlockFree(Torus(5, 2), adaptive));
+}
+
+} // namespace
+} // namespace turnnet

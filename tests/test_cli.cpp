@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the command-line option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/common/cli.hpp"
+
+namespace turnnet {
+namespace {
+
+CliOptions
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return CliOptions::parse(static_cast<int>(argv.size()),
+                             argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValues)
+{
+    const CliOptions opts = parse({"--size", "16", "--name", "mesh"});
+    EXPECT_EQ(opts.getInt("size", 0), 16);
+    EXPECT_EQ(opts.getString("name"), "mesh");
+}
+
+TEST(Cli, EqualsSeparatedValues)
+{
+    const CliOptions opts = parse({"--load=0.25", "--alg=xy"});
+    EXPECT_DOUBLE_EQ(opts.getDouble("load", 0.0), 0.25);
+    EXPECT_EQ(opts.getString("alg"), "xy");
+}
+
+TEST(Cli, BareFlagsAreTrue)
+{
+    const CliOptions opts = parse({"--quick", "--csv"});
+    EXPECT_TRUE(opts.getBool("quick", false));
+    EXPECT_TRUE(opts.getBool("csv", false));
+    EXPECT_FALSE(opts.getBool("missing", false));
+    EXPECT_TRUE(opts.getBool("missing", true));
+}
+
+TEST(Cli, ExplicitBooleans)
+{
+    const CliOptions opts = parse({"--a=true", "--b=0", "--c", "yes"});
+    EXPECT_TRUE(opts.getBool("a", false));
+    EXPECT_FALSE(opts.getBool("b", true));
+    EXPECT_TRUE(opts.getBool("c", false));
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    const CliOptions opts = parse({});
+    EXPECT_EQ(opts.getInt("n", 42), 42);
+    EXPECT_DOUBLE_EQ(opts.getDouble("x", 2.5), 2.5);
+    EXPECT_EQ(opts.getString("s", "dflt"), "dflt");
+    EXPECT_FALSE(opts.has("n"));
+}
+
+TEST(Cli, ListsSplitOnCommas)
+{
+    const CliOptions opts = parse({"--loads=0.1,0.2,0.3"});
+    const auto list = opts.getList("loads");
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[0], "0.1");
+    EXPECT_EQ(list[2], "0.3");
+}
+
+TEST(Cli, PositionalArgumentsKeptInOrder)
+{
+    const CliOptions opts = parse({"first", "--k", "v", "second"});
+    ASSERT_EQ(opts.positional().size(), 2u);
+    EXPECT_EQ(opts.positional()[0], "first");
+    EXPECT_EQ(opts.positional()[1], "second");
+}
+
+TEST(Cli, NegativeNumbersAsValues)
+{
+    const CliOptions opts = parse({"--offset=-5"});
+    EXPECT_EQ(opts.getInt("offset", 0), -5);
+}
+
+TEST(Cli, ProgramNameCaptured)
+{
+    const CliOptions opts = parse({});
+    EXPECT_EQ(opts.program(), "prog");
+}
+
+TEST(SplitString, HandlesEmptySegments)
+{
+    const auto parts = splitString("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+} // namespace
+} // namespace turnnet

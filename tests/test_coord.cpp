@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for mixed-radix coordinate arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/topology/coord.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(Shape, CountsNodes)
+{
+    EXPECT_EQ(Shape({4, 4}).numNodes(), 16);
+    EXPECT_EQ(Shape({2, 3, 5}).numNodes(), 30);
+    EXPECT_EQ(Shape({2, 2, 2, 2, 2, 2, 2, 2}).numNodes(), 256);
+}
+
+TEST(Shape, RoundTripsAllNodes)
+{
+    const Shape shape({3, 4, 5});
+    for (NodeId n = 0; n < shape.numNodes(); ++n) {
+        const Coord c = shape.coordOf(n);
+        EXPECT_EQ(shape.nodeOf(c), n);
+    }
+}
+
+TEST(Shape, DimensionZeroIsLeastSignificant)
+{
+    const Shape shape({4, 4});
+    EXPECT_EQ(shape.coordOf(1), (Coord{1, 0}));
+    EXPECT_EQ(shape.coordOf(4), (Coord{0, 1}));
+    EXPECT_EQ(shape.coordOf(5), (Coord{1, 1}));
+    EXPECT_EQ(shape.nodeOf({3, 2}), 11);
+}
+
+TEST(Shape, HypercubeNodeIdsAreBitPatterns)
+{
+    const Shape shape({2, 2, 2});
+    // Node 5 = binary 101: bit 0 and bit 2 set.
+    EXPECT_EQ(shape.coordOf(5), (Coord{1, 0, 1}));
+    EXPECT_EQ(shape.nodeOf({0, 1, 1}), 6);
+}
+
+TEST(Shape, InBounds)
+{
+    const Shape shape({3, 3});
+    EXPECT_TRUE(shape.inBounds({0, 0}));
+    EXPECT_TRUE(shape.inBounds({2, 2}));
+    EXPECT_FALSE(shape.inBounds({3, 0}));
+    EXPECT_FALSE(shape.inBounds({0, -1}));
+    EXPECT_FALSE(shape.inBounds({0}));
+    EXPECT_FALSE(shape.inBounds({0, 0, 0}));
+}
+
+TEST(Shape, CoordToString)
+{
+    const Shape shape({4, 4});
+    EXPECT_EQ(shape.coordToString({3, 1}), "(3,1)");
+}
+
+TEST(Shape, AccessorsMatchConstruction)
+{
+    const Shape shape({6, 2, 9});
+    EXPECT_EQ(shape.numDims(), 3);
+    EXPECT_EQ(shape.radix(0), 6);
+    EXPECT_EQ(shape.radix(2), 9);
+    EXPECT_EQ(shape.radices(), (std::vector<int>{6, 2, 9}));
+}
+
+TEST(ShapeDeath, RejectsTinyRadix)
+{
+    EXPECT_DEATH(Shape({4, 1}), "at least 2");
+}
+
+TEST(ShapeDeath, RejectsOutOfRangeNode)
+{
+    const Shape shape({2, 2});
+    EXPECT_DEATH(shape.coordOf(4), "out of range");
+}
+
+TEST(ShapeDeath, RejectsOutOfBoundsCoord)
+{
+    const Shape shape({2, 2});
+    EXPECT_DEATH(shape.nodeOf({2, 0}), "out of bounds");
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/common/csv.hpp"
+
+namespace turnnet {
+namespace {
+
+Table
+sampleTable()
+{
+    Table t("Sample");
+    t.setHeader({"name", "value"});
+    t.beginRow();
+    t.cell(std::string("alpha"));
+    t.cell(static_cast<long long>(42));
+    t.beginRow();
+    t.cell(std::string("beta"));
+    t.cell(3.14159, 2);
+    return t;
+}
+
+TEST(Table, TracksShape)
+{
+    const Table t = sampleTable();
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+    EXPECT_EQ(t.at(0, 0), "alpha");
+    EXPECT_EQ(t.at(0, 1), "42");
+    EXPECT_EQ(t.at(1, 1), "3.14");
+}
+
+TEST(Table, AlignedRenderingContainsEverything)
+{
+    const std::string out = sampleTable().toAligned();
+    EXPECT_NE(out.find("Sample"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+    EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(Table, AlignedColumnsHaveEqualWidths)
+{
+    const std::string out = sampleTable().toAligned();
+    // Every rendered line between rules has the same length.
+    std::size_t expected = 0;
+    std::size_t start = out.find('\n') + 1; // skip the title
+    while (start < out.size()) {
+        const std::size_t end = out.find('\n', start);
+        const std::size_t len = end - start;
+        if (expected == 0)
+            expected = len;
+        EXPECT_EQ(len, expected);
+        start = end + 1;
+    }
+}
+
+TEST(Table, CsvRendering)
+{
+    const std::string csv = sampleTable().toCsv();
+    EXPECT_EQ(csv, "name,value\nalpha,42\nbeta,3.14\n");
+}
+
+TEST(Table, CsvQuotingEscapesSpecials)
+{
+    EXPECT_EQ(csvQuote("plain"), "plain");
+    EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvQuote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Table, UnsignedAndFloatCells)
+{
+    Table t;
+    t.setHeader({"a"});
+    t.beginRow();
+    t.cell(static_cast<unsigned long long>(7));
+    t.beginRow();
+    t.cell(0.125, 3);
+    EXPECT_EQ(t.at(0, 0), "7");
+    EXPECT_EQ(t.at(1, 0), "0.125");
+}
+
+TEST(TableDeath, CellWithoutRowPanics)
+{
+    Table t;
+    EXPECT_DEATH(t.cell(std::string("x")), "beginRow");
+}
+
+} // namespace
+} // namespace turnnet

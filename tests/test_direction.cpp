@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for directions and direction sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/topology/direction.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(Direction, LocalProperties)
+{
+    const Direction d = Direction::local();
+    EXPECT_TRUE(d.isLocal());
+    EXPECT_FALSE(d.isPositive());
+    EXPECT_FALSE(d.isNegative());
+    EXPECT_EQ(d.toString(), "local");
+}
+
+TEST(Direction, CompassNames)
+{
+    EXPECT_EQ(Direction::negative(0).toString(), "west");
+    EXPECT_EQ(Direction::positive(0).toString(), "east");
+    EXPECT_EQ(Direction::negative(1).toString(), "south");
+    EXPECT_EQ(Direction::positive(1).toString(), "north");
+    EXPECT_EQ(Direction::positive(2).toString(), "+d2");
+    EXPECT_EQ(Direction::negative(5).toString(), "-d5");
+}
+
+TEST(Direction, IndexRoundTrip)
+{
+    for (int idx = 0; idx < 16; ++idx) {
+        const Direction d = Direction::fromIndex(idx);
+        EXPECT_EQ(d.index(), idx);
+    }
+    EXPECT_EQ(Direction::negative(3).index(), 6);
+    EXPECT_EQ(Direction::positive(3).index(), 7);
+}
+
+TEST(Direction, Reversal)
+{
+    EXPECT_EQ(Direction::positive(2).reversed(), Direction::negative(2));
+    EXPECT_EQ(Direction::negative(0).reversed(), Direction::positive(0));
+}
+
+TEST(Direction, Ordering)
+{
+    EXPECT_LT(Direction::negative(0), Direction::positive(0));
+    EXPECT_LT(Direction::positive(0), Direction::negative(1));
+}
+
+TEST(DirectionSet, InsertEraseContains)
+{
+    DirectionSet s;
+    EXPECT_TRUE(s.empty());
+    s.insert(Direction::positive(1));
+    s.insert(Direction::negative(3));
+    EXPECT_EQ(s.size(), 2);
+    EXPECT_TRUE(s.contains(Direction::positive(1)));
+    EXPECT_FALSE(s.contains(Direction::negative(1)));
+    s.erase(Direction::positive(1));
+    EXPECT_FALSE(s.contains(Direction::positive(1)));
+    EXPECT_EQ(s.size(), 1);
+}
+
+TEST(DirectionSet, AllOfDims)
+{
+    const DirectionSet s = DirectionSet::all(3);
+    EXPECT_EQ(s.size(), 6);
+    for (int d = 0; d < 3; ++d) {
+        EXPECT_TRUE(s.contains(Direction::positive(d)));
+        EXPECT_TRUE(s.contains(Direction::negative(d)));
+    }
+    EXPECT_FALSE(s.contains(Direction::positive(3)));
+}
+
+TEST(DirectionSet, SetAlgebra)
+{
+    DirectionSet a;
+    a.insert(Direction::positive(0));
+    a.insert(Direction::positive(1));
+    DirectionSet b;
+    b.insert(Direction::positive(1));
+    b.insert(Direction::negative(2));
+
+    EXPECT_EQ((a | b).size(), 3);
+    EXPECT_EQ((a & b).size(), 1);
+    EXPECT_TRUE((a & b).contains(Direction::positive(1)));
+    EXPECT_EQ((a - b).size(), 1);
+    EXPECT_TRUE((a - b).contains(Direction::positive(0)));
+}
+
+TEST(DirectionSet, IterationInIndexOrder)
+{
+    DirectionSet s;
+    s.insert(Direction::positive(2));
+    s.insert(Direction::negative(0));
+    s.insert(Direction::positive(1));
+    std::vector<int> indices;
+    s.forEach([&](Direction d) { indices.push_back(d.index()); });
+    ASSERT_EQ(indices.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(indices.begin(), indices.end()));
+}
+
+TEST(DirectionSet, FirstIsLowestIndex)
+{
+    DirectionSet s;
+    s.insert(Direction::positive(3));
+    s.insert(Direction::negative(1));
+    EXPECT_EQ(s.first(), Direction::negative(1));
+}
+
+TEST(DirectionSet, ToString)
+{
+    DirectionSet s;
+    s.insert(Direction::negative(0));
+    s.insert(Direction::positive(1));
+    EXPECT_EQ(s.toString(), "{west, north}");
+}
+
+TEST(DirectionSetDeath, FirstOnEmpty)
+{
+    EXPECT_DEATH(DirectionSet().first(), "empty");
+}
+
+TEST(DirectionDeath, LocalHasNoIndex)
+{
+    EXPECT_DEATH(Direction::local().index(), "no index");
+}
+
+TEST(DirectionDeath, LocalHasNoReverse)
+{
+    EXPECT_DEATH(Direction::local().reversed(), "no reverse");
+}
+
+} // namespace
+} // namespace turnnet

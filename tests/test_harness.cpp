@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the sweep/figure harness: deterministic sweeps, the
+ * sustainable-throughput aggregation, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/harness/figures.hpp"
+#include "turnnet/harness/sweep.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+namespace {
+
+SimConfig
+tinyConfig()
+{
+    SimConfig base;
+    base.warmupCycles = 200;
+    base.measureCycles = 1000;
+    base.drainCycles = 2000;
+    base.seed = 5;
+    return base;
+}
+
+TEST(Sweep, RunsOnePointPerLoad)
+{
+    const Mesh mesh(4, 4);
+    const auto sweep = runLoadSweep(
+        mesh, makeRouting("xy"), makeTraffic("uniform", mesh),
+        {0.02, 0.05, 0.08}, tinyConfig());
+    ASSERT_EQ(sweep.size(), 3u);
+    EXPECT_DOUBLE_EQ(sweep[0].offered, 0.02);
+    EXPECT_DOUBLE_EQ(sweep[2].offered, 0.08);
+    for (const SweepPoint &p : sweep) {
+        EXPECT_DOUBLE_EQ(p.result.offeredLoad, p.offered);
+        EXPECT_GT(p.result.packetsMeasured, 0u);
+    }
+}
+
+TEST(Sweep, IsDeterministic)
+{
+    const Mesh mesh(4, 4);
+    auto run = [&]() {
+        return runLoadSweep(mesh, makeRouting("west-first"),
+                            makeTraffic("uniform", mesh),
+                            {0.03, 0.06}, tinyConfig());
+    };
+    const auto a = run();
+    const auto b = run();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].result.avgTotalLatencyUs,
+                         b[i].result.avgTotalLatencyUs);
+        EXPECT_EQ(a[i].result.packetsFinished,
+                  b[i].result.packetsFinished);
+    }
+}
+
+TEST(Sweep, PointsUseDistinctSeeds)
+{
+    // Two points at the same load must not be identical copies.
+    const Mesh mesh(4, 4);
+    const auto sweep = runLoadSweep(
+        mesh, makeRouting("xy"), makeTraffic("uniform", mesh),
+        {0.05, 0.05}, tinyConfig());
+    EXPECT_NE(sweep[0].result.avgTotalLatencyUs,
+              sweep[1].result.avgTotalLatencyUs);
+}
+
+TEST(Sweep, MaxSustainableIgnoresSaturatedPoints)
+{
+    std::vector<SweepPoint> sweep(3);
+    sweep[0].result.sustainable = true;
+    sweep[0].result.acceptedFlitsPerUsec = 100;
+    sweep[1].result.sustainable = true;
+    sweep[1].result.acceptedFlitsPerUsec = 180;
+    sweep[2].result.sustainable = false;
+    sweep[2].result.acceptedFlitsPerUsec = 400;
+    EXPECT_DOUBLE_EQ(maxSustainableThroughput(sweep), 180.0);
+
+    sweep[1].result.deadlocked = true;
+    EXPECT_DOUBLE_EQ(maxSustainableThroughput(sweep), 100.0);
+}
+
+TEST(Sweep, MaxSustainableIsZeroWhenEverythingSaturates)
+{
+    std::vector<SweepPoint> sweep(2);
+    sweep[0].result.sustainable = false;
+    sweep[1].result.sustainable = false;
+    EXPECT_DOUBLE_EQ(maxSustainableThroughput(sweep), 0.0);
+}
+
+TEST(Sweep, BaselineHopsComesFromTheFirstFinishedPoint)
+{
+    std::vector<SweepPoint> sweep(2);
+    sweep[0].result.packetsFinished = 0;
+    sweep[0].result.avgHops = 99.0;
+    sweep[1].result.packetsFinished = 10;
+    sweep[1].result.avgHops = 5.25;
+    EXPECT_DOUBLE_EQ(baselineHops(sweep), 5.25);
+}
+
+TEST(Sweep, TableHasOneRowPerPoint)
+{
+    const Mesh mesh(4, 4);
+    const auto sweep = runLoadSweep(
+        mesh, makeRouting("xy"), makeTraffic("uniform", mesh),
+        {0.02, 0.05}, tinyConfig());
+    const Table table = sweepTable("t", sweep);
+    EXPECT_EQ(table.numRows(), 2u);
+    EXPECT_EQ(table.at(0, 0), "0.0200");
+    const std::string rendered = table.toAligned();
+    EXPECT_NE(rendered.find("latency(us)"), std::string::npos);
+}
+
+TEST(Figures, RunFigureReturnsOneSweepPerAlgorithm)
+{
+    FigureSpec spec = quickened(figureSpec("fig13"));
+    spec.loads = {0.02};
+    SimConfig base = tinyConfig();
+    const auto sweeps = runFigure(spec, base, false);
+    ASSERT_EQ(sweeps.size(), spec.algorithms.size());
+    for (const auto &sweep : sweeps)
+        ASSERT_EQ(sweep.size(), 1u);
+    // Algorithms really differ (names recorded in results).
+    EXPECT_EQ(sweeps[0][0].result.algorithm, "xy");
+    EXPECT_EQ(sweeps[1][0].result.algorithm, "west-first");
+}
+
+TEST(Figures, SpecsUseStrictlyIncreasingLoads)
+{
+    for (const char *id : {"fig13", "fig14", "fig15", "fig16"}) {
+        const FigureSpec spec = figureSpec(id);
+        for (std::size_t i = 1; i < spec.loads.size(); ++i)
+            EXPECT_LT(spec.loads[i - 1], spec.loads[i]) << id;
+    }
+}
+
+} // namespace
+} // namespace turnnet

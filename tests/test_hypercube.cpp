@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the binary n-cube topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/topology/hypercube.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(Hypercube, NamesItself)
+{
+    EXPECT_EQ(Hypercube(8).name(), "binary 8-cube");
+}
+
+TEST(Hypercube, HasPowerOfTwoNodes)
+{
+    EXPECT_EQ(Hypercube(3).numNodes(), 8);
+    EXPECT_EQ(Hypercube(8).numNodes(), 256);
+}
+
+TEST(Hypercube, EveryNodeHasNNeighbors)
+{
+    const Hypercube cube(5);
+    for (NodeId n = 0; n < cube.numNodes(); ++n)
+        EXPECT_EQ(cube.directionsFrom(n).size(), 5);
+}
+
+TEST(Hypercube, NeighborsAreBitFlips)
+{
+    const Hypercube cube(4);
+    const NodeId n = 0b0110;
+    // Bit 0 is 0: positive direction exists, negative does not.
+    EXPECT_EQ(cube.neighbor(n, Direction::positive(0)), 0b0111);
+    EXPECT_EQ(cube.neighbor(n, Direction::negative(0)), kInvalidNode);
+    // Bit 1 is 1: negative direction exists (1 -> 0).
+    EXPECT_EQ(cube.neighbor(n, Direction::negative(1)), 0b0100);
+    EXPECT_EQ(cube.neighbor(n, Direction::positive(1)), kInvalidNode);
+}
+
+TEST(Hypercube, DistanceIsHamming)
+{
+    const Hypercube cube(8);
+    EXPECT_EQ(cube.distance(0b10110101, 0b10110101), 0);
+    EXPECT_EQ(cube.distance(0b10110101, 0b00110100), 2);
+    EXPECT_EQ(cube.distance(0, 0xFF), 8);
+    EXPECT_EQ(Hypercube::hamming(0b101, 0b010), 3);
+}
+
+TEST(Hypercube, StaticBitHelpers)
+{
+    EXPECT_EQ(Hypercube::bit(0b1010, 1), 1);
+    EXPECT_EQ(Hypercube::bit(0b1010, 0), 0);
+    EXPECT_EQ(Hypercube::flip(0b1010, 0), 0b1011);
+    EXPECT_EQ(Hypercube::flip(0b1010, 3), 0b0010);
+}
+
+TEST(Hypercube, AddressStringIsMsbFirst)
+{
+    const Hypercube cube(4);
+    EXPECT_EQ(cube.addressString(0b0101), "0101");
+    EXPECT_EQ(cube.addressString(0b1000), "1000");
+}
+
+TEST(Hypercube, MinimalDirectionsAreDifferingBits)
+{
+    const Hypercube cube(4);
+    const DirectionSet dirs = cube.minimalDirections(0b0011, 0b0110);
+    // Bits 0 (1 -> 0) and 2 (0 -> 1) differ.
+    EXPECT_EQ(dirs.size(), 2);
+    EXPECT_TRUE(dirs.contains(Direction::negative(0)));
+    EXPECT_TRUE(dirs.contains(Direction::positive(2)));
+}
+
+TEST(Hypercube, ChannelCountIsN2n)
+{
+    // n * 2^n unidirectional channels: each node owns n outgoing.
+    const Hypercube cube(6);
+    EXPECT_EQ(cube.numChannels(), 6 * 64);
+    EXPECT_FALSE(cube.hasWrapChannels());
+}
+
+TEST(Hypercube, MeanUniformDistanceIsHalfN)
+{
+    // The paper reports 4.01 hops for uniform traffic in the 8-cube;
+    // the exact mean over distinct pairs is n/2 * 2^n/(2^n - 1).
+    const Hypercube cube(8);
+    double sum = 0.0;
+    for (NodeId a = 0; a < cube.numNodes(); ++a)
+        for (NodeId b = 0; b < cube.numNodes(); ++b)
+            sum += cube.distance(a, b);
+    const double pairs =
+        static_cast<double>(cube.numNodes()) * (cube.numNodes() - 1);
+    EXPECT_NEAR(sum / pairs, 4.0 * 256.0 / 255.0, 1e-9);
+}
+
+} // namespace
+} // namespace turnnet

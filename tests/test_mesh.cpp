@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the n-dimensional mesh topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "turnnet/topology/mesh.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(Mesh, NamesItself)
+{
+    EXPECT_EQ(Mesh(16, 16).name(), "mesh(16x16)");
+    EXPECT_EQ(Mesh({2, 3, 4}).name(), "mesh(2x3x4)");
+}
+
+TEST(Mesh, InteriorNodeHasAllNeighbors)
+{
+    const Mesh mesh(4, 4);
+    const NodeId center = mesh.nodeOf({1, 1});
+    EXPECT_EQ(mesh.neighbor(center, Direction::positive(0)),
+              mesh.nodeOf({2, 1}));
+    EXPECT_EQ(mesh.neighbor(center, Direction::negative(0)),
+              mesh.nodeOf({0, 1}));
+    EXPECT_EQ(mesh.neighbor(center, Direction::positive(1)),
+              mesh.nodeOf({1, 2}));
+    EXPECT_EQ(mesh.neighbor(center, Direction::negative(1)),
+              mesh.nodeOf({1, 0}));
+}
+
+TEST(Mesh, BoundaryNodesLackOutwardNeighbors)
+{
+    const Mesh mesh(4, 4);
+    const NodeId origin = mesh.nodeOf({0, 0});
+    EXPECT_EQ(mesh.neighbor(origin, Direction::negative(0)),
+              kInvalidNode);
+    EXPECT_EQ(mesh.neighbor(origin, Direction::negative(1)),
+              kInvalidNode);
+    const NodeId corner = mesh.nodeOf({3, 3});
+    EXPECT_EQ(mesh.neighbor(corner, Direction::positive(0)),
+              kInvalidNode);
+    EXPECT_EQ(mesh.neighbor(corner, Direction::positive(1)),
+              kInvalidNode);
+}
+
+TEST(Mesh, NodeDegreeRangesFromNTo2N)
+{
+    // Paper, Section 1: nodes have from n to 2n neighbors.
+    const Mesh mesh({3, 3, 3});
+    int min_deg = 100;
+    int max_deg = 0;
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        const int deg = mesh.directionsFrom(n).size();
+        min_deg = std::min(min_deg, deg);
+        max_deg = std::max(max_deg, deg);
+    }
+    EXPECT_EQ(min_deg, 3);
+    EXPECT_EQ(max_deg, 6);
+}
+
+TEST(Mesh, DistanceIsManhattan)
+{
+    const Mesh mesh(8, 8);
+    EXPECT_EQ(mesh.distance(mesh.nodeOf({0, 0}), mesh.nodeOf({7, 7})),
+              14);
+    EXPECT_EQ(mesh.distance(mesh.nodeOf({3, 5}), mesh.nodeOf({5, 2})),
+              5);
+    EXPECT_EQ(mesh.distance(2, 2), 0);
+}
+
+TEST(Mesh, MinimalDirectionsPointAtDestination)
+{
+    const Mesh mesh(4, 4);
+    const NodeId src = mesh.nodeOf({1, 1});
+    DirectionSet dirs =
+        mesh.minimalDirections(src, mesh.nodeOf({3, 0}));
+    EXPECT_EQ(dirs.size(), 2);
+    EXPECT_TRUE(dirs.contains(Direction::positive(0)));
+    EXPECT_TRUE(dirs.contains(Direction::negative(1)));
+    EXPECT_TRUE(mesh.minimalDirections(src, src).empty());
+}
+
+TEST(Mesh, ChannelCountMatchesFormula)
+{
+    // A w x h mesh has 2*(2wh - w - h) unidirectional channels.
+    for (const auto &[w, h] : {std::pair{4, 4}, {8, 8}, {5, 3}}) {
+        const Mesh mesh(w, h);
+        EXPECT_EQ(mesh.numChannels(), 2 * (2 * w * h - w - h))
+            << mesh.name();
+    }
+}
+
+TEST(Mesh, ChannelTableIsConsistent)
+{
+    const Mesh mesh(5, 3);
+    std::set<std::pair<NodeId, int>> seen;
+    for (ChannelId c = 0; c < mesh.numChannels(); ++c) {
+        const Channel &ch = mesh.channel(c);
+        EXPECT_EQ(ch.id, c);
+        EXPECT_EQ(mesh.neighbor(ch.src, ch.dir), ch.dst);
+        EXPECT_FALSE(ch.wrap);
+        EXPECT_EQ(mesh.channelFrom(ch.src, ch.dir), c);
+        // Channels are unique per (src, dir).
+        EXPECT_TRUE(seen.insert({ch.src, ch.dir.index()}).second);
+    }
+    EXPECT_FALSE(mesh.hasWrapChannels());
+}
+
+TEST(Mesh, ChannelsFromAndIntoAgree)
+{
+    const Mesh mesh(4, 4);
+    int from_total = 0;
+    int into_total = 0;
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        from_total += static_cast<int>(mesh.channelsFrom(n).size());
+        into_total += static_cast<int>(mesh.channelsInto(n).size());
+        for (ChannelId c : mesh.channelsFrom(n))
+            EXPECT_EQ(mesh.channel(c).src, n);
+        for (ChannelId c : mesh.channelsInto(n))
+            EXPECT_EQ(mesh.channel(c).dst, n);
+    }
+    EXPECT_EQ(from_total, mesh.numChannels());
+    EXPECT_EQ(into_total, mesh.numChannels());
+}
+
+TEST(Mesh, NeighborRelationIsSymmetric)
+{
+    const Mesh mesh(std::vector<int>{3, 4});
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        mesh.directionsFrom(n).forEach([&](Direction d) {
+            const NodeId m = mesh.neighbor(n, d);
+            ASSERT_NE(m, kInvalidNode);
+            EXPECT_EQ(mesh.neighbor(m, d.reversed()), n);
+        });
+    }
+}
+
+TEST(Mesh, UniformMeanDistanceMatchesClosedForm)
+{
+    // For a k x k mesh the mean Manhattan distance over ordered
+    // pairs (including self) is 2(k^2-1)/(3k); the paper's 10.61
+    // hops for uniform traffic in the 16x16 mesh is this value
+    // (10.625) sampled without self-pairs.
+    const int k = 16;
+    const Mesh mesh(k, k);
+    double sum = 0.0;
+    for (NodeId a = 0; a < mesh.numNodes(); ++a)
+        for (NodeId b = 0; b < mesh.numNodes(); ++b)
+            sum += mesh.distance(a, b);
+    const double mean =
+        sum / (static_cast<double>(mesh.numNodes()) * mesh.numNodes());
+    EXPECT_NEAR(mean, 2.0 * (k * k - 1) / (3.0 * k), 1e-9);
+}
+
+} // namespace
+} // namespace turnnet

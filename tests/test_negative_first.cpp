@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Behavioral tests for negative-first routing (Sections 3.3, 4.1)
+ * and its n-dimensional siblings ABONF and ABOPL.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/analysis/adaptiveness.hpp"
+#include "turnnet/routing/abonf.hpp"
+#include "turnnet/routing/abopl.hpp"
+#include "turnnet/routing/negative_first.hpp"
+#include "turnnet/topology/mesh.hpp"
+
+namespace turnnet {
+namespace {
+
+const Direction kWest = Direction::negative(0);
+const Direction kEast = Direction::positive(0);
+const Direction kSouth = Direction::negative(1);
+const Direction kNorth = Direction::positive(1);
+
+class NegativeFirstTest : public ::testing::Test
+{
+  protected:
+    Mesh mesh_{8, 8};
+    NegativeFirst nf_;
+};
+
+TEST_F(NegativeFirstTest, BothNegativeIsFullyAdaptive)
+{
+    const NodeId src = mesh_.nodeOf({5, 5});
+    const NodeId dst = mesh_.nodeOf({2, 1});
+    const DirectionSet dirs =
+        nf_.route(mesh_, src, dst, Direction::local());
+    EXPECT_EQ(dirs.size(), 2);
+    EXPECT_TRUE(dirs.contains(kWest));
+    EXPECT_TRUE(dirs.contains(kSouth));
+}
+
+TEST_F(NegativeFirstTest, BothPositiveIsFullyAdaptive)
+{
+    const NodeId src = mesh_.nodeOf({2, 2});
+    const NodeId dst = mesh_.nodeOf({5, 6});
+    const DirectionSet dirs =
+        nf_.route(mesh_, src, dst, Direction::local());
+    EXPECT_EQ(dirs.size(), 2);
+    EXPECT_TRUE(dirs.contains(kEast));
+    EXPECT_TRUE(dirs.contains(kNorth));
+}
+
+TEST_F(NegativeFirstTest, MixedQuadrantHasOnePath)
+{
+    // Northwest destination: west first (the only negative need),
+    // then north. One minimal path.
+    const NodeId src = mesh_.nodeOf({5, 2});
+    const NodeId dst = mesh_.nodeOf({2, 6});
+    const DirectionSet dirs =
+        nf_.route(mesh_, src, dst, Direction::local());
+    EXPECT_EQ(dirs.size(), 1);
+    EXPECT_TRUE(dirs.contains(kWest));
+    EXPECT_EQ(countPaths(mesh_, nf_, src, dst), 1.0);
+    EXPECT_EQ(pathsNegativeFirst(mesh_, src, dst), 1.0);
+}
+
+TEST_F(NegativeFirstTest, PositiveArrivalRestrictsToPositives)
+{
+    // Once travelling east (positive phase), a packet can never go
+    // west or south again.
+    const NodeId at = mesh_.nodeOf({4, 4});
+    for (NodeId d = 0; d < mesh_.numNodes(); ++d) {
+        if (d == at)
+            continue;
+        nf_.route(mesh_, at, d, kEast).forEach([&](Direction o) {
+            EXPECT_TRUE(o.isPositive());
+        });
+    }
+}
+
+TEST(Abonf, PhaseOneIsNegativesOfAllButLastDimension)
+{
+    const AllButOneNegativeFirst abonf;
+    EXPECT_EQ(abonf.phaseOne(3).toString(), "{west, south}");
+    EXPECT_EQ(abonf.phaseOne(2).toString(), "{west}");
+}
+
+TEST(Abopl, PhaseOneIsNegativesPlusPositiveDim0)
+{
+    const AllButOnePositiveLast abopl;
+    const DirectionSet p1 = abopl.phaseOne(3);
+    EXPECT_EQ(p1.size(), 4);
+    EXPECT_TRUE(p1.contains(Direction::positive(0)));
+    EXPECT_TRUE(p1.contains(Direction::negative(0)));
+    EXPECT_TRUE(p1.contains(Direction::negative(1)));
+    EXPECT_TRUE(p1.contains(Direction::negative(2)));
+}
+
+TEST(Abonf, RoutesPhaseOneBeforePhaseTwoIn3D)
+{
+    const Mesh mesh({4, 4, 4});
+    const AllButOneNegativeFirst abonf;
+    // Needs -d0, -d1 (phase one) and +d2 (phase two): only the
+    // negatives are offered first, adaptively.
+    const NodeId src = mesh.nodeOf({3, 3, 0});
+    const NodeId dst = mesh.nodeOf({1, 1, 3});
+    const DirectionSet dirs =
+        abonf.route(mesh, src, dst, Direction::local());
+    EXPECT_EQ(dirs.size(), 2);
+    EXPECT_TRUE(dirs.contains(Direction::negative(0)));
+    EXPECT_TRUE(dirs.contains(Direction::negative(1)));
+
+    // Needs -d2 (phase two for ABONF) and +d0: both are phase two,
+    // so both are offered.
+    const NodeId src2 = mesh.nodeOf({0, 2, 3});
+    const NodeId dst2 = mesh.nodeOf({2, 2, 1});
+    const DirectionSet dirs2 =
+        abonf.route(mesh, src2, dst2, Direction::local());
+    EXPECT_EQ(dirs2.size(), 2);
+    EXPECT_TRUE(dirs2.contains(Direction::positive(0)));
+    EXPECT_TRUE(dirs2.contains(Direction::negative(2)));
+}
+
+TEST(Abopl, PositivePhaseIsAdaptiveAmongHighDims)
+{
+    const Mesh mesh({4, 4, 4});
+    const AllButOnePositiveLast abopl;
+    // Needs +d1 and +d2 only: both are phase two and adaptive.
+    const NodeId src = mesh.nodeOf({2, 0, 0});
+    const NodeId dst = mesh.nodeOf({2, 3, 3});
+    const DirectionSet dirs =
+        abopl.route(mesh, src, dst, Direction::local());
+    EXPECT_EQ(dirs.size(), 2);
+    EXPECT_TRUE(dirs.contains(Direction::positive(1)));
+    EXPECT_TRUE(dirs.contains(Direction::positive(2)));
+
+    // Needs -d1 and +d2: the negative (phase one) comes first.
+    const NodeId dst2 = mesh.nodeOf({2, 0, 3});
+    const NodeId src2 = mesh.nodeOf({2, 3, 0});
+    const DirectionSet dirs2 =
+        abopl.route(mesh, src2, dst2, Direction::local());
+    EXPECT_EQ(dirs2.size(), 1);
+    EXPECT_TRUE(dirs2.contains(Direction::negative(1)));
+}
+
+TEST(NegativeFirstND, PathCountIsProductOfLegMultinomials)
+{
+    const Mesh mesh({4, 4, 4});
+    const NegativeFirst nf;
+    // deltas (-2, -1, +2): negative leg C(3,2)=3 orders... the
+    // multinomial 3!/2!1! = 3; positive leg 1. Total 3.
+    const NodeId src = mesh.nodeOf({3, 1, 0});
+    const NodeId dst = mesh.nodeOf({1, 0, 2});
+    EXPECT_EQ(countPaths(mesh, nf, src, dst), 3.0);
+    EXPECT_EQ(pathsNegativeFirst(mesh, src, dst), 3.0);
+    // deltas (+1, +2, +1): single positive leg 4!/1!2!1! = 12.
+    const NodeId dst2 = mesh.nodeOf({3, 3, 3});
+    const NodeId src2 = mesh.nodeOf({2, 1, 2});
+    EXPECT_EQ(countPaths(mesh, nf, src2, dst2), 12.0);
+}
+
+TEST(NegativeFirstND, NonminimalStillRefusesStrandingHops)
+{
+    const Mesh mesh(6, 6);
+    const NegativeFirst nf_nm(false);
+    // Destination strictly northeast (positive phase): a southward
+    // detour would be legal turn-wise from injection, and safe —
+    // south keeps the packet in phase one.
+    const NodeId src = mesh.nodeOf({2, 2});
+    const NodeId dst = mesh.nodeOf({4, 4});
+    const DirectionSet dirs =
+        nf_nm.route(mesh, src, dst, Direction::local());
+    EXPECT_TRUE(dirs.contains(kSouth));
+    EXPECT_TRUE(dirs.contains(kWest));
+    // But once travelling east, unproductive positives that
+    // overshoot the destination row/column are refused because the
+    // packet could never come back.
+    const DirectionSet from_east =
+        nf_nm.route(mesh, mesh.nodeOf({4, 2}), mesh.nodeOf({4, 4}),
+                    kEast);
+    EXPECT_TRUE(from_east.contains(kNorth));
+    EXPECT_FALSE(from_east.contains(kEast)); // would overshoot x=4
+    EXPECT_FALSE(from_east.contains(kWest));
+    EXPECT_FALSE(from_east.contains(kSouth));
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The deadlock-freedom proofs of Theorems 2 and 5, run as property
+ * tests: the channel numberings they construct must be strictly
+ * monotone along every transition the routing relations permit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/routing/fully_adaptive.hpp"
+#include "turnnet/routing/negative_first.hpp"
+#include "turnnet/routing/torus_extensions.hpp"
+#include "turnnet/routing/west_first.hpp"
+#include "turnnet/routing/dimension_order.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+#include "turnnet/turnmodel/numbering.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(Theorem2, WestFirstFollowsStrictlyDecreasingNumbers)
+{
+    const WestFirstNumbering numbering;
+    const WestFirst west_first;
+    for (const auto &[w, h] :
+         {std::pair{4, 4}, {8, 8}, {5, 3}, {3, 7}}) {
+        const Mesh mesh(w, h);
+        MonotonicViolation v;
+        EXPECT_TRUE(verifyMonotonic(mesh, west_first, numbering, &v))
+            << mesh.name() << ": channel " << v.in << " -> " << v.out
+            << " for dest " << v.dest;
+    }
+}
+
+TEST(Theorem2, XyAlsoFollowsTheWestFirstNumbering)
+{
+    // xy's permitted turns are a subset of west-first's, so the same
+    // numbering witnesses its deadlock freedom.
+    const WestFirstNumbering numbering;
+    const DimensionOrder xy("xy");
+    EXPECT_TRUE(verifyMonotonic(Mesh(6, 6), xy, numbering));
+}
+
+TEST(Theorem2, FullyAdaptiveViolatesTheNumbering)
+{
+    const WestFirstNumbering numbering;
+    const FullyAdaptive adaptive;
+    const Mesh mesh(4, 4);
+    MonotonicViolation v;
+    EXPECT_FALSE(verifyMonotonic(mesh, adaptive, numbering, &v));
+    // The counterexample is a real transition on real channels.
+    EXPECT_NE(v.in, kInvalidChannel);
+    EXPECT_NE(v.out, kInvalidChannel);
+    EXPECT_EQ(mesh.channel(v.in).dst, mesh.channel(v.out).src);
+}
+
+TEST(Theorem2, NumberingKeysMatchConstruction)
+{
+    // Westward channels sit above all others and decrease westward;
+    // within the non-west tier, keys decrease eastward.
+    const Mesh mesh(4, 4);
+    const WestFirstNumbering numbering;
+
+    const ChannelId west_from_3 =
+        mesh.channelFrom(mesh.nodeOf({3, 1}), Direction::negative(0));
+    const ChannelId west_from_2 =
+        mesh.channelFrom(mesh.nodeOf({2, 1}), Direction::negative(0));
+    const ChannelId east_from_0 =
+        mesh.channelFrom(mesh.nodeOf({0, 1}), Direction::positive(0));
+    const ChannelId east_from_2 =
+        mesh.channelFrom(mesh.nodeOf({2, 1}), Direction::positive(0));
+    const ChannelId north_col_0 =
+        mesh.channelFrom(mesh.nodeOf({0, 1}), Direction::positive(1));
+
+    EXPECT_GT(numbering.key(mesh, west_from_3),
+              numbering.key(mesh, west_from_2));
+    EXPECT_GT(numbering.key(mesh, west_from_2),
+              numbering.key(mesh, east_from_0));
+    EXPECT_GT(numbering.key(mesh, east_from_0),
+              numbering.key(mesh, east_from_2));
+    // Vertical channels of a column sit above the eastward channel
+    // leaving it.
+    EXPECT_GT(numbering.key(mesh, north_col_0),
+              numbering.key(mesh, east_from_0));
+}
+
+TEST(Theorem5, NegativeFirstFollowsStrictlyIncreasingNumbers)
+{
+    const NegativeFirstNumbering numbering;
+    const NegativeFirst nf;
+    EXPECT_TRUE(verifyMonotonic(Mesh(6, 6), nf, numbering));
+    EXPECT_TRUE(verifyMonotonic(Mesh(std::vector<int>{3, 4, 3}), nf,
+                                numbering));
+    EXPECT_TRUE(verifyMonotonic(Mesh(std::vector<int>{4, 3}), nf,
+                                numbering));
+}
+
+TEST(Theorem5, PcubeOnHypercubesFollowsTheNumbering)
+{
+    const NegativeFirstNumbering numbering;
+    const NegativeFirst nf;
+    EXPECT_TRUE(verifyMonotonic(Hypercube(4), nf, numbering));
+    EXPECT_TRUE(verifyMonotonic(Hypercube(6), nf, numbering));
+}
+
+TEST(Theorem5, NonminimalNegativeFirstAlsoMonotone)
+{
+    // The proof does not depend on minimality: the nonminimal
+    // variant routes along strictly increasing numbers too, which is
+    // what makes it livelock free (Section 2).
+    const NegativeFirstNumbering numbering;
+    const NegativeFirst nf_nonminimal(false);
+    EXPECT_TRUE(verifyMonotonic(Mesh(4, 4), nf_nonminimal, numbering));
+    EXPECT_TRUE(
+        verifyMonotonic(Hypercube(4), nf_nonminimal, numbering));
+}
+
+TEST(Theorem5, KeysAreKMinusNPlusMinusX)
+{
+    const Mesh mesh(4, 4); // K = 8, n = 2, K - n = 6
+    const NegativeFirstNumbering numbering;
+    const NodeId node = mesh.nodeOf({2, 1}); // X = 3
+    const ChannelId pos =
+        mesh.channelFrom(node, Direction::positive(0));
+    const ChannelId neg =
+        mesh.channelFrom(node, Direction::negative(1));
+    EXPECT_EQ(numbering.key(mesh, pos), 6u + 3u);
+    EXPECT_EQ(numbering.key(mesh, neg), 6u - 3u);
+}
+
+TEST(Section42, ClassifiedWrapNumberingCoversTheTorus)
+{
+    // The K - n +- X numbering classifies wraparound channels by
+    // coordinate change, witnessing deadlock freedom of the
+    // negative-first torus extension.
+    const NegativeFirstNumbering numbering;
+    const NegativeFirstTorus nf_torus;
+    EXPECT_TRUE(verifyMonotonic(Torus(4, 2), nf_torus, numbering));
+    EXPECT_TRUE(verifyMonotonic(Torus(5, 2), nf_torus, numbering));
+    EXPECT_TRUE(
+        verifyMonotonic(Torus(std::vector<int>{3, 4, 3}), nf_torus,
+                        numbering));
+}
+
+TEST(Section42, WrapChannelsClassifyByCoordinateChange)
+{
+    const Torus torus(4, 2);
+    const NegativeFirstNumbering numbering;
+    // The wrap channel out of (3,0) through the positive port lands
+    // at (0,0): coordinate decreases, so it is numbered like a
+    // negative channel: K - n - X = 8 - 2 - 3 = 3.
+    const ChannelId wrap = torus.channelFrom(
+        torus.nodeOf({3, 0}), Direction::positive(0));
+    ASSERT_TRUE(torus.channel(wrap).wrap);
+    EXPECT_EQ(numbering.key(torus, wrap), 3u);
+}
+
+} // namespace
+} // namespace turnnet

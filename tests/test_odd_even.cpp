@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the odd-even turn model extension: parity rules,
+ * deadlock freedom by exact (node-dependent) dependency analysis,
+ * no stranding, and the evenness-of-adaptivity property that
+ * motivates it over west-first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/analysis/adaptiveness.hpp"
+#include "turnnet/analysis/cdg.hpp"
+#include "turnnet/analysis/path_enum.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/odd_even.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+namespace {
+
+const Direction kWest = Direction::negative(0);
+const Direction kEast = Direction::positive(0);
+const Direction kSouth = Direction::negative(1);
+const Direction kNorth = Direction::positive(1);
+
+TEST(OddEvenRules, ParityOfTheColumnDecides)
+{
+    const Mesh mesh(6, 6);
+    const NodeId even_col = mesh.nodeOf({2, 3});
+    const NodeId odd_col = mesh.nodeOf({3, 3});
+
+    // Even columns: no turns out of east.
+    EXPECT_FALSE(
+        OddEven::turnAllowed(mesh, even_col, kEast, kNorth));
+    EXPECT_FALSE(
+        OddEven::turnAllowed(mesh, even_col, kEast, kSouth));
+    EXPECT_TRUE(OddEven::turnAllowed(mesh, odd_col, kEast, kNorth));
+    EXPECT_TRUE(OddEven::turnAllowed(mesh, odd_col, kEast, kSouth));
+
+    // Odd columns: no turns into west.
+    EXPECT_FALSE(
+        OddEven::turnAllowed(mesh, odd_col, kNorth, kWest));
+    EXPECT_FALSE(
+        OddEven::turnAllowed(mesh, odd_col, kSouth, kWest));
+    EXPECT_TRUE(
+        OddEven::turnAllowed(mesh, even_col, kNorth, kWest));
+    EXPECT_TRUE(
+        OddEven::turnAllowed(mesh, even_col, kSouth, kWest));
+
+    // Straight always; reversal never; injection anything.
+    EXPECT_TRUE(OddEven::turnAllowed(mesh, even_col, kEast, kEast));
+    EXPECT_FALSE(
+        OddEven::turnAllowed(mesh, even_col, kNorth, kSouth));
+    EXPECT_TRUE(OddEven::turnAllowed(mesh, even_col,
+                                     Direction::local(), kWest));
+    // The remaining turns (out of west, out of north/south into
+    // east) are allowed everywhere.
+    EXPECT_TRUE(OddEven::turnAllowed(mesh, even_col, kWest, kNorth));
+    EXPECT_TRUE(OddEven::turnAllowed(mesh, odd_col, kWest, kSouth));
+    EXPECT_TRUE(OddEven::turnAllowed(mesh, odd_col, kNorth, kEast));
+}
+
+TEST(OddEvenCdg, AcyclicOnMeshesOfBothParities)
+{
+    const OddEven oe;
+    for (const auto &[w, h] :
+         {std::pair{4, 4}, {5, 5}, {6, 3}, {7, 4}, {2, 6}}) {
+        const Mesh mesh(w, h);
+        const CdgReport report = analyzeDependencies(mesh, oe);
+        EXPECT_TRUE(report.acyclic)
+            << mesh.name() << ": " << report.cycleToString(mesh);
+    }
+    EXPECT_TRUE(isDeadlockFree(Mesh(5, 5), OddEven(false)));
+}
+
+TEST(OddEvenRouting, AllPairsRoutableAndMinimal)
+{
+    const Mesh mesh(6, 5);
+    const OddEven oe;
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const auto path = tracePath(mesh, oe, s, d);
+            EXPECT_EQ(static_cast<int>(path.size()) - 1,
+                      mesh.distance(s, d))
+                << s << " -> " << d;
+        }
+    }
+}
+
+TEST(OddEvenRouting, NoStrandingMidRoute)
+{
+    // Every state the relation reaches must offer another hop: the
+    // reachability guard prevents e.g. turning north in a column
+    // from which the destination would need a forbidden west turn.
+    const Mesh mesh(6, 6);
+    const OddEven oe;
+    for (NodeId s = 0; s < mesh.numNodes(); s += 3) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            std::vector<std::pair<NodeId, Direction>> stack{
+                {s, Direction::local()}};
+            while (!stack.empty()) {
+                const auto [v, in] = stack.back();
+                stack.pop_back();
+                if (v == d)
+                    continue;
+                const DirectionSet outs = oe.route(mesh, v, d, in);
+                ASSERT_FALSE(outs.empty())
+                    << "stranded at " << v << " for " << d;
+                outs.forEach([&](Direction o) {
+                    stack.push_back({mesh.neighbor(v, o), o});
+                });
+            }
+        }
+    }
+}
+
+TEST(OddEvenRouting, EastboundAdaptivityDependsOnSourceParity)
+{
+    // The signature odd-even behavior: an eastbound packet may only
+    // leave the east direction in odd columns, so which shortest
+    // paths exist depends on column parities — unlike west-first,
+    // where every eastbound pair is fully adaptive.
+    const Mesh mesh(8, 8);
+    const OddEven oe;
+    // Even-column node travelling east cannot turn off.
+    const DirectionSet even_mid = oe.route(
+        mesh, mesh.nodeOf({2, 2}), mesh.nodeOf({5, 5}), kEast);
+    EXPECT_TRUE(even_mid.contains(kEast));
+    EXPECT_FALSE(even_mid.contains(kNorth));
+    // Odd-column node travelling east can.
+    const DirectionSet odd_mid = oe.route(
+        mesh, mesh.nodeOf({3, 2}), mesh.nodeOf({5, 5}), kEast);
+    EXPECT_TRUE(odd_mid.contains(kNorth));
+}
+
+TEST(OddEvenAdaptiveness, MoreEvenlySpreadThanWestFirst)
+{
+    // Chiu's motivation: west-first gives half the pairs full
+    // adaptivity and the other half a single path; odd-even gives
+    // most pairs a moderate number of paths. Concretely: a much
+    // smaller fraction of pairs is stuck with exactly one path.
+    const Mesh mesh(8, 8);
+    const auto oe =
+        summarizeAdaptiveness(mesh, *makeRouting("odd-even"));
+    const auto wf =
+        summarizeAdaptiveness(mesh, *makeRouting("west-first"));
+    EXPECT_LT(oe.singlePathFraction,
+              wf.singlePathFraction * 0.55);
+    // Both are partially adaptive: strictly between xy and fully
+    // adaptive in mean path count.
+    EXPECT_GT(oe.meanPaths, 1.0);
+    EXPECT_LT(oe.meanPaths, wf.meanFullyAdaptive);
+}
+
+TEST(OddEvenSim, DeliversUnderStressWithoutWedging)
+{
+    const Mesh mesh(4, 4);
+    SimConfig config;
+    config.load = 0.5;
+    config.lengths = MessageLengthMix::fixed(200);
+    config.watchdogCycles = 8000;
+    config.warmupCycles = 100;
+    config.measureCycles = 15000;
+    config.drainCycles = 100;
+    config.seed = 3;
+    Simulator sim(mesh, makeRouting("odd-even"),
+                  makeTraffic("uniform", mesh), config);
+    const SimResult result = sim.run();
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_GT(result.packetsFinished, 50u);
+}
+
+TEST(OddEvenChecks, RejectsWrongTopologies)
+{
+    EXPECT_DEATH(OddEven().checkTopology(Hypercube(3)),
+                 "2D meshes");
+    EXPECT_DEATH(OddEven().checkTopology(Torus(4, 2)), "2D meshes");
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for path tracing, choice tracing, and ASCII rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/analysis/path_enum.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/mesh.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(TracePath, XyFollowsTheDimensionOrder)
+{
+    const Mesh mesh(4, 4);
+    const RoutingPtr xy = makeRouting("xy");
+    const auto path = tracePath(mesh, *xy, mesh.nodeOf({0, 0}),
+                                mesh.nodeOf({2, 2}));
+    const std::vector<NodeId> expected{
+        mesh.nodeOf({0, 0}), mesh.nodeOf({1, 0}),
+        mesh.nodeOf({2, 0}), mesh.nodeOf({2, 1}),
+        mesh.nodeOf({2, 2})};
+    EXPECT_EQ(path, expected);
+}
+
+TEST(TracePath, SelectorControlsAdaptiveChoices)
+{
+    const Mesh mesh(4, 4);
+    const RoutingPtr nf = makeRouting("negative-first");
+    // Northeast destination: NF is fully adaptive; force north
+    // whenever possible.
+    const auto prefer_north = [](NodeId, DirectionSet c) {
+        return c.contains(Direction::positive(1))
+                   ? Direction::positive(1)
+                   : c.first();
+    };
+    const auto path =
+        tracePath(mesh, *nf, mesh.nodeOf({0, 0}),
+                  mesh.nodeOf({2, 2}), prefer_north);
+    EXPECT_EQ(path[1], mesh.nodeOf({0, 1}));
+    EXPECT_EQ(path[2], mesh.nodeOf({0, 2}));
+    EXPECT_EQ(path.size(), 5u);
+}
+
+TEST(TraceChoices, CountsMinimalAndExtraOptions)
+{
+    const Mesh mesh(6, 6);
+    const RoutingPtr wf = makeRouting("west-first", 2, true);
+    const RoutingPtr wf_nm = makeRouting("west-first", 2, false);
+    // (1,1) -> (3,2): adaptive among east/north.
+    const auto rows =
+        traceChoices(mesh, *wf, *wf_nm, mesh.nodeOf({1, 1}),
+                     mesh.nodeOf({3, 2}), {0, 0, 1});
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].minimalChoices, 2); // east or north
+    EXPECT_GE(rows[0].nonminimalExtras, 1); // south detour is legal
+    EXPECT_EQ(rows[2].minimalChoices, 1); // only north remains
+}
+
+TEST(RenderPath, MarksEndpointsAndArrows)
+{
+    const Mesh mesh(4, 4);
+    const RoutingPtr xy = makeRouting("xy");
+    const auto path = tracePath(mesh, *xy, mesh.nodeOf({0, 3}),
+                                mesh.nodeOf({3, 0}));
+    const std::string art = renderPath2D(mesh, path);
+    EXPECT_NE(art.find('S'), std::string::npos);
+    EXPECT_NE(art.find('D'), std::string::npos);
+    EXPECT_NE(art.find("-->"), std::string::npos);
+    EXPECT_NE(art.find('v'), std::string::npos);
+    // 4 columns of nodes -> 13-character lines, 7 rows.
+    EXPECT_EQ(art.find('\n'), 13u);
+}
+
+TEST(RenderPath, WestwardAndNorthwardArrows)
+{
+    const Mesh mesh(3, 3);
+    const RoutingPtr xy = makeRouting("xy");
+    const auto path = tracePath(mesh, *xy, mesh.nodeOf({2, 0}),
+                                mesh.nodeOf({0, 2}));
+    const std::string art = renderPath2D(mesh, path);
+    EXPECT_NE(art.find("<--"), std::string::npos);
+    EXPECT_NE(art.find('^'), std::string::npos);
+}
+
+TEST(TracePathDeath, SelectorMustPickACandidate)
+{
+    const Mesh mesh(3, 3);
+    const RoutingPtr xy = makeRouting("xy");
+    const auto bad = [](NodeId, DirectionSet) {
+        return Direction::positive(1);
+    };
+    EXPECT_DEATH(tracePath(mesh, *xy, mesh.nodeOf({0, 0}),
+                           mesh.nodeOf({2, 0}), bad),
+                 "non-candidate");
+}
+
+TEST(TraceChoicesDeath, RejectsIllegalDimensions)
+{
+    const Mesh mesh(4, 4);
+    const RoutingPtr xy = makeRouting("xy");
+    EXPECT_DEATH(traceChoices(mesh, *xy, *xy, mesh.nodeOf({0, 0}),
+                              mesh.nodeOf({2, 0}), {1, 0}),
+                 "not a permitted hop");
+}
+
+} // namespace
+} // namespace turnnet

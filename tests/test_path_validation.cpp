@@ -1,0 +1,166 @@
+/**
+ * @file
+ * End-to-end path validation: record the channel sequence every
+ * simulated packet actually takes and replay it against the routing
+ * relation — each hop must have been a permitted candidate given
+ * the previous hop's direction, and minimal algorithms' paths must
+ * be shortest. This closes the loop between the router
+ * implementation and the routing relations: the simulator cannot
+ * take a turn the algorithm prohibits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+namespace {
+
+/** Replay a recorded channel path against the relation. */
+void
+validatePath(const Topology &topo, const RoutingFunction &routing,
+             const PacketInfo &info,
+             const std::vector<ChannelId> &path)
+{
+    ASSERT_FALSE(path.empty());
+    NodeId at = info.src;
+    Direction in_dir = Direction::local();
+    for (const ChannelId ch_id : path) {
+        const Channel &ch = topo.channel(ch_id);
+        ASSERT_EQ(ch.src, at) << "path is not connected";
+        const DirectionSet permitted =
+            routing.route(topo, at, info.dest, in_dir);
+        EXPECT_TRUE(permitted.contains(ch.dir))
+            << routing.name() << ": hop " << ch.dir.toString()
+            << " at node " << at << " toward " << info.dest
+            << " was not permitted (arrived "
+            << in_dir.toString() << ")";
+        at = ch.dst;
+        in_dir = ch.dir;
+    }
+    EXPECT_EQ(at, info.dest);
+    if (routing.isMinimal()) {
+        EXPECT_EQ(static_cast<int>(path.size()),
+                  topo.distance(info.src, info.dest));
+    }
+}
+
+class PathValidation
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PathValidation, EverySimulatedHopIsPermitted)
+{
+    const Mesh mesh(5, 5);
+    const RoutingPtr routing = makeRouting(GetParam(), 2);
+
+    SimConfig config;
+    config.load = 0.0;
+    config.recordPaths = true;
+    config.watchdogCycles = 50000;
+    Simulator sim(mesh, routing, nullptr, config);
+
+    int validated = 0;
+    sim.onDelivered = [&](const PacketInfo &info, Cycle) {
+        validatePath(mesh, *routing, info, sim.pathOf(info.id));
+        ++validated;
+    };
+
+    // A crossing mix of packets to create real contention (and
+    // therefore real adaptive choices), plus an all-pairs sprinkle.
+    for (int i = 0; i < 5; ++i) {
+        sim.injectMessage(mesh.nodeOf({0, i}), mesh.nodeOf({4, i}),
+                          30);
+        sim.injectMessage(mesh.nodeOf({4 - i, 4}),
+                          mesh.nodeOf({i, 0}), 30);
+    }
+    for (NodeId s = 0; s < mesh.numNodes(); s += 2) {
+        for (NodeId d = 0; d < mesh.numNodes(); d += 3) {
+            if (s != d)
+                sim.injectMessage(s, d, 5);
+        }
+    }
+    ASSERT_TRUE(sim.runUntilIdle(100000));
+    EXPECT_GT(validated, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, PathValidation,
+    ::testing::Values("xy", "west-first", "north-last",
+                      "negative-first", "odd-even",
+                      "fully-adaptive"),
+    [](const auto &info) {
+        std::string name = info.param;
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+TEST(PathValidationStress, RandomTrafficUnderLoad)
+{
+    // With generated traffic at moderate load, adaptive choices are
+    // exercised heavily; every delivered path must still replay.
+    const Mesh mesh(6, 6);
+    const RoutingPtr routing = makeRouting("west-first");
+    SimConfig config;
+    config.load = 0.15;
+    config.lengths = MessageLengthMix::fixed(20);
+    config.recordPaths = true;
+    config.warmupCycles = 0;
+    config.measureCycles = 3000;
+    config.drainCycles = 5000;
+    config.seed = 13;
+    Simulator sim(mesh, routing, makeTraffic("uniform", mesh),
+                  config);
+    int validated = 0;
+    sim.onDelivered = [&](const PacketInfo &info, Cycle) {
+        validatePath(mesh, *routing, info, sim.pathOf(info.id));
+        ++validated;
+    };
+    sim.run();
+    EXPECT_GT(validated, 200);
+}
+
+TEST(PathValidationCube, PcubeOnTheHypercube)
+{
+    const Hypercube cube(4);
+    const RoutingPtr routing = makeRouting("p-cube", 4);
+    SimConfig config;
+    config.load = 0.0;
+    config.recordPaths = true;
+    config.watchdogCycles = 50000;
+    Simulator sim(cube, routing, nullptr, config);
+    int validated = 0;
+    sim.onDelivered = [&](const PacketInfo &info, Cycle) {
+        validatePath(cube, *routing, info, sim.pathOf(info.id));
+        ++validated;
+    };
+    for (NodeId s = 0; s < cube.numNodes(); ++s) {
+        for (NodeId d = 0; d < cube.numNodes(); ++d) {
+            if (s != d)
+                sim.injectMessage(s, d, 6);
+        }
+    }
+    ASSERT_TRUE(sim.runUntilIdle(100000));
+    EXPECT_EQ(validated, 16 * 15);
+}
+
+TEST(PathRecording, RequiresTheConfigFlag)
+{
+    const Mesh mesh(3, 3);
+    SimConfig config;
+    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+    EXPECT_DEATH(sim.pathOf(1), "recordPaths");
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for p-cube routing (Section 5), including the paper's
+ * worked example in a binary 10-cube.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/analysis/adaptiveness.hpp"
+#include "turnnet/analysis/path_enum.hpp"
+#include "turnnet/routing/negative_first.hpp"
+#include "turnnet/routing/pcube.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+
+namespace turnnet {
+namespace {
+
+/** The paper's example addresses (written MSB first). */
+constexpr std::uint32_t kSrc = 0b1011010100;
+constexpr std::uint32_t kDst = 0b0010111001;
+
+TEST(PcubeMask, MinimalPhaseOneThenPhaseTwo)
+{
+    // Phase one: bits where c = 1 and d = 0.
+    EXPECT_EQ(pcubeMinimalMask(kSrc, kDst, 10),
+              kSrc & ~kDst & 0x3FF);
+    // At the destination of phase one, the mask switches to the
+    // 0 -> 1 bits.
+    const std::uint32_t after_phase1 = kSrc & kDst;
+    EXPECT_EQ(pcubeMinimalMask(after_phase1, kDst, 10),
+              ~after_phase1 & kDst & 0x3FF);
+}
+
+TEST(PcubeMask, NonminimalExtrasAreOnesInBoth)
+{
+    EXPECT_EQ(pcubeNonminimalExtraMask(kSrc, kDst, 10),
+              kSrc & kDst & 0x3FF);
+    // No extras once phase one is finished.
+    const std::uint32_t aligned_down = kSrc & kDst;
+    EXPECT_EQ(pcubeNonminimalExtraMask(aligned_down, kDst, 10), 0u);
+}
+
+TEST(PcubePaths, CountIsH1FactorialTimesH0Factorial)
+{
+    // The example: h = 6, h1 = 3, h0 = 3 -> 3! * 3! = 36 shortest
+    // paths, versus 6! = 720 for fully adaptive.
+    EXPECT_EQ(pcubePathCount(kSrc, kDst, 10), 36.0);
+    const Hypercube cube(10);
+    const PCube pcube;
+    EXPECT_EQ(countPaths(cube, pcube, kSrc, kDst), 36.0);
+    EXPECT_EQ(pathsFullyAdaptive(cube, kSrc, kDst), 720.0);
+}
+
+TEST(PcubePaths, MatchesEnumerationForAllPairsInA5Cube)
+{
+    const Hypercube cube(5);
+    const PCube pcube;
+    for (NodeId s = 0; s < cube.numNodes(); ++s) {
+        for (NodeId d = 0; d < cube.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(countPaths(cube, pcube, s, d),
+                      pcubePathCount(s, d, 5))
+                << s << " -> " << d;
+        }
+    }
+}
+
+TEST(PcubeTable, ReproducesTheSection5ChoiceCounts)
+{
+    // The paper's table: from 1011010100 to 0010111001 along
+    // dimensions 2, 9, 6, 5, 0, 3 the minimal choice counts are
+    // 3, 2, 1, 3, 2, 1 and the nonminimal extras 2, 2, 2, 0, 0, 0.
+    const Hypercube cube(10);
+    const PCube minimal(true);
+    const PCubeFigure12 nonminimal;
+    const std::vector<int> dims{2, 9, 6, 5, 0, 3};
+    const auto rows = traceChoices(cube, minimal, nonminimal, kSrc,
+                                   kDst, dims);
+    ASSERT_EQ(rows.size(), 6u);
+    const int expected_min[] = {3, 2, 1, 3, 2, 1};
+    const int expected_extra[] = {2, 2, 2, 0, 0, 0};
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_EQ(rows[i].minimalChoices, expected_min[i]) << i;
+        EXPECT_EQ(rows[i].nonminimalExtras, expected_extra[i]) << i;
+        EXPECT_EQ(rows[i].dimensionTaken, dims[i]);
+    }
+    // And the intermediate addresses match the table.
+    EXPECT_EQ(cube.addressString(rows[1].node), "1011010000");
+    EXPECT_EQ(cube.addressString(rows[3].node), "0010010000");
+}
+
+TEST(Pcube, EquivalentToNegativeFirstOnHypercubes)
+{
+    const Hypercube cube(5);
+    const PCube pcube;
+    const NegativeFirst nf;
+    for (NodeId s = 0; s < cube.numNodes(); ++s) {
+        for (NodeId d = 0; d < cube.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(
+                pcube.route(cube, s, d, Direction::local()).mask(),
+                nf.route(cube, s, d, Direction::local()).mask());
+        }
+    }
+}
+
+TEST(Pcube, MinimalRouteMatchesFigure11Mask)
+{
+    const Hypercube cube(6);
+    const PCube pcube;
+    for (NodeId s = 0; s < cube.numNodes(); ++s) {
+        for (NodeId d = 0; d < cube.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const std::uint32_t mask = pcubeMinimalMask(s, d, 6);
+            DirectionSet expected;
+            for (int i = 0; i < 6; ++i) {
+                if (!((mask >> i) & 1))
+                    continue;
+                expected.insert(Hypercube::bit(s, i)
+                                    ? Direction::negative(i)
+                                    : Direction::positive(i));
+            }
+            EXPECT_EQ(pcube.route(cube, s, d, Direction::local()),
+                      expected)
+                << s << " -> " << d;
+        }
+    }
+}
+
+TEST(Pcube, NonminimalRouteCoversFigure12Mask)
+{
+    // Figure 12 phase-one extras (dimensions with c_i = d_i = 1)
+    // are a subset of the turn-legal nonminimal relation.
+    const Hypercube cube(5);
+    const PCube pcube_nm(false);
+    for (NodeId s = 0; s < cube.numNodes(); ++s) {
+        for (NodeId d = 0; d < cube.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const std::uint32_t extras =
+                pcubeNonminimalExtraMask(s, d, 5);
+            const DirectionSet offered =
+                pcube_nm.route(cube, s, d, Direction::local());
+            for (int i = 0; i < 5; ++i) {
+                if ((extras >> i) & 1) {
+                    EXPECT_TRUE(
+                        offered.contains(Direction::negative(i)))
+                        << s << " -> " << d << " dim " << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(Pcube, Figure12IsASubsetOfTheMaximalNonminimalRelation)
+{
+    const Hypercube cube(5);
+    const PCubeFigure12 fig12;
+    const PCube maximal(false);
+    for (NodeId s = 0; s < cube.numNodes(); ++s) {
+        for (NodeId d = 0; d < cube.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const DirectionSet narrow =
+                fig12.route(cube, s, d, Direction::local());
+            const DirectionSet wide =
+                maximal.route(cube, s, d, Direction::local());
+            EXPECT_EQ((narrow - wide).size(), 0)
+                << s << " -> " << d;
+        }
+    }
+}
+
+TEST(PcubeChecks, RejectsNonHypercubes)
+{
+    EXPECT_DEATH(PCube().checkTopology(Mesh(4, 4)), "hypercube");
+}
+
+} // namespace
+} // namespace turnnet

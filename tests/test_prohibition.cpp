@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The Section 3 claim, verified computationally: of the 16 ways to
+ * prohibit one turn from each abstract cycle of a 2D mesh, exactly
+ * 12 prevent deadlock (Figure 4 shows a failing one), and the 12
+ * fall into 3 classes under the symmetry of the mesh — west-first,
+ * north-last, and negative-first.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "turnnet/analysis/cdg.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/turnmodel/prohibition.hpp"
+#include "turnnet/turnmodel/turn_routing.hpp"
+
+namespace turnnet {
+namespace {
+
+const Direction kWest = Direction::negative(0);
+const Direction kEast = Direction::positive(0);
+const Direction kSouth = Direction::negative(1);
+const Direction kNorth = Direction::positive(1);
+
+TEST(TwoTurnChoices, ThereAreSixteen)
+{
+    EXPECT_EQ(enumerateTwoTurnChoices().size(), 16u);
+}
+
+TEST(TwoTurnChoices, EachBreaksBothAbstractCycles)
+{
+    for (const TwoTurnChoice &choice : enumerateTwoTurnChoices()) {
+        EXPECT_TRUE(breaksAllCycles(choice.turns))
+            << choice.toString();
+        EXPECT_EQ(choice.turns.prohibited90().size(), 2u);
+    }
+}
+
+TEST(TwoTurnChoices, ExactlyTwelveAreDeadlockFree)
+{
+    // Breaking both abstract cycles is necessary but not sufficient
+    // (Figure 4): the channel dependency graph decides.
+    const Mesh mesh(5, 5);
+    int deadlock_free = 0;
+    for (const TwoTurnChoice &choice : enumerateTwoTurnChoices()) {
+        const TurnSetRouting routing(choice.toString(), choice.turns,
+                                     true);
+        deadlock_free += isDeadlockFree(mesh, routing);
+    }
+    EXPECT_EQ(deadlock_free, 12);
+}
+
+TEST(TwoTurnChoices, Figure4ChoiceDeadlocks)
+{
+    // Figure 4 prohibits east->north (from the counterclockwise
+    // cycle) and west->north... the paper's illustration prohibits
+    // one left turn and one right turn whose remaining turns still
+    // compose both cycles. The classic failing pair keeps three
+    // left turns equivalent to the prohibited right turn: prohibit
+    // north->east (cw) and east->north (ccw).
+    TurnSet turns(2, true);
+    turns.prohibit(Turn(kNorth, kEast));
+    turns.prohibit(Turn(kEast, kNorth));
+    EXPECT_TRUE(breaksAllCycles(turns));
+
+    const Mesh mesh(5, 5);
+    const TurnSetRouting routing("figure4", turns, true);
+    const CdgReport report = analyzeDependencies(mesh, routing);
+    EXPECT_FALSE(report.acyclic);
+    EXPECT_FALSE(report.cycle.empty());
+}
+
+TEST(TwoTurnChoices, DeadlockFreedomAgreesAcrossMeshSizes)
+{
+    // The verdict for each choice must not depend on the mesh size.
+    const Mesh small(4, 4);
+    const Mesh rect(6, 3);
+    for (const TwoTurnChoice &choice : enumerateTwoTurnChoices()) {
+        const TurnSetRouting routing(choice.toString(), choice.turns,
+                                     true);
+        EXPECT_EQ(isDeadlockFree(small, routing),
+                  isDeadlockFree(rect, routing))
+            << choice.toString();
+    }
+}
+
+TEST(TwoTurnChoices, TwelveGoodChoicesFormThreeSymmetryClasses)
+{
+    const Mesh mesh(5, 5);
+    std::set<std::string> good_classes;
+    std::set<std::string> bad_classes;
+    for (const TwoTurnChoice &choice : enumerateTwoTurnChoices()) {
+        const TurnSetRouting routing(choice.toString(), choice.turns,
+                                     true);
+        if (isDeadlockFree(mesh, routing))
+            good_classes.insert(symmetryClass(choice));
+        else
+            bad_classes.insert(symmetryClass(choice));
+    }
+    EXPECT_EQ(good_classes.size(), 3u);
+    EXPECT_EQ(bad_classes.size(), 1u);
+}
+
+TEST(TwoTurnChoices, NamedAlgorithmsAreAmongTheTwelve)
+{
+    // Find the choices that equal the west-first, north-last, and
+    // negative-first turn sets; all must be deadlock free and in
+    // distinct symmetry classes.
+    const Mesh mesh(5, 5);
+    std::map<std::string, std::string> class_of;
+    for (const TwoTurnChoice &choice : enumerateTwoTurnChoices()) {
+        const TurnSetRouting routing(choice.toString(), choice.turns,
+                                     true);
+        const bool free = isDeadlockFree(mesh, routing);
+        if (choice.turns == westFirstTurns()) {
+            EXPECT_TRUE(free);
+            class_of["wf"] = symmetryClass(choice);
+        }
+        if (choice.turns == northLastTurns()) {
+            EXPECT_TRUE(free);
+            class_of["nl"] = symmetryClass(choice);
+        }
+        if (choice.turns == negativeFirstTurns(2)) {
+            EXPECT_TRUE(free);
+            class_of["nf"] = symmetryClass(choice);
+        }
+    }
+    ASSERT_EQ(class_of.size(), 3u);
+    EXPECT_NE(class_of["wf"], class_of["nl"]);
+    EXPECT_NE(class_of["wf"], class_of["nf"]);
+    EXPECT_NE(class_of["nl"], class_of["nf"]);
+}
+
+TEST(SymmetryClass, InvariantUnderExplicitReflection)
+{
+    // The mirror image of west-first (prohibit the two turns to the
+    // east) must land in west-first's class.
+    TwoTurnChoice wf;
+    wf.fromClockwise = Turn(kSouth, kWest);
+    wf.fromCounterclockwise = Turn(kNorth, kWest);
+    TwoTurnChoice ef;
+    ef.fromClockwise = Turn(kNorth, kEast);
+    ef.fromCounterclockwise = Turn(kSouth, kEast);
+    EXPECT_EQ(symmetryClass(wf), symmetryClass(ef));
+
+    // North-last's mirror about the x axis is "south-last".
+    TwoTurnChoice nl;
+    nl.fromClockwise = Turn(kNorth, kEast);
+    nl.fromCounterclockwise = Turn(kNorth, kWest);
+    TwoTurnChoice sl;
+    sl.fromClockwise = Turn(kSouth, kWest);
+    sl.fromCounterclockwise = Turn(kSouth, kEast);
+    EXPECT_EQ(symmetryClass(nl), symmetryClass(sl));
+
+    EXPECT_NE(symmetryClass(wf), symmetryClass(nl));
+}
+
+} // namespace
+} // namespace turnnet

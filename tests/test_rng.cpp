@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the xoshiro256** generator and its distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "turnnet/common/rng.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.seed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 2000; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BoundedIsApproximatelyUniform)
+{
+    Rng rng(11);
+    const int buckets = 8;
+    const int draws = 80000;
+    std::vector<int> counts(buckets, 0);
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.nextBounded(buckets)];
+    const double expected = static_cast<double>(draws) / buckets;
+    for (int c : counts)
+        EXPECT_NEAR(c, expected, expected * 0.06);
+}
+
+TEST(Rng, NextIntInclusiveRange)
+{
+    Rng rng(13);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int64_t v = rng.nextInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInHalfOpenUnitInterval)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, OpenLowDoubleNeverZero)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.nextDoubleOpenLow(), 0.0);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng rng(23);
+    const double mean = 40.0;
+    double sum = 0.0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        sum += rng.nextExponential(mean);
+    EXPECT_NEAR(sum / draws, mean, mean * 0.03);
+}
+
+TEST(Rng, ExponentialIsMemoryless)
+{
+    // P(X > 2m) should be about e^-2.
+    Rng rng(29);
+    const double mean = 10.0;
+    int over = 0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        over += rng.nextExponential(mean) > 2 * mean;
+    EXPECT_NEAR(static_cast<double>(over) / draws, std::exp(-2.0),
+                0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(31);
+    const int draws = 100000;
+    int hits = 0;
+    for (int i = 0; i < draws; ++i)
+        hits += rng.nextBernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(RngDeath, BoundedRejectsZero)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.nextBounded(0), "positive bound");
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Properties every routing algorithm must satisfy, swept across the
+ * (algorithm x topology) matrix with parameterized tests:
+ * connectivity (every pair is routable), minimality (every offered
+ * hop shortens the distance), turn legality, livelock freedom of
+ * traced paths, and honesty of canComplete().
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "turnnet/analysis/path_enum.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+
+namespace turnnet {
+namespace {
+
+struct Case
+{
+    std::string algorithm;
+    std::string topology; // "mesh44", "mesh53", "mesh333", "cube4",
+                          // "torus42"
+};
+
+std::unique_ptr<Topology>
+build(const std::string &id)
+{
+    if (id == "mesh44")
+        return std::make_unique<Mesh>(4, 4);
+    if (id == "mesh53")
+        return std::make_unique<Mesh>(5, 3);
+    if (id == "mesh333")
+        return std::make_unique<Mesh>(std::vector<int>{3, 3, 3});
+    if (id == "cube4")
+        return std::make_unique<Hypercube>(4);
+    if (id == "torus42")
+        return std::make_unique<Torus>(4, 2);
+    ADD_FAILURE() << "unknown topology id " << id;
+    return nullptr;
+}
+
+class RoutingProperties : public ::testing::TestWithParam<Case>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        topo_ = build(GetParam().topology);
+        routing_ = makeRouting(GetParam().algorithm,
+                               topo_->numDims());
+        routing_->checkTopology(*topo_);
+    }
+
+    std::unique_ptr<Topology> topo_;
+    RoutingPtr routing_;
+};
+
+TEST_P(RoutingProperties, EveryPairIsRoutableFromInjection)
+{
+    for (NodeId s = 0; s < topo_->numNodes(); ++s) {
+        for (NodeId d = 0; d < topo_->numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_FALSE(routing_
+                             ->route(*topo_, s, d,
+                                     Direction::local())
+                             .empty())
+                << "no route " << s << " -> " << d;
+        }
+    }
+}
+
+TEST_P(RoutingProperties, OfferedDirectionsHaveChannels)
+{
+    for (NodeId s = 0; s < topo_->numNodes(); ++s) {
+        for (NodeId d = 0; d < topo_->numNodes(); ++d) {
+            if (s == d)
+                continue;
+            routing_->route(*topo_, s, d, Direction::local())
+                .forEach([&](Direction o) {
+                    EXPECT_NE(topo_->neighbor(s, o), kInvalidNode);
+                    EXPECT_NE(topo_->channelFrom(s, o),
+                              kInvalidChannel);
+                });
+        }
+    }
+}
+
+TEST_P(RoutingProperties, MinimalAlgorithmsAlwaysShortenDistance)
+{
+    if (!routing_->isMinimal())
+        GTEST_SKIP() << "nonminimal algorithm";
+    for (NodeId s = 0; s < topo_->numNodes(); ++s) {
+        for (NodeId d = 0; d < topo_->numNodes(); ++d) {
+            if (s == d)
+                continue;
+            routing_->route(*topo_, s, d, Direction::local())
+                .forEach([&](Direction o) {
+                    const NodeId next = topo_->neighbor(s, o);
+                    EXPECT_EQ(topo_->distance(next, d),
+                              topo_->distance(s, d) - 1);
+                });
+        }
+    }
+}
+
+TEST_P(RoutingProperties, TracedPathsTerminateEverywhere)
+{
+    // Follow the relation with the lowest-dimension selector from
+    // every source to every destination; tracePath() enforces the
+    // livelock bound internally.
+    for (NodeId s = 0; s < topo_->numNodes(); ++s) {
+        for (NodeId d = 0; d < topo_->numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const auto path = tracePath(*topo_, *routing_, s, d);
+            EXPECT_EQ(path.front(), s);
+            EXPECT_EQ(path.back(), d);
+            if (routing_->isMinimal()) {
+                EXPECT_EQ(static_cast<int>(path.size()) - 1,
+                          topo_->distance(s, d));
+            }
+        }
+    }
+}
+
+TEST_P(RoutingProperties, MidRouteStatesRemainRoutable)
+{
+    // For every state the relation can actually reach, either the
+    // packet has arrived or another hop is offered (no stranding).
+    for (NodeId s = 0; s < topo_->numNodes(); ++s) {
+        for (NodeId d = 0; d < topo_->numNodes(); ++d) {
+            if (s == d)
+                continue;
+            // Walk all reachable (node, in_dir) states by DFS.
+            std::vector<bool> seen(
+                static_cast<std::size_t>(topo_->numNodes()) *
+                    (2 * topo_->numDims() + 1),
+                false);
+            auto idx = [&](NodeId v, Direction in) {
+                const int dirs = 2 * topo_->numDims() + 1;
+                const int i =
+                    in.isLocal() ? dirs - 1 : in.index();
+                return static_cast<std::size_t>(v) * dirs + i;
+            };
+            std::vector<std::pair<NodeId, Direction>> stack{
+                {s, Direction::local()}};
+            seen[idx(s, Direction::local())] = true;
+            while (!stack.empty()) {
+                const auto [v, in] = stack.back();
+                stack.pop_back();
+                if (v == d)
+                    continue;
+                const DirectionSet outs =
+                    routing_->route(*topo_, v, d, in);
+                EXPECT_FALSE(outs.empty())
+                    << "stranded at " << v << " in "
+                    << in.toString() << " heading for " << d;
+                outs.forEach([&](Direction o) {
+                    const NodeId w = topo_->neighbor(v, o);
+                    ASSERT_NE(w, kInvalidNode);
+                    if (!seen[idx(w, o)]) {
+                        seen[idx(w, o)] = true;
+                        stack.push_back({w, o});
+                    }
+                });
+            }
+        }
+    }
+}
+
+TEST_P(RoutingProperties, CanCompleteHoldsOnReachableStates)
+{
+    for (NodeId s = 0; s < topo_->numNodes(); ++s) {
+        for (NodeId d = 0; d < topo_->numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_TRUE(routing_->canComplete(*topo_, s, d,
+                                              Direction::local()));
+            routing_->route(*topo_, s, d, Direction::local())
+                .forEach([&](Direction o) {
+                    EXPECT_TRUE(routing_->canComplete(
+                        *topo_, topo_->neighbor(s, o), d, o));
+                });
+        }
+    }
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string name =
+        info.param.algorithm + "_" + info.param.topology;
+    for (char &ch : name)
+        if (ch == '-' || ch == ':')
+            ch = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mesh2D, RoutingProperties,
+    ::testing::Values(Case{"xy", "mesh44"}, Case{"xy", "mesh53"},
+                      Case{"west-first", "mesh44"},
+                      Case{"west-first", "mesh53"},
+                      Case{"north-last", "mesh44"},
+                      Case{"north-last", "mesh53"},
+                      Case{"negative-first", "mesh44"},
+                      Case{"negative-first", "mesh53"},
+                      Case{"fully-adaptive", "mesh44"}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    MeshND, RoutingProperties,
+    ::testing::Values(Case{"dimension-order", "mesh333"},
+                      Case{"negative-first", "mesh333"},
+                      Case{"abonf", "mesh333"},
+                      Case{"abopl", "mesh333"}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    Cube, RoutingProperties,
+    ::testing::Values(Case{"ecube", "cube4"},
+                      Case{"p-cube", "cube4"},
+                      Case{"abonf", "cube4"},
+                      Case{"abopl", "cube4"}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    Nonminimal, RoutingProperties,
+    ::testing::Values(Case{"west-first-nm", "mesh44"},
+                      Case{"west-first-nm", "mesh53"},
+                      Case{"north-last-nm", "mesh44"},
+                      Case{"negative-first-nm", "mesh44"},
+                      Case{"negative-first-nm", "mesh53"},
+                      Case{"abonf-nm", "mesh333"},
+                      Case{"abopl-nm", "mesh333"},
+                      Case{"p-cube-nm", "cube4"}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    TurnSetInduced, RoutingProperties,
+    ::testing::Values(Case{"turnset:west-first", "mesh44"},
+                      Case{"turnset:north-last", "mesh44"},
+                      Case{"turnset:negative-first", "mesh44"},
+                      Case{"turnset:abonf", "mesh333"},
+                      Case{"turnset:abopl", "mesh333"}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    Torus, RoutingProperties,
+    ::testing::Values(Case{"nf-torus", "torus42"},
+                      Case{"xy-first-hop-wrap", "torus42"},
+                      Case{"nf-first-hop-wrap", "torus42"}),
+    caseName);
+
+} // namespace
+} // namespace turnnet

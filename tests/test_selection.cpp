@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the input and output selection policies (Section 6 and
+ * the selection-policy ablation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "turnnet/network/selection.hpp"
+#include "turnnet/topology/mesh.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(PolicyParsing, RoundTrips)
+{
+    EXPECT_EQ(parseInputPolicy("fcfs"), InputPolicy::Fcfs);
+    EXPECT_EQ(parseInputPolicy("random"), InputPolicy::Random);
+    EXPECT_EQ(parseInputPolicy("fixed"), InputPolicy::FixedPriority);
+    EXPECT_EQ(toString(InputPolicy::Fcfs), "fcfs");
+
+    EXPECT_EQ(parseOutputPolicy("lowest-dim"),
+              OutputPolicy::LowestDim);
+    EXPECT_EQ(parseOutputPolicy("xy"), OutputPolicy::LowestDim);
+    EXPECT_EQ(parseOutputPolicy("random"), OutputPolicy::Random);
+    EXPECT_EQ(parseOutputPolicy("straight-first"),
+              OutputPolicy::StraightFirst);
+    EXPECT_EQ(parseOutputPolicy("most-remaining"),
+              OutputPolicy::MostRemaining);
+    EXPECT_EQ(toString(OutputPolicy::MostRemaining),
+              "most-remaining");
+}
+
+TEST(PolicyParsingDeath, UnknownNames)
+{
+    EXPECT_DEATH(parseInputPolicy("bogus"), "unknown input policy");
+    EXPECT_DEATH(parseOutputPolicy("bogus"),
+                 "unknown output policy");
+}
+
+TEST(InputSelection, FcfsPicksEarliestArrival)
+{
+    Rng rng(1);
+    const std::vector<InputRequest> reqs{
+        {10, 100, 0}, {11, 90, 1}, {12, 95, 2}};
+    EXPECT_EQ(selectInput(InputPolicy::Fcfs, reqs, rng).input, 11);
+}
+
+TEST(InputSelection, FcfsBreaksTiesByPort)
+{
+    Rng rng(1);
+    const std::vector<InputRequest> reqs{
+        {10, 90, 2}, {11, 90, 1}, {12, 95, 0}};
+    EXPECT_EQ(selectInput(InputPolicy::Fcfs, reqs, rng).input, 11);
+}
+
+TEST(InputSelection, FixedPriorityIgnoresArrival)
+{
+    Rng rng(1);
+    const std::vector<InputRequest> reqs{
+        {10, 100, 1}, {11, 5, 2}, {12, 500, 0}};
+    EXPECT_EQ(
+        selectInput(InputPolicy::FixedPriority, reqs, rng).input,
+        12);
+}
+
+TEST(InputSelection, RandomCoversAllRequesters)
+{
+    Rng rng(9);
+    const std::vector<InputRequest> reqs{
+        {10, 1, 0}, {11, 1, 1}, {12, 1, 2}};
+    std::map<std::int32_t, int> counts;
+    for (int i = 0; i < 3000; ++i)
+        ++counts[selectInput(InputPolicy::Random, reqs, rng).input];
+    EXPECT_EQ(counts.size(), 3u);
+    for (const auto &[input, count] : counts)
+        EXPECT_GT(count, 800);
+}
+
+class OutputSelectionTest : public ::testing::Test
+{
+  protected:
+    Mesh mesh_{8, 8};
+    Rng rng_{4};
+};
+
+TEST_F(OutputSelectionTest, LowestDimPrefersDimensionZero)
+{
+    DirectionSet candidates;
+    candidates.insert(Direction::positive(1));
+    candidates.insert(Direction::positive(0));
+    const Direction chosen = selectOutput(
+        OutputPolicy::LowestDim, candidates, Direction::local(),
+        mesh_, mesh_.nodeOf({1, 1}), mesh_.nodeOf({4, 4}), rng_);
+    EXPECT_EQ(chosen, Direction::positive(0));
+}
+
+TEST_F(OutputSelectionTest, StraightFirstKeepsHeading)
+{
+    DirectionSet candidates;
+    candidates.insert(Direction::positive(0));
+    candidates.insert(Direction::positive(1));
+    const Direction chosen = selectOutput(
+        OutputPolicy::StraightFirst, candidates,
+        Direction::positive(1), mesh_, mesh_.nodeOf({1, 1}),
+        mesh_.nodeOf({4, 4}), rng_);
+    EXPECT_EQ(chosen, Direction::positive(1));
+
+    // Falls back to lowest dim when straight is unavailable.
+    const Direction fallback = selectOutput(
+        OutputPolicy::StraightFirst, candidates,
+        Direction::negative(1), mesh_, mesh_.nodeOf({1, 1}),
+        mesh_.nodeOf({4, 4}), rng_);
+    EXPECT_EQ(fallback, Direction::positive(0));
+}
+
+TEST_F(OutputSelectionTest, MostRemainingPicksLongestAxis)
+{
+    DirectionSet candidates;
+    candidates.insert(Direction::positive(0));
+    candidates.insert(Direction::positive(1));
+    // From (1,1) to (2,6): dimension 1 has 5 hops left, dimension 0
+    // has 1.
+    const Direction chosen = selectOutput(
+        OutputPolicy::MostRemaining, candidates, Direction::local(),
+        mesh_, mesh_.nodeOf({1, 1}), mesh_.nodeOf({2, 6}), rng_);
+    EXPECT_EQ(chosen, Direction::positive(1));
+}
+
+TEST_F(OutputSelectionTest, RandomStaysInsideCandidates)
+{
+    DirectionSet candidates;
+    candidates.insert(Direction::negative(1));
+    candidates.insert(Direction::positive(0));
+    std::map<int, int> counts;
+    for (int i = 0; i < 2000; ++i) {
+        const Direction chosen = selectOutput(
+            OutputPolicy::Random, candidates, Direction::local(),
+            mesh_, mesh_.nodeOf({4, 4}), mesh_.nodeOf({6, 2}),
+            rng_);
+        EXPECT_TRUE(candidates.contains(chosen));
+        ++counts[chosen.index()];
+    }
+    EXPECT_EQ(counts.size(), 2u);
+    for (const auto &[idx, count] : counts)
+        EXPECT_GT(count, 600);
+}
+
+TEST_F(OutputSelectionTest, SingleCandidateAlwaysWins)
+{
+    DirectionSet only;
+    only.insert(Direction::negative(0));
+    for (const OutputPolicy policy :
+         {OutputPolicy::LowestDim, OutputPolicy::Random,
+          OutputPolicy::StraightFirst,
+          OutputPolicy::MostRemaining}) {
+        EXPECT_EQ(selectOutput(policy, only, Direction::local(),
+                               mesh_, mesh_.nodeOf({4, 4}),
+                               mesh_.nodeOf({0, 4}), rng_),
+                  Direction::negative(0));
+    }
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the streaming statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "turnnet/common/rng.hpp"
+#include "turnnet/common/stats.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    const std::vector<double> xs{3.0, -1.0, 4.0, 1.0, 5.0, 9.0, 2.0};
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= xs.size();
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= xs.size() - 1;
+
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), mean, 1e-12);
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+    EXPECT_EQ(s.min(), -1.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.sum(), mean * xs.size(), 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream)
+{
+    Rng rng(99);
+    RunningStats all;
+    RunningStats a;
+    RunningStats b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble() * 10 - 5;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity)
+{
+    RunningStats a;
+    a.add(1.0);
+    a.add(2.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(Histogram, CountsBucketsAndTails)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);  // underflow
+    h.add(0.0);   // bin 0
+    h.add(9.999); // bin 9
+    h.add(10.0);  // overflow
+    h.add(5.5);   // bin 5
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, QuantilesOfUniformData)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 10000; ++i)
+        h.add(i % 100 + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+    EXPECT_NEAR(h.quantile(1.0), 100.0, 1.5);
+}
+
+TEST(Histogram, QuantileOnEmptyIsZero)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(TrendProbe, FlatSeriesIsBounded)
+{
+    TrendProbe probe;
+    for (int i = 0; i < 1000; ++i)
+        probe.add(5.0 + (i % 3));
+    EXPECT_FALSE(probe.growing());
+}
+
+TEST(TrendProbe, LinearGrowthIsDetected)
+{
+    TrendProbe probe;
+    for (int i = 0; i < 1000; ++i)
+        probe.add(static_cast<double>(i) * 0.5);
+    EXPECT_TRUE(probe.growing());
+}
+
+TEST(TrendProbe, SmallAbsoluteGrowthIsTolerated)
+{
+    // Grows from 0 to ~1: inside the absolute slack.
+    TrendProbe probe(2.0, 1.5);
+    for (int i = 0; i < 1000; ++i)
+        probe.add(static_cast<double>(i) / 1000.0);
+    EXPECT_FALSE(probe.growing());
+}
+
+TEST(TrendProbe, NeedsMinimumSamples)
+{
+    TrendProbe probe;
+    for (int i = 0; i < 5; ++i)
+        probe.add(static_cast<double>(i * 100));
+    EXPECT_FALSE(probe.growing());
+}
+
+TEST(RateMeter, ComputesEventsPerCycle)
+{
+    RateMeter meter;
+    meter.start(100);
+    meter.add(5);
+    meter.add(5);
+    meter.stop(120);
+    EXPECT_EQ(meter.events(), 10u);
+    EXPECT_EQ(meter.cycles(), 20u);
+    EXPECT_NEAR(meter.rate(), 0.5, 1e-12);
+}
+
+TEST(RateMeter, IgnoresEventsBeforeStart)
+{
+    RateMeter meter;
+    meter.add(7);
+    meter.start(0);
+    meter.stop(10);
+    EXPECT_EQ(meter.events(), 0u);
+}
+
+TEST(RateMeter, EmptyWindowHasZeroRate)
+{
+    RateMeter meter;
+    meter.start(5);
+    meter.add(3);
+    meter.stop(5);
+    EXPECT_EQ(meter.rate(), 0.0);
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the k-ary n-cube (torus) topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/topology/torus.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(Torus, NamesItself)
+{
+    EXPECT_EQ(Torus(4, 2).name(), "4-ary 2-cube");
+    EXPECT_EQ(Torus(std::vector<int>{3, 5}).name(), "torus(3x5)");
+}
+
+TEST(Torus, EveryNodeHas2nNeighbors)
+{
+    const Torus torus(4, 2);
+    for (NodeId n = 0; n < torus.numNodes(); ++n)
+        EXPECT_EQ(torus.directionsFrom(n).size(), 4);
+}
+
+TEST(Torus, WraparoundNeighbors)
+{
+    const Torus torus(4, 2);
+    const NodeId east_edge = torus.nodeOf({3, 1});
+    EXPECT_EQ(torus.neighbor(east_edge, Direction::positive(0)),
+              torus.nodeOf({0, 1}));
+    const NodeId west_edge = torus.nodeOf({0, 1});
+    EXPECT_EQ(torus.neighbor(west_edge, Direction::negative(0)),
+              torus.nodeOf({3, 1}));
+}
+
+TEST(Torus, WrapHopsOnlyAtEdges)
+{
+    const Torus torus(5, 2);
+    EXPECT_TRUE(torus.isWrapHop(torus.nodeOf({4, 2}),
+                                Direction::positive(0)));
+    EXPECT_TRUE(torus.isWrapHop(torus.nodeOf({0, 2}),
+                                Direction::negative(0)));
+    EXPECT_FALSE(torus.isWrapHop(torus.nodeOf({2, 2}),
+                                 Direction::positive(0)));
+    EXPECT_TRUE(torus.hasWrapChannels());
+}
+
+TEST(Torus, ChannelCountIs2nN)
+{
+    const Torus torus(4, 3);
+    EXPECT_EQ(torus.numChannels(), 2 * 3 * torus.numNodes());
+}
+
+TEST(Torus, WrapChannelCount)
+{
+    // Per dimension, one wrap channel per direction per line of
+    // nodes: 2 * N / k channels.
+    const Torus torus(4, 2);
+    int wraps = 0;
+    for (ChannelId c = 0; c < torus.numChannels(); ++c)
+        wraps += torus.channel(c).wrap;
+    EXPECT_EQ(wraps, 2 * 2 * torus.numNodes() / 4);
+}
+
+TEST(Torus, DistanceUsesShorterWay)
+{
+    const Torus torus(8, 1);
+    EXPECT_EQ(torus.distance(torus.nodeOf({0}), torus.nodeOf({3})), 3);
+    EXPECT_EQ(torus.distance(torus.nodeOf({0}), torus.nodeOf({5})), 3);
+    EXPECT_EQ(torus.distance(torus.nodeOf({0}), torus.nodeOf({4})), 4);
+}
+
+TEST(Torus, MinimalDirectionsBreakTies)
+{
+    const Torus torus(4, 1);
+    // Distance 2 both ways: both directions are minimal.
+    const DirectionSet dirs = torus.minimalDirections(
+        torus.nodeOf({0}), torus.nodeOf({2}));
+    EXPECT_EQ(dirs.size(), 2);
+
+    // Distance 1 forward: only positive is minimal.
+    const DirectionSet fwd = torus.minimalDirections(
+        torus.nodeOf({0}), torus.nodeOf({1}));
+    EXPECT_EQ(fwd.size(), 1);
+    EXPECT_TRUE(fwd.contains(Direction::positive(0)));
+}
+
+TEST(Torus, NeighborRelationIsSymmetric)
+{
+    const Torus torus(std::vector<int>{3, 4});
+    for (NodeId n = 0; n < torus.numNodes(); ++n) {
+        torus.directionsFrom(n).forEach([&](Direction d) {
+            EXPECT_EQ(torus.neighbor(torus.neighbor(n, d),
+                                     d.reversed()),
+                      n);
+        });
+    }
+}
+
+TEST(TorusDeath, RejectsRadixTwo)
+{
+    EXPECT_DEATH(Torus(2, 3), "use Hypercube");
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the Section 4.2 torus extensions: negative-first with
+ * classified wraparound channels, and the wrap-on-first-hop
+ * adapters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/analysis/path_enum.hpp"
+#include "turnnet/routing/negative_first.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/routing/torus_extensions.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+
+namespace turnnet {
+namespace {
+
+const Direction kWest = Direction::negative(0);
+const Direction kEast = Direction::positive(0);
+const Direction kNorth = Direction::positive(1);
+
+TEST(NfTorus, ClassifiesWrapHopsByCoordinateChange)
+{
+    const Torus torus(4, 2);
+    // Positive port at the east edge wraps to coordinate 0: class
+    // negative.
+    EXPECT_TRUE(NegativeFirstTorus::classNegative(
+        torus, torus.nodeOf({3, 1}), kEast));
+    // Negative port at the west edge wraps to k-1: class positive.
+    EXPECT_FALSE(NegativeFirstTorus::classNegative(
+        torus, torus.nodeOf({0, 1}), kWest));
+    // Interior hops classify by sign.
+    EXPECT_FALSE(NegativeFirstTorus::classNegative(
+        torus, torus.nodeOf({1, 1}), kEast));
+    EXPECT_TRUE(NegativeFirstTorus::classNegative(
+        torus, torus.nodeOf({2, 1}), kWest));
+}
+
+TEST(NfTorus, EastEdgeNodeHasTwoWestwardChannels)
+{
+    // Section 4.2: a node at the east edge has two channels "to the
+    // west" — the mesh channel and the wraparound.
+    const Torus torus(4, 2);
+    const NegativeFirstTorus nf;
+    const NodeId src = torus.nodeOf({3, 1});
+    const NodeId dst = torus.nodeOf({1, 1});
+    const DirectionSet dirs =
+        nf.route(torus, src, dst, Direction::local());
+    EXPECT_EQ(dirs.size(), 2);
+    EXPECT_TRUE(dirs.contains(kWest)); // mesh hop to (2,1)
+    EXPECT_TRUE(dirs.contains(kEast)); // wrap hop to (0,1)
+}
+
+TEST(NfTorus, InteriorBehavesLikeNegativeFirst)
+{
+    const Torus torus(5, 2);
+    const NegativeFirstTorus nf_torus;
+    const NegativeFirst nf;
+    const Mesh mesh(5, 2);
+    // Away from the edges the candidate sets match plain NF on the
+    // equal-sized mesh.
+    const NodeId src = torus.nodeOf({3, 1});
+    const NodeId dst = torus.nodeOf({1, 0});
+    EXPECT_EQ(
+        nf_torus.route(torus, src, dst, Direction::local()).mask(),
+        nf.route(mesh, mesh.nodeOf({3, 1}), mesh.nodeOf({1, 0}),
+                 Direction::local())
+            .mask());
+}
+
+TEST(NfTorus, PhaseTwoWrapOnlyWhenLandingExactly)
+{
+    const Torus torus(4, 2);
+    const NegativeFirstTorus nf;
+    // From (0,1) to (3,1): the wrap through the negative port lands
+    // exactly on x = 3, so both the mesh path and the wrap are
+    // offered.
+    const DirectionSet to_edge = nf.route(
+        torus, torus.nodeOf({0, 1}), torus.nodeOf({3, 1}),
+        Direction::local());
+    EXPECT_TRUE(to_edge.contains(kEast));
+    EXPECT_TRUE(to_edge.contains(kWest));
+    // From (0,1) to (2,1): wrapping would land at 3 past the
+    // destination with no way back: only the mesh hop is offered.
+    const DirectionSet past = nf.route(
+        torus, torus.nodeOf({0, 1}), torus.nodeOf({2, 1}),
+        Direction::local());
+    EXPECT_EQ(past.size(), 1);
+    EXPECT_TRUE(past.contains(kEast));
+}
+
+TEST(NfTorus, TracesTerminateOnOddTori)
+{
+    const Torus torus(5, 2);
+    const NegativeFirstTorus nf;
+    for (NodeId s = 0; s < torus.numNodes(); ++s) {
+        for (NodeId d = 0; d < torus.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const auto path = tracePath(torus, nf, s, d);
+            EXPECT_EQ(path.back(), d);
+        }
+    }
+}
+
+TEST(FirstHopWrap, WrapOnlyFromInjection)
+{
+    const Torus torus(5, 2);
+    const RoutingPtr routing = makeRouting("xy-first-hop-wrap", 2);
+    // From (4,0) to (0,0) the eastward wrap is a useful first hop.
+    const DirectionSet first = routing->route(
+        torus, torus.nodeOf({4, 0}), torus.nodeOf({0, 0}),
+        Direction::local());
+    EXPECT_TRUE(first.contains(kEast));
+    // Mid-route (arriving westbound at the edge) the wrap is
+    // forbidden even though it would shorten the path; only the
+    // mesh channel west remains.
+    const DirectionSet mid = routing->route(
+        torus, torus.nodeOf({4, 0}), torus.nodeOf({0, 0}), kWest);
+    EXPECT_FALSE(mid.contains(kEast));
+    EXPECT_TRUE(mid.contains(kWest));
+}
+
+TEST(FirstHopWrap, InnerTurnRulesStillApply)
+{
+    const Torus torus(5, 2);
+    const RoutingPtr wf = makeRouting("nf-first-hop-wrap", 2);
+    // Arriving northbound (positive phase for NF), a westward mesh
+    // hop is never offered.
+    for (NodeId d = 0; d < torus.numNodes(); ++d) {
+        const NodeId at = torus.nodeOf({2, 1});
+        if (d == at)
+            continue;
+        EXPECT_FALSE(
+            wf->route(torus, at, d, kNorth).contains(kWest));
+    }
+}
+
+TEST(FirstHopWrap, AllPairsTerminate)
+{
+    const Torus torus(4, 2);
+    for (const char *alg : {"xy-first-hop-wrap",
+                            "nf-first-hop-wrap"}) {
+        const RoutingPtr routing = makeRouting(alg, 2);
+        for (NodeId s = 0; s < torus.numNodes(); ++s) {
+            for (NodeId d = 0; d < torus.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                const auto path = tracePath(torus, *routing, s, d);
+                EXPECT_EQ(path.back(), d) << alg;
+            }
+        }
+    }
+}
+
+TEST(FirstHopWrap, UsesWrapToShortenPaths)
+{
+    // Crossing the whole ring: the wrap makes the route one hop.
+    const Torus torus(6, 2);
+    const RoutingPtr routing = makeRouting("xy-first-hop-wrap", 2);
+    const auto prefer_wrap = [](NodeId, DirectionSet c) {
+        return c.contains(kEast) ? kEast : c.first();
+    };
+    const auto path =
+        tracePath(torus, *routing, torus.nodeOf({5, 0}),
+                  torus.nodeOf({0, 0}), prefer_wrap);
+    EXPECT_EQ(path.size(), 2u);
+}
+
+} // namespace
+} // namespace turnnet

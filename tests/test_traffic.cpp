@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the traffic patterns and the message generator
+ * (Section 6's workload model).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/traffic/generator.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(UniformTraffic, NeverSelfAndCoversEveryone)
+{
+    const Mesh mesh(4, 4);
+    const UniformTraffic uniform(mesh);
+    Rng rng(7);
+    std::set<NodeId> seen;
+    for (int i = 0; i < 4000; ++i) {
+        const NodeId d = uniform.dest(5, rng);
+        EXPECT_NE(d, 5);
+        EXPECT_GE(d, 0);
+        EXPECT_LT(d, mesh.numNodes());
+        seen.insert(d);
+    }
+    EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(UniformTraffic, ApproximatelyUniform)
+{
+    const Mesh mesh(4, 4);
+    const UniformTraffic uniform(mesh);
+    Rng rng(11);
+    std::map<NodeId, int> counts;
+    const int draws = 60000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[uniform.dest(0, rng)];
+    for (const auto &[node, count] : counts)
+        EXPECT_NEAR(count, draws / 15.0, draws / 15.0 * 0.15);
+}
+
+TEST(MeshTranspose, SwapsCoordinates)
+{
+    const Mesh mesh(16, 16);
+    const MeshTransposeTraffic transpose(mesh);
+    EXPECT_EQ(transpose.map(mesh.nodeOf({3, 7})),
+              mesh.nodeOf({7, 3}));
+    // Diagonal nodes map to themselves (and generate no traffic).
+    EXPECT_EQ(transpose.map(mesh.nodeOf({5, 5})),
+              mesh.nodeOf({5, 5}));
+    EXPECT_TRUE(transpose.isPermutation());
+}
+
+TEST(MeshTranspose, IsAnInvolution)
+{
+    const Mesh mesh(8, 8);
+    const MeshTransposeTraffic transpose(mesh);
+    for (NodeId n = 0; n < mesh.numNodes(); ++n)
+        EXPECT_EQ(transpose.map(transpose.map(n)), n);
+}
+
+TEST(CubeTranspose, MatchesThePapersMapping)
+{
+    // (x0..x7) -> (~x4, x5, x6, x7, ~x0, x1, x2, x3).
+    const Hypercube cube(8);
+    const CubeTransposeTraffic transpose(cube);
+    for (NodeId src = 0; src < cube.numNodes(); src += 7) {
+        const NodeId dst = transpose.map(src);
+        EXPECT_EQ(Hypercube::bit(dst, 0),
+                  Hypercube::bit(src, 4) ^ 1);
+        EXPECT_EQ(Hypercube::bit(dst, 1), Hypercube::bit(src, 5));
+        EXPECT_EQ(Hypercube::bit(dst, 2), Hypercube::bit(src, 6));
+        EXPECT_EQ(Hypercube::bit(dst, 3), Hypercube::bit(src, 7));
+        EXPECT_EQ(Hypercube::bit(dst, 4),
+                  Hypercube::bit(src, 0) ^ 1);
+        EXPECT_EQ(Hypercube::bit(dst, 5), Hypercube::bit(src, 1));
+        EXPECT_EQ(Hypercube::bit(dst, 6), Hypercube::bit(src, 2));
+        EXPECT_EQ(Hypercube::bit(dst, 7), Hypercube::bit(src, 3));
+    }
+}
+
+TEST(CubeTranspose, IsAnInvolutionWithTheDiagonalFixed)
+{
+    // The embedding preserves the structure of the mesh transpose:
+    // an involution whose fixed points are the image of the mesh
+    // diagonal — 16 of the 256 nodes.
+    const Hypercube cube(8);
+    const CubeTransposeTraffic transpose(cube);
+    int fixed = 0;
+    for (NodeId n = 0; n < cube.numNodes(); ++n) {
+        EXPECT_EQ(transpose.map(transpose.map(n)), n);
+        fixed += transpose.map(n) == n;
+    }
+    EXPECT_EQ(fixed, 16);
+}
+
+TEST(ReverseFlip, MatchesThePapersMapping)
+{
+    // (x0..x7) -> (~x7, ~x6, ..., ~x0).
+    const Hypercube cube(8);
+    const ReverseFlipTraffic flip(cube);
+    for (NodeId src = 0; src < cube.numNodes(); src += 5) {
+        const NodeId dst = flip.map(src);
+        for (int i = 0; i < 8; ++i) {
+            EXPECT_EQ(Hypercube::bit(dst, i),
+                      Hypercube::bit(src, 7 - i) ^ 1);
+        }
+    }
+    // Concrete example: 00000000 -> 11111111.
+    EXPECT_EQ(flip.map(0), 255);
+}
+
+TEST(ReverseFlip, AverageDistanceMatchesThePaper)
+{
+    // The paper reports 4.27 average hops for reverse-flip in the
+    // 8-cube (versus 4.01 for uniform).
+    const Hypercube cube(8);
+    const ReverseFlipTraffic flip(cube);
+    double total = 0.0;
+    int senders = 0;
+    for (NodeId n = 0; n < cube.numNodes(); ++n) {
+        if (flip.map(n) == n)
+            continue;
+        total += cube.distance(n, flip.map(n));
+        ++senders;
+    }
+    EXPECT_NEAR(total / senders, 4.27, 0.02);
+}
+
+TEST(Permutations, AreBijections)
+{
+    const Hypercube cube(6);
+    for (const char *name : {"reverse-flip", "bit-complement",
+                             "bit-reverse", "shuffle",
+                             "transpose-cube"}) {
+        const TrafficPtr pattern = makeTraffic(name, cube);
+        Rng rng(1);
+        std::set<NodeId> image;
+        for (NodeId n = 0; n < cube.numNodes(); ++n)
+            image.insert(pattern->dest(n, rng));
+        EXPECT_EQ(static_cast<NodeId>(image.size()),
+                  cube.numNodes())
+            << name;
+    }
+}
+
+TEST(BitPatterns, ClassicDefinitions)
+{
+    const Hypercube cube(4);
+    EXPECT_EQ(BitComplementTraffic(cube).map(0b0101), 0b1010);
+    EXPECT_EQ(BitReverseTraffic(cube).map(0b0011), 0b1100);
+    EXPECT_EQ(BitReverseTraffic(cube).map(0b0110), 0b0110);
+    EXPECT_EQ(ShuffleTraffic(cube).map(0b1001), 0b0011);
+}
+
+TEST(Tornado, HalfwayAroundDimensionZero)
+{
+    const Mesh mesh(8, 8);
+    const TornadoTraffic tornado(mesh);
+    EXPECT_EQ(tornado.map(mesh.nodeOf({1, 3})), mesh.nodeOf({4, 3}));
+    EXPECT_EQ(tornado.map(mesh.nodeOf({6, 0})), mesh.nodeOf({1, 0}));
+}
+
+TEST(Hotspot, BiasesTowardTheHotNode)
+{
+    const Mesh mesh(4, 4);
+    const HotspotTraffic hotspot(mesh, 3, 0.25);
+    Rng rng(5);
+    int hot = 0;
+    const int draws = 40000;
+    for (int i = 0; i < draws; ++i)
+        hot += hotspot.dest(9, rng) == 3;
+    // 25% explicit plus 1/15 of the uniform remainder.
+    const double expected = 0.25 + 0.75 / 15.0;
+    EXPECT_NEAR(static_cast<double>(hot) / draws, expected, 0.01);
+}
+
+TEST(LengthMix, PaperDefaultAverages105)
+{
+    const MessageLengthMix mix = MessageLengthMix::paperDefault();
+    mix.validate();
+    EXPECT_DOUBLE_EQ(mix.mean(), 105.0);
+    Rng rng(3);
+    int tens = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) {
+        const int len = mix.sample(rng);
+        EXPECT_TRUE(len == 10 || len == 200);
+        tens += len == 10;
+    }
+    EXPECT_NEAR(static_cast<double>(tens) / draws, 0.5, 0.02);
+}
+
+TEST(Generator, ProducesTheRequestedFlitRate)
+{
+    const Mesh mesh(4, 4);
+    const TrafficPtr uniform = makeTraffic("uniform", mesh);
+    const double load = 0.2; // flits per node per cycle
+    MessageGenerator gen(mesh, uniform, load,
+                         MessageLengthMix::paperDefault(), 123);
+    std::uint64_t flits = 0;
+    const Cycle horizon = 60000;
+    for (Cycle t = 0; t < horizon; ++t) {
+        gen.generate(t, [&](NodeId, NodeId, int len) {
+            flits += static_cast<std::uint64_t>(len);
+        });
+    }
+    const double rate = static_cast<double>(flits) /
+                        (static_cast<double>(horizon) *
+                         mesh.numNodes());
+    EXPECT_NEAR(rate, load, load * 0.05);
+}
+
+TEST(Generator, ZeroLoadIsSilent)
+{
+    const Mesh mesh(4, 4);
+    MessageGenerator gen(mesh, nullptr, 0.0,
+                         MessageLengthMix::paperDefault(), 1);
+    int calls = 0;
+    for (Cycle t = 0; t < 1000; ++t)
+        gen.generate(t, [&](NodeId, NodeId, int) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(Generator, SkipsSelfDestinedPermutationSlots)
+{
+    const Mesh mesh(4, 4);
+    const TrafficPtr transpose = makeTraffic("transpose", mesh);
+    MessageGenerator gen(mesh, transpose, 0.5,
+                         MessageLengthMix::fixed(10), 7);
+    for (Cycle t = 0; t < 20000; ++t) {
+        gen.generate(t, [&](NodeId src, NodeId dst, int) {
+            EXPECT_NE(src, dst);
+            // Diagonal nodes never emit.
+            const Coord c = mesh.coordOf(src);
+            EXPECT_NE(c[0], c[1]);
+        });
+    }
+}
+
+TEST(TrafficFactory, RejectsMismatchedTopology)
+{
+    const Mesh mesh(4, 3);
+    EXPECT_DEATH(makeTraffic("transpose", mesh), "square");
+    EXPECT_DEATH(makeTraffic("reverse-flip", mesh), "hypercube");
+    EXPECT_DEATH(makeTraffic("no-such-pattern", mesh), "unknown");
+}
+
+} // namespace
+} // namespace turnnet

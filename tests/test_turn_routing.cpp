@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The generic turn-set-induced router must reproduce the hand-
+ * written algorithms exactly: same routing relation from injection,
+ * same shortest-path counts everywhere, same completability.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/analysis/adaptiveness.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/turnmodel/prohibition.hpp"
+#include "turnnet/turnmodel/turn_routing.hpp"
+
+namespace turnnet {
+namespace {
+
+struct EquivCase
+{
+    std::string named;
+    std::string turnset;
+};
+
+class TurnSetEquivalence
+    : public ::testing::TestWithParam<EquivCase>
+{
+};
+
+TEST_P(TurnSetEquivalence, SameRelationFromInjectionOn2DMesh)
+{
+    const Mesh mesh(5, 4);
+    const RoutingPtr named = makeRouting(GetParam().named, 2);
+    const RoutingPtr induced = makeRouting(GetParam().turnset, 2);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(
+                named->route(mesh, s, d, Direction::local()).mask(),
+                induced->route(mesh, s, d, Direction::local())
+                    .mask())
+                << GetParam().named << " " << s << " -> " << d;
+        }
+    }
+}
+
+TEST_P(TurnSetEquivalence, SamePathCountsEverywhere)
+{
+    // Path counts integrate the relation over every reachable
+    // mid-route state, so equality here means the relations agree
+    // beyond the first hop too.
+    const Mesh mesh(5, 4);
+    const RoutingPtr named = makeRouting(GetParam().named, 2);
+    const RoutingPtr induced = makeRouting(GetParam().turnset, 2);
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(countPaths(mesh, *named, s, d),
+                      countPaths(mesh, *induced, s, d))
+                << GetParam().named << " " << s << " -> " << d;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NamedVsInduced, TurnSetEquivalence,
+    ::testing::Values(
+        EquivCase{"west-first", "turnset:west-first"},
+        EquivCase{"north-last", "turnset:north-last"},
+        EquivCase{"negative-first", "turnset:negative-first"},
+        EquivCase{"xy", "turnset:xy"}),
+    [](const auto &info) {
+        std::string name = info.param.named;
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+TEST(TurnSetEquivalenceND, AbonfAndAboplOn3DMesh)
+{
+    const Mesh mesh({3, 3, 3});
+    for (const char *pair : {"abonf", "abopl", "negative-first"}) {
+        const RoutingPtr named = makeRouting(pair, 3);
+        const RoutingPtr induced =
+            makeRouting(std::string("turnset:") + pair, 3);
+        for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+            for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+                if (s == d)
+                    continue;
+                EXPECT_EQ(
+                    named->route(mesh, s, d, Direction::local())
+                        .mask(),
+                    induced->route(mesh, s, d, Direction::local())
+                        .mask())
+                    << pair << " " << s << " -> " << d;
+            }
+        }
+    }
+}
+
+TEST(TurnSetEquivalenceCube, PcubeOnHypercube)
+{
+    const Hypercube cube(4);
+    const RoutingPtr named = makeRouting("p-cube", 4);
+    const TurnSetRouting induced("turnset:negative-first",
+                                 negativeFirstTurns(4), true);
+    for (NodeId s = 0; s < cube.numNodes(); ++s) {
+        for (NodeId d = 0; d < cube.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(
+                named->route(cube, s, d, Direction::local()).mask(),
+                induced.route(cube, s, d, Direction::local())
+                    .mask());
+        }
+    }
+}
+
+TEST(TurnSetRoutingBehavior, ReachabilityFilterPreventsStranding)
+{
+    // Without the filter, west-first's turn set would let a packet
+    // for a northwest destination start north and then be unable to
+    // ever turn west. The induced relation must not offer north.
+    const Mesh mesh(6, 6);
+    const TurnSetRouting wf("wf", westFirstTurns(), true);
+    const NodeId src = mesh.nodeOf({4, 1});
+    const NodeId dst = mesh.nodeOf({1, 4});
+    const DirectionSet dirs =
+        wf.route(mesh, src, dst, Direction::local());
+    EXPECT_EQ(dirs.size(), 1);
+    EXPECT_TRUE(dirs.contains(Direction::negative(0)));
+}
+
+TEST(TurnSetRoutingBehavior, CanCompleteTracksTurnRules)
+{
+    const Mesh mesh(6, 6);
+    const TurnSetRouting wf("wf", westFirstTurns(), true);
+    const NodeId at = mesh.nodeOf({3, 3});
+    const NodeId west_dest = mesh.nodeOf({0, 3});
+    EXPECT_TRUE(wf.canComplete(mesh, at, west_dest,
+                               Direction::negative(0)));
+    EXPECT_TRUE(
+        wf.canComplete(mesh, at, west_dest, Direction::local()));
+    // Arriving eastbound, a westward destination is lost.
+    EXPECT_FALSE(wf.canComplete(mesh, at, west_dest,
+                                Direction::positive(0)));
+}
+
+TEST(TurnSetRoutingBehavior, ChecksDimensionality)
+{
+    const TurnSetRouting wf("wf", westFirstTurns(), true);
+    EXPECT_DEATH(wf.checkTopology(Mesh({3, 3, 3})), "dimensions");
+}
+
+TEST(TurnSetRoutingBehavior, CacheSurvivesTopologyChanges)
+{
+    // The memoized reachability tables must be keyed by topology
+    // structure: reusing one instance across different meshes (at
+    // possibly identical stack addresses) must stay correct.
+    const TurnSetRouting wf("wf", westFirstTurns(), true);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (int size : {4, 6, 5}) {
+            const Mesh mesh(size, size);
+            const NodeId src = mesh.nodeOf({size - 1, 0});
+            const NodeId dst = mesh.nodeOf({0, size - 1});
+            const DirectionSet dirs =
+                wf.route(mesh, src, dst, Direction::local());
+            EXPECT_EQ(dirs.size(), 1) << mesh.name();
+            EXPECT_TRUE(dirs.contains(Direction::negative(0)));
+        }
+    }
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for turns, turn sets, and abstract cycles — the accounting
+ * behind Theorems 1 and 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/turnmodel/cycles.hpp"
+#include "turnnet/turnmodel/prohibition.hpp"
+#include "turnnet/turnmodel/turn.hpp"
+
+namespace turnnet {
+namespace {
+
+const Direction kWest = Direction::negative(0);
+const Direction kEast = Direction::positive(0);
+const Direction kSouth = Direction::negative(1);
+const Direction kNorth = Direction::positive(1);
+
+TEST(Turn, Classification)
+{
+    EXPECT_TRUE(Turn(kEast, kNorth).is90Degree());
+    EXPECT_FALSE(Turn(kEast, kNorth).is180Degree());
+    EXPECT_TRUE(Turn(kEast, kWest).is180Degree());
+    EXPECT_FALSE(Turn(kEast, kWest).is90Degree());
+    EXPECT_TRUE(Turn(kEast, kEast).isStraight());
+    EXPECT_EQ(Turn(kEast, kNorth).toString(), "east->north");
+}
+
+TEST(TurnSet, TotalTurnCountIs4nTimesNminus1)
+{
+    // Section 2: 4n(n-1) 90-degree turns in an n-dimensional mesh.
+    EXPECT_EQ(TurnSet::total90Turns(2), 8);
+    EXPECT_EQ(TurnSet::total90Turns(3), 24);
+    EXPECT_EQ(TurnSet::total90Turns(8), 224);
+    for (int n = 2; n <= 8; ++n) {
+        const TurnSet all(n, true);
+        EXPECT_EQ(all.numAllowed90(), TurnSet::total90Turns(n));
+    }
+}
+
+TEST(TurnSet, StraightMovesAlwaysAllowed)
+{
+    const TurnSet none(2, false);
+    EXPECT_TRUE(none.allows(Turn(kEast, kEast)));
+    EXPECT_TRUE(none.allows(Turn(kSouth, kSouth)));
+    EXPECT_FALSE(none.allows(Turn(kEast, kNorth)));
+}
+
+TEST(TurnSet, OneEightyTurnsDefaultProhibited)
+{
+    const TurnSet all(2, true);
+    EXPECT_FALSE(all.allows(Turn(kEast, kWest)));
+    EXPECT_FALSE(all.allows(Turn(kNorth, kSouth)));
+    // Step 6 can incorporate them explicitly.
+    TurnSet with_reversal = all;
+    with_reversal.allow(Turn(kEast, kWest));
+    EXPECT_TRUE(with_reversal.allows(Turn(kEast, kWest)));
+}
+
+TEST(TurnSet, ProhibitAndAllowRoundTrip)
+{
+    TurnSet set(2, true);
+    set.prohibit(Turn(kNorth, kWest));
+    EXPECT_FALSE(set.allows(Turn(kNorth, kWest)));
+    EXPECT_EQ(set.numAllowed90(), 7);
+    set.allow(Turn(kNorth, kWest));
+    EXPECT_EQ(set.numAllowed90(), 8);
+}
+
+TEST(TurnSet, LegalOutputsRespectProhibitions)
+{
+    const TurnSet wf = westFirstTurns();
+    const DirectionSet from_north = wf.legalOutputs(kNorth);
+    EXPECT_TRUE(from_north.contains(kNorth));  // straight
+    EXPECT_TRUE(from_north.contains(kEast));
+    EXPECT_FALSE(from_north.contains(kWest));  // prohibited
+    EXPECT_FALSE(from_north.contains(kSouth)); // 180 degrees
+
+    // From the local (injection) direction everything is legal.
+    EXPECT_EQ(wf.legalOutputs(Direction::local()).size(), 4);
+}
+
+TEST(AbstractCycles, TwoPerPlane)
+{
+    // n(n-1)/2 planes, two abstract cycles each (Figure 2).
+    for (int n = 2; n <= 6; ++n)
+        EXPECT_EQ(abstractCycles(n).size(),
+                  static_cast<std::size_t>(n * (n - 1)));
+}
+
+TEST(AbstractCycles, TurnsChainAroundThePlane)
+{
+    for (const AbstractCycle &cycle : abstractCycles(3)) {
+        for (std::size_t i = 0; i < 4; ++i) {
+            const Turn &cur = cycle.turns[i];
+            const Turn &next = cycle.turns[(i + 1) % 4];
+            EXPECT_TRUE(cur.is90Degree());
+            // Each turn ends travelling the direction the next
+            // starts from.
+            EXPECT_EQ(cur.to, next.from);
+        }
+    }
+}
+
+TEST(AbstractCycles, EachCycleUsesAllFourPlaneDirections)
+{
+    for (const AbstractCycle &cycle : abstractCycles(4)) {
+        DirectionSet dirs;
+        for (const Turn &t : cycle.turns)
+            dirs.insert(t.from);
+        EXPECT_EQ(dirs.size(), 4);
+        EXPECT_TRUE(dirs.contains(Direction::positive(cycle.dimA)));
+        EXPECT_TRUE(dirs.contains(Direction::negative(cycle.dimA)));
+        EXPECT_TRUE(dirs.contains(Direction::positive(cycle.dimB)));
+        EXPECT_TRUE(dirs.contains(Direction::negative(cycle.dimB)));
+    }
+}
+
+TEST(Theorem1, MinimumProhibitedIsAQuarter)
+{
+    for (int n = 2; n <= 8; ++n) {
+        EXPECT_EQ(minimumProhibitedTurns(n), n * (n - 1));
+        EXPECT_EQ(4 * minimumProhibitedTurns(n),
+                  TurnSet::total90Turns(n));
+    }
+}
+
+TEST(Theorem6, NamedAlgorithmsProhibitExactlyTheQuota)
+{
+    // Negative-first, ABONF, and ABOPL prohibit exactly n(n-1)
+    // turns — the minimum Theorem 1 requires, making them maximally
+    // adaptive.
+    for (int n = 2; n <= 8; ++n) {
+        const std::size_t quota =
+            static_cast<std::size_t>(minimumProhibitedTurns(n));
+        EXPECT_EQ(negativeFirstTurns(n).prohibited90().size(), quota);
+        EXPECT_EQ(abonfTurns(n).prohibited90().size(), quota);
+        EXPECT_EQ(aboplTurns(n).prohibited90().size(), quota);
+    }
+}
+
+TEST(Theorem6, NamedAlgorithmsBreakEveryAbstractCycle)
+{
+    for (int n = 2; n <= 6; ++n) {
+        EXPECT_TRUE(breaksAllCycles(negativeFirstTurns(n)));
+        EXPECT_TRUE(breaksAllCycles(abonfTurns(n)));
+        EXPECT_TRUE(breaksAllCycles(aboplTurns(n)));
+        EXPECT_TRUE(breaksAllCycles(dimensionOrderTurns(n)));
+    }
+    EXPECT_TRUE(breaksAllCycles(westFirstTurns()));
+    EXPECT_TRUE(breaksAllCycles(northLastTurns()));
+}
+
+TEST(TurnSets, DimensionOrderProhibitsHalf)
+{
+    // xy routing prohibits four of the eight turns (Figure 3):
+    // every turn from a higher to a lower dimension.
+    EXPECT_EQ(dimensionOrderTurns(2).prohibited90().size(), 4u);
+    for (int n = 2; n <= 6; ++n) {
+        EXPECT_EQ(static_cast<int>(
+                      dimensionOrderTurns(n).prohibited90().size()),
+                  TurnSet::total90Turns(n) / 2);
+    }
+}
+
+TEST(TurnSets, WestFirstProhibitsTurnsToWest)
+{
+    const TurnSet wf = westFirstTurns();
+    const auto prohibited = wf.prohibited90();
+    ASSERT_EQ(prohibited.size(), 2u);
+    for (const Turn &t : prohibited)
+        EXPECT_EQ(t.to, kWest);
+}
+
+TEST(TurnSets, NorthLastProhibitsTurnsFromNorth)
+{
+    const TurnSet nl = northLastTurns();
+    const auto prohibited = nl.prohibited90();
+    ASSERT_EQ(prohibited.size(), 2u);
+    for (const Turn &t : prohibited)
+        EXPECT_EQ(t.from, kNorth);
+}
+
+TEST(TurnSets, NegativeFirstProhibitsPositiveToNegative)
+{
+    for (int n = 2; n <= 5; ++n) {
+        for (const Turn &t : negativeFirstTurns(n).prohibited90()) {
+            EXPECT_TRUE(t.from.isPositive());
+            EXPECT_TRUE(t.to.isNegative());
+        }
+    }
+}
+
+TEST(TurnSets, Abonf2DIsWestFirstAndAbopl2DIsNorthLast)
+{
+    EXPECT_EQ(abonfTurns(2), westFirstTurns());
+    EXPECT_EQ(aboplTurns(2), northLastTurns());
+}
+
+TEST(TurnSetDeath, CannotProhibitStraight)
+{
+    TurnSet set(2, true);
+    EXPECT_DEATH(set.prohibit(Turn(kEast, kEast)), "straight");
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the switching micro-state: flit buffers, source queues,
+ * input/output units, packet table, and network wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/network/network.hpp"
+#include "turnnet/network/packet.hpp"
+#include "turnnet/network/source_queue.hpp"
+#include "turnnet/topology/mesh.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(FlitBuffer, FifoOrderAndCapacity)
+{
+    FlitBuffer buf(2);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_FALSE(buf.full());
+
+    Flit a;
+    a.packet = 1;
+    a.seq = 0;
+    Flit b;
+    b.packet = 1;
+    b.seq = 1;
+    buf.push(a, 10);
+    buf.push(b, 11);
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.size(), 2u);
+
+    const FlitBuffer::Entry first = buf.pop();
+    EXPECT_EQ(first.flit.seq, 0u);
+    EXPECT_EQ(first.arrival, 10u);
+    EXPECT_EQ(buf.pop().flit.seq, 1u);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(FlitBufferDeath, OverflowAndUnderflow)
+{
+    FlitBuffer buf(1);
+    buf.push(Flit{}, 0);
+    EXPECT_DEATH(buf.push(Flit{}, 1), "overflow");
+    buf.pop();
+    EXPECT_DEATH(buf.pop(), "empty");
+}
+
+TEST(SourceQueue, SynthesizesHeadBodyTail)
+{
+    SourceQueue q;
+    q.enqueue(42, 9, 3);
+    EXPECT_EQ(q.packetCount(), 1u);
+    EXPECT_EQ(q.flitCount(), 3u);
+
+    const Flit head = q.nextFlit();
+    EXPECT_TRUE(head.head);
+    EXPECT_FALSE(head.tail);
+    EXPECT_EQ(head.packet, 42u);
+    EXPECT_EQ(head.dest, 9);
+    EXPECT_EQ(head.seq, 0u);
+
+    const Flit body = q.nextFlit();
+    EXPECT_FALSE(body.head);
+    EXPECT_FALSE(body.tail);
+
+    const Flit tail = q.nextFlit();
+    EXPECT_TRUE(tail.tail);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.flitCount(), 0u);
+}
+
+TEST(SourceQueue, SingleFlitPacketIsHeadAndTail)
+{
+    SourceQueue q;
+    q.enqueue(1, 2, 1);
+    const Flit only = q.nextFlit();
+    EXPECT_TRUE(only.head);
+    EXPECT_TRUE(only.tail);
+}
+
+TEST(SourceQueue, PacketsStayFifoAndContiguous)
+{
+    SourceQueue q;
+    q.enqueue(1, 5, 2);
+    q.enqueue(2, 6, 2);
+    EXPECT_EQ(q.packetCount(), 2u);
+    EXPECT_EQ(q.nextFlit().packet, 1u);
+    EXPECT_EQ(q.nextFlit().packet, 1u);
+    EXPECT_EQ(q.nextFlit().packet, 2u);
+    EXPECT_EQ(q.nextFlit().packet, 2u);
+}
+
+TEST(PacketTable, LifecycleAndAccounting)
+{
+    PacketTable table;
+    const PacketInfo &a = table.create(1, 2, 10, 100, true);
+    const PacketInfo &b = table.create(3, 4, 200, 101, false);
+    EXPECT_NE(a.id, b.id);
+    EXPECT_EQ(table.liveCount(), 2u);
+
+    PacketInfo &mut = table.at(a.id);
+    mut.hops = 7;
+    EXPECT_EQ(table.at(a.id).hops, 7u);
+    EXPECT_TRUE(table.at(a.id).measured);
+    EXPECT_FALSE(table.at(b.id).measured);
+
+    table.erase(a.id);
+    EXPECT_EQ(table.liveCount(), 1u);
+    EXPECT_DEATH(table.at(a.id), "unknown packet");
+}
+
+TEST(InputUnit, OutputAssignmentLifecycle)
+{
+    InputUnit iu(3, Direction::positive(0), 0, 1);
+    EXPECT_EQ(iu.assignedOutput(), kNoUnit);
+    iu.assignOutput(17);
+    EXPECT_EQ(iu.assignedOutput(), 17);
+    iu.clearOutput();
+    EXPECT_EQ(iu.assignedOutput(), kNoUnit);
+    EXPECT_EQ(iu.node(), 3);
+    EXPECT_EQ(iu.inDir(), Direction::positive(0));
+}
+
+TEST(OutputUnit, OwnershipLifecycle)
+{
+    OutputUnit ou(2, Direction::negative(1), 9, 0);
+    EXPECT_TRUE(ou.free());
+    ou.acquire(4);
+    EXPECT_FALSE(ou.free());
+    EXPECT_EQ(ou.owner(), 4);
+    ou.release();
+    EXPECT_TRUE(ou.free());
+    EXPECT_FALSE(ou.isEjection());
+
+    OutputUnit ej(2, Direction::local(), kInvalidChannel);
+    EXPECT_TRUE(ej.isEjection());
+}
+
+TEST(Network, WiringMatchesTopology)
+{
+    const Mesh mesh(3, 3);
+    Network net(mesh, 1);
+    EXPECT_EQ(net.numInputs(),
+              static_cast<std::size_t>(mesh.numChannels() +
+                                       mesh.numNodes()));
+    EXPECT_EQ(net.numOutputs(), net.numInputs());
+
+    // Channel input units live at the channel's destination and
+    // carry its direction.
+    for (ChannelId c = 0; c < mesh.numChannels(); ++c) {
+        const Channel &ch = mesh.channel(c);
+        const InputUnit &iu = net.input(net.channelInput(c));
+        EXPECT_EQ(iu.node(), ch.dst);
+        EXPECT_EQ(iu.inDir(), ch.dir);
+        const OutputUnit &ou = net.output(net.channelOutput(c));
+        EXPECT_EQ(ou.node(), ch.src);
+        EXPECT_EQ(ou.channel(), c);
+    }
+
+    // Injection/ejection units are local.
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        EXPECT_TRUE(
+            net.input(net.injectionInput(n)).inDir().isLocal());
+        EXPECT_TRUE(net.output(net.ejectionOutput(n)).isEjection());
+        EXPECT_EQ(net.input(net.injectionInput(n)).node(), n);
+    }
+}
+
+TEST(Network, RouterPortCountsMatchDegree)
+{
+    const Mesh mesh(3, 3);
+    Network net(mesh, 1);
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        const Router &r = net.router(n);
+        const std::size_t degree = mesh.channelsInto(n).size();
+        EXPECT_EQ(r.inputs().size(), degree + 1);  // + injection
+        EXPECT_EQ(r.outputs().size(), degree + 1); // + ejection
+        // outputFor() maps directions to the same units addOutput
+        // registered.
+        mesh.directionsFrom(n).forEach([&](Direction d) {
+            const UnitId out = r.outputFor(d);
+            ASSERT_NE(out, kNoUnit);
+            EXPECT_EQ(net.output(out).dir(), d);
+        });
+        EXPECT_EQ(r.ejectionOutput(), net.ejectionOutput(n));
+    }
+}
+
+TEST(Network, FlitsInFlightCountsBufferedFlits)
+{
+    const Mesh mesh(3, 3);
+    Network net(mesh, 2);
+    EXPECT_EQ(net.flitsInFlight(), 0u);
+    net.input(0).buffer().push(Flit{}, 0);
+    net.input(3).buffer().push(Flit{}, 0);
+    net.input(3).buffer().push(Flit{}, 1);
+    EXPECT_EQ(net.flitsInFlight(), 3u);
+    net.reset();
+    EXPECT_EQ(net.flitsInFlight(), 0u);
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for virtual-channel routing: the Dally-Seitz dateline
+ * scheme (minimal torus routing with 2 VCs — what the turn model
+ * deliberately avoids paying for) and the double-y scheme (fully
+ * adaptive minimal 2D-mesh routing, the paper's reference [18]).
+ * Deadlock freedom is decided by the extended (channel, vc)
+ * dependency graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/analysis/adaptiveness.hpp"
+#include "turnnet/analysis/vc_cdg.hpp"
+#include "turnnet/routing/dateline_torus.hpp"
+#include "turnnet/routing/double_y.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+
+namespace turnnet {
+namespace {
+
+std::vector<VcCandidate>
+routeOf(const VcRoutingFunction &routing, const Topology &topo,
+        NodeId cur, NodeId dest, Direction in_dir = Direction::local(),
+        int in_vc = kNoVc)
+{
+    std::vector<VcCandidate> out;
+    routing.route(topo, cur, dest, in_dir, in_vc, out);
+    return out;
+}
+
+TEST(Dateline, SingleMinimalCandidatePerHop)
+{
+    const Torus torus(5, 2);
+    const DatelineTorus dateline;
+    for (NodeId s = 0; s < torus.numNodes(); ++s) {
+        for (NodeId d = 0; d < torus.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const auto cands = routeOf(dateline, torus, s, d);
+            ASSERT_EQ(cands.size(), 1u);
+            const NodeId next = torus.neighbor(s, cands[0].dir);
+            EXPECT_EQ(torus.distance(next, d),
+                      torus.distance(s, d) - 1)
+                << s << " -> " << d;
+        }
+    }
+}
+
+TEST(Dateline, VcZeroWhileTheWrapLiesAhead)
+{
+    const Torus torus(4, 2);
+    const DatelineTorus dateline;
+    // (2,0) -> (0,0): forward distance 2 (tie resolved positive),
+    // so the packet will cross the wrap: VC 0.
+    const auto before = routeOf(dateline, torus,
+                                torus.nodeOf({2, 0}),
+                                torus.nodeOf({0, 0}));
+    ASSERT_EQ(before.size(), 1u);
+    EXPECT_EQ(before[0].dir, Direction::positive(0));
+    EXPECT_EQ(before[0].vc, 0);
+
+    // After the wrap, at (3,0) -> hop to (0,0): still ahead: vc 0.
+    const auto at_edge = routeOf(dateline, torus,
+                                 torus.nodeOf({3, 0}),
+                                 torus.nodeOf({0, 0}),
+                                 Direction::positive(0), 0);
+    ASSERT_EQ(at_edge.size(), 1u);
+    EXPECT_EQ(at_edge[0].vc, 0);
+
+    // A packet with no wrap in its future uses VC 1.
+    const auto plain = routeOf(dateline, torus,
+                               torus.nodeOf({0, 1}),
+                               torus.nodeOf({1, 1}));
+    ASSERT_EQ(plain.size(), 1u);
+    EXPECT_EQ(plain[0].vc, 1);
+
+    // ... including one that has already crossed: (3,1) -> (1,1)
+    // wraps; after landing at (0,1) the remaining leg is wrap-free.
+    const auto after = routeOf(dateline, torus,
+                               torus.nodeOf({0, 1}),
+                               torus.nodeOf({1, 1}),
+                               Direction::positive(0), 0);
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].vc, 1);
+}
+
+TEST(Dateline, ExtendedCdgIsAcyclic)
+{
+    const DatelineTorus dateline;
+    EXPECT_TRUE(isVcDeadlockFree(Torus(4, 2), dateline));
+    EXPECT_TRUE(isVcDeadlockFree(Torus(5, 2), dateline));
+    EXPECT_TRUE(
+        isVcDeadlockFree(Torus(std::vector<int>{3, 4, 3}),
+                         dateline));
+    EXPECT_TRUE(isVcDeadlockFree(Torus(8, 1), dateline));
+}
+
+TEST(Dateline, MinimalTorusRoutingWithoutVcsWouldDeadlock)
+{
+    // The point of the comparison: squeeze the same minimal
+    // dimension-order relation onto a single VC and the ring cycles
+    // return. (Section 4.2: minimal deadlock-free torus routing is
+    // impossible without extra channels for k > 4.)
+    class SingleVcDateline : public VcRoutingFunction
+    {
+      public:
+        std::string name() const override { return "dateline-1vc"; }
+        int numVcs() const override { return 1; }
+        void
+        route(const Topology &topo, NodeId cur, NodeId dest,
+              Direction in_dir, int in_vc,
+              std::vector<VcCandidate> &out) const override
+        {
+            std::vector<VcCandidate> wide;
+            inner_.route(topo, cur, dest, in_dir, in_vc, wide);
+            for (VcCandidate c : wide) {
+                c.vc = 0;
+                out.push_back(c);
+            }
+        }
+
+      private:
+        DatelineTorus inner_;
+    };
+    const SingleVcDateline squeezed;
+    EXPECT_FALSE(isVcDeadlockFree(Torus(5, 2), squeezed));
+    EXPECT_FALSE(isVcDeadlockFree(Torus(8, 1), squeezed));
+}
+
+TEST(DoubleY, FullyAdaptiveOverPhysicalPaths)
+{
+    // Every shortest physical path is available: the path count of
+    // the double-y relation equals S_f for all pairs.
+    const Mesh mesh(5, 5);
+    const DoubleY dy;
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            // Count paths by DFS over the relation (the VC choice
+            // is a function of position, so physical paths are in
+            // bijection with relation paths).
+            double count = 0;
+            auto dfs = [&](auto &&self, NodeId at) -> double {
+                if (at == d)
+                    return 1.0;
+                double total = 0;
+                for (const VcCandidate &c :
+                     routeOf(dy, mesh, at, d)) {
+                    total += self(self, mesh.neighbor(at, c.dir));
+                }
+                return total;
+            };
+            count = dfs(dfs, s);
+            EXPECT_EQ(count, pathsFullyAdaptive(mesh, s, d))
+                << s << " -> " << d;
+        }
+    }
+}
+
+TEST(DoubleY, WestPhaseRidesLayerOne)
+{
+    const Mesh mesh(6, 6);
+    const DoubleY dy;
+    // Northwest destination: west on the x channel, north on layer
+    // 1.
+    const auto nw = routeOf(dy, mesh, mesh.nodeOf({4, 2}),
+                            mesh.nodeOf({1, 5}));
+    ASSERT_EQ(nw.size(), 2u);
+    EXPECT_EQ(nw[0].dir, Direction::negative(0));
+    EXPECT_EQ(nw[0].vc, 0);
+    EXPECT_EQ(nw[1].dir, Direction::positive(1));
+    EXPECT_EQ(nw[1].vc, 0);
+
+    // Northeast destination: vertical hops on layer 2.
+    const auto ne = routeOf(dy, mesh, mesh.nodeOf({1, 2}),
+                            mesh.nodeOf({4, 5}));
+    ASSERT_EQ(ne.size(), 2u);
+    EXPECT_EQ(ne[1].dir, Direction::positive(1));
+    EXPECT_EQ(ne[1].vc, 1);
+
+    // Pure vertical: layer 2.
+    const auto v = routeOf(dy, mesh, mesh.nodeOf({3, 1}),
+                           mesh.nodeOf({3, 4}));
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].vc, 1);
+}
+
+TEST(DoubleY, ExtendedCdgIsAcyclic)
+{
+    const DoubleY dy;
+    EXPECT_TRUE(isVcDeadlockFree(Mesh(4, 4), dy));
+    EXPECT_TRUE(isVcDeadlockFree(Mesh(6, 6), dy));
+    EXPECT_TRUE(isVcDeadlockFree(Mesh(5, 3), dy));
+}
+
+TEST(DoubleY, FullAdaptivityOnOneLayerWouldDeadlock)
+{
+    // Sanity for the analysis: squeezing the same fully adaptive
+    // relation onto a single y layer reintroduces the Figure 1
+    // cycles.
+    class SqueezedDoubleY : public VcRoutingFunction
+    {
+      public:
+        std::string name() const override { return "double-y-1vc"; }
+        int numVcs() const override { return 2; }
+        void
+        route(const Topology &topo, NodeId cur, NodeId dest,
+              Direction in_dir, int in_vc,
+              std::vector<VcCandidate> &out) const override
+        {
+            std::vector<VcCandidate> wide;
+            inner_.route(topo, cur, dest, in_dir, in_vc, wide);
+            for (VcCandidate c : wide) {
+                c.vc = 0;
+                out.push_back(c);
+            }
+        }
+
+      private:
+        DoubleY inner_;
+    };
+    EXPECT_FALSE(isVcDeadlockFree(Mesh(4, 4), SqueezedDoubleY()));
+}
+
+TEST(SingleVcAdapter, MirrorsTheInnerRelation)
+{
+    const Mesh mesh(4, 4);
+    const RoutingPtr wf = makeRouting("west-first");
+    const SingleVcAdapter adapter(wf);
+    EXPECT_EQ(adapter.numVcs(), 1);
+    EXPECT_EQ(adapter.name(), "west-first");
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            const auto cands = routeOf(adapter, mesh, s, d);
+            DirectionSet dirs;
+            for (const VcCandidate &c : cands) {
+                EXPECT_EQ(c.vc, 0);
+                dirs.insert(c.dir);
+            }
+            EXPECT_EQ(dirs.mask(),
+                      wf->route(mesh, s, d, Direction::local())
+                          .mask());
+        }
+    }
+}
+
+TEST(VcCdg, AgreesWithPlainCdgForSingleVcAlgorithms)
+{
+    const Mesh mesh(4, 4);
+    EXPECT_TRUE(isVcDeadlockFree(
+        mesh, SingleVcAdapter(makeRouting("west-first"))));
+    EXPECT_FALSE(isVcDeadlockFree(
+        mesh, SingleVcAdapter(makeRouting("fully-adaptive"))));
+}
+
+TEST(VcFactory, ResolvesNames)
+{
+    EXPECT_EQ(makeVcRouting("dateline")->numVcs(), 2);
+    EXPECT_EQ(makeVcRouting("double-y")->numVcs(), 2);
+    EXPECT_EQ(makeVcRouting("west-first")->numVcs(), 1);
+    EXPECT_EQ(makeVcRouting("west-first")->name(), "west-first");
+}
+
+TEST(VcChecks, TopologyValidation)
+{
+    EXPECT_DEATH(DatelineTorus().checkTopology(Mesh(4, 4)),
+                 "tori");
+    EXPECT_DEATH(DoubleY().checkTopology(Torus(4, 2)),
+                 "2D meshes");
+    EXPECT_DEATH(DoubleY().checkTopology(
+                     Mesh(std::vector<int>{3, 3, 3})),
+                 "2D meshes");
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Behavioral tests for west-first routing (Section 3.1): west
+ * travel happens first and alone; everything else is adaptive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/analysis/adaptiveness.hpp"
+#include "turnnet/routing/west_first.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+
+namespace turnnet {
+namespace {
+
+const Direction kWest = Direction::negative(0);
+const Direction kEast = Direction::positive(0);
+const Direction kSouth = Direction::negative(1);
+const Direction kNorth = Direction::positive(1);
+
+class WestFirstTest : public ::testing::Test
+{
+  protected:
+    Mesh mesh_{8, 8};
+    WestFirst wf_;
+};
+
+TEST_F(WestFirstTest, WestwardDestinationForcesWest)
+{
+    // Destination strictly west and north: must go west first even
+    // though north is also productive.
+    const NodeId src = mesh_.nodeOf({5, 2});
+    const NodeId dst = mesh_.nodeOf({1, 6});
+    const DirectionSet dirs =
+        wf_.route(mesh_, src, dst, Direction::local());
+    EXPECT_EQ(dirs.size(), 1);
+    EXPECT_TRUE(dirs.contains(kWest));
+}
+
+TEST_F(WestFirstTest, EastwardDestinationIsFullyAdaptive)
+{
+    const NodeId src = mesh_.nodeOf({1, 1});
+    const NodeId dst = mesh_.nodeOf({4, 5});
+    const DirectionSet dirs =
+        wf_.route(mesh_, src, dst, Direction::local());
+    EXPECT_EQ(dirs.size(), 2);
+    EXPECT_TRUE(dirs.contains(kEast));
+    EXPECT_TRUE(dirs.contains(kNorth));
+}
+
+TEST_F(WestFirstTest, StraightWestOnlyPath)
+{
+    const NodeId src = mesh_.nodeOf({6, 3});
+    const NodeId dst = mesh_.nodeOf({2, 3});
+    const DirectionSet dirs =
+        wf_.route(mesh_, src, dst, Direction::local());
+    EXPECT_EQ(dirs.size(), 1);
+    EXPECT_TRUE(dirs.contains(kWest));
+}
+
+TEST_F(WestFirstTest, AfterWestPhaseRoutesAdaptively)
+{
+    // Once aligned in x... the remaining directions are south/east/
+    // north as needed. Arriving travelling west with the x
+    // coordinate aligned:
+    const NodeId at = mesh_.nodeOf({2, 2});
+    const NodeId dst = mesh_.nodeOf({2, 6});
+    const DirectionSet dirs = wf_.route(mesh_, at, dst, kWest);
+    EXPECT_EQ(dirs.size(), 1);
+    EXPECT_TRUE(dirs.contains(kNorth));
+}
+
+TEST_F(WestFirstTest, NeverOffersWestMidRoute)
+{
+    // No turn into west exists, so west can never be offered to a
+    // packet travelling south, east, or north.
+    for (const Direction in : {kSouth, kEast, kNorth}) {
+        for (NodeId d = 0; d < mesh_.numNodes(); ++d) {
+            const NodeId at = mesh_.nodeOf({4, 4});
+            if (d == at)
+                continue;
+            EXPECT_FALSE(
+                wf_.route(mesh_, at, d, in).contains(kWest));
+        }
+    }
+}
+
+TEST_F(WestFirstTest, PathCountsMatchSection34)
+{
+    // S_wf = (dx+dy choose dx) when dx >= 0, else 1.
+    const NodeId src = mesh_.nodeOf({3, 3});
+    // dx = +2, dy = +2 -> C(4,2) = 6.
+    EXPECT_EQ(countPaths(mesh_, wf_, src, mesh_.nodeOf({5, 5})), 6.0);
+    EXPECT_EQ(pathsWestFirst(mesh_, src, mesh_.nodeOf({5, 5})), 6.0);
+    // dx = -2, dy = +2 -> exactly one path.
+    EXPECT_EQ(countPaths(mesh_, wf_, src, mesh_.nodeOf({1, 5})), 1.0);
+    EXPECT_EQ(pathsWestFirst(mesh_, src, mesh_.nodeOf({1, 5})), 1.0);
+    // dx = +3, dy = -1 -> C(4,1) = 4.
+    EXPECT_EQ(countPaths(mesh_, wf_, src, mesh_.nodeOf({6, 2})), 4.0);
+}
+
+TEST_F(WestFirstTest, NonminimalOffersLegalDetours)
+{
+    const WestFirst wf_nm(false);
+    // Destination due east: from injection every direction is legal
+    // — even an initial westward detour (the west phase comes
+    // first, so it is recoverable).
+    const NodeId src = mesh_.nodeOf({3, 3});
+    const NodeId dst = mesh_.nodeOf({6, 3});
+    const DirectionSet dirs =
+        wf_nm.route(mesh_, src, dst, Direction::local());
+    EXPECT_TRUE(dirs.contains(kEast));
+    EXPECT_TRUE(dirs.contains(kNorth));
+    EXPECT_TRUE(dirs.contains(kSouth));
+    EXPECT_TRUE(dirs.contains(kWest));
+    // Once the packet has turned (say north), west is gone for
+    // good and reversals are excluded: only south detours remain.
+    const DirectionSet mid = wf_nm.route(mesh_, src, dst, kNorth);
+    EXPECT_TRUE(mid.contains(kEast));
+    EXPECT_FALSE(mid.contains(kWest));
+    EXPECT_FALSE(mid.contains(kSouth)); // 180-degree reversal
+    EXPECT_TRUE(mid.contains(kNorth));
+}
+
+TEST_F(WestFirstTest, NonminimalNeverStrandsWestwardNeeds)
+{
+    // A detour that would make a westward destination unreachable
+    // must not be offered: westward travel cannot restart.
+    const WestFirst wf_nm(false);
+    const NodeId src = mesh_.nodeOf({3, 3});
+    const NodeId dst = mesh_.nodeOf({1, 3}); // west of src
+    const DirectionSet dirs =
+        wf_nm.route(mesh_, src, dst, Direction::local());
+    EXPECT_EQ(dirs.size(), 1);
+    EXPECT_TRUE(dirs.contains(kWest));
+}
+
+TEST(WestFirstChecks, RejectsWrongTopologies)
+{
+    const WestFirst wf;
+    EXPECT_DEATH(wf.checkTopology(Hypercube(3)), "2D");
+    EXPECT_DEATH(wf.checkTopology(Torus(4, 2)), "mesh");
+}
+
+TEST(WestFirstChecks, NamesReflectMode)
+{
+    EXPECT_EQ(WestFirst().name(), "west-first");
+    EXPECT_EQ(WestFirst(false).name(), "west-first-nm");
+    EXPECT_TRUE(WestFirst().isMinimal());
+    EXPECT_FALSE(WestFirst(false).isMinimal());
+}
+
+} // namespace
+} // namespace turnnet
