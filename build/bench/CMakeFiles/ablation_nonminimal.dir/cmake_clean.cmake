@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nonminimal.dir/ablation_nonminimal.cpp.o"
+  "CMakeFiles/ablation_nonminimal.dir/ablation_nonminimal.cpp.o.d"
+  "ablation_nonminimal"
+  "ablation_nonminimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nonminimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_virtual_channels.dir/ablation_virtual_channels.cpp.o"
+  "CMakeFiles/ablation_virtual_channels.dir/ablation_virtual_channels.cpp.o.d"
+  "ablation_virtual_channels"
+  "ablation_virtual_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_virtual_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_virtual_channels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_concentration.dir/analysis_concentration.cpp.o"
+  "CMakeFiles/analysis_concentration.dir/analysis_concentration.cpp.o.d"
+  "analysis_concentration"
+  "analysis_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

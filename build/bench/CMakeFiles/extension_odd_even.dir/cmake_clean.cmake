@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_odd_even.dir/extension_odd_even.cpp.o"
+  "CMakeFiles/extension_odd_even.dir/extension_odd_even.cpp.o.d"
+  "extension_odd_even"
+  "extension_odd_even.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_odd_even.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_turnnet.dir/micro_turnnet.cpp.o"
+  "CMakeFiles/micro_turnnet.dir/micro_turnnet.cpp.o.d"
+  "micro_turnnet"
+  "micro_turnnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_turnnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_turn_prohibitions.dir/table_turn_prohibitions.cpp.o"
+  "CMakeFiles/table_turn_prohibitions.dir/table_turn_prohibitions.cpp.o.d"
+  "table_turn_prohibitions"
+  "table_turn_prohibitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_turn_prohibitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_turn_prohibitions.
+# This may be replaced when dependencies are built.

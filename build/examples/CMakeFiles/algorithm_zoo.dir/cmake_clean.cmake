@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_zoo.dir/algorithm_zoo.cpp.o"
+  "CMakeFiles/algorithm_zoo.dir/algorithm_zoo.cpp.o.d"
+  "algorithm_zoo"
+  "algorithm_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_gallery.dir/path_gallery.cpp.o"
+  "CMakeFiles/path_gallery.dir/path_gallery.cpp.o.d"
+  "path_gallery"
+  "path_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_walkthrough.dir/pcube_walkthrough.cpp.o"
+  "CMakeFiles/pcube_walkthrough.dir/pcube_walkthrough.cpp.o.d"
+  "pcube_walkthrough"
+  "pcube_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

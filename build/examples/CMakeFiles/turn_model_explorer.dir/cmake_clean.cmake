@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turn_model_explorer.dir/turn_model_explorer.cpp.o"
+  "CMakeFiles/turn_model_explorer.dir/turn_model_explorer.cpp.o.d"
+  "turn_model_explorer"
+  "turn_model_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turn_model_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

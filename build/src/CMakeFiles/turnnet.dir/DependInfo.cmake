@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/turnnet/analysis/adaptiveness.cpp" "src/CMakeFiles/turnnet.dir/turnnet/analysis/adaptiveness.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/analysis/adaptiveness.cpp.o.d"
+  "/root/repo/src/turnnet/analysis/cdg.cpp" "src/CMakeFiles/turnnet.dir/turnnet/analysis/cdg.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/analysis/cdg.cpp.o.d"
+  "/root/repo/src/turnnet/analysis/path_enum.cpp" "src/CMakeFiles/turnnet.dir/turnnet/analysis/path_enum.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/analysis/path_enum.cpp.o.d"
+  "/root/repo/src/turnnet/analysis/reachability.cpp" "src/CMakeFiles/turnnet.dir/turnnet/analysis/reachability.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/analysis/reachability.cpp.o.d"
+  "/root/repo/src/turnnet/analysis/vc_cdg.cpp" "src/CMakeFiles/turnnet.dir/turnnet/analysis/vc_cdg.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/analysis/vc_cdg.cpp.o.d"
+  "/root/repo/src/turnnet/common/cli.cpp" "src/CMakeFiles/turnnet.dir/turnnet/common/cli.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/common/cli.cpp.o.d"
+  "/root/repo/src/turnnet/common/csv.cpp" "src/CMakeFiles/turnnet.dir/turnnet/common/csv.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/common/csv.cpp.o.d"
+  "/root/repo/src/turnnet/common/logging.cpp" "src/CMakeFiles/turnnet.dir/turnnet/common/logging.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/common/logging.cpp.o.d"
+  "/root/repo/src/turnnet/common/rng.cpp" "src/CMakeFiles/turnnet.dir/turnnet/common/rng.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/common/rng.cpp.o.d"
+  "/root/repo/src/turnnet/common/stats.cpp" "src/CMakeFiles/turnnet.dir/turnnet/common/stats.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/common/stats.cpp.o.d"
+  "/root/repo/src/turnnet/harness/figures.cpp" "src/CMakeFiles/turnnet.dir/turnnet/harness/figures.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/harness/figures.cpp.o.d"
+  "/root/repo/src/turnnet/harness/sweep.cpp" "src/CMakeFiles/turnnet.dir/turnnet/harness/sweep.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/harness/sweep.cpp.o.d"
+  "/root/repo/src/turnnet/network/buffer.cpp" "src/CMakeFiles/turnnet.dir/turnnet/network/buffer.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/network/buffer.cpp.o.d"
+  "/root/repo/src/turnnet/network/input_unit.cpp" "src/CMakeFiles/turnnet.dir/turnnet/network/input_unit.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/network/input_unit.cpp.o.d"
+  "/root/repo/src/turnnet/network/metrics.cpp" "src/CMakeFiles/turnnet.dir/turnnet/network/metrics.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/network/metrics.cpp.o.d"
+  "/root/repo/src/turnnet/network/network.cpp" "src/CMakeFiles/turnnet.dir/turnnet/network/network.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/network/network.cpp.o.d"
+  "/root/repo/src/turnnet/network/output_unit.cpp" "src/CMakeFiles/turnnet.dir/turnnet/network/output_unit.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/network/output_unit.cpp.o.d"
+  "/root/repo/src/turnnet/network/packet.cpp" "src/CMakeFiles/turnnet.dir/turnnet/network/packet.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/network/packet.cpp.o.d"
+  "/root/repo/src/turnnet/network/router.cpp" "src/CMakeFiles/turnnet.dir/turnnet/network/router.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/network/router.cpp.o.d"
+  "/root/repo/src/turnnet/network/selection.cpp" "src/CMakeFiles/turnnet.dir/turnnet/network/selection.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/network/selection.cpp.o.d"
+  "/root/repo/src/turnnet/network/simulator.cpp" "src/CMakeFiles/turnnet.dir/turnnet/network/simulator.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/network/simulator.cpp.o.d"
+  "/root/repo/src/turnnet/network/source_queue.cpp" "src/CMakeFiles/turnnet.dir/turnnet/network/source_queue.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/network/source_queue.cpp.o.d"
+  "/root/repo/src/turnnet/routing/abonf.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/abonf.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/abonf.cpp.o.d"
+  "/root/repo/src/turnnet/routing/abopl.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/abopl.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/abopl.cpp.o.d"
+  "/root/repo/src/turnnet/routing/dateline_torus.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/dateline_torus.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/dateline_torus.cpp.o.d"
+  "/root/repo/src/turnnet/routing/dimension_order.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/dimension_order.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/dimension_order.cpp.o.d"
+  "/root/repo/src/turnnet/routing/double_y.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/double_y.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/double_y.cpp.o.d"
+  "/root/repo/src/turnnet/routing/fully_adaptive.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/fully_adaptive.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/fully_adaptive.cpp.o.d"
+  "/root/repo/src/turnnet/routing/negative_first.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/negative_first.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/negative_first.cpp.o.d"
+  "/root/repo/src/turnnet/routing/north_last.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/north_last.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/north_last.cpp.o.d"
+  "/root/repo/src/turnnet/routing/odd_even.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/odd_even.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/odd_even.cpp.o.d"
+  "/root/repo/src/turnnet/routing/pcube.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/pcube.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/pcube.cpp.o.d"
+  "/root/repo/src/turnnet/routing/registry.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/registry.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/registry.cpp.o.d"
+  "/root/repo/src/turnnet/routing/routing_function.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/routing_function.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/routing_function.cpp.o.d"
+  "/root/repo/src/turnnet/routing/torus_extensions.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/torus_extensions.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/torus_extensions.cpp.o.d"
+  "/root/repo/src/turnnet/routing/two_phase.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/two_phase.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/two_phase.cpp.o.d"
+  "/root/repo/src/turnnet/routing/vc_routing.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/vc_routing.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/vc_routing.cpp.o.d"
+  "/root/repo/src/turnnet/routing/west_first.cpp" "src/CMakeFiles/turnnet.dir/turnnet/routing/west_first.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/routing/west_first.cpp.o.d"
+  "/root/repo/src/turnnet/topology/coord.cpp" "src/CMakeFiles/turnnet.dir/turnnet/topology/coord.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/topology/coord.cpp.o.d"
+  "/root/repo/src/turnnet/topology/direction.cpp" "src/CMakeFiles/turnnet.dir/turnnet/topology/direction.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/topology/direction.cpp.o.d"
+  "/root/repo/src/turnnet/topology/hypercube.cpp" "src/CMakeFiles/turnnet.dir/turnnet/topology/hypercube.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/topology/hypercube.cpp.o.d"
+  "/root/repo/src/turnnet/topology/mesh.cpp" "src/CMakeFiles/turnnet.dir/turnnet/topology/mesh.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/topology/mesh.cpp.o.d"
+  "/root/repo/src/turnnet/topology/topology.cpp" "src/CMakeFiles/turnnet.dir/turnnet/topology/topology.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/topology/topology.cpp.o.d"
+  "/root/repo/src/turnnet/topology/torus.cpp" "src/CMakeFiles/turnnet.dir/turnnet/topology/torus.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/topology/torus.cpp.o.d"
+  "/root/repo/src/turnnet/traffic/generator.cpp" "src/CMakeFiles/turnnet.dir/turnnet/traffic/generator.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/traffic/generator.cpp.o.d"
+  "/root/repo/src/turnnet/traffic/pattern.cpp" "src/CMakeFiles/turnnet.dir/turnnet/traffic/pattern.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/traffic/pattern.cpp.o.d"
+  "/root/repo/src/turnnet/turnmodel/cycles.cpp" "src/CMakeFiles/turnnet.dir/turnnet/turnmodel/cycles.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/turnmodel/cycles.cpp.o.d"
+  "/root/repo/src/turnnet/turnmodel/numbering.cpp" "src/CMakeFiles/turnnet.dir/turnnet/turnmodel/numbering.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/turnmodel/numbering.cpp.o.d"
+  "/root/repo/src/turnnet/turnmodel/prohibition.cpp" "src/CMakeFiles/turnnet.dir/turnnet/turnmodel/prohibition.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/turnmodel/prohibition.cpp.o.d"
+  "/root/repo/src/turnnet/turnmodel/turn.cpp" "src/CMakeFiles/turnnet.dir/turnnet/turnmodel/turn.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/turnmodel/turn.cpp.o.d"
+  "/root/repo/src/turnnet/turnmodel/turn_routing.cpp" "src/CMakeFiles/turnnet.dir/turnnet/turnmodel/turn_routing.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/turnmodel/turn_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for turnnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misroute.dir/test_misroute.cpp.o"
+  "CMakeFiles/test_misroute.dir/test_misroute.cpp.o.d"
+  "test_misroute"
+  "test_misroute.pdb"
+  "test_misroute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_negative_first.dir/test_negative_first.cpp.o"
+  "CMakeFiles/test_negative_first.dir/test_negative_first.cpp.o.d"
+  "test_negative_first"
+  "test_negative_first.pdb"
+  "test_negative_first[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_negative_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_north_last.dir/test_north_last.cpp.o"
+  "CMakeFiles/test_north_last.dir/test_north_last.cpp.o.d"
+  "test_north_last"
+  "test_north_last.pdb"
+  "test_north_last[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_north_last.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_north_last.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numbering.dir/test_numbering.cpp.o"
+  "CMakeFiles/test_numbering.dir/test_numbering.cpp.o.d"
+  "test_numbering"
+  "test_numbering.pdb"
+  "test_numbering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numbering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

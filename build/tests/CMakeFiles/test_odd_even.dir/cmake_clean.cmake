@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_odd_even.dir/test_odd_even.cpp.o"
+  "CMakeFiles/test_odd_even.dir/test_odd_even.cpp.o.d"
+  "test_odd_even"
+  "test_odd_even.pdb"
+  "test_odd_even[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_odd_even.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_enum.dir/test_path_enum.cpp.o"
+  "CMakeFiles/test_path_enum.dir/test_path_enum.cpp.o.d"
+  "test_path_enum"
+  "test_path_enum.pdb"
+  "test_path_enum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_validation.dir/test_path_validation.cpp.o"
+  "CMakeFiles/test_path_validation.dir/test_path_validation.cpp.o.d"
+  "test_path_validation"
+  "test_path_validation.pdb"
+  "test_path_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

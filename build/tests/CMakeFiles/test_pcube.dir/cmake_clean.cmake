@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcube.dir/test_pcube.cpp.o"
+  "CMakeFiles/test_pcube.dir/test_pcube.cpp.o.d"
+  "test_pcube"
+  "test_pcube.pdb"
+  "test_pcube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prohibition.dir/test_prohibition.cpp.o"
+  "CMakeFiles/test_prohibition.dir/test_prohibition.cpp.o.d"
+  "test_prohibition"
+  "test_prohibition.pdb"
+  "test_prohibition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prohibition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_prohibition.
+# This may be replaced when dependencies are built.

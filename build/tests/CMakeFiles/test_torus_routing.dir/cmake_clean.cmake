@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_torus_routing.dir/test_torus_routing.cpp.o"
+  "CMakeFiles/test_torus_routing.dir/test_torus_routing.cpp.o.d"
+  "test_torus_routing"
+  "test_torus_routing.pdb"
+  "test_torus_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_torus_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

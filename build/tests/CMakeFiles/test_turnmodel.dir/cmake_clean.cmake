@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turnmodel.dir/test_turnmodel.cpp.o"
+  "CMakeFiles/test_turnmodel.dir/test_turnmodel.cpp.o.d"
+  "test_turnmodel"
+  "test_turnmodel.pdb"
+  "test_turnmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turnmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vc_network.dir/test_vc_network.cpp.o"
+  "CMakeFiles/test_vc_network.dir/test_vc_network.cpp.o.d"
+  "test_vc_network"
+  "test_vc_network.pdb"
+  "test_vc_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vc_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_west_first.dir/test_west_first.cpp.o"
+  "CMakeFiles/test_west_first.dir/test_west_first.cpp.o.d"
+  "test_west_first"
+  "test_west_first.pdb"
+  "test_west_first[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_west_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
