@@ -7,7 +7,8 @@
  * algorithm: deeper buffers decouple blocked worms and raise
  * saturation throughput at the cost of router storage.
  *
- * Options: --full (16x16 mesh), --seed N.
+ * Options: --full (16x16 mesh), --seed N, --jobs N (parallel
+ * sweep workers; 0/auto = hardware threads).
  */
 
 #include <cstdio>
@@ -41,6 +42,9 @@ main(int argc, char **argv)
     base.seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
 
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = resolveJobs(opts, 1);
+
     Table table("Buffer-depth ablation: matrix-transpose, " +
                 mesh.name());
     table.setHeader({"algorithm", "buffer depth",
@@ -53,7 +57,8 @@ main(int argc, char **argv)
             SimConfig config = base;
             config.bufferDepth = depth;
             const auto sweep = runLoadSweep(mesh, routing, traffic,
-                                            loads, config);
+                                            loads, config,
+                                            sweep_opts);
             table.beginRow();
             table.cell(alg);
             table.cell(static_cast<long long>(depth));

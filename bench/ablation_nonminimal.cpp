@@ -13,7 +13,8 @@
  *     misrouting recover the adaptivity the minimal variant lacks?)
  *  3. the misroute wait threshold (eager vs patient detours).
  *
- * Options: --full (16x16), --seed N.
+ * Options: --full (16x16), --seed N, --jobs N (parallel sweep
+ * workers; 0/auto = hardware threads).
  */
 
 #include <cstdio>
@@ -43,15 +44,16 @@ baseConfig(std::uint64_t seed)
 void
 study(const Mesh &mesh, const char *traffic_name,
       const char *algorithm, const std::vector<double> &loads,
-      std::uint64_t seed, Table &table)
+      std::uint64_t seed, const SweepOptions &sweep_opts,
+      Table &table)
 {
     const TrafficPtr traffic = makeTraffic(traffic_name, mesh);
     for (const bool minimal : {true, false}) {
         const RoutingPtr routing =
             makeRouting(algorithm, 2, minimal);
         SimConfig config = baseConfig(seed);
-        const auto sweep =
-            runLoadSweep(mesh, routing, traffic, loads, config);
+        const auto sweep = runLoadSweep(mesh, routing, traffic,
+                                        loads, config, sweep_opts);
         table.beginRow();
         table.cell(std::string(traffic_name));
         table.cell(routing->name());
@@ -71,6 +73,8 @@ main(int argc, char **argv)
     const bool full = opts.getBool("full", false);
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = resolveJobs(opts, 1);
     const int side = full ? 16 : 8;
     const Mesh mesh(side, side);
 
@@ -90,12 +94,13 @@ main(int argc, char **argv)
                      "max sustainable (fl/us)", "latency@low (us)",
                      "hops@low", "hops@high"});
     study(mesh, "hotspot", "west-first", hotspot_loads, seed,
-          table);
+          sweep_opts, table);
     study(mesh, "transpose", "negative-first", mesh_loads, seed,
-          table);
-    study(mesh, "transpose", "west-first", mesh_loads, seed, table);
+          sweep_opts, table);
+    study(mesh, "transpose", "west-first", mesh_loads, seed,
+          sweep_opts, table);
     study(mesh, "uniform", "negative-first", mesh_loads, seed,
-          table);
+          sweep_opts, table);
     table.print();
 
     // Wait-threshold sensitivity for the transpose/NF case.
@@ -110,7 +115,7 @@ main(int argc, char **argv)
         config.misrouteAfterWait = wait;
         const auto sweep = runLoadSweep(
             mesh, makeRouting("negative-first", 2, false),
-            transpose, mesh_loads, config);
+            transpose, mesh_loads, config, sweep_opts);
         thresholds.beginRow();
         thresholds.cell(static_cast<long long>(wait));
         thresholds.cell(maxSustainableThroughput(sweep), 1);

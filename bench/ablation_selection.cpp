@@ -7,7 +7,8 @@
  * mesh) with west-first routing, where output selection decides
  * which of the adaptive paths the upper-triangle packets take.
  *
- * Options: --full (16x16 mesh), --load L, --seed N.
+ * Options: --full (16x16 mesh), --load L, --seed N,
+ * --jobs N (parallel sweep workers; 0/auto = hardware threads).
  */
 
 #include <cstdio>
@@ -42,6 +43,9 @@ main(int argc, char **argv)
     base.seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
 
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = resolveJobs(opts, 1);
+
     Table table("Selection-policy ablation: west-first, "
                 "matrix-transpose, " +
                 mesh.name());
@@ -60,7 +64,8 @@ main(int argc, char **argv)
             config.inputPolicy = in_policy;
             config.outputPolicy = out_policy;
             const auto sweep = runLoadSweep(mesh, routing, traffic,
-                                            loads, config);
+                                            loads, config,
+                                            sweep_opts);
             table.beginRow();
             table.cell(toString(in_policy));
             table.cell(toString(out_policy));

@@ -13,7 +13,8 @@
  *     west-first, and negative-first (no VCs), uniform and
  *     transpose traffic.
  *
- * Options: --full (16x16 / 8-ary), --seed N.
+ * Options: --full (16x16 / 8-ary), --seed N, --jobs N (parallel
+ * sweep workers; 0/auto = hardware threads).
  */
 
 #include <cstdio>
@@ -41,25 +42,9 @@ baseConfig(std::uint64_t seed)
     return base;
 }
 
-std::vector<SweepPoint>
-sweepVc(const Topology &topo, const VcRoutingPtr &routing,
-        const TrafficPtr &traffic, const std::vector<double> &loads,
-        const SimConfig &base)
-{
-    std::vector<SweepPoint> sweep;
-    std::uint64_t salt = 1;
-    for (const double load : loads) {
-        SimConfig config = base;
-        config.load = load;
-        config.seed = base.seed + 0x9E37 * salt++;
-        Simulator sim(topo, routing, traffic, config);
-        sweep.push_back(SweepPoint{load, sim.run()});
-    }
-    return sweep;
-}
-
 void
-torusStudy(std::uint64_t seed, bool full)
+torusStudy(std::uint64_t seed, bool full,
+           const SweepOptions &sweep_opts)
 {
     const Torus torus(full ? 8 : 5, 2);
     const std::vector<double> loads =
@@ -76,8 +61,9 @@ torusStudy(std::uint64_t seed, bool full)
         for (const char *alg :
              {"dateline", "nf-torus", "nf-first-hop-wrap"}) {
             const VcRoutingPtr routing = makeVcRouting(alg, 2);
-            const auto sweep = sweepVc(torus, routing, traffic,
-                                       loads, baseConfig(seed));
+            const auto sweep =
+                runLoadSweep(torus, routing, traffic, loads,
+                             baseConfig(seed), sweep_opts);
             table.beginRow();
             table.cell(std::string(alg));
             table.cell(static_cast<long long>(routing->numVcs()));
@@ -92,7 +78,8 @@ torusStudy(std::uint64_t seed, bool full)
 }
 
 void
-meshStudy(std::uint64_t seed, bool full)
+meshStudy(std::uint64_t seed, bool full,
+          const SweepOptions &sweep_opts)
 {
     const Mesh mesh(full ? 16 : 8, full ? 16 : 8);
     const std::vector<double> uniform_loads =
@@ -115,8 +102,9 @@ meshStudy(std::uint64_t seed, bool full)
         for (const char *alg :
              {"double-y", "xy", "west-first", "negative-first"}) {
             const VcRoutingPtr routing = makeVcRouting(alg, 2);
-            const auto sweep = sweepVc(mesh, routing, traffic,
-                                       loads, baseConfig(seed));
+            const auto sweep =
+                runLoadSweep(mesh, routing, traffic, loads,
+                             baseConfig(seed), sweep_opts);
             table.beginRow();
             table.cell(std::string(alg));
             table.cell(static_cast<long long>(routing->numVcs()));
@@ -143,7 +131,9 @@ main(int argc, char **argv)
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
     const bool full = opts.getBool("full", false);
-    torusStudy(seed, full);
-    meshStudy(seed, full);
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = resolveJobs(opts, 1);
+    torusStudy(seed, full, sweep_opts);
+    meshStudy(seed, full, sweep_opts);
     return 0;
 }

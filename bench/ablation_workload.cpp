@@ -12,7 +12,8 @@
  *     versus the wrap-on-first-hop adapters on an 8-ary 2-cube with
  *     tornado traffic (the classic wraparound stress).
  *
- * Options: --seed N.
+ * Options: --seed N, --jobs N (parallel sweep workers;
+ * 0/auto = hardware threads).
  */
 
 #include <cstdio>
@@ -42,7 +43,8 @@ baseConfig(std::uint64_t seed)
 }
 
 void
-lengthMixStudy(std::uint64_t seed)
+lengthMixStudy(std::uint64_t seed,
+               const SweepOptions &sweep_opts)
 {
     const Mesh mesh(8, 8);
     const TrafficPtr traffic = makeTraffic("uniform", mesh);
@@ -69,7 +71,7 @@ lengthMixStudy(std::uint64_t seed)
         config.lengths = c.mix;
         const auto sweep =
             runLoadSweep(mesh, makeRouting("west-first"), traffic,
-                         loads, config);
+                         loads, config, sweep_opts);
         table.beginRow();
         table.cell(std::string(c.name));
         table.cell(maxSustainableThroughput(sweep), 1);
@@ -81,7 +83,8 @@ lengthMixStudy(std::uint64_t seed)
 }
 
 void
-extraPatternStudy(std::uint64_t seed)
+extraPatternStudy(std::uint64_t seed,
+                  const SweepOptions &sweep_opts)
 {
     const Hypercube cube(6);
     // Wide grid: bit-complement is adversarial for the
@@ -108,7 +111,7 @@ extraPatternStudy(std::uint64_t seed)
         for (const char *alg : {"ecube", "p-cube", "abonf"}) {
             const auto sweep = runLoadSweep(
                 cube, makeRouting(alg, cube.numDims()), traffic,
-                grid, baseConfig(seed));
+                grid, baseConfig(seed), sweep_opts);
             table.cell(maxSustainableThroughput(sweep), 1);
         }
     }
@@ -117,7 +120,7 @@ extraPatternStudy(std::uint64_t seed)
 }
 
 void
-torusStudy(std::uint64_t seed)
+torusStudy(std::uint64_t seed, const SweepOptions &sweep_opts)
 {
     const Torus torus(8, 2);
     const std::vector<double> loads{0.05, 0.10, 0.15, 0.20};
@@ -134,7 +137,7 @@ torusStudy(std::uint64_t seed)
             const TrafficPtr traffic = makeTraffic(pattern, torus);
             const auto sweep =
                 runLoadSweep(torus, makeRouting(alg, 2), traffic,
-                             loads, baseConfig(seed));
+                             loads, baseConfig(seed), sweep_opts);
             table.cell(maxSustainableThroughput(sweep), 1);
             table.cell(sweep.front().result.avgHops, 2);
         }
@@ -153,8 +156,10 @@ main(int argc, char **argv)
     const CliOptions opts = CliOptions::parse(argc, argv);
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
-    lengthMixStudy(seed);
-    extraPatternStudy(seed);
-    torusStudy(seed);
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = resolveJobs(opts, 1);
+    lengthMixStudy(seed, sweep_opts);
+    extraPatternStudy(seed, sweep_opts);
+    torusStudy(seed, sweep_opts);
     return 0;
 }

@@ -8,7 +8,8 @@
  * harness as Figures 13/14: adaptiveness statistics plus saturation
  * sweeps on uniform, transpose, and hotspot traffic.
  *
- * Options: --full (16x16), --seed N.
+ * Options: --full (16x16), --seed N, --jobs N (parallel sweep
+ * workers; 0/auto = hardware threads).
  */
 
 #include <cstdio>
@@ -50,7 +51,8 @@ adaptivenessStudy()
 }
 
 void
-sweepStudy(std::uint64_t seed, bool full)
+sweepStudy(std::uint64_t seed, bool full,
+           const SweepOptions &sweep_opts)
 {
     const Mesh mesh(full ? 16 : 8, full ? 16 : 8);
     SimConfig base;
@@ -90,7 +92,7 @@ sweepStudy(std::uint64_t seed, bool full)
             const TrafficPtr traffic = makeTraffic(pc.name, mesh);
             const auto sweep =
                 runLoadSweep(mesh, makeRouting(alg, 2), traffic,
-                             pc.loads, base);
+                             pc.loads, base, sweep_opts);
             table.cell(maxSustainableThroughput(sweep), 1);
         }
     }
@@ -107,8 +109,10 @@ int
 main(int argc, char **argv)
 {
     const CliOptions opts = CliOptions::parse(argc, argv);
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = resolveJobs(opts, 1);
     adaptivenessStudy();
     sweepStudy(static_cast<std::uint64_t>(opts.getInt("seed", 1)),
-               opts.getBool("full", false));
+               opts.getBool("full", false), sweep_opts);
     return 0;
 }

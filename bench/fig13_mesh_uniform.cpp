@@ -5,7 +5,8 @@
  * west-first, north-last, and negative-first algorithms.
  *
  * Options: --quick, --loads a,b,c, --warmup N, --measure N,
- * --drain N, --seed N, --csv.
+ * --drain N, --seed N, --csv, --jobs N (0/auto = hardware threads),
+ * --replicates N, --compare-serial, --bench-json PATH.
  */
 
 #include "turnnet/harness/figures.hpp"

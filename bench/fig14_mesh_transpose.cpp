@@ -4,7 +4,8 @@
  * matrix-transpose traffic in a 16x16 mesh.
  *
  * Options: --quick, --loads a,b,c, --warmup N, --measure N,
- * --drain N, --seed N, --csv.
+ * --drain N, --seed N, --csv, --jobs N (0/auto = hardware threads),
+ * --replicates N, --compare-serial, --bench-json PATH.
  */
 
 #include "turnnet/harness/figures.hpp"

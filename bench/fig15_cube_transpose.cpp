@@ -5,7 +5,8 @@
  * with ABONF, ABOPL, and negative-first (p-cube).
  *
  * Options: --quick, --loads a,b,c, --warmup N, --measure N,
- * --drain N, --seed N, --csv.
+ * --drain N, --seed N, --csv, --jobs N (0/auto = hardware threads),
+ * --replicates N, --compare-serial, --bench-json PATH.
  */
 
 #include "turnnet/harness/figures.hpp"

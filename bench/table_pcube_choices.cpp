@@ -5,12 +5,16 @@
  * 0010111001 in a binary 10-cube, with the minimal choice count and
  * the additional nonminimal (Figure 12) choices at each hop, plus
  * the S_p-cube / S_f comparison (36 versus 720 shortest paths).
+ *
+ * Options: --jobs N (accepted for CLI uniformity with the other
+ * bench binaries; the single analytic trace has no parallel work).
  */
 
 #include <cstdio>
 
 #include "turnnet/analysis/adaptiveness.hpp"
 #include "turnnet/analysis/path_enum.hpp"
+#include "turnnet/common/cli.hpp"
 #include "turnnet/common/csv.hpp"
 #include "turnnet/routing/pcube.hpp"
 #include "turnnet/topology/hypercube.hpp"
@@ -18,8 +22,13 @@
 using namespace turnnet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Validates --jobs so all bench binaries share one CLI surface;
+    // this trace is a single analytic computation.
+    const CliOptions opts = CliOptions::parse(argc, argv);
+    (void)resolveJobs(opts, 1);
+
     const Hypercube cube(10);
     const NodeId src = 0b1011010100;
     const NodeId dst = 0b0010111001;

@@ -5,12 +5,18 @@
  * of all 16 two-turn prohibitions in a 2D mesh with their exact
  * channel-dependency verdicts and symmetry classes — 12 deadlock
  * free in 3 classes, 4 deadlocking in 1 class.
+ *
+ * Options: --jobs N (parallel CDG verdicts; 0/auto = hardware
+ * threads).
  */
 
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "turnnet/analysis/cdg.hpp"
+#include "turnnet/common/cli.hpp"
+#include "turnnet/common/thread_pool.hpp"
 #include "turnnet/common/csv.hpp"
 #include "turnnet/topology/mesh.hpp"
 #include "turnnet/turnmodel/prohibition.hpp"
@@ -19,8 +25,11 @@
 using namespace turnnet;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const CliOptions opts = CliOptions::parse(argc, argv);
+    const unsigned jobs = resolveJobs(opts, 1);
+
     Table census("Theorems 1 & 6: turn and cycle census");
     census.setHeader({"n", "90-degree turns", "abstract cycles",
                       "minimum prohibited", "NF prohibits",
@@ -49,11 +58,29 @@ main()
                 "mesh (CDG verdicts on a 5x5 mesh)");
     table.setHeader({"prohibited pair", "deadlock free",
                      "symmetry class", "named algorithm"});
+    const std::vector<TwoTurnChoice> choices =
+        enumerateTwoTurnChoices();
+    // The 16 CDG verdicts are independent; compute them up front
+    // (in parallel under --jobs) and render the table sequentially.
+    std::vector<char> verdicts(choices.size(), 0);
+    const auto verdict = [&](std::size_t i) {
+        const TurnSetRouting routing("choice", choices[i].turns,
+                                     true);
+        verdicts[i] = isDeadlockFree(mesh, routing) ? 1 : 0;
+    };
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < choices.size(); ++i)
+            verdict(i);
+    } else {
+        ThreadPool pool(jobs);
+        pool.parallelFor(choices.size(), verdict);
+    }
+
     int deadlock_free = 0;
     std::map<std::string, int> class_counts;
-    for (const TwoTurnChoice &choice : enumerateTwoTurnChoices()) {
-        const TurnSetRouting routing("choice", choice.turns, true);
-        const bool free = isDeadlockFree(mesh, routing);
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+        const TwoTurnChoice &choice = choices[i];
+        const bool free = verdicts[i] != 0;
         deadlock_free += free;
         std::string named;
         if (choice.turns == westFirstTurns())

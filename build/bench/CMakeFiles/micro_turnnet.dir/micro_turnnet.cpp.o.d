@@ -250,4 +250,7 @@ bench/CMakeFiles/micro_turnnet.dir/micro_turnnet.cpp.o: \
  /root/repo/src/turnnet/turnmodel/cycles.hpp \
  /root/repo/src/turnnet/turnmodel/turn.hpp \
  /root/repo/src/turnnet/turnmodel/turn_routing.hpp \
- /root/repo/src/turnnet/analysis/reachability.hpp
+ /root/repo/src/turnnet/analysis/reachability.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h

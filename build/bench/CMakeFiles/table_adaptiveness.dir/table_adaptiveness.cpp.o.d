@@ -194,20 +194,47 @@ bench/CMakeFiles/table_adaptiveness.dir/table_adaptiveness.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/turnnet/analysis/adaptiveness.hpp \
- /root/repo/src/turnnet/routing/routing_function.hpp \
- /root/repo/src/turnnet/topology/topology.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/turnnet/analysis/adaptiveness.hpp \
+ /root/repo/src/turnnet/routing/routing_function.hpp \
+ /root/repo/src/turnnet/topology/topology.hpp \
  /root/repo/src/turnnet/common/types.hpp /usr/include/c++/12/limits \
  /root/repo/src/turnnet/topology/coord.hpp \
  /root/repo/src/turnnet/topology/direction.hpp \
  /root/repo/src/turnnet/common/logging.hpp /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/turnnet/common/csv.hpp \
+ /root/repo/src/turnnet/common/cli.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /root/repo/src/turnnet/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/turnnet/common/csv.hpp \
  /root/repo/src/turnnet/routing/registry.hpp \
  /root/repo/src/turnnet/topology/hypercube.hpp \
  /root/repo/src/turnnet/topology/mesh.hpp

@@ -219,10 +219,16 @@ bench/CMakeFiles/table_pcube_choices.dir/table_pcube_choices.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/turnnet/common/cli.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/turnnet/common/csv.hpp \
  /root/repo/src/turnnet/routing/pcube.hpp \
  /root/repo/src/turnnet/routing/negative_first.hpp \
  /root/repo/src/turnnet/routing/two_phase.hpp \
  /root/repo/src/turnnet/analysis/reachability.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/turnnet/topology/hypercube.hpp \
  /root/repo/src/turnnet/topology/mesh.hpp

@@ -18,6 +18,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/turnnet/common/logging.cpp" "src/CMakeFiles/turnnet.dir/turnnet/common/logging.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/common/logging.cpp.o.d"
   "/root/repo/src/turnnet/common/rng.cpp" "src/CMakeFiles/turnnet.dir/turnnet/common/rng.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/common/rng.cpp.o.d"
   "/root/repo/src/turnnet/common/stats.cpp" "src/CMakeFiles/turnnet.dir/turnnet/common/stats.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/common/stats.cpp.o.d"
+  "/root/repo/src/turnnet/common/thread_pool.cpp" "src/CMakeFiles/turnnet.dir/turnnet/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/common/thread_pool.cpp.o.d"
+  "/root/repo/src/turnnet/harness/bench_report.cpp" "src/CMakeFiles/turnnet.dir/turnnet/harness/bench_report.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/harness/bench_report.cpp.o.d"
   "/root/repo/src/turnnet/harness/figures.cpp" "src/CMakeFiles/turnnet.dir/turnnet/harness/figures.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/harness/figures.cpp.o.d"
   "/root/repo/src/turnnet/harness/sweep.cpp" "src/CMakeFiles/turnnet.dir/turnnet/harness/sweep.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/harness/sweep.cpp.o.d"
   "/root/repo/src/turnnet/network/buffer.cpp" "src/CMakeFiles/turnnet.dir/turnnet/network/buffer.cpp.o" "gcc" "src/CMakeFiles/turnnet.dir/turnnet/network/buffer.cpp.o.d"

@@ -244,6 +244,10 @@ src/CMakeFiles/turnnet.dir/turnnet/harness/figures.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/turnnet/harness/bench_report.hpp \
  /root/repo/src/turnnet/routing/registry.hpp \
  /root/repo/src/turnnet/topology/hypercube.hpp \
  /root/repo/src/turnnet/topology/mesh.hpp \

@@ -305,7 +305,8 @@ tests/CMakeFiles/test_cdg.dir/test_cdg.cpp.o: \
  /root/repo/src/turnnet/routing/negative_first.hpp \
  /root/repo/src/turnnet/routing/two_phase.hpp \
  /root/repo/src/turnnet/analysis/reachability.hpp \
- /root/repo/src/turnnet/routing/registry.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/turnnet/routing/registry.hpp \
  /root/repo/src/turnnet/topology/hypercube.hpp \
  /root/repo/src/turnnet/topology/mesh.hpp \
  /root/repo/src/turnnet/topology/torus.hpp

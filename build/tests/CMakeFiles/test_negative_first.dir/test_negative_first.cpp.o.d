@@ -303,6 +303,7 @@ tests/CMakeFiles/test_negative_first.dir/test_negative_first.cpp.o: \
  /root/repo/src/turnnet/routing/abonf.hpp \
  /root/repo/src/turnnet/routing/two_phase.hpp \
  /root/repo/src/turnnet/analysis/reachability.hpp \
- /root/repo/src/turnnet/routing/abopl.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/turnnet/routing/abopl.hpp \
  /root/repo/src/turnnet/routing/negative_first.hpp \
  /root/repo/src/turnnet/topology/mesh.hpp

@@ -304,5 +304,6 @@ tests/CMakeFiles/test_north_last.dir/test_north_last.cpp.o: \
  /root/repo/src/turnnet/routing/abopl.hpp \
  /root/repo/src/turnnet/routing/two_phase.hpp \
  /root/repo/src/turnnet/analysis/reachability.hpp \
- /root/repo/src/turnnet/topology/hypercube.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/turnnet/topology/hypercube.hpp \
  /root/repo/src/turnnet/topology/mesh.hpp

@@ -303,6 +303,8 @@ tests/CMakeFiles/test_numbering.dir/test_numbering.cpp.o: \
  /root/repo/src/turnnet/routing/negative_first.hpp \
  /root/repo/src/turnnet/routing/two_phase.hpp \
  /root/repo/src/turnnet/analysis/reachability.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio \
  /root/repo/src/turnnet/routing/torus_extensions.hpp \
  /root/repo/src/turnnet/turnmodel/turn.hpp \
  /root/repo/src/turnnet/routing/west_first.hpp \

@@ -321,7 +321,8 @@ tests/CMakeFiles/test_odd_even.dir/test_odd_even.cpp.o: \
  /root/repo/src/turnnet/traffic/pattern.hpp \
  /root/repo/src/turnnet/routing/odd_even.hpp \
  /root/repo/src/turnnet/analysis/reachability.hpp \
- /root/repo/src/turnnet/routing/registry.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/turnnet/routing/registry.hpp \
  /root/repo/src/turnnet/topology/hypercube.hpp \
  /root/repo/src/turnnet/topology/mesh.hpp \
  /root/repo/src/turnnet/topology/torus.hpp

@@ -304,6 +304,7 @@ tests/CMakeFiles/test_pcube.dir/test_pcube.cpp.o: \
  /root/repo/src/turnnet/routing/negative_first.hpp \
  /root/repo/src/turnnet/routing/two_phase.hpp \
  /root/repo/src/turnnet/analysis/reachability.hpp \
- /root/repo/src/turnnet/routing/pcube.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/turnnet/routing/pcube.hpp \
  /root/repo/src/turnnet/topology/hypercube.hpp \
  /root/repo/src/turnnet/topology/mesh.hpp

@@ -294,7 +294,8 @@ tests/CMakeFiles/test_reachability.dir/test_reachability.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/turnnet/analysis/reachability.hpp \
- /root/repo/src/turnnet/topology/topology.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/turnnet/topology/topology.hpp \
  /root/repo/src/turnnet/common/types.hpp \
  /root/repo/src/turnnet/topology/coord.hpp \
  /root/repo/src/turnnet/topology/direction.hpp \

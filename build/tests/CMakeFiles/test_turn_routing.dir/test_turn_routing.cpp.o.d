@@ -307,4 +307,6 @@ tests/CMakeFiles/test_turn_routing.dir/test_turn_routing.cpp.o: \
  /root/repo/src/turnnet/turnmodel/cycles.hpp \
  /root/repo/src/turnnet/turnmodel/turn.hpp \
  /root/repo/src/turnnet/turnmodel/turn_routing.hpp \
- /root/repo/src/turnnet/analysis/reachability.hpp
+ /root/repo/src/turnnet/analysis/reachability.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio

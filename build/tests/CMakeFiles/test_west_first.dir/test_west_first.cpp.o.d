@@ -304,6 +304,7 @@ tests/CMakeFiles/test_west_first.dir/test_west_first.cpp.o: \
  /root/repo/src/turnnet/routing/abonf.hpp \
  /root/repo/src/turnnet/routing/two_phase.hpp \
  /root/repo/src/turnnet/analysis/reachability.hpp \
- /root/repo/src/turnnet/topology/hypercube.hpp \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/turnnet/topology/hypercube.hpp \
  /root/repo/src/turnnet/topology/mesh.hpp \
  /root/repo/src/turnnet/topology/torus.hpp

@@ -1,6 +1,8 @@
 #include "turnnet/analysis/reachability.hpp"
 
 #include <deque>
+#include <mutex>
+#include <shared_mutex>
 
 #include "turnnet/common/logging.hpp"
 
@@ -25,6 +27,7 @@ ReachabilityOracle::stateIndex(const Topology &topo, NodeId node,
 void
 ReachabilityOracle::clear() const
 {
+    const std::unique_lock<std::shared_mutex> lock(mutex_);
     cache_.clear();
     topoKey_.clear();
 }
@@ -35,13 +38,17 @@ ReachabilityOracle::table(const Topology &topo, NodeId dest) const
     const std::string key = topo.name() + "#" +
                             std::to_string(topo.numNodes()) + "#" +
                             std::to_string(topo.numChannels());
-    if (topoKey_ != key) {
-        cache_.clear();
-        topoKey_ = key;
+    {
+        const std::shared_lock<std::shared_mutex> lock(mutex_);
+        if (topoKey_ == key) {
+            const auto it = cache_.find(dest);
+            if (it != cache_.end())
+                return it->second;
+        }
     }
-    auto it = cache_.find(dest);
-    if (it != cache_.end())
-        return it->second;
+    // Build outside the lock: the BFS only touches const state, and
+    // two threads racing to the same destination just compute the
+    // same table twice (the first insert wins).
 
     const int n = topo.numDims();
     const int dirs = 2 * n + 1;
@@ -89,9 +96,15 @@ ReachabilityOracle::table(const Topology &topo, NodeId dest) const
         }
     }
 
-    auto [pos, inserted] = cache_.emplace(dest, std::move(reach));
-    TN_ASSERT(inserted, "duplicate reachability table");
-    return pos->second;
+    const std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (topoKey_ != key) {
+        // Switching topologies invalidates every cached table; the
+        // caller must not do this while other threads hold
+        // references (parallel sweeps run one fixed topology).
+        cache_.clear();
+        topoKey_ = key;
+    }
+    return cache_.emplace(dest, std::move(reach)).first->second;
 }
 
 bool

@@ -16,6 +16,7 @@
 #define TURNNET_ANALYSIS_REACHABILITY_HPP
 
 #include <functional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -25,7 +26,11 @@ namespace turnnet {
 
 /**
  * Lazily computed reachability tables for one (topology, legality
- * relation) pair. Not thread-safe: tables are memoized internally.
+ * relation) pair. Memoization is internally synchronized so that
+ * routing functions holding an oracle can be shared by concurrent
+ * simulators (the parallel sweep engine does exactly this): lookups
+ * take a shared lock, table construction an exclusive one. clear()
+ * must not race with concurrent queries.
  */
 class ReachabilityOracle
 {
@@ -60,6 +65,10 @@ class ReachabilityOracle
                                    NodeId dest) const;
 
     LegalFn legal_;
+    /** Guards topoKey_ and cache_. Mapped values are stable under
+     *  rehash, and a table is immutable once inserted, so references
+     *  returned by table() stay valid outside the lock. */
+    mutable std::shared_mutex mutex_;
     /** Structural identity of the cached topology: name plus node
      *  and channel counts. Address comparison would be unsound —
      *  consecutive stack-allocated topologies can reuse storage. */

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "turnnet/common/logging.hpp"
+#include "turnnet/common/thread_pool.hpp"
 
 namespace turnnet {
 
@@ -112,6 +113,21 @@ CliOptions::getList(const std::string &key,
     if (it == values_.end())
         return def;
     return splitString(it->second, ',');
+}
+
+unsigned
+resolveJobs(const CliOptions &opts, unsigned def)
+{
+    if (!opts.has("jobs"))
+        return def;
+    if (opts.getString("jobs") == "auto")
+        return ThreadPool::hardwareWorkers();
+    const std::int64_t n = opts.getInt("jobs", def);
+    if (n < 0)
+        TN_FATAL("option --jobs expects a non-negative count, got ",
+                 n);
+    return n == 0 ? ThreadPool::hardwareWorkers()
+                  : static_cast<unsigned>(n);
 }
 
 } // namespace turnnet

@@ -68,6 +68,14 @@ class CliOptions
 /** Split a string on a separator character. */
 std::vector<std::string> splitString(const std::string &s, char sep);
 
+/**
+ * Resolve the standard `--jobs N` option shared by every bench
+ * binary: absent -> @p def, `--jobs 0` or `--jobs auto` -> one
+ * worker per hardware thread, otherwise the given positive count.
+ * Fatal on malformed or negative values.
+ */
+unsigned resolveJobs(const CliOptions &opts, unsigned def = 1);
+
 } // namespace turnnet
 
 #endif // TURNNET_COMMON_CLI_HPP

@@ -107,4 +107,12 @@ Rng::nextExponential(double mean)
     return -mean * std::log(nextDoubleOpenLow());
 }
 
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    std::uint64_t x = base;
+    x = splitmix64(x) ^ index;
+    return splitmix64(x);
+}
+
 } // namespace turnnet

@@ -66,6 +66,16 @@ class Rng
     std::uint64_t s_[4];
 };
 
+/**
+ * Derive a decorrelated per-task seed from a base seed and a task
+ * index by chaining the splitmix64 finalizer over both words. The
+ * result depends only on (base, index) — never on execution order —
+ * so serial and parallel runs of an indexed task grid draw identical
+ * random streams, and nearby indices yield statistically independent
+ * seeds (unlike linear-increment schemes).
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index);
+
 } // namespace turnnet
 
 #endif // TURNNET_COMMON_RNG_HPP

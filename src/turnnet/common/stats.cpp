@@ -83,13 +83,61 @@ RunningStats::max() const
     return count_ ? max_ : 0.0;
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), bins_(bins, 0)
+Histogram::Histogram(Spacing spacing, double lo, double hi,
+                     std::size_t bins)
+    : spacing_(spacing), lo_(lo), hi_(hi), bins_(bins, 0)
 {
     TN_ASSERT(bins > 0, "histogram needs at least one bin");
     TN_ASSERT(hi > lo, "histogram range must be non-empty");
-    width_ = (hi - lo) / static_cast<double>(bins);
+    if (spacing_ == Spacing::Log)
+        TN_ASSERT(lo > 0.0,
+                  "log-spaced histogram needs a positive range");
+    coordLo_ = coordinate(lo);
+    width_ = (coordinate(hi) - coordLo_) /
+             static_cast<double>(bins);
     reset();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : Histogram(Spacing::Linear, lo, hi, bins)
+{
+}
+
+Histogram
+Histogram::linear(double lo, double hi, std::size_t bins)
+{
+    return Histogram(Spacing::Linear, lo, hi, bins);
+}
+
+Histogram
+Histogram::logSpaced(double lo, double hi, std::size_t bins)
+{
+    return Histogram(Spacing::Log, lo, hi, bins);
+}
+
+double
+Histogram::coordinate(double x) const
+{
+    return spacing_ == Spacing::Log ? std::log(x) : x;
+}
+
+bool
+Histogram::sameShape(const Histogram &other) const
+{
+    return spacing_ == other.spacing_ && lo_ == other.lo_ &&
+           hi_ == other.hi_ && bins_.size() == other.bins_.size();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    TN_ASSERT(sameShape(other),
+              "histogram merge requires identical bin layouts");
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    count_ += other.count_;
 }
 
 void
@@ -110,7 +158,8 @@ Histogram::add(double x)
     } else if (x >= hi_) {
         ++overflow_;
     } else {
-        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        auto idx = static_cast<std::size_t>(
+            (coordinate(x) - coordLo_) / width_);
         if (idx >= bins_.size()) // guard against FP edge cases
             idx = bins_.size() - 1;
         ++bins_[idx];
@@ -120,7 +169,8 @@ Histogram::add(double x)
 double
 Histogram::binLow(std::size_t i) const
 {
-    return lo_ + width_ * static_cast<double>(i);
+    const double coord = coordLo_ + width_ * static_cast<double>(i);
+    return spacing_ == Spacing::Log ? std::exp(coord) : coord;
 }
 
 double
@@ -137,7 +187,11 @@ Histogram::quantile(double q) const
         const double in_bin = static_cast<double>(bins_[i]);
         if (target <= seen + in_bin && in_bin > 0) {
             const double frac = (target - seen) / in_bin;
-            return binLow(i) + frac * width_;
+            const double coord = coordLo_ +
+                                 width_ * (static_cast<double>(i) +
+                                           frac);
+            return spacing_ == Spacing::Log ? std::exp(coord)
+                                            : coord;
         }
         seen += in_bin;
     }

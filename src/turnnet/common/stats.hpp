@@ -65,19 +65,60 @@ class RunningStats
 };
 
 /**
- * Histogram over [lo, hi) with uniform bins plus underflow/overflow
- * buckets. Supports approximate quantiles by linear interpolation
- * within the containing bin.
+ * Histogram over [lo, hi) with linearly or logarithmically spaced
+ * bins plus underflow/overflow buckets. Supports approximate
+ * quantiles by interpolation within the containing bin (linear in
+ * the bin's native spacing, so log-spaced bins interpolate
+ * geometrically).
+ *
+ * Log spacing gives every bin the same *relative* width, which is
+ * what latency quantiles need: a fixed linear grid sized for the
+ * saturated tail quantizes low-load p50/p99 into garbage, while log
+ * bins resolve both regimes with the same fractional error.
  */
 class Histogram
 {
   public:
+    enum class Spacing
+    {
+        Linear,
+        Log
+    };
+
+    /** Trivial one-bin histogram over [0, 1); for default-constructed
+     *  result containers. */
+    Histogram() : Histogram(0.0, 1.0, 1) {}
+
     /**
+     * Linearly spaced bins (kept as the implicit constructor for
+     * backward compatibility; prefer the named factories).
+     *
      * @param lo Lower edge of the tracked range.
      * @param hi Upper edge of the tracked range (exclusive).
      * @param bins Number of uniform bins; must be positive.
      */
     Histogram(double lo, double hi, std::size_t bins);
+
+    /** Uniform-width bins over [lo, hi). */
+    static Histogram linear(double lo, double hi, std::size_t bins);
+
+    /** Equal-ratio bins over [lo, hi); requires 0 < lo < hi. */
+    static Histogram logSpaced(double lo, double hi,
+                               std::size_t bins);
+
+    Spacing spacing() const { return spacing_; }
+    double low() const { return lo_; }
+    double high() const { return hi_; }
+
+    /** True when the two histograms have identical bin layouts. */
+    bool sameShape(const Histogram &other) const;
+
+    /**
+     * Add another histogram's counts into this one. The layouts must
+     * match exactly (same spacing, range, and bin count) — merging is
+     * meant for pooling replicate runs of one configuration.
+     */
+    void merge(const Histogram &other);
 
     void reset();
     void add(double x);
@@ -102,8 +143,19 @@ class Histogram
     double quantile(double q) const;
 
   private:
+    Histogram(Spacing spacing, double lo, double hi,
+              std::size_t bins);
+
+    /** Map a sample to its bin coordinate (linear: the value itself;
+     *  log: its logarithm). */
+    double coordinate(double x) const;
+
+    Spacing spacing_;
     double lo_;
     double hi_;
+    /** coordinate(lo) — 0-offset of the bin grid. */
+    double coordLo_;
+    /** Bin width in coordinate space. */
     double width_;
     std::vector<std::uint64_t> bins_;
     std::uint64_t underflow_;

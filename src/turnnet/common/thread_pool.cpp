@@ -1,0 +1,85 @@
+#include "turnnet/common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace turnnet {
+
+unsigned
+ThreadPool::hardwareWorkers()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = hardwareWorkers();
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workCv_.wait(lock,
+                     [this] { return stop_ || next_ < count_; });
+        if (next_ >= count_) {
+            if (stop_)
+                return;
+            continue;
+        }
+        const std::size_t index = next_++;
+        lock.unlock();
+        try {
+            (*body_)(index);
+        } catch (...) {
+            const std::lock_guard<std::mutex> guard(mutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        lock.lock();
+        if (--pending_ == 0)
+            doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    next_ = 0;
+    pending_ = count;
+    error_ = nullptr;
+    workCv_.notify_all();
+    doneCv_.wait(lock, [this] { return pending_ == 0; });
+    body_ = nullptr;
+    count_ = 0;
+    next_ = 0;
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    if (error) {
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+} // namespace turnnet

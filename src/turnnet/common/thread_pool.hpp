@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A deterministic, work-stealing-free thread pool for batch
+ * simulation.
+ *
+ * The pool runs indexed task grids: parallelFor(count, body) invokes
+ * body(0) .. body(count-1) exactly once each, distributing indices to
+ * a fixed set of worker threads through a single shared counter.
+ * There are no per-worker deques and no work stealing, so there is no
+ * scheduler state that could leak between tasks; as long as each task
+ * writes only to its own output slot and derives its randomness from
+ * its index, results are bit-identical for every worker count
+ * (including the serial fallback).
+ *
+ * Built for the load-sweep engine, where one task is one complete
+ * flit-level simulation (milliseconds to minutes), so the per-task
+ * dispatch cost of one mutex acquisition is irrelevant.
+ */
+
+#ifndef TURNNET_COMMON_THREAD_POOL_HPP
+#define TURNNET_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace turnnet {
+
+/**
+ * Fixed-size worker pool executing indexed task grids.
+ *
+ * Thread-compatible in the usual sense: one thread drives the pool
+ * (calls parallelFor and destroys it); the task body must be safe to
+ * call concurrently from different workers for different indices.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers Worker thread count; 0 means one worker per
+     *        hardware thread. With 1 worker the pool still runs
+     *        tasks on that worker (use jobs <= 1 at the call site to
+     *        avoid spawning threads at all).
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Joins all workers; must not run during a parallelFor. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Run body(i) for every i in [0, count), blocking until all
+     * tasks finish. Tasks are claimed in index order from a shared
+     * counter; completion order is unspecified. If any task throws,
+     * the remaining tasks still run and the first exception is
+     * rethrown here.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /** One worker per hardware thread (at least 1). */
+    static unsigned hardwareWorkers();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    bool stop_ = false;
+
+    // Current task grid (valid while pending_ > 0).
+    const std::function<void(std::size_t)> *body_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t next_ = 0;
+    std::size_t pending_ = 0;
+    std::exception_ptr error_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_COMMON_THREAD_POOL_HPP

@@ -1,0 +1,111 @@
+#include "turnnet/harness/bench_report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+namespace {
+
+/** Minimal JSON string escaping (our identifiers are tame, but a
+ *  topology name should never be able to break the document). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+sweepBenchJson(const std::vector<SweepBenchEntry> &entries)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"turnnet.bench_sweep/1\",\n"
+       << "  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const SweepBenchEntry &e = entries[i];
+        os << "    {\n"
+           << "      \"figure\": \"" << jsonEscape(e.figure)
+           << "\",\n"
+           << "      \"topology\": \"" << jsonEscape(e.topology)
+           << "\",\n"
+           << "      \"jobs\": " << e.jobs << ",\n"
+           << "      \"replicates\": " << e.replicates << ",\n"
+           << "      \"simulations\": " << e.simulations << ",\n"
+           << "      \"wall_seconds\": " << jsonNumber(e.wallSeconds)
+           << ",\n";
+        if (e.serialWallSeconds >= 0.0) {
+            const double speedup =
+                e.wallSeconds > 0.0
+                    ? e.serialWallSeconds / e.wallSeconds
+                    : 0.0;
+            os << "      \"serial_wall_seconds\": "
+               << jsonNumber(e.serialWallSeconds) << ",\n"
+               << "      \"speedup_vs_serial\": "
+               << jsonNumber(speedup) << ",\n";
+        } else {
+            os << "      \"serial_wall_seconds\": null,\n"
+               << "      \"speedup_vs_serial\": null,\n";
+        }
+        if (e.serialCompared) {
+            os << "      \"bit_identical_to_serial\": "
+               << (e.bitIdenticalToSerial ? "true" : "false")
+               << "\n";
+        } else {
+            os << "      \"bit_identical_to_serial\": null\n";
+        }
+        os << "    }" << (i + 1 < entries.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+bool
+writeSweepBenchJson(const std::string &path,
+                    const std::vector<SweepBenchEntry> &entries)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        TN_WARN("cannot write bench report to '", path, "'");
+        return false;
+    }
+    const std::string doc = sweepBenchJson(entries);
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        TN_WARN("short write of bench report '", path, "'");
+    return ok;
+}
+
+} // namespace turnnet

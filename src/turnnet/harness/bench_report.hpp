@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Machine-readable sweep benchmark reports (BENCH_sweep.json).
+ *
+ * Every figure binary times its sweeps and emits one JSON document
+ * so the performance trajectory of the harness — wall time per
+ * figure and parallel speedup versus the serial engine — can be
+ * tracked across commits without scraping stdout.
+ *
+ * Schema ("turnnet.bench_sweep/1"):
+ *
+ *   {
+ *     "schema": "turnnet.bench_sweep/1",
+ *     "entries": [
+ *       {
+ *         "figure": "fig13",            // figure/bench identifier
+ *         "topology": "mesh(16x16)",
+ *         "jobs": 8,                    // worker threads used
+ *         "replicates": 1,              // simulations per point
+ *         "simulations": 28,            // total simulator runs
+ *         "wall_seconds": 1.84,         // sweep wall time
+ *         "serial_wall_seconds": 7.91,  // null unless measured
+ *         "speedup_vs_serial": 4.3,     // null unless measured
+ *         "bit_identical_to_serial": true // null unless compared
+ *       }
+ *     ]
+ *   }
+ *
+ * The serial fields are populated when the binary is invoked with
+ * --compare-serial (which reruns the sweep with jobs=1 and verifies
+ * bit-identical results), or trivially when jobs=1.
+ */
+
+#ifndef TURNNET_HARNESS_BENCH_REPORT_HPP
+#define TURNNET_HARNESS_BENCH_REPORT_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace turnnet {
+
+/** One timed sweep, as serialized into BENCH_sweep.json. */
+struct SweepBenchEntry
+{
+    std::string figure;
+    std::string topology;
+    unsigned jobs = 1;
+    unsigned replicates = 1;
+    std::size_t simulations = 0;
+    double wallSeconds = 0.0;
+    /** Negative when the serial baseline was not measured. */
+    double serialWallSeconds = -1.0;
+    /** Only meaningful when serialCompared. */
+    bool bitIdenticalToSerial = false;
+    /** True when a serial rerun was executed and compared. */
+    bool serialCompared = false;
+};
+
+/** Render the report document for a set of entries. */
+std::string sweepBenchJson(const std::vector<SweepBenchEntry> &entries);
+
+/**
+ * Write the report to @p path (overwriting). Warns and returns
+ * false if the file cannot be written.
+ */
+bool writeSweepBenchJson(const std::string &path,
+                         const std::vector<SweepBenchEntry> &entries);
+
+} // namespace turnnet
+
+#endif // TURNNET_HARNESS_BENCH_REPORT_HPP

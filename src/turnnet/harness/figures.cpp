@@ -1,9 +1,11 @@
 #include "turnnet/harness/figures.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "turnnet/common/logging.hpp"
+#include "turnnet/harness/bench_report.hpp"
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/topology/hypercube.hpp"
 #include "turnnet/topology/mesh.hpp"
@@ -134,7 +136,7 @@ quickened(FigureSpec spec)
 
 std::vector<std::vector<SweepPoint>>
 runFigure(const FigureSpec &spec, const SimConfig &base,
-          bool print_tables)
+          bool print_tables, const SweepOptions &sweep_opts)
 {
     const std::unique_ptr<Topology> topo = makeTopology(spec.topology);
     const TrafficPtr traffic = makeTraffic(spec.traffic, *topo);
@@ -144,7 +146,7 @@ runFigure(const FigureSpec &spec, const SimConfig &base,
         const RoutingPtr routing =
             makeRouting(alg, topo->numDims(), true);
         sweeps.push_back(runLoadSweep(*topo, routing, traffic,
-                                      spec.loads, base));
+                                      spec.loads, base, sweep_opts));
         if (print_tables) {
             sweepTable(spec.title + " -- " + routing->name() +
                            " on " + topo->name(),
@@ -182,6 +184,41 @@ runFigure(const FigureSpec &spec, const SimConfig &base,
     return sweeps;
 }
 
+bool
+figureResultsIdentical(
+    const std::vector<std::vector<SweepPoint>> &a,
+    const std::vector<std::vector<SweepPoint>> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].size() != b[i].size())
+            return false;
+        for (std::size_t p = 0; p < a[i].size(); ++p) {
+            const SimResult &x = a[i][p].result;
+            const SimResult &y = b[i][p].result;
+            // Bitwise equality of every derived quantity; the
+            // counters pin the discrete trajectory and the doubles
+            // the accumulated statistics.
+            if (x.packetsMeasured != y.packetsMeasured ||
+                x.packetsFinished != y.packetsFinished ||
+                x.cycles != y.cycles ||
+                x.deadlocked != y.deadlocked ||
+                x.sustainable != y.sustainable ||
+                x.generatedLoad != y.generatedLoad ||
+                x.acceptedFlitsPerUsec != y.acceptedFlitsPerUsec ||
+                x.avgTotalLatencyUs != y.avgTotalLatencyUs ||
+                x.avgNetworkLatencyUs != y.avgNetworkLatencyUs ||
+                x.p50TotalLatencyUs != y.p50TotalLatencyUs ||
+                x.p99TotalLatencyUs != y.p99TotalLatencyUs ||
+                x.avgHops != y.avgHops ||
+                x.avgSourceQueuePackets != y.avgSourceQueuePackets)
+                return false;
+        }
+    }
+    return true;
+}
+
 int
 runFigureMain(const std::string &figure_id, int argc,
               const char *const *argv)
@@ -206,7 +243,59 @@ runFigureMain(const std::string &figure_id, int argc,
         static_cast<Cycle>(opts.getInt("drain", 30000));
     base.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
 
-    const auto sweeps = runFigure(spec, base, true);
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = resolveJobs(opts, 1);
+    sweep_opts.replicates = static_cast<unsigned>(
+        std::max<std::int64_t>(1, opts.getInt("replicates", 1)));
+
+    using Clock = std::chrono::steady_clock;
+    const auto seconds_since = [](Clock::time_point start) {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    };
+
+    const auto start = Clock::now();
+    const auto sweeps = runFigure(spec, base, true, sweep_opts);
+    const double wall_seconds = seconds_since(start);
+
+    SweepBenchEntry entry;
+    entry.figure = spec.id;
+    entry.topology = spec.topology;
+    entry.jobs = std::max(1u, sweep_opts.jobs);
+    entry.replicates = sweep_opts.replicates;
+    entry.simulations = spec.algorithms.size() * spec.loads.size() *
+                        sweep_opts.replicates;
+    entry.wallSeconds = wall_seconds;
+    if (entry.jobs == 1)
+        entry.serialWallSeconds = wall_seconds;
+
+    if (opts.getBool("compare-serial", false) && entry.jobs > 1) {
+        SweepOptions serial_opts = sweep_opts;
+        serial_opts.jobs = 1;
+        const auto serial_start = Clock::now();
+        const auto serial_sweeps =
+            runFigure(spec, base, false, serial_opts);
+        entry.serialWallSeconds = seconds_since(serial_start);
+        entry.serialCompared = true;
+        entry.bitIdenticalToSerial =
+            figureResultsIdentical(sweeps, serial_sweeps);
+        std::printf("serial comparison: %s (parallel %.2fs, serial "
+                    "%.2fs, speedup %.2fx)\n",
+                    entry.bitIdenticalToSerial
+                        ? "bit-identical"
+                        : "MISMATCH",
+                    entry.wallSeconds, entry.serialWallSeconds,
+                    entry.wallSeconds > 0.0
+                        ? entry.serialWallSeconds /
+                              entry.wallSeconds
+                        : 0.0);
+    }
+
+    const std::string bench_path =
+        opts.getString("bench-json", "BENCH_sweep.json");
+    if (bench_path != "off" && bench_path != "none" &&
+        !bench_path.empty())
+        writeSweepBenchJson(bench_path, {entry});
 
     if (opts.getBool("csv", false)) {
         for (std::size_t i = 0; i < sweeps.size(); ++i) {
@@ -215,6 +304,8 @@ runFigureMain(const std::string &figure_id, int argc,
                         sweepTable("", sweeps[i]).toCsv().c_str());
         }
     }
+    if (entry.serialCompared && !entry.bitIdenticalToSerial)
+        return 1;
     return 0;
 }
 

@@ -57,12 +57,25 @@ FigureSpec quickened(FigureSpec spec);
  */
 std::vector<std::vector<SweepPoint>>
 runFigure(const FigureSpec &spec, const SimConfig &base,
-          bool print_tables = true);
+          bool print_tables = true,
+          const SweepOptions &sweep_opts = {});
+
+/**
+ * True when two figure runs produced bit-identical results for
+ * every algorithm and load point (the serial/parallel equivalence
+ * check behind --compare-serial).
+ */
+bool figureResultsIdentical(
+    const std::vector<std::vector<SweepPoint>> &a,
+    const std::vector<std::vector<SweepPoint>> &b);
 
 /**
  * Shared main() body for the fig* bench binaries. Recognized
  * options: --quick, --loads a,b,c, --warmup N, --measure N,
- * --drain N, --seed N, --csv.
+ * --drain N, --seed N, --csv, --jobs N (0/auto = hardware threads),
+ * --replicates N, --compare-serial (rerun serially, verify
+ * bit-identical results, record the speedup), and --bench-json PATH
+ * (default BENCH_sweep.json; "off" disables the report).
  */
 int runFigureMain(const std::string &figure_id, int argc,
                   const char *const *argv);

@@ -2,24 +2,102 @@
 
 #include <algorithm>
 
+#include "turnnet/common/thread_pool.hpp"
+
 namespace turnnet {
+
+std::uint64_t
+sweepTaskSeed(std::uint64_t base_seed, std::size_t point_index,
+              unsigned replicate, unsigned replicates)
+{
+    return deriveSeed(base_seed,
+                      static_cast<std::uint64_t>(point_index) *
+                              std::max(1u, replicates) +
+                          replicate);
+}
+
+namespace {
+
+/**
+ * The sweep engine, generic over the routing handle (plain or
+ * virtual-channel). The (point, replicate) grid is flattened into
+ * one task list; each task runs a fresh simulator whose seed depends
+ * only on its grid index and writes into its own result slot, so the
+ * grid can be executed in any order — serially or on the pool — with
+ * bit-identical output. Replicates are then pooled per point,
+ * sequentially and in replicate order.
+ */
+template <typename RoutingHandle>
+std::vector<SweepPoint>
+runSweep(const Topology &topo, const RoutingHandle &routing,
+         const TrafficPtr &traffic, const std::vector<double> &loads,
+         const SimConfig &base, const SweepOptions &opts)
+{
+    const unsigned replicates = std::max(1u, opts.replicates);
+    const std::size_t tasks = loads.size() * replicates;
+    std::vector<SimResult> results(tasks);
+
+    const auto runTask = [&](std::size_t t) {
+        const std::size_t point = t / replicates;
+        const auto replicate =
+            static_cast<unsigned>(t % replicates);
+        SimConfig config = base;
+        config.load = loads[point];
+        config.seed = sweepTaskSeed(base.seed, point, replicate,
+                                    replicates);
+        Simulator sim(topo, routing, traffic, config);
+        results[t] = sim.run();
+    };
+
+    const unsigned jobs = std::min<std::size_t>(
+        opts.jobs == 0 ? ThreadPool::hardwareWorkers() : opts.jobs,
+        std::max<std::size_t>(tasks, 1));
+    if (jobs <= 1) {
+        for (std::size_t t = 0; t < tasks; ++t)
+            runTask(t);
+    } else {
+        ThreadPool pool(jobs);
+        pool.parallelFor(tasks, runTask);
+    }
+
+    std::vector<SweepPoint> sweep;
+    sweep.reserve(loads.size());
+    for (std::size_t p = 0; p < loads.size(); ++p) {
+        if (replicates == 1) {
+            sweep.push_back(
+                SweepPoint{loads[p], std::move(results[p])});
+        } else {
+            const std::vector<SimResult> group(
+                results.begin() +
+                    static_cast<std::ptrdiff_t>(p * replicates),
+                results.begin() +
+                    static_cast<std::ptrdiff_t>((p + 1) *
+                                                replicates));
+            sweep.push_back(
+                SweepPoint{loads[p], mergeReplicates(group)});
+        }
+    }
+    return sweep;
+}
+
+} // namespace
 
 std::vector<SweepPoint>
 runLoadSweep(const Topology &topo, const RoutingPtr &routing,
              const TrafficPtr &traffic,
-             const std::vector<double> &loads, const SimConfig &base)
+             const std::vector<double> &loads, const SimConfig &base,
+             const SweepOptions &opts)
 {
-    std::vector<SweepPoint> sweep;
-    sweep.reserve(loads.size());
-    std::uint64_t salt = 1;
-    for (double load : loads) {
-        SimConfig config = base;
-        config.load = load;
-        config.seed = base.seed + 0x9E37 * salt++;
-        Simulator sim(topo, routing, traffic, config);
-        sweep.push_back(SweepPoint{load, sim.run()});
-    }
-    return sweep;
+    return runSweep(topo, routing, traffic, loads, base, opts);
+}
+
+std::vector<SweepPoint>
+runLoadSweep(const Topology &topo, const VcRoutingPtr &routing,
+             const TrafficPtr &traffic,
+             const std::vector<double> &loads, const SimConfig &base,
+             const SweepOptions &opts)
+{
+    return runSweep(topo, routing, traffic, loads, base, opts);
 }
 
 double

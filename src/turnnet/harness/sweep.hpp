@@ -24,14 +24,54 @@ struct SweepPoint
     SimResult result;
 };
 
+/** Execution options for the sweep engine. */
+struct SweepOptions
+{
+    /**
+     * Concurrent simulations: 1 runs serially in the calling thread
+     * (no threads spawned), 0 uses one worker per hardware thread.
+     * Results are bit-identical for every value — each simulation's
+     * seed depends only on its grid index, and per-point merging is
+     * sequential — so parallelism is purely a wall-clock knob.
+     */
+    unsigned jobs = 1;
+
+    /**
+     * Independent simulations per load point, run under decorrelated
+     * seeds and pooled with mergeReplicates(). 1 reproduces the
+     * classic single-run sweep.
+     */
+    unsigned replicates = 1;
+};
+
 /**
- * Run @p loads simulations of one configuration (fresh simulator,
- * deterministic seeds derived from the base seed).
+ * Seed of one simulation of a sweep grid: splitmix64-derived from
+ * the base seed and the flat grid index
+ * (point_index * replicates + replicate), so every simulation's
+ * random stream is independent of both its neighbors and the order
+ * in which the grid is executed.
+ */
+std::uint64_t sweepTaskSeed(std::uint64_t base_seed,
+                            std::size_t point_index,
+                            unsigned replicate, unsigned replicates);
+
+/**
+ * Run @p loads simulations of one configuration (fresh simulator
+ * per point, deterministic seeds derived from the base seed),
+ * optionally in parallel and/or with replicates per point.
  */
 std::vector<SweepPoint>
 runLoadSweep(const Topology &topo, const RoutingPtr &routing,
              const TrafficPtr &traffic,
-             const std::vector<double> &loads, const SimConfig &base);
+             const std::vector<double> &loads, const SimConfig &base,
+             const SweepOptions &opts = {});
+
+/** Virtual-channel variant of runLoadSweep. */
+std::vector<SweepPoint>
+runLoadSweep(const Topology &topo, const VcRoutingPtr &routing,
+             const TrafficPtr &traffic,
+             const std::vector<double> &loads, const SimConfig &base,
+             const SweepOptions &opts = {});
 
 /**
  * Highest accepted throughput (flits/usec) over the sustainable

@@ -1,6 +1,9 @@
 #include "turnnet/network/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "turnnet/common/logging.hpp"
 
 namespace turnnet {
 
@@ -17,6 +20,55 @@ SimResult::summary() const
                   sustainable ? "sustainable" : "SATURATED",
                   deadlocked ? " DEADLOCK" : "");
     return buf;
+}
+
+SimResult
+mergeReplicates(const std::vector<SimResult> &replicates)
+{
+    TN_ASSERT(!replicates.empty(),
+              "cannot merge an empty replicate set");
+    SimResult merged = replicates.front();
+    const auto n = static_cast<double>(replicates.size());
+
+    for (std::size_t i = 1; i < replicates.size(); ++i) {
+        const SimResult &r = replicates[i];
+        merged.totalLatencyStats.merge(r.totalLatencyStats);
+        merged.networkLatencyStats.merge(r.networkLatencyStats);
+        merged.hopsStats.merge(r.hopsStats);
+        merged.queueStats.merge(r.queueStats);
+        merged.latencyHistogram.merge(r.latencyHistogram);
+
+        merged.generatedLoad += r.generatedLoad;
+        merged.acceptedFlitsPerCycle += r.acceptedFlitsPerCycle;
+        merged.acceptedFlitsPerUsec += r.acceptedFlitsPerUsec;
+        merged.acceptedPerNodeCycle += r.acceptedPerNodeCycle;
+        merged.meanChannelUtilization += r.meanChannelUtilization;
+        merged.maxChannelUtilization =
+            std::max(merged.maxChannelUtilization,
+                     r.maxChannelUtilization);
+
+        merged.packetsMeasured += r.packetsMeasured;
+        merged.packetsFinished += r.packetsFinished;
+        merged.packetsUnfinished += r.packetsUnfinished;
+        merged.cycles = std::max(merged.cycles, r.cycles);
+        merged.deadlocked = merged.deadlocked || r.deadlocked;
+        merged.sustainable = merged.sustainable && r.sustainable;
+    }
+
+    merged.generatedLoad /= n;
+    merged.acceptedFlitsPerCycle /= n;
+    merged.acceptedFlitsPerUsec /= n;
+    merged.acceptedPerNodeCycle /= n;
+    merged.meanChannelUtilization /= n;
+
+    merged.avgTotalLatencyUs = merged.totalLatencyStats.mean();
+    merged.avgNetworkLatencyUs = merged.networkLatencyStats.mean();
+    merged.avgHops = merged.hopsStats.mean();
+    merged.avgSourceQueuePackets = merged.queueStats.mean();
+    merged.p50TotalLatencyUs = merged.latencyHistogram.quantile(0.5);
+    merged.p99TotalLatencyUs =
+        merged.latencyHistogram.quantile(0.99);
+    return merged;
 }
 
 } // namespace turnnet

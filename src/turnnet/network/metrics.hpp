@@ -10,7 +10,9 @@
 #define TURNNET_NETWORK_METRICS_HPP
 
 #include <string>
+#include <vector>
 
+#include "turnnet/common/stats.hpp"
 #include "turnnet/common/types.hpp"
 
 namespace turnnet {
@@ -68,9 +70,37 @@ struct SimResult
     /** Total cycles simulated. */
     Cycle cycles = 0;
 
+    /**
+     * Sample-level accumulators behind the scalar summaries above
+     * (latencies in usec, hops per measured packet, sampled queue
+     * depths, and the latency histogram the percentiles are read
+     * from). Kept in the result so replicate runs of one
+     * configuration can be pooled exactly — RunningStats::merge and
+     * Histogram::merge over these reproduce the statistics of the
+     * combined sample stream.
+     */
+    RunningStats totalLatencyStats;
+    RunningStats networkLatencyStats;
+    RunningStats hopsStats;
+    RunningStats queueStats;
+    Histogram latencyHistogram;
+
     /** One-line human-readable summary. */
     std::string summary() const;
 };
+
+/**
+ * Pool replicate results of one configuration run under different
+ * seeds into a single result. Sample-level statistics (latency,
+ * hops, queue depths, the latency histogram) merge exactly, so the
+ * means and percentiles are those of the combined packet population;
+ * packet counters sum; per-window rates average; the run counts as
+ * deadlocked if any replicate deadlocked and as sustainable only if
+ * every replicate was. Merging is sequential in replicate order, so
+ * the result is independent of how the replicates were scheduled.
+ * Fatal on an empty vector.
+ */
+SimResult mergeReplicates(const std::vector<SimResult> &replicates);
 
 } // namespace turnnet
 

@@ -22,7 +22,9 @@ Simulator::Simulator(const Topology &topo, VcRoutingPtr routing,
       generator_(topo, std::move(traffic), config_.load,
                  config_.lengths, config_.seed * 0x10001 + 7),
       arbiterRng_(config_.seed),
-      latencyHistogram_(0.0, 50000.0, 2048)
+      latencyHistogram_(Histogram::logSpaced(
+          config_.latencyHistMinUs, config_.latencyHistMaxUs,
+          config_.latencyHistBins))
 {
     TN_ASSERT(routing_ != nullptr, "simulator needs an algorithm");
     routing_->checkTopology(topo);
@@ -38,6 +40,7 @@ Simulator::injectMessage(NodeId src, NodeId dest,
     queues_[src].enqueue(info.id, dest, length);
     flitsCreated_ += length;
     ++measuredCreated_;
+    measuredFlitsGenerated_ += length;
     return info.id;
 }
 
@@ -329,6 +332,12 @@ Simulator::run()
     result.p99TotalLatencyUs = latencyHistogram_.quantile(0.99);
     result.avgHops = hops_.mean();
     result.avgSourceQueuePackets = queueSamples_.mean();
+
+    result.totalLatencyStats = totalLatency_;
+    result.networkLatencyStats = networkLatency_;
+    result.hopsStats = hops_;
+    result.queueStats = queueSamples_;
+    result.latencyHistogram = latencyHistogram_;
 
     result.packetsMeasured = measuredCreated_;
     result.packetsFinished = measuredFinished_;

@@ -98,6 +98,18 @@ struct SimConfig
      */
     bool recordPaths = false;
 
+    /**
+     * Latency histogram layout (usec): log-spaced bins over
+     * [latencyHistMinUs, latencyHistMaxUs), which keeps the relative
+     * quantile error constant across load levels — a fixed linear
+     * grid sized for the saturated tail destroys low-load p50/p99.
+     * The defaults span one flit time (0.05 usec) to one second at
+     * ~0.4% relative resolution.
+     */
+    double latencyHistMinUs = 0.05;
+    double latencyHistMaxUs = 1e6;
+    std::size_t latencyHistBins = 4096;
+
     std::uint64_t seed = 1;
 };
 

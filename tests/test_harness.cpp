@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "turnnet/harness/figures.hpp"
 #include "turnnet/harness/sweep.hpp"
 #include "turnnet/routing/registry.hpp"
+#include "turnnet/routing/vc_routing.hpp"
 #include "turnnet/topology/mesh.hpp"
 #include "turnnet/traffic/pattern.hpp"
 
@@ -114,6 +119,113 @@ TEST(Sweep, TableHasOneRowPerPoint)
     EXPECT_EQ(table.at(0, 0), "0.0200");
     const std::string rendered = table.toAligned();
     EXPECT_NE(rendered.find("latency(us)"), std::string::npos);
+}
+
+TEST(Sweep, TaskSeedsAreDecorrelatedAndOrderFree)
+{
+    // The seed of a grid task depends only on (base seed, flat
+    // index): two tasks never share a seed, and the same index
+    // always gets the same seed no matter how the grid is executed.
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t point = 0; point < 8; ++point)
+        for (unsigned rep = 0; rep < 3; ++rep)
+            seeds.push_back(sweepTaskSeed(42, point, rep, 3));
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+        for (std::size_t j = i + 1; j < seeds.size(); ++j)
+            EXPECT_NE(seeds[i], seeds[j]) << i << "," << j;
+    EXPECT_EQ(sweepTaskSeed(42, 5, 1, 3),
+              sweepTaskSeed(42, 5, 1, 3));
+    EXPECT_NE(sweepTaskSeed(42, 0, 0, 1),
+              sweepTaskSeed(43, 0, 0, 1));
+}
+
+TEST(Sweep, ParallelIsBitIdenticalToSerial)
+{
+    const Mesh mesh(4, 4);
+    auto run = [&](unsigned jobs) {
+        SweepOptions opts;
+        opts.jobs = jobs;
+        return runLoadSweep(mesh, makeRouting("west-first"),
+                            makeTraffic("uniform", mesh),
+                            {0.03, 0.05, 0.07, 0.09}, tinyConfig(),
+                            opts);
+    };
+    const auto serial = run(1);
+    const auto parallel = run(4);
+    EXPECT_TRUE(figureResultsIdentical({serial}, {parallel}));
+}
+
+TEST(Sweep, ReplicatedParallelIsBitIdenticalToSerial)
+{
+    const Mesh mesh(4, 4);
+    auto run = [&](unsigned jobs) {
+        SweepOptions opts;
+        opts.jobs = jobs;
+        opts.replicates = 3;
+        return runLoadSweep(mesh, makeRouting("negative-first"),
+                            makeTraffic("transpose", mesh),
+                            {0.04, 0.08}, tinyConfig(), opts);
+    };
+    const auto serial = run(1);
+    const auto parallel = run(4);
+    EXPECT_TRUE(figureResultsIdentical({serial}, {parallel}));
+}
+
+TEST(Sweep, ReplicatesPoolSamplesAcrossRuns)
+{
+    const Mesh mesh(4, 4);
+    SweepOptions three;
+    three.replicates = 3;
+    const auto pooled = runLoadSweep(
+        mesh, makeRouting("xy"), makeTraffic("uniform", mesh),
+        {0.05}, tinyConfig(), three);
+    const auto single = runLoadSweep(
+        mesh, makeRouting("xy"), makeTraffic("uniform", mesh),
+        {0.05}, tinyConfig());
+    ASSERT_EQ(pooled.size(), 1u);
+    // Three replicates pool roughly three times the measured
+    // packets of a single run, and all their samples land in the
+    // merged accumulators.
+    EXPECT_GT(pooled[0].result.packetsMeasured,
+              single[0].result.packetsMeasured);
+    EXPECT_EQ(pooled[0].result.totalLatencyStats.count(),
+              pooled[0].result.packetsFinished);
+    EXPECT_EQ(pooled[0].result.latencyHistogram.count(),
+              pooled[0].result.packetsFinished);
+}
+
+TEST(Sweep, PointSeedsAreIndependentOfTheGridShape)
+{
+    // Extending the load grid must not change earlier points:
+    // seeds key on the point's own index, not on the grid size.
+    const Mesh mesh(4, 4);
+    auto sweep_for = [&](const std::vector<double> &loads) {
+        return runLoadSweep(mesh, makeRouting("xy"),
+                            makeTraffic("uniform", mesh), loads,
+                            tinyConfig());
+    };
+    const auto small = sweep_for({0.05});
+    const auto large = sweep_for({0.05, 0.08, 0.11});
+    EXPECT_TRUE(figureResultsIdentical(
+        {small}, {{large[0]}}));
+}
+
+TEST(Sweep, VcOverloadMatchesSerialAndParallel)
+{
+    const Mesh mesh(4, 4);
+    auto run = [&](unsigned jobs) {
+        SweepOptions opts;
+        opts.jobs = jobs;
+        return runLoadSweep(mesh, makeVcRouting("double-y", 2),
+                            makeTraffic("uniform", mesh),
+                            {0.04, 0.07}, tinyConfig(), opts);
+    };
+    const auto serial = run(1);
+    const auto parallel = run(3);
+    ASSERT_EQ(serial.size(), 2u);
+    for (const SweepPoint &p : serial)
+        EXPECT_GT(p.result.packetsMeasured, 0u);
+    EXPECT_TRUE(figureResultsIdentical({serial}, {parallel}));
 }
 
 TEST(Figures, RunFigureReturnsOneSweepPerAlgorithm)

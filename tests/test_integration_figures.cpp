@@ -99,14 +99,19 @@ TEST(Fig14Quick, AdaptiveAlgorithmsSustainMoreTransposeTraffic)
     // per pair and our substrate does not reproduce the paper's NF
     // advantage — see EXPERIMENTS.md.)
     FigureSpec spec = quickened(figureSpec("fig14"));
-    spec.loads = {0.10, 0.15, 0.20, 0.25, 0.30};
+    spec.loads = {0.10, 0.14, 0.18, 0.22};
     // Saturation detection needs a longer window than the other
-    // quick tests: near the knee, short runs misjudge queue growth.
+    // quick tests, and single runs misjudge queue growth near the
+    // knee (the verdict can flip with the seed), so each point
+    // pools three replicates: a pooled point only counts as
+    // sustainable when every replicate is.
     SimConfig base = quickBase();
     base.warmupCycles = 2000;
     base.measureCycles = 10000;
     base.drainCycles = 10000;
-    const auto sweeps = runFigure(spec, base, false);
+    SweepOptions sweep_opts;
+    sweep_opts.replicates = 3;
+    const auto sweeps = runFigure(spec, base, false, sweep_opts);
     const double xy_peak = maxSustainableThroughput(sweeps[0]);
     const double wf_peak = maxSustainableThroughput(sweeps[1]);
     const double nl_peak = maxSustainableThroughput(sweeps[2]);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <vector>
 
 #include "turnnet/network/simulator.hpp"
@@ -238,6 +239,120 @@ TEST(Simulator, MeasurementWindowsExcludeWarmupTraffic)
     EXPECT_NEAR(static_cast<double>(result.packetsMeasured),
                 expected, expected * 0.6);
     EXPECT_GT(result.generatedLoad, 0.02);
+}
+
+TEST(Simulator, ScriptedInjectionCountsTowardGeneratedLoad)
+{
+    // Regression: injectMessage() skipped the
+    // measuredFlitsGenerated_ accounting, so scripted workloads
+    // reported generatedLoad == 0 no matter how many flits they
+    // pushed through the measurement window.
+    const Mesh mesh(4, 4);
+    SimConfig config;
+    config.load = 0.0;
+    config.warmupCycles = 0;
+    config.measureCycles = 1000;
+    config.drainCycles = 2000;
+    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+
+    const NodeId a = mesh.nodeOf({0, 0});
+    const NodeId b = mesh.nodeOf({3, 2});
+    const NodeId c = mesh.nodeOf({1, 3});
+    sim.injectMessage(a, b, 10);
+    sim.injectMessage(b, c, 20);
+    sim.injectMessage(c, a, 2);
+
+    const SimResult result = sim.run();
+    ASSERT_EQ(result.packetsMeasured, 3u);
+    EXPECT_EQ(result.packetsUnfinished, 0u);
+    // 32 flits over 16 nodes x 1000 measured cycles.
+    EXPECT_DOUBLE_EQ(result.generatedLoad,
+                     32.0 / (16.0 * 1000.0));
+}
+
+TEST(Simulator, GoldenDeterminismOnEveryResultField)
+{
+    // Two runs of the same configuration and seed must agree
+    // bit-for-bit on every field of SimResult, including the
+    // sample-level accumulators added for replicate merging. This
+    // is the contract the parallel sweep engine builds on.
+    const Mesh mesh(5, 5);
+    SimConfig config;
+    config.load = 0.09;
+    config.warmupCycles = 300;
+    config.measureCycles = 1500;
+    config.drainCycles = 4000;
+    config.seed = 0xFEEDFACE;
+
+    auto run = [&]() {
+        Simulator sim(mesh, makeRouting("west-first"),
+                      makeTraffic("transpose", mesh), config);
+        return sim.run();
+    };
+    const SimResult a = run();
+    const SimResult b = run();
+
+    EXPECT_EQ(a.topology, b.topology);
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_EQ(a.traffic, b.traffic);
+    EXPECT_EQ(a.offeredLoad, b.offeredLoad);
+    EXPECT_EQ(a.generatedLoad, b.generatedLoad);
+    EXPECT_EQ(a.acceptedFlitsPerCycle, b.acceptedFlitsPerCycle);
+    EXPECT_EQ(a.acceptedFlitsPerUsec, b.acceptedFlitsPerUsec);
+    EXPECT_EQ(a.acceptedPerNodeCycle, b.acceptedPerNodeCycle);
+    EXPECT_EQ(a.avgTotalLatencyUs, b.avgTotalLatencyUs);
+    EXPECT_EQ(a.avgNetworkLatencyUs, b.avgNetworkLatencyUs);
+    EXPECT_EQ(a.p50TotalLatencyUs, b.p50TotalLatencyUs);
+    EXPECT_EQ(a.p99TotalLatencyUs, b.p99TotalLatencyUs);
+    EXPECT_EQ(a.avgHops, b.avgHops);
+    EXPECT_EQ(a.avgSourceQueuePackets, b.avgSourceQueuePackets);
+    EXPECT_EQ(a.meanChannelUtilization, b.meanChannelUtilization);
+    EXPECT_EQ(a.maxChannelUtilization, b.maxChannelUtilization);
+    EXPECT_EQ(a.packetsMeasured, b.packetsMeasured);
+    EXPECT_EQ(a.packetsFinished, b.packetsFinished);
+    EXPECT_EQ(a.packetsUnfinished, b.packetsUnfinished);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.deadlocked, b.deadlocked);
+    EXPECT_EQ(a.sustainable, b.sustainable);
+
+    EXPECT_EQ(a.totalLatencyStats.count(),
+              b.totalLatencyStats.count());
+    EXPECT_EQ(a.totalLatencyStats.mean(),
+              b.totalLatencyStats.mean());
+    EXPECT_EQ(a.totalLatencyStats.variance(),
+              b.totalLatencyStats.variance());
+    EXPECT_EQ(a.networkLatencyStats.mean(),
+              b.networkLatencyStats.mean());
+    EXPECT_EQ(a.hopsStats.mean(), b.hopsStats.mean());
+    EXPECT_EQ(a.queueStats.mean(), b.queueStats.mean());
+    ASSERT_TRUE(
+        a.latencyHistogram.sameShape(b.latencyHistogram));
+    EXPECT_EQ(a.latencyHistogram.count(),
+              b.latencyHistogram.count());
+    for (std::size_t i = 0; i < a.latencyHistogram.numBins(); ++i)
+        EXPECT_EQ(a.latencyHistogram.binCount(i),
+                  b.latencyHistogram.binCount(i));
+}
+
+TEST(Simulator, LatencyHistogramLayoutFollowsConfig)
+{
+    const Mesh mesh(4, 4);
+    SimConfig config = scriptedConfig();
+    config.warmupCycles = 0;
+    config.measureCycles = 500;
+    config.drainCycles = 500;
+    config.latencyHistMinUs = 0.1;
+    config.latencyHistMaxUs = 100.0;
+    config.latencyHistBins = 64;
+    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+    sim.injectMessage(mesh.nodeOf({0, 0}), mesh.nodeOf({3, 3}), 4);
+    const SimResult result = sim.run();
+    EXPECT_EQ(result.latencyHistogram.spacing(),
+              Histogram::Spacing::Log);
+    EXPECT_EQ(result.latencyHistogram.numBins(), 64u);
+    EXPECT_DOUBLE_EQ(result.latencyHistogram.low(), 0.1);
+    EXPECT_DOUBLE_EQ(result.latencyHistogram.high(), 100.0);
+    EXPECT_EQ(result.latencyHistogram.count(), 1u);
 }
 
 TEST(SimulatorDeath, RejectsSelfMessages)

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <vector>
 
 #include "turnnet/common/rng.hpp"
@@ -113,6 +115,94 @@ TEST(Histogram, QuantileOnEmptyIsZero)
 {
     Histogram h(0.0, 1.0, 4);
     EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, LogBinEdgesAreMonotoneWithEqualRatios)
+{
+    const Histogram h = Histogram::logSpaced(0.05, 1e6, 4096);
+    EXPECT_EQ(h.spacing(), Histogram::Spacing::Log);
+    EXPECT_NEAR(h.binLow(0), 0.05, 1e-12);
+    const double ratio = h.binLow(1) / h.binLow(0);
+    EXPECT_GT(ratio, 1.0);
+    for (std::size_t i : {std::size_t{1}, std::size_t{100},
+                          std::size_t{2048}, std::size_t{4095}}) {
+        EXPECT_GT(h.binLow(i), h.binLow(i - 1));
+        EXPECT_NEAR(h.binLow(i) / h.binLow(i - 1), ratio,
+                    ratio * 1e-9);
+    }
+}
+
+TEST(Histogram, LogSpacedResolvesLowLatencyQuantiles)
+{
+    // The simulator's regression scenario: latencies of a few tens
+    // of microseconds measured by a histogram whose range must also
+    // cover the saturated tail (up to 1e6 us). The retired fixed
+    // grid -- Histogram(0, 50000, 2048), 24.4 us linear bins -- put
+    // this entire population inside bin 0 and reported quantiles
+    // with ~100% error; log spacing keeps the relative error under
+    // a fraction of a percent.
+    Rng rng(7);
+    Histogram log_bins = Histogram::logSpaced(0.05, 1e6, 4096);
+    Histogram coarse_linear(0.0, 50000.0, 2048);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) {
+        const double x = 10.0 + 10.0 * rng.nextDouble();
+        xs.push_back(x);
+        log_bins.add(x);
+        coarse_linear.add(x);
+    }
+    std::sort(xs.begin(), xs.end());
+    const double exact_p50 = xs[xs.size() / 2];
+    const double exact_p99 =
+        xs[static_cast<std::size_t>(0.99 * xs.size())];
+
+    EXPECT_NEAR(log_bins.quantile(0.5), exact_p50,
+                exact_p50 * 0.01);
+    EXPECT_NEAR(log_bins.quantile(0.99), exact_p99,
+                exact_p99 * 0.01);
+    // The coarse linear grid cannot separate p50 from p99 at all:
+    // every sample lands in one 24.4 us bin.
+    EXPECT_EQ(coarse_linear.binCount(0), 20000u);
+}
+
+TEST(Histogram, MergeEqualsCombinedStream)
+{
+    Rng rng(123);
+    Histogram all = Histogram::logSpaced(0.1, 1000.0, 256);
+    Histogram a = all;
+    Histogram b = all;
+    for (int i = 0; i < 5000; ++i) {
+        // Include under- and overflow samples.
+        const double x = 0.05 * std::exp(rng.nextDouble() * 10.5);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.underflow(), all.underflow());
+    EXPECT_EQ(a.overflow(), all.overflow());
+    for (std::size_t i = 0; i < all.numBins(); ++i)
+        EXPECT_EQ(a.binCount(i), all.binCount(i));
+    EXPECT_EQ(a.quantile(0.5), all.quantile(0.5));
+    EXPECT_EQ(a.quantile(0.99), all.quantile(0.99));
+}
+
+TEST(Histogram, MergeRejectsMismatchedShapes)
+{
+    Histogram log_bins = Histogram::logSpaced(0.05, 1e6, 4096);
+    Histogram linear_bins(0.05, 1e6, 4096);
+    Histogram narrower = Histogram::logSpaced(0.05, 1e5, 4096);
+    Histogram fewer = Histogram::logSpaced(0.05, 1e6, 2048);
+    EXPECT_TRUE(log_bins.sameShape(log_bins));
+    EXPECT_FALSE(log_bins.sameShape(linear_bins));
+    EXPECT_FALSE(log_bins.sameShape(narrower));
+    EXPECT_FALSE(log_bins.sameShape(fewer));
+    EXPECT_DEATH(log_bins.merge(linear_bins), "identical bin");
+}
+
+TEST(Histogram, LogSpacedRequiresPositiveRange)
+{
+    EXPECT_DEATH(Histogram::logSpaced(0.0, 10.0, 8), "positive");
 }
 
 TEST(TrendProbe, FlatSeriesIsBounded)

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the deterministic thread pool: exactly-once execution,
+ * exception propagation, reuse across task grids, and degenerate
+ * shapes (empty grids, more workers than tasks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "turnnet/common/thread_pool.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SlotWritesNeedNoSynchronization)
+{
+    // The sweep engine's usage pattern: each task writes only its
+    // own output slot, so a plain vector needs no locks.
+    ThreadPool pool(8);
+    std::vector<std::size_t> out(257, 0);
+    pool.parallelFor(out.size(),
+                     [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, MoreWorkersThanTasks)
+{
+    ThreadPool pool(16);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(3, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, EmptyGridIsANoOp)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossGrids)
+{
+    ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    for (int round = 0; round < 10; ++round) {
+        pool.parallelFor(100, [&](std::size_t i) {
+            sum += static_cast<long>(i);
+        });
+    }
+    EXPECT_EQ(sum.load(), 10L * (99L * 100L / 2L));
+}
+
+TEST(ThreadPool, FirstExceptionIsRethrownAndRestStillRun)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&](std::size_t i) {
+                                      ++hits[i];
+                                      if (i % 16 == 7)
+                                          throw std::runtime_error(
+                                              "task failed");
+                                  }),
+                 std::runtime_error);
+    // Every task still executed exactly once despite the failures.
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+    // The pool stays usable after a failed grid.
+    std::atomic<int> ok{0};
+    pool.parallelFor(8, [&](std::size_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, HardwareWorkersIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareWorkers(), 1u);
+    const ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), ThreadPool::hardwareWorkers());
+}
+
+} // namespace
+} // namespace turnnet
