@@ -42,8 +42,7 @@ main(int argc, char **argv)
     base.seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
 
-    SweepOptions sweep_opts;
-    sweep_opts.jobs = resolveJobs(opts, 1);
+    const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
 
     Table table("Buffer-depth ablation: matrix-transpose, " +
                 mesh.name());
@@ -52,7 +51,7 @@ main(int argc, char **argv)
                      "latency@low (us)"});
 
     for (const char *alg : {"xy", "west-first"}) {
-        const RoutingPtr routing = makeRouting(alg);
+        const RoutingPtr routing = makeRouting({.name = alg});
         for (const std::size_t depth : {1u, 2u, 4u, 8u}) {
             SimConfig config = base;
             config.bufferDepth = depth;

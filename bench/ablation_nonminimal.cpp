@@ -50,7 +50,7 @@ study(const Mesh &mesh, const char *traffic_name,
     const TrafficPtr traffic = makeTraffic(traffic_name, mesh);
     for (const bool minimal : {true, false}) {
         const RoutingPtr routing =
-            makeRouting(algorithm, 2, minimal);
+            makeRouting({.name = algorithm, .minimal = minimal});
         SimConfig config = baseConfig(seed);
         const auto sweep = runLoadSweep(mesh, routing, traffic,
                                         loads, config, sweep_opts);
@@ -73,8 +73,7 @@ main(int argc, char **argv)
     const bool full = opts.getBool("full", false);
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
-    SweepOptions sweep_opts;
-    sweep_opts.jobs = resolveJobs(opts, 1);
+    const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
     const int side = full ? 16 : 8;
     const Mesh mesh(side, side);
 
@@ -114,7 +113,7 @@ main(int argc, char **argv)
         SimConfig config = baseConfig(seed);
         config.misrouteAfterWait = wait;
         const auto sweep = runLoadSweep(
-            mesh, makeRouting("negative-first", 2, false),
+            mesh, makeRouting({.name = "negative-first", .dims = 2, .minimal = false}),
             transpose, mesh_loads, config, sweep_opts);
         thresholds.beginRow();
         thresholds.cell(static_cast<long long>(wait));

@@ -30,7 +30,7 @@ main(int argc, char **argv)
     const int side = full ? 16 : 8;
     const Mesh mesh(side, side);
     const TrafficPtr traffic = makeTraffic("transpose", mesh);
-    const RoutingPtr routing = makeRouting("west-first");
+    const RoutingPtr routing = makeRouting({.name = "west-first"});
 
     const std::vector<double> loads =
         full ? std::vector<double>{0.04, 0.06, 0.08}
@@ -43,8 +43,7 @@ main(int argc, char **argv)
     base.seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
 
-    SweepOptions sweep_opts;
-    sweep_opts.jobs = resolveJobs(opts, 1);
+    const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
 
     Table table("Selection-policy ablation: west-first, "
                 "matrix-transpose, " +

@@ -60,7 +60,7 @@ torusStudy(std::uint64_t seed, bool full,
         const TrafficPtr traffic = makeTraffic(pattern, torus);
         for (const char *alg :
              {"dateline", "nf-torus", "nf-first-hop-wrap"}) {
-            const VcRoutingPtr routing = makeVcRouting(alg, 2);
+            const VcRoutingPtr routing = makeVcRouting({.name = alg, .dims = 2});
             const auto sweep =
                 runLoadSweep(torus, routing, traffic, loads,
                              baseConfig(seed), sweep_opts);
@@ -101,7 +101,7 @@ meshStudy(std::uint64_t seed, bool full,
                                 : transpose_loads;
         for (const char *alg :
              {"double-y", "xy", "west-first", "negative-first"}) {
-            const VcRoutingPtr routing = makeVcRouting(alg, 2);
+            const VcRoutingPtr routing = makeVcRouting({.name = alg, .dims = 2});
             const auto sweep =
                 runLoadSweep(mesh, routing, traffic, loads,
                              baseConfig(seed), sweep_opts);
@@ -131,8 +131,7 @@ main(int argc, char **argv)
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
     const bool full = opts.getBool("full", false);
-    SweepOptions sweep_opts;
-    sweep_opts.jobs = resolveJobs(opts, 1);
+    const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
     torusStudy(seed, full, sweep_opts);
     meshStudy(seed, full, sweep_opts);
     return 0;

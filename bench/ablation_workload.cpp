@@ -70,7 +70,7 @@ lengthMixStudy(std::uint64_t seed,
         SimConfig config = baseConfig(seed);
         config.lengths = c.mix;
         const auto sweep =
-            runLoadSweep(mesh, makeRouting("west-first"), traffic,
+            runLoadSweep(mesh, makeRouting({.name = "west-first"}), traffic,
                          loads, config, sweep_opts);
         table.beginRow();
         table.cell(std::string(c.name));
@@ -110,7 +110,7 @@ extraPatternStudy(std::uint64_t seed,
         table.cell(std::string(pattern));
         for (const char *alg : {"ecube", "p-cube", "abonf"}) {
             const auto sweep = runLoadSweep(
-                cube, makeRouting(alg, cube.numDims()), traffic,
+                cube, makeRouting({.name = alg, .dims = cube.numDims()}), traffic,
                 grid, baseConfig(seed), sweep_opts);
             table.cell(maxSustainableThroughput(sweep), 1);
         }
@@ -136,7 +136,7 @@ torusStudy(std::uint64_t seed, const SweepOptions &sweep_opts)
         for (const char *pattern : {"uniform", "tornado"}) {
             const TrafficPtr traffic = makeTraffic(pattern, torus);
             const auto sweep =
-                runLoadSweep(torus, makeRouting(alg, 2), traffic,
+                runLoadSweep(torus, makeRouting({.name = alg, .dims = 2}), traffic,
                              loads, baseConfig(seed), sweep_opts);
             table.cell(maxSustainableThroughput(sweep), 1);
             table.cell(sweep.front().result.avgHops, 2);
@@ -156,8 +156,7 @@ main(int argc, char **argv)
     const CliOptions opts = CliOptions::parse(argc, argv);
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
-    SweepOptions sweep_opts;
-    sweep_opts.jobs = resolveJobs(opts, 1);
+    const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
     lengthMixStudy(seed, sweep_opts);
     extraPatternStudy(seed, sweep_opts);
     torusStudy(seed, sweep_opts);

@@ -50,7 +50,7 @@ measure(const Mesh &mesh, const char *alg, const char *pattern,
     config.measureCycles = 12000;
     config.drainCycles = 6000;
     config.seed = seed;
-    Simulator sim(mesh, makeRouting(alg, 2),
+    Simulator sim(mesh, makeRouting({.name = alg, .dims = 2}),
                   makeTraffic(pattern, mesh), config);
     const SimResult result = sim.run();
 

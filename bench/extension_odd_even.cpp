@@ -39,7 +39,7 @@ adaptivenessStudy()
                      "S_p=1 fraction"});
     for (const char *alg : kAlgorithms) {
         const auto s =
-            summarizeAdaptiveness(mesh, *makeRouting(alg, 2));
+            summarizeAdaptiveness(mesh, *makeRouting({.name = alg, .dims = 2}));
         table.beginRow();
         table.cell(alg);
         table.cell(s.meanPaths, 2);
@@ -91,7 +91,7 @@ sweepStudy(std::uint64_t seed, bool full,
         for (const PatternCase &pc : cases) {
             const TrafficPtr traffic = makeTraffic(pc.name, mesh);
             const auto sweep =
-                runLoadSweep(mesh, makeRouting(alg, 2), traffic,
+                runLoadSweep(mesh, makeRouting({.name = alg, .dims = 2}), traffic,
                              pc.loads, base, sweep_opts);
             table.cell(maxSustainableThroughput(sweep), 1);
         }
@@ -109,8 +109,7 @@ int
 main(int argc, char **argv)
 {
     const CliOptions opts = CliOptions::parse(argc, argv);
-    SweepOptions sweep_opts;
-    sweep_opts.jobs = resolveJobs(opts, 1);
+    const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
     adaptivenessStudy();
     sweepStudy(static_cast<std::uint64_t>(opts.getInt("seed", 1)),
                opts.getBool("full", false), sweep_opts);

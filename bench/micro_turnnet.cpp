@@ -26,7 +26,7 @@ void
 BM_RouteMesh(benchmark::State &state, const char *alg)
 {
     const Mesh mesh(16, 16);
-    const RoutingPtr routing = makeRouting(alg, 2);
+    const RoutingPtr routing = makeRouting({.name = alg, .dims = 2});
     NodeId src = 0;
     NodeId dst = 37;
     for (auto _ : state) {
@@ -46,7 +46,7 @@ void
 BM_RouteHypercube(benchmark::State &state, const char *alg)
 {
     const Hypercube cube(8);
-    const RoutingPtr routing = makeRouting(alg, 8);
+    const RoutingPtr routing = makeRouting({.name = alg, .dims = 8});
     NodeId src = 0;
     NodeId dst = 0b10110101;
     for (auto _ : state) {
@@ -83,7 +83,7 @@ void
 BM_CdgAnalysis(benchmark::State &state)
 {
     const Mesh mesh(8, 8);
-    const RoutingPtr routing = makeRouting("west-first");
+    const RoutingPtr routing = makeRouting({.name = "west-first"});
     for (auto _ : state)
         benchmark::DoNotOptimize(
             analyzeDependencies(mesh, *routing));
@@ -97,7 +97,7 @@ BM_SimulatorCycle(benchmark::State &state)
     SimConfig config;
     config.load = 0.06;
     config.seed = 1;
-    Simulator sim(mesh, makeRouting("west-first"),
+    Simulator sim(mesh, makeRouting({.name = "west-first"}),
                   makeTraffic("uniform", mesh), config);
     // Warm the network into steady state first.
     for (int i = 0; i < 2000; ++i)

@@ -38,7 +38,7 @@ report(const Topology &topo,
     std::vector<AdaptivenessSummary> summaries(algorithms.size());
     const auto summarize = [&](std::size_t i) {
         const RoutingPtr routing =
-            makeRouting(algorithms[i], topo.numDims());
+            makeRouting({.name = algorithms[i], .dims = topo.numDims()});
         summaries[i] = summarizeAdaptiveness(topo, *routing);
     };
     if (jobs <= 1) {

@@ -49,7 +49,7 @@ main(int argc, char **argv)
         "double-y"};
 
     for (const char *alg : algorithms) {
-        const VcRoutingPtr routing = makeVcRouting(alg, 2);
+        const VcRoutingPtr routing = makeVcRouting({.name = alg, .dims = 2});
         const bool safe = isVcDeadlockFree(mesh, *routing);
 
         // Adaptiveness (single-VC algorithms only; double-y is

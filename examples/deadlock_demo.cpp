@@ -22,7 +22,7 @@ namespace {
 void
 demo(const Mesh &mesh, const char *alg, std::uint64_t seed)
 {
-    const RoutingPtr routing = makeRouting(alg, 2);
+    const RoutingPtr routing = makeRouting({.name = alg, .dims = 2});
 
     const CdgReport cdg = analyzeDependencies(mesh, *routing);
     std::printf("%s: channel dependency graph is %s\n", alg,

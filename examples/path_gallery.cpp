@@ -54,21 +54,21 @@ main()
     const Mesh mesh(8, 8);
 
     std::printf("==== Figure 5b: west-first ====\n\n");
-    const RoutingPtr wf = makeRouting("west-first");
+    const RoutingPtr wf = makeRouting({.name = "west-first"});
     showPath(mesh, *wf, {6, 1}, {1, 5}, lowestDimSelector,
              "westward destination: forced west leg, then north");
     showPath(mesh, *wf, {1, 6}, {6, 1}, zigzag,
              "eastward destination: fully adaptive staircase");
 
     std::printf("==== Figure 9b: north-last ====\n\n");
-    const RoutingPtr nl = makeRouting("north-last");
+    const RoutingPtr nl = makeRouting({.name = "north-last"});
     showPath(mesh, *nl, {1, 1}, {6, 6}, lowestDimSelector,
              "north deferred: east first, north as the last leg");
     showPath(mesh, *nl, {6, 6}, {1, 1}, zigzag,
              "southwest destination: fully adaptive staircase");
 
     std::printf("==== Figure 10b: negative-first ====\n\n");
-    const RoutingPtr nf = makeRouting("negative-first");
+    const RoutingPtr nf = makeRouting({.name = "negative-first"});
     showPath(mesh, *nf, {6, 6}, {1, 1}, zigzag,
              "both deltas negative: fully adaptive staircase");
     showPath(mesh, *nf, {6, 1}, {1, 6}, lowestDimSelector,

@@ -35,7 +35,7 @@ main(int argc, char **argv)
                 mesh.numChannels());
 
     // 2. A routing algorithm from the registry.
-    const RoutingPtr routing = makeRouting(alg, mesh.numDims());
+    const RoutingPtr routing = makeRouting({.name = alg, .dims = mesh.numDims()});
     routing->checkTopology(mesh);
     std::printf("routing  : %s (%s)\n", routing->name().c_str(),
                 routing->isMinimal() ? "minimal" : "nonminimal");

@@ -1,0 +1,83 @@
+#include "turnnet/analysis/fault_tolerance.hpp"
+
+#include <sstream>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+std::string
+FaultToleranceReport::toString() const
+{
+    std::ostringstream out;
+    out << (cdg.acyclic ? "acyclic" : "CYCLIC") << " cdg ("
+        << cdg.numEdges << " edges), " << disconnectedPairs << "/"
+        << livePairs << " pairs disconnected, " << unreachablePairs
+        << "/" << livePairs << " unreachable";
+    return out.str();
+}
+
+FaultToleranceReport
+analyzeFaultTolerance(const Topology &topo,
+                      const RoutingFunction &routing,
+                      const FaultSet &faults)
+{
+    FaultToleranceReport report;
+
+    // The exact CDG walk only follows channels the relation offers,
+    // so over a fault-aware relation it is the surviving CDG.
+    report.cdg = analyzeDependencies(topo, routing);
+
+    // Sanity: the relation must never offer a dead channel — from
+    // any input state, for any destination. A violation voids the
+    // subgraph argument (and would crash the simulator), so fail
+    // loudly rather than report on a broken premise.
+    const FaultedTopologyView view(topo, faults);
+    for (NodeId node = 0; node < topo.numNodes(); ++node) {
+        std::vector<Direction> in_dirs{Direction::local()};
+        for (const ChannelId ch : topo.channelsInto(node))
+            in_dirs.push_back(topo.channel(ch).dir);
+        for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
+            if (dest == node)
+                continue;
+            for (const Direction in : in_dirs) {
+                routing.route(topo, node, dest, in)
+                    .forEach([&](Direction o) {
+                        if (view.channelFrom(node, o) ==
+                            kInvalidChannel) {
+                            TN_FATAL(routing.name(),
+                                     " offers dead channel ",
+                                     topo.shape().coordToString(
+                                         topo.coordOf(node)),
+                                     "-", o.toString(),
+                                     " under faults ",
+                                     faults.toString(topo));
+                        }
+                    });
+            }
+        }
+    }
+
+    // Physical connectivity vs algorithmic reachability, counted
+    // over the same live ordered pairs.
+    for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        if (faults.nodeFailed(src))
+            continue;
+        const std::vector<bool> reached = view.reachableFrom(src);
+        for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
+            if (dest == src || faults.nodeFailed(dest))
+                continue;
+            ++report.livePairs;
+            if (!reached[dest])
+                ++report.disconnectedPairs;
+            if (!routing.canComplete(topo, src, dest,
+                                     Direction::local()))
+                ++report.unreachablePairs;
+        }
+    }
+    TN_ASSERT(report.unreachablePairs >= report.disconnectedPairs,
+              "routing reaches a physically disconnected node");
+    return report;
+}
+
+} // namespace turnnet

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fault-tolerance analysis: deadlock freedom and reachability of a
+ * routing relation over a faulted topology.
+ *
+ * Two distinct questions, both answered exactly:
+ *
+ * 1. Is the surviving relation deadlock free? A fault-aware routing
+ *    function never offers a dead channel, so the exact CDG walk of
+ *    analysis/cdg.hpp over the *fault-free* topology already builds
+ *    the surviving channel dependency graph — dead channels simply
+ *    acquire no edges. Because the fault-aware relations keep their
+ *    prohibited-turn sets, that graph is a subgraph of the fault-free
+ *    nonminimal CDG and must stay acyclic; analyzeFaultTolerance
+ *    verifies this computationally per fault set rather than taking
+ *    the subgraph argument on faith.
+ *
+ * 2. Which destinations survive? Physically, a (src, dest) pair is
+ *    disconnected when no surviving channel path joins them at all.
+ *    Algorithmically, a pair is unreachable when the routing relation
+ *    offers no turn-legal surviving path from injection — a strictly
+ *    larger set, since turn prohibitions can strand a packet beside a
+ *    dead link that a less restricted walk would skirt. The simulator
+ *    flags exactly the algorithmic notion, so the report carries
+ *    both.
+ */
+
+#ifndef TURNNET_ANALYSIS_FAULT_TOLERANCE_HPP
+#define TURNNET_ANALYSIS_FAULT_TOLERANCE_HPP
+
+#include <string>
+
+#include "turnnet/analysis/cdg.hpp"
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/topology/fault.hpp"
+
+namespace turnnet {
+
+/** Result of analyzing one (topology, routing, fault set) triple. */
+struct FaultToleranceReport
+{
+    /** Exact CDG analysis of the surviving routing relation. */
+    CdgReport cdg;
+
+    /** Ordered live (src, dest) pairs, src != dest. */
+    std::size_t livePairs = 0;
+
+    /**
+     * Pairs with no surviving channel path at all (physical
+     * disconnection; routing-independent).
+     */
+    std::size_t disconnectedPairs = 0;
+
+    /**
+     * Pairs the routing relation cannot serve from injection
+     * (algorithmic unreachability; always >= disconnectedPairs).
+     */
+    std::size_t unreachablePairs = 0;
+
+    bool deadlockFree() const { return cdg.acyclic; }
+    bool fullyReachable() const { return unreachablePairs == 0; }
+
+    /** One-line summary for logs and bench output. */
+    std::string toString() const;
+};
+
+/**
+ * Analyze @p routing (constructed over @p faults) on @p topo: build
+ * and check the surviving CDG, count physically disconnected pairs,
+ * and count algorithmically unreachable pairs via
+ * RoutingFunction::canComplete from the injection state.
+ *
+ * @p routing must already encode the fault set (a FaultAwareRouting
+ * built from the same FaultSet); the analysis double-checks that it
+ * never offers a dead channel and fails fatally if it does, since a
+ * relation that routes into dead hardware voids both answers.
+ */
+FaultToleranceReport analyzeFaultTolerance(
+    const Topology &topo, const RoutingFunction &routing,
+    const FaultSet &faults);
+
+} // namespace turnnet
+
+#endif // TURNNET_ANALYSIS_FAULT_TOLERANCE_HPP

@@ -1,0 +1,239 @@
+#include "turnnet/harness/fault_sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/common/thread_pool.hpp"
+#include "turnnet/routing/registry.hpp"
+
+namespace turnnet {
+
+std::vector<FaultSweepPoint>
+runFaultSweep(const Topology &topo, const std::string &algorithm,
+              const TrafficPtr &traffic, const SimConfig &base,
+              const SweepOptions &opts)
+{
+    std::vector<unsigned> counts = opts.faultCounts;
+    if (counts.empty())
+        counts.push_back(0);
+    const unsigned replicates = std::max(1u, opts.replicates);
+    const std::size_t tasks = counts.size() * replicates;
+    std::vector<FaultSweepPoint> cells(tasks);
+
+    const auto runTask = [&](std::size_t t) {
+        const std::size_t point = t / replicates;
+        const auto replicate =
+            static_cast<unsigned>(t % replicates);
+        FaultSweepPoint &cell = cells[t];
+        cell.faultCount = counts[point];
+        cell.replicate = replicate;
+        cell.faultSeed = sweepTaskSeed(opts.faultSeed, point,
+                                       replicate, replicates);
+        cell.faults = FaultSet::randomLinks(
+            topo, static_cast<int>(cell.faultCount), cell.faultSeed);
+
+        const RoutingPtr routing =
+            makeRouting({.name = algorithm,
+                         .dims = topo.numDims(),
+                         .minimal = false,
+                         .fault_set = cell.faults});
+        cell.analysis =
+            analyzeFaultTolerance(topo, *routing, cell.faults);
+
+        SimConfig config = base;
+        config.faults = cell.faults;
+        config.faultCycle = opts.faultCycle;
+        config.seed = sweepTaskSeed(base.seed, point, replicate,
+                                    replicates);
+        Simulator sim(topo, routing, traffic, config);
+        cell.result = sim.run();
+    };
+
+    const unsigned jobs = std::min<std::size_t>(
+        opts.jobs == 0 ? ThreadPool::hardwareWorkers() : opts.jobs,
+        std::max<std::size_t>(tasks, 1));
+    if (jobs <= 1) {
+        for (std::size_t t = 0; t < tasks; ++t)
+            runTask(t);
+    } else {
+        ThreadPool pool(jobs);
+        pool.parallelFor(tasks, runTask);
+    }
+    return cells;
+}
+
+bool
+faultSweepsIdentical(const std::vector<FaultSweepPoint> &a,
+                     const std::vector<FaultSweepPoint> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const FaultSweepPoint &x = a[i];
+        const FaultSweepPoint &y = b[i];
+        if (x.faultCount != y.faultCount ||
+            x.replicate != y.replicate ||
+            x.faultSeed != y.faultSeed || x.faults != y.faults)
+            return false;
+        if (x.analysis.cdg.acyclic != y.analysis.cdg.acyclic ||
+            x.analysis.livePairs != y.analysis.livePairs ||
+            x.analysis.disconnectedPairs !=
+                y.analysis.disconnectedPairs ||
+            x.analysis.unreachablePairs !=
+                y.analysis.unreachablePairs)
+            return false;
+        const SimResult &r = x.result;
+        const SimResult &s = y.result;
+        if (r.packetsMeasured != s.packetsMeasured ||
+            r.packetsFinished != s.packetsFinished ||
+            r.packetsUnfinished != s.packetsUnfinished ||
+            r.packetsDropped != s.packetsDropped ||
+            r.packetsUnreachable != s.packetsUnreachable ||
+            r.flitsDropped != s.flitsDropped ||
+            r.cycles != s.cycles || r.deadlocked != s.deadlocked ||
+            r.sustainable != s.sustainable ||
+            r.generatedLoad != s.generatedLoad ||
+            r.acceptedFlitsPerUsec != s.acceptedFlitsPerUsec ||
+            r.avgTotalLatencyUs != s.avgTotalLatencyUs ||
+            r.avgHops != s.avgHops)
+            return false;
+    }
+    return true;
+}
+
+Table
+faultSweepTable(const std::string &title, const Topology &topo,
+                const std::vector<FaultSweepPoint> &sweep)
+{
+    Table table(title);
+    table.setHeader({"faults", "rep", "cdg", "disc-pairs",
+                     "unreach-pairs", "finished", "unreach-pkts",
+                     "dropped", "accepted(fl/us)", "latency(us)",
+                     "status"});
+    for (const FaultSweepPoint &cell : sweep) {
+        const SimResult &r = cell.result;
+        table.beginRow();
+        table.cell(static_cast<unsigned long long>(cell.faultCount));
+        table.cell(static_cast<unsigned long long>(cell.replicate));
+        table.cell(std::string(cell.analysis.deadlockFree()
+                                   ? "acyclic"
+                                   : "CYCLIC"));
+        table.cell(static_cast<unsigned long long>(
+            cell.analysis.disconnectedPairs));
+        table.cell(static_cast<unsigned long long>(
+            cell.analysis.unreachablePairs));
+        table.cell(static_cast<unsigned long long>(r.packetsFinished));
+        table.cell(static_cast<unsigned long long>(r.packetsUnreachable));
+        table.cell(static_cast<unsigned long long>(r.packetsDropped));
+        table.cell(r.acceptedFlitsPerUsec, 1);
+        table.cell(r.avgTotalLatencyUs, 2);
+        table.cell(std::string(
+            r.deadlocked ? "DEADLOCK"
+                         : (r.sustainable ? "ok" : "saturated")));
+    }
+    (void)topo;
+    return table;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+faultSweepJson(const std::string &algorithm, const Topology &topo,
+               const std::vector<FaultSweepPoint> &sweep)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"turnnet.fault_sweep/1\",\n"
+       << "  \"algorithm\": \"" << jsonEscape(algorithm) << "\",\n"
+       << "  \"topology\": \"" << jsonEscape(topo.name()) << "\",\n"
+       << "  \"entries\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const FaultSweepPoint &cell = sweep[i];
+        const SimResult &r = cell.result;
+        os << "    {\n"
+           << "      \"fault_count\": " << cell.faultCount << ",\n"
+           << "      \"replicate\": " << cell.replicate << ",\n"
+           << "      \"fault_seed\": " << cell.faultSeed << ",\n"
+           << "      \"deadlock_free\": "
+           << (cell.analysis.deadlockFree() ? "true" : "false")
+           << ",\n"
+           << "      \"live_pairs\": " << cell.analysis.livePairs
+           << ",\n"
+           << "      \"disconnected_pairs\": "
+           << cell.analysis.disconnectedPairs << ",\n"
+           << "      \"unreachable_pairs\": "
+           << cell.analysis.unreachablePairs << ",\n"
+           << "      \"packets_finished\": " << r.packetsFinished
+           << ",\n"
+           << "      \"packets_unreachable\": "
+           << r.packetsUnreachable << ",\n"
+           << "      \"packets_dropped\": " << r.packetsDropped
+           << ",\n"
+           << "      \"deadlocked\": "
+           << (r.deadlocked ? "true" : "false") << ",\n"
+           << "      \"accepted_flits_per_usec\": "
+           << jsonNumber(r.acceptedFlitsPerUsec) << ",\n"
+           << "      \"avg_latency_usec\": "
+           << jsonNumber(r.avgTotalLatencyUs) << "\n"
+           << "    }" << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+bool
+writeFaultSweepJson(const std::string &path,
+                    const std::string &algorithm,
+                    const Topology &topo,
+                    const std::vector<FaultSweepPoint> &sweep)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        TN_WARN("cannot write fault-sweep report to '", path, "'");
+        return false;
+    }
+    const std::string doc = faultSweepJson(algorithm, topo, sweep);
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        TN_WARN("short write of fault-sweep report '", path, "'");
+    return ok;
+}
+
+} // namespace turnnet

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fault sweeps: run one (topology, fault-aware algorithm, traffic)
+ * configuration across a fault-count x seed grid and report, per
+ * cell, the exact fault-tolerance analysis (surviving-CDG deadlock
+ * freedom, disconnected and unreachable pairs) next to the simulated
+ * delivery accounting. This is the experiment behind the paper's
+ * Section 7 claim that nonminimal turn-model routing buys fault
+ * tolerance: as links die, the prohibited-turn set keeps the network
+ * deadlock free while misrouting keeps reachable destinations
+ * served.
+ *
+ * The grid runs on the same deterministic thread pool as the load
+ * sweeps: each cell's fault set and simulation seed depend only on
+ * its grid index, so results are bit-identical at every --jobs
+ * value.
+ */
+
+#ifndef TURNNET_HARNESS_FAULT_SWEEP_HPP
+#define TURNNET_HARNESS_FAULT_SWEEP_HPP
+
+#include <string>
+#include <vector>
+
+#include "turnnet/analysis/fault_tolerance.hpp"
+#include "turnnet/common/csv.hpp"
+#include "turnnet/harness/sweep.hpp"
+
+namespace turnnet {
+
+/** One cell of a fault sweep: a fault count and a seed replicate. */
+struct FaultSweepPoint
+{
+    /** Bidirectional links failed in this cell. */
+    unsigned faultCount = 0;
+
+    /** Replicate index (which random fault set of this count). */
+    unsigned replicate = 0;
+
+    /** Seed the fault set was drawn with (for reproduction). */
+    std::uint64_t faultSeed = 0;
+
+    /** The drawn fault set. */
+    FaultSet faults;
+
+    /** Exact analysis of the fault-aware relation over the faults. */
+    FaultToleranceReport analysis;
+
+    /** Simulated run with the faults physically activated. */
+    SimResult result;
+};
+
+/**
+ * Run the fault-count x replicate grid of @p opts (faultCounts x
+ * replicates; an empty faultCounts means {0}) for the fault-aware
+ * algorithm @p algorithm ("negative-first-ft" or "p-cube-ft").
+ *
+ * Cell (count k, replicate r) draws its fault set with
+ * FaultSet::randomLinks under seed sweepTaskSeed(opts.faultSeed,
+ * point, r, replicates), builds the routing via
+ * makeRouting({.name = algorithm, .fault_set = faults}), runs
+ * analyzeFaultTolerance, and then one simulation of @p base at
+ * base.load with the faults injected at opts.faultCycle. Execution
+ * order never affects results; opts.jobs only affects wall time.
+ */
+std::vector<FaultSweepPoint>
+runFaultSweep(const Topology &topo, const std::string &algorithm,
+              const TrafficPtr &traffic, const SimConfig &base,
+              const SweepOptions &opts);
+
+/** True when two fault sweeps are bit-identical (grid, fault sets,
+ *  analyses, and every simulation counter and statistic). */
+bool faultSweepsIdentical(const std::vector<FaultSweepPoint> &a,
+                          const std::vector<FaultSweepPoint> &b);
+
+/** Format a fault sweep as a per-cell table. */
+Table faultSweepTable(const std::string &title, const Topology &topo,
+                      const std::vector<FaultSweepPoint> &sweep);
+
+/**
+ * Render the machine-readable fault-sweep report
+ * ("turnnet.fault_sweep/1"):
+ *
+ *   {
+ *     "schema": "turnnet.fault_sweep/1",
+ *     "algorithm": "negative-first-ft",
+ *     "topology": "mesh(8x8)",
+ *     "entries": [
+ *       {
+ *         "fault_count": 2,          // links failed
+ *         "replicate": 0,            // which random draw
+ *         "fault_seed": 123,         // seed of the draw
+ *         "deadlock_free": true,     // surviving CDG acyclic
+ *         "live_pairs": 4032,        // ordered live (src,dest)
+ *         "disconnected_pairs": 0,   // no surviving path
+ *         "unreachable_pairs": 14,   // routing cannot serve
+ *         "packets_finished": 95012,
+ *         "packets_unreachable": 31, // flagged, not dropped
+ *         "packets_dropped": 0,      // worms severed at activation
+ *         "deadlocked": false,
+ *         "accepted_flits_per_usec": 81.2,
+ *         "avg_latency_usec": 2.41
+ *       }
+ *     ]
+ *   }
+ */
+std::string faultSweepJson(const std::string &algorithm,
+                           const Topology &topo,
+                           const std::vector<FaultSweepPoint> &sweep);
+
+/** Write the report to @p path; warns and returns false on error. */
+bool writeFaultSweepJson(const std::string &path,
+                         const std::string &algorithm,
+                         const Topology &topo,
+                         const std::vector<FaultSweepPoint> &sweep);
+
+} // namespace turnnet
+
+#endif // TURNNET_HARNESS_FAULT_SWEEP_HPP

@@ -144,7 +144,7 @@ runFigure(const FigureSpec &spec, const SimConfig &base,
     std::vector<std::vector<SweepPoint>> sweeps;
     for (const std::string &alg : spec.algorithms) {
         const RoutingPtr routing =
-            makeRouting(alg, topo->numDims(), true);
+            makeRouting({.name = alg, .dims = topo->numDims()});
         sweeps.push_back(runLoadSweep(*topo, routing, traffic,
                                       spec.loads, base, sweep_opts));
         if (print_tables) {
@@ -243,10 +243,7 @@ runFigureMain(const std::string &figure_id, int argc,
         static_cast<Cycle>(opts.getInt("drain", 30000));
     base.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
 
-    SweepOptions sweep_opts;
-    sweep_opts.jobs = resolveJobs(opts, 1);
-    sweep_opts.replicates = static_cast<unsigned>(
-        std::max<std::int64_t>(1, opts.getInt("replicates", 1)));
+    const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
 
     using Clock = std::chrono::steady_clock;
     const auto seconds_since = [](Clock::time_point start) {
@@ -269,7 +266,7 @@ runFigureMain(const std::string &figure_id, int argc,
     if (entry.jobs == 1)
         entry.serialWallSeconds = wall_seconds;
 
-    if (opts.getBool("compare-serial", false) && entry.jobs > 1) {
+    if (sweep_opts.compareSerial && entry.jobs > 1) {
         SweepOptions serial_opts = sweep_opts;
         serial_opts.jobs = 1;
         const auto serial_start = Clock::now();
@@ -291,8 +288,7 @@ runFigureMain(const std::string &figure_id, int argc,
                         : 0.0);
     }
 
-    const std::string bench_path =
-        opts.getString("bench-json", "BENCH_sweep.json");
+    const std::string &bench_path = sweep_opts.benchJson;
     if (bench_path != "off" && bench_path != "none" &&
         !bench_path.empty())
         writeSweepBenchJson(bench_path, {entry});

@@ -1,10 +1,35 @@
 #include "turnnet/harness/sweep.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "turnnet/common/logging.hpp"
 #include "turnnet/common/thread_pool.hpp"
 
 namespace turnnet {
+
+SweepOptions
+SweepOptions::fromCli(const CliOptions &opts)
+{
+    SweepOptions out;
+    out.jobs = resolveJobs(opts, 1);
+    out.replicates = static_cast<unsigned>(
+        std::max<std::int64_t>(1, opts.getInt("replicates", 1)));
+    out.compareSerial = opts.getBool("compare-serial", false);
+    out.benchJson = opts.getString("bench-json", out.benchJson);
+    for (const std::string &s : opts.getList("faults")) {
+        char *end = nullptr;
+        const long v = std::strtol(s.c_str(), &end, 10);
+        if (end == s.c_str() || *end != '\0' || v < 0)
+            TN_FATAL("bad --faults entry '", s, "'");
+        out.faultCounts.push_back(static_cast<unsigned>(v));
+    }
+    out.faultSeed = static_cast<std::uint64_t>(
+        opts.getInt("fault-seed", 1));
+    out.faultCycle =
+        static_cast<Cycle>(opts.getInt("fault-cycle", 0));
+    return out;
+}
 
 std::uint64_t
 sweepTaskSeed(std::uint64_t base_seed, std::size_t point_index,

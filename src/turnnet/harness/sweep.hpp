@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "turnnet/common/cli.hpp"
 #include "turnnet/common/csv.hpp"
 #include "turnnet/network/simulator.hpp"
 
@@ -42,6 +43,43 @@ struct SweepOptions
      * classic single-run sweep.
      */
     unsigned replicates = 1;
+
+    /**
+     * Re-run the sweep serially after a parallel run and fail the
+     * binary when the results are not bit-identical. Ignored by the
+     * sweep engine itself; honored by the bench drivers.
+     */
+    bool compareSerial = false;
+
+    /**
+     * Destination for the machine-readable bench record ("off",
+     * "none", or "" disables it). Honored by the bench drivers.
+     */
+    std::string benchJson = "BENCH_sweep.json";
+
+    /**
+     * Fault-sweep grid: number of failed links per point
+     * (--faults 0,1,2,4). Empty means no fault dimension.
+     */
+    std::vector<unsigned> faultCounts;
+
+    /** Base seed for drawing random fault sets (--fault-seed). */
+    std::uint64_t faultSeed = 1;
+
+    /**
+     * Cycle at which the simulator physically activates the faults
+     * (--fault-cycle); 0 means cycle zero, i.e. faults are present
+     * from the start.
+     */
+    Cycle faultCycle = 0;
+
+    /**
+     * Parse the flags every bench driver shares — --jobs (0 or
+     * "auto" = hardware threads), --replicates, --compare-serial,
+     * --bench-json, --faults, --fault-seed, --fault-cycle — so the
+     * fifteen drivers stop hand-rolling the same block.
+     */
+    static SweepOptions fromCli(const CliOptions &opts);
 };
 
 /**

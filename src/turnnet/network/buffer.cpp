@@ -27,4 +27,25 @@ FlitBuffer::pop()
     return e;
 }
 
+std::size_t
+FlitBuffer::removePacket(PacketId packet)
+{
+    const std::size_t before = entries_.size();
+    std::erase_if(entries_, [packet](const Entry &e) {
+        return e.flit.packet == packet;
+    });
+    return before - entries_.size();
+}
+
+std::vector<PacketId>
+FlitBuffer::packetIds() const
+{
+    std::vector<PacketId> ids;
+    for (const Entry &e : entries_) {
+        if (ids.empty() || ids.back() != e.flit.packet)
+            ids.push_back(e.flit.packet);
+    }
+    return ids;
+}
+
 } // namespace turnnet

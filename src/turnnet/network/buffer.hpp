@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <vector>
 
 #include "turnnet/common/types.hpp"
 #include "turnnet/network/flit.hpp"
@@ -46,6 +47,15 @@ class FlitBuffer
 
     /** Remove and return the oldest entry; fatal when empty. */
     Entry pop();
+
+    /**
+     * Discard every flit of @p packet (fault purge); returns the
+     * number removed. Other packets' entries keep their order.
+     */
+    std::size_t removePacket(PacketId packet);
+
+    /** Distinct packet ids with at least one buffered flit. */
+    std::vector<PacketId> packetIds() const;
 
     /** Discard all contents. */
     void clear() { entries_.clear(); }

@@ -52,15 +52,36 @@ class InputUnit
 
     /** Output unit the resident packet holds, or kNoUnit. */
     UnitId assignedOutput() const { return assignedOutput_; }
-    void assignOutput(UnitId out) { assignedOutput_ = out; }
-    void clearOutput() { assignedOutput_ = kNoUnit; }
+
+    /**
+     * Record that @p packet (the packet of the current front header)
+     * holds @p out. The packet id makes the reservation attributable
+     * even in cycles where the worm has a bubble here (buffer empty,
+     * tail still upstream) — the fault purge depends on that.
+     */
+    void
+    assignOutput(UnitId out, PacketId packet)
+    {
+        assignedOutput_ = out;
+        residentPacket_ = packet;
+    }
+
+    void
+    clearOutput()
+    {
+        assignedOutput_ = kNoUnit;
+        residentPacket_ = 0;
+    }
+
+    /** Packet owning the assigned output; 0 when unassigned. */
+    PacketId residentPacket() const { return residentPacket_; }
 
     /** Reset to the post-construction state. */
     void
     reset()
     {
         buffer_.clear();
-        assignedOutput_ = kNoUnit;
+        clearOutput();
     }
 
   private:
@@ -69,6 +90,7 @@ class InputUnit
     int vc_;
     FlitBuffer buffer_;
     UnitId assignedOutput_ = kNoUnit;
+    PacketId residentPacket_ = 0;
 };
 
 } // namespace turnnet

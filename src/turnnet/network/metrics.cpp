@@ -10,15 +10,23 @@ namespace turnnet {
 std::string
 SimResult::summary() const
 {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "%s/%s/%s load=%.4f acc=%.1f fl/us lat=%.2f us "
-                  "hops=%.2f %s%s",
-                  topology.c_str(), algorithm.c_str(),
-                  traffic.c_str(), offeredLoad, acceptedFlitsPerUsec,
-                  avgTotalLatencyUs, avgHops,
-                  sustainable ? "sustainable" : "SATURATED",
-                  deadlocked ? " DEADLOCK" : "");
+    char buf[320];
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "%s/%s/%s load=%.4f acc=%.1f fl/us lat=%.2f us "
+        "hops=%.2f %s%s",
+        topology.c_str(), algorithm.c_str(), traffic.c_str(),
+        offeredLoad, acceptedFlitsPerUsec, avgTotalLatencyUs,
+        avgHops, sustainable ? "sustainable" : "SATURATED",
+        deadlocked ? " DEADLOCK" : "");
+    if ((packetsDropped || packetsUnreachable) && n > 0 &&
+        static_cast<std::size_t>(n) < sizeof(buf)) {
+        std::snprintf(buf + n, sizeof(buf) - n,
+                      " dropped=%llu unreachable=%llu",
+                      static_cast<unsigned long long>(packetsDropped),
+                      static_cast<unsigned long long>(
+                          packetsUnreachable));
+    }
     return buf;
 }
 
@@ -50,6 +58,9 @@ mergeReplicates(const std::vector<SimResult> &replicates)
         merged.packetsMeasured += r.packetsMeasured;
         merged.packetsFinished += r.packetsFinished;
         merged.packetsUnfinished += r.packetsUnfinished;
+        merged.packetsDropped += r.packetsDropped;
+        merged.packetsUnreachable += r.packetsUnreachable;
+        merged.flitsDropped += r.flitsDropped;
         merged.cycles = std::max(merged.cycles, r.cycles);
         merged.deadlocked = merged.deadlocked || r.deadlocked;
         merged.sustainable = merged.sustainable && r.sustainable;

@@ -62,6 +62,18 @@ struct SimResult
     std::uint64_t packetsFinished = 0;
     std::uint64_t packetsUnfinished = 0;
 
+    /**
+     * Fault accounting (zero on fault-free runs). Dropped packets
+     * had their worm severed by fault activation and were purged;
+     * unreachable packets were flagged because no turn-legal
+     * surviving path serves their destination — counted, never
+     * silently discarded. flitsDropped is the conservation-law
+     * remainder: created = delivered + in-flight + queued + dropped.
+     */
+    std::uint64_t packetsDropped = 0;
+    std::uint64_t packetsUnreachable = 0;
+    std::uint64_t flitsDropped = 0;
+
     /** The watchdog saw no progress while flits were in flight. */
     bool deadlocked = false;
     /** Source queues stayed bounded during the measure window. */

@@ -45,6 +45,17 @@ class OutputUnit
     void acquire(UnitId input) { owner_ = input; }
     void release() { owner_ = kNoUnit; }
 
+    /**
+     * Fault injection: a failed output is never allocated again,
+     * whatever the routing relation offers — the physical link is
+     * gone. Irreversible for the life of the network.
+     */
+    void fail() { failed_ = true; }
+    bool failed() const { return failed_; }
+
+    /** Free to allocate: unowned and not failed. */
+    bool usable() const { return owner_ == kNoUnit && !failed_; }
+
     void reset() { owner_ = kNoUnit; }
 
   private:
@@ -53,6 +64,7 @@ class OutputUnit
     ChannelId channel_;
     int vc_;
     UnitId owner_ = kNoUnit;
+    bool failed_ = false;
 };
 
 } // namespace turnnet

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "turnnet/common/types.hpp"
 
@@ -49,6 +50,17 @@ class PacketTable
     void erase(PacketId id);
 
     std::size_t liveCount() const { return packets_.size(); }
+
+    /** Ids of every live packet (unordered). */
+    std::vector<PacketId>
+    liveIds() const
+    {
+        std::vector<PacketId> ids;
+        ids.reserve(packets_.size());
+        for (const auto &[id, info] : packets_)
+            ids.push_back(id);
+        return ids;
+    }
 
   private:
     std::unordered_map<PacketId, PacketInfo> packets_;

@@ -82,7 +82,7 @@ Router::allocate(std::vector<InputUnit> &inputs,
         const NodeId dest = entry.flit.dest;
         if (dest == node_) {
             const UnitId ej = ejectionOutput();
-            if (outputs[ej].free())
+            if (outputs[ej].usable())
                 request(ej, InputRequest{in_id, entry.arrival, port});
             continue;
         }
@@ -91,11 +91,13 @@ Router::allocate(std::vector<InputUnit> &inputs,
         ctx.routing.route(ctx.topo, node_, dest, iu.inDir(),
                           iu.vc(), candidateScratch_);
 
-        // Directions with at least one free permitted (dir, vc).
+        // Directions with at least one usable permitted (dir, vc);
+        // failed outputs are dead hardware and never eligible, even
+        // when a fault-oblivious relation offers them.
         DirectionSet available;
         for (const VcCandidate &c : candidateScratch_) {
             const UnitId out = outputFor(c.dir, c.vc);
-            if (out != kNoUnit && outputs[out].free())
+            if (out != kNoUnit && outputs[out].usable())
                 available.insert(c.dir);
         }
         if (available.empty())
@@ -126,7 +128,7 @@ Router::allocate(std::vector<InputUnit> &inputs,
             if (c.dir != chosen || c.vc >= best_vc)
                 continue;
             const UnitId out = outputFor(c.dir, c.vc);
-            if (out != kNoUnit && outputs[out].free()) {
+            if (out != kNoUnit && outputs[out].usable()) {
                 target = out;
                 best_vc = c.vc;
             }
@@ -139,7 +141,8 @@ Router::allocate(std::vector<InputUnit> &inputs,
     for (const PendingRequests &p : scratch_) {
         const InputRequest &winner =
             selectInput(ctx.inputPolicy, p.requests, ctx.rng);
-        inputs[winner.input].assignOutput(p.output);
+        InputUnit &win = inputs[winner.input];
+        win.assignOutput(p.output, win.buffer().front().flit.packet);
         outputs[p.output].acquire(winner.input);
     }
 }

@@ -1,5 +1,7 @@
 #include "turnnet/network/simulator.hpp"
 
+#include <algorithm>
+
 #include "turnnet/common/logging.hpp"
 
 namespace turnnet {
@@ -28,6 +30,118 @@ Simulator::Simulator(const Topology &topo, VcRoutingPtr routing,
 {
     TN_ASSERT(routing_ != nullptr, "simulator needs an algorithm");
     routing_->checkTopology(topo);
+    if (!config_.faults.empty() && routing_->single() == nullptr) {
+        TN_FATAL("fault injection needs a single-channel routing "
+                 "core for reachability accounting; ",
+                 routing_->name(), " is purely virtual-channel");
+    }
+}
+
+bool
+Simulator::servable(NodeId src, NodeId dest) const
+{
+    if (config_.faults.nodeFailed(src) ||
+        config_.faults.nodeFailed(dest)) {
+        return false;
+    }
+    return routing_->single()->canComplete(*topo_, src, dest,
+                                           Direction::local());
+}
+
+void
+Simulator::purgePacket(PacketId id, bool unreachable)
+{
+    // A worm can span several routers; walk every input unit so the
+    // purge is complete whatever shape the worm was caught in:
+    // reservations held across momentarily empty buffers included.
+    for (UnitId u = 0;
+         u < static_cast<UnitId>(network_.numInputs()); ++u) {
+        InputUnit &iu = network_.input(u);
+        if (iu.residentPacket() == id) {
+            network_.output(iu.assignedOutput()).release();
+            iu.clearOutput();
+        }
+        flitsDropped_ += iu.buffer().removePacket(id);
+    }
+    const PacketInfo &info = packets_.at(id);
+    flitsDropped_ += queues_[info.src].dropPacket(id);
+    if (unreachable)
+        ++packetsUnreachable_;
+    else
+        ++packetsDropped_;
+    if (info.measured)
+        ++measuredUnserved_;
+    packets_.erase(id);
+    if (config_.recordPaths)
+        paths_.erase(id);
+}
+
+void
+Simulator::activateFaults()
+{
+    faultsActive_ = true;
+    const FaultSet &faults = config_.faults;
+
+    // Dead hardware stops being allocatable from this cycle on.
+    for (const ChannelId ch : faults.failedChannels()) {
+        for (int vc = 0; vc < network_.numVcs(); ++vc)
+            network_.output(network_.channelOutput(ch, vc)).fail();
+    }
+    for (const NodeId n : faults.failedNodes())
+        network_.output(network_.ejectionOutput(n)).fail();
+
+    // Worms caught spanning dead hardware are severed and purged:
+    // any packet holding a reservation on a failed output, any
+    // packet with flits buffered at the far end of a failed channel,
+    // and any packet with flits inside a failed router.
+    std::vector<PacketId> victims;
+    for (UnitId u = 0;
+         u < static_cast<UnitId>(network_.numInputs()); ++u) {
+        const InputUnit &iu = network_.input(u);
+        if (iu.assignedOutput() != kNoUnit &&
+            network_.output(iu.assignedOutput()).failed()) {
+            victims.push_back(iu.residentPacket());
+        }
+    }
+    for (const ChannelId ch : faults.failedChannels()) {
+        for (int vc = 0; vc < network_.numVcs(); ++vc) {
+            const InputUnit &iu =
+                network_.input(network_.channelInput(ch, vc));
+            for (const PacketId id : iu.buffer().packetIds())
+                victims.push_back(id);
+        }
+    }
+    for (const NodeId n : faults.failedNodes()) {
+        const InputUnit &iu =
+            network_.input(network_.injectionInput(n));
+        for (const PacketId id : iu.buffer().packetIds())
+            victims.push_back(id);
+    }
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    for (const PacketId id : victims)
+        purgePacket(id, /*unreachable=*/false);
+
+    // A failed router's processor dies with it: its queued messages
+    // are casualties, not survivors.
+    for (const NodeId n : faults.failedNodes()) {
+        for (const PacketId id : queues_[n].packetIds())
+            purgePacket(id, /*unreachable=*/false);
+    }
+
+    // Surviving packets whose destination the relation can no
+    // longer serve would stall forever (queued ones on injection, a
+    // fault-aware relation's in-network ones only ever at their
+    // injection buffer, since every hop it granted preserved
+    // reachability); flag them unreachable now instead. For a
+    // fault-oblivious relation this check is optimistically true
+    // and its doomed packets honestly show up as unfinished.
+    for (const PacketId id : packets_.liveIds()) {
+        const PacketInfo &info = packets_.at(id);
+        if (!servable(info.src, info.dest))
+            purgePacket(id, /*unreachable=*/true);
+    }
 }
 
 PacketId
@@ -35,6 +149,10 @@ Simulator::injectMessage(NodeId src, NodeId dest,
                          std::uint32_t length)
 {
     TN_ASSERT(src != dest, "messages must leave their source");
+    if (faultsActive_ && !servable(src, dest)) {
+        ++packetsUnreachable_;
+        return 0;
+    }
     PacketInfo &info =
         packets_.create(src, dest, length, cycle_, true);
     queues_[src].enqueue(info.id, dest, length);
@@ -48,6 +166,16 @@ void
 Simulator::createPacket(NodeId src, NodeId dest,
                         std::uint32_t length)
 {
+    if (faultsActive_) {
+        if (config_.faults.nodeFailed(src))
+            return; // a dead processor generates nothing
+        if (!servable(src, dest)) {
+            // Flagged, never enqueued: injecting would stall the
+            // header at the source router forever.
+            ++packetsUnreachable_;
+            return;
+        }
+    }
     PacketInfo &info =
         packets_.create(src, dest, length, cycle_, measuring_);
     queues_[src].enqueue(info.id, dest, length);
@@ -184,16 +312,21 @@ Simulator::checkConservation() const
     for (const SourceQueue &q : queues_)
         queued += q.flitCount();
     const std::uint64_t in_flight = network_.flitsInFlight();
-    TN_ASSERT(flitsCreated_ ==
-                  flitsDelivered_ + in_flight + queued,
+    TN_ASSERT(flitsCreated_ == flitsDelivered_ + in_flight +
+                                   queued + flitsDropped_,
               "flit conservation violated: created=", flitsCreated_,
               " delivered=", flitsDelivered_, " in-flight=",
-              in_flight, " queued=", queued);
+              in_flight, " queued=", queued, " dropped=",
+              flitsDropped_);
 }
 
 void
 Simulator::step()
 {
+    if (!faultsActive_ && !config_.faults.empty() &&
+        cycle_ >= config_.faultCycle) {
+        activateFaults();
+    }
     generateTraffic();
 
     const AllocationContext ctx{*topo_,
@@ -284,7 +417,8 @@ Simulator::run()
         }
         step();
         if (cycle_ >= measure_end &&
-            (measuredFinished_ == measuredCreated_ ||
+            (measuredFinished_ + measuredUnserved_ ==
+                 measuredCreated_ ||
              cycle_ >= hard_end)) {
             break;
         }
@@ -341,7 +475,13 @@ Simulator::run()
 
     result.packetsMeasured = measuredCreated_;
     result.packetsFinished = measuredFinished_;
-    result.packetsUnfinished = measuredCreated_ - measuredFinished_;
+    // Fault-purged measured packets are accounted under dropped /
+    // unreachable, not held against the drain.
+    result.packetsUnfinished =
+        measuredCreated_ - measuredFinished_ - measuredUnserved_;
+    result.packetsDropped = packetsDropped_;
+    result.packetsUnreachable = packetsUnreachable_;
+    result.flitsDropped = flitsDropped_;
     result.sustainable = !deadlocked_ && !queueTrend_.growing() &&
                          result.packetsUnfinished <
                              measuredCreated_ / 10 + 10;

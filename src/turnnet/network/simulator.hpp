@@ -41,6 +41,7 @@
 #include "turnnet/network/source_queue.hpp"
 #include "turnnet/routing/routing_function.hpp"
 #include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/fault.hpp"
 #include "turnnet/traffic/generator.hpp"
 #include "turnnet/traffic/pattern.hpp"
 
@@ -110,6 +111,29 @@ struct SimConfig
     double latencyHistMaxUs = 1e6;
     std::size_t latencyHistBins = 4096;
 
+    /**
+     * Hardware to destroy at faultCycle (empty = fault-free run).
+     * Activation is one-shot and irreversible: the named channels'
+     * outputs stop being allocatable, worms caught spanning dead
+     * hardware are purged (counted as dropped, flits accounted), and
+     * queued or future packets whose destination the routing
+     * relation can no longer serve are flagged unreachable instead
+     * of being injected to stall forever. Requires a routing with a
+     * single-channel core (VcRoutingFunction::single()) for the
+     * reachability check.
+     *
+     * Note the routing relation itself is constructed with its own
+     * FaultSet and avoids dead links from cycle 0 — the model is
+     * routing tables updated ahead of the physical failure. Running
+     * a fault-oblivious relation against faults is supported for
+     * contrast: its packets pile up behind dead links and show up
+     * as unfinished (or watchdog-deadlocked), never as misrouted
+     * into dead hardware.
+     */
+    FaultSet faults;
+    /** Cycle at which @ref faults become physical. */
+    Cycle faultCycle = 0;
+
     std::uint64_t seed = 1;
 };
 
@@ -175,6 +199,15 @@ class Simulator
     std::uint64_t flitsDelivered() const { return flitsDelivered_; }
     std::uint64_t packetsDelivered() const { return packetsDelivered_; }
 
+    /** Fault accounting (all zero until faults activate). */
+    bool faultsActive() const { return faultsActive_; }
+    std::uint64_t packetsDropped() const { return packetsDropped_; }
+    std::uint64_t packetsUnreachable() const
+    {
+        return packetsUnreachable_;
+    }
+    std::uint64_t flitsDropped() const { return flitsDropped_; }
+
     /** Invoked when a packet's tail is consumed (tests hook this).
      *  Arguments: metadata, delivery cycle. */
     std::function<void(const PacketInfo &, Cycle)> onDelivered;
@@ -205,6 +238,13 @@ class Simulator
     void deliverFlit(const Flit &flit);
     void checkConservation() const;
 
+    /** One-shot physical fault activation (see SimConfig::faults). */
+    void activateFaults();
+    /** Destroy one live packet everywhere it has state. */
+    void purgePacket(PacketId id, bool unreachable);
+    /** Can the routing still serve (src, dest) under the faults? */
+    bool servable(NodeId src, NodeId dest) const;
+
     std::uint64_t totalQueuedPackets() const;
 
     const Topology *topo_;
@@ -221,6 +261,7 @@ class Simulator
     Cycle cycle_ = 0;
     bool measuring_ = false;
     bool deadlocked_ = false;
+    bool faultsActive_ = false;
     /** Consecutive cycles each input unit's front flit has been
      *  stuck. A true deadlock permanently stalls specific buffers,
      *  which this catches even while unrelated traffic keeps
@@ -236,6 +277,12 @@ class Simulator
     std::uint64_t packetsDelivered_ = 0;
     std::uint64_t measuredCreated_ = 0;
     std::uint64_t measuredFinished_ = 0;
+    /** Measured packets purged by faults (dropped or unreachable);
+     *  the drain phase must not wait for these. */
+    std::uint64_t measuredUnserved_ = 0;
+    std::uint64_t packetsDropped_ = 0;
+    std::uint64_t packetsUnreachable_ = 0;
+    std::uint64_t flitsDropped_ = 0;
     std::uint64_t measuredFlitsGenerated_ = 0;
     std::uint64_t measureWindowFlitsDelivered_ = 0;
 

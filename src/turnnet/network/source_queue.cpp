@@ -32,6 +32,30 @@ SourceQueue::nextFlit()
     return flit;
 }
 
+std::uint64_t
+SourceQueue::dropPacket(PacketId id)
+{
+    for (auto it = packets_.begin(); it != packets_.end(); ++it) {
+        if (it->id != id)
+            continue;
+        const std::uint64_t remaining = it->length - it->nextSeq;
+        flits_ -= remaining;
+        packets_.erase(it);
+        return remaining;
+    }
+    return 0;
+}
+
+std::vector<PacketId>
+SourceQueue::packetIds() const
+{
+    std::vector<PacketId> ids;
+    ids.reserve(packets_.size());
+    for (const QueuedPacket &pkt : packets_)
+        ids.push_back(pkt.id);
+    return ids;
+}
+
 void
 SourceQueue::clear()
 {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "turnnet/common/types.hpp"
 #include "turnnet/network/flit.hpp"
@@ -38,6 +39,16 @@ class SourceQueue
      * head flit of a packet is produced first, the tail last.
      */
     Flit nextFlit();
+
+    /**
+     * Remove @p id from the queue (fault purge), whether untouched
+     * or mid-injection; returns the flits that will now never be
+     * synthesized. 0 when the packet is not queued here.
+     */
+    std::uint64_t dropPacket(PacketId id);
+
+    /** Ids of every queued packet (front first). */
+    std::vector<PacketId> packetIds() const;
 
     void clear();
 

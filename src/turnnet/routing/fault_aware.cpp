@@ -1,0 +1,118 @@
+#include "turnnet/routing/fault_aware.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+FaultAwareRouting::FaultAwareRouting(FaultSet faults)
+    : faults_(std::move(faults)),
+      oracle_([this](const Topology &topo, NodeId node,
+                     Direction in_dir, Direction out_dir,
+                     NodeId dest) {
+          (void)dest;
+          return legalSurviving(topo, node, in_dir).contains(out_dir);
+      })
+{
+}
+
+DirectionSet
+FaultAwareRouting::legalSurviving(const Topology &topo, NodeId node,
+                                  Direction in_dir) const
+{
+    // Same prohibited-turn set as TwoPhaseRouting::legalNonminimal —
+    // no 180-degree reversals, no phase-two-to-phase-one turns —
+    // evaluated over surviving channels only. With an empty fault
+    // set the filter is the identity and the two relations coincide
+    // exactly (tested bit for bit against the seed algorithm).
+    DirectionSet legal;
+    if (faults_.nodeFailed(node))
+        return legal;
+    topo.directionsFrom(node).forEach([&](Direction d) {
+        const ChannelId ch = topo.channelFrom(node, d);
+        if (faults_.channelFailed(ch))
+            return;
+        if (faults_.nodeFailed(topo.channel(ch).dst))
+            return;
+        legal.insert(d);
+    });
+    if (in_dir.isLocal())
+        return legal;
+    legal.erase(in_dir.reversed());
+    const DirectionSet phase_one = phaseOne(topo.numDims());
+    if (!phase_one.contains(in_dir))
+        legal = legal - phase_one;
+    return legal;
+}
+
+DirectionSet
+FaultAwareRouting::route(const Topology &topo, NodeId current,
+                         NodeId dest, Direction in_dir) const
+{
+    if (current == dest)
+        return DirectionSet::none();
+
+    // Any surviving legal direction from which the destination
+    // remains reachable under the same surviving legal relation.
+    // The oracle is exact, so a packet is never steered toward a
+    // dead link's dead end; if no such direction exists the
+    // destination is algorithmically unreachable from this state
+    // and the honest answer is the empty set.
+    DirectionSet out;
+    legalSurviving(topo, current, in_dir).forEach([&](Direction o) {
+        const NodeId nbr = topo.neighbor(current, o);
+        if (nbr == kInvalidNode)
+            return;
+        if (oracle_.canReach(topo, nbr, o, dest))
+            out.insert(o);
+    });
+    return out;
+}
+
+bool
+FaultAwareRouting::canComplete(const Topology &topo, NodeId node,
+                               NodeId dest, Direction in_dir) const
+{
+    if (node == dest)
+        return true;
+    return oracle_.canReach(topo, node, in_dir, dest);
+}
+
+DirectionSet
+FaultAwareNegativeFirst::phaseOne(int num_dims) const
+{
+    DirectionSet dirs;
+    for (int i = 0; i < num_dims; ++i)
+        dirs.insert(Direction::negative(i));
+    return dirs;
+}
+
+void
+FaultAwareNegativeFirst::checkTopology(const Topology &topo) const
+{
+    if (topo.hasWrapChannels())
+        TN_FATAL(name(), " applies to meshes; use the torus "
+                         "extensions for ", topo.name());
+    for (const NodeId n : faults().failedNodes()) {
+        if (n < 0 || n >= topo.numNodes())
+            TN_FATAL(name(), ": failed node ", n, " outside ",
+                     topo.name());
+    }
+    for (const ChannelId ch : faults().failedChannels()) {
+        if (ch < 0 || ch >= topo.numChannels())
+            TN_FATAL(name(), ": failed channel ", ch, " outside ",
+                     topo.name());
+    }
+}
+
+void
+FaultAwarePCube::checkTopology(const Topology &topo) const
+{
+    for (int i = 0; i < topo.numDims(); ++i) {
+        if (topo.radix(i) != 2)
+            TN_FATAL("p-cube applies to hypercubes, not ",
+                     topo.name());
+    }
+    FaultAwareNegativeFirst::checkTopology(topo);
+}
+
+} // namespace turnnet

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fault-aware nonminimal turn-model routing.
+ *
+ * The paper's case for nonminimal routing (Sections 2 and 7) is
+ * fault tolerance: a relation that may take unproductive hops can
+ * detour around a dead link without giving up its prohibited-turn
+ * set — and an unchanged prohibited-turn set means the surviving
+ * channel dependency graph is a subgraph of the fault-free one, so
+ * deadlock freedom is inherited, not re-proved.
+ *
+ * FaultAwareRouting is the nonminimal two-phase relation
+ * (west-first / negative-first shape) with every hop additionally
+ * filtered through a FaultSet: dead channels and dead nodes are
+ * never offered, and an exact reachability oracle over the
+ * *surviving* legal graph guards each hop so packets are never
+ * steered into states from which their destination cannot be
+ * reached. With an empty FaultSet the relation is identical,
+ * state for state, to the seed nonminimal algorithm it shadows
+ * (property-tested), so fault awareness costs nothing when nothing
+ * is broken.
+ *
+ * Note the guarantee is relative to the algorithm, not the wires: a
+ * destination counts as unreachable when no turn-legal path over
+ * surviving channels exists, which can happen while the surviving
+ * network is still physically connected (e.g. negative-first near
+ * mesh corner (0,0), where no negative hop exists to re-enter phase
+ * one). analysis/fault_tolerance.hpp reports both notions.
+ */
+
+#ifndef TURNNET_ROUTING_FAULT_AWARE_HPP
+#define TURNNET_ROUTING_FAULT_AWARE_HPP
+
+#include <string>
+
+#include "turnnet/analysis/reachability.hpp"
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/topology/fault.hpp"
+
+namespace turnnet {
+
+/**
+ * Base for fault-aware nonminimal two-phase algorithms. Mirrors
+ * TwoPhaseRouting's nonminimal mode exactly, with the legal relation
+ * restricted to surviving channels. Thread-compatible like the rest
+ * of the routing layer: the memoized oracle is internally
+ * synchronized.
+ */
+class FaultAwareRouting : public RoutingFunction
+{
+  public:
+    DirectionSet route(const Topology &topo, NodeId current,
+                       NodeId dest, Direction in_dir) const override;
+
+    bool canComplete(const Topology &topo, NodeId node, NodeId dest,
+                     Direction in_dir) const override;
+
+    bool isMinimal() const override { return false; }
+
+    const FaultSet &faults() const { return faults_; }
+
+    /** Phase-one directions for an n-dimensional topology. */
+    virtual DirectionSet phaseOne(int num_dims) const = 0;
+
+  protected:
+    explicit FaultAwareRouting(FaultSet faults);
+
+  private:
+    /**
+     * The legal relation: every direction with a surviving channel,
+     * except 180-degree reversals and, once in phase two, phase-one
+     * directions — the same prohibited-turn set as the fault-free
+     * nonminimal relation.
+     */
+    DirectionSet legalSurviving(const Topology &topo, NodeId node,
+                                Direction in_dir) const;
+
+    FaultSet faults_;
+    ReachabilityOracle oracle_;
+};
+
+/**
+ * Fault-aware nonminimal negative-first: phase one all negative
+ * directions, positive-to-negative turns prohibited (Theorem 5's
+ * numbering still applies to the surviving subgraph).
+ */
+class FaultAwareNegativeFirst : public FaultAwareRouting
+{
+  public:
+    explicit FaultAwareNegativeFirst(FaultSet faults = {})
+        : FaultAwareRouting(std::move(faults))
+    {
+    }
+
+    std::string name() const override { return "negative-first-ft"; }
+
+    DirectionSet phaseOne(int num_dims) const override;
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+/**
+ * Fault-aware nonminimal p-cube routing: negative-first specialized
+ * to hypercubes (Section 5), misrouting around dead links via extra
+ * 1 -> 0 -> 1 dimension traversals while phase one is in progress.
+ */
+class FaultAwarePCube : public FaultAwareNegativeFirst
+{
+  public:
+    explicit FaultAwarePCube(FaultSet faults = {})
+        : FaultAwareNegativeFirst(std::move(faults))
+    {
+    }
+
+    std::string name() const override { return "p-cube-ft"; }
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_FAULT_AWARE_HPP

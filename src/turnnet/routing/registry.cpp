@@ -4,6 +4,7 @@
 #include "turnnet/routing/abonf.hpp"
 #include "turnnet/routing/abopl.hpp"
 #include "turnnet/routing/dimension_order.hpp"
+#include "turnnet/routing/fault_aware.hpp"
 #include "turnnet/routing/fully_adaptive.hpp"
 #include "turnnet/routing/negative_first.hpp"
 #include "turnnet/routing/north_last.hpp"
@@ -17,14 +18,33 @@
 namespace turnnet {
 
 RoutingPtr
-makeRouting(const std::string &name, int num_dims, bool minimal)
+makeRouting(const RoutingSpec &spec)
 {
+    const std::string &name = spec.name;
     // "-nm" suffix selects the nonminimal variant by name.
     if (name.size() > 3 &&
         name.compare(name.size() - 3, 3, "-nm") == 0) {
-        return makeRouting(name.substr(0, name.size() - 3),
-                           num_dims, false);
+        RoutingSpec inner = spec;
+        inner.name = name.substr(0, name.size() - 3);
+        inner.minimal = false;
+        return makeRouting(inner);
     }
+
+    // Fault-aware algorithms own the fault set; everything below
+    // them is fault-oblivious and must not be handed one.
+    if (name == "negative-first-ft") {
+        return std::make_shared<FaultAwareNegativeFirst>(
+            spec.fault_set);
+    }
+    if (name == "p-cube-ft" || name == "pcube-ft")
+        return std::make_shared<FaultAwarePCube>(spec.fault_set);
+    if (!spec.fault_set.empty()) {
+        TN_FATAL("routing '", name, "' is fault-oblivious and would "
+                 "ignore the fault_set; use a -ft algorithm (or "
+                 "SimConfig::faults for a deliberate contrast run)");
+    }
+
+    const bool minimal = spec.minimal;
     if (name == "xy")
         return std::make_shared<DimensionOrder>("xy");
     if (name == "ecube")
@@ -51,28 +71,28 @@ makeRouting(const std::string &name, int num_dims, bool minimal)
         return std::make_shared<NegativeFirstTorus>();
     if (name == "xy-first-hop-wrap") {
         return std::make_shared<FirstHopWrapTorus>(
-            "xy", dimensionOrderTurns(num_dims));
+            "xy", dimensionOrderTurns(spec.dims));
     }
     if (name == "nf-first-hop-wrap") {
         return std::make_shared<FirstHopWrapTorus>(
-            "negative-first", negativeFirstTurns(num_dims));
+            "negative-first", negativeFirstTurns(spec.dims));
     }
     if (name.rfind("turnset:", 0) == 0) {
         const std::string inner = name.substr(8);
-        TurnSet turns(num_dims, true);
-        if (inner == "west-first" && num_dims == 2)
+        TurnSet turns(spec.dims, true);
+        if (inner == "west-first" && spec.dims == 2)
             turns = westFirstTurns();
-        else if (inner == "north-last" && num_dims == 2)
+        else if (inner == "north-last" && spec.dims == 2)
             turns = northLastTurns();
         else if (inner == "negative-first")
-            turns = negativeFirstTurns(num_dims);
+            turns = negativeFirstTurns(spec.dims);
         else if (inner == "abonf")
-            turns = abonfTurns(num_dims);
+            turns = abonfTurns(spec.dims);
         else if (inner == "abopl")
-            turns = aboplTurns(num_dims);
+            turns = aboplTurns(spec.dims);
         else if (inner == "dimension-order" || inner == "xy" ||
                  inner == "ecube")
-            turns = dimensionOrderTurns(num_dims);
+            turns = dimensionOrderTurns(spec.dims);
         else
             TN_FATAL("unknown turn set '", inner, "'");
         return std::make_shared<TurnSetRouting>(name, turns, minimal);
@@ -87,7 +107,8 @@ routingNames()
             "west-first",  "north-last",     "negative-first",
             "abonf",       "abopl",          "p-cube",
             "odd-even",    "fully-adaptive", "nf-torus",
-            "xy-first-hop-wrap", "nf-first-hop-wrap"};
+            "xy-first-hop-wrap", "nf-first-hop-wrap",
+            "negative-first-ft", "p-cube-ft"};
 }
 
 } // namespace turnnet

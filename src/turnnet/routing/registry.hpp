@@ -1,7 +1,18 @@
 /**
  * @file
- * Factory for routing algorithms and topologies by name, used by
- * benches, examples, and tests.
+ * Factory for routing algorithms by name, used by benches, examples,
+ * and tests.
+ *
+ * Construction goes through RoutingSpec, an options struct: the
+ * positional (name, dims, minimal) triple stopped scaling the moment
+ * algorithms grew a fourth knob (the fault set), and call sites
+ * reading `makeRouting("xy", 3, false)` had to be deciphered against
+ * the declaration. Designated initializers name every option at the
+ * call site:
+ *
+ *     makeRouting({.name = "negative-first", .minimal = false});
+ *     makeRouting({.name = "p-cube-ft", .dims = 4,
+ *                  .fault_set = faults});
  */
 
 #ifndef TURNNET_ROUTING_REGISTRY_HPP
@@ -12,27 +23,58 @@
 #include <vector>
 
 #include "turnnet/routing/routing_function.hpp"
+#include "turnnet/topology/fault.hpp"
 
 namespace turnnet {
 
+/** Options for constructing a routing algorithm by name. */
+struct RoutingSpec
+{
+    /**
+     * Algorithm name. Recognized: "xy", "ecube", "dimension-order"
+     * (aliases of the same nonadaptive algorithm), "west-first",
+     * "north-last", "negative-first", "abonf", "abopl", "p-cube",
+     * "odd-even", "fully-adaptive", "nf-torus",
+     * "xy-first-hop-wrap", "nf-first-hop-wrap", the fault-aware
+     * nonminimal variants "negative-first-ft" and "p-cube-ft", plus
+     * "turnset:<name>" for the generic turn-set-induced router of
+     * the named algorithm. A "-nm" suffix selects the nonminimal
+     * variant of any two-phase algorithm by name.
+     */
+    std::string name;
+
+    /** Dimensionality, needed by turn-set based entries. */
+    int dims = 2;
+
+    /** Minimal (paper default) or nonminimal, where supported. */
+    bool minimal = true;
+
+    /**
+     * Failed hardware for the "-ft" algorithms, which route around
+     * it while keeping their prohibited-turn sets. Fatal when
+     * non-empty for a fault-oblivious algorithm — silently ignoring
+     * it would masquerade as fault tolerance. (To run a
+     * fault-oblivious algorithm against faults for contrast, put
+     * the FaultSet in SimConfig::faults instead.)
+     */
+    FaultSet fault_set;
+};
+
+/** Create a routing algorithm; fatal on an unknown name. */
+RoutingPtr makeRouting(const RoutingSpec &spec);
+
 /**
- * Create a routing algorithm by name.
- *
- * Recognized names: "xy", "ecube", "dimension-order" (aliases of the
- * same nonadaptive algorithm), "west-first", "north-last",
- * "negative-first", "abonf", "abopl", "p-cube", "fully-adaptive",
- * "nf-torus", "xy-first-hop-wrap", "nf-first-hop-wrap", plus
- * "turnset:<name>" for the generic turn-set-induced router of the
- * named algorithm (needs @p num_dims).
- *
- * @param name Algorithm name.
- * @param num_dims Dimensionality, needed by turn-set based entries.
- * @param minimal Minimal (paper default) or nonminimal variant,
- *        where the algorithm supports both.
- * @return The algorithm; fatal on an unknown name.
+ * @deprecated Positional construction; use the RoutingSpec form.
+ * Takes const char* (the literal legacy call sites used) rather
+ * than std::string so a designated-initializer RoutingSpec call can
+ * never be ambiguous against it.
  */
-RoutingPtr makeRouting(const std::string &name, int num_dims = 2,
-                       bool minimal = true);
+[[deprecated("use makeRouting(const RoutingSpec&)")]] inline RoutingPtr
+makeRouting(const char *name, int num_dims = 2, bool minimal = true)
+{
+    return makeRouting(
+        RoutingSpec{name, num_dims, minimal, FaultSet{}});
+}
 
 /** Names accepted by makeRouting (excluding aliases). */
 std::vector<std::string> routingNames();

@@ -7,14 +7,13 @@
 namespace turnnet {
 
 VcRoutingPtr
-makeVcRouting(const std::string &name, int num_dims, bool minimal)
+makeVcRouting(const RoutingSpec &spec)
 {
-    if (name == "dateline")
+    if (spec.name == "dateline")
         return std::make_shared<DatelineTorus>();
-    if (name == "double-y")
+    if (spec.name == "double-y")
         return std::make_shared<DoubleY>();
-    return std::make_shared<SingleVcAdapter>(
-        makeRouting(name, num_dims, minimal));
+    return std::make_shared<SingleVcAdapter>(makeRouting(spec));
 }
 
 } // namespace turnnet

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "turnnet/common/logging.hpp"
+#include "turnnet/routing/registry.hpp"
 #include "turnnet/routing/routing_function.hpp"
 #include "turnnet/topology/topology.hpp"
 
@@ -78,6 +79,14 @@ class VcRoutingFunction
     {
         (void)topo;
     }
+
+    /**
+     * The underlying single-channel relation when this is just an
+     * adapted RoutingFunction, else nullptr. The simulator's fault
+     * accounting needs canComplete(), which genuinely multi-VC
+     * relations do not expose.
+     */
+    virtual const RoutingFunction *single() const { return nullptr; }
 };
 
 using VcRoutingPtr = std::shared_ptr<const VcRoutingFunction>;
@@ -123,20 +132,36 @@ class SingleVcAdapter : public VcRoutingFunction
     /** The wrapped single-channel algorithm (shared handle). */
     const RoutingPtr &innerPtr() const { return inner_; }
 
+    const RoutingFunction *single() const override
+    {
+        return inner_.get();
+    }
+
   private:
     RoutingPtr inner_;
 };
 
 /**
- * Create a VC routing algorithm by name: "dateline" (Dally-Seitz
- * 2-VC minimal dimension-order routing for tori) or "double-y"
- * (fully adaptive minimal 2D-mesh routing with two VCs on the y
- * channels, the scheme of the paper's reference [18]). Any other
- * name is resolved through makeRouting() and wrapped in a
+ * Create a VC routing algorithm from a spec: "dateline"
+ * (Dally-Seitz 2-VC minimal dimension-order routing for tori) or
+ * "double-y" (fully adaptive minimal 2D-mesh routing with two VCs
+ * on the y channels, the scheme of the paper's reference [18]). Any
+ * other name is resolved through makeRouting() and wrapped in a
  * SingleVcAdapter.
  */
-VcRoutingPtr makeVcRouting(const std::string &name, int num_dims = 2,
-                           bool minimal = true);
+VcRoutingPtr makeVcRouting(const RoutingSpec &spec);
+
+/**
+ * @deprecated Positional construction; use the RoutingSpec form.
+ * const char* for the same no-ambiguity reason as makeRouting's
+ * shim.
+ */
+[[deprecated("use makeVcRouting(const RoutingSpec&)")]] inline VcRoutingPtr
+makeVcRouting(const char *name, int num_dims = 2, bool minimal = true)
+{
+    return makeVcRouting(
+        RoutingSpec{name, num_dims, minimal, FaultSet{}});
+}
 
 } // namespace turnnet
 

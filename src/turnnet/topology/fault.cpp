@@ -1,0 +1,223 @@
+#include "turnnet/topology/fault.hpp"
+
+#include <algorithm>
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/common/rng.hpp"
+
+namespace turnnet {
+
+namespace {
+
+template <typename T>
+void
+insertSorted(std::vector<T> &vec, T value)
+{
+    const auto it = std::lower_bound(vec.begin(), vec.end(), value);
+    if (it == vec.end() || *it != value)
+        vec.insert(it, value);
+}
+
+template <typename T>
+bool
+containsSorted(const std::vector<T> &vec, T value)
+{
+    return std::binary_search(vec.begin(), vec.end(), value);
+}
+
+} // namespace
+
+void
+FaultSet::failChannel(ChannelId ch)
+{
+    TN_ASSERT(ch != kInvalidChannel, "cannot fail the null channel");
+    insertSorted(channels_, ch);
+}
+
+void
+FaultSet::failLink(const Topology &topo, NodeId node, Direction dir)
+{
+    const ChannelId out = topo.channelFrom(node, dir);
+    if (out == kInvalidChannel)
+        TN_FATAL("no link leaves node ",
+                 topo.shape().coordToString(topo.coordOf(node)),
+                 " in direction ", dir.toString());
+    failChannel(out);
+    const NodeId nbr = topo.neighbor(node, dir);
+    // The reverse channel exists in every supported topology (all
+    // links are bidirectional channel pairs, wraparound included).
+    const ChannelId back = topo.channelFrom(nbr, dir.reversed());
+    TN_ASSERT(back != kInvalidChannel,
+              "bidirectional link missing its reverse channel");
+    failChannel(back);
+}
+
+void
+FaultSet::failNode(const Topology &topo, NodeId node)
+{
+    TN_ASSERT(node >= 0 && node < topo.numNodes(),
+              "failNode: node out of range");
+    insertSorted(nodes_, node);
+    for (const ChannelId ch : topo.channelsFrom(node))
+        failChannel(ch);
+    for (const ChannelId ch : topo.channelsInto(node))
+        failChannel(ch);
+}
+
+bool
+FaultSet::channelFailed(ChannelId ch) const
+{
+    return containsSorted(channels_, ch);
+}
+
+bool
+FaultSet::nodeFailed(NodeId node) const
+{
+    return containsSorted(nodes_, node);
+}
+
+std::string
+FaultSet::toString(const Topology &topo) const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const NodeId n : nodes_) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "node " + topo.shape().coordToString(topo.coordOf(n));
+    }
+    for (const ChannelId id : channels_) {
+        const Channel &ch = topo.channel(id);
+        if (nodeFailed(ch.src) || nodeFailed(ch.dst))
+            continue; // implied by the node failure
+        if (!first)
+            out += ", ";
+        first = false;
+        out += topo.shape().coordToString(topo.coordOf(ch.src)) +
+               "-" + ch.dir.toString();
+    }
+    return out + "}";
+}
+
+FaultSet
+FaultSet::randomLinks(const Topology &topo, int count,
+                      std::uint64_t seed)
+{
+    TN_ASSERT(count >= 0, "negative fault count");
+    // Enumerate each bidirectional link once, via its positive-going
+    // channel (wraparound pairs included exactly once as well).
+    std::vector<ChannelId> links;
+    for (ChannelId id = 0; id < topo.numChannels(); ++id) {
+        if (topo.channel(id).dir.isPositive())
+            links.push_back(id);
+    }
+    if (static_cast<std::size_t>(count) > links.size())
+        TN_FATAL("cannot fail ", count, " links: ", topo.name(),
+                 " only has ", links.size());
+
+    // Partial Fisher-Yates over the link list under a private rng.
+    Rng rng(deriveSeed(seed, 0x6C696E6B)); // "link"
+    FaultSet faults;
+    for (int i = 0; i < count; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.nextBounded(
+                    links.size() - static_cast<std::size_t>(i)));
+        std::swap(links[i], links[static_cast<std::size_t>(j)]);
+        const Channel &ch = topo.channel(links[i]);
+        faults.failLink(topo, ch.src, ch.dir);
+    }
+    return faults;
+}
+
+NodeId
+FaultedTopologyView::neighbor(NodeId node, Direction dir) const
+{
+    if (faults_->nodeFailed(node))
+        return kInvalidNode;
+    const ChannelId ch = topo_->channelFrom(node, dir);
+    if (ch == kInvalidChannel || faults_->channelFailed(ch))
+        return kInvalidNode;
+    const NodeId nbr = topo_->channel(ch).dst;
+    return faults_->nodeFailed(nbr) ? kInvalidNode : nbr;
+}
+
+ChannelId
+FaultedTopologyView::channelFrom(NodeId node, Direction dir) const
+{
+    if (faults_->nodeFailed(node))
+        return kInvalidChannel;
+    const ChannelId ch = topo_->channelFrom(node, dir);
+    if (ch == kInvalidChannel || faults_->channelFailed(ch))
+        return kInvalidChannel;
+    return faults_->nodeFailed(topo_->channel(ch).dst)
+               ? kInvalidChannel
+               : ch;
+}
+
+DirectionSet
+FaultedTopologyView::directionsFrom(NodeId node) const
+{
+    DirectionSet out;
+    topo_->directionsFrom(node).forEach([&](Direction d) {
+        if (neighbor(node, d) != kInvalidNode)
+            out.insert(d);
+    });
+    return out;
+}
+
+std::size_t
+FaultedTopologyView::numSurvivingChannels() const
+{
+    std::size_t survivors = 0;
+    for (ChannelId id = 0; id < topo_->numChannels(); ++id) {
+        const Channel &ch = topo_->channel(id);
+        if (!faults_->channelFailed(id) &&
+            !faults_->nodeFailed(ch.src) &&
+            !faults_->nodeFailed(ch.dst))
+            ++survivors;
+    }
+    return survivors;
+}
+
+std::vector<bool>
+FaultedTopologyView::reachableFrom(NodeId src) const
+{
+    std::vector<bool> reached(topo_->numNodes(), false);
+    if (faults_->nodeFailed(src))
+        return reached;
+    std::vector<NodeId> frontier{src};
+    reached[src] = true;
+    while (!frontier.empty()) {
+        const NodeId node = frontier.back();
+        frontier.pop_back();
+        directionsFrom(node).forEach([&](Direction d) {
+            const NodeId nbr = neighbor(node, d);
+            if (nbr != kInvalidNode && !reached[nbr]) {
+                reached[nbr] = true;
+                frontier.push_back(nbr);
+            }
+        });
+    }
+    return reached;
+}
+
+std::size_t
+FaultedTopologyView::countDisconnectedPairs() const
+{
+    std::size_t disconnected = 0;
+    for (NodeId src = 0; src < topo_->numNodes(); ++src) {
+        if (faults_->nodeFailed(src))
+            continue;
+        const std::vector<bool> reached = reachableFrom(src);
+        for (NodeId dest = 0; dest < topo_->numNodes(); ++dest) {
+            if (dest == src || faults_->nodeFailed(dest))
+                continue;
+            if (!reached[dest])
+                ++disconnected;
+        }
+    }
+    return disconnected;
+}
+
+} // namespace turnnet

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Fault model: failed channels and failed nodes layered over a
+ * Topology as a queryable view.
+ *
+ * The paper motivates nonminimal routing explicitly as a path to
+ * fault tolerance (Sections 2 and 7): a packet that can detour is a
+ * packet that can route around a dead link. A FaultSet names the
+ * dead hardware — unidirectional channels and whole routers — while
+ * the Topology keeps describing the pristine machine, so channel
+ * ids, coordinates, and turn numbering stay stable under faults.
+ * FaultedTopologyView combines the two into the surviving network
+ * for adjacency and connectivity queries.
+ */
+
+#ifndef TURNNET_TOPOLOGY_FAULT_HPP
+#define TURNNET_TOPOLOGY_FAULT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/**
+ * A set of failed channels and failed nodes. Value type: cheap to
+ * copy into routing specs and simulator configs, immutable once the
+ * run starts. A failed node implies the failure of every channel
+ * into and out of it (its router is gone); registering the node
+ * records those channels explicitly so channel queries never need
+ * the topology.
+ */
+class FaultSet
+{
+  public:
+    FaultSet() = default;
+
+    /** True when nothing has failed. */
+    bool
+    empty() const
+    {
+        return channels_.empty() && nodes_.empty();
+    }
+
+    std::size_t numFailedChannels() const { return channels_.size(); }
+    std::size_t numFailedNodes() const { return nodes_.size(); }
+
+    /** Mark one unidirectional channel failed. */
+    void failChannel(ChannelId ch);
+
+    /**
+     * Mark the bidirectional link between @p node and its neighbor
+     * in @p dir failed (both unidirectional channels). Fatal when no
+     * channel leaves @p node that way.
+     */
+    void failLink(const Topology &topo, NodeId node, Direction dir);
+
+    /**
+     * Mark @p node failed: the node itself plus every channel into
+     * and out of it.
+     */
+    void failNode(const Topology &topo, NodeId node);
+
+    bool channelFailed(ChannelId ch) const;
+    bool nodeFailed(NodeId node) const;
+
+    /** Failed channel ids, sorted ascending. */
+    const std::vector<ChannelId> &
+    failedChannels() const
+    {
+        return channels_;
+    }
+
+    /** Failed node ids, sorted ascending. */
+    const std::vector<NodeId> &failedNodes() const { return nodes_; }
+
+    bool
+    operator==(const FaultSet &o) const
+    {
+        return channels_ == o.channels_ && nodes_ == o.nodes_;
+    }
+    bool operator!=(const FaultSet &o) const { return !(*this == o); }
+
+    /** Render as e.g. "{(0,0)-east, (1,2)-north}". */
+    std::string toString(const Topology &topo) const;
+
+    /**
+     * Draw @p count distinct bidirectional links uniformly at random
+     * (both unidirectional channels of each fail) using a
+     * deterministic splitmix64/xoshiro stream: the same
+     * (topology, count, seed) triple always yields the same faults,
+     * independent of call order — the property the parallel fault
+     * sweep relies on. Fatal when the topology has fewer than
+     * @p count links.
+     */
+    static FaultSet randomLinks(const Topology &topo, int count,
+                                std::uint64_t seed);
+
+  private:
+    /** Sorted for binary-search membership and canonical equality. */
+    std::vector<ChannelId> channels_;
+    std::vector<NodeId> nodes_;
+};
+
+/**
+ * The surviving network: a Topology with a FaultSet applied.
+ * Non-owning view — both referents must outlive it. Channel ids are
+ * those of the base topology; queries simply skip dead hardware.
+ */
+class FaultedTopologyView
+{
+  public:
+    FaultedTopologyView(const Topology &topo, const FaultSet &faults)
+        : topo_(&topo), faults_(&faults)
+    {
+    }
+
+    const Topology &base() const { return *topo_; }
+    const FaultSet &faults() const { return *faults_; }
+
+    /**
+     * Neighbor of @p node in @p dir over a surviving channel, or
+     * kInvalidNode when the channel or either endpoint is dead.
+     */
+    NodeId neighbor(NodeId node, Direction dir) const;
+
+    /** Surviving channel out of @p node, or kInvalidChannel. */
+    ChannelId channelFrom(NodeId node, Direction dir) const;
+
+    /** Directions with a surviving channel out of @p node. */
+    DirectionSet directionsFrom(NodeId node) const;
+
+    /** Channels of the base topology that survived. */
+    std::size_t numSurvivingChannels() const;
+
+    /**
+     * Nodes reachable from @p src over surviving channels (entry per
+     * node; src itself is reachable unless dead).
+     */
+    std::vector<bool> reachableFrom(NodeId src) const;
+
+    /**
+     * Ordered (src, dest) pairs of live nodes, src != dest, where no
+     * surviving path connects src to dest. Zero for a connected
+     * surviving network.
+     */
+    std::size_t countDisconnectedPairs() const;
+
+    /** True when every live node can reach every other live node. */
+    bool
+    connected() const
+    {
+        return countDisconnectedPairs() == 0;
+    }
+
+  private:
+    const Topology *topo_;
+    const FaultSet *faults_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TOPOLOGY_FAULT_HPP

@@ -43,7 +43,7 @@ TEST(FullyAdaptiveCount, IsTheBinomialIn2D)
 TEST(FullyAdaptiveCount, MatchesEnumeration)
 {
     const Mesh mesh(5, 5);
-    const RoutingPtr adaptive = makeRouting("fully-adaptive");
+    const RoutingPtr adaptive = makeRouting({.name = "fully-adaptive"});
     for (NodeId s = 0; s < mesh.numNodes(); ++s) {
         for (NodeId d = 0; d < mesh.numNodes(); ++d) {
             if (s == d)
@@ -68,7 +68,7 @@ TEST(ClosedForms, MatchEnumerationForAllPartialAlgorithms)
         {"negative-first", &pathsNegativeFirst},
     };
     for (const Entry &e : entries) {
-        const RoutingPtr routing = makeRouting(e.name, 2);
+        const RoutingPtr routing = makeRouting({.name = e.name, .dims = 2});
         for (NodeId s = 0; s < mesh.numNodes(); ++s) {
             for (NodeId d = 0; d < mesh.numNodes(); ++d) {
                 if (s == d)
@@ -84,7 +84,7 @@ TEST(ClosedForms, MatchEnumerationForAllPartialAlgorithms)
 TEST(ClosedForms, XyAlwaysHasExactlyOnePath)
 {
     const Mesh mesh(5, 5);
-    const RoutingPtr xy = makeRouting("xy");
+    const RoutingPtr xy = makeRouting({.name = "xy"});
     for (NodeId s = 0; s < mesh.numNodes(); ++s) {
         for (NodeId d = 0; d < mesh.numNodes(); ++d) {
             if (s == d)
@@ -101,7 +101,7 @@ TEST(Section34, HalfThePairsHaveASinglePath)
     for (const char *alg :
          {"west-first", "north-last", "negative-first"}) {
         const auto summary =
-            summarizeAdaptiveness(mesh, *makeRouting(alg, 2));
+            summarizeAdaptiveness(mesh, *makeRouting({.name = alg, .dims = 2}));
         EXPECT_GE(summary.singlePathFraction, 0.5) << alg;
     }
 }
@@ -114,7 +114,7 @@ TEST(Section34, MeanRatioExceedsOneHalfIn2D)
     for (const char *alg :
          {"west-first", "north-last", "negative-first"}) {
         const auto summary =
-            summarizeAdaptiveness(mesh, *makeRouting(alg, 2));
+            summarizeAdaptiveness(mesh, *makeRouting({.name = alg, .dims = 2}));
         EXPECT_GT(summary.meanRatio, 0.5) << alg;
         EXPECT_LT(summary.meanRatio, 1.0) << alg;
     }
@@ -126,12 +126,11 @@ TEST(Section41, MeanRatioExceedsHalfToTheNMinus1)
     const Mesh mesh3({4, 4, 4});
     for (const char *alg : {"negative-first", "abonf", "abopl"}) {
         const auto summary =
-            summarizeAdaptiveness(mesh3, *makeRouting(alg, 3));
+            summarizeAdaptiveness(mesh3, *makeRouting({.name = alg, .dims = 3}));
         EXPECT_GT(summary.meanRatio, 1.0 / 4.0) << alg;
     }
     const Hypercube cube(5);
-    const auto pc = summarizeAdaptiveness(cube, *makeRouting(
-                                                    "p-cube", 5));
+    const auto pc = summarizeAdaptiveness(cube, *makeRouting({.name = "p-cube", .dims = 5}));
     EXPECT_GT(pc.meanRatio, 1.0 / 16.0);
 }
 
@@ -142,11 +141,9 @@ TEST(Section41, AdaptivenessDropsWithDimension)
     const Mesh mesh2(4, 4);
     const Mesh mesh3({4, 4, 4});
     const auto r2 =
-        summarizeAdaptiveness(mesh2, *makeRouting("negative-first",
-                                                  2));
+        summarizeAdaptiveness(mesh2, *makeRouting({.name = "negative-first", .dims = 2}));
     const auto r3 =
-        summarizeAdaptiveness(mesh3, *makeRouting("negative-first",
-                                                  3));
+        summarizeAdaptiveness(mesh3, *makeRouting({.name = "negative-first", .dims = 3}));
     EXPECT_GT(r2.meanRatio, r3.meanRatio);
 }
 
@@ -169,7 +166,7 @@ TEST(Summary, FullyAdaptiveHasRatioOne)
 {
     const Mesh mesh(4, 4);
     const auto summary =
-        summarizeAdaptiveness(mesh, *makeRouting("fully-adaptive"));
+        summarizeAdaptiveness(mesh, *makeRouting({.name = "fully-adaptive"}));
     EXPECT_DOUBLE_EQ(summary.meanRatio, 1.0);
     EXPECT_DOUBLE_EQ(summary.meanPaths, summary.meanFullyAdaptive);
 }

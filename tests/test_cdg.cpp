@@ -32,7 +32,7 @@ class MeshAlgorithmCdg : public ::testing::TestWithParam<MeshCase>
 
 TEST_P(MeshAlgorithmCdg, AcyclicOn2DMeshes)
 {
-    const RoutingPtr routing = makeRouting(GetParam().algorithm, 2);
+    const RoutingPtr routing = makeRouting({.name = GetParam().algorithm, .dims = 2});
     for (const auto &[w, h] :
          {std::pair{4, 4}, {6, 6}, {5, 3}, {2, 7}}) {
         const Mesh mesh(w, h);
@@ -66,7 +66,7 @@ TEST(Cdg, NDimensionalAlgorithmsAcyclic)
     const Mesh mesh3d_rect({4, 2, 3});
     for (const char *alg :
          {"dimension-order", "negative-first", "abonf", "abopl"}) {
-        const RoutingPtr routing = makeRouting(alg, 3);
+        const RoutingPtr routing = makeRouting({.name = alg, .dims = 3});
         EXPECT_TRUE(isDeadlockFree(mesh3d, *routing)) << alg;
         EXPECT_TRUE(isDeadlockFree(mesh3d_rect, *routing)) << alg;
     }
@@ -77,7 +77,7 @@ TEST(Cdg, HypercubeAlgorithmsAcyclic)
     const Hypercube cube(4);
     for (const char *alg :
          {"ecube", "p-cube", "negative-first", "abonf", "abopl"}) {
-        const RoutingPtr routing = makeRouting(alg, 4);
+        const RoutingPtr routing = makeRouting({.name = alg, .dims = 4});
         EXPECT_TRUE(isDeadlockFree(cube, *routing)) << alg;
     }
 }
@@ -89,12 +89,12 @@ TEST(Cdg, NonminimalVariantsAcyclic)
     const Mesh mesh(4, 4);
     for (const char *alg :
          {"west-first", "north-last", "negative-first"}) {
-        const RoutingPtr routing = makeRouting(alg, 2, false);
+        const RoutingPtr routing = makeRouting({.name = alg, .dims = 2, .minimal = false});
         EXPECT_TRUE(isDeadlockFree(mesh, *routing)) << alg;
     }
     const Hypercube cube(4);
     EXPECT_TRUE(
-        isDeadlockFree(cube, *makeRouting("p-cube", 4, false)));
+        isDeadlockFree(cube, *makeRouting({.name = "p-cube", .dims = 4, .minimal = false})));
     EXPECT_TRUE(isDeadlockFree(cube, PCubeFigure12()));
 }
 
@@ -140,9 +140,9 @@ TEST(Cdg, XyHasFewerDependenciesThanAdaptive)
     // Adaptiveness shows up as extra dependency edges; xy routing,
     // being nonadaptive, has the fewest.
     const Mesh mesh(5, 5);
-    const auto xy = analyzeDependencies(mesh, *makeRouting("xy"));
+    const auto xy = analyzeDependencies(mesh, *makeRouting({.name = "xy"}));
     const auto wf =
-        analyzeDependencies(mesh, *makeRouting("west-first"));
+        analyzeDependencies(mesh, *makeRouting({.name = "west-first"}));
     const auto fa = analyzeDependencies(mesh, FullyAdaptive());
     EXPECT_LT(xy.numEdges, wf.numEdges);
     EXPECT_LT(wf.numEdges, fa.numEdges);
@@ -154,12 +154,12 @@ TEST(Cdg, TorusExtensionsAcyclic)
     const Torus odd(5, 2);
     for (const char *alg :
          {"nf-torus", "xy-first-hop-wrap", "nf-first-hop-wrap"}) {
-        const RoutingPtr routing = makeRouting(alg, 2);
+        const RoutingPtr routing = makeRouting({.name = alg, .dims = 2});
         EXPECT_TRUE(isDeadlockFree(small, *routing)) << alg;
         EXPECT_TRUE(isDeadlockFree(odd, *routing)) << alg;
     }
     const Torus cube3(std::vector<int>{3, 3, 3});
-    EXPECT_TRUE(isDeadlockFree(cube3, *makeRouting("nf-torus", 3)));
+    EXPECT_TRUE(isDeadlockFree(cube3, *makeRouting({.name = "nf-torus", .dims = 3})));
 }
 
 TEST(Cdg, MinimalAdaptiveOnTorusIsCyclic)

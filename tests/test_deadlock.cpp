@@ -45,7 +45,7 @@ TEST(Deadlock, FullyAdaptiveWedgesUnderStress)
          ++seed) {
         SimConfig config = stressConfig();
         config.seed = seed;
-        Simulator sim(mesh, makeRouting("fully-adaptive"),
+        Simulator sim(mesh, makeRouting({.name = "fully-adaptive"}),
                       makeTraffic("uniform", mesh), config);
         const SimResult result = sim.run();
         any_deadlock = result.deadlocked;
@@ -62,7 +62,7 @@ TEST(Deadlock, TurnModelAlgorithmsSurviveTheSameStress)
         for (std::uint64_t seed = 1; seed <= 3; ++seed) {
             SimConfig config = stressConfig();
             config.seed = seed;
-            Simulator sim(mesh, makeRouting(alg, 2),
+            Simulator sim(mesh, makeRouting({.name = alg, .dims = 2}),
                           makeTraffic("uniform", mesh), config);
             const SimResult result = sim.run();
             EXPECT_FALSE(result.deadlocked)
@@ -77,7 +77,7 @@ TEST(Deadlock, HypercubeEcubeAndPcubeSurvive)
     for (const char *alg : {"ecube", "p-cube", "abonf", "abopl"}) {
         SimConfig config = stressConfig();
         config.load = 0.6;
-        Simulator sim(cube, makeRouting(alg, 4),
+        Simulator sim(cube, makeRouting({.name = alg, .dims = 4}),
                       makeTraffic("uniform", cube), config);
         const SimResult result = sim.run();
         EXPECT_FALSE(result.deadlocked) << alg;
@@ -91,7 +91,7 @@ TEST(Deadlock, SaturatedIsNotDeadlocked)
     const Mesh mesh(4, 4);
     SimConfig config = stressConfig();
     config.load = 0.9;
-    Simulator sim(mesh, makeRouting("xy"),
+    Simulator sim(mesh, makeRouting({.name = "xy"}),
                   makeTraffic("uniform", mesh), config);
     const SimResult result = sim.run();
     EXPECT_FALSE(result.deadlocked);
@@ -111,7 +111,7 @@ TEST(Deadlock, WatchdogReportsPromptly)
     Cycle ended = 0;
     for (std::uint64_t seed = 1; seed <= 3 && !deadlocked; ++seed) {
         config.seed = seed;
-        Simulator sim(mesh, makeRouting("fully-adaptive"),
+        Simulator sim(mesh, makeRouting({.name = "fully-adaptive"}),
                       makeTraffic("uniform", mesh), config);
         const SimResult result = sim.run();
         deadlocked = result.deadlocked;
@@ -132,7 +132,7 @@ TEST(Deadlock, ScriptedRingOfWormsWedgesFullyAdaptive)
     SimConfig config;
     config.load = 0.0;
     config.watchdogCycles = 300;
-    Simulator sim(mesh, makeRouting("fully-adaptive"), nullptr,
+    Simulator sim(mesh, makeRouting({.name = "fully-adaptive"}), nullptr,
                   config);
     // Corners of the ring: (1,1) (2,1) (2,2) (1,2).
     // Each packet starts one corner back and ends one corner ahead,

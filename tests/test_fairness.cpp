@@ -33,7 +33,7 @@ runContention(InputPolicy policy)
     config.inputPolicy = policy;
     config.watchdogCycles = 50000;
 
-    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr, config);
     std::map<NodeId, int> delivered;
     sim.onDelivered = [&](const PacketInfo &info, Cycle) {
         ++delivered[info.src];
@@ -70,7 +70,7 @@ TEST(Fairness, FcfsInterleavesRoughlyEvenly)
     config.load = 0.0;
     config.inputPolicy = InputPolicy::Fcfs;
     config.watchdogCycles = 50000;
-    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr, config);
 
     const NodeId a = mesh.nodeOf({0, 1});
     const NodeId b = mesh.nodeOf({1, 1});
@@ -103,7 +103,7 @@ TEST(Fairness, FixedPriorityDelaysTheLowPriorityFlow)
     config.load = 0.0;
     config.inputPolicy = InputPolicy::FixedPriority;
     config.watchdogCycles = 50000;
-    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr, config);
 
     const NodeId a = mesh.nodeOf({0, 1});
     const NodeId b = mesh.nodeOf({1, 1});

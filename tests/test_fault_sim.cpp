@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Simulator fault-injection tests: one-shot activation, worm
+ * severing with flit-conserving purges, unreachable-destination
+ * flagging (never silent drops), dead-node semantics, zero-fault
+ * bit-identity with the seed algorithm, and the fault-oblivious
+ * contrast behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+namespace {
+
+SimConfig
+scriptedConfig()
+{
+    SimConfig config;
+    config.load = 0.0;
+    config.watchdogCycles = 1000;
+    return config;
+}
+
+/** Both links of mesh corner (0,0) — failing them isolates it. */
+FaultSet
+isolateCorner(const Mesh &mesh)
+{
+    FaultSet faults;
+    const NodeId corner = mesh.nodeOf({0, 0});
+    faults.failLink(mesh, corner, Direction::positive(0));
+    faults.failLink(mesh, corner, Direction::positive(1));
+    return faults;
+}
+
+TEST(FaultSim, UnreachableDestinationIsFlaggedNotDropped)
+{
+    const Mesh mesh(4, 4);
+    const FaultSet faults = isolateCorner(mesh);
+    SimConfig config = scriptedConfig();
+    config.faults = faults;
+    config.faultCycle = 0;
+    Simulator sim(mesh,
+                  makeRouting({.name = "negative-first-ft",
+                               .fault_set = faults}),
+                  nullptr, config);
+
+    const NodeId corner = mesh.nodeOf({0, 0});
+    const NodeId src = mesh.nodeOf({1, 1});
+    const NodeId dst = mesh.nodeOf({3, 3});
+    // Enqueued before activation: purged by the activation scan.
+    sim.injectMessage(mesh.nodeOf({3, 3}), corner, 4);
+    sim.injectMessage(src, dst, 4);
+    ASSERT_TRUE(sim.runUntilIdle(1000));
+
+    EXPECT_TRUE(sim.faultsActive());
+    EXPECT_EQ(sim.packetsDelivered(), 1u);
+    EXPECT_EQ(sim.packetsUnreachable(), 1u);
+    EXPECT_EQ(sim.packetsDropped(), 0u);
+
+    // After activation an unservable message is refused up front.
+    EXPECT_EQ(sim.injectMessage(src, corner, 4), 0u);
+    EXPECT_EQ(sim.packetsUnreachable(), 2u);
+    // The isolated corner also cannot send.
+    EXPECT_EQ(sim.injectMessage(corner, dst, 4), 0u);
+    EXPECT_EQ(sim.packetsUnreachable(), 3u);
+}
+
+TEST(FaultSim, MidRunLinkFailureSeversWormAndConservesFlits)
+{
+    // A 10-flit worm is streaming (0,0) -> (3,0) when the middle
+    // link dies under it at cycle 5: the worm is severed, the
+    // packet purged as dropped, and every flit accounted for.
+    const Mesh mesh(4, 4);
+    FaultSet faults;
+    faults.failLink(mesh, mesh.nodeOf({1, 0}),
+                    Direction::positive(0));
+    SimConfig config = scriptedConfig();
+    config.faults = faults;
+    config.faultCycle = 5;
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
+                  config);
+
+    sim.injectMessage(mesh.nodeOf({0, 0}), mesh.nodeOf({3, 0}), 10);
+    ASSERT_TRUE(sim.runUntilIdle(1000));
+
+    EXPECT_TRUE(sim.faultsActive());
+    EXPECT_EQ(sim.packetsDelivered(), 0u);
+    EXPECT_EQ(sim.packetsDropped(), 1u);
+    EXPECT_EQ(sim.packetsUnreachable(), 0u);
+    EXPECT_GT(sim.flitsDropped(), 0u);
+    // Conservation: every created flit was either consumed at the
+    // destination before the failure or dropped with the worm.
+    EXPECT_EQ(sim.flitsCreated(), 10u);
+    EXPECT_EQ(sim.flitsDelivered() + sim.flitsDropped(), 10u);
+}
+
+TEST(FaultSim, DeadNodeNeitherSendsNorReceives)
+{
+    const Mesh mesh(4, 4);
+    FaultSet faults;
+    const NodeId dead = mesh.nodeOf({1, 1});
+    faults.failNode(mesh, dead);
+    SimConfig config = scriptedConfig();
+    config.faults = faults;
+    config.faultCycle = 3;
+    Simulator sim(mesh,
+                  makeRouting({.name = "negative-first-ft",
+                               .fault_set = faults}),
+                  nullptr, config);
+
+    // Queued at the dead node before the failure: a casualty.
+    sim.injectMessage(dead, mesh.nodeOf({3, 3}), 200);
+    // Destined for the dead node: unreachable.
+    sim.injectMessage(mesh.nodeOf({0, 3}), dead, 4);
+    // Unrelated traffic keeps flowing.
+    sim.injectMessage(mesh.nodeOf({2, 0}), mesh.nodeOf({3, 2}), 4);
+    ASSERT_TRUE(sim.runUntilIdle(1000));
+
+    EXPECT_EQ(sim.packetsDelivered(), 1u);
+    EXPECT_EQ(sim.packetsDropped(), 1u);
+    EXPECT_EQ(sim.packetsUnreachable(), 1u);
+    EXPECT_EQ(sim.flitsCreated(),
+              sim.flitsDelivered() + sim.flitsDropped());
+}
+
+TEST(FaultSim, ZeroFaultRunIsBitIdenticalToSeedAlgorithm)
+{
+    // The fault-aware relation with nothing broken must reproduce
+    // the seed nonminimal algorithm's trajectory exactly, cycle for
+    // cycle — fault awareness costs nothing when nothing is broken.
+    const Mesh mesh(6, 6);
+    SimConfig config;
+    config.load = 0.05;
+    config.warmupCycles = 500;
+    config.measureCycles = 2000;
+    config.drainCycles = 2000;
+    config.seed = 11;
+
+    const TrafficPtr traffic = makeTraffic("uniform", mesh);
+    Simulator ft(mesh, makeRouting({.name = "negative-first-ft"}),
+                 traffic, config);
+    Simulator seed(mesh,
+                   makeRouting({.name = "negative-first",
+                                .minimal = false}),
+                   traffic, config);
+    const SimResult a = ft.run();
+    const SimResult b = seed.run();
+
+    EXPECT_GT(a.packetsFinished, 0u);
+    EXPECT_EQ(a.packetsMeasured, b.packetsMeasured);
+    EXPECT_EQ(a.packetsFinished, b.packetsFinished);
+    EXPECT_EQ(a.packetsUnfinished, b.packetsUnfinished);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.generatedLoad, b.generatedLoad);
+    EXPECT_EQ(a.acceptedFlitsPerUsec, b.acceptedFlitsPerUsec);
+    EXPECT_EQ(a.avgTotalLatencyUs, b.avgTotalLatencyUs);
+    EXPECT_EQ(a.avgNetworkLatencyUs, b.avgNetworkLatencyUs);
+    EXPECT_EQ(a.avgHops, b.avgHops);
+    EXPECT_EQ(a.p99TotalLatencyUs, b.p99TotalLatencyUs);
+    EXPECT_EQ(a.packetsDropped, 0u);
+    EXPECT_EQ(a.packetsUnreachable, 0u);
+}
+
+TEST(FaultSim, FaultedLoadRunDeliversEveryReachablePacket)
+{
+    // Acceptance shape of the fault experiments: with k random link
+    // faults, a sustainable-load run finishes every packet whose
+    // destination the relation can still serve; the rest are
+    // flagged, never silently dropped.
+    const Mesh mesh(6, 6);
+    const FaultSet faults = FaultSet::randomLinks(mesh, 2, 5);
+    SimConfig config;
+    config.load = 0.02;
+    config.warmupCycles = 500;
+    config.measureCycles = 2000;
+    config.drainCycles = 20000;
+    config.seed = 3;
+    config.faults = faults;
+    config.faultCycle = 0;
+
+    Simulator sim(mesh,
+                  makeRouting({.name = "negative-first-ft",
+                               .fault_set = faults}),
+                  makeTraffic("uniform", mesh), config);
+    const SimResult r = sim.run();
+
+    EXPECT_GT(r.packetsFinished, 0u);
+    EXPECT_FALSE(r.deadlocked);
+    EXPECT_EQ(r.packetsUnfinished, 0u);
+    EXPECT_EQ(r.packetsDropped, 0u);
+}
+
+TEST(FaultSim, FaultObliviousTrafficStallsHonestly)
+{
+    // A fault-oblivious relation run against faults never routes
+    // into dead hardware: its doomed packets just stall behind the
+    // dead link and the network does not drain.
+    const Mesh mesh(4, 4);
+    const FaultSet faults = isolateCorner(mesh);
+    SimConfig config = scriptedConfig();
+    config.faults = faults;
+    config.faultCycle = 0;
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
+                  config);
+
+    sim.injectMessage(mesh.nodeOf({3, 0}), mesh.nodeOf({0, 0}), 4);
+    EXPECT_FALSE(sim.runUntilIdle(500));
+    EXPECT_EQ(sim.packetsDelivered(), 0u);
+    // Not flagged (the oblivious relation believes it can route)
+    // and not dropped (no flit ever enters dead hardware).
+    EXPECT_EQ(sim.packetsUnreachable(), 0u);
+    EXPECT_EQ(sim.packetsDropped(), 0u);
+    EXPECT_EQ(sim.flitsDropped(), 0u);
+}
+
+TEST(FaultSimDeath, PureVcRoutingCannotTakeFaults)
+{
+    const Torus torus(std::vector<int>{4, 4});
+    FaultSet faults;
+    faults.failLink(torus, 0, Direction::positive(0));
+    SimConfig config = scriptedConfig();
+    config.faults = faults;
+    EXPECT_DEATH(Simulator(torus,
+                           makeVcRouting({.name = "dateline"}),
+                           nullptr, config),
+                 "single-channel");
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Fault-sweep harness tests: grid shape, deterministic parallel
+ * execution, zero-fault equivalence with the plain load sweep, the
+ * shared SweepOptions::fromCli parser, and the machine-readable
+ * report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "turnnet/harness/fault_sweep.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+namespace {
+
+SimConfig
+quickConfig()
+{
+    SimConfig config;
+    config.load = 0.03;
+    config.warmupCycles = 200;
+    config.measureCycles = 1000;
+    config.drainCycles = 4000;
+    config.seed = 17;
+    return config;
+}
+
+TEST(SweepOptionsCli, ParsesSharedAndFaultFlags)
+{
+    const char *argv[] = {"bench",          "--jobs",       "3",
+                          "--replicates",   "2",            "--compare-serial",
+                          "--bench-json",   "out.json",     "--faults",
+                          "0,2,4",          "--fault-seed", "99",
+                          "--fault-cycle",  "1000"};
+    const CliOptions cli = CliOptions::parse(
+        static_cast<int>(std::size(argv)), argv);
+    const SweepOptions opts = SweepOptions::fromCli(cli);
+
+    EXPECT_EQ(opts.jobs, 3u);
+    EXPECT_EQ(opts.replicates, 2u);
+    EXPECT_TRUE(opts.compareSerial);
+    EXPECT_EQ(opts.benchJson, "out.json");
+    EXPECT_EQ(opts.faultCounts,
+              (std::vector<unsigned>{0, 2, 4}));
+    EXPECT_EQ(opts.faultSeed, 99u);
+    EXPECT_EQ(opts.faultCycle, 1000u);
+}
+
+TEST(SweepOptionsCli, DefaultsMatchTheSeedBehavior)
+{
+    const char *argv[] = {"bench"};
+    const SweepOptions opts =
+        SweepOptions::fromCli(CliOptions::parse(1, argv));
+    EXPECT_EQ(opts.jobs, 1u);
+    EXPECT_EQ(opts.replicates, 1u);
+    EXPECT_FALSE(opts.compareSerial);
+    EXPECT_EQ(opts.benchJson, "BENCH_sweep.json");
+    EXPECT_TRUE(opts.faultCounts.empty());
+    EXPECT_EQ(opts.faultCycle, 0u);
+}
+
+TEST(FaultSweep, GridShapeAndDeterministicSeeds)
+{
+    const Mesh mesh(4, 4);
+    SweepOptions opts;
+    opts.faultCounts = {0, 2};
+    opts.replicates = 2;
+    opts.faultSeed = 21;
+
+    const auto sweep =
+        runFaultSweep(mesh, "negative-first-ft",
+                      makeTraffic("uniform", mesh), quickConfig(),
+                      opts);
+    ASSERT_EQ(sweep.size(), 4u);
+    EXPECT_EQ(sweep[0].faultCount, 0u);
+    EXPECT_EQ(sweep[1].faultCount, 0u);
+    EXPECT_EQ(sweep[2].faultCount, 2u);
+    EXPECT_EQ(sweep[3].faultCount, 2u);
+    EXPECT_EQ(sweep[0].replicate, 0u);
+    EXPECT_EQ(sweep[1].replicate, 1u);
+
+    // Zero-fault cells carry empty fault sets and a fully reachable
+    // analysis; faulted replicates draw distinct sets.
+    EXPECT_TRUE(sweep[0].faults.empty());
+    EXPECT_TRUE(sweep[0].analysis.fullyReachable());
+    EXPECT_EQ(sweep[2].faults.numFailedChannels(), 4u);
+    EXPECT_NE(sweep[2].faults, sweep[3].faults);
+    // Every surviving CDG is acyclic.
+    for (const FaultSweepPoint &cell : sweep)
+        EXPECT_TRUE(cell.analysis.deadlockFree());
+}
+
+TEST(FaultSweep, ParallelExecutionIsBitIdentical)
+{
+    const Mesh mesh(4, 4);
+    SweepOptions serial;
+    serial.faultCounts = {0, 1, 3};
+    serial.replicates = 2;
+    serial.jobs = 1;
+    SweepOptions parallel = serial;
+    parallel.jobs = 4;
+
+    const TrafficPtr traffic = makeTraffic("uniform", mesh);
+    const auto a = runFaultSweep(mesh, "negative-first-ft", traffic,
+                                 quickConfig(), serial);
+    const auto b = runFaultSweep(mesh, "negative-first-ft", traffic,
+                                 quickConfig(), parallel);
+    EXPECT_TRUE(faultSweepsIdentical(a, b));
+}
+
+TEST(FaultSweep, ZeroFaultCellMatchesPlainLoadSweep)
+{
+    // A fault sweep at count 0 runs the identical simulation grid
+    // as runLoadSweep over the seed nonminimal algorithm: same seed
+    // derivation, same relation. Results must agree bitwise.
+    const Mesh mesh(4, 4);
+    const SimConfig base = quickConfig();
+    const TrafficPtr traffic = makeTraffic("uniform", mesh);
+
+    SweepOptions opts;
+    opts.faultCounts = {0};
+    const auto cells = runFaultSweep(mesh, "negative-first-ft",
+                                     traffic, base, opts);
+    ASSERT_EQ(cells.size(), 1u);
+
+    const auto plain = runLoadSweep(
+        mesh,
+        makeRouting({.name = "negative-first", .minimal = false}),
+        traffic, {base.load}, base, SweepOptions{});
+    ASSERT_EQ(plain.size(), 1u);
+
+    const SimResult &a = cells[0].result;
+    const SimResult &b = plain[0].result;
+    EXPECT_GT(a.packetsFinished, 0u);
+    EXPECT_EQ(a.packetsMeasured, b.packetsMeasured);
+    EXPECT_EQ(a.packetsFinished, b.packetsFinished);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.generatedLoad, b.generatedLoad);
+    EXPECT_EQ(a.acceptedFlitsPerUsec, b.acceptedFlitsPerUsec);
+    EXPECT_EQ(a.avgTotalLatencyUs, b.avgTotalLatencyUs);
+    EXPECT_EQ(a.avgHops, b.avgHops);
+}
+
+TEST(FaultSweep, JsonReportCarriesTheSchemaAndCells)
+{
+    const Mesh mesh(4, 4);
+    SweepOptions opts;
+    opts.faultCounts = {1};
+    const auto sweep =
+        runFaultSweep(mesh, "negative-first-ft",
+                      makeTraffic("uniform", mesh), quickConfig(),
+                      opts);
+
+    const std::string doc =
+        faultSweepJson("negative-first-ft", mesh, sweep);
+    EXPECT_NE(doc.find("\"turnnet.fault_sweep/1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"fault_count\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"deadlock_free\": true"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"packets_finished\""), std::string::npos);
+
+    const std::string path = "test_fault_sweep_report.json";
+    EXPECT_TRUE(writeFaultSweepJson(path, "negative-first-ft", mesh,
+                                    sweep));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST(FaultSweep, TableHasOneRowPerCell)
+{
+    const Mesh mesh(4, 4);
+    SweepOptions opts;
+    opts.faultCounts = {0, 1};
+    opts.replicates = 2;
+    const auto sweep =
+        runFaultSweep(mesh, "negative-first-ft",
+                      makeTraffic("uniform", mesh), quickConfig(),
+                      opts);
+    const Table table = faultSweepTable("t", mesh, sweep);
+    EXPECT_EQ(table.numRows(), 4u);
+}
+
+} // namespace
+} // namespace turnnet

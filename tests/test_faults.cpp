@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Fault model and fault-aware routing tests: FaultSet bookkeeping,
+ * the surviving-topology view, disconnected-destination detection,
+ * torus wraparound link faults, zero-fault equivalence with the seed
+ * nonminimal algorithms, and CDG acyclicity over random fault sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/analysis/fault_tolerance.hpp"
+#include "turnnet/routing/fault_aware.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+
+namespace turnnet {
+namespace {
+
+/** Arrival directions a packet can have at @p node: local (at the
+ *  source) plus the direction of every channel into the node. */
+std::vector<Direction>
+arrivalDirections(const Topology &topo, NodeId node)
+{
+    std::vector<Direction> dirs{Direction::local()};
+    for (const ChannelId c : topo.channelsInto(node))
+        dirs.push_back(topo.channel(c).dir);
+    return dirs;
+}
+
+TEST(FaultSet, ChannelAndLinkBookkeeping)
+{
+    const Mesh mesh(4, 4);
+    FaultSet faults;
+    EXPECT_TRUE(faults.empty());
+
+    const NodeId corner = mesh.nodeOf({0, 0});
+    const ChannelId east =
+        mesh.channelFrom(corner, Direction::positive(0));
+    const ChannelId back = mesh.channelFrom(
+        mesh.neighbor(corner, Direction::positive(0)),
+        Direction::negative(0));
+
+    faults.failLink(mesh, corner, Direction::positive(0));
+    EXPECT_FALSE(faults.empty());
+    EXPECT_EQ(faults.numFailedChannels(), 2u);
+    EXPECT_TRUE(faults.channelFailed(east));
+    EXPECT_TRUE(faults.channelFailed(back));
+    EXPECT_FALSE(faults.nodeFailed(corner));
+
+    // Failing the same link again is idempotent.
+    faults.failLink(mesh, corner, Direction::positive(0));
+    EXPECT_EQ(faults.numFailedChannels(), 2u);
+
+    FaultSet same;
+    same.failChannel(back);
+    same.failChannel(east);
+    EXPECT_EQ(faults, same);
+    EXPECT_FALSE(faults.toString(mesh).empty());
+}
+
+TEST(FaultSet, NodeFailureImpliesIncidentChannels)
+{
+    const Mesh mesh(4, 4);
+    FaultSet faults;
+    const NodeId center = mesh.nodeOf({1, 1});
+    faults.failNode(mesh, center);
+
+    EXPECT_TRUE(faults.nodeFailed(center));
+    EXPECT_EQ(faults.numFailedNodes(), 1u);
+    // Degree-4 node: 4 channels in, 4 out.
+    EXPECT_EQ(faults.numFailedChannels(), 8u);
+    for (const ChannelId c : mesh.channelsFrom(center))
+        EXPECT_TRUE(faults.channelFailed(c));
+    for (const ChannelId c : mesh.channelsInto(center))
+        EXPECT_TRUE(faults.channelFailed(c));
+}
+
+TEST(FaultedTopologyView, SkipsDeadHardware)
+{
+    const Mesh mesh(4, 4);
+    FaultSet faults;
+    const NodeId corner = mesh.nodeOf({0, 0});
+    faults.failLink(mesh, corner, Direction::positive(0));
+    const FaultedTopologyView view(mesh, faults);
+
+    EXPECT_EQ(view.neighbor(corner, Direction::positive(0)),
+              kInvalidNode);
+    EXPECT_EQ(view.channelFrom(corner, Direction::positive(0)),
+              kInvalidChannel);
+    EXPECT_FALSE(view.directionsFrom(corner).contains(
+        Direction::positive(0)));
+    EXPECT_TRUE(view.directionsFrom(corner).contains(
+        Direction::positive(1)));
+    EXPECT_EQ(view.numSurvivingChannels(),
+              static_cast<std::size_t>(mesh.numChannels()) - 2);
+    // One dead link leaves a 4x4 mesh connected.
+    EXPECT_TRUE(view.connected());
+    EXPECT_EQ(view.countDisconnectedPairs(), 0u);
+}
+
+TEST(FaultedTopologyView, DetectsDisconnectedDestinations)
+{
+    // Cut both links of corner (0,0): the corner is live but
+    // isolated, so it can reach nobody and nobody can reach it.
+    const Mesh mesh(4, 4);
+    FaultSet faults;
+    const NodeId corner = mesh.nodeOf({0, 0});
+    faults.failLink(mesh, corner, Direction::positive(0));
+    faults.failLink(mesh, corner, Direction::positive(1));
+    const FaultedTopologyView view(mesh, faults);
+
+    EXPECT_FALSE(view.connected());
+    const std::vector<bool> from_corner = view.reachableFrom(corner);
+    EXPECT_TRUE(from_corner[static_cast<std::size_t>(corner)]);
+    int reachable = 0;
+    for (const bool r : from_corner)
+        reachable += r ? 1 : 0;
+    EXPECT_EQ(reachable, 1);
+    // 15 pairs out of the corner plus 15 into it.
+    EXPECT_EQ(view.countDisconnectedPairs(), 30u);
+}
+
+TEST(FaultedTopologyView, DeadNodeIsNeitherSourceNorDestination)
+{
+    const Mesh mesh(3, 3);
+    FaultSet faults;
+    const NodeId center = mesh.nodeOf({1, 1});
+    faults.failNode(mesh, center);
+    const FaultedTopologyView view(mesh, faults);
+
+    const std::vector<bool> reach =
+        view.reachableFrom(mesh.nodeOf({0, 0}));
+    EXPECT_FALSE(reach[static_cast<std::size_t>(center)]);
+    // The mesh ring around the dead center stays connected, and
+    // dead nodes do not count toward disconnected pairs.
+    EXPECT_TRUE(view.connected());
+    EXPECT_TRUE(view.reachableFrom(center).empty() ||
+                !view.reachableFrom(center)[static_cast<std::size_t>(
+                    mesh.nodeOf({0, 0}))]);
+}
+
+TEST(FaultedTopologyView, TorusWraparoundLinkFaults)
+{
+    const Torus torus(std::vector<int>{4, 4});
+    FaultSet faults;
+    // The +x link out of (3,0) is the wraparound back to (0,0).
+    const NodeId edge = torus.nodeOf({3, 0});
+    const NodeId wrap = torus.neighbor(edge, Direction::positive(0));
+    EXPECT_EQ(wrap, torus.nodeOf({0, 0}));
+
+    faults.failLink(torus, edge, Direction::positive(0));
+    const FaultedTopologyView view(torus, faults);
+    EXPECT_EQ(view.neighbor(edge, Direction::positive(0)),
+              kInvalidNode);
+    EXPECT_EQ(view.neighbor(wrap, Direction::negative(0)),
+              kInvalidNode);
+    // A torus has enough alternative paths to stay connected.
+    EXPECT_TRUE(view.connected());
+    EXPECT_EQ(view.numSurvivingChannels(),
+              static_cast<std::size_t>(torus.numChannels()) - 2);
+}
+
+TEST(FaultSet, RandomLinksAreDeterministicAndDistinct)
+{
+    const Mesh mesh(6, 6);
+    const FaultSet a = FaultSet::randomLinks(mesh, 4, 42);
+    const FaultSet b = FaultSet::randomLinks(mesh, 4, 42);
+    const FaultSet c = FaultSet::randomLinks(mesh, 4, 43);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    // 4 bidirectional links = 8 unidirectional channels, all
+    // distinct.
+    EXPECT_EQ(a.numFailedChannels(), 8u);
+    EXPECT_EQ(a.numFailedNodes(), 0u);
+
+    const FaultSet none = FaultSet::randomLinks(mesh, 0, 7);
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(FaultAware, ZeroFaultsMatchesSeedNegativeFirst)
+{
+    // With an empty FaultSet the fault-aware relation must be
+    // identical, state for state, to the nonminimal seed algorithm
+    // it shadows.
+    const Mesh mesh(4, 4);
+    const RoutingPtr ft =
+        makeRouting({.name = "negative-first-ft"});
+    const RoutingPtr seed =
+        makeRouting({.name = "negative-first", .minimal = false});
+
+    for (NodeId node = 0; node < mesh.numNodes(); ++node) {
+        for (NodeId dest = 0; dest < mesh.numNodes(); ++dest) {
+            for (const Direction in :
+                 arrivalDirections(mesh, node)) {
+                EXPECT_EQ(ft->route(mesh, node, dest, in),
+                          seed->route(mesh, node, dest, in))
+                    << "node " << node << " dest " << dest;
+                EXPECT_EQ(ft->canComplete(mesh, node, dest, in),
+                          seed->canComplete(mesh, node, dest, in));
+            }
+        }
+    }
+}
+
+TEST(FaultAware, ZeroFaultsMatchesSeedPCube)
+{
+    const Hypercube cube(4);
+    const RoutingPtr ft = makeRouting(
+        {.name = "p-cube-ft", .dims = cube.numDims()});
+    const RoutingPtr seed = makeRouting({.name = "p-cube",
+                                         .dims = cube.numDims(),
+                                         .minimal = false});
+
+    for (NodeId node = 0; node < cube.numNodes(); ++node) {
+        for (NodeId dest = 0; dest < cube.numNodes(); ++dest) {
+            for (const Direction in :
+                 arrivalDirections(cube, node)) {
+                EXPECT_EQ(ft->route(cube, node, dest, in),
+                          seed->route(cube, node, dest, in));
+            }
+        }
+    }
+}
+
+TEST(FaultAware, NeverOffersDeadChannels)
+{
+    const Mesh mesh(4, 4);
+    const FaultSet faults = FaultSet::randomLinks(mesh, 3, 9);
+    const RoutingPtr ft = makeRouting(
+        {.name = "negative-first-ft", .fault_set = faults});
+    const FaultedTopologyView view(mesh, faults);
+
+    for (NodeId node = 0; node < mesh.numNodes(); ++node) {
+        for (NodeId dest = 0; dest < mesh.numNodes(); ++dest) {
+            for (const Direction in :
+                 arrivalDirections(mesh, node)) {
+                ft->route(mesh, node, dest, in)
+                    .forEach([&](Direction out) {
+                        EXPECT_NE(view.channelFrom(node, out),
+                                  kInvalidChannel)
+                            << "dead channel offered at node "
+                            << node;
+                    });
+            }
+        }
+    }
+}
+
+TEST(FaultTolerance, CdgStaysAcyclicOverRandomFaultSets)
+{
+    // The surviving CDG keeps the prohibited-turn set, so it is a
+    // subgraph of the fault-free nonminimal CDG and must stay
+    // acyclic — verified computationally per draw.
+    const Mesh mesh(4, 4);
+    for (const int count : {1, 2, 4}) {
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            const FaultSet faults =
+                FaultSet::randomLinks(mesh, count, seed);
+            const RoutingPtr ft = makeRouting(
+                {.name = "negative-first-ft", .fault_set = faults});
+            const FaultToleranceReport report =
+                analyzeFaultTolerance(mesh, *ft, faults);
+            EXPECT_TRUE(report.deadlockFree())
+                << "count " << count << " seed " << seed << ": "
+                << report.toString();
+            EXPECT_GE(report.unreachablePairs,
+                      report.disconnectedPairs);
+        }
+    }
+}
+
+TEST(FaultTolerance, PCubeCdgStaysAcyclicOverRandomFaultSets)
+{
+    const Hypercube cube(4);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const FaultSet faults =
+            FaultSet::randomLinks(cube, 3, seed);
+        const RoutingPtr ft = makeRouting({.name = "p-cube-ft",
+                                           .dims = cube.numDims(),
+                                           .fault_set = faults});
+        const FaultToleranceReport report =
+            analyzeFaultTolerance(cube, *ft, faults);
+        EXPECT_TRUE(report.deadlockFree()) << report.toString();
+        EXPECT_GE(report.unreachablePairs,
+                  report.disconnectedPairs);
+    }
+}
+
+TEST(FaultTolerance, ReportsDisconnectedDestinations)
+{
+    const Mesh mesh(4, 4);
+    FaultSet faults;
+    const NodeId corner = mesh.nodeOf({0, 0});
+    faults.failLink(mesh, corner, Direction::positive(0));
+    faults.failLink(mesh, corner, Direction::positive(1));
+    const RoutingPtr ft = makeRouting(
+        {.name = "negative-first-ft", .fault_set = faults});
+
+    const FaultToleranceReport report =
+        analyzeFaultTolerance(mesh, *ft, faults);
+    EXPECT_TRUE(report.deadlockFree());
+    EXPECT_EQ(report.livePairs, 16u * 15u);
+    EXPECT_EQ(report.disconnectedPairs, 30u);
+    EXPECT_GE(report.unreachablePairs, 30u);
+    EXPECT_FALSE(report.fullyReachable());
+}
+
+TEST(FaultTolerance, NoFaultsFullyReachable)
+{
+    const Mesh mesh(4, 4);
+    const RoutingPtr ft =
+        makeRouting({.name = "negative-first-ft"});
+    const FaultToleranceReport report =
+        analyzeFaultTolerance(mesh, *ft, FaultSet{});
+    EXPECT_TRUE(report.deadlockFree());
+    EXPECT_EQ(report.disconnectedPairs, 0u);
+    EXPECT_EQ(report.unreachablePairs, 0u);
+    EXPECT_TRUE(report.fullyReachable());
+}
+
+TEST(RegistryDeath, FaultSetWithObliviousAlgorithmIsFatal)
+{
+    const Mesh mesh(4, 4);
+    const FaultSet faults = FaultSet::randomLinks(mesh, 1, 1);
+    EXPECT_DEATH(makeRouting({.name = "xy", .fault_set = faults}),
+                 "fault-oblivious");
+}
+
+} // namespace
+} // namespace turnnet

@@ -67,7 +67,7 @@ TEST(Fuzz, ScriptedBatchesAlwaysDrainCorrectly)
         const DrawnConfig drawn = draw(rng);
         const Topology &topo = *drawn.topo;
         const RoutingPtr routing =
-            makeRouting(drawn.algorithm, topo.numDims());
+            makeRouting({.name = drawn.algorithm, .dims = topo.numDims()});
 
         SimConfig config;
         config.load = 0.0;
@@ -128,7 +128,7 @@ TEST(Fuzz, RandomLoadsNeverWedgeTurnModelAlgorithms)
         const DrawnConfig drawn = draw(rng);
         const Topology &topo = *drawn.topo;
         const RoutingPtr routing =
-            makeRouting(drawn.algorithm, topo.numDims());
+            makeRouting({.name = drawn.algorithm, .dims = topo.numDims()});
 
         SimConfig config;
         config.load = 0.02 + 0.3 * rng.nextDouble();

@@ -35,7 +35,7 @@ TEST(Sweep, RunsOnePointPerLoad)
 {
     const Mesh mesh(4, 4);
     const auto sweep = runLoadSweep(
-        mesh, makeRouting("xy"), makeTraffic("uniform", mesh),
+        mesh, makeRouting({.name = "xy"}), makeTraffic("uniform", mesh),
         {0.02, 0.05, 0.08}, tinyConfig());
     ASSERT_EQ(sweep.size(), 3u);
     EXPECT_DOUBLE_EQ(sweep[0].offered, 0.02);
@@ -50,7 +50,7 @@ TEST(Sweep, IsDeterministic)
 {
     const Mesh mesh(4, 4);
     auto run = [&]() {
-        return runLoadSweep(mesh, makeRouting("west-first"),
+        return runLoadSweep(mesh, makeRouting({.name = "west-first"}),
                             makeTraffic("uniform", mesh),
                             {0.03, 0.06}, tinyConfig());
     };
@@ -69,7 +69,7 @@ TEST(Sweep, PointsUseDistinctSeeds)
     // Two points at the same load must not be identical copies.
     const Mesh mesh(4, 4);
     const auto sweep = runLoadSweep(
-        mesh, makeRouting("xy"), makeTraffic("uniform", mesh),
+        mesh, makeRouting({.name = "xy"}), makeTraffic("uniform", mesh),
         {0.05, 0.05}, tinyConfig());
     EXPECT_NE(sweep[0].result.avgTotalLatencyUs,
               sweep[1].result.avgTotalLatencyUs);
@@ -112,7 +112,7 @@ TEST(Sweep, TableHasOneRowPerPoint)
 {
     const Mesh mesh(4, 4);
     const auto sweep = runLoadSweep(
-        mesh, makeRouting("xy"), makeTraffic("uniform", mesh),
+        mesh, makeRouting({.name = "xy"}), makeTraffic("uniform", mesh),
         {0.02, 0.05}, tinyConfig());
     const Table table = sweepTable("t", sweep);
     EXPECT_EQ(table.numRows(), 2u);
@@ -145,7 +145,7 @@ TEST(Sweep, ParallelIsBitIdenticalToSerial)
     auto run = [&](unsigned jobs) {
         SweepOptions opts;
         opts.jobs = jobs;
-        return runLoadSweep(mesh, makeRouting("west-first"),
+        return runLoadSweep(mesh, makeRouting({.name = "west-first"}),
                             makeTraffic("uniform", mesh),
                             {0.03, 0.05, 0.07, 0.09}, tinyConfig(),
                             opts);
@@ -162,7 +162,7 @@ TEST(Sweep, ReplicatedParallelIsBitIdenticalToSerial)
         SweepOptions opts;
         opts.jobs = jobs;
         opts.replicates = 3;
-        return runLoadSweep(mesh, makeRouting("negative-first"),
+        return runLoadSweep(mesh, makeRouting({.name = "negative-first"}),
                             makeTraffic("transpose", mesh),
                             {0.04, 0.08}, tinyConfig(), opts);
     };
@@ -177,10 +177,10 @@ TEST(Sweep, ReplicatesPoolSamplesAcrossRuns)
     SweepOptions three;
     three.replicates = 3;
     const auto pooled = runLoadSweep(
-        mesh, makeRouting("xy"), makeTraffic("uniform", mesh),
+        mesh, makeRouting({.name = "xy"}), makeTraffic("uniform", mesh),
         {0.05}, tinyConfig(), three);
     const auto single = runLoadSweep(
-        mesh, makeRouting("xy"), makeTraffic("uniform", mesh),
+        mesh, makeRouting({.name = "xy"}), makeTraffic("uniform", mesh),
         {0.05}, tinyConfig());
     ASSERT_EQ(pooled.size(), 1u);
     // Three replicates pool roughly three times the measured
@@ -200,7 +200,7 @@ TEST(Sweep, PointSeedsAreIndependentOfTheGridShape)
     // seeds key on the point's own index, not on the grid size.
     const Mesh mesh(4, 4);
     auto sweep_for = [&](const std::vector<double> &loads) {
-        return runLoadSweep(mesh, makeRouting("xy"),
+        return runLoadSweep(mesh, makeRouting({.name = "xy"}),
                             makeTraffic("uniform", mesh), loads,
                             tinyConfig());
     };
@@ -216,7 +216,7 @@ TEST(Sweep, VcOverloadMatchesSerialAndParallel)
     auto run = [&](unsigned jobs) {
         SweepOptions opts;
         opts.jobs = jobs;
-        return runLoadSweep(mesh, makeVcRouting("double-y", 2),
+        return runLoadSweep(mesh, makeVcRouting({.name = "double-y", .dims = 2}),
                             makeTraffic("uniform", mesh),
                             {0.04, 0.07}, tinyConfig(), opts);
     };

@@ -48,7 +48,7 @@ TEST(ChannelUtilization, SingleStreamSaturatesItsPath)
     config.measureCycles = 100;
     config.drainCycles = 200;
     config.watchdogCycles = 50000;
-    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr, config);
     sim.injectMessage(mesh.nodeOf({0, 0}), mesh.nodeOf({1, 0}), 50);
     const SimResult r = sim.run();
     ASSERT_EQ(r.packetsFinished, 1u);
@@ -77,7 +77,7 @@ TEST(ChannelUtilization, CountsOnlyTheMeasureWindow)
     config.measureCycles = 100;
     config.drainCycles = 100;
     config.watchdogCycles = 50000;
-    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr, config);
     sim.injectMessage(mesh.nodeOf({0, 0}), mesh.nodeOf({2, 2}), 10);
     const SimResult r = sim.run();
     EXPECT_DOUBLE_EQ(r.maxChannelUtilization, 0.0);
@@ -95,7 +95,7 @@ TEST(Latency, TotalIncludesQueueingNetworkDoesNot)
     config.measureCycles = 400;
     config.drainCycles = 400;
     config.watchdogCycles = 50000;
-    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr, config);
     std::vector<PacketInfo> delivered;
     std::vector<Cycle> when;
     sim.onDelivered = [&](const PacketInfo &info, Cycle at) {
@@ -123,7 +123,7 @@ TEST(Latency, PercentilesBracketTheMean)
     config.measureCycles = 3000;
     config.drainCycles = 4000;
     config.seed = 8;
-    Simulator sim(mesh, makeRouting("west-first"),
+    Simulator sim(mesh, makeRouting({.name = "west-first"}),
                   makeTraffic("uniform", mesh), config);
     const SimResult r = sim.run();
     ASSERT_GT(r.packetsFinished, 50u);

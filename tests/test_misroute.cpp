@@ -41,7 +41,8 @@ TEST(Misroute, NonminimalWestFirstDetoursAroundABlocker)
         std::uint32_t hops = 0;
     };
     auto run = [&](bool minimal) {
-        Simulator sim(mesh, makeRouting("west-first", 2, minimal),
+        Simulator sim(mesh, makeRouting(
+                          {.name = "west-first", .minimal = minimal}),
                       nullptr, scriptedConfig());
         Outcome outcome;
         PacketId victim = 0;
@@ -72,7 +73,7 @@ TEST(Misroute, ProductiveChannelsPreferredWhenFree)
     // With nothing blocked, the nonminimal variant takes exactly
     // the minimal path: unproductive channels are only a fallback.
     const Mesh mesh(4, 4);
-    Simulator sim(mesh, makeRouting("negative-first", 2, false),
+    Simulator sim(mesh, makeRouting({.name = "negative-first", .dims = 2, .minimal = false}),
                   nullptr, scriptedConfig());
     std::uint32_t hops = 0;
     sim.onDelivered = [&](const PacketInfo &info, Cycle) {
@@ -91,7 +92,7 @@ TEST(Misroute, WaitThresholdDelaysTheDetour)
     auto run = [&](Cycle threshold) {
         SimConfig config = scriptedConfig();
         config.misrouteAfterWait = threshold;
-        Simulator sim(mesh, makeRouting("west-first", 2, false),
+        Simulator sim(mesh, makeRouting({.name = "west-first", .dims = 2, .minimal = false}),
                       nullptr, config);
         Cycle done = 0;
         PacketId victim = 0;
@@ -130,7 +131,7 @@ TEST(Misroute, NonminimalStressDoesNotDeadlockOrLivelock)
         config.drainCycles = 200;
         config.misrouteAfterWait = 2;
         config.seed = 9;
-        Simulator sim(mesh, makeRouting(alg, 2, false),
+        Simulator sim(mesh, makeRouting({.name = alg, .dims = 2, .minimal = false}),
                       makeTraffic("uniform", mesh), config);
         const SimResult result = sim.run();
         EXPECT_FALSE(result.deadlocked) << alg;
@@ -152,7 +153,7 @@ TEST(Misroute, MinimalRelationsAreUnaffectedByTheThreshold)
         config.drainCycles = 2000;
         config.misrouteAfterWait = threshold;
         config.seed = 4;
-        Simulator sim(mesh, makeRouting("west-first"),
+        Simulator sim(mesh, makeRouting({.name = "west-first"}),
                       makeTraffic("uniform", mesh), config);
         return sim.run();
     };

@@ -149,9 +149,9 @@ TEST(OddEvenAdaptiveness, MoreEvenlySpreadThanWestFirst)
     // smaller fraction of pairs is stuck with exactly one path.
     const Mesh mesh(8, 8);
     const auto oe =
-        summarizeAdaptiveness(mesh, *makeRouting("odd-even"));
+        summarizeAdaptiveness(mesh, *makeRouting({.name = "odd-even"}));
     const auto wf =
-        summarizeAdaptiveness(mesh, *makeRouting("west-first"));
+        summarizeAdaptiveness(mesh, *makeRouting({.name = "west-first"}));
     EXPECT_LT(oe.singlePathFraction,
               wf.singlePathFraction * 0.55);
     // Both are partially adaptive: strictly between xy and fully
@@ -171,7 +171,7 @@ TEST(OddEvenSim, DeliversUnderStressWithoutWedging)
     config.measureCycles = 15000;
     config.drainCycles = 100;
     config.seed = 3;
-    Simulator sim(mesh, makeRouting("odd-even"),
+    Simulator sim(mesh, makeRouting({.name = "odd-even"}),
                   makeTraffic("uniform", mesh), config);
     const SimResult result = sim.run();
     EXPECT_FALSE(result.deadlocked);

@@ -15,7 +15,7 @@ namespace {
 TEST(TracePath, XyFollowsTheDimensionOrder)
 {
     const Mesh mesh(4, 4);
-    const RoutingPtr xy = makeRouting("xy");
+    const RoutingPtr xy = makeRouting({.name = "xy"});
     const auto path = tracePath(mesh, *xy, mesh.nodeOf({0, 0}),
                                 mesh.nodeOf({2, 2}));
     const std::vector<NodeId> expected{
@@ -28,7 +28,7 @@ TEST(TracePath, XyFollowsTheDimensionOrder)
 TEST(TracePath, SelectorControlsAdaptiveChoices)
 {
     const Mesh mesh(4, 4);
-    const RoutingPtr nf = makeRouting("negative-first");
+    const RoutingPtr nf = makeRouting({.name = "negative-first"});
     // Northeast destination: NF is fully adaptive; force north
     // whenever possible.
     const auto prefer_north = [](NodeId, DirectionSet c) {
@@ -47,8 +47,8 @@ TEST(TracePath, SelectorControlsAdaptiveChoices)
 TEST(TraceChoices, CountsMinimalAndExtraOptions)
 {
     const Mesh mesh(6, 6);
-    const RoutingPtr wf = makeRouting("west-first", 2, true);
-    const RoutingPtr wf_nm = makeRouting("west-first", 2, false);
+    const RoutingPtr wf = makeRouting({.name = "west-first", .dims = 2});
+    const RoutingPtr wf_nm = makeRouting({.name = "west-first", .dims = 2, .minimal = false});
     // (1,1) -> (3,2): adaptive among east/north.
     const auto rows =
         traceChoices(mesh, *wf, *wf_nm, mesh.nodeOf({1, 1}),
@@ -62,7 +62,7 @@ TEST(TraceChoices, CountsMinimalAndExtraOptions)
 TEST(RenderPath, MarksEndpointsAndArrows)
 {
     const Mesh mesh(4, 4);
-    const RoutingPtr xy = makeRouting("xy");
+    const RoutingPtr xy = makeRouting({.name = "xy"});
     const auto path = tracePath(mesh, *xy, mesh.nodeOf({0, 3}),
                                 mesh.nodeOf({3, 0}));
     const std::string art = renderPath2D(mesh, path);
@@ -77,7 +77,7 @@ TEST(RenderPath, MarksEndpointsAndArrows)
 TEST(RenderPath, WestwardAndNorthwardArrows)
 {
     const Mesh mesh(3, 3);
-    const RoutingPtr xy = makeRouting("xy");
+    const RoutingPtr xy = makeRouting({.name = "xy"});
     const auto path = tracePath(mesh, *xy, mesh.nodeOf({2, 0}),
                                 mesh.nodeOf({0, 2}));
     const std::string art = renderPath2D(mesh, path);
@@ -88,7 +88,7 @@ TEST(RenderPath, WestwardAndNorthwardArrows)
 TEST(TracePathDeath, SelectorMustPickACandidate)
 {
     const Mesh mesh(3, 3);
-    const RoutingPtr xy = makeRouting("xy");
+    const RoutingPtr xy = makeRouting({.name = "xy"});
     const auto bad = [](NodeId, DirectionSet) {
         return Direction::positive(1);
     };
@@ -100,7 +100,7 @@ TEST(TracePathDeath, SelectorMustPickACandidate)
 TEST(TraceChoicesDeath, RejectsIllegalDimensions)
 {
     const Mesh mesh(4, 4);
-    const RoutingPtr xy = makeRouting("xy");
+    const RoutingPtr xy = makeRouting({.name = "xy"});
     EXPECT_DEATH(traceChoices(mesh, *xy, *xy, mesh.nodeOf({0, 0}),
                               mesh.nodeOf({2, 0}), {1, 0}),
                  "not a permitted hop");

@@ -60,7 +60,7 @@ class PathValidation
 TEST_P(PathValidation, EverySimulatedHopIsPermitted)
 {
     const Mesh mesh(5, 5);
-    const RoutingPtr routing = makeRouting(GetParam(), 2);
+    const RoutingPtr routing = makeRouting({.name = GetParam(), .dims = 2});
 
     SimConfig config;
     config.load = 0.0;
@@ -110,7 +110,7 @@ TEST(PathValidationStress, RandomTrafficUnderLoad)
     // With generated traffic at moderate load, adaptive choices are
     // exercised heavily; every delivered path must still replay.
     const Mesh mesh(6, 6);
-    const RoutingPtr routing = makeRouting("west-first");
+    const RoutingPtr routing = makeRouting({.name = "west-first"});
     SimConfig config;
     config.load = 0.15;
     config.lengths = MessageLengthMix::fixed(20);
@@ -133,7 +133,7 @@ TEST(PathValidationStress, RandomTrafficUnderLoad)
 TEST(PathValidationCube, PcubeOnTheHypercube)
 {
     const Hypercube cube(4);
-    const RoutingPtr routing = makeRouting("p-cube", 4);
+    const RoutingPtr routing = makeRouting({.name = "p-cube", .dims = 4});
     SimConfig config;
     config.load = 0.0;
     config.recordPaths = true;
@@ -158,7 +158,7 @@ TEST(PathRecording, RequiresTheConfigFlag)
 {
     const Mesh mesh(3, 3);
     SimConfig config;
-    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr, config);
     EXPECT_DEATH(sim.pathOf(1), "recordPaths");
 }
 

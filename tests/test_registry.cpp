@@ -19,7 +19,7 @@ namespace {
 TEST(Registry, EveryAdvertisedNameResolves)
 {
     for (const std::string &name : routingNames()) {
-        const RoutingPtr routing = makeRouting(name, 2);
+        const RoutingPtr routing = makeRouting({.name = name, .dims = 2});
         ASSERT_NE(routing, nullptr) << name;
         EXPECT_FALSE(routing->name().empty()) << name;
     }
@@ -28,8 +28,8 @@ TEST(Registry, EveryAdvertisedNameResolves)
 TEST(Registry, AliasesShareTheAlgorithm)
 {
     const Mesh mesh(4, 4);
-    const RoutingPtr xy = makeRouting("xy");
-    const RoutingPtr dor = makeRouting("dimension-order");
+    const RoutingPtr xy = makeRouting({.name = "xy"});
+    const RoutingPtr dor = makeRouting({.name = "dimension-order"});
     for (NodeId s = 0; s < mesh.numNodes(); ++s) {
         for (NodeId d = 0; d < mesh.numNodes(); ++d) {
             if (s == d)
@@ -41,18 +41,18 @@ TEST(Registry, AliasesShareTheAlgorithm)
     }
     EXPECT_EQ(xy->name(), "xy");
     EXPECT_EQ(dor->name(), "dimension-order");
-    EXPECT_EQ(makeRouting("ecube")->name(), "ecube");
+    EXPECT_EQ(makeRouting({.name = "ecube"})->name(), "ecube");
 }
 
 TEST(Registry, NmSuffixSelectsNonminimal)
 {
-    EXPECT_TRUE(makeRouting("west-first")->isMinimal());
-    EXPECT_FALSE(makeRouting("west-first-nm")->isMinimal());
-    EXPECT_EQ(makeRouting("west-first-nm")->name(),
+    EXPECT_TRUE(makeRouting({.name = "west-first"})->isMinimal());
+    EXPECT_FALSE(makeRouting({.name = "west-first-nm"})->isMinimal());
+    EXPECT_EQ(makeRouting({.name = "west-first-nm"})->name(),
               "west-first-nm");
-    EXPECT_FALSE(makeRouting("negative-first", 2, false)
+    EXPECT_FALSE(makeRouting({.name = "negative-first", .dims = 2, .minimal = false})
                      ->isMinimal());
-    EXPECT_FALSE(makeRouting("odd-even-nm")->isMinimal());
+    EXPECT_FALSE(makeRouting({.name = "odd-even-nm"})->isMinimal());
 }
 
 TEST(Registry, TurnSetNamesProduceInducedRouters)
@@ -60,45 +60,45 @@ TEST(Registry, TurnSetNamesProduceInducedRouters)
     for (const char *name :
          {"turnset:west-first", "turnset:north-last",
           "turnset:negative-first", "turnset:xy"}) {
-        const RoutingPtr routing = makeRouting(name, 2);
+        const RoutingPtr routing = makeRouting({.name = name, .dims = 2});
         EXPECT_EQ(routing->name(), name);
     }
     for (const char *name :
          {"turnset:abonf", "turnset:abopl",
           "turnset:negative-first", "turnset:dimension-order"}) {
-        EXPECT_NE(makeRouting(name, 3), nullptr);
+        EXPECT_NE(makeRouting({.name = name, .dims = 3}), nullptr);
     }
 }
 
 TEST(RegistryDeath, UnknownNamesAreFatal)
 {
-    EXPECT_DEATH(makeRouting("no-such-algorithm"),
+    EXPECT_DEATH(makeRouting({.name = "no-such-algorithm"}),
                  "unknown routing algorithm");
-    EXPECT_DEATH(makeRouting("turnset:bogus", 2),
+    EXPECT_DEATH(makeRouting({.name = "turnset:bogus", .dims = 2}),
                  "unknown turn set");
 }
 
 TEST(Registry, CheckTopologyPropagates)
 {
     const Torus torus(4, 2);
-    EXPECT_DEATH(makeRouting("west-first")->checkTopology(torus),
+    EXPECT_DEATH(makeRouting({.name = "west-first"})->checkTopology(torus),
                  "mesh");
     EXPECT_DEATH(
-        makeRouting("p-cube", 4)->checkTopology(Mesh(4, 4)),
+        makeRouting({.name = "p-cube", .dims = 4})->checkTopology(Mesh(4, 4)),
         "hypercube");
     // And the ones that do apply pass silently.
-    makeRouting("nf-torus")->checkTopology(torus);
-    makeRouting("odd-even")->checkTopology(Mesh(5, 5));
-    makeRouting("p-cube", 4)->checkTopology(Hypercube(4));
+    makeRouting({.name = "nf-torus"})->checkTopology(torus);
+    makeRouting({.name = "odd-even"})->checkTopology(Mesh(5, 5));
+    makeRouting({.name = "p-cube", .dims = 4})->checkTopology(Hypercube(4));
 }
 
 TEST(VcRegistry, NativeAndAdaptedNames)
 {
-    EXPECT_EQ(makeVcRouting("dateline")->name(), "dateline");
-    EXPECT_EQ(makeVcRouting("double-y")->name(), "double-y");
+    EXPECT_EQ(makeVcRouting({.name = "dateline"})->name(), "dateline");
+    EXPECT_EQ(makeVcRouting({.name = "double-y"})->name(), "double-y");
     // Everything else routes through the single-VC adapter,
     // including nonminimal suffix forms.
-    const VcRoutingPtr nm = makeVcRouting("north-last-nm");
+    const VcRoutingPtr nm = makeVcRouting({.name = "north-last-nm"});
     EXPECT_EQ(nm->numVcs(), 1);
     EXPECT_EQ(nm->name(), "north-last-nm");
 }

@@ -51,8 +51,7 @@ class RoutingProperties : public ::testing::TestWithParam<Case>
     SetUp() override
     {
         topo_ = build(GetParam().topology);
-        routing_ = makeRouting(GetParam().algorithm,
-                               topo_->numDims());
+        routing_ = makeRouting({.name = GetParam().algorithm, .dims = topo_->numDims()});
         routing_->checkTopology(*topo_);
     }
 

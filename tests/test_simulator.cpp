@@ -29,7 +29,7 @@ scriptedConfig()
 TEST(Simulator, SinglePacketCrossesTheMesh)
 {
     const Mesh mesh(4, 4);
-    Simulator sim(mesh, makeRouting("xy"), nullptr,
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
                   scriptedConfig());
 
     std::vector<PacketInfo> delivered;
@@ -65,7 +65,7 @@ TEST(Simulator, LatencyIsSumOfDistanceAndLength)
     const Mesh mesh(8, 8);
     for (const int length : {1, 10, 50}) {
         for (const int dist : {1, 7, 14}) {
-            Simulator sim(mesh, makeRouting("xy"), nullptr,
+            Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
                           scriptedConfig());
             Cycle done = 0;
             sim.onDelivered = [&](const PacketInfo &,
@@ -85,7 +85,7 @@ TEST(Simulator, LatencyIsSumOfDistanceAndLength)
 TEST(Simulator, BackToBackPacketsPipelineThroughOneChannel)
 {
     const Mesh mesh(4, 4);
-    Simulator sim(mesh, makeRouting("xy"), nullptr,
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
                   scriptedConfig());
     std::vector<Cycle> times;
     sim.onDelivered = [&](const PacketInfo &, Cycle at) {
@@ -111,7 +111,7 @@ TEST(Simulator, FcfsArbitrationFavorsEarlierHeader)
     // router before A's header (one hop away): B must win, and A
     // must wait for B's tail.
     const Mesh mesh(4, 4);
-    Simulator sim(mesh, makeRouting("xy"), nullptr,
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
                   scriptedConfig());
     std::vector<PacketId> order;
     std::vector<Cycle> times;
@@ -142,7 +142,7 @@ TEST(Simulator, ConservationAcrossARandomRun)
     config.measureCycles = 1500;
     config.drainCycles = 3000;
     config.seed = 5;
-    Simulator sim(mesh, makeRouting("west-first"),
+    Simulator sim(mesh, makeRouting({.name = "west-first"}),
                   makeTraffic("uniform", mesh), config);
     const SimResult result = sim.run();
     EXPECT_FALSE(result.deadlocked);
@@ -167,7 +167,7 @@ TEST(Simulator, SameSeedSameResult)
     config.seed = 11;
 
     auto run = [&]() {
-        Simulator sim(mesh, makeRouting("negative-first"),
+        Simulator sim(mesh, makeRouting({.name = "negative-first"}),
                       makeTraffic("uniform", mesh), config);
         return sim.run();
     };
@@ -192,7 +192,7 @@ TEST(Simulator, DifferentSeedsDiffer)
 
     auto run = [&](std::uint64_t seed) {
         config.seed = seed;
-        Simulator sim(mesh, makeRouting("negative-first"),
+        Simulator sim(mesh, makeRouting({.name = "negative-first"}),
                       makeTraffic("uniform", mesh), config);
         return sim.run();
     };
@@ -202,7 +202,7 @@ TEST(Simulator, DifferentSeedsDiffer)
 TEST(Simulator, HopCountsEqualDistancesUnderMinimalRouting)
 {
     const Mesh mesh(5, 5);
-    Simulator sim(mesh, makeRouting("negative-first"), nullptr,
+    Simulator sim(mesh, makeRouting({.name = "negative-first"}), nullptr,
                   scriptedConfig());
     std::vector<PacketInfo> delivered;
     sim.onDelivered = [&](const PacketInfo &info, Cycle) {
@@ -230,7 +230,7 @@ TEST(Simulator, MeasurementWindowsExcludeWarmupTraffic)
     config.measureCycles = 1000;
     config.drainCycles = 2000;
     config.seed = 3;
-    Simulator sim(mesh, makeRouting("xy"),
+    Simulator sim(mesh, makeRouting({.name = "xy"}),
                   makeTraffic("uniform", mesh), config);
     const SimResult result = sim.run();
     // Roughly load * nodes * measure / meanlen packets measured.
@@ -253,7 +253,7 @@ TEST(Simulator, ScriptedInjectionCountsTowardGeneratedLoad)
     config.warmupCycles = 0;
     config.measureCycles = 1000;
     config.drainCycles = 2000;
-    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr, config);
 
     const NodeId a = mesh.nodeOf({0, 0});
     const NodeId b = mesh.nodeOf({3, 2});
@@ -285,7 +285,7 @@ TEST(Simulator, GoldenDeterminismOnEveryResultField)
     config.seed = 0xFEEDFACE;
 
     auto run = [&]() {
-        Simulator sim(mesh, makeRouting("west-first"),
+        Simulator sim(mesh, makeRouting({.name = "west-first"}),
                       makeTraffic("transpose", mesh), config);
         return sim.run();
     };
@@ -344,7 +344,7 @@ TEST(Simulator, LatencyHistogramLayoutFollowsConfig)
     config.latencyHistMinUs = 0.1;
     config.latencyHistMaxUs = 100.0;
     config.latencyHistBins = 64;
-    Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr, config);
     sim.injectMessage(mesh.nodeOf({0, 0}), mesh.nodeOf({3, 3}), 4);
     const SimResult result = sim.run();
     EXPECT_EQ(result.latencyHistogram.spacing(),
@@ -358,7 +358,7 @@ TEST(Simulator, LatencyHistogramLayoutFollowsConfig)
 TEST(SimulatorDeath, RejectsSelfMessages)
 {
     const Mesh mesh(3, 3);
-    Simulator sim(mesh, makeRouting("xy"), nullptr,
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
                   scriptedConfig());
     EXPECT_DEATH(sim.injectMessage(2, 2, 5), "leave their source");
 }
@@ -366,7 +366,7 @@ TEST(SimulatorDeath, RejectsSelfMessages)
 TEST(SimulatorDeath, ValidatesAlgorithmTopologyPairs)
 {
     const Mesh mesh3({3, 3, 3});
-    EXPECT_DEATH(Simulator(mesh3, makeRouting("west-first"), nullptr,
+    EXPECT_DEATH(Simulator(mesh3, makeRouting({.name = "west-first"}), nullptr,
                            scriptedConfig()),
                  "2D");
 }

@@ -108,7 +108,7 @@ TEST(NfTorus, TracesTerminateOnOddTori)
 TEST(FirstHopWrap, WrapOnlyFromInjection)
 {
     const Torus torus(5, 2);
-    const RoutingPtr routing = makeRouting("xy-first-hop-wrap", 2);
+    const RoutingPtr routing = makeRouting({.name = "xy-first-hop-wrap", .dims = 2});
     // From (4,0) to (0,0) the eastward wrap is a useful first hop.
     const DirectionSet first = routing->route(
         torus, torus.nodeOf({4, 0}), torus.nodeOf({0, 0}),
@@ -126,7 +126,7 @@ TEST(FirstHopWrap, WrapOnlyFromInjection)
 TEST(FirstHopWrap, InnerTurnRulesStillApply)
 {
     const Torus torus(5, 2);
-    const RoutingPtr wf = makeRouting("nf-first-hop-wrap", 2);
+    const RoutingPtr wf = makeRouting({.name = "nf-first-hop-wrap", .dims = 2});
     // Arriving northbound (positive phase for NF), a westward mesh
     // hop is never offered.
     for (NodeId d = 0; d < torus.numNodes(); ++d) {
@@ -143,7 +143,7 @@ TEST(FirstHopWrap, AllPairsTerminate)
     const Torus torus(4, 2);
     for (const char *alg : {"xy-first-hop-wrap",
                             "nf-first-hop-wrap"}) {
-        const RoutingPtr routing = makeRouting(alg, 2);
+        const RoutingPtr routing = makeRouting({.name = alg, .dims = 2});
         for (NodeId s = 0; s < torus.numNodes(); ++s) {
             for (NodeId d = 0; d < torus.numNodes(); ++d) {
                 if (s == d)
@@ -159,7 +159,7 @@ TEST(FirstHopWrap, UsesWrapToShortenPaths)
 {
     // Crossing the whole ring: the wrap makes the route one hop.
     const Torus torus(6, 2);
-    const RoutingPtr routing = makeRouting("xy-first-hop-wrap", 2);
+    const RoutingPtr routing = makeRouting({.name = "xy-first-hop-wrap", .dims = 2});
     const auto prefer_wrap = [](NodeId, DirectionSet c) {
         return c.contains(kEast) ? kEast : c.first();
     };

@@ -31,8 +31,8 @@ class TurnSetEquivalence
 TEST_P(TurnSetEquivalence, SameRelationFromInjectionOn2DMesh)
 {
     const Mesh mesh(5, 4);
-    const RoutingPtr named = makeRouting(GetParam().named, 2);
-    const RoutingPtr induced = makeRouting(GetParam().turnset, 2);
+    const RoutingPtr named = makeRouting({.name = GetParam().named, .dims = 2});
+    const RoutingPtr induced = makeRouting({.name = GetParam().turnset, .dims = 2});
     for (NodeId s = 0; s < mesh.numNodes(); ++s) {
         for (NodeId d = 0; d < mesh.numNodes(); ++d) {
             if (s == d)
@@ -52,8 +52,8 @@ TEST_P(TurnSetEquivalence, SamePathCountsEverywhere)
     // mid-route state, so equality here means the relations agree
     // beyond the first hop too.
     const Mesh mesh(5, 4);
-    const RoutingPtr named = makeRouting(GetParam().named, 2);
-    const RoutingPtr induced = makeRouting(GetParam().turnset, 2);
+    const RoutingPtr named = makeRouting({.name = GetParam().named, .dims = 2});
+    const RoutingPtr induced = makeRouting({.name = GetParam().turnset, .dims = 2});
     for (NodeId s = 0; s < mesh.numNodes(); ++s) {
         for (NodeId d = 0; d < mesh.numNodes(); ++d) {
             if (s == d)
@@ -84,9 +84,10 @@ TEST(TurnSetEquivalenceND, AbonfAndAboplOn3DMesh)
 {
     const Mesh mesh({3, 3, 3});
     for (const char *pair : {"abonf", "abopl", "negative-first"}) {
-        const RoutingPtr named = makeRouting(pair, 3);
+        const RoutingPtr named = makeRouting({.name = pair, .dims = 3});
         const RoutingPtr induced =
-            makeRouting(std::string("turnset:") + pair, 3);
+            makeRouting(
+                {.name = std::string("turnset:") + pair, .dims = 3});
         for (NodeId s = 0; s < mesh.numNodes(); ++s) {
             for (NodeId d = 0; d < mesh.numNodes(); ++d) {
                 if (s == d)
@@ -105,7 +106,7 @@ TEST(TurnSetEquivalenceND, AbonfAndAboplOn3DMesh)
 TEST(TurnSetEquivalenceCube, PcubeOnHypercube)
 {
     const Hypercube cube(4);
-    const RoutingPtr named = makeRouting("p-cube", 4);
+    const RoutingPtr named = makeRouting({.name = "p-cube", .dims = 4});
     const TurnSetRouting induced("turnset:negative-first",
                                  negativeFirstTurns(4), true);
     for (NodeId s = 0; s < cube.numNodes(); ++s) {

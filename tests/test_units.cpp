@@ -115,10 +115,13 @@ TEST(InputUnit, OutputAssignmentLifecycle)
 {
     InputUnit iu(3, Direction::positive(0), 0, 1);
     EXPECT_EQ(iu.assignedOutput(), kNoUnit);
-    iu.assignOutput(17);
+    EXPECT_EQ(iu.residentPacket(), 0u);
+    iu.assignOutput(17, 42);
     EXPECT_EQ(iu.assignedOutput(), 17);
+    EXPECT_EQ(iu.residentPacket(), 42u);
     iu.clearOutput();
     EXPECT_EQ(iu.assignedOutput(), kNoUnit);
+    EXPECT_EQ(iu.residentPacket(), 0u);
     EXPECT_EQ(iu.node(), 3);
     EXPECT_EQ(iu.inDir(), Direction::positive(0));
 }

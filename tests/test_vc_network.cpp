@@ -38,9 +38,9 @@ TEST(VcNetwork, SingleVcPathIsIdenticalToPlainSimulator)
     config.drainCycles = 2000;
     config.seed = 21;
 
-    Simulator plain(mesh, makeRouting("west-first"),
+    Simulator plain(mesh, makeRouting({.name = "west-first"}),
                     makeTraffic("uniform", mesh), config);
-    Simulator adapted(mesh, makeVcRouting("west-first"),
+    Simulator adapted(mesh, makeVcRouting({.name = "west-first"}),
                       makeTraffic("uniform", mesh), config);
     const SimResult a = plain.run();
     const SimResult b = adapted.run();
@@ -56,7 +56,7 @@ TEST(VcNetwork, DatelineDeliversMinimallyOnTheTorus)
     // extra channels: MINIMAL deadlock-free torus routing. Every
     // pair delivers with hops equal to the torus distance.
     const Torus torus(5, 2);
-    Simulator sim(torus, makeVcRouting("dateline"), nullptr,
+    Simulator sim(torus, makeVcRouting({.name = "dateline"}), nullptr,
                   scriptedConfig());
     int mismatches = 0;
     sim.onDelivered = [&](const PacketInfo &info, Cycle) {
@@ -88,7 +88,7 @@ TEST(VcNetwork, LinksTimeMultiplexTheirVirtualChannels)
     // behind a full wormhole reservation.
     const Torus torus(4, 2);
     auto run = [&](bool with_contention) {
-        Simulator sim(torus, makeVcRouting("dateline"), nullptr,
+        Simulator sim(torus, makeVcRouting({.name = "dateline"}), nullptr,
                       scriptedConfig());
         std::vector<Cycle> done;
         sim.onDelivered = [&](const PacketInfo &, Cycle at) {
@@ -123,7 +123,7 @@ TEST(VcNetwork, DatelineSurvivesUniformStress)
     config.drainCycles = 200;
     config.watchdogCycles = 8000;
     config.seed = 3;
-    Simulator sim(torus, makeVcRouting("dateline"),
+    Simulator sim(torus, makeVcRouting({.name = "dateline"}),
                   makeTraffic("uniform", torus), config);
     const SimResult result = sim.run();
     EXPECT_FALSE(result.deadlocked);
@@ -133,7 +133,7 @@ TEST(VcNetwork, DatelineSurvivesUniformStress)
 TEST(VcNetwork, DoubleYDeliversEverywhereWithMinimalHops)
 {
     const Mesh mesh(5, 5);
-    Simulator sim(mesh, makeVcRouting("double-y"), nullptr,
+    Simulator sim(mesh, makeVcRouting({.name = "double-y"}), nullptr,
                   scriptedConfig());
     int mismatches = 0;
     sim.onDelivered = [&](const PacketInfo &info, Cycle) {
@@ -161,7 +161,7 @@ TEST(VcNetwork, DoubleYAdaptsAroundABlockedChannel)
     // dictates) and slips past.
     const Mesh mesh(4, 4);
     auto run = [&](const std::string &alg) {
-        Simulator sim(mesh, makeVcRouting(alg), nullptr,
+        Simulator sim(mesh, makeVcRouting({.name = alg}), nullptr,
                       scriptedConfig());
         Cycle victim_done = 0;
         PacketId victim = 0;
@@ -193,7 +193,7 @@ TEST(VcNetwork, DoubleYStressSurvives)
     config.drainCycles = 200;
     config.watchdogCycles = 8000;
     config.seed = 5;
-    Simulator sim(mesh, makeVcRouting("double-y"),
+    Simulator sim(mesh, makeVcRouting({.name = "double-y"}),
                   makeTraffic("uniform", mesh), config);
     const SimResult result = sim.run();
     EXPECT_FALSE(result.deadlocked);

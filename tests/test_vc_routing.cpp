@@ -230,7 +230,7 @@ TEST(DoubleY, FullAdaptivityOnOneLayerWouldDeadlock)
 TEST(SingleVcAdapter, MirrorsTheInnerRelation)
 {
     const Mesh mesh(4, 4);
-    const RoutingPtr wf = makeRouting("west-first");
+    const RoutingPtr wf = makeRouting({.name = "west-first"});
     const SingleVcAdapter adapter(wf);
     EXPECT_EQ(adapter.numVcs(), 1);
     EXPECT_EQ(adapter.name(), "west-first");
@@ -255,17 +255,17 @@ TEST(VcCdg, AgreesWithPlainCdgForSingleVcAlgorithms)
 {
     const Mesh mesh(4, 4);
     EXPECT_TRUE(isVcDeadlockFree(
-        mesh, SingleVcAdapter(makeRouting("west-first"))));
+        mesh, SingleVcAdapter(makeRouting({.name = "west-first"}))));
     EXPECT_FALSE(isVcDeadlockFree(
-        mesh, SingleVcAdapter(makeRouting("fully-adaptive"))));
+        mesh, SingleVcAdapter(makeRouting({.name = "fully-adaptive"}))));
 }
 
 TEST(VcFactory, ResolvesNames)
 {
-    EXPECT_EQ(makeVcRouting("dateline")->numVcs(), 2);
-    EXPECT_EQ(makeVcRouting("double-y")->numVcs(), 2);
-    EXPECT_EQ(makeVcRouting("west-first")->numVcs(), 1);
-    EXPECT_EQ(makeVcRouting("west-first")->name(), "west-first");
+    EXPECT_EQ(makeVcRouting({.name = "dateline"})->numVcs(), 2);
+    EXPECT_EQ(makeVcRouting({.name = "double-y"})->numVcs(), 2);
+    EXPECT_EQ(makeVcRouting({.name = "west-first"})->numVcs(), 1);
+    EXPECT_EQ(makeVcRouting({.name = "west-first"})->name(), "west-first");
 }
 
 TEST(VcChecks, TopologyValidation)

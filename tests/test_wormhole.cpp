@@ -29,7 +29,7 @@ TEST(Wormhole, WormSpansThePathWhileBlocked)
     // A long packet whose header is blocked keeps its flits spread
     // along the path, holding every reserved channel.
     const Mesh mesh(4, 4);
-    Simulator sim(mesh, makeRouting("xy"), nullptr,
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
                   scriptedConfig());
 
     // Blocker: occupies the east channel out of (2,0) for a while.
@@ -66,7 +66,7 @@ TEST(Wormhole, SingleFlitBuffersStillMoveOneFlitPerCycle)
     // latency equals L + D exactly, which only holds if there are
     // no pipeline bubbles.
     const Mesh mesh(8, 8);
-    Simulator sim(mesh, makeRouting("xy"), nullptr,
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
                   scriptedConfig());
     Cycle done = 0;
     sim.onDelivered = [&](const PacketInfo &, Cycle at) {
@@ -87,7 +87,7 @@ TEST(Wormhole, DeeperBuffersDecoupleBlockedWorms)
     auto run = [&](std::size_t depth) {
         SimConfig config = scriptedConfig();
         config.bufferDepth = depth;
-        Simulator sim(mesh, makeRouting("xy"), nullptr, config);
+        Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr, config);
         Cycle last = 0;
         sim.onDelivered = [&](const PacketInfo &, Cycle at) {
             last = std::max(last, at);
@@ -111,7 +111,7 @@ TEST(Wormhole, AdaptiveRoutingAvoidsABlockedChannel)
     // west-first adapts north at (1,0) and slips past.
     const Mesh mesh(4, 4);
     auto run = [&](const char *alg) {
-        Simulator sim(mesh, makeRouting(alg, 2), nullptr,
+        Simulator sim(mesh, makeRouting({.name = alg, .dims = 2}), nullptr,
                       scriptedConfig());
         Cycle victim_done = 0;
         PacketId victim = 0;
@@ -140,7 +140,7 @@ TEST(Wormhole, ChannelsAreReleasedByTheTail)
     // After a worm fully passes, the channel serves the next packet
     // with no residual state.
     const Mesh mesh(3, 3);
-    Simulator sim(mesh, makeRouting("xy"), nullptr,
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
                   scriptedConfig());
     sim.injectMessage(mesh.nodeOf({0, 0}), mesh.nodeOf({2, 0}), 5);
     ASSERT_TRUE(sim.runUntilIdle(1000));
@@ -161,7 +161,7 @@ TEST(Wormhole, EjectionConsumesOneFlitPerCycle)
     // Two packets to the same destination must share the single
     // ejection channel: total drain time is serialized.
     const Mesh mesh(3, 3);
-    Simulator sim(mesh, makeRouting("xy"), nullptr,
+    Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
                   scriptedConfig());
     std::vector<Cycle> done;
     sim.onDelivered = [&](const PacketInfo &, Cycle at) {
