@@ -50,6 +50,7 @@ main(int argc, char **argv)
                      "max sustainable (fl/us)",
                      "latency@low (us)"});
 
+    std::vector<CountersExportEntry> counter_entries;
     for (const char *alg : {"xy", "west-first"}) {
         const RoutingPtr routing = makeRouting({.name = alg});
         for (const std::size_t depth : {1u, 2u, 4u, 8u}) {
@@ -58,6 +59,10 @@ main(int argc, char **argv)
             const auto sweep = runLoadSweep(mesh, routing, traffic,
                                             loads, config,
                                             sweep_opts);
+            appendCounterEntries(counter_entries,
+                                 std::string(alg) + "/depth=" +
+                                     std::to_string(depth),
+                                 mesh.name(), "transpose", sweep);
             table.beginRow();
             table.cell(alg);
             table.cell(static_cast<long long>(depth));
@@ -66,6 +71,8 @@ main(int argc, char **argv)
         }
     }
     table.print();
+    if (!sweep_opts.countersJson.empty())
+        writeCountersJson(sweep_opts.countersJson, counter_entries);
     std::printf("\npaper: evaluates single-flit buffers only "
                 "(Section 6); depth is the classic wormhole "
                 "cost/performance knob.\n");

@@ -45,7 +45,7 @@ void
 study(const Mesh &mesh, const char *traffic_name,
       const char *algorithm, const std::vector<double> &loads,
       std::uint64_t seed, const SweepOptions &sweep_opts,
-      Table &table)
+      Table &table, std::vector<CountersExportEntry> &counter_entries)
 {
     const TrafficPtr traffic = makeTraffic(traffic_name, mesh);
     for (const bool minimal : {true, false}) {
@@ -54,6 +54,8 @@ study(const Mesh &mesh, const char *traffic_name,
         SimConfig config = baseConfig(seed);
         const auto sweep = runLoadSweep(mesh, routing, traffic,
                                         loads, config, sweep_opts);
+        appendCounterEntries(counter_entries, routing->name(),
+                             mesh.name(), traffic_name, sweep);
         table.beginRow();
         table.cell(std::string(traffic_name));
         table.cell(routing->name());
@@ -92,14 +94,15 @@ main(int argc, char **argv)
     table.setHeader({"traffic", "algorithm",
                      "max sustainable (fl/us)", "latency@low (us)",
                      "hops@low", "hops@high"});
+    std::vector<CountersExportEntry> counter_entries;
     study(mesh, "hotspot", "west-first", hotspot_loads, seed,
-          sweep_opts, table);
+          sweep_opts, table, counter_entries);
     study(mesh, "transpose", "negative-first", mesh_loads, seed,
-          sweep_opts, table);
+          sweep_opts, table, counter_entries);
     study(mesh, "transpose", "west-first", mesh_loads, seed,
-          sweep_opts, table);
+          sweep_opts, table, counter_entries);
     study(mesh, "uniform", "negative-first", mesh_loads, seed,
-          sweep_opts, table);
+          sweep_opts, table, counter_entries);
     table.print();
 
     // Wait-threshold sensitivity for the transpose/NF case.
@@ -115,12 +118,18 @@ main(int argc, char **argv)
         const auto sweep = runLoadSweep(
             mesh, makeRouting({.name = "negative-first", .dims = 2, .minimal = false}),
             transpose, mesh_loads, config, sweep_opts);
+        appendCounterEntries(counter_entries,
+                             "negative-first-nm/wait=" +
+                                 std::to_string(wait),
+                             mesh.name(), "transpose", sweep);
         thresholds.beginRow();
         thresholds.cell(static_cast<long long>(wait));
         thresholds.cell(maxSustainableThroughput(sweep), 1);
         thresholds.cell(sweep.back().result.avgHops, 2);
     }
     thresholds.print();
+    if (!sweep_opts.countersJson.empty())
+        writeCountersJson(sweep_opts.countersJson, counter_entries);
 
     std::printf("\npaper: Section 6 simulates minimal routing only; "
                 "Sections 2/3.4 argue nonminimal variants are more "

@@ -52,6 +52,7 @@ main(int argc, char **argv)
                      "max sustainable (fl/us)",
                      "latency@low (us)", "latency@high (us)"});
 
+    std::vector<CountersExportEntry> counter_entries;
     for (const InputPolicy in_policy :
          {InputPolicy::Fcfs, InputPolicy::Random,
           InputPolicy::FixedPriority}) {
@@ -65,6 +66,11 @@ main(int argc, char **argv)
             const auto sweep = runLoadSweep(mesh, routing, traffic,
                                             loads, config,
                                             sweep_opts);
+            appendCounterEntries(counter_entries,
+                                 "west-first/" +
+                                     toString(in_policy) + "+" +
+                                     toString(out_policy),
+                                 mesh.name(), "transpose", sweep);
             table.beginRow();
             table.cell(toString(in_policy));
             table.cell(toString(out_policy));
@@ -74,6 +80,8 @@ main(int argc, char **argv)
         }
     }
     table.print();
+    if (!sweep_opts.countersJson.empty())
+        writeCountersJson(sweep_opts.countersJson, counter_entries);
     std::printf("\npaper: Section 6 fixes fcfs + lowest-dim; "
                 "alternative policies are future work [19].\n");
     return 0;

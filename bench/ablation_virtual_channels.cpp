@@ -44,7 +44,8 @@ baseConfig(std::uint64_t seed)
 
 void
 torusStudy(std::uint64_t seed, bool full,
-           const SweepOptions &sweep_opts)
+           const SweepOptions &sweep_opts,
+           std::vector<CountersExportEntry> &counter_entries)
 {
     const Torus torus(full ? 8 : 5, 2);
     const std::vector<double> loads =
@@ -64,6 +65,8 @@ torusStudy(std::uint64_t seed, bool full,
             const auto sweep =
                 runLoadSweep(torus, routing, traffic, loads,
                              baseConfig(seed), sweep_opts);
+            appendCounterEntries(counter_entries, alg, torus.name(),
+                                 pattern, sweep);
             table.beginRow();
             table.cell(std::string(alg));
             table.cell(static_cast<long long>(routing->numVcs()));
@@ -79,7 +82,8 @@ torusStudy(std::uint64_t seed, bool full,
 
 void
 meshStudy(std::uint64_t seed, bool full,
-          const SweepOptions &sweep_opts)
+          const SweepOptions &sweep_opts,
+          std::vector<CountersExportEntry> &counter_entries)
 {
     const Mesh mesh(full ? 16 : 8, full ? 16 : 8);
     const std::vector<double> uniform_loads =
@@ -105,6 +109,8 @@ meshStudy(std::uint64_t seed, bool full,
             const auto sweep =
                 runLoadSweep(mesh, routing, traffic, loads,
                              baseConfig(seed), sweep_opts);
+            appendCounterEntries(counter_entries, alg, mesh.name(),
+                                 pattern, sweep);
             table.beginRow();
             table.cell(std::string(alg));
             table.cell(static_cast<long long>(routing->numVcs()));
@@ -132,7 +138,10 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
     const bool full = opts.getBool("full", false);
     const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
-    torusStudy(seed, full, sweep_opts);
-    meshStudy(seed, full, sweep_opts);
+    std::vector<CountersExportEntry> counter_entries;
+    torusStudy(seed, full, sweep_opts, counter_entries);
+    meshStudy(seed, full, sweep_opts, counter_entries);
+    if (!sweep_opts.countersJson.empty())
+        writeCountersJson(sweep_opts.countersJson, counter_entries);
     return 0;
 }

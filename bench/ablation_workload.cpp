@@ -43,8 +43,8 @@ baseConfig(std::uint64_t seed)
 }
 
 void
-lengthMixStudy(std::uint64_t seed,
-               const SweepOptions &sweep_opts)
+lengthMixStudy(std::uint64_t seed, const SweepOptions &sweep_opts,
+               std::vector<CountersExportEntry> &counter_entries)
 {
     const Mesh mesh(8, 8);
     const TrafficPtr traffic = makeTraffic("uniform", mesh);
@@ -72,6 +72,9 @@ lengthMixStudy(std::uint64_t seed,
         const auto sweep =
             runLoadSweep(mesh, makeRouting({.name = "west-first"}), traffic,
                          loads, config, sweep_opts);
+        appendCounterEntries(counter_entries,
+                             std::string("west-first/") + c.name,
+                             mesh.name(), "uniform", sweep);
         table.beginRow();
         table.cell(std::string(c.name));
         table.cell(maxSustainableThroughput(sweep), 1);
@@ -83,8 +86,8 @@ lengthMixStudy(std::uint64_t seed,
 }
 
 void
-extraPatternStudy(std::uint64_t seed,
-                  const SweepOptions &sweep_opts)
+extraPatternStudy(std::uint64_t seed, const SweepOptions &sweep_opts,
+                  std::vector<CountersExportEntry> &counter_entries)
 {
     const Hypercube cube(6);
     // Wide grid: bit-complement is adversarial for the
@@ -112,6 +115,8 @@ extraPatternStudy(std::uint64_t seed,
             const auto sweep = runLoadSweep(
                 cube, makeRouting({.name = alg, .dims = cube.numDims()}), traffic,
                 grid, baseConfig(seed), sweep_opts);
+            appendCounterEntries(counter_entries, alg, cube.name(),
+                                 pattern, sweep);
             table.cell(maxSustainableThroughput(sweep), 1);
         }
     }
@@ -120,7 +125,8 @@ extraPatternStudy(std::uint64_t seed,
 }
 
 void
-torusStudy(std::uint64_t seed, const SweepOptions &sweep_opts)
+torusStudy(std::uint64_t seed, const SweepOptions &sweep_opts,
+           std::vector<CountersExportEntry> &counter_entries)
 {
     const Torus torus(8, 2);
     const std::vector<double> loads{0.05, 0.10, 0.15, 0.20};
@@ -138,6 +144,8 @@ torusStudy(std::uint64_t seed, const SweepOptions &sweep_opts)
             const auto sweep =
                 runLoadSweep(torus, makeRouting({.name = alg, .dims = 2}), traffic,
                              loads, baseConfig(seed), sweep_opts);
+            appendCounterEntries(counter_entries, alg, torus.name(),
+                                 pattern, sweep);
             table.cell(maxSustainableThroughput(sweep), 1);
             table.cell(sweep.front().result.avgHops, 2);
         }
@@ -157,8 +165,11 @@ main(int argc, char **argv)
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
     const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
-    lengthMixStudy(seed, sweep_opts);
-    extraPatternStudy(seed, sweep_opts);
-    torusStudy(seed, sweep_opts);
+    std::vector<CountersExportEntry> counter_entries;
+    lengthMixStudy(seed, sweep_opts, counter_entries);
+    extraPatternStudy(seed, sweep_opts, counter_entries);
+    torusStudy(seed, sweep_opts, counter_entries);
+    if (!sweep_opts.countersJson.empty())
+        writeCountersJson(sweep_opts.countersJson, counter_entries);
     return 0;
 }

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Per-channel heat map driven by the telemetry counters: for each
+ * algorithm at one (topology, traffic, load) configuration, dump
+ * every channel's flit count and utilization sorted hottest-first,
+ * and write the machine-readable "turnnet.channel_heat/1" report.
+ *
+ * Complements analysis_concentration: that binary summarizes the
+ * measure-window concentration statistics; this one exports the
+ * full whole-run per-channel distribution so the heat map itself
+ * can be plotted (which channels, at which coordinates, carry the
+ * traffic each algorithm's turn restrictions funnel together).
+ *
+ * Options: --full (16x16), --load L, --seed N, --traffic P
+ * (default transpose), --out PATH (default BENCH_channel_heat.json;
+ * "off" disables), --trace / --trace-out STEM (also dump flit-level
+ * event rings).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/cli.hpp"
+#include "turnnet/common/csv.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/trace/counters.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+using namespace turnnet;
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = CliOptions::parse(argc, argv);
+    const bool full = opts.getBool("full", false);
+    const int side = full ? 16 : 8;
+    const Mesh mesh(side, side);
+    const double load = opts.getDouble("load", full ? 0.05 : 0.12);
+    const std::string pattern =
+        opts.getString("traffic", "transpose");
+    const std::string out =
+        opts.getString("out", "BENCH_channel_heat.json");
+    const bool trace = opts.getBool("trace", false);
+    const std::string trace_out =
+        opts.getString("trace-out", "channel_heat_trace.jsonl");
+
+    SimConfig config;
+    config.load = load;
+    config.warmupCycles = 2000;
+    config.measureCycles = 12000;
+    config.drainCycles = 6000;
+    config.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    config.trace.counters = true;
+    config.trace.events = trace;
+
+    const std::vector<std::string> errors = config.validate();
+    if (!errors.empty()) {
+        for (const std::string &e : errors)
+            std::fprintf(stderr, "error: %s\n", e.c_str());
+        return 1;
+    }
+
+    std::vector<ChannelHeatEntry> entries;
+    Table table("Channel heat: " + pattern + " traffic at " +
+                std::to_string(load) + " flits/node/cycle, " +
+                mesh.name());
+    table.setHeader({"algorithm", "max util", "mean util",
+                     "top-5% share", "hottest channel"});
+    for (const char *alg : {"xy", "west-first", "negative-first",
+                            "odd-even"}) {
+        Simulator sim(mesh, makeRouting({.name = alg, .dims = 2}),
+                      makeTraffic(pattern, mesh), config);
+        sim.run();
+        const std::shared_ptr<const TraceCounters> counters =
+            sim.countersShared();
+        entries.push_back(ChannelHeatEntry{alg, counters});
+        if (trace && sim.trace() != nullptr) {
+            sim.trace()->writeJsonl(std::string(alg) + "." +
+                                    trace_out);
+        }
+
+        // Console summary mirroring the JSON (whole-run figures).
+        const auto cycles =
+            static_cast<double>(counters->cyclesObserved());
+        double max_util = 0.0;
+        double total = 0.0;
+        ChannelId hottest = 0;
+        const auto &flits = counters->channelFlits();
+        for (ChannelId ch = 0;
+             ch < static_cast<ChannelId>(flits.size()); ++ch) {
+            total += static_cast<double>(flits[ch]);
+            const double u = counters->channelUtilization(ch);
+            if (u > max_util) {
+                max_util = u;
+                hottest = ch;
+            }
+        }
+        std::vector<std::uint64_t> sorted = flits;
+        std::sort(sorted.begin(), sorted.end(), std::greater<>());
+        const std::size_t top =
+            std::max<std::size_t>(1, sorted.size() / 20);
+        double top_sum = 0.0;
+        for (std::size_t i = 0; i < top; ++i)
+            top_sum += static_cast<double>(sorted[i]);
+        const Channel &h = mesh.channel(hottest);
+        table.beginRow();
+        table.cell(alg);
+        table.cell(max_util, 3);
+        table.cell(cycles > 0.0
+                       ? total / (cycles *
+                                  static_cast<double>(flits.size()))
+                       : 0.0,
+                   3);
+        table.cell(total > 0.0 ? top_sum / total : 0.0, 3);
+        table.cell(mesh.shape().coordToString(mesh.coordOf(h.src)) +
+                   "-" + h.dir.toString());
+    }
+    table.print();
+
+    if (out != "off" && out != "none" && !out.empty()) {
+        writeChannelHeatJson(out, mesh, pattern, load, entries);
+        std::printf("\nwrote %s (turnnet.channel_heat/1)\n",
+                    out.c_str());
+    }
+    return 0;
+}

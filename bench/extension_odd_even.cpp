@@ -52,7 +52,8 @@ adaptivenessStudy()
 
 void
 sweepStudy(std::uint64_t seed, bool full,
-           const SweepOptions &sweep_opts)
+           const SweepOptions &sweep_opts,
+           std::vector<CountersExportEntry> &counter_entries)
 {
     const Mesh mesh(full ? 16 : 8, full ? 16 : 8);
     SimConfig base;
@@ -93,6 +94,8 @@ sweepStudy(std::uint64_t seed, bool full,
             const auto sweep =
                 runLoadSweep(mesh, makeRouting({.name = alg, .dims = 2}), traffic,
                              pc.loads, base, sweep_opts);
+            appendCounterEntries(counter_entries, alg, mesh.name(),
+                                 pc.name, sweep);
             table.cell(maxSustainableThroughput(sweep), 1);
         }
     }
@@ -111,7 +114,11 @@ main(int argc, char **argv)
     const CliOptions opts = CliOptions::parse(argc, argv);
     const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
     adaptivenessStudy();
+    std::vector<CountersExportEntry> counter_entries;
     sweepStudy(static_cast<std::uint64_t>(opts.getInt("seed", 1)),
-               opts.getBool("full", false), sweep_opts);
+               opts.getBool("full", false), sweep_opts,
+               counter_entries);
+    if (!sweep_opts.countersJson.empty())
+        writeCountersJson(sweep_opts.countersJson, counter_entries);
     return 0;
 }

@@ -91,12 +91,13 @@ BM_CdgAnalysis(benchmark::State &state)
 BENCHMARK(BM_CdgAnalysis);
 
 void
-BM_SimulatorCycle(benchmark::State &state)
+BM_SimulatorCycle(benchmark::State &state, bool counters)
 {
     const Mesh mesh(16, 16);
     SimConfig config;
     config.load = 0.06;
     config.seed = 1;
+    config.trace.counters = counters;
     Simulator sim(mesh, makeRouting({.name = "west-first"}),
                   makeTraffic("uniform", mesh), config);
     // Warm the network into steady state first.
@@ -106,7 +107,12 @@ BM_SimulatorCycle(benchmark::State &state)
         sim.step();
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_SimulatorCycle);
+// The two captures bound the telemetry overhead: "off" is the
+// tracing-disabled hot loop (the ≤2% regression budget versus the
+// pre-telemetry simulator), "counters" the cost of collecting the
+// full counter set.
+BENCHMARK_CAPTURE(BM_SimulatorCycle, off, false);
+BENCHMARK_CAPTURE(BM_SimulatorCycle, counters, true);
 
 } // namespace
 

@@ -5,22 +5,43 @@
  * dependency graph — it wedges, and the watchdog catches it) and
  * through west-first (two turns prohibited — it saturates
  * gracefully but never stops moving).
+ *
+ * When the watchdog fires, the demo dumps deadlock forensics: the
+ * blocked worms with the channels they hold and the channels they
+ * want, plus the cyclic wait that proves the wedge, cross-checked
+ * against the routing algorithm's channel dependency graph.
+ *
+ * Options: --seed N, --json FILE (write the forensics of the last
+ * deadlocked run as "turnnet.deadlock_forensics/1" JSON), --trace
+ * (record flit events; each run writes "<alg>.<trace-out>"),
+ * --trace-out FILE (default deadlock_trace.jsonl).
  */
 
 #include <cstdio>
+#include <string>
 
 #include "turnnet/analysis/cdg.hpp"
+#include "turnnet/common/cli.hpp"
 #include "turnnet/network/simulator.hpp"
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/topology/mesh.hpp"
+#include "turnnet/trace/forensics.hpp"
 #include "turnnet/traffic/pattern.hpp"
 
 using namespace turnnet;
 
 namespace {
 
+struct DemoOptions
+{
+    std::uint64_t seed = 3;
+    std::string json;
+    bool trace = false;
+    std::string traceOut = "deadlock_trace.jsonl";
+};
+
 void
-demo(const Mesh &mesh, const char *alg, std::uint64_t seed)
+demo(const Mesh &mesh, const char *alg, const DemoOptions &opts)
 {
     const RoutingPtr routing = makeRouting({.name = alg, .dims = 2});
 
@@ -39,11 +60,18 @@ demo(const Mesh &mesh, const char *alg, std::uint64_t seed)
     config.warmupCycles = 100;
     config.measureCycles = 40000;
     config.drainCycles = 100;
-    config.seed = seed;
+    config.seed = opts.seed;
+    config.trace.events = opts.trace;
 
     Simulator sim(mesh, routing, makeTraffic("uniform", mesh),
                   config);
     const SimResult result = sim.run();
+    if (opts.trace && sim.trace() != nullptr) {
+        const std::string path =
+            std::string(alg) + "." + opts.traceOut;
+        sim.trace()->writeJsonl(path);
+        std::printf("  event trace: %s\n", path.c_str());
+    }
     if (result.deadlocked) {
         std::printf("  simulation: DEADLOCK detected after %llu "
                     "cycles — a buffer stalled past the %llu-cycle "
@@ -51,6 +79,12 @@ demo(const Mesh &mesh, const char *alg, std::uint64_t seed)
                     static_cast<unsigned long long>(result.cycles),
                     static_cast<unsigned long long>(
                         config.watchdogCycles));
+        const DeadlockReport report = collectDeadlockForensics(sim);
+        std::printf("%s", report.toString(mesh).c_str());
+        if (!opts.json.empty()) {
+            report.writeJson(mesh, opts.json);
+            std::printf("  forensics JSON: %s\n", opts.json.c_str());
+        }
     } else {
         std::printf("  simulation: no deadlock in %llu cycles "
                     "(worst buffer stall %llu); delivered %.0f "
@@ -68,18 +102,25 @@ demo(const Mesh &mesh, const char *alg, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const CliOptions cli = CliOptions::parse(argc, argv);
+    DemoOptions opts;
+    // Seed 3 wedges the unrestricted baseline quickly; any seed
+    // leaves the turn-model algorithms alive.
+    opts.seed = static_cast<std::uint64_t>(cli.getInt("seed", 3));
+    opts.json = cli.getString("json", "");
+    opts.trace = cli.getBool("trace", false);
+    opts.traceOut = cli.getString("trace-out", opts.traceOut);
+
     const Mesh mesh(4, 4);
     std::printf("Stress workload: uniform traffic at 0.5 "
                 "flits/node/cycle, 200-flit worms, single-flit "
                 "buffers, %s\n\n", mesh.name().c_str());
 
-    // Seed 3 wedges the unrestricted baseline quickly; any seed
-    // leaves the turn-model algorithms alive.
-    demo(mesh, "fully-adaptive", 3);
-    demo(mesh, "west-first", 3);
-    demo(mesh, "negative-first", 3);
+    demo(mesh, "fully-adaptive", opts);
+    demo(mesh, "west-first", opts);
+    demo(mesh, "negative-first", opts);
 
     std::printf("The turn model's point: prohibiting just two of "
                 "the eight turns (a quarter) is what separates the "

@@ -1,0 +1,448 @@
+#include "turnnet/common/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+namespace json {
+
+bool
+Value::asBool() const
+{
+    TN_ASSERT(type_ == Type::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    TN_ASSERT(type_ == Type::Number, "JSON value is not a number");
+    return number_;
+}
+
+const std::string &
+Value::asString() const
+{
+    TN_ASSERT(type_ == Type::String, "JSON value is not a string");
+    return string_;
+}
+
+const std::vector<Value> &
+Value::items() const
+{
+    TN_ASSERT(type_ == Type::Array, "JSON value is not an array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    TN_ASSERT(type_ == Type::Object, "JSON value is not an object");
+    return members_;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::size_t
+Value::size() const
+{
+    if (type_ == Type::Array)
+        return items_.size();
+    if (type_ == Type::Object)
+        return members_.size();
+    return 0;
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.type_ = Type::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double d)
+{
+    Value v;
+    v.type_ = Type::Number;
+    v.number_ = d;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v.type_ = Type::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray(std::vector<Value> items)
+{
+    Value v;
+    v.type_ = Type::Array;
+    v.items_ = std::move(items);
+    return v;
+}
+
+Value
+Value::makeObject(std::vector<std::pair<std::string, Value>> members)
+{
+    Value v;
+    v.type_ = Type::Object;
+    v.members_ = std::move(members);
+    return v;
+}
+
+namespace {
+
+/** Recursive-descent parser state over one document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    ParseResult
+    run()
+    {
+        ParseResult result;
+        skipWs();
+        if (!parseValue(result.value)) {
+            result.error = error_;
+            return result;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+            result.error = error_;
+            return result;
+        }
+        result.ok = true;
+        return result;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty()) {
+            error_ = what + " at byte " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char expect)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != expect) {
+            return fail(std::string("expected '") + expect + "'");
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        switch (text_[pos_]) {
+        case '{': return parseObject(out);
+        case '[': return parseArray(out);
+        case '"': return parseString(out);
+        case 't':
+        case 'f': return parseBool(out);
+        case 'n': return parseNull(out);
+        default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseLiteral(const char *lit)
+    {
+        for (const char *p = lit; *p; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                return fail(std::string("bad literal (expected ") +
+                            lit + ")");
+            ++pos_;
+        }
+        return true;
+    }
+
+    bool
+    parseNull(Value &out)
+    {
+        if (!parseLiteral("null"))
+            return false;
+        out = Value::makeNull();
+        return true;
+    }
+
+    bool
+    parseBool(Value &out)
+    {
+        if (text_[pos_] == 't') {
+            if (!parseLiteral("true"))
+                return false;
+            out = Value::makeBool(true);
+        } else {
+            if (!parseLiteral("false"))
+                return false;
+            out = Value::makeBool(false);
+        }
+        return true;
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected a value");
+        const std::string token =
+            text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number '" + token + "'");
+        out = Value::makeNumber(v);
+        return true;
+    }
+
+    /** Append Unicode code point @p cp to @p s as UTF-8. */
+    static void
+    appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    parseStringBody(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default: return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parseString(Value &out)
+    {
+        std::string s;
+        if (!parseStringBody(s))
+            return false;
+        out = Value::makeString(std::move(s));
+        return true;
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        if (!consume('['))
+            return false;
+        std::vector<Value> items;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            out = Value::makeArray(std::move(items));
+            return true;
+        }
+        while (true) {
+            Value item;
+            skipWs();
+            if (!parseValue(item))
+                return false;
+            items.push_back(std::move(item));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                out = Value::makeArray(std::move(items));
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        if (!consume('{'))
+            return false;
+        std::vector<std::pair<std::string, Value>> members;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            out = Value::makeObject(std::move(members));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseStringBody(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return false;
+            Value value;
+            skipWs();
+            if (!parseValue(value))
+                return false;
+            members.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                out = Value::makeObject(std::move(members));
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+ParseResult
+parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+number(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+} // namespace json
+} // namespace turnnet

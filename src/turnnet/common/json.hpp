@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal JSON support: the escape/format helpers every turnnet.*
+ * report emitter shares, and a small recursive-descent parser used
+ * by the schema-validation tests and the forensics tooling. No
+ * third-party dependency — the container image is fixed, so the
+ * repo carries its own.
+ *
+ * The parser accepts strict JSON (RFC 8259): objects, arrays,
+ * strings with escapes, numbers, true/false/null. It is not a
+ * performance path; documents here are reports of a few hundred
+ * kilobytes at most.
+ */
+
+#ifndef TURNNET_COMMON_JSON_HPP
+#define TURNNET_COMMON_JSON_HPP
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace turnnet {
+namespace json {
+
+/** A parsed JSON value (tree node). */
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Value() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; fatal on a type mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array elements; fatal unless isArray(). */
+    const std::vector<Value> &items() const;
+
+    /** Object members in document order; fatal unless isObject(). */
+    const std::vector<std::pair<std::string, Value>> &members() const;
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** Array/object element count; 0 for scalars. */
+    std::size_t size() const;
+
+    // Construction (used by the parser; also handy in tests).
+    static Value makeNull() { return Value(); }
+    static Value makeBool(bool b);
+    static Value makeNumber(double v);
+    static Value makeString(std::string s);
+    static Value makeArray(std::vector<Value> items);
+    static Value
+    makeObject(std::vector<std::pair<std::string, Value>> members);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> items_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+/** Outcome of a parse: a value or a positioned error message. */
+struct ParseResult
+{
+    bool ok = false;
+    Value value;
+    /** Human-readable error with byte offset; empty on success. */
+    std::string error;
+};
+
+/** Parse one complete JSON document (trailing junk is an error). */
+ParseResult parse(const std::string &text);
+
+// -- Emission helpers shared by the report writers. --
+
+/** Escape a string for embedding between JSON double quotes. */
+std::string escape(const std::string &s);
+
+/** Format a finite double (fixed, 6 decimals — report precision). */
+std::string number(double v);
+
+} // namespace json
+} // namespace turnnet
+
+#endif // TURNNET_COMMON_JSON_HPP

@@ -145,8 +145,14 @@ runFigure(const FigureSpec &spec, const SimConfig &base,
     for (const std::string &alg : spec.algorithms) {
         const RoutingPtr routing =
             makeRouting({.name = alg, .dims = topo->numDims()});
+        SweepOptions alg_opts = sweep_opts;
+        if (alg_opts.trace) {
+            // One trace-file family per algorithm so sweeping
+            // several never overwrites a ring dump.
+            alg_opts.traceOut = alg + "." + sweep_opts.traceOut;
+        }
         sweeps.push_back(runLoadSweep(*topo, routing, traffic,
-                                      spec.loads, base, sweep_opts));
+                                      spec.loads, base, alg_opts));
         if (print_tables) {
             sweepTable(spec.title + " -- " + routing->name() +
                            " on " + topo->name(),
@@ -243,6 +249,21 @@ runFigureMain(const std::string &figure_id, int argc,
         static_cast<Cycle>(opts.getInt("drain", 30000));
     base.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
 
+    // Fail fast at the CLI surface with every problem listed, not
+    // deep inside a worker thread with only the first one.
+    {
+        SimConfig probe = base;
+        probe.load =
+            spec.loads.empty() ? 0.0 : spec.loads.front();
+        const std::vector<std::string> errors = probe.validate();
+        if (!errors.empty()) {
+            for (const std::string &e : errors)
+                std::fprintf(stderr, "error: %s\n", e.c_str());
+            TN_FATAL("invalid options for ", figure_id, " (",
+                     errors.size(), " problem(s) above)");
+        }
+    }
+
     const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
 
     using Clock = std::chrono::steady_clock;
@@ -292,6 +313,20 @@ runFigureMain(const std::string &figure_id, int argc,
     if (bench_path != "off" && bench_path != "none" &&
         !bench_path.empty())
         writeSweepBenchJson(bench_path, {entry});
+
+    if (!sweep_opts.countersJson.empty()) {
+        const std::unique_ptr<Topology> topo =
+            makeTopology(spec.topology);
+        std::vector<CountersExportEntry> counter_entries;
+        for (std::size_t i = 0; i < spec.algorithms.size(); ++i) {
+            for (const SweepPoint &p : sweeps[i]) {
+                counter_entries.push_back(CountersExportEntry{
+                    spec.algorithms[i], topo->name(), spec.traffic,
+                    p.offered, p.counters});
+            }
+        }
+        writeCountersJson(sweep_opts.countersJson, counter_entries);
+    }
 
     if (opts.getBool("csv", false)) {
         for (std::size_t i = 0; i < sweeps.size(); ++i) {

@@ -74,8 +74,14 @@ bool figureResultsIdentical(
  * options: --quick, --loads a,b,c, --warmup N, --measure N,
  * --drain N, --seed N, --csv, --jobs N (0/auto = hardware threads),
  * --replicates N, --compare-serial (rerun serially, verify
- * bit-identical results, record the speedup), and --bench-json PATH
- * (default BENCH_sweep.json; "off" disables the report).
+ * bit-identical results, record the speedup), --bench-json PATH
+ * (default BENCH_sweep.json; "off" disables the report),
+ * --counters-json PATH (collect telemetry counters and write a
+ * "turnnet.counters/1" export), --trace (record flit-level event
+ * rings, one JSONL file per simulation), and --trace-out STEM
+ * (trace filename stem, default trace.jsonl). A malformed schedule
+ * is rejected up front with every problem listed
+ * (SimConfig::validate).
  */
 int runFigureMain(const std::string &figure_id, int argc,
                   const char *const *argv);

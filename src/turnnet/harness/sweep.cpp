@@ -28,6 +28,10 @@ SweepOptions::fromCli(const CliOptions &opts)
         opts.getInt("fault-seed", 1));
     out.faultCycle =
         static_cast<Cycle>(opts.getInt("fault-cycle", 0));
+    out.countersJson = opts.getString("counters-json", "");
+    out.collectCounters = !out.countersJson.empty();
+    out.trace = opts.getBool("trace", false);
+    out.traceOut = opts.getString("trace-out", out.traceOut);
     return out;
 }
 
@@ -43,6 +47,23 @@ sweepTaskSeed(std::uint64_t base_seed, std::size_t point_index,
 
 namespace {
 
+/** Per-task event-trace path: "<stem>.p<point>.r<replicate>.jsonl"
+ *  where the stem is @p trace_out without a trailing ".jsonl". */
+std::string
+traceTaskPath(const std::string &trace_out, std::size_t point,
+              unsigned replicate)
+{
+    std::string stem = trace_out;
+    const std::string suffix = ".jsonl";
+    if (stem.size() >= suffix.size() &&
+        stem.compare(stem.size() - suffix.size(), suffix.size(),
+                     suffix) == 0) {
+        stem.resize(stem.size() - suffix.size());
+    }
+    return stem + ".p" + std::to_string(point) + ".r" +
+           std::to_string(replicate) + ".jsonl";
+}
+
 /**
  * The sweep engine, generic over the routing handle (plain or
  * virtual-channel). The (point, replicate) grid is flattened into
@@ -50,7 +71,8 @@ namespace {
  * only on its grid index and writes into its own result slot, so the
  * grid can be executed in any order — serially or on the pool — with
  * bit-identical output. Replicates are then pooled per point,
- * sequentially and in replicate order.
+ * sequentially and in replicate order; telemetry counters pool the
+ * same way, so they inherit the bit-identity guarantee.
  */
 template <typename RoutingHandle>
 std::vector<SweepPoint>
@@ -61,6 +83,8 @@ runSweep(const Topology &topo, const RoutingHandle &routing,
     const unsigned replicates = std::max(1u, opts.replicates);
     const std::size_t tasks = loads.size() * replicates;
     std::vector<SimResult> results(tasks);
+    std::vector<std::shared_ptr<const TraceCounters>> counters(
+        opts.collectCounters ? tasks : 0);
 
     const auto runTask = [&](std::size_t t) {
         const std::size_t point = t / replicates;
@@ -70,8 +94,16 @@ runSweep(const Topology &topo, const RoutingHandle &routing,
         config.load = loads[point];
         config.seed = sweepTaskSeed(base.seed, point, replicate,
                                     replicates);
+        config.trace.counters |= opts.collectCounters;
+        config.trace.events |= opts.trace;
         Simulator sim(topo, routing, traffic, config);
         results[t] = sim.run();
+        if (opts.collectCounters)
+            counters[t] = sim.countersShared();
+        if (opts.trace && sim.trace() != nullptr) {
+            sim.trace()->writeJsonl(
+                traceTaskPath(opts.traceOut, point, replicate));
+        }
     };
 
     const unsigned jobs = std::min<std::size_t>(
@@ -88,9 +120,10 @@ runSweep(const Topology &topo, const RoutingHandle &routing,
     std::vector<SweepPoint> sweep;
     sweep.reserve(loads.size());
     for (std::size_t p = 0; p < loads.size(); ++p) {
+        SweepPoint point;
+        point.offered = loads[p];
         if (replicates == 1) {
-            sweep.push_back(
-                SweepPoint{loads[p], std::move(results[p])});
+            point.result = std::move(results[p]);
         } else {
             const std::vector<SimResult> group(
                 results.begin() +
@@ -98,9 +131,19 @@ runSweep(const Topology &topo, const RoutingHandle &routing,
                 results.begin() +
                     static_cast<std::ptrdiff_t>((p + 1) *
                                                 replicates));
-            sweep.push_back(
-                SweepPoint{loads[p], mergeReplicates(group)});
+            point.result = mergeReplicates(group);
         }
+        if (opts.collectCounters) {
+            // Pool replicate counters in replicate order (merge is
+            // commutative integer addition, but keep the order
+            // deterministic anyway).
+            auto pooled = std::make_shared<TraceCounters>(
+                *counters[p * replicates]);
+            for (unsigned r = 1; r < replicates; ++r)
+                pooled->merge(*counters[p * replicates + r]);
+            point.counters = std::move(pooled);
+        }
+        sweep.push_back(std::move(point));
     }
     return sweep;
 }
@@ -144,6 +187,21 @@ baselineHops(const std::vector<SweepPoint> &sweep)
             return p.result.avgHops;
     }
     return 0.0;
+}
+
+void
+appendCounterEntries(std::vector<CountersExportEntry> &entries,
+                     const std::string &algorithm,
+                     const std::string &topology,
+                     const std::string &traffic,
+                     const std::vector<SweepPoint> &sweep)
+{
+    for (const SweepPoint &p : sweep) {
+        if (p.counters == nullptr)
+            continue;
+        entries.push_back(CountersExportEntry{
+            algorithm, topology, traffic, p.offered, p.counters});
+    }
 }
 
 Table

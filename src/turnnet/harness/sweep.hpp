@@ -23,6 +23,9 @@ struct SweepPoint
 {
     double offered = 0.0;
     SimResult result;
+    /** Telemetry counters pooled over the point's replicates; null
+     *  unless SweepOptions::collectCounters. */
+    std::shared_ptr<const TraceCounters> counters;
 };
 
 /** Execution options for the sweep engine. */
@@ -74,10 +77,35 @@ struct SweepOptions
     Cycle faultCycle = 0;
 
     /**
+     * Collect TraceCounters for every simulation and pool them per
+     * point (bit-identical at any --jobs, like the results). Set
+     * automatically when --counters-json names a destination.
+     */
+    bool collectCounters = false;
+
+    /**
+     * Destination for the "turnnet.counters/1" export ("" disables
+     * it). Honored by the bench drivers (--counters-json).
+     */
+    std::string countersJson;
+
+    /**
+     * Record flit-level event traces (--trace): each simulation
+     * writes its bounded ring to "<stem>.p<point>.r<replicate>.jsonl"
+     * derived from @ref traceOut. Purely observational — results
+     * stay bit-identical.
+     */
+    bool trace = false;
+
+    /** Event-trace output stem (--trace-out). */
+    std::string traceOut = "trace.jsonl";
+
+    /**
      * Parse the flags every bench driver shares — --jobs (0 or
      * "auto" = hardware threads), --replicates, --compare-serial,
-     * --bench-json, --faults, --fault-seed, --fault-cycle — so the
-     * fifteen drivers stop hand-rolling the same block.
+     * --bench-json, --faults, --fault-seed, --fault-cycle,
+     * --counters-json, --trace, --trace-out — so the fifteen
+     * drivers stop hand-rolling the same block.
      */
     static SweepOptions fromCli(const CliOptions &opts);
 };
@@ -123,6 +151,19 @@ double baselineHops(const std::vector<SweepPoint> &sweep);
 /** Format one sweep as the standard latency/throughput table. */
 Table sweepTable(const std::string &title,
                  const std::vector<SweepPoint> &sweep);
+
+/**
+ * Append one swept configuration's telemetry to a
+ * "turnnet.counters/1" export. Points without counters (the sweep
+ * ran without SweepOptions::collectCounters) are skipped, so
+ * drivers can call this unconditionally and gate only the final
+ * writeCountersJson on --counters-json.
+ */
+void appendCounterEntries(std::vector<CountersExportEntry> &entries,
+                          const std::string &algorithm,
+                          const std::string &topology,
+                          const std::string &traffic,
+                          const std::vector<SweepPoint> &sweep);
 
 } // namespace turnnet
 

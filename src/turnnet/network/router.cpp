@@ -1,6 +1,8 @@
 #include "turnnet/network/router.hpp"
 
 #include "turnnet/common/logging.hpp"
+#include "turnnet/trace/counters.hpp"
+#include "turnnet/trace/event_trace.hpp"
 
 namespace turnnet {
 
@@ -84,6 +86,8 @@ Router::allocate(std::vector<InputUnit> &inputs,
             const UnitId ej = ejectionOutput();
             if (outputs[ej].usable())
                 request(ej, InputRequest{in_id, entry.arrival, port});
+            else if (ctx.counters)
+                ctx.counters->outputBusy(node_);
             continue;
         }
 
@@ -100,8 +104,14 @@ Router::allocate(std::vector<InputUnit> &inputs,
             if (out != kNoUnit && outputs[out].usable())
                 available.insert(c.dir);
         }
-        if (available.empty())
-            continue; // every permitted channel is busy: wait
+        if (available.empty()) {
+            // Every permitted channel is busy: wait. The breakdown
+            // charges this to routing denial — the relation offered
+            // nothing usable this cycle.
+            if (ctx.counters)
+                ctx.counters->routingDenied(node_);
+            continue;
+        }
 
         // Distance-reducing channels are always preferred; a
         // nonminimal relation's unproductive channels are taken
@@ -112,8 +122,14 @@ Router::allocate(std::vector<InputUnit> &inputs,
         DirectionSet eligible = productive;
         if (eligible.empty()) {
             const Cycle waited = ctx.now - entry.arrival;
-            if (waited < ctx.misrouteAfterWait)
+            if (waited < ctx.misrouteAfterWait) {
+                // Holding out for a productive channel counts as
+                // routing denial too: the relation's policy, not
+                // arbitration, kept the header waiting.
+                if (ctx.counters)
+                    ctx.counters->routingDenied(node_);
                 continue;
+            }
             eligible = available;
         }
 
@@ -144,6 +160,19 @@ Router::allocate(std::vector<InputUnit> &inputs,
         InputUnit &win = inputs[winner.input];
         win.assignOutput(p.output, win.buffer().front().flit.packet);
         outputs[p.output].acquire(winner.input);
+        if (ctx.counters) {
+            // The winner's switch is a turn-class event; every loser
+            // spent this cycle blocked on a busy output.
+            ctx.counters->turnTaken(win.inDir(),
+                                    outputs[p.output].dir());
+            for (std::size_t i = 1; i < p.requests.size(); ++i)
+                ctx.counters->outputBusy(node_);
+        }
+        if (ctx.events) {
+            ctx.events->record(TraceEventType::Route, ctx.now,
+                               win.buffer().front().flit.packet,
+                               node_, outputs[p.output].channel());
+        }
     }
 }
 

@@ -24,6 +24,9 @@
 
 namespace turnnet {
 
+class TraceCounters;
+class EventTrace;
+
 /** Context shared by all routers during an allocation pass. */
 struct AllocationContext
 {
@@ -41,6 +44,11 @@ struct AllocationContext
      * free channels are always preferred.
      */
     Cycle misrouteAfterWait = 0;
+
+    /** Telemetry sinks; null when disabled. Observational only —
+     *  they must never influence an allocation decision. */
+    TraceCounters *counters = nullptr;
+    EventTrace *events = nullptr;
 };
 
 /** One node's switching logic. */

@@ -6,6 +6,44 @@
 
 namespace turnnet {
 
+std::vector<std::string>
+SimConfig::validate() const
+{
+    std::vector<std::string> errors;
+    if (load < 0.0)
+        errors.push_back("load must be >= 0 (flits/node/cycle); "
+                         "0 means scripted injection");
+    if (bufferDepth == 0)
+        errors.push_back("bufferDepth must be positive: a router "
+                         "with zero-capacity input buffers cannot "
+                         "accept any flit");
+    if (measureCycles == 0)
+        errors.push_back("measureCycles must be positive: every "
+                         "throughput figure normalizes by the "
+                         "measurement window");
+    if (queueSampleInterval == 0)
+        errors.push_back("queueSampleInterval must be positive (it "
+                         "is a modulus)");
+    if (latencyHistMinUs <= 0.0)
+        errors.push_back("latencyHistMinUs must be positive "
+                         "(log-spaced bins)");
+    if (latencyHistMaxUs <= latencyHistMinUs)
+        errors.push_back("latencyHistMaxUs must exceed "
+                         "latencyHistMinUs");
+    if (latencyHistBins == 0)
+        errors.push_back("latencyHistBins must be positive");
+    if (trace.events && trace.eventCapacity == 0)
+        errors.push_back("trace.eventCapacity must be positive when "
+                         "the event trace is enabled");
+    if (!faults.empty() && faultCycle >=
+                               warmupCycles + measureCycles +
+                                   drainCycles)
+        errors.push_back("faultCycle lies beyond the run schedule "
+                         "(warmup + measure + drain): the faults "
+                         "would never activate");
+    return errors;
+}
+
 Simulator::Simulator(const Topology &topo, RoutingPtr routing,
                      TrafficPtr traffic, SimConfig config)
     : Simulator(topo,
@@ -28,8 +66,26 @@ Simulator::Simulator(const Topology &topo, VcRoutingPtr routing,
           config_.latencyHistMinUs, config_.latencyHistMaxUs,
           config_.latencyHistBins))
 {
+    const std::vector<std::string> errors = config_.validate();
+    if (!errors.empty()) {
+        std::string joined;
+        for (const std::string &e : errors) {
+            if (!joined.empty())
+                joined += "; ";
+            joined += e;
+        }
+        TN_FATAL("invalid simulation configuration: ", joined);
+    }
     TN_ASSERT(routing_ != nullptr, "simulator needs an algorithm");
     routing_->checkTopology(topo);
+    if (config_.trace.counters) {
+        counters_ = std::make_shared<TraceCounters>(
+            topo, routing_->numVcs());
+    }
+    if (config_.trace.events) {
+        events_ = std::make_unique<EventTrace>(
+            config_.trace.eventCapacity);
+    }
     if (!config_.faults.empty() && routing_->single() == nullptr) {
         TN_FATAL("fault injection needs a single-channel routing "
                  "core for reachability accounting; ",
@@ -65,6 +121,10 @@ Simulator::purgePacket(PacketId id, bool unreachable)
     }
     const PacketInfo &info = packets_.at(id);
     flitsDropped_ += queues_[info.src].dropPacket(id);
+    if (events_) {
+        events_->record(TraceEventType::Drop, cycle_, id, info.src,
+                        kInvalidChannel);
+    }
     if (unreachable)
         ++packetsUnreachable_;
     else
@@ -201,6 +261,10 @@ Simulator::deliverFlit(const Flit &flit)
     ++flitsDelivered_;
     if (measuring_)
         ++measureWindowFlitsDelivered_;
+    if (events_) {
+        events_->record(TraceEventType::Deliver, cycle_, flit.packet,
+                        flit.dest, kInvalidChannel);
+    }
     if (!flit.tail)
         return;
 
@@ -224,6 +288,19 @@ Simulator::deliverFlit(const Flit &flit)
         paths_.erase(flit.packet);
 }
 
+ChannelId
+Simulator::unitChannel(UnitId unit) const
+{
+    // Channel input units come first, num_vcs per channel; the rest
+    // are injection inputs (no physical channel).
+    const auto channel_units =
+        static_cast<UnitId>(topo_->numChannels()) *
+        network_.numVcs();
+    if (unit < channel_units)
+        return static_cast<ChannelId>(unit / network_.numVcs());
+    return kInvalidChannel;
+}
+
 void
 Simulator::moveFlits()
 {
@@ -233,16 +310,40 @@ Simulator::moveFlits()
     if (frontStall_.size() != network_.numInputs())
         frontStall_.assign(network_.numInputs(), 0);
 
+    // Occupancy sampling lives outside the movement loop so a run
+    // with counters disabled pays one branch per cycle here, not
+    // one per input unit.
+    if (counters_) {
+        for (UnitId in = 0;
+             in < static_cast<UnitId>(network_.numInputs()); ++in) {
+            counters_->occupancy(
+                static_cast<std::size_t>(in),
+                network_.input(in).buffer().size());
+        }
+    }
+
     moveScratch_.clear();
     for (UnitId in = 0;
          in < static_cast<UnitId>(network_.numInputs()); ++in) {
         if (!movable[in]) {
             // A buffered flit that cannot move accumulates stall
             // time; empty buffers are never stalled.
-            if (network_.input(in).buffer().empty())
+            const InputUnit &iu = network_.input(in);
+            if (iu.buffer().empty()) {
                 frontStall_[in] = 0;
-            else
+            } else {
                 ++frontStall_[in];
+                // A stalled flit that already holds an output is
+                // waiting on buffer space downstream; unallocated
+                // headers were charged by the router instead.
+                if (counters_ && iu.assignedOutput() != kNoUnit)
+                    counters_->downstreamFull(iu.node());
+                if (events_ && frontStall_[in] == 1) {
+                    events_->record(TraceEventType::Block, cycle_,
+                                    iu.buffer().front().flit.packet,
+                                    iu.node(), unitChannel(in));
+                }
+            }
             continue;
         }
         frontStall_[in] = 0;
@@ -263,6 +364,13 @@ Simulator::moveFlits()
             const UnitId down =
                 network_.channelInput(out.channel(), out.vc());
             network_.input(down).buffer().push(m.entry.flit, cycle_);
+            if (counters_)
+                counters_->flitCrossed(out.channel());
+            if (events_) {
+                events_->record(TraceEventType::Advance, cycle_,
+                                m.entry.flit.packet, out.node(),
+                                out.channel());
+            }
             if (measuring_) {
                 if (channelFlits_.size() !=
                     static_cast<std::size_t>(topo_->numChannels())) {
@@ -300,8 +408,13 @@ Simulator::injectFromQueues()
             continue;
         const Flit flit = q.nextFlit();
         iu.buffer().push(flit, cycle_);
-        if (flit.head)
+        if (flit.head) {
             packets_.at(flit.packet).injected = cycle_;
+            if (events_) {
+                events_->record(TraceEventType::Inject, cycle_,
+                                flit.packet, n, kInvalidChannel);
+            }
+        }
     }
 }
 
@@ -335,10 +448,14 @@ Simulator::step()
                                 config_.outputPolicy,
                                 arbiterRng_,
                                 cycle_,
-                                config_.misrouteAfterWait};
+                                config_.misrouteAfterWait,
+                                counters_.get(),
+                                events_.get()};
     network_.allocateAll(ctx);
     moveFlits();
     injectFromQueues();
+    if (counters_)
+        counters_->tick();
 
     const Cycle stalled = maxFrontStall();
     worstStall_ = std::max(worstStall_, stalled);

@@ -42,10 +42,31 @@
 #include "turnnet/routing/routing_function.hpp"
 #include "turnnet/routing/vc_routing.hpp"
 #include "turnnet/topology/fault.hpp"
+#include "turnnet/trace/counters.hpp"
+#include "turnnet/trace/event_trace.hpp"
 #include "turnnet/traffic/generator.hpp"
 #include "turnnet/traffic/pattern.hpp"
 
 namespace turnnet {
+
+/**
+ * Telemetry switches. Everything here is purely observational: the
+ * simulated trajectory (RNG draws, allocation order, SimResult) is
+ * bit-identical whatever is enabled; disabled instrumentation costs
+ * one branch per event site.
+ */
+struct TraceConfig
+{
+    /** Collect TraceCounters (utilization, occupancy, blocked-cycle
+     *  breakdown, turn histogram). */
+    bool counters = false;
+
+    /** Record the flit-level event trace ring. */
+    bool events = false;
+
+    /** Ring capacity when events are on (oldest evicted). */
+    std::size_t eventCapacity = 1 << 16;
+};
 
 /** Configuration of one simulation run. */
 struct SimConfig
@@ -134,7 +155,19 @@ struct SimConfig
     /** Cycle at which @ref faults become physical. */
     Cycle faultCycle = 0;
 
+    /** Telemetry switches (see TraceConfig). */
+    TraceConfig trace;
+
     std::uint64_t seed = 1;
+
+    /**
+     * Every reason this configuration cannot run, as human-readable
+     * messages; empty when valid. Simulator construction is fatal on
+     * a non-empty list — a zero measurement window or zero-capacity
+     * buffer used to misbehave far downstream (NaN rates, a fatal
+     * deep inside the buffer) instead of failing at the API surface.
+     */
+    std::vector<std::string> validate() const;
 };
 
 /** The simulator. */
@@ -194,6 +227,24 @@ class Simulator
     const Network &network() const { return network_; }
     const Topology &topo() const { return *topo_; }
     const PacketTable &packets() const { return packets_; }
+    const SimConfig &config() const { return config_; }
+
+    /** The routing relation driving allocation (forensics needs it
+     *  to re-derive channel dependencies from a wedged fabric). */
+    const VcRoutingFunction &routing() const { return *routing_; }
+
+    /** Telemetry counters; null unless config.trace.counters. */
+    const TraceCounters *counters() const { return counters_.get(); }
+
+    /** Shared handle to the counters (sweep engines keep them alive
+     *  past the simulator); null unless config.trace.counters. */
+    std::shared_ptr<const TraceCounters> countersShared() const
+    {
+        return counters_;
+    }
+
+    /** Event trace ring; null unless config.trace.events. */
+    const EventTrace *trace() const { return events_.get(); }
 
     std::uint64_t flitsCreated() const { return flitsCreated_; }
     std::uint64_t flitsDelivered() const { return flitsDelivered_; }
@@ -247,6 +298,10 @@ class Simulator
 
     std::uint64_t totalQueuedPackets() const;
 
+    /** Physical channel buffered by input unit @p unit, or
+     *  kInvalidChannel for injection units. */
+    ChannelId unitChannel(UnitId unit) const;
+
     const Topology *topo_;
     VcRoutingPtr routing_;
     SimConfig config_;
@@ -270,6 +325,11 @@ class Simulator
     Cycle worstStall_ = 0;
     std::vector<std::uint64_t> channelFlits_;
     std::unordered_map<PacketId, std::vector<ChannelId>> paths_;
+
+    /** Telemetry (null when the corresponding switch is off; every
+     *  hot-path feed is guarded by one null check). */
+    std::shared_ptr<TraceCounters> counters_;
+    std::unique_ptr<EventTrace> events_;
 
     // Counters.
     std::uint64_t flitsCreated_ = 0;

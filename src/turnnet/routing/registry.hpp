@@ -63,19 +63,6 @@ struct RoutingSpec
 /** Create a routing algorithm; fatal on an unknown name. */
 RoutingPtr makeRouting(const RoutingSpec &spec);
 
-/**
- * @deprecated Positional construction; use the RoutingSpec form.
- * Takes const char* (the literal legacy call sites used) rather
- * than std::string so a designated-initializer RoutingSpec call can
- * never be ambiguous against it.
- */
-[[deprecated("use makeRouting(const RoutingSpec&)")]] inline RoutingPtr
-makeRouting(const char *name, int num_dims = 2, bool minimal = true)
-{
-    return makeRouting(
-        RoutingSpec{name, num_dims, minimal, FaultSet{}});
-}
-
 /** Names accepted by makeRouting (excluding aliases). */
 std::vector<std::string> routingNames();
 

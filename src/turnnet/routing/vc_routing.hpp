@@ -151,18 +151,6 @@ class SingleVcAdapter : public VcRoutingFunction
  */
 VcRoutingPtr makeVcRouting(const RoutingSpec &spec);
 
-/**
- * @deprecated Positional construction; use the RoutingSpec form.
- * const char* for the same no-ambiguity reason as makeRouting's
- * shim.
- */
-[[deprecated("use makeVcRouting(const RoutingSpec&)")]] inline VcRoutingPtr
-makeVcRouting(const char *name, int num_dims = 2, bool minimal = true)
-{
-    return makeVcRouting(
-        RoutingSpec{name, num_dims, minimal, FaultSet{}});
-}
-
 } // namespace turnnet
 
 #endif // TURNNET_ROUTING_VC_ROUTING_HPP

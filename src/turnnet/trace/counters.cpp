@@ -1,0 +1,366 @@
+#include "turnnet/trace/counters.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "turnnet/common/json.hpp"
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+TraceCounters::TraceCounters(const Topology &topo, int num_vcs)
+    : numDims_(topo.numDims()), numSlots_(2 * topo.numDims() + 1),
+      channelFlits_(static_cast<std::size_t>(topo.numChannels()), 0),
+      occupancySum_(static_cast<std::size_t>(topo.numChannels()) *
+                            static_cast<std::size_t>(num_vcs) +
+                        static_cast<std::size_t>(topo.numNodes()),
+                    0),
+      blocked_(static_cast<std::size_t>(topo.numNodes())),
+      turns_(static_cast<std::size_t>(numSlots_) *
+                 static_cast<std::size_t>(numSlots_),
+             0)
+{
+    TN_ASSERT(num_vcs >= 1, "counters need at least one VC");
+}
+
+double
+TraceCounters::channelUtilization(ChannelId ch) const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    return static_cast<double>(
+               channelFlits_[static_cast<std::size_t>(ch)]) /
+           static_cast<double>(cycles_);
+}
+
+double
+TraceCounters::avgOccupancy(std::size_t unit) const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    return static_cast<double>(occupancySum_[unit]) /
+           static_cast<double>(cycles_);
+}
+
+double
+TraceCounters::meanOccupancy() const
+{
+    if (cycles_ == 0 || occupancySum_.empty())
+        return 0.0;
+    std::uint64_t sum = 0;
+    for (const std::uint64_t s : occupancySum_)
+        sum += s;
+    return static_cast<double>(sum) /
+           (static_cast<double>(cycles_) *
+            static_cast<double>(occupancySum_.size()));
+}
+
+BlockedBreakdown
+TraceCounters::blockedTotal() const
+{
+    BlockedBreakdown total;
+    for (const BlockedBreakdown &b : blocked_)
+        total += b;
+    return total;
+}
+
+std::uint64_t
+TraceCounters::turnCount(Direction from, Direction to) const
+{
+    return turns_[static_cast<std::size_t>(slot(from)) *
+                      static_cast<std::size_t>(numSlots_) +
+                  static_cast<std::size_t>(slot(to))];
+}
+
+std::uint64_t
+TraceCounters::injectionTurns() const
+{
+    const std::size_t local = static_cast<std::size_t>(2 * numDims_);
+    std::uint64_t total = 0;
+    for (int s = 0; s < numSlots_; ++s) {
+        total += turns_[local * static_cast<std::size_t>(numSlots_) +
+                        static_cast<std::size_t>(s)];
+        if (s != 2 * numDims_) {
+            total += turns_[static_cast<std::size_t>(s) *
+                                static_cast<std::size_t>(numSlots_) +
+                            local];
+        }
+    }
+    return total;
+}
+
+std::uint64_t
+TraceCounters::prohibitedTurnEvents(const TurnSet &allowed) const
+{
+    std::uint64_t violations = 0;
+    for (int f = 0; f < 2 * numDims_; ++f) {
+        for (int t = 0; t < 2 * numDims_; ++t) {
+            const Direction from = Direction::fromIndex(f);
+            const Direction to = Direction::fromIndex(t);
+            if (from == to)
+                continue; // straight continuation, not a turn
+            if (!allowed.allows(from, to)) {
+                violations +=
+                    turns_[static_cast<std::size_t>(f) *
+                               static_cast<std::size_t>(numSlots_) +
+                           static_cast<std::size_t>(t)];
+            }
+        }
+    }
+    return violations;
+}
+
+void
+TraceCounters::merge(const TraceCounters &other)
+{
+    TN_ASSERT(channelFlits_.size() == other.channelFlits_.size() &&
+                  occupancySum_.size() ==
+                      other.occupancySum_.size() &&
+                  blocked_.size() == other.blocked_.size() &&
+                  turns_.size() == other.turns_.size(),
+              "cannot merge counters of different fabrics");
+    cycles_ += other.cycles_;
+    for (std::size_t i = 0; i < channelFlits_.size(); ++i)
+        channelFlits_[i] += other.channelFlits_[i];
+    for (std::size_t i = 0; i < occupancySum_.size(); ++i)
+        occupancySum_[i] += other.occupancySum_[i];
+    for (std::size_t i = 0; i < blocked_.size(); ++i)
+        blocked_[i] += other.blocked_[i];
+    for (std::size_t i = 0; i < turns_.size(); ++i)
+        turns_[i] += other.turns_[i];
+}
+
+bool
+TraceCounters::identical(const TraceCounters &other) const
+{
+    return cycles_ == other.cycles_ &&
+           channelFlits_ == other.channelFlits_ &&
+           occupancySum_ == other.occupancySum_ &&
+           blocked_ == other.blocked_ && turns_ == other.turns_;
+}
+
+namespace {
+
+/** Direction name of a dense turn-histogram slot. */
+std::string
+slotName(int slot, int num_dims)
+{
+    if (slot == 2 * num_dims)
+        return "local";
+    return Direction::fromIndex(slot).toString();
+}
+
+void
+appendCountersEntry(std::ostringstream &os,
+                    const CountersExportEntry &e)
+{
+    const TraceCounters &c = *e.counters;
+    const BlockedBreakdown blocked = c.blockedTotal();
+
+    double max_util = 0.0;
+    double total_flits = 0.0;
+    for (ChannelId ch = 0;
+         ch < static_cast<ChannelId>(c.channelFlits().size());
+         ++ch) {
+        max_util = std::max(max_util, c.channelUtilization(ch));
+        total_flits +=
+            static_cast<double>(c.channelFlits()[ch]);
+    }
+    const double mean_util =
+        c.cyclesObserved() > 0 && !c.channelFlits().empty()
+            ? total_flits /
+                  (static_cast<double>(c.cyclesObserved()) *
+                   static_cast<double>(c.channelFlits().size()))
+            : 0.0;
+
+    os << "    {\n"
+       << "      \"algorithm\": \"" << json::escape(e.algorithm)
+       << "\",\n"
+       << "      \"topology\": \"" << json::escape(e.topology)
+       << "\",\n"
+       << "      \"traffic\": \"" << json::escape(e.traffic)
+       << "\",\n"
+       << "      \"offered_load\": " << json::number(e.offeredLoad)
+       << ",\n"
+       << "      \"cycles\": " << c.cyclesObserved() << ",\n"
+       << "      \"blocked\": { \"routing_denied\": "
+       << blocked.routingDenied
+       << ", \"output_busy\": " << blocked.outputBusy
+       << ", \"downstream_full\": " << blocked.downstreamFull
+       << " },\n"
+       << "      \"mean_buffer_occupancy\": "
+       << json::number(c.meanOccupancy()) << ",\n"
+       << "      \"max_channel_utilization\": "
+       << json::number(max_util) << ",\n"
+       << "      \"mean_channel_utilization\": "
+       << json::number(mean_util) << ",\n";
+
+    os << "      \"channel_flits\": [";
+    for (std::size_t i = 0; i < c.channelFlits().size(); ++i) {
+        os << (i ? ", " : "") << c.channelFlits()[i];
+    }
+    os << "],\n";
+
+    os << "      \"turns\": [";
+    bool first = true;
+    const int slots = 2 * c.numDims() + 1;
+    for (int f = 0; f < slots; ++f) {
+        for (int t = 0; t < slots; ++t) {
+            const Direction from =
+                f == 2 * c.numDims() ? Direction::local()
+                                     : Direction::fromIndex(f);
+            const Direction to =
+                t == 2 * c.numDims() ? Direction::local()
+                                     : Direction::fromIndex(t);
+            const std::uint64_t n = c.turnCount(from, to);
+            if (n == 0)
+                continue;
+            os << (first ? "" : ",") << "\n        { \"from\": \""
+               << slotName(f, c.numDims()) << "\", \"to\": \""
+               << slotName(t, c.numDims()) << "\", \"count\": " << n
+               << " }";
+            first = false;
+        }
+    }
+    os << (first ? "" : "\n      ") << "]\n    }";
+}
+
+bool
+writeDocument(const std::string &path, const std::string &doc,
+              const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        TN_WARN("cannot write ", what, " to '", path, "'");
+        return false;
+    }
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        TN_WARN("short write of ", what, " '", path, "'");
+    return ok;
+}
+
+} // namespace
+
+std::string
+countersJson(const std::vector<CountersExportEntry> &entries)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"turnnet.counters/1\",\n"
+       << "  \"entries\": [\n";
+    bool first = true;
+    for (const CountersExportEntry &e : entries) {
+        if (!e.counters)
+            continue; // a sweep point run without collection
+        os << (first ? "" : ",\n");
+        appendCountersEntry(os, e);
+        first = false;
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+bool
+writeCountersJson(const std::string &path,
+                  const std::vector<CountersExportEntry> &entries)
+{
+    return writeDocument(path, countersJson(entries),
+                         "counters export");
+}
+
+std::string
+channelHeatJson(const Topology &topo, const std::string &traffic,
+                double offered_load,
+                const std::vector<ChannelHeatEntry> &entries)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"turnnet.channel_heat/1\",\n"
+       << "  \"topology\": \"" << json::escape(topo.name())
+       << "\",\n"
+       << "  \"traffic\": \"" << json::escape(traffic) << "\",\n"
+       << "  \"offered_load\": " << json::number(offered_load)
+       << ",\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const ChannelHeatEntry &e = entries[i];
+        const TraceCounters &c = *e.counters;
+        const std::vector<std::uint64_t> &flits = c.channelFlits();
+
+        std::vector<ChannelId> order(flits.size());
+        for (std::size_t ch = 0; ch < flits.size(); ++ch)
+            order[ch] = static_cast<ChannelId>(ch);
+        std::sort(order.begin(), order.end(),
+                  [&](ChannelId a, ChannelId b) {
+                      const std::uint64_t fa =
+                          flits[static_cast<std::size_t>(a)];
+                      const std::uint64_t fb =
+                          flits[static_cast<std::size_t>(b)];
+                      return fa != fb ? fa > fb : a < b;
+                  });
+
+        std::uint64_t total = 0;
+        for (const std::uint64_t f : flits)
+            total += f;
+        const std::size_t top =
+            std::max<std::size_t>(1, flits.size() / 20);
+        std::uint64_t top_sum = 0;
+        for (std::size_t k = 0; k < top && k < order.size(); ++k)
+            top_sum +=
+                flits[static_cast<std::size_t>(order[k])];
+
+        double max_util = 0.0;
+        double mean_util = 0.0;
+        if (!order.empty() && c.cyclesObserved() > 0) {
+            max_util = c.channelUtilization(order.front());
+            mean_util = static_cast<double>(total) /
+                        (static_cast<double>(c.cyclesObserved()) *
+                         static_cast<double>(flits.size()));
+        }
+
+        os << "    {\n"
+           << "      \"algorithm\": \"" << json::escape(e.algorithm)
+           << "\",\n"
+           << "      \"cycles\": " << c.cyclesObserved() << ",\n"
+           << "      \"max_utilization\": " << json::number(max_util)
+           << ",\n"
+           << "      \"mean_utilization\": "
+           << json::number(mean_util) << ",\n"
+           << "      \"top5_share\": "
+           << json::number(total ? static_cast<double>(top_sum) /
+                                       static_cast<double>(total)
+                                 : 0.0)
+           << ",\n      \"channels\": [\n";
+        for (std::size_t k = 0; k < order.size(); ++k) {
+            const ChannelId ch = order[k];
+            const Channel &info = topo.channel(ch);
+            os << "        { \"id\": " << ch << ", \"src\": \""
+               << json::escape(topo.shape().coordToString(
+                      topo.coordOf(info.src)))
+               << "\", \"dir\": \""
+               << json::escape(info.dir.toString())
+               << "\", \"flits\": "
+               << flits[static_cast<std::size_t>(ch)]
+               << ", \"utilization\": "
+               << json::number(c.channelUtilization(ch)) << " }"
+               << (k + 1 < order.size() ? "," : "") << "\n";
+        }
+        os << "      ]\n    }"
+           << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+bool
+writeChannelHeatJson(const std::string &path, const Topology &topo,
+                     const std::string &traffic, double offered_load,
+                     const std::vector<ChannelHeatEntry> &entries)
+{
+    return writeDocument(
+        path, channelHeatJson(topo, traffic, offered_load, entries),
+        "channel-heat report");
+}
+
+} // namespace turnnet

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Aggregate telemetry counters: per-channel utilization, per-buffer
+ * time-weighted occupancy, per-router blocked-cycle breakdown, and a
+ * per-turn-class usage histogram.
+ *
+ * The simulator owns one TraceCounters instance when
+ * SimConfig::trace.counters is set and feeds it from the allocation
+ * and movement hot paths. Every feed site is guarded by a single
+ * null-pointer check, so a run with tracing disabled pays one
+ * predictable branch per potential event and nothing else — the
+ * counters must never perturb simulation behavior, only observe it.
+ *
+ * All fields are plain integers accumulated in deterministic cycle
+ * order, so two runs of the same seed produce identical counters and
+ * a parallel sweep merges replicates into the same totals as a
+ * serial one.
+ */
+
+#ifndef TURNNET_TRACE_COUNTERS_HPP
+#define TURNNET_TRACE_COUNTERS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/types.hpp"
+#include "turnnet/topology/direction.hpp"
+#include "turnnet/topology/topology.hpp"
+#include "turnnet/turnmodel/turn.hpp"
+
+namespace turnnet {
+
+/**
+ * Why a router left a waiting header (or a buffered flit) where it
+ * was for one cycle. The three reasons are mutually exclusive per
+ * (unit, cycle): a header with no usable permitted output is
+ * routing-denied; a header that had usable candidates but lost the
+ * input arbitration (or found the ejection port owned) waited on a
+ * busy output; a flit already switched to an output that could not
+ * advance waited on a full downstream buffer.
+ */
+struct BlockedBreakdown
+{
+    std::uint64_t routingDenied = 0;
+    std::uint64_t outputBusy = 0;
+    std::uint64_t downstreamFull = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return routingDenied + outputBusy + downstreamFull;
+    }
+
+    BlockedBreakdown &
+    operator+=(const BlockedBreakdown &o)
+    {
+        routingDenied += o.routingDenied;
+        outputBusy += o.outputBusy;
+        downstreamFull += o.downstreamFull;
+        return *this;
+    }
+
+    bool
+    operator==(const BlockedBreakdown &o) const
+    {
+        return routingDenied == o.routingDenied &&
+               outputBusy == o.outputBusy &&
+               downstreamFull == o.downstreamFull;
+    }
+};
+
+/** The counter set for one simulation run. */
+class TraceCounters
+{
+  public:
+    /**
+     * @param topo Topology the simulation runs on.
+     * @param num_vcs Virtual channels per physical channel (sizes
+     *        the per-input-buffer occupancy table).
+     */
+    TraceCounters(const Topology &topo, int num_vcs);
+
+    // -- Hot-path feeds (inline; callers hold a possibly-null
+    //    pointer and guard each call with one branch). --
+
+    /** One simulated cycle elapsed (the utilization denominator). */
+    void tick() { ++cycles_; }
+
+    /** A flit crossed physical channel @p ch this cycle. */
+    void flitCrossed(ChannelId ch)
+    {
+        ++channelFlits_[static_cast<std::size_t>(ch)];
+    }
+
+    /** Input buffer @p unit holds @p flits flits this cycle. */
+    void occupancy(std::size_t unit, std::size_t flits)
+    {
+        occupancySum_[unit] += flits;
+    }
+
+    void routingDenied(NodeId router)
+    {
+        ++blocked_[static_cast<std::size_t>(router)].routingDenied;
+    }
+
+    void outputBusy(NodeId router)
+    {
+        ++blocked_[static_cast<std::size_t>(router)].outputBusy;
+    }
+
+    void downstreamFull(NodeId router)
+    {
+        ++blocked_[static_cast<std::size_t>(router)].downstreamFull;
+    }
+
+    /**
+     * A header was switched from travel direction @p from to output
+     * direction @p to (local = injection/ejection legs).
+     */
+    void turnTaken(Direction from, Direction to)
+    {
+        ++turns_[static_cast<std::size_t>(slot(from)) *
+                     static_cast<std::size_t>(numSlots_) +
+                 static_cast<std::size_t>(slot(to))];
+    }
+
+    // -- Queries. --
+
+    int numDims() const { return numDims_; }
+    Cycle cyclesObserved() const { return cycles_; }
+
+    /** Flits that crossed each channel (index = ChannelId), whole
+     *  run — unlike SimResult's measure-window channel loads. */
+    const std::vector<std::uint64_t> &channelFlits() const
+    {
+        return channelFlits_;
+    }
+
+    /** Flits per cycle on @p ch over the observed cycles. */
+    double channelUtilization(ChannelId ch) const;
+
+    /** Time-weighted mean occupancy (flits) of input buffer @p unit. */
+    double avgOccupancy(std::size_t unit) const;
+
+    /** Time-weighted mean occupancy over all input buffers. */
+    double meanOccupancy() const;
+
+    const BlockedBreakdown &blockedAt(NodeId router) const
+    {
+        return blocked_[static_cast<std::size_t>(router)];
+    }
+
+    /** Network-wide blocked-cycle totals. */
+    BlockedBreakdown blockedTotal() const;
+
+    /** Headers switched from @p from to @p to. */
+    std::uint64_t turnCount(Direction from, Direction to) const;
+
+    /** Headers that entered or left through the local port. */
+    std::uint64_t injectionTurns() const;
+
+    /**
+     * Events whose (from, to) pair the algorithm's turn set
+     * prohibits — network turns only, straight continuations
+     * excluded. The cross-check behind the telemetry: a correct
+     * turn-model router logs exactly zero of these.
+     */
+    std::uint64_t prohibitedTurnEvents(const TurnSet &allowed) const;
+
+    /** Accumulate @p other into this (replicate pooling). */
+    void merge(const TraceCounters &other);
+
+    /** Exact equality of every counter (determinism checks). */
+    bool identical(const TraceCounters &other) const;
+
+  private:
+    /** Dense direction slot: index() for network directions, the
+     *  last slot for local. */
+    int slot(Direction d) const
+    {
+        return d.isLocal() ? 2 * numDims_ : d.index();
+    }
+
+    int numDims_;
+    int numSlots_;
+    Cycle cycles_ = 0;
+    std::vector<std::uint64_t> channelFlits_;
+    std::vector<std::uint64_t> occupancySum_;
+    std::vector<BlockedBreakdown> blocked_;
+    /** Row-major [from-slot][to-slot] header-switch counts. */
+    std::vector<std::uint64_t> turns_;
+};
+
+/** One (configuration, counters) record of a counters export. */
+struct CountersExportEntry
+{
+    std::string algorithm;
+    std::string topology;
+    std::string traffic;
+    double offeredLoad = 0.0;
+    std::shared_ptr<const TraceCounters> counters;
+};
+
+/**
+ * Render a counters export document.
+ *
+ * Schema ("turnnet.counters/1"):
+ *
+ *   {
+ *     "schema": "turnnet.counters/1",
+ *     "entries": [
+ *       {
+ *         "algorithm": "west-first",
+ *         "topology": "mesh(8x8)",
+ *         "traffic": "uniform",
+ *         "offered_load": 0.06,
+ *         "cycles": 48000,
+ *         "blocked": { "routing_denied": 12, "output_busy": 3,
+ *                      "downstream_full": 7 },
+ *         "mean_buffer_occupancy": 0.31,
+ *         "max_channel_utilization": 0.82,
+ *         "mean_channel_utilization": 0.21,
+ *         "channel_flits": [ 17, 0, ... ],   // index = ChannelId
+ *         "turns": [ { "from": "east", "to": "north",
+ *                      "count": 123 }, ... ] // nonzero pairs only
+ *       }
+ *     ]
+ *   }
+ */
+std::string
+countersJson(const std::vector<CountersExportEntry> &entries);
+
+/** Write a counters export to @p path; warns and returns false on
+ *  I/O failure. */
+bool writeCountersJson(const std::string &path,
+                       const std::vector<CountersExportEntry> &entries);
+
+/** One algorithm's heat data for a channel-heat report. */
+struct ChannelHeatEntry
+{
+    std::string algorithm;
+    std::shared_ptr<const TraceCounters> counters;
+};
+
+/**
+ * Render a per-channel heat map comparing algorithms on one
+ * (topology, traffic, load) configuration.
+ *
+ * Schema ("turnnet.channel_heat/1"):
+ *
+ *   {
+ *     "schema": "turnnet.channel_heat/1",
+ *     "topology": "mesh(8x8)",
+ *     "traffic": "transpose",
+ *     "offered_load": 0.12,
+ *     "entries": [
+ *       {
+ *         "algorithm": "negative-first",
+ *         "cycles": 20000,
+ *         "max_utilization": 0.91,
+ *         "mean_utilization": 0.18,
+ *         "top5_share": 0.34,      // traffic share of busiest 5%
+ *         "channels": [
+ *           { "id": 12, "src": "(1,2)", "dir": "east",
+ *             "flits": 18200, "utilization": 0.91 }, ...
+ *         ]                         // sorted hottest-first
+ *       }
+ *     ]
+ *   }
+ */
+std::string
+channelHeatJson(const Topology &topo, const std::string &traffic,
+                double offered_load,
+                const std::vector<ChannelHeatEntry> &entries);
+
+/** Write a channel-heat report to @p path; warns and returns false
+ *  on I/O failure. */
+bool writeChannelHeatJson(const std::string &path,
+                          const Topology &topo,
+                          const std::string &traffic,
+                          double offered_load,
+                          const std::vector<ChannelHeatEntry> &entries);
+
+} // namespace turnnet
+
+#endif // TURNNET_TRACE_COUNTERS_HPP

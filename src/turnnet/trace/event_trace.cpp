@@ -1,0 +1,78 @@
+#include "turnnet/trace/event_trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+const char *
+traceEventName(TraceEventType type)
+{
+    switch (type) {
+    case TraceEventType::Inject: return "inject";
+    case TraceEventType::Route: return "route";
+    case TraceEventType::Advance: return "advance";
+    case TraceEventType::Block: return "block";
+    case TraceEventType::Deliver: return "deliver";
+    case TraceEventType::Drop: return "drop";
+    }
+    return "unknown";
+}
+
+EventTrace::EventTrace(std::size_t capacity) : ring_(capacity)
+{
+    TN_ASSERT(capacity > 0, "event trace needs a positive capacity");
+}
+
+std::vector<TraceEvent>
+EventTrace::events() const
+{
+    std::vector<TraceEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    const std::uint64_t start = head_ - n;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+std::string
+EventTrace::toJsonl() const
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"turnnet.trace/1\",\"capacity\":"
+       << ring_.size() << ",\"recorded\":" << recorded()
+       << ",\"dropped\":" << dropped() << "}\n";
+    for (const TraceEvent &e : events()) {
+        os << "{\"cycle\":" << e.cycle << ",\"event\":\""
+           << traceEventName(e.type) << "\",\"packet\":" << e.packet
+           << ",\"node\":" << e.node << ",\"channel\":";
+        if (e.channel == kInvalidChannel)
+            os << "null";
+        else
+            os << e.channel;
+        os << "}\n";
+    }
+    return os.str();
+}
+
+bool
+EventTrace::writeJsonl(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        TN_WARN("cannot write event trace to '", path, "'");
+        return false;
+    }
+    const std::string doc = toJsonl();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        TN_WARN("short write of event trace '", path, "'");
+    return ok;
+}
+
+} // namespace turnnet

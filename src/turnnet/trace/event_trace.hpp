@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Opt-in flit-level event trace: a bounded ring buffer of
+ * cycle-stamped events (inject, route, advance, block, deliver,
+ * drop) that serializes to JSONL.
+ *
+ * The ring overwrites its oldest entries once full, so a trace of a
+ * multi-million-cycle run stays bounded and keeps the most recent —
+ * and for deadlock forensics, most interesting — window. Recording
+ * is a few stores into preallocated memory; the simulator guards
+ * every record() with one null check, so a run without --trace pays
+ * a single branch per event site.
+ *
+ * Cycle stamps come from the simulator clock, which is seeded and
+ * deterministic: the same configuration produces the same trace,
+ * byte for byte.
+ */
+
+#ifndef TURNNET_TRACE_EVENT_TRACE_HPP
+#define TURNNET_TRACE_EVENT_TRACE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/types.hpp"
+
+namespace turnnet {
+
+/** What happened to a flit (or a packet's header) this cycle. */
+enum class TraceEventType : std::uint8_t
+{
+    Inject,  ///< header entered its source router's injection buffer
+    Route,   ///< header won allocation and was switched to an output
+    Advance, ///< flit crossed a physical channel
+    Block,   ///< a buffered flit newly failed to move (stall onset)
+    Deliver, ///< flit consumed by the destination processor
+    Drop,    ///< packet purged by fault activation
+};
+
+/** JSONL name of an event type. */
+const char *traceEventName(TraceEventType type);
+
+/** One recorded event. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    PacketId packet = 0;
+    NodeId node = kInvalidNode;
+    /** Channel involved, or kInvalidChannel for local events. */
+    ChannelId channel = kInvalidChannel;
+    TraceEventType type = TraceEventType::Inject;
+};
+
+/** The bounded ring buffer of trace events. */
+class EventTrace
+{
+  public:
+    /** @param capacity Maximum retained events (oldest evicted). */
+    explicit EventTrace(std::size_t capacity);
+
+    /** Record one event (hot path; overwrites the oldest when
+     *  full). */
+    void
+    record(TraceEventType type, Cycle cycle, PacketId packet,
+           NodeId node, ChannelId channel)
+    {
+        TraceEvent &e = ring_[head_ % ring_.size()];
+        e.cycle = cycle;
+        e.packet = packet;
+        e.node = node;
+        e.channel = channel;
+        e.type = type;
+        ++head_;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Events currently retained. */
+    std::size_t size() const
+    {
+        return head_ < ring_.size() ? static_cast<std::size_t>(head_)
+                                    : ring_.size();
+    }
+
+    /** Total events ever recorded (including overwritten ones). */
+    std::uint64_t recorded() const { return head_; }
+
+    /** Events lost to ring eviction. */
+    std::uint64_t dropped() const
+    {
+        return head_ < ring_.size() ? 0 : head_ - ring_.size();
+    }
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /**
+     * Serialize as JSONL ("turnnet.trace/1"): a header line
+     *
+     *   {"schema":"turnnet.trace/1","capacity":N,
+     *    "recorded":R,"dropped":D}
+     *
+     * followed by one line per retained event, oldest first:
+     *
+     *   {"cycle":C,"event":"route","packet":P,"node":N,
+     *    "channel":CH}        // "channel" null for local events
+     */
+    std::string toJsonl() const;
+
+    /** Write the JSONL document to @p path; warns and returns false
+     *  on I/O failure. */
+    bool writeJsonl(const std::string &path) const;
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::uint64_t head_ = 0;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TRACE_EVENT_TRACE_HPP

@@ -1,0 +1,376 @@
+#include "turnnet/trace/forensics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "turnnet/analysis/cdg.hpp"
+#include "turnnet/common/json.hpp"
+#include "turnnet/common/logging.hpp"
+#include "turnnet/network/simulator.hpp"
+
+namespace turnnet {
+namespace {
+
+/** One wait-for edge: the occupant of the source unit (with
+ *  destination @p requesterDest) waits on the target unit's buffer. */
+struct WaitEdge
+{
+    UnitId target = kNoUnit;
+    NodeId requesterDest = kInvalidNode;
+};
+
+std::string
+channelLabel(const Topology &topo, ChannelId ch)
+{
+    const Channel &c = topo.channel(ch);
+    std::ostringstream os;
+    os << "ch" << ch << " "
+       << topo.shape().coordToString(topo.coordOf(c.src)) << " "
+       << c.dir.toString();
+    return os.str();
+}
+
+/**
+ * Find a cycle in the wait-for graph (iterative coloring DFS).
+ * Returns the cycle's units in wait order, or empty.
+ */
+std::vector<UnitId>
+findUnitCycle(const std::vector<std::vector<WaitEdge>> &adj)
+{
+    const std::size_t n = adj.size();
+    // 0 = unvisited, 1 = on the current path, 2 = done.
+    std::vector<std::uint8_t> color(n, 0);
+
+    struct Frame
+    {
+        UnitId unit;
+        std::size_t nextEdge;
+    };
+
+    for (std::size_t s = 0; s < n; ++s) {
+        if (color[s] != 0)
+            continue;
+        std::vector<Frame> path;
+        path.push_back(Frame{static_cast<UnitId>(s), 0});
+        color[s] = 1;
+        while (!path.empty()) {
+            Frame &f = path.back();
+            const auto &edges = adj[static_cast<std::size_t>(f.unit)];
+            if (f.nextEdge >= edges.size()) {
+                color[static_cast<std::size_t>(f.unit)] = 2;
+                path.pop_back();
+                continue;
+            }
+            const UnitId t = edges[f.nextEdge++].target;
+            if (color[static_cast<std::size_t>(t)] == 1) {
+                // Cycle: the path suffix starting at t.
+                std::vector<UnitId> cycle;
+                std::size_t start = 0;
+                while (path[start].unit != t)
+                    ++start;
+                for (std::size_t i = start; i < path.size(); ++i)
+                    cycle.push_back(path[i].unit);
+                return cycle;
+            }
+            if (color[static_cast<std::size_t>(t)] == 0) {
+                color[static_cast<std::size_t>(t)] = 1;
+                path.push_back(Frame{t, 0});
+            }
+        }
+    }
+    return {};
+}
+
+/** Destination recorded on the edge unit -> target, if present. */
+NodeId
+edgeDest(const std::vector<std::vector<WaitEdge>> &adj, UnitId unit,
+         UnitId target)
+{
+    for (const WaitEdge &e : adj[static_cast<std::size_t>(unit)]) {
+        if (e.target == target)
+            return e.requesterDest;
+    }
+    return kInvalidNode;
+}
+
+} // namespace
+
+DeadlockReport
+collectDeadlockForensics(const Simulator &sim)
+{
+    const Network &net = sim.network();
+    const Topology &topo = sim.topo();
+    const VcRoutingFunction &routing = sim.routing();
+    const int num_vcs = net.numVcs();
+
+    // Which packet holds which physical channels: every owned
+    // non-ejection output is held by its owner input's resident
+    // packet (the reservation is attributable even across bubbles).
+    std::unordered_map<PacketId, std::vector<ChannelId>> held;
+    for (UnitId o = 0; o < static_cast<UnitId>(net.numOutputs());
+         ++o) {
+        const OutputUnit &out = net.output(o);
+        if (out.owner() == kNoUnit || out.isEjection())
+            continue;
+        const PacketId p = net.input(out.owner()).residentPacket();
+        if (p != 0)
+            held[p].push_back(out.channel());
+    }
+
+    DeadlockReport report;
+    std::vector<std::vector<WaitEdge>> adj(net.numInputs());
+    std::vector<VcCandidate> candidates;
+
+    for (UnitId u = 0; u < static_cast<UnitId>(net.numInputs());
+         ++u) {
+        const InputUnit &iu = net.input(u);
+        const UnitId assigned = iu.assignedOutput();
+        const bool has_flit = !iu.buffer().empty();
+        if (!has_flit && assigned == kNoUnit)
+            continue;
+
+        if (assigned != kNoUnit) {
+            // The front (or a reservation bubble) already switched:
+            // it can only be waiting on downstream buffer space.
+            const OutputUnit &out = net.output(assigned);
+            if (out.isEjection())
+                continue; // delivery always proceeds
+            const UnitId down =
+                net.channelInput(out.channel(), out.vc());
+            if (!net.input(down).buffer().full())
+                continue; // advances next cycle; not blocked
+            const PacketId packet = iu.residentPacket();
+            const NodeId dest =
+                has_flit ? iu.buffer().front().flit.dest
+                         : sim.packets().at(packet).dest;
+            adj[static_cast<std::size_t>(u)].push_back(
+                WaitEdge{down, dest});
+            if (has_flit) {
+                WormWait w;
+                w.packet = packet;
+                w.node = iu.node();
+                w.dest = dest;
+                w.unit = u;
+                w.held = held[packet];
+                w.wanted = {out.channel()};
+                w.headerAllocated = true;
+                report.worms.push_back(std::move(w));
+            }
+            continue;
+        }
+
+        // Unallocated front: a header waiting for the router.
+        const Flit &front = iu.buffer().front().flit;
+        TN_ASSERT(front.head,
+                  "non-header flit waiting without a route at node ",
+                  iu.node());
+        WormWait w;
+        w.packet = front.packet;
+        w.node = iu.node();
+        w.dest = front.dest;
+        w.unit = u;
+        w.headerAllocated = false;
+
+        if (front.dest == iu.node()) {
+            // Only the ejection port can serve it; a busy ejection
+            // is a transient wait, never part of a channel cycle.
+            if (net.output(net.ejectionOutput(iu.node())).usable())
+                continue;
+            w.held = held[front.packet];
+            report.worms.push_back(std::move(w));
+            continue;
+        }
+
+        candidates.clear();
+        routing.route(topo, iu.node(), front.dest, iu.inDir(),
+                      iu.vc(), candidates);
+        bool any_usable = false;
+        std::vector<ChannelId> wanted;
+        for (const VcCandidate &c : candidates) {
+            const UnitId out_id =
+                net.router(iu.node()).outputFor(c.dir, c.vc);
+            if (out_id == kNoUnit)
+                continue;
+            const OutputUnit &out = net.output(out_id);
+            if (out.usable()) {
+                any_usable = true;
+                break;
+            }
+            wanted.push_back(out.channel());
+            if (!out.failed()) {
+                // Waiting on a live owned channel: the cyclic-wait
+                // candidate edge. (A failed channel is wanted but
+                // never released — a stall, not a cycle.)
+                adj[static_cast<std::size_t>(u)].push_back(WaitEdge{
+                    net.channelInput(out.channel(), out.vc()),
+                    front.dest});
+            }
+        }
+        if (any_usable)
+            continue; // will be allocated; not blocked
+        std::sort(wanted.begin(), wanted.end());
+        wanted.erase(std::unique(wanted.begin(), wanted.end()),
+                     wanted.end());
+        w.held = held[front.packet];
+        w.wanted = std::move(wanted);
+        report.worms.push_back(std::move(w));
+    }
+
+    report.anyBlocked = !report.worms.empty();
+
+    // The witness cycle. Only channel-input units can be waited on,
+    // so every cycle unit maps to a physical channel.
+    const std::vector<UnitId> unit_cycle = findUnitCycle(adj);
+    for (const UnitId u : unit_cycle) {
+        TN_ASSERT(u < static_cast<UnitId>(topo.numChannels()) *
+                          num_vcs,
+                  "wait cycle reached an injection unit");
+        report.waitCycle.push_back(
+            static_cast<ChannelId>(u / num_vcs));
+        const InputUnit &iu = net.input(u);
+        report.cyclePackets.push_back(
+            !iu.buffer().empty() ? iu.buffer().front().flit.packet
+                                 : iu.residentPacket());
+    }
+
+    // Cross-check against the routing relation's channel dependency
+    // graph: each hop of a genuine deadlock cycle must be an edge
+    // the relation itself can generate.
+    const RoutingFunction *single = routing.single();
+    if (single != nullptr) {
+        report.routingCdgCyclic =
+            !analyzeDependencies(topo, *single).acyclic;
+        if (!unit_cycle.empty()) {
+            bool closes = true;
+            for (std::size_t i = 0; i < unit_cycle.size(); ++i) {
+                const UnitId from = unit_cycle[i];
+                const UnitId to =
+                    unit_cycle[(i + 1) % unit_cycle.size()];
+                const Channel &cf =
+                    topo.channel(report.waitCycle[i]);
+                const Channel &ct = topo.channel(
+                    report.waitCycle[(i + 1) %
+                                     unit_cycle.size()]);
+                const NodeId dest = edgeDest(adj, from, to);
+                if (ct.src != cf.dst || dest == kInvalidNode ||
+                    !single->route(topo, cf.dst, dest, cf.dir)
+                         .contains(ct.dir)) {
+                    closes = false;
+                    break;
+                }
+            }
+            report.cycleClosesInCdg = closes;
+        }
+    }
+    return report;
+}
+
+std::string
+DeadlockReport::toString(const Topology &topo) const
+{
+    std::ostringstream os;
+    os << "deadlock forensics: " << worms.size()
+       << " blocked worm(s)\n";
+    for (const WormWait &w : worms) {
+        os << "  packet " << w.packet << " at "
+           << topo.shape().coordToString(topo.coordOf(w.node))
+           << " -> "
+           << topo.shape().coordToString(topo.coordOf(w.dest))
+           << (w.headerAllocated ? " [switched, downstream full]"
+                                 : " [header unallocated]")
+           << "\n    holds:";
+        if (w.held.empty())
+            os << " (nothing)";
+        for (const ChannelId ch : w.held)
+            os << " " << channelLabel(topo, ch);
+        os << "\n    wants:";
+        if (w.wanted.empty())
+            os << " (ejection)";
+        for (const ChannelId ch : w.wanted)
+            os << " " << channelLabel(topo, ch);
+        os << "\n";
+    }
+    if (waitCycle.empty()) {
+        os << "no cyclic wait: the wait-for graph is acyclic\n";
+    } else {
+        os << "cyclic wait (" << waitCycle.size() << " channels):\n";
+        for (std::size_t i = 0; i < waitCycle.size(); ++i) {
+            os << "  " << channelLabel(topo, waitCycle[i])
+               << " held by packet " << cyclePackets[i]
+               << " waits for\n";
+        }
+        os << "  ... " << channelLabel(topo, waitCycle[0])
+           << " (cycle closes)\n";
+        os << "wait cycle "
+           << (cycleClosesInCdg ? "closes" : "DOES NOT close")
+           << " in the routing CDG\n";
+    }
+    os << "routing CDG is "
+       << (routingCdgCyclic ? "cyclic" : "acyclic")
+       << " (static analysis)\n";
+    return os.str();
+}
+
+std::string
+DeadlockReport::toJson(const Topology &topo) const
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"turnnet.deadlock_forensics/1\",\n"
+       << "  \"any_blocked\": " << (anyBlocked ? "true" : "false")
+       << ",\n  \"routing_cdg_cyclic\": "
+       << (routingCdgCyclic ? "true" : "false")
+       << ",\n  \"cycle_closes_in_cdg\": "
+       << (cycleClosesInCdg ? "true" : "false")
+       << ",\n  \"worms\": [";
+    for (std::size_t i = 0; i < worms.size(); ++i) {
+        const WormWait &w = worms[i];
+        os << (i ? "," : "") << "\n    {\"packet\": " << w.packet
+           << ", \"node\": " << w.node << ", \"node_coord\": \""
+           << json::escape(topo.shape().coordToString(
+                  topo.coordOf(w.node)))
+           << "\", \"dest\": " << w.dest
+           << ", \"header_allocated\": "
+           << (w.headerAllocated ? "true" : "false")
+           << ", \"held\": [";
+        for (std::size_t j = 0; j < w.held.size(); ++j)
+            os << (j ? "," : "") << w.held[j];
+        os << "], \"wanted\": [";
+        for (std::size_t j = 0; j < w.wanted.size(); ++j)
+            os << (j ? "," : "") << w.wanted[j];
+        os << "]}";
+    }
+    os << "\n  ],\n  \"wait_cycle\": [";
+    for (std::size_t i = 0; i < waitCycle.size(); ++i) {
+        const Channel &c = topo.channel(waitCycle[i]);
+        os << (i ? "," : "") << "\n    {\"channel\": "
+           << waitCycle[i] << ", \"src\": \""
+           << json::escape(
+                  topo.shape().coordToString(topo.coordOf(c.src)))
+           << "\", \"dir\": \"" << json::escape(c.dir.toString())
+           << "\", \"packet\": " << cyclePackets[i] << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+bool
+DeadlockReport::writeJson(const Topology &topo,
+                          const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        TN_WARN("cannot write deadlock forensics to '", path, "'");
+        return false;
+    }
+    const std::string doc = toJson(topo);
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        TN_WARN("short write of deadlock forensics '", path, "'");
+    return ok;
+}
+
+} // namespace turnnet

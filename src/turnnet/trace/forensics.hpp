@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deadlock forensics: post-mortem analysis of a wedged fabric.
+ *
+ * When the simulator's watchdog fires, the interesting question is
+ * not *that* nothing moved but *why*: which worms hold which
+ * channels while waiting for channels held by other worms, and does
+ * the wait chain close into a cycle — the Dally & Seitz deadlock
+ * configuration made concrete. collectDeadlockForensics() walks the
+ * frozen fabric, reconstructs the per-worm held/wanted channel sets
+ * from the routing relation, searches the wait-for graph for a
+ * cycle, and cross-checks that every hop of the witness cycle is a
+ * genuine channel-dependency edge of the routing relation (so a
+ * reported cycle is never an artifact of the reconstruction).
+ *
+ * The module is read-only over the simulator: it can run on a live
+ * (non-deadlocked) fabric too, where it reports transient waits and
+ * an empty cycle.
+ */
+
+#ifndef TURNNET_TRACE_FORENSICS_HPP
+#define TURNNET_TRACE_FORENSICS_HPP
+
+#include <string>
+#include <vector>
+
+#include "turnnet/common/types.hpp"
+#include "turnnet/network/input_unit.hpp"
+
+namespace turnnet {
+
+class Simulator;
+class Topology;
+
+/** One blocked worm front: where it is stuck and on what. */
+struct WormWait
+{
+    PacketId packet = 0;
+    /** Router where the blocked front flit (or reservation) sits. */
+    NodeId node = kInvalidNode;
+    NodeId dest = kInvalidNode;
+    /** Input unit the front occupies. */
+    UnitId unit = kNoUnit;
+    /** Physical channels this packet's worm currently owns. */
+    std::vector<ChannelId> held;
+    /** Channels the front is waiting for (owned or failed). */
+    std::vector<ChannelId> wanted;
+    /**
+     * True when the front already holds an output and waits on
+     * downstream buffer space; false when the header is still
+     * waiting for the router to allocate one.
+     */
+    bool headerAllocated = false;
+};
+
+/** The full post-mortem. */
+struct DeadlockReport
+{
+    /** Any worm front was blocked at collection time. */
+    bool anyBlocked = false;
+
+    /** Every blocked worm front, in unit order (deterministic). */
+    std::vector<WormWait> worms;
+
+    /**
+     * A witness cyclic wait: channel i's occupant waits for channel
+     * i+1 (wrapping). Empty when the wait-for graph is acyclic —
+     * which it provably is for every turn-model algorithm.
+     */
+    std::vector<ChannelId> waitCycle;
+
+    /** Occupant packet of each waitCycle channel. */
+    std::vector<PacketId> cyclePackets;
+
+    /**
+     * True when every consecutive (c_i, c_i+1) hop of waitCycle is
+     * an edge the routing relation's channel dependency graph
+     * contains (checked against route() with the occupant's actual
+     * destination). A genuine deadlock must close in the CDG.
+     * Meaningful only when waitCycle is nonempty and the routing has
+     * a single-channel core.
+     */
+    bool cycleClosesInCdg = false;
+
+    /** Static verdict: the routing relation's CDG has a cycle
+     *  (independent corroboration of the dynamic witness). */
+    bool routingCdgCyclic = false;
+
+    /** Human-readable dump (coordinates, directions, wait chain). */
+    std::string toString(const Topology &topo) const;
+
+    /**
+     * Machine-readable dump.
+     *
+     * Schema ("turnnet.deadlock_forensics/1"):
+     *
+     *   {
+     *     "schema": "turnnet.deadlock_forensics/1",
+     *     "any_blocked": true,
+     *     "routing_cdg_cyclic": true,
+     *     "cycle_closes_in_cdg": true,
+     *     "worms": [
+     *       { "packet": 17, "node": 5, "node_coord": "(1,1)",
+     *         "dest": 12, "header_allocated": false,
+     *         "held": [3, 9], "wanted": [14] }, ...
+     *     ],
+     *     "wait_cycle": [
+     *       { "channel": 14, "src": "(1,1)", "dir": "east",
+     *         "packet": 23 }, ...
+     *     ]
+     *   }
+     */
+    std::string toJson(const Topology &topo) const;
+
+    /** Write toJson() to @p path; warns and returns false on I/O
+     *  failure. */
+    bool writeJson(const Topology &topo,
+                   const std::string &path) const;
+};
+
+/**
+ * Walk @p sim's fabric and reconstruct the blocked-worm dependency
+ * state. Read-only; normally called after deadlockDetected().
+ */
+DeadlockReport collectDeadlockForensics(const Simulator &sim);
+
+} // namespace turnnet
+
+#endif // TURNNET_TRACE_FORENSICS_HPP

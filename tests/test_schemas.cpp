@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Schema validation for every machine-readable turnnet.* document
+ * the repo emits: each report must parse as strict JSON and declare
+ * the schema version its emitter documents, and its required fields
+ * must be present with the right shapes. Run as a group with
+ * `ctest -L schema`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/json.hpp"
+#include "turnnet/harness/bench_report.hpp"
+#include "turnnet/harness/fault_sweep.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/trace/counters.hpp"
+#include "turnnet/trace/event_trace.hpp"
+#include "turnnet/trace/forensics.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+namespace {
+
+/** Parse @p text and require a declared schema of @p schema. */
+json::Value
+parseWithSchema(const std::string &text, const std::string &schema)
+{
+    const json::ParseResult parsed = json::parse(text);
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_TRUE(parsed.value.isObject());
+    const json::Value *declared = parsed.value.find("schema");
+    EXPECT_NE(declared, nullptr) << "missing schema field";
+    if (declared != nullptr) {
+        EXPECT_EQ(declared->asString(), schema);
+    }
+    return parsed.value;
+}
+
+std::shared_ptr<const TraceCounters>
+countersFromRun(const Mesh &mesh, const char *alg, double load)
+{
+    SimConfig config;
+    config.warmupCycles = 200;
+    config.measureCycles = 1000;
+    config.drainCycles = 2000;
+    config.load = load;
+    config.seed = 5;
+    config.trace.counters = true;
+    Simulator sim(mesh, makeRouting({.name = alg, .dims = 2}),
+                  makeTraffic("uniform", mesh), config);
+    sim.run();
+    return sim.countersShared();
+}
+
+TEST(Schemas, CountersExport)
+{
+    const Mesh mesh(4, 4);
+    std::vector<CountersExportEntry> entries;
+    entries.push_back({"west-first", mesh.name(), "uniform", 0.15,
+                       countersFromRun(mesh, "west-first", 0.15)});
+
+    const json::Value doc =
+        parseWithSchema(countersJson(entries), "turnnet.counters/1");
+    const json::Value *list = doc.find("entries");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->size(), 1u);
+    const json::Value &e = list->items()[0];
+    EXPECT_EQ(e.find("algorithm")->asString(), "west-first");
+    EXPECT_EQ(e.find("topology")->asString(), mesh.name());
+    EXPECT_EQ(e.find("traffic")->asString(), "uniform");
+    EXPECT_DOUBLE_EQ(e.find("offered_load")->asNumber(), 0.15);
+    EXPECT_GT(e.find("cycles")->asNumber(), 0.0);
+    const json::Value *blocked = e.find("blocked");
+    ASSERT_NE(blocked, nullptr);
+    EXPECT_NE(blocked->find("routing_denied"), nullptr);
+    EXPECT_NE(blocked->find("output_busy"), nullptr);
+    EXPECT_NE(blocked->find("downstream_full"), nullptr);
+    EXPECT_GE(e.find("mean_buffer_occupancy")->asNumber(), 0.0);
+    EXPECT_GE(e.find("max_channel_utilization")->asNumber(),
+              e.find("mean_channel_utilization")->asNumber());
+    ASSERT_NE(e.find("channel_flits"), nullptr);
+    EXPECT_EQ(e.find("channel_flits")->size(), mesh.numChannels());
+    const json::Value *turns = e.find("turns");
+    ASSERT_NE(turns, nullptr);
+    EXPECT_GT(turns->size(), 0u); // nonzero pairs only, but traffic ran
+    for (const json::Value &t : turns->items()) {
+        EXPECT_NE(t.find("from"), nullptr);
+        EXPECT_NE(t.find("to"), nullptr);
+        EXPECT_GT(t.find("count")->asNumber(), 0.0);
+    }
+}
+
+TEST(Schemas, ChannelHeat)
+{
+    const Mesh mesh(4, 4);
+    std::vector<ChannelHeatEntry> entries;
+    entries.push_back(
+        {"xy", countersFromRun(mesh, "xy", 0.2)});
+    entries.push_back(
+        {"west-first", countersFromRun(mesh, "west-first", 0.2)});
+
+    const json::Value doc = parseWithSchema(
+        channelHeatJson(mesh, "uniform", 0.2, entries),
+        "turnnet.channel_heat/1");
+    EXPECT_EQ(doc.find("topology")->asString(), mesh.name());
+    EXPECT_EQ(doc.find("traffic")->asString(), "uniform");
+    const json::Value *list = doc.find("entries");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->size(), 2u);
+    for (const json::Value &e : list->items()) {
+        EXPECT_NE(e.find("algorithm"), nullptr);
+        EXPECT_GE(e.find("max_utilization")->asNumber(),
+                  e.find("mean_utilization")->asNumber());
+        EXPECT_GE(e.find("top5_share")->asNumber(), 0.0);
+        EXPECT_LE(e.find("top5_share")->asNumber(), 1.0);
+        const json::Value *channels = e.find("channels");
+        ASSERT_NE(channels, nullptr);
+        EXPECT_EQ(channels->size(), mesh.numChannels());
+        // Hottest first.
+        double prev = 1e18;
+        for (const json::Value &ch : channels->items()) {
+            const double flits = ch.find("flits")->asNumber();
+            EXPECT_LE(flits, prev);
+            prev = flits;
+            EXPECT_NE(ch.find("src"), nullptr);
+            EXPECT_NE(ch.find("dir"), nullptr);
+        }
+    }
+}
+
+TEST(Schemas, EventTraceJsonl)
+{
+    const Mesh mesh(4, 4);
+    SimConfig config;
+    config.warmupCycles = 100;
+    config.measureCycles = 400;
+    config.drainCycles = 1000;
+    config.load = 0.15;
+    config.seed = 9;
+    config.trace.events = true;
+    config.trace.eventCapacity = 256;
+    Simulator sim(mesh, makeRouting({.name = "west-first"}),
+                  makeTraffic("uniform", mesh), config);
+    sim.run();
+    ASSERT_NE(sim.trace(), nullptr);
+
+    std::istringstream lines(sim.trace()->toJsonl());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    const json::Value header =
+        parseWithSchema(line, "turnnet.trace/1");
+    EXPECT_DOUBLE_EQ(header.find("capacity")->asNumber(), 256.0);
+    EXPECT_GE(header.find("recorded")->asNumber(),
+              header.find("dropped")->asNumber());
+
+    std::size_t events = 0;
+    while (std::getline(lines, line)) {
+        const json::ParseResult parsed = json::parse(line);
+        ASSERT_TRUE(parsed.ok) << parsed.error << ": " << line;
+        const json::Value &e = parsed.value;
+        EXPECT_GE(e.find("cycle")->asNumber(), 0.0);
+        ASSERT_NE(e.find("event"), nullptr);
+        const std::string type = e.find("event")->asString();
+        EXPECT_TRUE(type == "inject" || type == "route" ||
+                    type == "advance" || type == "block" ||
+                    type == "deliver" || type == "drop")
+            << type;
+        EXPECT_NE(e.find("packet"), nullptr);
+        EXPECT_NE(e.find("node"), nullptr);
+        ASSERT_NE(e.find("channel"), nullptr); // number or null
+        ++events;
+    }
+    EXPECT_EQ(events, sim.trace()->size());
+}
+
+TEST(Schemas, DeadlockForensics)
+{
+    const Mesh mesh(4, 4);
+    SimConfig config;
+    config.load = 0.5;
+    config.lengths = MessageLengthMix::fixed(200);
+    config.watchdogCycles = 8000;
+    config.warmupCycles = 100;
+    config.measureCycles = 40000;
+    config.drainCycles = 100;
+    config.seed = 3;
+    Simulator sim(mesh, makeRouting({.name = "fully-adaptive"}),
+                  makeTraffic("uniform", mesh), config);
+    ASSERT_TRUE(sim.run().deadlocked);
+    const DeadlockReport report = collectDeadlockForensics(sim);
+
+    const json::Value doc = parseWithSchema(
+        report.toJson(mesh), "turnnet.deadlock_forensics/1");
+    for (const json::Value &w : doc.find("worms")->items()) {
+        EXPECT_NE(w.find("packet"), nullptr);
+        EXPECT_NE(w.find("node_coord"), nullptr);
+        EXPECT_TRUE(w.find("held")->isArray());
+        EXPECT_TRUE(w.find("wanted")->isArray());
+    }
+    for (const json::Value &c : doc.find("wait_cycle")->items()) {
+        EXPECT_NE(c.find("channel"), nullptr);
+        EXPECT_NE(c.find("src"), nullptr);
+        EXPECT_NE(c.find("dir"), nullptr);
+        EXPECT_NE(c.find("packet"), nullptr);
+    }
+}
+
+TEST(Schemas, BenchSweepReport)
+{
+    SweepBenchEntry entry;
+    entry.figure = "fig13";
+    entry.topology = "mesh(16x16)";
+    entry.jobs = 4;
+    entry.replicates = 2;
+    entry.simulations = 28;
+    entry.wallSeconds = 1.5;
+    entry.serialWallSeconds = 4.5;
+    entry.serialCompared = true;
+    entry.bitIdenticalToSerial = true;
+
+    const json::Value doc = parseWithSchema(
+        sweepBenchJson({entry}), "turnnet.bench_sweep/1");
+    const json::Value *list = doc.find("entries");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->size(), 1u);
+    const json::Value &e = list->items()[0];
+    EXPECT_EQ(e.find("figure")->asString(), "fig13");
+    EXPECT_DOUBLE_EQ(e.find("jobs")->asNumber(), 4.0);
+    EXPECT_TRUE(e.find("bit_identical_to_serial")->asBool());
+}
+
+TEST(Schemas, FaultSweepReport)
+{
+    const Mesh mesh(4, 4);
+    SimConfig base;
+    base.warmupCycles = 200;
+    base.measureCycles = 800;
+    base.drainCycles = 1500;
+    base.load = 0.1;
+    base.seed = 2;
+    SweepOptions opts;
+    opts.faultCounts = {0, 1};
+    const auto sweep =
+        runFaultSweep(mesh, "negative-first-ft",
+                      makeTraffic("uniform", mesh), base, opts);
+    ASSERT_EQ(sweep.size(), 2u);
+
+    const json::Value doc = parseWithSchema(
+        faultSweepJson("negative-first-ft", mesh, sweep),
+        "turnnet.fault_sweep/1");
+    EXPECT_EQ(doc.find("algorithm")->asString(),
+              "negative-first-ft");
+    const json::Value *list = doc.find("entries");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->size(), 2u);
+    for (const json::Value &e : list->items()) {
+        EXPECT_NE(e.find("fault_count"), nullptr);
+        EXPECT_NE(e.find("deadlock_free"), nullptr);
+        EXPECT_NE(e.find("packets_finished"), nullptr);
+        EXPECT_NE(e.find("accepted_flits_per_usec"), nullptr);
+    }
+}
+
+} // namespace
+} // namespace turnnet

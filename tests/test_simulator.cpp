@@ -355,6 +355,68 @@ TEST(Simulator, LatencyHistogramLayoutFollowsConfig)
     EXPECT_EQ(result.latencyHistogram.count(), 1u);
 }
 
+TEST(SimConfigValidate, DefaultConfigurationIsValid)
+{
+    EXPECT_TRUE(SimConfig{}.validate().empty());
+    EXPECT_TRUE(scriptedConfig().validate().empty());
+}
+
+TEST(SimConfigValidate, CollectsEveryErrorDescriptively)
+{
+    SimConfig config;
+    config.load = -0.5;
+    config.bufferDepth = 0;
+    config.measureCycles = 0;
+    config.queueSampleInterval = 0;
+    config.latencyHistMinUs = -1.0;
+    config.latencyHistBins = 0;
+    config.trace.events = true;
+    config.trace.eventCapacity = 0;
+    const std::vector<std::string> errors = config.validate();
+    // One message per broken field (latencyHistMaxUs also trips
+    // because the min is negative), each naming the field.
+    EXPECT_GE(errors.size(), 7u);
+    auto mentions = [&](const char *field) {
+        for (const std::string &e : errors)
+            if (e.find(field) != std::string::npos)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(mentions("load"));
+    EXPECT_TRUE(mentions("bufferDepth"));
+    EXPECT_TRUE(mentions("measureCycles"));
+    EXPECT_TRUE(mentions("queueSampleInterval"));
+    EXPECT_TRUE(mentions("latencyHistMinUs"));
+    EXPECT_TRUE(mentions("latencyHistBins"));
+    EXPECT_TRUE(mentions("eventCapacity"));
+}
+
+TEST(SimConfigValidate, RejectsFaultsBeyondTheSchedule)
+{
+    SimConfig config;
+    config.faults.failChannel(0);
+    config.faultCycle =
+        config.warmupCycles + config.measureCycles +
+        config.drainCycles;
+    const auto errors = config.validate();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("faultCycle"), std::string::npos);
+    EXPECT_NE(errors[0].find("never activate"), std::string::npos);
+
+    config.faultCycle = 0; // activation at start is fine
+    EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(SimulatorDeath, ConstructionIsFatalOnInvalidConfig)
+{
+    const Mesh mesh(3, 3);
+    SimConfig config = scriptedConfig();
+    config.measureCycles = 0;
+    EXPECT_DEATH(Simulator(mesh, makeRouting({.name = "xy"}),
+                           nullptr, config),
+                 "measureCycles");
+}
+
 TEST(SimulatorDeath, RejectsSelfMessages)
 {
     const Mesh mesh(3, 3);

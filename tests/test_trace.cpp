@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: counters and event traces must
+ * observe without perturbing (bit-identical results on or off, at
+ * any job count), and the turn histogram must corroborate the turn
+ * model — zero prohibited-turn events for every turn-model
+ * algorithm across a fuzz sweep of seeds and loads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "turnnet/harness/figures.hpp"
+#include "turnnet/harness/sweep.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/trace/event_trace.hpp"
+#include "turnnet/traffic/pattern.hpp"
+#include "turnnet/turnmodel/prohibition.hpp"
+
+namespace turnnet {
+namespace {
+
+SimConfig
+tinyConfig(std::uint64_t seed = 7)
+{
+    SimConfig base;
+    base.warmupCycles = 200;
+    base.measureCycles = 1200;
+    base.drainCycles = 2500;
+    base.seed = seed;
+    return base;
+}
+
+SimResult
+runMesh(const char *alg, const SimConfig &config, double load)
+{
+    const Mesh mesh(4, 4);
+    SimConfig c = config;
+    c.load = load;
+    Simulator sim(mesh, makeRouting({.name = alg, .dims = 2}),
+                  makeTraffic("uniform", mesh), c);
+    return sim.run();
+}
+
+TEST(Trace, TelemetryIsObservationalOnly)
+{
+    // The acceptance bar of the subsystem: enabling counters and
+    // events changes nothing about the simulated trajectory.
+    SimConfig off = tinyConfig();
+    SimConfig on = tinyConfig();
+    on.trace.counters = true;
+    on.trace.events = true;
+
+    std::vector<SweepPoint> a(1), b(1);
+    a[0].result = runMesh("west-first", off, 0.15);
+    b[0].result = runMesh("west-first", on, 0.15);
+    EXPECT_TRUE(figureResultsIdentical({a}, {b}));
+}
+
+TEST(Trace, CountersOffMeansNullAccessors)
+{
+    const Mesh mesh(4, 4);
+    Simulator sim(mesh, makeRouting({.name = "xy"}),
+                  makeTraffic("uniform", mesh), tinyConfig());
+    EXPECT_EQ(sim.counters(), nullptr);
+    EXPECT_EQ(sim.trace(), nullptr);
+}
+
+TEST(Trace, CountersSeeEveryCycleAndDeliveredTraffic)
+{
+    const Mesh mesh(4, 4);
+    SimConfig config = tinyConfig();
+    config.load = 0.2;
+    config.trace.counters = true;
+    Simulator sim(mesh, makeRouting({.name = "west-first"}),
+                  makeTraffic("uniform", mesh), config);
+    const SimResult result = sim.run();
+    ASSERT_NE(sim.counters(), nullptr);
+    const TraceCounters &c = *sim.counters();
+
+    EXPECT_EQ(c.cyclesObserved(), sim.now());
+    EXPECT_GT(result.packetsFinished, 0u);
+
+    // Traffic moved, so channels saw flits and buffers held them.
+    std::uint64_t crossings = 0;
+    for (const std::uint64_t f : c.channelFlits())
+        crossings += f;
+    EXPECT_GT(crossings, 0u);
+    EXPECT_GT(c.meanOccupancy(), 0.0);
+
+    // Occupancy of a single-flit buffer is a fraction of one flit.
+    for (ChannelId ch = 0;
+         ch < static_cast<ChannelId>(mesh.numChannels()); ++ch) {
+        EXPECT_LE(c.avgOccupancy(static_cast<std::size_t>(ch)), 1.0);
+        EXPECT_GE(c.channelUtilization(ch), 0.0);
+        EXPECT_LE(c.channelUtilization(ch), 1.0);
+    }
+
+    // Every delivered packet entered and left through a local port.
+    EXPECT_GT(c.injectionTurns(), 0u);
+}
+
+TEST(Trace, BlockedBreakdownAccumulatesUnderContention)
+{
+    // Transpose at high load on a small mesh guarantees contention:
+    // some cycles must be charged to the blocked breakdown, and the
+    // three mutually exclusive reasons sum to the total.
+    const Mesh mesh(4, 4);
+    SimConfig config = tinyConfig();
+    config.load = 0.4;
+    config.trace.counters = true;
+    Simulator sim(mesh, makeRouting({.name = "xy"}),
+                  makeTraffic("transpose", mesh), config);
+    sim.run();
+    const BlockedBreakdown total = sim.counters()->blockedTotal();
+    EXPECT_GT(total.total(), 0u);
+    EXPECT_EQ(total.total(), total.routingDenied + total.outputBusy +
+                                 total.downstreamFull);
+
+    BlockedBreakdown summed;
+    for (NodeId n = 0; n < static_cast<NodeId>(mesh.numNodes()); ++n)
+        summed += sim.counters()->blockedAt(n);
+    EXPECT_TRUE(summed == total);
+}
+
+struct AlgorithmTurnSet
+{
+    const char *name;
+    TurnSet allowed;
+};
+
+TEST(Trace, NoTurnModelAlgorithmLogsAProhibitedTurn)
+{
+    // The cross-check behind the histogram: fuzz each turn-model
+    // algorithm over seeds and loads and demand zero events whose
+    // (from, to) pair its own prohibited-turn set forbids.
+    const Mesh mesh(5, 5);
+    const AlgorithmTurnSet cases[] = {
+        {"xy", dimensionOrderTurns(2)},
+        {"west-first", westFirstTurns()},
+        {"north-last", northLastTurns()},
+        {"negative-first", negativeFirstTurns(2)},
+    };
+    for (const AlgorithmTurnSet &tc : cases) {
+        for (const std::uint64_t seed : {1u, 17u, 901u}) {
+            for (const double load : {0.1, 0.35}) {
+                SimConfig config = tinyConfig(seed);
+                config.load = load;
+                config.trace.counters = true;
+                Simulator sim(mesh,
+                              makeRouting({.name = tc.name, .dims = 2}),
+                              makeTraffic("uniform", mesh), config);
+                sim.run();
+                EXPECT_EQ(sim.counters()->prohibitedTurnEvents(
+                              tc.allowed),
+                          0u)
+                    << tc.name << " seed=" << seed
+                    << " load=" << load;
+            }
+        }
+    }
+}
+
+TEST(Trace, HypercubeAlgorithmsRespectTheirTurnSets)
+{
+    const Hypercube cube(3);
+    const AlgorithmTurnSet cases[] = {
+        {"ecube", dimensionOrderTurns(3)},
+        {"abonf", abonfTurns(3)},
+        {"abopl", aboplTurns(3)},
+    };
+    for (const AlgorithmTurnSet &tc : cases) {
+        SimConfig config = tinyConfig(11);
+        config.load = 0.3;
+        config.trace.counters = true;
+        Simulator sim(cube, makeRouting({.name = tc.name, .dims = 3}),
+                      makeTraffic("uniform", cube), config);
+        sim.run();
+        EXPECT_EQ(sim.counters()->prohibitedTurnEvents(tc.allowed),
+                  0u)
+            << tc.name;
+    }
+}
+
+TEST(Trace, UnrestrictedRoutingDoesLogProhibitedTurns)
+{
+    // Positive control: the cross-check must not be vacuous. Fully
+    // adaptive routing takes turns west-first forbids.
+    const Mesh mesh(5, 5);
+    SimConfig config = tinyConfig(3);
+    config.load = 0.35;
+    config.trace.counters = true;
+    Simulator sim(mesh, makeRouting({.name = "fully-adaptive"}),
+                  makeTraffic("transpose", mesh), config);
+    sim.run();
+    EXPECT_GT(sim.counters()->prohibitedTurnEvents(westFirstTurns()),
+              0u);
+}
+
+TEST(Trace, SweepCountersAreBitIdenticalSerialVsParallel)
+{
+    const Mesh mesh(4, 4);
+    auto run = [&](unsigned jobs) {
+        SweepOptions opts;
+        opts.jobs = jobs;
+        opts.collectCounters = true;
+        opts.replicates = 2;
+        return runLoadSweep(mesh,
+                            makeRouting({.name = "negative-first"}),
+                            makeTraffic("transpose", mesh),
+                            {0.05, 0.1, 0.2}, tinyConfig(), opts);
+    };
+    const auto serial = run(1);
+    const auto parallel = run(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_NE(serial[i].counters, nullptr);
+        ASSERT_NE(parallel[i].counters, nullptr);
+        EXPECT_TRUE(
+            serial[i].counters->identical(*parallel[i].counters))
+            << "point " << i;
+    }
+    EXPECT_TRUE(figureResultsIdentical({serial}, {parallel}));
+}
+
+TEST(Trace, MergePoolsEveryCounter)
+{
+    const Mesh mesh(4, 4);
+    auto counters_for = [&](std::uint64_t seed) {
+        SimConfig config = tinyConfig(seed);
+        config.load = 0.15;
+        config.trace.counters = true;
+        Simulator sim(mesh, makeRouting({.name = "west-first"}),
+                      makeTraffic("uniform", mesh), config);
+        sim.run();
+        return sim.countersShared();
+    };
+    const auto a = counters_for(1);
+    const auto b = counters_for(2);
+    TraceCounters pooled = *a;
+    pooled.merge(*b);
+    EXPECT_EQ(pooled.cyclesObserved(),
+              a->cyclesObserved() + b->cyclesObserved());
+    EXPECT_EQ(pooled.blockedTotal().total(),
+              a->blockedTotal().total() + b->blockedTotal().total());
+    EXPECT_EQ(pooled.injectionTurns(),
+              a->injectionTurns() + b->injectionTurns());
+    EXPECT_FALSE(pooled.identical(*a));
+}
+
+TEST(Trace, EventRingKeepsTheNewestWindow)
+{
+    EventTrace trace(4);
+    for (Cycle c = 0; c < 10; ++c)
+        trace.record(TraceEventType::Advance, c,
+                     static_cast<PacketId>(c), 0, 1);
+    EXPECT_EQ(trace.capacity(), 4u);
+    EXPECT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.recorded(), 10u);
+    EXPECT_EQ(trace.dropped(), 6u);
+    const auto events = trace.events();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].cycle, static_cast<Cycle>(6 + i));
+}
+
+TEST(Trace, SimulatorEmitsLifecycleEvents)
+{
+    const Mesh mesh(4, 4);
+    SimConfig config = tinyConfig();
+    config.load = 0.15;
+    config.trace.events = true;
+    config.trace.eventCapacity = 1 << 14;
+    Simulator sim(mesh, makeRouting({.name = "west-first"}),
+                  makeTraffic("uniform", mesh), config);
+    sim.run();
+    ASSERT_NE(sim.trace(), nullptr);
+    EXPECT_GT(sim.trace()->recorded(), 0u);
+
+    bool saw_inject = false, saw_route = false, saw_advance = false,
+         saw_deliver = false;
+    Cycle last = 0;
+    for (const TraceEvent &e : sim.trace()->events()) {
+        saw_inject |= e.type == TraceEventType::Inject;
+        saw_route |= e.type == TraceEventType::Route;
+        saw_advance |= e.type == TraceEventType::Advance;
+        saw_deliver |= e.type == TraceEventType::Deliver;
+        EXPECT_GE(e.cycle, last); // stamps are monotone
+        last = e.cycle;
+    }
+    EXPECT_TRUE(saw_inject);
+    EXPECT_TRUE(saw_route);
+    EXPECT_TRUE(saw_advance);
+    EXPECT_TRUE(saw_deliver);
+}
+
+TEST(Trace, EventTraceIsDeterministic)
+{
+    auto jsonl = [&]() {
+        const Mesh mesh(4, 4);
+        SimConfig config = tinyConfig(13);
+        config.load = 0.1;
+        config.trace.events = true;
+        Simulator sim(mesh, makeRouting({.name = "xy"}),
+                      makeTraffic("uniform", mesh), config);
+        sim.run();
+        return sim.trace()->toJsonl();
+    };
+    EXPECT_EQ(jsonl(), jsonl());
+}
+
+} // namespace
+} // namespace turnnet
