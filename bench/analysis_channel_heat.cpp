@@ -14,7 +14,7 @@
  * Options: --full (16x16), --load L, --seed N, --traffic P
  * (default transpose), --out PATH (default BENCH_channel_heat.json;
  * "off" disables), --trace / --trace-out STEM (also dump flit-level
- * event rings).
+ * event rings), --engine reference|fast (bit-identical either way).
  */
 
 #include <algorithm>
@@ -58,6 +58,8 @@ main(int argc, char **argv)
     config.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
     config.trace.counters = true;
     config.trace.events = trace;
+    config.engine =
+        parseSimEngine(opts.getString("engine", "fast"));
 
     const std::vector<std::string> errors = config.validate();
     if (!errors.empty()) {

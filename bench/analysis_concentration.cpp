@@ -11,7 +11,8 @@
  * funnels every message through a low-diagonal corner, giving it
  * the most concentrated channel loads of the four algorithms.
  *
- * Options: --full (16x16), --load L, --seed N.
+ * Options: --full (16x16), --load L, --seed N,
+ * --engine reference|fast (bit-identical either way).
  */
 
 #include <algorithm>
@@ -42,7 +43,7 @@ struct Concentration
 
 Concentration
 measure(const Mesh &mesh, const char *alg, const char *pattern,
-        double load, std::uint64_t seed)
+        double load, std::uint64_t seed, SimEngine engine)
 {
     SimConfig config;
     config.load = load;
@@ -50,6 +51,7 @@ measure(const Mesh &mesh, const char *alg, const char *pattern,
     config.measureCycles = 12000;
     config.drainCycles = 6000;
     config.seed = seed;
+    config.engine = engine;
     Simulator sim(mesh, makeRouting({.name = alg, .dims = 2}),
                   makeTraffic(pattern, mesh), config);
     const SimResult result = sim.run();
@@ -104,6 +106,8 @@ main(int argc, char **argv)
         opts.getDouble("load", full ? 0.05 : 0.12);
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    const SimEngine engine =
+        parseSimEngine(opts.getString("engine", "fast"));
 
     for (const char *pattern : {"transpose", "uniform"}) {
         Table table(std::string("Channel-load concentration: ") +
@@ -116,7 +120,7 @@ main(int argc, char **argv)
         for (const char *alg : {"xy", "west-first",
                                 "negative-first", "odd-even"}) {
             const Concentration c =
-                measure(mesh, alg, pattern, load, seed);
+                measure(mesh, alg, pattern, load, seed, engine);
             table.beginRow();
             table.cell(alg);
             table.cell(c.max, 3);

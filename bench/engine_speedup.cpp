@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Engine speedup gate: time the reference (full-scan) and fast
+ * (active-worm worklist) engines on the micro_turnnet simulator
+ * workload — a 16x16 mesh under uniform traffic — at low and mid
+ * load, verify the trajectories are bit-identical with a short
+ * differential-oracle run first, and report cycles/sec for both
+ * engines plus the speedup ratio.
+ *
+ * Writes the machine-readable "turnnet.engine_bench/1" record
+ * (default BENCH_engine.json) so the worklist engine's payoff is
+ * tracked across commits:
+ *
+ *   {
+ *     "schema": "turnnet.engine_bench/1",
+ *     "topology": "mesh(16x16)",
+ *     "entries": [
+ *       {"load": 0.01, "cycles": 60000,
+ *        "reference_cycles_per_sec": ..., "fast_cycles_per_sec": ...,
+ *        "speedup": ..., "oracle_cycles": 400,
+ *        "oracle_identical": true}
+ *     ]
+ *   }
+ *
+ * Options: --cycles N (per engine per load point), --loads A,B,...
+ * (default 0.01,0.06), --seed N, --min-speedup X (exit nonzero when
+ * the FIRST load point — the low-load target — falls below X; 0
+ * disables the gate), --out PATH ("off" disables the JSON).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/cli.hpp"
+#include "turnnet/common/csv.hpp"
+#include "turnnet/harness/differential.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+using namespace turnnet;
+
+namespace {
+
+/** Steady-state cycles/sec of one engine at one load. */
+double
+cyclesPerSec(const Mesh &mesh, double load, std::uint64_t seed,
+             SimEngine engine, Cycle cycles)
+{
+    SimConfig config;
+    config.load = load;
+    config.seed = seed;
+    config.engine = engine;
+    Simulator sim(mesh, makeRouting({.name = "west-first"}),
+                  makeTraffic("uniform", mesh), config);
+    // Warm into steady state so the worklist sees the equilibrium
+    // population, not the empty cold-start fabric.
+    for (Cycle i = 0; i < 2000; ++i)
+        sim.step();
+    const auto start = std::chrono::steady_clock::now();
+    for (Cycle i = 0; i < cycles; ++i)
+        sim.step();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    return static_cast<double>(cycles) / wall.count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = CliOptions::parse(argc, argv);
+    const auto cycles =
+        static_cast<Cycle>(opts.getInt("cycles", 60000));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    const double min_speedup = opts.getDouble("min-speedup", 0.0);
+    const std::string out =
+        opts.getString("out", "BENCH_engine.json");
+
+    std::vector<double> loads;
+    for (const std::string &s : opts.getList("loads"))
+        loads.push_back(std::atof(s.c_str()));
+    if (loads.empty())
+        loads = {0.01, 0.06};
+
+    const Mesh mesh(16, 16);
+    const Cycle oracle_cycles = 400;
+
+    Table table("Engine speedup: " + mesh.name() +
+                ", uniform traffic, west-first");
+    table.setHeader({"load", "reference (cyc/s)", "fast (cyc/s)",
+                     "speedup", "oracle"});
+
+    struct Entry
+    {
+        double load;
+        double refRate;
+        double fastRate;
+        bool identical;
+    };
+    std::vector<Entry> entries;
+    bool all_identical = true;
+
+    for (const double load : loads) {
+        // Bit-identity first: a fast engine that wins by simulating
+        // a different machine is worthless.
+        SimConfig oracle_config;
+        oracle_config.load = load;
+        oracle_config.seed = seed;
+        const DifferentialReport oracle = runDifferential(
+            mesh, makeVcRouting({.name = "west-first"}),
+            makeTraffic("uniform", mesh), oracle_config,
+            oracle_cycles);
+        if (!oracle.identical) {
+            std::fprintf(stderr,
+                         "error: engines diverged at load %.3f, "
+                         "cycle %llu: %s\n",
+                         load,
+                         static_cast<unsigned long long>(
+                             oracle.divergenceCycle),
+                         oracle.detail.c_str());
+            all_identical = false;
+        }
+
+        const double ref_rate = cyclesPerSec(
+            mesh, load, seed, SimEngine::Reference, cycles);
+        const double fast_rate =
+            cyclesPerSec(mesh, load, seed, SimEngine::Fast, cycles);
+        entries.push_back(
+            Entry{load, ref_rate, fast_rate, oracle.identical});
+
+        table.beginRow();
+        table.cell(load, 3);
+        table.cell(ref_rate, 0);
+        table.cell(fast_rate, 0);
+        table.cell(fast_rate / ref_rate, 2);
+        table.cell(std::string(oracle.identical ? "identical"
+                                                : "DIVERGED"));
+    }
+    table.print();
+
+    if (out != "off" && out != "none" && !out.empty()) {
+        std::ofstream f(out);
+        f << "{\n  \"schema\": \"turnnet.engine_bench/1\",\n"
+          << "  \"topology\": \"" << mesh.name() << "\",\n"
+          << "  \"entries\": [\n";
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const Entry &e = entries[i];
+            char buf[256];
+            std::snprintf(
+                buf, sizeof(buf),
+                "    {\"load\": %.4f, \"cycles\": %llu, "
+                "\"reference_cycles_per_sec\": %.0f, "
+                "\"fast_cycles_per_sec\": %.0f, "
+                "\"speedup\": %.3f, \"oracle_cycles\": %llu, "
+                "\"oracle_identical\": %s}%s\n",
+                e.load, static_cast<unsigned long long>(cycles),
+                e.refRate, e.fastRate, e.fastRate / e.refRate,
+                static_cast<unsigned long long>(oracle_cycles),
+                e.identical ? "true" : "false",
+                i + 1 < entries.size() ? "," : "");
+            f << buf;
+        }
+        f << "  ]\n}\n";
+        std::printf("\nwrote %s (turnnet.engine_bench/1)\n",
+                    out.c_str());
+    }
+
+    if (!all_identical)
+        return 1;
+    if (min_speedup > 0.0 && !entries.empty()) {
+        const double low =
+            entries.front().fastRate / entries.front().refRate;
+        if (low < min_speedup) {
+            std::fprintf(stderr,
+                         "error: low-load speedup %.2fx is below "
+                         "the %.2fx gate\n",
+                         low, min_speedup);
+            return 1;
+        }
+        std::printf("low-load speedup %.2fx meets the %.2fx gate\n",
+                    low, min_speedup);
+    }
+    return 0;
+}

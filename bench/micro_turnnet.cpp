@@ -114,6 +114,41 @@ BM_SimulatorCycle(benchmark::State &state, bool counters)
 BENCHMARK_CAPTURE(BM_SimulatorCycle, off, false);
 BENCHMARK_CAPTURE(BM_SimulatorCycle, counters, true);
 
+void
+BM_SimulatorEngine(benchmark::State &state, SimEngine engine,
+                   double load)
+{
+    const Mesh mesh(16, 16);
+    SimConfig config;
+    config.load = load;
+    config.seed = 1;
+    config.engine = engine;
+    Simulator sim(mesh, makeRouting({.name = "west-first"}),
+                  makeTraffic("uniform", mesh), config);
+    for (int i = 0; i < 2000; ++i)
+        sim.step();
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations());
+}
+// Engine x load grid: the worklist engine's payoff is at low load,
+// where the reference engine still walks 800 routers and ~2300
+// buffers per cycle while only a handful hold flits; near
+// saturation the worklist covers most of the fabric and the two
+// converge. bench/engine_speedup.cpp gates the low-load ratio.
+BENCHMARK_CAPTURE(BM_SimulatorEngine, reference_low,
+                  SimEngine::Reference, 0.01);
+BENCHMARK_CAPTURE(BM_SimulatorEngine, fast_low, SimEngine::Fast,
+                  0.01);
+BENCHMARK_CAPTURE(BM_SimulatorEngine, reference_mid,
+                  SimEngine::Reference, 0.06);
+BENCHMARK_CAPTURE(BM_SimulatorEngine, fast_mid, SimEngine::Fast,
+                  0.06);
+BENCHMARK_CAPTURE(BM_SimulatorEngine, reference_high,
+                  SimEngine::Reference, 0.20);
+BENCHMARK_CAPTURE(BM_SimulatorEngine, fast_high, SimEngine::Fast,
+                  0.20);
+
 } // namespace
 
 BENCHMARK_MAIN();

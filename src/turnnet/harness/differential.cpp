@@ -1,0 +1,258 @@
+#include "turnnet/harness/differential.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+namespace {
+
+/** Render one trace event for a divergence message. */
+std::string
+describeEvent(const TraceEvent &e)
+{
+    std::ostringstream os;
+    os << traceEventName(e.type) << "(cycle=" << e.cycle
+       << ", packet=" << e.packet << ", node=" << e.node
+       << ", channel=" << e.channel << ")";
+    return os.str();
+}
+
+} // namespace
+
+SimConfig
+DifferentialHarness::withEngine(SimConfig config, SimEngine engine,
+                                std::size_t fabric_units)
+{
+    config.engine = engine;
+    // Both traces must retain every event of the cycle being
+    // compared: a cycle records at most a few events per fabric unit
+    // (inject, route, advance, block, deliver, plus fault drops), so
+    // size the ring to a comfortable multiple of the unit count.
+    config.trace.events = true;
+    config.trace.eventCapacity =
+        std::max(config.trace.eventCapacity, 8 * fabric_units + 64);
+    return config;
+}
+
+DifferentialHarness::DifferentialHarness(const Topology &topo,
+                                         VcRoutingPtr routing,
+                                         TrafficPtr traffic,
+                                         SimConfig base)
+    : ref_(topo, routing, traffic,
+           withEngine(base, SimEngine::Reference,
+                      static_cast<std::size_t>(topo.numChannels()) *
+                              routing->numVcs() +
+                          topo.numNodes())),
+      fast_(topo, routing, traffic,
+            withEngine(base, SimEngine::Fast,
+                       static_cast<std::size_t>(topo.numChannels()) *
+                               routing->numVcs() +
+                           topo.numNodes()))
+{
+}
+
+DifferentialHarness::DifferentialHarness(const Topology &topo,
+                                         RoutingPtr routing,
+                                         TrafficPtr traffic,
+                                         SimConfig base)
+    : ref_(topo, routing, traffic,
+           withEngine(base, SimEngine::Reference,
+                      static_cast<std::size_t>(topo.numChannels()) +
+                          topo.numNodes())),
+      fast_(topo, routing, traffic,
+            withEngine(base, SimEngine::Fast,
+                       static_cast<std::size_t>(topo.numChannels()) +
+                           topo.numNodes()))
+{
+}
+
+PacketId
+DifferentialHarness::injectBoth(NodeId src, NodeId dest,
+                                std::uint32_t length)
+{
+    const PacketId a = ref_.injectMessage(src, dest, length);
+    const PacketId b = fast_.injectMessage(src, dest, length);
+    TN_ASSERT(a == b, "scripted injection desynchronized the ids");
+    return a;
+}
+
+void
+DifferentialHarness::fail(const std::string &what)
+{
+    diverged_ = true;
+    report_.identical = false;
+    report_.divergenceCycle = ref_.now() == 0 ? 0 : ref_.now() - 1;
+    report_.detail = what;
+}
+
+bool
+DifferentialHarness::compareCycle()
+{
+    std::ostringstream os;
+
+    // 1. Event streams: same number of new events this cycle, with
+    //    identical tuples in identical order. This is the (cycle,
+    //    event) stream equality the oracle exists to prove.
+    const EventTrace &rt = *ref_.trace();
+    const EventTrace &ft = *fast_.trace();
+    const std::uint64_t refNew = rt.recorded() - refSeen_;
+    const std::uint64_t fastNew = ft.recorded() - fastSeen_;
+    if (refNew != fastNew) {
+        os << "event count: reference recorded " << refNew
+           << " events this cycle, fast recorded " << fastNew;
+        fail(os.str());
+        return false;
+    }
+    // A purge burst larger than the ring evicts identically on both
+    // sides (same capacity, same counts); compare what is retained.
+    const std::uint64_t refFirst = rt.recorded() - rt.size();
+    const std::uint64_t fastFirst = ft.recorded() - ft.size();
+    const std::uint64_t evicted =
+        refFirst > refSeen_ ? refFirst - refSeen_ : 0;
+    for (std::uint64_t k = evicted; k < refNew; ++k) {
+        const TraceEvent &re = rt.at(
+            static_cast<std::size_t>(refSeen_ + k - refFirst));
+        const TraceEvent &fe = ft.at(
+            static_cast<std::size_t>(fastSeen_ + k - fastFirst));
+        if (re.cycle != fe.cycle || re.packet != fe.packet ||
+            re.node != fe.node || re.channel != fe.channel ||
+            re.type != fe.type) {
+            os << "event " << k << " of " << refNew
+               << ": reference " << describeEvent(re) << ", fast "
+               << describeEvent(fe);
+            fail(os.str());
+            return false;
+        }
+    }
+    refSeen_ = rt.recorded();
+    fastSeen_ = ft.recorded();
+    report_.eventsCompared += refNew;
+
+    // 2. Accounting counters and global gauges.
+    const auto scalar = [&](const char *name, std::uint64_t r,
+                            std::uint64_t f) {
+        if (r == f)
+            return true;
+        os << name << ": reference " << r << ", fast " << f;
+        fail(os.str());
+        return false;
+    };
+    if (!scalar("flitsCreated", ref_.flitsCreated(),
+                fast_.flitsCreated()) ||
+        !scalar("flitsDelivered", ref_.flitsDelivered(),
+                fast_.flitsDelivered()) ||
+        !scalar("packetsDelivered", ref_.packetsDelivered(),
+                fast_.packetsDelivered()) ||
+        !scalar("packetsDropped", ref_.packetsDropped(),
+                fast_.packetsDropped()) ||
+        !scalar("packetsUnreachable", ref_.packetsUnreachable(),
+                fast_.packetsUnreachable()) ||
+        !scalar("flitsDropped", ref_.flitsDropped(),
+                fast_.flitsDropped()) ||
+        !scalar("flitsQueued", ref_.flitsQueued(),
+                fast_.flitsQueued()) ||
+        !scalar("flitsInNetwork", ref_.flitsInNetwork(),
+                fast_.flitsInNetwork()) ||
+        !scalar("maxFrontStall", ref_.maxFrontStall(),
+                fast_.maxFrontStall()) ||
+        !scalar("deadlockDetected", ref_.deadlockDetected() ? 1 : 0,
+                fast_.deadlockDetected() ? 1 : 0) ||
+        !scalar("faultsActive", ref_.faultsActive() ? 1 : 0,
+                fast_.faultsActive() ? 1 : 0)) {
+        return false;
+    }
+
+    // 3. Complete fabric state: diverging hidden state surfaces as a
+    //    diverging event stream eventually, but catching it on the
+    //    very cycle it appears pins the responsible phase.
+    const Network &rn = ref_.network();
+    const Network &fn = fast_.network();
+    for (UnitId u = 0; u < static_cast<UnitId>(rn.numInputs());
+         ++u) {
+        const InputUnit &ri = rn.input(u);
+        const InputUnit &fi = fn.input(u);
+        if (ri.assignedOutput() != fi.assignedOutput() ||
+            ri.residentPacket() != fi.residentPacket()) {
+            os << "input unit " << u << ": reference holds output "
+               << ri.assignedOutput() << " for packet "
+               << ri.residentPacket() << ", fast holds "
+               << fi.assignedOutput() << " for packet "
+               << fi.residentPacket();
+            fail(os.str());
+            return false;
+        }
+        if (ri.buffer().size() != fi.buffer().size()) {
+            os << "input unit " << u << ": reference buffers "
+               << ri.buffer().size() << " flits, fast "
+               << fi.buffer().size();
+            fail(os.str());
+            return false;
+        }
+        for (std::size_t i = 0; i < ri.buffer().size(); ++i) {
+            const FlitBuffer::Entry re = ri.buffer().at(i);
+            const FlitBuffer::Entry fe = fi.buffer().at(i);
+            if (re.flit.packet != fe.flit.packet ||
+                re.flit.seq != fe.flit.seq ||
+                re.flit.dest != fe.flit.dest ||
+                re.flit.head != fe.flit.head ||
+                re.flit.tail != fe.flit.tail ||
+                re.arrival != fe.arrival) {
+                os << "input unit " << u << " slot " << i
+                   << ": reference flit (packet=" << re.flit.packet
+                   << ", seq=" << re.flit.seq
+                   << ", arrival=" << re.arrival << "), fast (packet="
+                   << fe.flit.packet << ", seq=" << fe.flit.seq
+                   << ", arrival=" << fe.arrival << ")";
+                fail(os.str());
+                return false;
+            }
+        }
+    }
+    for (UnitId u = 0; u < static_cast<UnitId>(rn.numOutputs());
+         ++u) {
+        const OutputUnit &ro = rn.output(u);
+        const OutputUnit &fo = fn.output(u);
+        if (ro.owner() != fo.owner() ||
+            ro.failed() != fo.failed()) {
+            os << "output unit " << u << ": reference owner "
+               << ro.owner() << " failed=" << ro.failed()
+               << ", fast owner " << fo.owner()
+               << " failed=" << fo.failed();
+            fail(os.str());
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+DifferentialHarness::stepBoth()
+{
+    if (diverged_)
+        return false;
+    ref_.step();
+    fast_.step();
+    ++report_.cyclesRun;
+    return compareCycle();
+}
+
+DifferentialReport
+DifferentialHarness::run(Cycle cycles)
+{
+    for (Cycle c = 0; c < cycles && !diverged_; ++c)
+        stepBoth();
+    return report_;
+}
+
+DifferentialReport
+runDifferential(const Topology &topo, const VcRoutingPtr &routing,
+                const TrafficPtr &traffic, const SimConfig &base,
+                Cycle cycles)
+{
+    DifferentialHarness harness(topo, routing, traffic, base);
+    return harness.run(cycles);
+}
+
+} // namespace turnnet

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Differential oracle: step the reference (full-scan) and fast
+ * (active-worm worklist) engines in lockstep on the same
+ * configuration and assert bit-identity cycle by cycle.
+ *
+ * After every cycle the harness compares
+ *
+ *  - the (cycle, event) streams: both engines run with the event
+ *    trace forced on and must have recorded the same number of new
+ *    events with identical (type, cycle, packet, node, channel)
+ *    tuples, in the same order;
+ *  - the delivery/drop/deadlock accounting counters;
+ *  - the complete fabric state: every input unit's buffered flits
+ *    (values and arrival stamps), output assignment and resident
+ *    packet, every output unit's owner and failure flag, plus the
+ *    source-queue and in-network flit totals and the stall watermark.
+ *
+ * Any mismatch stops the run and is reported with the offending
+ * cycle and a human-readable description of the first difference.
+ * This oracle is the proof obligation of the worklist rewrite: the
+ * fast engine is not "approximately" the reference engine, it is
+ * the same machine iterated differently.
+ */
+
+#ifndef TURNNET_HARNESS_DIFFERENTIAL_HPP
+#define TURNNET_HARNESS_DIFFERENTIAL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "turnnet/network/simulator.hpp"
+
+namespace turnnet {
+
+/** Outcome of a differential run. */
+struct DifferentialReport
+{
+    /** No divergence observed. */
+    bool identical = true;
+
+    /** Lockstep cycles executed. */
+    Cycle cyclesRun = 0;
+
+    /** Total trace events compared (both sides recorded each). */
+    std::uint64_t eventsCompared = 0;
+
+    /** First divergent cycle (valid when !identical). */
+    Cycle divergenceCycle = 0;
+
+    /** Human-readable description of the first difference. */
+    std::string detail;
+};
+
+/**
+ * A reference and a fast simulator built from one configuration,
+ * stepped in lockstep. Scripted workloads inject into both sides
+ * through reference() and fast(); generated workloads just run().
+ */
+class DifferentialHarness
+{
+  public:
+    /**
+     * @param topo Topology (must outlive the harness).
+     * @param routing Routing algorithm, shared by both engines
+     *        (routing relations are stateless per query).
+     * @param traffic Traffic pattern, shared likewise; may be null
+     *        when base.load == 0.
+     * @param base Configuration; the engine field is overridden per
+     *        side and the event trace is forced on so the streams
+     *        can be compared.
+     */
+    DifferentialHarness(const Topology &topo, VcRoutingPtr routing,
+                        TrafficPtr traffic, SimConfig base);
+
+    /** Single-channel routing convenience. */
+    DifferentialHarness(const Topology &topo, RoutingPtr routing,
+                        TrafficPtr traffic, SimConfig base);
+
+    Simulator &reference() { return ref_; }
+    Simulator &fast() { return fast_; }
+
+    /**
+     * Inject the same scripted message into both engines. Returns
+     * the packet id (identical on both sides by construction).
+     */
+    PacketId injectBoth(NodeId src, NodeId dest,
+                        std::uint32_t length);
+
+    /**
+     * Step both engines one cycle and compare streams, counters,
+     * and fabric state. Returns false on the first divergence (the
+     * harness stops comparing once diverged).
+     */
+    bool stepBoth();
+
+    /** Run @p cycles lockstep cycles (stopping at divergence) and
+     *  report. */
+    DifferentialReport run(Cycle cycles);
+
+    bool diverged() const { return diverged_; }
+    const DifferentialReport &report() const { return report_; }
+
+  private:
+    static SimConfig withEngine(SimConfig config, SimEngine engine,
+                                std::size_t fabric_units);
+    bool compareCycle();
+    void fail(const std::string &what);
+
+    Simulator ref_;
+    Simulator fast_;
+    std::uint64_t refSeen_ = 0;
+    std::uint64_t fastSeen_ = 0;
+    bool diverged_ = false;
+    DifferentialReport report_;
+};
+
+/**
+ * One-call oracle: build the harness and run @p cycles lockstep
+ * cycles of generated traffic.
+ */
+DifferentialReport runDifferential(const Topology &topo,
+                                   const VcRoutingPtr &routing,
+                                   const TrafficPtr &traffic,
+                                   const SimConfig &base,
+                                   Cycle cycles);
+
+} // namespace turnnet
+
+#endif // TURNNET_HARNESS_DIFFERENTIAL_HPP

@@ -47,6 +47,7 @@ runFaultSweep(const Topology &topo, const std::string &algorithm,
         config.faultCycle = opts.faultCycle;
         config.seed = sweepTaskSeed(base.seed, point, replicate,
                                     replicates);
+        config.engine = opts.engine;
         Simulator sim(topo, routing, traffic, config);
         cell.result = sim.run();
     };

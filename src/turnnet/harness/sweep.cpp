@@ -32,6 +32,8 @@ SweepOptions::fromCli(const CliOptions &opts)
     out.collectCounters = !out.countersJson.empty();
     out.trace = opts.getBool("trace", false);
     out.traceOut = opts.getString("trace-out", out.traceOut);
+    out.engine = parseSimEngine(
+        opts.getString("engine", simEngineName(out.engine)));
     return out;
 }
 
@@ -96,6 +98,7 @@ runSweep(const Topology &topo, const RoutingHandle &routing,
                                     replicates);
         config.trace.counters |= opts.collectCounters;
         config.trace.events |= opts.trace;
+        config.engine = opts.engine;
         Simulator sim(topo, routing, traffic, config);
         results[t] = sim.run();
         if (opts.collectCounters)

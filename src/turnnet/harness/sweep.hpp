@@ -101,11 +101,19 @@ struct SweepOptions
     std::string traceOut = "trace.jsonl";
 
     /**
+     * Cycle-loop engine for every simulation of the sweep
+     * (--engine reference|fast). Bit-identical results either way
+     * (see SimEngine); reference exists for the differential oracle
+     * and for debugging the worklist engine itself.
+     */
+    SimEngine engine = SimEngine::Fast;
+
+    /**
      * Parse the flags every bench driver shares — --jobs (0 or
      * "auto" = hardware threads), --replicates, --compare-serial,
      * --bench-json, --faults, --fault-seed, --fault-cycle,
-     * --counters-json, --trace, --trace-out — so the fifteen
-     * drivers stop hand-rolling the same block.
+     * --counters-json, --trace, --trace-out, --engine — so the
+     * fifteen drivers stop hand-rolling the same block.
      */
     static SweepOptions fromCli(const CliOptions &opts);
 };

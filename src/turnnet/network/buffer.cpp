@@ -1,49 +1,16 @@
 #include "turnnet/network/buffer.hpp"
 
-#include "turnnet/common/logging.hpp"
-
 namespace turnnet {
-
-void
-FlitBuffer::push(const Flit &flit, Cycle arrival)
-{
-    TN_ASSERT(!full(), "flit buffer overflow");
-    entries_.push_back(Entry{flit, arrival});
-}
-
-const FlitBuffer::Entry &
-FlitBuffer::front() const
-{
-    TN_ASSERT(!empty(), "front() on empty flit buffer");
-    return entries_.front();
-}
-
-FlitBuffer::Entry
-FlitBuffer::pop()
-{
-    TN_ASSERT(!empty(), "pop() on empty flit buffer");
-    Entry e = entries_.front();
-    entries_.pop_front();
-    return e;
-}
-
-std::size_t
-FlitBuffer::removePacket(PacketId packet)
-{
-    const std::size_t before = entries_.size();
-    std::erase_if(entries_, [packet](const Entry &e) {
-        return e.flit.packet == packet;
-    });
-    return before - entries_.size();
-}
 
 std::vector<PacketId>
 FlitBuffer::packetIds() const
 {
     std::vector<PacketId> ids;
-    for (const Entry &e : entries_) {
-        if (ids.empty() || ids.back() != e.flit.packet)
-            ids.push_back(e.flit.packet);
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const PacketId p = store_->flitAt(unit_, i).packet;
+        if (ids.empty() || ids.back() != p)
+            ids.push_back(p);
     }
     return ids;
 }

@@ -3,21 +3,25 @@
  * The per-input-channel flit buffer. The paper's routers buffer a
  * single flit per input channel; the capacity is configurable for
  * the buffer-depth ablation.
+ *
+ * Storage lives in the fabric-wide struct-of-arrays FlitStore
+ * (flit_store.hpp); FlitBuffer is the per-unit FIFO view the router
+ * and simulator code programs against.
  */
 
 #ifndef TURNNET_NETWORK_BUFFER_HPP
 #define TURNNET_NETWORK_BUFFER_HPP
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
 #include "turnnet/common/types.hpp"
 #include "turnnet/network/flit.hpp"
+#include "turnnet/network/flit_store.hpp"
 
 namespace turnnet {
 
-/** A FIFO flit buffer with fixed capacity. */
+/** A FIFO flit buffer view with fixed capacity. */
 class FlitBuffer
 {
   public:
@@ -29,40 +33,68 @@ class FlitBuffer
         Cycle arrival = 0;
     };
 
-    explicit FlitBuffer(std::size_t capacity = 1)
-        : capacity_(capacity)
+    /** View over @p store's FIFO for @p unit. */
+    FlitBuffer(FlitStore &store, std::size_t unit)
+        : store_(&store), unit_(unit)
     {
     }
 
-    std::size_t capacity() const { return capacity_; }
-    std::size_t size() const { return entries_.size(); }
-    bool empty() const { return entries_.empty(); }
-    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t capacity() const { return store_->depth(); }
+    std::size_t size() const { return store_->size(unit_); }
+    bool empty() const { return store_->empty(unit_); }
+    bool full() const { return store_->full(unit_); }
 
     /** Append a flit; fatal when full. */
-    void push(const Flit &flit, Cycle arrival);
+    void
+    push(const Flit &flit, Cycle arrival)
+    {
+        store_->push(unit_, flit, arrival);
+    }
 
     /** Oldest entry; fatal when empty. */
-    const Entry &front() const;
+    Entry
+    front() const
+    {
+        return Entry{store_->frontFlit(unit_),
+                     store_->frontArrival(unit_)};
+    }
+
+    /** Entry @p i, 0 = oldest; fatal out of range. */
+    Entry
+    at(std::size_t i) const
+    {
+        return Entry{store_->flitAt(unit_, i),
+                     store_->arrivalAt(unit_, i)};
+    }
 
     /** Remove and return the oldest entry; fatal when empty. */
-    Entry pop();
+    Entry
+    pop()
+    {
+        const Entry e = front();
+        store_->pop(unit_);
+        return e;
+    }
 
     /**
      * Discard every flit of @p packet (fault purge); returns the
      * number removed. Other packets' entries keep their order.
      */
-    std::size_t removePacket(PacketId packet);
+    std::size_t
+    removePacket(PacketId packet)
+    {
+        return store_->removePacket(unit_, packet);
+    }
 
     /** Distinct packet ids with at least one buffered flit. */
     std::vector<PacketId> packetIds() const;
 
     /** Discard all contents. */
-    void clear() { entries_.clear(); }
+    void clear() { store_->clear(unit_); }
 
   private:
-    std::size_t capacity_;
-    std::deque<Entry> entries_;
+    FlitStore *store_;
+    std::size_t unit_;
 };
 
 } // namespace turnnet

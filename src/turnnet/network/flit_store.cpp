@@ -1,0 +1,94 @@
+#include "turnnet/network/flit_store.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+FlitStore::FlitStore(std::size_t units, std::size_t depth)
+    : units_(units), depth_(depth), flits_(units * depth),
+      arrivals_(units * depth, 0), head_(units, 0), count_(units, 0)
+{
+    TN_ASSERT(depth >= 1, "buffers hold at least one flit");
+}
+
+void
+FlitStore::push(std::size_t unit, const Flit &flit, Cycle arrival)
+{
+    TN_ASSERT(!full(unit), "flit buffer overflow");
+    const std::size_t s = slot(unit, count_[unit]);
+    flits_[s] = flit;
+    arrivals_[s] = arrival;
+    ++count_[unit];
+    ++total_;
+}
+
+const Flit &
+FlitStore::frontFlit(std::size_t unit) const
+{
+    TN_ASSERT(!empty(unit), "front() on empty flit buffer");
+    return flits_[slot(unit, 0)];
+}
+
+Cycle
+FlitStore::frontArrival(std::size_t unit) const
+{
+    TN_ASSERT(!empty(unit), "front() on empty flit buffer");
+    return arrivals_[slot(unit, 0)];
+}
+
+const Flit &
+FlitStore::flitAt(std::size_t unit, std::size_t i) const
+{
+    TN_ASSERT(i < count_[unit], "flit index out of range");
+    return flits_[slot(unit, i)];
+}
+
+Cycle
+FlitStore::arrivalAt(std::size_t unit, std::size_t i) const
+{
+    TN_ASSERT(i < count_[unit], "flit index out of range");
+    return arrivals_[slot(unit, i)];
+}
+
+void
+FlitStore::pop(std::size_t unit)
+{
+    TN_ASSERT(!empty(unit), "pop() on empty flit buffer");
+    head_[unit] = static_cast<std::uint32_t>(
+        (head_[unit] + 1) % depth_);
+    --count_[unit];
+    --total_;
+}
+
+std::size_t
+FlitStore::removePacket(std::size_t unit, PacketId packet)
+{
+    // Compact survivors toward the ring head, preserving order.
+    const std::size_t n = count_[unit];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t from = slot(unit, i);
+        if (flits_[from].packet == packet)
+            continue;
+        const std::size_t to = slot(unit, kept);
+        if (to != from) {
+            flits_[to] = flits_[from];
+            arrivals_[to] = arrivals_[from];
+        }
+        ++kept;
+    }
+    const std::size_t removed = n - kept;
+    count_[unit] = static_cast<std::uint32_t>(kept);
+    total_ -= removed;
+    return removed;
+}
+
+void
+FlitStore::clear(std::size_t unit)
+{
+    total_ -= count_[unit];
+    count_[unit] = 0;
+    head_[unit] = 0;
+}
+
+} // namespace turnnet

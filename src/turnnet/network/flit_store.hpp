@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Struct-of-arrays flit storage for the whole fabric.
+ *
+ * Every input unit's FIFO lives in one pair of flat arrays (flits
+ * and arrival stamps), as a fixed-capacity ring per unit id. The
+ * hot per-cycle passes (occupancy sampling, movement, conservation
+ * checks) touch contiguous memory indexed by unit id instead of
+ * chasing one std::deque allocation per buffer, and the store
+ * maintains a running total so "flits in flight anywhere" is O(1).
+ *
+ * FlitBuffer (buffer.hpp) is the per-unit FIFO view over this store;
+ * router and simulator code keeps using that interface unchanged.
+ */
+
+#ifndef TURNNET_NETWORK_FLIT_STORE_HPP
+#define TURNNET_NETWORK_FLIT_STORE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "turnnet/common/types.hpp"
+#include "turnnet/network/flit.hpp"
+
+namespace turnnet {
+
+/** SoA ring storage: one fixed-depth flit FIFO per unit id. */
+class FlitStore
+{
+  public:
+    FlitStore() = default;
+
+    /**
+     * @param units Number of FIFOs (one per input unit).
+     * @param depth Capacity of each FIFO in flits (>= 1).
+     */
+    FlitStore(std::size_t units, std::size_t depth);
+
+    std::size_t units() const { return units_; }
+    std::size_t depth() const { return depth_; }
+
+    std::size_t size(std::size_t unit) const { return count_[unit]; }
+    bool empty(std::size_t unit) const { return count_[unit] == 0; }
+
+    bool
+    full(std::size_t unit) const
+    {
+        return count_[unit] >= depth_;
+    }
+
+    /** Append a flit to @p unit's FIFO; fatal when full. */
+    void push(std::size_t unit, const Flit &flit, Cycle arrival);
+
+    /** Oldest flit of @p unit; fatal when empty. */
+    const Flit &frontFlit(std::size_t unit) const;
+
+    /** Arrival cycle of the oldest flit; fatal when empty. */
+    Cycle frontArrival(std::size_t unit) const;
+
+    /** Entry @p i (0 = oldest) of @p unit; fatal out of range. */
+    const Flit &flitAt(std::size_t unit, std::size_t i) const;
+    Cycle arrivalAt(std::size_t unit, std::size_t i) const;
+
+    /** Remove the oldest flit of @p unit; fatal when empty. */
+    void pop(std::size_t unit);
+
+    /**
+     * Discard every flit of @p packet buffered at @p unit (fault
+     * purge); other packets keep their order. Returns the number of
+     * flits removed.
+     */
+    std::size_t removePacket(std::size_t unit, PacketId packet);
+
+    /** Discard all contents of @p unit's FIFO. */
+    void clear(std::size_t unit);
+
+    /** Flits buffered across every unit (maintained, not scanned). */
+    std::uint64_t totalFlits() const { return total_; }
+
+  private:
+    std::size_t slot(std::size_t unit, std::size_t i) const
+    {
+        return unit * depth_ + (head_[unit] + i) % depth_;
+    }
+
+    std::size_t units_ = 0;
+    std::size_t depth_ = 1;
+    std::vector<Flit> flits_;
+    std::vector<Cycle> arrivals_;
+    /** Ring head index of each unit, in [0, depth). */
+    std::vector<std::uint32_t> head_;
+    /** Occupied slots of each unit. */
+    std::vector<std::uint32_t> count_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_FLIT_STORE_HPP

@@ -29,12 +29,13 @@ class InputUnit
      * @param node Router the unit belongs to.
      * @param in_dir Arrival direction (local for injection).
      * @param vc Virtual channel index; -1 (kNoVc) for injection.
-     * @param buffer_depth Flits of buffering.
+     * @param store Fabric-wide SoA flit storage.
+     * @param unit This unit's id (its FIFO index in @p store).
      */
     InputUnit(NodeId node, Direction in_dir, int vc,
-              std::size_t buffer_depth)
+              FlitStore &store, std::size_t unit)
         : node_(node), inDir_(in_dir), vc_(vc),
-          buffer_(buffer_depth)
+          buffer_(store, unit)
     {
     }
 

@@ -1,12 +1,17 @@
 #include "turnnet/network/network.hpp"
 
+#include <algorithm>
+
 #include "turnnet/common/logging.hpp"
 
 namespace turnnet {
 
 Network::Network(const Topology &topo, std::size_t buffer_depth,
                  int num_vcs)
-    : topo_(&topo), numVcs_(num_vcs)
+    : topo_(&topo), numVcs_(num_vcs),
+      store_(static_cast<std::size_t>(topo.numChannels()) * num_vcs +
+                 topo.numNodes(),
+             buffer_depth)
 {
     TN_ASSERT(buffer_depth >= 1, "buffers hold at least one flit");
     TN_ASSERT(num_vcs >= 1, "networks need at least one VC");
@@ -28,7 +33,8 @@ Network::Network(const Topology &topo, std::size_t buffer_depth,
     for (ChannelId c = 0; c < channels; ++c) {
         const Channel &ch = topo.channel(c);
         for (int vc = 0; vc < num_vcs; ++vc) {
-            inputs_.emplace_back(ch.dst, ch.dir, vc, buffer_depth);
+            inputs_.emplace_back(ch.dst, ch.dir, vc, store_,
+                                 inputs_.size());
             outputs_.emplace_back(ch.src, ch.dir, c, vc);
             routers_[ch.dst].addInput(channelInput(c, vc), ch.dir);
             routers_[ch.src].addOutput(channelOutput(c, vc), ch.dir,
@@ -39,8 +45,8 @@ Network::Network(const Topology &topo, std::size_t buffer_depth,
     // Local units: injection inputs and ejection outputs (one each;
     // the processor interface is not virtualized).
     for (NodeId n = 0; n < nodes; ++n) {
-        inputs_.emplace_back(n, Direction::local(), kNoVc,
-                             buffer_depth);
+        inputs_.emplace_back(n, Direction::local(), kNoVc, store_,
+                             inputs_.size());
         outputs_.emplace_back(n, Direction::local(), kInvalidChannel,
                               0);
         routers_[n].addInput(injectionInput(n), Direction::local());
@@ -52,10 +58,7 @@ Network::Network(const Topology &topo, std::size_t buffer_depth,
 std::uint64_t
 Network::flitsInFlight() const
 {
-    std::uint64_t total = 0;
-    for (const InputUnit &iu : inputs_)
-        total += iu.buffer().size();
-    return total;
+    return store_.totalFlits();
 }
 
 void
@@ -63,6 +66,12 @@ Network::allocateAll(const AllocationContext &ctx)
 {
     for (Router &r : routers_)
         r.allocate(inputs_, outputs_, ctx);
+}
+
+void
+Network::allocateAt(NodeId node, const AllocationContext &ctx)
+{
+    routers_[node].allocate(inputs_, outputs_, ctx);
 }
 
 std::vector<std::uint8_t>
@@ -179,6 +188,127 @@ Network::resolveMovable(Cycle now) const
     for (std::uint8_t &s : state)
         s = (s == Yes) ? 1 : 0;
     return state;
+}
+
+void
+Network::resolveMovableFor(Cycle now,
+                           const std::vector<UnitId> &active,
+                           std::vector<std::uint8_t> &out) const
+{
+    enum : std::uint8_t { Unknown, InProgress, Yes, No };
+    // Clearing the memo is one memset-sized assign per cycle —
+    // cheaper than stamping every access with an epoch check, and
+    // the chain walk below stays branch-lean.
+    memoState_.assign(inputs_.size(), Unknown);
+
+    // Link arbitration over the active units only. Empty buffers
+    // never contend in the full scan either, so grouping the active
+    // senders by channel (unit id ascending within each group, as
+    // the scan's collection order) reproduces its candidate pools —
+    // and the same rotating winner.
+    if (numVcs_ > 1) {
+        linkWinner_.assign(topo_->numChannels(), kNoUnit);
+        wantScratch_.clear();
+        for (const UnitId id : active) {
+            const InputUnit &iu = inputs_[id];
+            if (iu.buffer().empty() ||
+                iu.assignedOutput() == kNoUnit) {
+                continue;
+            }
+            const OutputUnit &ou = outputs_[iu.assignedOutput()];
+            if (ou.isEjection())
+                continue;
+            wantScratch_.emplace_back(ou.channel(), id);
+        }
+        std::sort(wantScratch_.begin(), wantScratch_.end());
+        for (std::size_t i = 0; i < wantScratch_.size();) {
+            const ChannelId c = wantScratch_[i].first;
+            std::size_t end = i;
+            while (end < wantScratch_.size() &&
+                   wantScratch_[end].first == c) {
+                ++end;
+            }
+            // Prefer candidates that can make progress right away.
+            candScratch_.clear();
+            readyScratch_.clear();
+            for (std::size_t k = i; k < end; ++k) {
+                const UnitId id = wantScratch_[k].second;
+                candScratch_.push_back(id);
+                const OutputUnit &ou =
+                    outputs_[inputs_[id].assignedOutput()];
+                const UnitId down =
+                    channelInput(ou.channel(), ou.vc());
+                if (!inputs_[down].buffer().full())
+                    readyScratch_.push_back(id);
+            }
+            const auto &pool = readyScratch_.empty() ? candScratch_
+                                                     : readyScratch_;
+            linkWinner_[c] =
+                pool[static_cast<std::size_t>(now) % pool.size()];
+            i = end;
+        }
+    }
+
+    const auto link_allows = [&](UnitId id, const OutputUnit &ou) {
+        if (numVcs_ == 1 || ou.isEjection())
+            return true;
+        return linkWinner_[ou.channel()] == id;
+    };
+
+    // The chain walk of resolveMovable(), memoized across starts.
+    out.assign(active.size(), 0);
+    for (std::size_t idx = 0; idx < active.size(); ++idx) {
+        const UnitId start = active[idx];
+        if (memoState_[start] == Yes || memoState_[start] == No) {
+            out[idx] = memoState_[start] == Yes;
+            continue;
+        }
+        chainScratch_.clear();
+        UnitId cur = start;
+        std::uint8_t verdict = No;
+        for (;;) {
+            std::uint8_t &st = memoState_[cur];
+            const InputUnit &iu = inputs_[cur];
+            if (st == Yes || st == No) {
+                verdict = st;
+                break;
+            }
+            if (st == InProgress) {
+                // Closed a waiting cycle: a deadlock configuration.
+                verdict = No;
+                break;
+            }
+            if (iu.buffer().empty() ||
+                iu.assignedOutput() == kNoUnit) {
+                verdict = No;
+                st = No;
+                break;
+            }
+            const OutputUnit &ou = outputs_[iu.assignedOutput()];
+            if (!link_allows(cur, ou)) {
+                verdict = No;
+                st = No;
+                break;
+            }
+            if (ou.isEjection()) {
+                verdict = Yes;
+                st = Yes;
+                break;
+            }
+            const UnitId down = channelInput(ou.channel(), ou.vc());
+            if (!inputs_[down].buffer().full()) {
+                verdict = Yes;
+                st = Yes;
+                break;
+            }
+            st = InProgress;
+            chainScratch_.push_back(cur);
+            cur = down;
+        }
+        for (const UnitId id : chainScratch_)
+            memoState_[id] = verdict;
+        out[idx] = verdict == Yes;
+    }
 }
 
 void

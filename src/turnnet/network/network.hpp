@@ -22,6 +22,7 @@
 #define TURNNET_NETWORK_NETWORK_HPP
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "turnnet/network/input_unit.hpp"
@@ -42,6 +43,11 @@ class Network
      */
     Network(const Topology &topo, std::size_t buffer_depth,
             int num_vcs = 1);
+
+    /** Input units hold views into the fabric's flit store, so the
+     *  assembled network is pinned in place. */
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
 
     const Topology &topo() const { return *topo_; }
     int numVcs() const { return numVcs_; }
@@ -93,6 +99,9 @@ class Network
     /** Run the allocation stage of every router. */
     void allocateAll(const AllocationContext &ctx);
 
+    /** Run the allocation stage of one router. */
+    void allocateAt(NodeId node, const AllocationContext &ctx);
+
     /**
      * Chain-resolve which input units' front flits can advance this
      * cycle. Entry i of the result corresponds to input unit i.
@@ -101,17 +110,41 @@ class Network
      */
     std::vector<std::uint8_t> resolveMovable(Cycle now) const;
 
+    /**
+     * Worklist variant of resolveMovable(): verdicts only for the
+     * units in @p active (ascending unit id, no duplicates), which
+     * must cover every non-empty buffer in the fabric. out[i]
+     * corresponds to active[i]. Bit-identical to the full scan:
+     * empty buffers always resolve to "cannot move", chain
+     * resolution only ever recurses into full — hence listed —
+     * buffers, and link arbitration over the listed units collects
+     * exactly the candidates the full scan would.
+     */
+    void resolveMovableFor(Cycle now,
+                           const std::vector<UnitId> &active,
+                           std::vector<std::uint8_t> &out) const;
+
     /** Clear all buffers and reservations. */
     void reset();
 
   private:
     const Topology *topo_;
     int numVcs_;
+    /** SoA flit storage; declared before the input units whose
+     *  buffers are views into it. */
+    FlitStore store_;
     std::vector<InputUnit> inputs_;
     std::vector<OutputUnit> outputs_;
     std::vector<Router> routers_;
     /** Scratch for link arbitration (reused per cycle). */
     mutable std::vector<UnitId> linkWinner_;
+
+    // Scratch for resolveMovableFor (reused per cycle).
+    mutable std::vector<std::pair<ChannelId, UnitId>> wantScratch_;
+    mutable std::vector<UnitId> candScratch_;
+    mutable std::vector<UnitId> readyScratch_;
+    mutable std::vector<UnitId> chainScratch_;
+    mutable std::vector<std::uint8_t> memoState_;
 };
 
 } // namespace turnnet

@@ -6,6 +6,22 @@
 
 namespace turnnet {
 
+const char *
+simEngineName(SimEngine engine)
+{
+    return engine == SimEngine::Reference ? "reference" : "fast";
+}
+
+SimEngine
+parseSimEngine(const std::string &name)
+{
+    if (name == "reference")
+        return SimEngine::Reference;
+    if (name == "fast")
+        return SimEngine::Fast;
+    TN_FATAL("unknown engine '", name, "' (use reference or fast)");
+}
+
 std::vector<std::string>
 SimConfig::validate() const
 {
@@ -91,6 +107,12 @@ Simulator::Simulator(const Topology &topo, VcRoutingPtr routing,
                  "core for reachability accounting; ",
                  routing_->name(), " is purely virtual-channel");
     }
+    frontStall_.assign(network_.numInputs(), 0);
+    fast_ = config_.engine == SimEngine::Fast;
+    if (fast_) {
+        unitActive_.assign(network_.numInputs(), 0);
+        nodeActive_.assign(topo.numNodes(), 0);
+    }
 }
 
 bool
@@ -117,7 +139,14 @@ Simulator::purgePacket(PacketId id, bool unreachable)
             network_.output(iu.assignedOutput()).release();
             iu.clearOutput();
         }
-        flitsDropped_ += iu.buffer().removePacket(id);
+        const std::size_t removed = iu.buffer().removePacket(id);
+        flitsDropped_ += removed;
+        // The worklist engine only visits (and so only resets the
+        // stall counter of) non-empty buffers; a buffer this purge
+        // drains must read zero stall, exactly as the full scan
+        // would leave it.
+        if (removed > 0 && iu.buffer().empty())
+            frontStall_[u] = 0;
     }
     const PacketInfo &info = packets_.at(id);
     flitsDropped_ += queues_[info.src].dropPacket(id);
@@ -265,6 +294,8 @@ Simulator::deliverFlit(const Flit &flit)
         events_->record(TraceEventType::Deliver, cycle_, flit.packet,
                         flit.dest, kInvalidChannel);
     }
+    if (onFlitDelivered)
+        onFlitDelivered(flit, cycle_);
     if (!flit.tail)
         return;
 
@@ -356,6 +387,12 @@ Simulator::moveFlits()
         }
     }
 
+    applyMoves();
+}
+
+void
+Simulator::applyMoves()
+{
     for (const Move &m : moveScratch_) {
         const OutputUnit &out = network_.output(m.output);
         if (out.isEjection()) {
@@ -364,6 +401,7 @@ Simulator::moveFlits()
             const UnitId down =
                 network_.channelInput(out.channel(), out.vc());
             network_.input(down).buffer().push(m.entry.flit, cycle_);
+            touchUnit(down);
             if (counters_)
                 counters_->flitCrossed(out.channel());
             if (events_) {
@@ -397,6 +435,114 @@ Simulator::moveFlits()
 }
 
 void
+Simulator::touchUnit(UnitId unit)
+{
+    if (!fast_ || unitActive_[unit])
+        return;
+    unitActive_[unit] = 1;
+    activeScratch_.push_back(unit);
+}
+
+void
+Simulator::buildWorklist()
+{
+    // Last cycle's list survives sorted as a prefix; only the units
+    // touched since then need sorting before the merge.
+    const auto mid = activeScratch_.begin() +
+                     static_cast<std::ptrdiff_t>(sortedPrefix_);
+    std::sort(mid, activeScratch_.end());
+
+    // One pass merges prefix and suffix (disjoint by the
+    // unitActive_ guard), drops units that drained since their last
+    // visit (lazy deactivation), and flags the survivors' routers.
+    activeUnits_.clear();
+    const auto keep = [&](UnitId u) {
+        if (network_.input(u).buffer().empty()) {
+            unitActive_[u] = 0;
+            return;
+        }
+        activeUnits_.push_back(u);
+        nodeActive_[network_.input(u).node()] = 1;
+    };
+    std::size_t a = 0;
+    std::size_t b = sortedPrefix_;
+    const std::size_t total = activeScratch_.size();
+    while (a < sortedPrefix_ && b < total) {
+        if (activeScratch_[a] < activeScratch_[b])
+            keep(activeScratch_[a++]);
+        else
+            keep(activeScratch_[b++]);
+    }
+    while (a < sortedPrefix_)
+        keep(activeScratch_[a++]);
+    while (b < total)
+        keep(activeScratch_[b++]);
+    activeScratch_ = activeUnits_;
+    sortedPrefix_ = activeScratch_.size();
+
+    // The allocation pass must visit routers in ascending node
+    // order to reproduce the full scan's RNG draw order, and unit
+    // ids ascending does not imply node ids ascending (a channel
+    // input's router is the channel's destination). One ordered
+    // scan over the flag array beats sorting the router list.
+    routerScratch_.clear();
+    for (NodeId n = 0; n < topo_->numNodes(); ++n) {
+        if (nodeActive_[n]) {
+            nodeActive_[n] = 0;
+            routerScratch_.push_back(n);
+        }
+    }
+}
+
+void
+Simulator::moveFlitsFast()
+{
+    network_.resolveMovableFor(cycle_, activeUnits_,
+                               movableScratch_);
+
+    if (counters_) {
+        // Units off the worklist are empty and would add zero.
+        for (const UnitId in : activeUnits_) {
+            counters_->occupancy(
+                static_cast<std::size_t>(in),
+                network_.input(in).buffer().size());
+        }
+    }
+
+    moveScratch_.clear();
+    Cycle max_stall = 0;
+    for (std::size_t i = 0; i < activeUnits_.size(); ++i) {
+        const UnitId in = activeUnits_[i];
+        InputUnit &iu = network_.input(in);
+        if (!movableScratch_[i]) {
+            // Worklist units are never empty, so this buffer holds
+            // a stalled flit; empty buffers keep their zero stall
+            // without a visit.
+            ++frontStall_[in];
+            max_stall = std::max(max_stall, frontStall_[in]);
+            if (counters_ && iu.assignedOutput() != kNoUnit)
+                counters_->downstreamFull(iu.node());
+            if (events_ && frontStall_[in] == 1) {
+                events_->record(TraceEventType::Block, cycle_,
+                                iu.buffer().front().flit.packet,
+                                iu.node(), unitChannel(in));
+            }
+            continue;
+        }
+        frontStall_[in] = 0;
+        const UnitId out = iu.assignedOutput();
+        moveScratch_.push_back(Move{in, iu.buffer().pop(), out});
+        if (moveScratch_.back().entry.flit.tail) {
+            network_.output(out).release();
+            iu.clearOutput();
+        }
+    }
+    lastMaxStall_ = max_stall;
+
+    applyMoves();
+}
+
+void
 Simulator::injectFromQueues()
 {
     for (NodeId n = 0; n < topo_->numNodes(); ++n) {
@@ -408,6 +554,7 @@ Simulator::injectFromQueues()
             continue;
         const Flit flit = q.nextFlit();
         iu.buffer().push(flit, cycle_);
+        touchUnit(network_.injectionInput(n));
         if (flit.head) {
             packets_.at(flit.packet).injected = cycle_;
             if (events_) {
@@ -418,12 +565,19 @@ Simulator::injectFromQueues()
     }
 }
 
-void
-Simulator::checkConservation() const
+std::uint64_t
+Simulator::flitsQueued() const
 {
     std::uint64_t queued = 0;
     for (const SourceQueue &q : queues_)
         queued += q.flitCount();
+    return queued;
+}
+
+void
+Simulator::checkConservation() const
+{
+    const std::uint64_t queued = flitsQueued();
     const std::uint64_t in_flight = network_.flitsInFlight();
     TN_ASSERT(flitsCreated_ == flitsDelivered_ + in_flight +
                                    queued + flitsDropped_,
@@ -451,13 +605,23 @@ Simulator::step()
                                 config_.misrouteAfterWait,
                                 counters_.get(),
                                 events_.get()};
-    network_.allocateAll(ctx);
-    moveFlits();
-    injectFromQueues();
+    Cycle stalled;
+    if (fast_) {
+        buildWorklist();
+        for (const NodeId n : routerScratch_)
+            network_.allocateAt(n, ctx);
+        moveFlitsFast();
+        injectFromQueues();
+        stalled = lastMaxStall_;
+    } else {
+        network_.allocateAll(ctx);
+        moveFlits();
+        injectFromQueues();
+        stalled = maxFrontStall();
+    }
     if (counters_)
         counters_->tick();
 
-    const Cycle stalled = maxFrontStall();
     worstStall_ = std::max(worstStall_, stalled);
     if (stalled > config_.watchdogCycles)
         deadlocked_ = true;

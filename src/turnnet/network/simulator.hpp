@@ -30,6 +30,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 #include <unordered_map>
 
@@ -67,6 +68,36 @@ struct TraceConfig
     /** Ring capacity when events are on (oldest evicted). */
     std::size_t eventCapacity = 1 << 16;
 };
+
+/**
+ * Execution engine of the cycle loop. Both engines simulate the
+ * identical machine — same RNG draws, same allocation and movement
+ * order, bit-identical trajectories — and differ only in what they
+ * iterate over per cycle:
+ *
+ *  - Reference walks every router and every input buffer, exactly
+ *    as the original simulator did.
+ *  - Fast keeps an active-worm worklist: only units with a buffered
+ *    flit (worms whose head may move, plus channels drained last
+ *    cycle) and the routers they sit on are visited, which is where
+ *    low-load sweeps spend their time.
+ *
+ * The differential oracle (harness/differential.hpp) steps both in
+ * lockstep and asserts identical (cycle, event) streams; fast is
+ * the default, reference is the oracle's baseline and a debugging
+ * fallback.
+ */
+enum class SimEngine : std::uint8_t
+{
+    Reference,
+    Fast,
+};
+
+/** CLI name of an engine ("reference" / "fast"). */
+const char *simEngineName(SimEngine engine);
+
+/** Parse an --engine value; fatal on anything unknown. */
+SimEngine parseSimEngine(const std::string &name);
 
 /** Configuration of one simulation run. */
 struct SimConfig
@@ -157,6 +188,9 @@ struct SimConfig
 
     /** Telemetry switches (see TraceConfig). */
     TraceConfig trace;
+
+    /** Cycle-loop engine (see SimEngine); bit-identical either way. */
+    SimEngine engine = SimEngine::Fast;
 
     std::uint64_t seed = 1;
 
@@ -250,6 +284,16 @@ class Simulator
     std::uint64_t flitsDelivered() const { return flitsDelivered_; }
     std::uint64_t packetsDelivered() const { return packetsDelivered_; }
 
+    /** Flits waiting in source queues (conservation checks). */
+    std::uint64_t flitsQueued() const;
+
+    /** Flits buffered anywhere in the fabric (O(1)). */
+    std::uint64_t
+    flitsInNetwork() const
+    {
+        return network_.flitsInFlight();
+    }
+
     /** Fault accounting (all zero until faults activate). */
     bool faultsActive() const { return faultsActive_; }
     std::uint64_t packetsDropped() const { return packetsDropped_; }
@@ -262,6 +306,10 @@ class Simulator
     /** Invoked when a packet's tail is consumed (tests hook this).
      *  Arguments: metadata, delivery cycle. */
     std::function<void(const PacketInfo &, Cycle)> onDelivered;
+
+    /** Invoked for every consumed flit (property tests assert
+     *  in-order, gap-free per-worm delivery through this). */
+    std::function<void(const Flit &, Cycle)> onFlitDelivered;
 
     /**
      * Channel sequence of a packet (requires config.recordPaths).
@@ -288,6 +336,17 @@ class Simulator
     void injectFromQueues();
     void deliverFlit(const Flit &flit);
     void checkConservation() const;
+
+    // Fast-engine worklist machinery (see SimEngine).
+    /** Note a buffer gained a flit: membership in the worklist. */
+    void touchUnit(UnitId unit);
+    /** Rebuild this cycle's worklist (active units + their routers)
+     *  from last cycle's list plus the units touched since. */
+    void buildWorklist();
+    /** Worklist counterpart of moveFlits(). */
+    void moveFlitsFast();
+    /** Apply the collected moves (shared by both engines). */
+    void applyMoves();
 
     /** One-shot physical fault activation (see SimConfig::faults). */
     void activateFaults();
@@ -317,6 +376,8 @@ class Simulator
     bool measuring_ = false;
     bool deadlocked_ = false;
     bool faultsActive_ = false;
+    /** Cached config_.engine == SimEngine::Fast. */
+    bool fast_ = false;
     /** Consecutive cycles each input unit's front flit has been
      *  stuck. A true deadlock permanently stalls specific buffers,
      *  which this catches even while unrelated traffic keeps
@@ -362,6 +423,58 @@ class Simulator
         UnitId output;
     };
     std::vector<Move> moveScratch_;
+
+    // Fast-engine worklist state. activeScratch_ is the persistent
+    // membership list (sorted prefix of length sortedPrefix_, plus
+    // units touched since the last rebuild); unitActive_ flags
+    // membership so a unit is appended at most once. buildWorklist()
+    // filters it into activeUnits_ (non-empty buffers, ascending)
+    // and routerScratch_ (their routers, ascending).
+    std::vector<std::uint8_t> unitActive_;
+    /** Per-node "has an active unit" flags, set during the merge
+     *  pass and consumed (cleared) by the ordered router scan. */
+    std::vector<std::uint8_t> nodeActive_;
+    std::vector<UnitId> activeScratch_;
+    std::size_t sortedPrefix_ = 0;
+    std::vector<UnitId> activeUnits_;
+    std::vector<NodeId> routerScratch_;
+    std::vector<std::uint8_t> movableScratch_;
+    /** This cycle's longest stall among worklist units; equals
+     *  maxFrontStall() because every unit off the list is empty and
+     *  carries a zero stall counter. */
+    Cycle lastMaxStall_ = 0;
+};
+
+/**
+ * The preserved full-scan engine under its own name: a Simulator
+ * with config.engine forced to SimEngine::Reference. The
+ * differential oracle (harness/differential.hpp) steps one of these
+ * against the fast worklist engine and asserts bit-identity.
+ */
+class ReferenceSimulator : public Simulator
+{
+  public:
+    ReferenceSimulator(const Topology &topo, RoutingPtr routing,
+                       TrafficPtr traffic, SimConfig config)
+        : Simulator(topo, std::move(routing), std::move(traffic),
+                    forceReference(std::move(config)))
+    {
+    }
+
+    ReferenceSimulator(const Topology &topo, VcRoutingPtr routing,
+                       TrafficPtr traffic, SimConfig config)
+        : Simulator(topo, std::move(routing), std::move(traffic),
+                    forceReference(std::move(config)))
+    {
+    }
+
+  private:
+    static SimConfig
+    forceReference(SimConfig config)
+    {
+        config.engine = SimEngine::Reference;
+        return config;
+    }
 };
 
 } // namespace turnnet

@@ -96,6 +96,16 @@ class EventTrace
     /** Retained events, oldest first. */
     std::vector<TraceEvent> events() const;
 
+    /** Retained event @p i (0 = oldest) without materializing the
+     *  whole ring — the differential oracle compares per-cycle
+     *  slices of two live traces through this. */
+    const TraceEvent &
+    at(std::size_t i) const
+    {
+        const std::uint64_t first = head_ - size();
+        return ring_[(first + i) % ring_.size()];
+    }
+
     /**
      * Serialize as JSONL ("turnnet.trace/1"): a header line
      *

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Differential-oracle tests: the fast active-worm worklist engine
+ * must be bit-identical to the reference full-scan engine — same
+ * (cycle, event) stream, same counters, same fabric state after
+ * every cycle — across the full matrix of routing algorithms,
+ * traffic patterns, arbitration policies, buffer depths, fault
+ * activations, virtual-channel configurations, and trace settings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/harness/differential.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+namespace {
+
+/** Moderate-load config sized for a lockstep unit test. */
+SimConfig
+loadedConfig(double load = 0.2, std::uint64_t seed = 17)
+{
+    SimConfig config;
+    config.load = load;
+    config.lengths = MessageLengthMix::fixed(6);
+    config.seed = seed;
+    return config;
+}
+
+void
+expectIdentical(const DifferentialReport &report)
+{
+    EXPECT_TRUE(report.identical)
+        << "diverged at cycle " << report.divergenceCycle << ": "
+        << report.detail;
+    EXPECT_GT(report.eventsCompared, 0u);
+}
+
+TEST(Differential, MeshAlgorithmByTrafficMatrix)
+{
+    // Every mesh routing algorithm crossed with structurally
+    // different traffic patterns. 600 cycles at load 0.2 keeps each
+    // cell around a second while driving real contention.
+    const Mesh mesh(5, 5);
+    const char *algorithms[] = {"xy",         "west-first",
+                                "north-last", "negative-first",
+                                "abonf",      "odd-even"};
+    const char *patterns[] = {"uniform", "transpose", "hotspot"};
+    for (const char *algo : algorithms) {
+        for (const char *pattern : patterns) {
+            const DifferentialReport report = runDifferential(
+                mesh, makeVcRouting({.name = algo}),
+                makeTraffic(pattern, mesh), loadedConfig(), 600);
+            SCOPED_TRACE(std::string(algo) + " / " + pattern);
+            expectIdentical(report);
+        }
+    }
+}
+
+TEST(Differential, NonminimalAndMisrouteWaits)
+{
+    // Nonminimal relations add the misroute-wait machinery to the
+    // allocation path; sweep the wait knob including misroute-now.
+    const Mesh mesh(5, 5);
+    for (const Cycle wait : {Cycle{0}, Cycle{4}}) {
+        for (const char *algo :
+             {"west-first", "negative-first", "abopl"}) {
+            SimConfig config = loadedConfig(0.25, 23);
+            config.misrouteAfterWait = wait;
+            const DifferentialReport report = runDifferential(
+                mesh,
+                makeVcRouting({.name = algo, .minimal = false}),
+                makeTraffic("uniform", mesh), config, 600);
+            SCOPED_TRACE(std::string(algo) + "-nm wait " +
+                         std::to_string(wait));
+            expectIdentical(report);
+        }
+    }
+}
+
+TEST(Differential, RandomArbitrationConsumesIdenticalRngStreams)
+{
+    // Random input/output policies draw from the arbiter RNG during
+    // allocation; the engines agree only if they visit the same
+    // contended routers in the same order with the same draws.
+    const Mesh mesh(5, 5);
+    SimConfig config = loadedConfig(0.3, 5);
+    config.inputPolicy = InputPolicy::Random;
+    config.outputPolicy = OutputPolicy::Random;
+    const DifferentialReport report = runDifferential(
+        mesh, makeVcRouting({.name = "odd-even"}),
+        makeTraffic("uniform", mesh), config, 800);
+    expectIdentical(report);
+}
+
+TEST(Differential, DeepBuffersAndCountersTelemetry)
+{
+    // Deeper buffers change which worms extend versus stall;
+    // counters telemetry exercises the occupancy/utilization feeds
+    // that the fast engine only touches for worklist units.
+    const Mesh mesh(4, 4);
+    for (const std::size_t depth : {std::size_t{1}, std::size_t{4}}) {
+        for (const bool counters : {false, true}) {
+            SimConfig config = loadedConfig(0.3, 29);
+            config.bufferDepth = depth;
+            config.trace.counters = counters;
+            const DifferentialReport report = runDifferential(
+                mesh, makeVcRouting({.name = "north-last"}),
+                makeTraffic("transpose", mesh), config, 600);
+            SCOPED_TRACE("depth " + std::to_string(depth) +
+                         (counters ? " +counters" : ""));
+            expectIdentical(report);
+        }
+    }
+}
+
+TEST(Differential, TorusWraparoundAlgorithms)
+{
+    const Torus torus(std::vector<int>{4, 4});
+    for (const char *algo :
+         {"nf-torus", "xy-first-hop-wrap", "nf-first-hop-wrap"}) {
+        const DifferentialReport report = runDifferential(
+            torus, makeVcRouting({.name = algo}),
+            makeTraffic("uniform", torus), loadedConfig(0.15, 41),
+            600);
+        SCOPED_TRACE(algo);
+        expectIdentical(report);
+    }
+}
+
+TEST(Differential, HypercubePCube)
+{
+    const Hypercube cube(4);
+    const DifferentialReport report = runDifferential(
+        cube, makeVcRouting({.name = "p-cube", .dims = 4}),
+        makeTraffic("uniform", cube), loadedConfig(0.15, 7), 600);
+    expectIdentical(report);
+}
+
+TEST(Differential, VirtualChannelLinkArbitration)
+{
+    // numVcs > 1 engages per-link arbitration among virtual
+    // channels — the subtlest piece of the worklist engine, which
+    // must rebuild the full scan's candidate pools from active
+    // units only.
+    const Torus torus(std::vector<int>{4, 4});
+    const DifferentialReport dateline = runDifferential(
+        torus, makeVcRouting({.name = "dateline"}),
+        makeTraffic("uniform", torus), loadedConfig(0.25, 13), 800);
+    expectIdentical(dateline);
+
+    const Mesh mesh(5, 5);
+    const DifferentialReport doubley = runDifferential(
+        mesh, makeVcRouting({.name = "double-y"}),
+        makeTraffic("transpose", mesh), loadedConfig(0.3, 19), 800);
+    expectIdentical(doubley);
+}
+
+TEST(Differential, MidRunFaultActivationWithPurges)
+{
+    // Fault activation purges worms mid-flight and flags queued
+    // unreachable packets; both engines must sever, drop, and keep
+    // routing identically afterwards.
+    const Mesh mesh(5, 5);
+    const FaultSet faults = FaultSet::randomLinks(mesh, 3, 77);
+    SimConfig config = loadedConfig(0.2, 31);
+    config.faults = faults;
+    config.faultCycle = 200;
+    DifferentialHarness harness(
+        mesh,
+        makeVcRouting({.name = "negative-first-ft",
+                       .fault_set = faults}),
+        makeTraffic("uniform", mesh), config);
+    const DifferentialReport report = harness.run(800);
+    expectIdentical(report);
+    EXPECT_TRUE(harness.reference().faultsActive());
+    EXPECT_EQ(harness.reference().flitsDropped(),
+              harness.fast().flitsDropped());
+}
+
+TEST(Differential, FaultObliviousContrastRun)
+{
+    // A fault-oblivious relation piles worms up behind the dead
+    // link; the permanently stalled fabric is the stress case for
+    // the worklist's stall bookkeeping.
+    const Mesh mesh(4, 4);
+    FaultSet faults;
+    faults.failLink(mesh, mesh.nodeOf({1, 0}),
+                    Direction::positive(0));
+    SimConfig config = loadedConfig(0.15, 47);
+    config.faults = faults;
+    config.faultCycle = 100;
+    const DifferentialReport report = runDifferential(
+        mesh, makeVcRouting({.name = "xy"}),
+        makeTraffic("uniform", mesh), config, 800);
+    expectIdentical(report);
+}
+
+TEST(Differential, DeadlockProneBaselineAgreesOnTheVerdict)
+{
+    // The fully adaptive baseline deadlocks under pressure; the
+    // engines must agree cycle-for-cycle through wait-cycle
+    // formation, the frozen aftermath, and the watchdog verdict.
+    const Mesh mesh(4, 4);
+    SimConfig config = loadedConfig(0.5, 2);
+    config.watchdogCycles = 300;
+    DifferentialHarness harness(
+        mesh, makeVcRouting({.name = "fully-adaptive"}),
+        makeTraffic("uniform", mesh), config);
+    const DifferentialReport report = harness.run(2500);
+    expectIdentical(report);
+    EXPECT_EQ(harness.reference().deadlockDetected(),
+              harness.fast().deadlockDetected());
+}
+
+TEST(Differential, ScriptedWormsAndIdleCycles)
+{
+    // Scripted mode: long worms crossing shared links, idle gaps
+    // where the worklist goes empty, and late re-injection into a
+    // drained fabric.
+    const Mesh mesh(4, 4);
+    SimConfig config;
+    config.load = 0.0;
+    DifferentialHarness harness(mesh,
+                                makeVcRouting({.name = "xy"}),
+                                nullptr, config);
+    harness.injectBoth(mesh.nodeOf({0, 0}), mesh.nodeOf({3, 3}), 8);
+    harness.injectBoth(mesh.nodeOf({0, 3}), mesh.nodeOf({3, 0}), 8);
+    harness.injectBoth(mesh.nodeOf({2, 0}), mesh.nodeOf({2, 3}), 8);
+    for (int i = 0; i < 120 && !harness.diverged(); ++i)
+        harness.stepBoth();
+    // The fabric drains well before cycle 120; step through the
+    // idle stretch, then wake it again.
+    ASSERT_TRUE(harness.reference().idle());
+    ASSERT_TRUE(harness.fast().idle());
+    harness.injectBoth(mesh.nodeOf({1, 1}), mesh.nodeOf({3, 2}), 5);
+    for (int i = 0; i < 60 && !harness.diverged(); ++i)
+        harness.stepBoth();
+    expectIdentical(harness.report());
+    EXPECT_EQ(harness.reference().packetsDelivered(), 4u);
+    EXPECT_EQ(harness.fast().packetsDelivered(), 4u);
+}
+
+TEST(Differential, ReferenceSimulatorClassForcesTheEngine)
+{
+    const Mesh mesh(3, 3);
+    SimConfig config;
+    config.engine = SimEngine::Fast;
+    ReferenceSimulator sim(mesh, makeRouting({.name = "xy"}),
+                           nullptr, config);
+    EXPECT_EQ(sim.config().engine, SimEngine::Reference);
+}
+
+TEST(Differential, EngineNamesRoundTrip)
+{
+    EXPECT_STREQ(simEngineName(SimEngine::Reference), "reference");
+    EXPECT_STREQ(simEngineName(SimEngine::Fast), "fast");
+    EXPECT_EQ(parseSimEngine("reference"), SimEngine::Reference);
+    EXPECT_EQ(parseSimEngine("fast"), SimEngine::Fast);
+}
+
+TEST(DifferentialDeath, UnknownEngineNameIsFatal)
+{
+    EXPECT_DEATH(parseSimEngine("turbo"), "unknown engine");
+}
+
+} // namespace
+} // namespace turnnet

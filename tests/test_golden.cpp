@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Golden end-to-end fixtures: small deterministic experiments whose
+ * machine-readable JSON exports are committed under tests/golden/
+ * and compared byte-for-byte on every run. Any change to routing
+ * decisions, RNG consumption, counter accounting, or JSON rendering
+ * shows up as a fixture diff — the point is to make silent behavior
+ * drift loud, on top of the differential oracle (which only proves
+ * the two engines agree with each other).
+ *
+ * Recording: run with TURNNET_REGEN_GOLDEN=1 in the environment to
+ * rewrite the fixtures in the source tree, then inspect the diff
+ * like any other code change. The fixture experiments deliberately
+ * avoid the bench-record export (wall-clock seconds) — everything
+ * in these documents is a deterministic function of the
+ * configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "turnnet/harness/fault_sweep.hpp"
+#include "turnnet/harness/sweep.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/trace/counters.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+namespace {
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(TURNNET_GOLDEN_DIR) + "/" + name;
+}
+
+bool
+regenRequested()
+{
+    const char *v = std::getenv("TURNNET_REGEN_GOLDEN");
+    return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+/** Compare @p rendered with the committed fixture, or rewrite the
+ *  fixture when TURNNET_REGEN_GOLDEN is set. */
+void
+expectMatchesGolden(const std::string &name,
+                    const std::string &rendered)
+{
+    const std::string path = goldenPath(name);
+    if (regenRequested()) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << rendered;
+        out.close();
+        ASSERT_TRUE(out.good()) << "short write to " << path;
+        std::cout << "[  GOLDEN  ] recorded " << path << "\n";
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden fixture " << path
+        << " — record it with TURNNET_REGEN_GOLDEN=1";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), rendered)
+        << "fixture " << name << " drifted; if the change is "
+        << "intended, re-record with TURNNET_REGEN_GOLDEN=1 and "
+        << "review the diff";
+}
+
+/** Short, fully deterministic schedule shared by every fixture. */
+SimConfig
+fixtureConfig()
+{
+    SimConfig config;
+    config.warmupCycles = 200;
+    config.measureCycles = 800;
+    config.drainCycles = 600;
+    config.seed = 21;
+    return config;
+}
+
+TEST(Golden, CountersExport)
+{
+    const Mesh mesh(4, 4);
+    const TrafficPtr traffic = makeTraffic("uniform", mesh);
+    SweepOptions opts;
+    opts.collectCounters = true;
+    const std::vector<double> loads = {0.05, 0.15};
+
+    std::vector<CountersExportEntry> entries;
+    for (const char *alg : {"xy", "west-first"}) {
+        const auto sweep =
+            runLoadSweep(mesh, makeRouting({.name = alg}), traffic,
+                         loads, fixtureConfig(), opts);
+        appendCounterEntries(entries, alg, mesh.name(), "uniform",
+                             sweep);
+    }
+    expectMatchesGolden("counters.json", countersJson(entries));
+}
+
+TEST(Golden, FaultSweepExport)
+{
+    const Mesh mesh(4, 4);
+    const TrafficPtr traffic = makeTraffic("uniform", mesh);
+    SimConfig base = fixtureConfig();
+    base.load = 0.1;
+    SweepOptions opts;
+    opts.faultCounts = {0, 2};
+    opts.replicates = 2;
+    opts.faultSeed = 5;
+    opts.faultCycle = 150;
+
+    const auto sweep = runFaultSweep(mesh, "negative-first-ft",
+                                     traffic, base, opts);
+    expectMatchesGolden(
+        "fault_sweep.json",
+        faultSweepJson("negative-first-ft", mesh, sweep));
+}
+
+TEST(Golden, ChannelHeatExport)
+{
+    const Mesh mesh(4, 4);
+    const TrafficPtr traffic = makeTraffic("transpose", mesh);
+    SweepOptions opts;
+    opts.collectCounters = true;
+    const std::vector<double> loads = {0.15};
+
+    std::vector<ChannelHeatEntry> entries;
+    for (const char *alg : {"xy", "negative-first"}) {
+        const auto sweep =
+            runLoadSweep(mesh, makeRouting({.name = alg}), traffic,
+                         loads, fixtureConfig(), opts);
+        ASSERT_NE(sweep.front().counters, nullptr);
+        entries.push_back({alg, sweep.front().counters});
+    }
+    expectMatchesGolden(
+        "channel_heat.json",
+        channelHeatJson(mesh, "transpose", 0.15, entries));
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Metamorphic symmetry tests: applying a topology automorphism
+ * (reflection, rotation, transposition, hypercube relabeling) to a
+ * scripted workload must permute the per-channel flit counters
+ * exactly by the induced channel permutation, and leave every
+ * aggregate — per-packet latency multiset, delivered flit and
+ * packet counts, drain time — bit-identical. The simulator knows
+ * nothing about symmetry, so agreement across these transforms is
+ * strong evidence the routing and switching model is implemented
+ * uniformly across the fabric rather than special-cased per
+ * coordinate.
+ *
+ * Each algorithm is paired with transforms it is equivariant under
+ * (e.g. west-first treats the x axis asymmetrically, so only the
+ * y reflection applies; negative-first and transposition both
+ * treat the dimensions symmetrically). Tie-breaking (FCFS port
+ * order, lowest-dimension output selection) follows the global
+ * channel enumeration and is not equivariant in general, so the
+ * workloads are scripted with staggered injections that keep
+ * arbitration deterministic under relabeling; they exercise shared
+ * links and multi-worm contention all the same.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/trace/counters.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+namespace {
+
+using NodeMap = std::function<NodeId(NodeId)>;
+
+/** One scripted injection: message enqueued at a fixed cycle. */
+struct Event
+{
+    Cycle at;
+    NodeId src;
+    NodeId dst;
+    std::uint32_t length;
+};
+
+/** Channel permutation induced by a node automorphism: channel
+ *  (src, dst) maps to the channel (map(src), map(dst)). */
+std::vector<ChannelId>
+channelPermutation(const Topology &topo, const NodeMap &map)
+{
+    std::map<std::pair<NodeId, NodeId>, ChannelId> byEndpoints;
+    for (ChannelId c = 0; c < topo.numChannels(); ++c) {
+        const Channel &ch = topo.channel(c);
+        byEndpoints[{ch.src, ch.dst}] = c;
+    }
+    std::vector<ChannelId> perm(topo.numChannels());
+    for (ChannelId c = 0; c < topo.numChannels(); ++c) {
+        const Channel &ch = topo.channel(c);
+        const auto it =
+            byEndpoints.find({map(ch.src), map(ch.dst)});
+        EXPECT_NE(it, byEndpoints.end())
+            << "node map is not an automorphism: channel " << c
+            << " has no image";
+        perm[c] = it->second;
+    }
+    return perm;
+}
+
+/** Outcome of one scripted run. */
+struct RunRecord
+{
+    std::vector<Cycle> latencies; ///< sorted per-packet latencies
+    std::vector<std::uint64_t> channelFlits;
+    std::uint64_t flitsDelivered = 0;
+    std::uint64_t packetsDelivered = 0;
+    Cycle drainedAt = 0;
+};
+
+void
+runScripted(const Topology &topo, const RoutingPtr &routing,
+            const std::vector<Event> &events, RunRecord &record)
+{
+    SimConfig config;
+    config.load = 0.0;
+    config.trace.counters = true;
+    Simulator sim(topo, routing, nullptr, config);
+    sim.onDelivered = [&](const PacketInfo &info, Cycle now) {
+        record.latencies.push_back(now - info.created);
+    };
+    for (const Event &e : events) {
+        while (sim.now() < e.at)
+            sim.step();
+        ASSERT_NE(sim.injectMessage(e.src, e.dst, e.length), 0u);
+    }
+    ASSERT_TRUE(sim.runUntilIdle(20000));
+    record.drainedAt = sim.now();
+    record.flitsDelivered = sim.flitsDelivered();
+    record.packetsDelivered = sim.packetsDelivered();
+    record.channelFlits = sim.counters()->channelFlits();
+    std::sort(record.latencies.begin(), record.latencies.end());
+}
+
+/** Run the workload and its image under @p map; assert permuted
+ *  counters and identical aggregates. */
+void
+expectEquivariant(const Topology &topo, const std::string &algorithm,
+                  const std::vector<Event> &events,
+                  const NodeMap &map, const std::string &label)
+{
+    SCOPED_TRACE(algorithm + " under " + label);
+    std::vector<Event> mapped;
+    mapped.reserve(events.size());
+    for (const Event &e : events)
+        mapped.push_back(
+            Event{e.at, map(e.src), map(e.dst), e.length});
+
+    RunRecord base;
+    RunRecord image;
+    runScripted(topo,
+                makeRouting({.name = algorithm,
+                             .dims = topo.numDims()}),
+                events, base);
+    runScripted(topo,
+                makeRouting({.name = algorithm,
+                             .dims = topo.numDims()}),
+                mapped, image);
+
+    // Aggregates are bit-identical (integer cycle counts, so
+    // "bit-identical" and "equal" coincide; no FP averaging here).
+    EXPECT_EQ(base.latencies, image.latencies);
+    EXPECT_EQ(base.flitsDelivered, image.flitsDelivered);
+    EXPECT_EQ(base.packetsDelivered, image.packetsDelivered);
+    EXPECT_EQ(base.drainedAt, image.drainedAt);
+
+    // Per-channel counters permute exactly.
+    const std::vector<ChannelId> perm =
+        channelPermutation(topo, map);
+    ASSERT_EQ(base.channelFlits.size(), image.channelFlits.size());
+    for (ChannelId c = 0; c < topo.numChannels(); ++c) {
+        EXPECT_EQ(base.channelFlits[c], image.channelFlits[perm[c]])
+            << "channel " << c << " (image " << perm[c]
+            << ") under " << label;
+    }
+}
+
+/**
+ * A contention-bearing scripted workload on a W x H mesh: worms
+ * crossing both axes, sharing columns and rows, with staggered
+ * start cycles so FCFS arbitration is decided by arrival time (a
+ * relabeling-invariant) rather than port enumeration.
+ */
+std::vector<Event>
+meshWorkload(const Mesh &mesh)
+{
+    return {
+        {0, mesh.nodeOf({0, 0}), mesh.nodeOf({4, 4}), 8},
+        {3, mesh.nodeOf({2, 1}), mesh.nodeOf({2, 4}), 6},
+        {7, mesh.nodeOf({4, 0}), mesh.nodeOf({0, 4}), 8},
+        {12, mesh.nodeOf({1, 3}), mesh.nodeOf({3, 0}), 5},
+        {18, mesh.nodeOf({0, 2}), mesh.nodeOf({4, 2}), 10},
+        {25, mesh.nodeOf({3, 3}), mesh.nodeOf({1, 1}), 6},
+        {33, mesh.nodeOf({4, 4}), mesh.nodeOf({0, 0}), 8},
+        {41, mesh.nodeOf({2, 4}), mesh.nodeOf({2, 0}), 6},
+    };
+}
+
+/** reflect dimension @p dim of a mesh coordinate. */
+NodeMap
+reflect(const Mesh &mesh, int dim)
+{
+    return [&mesh, dim](NodeId n) {
+        Coord c = mesh.coordOf(n);
+        c[dim] = mesh.radix(dim) - 1 - c[dim];
+        return mesh.nodeOf(c);
+    };
+}
+
+/** 180-degree rotation (reflect every dimension). */
+NodeMap
+rotate180(const Mesh &mesh)
+{
+    return [&mesh](NodeId n) {
+        Coord c = mesh.coordOf(n);
+        for (std::size_t d = 0; d < c.size(); ++d)
+            c[d] = mesh.radix(static_cast<int>(d)) - 1 - c[d];
+        return mesh.nodeOf(c);
+    };
+}
+
+/** Swap x and y on a square mesh. */
+NodeMap
+transpose(const Mesh &mesh)
+{
+    return [&mesh](NodeId n) {
+        Coord c = mesh.coordOf(n);
+        std::swap(c[0], c[1]);
+        return mesh.nodeOf(c);
+    };
+}
+
+TEST(Metamorphic, XyUnderReflectionsAndRotation)
+{
+    // Dimension-order routing treats each axis uniformly in both
+    // directions: the full reflection group applies.
+    const Mesh mesh(5, 5);
+    const std::vector<Event> events = meshWorkload(mesh);
+    expectEquivariant(mesh, "xy", events, reflect(mesh, 0),
+                      "reflect-x");
+    expectEquivariant(mesh, "xy", events, reflect(mesh, 1),
+                      "reflect-y");
+    expectEquivariant(mesh, "xy", events, rotate180(mesh),
+                      "rotate-180");
+}
+
+TEST(Metamorphic, WestFirstUnderYReflection)
+{
+    // West-first singles out the -x axis, so only the y reflection
+    // leaves its prohibited-turn set invariant.
+    const Mesh mesh(5, 5);
+    expectEquivariant(mesh, "west-first", meshWorkload(mesh),
+                      reflect(mesh, 1), "reflect-y");
+}
+
+TEST(Metamorphic, NorthLastUnderXReflection)
+{
+    // North-last singles out the +y axis; the x reflection is its
+    // symmetry.
+    const Mesh mesh(5, 5);
+    expectEquivariant(mesh, "north-last", meshWorkload(mesh),
+                      reflect(mesh, 0), "reflect-x");
+}
+
+TEST(Metamorphic, NegativeFirstUnderTransposition)
+{
+    // Negative-first prohibits positive-to-negative turns in every
+    // dimension alike: swapping the axes of a square mesh is its
+    // symmetry (reflections are not — they exchange the negative
+    // and positive phases). Transposition permutes dimension
+    // indices, so the lowest-dimension adaptive tie-break is not
+    // equivariant; every route here needs at most one negative and
+    // one positive dimension, which negative-first serializes into
+    // a forced L-shape, leaving nothing for the tie-break to pick.
+    const Mesh mesh(5, 5);
+    const std::vector<Event> events = {
+        {0, mesh.nodeOf({0, 4}), mesh.nodeOf({3, 1}), 8},
+        {3, mesh.nodeOf({4, 2}), mesh.nodeOf({1, 2}), 6},
+        {7, mesh.nodeOf({2, 0}), mesh.nodeOf({2, 4}), 8},
+        {12, mesh.nodeOf({4, 4}), mesh.nodeOf({0, 4}), 5},
+        {18, mesh.nodeOf({1, 3}), mesh.nodeOf({3, 0}), 10},
+        {25, mesh.nodeOf({1, 1}), mesh.nodeOf({0, 3}), 6},
+        {33, mesh.nodeOf({3, 2}), mesh.nodeOf({0, 3}), 8},
+    };
+    expectEquivariant(mesh, "negative-first", events,
+                      transpose(mesh), "transpose");
+}
+
+TEST(Metamorphic, PCubeUnderHypercubeRelabeling)
+{
+    // Permuting the address bits is a hypercube automorphism that
+    // preserves each hop's 0-to-1 / 1-to-0 direction, which p-cube's
+    // two-phase bit-fixing structure depends on. (XOR-mask
+    // automorphisms flip directions and are *not* its symmetry.)
+    // Each route below clears at most one bit per phase, so the
+    // path is forced and the dimension-order tie-break — which bit
+    // permutations do disturb — never gets a say.
+    const Hypercube cube(4);
+    const std::vector<Event> events = {
+        {0, 0b0001, 0b0010, 6}, {4, 0b0100, 0b1000, 5},
+        {9, 0b0011, 0b0101, 6}, {15, 0b1000, 0b0001, 4},
+        {22, 0b0010, 0b0110, 6}, {30, 0b1001, 0b1010, 5},
+    };
+    const auto bit = [](NodeId n, int i) { return (n >> i) & 1; };
+    const NodeMap swap01 = [&bit](NodeId n) {
+        return static_cast<NodeId>((n & 0b1100) | (bit(n, 0) << 1) |
+                                   bit(n, 1));
+    };
+    const NodeMap swap23 = [&bit](NodeId n) {
+        return static_cast<NodeId>((n & 0b0011) | (bit(n, 2) << 3) |
+                                   (bit(n, 3) << 2));
+    };
+    const NodeMap rotate = [&bit](NodeId n) {
+        return static_cast<NodeId>(((n << 1) & 0b1110) | bit(n, 3));
+    };
+    expectEquivariant(cube, "p-cube", events, swap01, "swap-bits-01");
+    expectEquivariant(cube, "p-cube", events, swap23, "swap-bits-23");
+    expectEquivariant(cube, "p-cube", events, rotate, "rotate-bits");
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Torus saturation stress: the wraparound algorithms must survive a
+ * near-saturation workload of very long worms — the configuration
+ * that wedges an unrestricted fabric within a few thousand cycles —
+ * without ever tripping the deadlock watchdog, and the post-run
+ * forensics must find no cyclic wait-for chain on the live fabric.
+ * Wrap channels are exactly where naive dimension-order reasoning
+ * breaks (the extra dependency closes the ring), so this is the
+ * regression net for every torus-specific prohibition and for the
+ * dateline virtual-channel scheme, on both cycle-loop engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/torus.hpp"
+#include "turnnet/trace/forensics.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+namespace {
+
+/** Near-saturation workload: long worms at half injection rate, a
+ *  tight watchdog, and a measurement window several watchdog
+ *  periods long (the deadlock_demo stress, pointed at a torus). */
+SimConfig
+stressConfig(SimEngine engine)
+{
+    SimConfig config;
+    config.load = 0.5;
+    config.lengths = MessageLengthMix::fixed(200);
+    config.watchdogCycles = 8000;
+    config.warmupCycles = 100;
+    config.measureCycles = 40000;
+    config.drainCycles = 100;
+    config.seed = 3;
+    config.engine = engine;
+    return config;
+}
+
+/** Run to completion, then put the still-loaded fabric under the
+ *  forensics lens: no watchdog verdict and no wait cycle. */
+void
+expectSurvivesSaturation(const Torus &torus, Simulator &sim,
+                         const char *label)
+{
+    const SimResult result = sim.run();
+    EXPECT_FALSE(result.deadlocked) << label;
+    EXPECT_GT(result.packetsFinished, 0u) << label;
+
+    const DeadlockReport report = collectDeadlockForensics(sim);
+    EXPECT_TRUE(report.waitCycle.empty())
+        << label << ": forensics found a cyclic wait-for chain on "
+        << "a fabric the watchdog cleared";
+    EXPECT_FALSE(report.routingCdgCyclic) << label;
+    (void)torus;
+}
+
+TEST(TorusStress, WraparoundAlgorithmsSurviveSaturation)
+{
+    const Torus torus(std::vector<int>{4, 4});
+    for (const char *alg :
+         {"nf-torus", "xy-first-hop-wrap", "nf-first-hop-wrap"}) {
+        for (const SimEngine engine :
+             {SimEngine::Reference, SimEngine::Fast}) {
+            SCOPED_TRACE(std::string(alg) + " engine " +
+                         simEngineName(engine));
+            Simulator sim(torus, makeRouting({.name = alg}),
+                          makeTraffic("uniform", torus),
+                          stressConfig(engine));
+            expectSurvivesSaturation(torus, sim, alg);
+        }
+    }
+}
+
+TEST(TorusStress, DatelineVcSchemeSurvivesSaturation)
+{
+    // The classic alternative to restricting turns: break the wrap
+    // dependency with a second virtual channel at the dateline.
+    const Torus torus(std::vector<int>{4, 4});
+    for (const SimEngine engine :
+         {SimEngine::Reference, SimEngine::Fast}) {
+        SCOPED_TRACE(simEngineName(engine));
+        Simulator sim(torus, makeVcRouting({.name = "dateline"}),
+                      makeTraffic("uniform", torus),
+                      stressConfig(engine));
+        expectSurvivesSaturation(torus, sim, "dateline");
+    }
+}
+
+} // namespace
+} // namespace turnnet

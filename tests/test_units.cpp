@@ -16,7 +16,8 @@ namespace {
 
 TEST(FlitBuffer, FifoOrderAndCapacity)
 {
-    FlitBuffer buf(2);
+    FlitStore store(1, 2);
+    FlitBuffer buf(store, 0);
     EXPECT_TRUE(buf.empty());
     EXPECT_FALSE(buf.full());
 
@@ -40,11 +41,65 @@ TEST(FlitBuffer, FifoOrderAndCapacity)
 
 TEST(FlitBufferDeath, OverflowAndUnderflow)
 {
-    FlitBuffer buf(1);
+    FlitStore store(1, 1);
+    FlitBuffer buf(store, 0);
     buf.push(Flit{}, 0);
     EXPECT_DEATH(buf.push(Flit{}, 1), "overflow");
     buf.pop();
     EXPECT_DEATH(buf.pop(), "empty");
+}
+
+TEST(FlitStore, RingWrapsAndTracksTotal)
+{
+    FlitStore store(2, 3);
+    EXPECT_EQ(store.totalFlits(), 0u);
+    // Fill, half-drain, refill: the ring head wraps while FIFO
+    // order and the fabric-wide total stay exact.
+    for (std::uint32_t s = 0; s < 3; ++s) {
+        Flit f;
+        f.packet = 7;
+        f.seq = s;
+        store.push(0, f, s);
+    }
+    EXPECT_TRUE(store.full(0));
+    EXPECT_EQ(store.totalFlits(), 3u);
+    store.pop(0);
+    store.pop(0);
+    for (std::uint32_t s = 3; s < 5; ++s) {
+        Flit f;
+        f.packet = 7;
+        f.seq = s;
+        store.push(0, f, s);
+    }
+    EXPECT_EQ(store.size(0), 3u);
+    for (std::uint32_t s = 2; s < 5; ++s) {
+        EXPECT_EQ(store.frontFlit(0).seq, s);
+        EXPECT_EQ(store.frontArrival(0), s);
+        store.pop(0);
+    }
+    EXPECT_TRUE(store.empty(0));
+    EXPECT_EQ(store.totalFlits(), 0u);
+}
+
+TEST(FlitStore, RemovePacketCompactsAcrossTheWrap)
+{
+    FlitStore store(1, 4);
+    // Wrap the ring so survivors straddle the array boundary.
+    store.push(0, Flit{}, 0);
+    store.pop(0);
+    const PacketId doomed = 5;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        Flit f;
+        f.packet = (s % 2 == 0) ? doomed : 9;
+        f.seq = s;
+        store.push(0, f, s);
+    }
+    EXPECT_EQ(store.removePacket(0, doomed), 2u);
+    EXPECT_EQ(store.size(0), 2u);
+    EXPECT_EQ(store.totalFlits(), 2u);
+    EXPECT_EQ(store.flitAt(0, 0).seq, 1u);
+    EXPECT_EQ(store.flitAt(0, 1).seq, 3u);
+    EXPECT_EQ(store.arrivalAt(0, 1), 3u);
 }
 
 TEST(SourceQueue, SynthesizesHeadBodyTail)
@@ -113,7 +168,8 @@ TEST(PacketTable, LifecycleAndAccounting)
 
 TEST(InputUnit, OutputAssignmentLifecycle)
 {
-    InputUnit iu(3, Direction::positive(0), 0, 1);
+    FlitStore store(1, 1);
+    InputUnit iu(3, Direction::positive(0), 0, store, 0);
     EXPECT_EQ(iu.assignedOutput(), kNoUnit);
     EXPECT_EQ(iu.residentPacket(), 0u);
     iu.assignOutput(17, 42);

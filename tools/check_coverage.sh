@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Line-coverage floor for the simulator core (src/turnnet/network/
+# and src/turnnet/routing/).
+#
+# Usage: check_coverage.sh <build-dir> [source-dir]
+#
+# Runs the full test suite of an instrumented build (everything not
+# labeled "coverage", so the orchestrating ctest entry doesn't
+# recurse), gcovs the core library's counters, and fails unless the
+# aggregate line coverage of the network and routing sources clears
+# the floor (TURNNET_COVERAGE_FLOOR, default 80%).
+#
+# Uses plain gcov — no gcovr/lcov dependency; the build tree must be
+# configured with -DTURNNET_COVERAGE=ON (the "coverage" preset).
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: check_coverage.sh <build-dir> [source-dir]}
+SRC_DIR=${2:-$(cd "$(dirname "$0")/.." && pwd)}
+FLOOR=${TURNNET_COVERAGE_FLOOR:-80}
+JOBS=${TURNNET_COVERAGE_JOBS:-2}
+
+# Fresh counters: stale .gcda from an earlier run would inflate (or
+# after a source change, corrupt) the numbers.
+find "$BUILD_DIR" -name '*.gcda' -delete
+
+ctest --test-dir "$BUILD_DIR" -LE coverage --output-on-failure \
+    -j"$JOBS"
+
+# gcov every counter file the core library produced. -n keeps gcov
+# from littering .gcov files; the File/Lines summary on stdout is
+# all we need. Headers pulled into several translation units show up
+# once per TU — the parser keeps each file's best-covered instance.
+summary=$(mktemp)
+trap 'rm -f "$summary"' EXIT
+(
+    cd "$BUILD_DIR"
+    find . -path '*turnnet.dir*' -name '*.gcda' \
+        \( -path '*/turnnet/network/*' -o \
+           -path '*/turnnet/routing/*' \) -exec gcov -n {} +
+) >"$summary" 2>/dev/null
+
+python3 - "$FLOOR" "$summary" <<'PYEOF'
+import re
+import sys
+
+floor = float(sys.argv[1])
+with open(sys.argv[2]) as fh:
+    data = fh.read()
+
+best = {}
+for m in re.finditer(
+        r"File '([^']+)'\nLines executed:([0-9.]+)% of (\d+)", data):
+    path, pct, lines = m.group(1), float(m.group(2)), int(m.group(3))
+    if not re.search(r"src/turnnet/(network|routing)/", path):
+        continue
+    covered = pct * lines / 100.0
+    if path not in best or covered > best[path][0]:
+        best[path] = (covered, lines)
+
+total = sum(lines for _, lines in best.values())
+if total == 0:
+    sys.exit("no coverage data for src/turnnet/{network,routing} — "
+             "is the build configured with the coverage preset?")
+covered = sum(c for c, _ in best.values())
+pct = 100.0 * covered / total
+for path, (c, lines) in sorted(best.items()):
+    print(f"  {100.0 * c / lines:6.2f}%  {path}")
+print(f"core line coverage: {pct:.2f}% "
+      f"({total} lines over {len(best)} files; floor {floor}%)")
+sys.exit(0 if pct >= floor else
+         f"coverage {pct:.2f}% is below the {floor}% floor")
+PYEOF
