@@ -21,12 +21,20 @@ CdgReport::cycleToString(const Topology &topo) const
     return out;
 }
 
-CdgReport
-analyzeDependencies(const Topology &topo,
-                    const RoutingFunction &routing)
+bool
+CdgGraph::hasEdge(ChannelId from, ChannelId to) const
+{
+    const auto &row = adj.at(static_cast<std::size_t>(from));
+    return std::find(row.begin(), row.end(), to) != row.end();
+}
+
+CdgGraph
+buildCdg(const Topology &topo, const RoutingFunction &routing)
 {
     const int num_channels = topo.numChannels();
-    std::vector<std::vector<ChannelId>> adj(num_channels);
+    CdgGraph graph;
+    graph.adj.resize(num_channels);
+    auto &adj = graph.adj;
     // Dedup bitmap, one row per source channel (lazily allocated).
     std::vector<std::vector<bool>> have(num_channels);
 
@@ -81,12 +89,25 @@ analyzeDependencies(const Topology &topo,
         }
     }
 
-    CdgReport report;
     for (int c = 0; c < num_channels; ++c) {
-        report.numEdges += adj[c].size();
+        graph.numEdges += adj[c].size();
         if (!adj[c].empty())
-            ++report.numActiveChannels;
+            ++graph.numActiveChannels;
     }
+    return graph;
+}
+
+CdgReport
+analyzeDependencies(const Topology &topo,
+                    const RoutingFunction &routing)
+{
+    const int num_channels = topo.numChannels();
+    const CdgGraph graph = buildCdg(topo, routing);
+    const auto &adj = graph.adj;
+
+    CdgReport report;
+    report.numEdges = graph.numEdges;
+    report.numActiveChannels = graph.numActiveChannels;
 
     // Iterative three-color DFS with cycle extraction.
     enum : std::uint8_t { White, Gray, Black };

@@ -29,6 +29,33 @@
 
 namespace turnnet {
 
+/**
+ * The reachable channel dependency graph itself: adjacency lists
+ * over channel ids. Built by buildCdg() and shared between the
+ * cycle search here and the static certifier (verify/), which
+ * synthesizes a Dally-Seitz numbering from it.
+ */
+struct CdgGraph
+{
+    /** adj[c] lists the channels that c's occupant may request. */
+    std::vector<std::vector<ChannelId>> adj;
+    /** Number of distinct dependency edges. */
+    std::size_t numEdges = 0;
+    /** Number of channels with at least one outgoing dependency. */
+    std::size_t numActiveChannels = 0;
+
+    /** True when @p from -> @p to is a dependency edge. */
+    bool hasEdge(ChannelId from, ChannelId to) const;
+};
+
+/**
+ * Build the exact reachable channel dependency graph of @p routing
+ * on @p topo: only (channel, destination) pairs reachable from
+ * injection contribute edges.
+ */
+CdgGraph buildCdg(const Topology &topo,
+                  const RoutingFunction &routing);
+
 /** Result of a channel-dependency analysis. */
 struct CdgReport
 {

@@ -1,8 +1,61 @@
 #include "turnnet/analysis/path_enum.hpp"
 
+#include <algorithm>
+#include <deque>
+
 #include "turnnet/common/logging.hpp"
 
 namespace turnnet {
+
+TurnSet
+realizableTurns(const Topology &topo, const RoutingFunction &routing)
+{
+    TurnSet realized(topo.numDims(), /*allow_all=*/false);
+
+    // The same reachable-state walk the CDG builder does: only
+    // (channel, destination) pairs a packet can actually occupy
+    // contribute turns.
+    std::vector<bool> seen(topo.numChannels());
+    for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
+        std::fill(seen.begin(), seen.end(), false);
+        std::deque<ChannelId> queue;
+
+        for (NodeId src = 0; src < topo.numNodes(); ++src) {
+            if (src == dest)
+                continue;
+            routing.route(topo, src, dest, Direction::local())
+                .forEach([&](Direction d) {
+                    // Injection is not a turn; just seed the walk.
+                    const ChannelId ch = topo.channelFrom(src, d);
+                    if (ch != kInvalidChannel && !seen[ch]) {
+                        seen[ch] = true;
+                        queue.push_back(ch);
+                    }
+                });
+        }
+
+        while (!queue.empty()) {
+            const ChannelId in = queue.front();
+            queue.pop_front();
+            const Channel &in_ch = topo.channel(in);
+            if (in_ch.dst == dest)
+                continue;
+            routing.route(topo, in_ch.dst, dest, in_ch.dir)
+                .forEach([&](Direction d) {
+                    const ChannelId out =
+                        topo.channelFrom(in_ch.dst, d);
+                    if (out == kInvalidChannel)
+                        return;
+                    realized.allow(Turn(in_ch.dir, d));
+                    if (!seen[out]) {
+                        seen[out] = true;
+                        queue.push_back(out);
+                    }
+                });
+        }
+    }
+    return realized;
+}
 
 Direction
 lowestDimSelector(NodeId node, DirectionSet candidates)

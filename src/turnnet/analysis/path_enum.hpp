@@ -14,8 +14,24 @@
 
 #include "turnnet/routing/routing_function.hpp"
 #include "turnnet/topology/topology.hpp"
+#include "turnnet/turnmodel/turn.hpp"
 
 namespace turnnet {
+
+/**
+ * Enumerate the 90/180-degree turn relation @p routing actually
+ * realizes on @p topo: a turn (in, out) is realizable when some
+ * packet, on some (channel, destination) state reachable from
+ * injection, may arrive travelling `in` and be offered `out`.
+ * Straight continuations are not turns and are not recorded.
+ *
+ * This is the executable side of the certifier's turn-soundness
+ * obligation: the realizable set must be contained in the
+ * complement of an algorithm's declared prohibited-turn set, or the
+ * implementation has drifted from its spec.
+ */
+TurnSet realizableTurns(const Topology &topo,
+                        const RoutingFunction &routing);
 
 /** Chooses among permitted directions while tracing a path. */
 using DirectionSelector =

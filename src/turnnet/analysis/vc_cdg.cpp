@@ -8,17 +8,19 @@
 
 namespace turnnet {
 
-VcCdgReport
-analyzeVcDependencies(const Topology &topo,
-                      const VcRoutingFunction &routing)
+VcCdgGraph
+buildVcCdg(const Topology &topo, const VcRoutingFunction &routing)
 {
     const int v = routing.numVcs();
     const int vertices = topo.numChannels() * v;
+    VcCdgGraph graph;
+    graph.numVcs = v;
+    graph.adj.resize(vertices);
+    auto &adj = graph.adj;
     auto vertex = [&](ChannelId ch, int vc) {
         return static_cast<int>(ch) * v + vc;
     };
 
-    std::vector<std::vector<int>> adj(vertices);
     std::vector<std::vector<bool>> have(vertices);
     auto add_edge = [&](int from, int to) {
         auto &row = have[from];
@@ -81,9 +83,22 @@ analyzeVcDependencies(const Topology &topo,
         }
     }
 
-    VcCdgReport report;
     for (int i = 0; i < vertices; ++i)
-        report.numEdges += adj[i].size();
+        graph.numEdges += adj[i].size();
+    return graph;
+}
+
+VcCdgReport
+analyzeVcDependencies(const Topology &topo,
+                      const VcRoutingFunction &routing)
+{
+    const int v = routing.numVcs();
+    const VcCdgGraph graph = buildVcCdg(topo, routing);
+    const auto &adj = graph.adj;
+    const int vertices = static_cast<int>(adj.size());
+
+    VcCdgReport report;
+    report.numEdges = graph.numEdges;
 
     enum : std::uint8_t { White, Gray, Black };
     std::vector<std::uint8_t> color(vertices, White);

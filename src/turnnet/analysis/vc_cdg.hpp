@@ -22,6 +22,41 @@
 
 namespace turnnet {
 
+/**
+ * The reachable extended dependency graph itself. Vertices are
+ * (channel, vc) pairs packed as channel * numVcs + vc; built by
+ * buildVcCdg() and shared between the cycle search here and the
+ * static certifier (verify/).
+ */
+struct VcCdgGraph
+{
+    int numVcs = 1;
+    /** adj[v] lists the vertices v's occupant may request. */
+    std::vector<std::vector<int>> adj;
+    std::size_t numEdges = 0;
+
+    int
+    vertexOf(ChannelId ch, int vc) const
+    {
+        return static_cast<int>(ch) * numVcs + vc;
+    }
+
+    std::pair<ChannelId, int>
+    channelOf(int vertex) const
+    {
+        return {static_cast<ChannelId>(vertex / numVcs),
+                vertex % numVcs};
+    }
+};
+
+/**
+ * Build the exact reachable dependency graph of @p routing over
+ * (channel, vc) vertices. Only states reachable from injection
+ * contribute edges.
+ */
+VcCdgGraph buildVcCdg(const Topology &topo,
+                      const VcRoutingFunction &routing);
+
 /** Result of a virtual-channel dependency analysis. */
 struct VcCdgReport
 {

@@ -732,8 +732,6 @@ Simulator::run()
             busiest = std::max(busiest, flits);
             total += flits;
         }
-        const auto window =
-            static_cast<double>(config_.measureCycles);
         result.maxChannelUtilization =
             static_cast<double>(busiest) / window;
         result.meanChannelUtilization =

@@ -17,6 +17,38 @@
 
 namespace turnnet {
 
+namespace {
+
+/**
+ * Theorem-1 pre-check for turn-set-induced routing: a set that
+ * leaves any abstract cycle unbroken cannot be deadlock free, so
+ * reject it at construction — with the unbroken cycle named —
+ * instead of letting the configuration reach a simulator and wedge.
+ */
+void
+requireTheorem1(const TurnSet &turns, const std::string &name)
+{
+    for (const AbstractCycle &cycle :
+         abstractCycles(turns.numDims())) {
+        if (cycle.brokenBy(turns))
+            continue;
+        std::string chain;
+        for (const Turn &t : cycle.turns) {
+            if (!chain.empty())
+                chain += ", ";
+            chain += t.toString();
+        }
+        TN_FATAL("turn set for '", name, "' leaves the ",
+                 cycle.clockwise ? "clockwise" : "counterclockwise",
+                 " abstract cycle of plane (", cycle.dimA, ",",
+                 cycle.dimB, ") unbroken [", chain, "]; Theorem 1 "
+                 "requires prohibiting at least one turn per "
+                 "abstract cycle, or the routing can deadlock");
+    }
+}
+
+} // namespace
+
 RoutingPtr
 makeRouting(const RoutingSpec &spec)
 {
@@ -80,7 +112,15 @@ makeRouting(const RoutingSpec &spec)
     if (name.rfind("turnset:", 0) == 0) {
         const std::string inner = name.substr(8);
         TurnSet turns(spec.dims, true);
-        if (inner == "west-first" && spec.dims == 2)
+        if (inner == "custom") {
+            TN_ASSERT(spec.custom_turns != nullptr,
+                      "'turnset:custom' needs RoutingSpec::"
+                      "custom_turns");
+            TN_ASSERT(spec.custom_turns->numDims() == spec.dims,
+                      "custom turn set dimensionality disagrees "
+                      "with RoutingSpec::dims");
+            turns = *spec.custom_turns;
+        } else if (inner == "west-first" && spec.dims == 2)
             turns = westFirstTurns();
         else if (inner == "north-last" && spec.dims == 2)
             turns = northLastTurns();
@@ -95,6 +135,7 @@ makeRouting(const RoutingSpec &spec)
             turns = dimensionOrderTurns(spec.dims);
         else
             TN_FATAL("unknown turn set '", inner, "'");
+        requireTheorem1(turns, name);
         return std::make_shared<TurnSetRouting>(name, turns, minimal);
     }
     TN_FATAL("unknown routing algorithm '", name, "'");

@@ -24,6 +24,7 @@
 
 #include "turnnet/routing/routing_function.hpp"
 #include "turnnet/topology/fault.hpp"
+#include "turnnet/turnmodel/turn.hpp"
 
 namespace turnnet {
 
@@ -38,8 +39,10 @@ struct RoutingSpec
      * "xy-first-hop-wrap", "nf-first-hop-wrap", the fault-aware
      * nonminimal variants "negative-first-ft" and "p-cube-ft", plus
      * "turnset:<name>" for the generic turn-set-induced router of
-     * the named algorithm. A "-nm" suffix selects the nonminimal
-     * variant of any two-phase algorithm by name.
+     * the named algorithm ("turnset:custom" routes by the
+     * custom_turns set, after a Theorem-1 safety check). A "-nm"
+     * suffix selects the nonminimal variant of any two-phase
+     * algorithm by name.
      */
     std::string name;
 
@@ -58,6 +61,16 @@ struct RoutingSpec
      * the FaultSet in SimConfig::faults instead.)
      */
     FaultSet fault_set;
+
+    /**
+     * User-supplied permitted-turn set for the "turnset:custom"
+     * entry, routed through the generic turn-set router. Must break
+     * every abstract cycle of its dimensionality (Theorem 1) —
+     * makeRouting() rejects unsafe sets up front, naming the first
+     * unbroken cycle, rather than letting a doomed configuration
+     * reach the simulator and deadlock there.
+     */
+    std::shared_ptr<const TurnSet> custom_turns;
 };
 
 /** Create a routing algorithm; fatal on an unknown name. */

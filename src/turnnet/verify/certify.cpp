@@ -1,0 +1,288 @@
+#include "turnnet/verify/certify.hpp"
+
+#include <cstdio>
+
+#include "turnnet/common/json.hpp"
+#include "turnnet/common/logging.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+
+namespace turnnet {
+
+std::unique_ptr<Topology>
+makeCaseTopology(const CertifyCase &c)
+{
+    if (c.topology == "mesh")
+        return std::make_unique<Mesh>(c.radices);
+    if (c.topology == "torus")
+        return std::make_unique<Torus>(c.radices);
+    if (c.topology == "hypercube") {
+        TN_ASSERT(c.radices.size() == 1,
+                  "hypercube case takes {n} as its radices");
+        return std::make_unique<Hypercube>(c.radices[0]);
+    }
+    TN_FATAL("unknown certify topology '", c.topology, "'");
+}
+
+std::vector<CertifyCase>
+defaultCertifyCases()
+{
+    std::vector<CertifyCase> cases;
+    auto add = [&](std::string topo, std::vector<int> radices,
+                   std::string algo, bool vc = false,
+                   bool expect_free = true) {
+        cases.push_back({std::move(topo), std::move(radices),
+                         std::move(algo), vc, expect_free});
+    };
+
+    // The paper's 2D mesh algorithms, their nonminimal variants,
+    // and the generic turn-set router over the same sets.
+    const std::vector<int> mesh2{4, 4};
+    for (const char *algo :
+         {"xy", "ecube", "dimension-order", "west-first",
+          "north-last", "negative-first", "abonf", "abopl",
+          "odd-even", "west-first-nm", "north-last-nm",
+          "negative-first-nm", "negative-first-ft",
+          "turnset:west-first", "turnset:negative-first"})
+        add("mesh", mesh2, algo);
+    add("mesh", mesh2, "double-y", /*vc=*/true);
+    add("mesh", mesh2, "fully-adaptive", /*vc=*/false,
+        /*expect_free=*/false);
+
+    // The n-dimensional generalizations on a 3D mesh.
+    const std::vector<int> mesh3{3, 3, 3};
+    for (const char *algo :
+         {"ecube", "negative-first", "abonf", "abopl"})
+        add("mesh", mesh3, algo);
+
+    // Tori: the wrap-aware extensions and the VC dateline scheme.
+    const std::vector<int> torus2{4, 4};
+    for (const char *algo :
+         {"nf-torus", "xy-first-hop-wrap", "nf-first-hop-wrap"})
+        add("torus", torus2, algo);
+    add("torus", torus2, "dateline", /*vc=*/true);
+    add("torus", torus2, "fully-adaptive", /*vc=*/false,
+        /*expect_free=*/false);
+
+    // Hypercubes: p-cube and the general algorithms it specializes.
+    const std::vector<int> cube{3};
+    for (const char *algo : {"p-cube", "p-cube-nm", "p-cube-ft",
+                             "ecube", "negative-first", "abonf",
+                             "abopl"})
+        add("hypercube", cube, algo);
+    add("hypercube", cube, "fully-adaptive", /*vc=*/false,
+        /*expect_free=*/false);
+
+    return cases;
+}
+
+CertifyCaseResult
+runCertifyCase(const CertifyCase &c)
+{
+    CertifyCaseResult result;
+    result.spec = c;
+
+    const std::unique_ptr<Topology> topo = makeCaseTopology(c);
+    result.topologyName = topo->name();
+
+    RoutingSpec spec;
+    spec.name = c.algorithm;
+    spec.dims = topo->numDims();
+
+    if (c.vc) {
+        const VcRoutingPtr routing = makeVcRouting(spec);
+        routing->checkTopology(*topo);
+        result.certificate = certifyDeadlockFreedom(*topo, *routing);
+    } else {
+        const RoutingPtr routing = makeRouting(spec);
+        routing->checkTopology(*topo);
+        result.certificate = certifyDeadlockFreedom(*topo, *routing);
+
+        const std::optional<TurnSet> declared = declaredTurnSet(spec);
+        if (declared) {
+            result.soundnessApplicable = true;
+            result.soundness =
+                checkTurnSoundness(*topo, *routing, *declared);
+        }
+
+        result.progressApplicable = true;
+        result.progress = checkProgress(*topo, *routing);
+    }
+
+    if (!result.certificate.deadlockFree)
+        result.witnessText = result.certificate.witnessToString(*topo);
+
+    if (c.expectDeadlockFree) {
+        result.pass = result.certificate.deadlockFree &&
+                      result.certificate.numberingVerified &&
+                      (!result.soundnessApplicable ||
+                       result.soundness.sound) &&
+                      (!result.progressApplicable ||
+                       result.progress.ok);
+    } else {
+        // A rejection must come with a usable counterexample.
+        result.pass = !result.certificate.deadlockFree &&
+                      !result.certificate.witness.empty();
+    }
+    return result;
+}
+
+CertifyReport
+runCertification(const std::vector<CertifyCase> &cases)
+{
+    CertifyReport report;
+    report.cases.reserve(cases.size());
+    for (const CertifyCase &c : cases)
+        report.cases.push_back(runCertifyCase(c));
+    return report;
+}
+
+std::size_t
+CertifyReport::numPassed() const
+{
+    std::size_t n = 0;
+    for (const CertifyCaseResult &r : cases)
+        n += r.pass ? 1 : 0;
+    return n;
+}
+
+std::string
+CertifyReport::toString() const
+{
+    std::string out;
+    for (const CertifyCaseResult &r : cases) {
+        out += r.pass ? "PASS " : "FAIL ";
+        out += r.topologyName + " " + r.spec.algorithm;
+        if (r.certificate.deadlockFree) {
+            out += ": certified (numbering over " +
+                   std::to_string(r.certificate.numVertices) +
+                   " vertices, " +
+                   std::to_string(r.certificate.numEdges) + " edges";
+            if (r.soundnessApplicable)
+                out += r.soundness.sound ? ", turns sound"
+                                         : ", TURNS UNSOUND";
+            if (r.progressApplicable)
+                out += r.progress.ok ? ", progress ok"
+                                     : ", PROGRESS VIOLATED";
+            out += ")";
+        } else {
+            out += ": rejected, minimal cycle of " +
+                   std::to_string(r.certificate.witness.size()) +
+                   " channels";
+            out += r.spec.expectDeadlockFree ? "" : " (as expected)";
+        }
+        out += "\n";
+    }
+    out += std::to_string(numPassed()) + "/" +
+           std::to_string(cases.size()) + " cases passed\n";
+    return out;
+}
+
+std::string
+CertifyReport::toJson() const
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"turnnet.certify/1\",\n";
+    out += std::string("  \"all_passed\": ") +
+           (allPassed() ? "true" : "false") + ",\n";
+    out += "  \"num_cases\": " + std::to_string(cases.size()) + ",\n";
+    out += "  \"num_passed\": " + std::to_string(numPassed()) + ",\n";
+    out += "  \"cases\": [";
+
+    bool first_case = true;
+    for (const CertifyCaseResult &r : cases) {
+        out += first_case ? "\n" : ",\n";
+        first_case = false;
+        const DeadlockCertificate &cert = r.certificate;
+        out += "    {\n";
+        out += "      \"topology\": \"" +
+               json::escape(r.topologyName) + "\",\n";
+        out += "      \"algorithm\": \"" +
+               json::escape(r.spec.algorithm) + "\",\n";
+        out += "      \"vcs\": " + std::to_string(cert.numVcs) +
+               ",\n";
+        out += std::string("      \"expect_deadlock_free\": ") +
+               (r.spec.expectDeadlockFree ? "true" : "false") + ",\n";
+        out += std::string("      \"deadlock_free\": ") +
+               (cert.deadlockFree ? "true" : "false") + ",\n";
+        out += std::string("      \"numbering_verified\": ") +
+               (cert.numberingVerified ? "true" : "false") + ",\n";
+        out += "      \"num_vertices\": " +
+               std::to_string(cert.numVertices) + ",\n";
+        out += "      \"num_edges\": " +
+               std::to_string(cert.numEdges) + ",\n";
+
+        out += "      \"turn_soundness\": \"";
+        if (!r.soundnessApplicable)
+            out += "n/a";
+        else
+            out += r.soundness.sound ? "sound" : "violated";
+        out += "\",\n";
+        out += "      \"realized_turns\": " +
+               std::to_string(r.soundnessApplicable
+                                  ? r.soundness.realizedTurns
+                                  : 0) +
+               ",\n";
+
+        out += "      \"progress\": \"";
+        if (!r.progressApplicable)
+            out += "n/a";
+        else
+            out += r.progress.ok ? "ok" : "violated";
+        out += "\",\n";
+        out += "      \"states_checked\": " +
+               std::to_string(r.progressApplicable
+                                  ? r.progress.statesChecked
+                                  : 0) +
+               ",\n";
+
+        out += "      \"witness\": [";
+        if (!cert.witness.empty()) {
+            const std::unique_ptr<Topology> topo =
+                makeCaseTopology(r.spec);
+            bool first_hop = true;
+            for (const auto &hop : cert.witness) {
+                const Channel &ch = topo->channel(hop.first);
+                out += first_hop ? "\n" : ",\n";
+                first_hop = false;
+                out += "        { \"channel\": " +
+                       std::to_string(hop.first) +
+                       ", \"vc\": " + std::to_string(hop.second) +
+                       ", \"src\": \"" +
+                       json::escape(topo->shape().coordToString(
+                           topo->coordOf(ch.src))) +
+                       "\", \"dir\": \"" +
+                       json::escape(ch.dir.toString()) + "\" }";
+            }
+            out += "\n      ";
+        }
+        out += "],\n";
+
+        out += std::string("      \"pass\": ") +
+               (r.pass ? "true" : "false") + "\n";
+        out += "    }";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+bool
+CertifyReport::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        TN_WARN("cannot write certify report to '", path, "'");
+        return false;
+    }
+    const std::string doc = toJson();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        TN_WARN("short write of certify report '", path, "'");
+    return ok;
+}
+
+} // namespace turnnet

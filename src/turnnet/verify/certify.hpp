@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The certification sweep: every registered algorithm, statically
+ * proven (or refuted) before it ever simulates.
+ *
+ * Drives the three certifier obligations — Dally-Seitz numbering
+ * synthesis (certifier.hpp), turn-set soundness (turn_soundness.hpp)
+ * and progress (progress.hpp) — across the routing registry on the
+ * supported topology families, and emits a machine-readable
+ * "turnnet.certify/1" report. The sweep's case table is explicit
+ * rather than probed: checkTopology() is fatal by design on a
+ * mismatch, so each algorithm is paired only with the topologies the
+ * paper defines it for.
+ *
+ * The table also carries each case's *expected* verdict. The paper's
+ * algorithms must certify; fully adaptive routing without virtual
+ * channels must be rejected with a concrete cycle witness — a sweep
+ * that cannot produce the negative result would prove nothing.
+ */
+
+#ifndef TURNNET_VERIFY_CERTIFY_HPP
+#define TURNNET_VERIFY_CERTIFY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/topology/topology.hpp"
+#include "turnnet/verify/certifier.hpp"
+#include "turnnet/verify/progress.hpp"
+#include "turnnet/verify/turn_soundness.hpp"
+
+namespace turnnet {
+
+/** One (topology, algorithm) certification obligation. */
+struct CertifyCase
+{
+    /** Topology family: "mesh", "torus", or "hypercube". */
+    std::string topology;
+
+    /** Radices; a hypercube uses {n} (its dimension count). */
+    std::vector<int> radices;
+
+    /** Algorithm name, resolved through the routing registry
+     *  (or the VC registry when vc is true). */
+    std::string algorithm;
+
+    /** Resolve through makeVcRouting (extended CDG) instead of
+     *  makeRouting. */
+    bool vc = false;
+
+    /** Expected verdict; false for the known-deadlocking cases. */
+    bool expectDeadlockFree = true;
+};
+
+/** Outcome of one certification case. */
+struct CertifyCaseResult
+{
+    CertifyCase spec;
+
+    /** Topology display name, e.g. "mesh(4x4)". */
+    std::string topologyName;
+
+    DeadlockCertificate certificate;
+
+    /** Turn soundness; applicable when the algorithm declares a
+     *  uniform turn set (see declaredTurnSet()). */
+    bool soundnessApplicable = false;
+    TurnSoundnessResult soundness;
+
+    /** Progress; applicable to single-channel relations. */
+    bool progressApplicable = false;
+    ProgressResult progress;
+
+    /** Rendered witness chain when the certificate is a refutation. */
+    std::string witnessText;
+
+    /** Verdict matches the expectation and every applicable check
+     *  holds. */
+    bool pass = false;
+};
+
+/** The full sweep outcome. */
+struct CertifyReport
+{
+    std::vector<CertifyCaseResult> cases;
+
+    std::size_t numPassed() const;
+    bool allPassed() const { return numPassed() == cases.size(); }
+
+    /** One line per case, for terminals and logs. */
+    std::string toString() const;
+
+    /**
+     * Machine-readable report.
+     *
+     * Schema ("turnnet.certify/1"):
+     *
+     *   {
+     *     "schema": "turnnet.certify/1",
+     *     "all_passed": true,
+     *     "num_cases": 30, "num_passed": 30,
+     *     "cases": [
+     *       { "topology": "mesh(4x4)", "algorithm": "west-first",
+     *         "vcs": 1, "expect_deadlock_free": true,
+     *         "deadlock_free": true, "numbering_verified": true,
+     *         "num_vertices": 48, "num_edges": 102,
+     *         "turn_soundness": "sound", "realized_turns": 6,
+     *         "progress": "ok", "states_checked": 1104,
+     *         "witness": [], "pass": true }, ...
+     *     ]
+     *   }
+     *
+     * "turn_soundness" and "progress" are "n/a" where the check does
+     * not apply; "witness" lists {channel, vc, src, dir} hops when a
+     * case is (correctly or not) refuted.
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; warns and returns false on I/O
+     *  failure. */
+    bool writeJson(const std::string &path) const;
+};
+
+/** Construct the case's topology. */
+std::unique_ptr<Topology> makeCaseTopology(const CertifyCase &c);
+
+/**
+ * The default obligation table: the registry's algorithms paired
+ * with their paper topologies, plus the expected rejections of
+ * fully adaptive routing on mesh, torus, and hypercube.
+ */
+std::vector<CertifyCase> defaultCertifyCases();
+
+/** Run one certification case. */
+CertifyCaseResult runCertifyCase(const CertifyCase &c);
+
+/** Run a sweep. */
+CertifyReport runCertification(const std::vector<CertifyCase> &cases);
+
+} // namespace turnnet
+
+#endif // TURNNET_VERIFY_CERTIFY_HPP

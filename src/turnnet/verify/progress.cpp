@@ -1,0 +1,141 @@
+#include "turnnet/verify/progress.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+std::string
+ProgressResult::violationsToString(const Topology &topo) const
+{
+    std::string out;
+    std::size_t shown = 0;
+    for (const ProgressViolation &v : violations) {
+        if (shown++ == 8) {
+            out += "... (" +
+                   std::to_string(violations.size() - 8) + " more)\n";
+            break;
+        }
+        out += "at " +
+               topo.shape().coordToString(topo.coordOf(v.node)) +
+               " arriving " + v.in.toString() + " for dest " +
+               topo.shape().coordToString(topo.coordOf(v.dest)) +
+               ": no permitted path to delivery\n";
+    }
+    return out;
+}
+
+ProgressResult
+checkProgress(const Topology &topo, const RoutingFunction &routing)
+{
+    const int num_channels = topo.numChannels();
+    ProgressResult result;
+
+    std::vector<bool> reachable(num_channels);
+    std::vector<std::vector<ChannelId>> succ(num_channels);
+    std::vector<bool> can_deliver(num_channels);
+
+    for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
+        std::fill(reachable.begin(), reachable.end(), false);
+        for (auto &row : succ)
+            row.clear();
+
+        // Forward walk: channels a packet bound for dest can occupy,
+        // and the per-state successor relation.
+        std::deque<ChannelId> queue;
+        for (NodeId src = 0; src < topo.numNodes(); ++src) {
+            if (src == dest)
+                continue;
+            routing.route(topo, src, dest, Direction::local())
+                .forEach([&](Direction d) {
+                    const ChannelId ch = topo.channelFrom(src, d);
+                    if (ch != kInvalidChannel && !reachable[ch]) {
+                        reachable[ch] = true;
+                        queue.push_back(ch);
+                    }
+                });
+        }
+        while (!queue.empty()) {
+            const ChannelId in = queue.front();
+            queue.pop_front();
+            const Channel &in_ch = topo.channel(in);
+            if (in_ch.dst == dest)
+                continue;
+            routing.route(topo, in_ch.dst, dest, in_ch.dir)
+                .forEach([&](Direction d) {
+                    const ChannelId out =
+                        topo.channelFrom(in_ch.dst, d);
+                    if (out == kInvalidChannel)
+                        return;
+                    succ[in].push_back(out);
+                    if (!reachable[out]) {
+                        reachable[out] = true;
+                        queue.push_back(out);
+                    }
+                });
+        }
+
+        // Backward rank: a channel can deliver when it ends at dest
+        // or some permitted successor can. Computed by reverse BFS —
+        // finite rank is exactly membership in can_deliver.
+        std::fill(can_deliver.begin(), can_deliver.end(), false);
+        std::vector<std::vector<ChannelId>> pred(num_channels);
+        for (int c = 0; c < num_channels; ++c) {
+            for (ChannelId out : succ[c])
+                pred[out].push_back(static_cast<ChannelId>(c));
+        }
+        for (int c = 0; c < num_channels; ++c) {
+            if (reachable[c] && topo.channel(c).dst == dest) {
+                can_deliver[c] = true;
+                queue.push_back(static_cast<ChannelId>(c));
+            }
+        }
+        while (!queue.empty()) {
+            const ChannelId c = queue.front();
+            queue.pop_front();
+            for (ChannelId p : pred[c]) {
+                if (!can_deliver[p]) {
+                    can_deliver[p] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+
+        // Every reachable state must have finite rank.
+        for (int c = 0; c < num_channels; ++c) {
+            if (!reachable[c])
+                continue;
+            ++result.statesChecked;
+            if (!can_deliver[c]) {
+                result.ok = false;
+                const Channel &ch = topo.channel(c);
+                result.violations.push_back(
+                    {ch.dst, ch.dir, dest});
+            }
+        }
+
+        // Injection states: some offered first hop must deliver.
+        for (NodeId src = 0; src < topo.numNodes(); ++src) {
+            if (src == dest)
+                continue;
+            ++result.statesChecked;
+            bool some_delivers = false;
+            routing.route(topo, src, dest, Direction::local())
+                .forEach([&](Direction d) {
+                    const ChannelId ch = topo.channelFrom(src, d);
+                    if (ch != kInvalidChannel && can_deliver[ch])
+                        some_delivers = true;
+                });
+            if (!some_delivers) {
+                result.ok = false;
+                result.violations.push_back(
+                    {src, Direction::local(), dest});
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace turnnet

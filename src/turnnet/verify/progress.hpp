@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Progress certification for nonminimal algorithms.
+ *
+ * Deadlock freedom alone does not promise delivery: a nonminimal
+ * relation may let a packet wander forever (livelock) or dead-end
+ * where no permitted output exists. The classical argument against
+ * both is a ranking function — a per-state measure that some
+ * permitted output always decreases, and that bottoms out at
+ * delivery.
+ *
+ * This module checks that argument per (channel, destination) state:
+ * the rank of a state is its BFS distance to delivery through the
+ * permitted relation. A state with infinite rank is one from which
+ * no sequence of permitted outputs ever reaches the destination —
+ * equivalently, a reachable state where no rank-decreasing output is
+ * ever permitted. For the paper's algorithms every reachable state
+ * must have finite rank; the nonminimal variants rely on this
+ * (together with their bounded-misroute selectors) for delivery.
+ */
+
+#ifndef TURNNET_VERIFY_PROGRESS_HPP
+#define TURNNET_VERIFY_PROGRESS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** A reachable state from which delivery is impossible. */
+struct ProgressViolation
+{
+    /** Router holding the packet. */
+    NodeId node = kInvalidNode;
+    /** Direction the packet arrived travelling (local at
+     *  injection). */
+    Direction in;
+    /** Destination the packet can never reach. */
+    NodeId dest = kInvalidNode;
+};
+
+/** Result of a progress check. */
+struct ProgressResult
+{
+    /** True when every reachable state has finite rank. */
+    bool ok = true;
+
+    /** Reachable (state, destination) pairs examined. */
+    std::size_t statesChecked = 0;
+
+    /** States with no permitted path to delivery (capped). */
+    std::vector<ProgressViolation> violations;
+
+    std::string violationsToString(const Topology &topo) const;
+};
+
+/**
+ * Check the ranking-function argument for @p routing on @p topo:
+ * every (channel, destination) state reachable from injection, and
+ * every injection itself, must offer at least one output of strictly
+ * smaller rank (BFS distance to delivery through the permitted
+ * relation).
+ */
+ProgressResult checkProgress(const Topology &topo,
+                             const RoutingFunction &routing);
+
+} // namespace turnnet
+
+#endif // TURNNET_VERIFY_PROGRESS_HPP

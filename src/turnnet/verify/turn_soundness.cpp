@@ -1,0 +1,78 @@
+#include "turnnet/verify/turn_soundness.hpp"
+
+#include "turnnet/analysis/path_enum.hpp"
+#include "turnnet/turnmodel/prohibition.hpp"
+
+namespace turnnet {
+
+std::optional<TurnSet>
+declaredTurnSet(const RoutingSpec &spec)
+{
+    std::string base = spec.name;
+    // Nonminimal variants share the base algorithm's turn set.
+    const std::string nm = "-nm";
+    if (base.size() > nm.size() &&
+        base.compare(base.size() - nm.size(), nm.size(), nm) == 0)
+        base = base.substr(0, base.size() - nm.size());
+    // The generic turn-set router declares the inner algorithm's set.
+    const std::string ts = "turnset:";
+    if (base.rfind(ts, 0) == 0)
+        base = base.substr(ts.size());
+
+    if (base == "xy" || base == "ecube" || base == "dimension-order")
+        return dimensionOrderTurns(spec.dims);
+    if (base == "west-first")
+        return westFirstTurns();
+    if (base == "north-last")
+        return northLastTurns();
+    if (base == "negative-first" || base == "negative-first-ft")
+        return negativeFirstTurns(spec.dims);
+    if (base == "abonf")
+        return abonfTurns(spec.dims);
+    if (base == "abopl")
+        return aboplTurns(spec.dims);
+    if (base == "p-cube" || base == "p-cube-ft")
+        return negativeFirstTurns(spec.dims);
+    return std::nullopt;
+}
+
+std::string
+TurnSoundnessResult::violationsToString() const
+{
+    std::string out;
+    for (const Turn &t : violations) {
+        if (!out.empty())
+            out += ", ";
+        out += t.toString();
+    }
+    return out;
+}
+
+TurnSoundnessResult
+checkTurnSoundness(const Topology &topo,
+                   const RoutingFunction &routing,
+                   const TurnSet &declared)
+{
+    const TurnSet realized = realizableTurns(topo, routing);
+    TurnSoundnessResult result;
+
+    const int dims = topo.numDims();
+    for (int fi = 0; fi < 2 * dims; ++fi) {
+        for (int ti = 0; ti < 2 * dims; ++ti) {
+            const Turn turn(Direction::fromIndex(fi),
+                            Direction::fromIndex(ti));
+            if (turn.isStraight())
+                continue;
+            if (!realized.allows(turn))
+                continue;
+            ++result.realizedTurns;
+            if (!declared.allows(turn)) {
+                result.sound = false;
+                result.violations.push_back(turn);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace turnnet

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Turn-set soundness: does an implementation stay inside its spec?
+ *
+ * Every algorithm the paper derives is *defined* by a prohibited
+ * turn set (Sections 4-5); the C++ routing relations are hand-coded
+ * re-expressions of those sets. This check closes the gap between
+ * the two: enumerate the turns the implementation can actually
+ * realize on a topology (analysis/path_enum) and demand that the set
+ * is contained in the complement of the declared prohibited set. A
+ * violation means the implementation has drifted from the algorithm
+ * it claims to be — the kind of bug a throughput sweep would never
+ * surface, because the extra turns usually *help* until they
+ * deadlock.
+ */
+
+#ifndef TURNNET_VERIFY_TURN_SOUNDNESS_HPP
+#define TURNNET_VERIFY_TURN_SOUNDNESS_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/topology/topology.hpp"
+#include "turnnet/turnmodel/turn.hpp"
+
+namespace turnnet {
+
+/**
+ * The canonical declared turn set of the algorithm @p spec names,
+ * or nullopt for algorithms that are not defined by a uniform turn
+ * set (odd-even's position-dependent rules, fully-adaptive's
+ * everything-goes, the wrap-classified torus variants). A "-nm"
+ * suffix does not change the declared set: nonminimal variants take
+ * more hops through the same turn relation.
+ */
+std::optional<TurnSet> declaredTurnSet(const RoutingSpec &spec);
+
+/** Result of a turn-soundness check. */
+struct TurnSoundnessResult
+{
+    /** True when every realizable turn is declared permitted. */
+    bool sound = true;
+
+    /** Realizable turns the declared set prohibits. */
+    std::vector<Turn> violations;
+
+    /** Count of distinct 90/180-degree turns the implementation
+     *  realizes (the evidence base of the check). */
+    int realizedTurns = 0;
+
+    std::string violationsToString() const;
+};
+
+/**
+ * Check that the turns @p routing realizes on @p topo are contained
+ * in @p declared (straight continuations excluded — they are not
+ * turns).
+ */
+TurnSoundnessResult checkTurnSoundness(const Topology &topo,
+                                       const RoutingFunction &routing,
+                                       const TurnSet &declared);
+
+} // namespace turnnet
+
+#endif // TURNNET_VERIFY_TURN_SOUNDNESS_HPP

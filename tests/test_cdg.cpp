@@ -52,8 +52,8 @@ INSTANTIATE_TEST_SUITE_P(
                       MeshCase{"turnset:west-first"},
                       MeshCase{"turnset:north-last"},
                       MeshCase{"turnset:negative-first"}),
-    [](const auto &info) {
-        std::string name = info.param.algorithm;
+    [](const auto &test_info) {
+        std::string name = test_info.param.algorithm;
         for (char &ch : name)
             if (ch == '-' || ch == ':')
                 ch = '_';

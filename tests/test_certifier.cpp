@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests for the static routing certifier: numbering synthesis over
+ * the exact reachable CDG, minimal cycle witnesses, turn-set
+ * soundness, the progress (ranking-function) check, and the
+ * registry-wide certification sweep — including the cross-check
+ * that the certifier's static counterexample for fully adaptive
+ * routing describes the same deadlock core the runtime forensics
+ * reconstruct from a genuinely wedged fabric, on both simulator
+ * engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "turnnet/analysis/cdg.hpp"
+#include "turnnet/analysis/vc_cdg.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+#include "turnnet/trace/forensics.hpp"
+#include "turnnet/traffic/pattern.hpp"
+#include "turnnet/turnmodel/prohibition.hpp"
+#include "turnnet/verify/certify.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(Certifier, SynthesizesVerifiedNumberingForXy)
+{
+    const Mesh mesh(4, 4);
+    const RoutingPtr xy = makeRouting({.name = "xy"});
+    const DeadlockCertificate cert =
+        certifyDeadlockFreedom(mesh, *xy);
+
+    EXPECT_TRUE(cert.deadlockFree);
+    EXPECT_TRUE(cert.numberingVerified);
+    EXPECT_EQ(cert.numVcs, 1);
+    EXPECT_EQ(cert.numVertices,
+              static_cast<std::size_t>(mesh.numChannels()));
+    ASSERT_EQ(cert.numbering.size(), cert.numVertices);
+    EXPECT_TRUE(cert.witness.empty());
+
+    // Independently re-check the certificate against the graph it
+    // claims to number: every dependency edge must ascend.
+    const CdgGraph graph = buildCdg(mesh, *xy);
+    EXPECT_EQ(cert.numEdges, graph.numEdges);
+    for (std::size_t c = 0; c < graph.adj.size(); ++c) {
+        for (ChannelId to : graph.adj[c]) {
+            EXPECT_LT(cert.numbering[c], cert.numbering[to]);
+        }
+    }
+
+    // The numbering is a permutation of 0..V-1 (a topological
+    // position per vertex).
+    std::set<std::uint64_t> distinct(cert.numbering.begin(),
+                                     cert.numbering.end());
+    EXPECT_EQ(distinct.size(), cert.numVertices);
+}
+
+TEST(Certifier, EveryCertifiedAlgorithmNumbersItsFullGraph)
+{
+    const Mesh mesh(4, 4);
+    for (const char *alg :
+         {"west-first", "north-last", "negative-first", "abonf",
+          "abopl", "odd-even", "west-first-nm",
+          "negative-first-nm"}) {
+        const RoutingPtr routing =
+            makeRouting({.name = alg, .dims = 2});
+        const DeadlockCertificate cert =
+            certifyDeadlockFreedom(mesh, *routing);
+        EXPECT_TRUE(cert.deadlockFree) << alg;
+        EXPECT_TRUE(cert.numberingVerified) << alg;
+        EXPECT_EQ(cert.numbering.size(), cert.numVertices) << alg;
+    }
+}
+
+TEST(Certifier, RejectsFullyAdaptiveWithMinimalWitness)
+{
+    const Mesh mesh(4, 4);
+    const RoutingPtr fa = makeRouting({.name = "fully-adaptive"});
+    const DeadlockCertificate cert = certifyDeadlockFreedom(mesh, *fa);
+
+    EXPECT_FALSE(cert.deadlockFree);
+    EXPECT_TRUE(cert.numbering.empty());
+    // The shortest CDG cycle in a mesh runs around one unit square:
+    // four channels. A longer witness would not be minimal.
+    ASSERT_EQ(cert.witness.size(), 4u);
+
+    // Every hop of the witness, including the closing one, is a
+    // genuine dependency edge.
+    const CdgGraph graph = buildCdg(mesh, *fa);
+    for (std::size_t i = 0; i < cert.witness.size(); ++i) {
+        const ChannelId held = cert.witness[i].first;
+        const ChannelId wanted =
+            cert.witness[(i + 1) % cert.witness.size()].first;
+        EXPECT_TRUE(graph.hasEdge(held, wanted))
+            << "witness hop " << i << " is not a CDG edge";
+    }
+
+    // The rendered chain names every held/wanted pair and closes.
+    const std::string text = cert.witnessToString(mesh);
+    EXPECT_NE(text.find("holds"), std::string::npos);
+    EXPECT_NE(text.find("wants"), std::string::npos);
+    EXPECT_NE(text.find("closes the cycle"), std::string::npos);
+}
+
+TEST(Certifier, VcSchemesCertifyAndNaiveSpreadIsRejected)
+{
+    const Torus torus(4, 2);
+    const VcRoutingPtr dateline = makeVcRouting({.name = "dateline"});
+    const DeadlockCertificate dl =
+        certifyDeadlockFreedom(torus, *dateline);
+    EXPECT_TRUE(dl.deadlockFree);
+    EXPECT_TRUE(dl.numberingVerified);
+    EXPECT_EQ(dl.numVcs, 2);
+    EXPECT_EQ(dl.numbering.size(),
+              static_cast<std::size_t>(torus.numChannels()) * 2);
+
+    const Mesh mesh(4, 4);
+    const VcRoutingPtr dy = makeVcRouting({.name = "double-y"});
+    EXPECT_TRUE(certifyDeadlockFreedom(mesh, *dy).deadlockFree);
+
+    // Fully adaptive through the single-VC adapter keeps its cycle;
+    // the witness decodes to (channel, vc 0) hops.
+    const VcRoutingPtr fa = makeVcRouting({.name = "fully-adaptive"});
+    const DeadlockCertificate bad = certifyDeadlockFreedom(mesh, *fa);
+    EXPECT_FALSE(bad.deadlockFree);
+    ASSERT_FALSE(bad.witness.empty());
+    for (const auto &hop : bad.witness)
+        EXPECT_EQ(hop.second, 0);
+}
+
+TEST(TurnSoundness, ImplementationsMatchTheirDeclaredSets)
+{
+    const Mesh mesh(4, 4);
+    for (const char *alg :
+         {"xy", "west-first", "north-last", "negative-first",
+          "abonf", "abopl", "west-first-nm", "negative-first-nm"}) {
+        const RoutingSpec spec{.name = alg, .dims = 2};
+        const auto declared = declaredTurnSet(spec);
+        ASSERT_TRUE(declared.has_value()) << alg;
+        const TurnSoundnessResult result = checkTurnSoundness(
+            mesh, *makeRouting(spec), *declared);
+        EXPECT_TRUE(result.sound)
+            << alg << " realizes prohibited turns: "
+            << result.violationsToString();
+        EXPECT_GT(result.realizedTurns, 0) << alg;
+    }
+}
+
+TEST(TurnSoundness, DriftIsDetected)
+{
+    // West-first against north-last's declared set: the algorithms
+    // prohibit different turns, so west-first must realize turns
+    // north-last declares illegal — the drift signal.
+    const Mesh mesh(4, 4);
+    const RoutingPtr wf = makeRouting({.name = "west-first"});
+    const TurnSoundnessResult result =
+        checkTurnSoundness(mesh, *wf, northLastTurns());
+    EXPECT_FALSE(result.sound);
+    EXPECT_FALSE(result.violations.empty());
+    EXPECT_FALSE(result.violationsToString().empty());
+}
+
+TEST(TurnSoundness, UndeclaredAlgorithmsReportNoSet)
+{
+    EXPECT_FALSE(declaredTurnSet({.name = "odd-even"}).has_value());
+    EXPECT_FALSE(
+        declaredTurnSet({.name = "fully-adaptive"}).has_value());
+    EXPECT_FALSE(declaredTurnSet({.name = "nf-torus"}).has_value());
+    // Nonminimal and induced forms inherit the base declaration.
+    EXPECT_TRUE(
+        declaredTurnSet({.name = "west-first-nm"}).has_value());
+    EXPECT_TRUE(declaredTurnSet({.name = "turnset:negative-first"})
+                    .has_value());
+}
+
+/** Routing that never takes a westward hop, even for a westward
+ *  destination: minimal-looking but unable to deliver west traffic.
+ *  Exists to give the progress check something to catch. */
+class EastboundOnly : public RoutingFunction
+{
+  public:
+    std::string name() const override { return "eastbound-only"; }
+    bool isMinimal() const override { return true; }
+
+    DirectionSet
+    route(const Topology &topo, NodeId current, NodeId dest,
+          Direction in_dir) const override
+    {
+        (void)in_dir;
+        DirectionSet out;
+        topo.minimalDirections(current, dest).forEach(
+            [&](Direction d) {
+                if (!(d.dim() == 0 && d.isNegative()))
+                    out.insert(d);
+            });
+        return out;
+    }
+};
+
+TEST(Progress, PaperAlgorithmsAlwaysRankDown)
+{
+    const Mesh mesh(4, 4);
+    for (const char *alg :
+         {"xy", "west-first", "negative-first", "odd-even",
+          "west-first-nm", "north-last-nm", "negative-first-nm",
+          "fully-adaptive"}) {
+        const ProgressResult result = checkProgress(
+            mesh, *makeRouting({.name = alg, .dims = 2}));
+        EXPECT_TRUE(result.ok) << alg << ":\n"
+                               << result.violationsToString(mesh);
+        EXPECT_GT(result.statesChecked, 0u) << alg;
+    }
+}
+
+TEST(Progress, DeadEndedRelationIsReported)
+{
+    const Mesh mesh(4, 4);
+    const EastboundOnly broken;
+    const ProgressResult result = checkProgress(mesh, broken);
+    EXPECT_FALSE(result.ok);
+    EXPECT_FALSE(result.violations.empty());
+    // Every violation names a state that genuinely cannot deliver:
+    // the destination lies west of the stuck node.
+    for (const ProgressViolation &v : result.violations) {
+        EXPECT_LT(mesh.coordOf(v.dest)[0], mesh.coordOf(v.node)[0]);
+    }
+    const std::string text = result.violationsToString(mesh);
+    EXPECT_NE(text.find("no permitted path to delivery"),
+              std::string::npos);
+}
+
+TEST(CertifySweep, EveryDefaultCaseMeetsItsExpectedVerdict)
+{
+    const CertifyReport report =
+        runCertification(defaultCertifyCases());
+    for (const CertifyCaseResult &r : report.cases) {
+        EXPECT_TRUE(r.pass)
+            << r.topologyName << " " << r.spec.algorithm
+            << (r.witnessText.empty() ? "" : "\n" + r.witnessText);
+    }
+    EXPECT_TRUE(report.allPassed());
+    EXPECT_GE(report.cases.size(), 30u);
+
+    // The sweep must exercise the negative path on every family.
+    std::set<std::string> rejected_on;
+    for (const CertifyCaseResult &r : report.cases) {
+        if (!r.spec.expectDeadlockFree) {
+            EXPECT_FALSE(r.certificate.deadlockFree)
+                << r.topologyName;
+            EXPECT_FALSE(r.witnessText.empty()) << r.topologyName;
+            rejected_on.insert(r.spec.topology);
+        }
+    }
+    EXPECT_EQ(rejected_on.size(), 3u);
+
+    const std::string text = report.toString();
+    EXPECT_NE(text.find("rejected, minimal cycle"),
+              std::string::npos);
+    EXPECT_EQ(text.find("FAIL"), std::string::npos);
+}
+
+/** Channels of @p graph reachable from @p from. */
+std::vector<bool>
+reachableFrom(const CdgGraph &graph, ChannelId from)
+{
+    std::vector<bool> seen(graph.adj.size(), false);
+    std::deque<ChannelId> queue{from};
+    seen[from] = true;
+    while (!queue.empty()) {
+        const ChannelId c = queue.front();
+        queue.pop_front();
+        for (ChannelId next : graph.adj[c]) {
+            if (!seen[next]) {
+                seen[next] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+    return seen;
+}
+
+/**
+ * The cross-engine agreement obligation: the certifier's static
+ * counterexample and the forensics wait-chain from a really wedged
+ * run must describe the same deadlock core — every dynamic wait hop
+ * is a static CDG edge, and the two cycles are mutually reachable
+ * inside the graph (one strongly connected deadlock core, not two
+ * unrelated artifacts).
+ */
+void
+expectWitnessMatchesForensics(SimEngine engine)
+{
+    const Mesh mesh(4, 4);
+    const RoutingPtr fa = makeRouting({.name = "fully-adaptive"});
+
+    // The static side.
+    const DeadlockCertificate cert = certifyDeadlockFreedom(mesh, *fa);
+    ASSERT_FALSE(cert.deadlockFree);
+    ASSERT_FALSE(cert.witness.empty());
+
+    // The dynamic side: wedge a real fabric (the forensics suite's
+    // stress workload) and reconstruct the wait chain.
+    SimConfig config;
+    config.load = 0.5;
+    config.lengths = MessageLengthMix::fixed(200);
+    config.watchdogCycles = 8000;
+    config.warmupCycles = 100;
+    config.measureCycles = 40000;
+    config.drainCycles = 100;
+    config.seed = 3;
+    config.engine = engine;
+    Simulator sim(mesh, fa, makeTraffic("uniform", mesh), config);
+    ASSERT_TRUE(sim.run().deadlocked);
+    const DeadlockReport forensics = collectDeadlockForensics(sim);
+    ASSERT_FALSE(forensics.waitCycle.empty());
+    EXPECT_TRUE(forensics.cycleClosesInCdg);
+    EXPECT_TRUE(forensics.routingCdgCyclic);
+
+    // Every dynamic wait hop is a static dependency edge.
+    const CdgGraph graph = buildCdg(mesh, *fa);
+    const std::size_t n = forensics.waitCycle.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(graph.hasEdge(forensics.waitCycle[i],
+                                  forensics.waitCycle[(i + 1) % n]))
+            << "forensics hop " << i << " is not a CDG edge";
+    }
+
+    // Mutual reachability: the static witness and the dynamic cycle
+    // live in one strongly connected deadlock core.
+    const ChannelId from_static = cert.witness.front().first;
+    const ChannelId from_dynamic = forensics.waitCycle.front();
+    EXPECT_TRUE(reachableFrom(graph, from_static)[from_dynamic]);
+    EXPECT_TRUE(reachableFrom(graph, from_dynamic)[from_static]);
+}
+
+TEST(CertifyForensics, WitnessMatchesWedgedRunReferenceEngine)
+{
+    expectWitnessMatchesForensics(SimEngine::Reference);
+}
+
+TEST(CertifyForensics, WitnessMatchesWedgedRunFastEngine)
+{
+    expectWitnessMatchesForensics(SimEngine::Fast);
+}
+
+} // namespace
+} // namespace turnnet

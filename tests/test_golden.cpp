@@ -30,6 +30,7 @@
 #include "turnnet/topology/mesh.hpp"
 #include "turnnet/trace/counters.hpp"
 #include "turnnet/traffic/pattern.hpp"
+#include "turnnet/verify/certify.hpp"
 
 namespace turnnet {
 namespace {
@@ -144,6 +145,18 @@ TEST(Golden, ChannelHeatExport)
     expectMatchesGolden(
         "channel_heat.json",
         channelHeatJson(mesh, "transpose", 0.15, entries));
+}
+
+TEST(Golden, CertifyExport)
+{
+    // The whole default certification sweep is a deterministic
+    // function of the registry and the topologies — no RNG, no
+    // simulation — so the full report doubles as a fixture: any
+    // drift in routing relations, CDG construction, numbering
+    // synthesis, or witness extraction shows up as a diff here.
+    expectMatchesGolden(
+        "certify.json",
+        runCertification(defaultCertifyCases()).toJson());
 }
 
 } // namespace

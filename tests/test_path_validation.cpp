@@ -97,8 +97,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("xy", "west-first", "north-last",
                       "negative-first", "odd-even",
                       "fully-adaptive"),
-    [](const auto &info) {
-        std::string name = info.param;
+    [](const auto &test_info) {
+        std::string name = test_info.param;
         for (char &ch : name)
             if (ch == '-')
                 ch = '_';

@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/routing/vc_routing.hpp"
 #include "turnnet/topology/hypercube.hpp"
 #include "turnnet/topology/mesh.hpp"
 #include "turnnet/topology/torus.hpp"
+#include "turnnet/turnmodel/prohibition.hpp"
 
 namespace turnnet {
 namespace {
@@ -90,6 +93,49 @@ TEST(Registry, CheckTopologyPropagates)
     makeRouting({.name = "nf-torus"})->checkTopology(torus);
     makeRouting({.name = "odd-even"})->checkTopology(Mesh(5, 5));
     makeRouting({.name = "p-cube", .dims = 4})->checkTopology(Hypercube(4));
+}
+
+TEST(Registry, CustomTurnSetRoutesLikeItsNamedTwin)
+{
+    const Mesh mesh(4, 4);
+    const RoutingPtr custom = makeRouting(
+        {.name = "turnset:custom",
+         .custom_turns = std::make_shared<TurnSet>(
+             negativeFirstTurns(2))});
+    const RoutingPtr named =
+        makeRouting({.name = "turnset:negative-first"});
+    for (NodeId s = 0; s < mesh.numNodes(); ++s) {
+        for (NodeId d = 0; d < mesh.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(
+                custom->route(mesh, s, d, Direction::local()).mask(),
+                named->route(mesh, s, d, Direction::local()).mask());
+        }
+    }
+}
+
+TEST(RegistryDeath, UnsafeCustomTurnSetIsRejected)
+{
+    // One prohibited turn breaks at most one of the two abstract
+    // cycles of the plane; Theorem 1 demands one per cycle, so the
+    // factory must refuse before the set ever routes a packet.
+    auto unsafe = std::make_shared<TurnSet>(2, /*allow_all=*/true);
+    unsafe->prohibit(Turn(Direction::positive(0),
+                          Direction::positive(1)));
+    EXPECT_DEATH(makeRouting({.name = "turnset:custom",
+                              .custom_turns = unsafe}),
+                 "Theorem 1");
+
+    // A set breaking no cycle at all names the offending plane.
+    auto all = std::make_shared<TurnSet>(2, /*allow_all=*/true);
+    EXPECT_DEATH(makeRouting({.name = "turnset:custom",
+                              .custom_turns = all}),
+                 "abstract cycle of plane \\(0,1\\) unbroken");
+
+    // And the entry is unusable without a set.
+    EXPECT_DEATH(makeRouting({.name = "turnset:custom"}),
+                 "custom_turns");
 }
 
 TEST(VcRegistry, NativeAndAdaptedNames)

@@ -24,6 +24,7 @@
 #include "turnnet/trace/event_trace.hpp"
 #include "turnnet/trace/forensics.hpp"
 #include "turnnet/traffic/pattern.hpp"
+#include "turnnet/verify/certify.hpp"
 
 namespace turnnet {
 namespace {
@@ -265,6 +266,66 @@ TEST(Schemas, FaultSweepReport)
         EXPECT_NE(e.find("deadlock_free"), nullptr);
         EXPECT_NE(e.find("packets_finished"), nullptr);
         EXPECT_NE(e.find("accepted_flits_per_usec"), nullptr);
+    }
+}
+
+TEST(Schemas, CertifyReport)
+{
+    // A slice of the sweep with one of each verdict: a certified
+    // algorithm with every check applicable, a VC scheme, and the
+    // expected rejection (whose witness array must be populated).
+    std::vector<CertifyCase> cases;
+    for (const CertifyCase &c : defaultCertifyCases()) {
+        if (c.topology != "mesh" || c.radices != std::vector<int>{4, 4})
+            continue;
+        if (c.algorithm == "west-first" ||
+            c.algorithm == "double-y" ||
+            c.algorithm == "fully-adaptive")
+            cases.push_back(c);
+    }
+    ASSERT_EQ(cases.size(), 3u);
+    const CertifyReport report = runCertification(cases);
+
+    const json::Value doc =
+        parseWithSchema(report.toJson(), "turnnet.certify/1");
+    EXPECT_TRUE(doc.find("all_passed")->asBool());
+    EXPECT_EQ(doc.find("num_cases")->asNumber(), 3.0);
+    EXPECT_EQ(doc.find("num_passed")->asNumber(), 3.0);
+
+    const json::Value *list = doc.find("cases");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->size(), 3u);
+    for (const json::Value &e : list->items()) {
+        ASSERT_NE(e.find("topology"), nullptr);
+        ASSERT_NE(e.find("algorithm"), nullptr);
+        ASSERT_NE(e.find("vcs"), nullptr);
+        ASSERT_NE(e.find("deadlock_free"), nullptr);
+        ASSERT_NE(e.find("numbering_verified"), nullptr);
+        ASSERT_NE(e.find("num_vertices"), nullptr);
+        ASSERT_NE(e.find("num_edges"), nullptr);
+        ASSERT_NE(e.find("turn_soundness"), nullptr);
+        ASSERT_NE(e.find("progress"), nullptr);
+        ASSERT_NE(e.find("witness"), nullptr);
+        EXPECT_TRUE(e.find("witness")->isArray());
+        EXPECT_TRUE(e.find("pass")->asBool());
+
+        const std::string &alg = e.find("algorithm")->asString();
+        if (alg == "west-first") {
+            EXPECT_EQ(e.find("turn_soundness")->asString(), "sound");
+            EXPECT_EQ(e.find("progress")->asString(), "ok");
+            EXPECT_EQ(e.find("vcs")->asNumber(), 1.0);
+        } else if (alg == "double-y") {
+            EXPECT_EQ(e.find("turn_soundness")->asString(), "n/a");
+            EXPECT_EQ(e.find("vcs")->asNumber(), 2.0);
+        } else {
+            EXPECT_FALSE(e.find("deadlock_free")->asBool());
+            ASSERT_GT(e.find("witness")->size(), 0u);
+            const json::Value &hop = e.find("witness")->items()[0];
+            EXPECT_NE(hop.find("channel"), nullptr);
+            EXPECT_NE(hop.find("vc"), nullptr);
+            EXPECT_NE(hop.find("src"), nullptr);
+            EXPECT_NE(hop.find("dir"), nullptr);
+        }
     }
 }
 

@@ -72,8 +72,8 @@ INSTANTIATE_TEST_SUITE_P(
         EquivCase{"north-last", "turnset:north-last"},
         EquivCase{"negative-first", "turnset:negative-first"},
         EquivCase{"xy", "turnset:xy"}),
-    [](const auto &info) {
-        std::string name = info.param.named;
+    [](const auto &test_info) {
+        std::string name = test_info.param.named;
         for (char &ch : name)
             if (ch == '-')
                 ch = '_';

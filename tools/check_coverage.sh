@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Line-coverage floor for the simulator core (src/turnnet/network/
-# and src/turnnet/routing/).
+# Line-coverage floor for the simulator core (src/turnnet/network/,
+# src/turnnet/routing/, and the static certifier src/turnnet/verify/).
 #
 # Usage: check_coverage.sh <build-dir> [source-dir]
 #
@@ -36,7 +36,8 @@ trap 'rm -f "$summary"' EXIT
     cd "$BUILD_DIR"
     find . -path '*turnnet.dir*' -name '*.gcda' \
         \( -path '*/turnnet/network/*' -o \
-           -path '*/turnnet/routing/*' \) -exec gcov -n {} +
+           -path '*/turnnet/routing/*' -o \
+           -path '*/turnnet/verify/*' \) -exec gcov -n {} +
 ) >"$summary" 2>/dev/null
 
 python3 - "$FLOOR" "$summary" <<'PYEOF'
@@ -51,7 +52,7 @@ best = {}
 for m in re.finditer(
         r"File '([^']+)'\nLines executed:([0-9.]+)% of (\d+)", data):
     path, pct, lines = m.group(1), float(m.group(2)), int(m.group(3))
-    if not re.search(r"src/turnnet/(network|routing)/", path):
+    if not re.search(r"src/turnnet/(network|routing|verify)/", path):
         continue
     covered = pct * lines / 100.0
     if path not in best or covered > best[path][0]:
@@ -59,7 +60,8 @@ for m in re.finditer(
 
 total = sum(lines for _, lines in best.values())
 if total == 0:
-    sys.exit("no coverage data for src/turnnet/{network,routing} — "
+    sys.exit("no coverage data for src/turnnet/{network,routing,verify} "
+             "— "
              "is the build configured with the coverage preset?")
 covered = sum(c for c, _ in best.values())
 pct = 100.0 * covered / total

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Static-analysis gate: the certification sweep, then clang-tidy.
+#
+# Usage: run_static_analysis.sh [--tidy-only] [--build-dir DIR]
+#
+# Phase 1 (always, unless --tidy-only): build and run the
+# turnnet-certify sweep — every registered algorithm must statically
+# prove deadlock freedom (or be rejected with a cycle witness, for
+# the known-deadlocking baselines) before any code review trusts a
+# simulation result.
+#
+# Phase 2: clang-tidy over src/ with the repo's .clang-tidy profile,
+# using the build tree's compile_commands.json. The build image does
+# not ship clang-tidy; when no binary is found the phase is SKIPPED
+# with a notice (exit 0) so the gate degrades to phase 1 instead of
+# failing on a missing tool. CI images that do carry clang-tidy get
+# the full gate automatically.
+set -euo pipefail
+
+TIDY_ONLY=0
+BUILD_DIR=
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --tidy-only) TIDY_ONLY=1 ;;
+        --build-dir) BUILD_DIR=${2:?--build-dir needs a path}; shift ;;
+        *) echo "unknown option: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+SRC_DIR=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${BUILD_DIR:-$SRC_DIR/build}
+
+if [ "$TIDY_ONLY" -eq 0 ]; then
+    echo "== phase 1: static certification sweep =="
+    cmake --build "$BUILD_DIR" --target turnnet-certify
+    "$BUILD_DIR"/tools/turnnet-certify \
+        --out "$BUILD_DIR"/CERTIFY_report.json
+fi
+
+echo "== phase 2: clang-tidy =="
+TIDY_BIN=
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+            clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+        TIDY_BIN=$cand
+        break
+    fi
+done
+if [ -z "$TIDY_BIN" ]; then
+    echo "NOTICE: no clang-tidy binary in PATH; skipping the tidy"
+    echo "phase (the certify sweep above is the effective gate)."
+    exit 0
+fi
+
+COMPDB=$BUILD_DIR/compile_commands.json
+if [ ! -f "$COMPDB" ]; then
+    echo "compile_commands.json missing; reconfiguring with" \
+         "CMAKE_EXPORT_COMPILE_COMMANDS=ON"
+    cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# Library sources only: tests lean on gtest macros that trip several
+# bugprone checks by design.
+mapfile -t sources < <(find "$SRC_DIR/src" -name '*.cpp' | sort)
+echo "running $TIDY_BIN over ${#sources[@]} sources"
+"$TIDY_BIN" -p "$BUILD_DIR" --quiet "${sources[@]}"
+echo "clang-tidy: clean"
