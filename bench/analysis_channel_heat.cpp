@@ -14,7 +14,7 @@
  * Options: --full (16x16), --load L, --seed N, --traffic P
  * (default transpose), --out PATH (default BENCH_channel_heat.json;
  * "off" disables), --trace / --trace-out STEM (also dump flit-level
- * event rings), --engine reference|fast (bit-identical either way).
+ * event rings), --engine reference|fast|batch (bit-identical whichever runs).
  */
 
 #include <algorithm>

@@ -12,7 +12,7 @@
  * the most concentrated channel loads of the four algorithms.
  *
  * Options: --full (16x16), --load L, --seed N,
- * --engine reference|fast (bit-identical either way).
+ * --engine reference|fast|batch (bit-identical whichever runs).
  */
 
 #include <algorithm>

@@ -135,18 +135,26 @@ BM_SimulatorEngine(benchmark::State &state, SimEngine engine,
 // where the reference engine still walks 800 routers and ~2300
 // buffers per cycle while only a handful hold flits; near
 // saturation the worklist covers most of the fabric and the two
-// converge. bench/engine_speedup.cpp gates the low-load ratio.
+// converge — which is where the batch engine's flat column sweeps
+// take over. bench/engine_speedup.cpp gates the per-load best
+// ratio across the whole sweep.
 BENCHMARK_CAPTURE(BM_SimulatorEngine, reference_low,
                   SimEngine::Reference, 0.01);
 BENCHMARK_CAPTURE(BM_SimulatorEngine, fast_low, SimEngine::Fast,
+                  0.01);
+BENCHMARK_CAPTURE(BM_SimulatorEngine, batch_low, SimEngine::Batch,
                   0.01);
 BENCHMARK_CAPTURE(BM_SimulatorEngine, reference_mid,
                   SimEngine::Reference, 0.06);
 BENCHMARK_CAPTURE(BM_SimulatorEngine, fast_mid, SimEngine::Fast,
                   0.06);
+BENCHMARK_CAPTURE(BM_SimulatorEngine, batch_mid, SimEngine::Batch,
+                  0.06);
 BENCHMARK_CAPTURE(BM_SimulatorEngine, reference_high,
                   SimEngine::Reference, 0.20);
 BENCHMARK_CAPTURE(BM_SimulatorEngine, fast_high, SimEngine::Fast,
+                  0.20);
+BENCHMARK_CAPTURE(BM_SimulatorEngine, batch_high, SimEngine::Batch,
                   0.20);
 
 } // namespace

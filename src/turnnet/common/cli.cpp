@@ -115,6 +115,26 @@ CliOptions::getList(const std::string &key,
     return splitString(it->second, ',');
 }
 
+std::vector<double>
+CliOptions::getDoubleList(const std::string &key,
+                          const std::vector<double> &def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    std::vector<double> out;
+    for (const std::string &s : splitString(it->second, ',')) {
+        char *end = nullptr;
+        const double v = std::strtod(s.c_str(), &end);
+        if (s.empty() || end == s.c_str() || *end != '\0')
+            TN_FATAL("option --", key,
+                     " expects comma-separated numbers, got '",
+                     it->second, "' (bad element '", s, "')");
+        out.push_back(v);
+    }
+    return out;
+}
+
 unsigned
 resolveJobs(const CliOptions &opts, unsigned def)
 {

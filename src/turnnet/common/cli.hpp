@@ -51,6 +51,15 @@ class CliOptions
     getList(const std::string &key,
             const std::vector<std::string> &def = {}) const;
 
+    /**
+     * Comma-separated list of reals; fatal on any malformed or
+     * empty element (atof-style silent garbage-to-0.0 mapping is
+     * exactly the bug this exists to prevent).
+     */
+    std::vector<double>
+    getDoubleList(const std::string &key,
+                  const std::vector<double> &def = {}) const;
+
     const std::vector<std::string> &positional() const
     {
         return positional_;

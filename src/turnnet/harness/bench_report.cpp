@@ -1,6 +1,7 @@
 #include "turnnet/harness/bench_report.hpp"
 
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "turnnet/common/logging.hpp"
@@ -88,6 +89,50 @@ sweepBenchJson(const std::vector<SweepBenchEntry> &entries)
     }
     os << "  ]\n}\n";
     return os.str();
+}
+
+SpeedupGateResult
+evaluateSpeedupGate(const std::vector<EngineBenchEntry> &entries,
+                    double minSpeedup)
+{
+    // Group by load point: the reference rate on one side, the best
+    // candidate (any non-reference engine) on the other. A map keyed
+    // on the load keeps the verdict independent of entry order.
+    struct PerLoad
+    {
+        double refRate = 0.0;
+        double bestRate = 0.0;
+        std::string bestEngine;
+    };
+    std::map<double, PerLoad> loads;
+    for (const EngineBenchEntry &e : entries) {
+        PerLoad &p = loads[e.load];
+        if (e.engine == "reference") {
+            p.refRate = e.cyclesPerSec;
+        } else if (e.cyclesPerSec > p.bestRate) {
+            p.bestRate = e.cyclesPerSec;
+            p.bestEngine = e.engine;
+        }
+    }
+
+    SpeedupGateResult result;
+    bool first = true;
+    for (const auto &[load, p] : loads) {
+        if (p.refRate <= 0.0 || p.bestRate <= 0.0)
+            continue; // not a comparable load point
+        const double speedup = p.bestRate / p.refRate;
+        ++result.loadsEvaluated;
+        if (first || speedup < result.minSpeedup) {
+            result.minSpeedup = speedup;
+            result.minLoad = load;
+            result.minEngine = p.bestEngine;
+            first = false;
+        }
+    }
+    if (minSpeedup > 0.0)
+        result.pass = result.loadsEvaluated > 0 &&
+                      result.minSpeedup >= minSpeedup;
+    return result;
 }
 
 bool

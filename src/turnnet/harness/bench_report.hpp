@@ -67,6 +67,58 @@ std::string sweepBenchJson(const std::vector<SweepBenchEntry> &entries);
 bool writeSweepBenchJson(const std::string &path,
                          const std::vector<SweepBenchEntry> &entries);
 
+/**
+ * One engine's measured throughput at one load point, as serialized
+ * into BENCH_engine.json ("turnnet.engine_bench/1"). The engine
+ * field names a cycle-loop engine ("reference", "fast", "batch");
+ * every load point carries one entry per timed engine so all rates
+ * land in one document.
+ */
+struct EngineBenchEntry
+{
+    double load = 0.0;
+    std::string engine;
+    double cyclesPerSec = 0.0;
+    /** Lockstep oracle verdict versus reference (trivially true for
+     *  the reference entry itself). */
+    bool oracleIdentical = true;
+};
+
+/** Verdict of the engine speedup gate over a whole load sweep. */
+struct SpeedupGateResult
+{
+    /** True when every load point's best candidate speedup meets the
+     *  threshold (or the gate is disabled with threshold <= 0). */
+    bool pass = true;
+    /** Load points that had both a reference rate and at least one
+     *  candidate rate. */
+    std::size_t loadsEvaluated = 0;
+    /** Minimum over load points of the best candidate speedup. */
+    double minSpeedup = 0.0;
+    /** Load point attaining that minimum. */
+    double minLoad = 0.0;
+    /** Fastest candidate engine at that load point. */
+    std::string minEngine;
+};
+
+/**
+ * Evaluate the speedup gate over EVERY load point, not just the
+ * first: for each load, the best non-reference engine's cycles/sec
+ * is divided by the reference rate, and the gate fails if ANY load
+ * point's best speedup falls below @p minSpeedup. (A prior version
+ * checked only the front entry of the sweep, so a dense-regime
+ * regression sailed through as long as the low-load point looked
+ * good — the returned minLoad/minEngine exist so the caller can say
+ * exactly which load point failed.)
+ *
+ * A threshold <= 0 disables the gate (pass is true) but the per-load
+ * minimum is still computed and reported. A positive threshold with
+ * no evaluable load point fails: an empty sweep proves nothing.
+ */
+SpeedupGateResult
+evaluateSpeedupGate(const std::vector<EngineBenchEntry> &entries,
+                    double minSpeedup);
+
 } // namespace turnnet
 
 #endif // TURNNET_HARNESS_BENCH_REPORT_HPP

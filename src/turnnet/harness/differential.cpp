@@ -39,32 +39,36 @@ DifferentialHarness::withEngine(SimConfig config, SimEngine engine,
 DifferentialHarness::DifferentialHarness(const Topology &topo,
                                          VcRoutingPtr routing,
                                          TrafficPtr traffic,
-                                         SimConfig base)
+                                         SimConfig base,
+                                         SimEngine candidate)
     : ref_(topo, routing, traffic,
            withEngine(base, SimEngine::Reference,
                       static_cast<std::size_t>(topo.numChannels()) *
                               routing->numVcs() +
                           topo.numNodes())),
-      fast_(topo, routing, traffic,
-            withEngine(base, SimEngine::Fast,
+      cand_(topo, routing, traffic,
+            withEngine(base, candidate,
                        static_cast<std::size_t>(topo.numChannels()) *
                                routing->numVcs() +
-                           topo.numNodes()))
+                           topo.numNodes())),
+      candName_(simEngineName(candidate))
 {
 }
 
 DifferentialHarness::DifferentialHarness(const Topology &topo,
                                          RoutingPtr routing,
                                          TrafficPtr traffic,
-                                         SimConfig base)
+                                         SimConfig base,
+                                         SimEngine candidate)
     : ref_(topo, routing, traffic,
            withEngine(base, SimEngine::Reference,
                       static_cast<std::size_t>(topo.numChannels()) +
                           topo.numNodes())),
-      fast_(topo, routing, traffic,
-            withEngine(base, SimEngine::Fast,
+      cand_(topo, routing, traffic,
+            withEngine(base, candidate,
                        static_cast<std::size_t>(topo.numChannels()) +
-                           topo.numNodes()))
+                           topo.numNodes())),
+      candName_(simEngineName(candidate))
 {
 }
 
@@ -73,7 +77,7 @@ DifferentialHarness::injectBoth(NodeId src, NodeId dest,
                                 std::uint32_t length)
 {
     const PacketId a = ref_.injectMessage(src, dest, length);
-    const PacketId b = fast_.injectMessage(src, dest, length);
+    const PacketId b = cand_.injectMessage(src, dest, length);
     TN_ASSERT(a == b, "scripted injection desynchronized the ids");
     return a;
 }
@@ -96,71 +100,73 @@ DifferentialHarness::compareCycle()
     //    identical tuples in identical order. This is the (cycle,
     //    event) stream equality the oracle exists to prove.
     const EventTrace &rt = *ref_.trace();
-    const EventTrace &ft = *fast_.trace();
+    const EventTrace &ct = *cand_.trace();
     const std::uint64_t refNew = rt.recorded() - refSeen_;
-    const std::uint64_t fastNew = ft.recorded() - fastSeen_;
-    if (refNew != fastNew) {
+    const std::uint64_t candNew = ct.recorded() - candSeen_;
+    if (refNew != candNew) {
         os << "event count: reference recorded " << refNew
-           << " events this cycle, fast recorded " << fastNew;
+           << " events this cycle, " << candName_ << " recorded "
+           << candNew;
         fail(os.str());
         return false;
     }
     // A purge burst larger than the ring evicts identically on both
     // sides (same capacity, same counts); compare what is retained.
     const std::uint64_t refFirst = rt.recorded() - rt.size();
-    const std::uint64_t fastFirst = ft.recorded() - ft.size();
+    const std::uint64_t candFirst = ct.recorded() - ct.size();
     const std::uint64_t evicted =
         refFirst > refSeen_ ? refFirst - refSeen_ : 0;
     for (std::uint64_t k = evicted; k < refNew; ++k) {
         const TraceEvent &re = rt.at(
             static_cast<std::size_t>(refSeen_ + k - refFirst));
-        const TraceEvent &fe = ft.at(
-            static_cast<std::size_t>(fastSeen_ + k - fastFirst));
-        if (re.cycle != fe.cycle || re.packet != fe.packet ||
-            re.node != fe.node || re.channel != fe.channel ||
-            re.type != fe.type) {
+        const TraceEvent &ce = ct.at(
+            static_cast<std::size_t>(candSeen_ + k - candFirst));
+        if (re.cycle != ce.cycle || re.packet != ce.packet ||
+            re.node != ce.node || re.channel != ce.channel ||
+            re.type != ce.type) {
             os << "event " << k << " of " << refNew
-               << ": reference " << describeEvent(re) << ", fast "
-               << describeEvent(fe);
+               << ": reference " << describeEvent(re) << ", "
+               << candName_ << " " << describeEvent(ce);
             fail(os.str());
             return false;
         }
     }
     refSeen_ = rt.recorded();
-    fastSeen_ = ft.recorded();
+    candSeen_ = ct.recorded();
     report_.eventsCompared += refNew;
 
     // 2. Accounting counters and global gauges.
     const auto scalar = [&](const char *name, std::uint64_t r,
-                            std::uint64_t f) {
-        if (r == f)
+                            std::uint64_t c) {
+        if (r == c)
             return true;
-        os << name << ": reference " << r << ", fast " << f;
+        os << name << ": reference " << r << ", " << candName_
+           << " " << c;
         fail(os.str());
         return false;
     };
     if (!scalar("flitsCreated", ref_.flitsCreated(),
-                fast_.flitsCreated()) ||
+                cand_.flitsCreated()) ||
         !scalar("flitsDelivered", ref_.flitsDelivered(),
-                fast_.flitsDelivered()) ||
+                cand_.flitsDelivered()) ||
         !scalar("packetsDelivered", ref_.packetsDelivered(),
-                fast_.packetsDelivered()) ||
+                cand_.packetsDelivered()) ||
         !scalar("packetsDropped", ref_.packetsDropped(),
-                fast_.packetsDropped()) ||
+                cand_.packetsDropped()) ||
         !scalar("packetsUnreachable", ref_.packetsUnreachable(),
-                fast_.packetsUnreachable()) ||
+                cand_.packetsUnreachable()) ||
         !scalar("flitsDropped", ref_.flitsDropped(),
-                fast_.flitsDropped()) ||
+                cand_.flitsDropped()) ||
         !scalar("flitsQueued", ref_.flitsQueued(),
-                fast_.flitsQueued()) ||
+                cand_.flitsQueued()) ||
         !scalar("flitsInNetwork", ref_.flitsInNetwork(),
-                fast_.flitsInNetwork()) ||
+                cand_.flitsInNetwork()) ||
         !scalar("maxFrontStall", ref_.maxFrontStall(),
-                fast_.maxFrontStall()) ||
+                cand_.maxFrontStall()) ||
         !scalar("deadlockDetected", ref_.deadlockDetected() ? 1 : 0,
-                fast_.deadlockDetected() ? 1 : 0) ||
+                cand_.deadlockDetected() ? 1 : 0) ||
         !scalar("faultsActive", ref_.faultsActive() ? 1 : 0,
-                fast_.faultsActive() ? 1 : 0)) {
+                cand_.faultsActive() ? 1 : 0)) {
         return false;
     }
 
@@ -168,43 +174,44 @@ DifferentialHarness::compareCycle()
     //    diverging event stream eventually, but catching it on the
     //    very cycle it appears pins the responsible phase.
     const Network &rn = ref_.network();
-    const Network &fn = fast_.network();
+    const Network &cn = cand_.network();
     for (UnitId u = 0; u < static_cast<UnitId>(rn.numInputs());
          ++u) {
         const InputUnit &ri = rn.input(u);
-        const InputUnit &fi = fn.input(u);
-        if (ri.assignedOutput() != fi.assignedOutput() ||
-            ri.residentPacket() != fi.residentPacket()) {
+        const InputUnit &ci = cn.input(u);
+        if (ri.assignedOutput() != ci.assignedOutput() ||
+            ri.residentPacket() != ci.residentPacket()) {
             os << "input unit " << u << ": reference holds output "
                << ri.assignedOutput() << " for packet "
-               << ri.residentPacket() << ", fast holds "
-               << fi.assignedOutput() << " for packet "
-               << fi.residentPacket();
+               << ri.residentPacket() << ", " << candName_
+               << " holds " << ci.assignedOutput() << " for packet "
+               << ci.residentPacket();
             fail(os.str());
             return false;
         }
-        if (ri.buffer().size() != fi.buffer().size()) {
+        if (ri.buffer().size() != ci.buffer().size()) {
             os << "input unit " << u << ": reference buffers "
-               << ri.buffer().size() << " flits, fast "
-               << fi.buffer().size();
+               << ri.buffer().size() << " flits, " << candName_
+               << " " << ci.buffer().size();
             fail(os.str());
             return false;
         }
         for (std::size_t i = 0; i < ri.buffer().size(); ++i) {
             const FlitBuffer::Entry re = ri.buffer().at(i);
-            const FlitBuffer::Entry fe = fi.buffer().at(i);
-            if (re.flit.packet != fe.flit.packet ||
-                re.flit.seq != fe.flit.seq ||
-                re.flit.dest != fe.flit.dest ||
-                re.flit.head != fe.flit.head ||
-                re.flit.tail != fe.flit.tail ||
-                re.arrival != fe.arrival) {
+            const FlitBuffer::Entry ce = ci.buffer().at(i);
+            if (re.flit.packet != ce.flit.packet ||
+                re.flit.seq != ce.flit.seq ||
+                re.flit.dest != ce.flit.dest ||
+                re.flit.head != ce.flit.head ||
+                re.flit.tail != ce.flit.tail ||
+                re.arrival != ce.arrival) {
                 os << "input unit " << u << " slot " << i
                    << ": reference flit (packet=" << re.flit.packet
                    << ", seq=" << re.flit.seq
-                   << ", arrival=" << re.arrival << "), fast (packet="
-                   << fe.flit.packet << ", seq=" << fe.flit.seq
-                   << ", arrival=" << fe.arrival << ")";
+                   << ", arrival=" << re.arrival << "), "
+                   << candName_ << " (packet=" << ce.flit.packet
+                   << ", seq=" << ce.flit.seq
+                   << ", arrival=" << ce.arrival << ")";
                 fail(os.str());
                 return false;
             }
@@ -213,13 +220,13 @@ DifferentialHarness::compareCycle()
     for (UnitId u = 0; u < static_cast<UnitId>(rn.numOutputs());
          ++u) {
         const OutputUnit &ro = rn.output(u);
-        const OutputUnit &fo = fn.output(u);
-        if (ro.owner() != fo.owner() ||
-            ro.failed() != fo.failed()) {
+        const OutputUnit &co = cn.output(u);
+        if (ro.owner() != co.owner() ||
+            ro.failed() != co.failed()) {
             os << "output unit " << u << ": reference owner "
-               << ro.owner() << " failed=" << ro.failed()
-               << ", fast owner " << fo.owner()
-               << " failed=" << fo.failed();
+               << ro.owner() << " failed=" << ro.failed() << ", "
+               << candName_ << " owner " << co.owner()
+               << " failed=" << co.failed();
             fail(os.str());
             return false;
         }
@@ -233,7 +240,7 @@ DifferentialHarness::stepBoth()
     if (diverged_)
         return false;
     ref_.step();
-    fast_.step();
+    cand_.step();
     ++report_.cyclesRun;
     return compareCycle();
 }
@@ -249,9 +256,10 @@ DifferentialHarness::run(Cycle cycles)
 DifferentialReport
 runDifferential(const Topology &topo, const VcRoutingPtr &routing,
                 const TrafficPtr &traffic, const SimConfig &base,
-                Cycle cycles)
+                Cycle cycles, SimEngine candidate)
 {
-    DifferentialHarness harness(topo, routing, traffic, base);
+    DifferentialHarness harness(topo, routing, traffic, base,
+                                candidate);
     return harness.run(cycles);
 }
 

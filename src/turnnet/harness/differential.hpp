@@ -1,8 +1,9 @@
 /**
  * @file
- * Differential oracle: step the reference (full-scan) and fast
- * (active-worm worklist) engines in lockstep on the same
- * configuration and assert bit-identity cycle by cycle.
+ * Differential oracle: step the reference (full-scan) engine and a
+ * candidate engine (fast's active-worm worklist by default, or the
+ * batch flat-sweep engine) in lockstep on the same configuration
+ * and assert bit-identity cycle by cycle.
  *
  * After every cycle the harness compares
  *
@@ -18,9 +19,9 @@
  *
  * Any mismatch stops the run and is reported with the offending
  * cycle and a human-readable description of the first difference.
- * This oracle is the proof obligation of the worklist rewrite: the
- * fast engine is not "approximately" the reference engine, it is
- * the same machine iterated differently.
+ * This oracle is the proof obligation of every engine rewrite: a
+ * candidate engine is not "approximately" the reference engine, it
+ * is the same machine iterated differently.
  */
 
 #ifndef TURNNET_HARNESS_DIFFERENTIAL_HPP
@@ -53,9 +54,10 @@ struct DifferentialReport
 };
 
 /**
- * A reference and a fast simulator built from one configuration,
- * stepped in lockstep. Scripted workloads inject into both sides
- * through reference() and fast(); generated workloads just run().
+ * A reference and a candidate simulator built from one
+ * configuration, stepped in lockstep. Scripted workloads inject
+ * into both sides through reference() and candidate(); generated
+ * workloads just run().
  */
 class DifferentialHarness
 {
@@ -69,16 +71,21 @@ class DifferentialHarness
      * @param base Configuration; the engine field is overridden per
      *        side and the event trace is forced on so the streams
      *        can be compared.
+     * @param candidate Engine to pit against the reference scan.
      */
     DifferentialHarness(const Topology &topo, VcRoutingPtr routing,
-                        TrafficPtr traffic, SimConfig base);
+                        TrafficPtr traffic, SimConfig base,
+                        SimEngine candidate = SimEngine::Fast);
 
     /** Single-channel routing convenience. */
     DifferentialHarness(const Topology &topo, RoutingPtr routing,
-                        TrafficPtr traffic, SimConfig base);
+                        TrafficPtr traffic, SimConfig base,
+                        SimEngine candidate = SimEngine::Fast);
 
     Simulator &reference() { return ref_; }
-    Simulator &fast() { return fast_; }
+    Simulator &candidate() { return cand_; }
+    /** Legacy name for candidate() (the original candidate). */
+    Simulator &fast() { return cand_; }
 
     /**
      * Inject the same scripted message into both engines. Returns
@@ -108,22 +115,25 @@ class DifferentialHarness
     void fail(const std::string &what);
 
     Simulator ref_;
-    Simulator fast_;
+    Simulator cand_;
+    /** simEngineName of the candidate, for divergence messages. */
+    const char *candName_;
     std::uint64_t refSeen_ = 0;
-    std::uint64_t fastSeen_ = 0;
+    std::uint64_t candSeen_ = 0;
     bool diverged_ = false;
     DifferentialReport report_;
 };
 
 /**
  * One-call oracle: build the harness and run @p cycles lockstep
- * cycles of generated traffic.
+ * cycles of generated traffic, pitting @p candidate against the
+ * reference scan.
  */
-DifferentialReport runDifferential(const Topology &topo,
-                                   const VcRoutingPtr &routing,
-                                   const TrafficPtr &traffic,
-                                   const SimConfig &base,
-                                   Cycle cycles);
+DifferentialReport
+runDifferential(const Topology &topo, const VcRoutingPtr &routing,
+                const TrafficPtr &traffic, const SimConfig &base,
+                Cycle cycles,
+                SimEngine candidate = SimEngine::Fast);
 
 } // namespace turnnet
 

@@ -234,11 +234,8 @@ runFigureMain(const std::string &figure_id, int argc,
     FigureSpec spec = figureSpec(figure_id);
     if (opts.getBool("quick", false))
         spec = quickened(spec);
-    if (opts.has("loads")) {
-        spec.loads.clear();
-        for (const std::string &s : opts.getList("loads"))
-            spec.loads.push_back(std::atof(s.c_str()));
-    }
+    if (opts.has("loads"))
+        spec.loads = opts.getDoubleList("loads");
 
     SimConfig base;
     base.warmupCycles =

@@ -102,9 +102,11 @@ struct SweepOptions
 
     /**
      * Cycle-loop engine for every simulation of the sweep
-     * (--engine reference|fast). Bit-identical results either way
-     * (see SimEngine); reference exists for the differential oracle
-     * and for debugging the worklist engine itself.
+     * (--engine reference|fast|batch). Bit-identical results
+     * whichever loop runs (see SimEngine); reference exists for
+     * the differential oracle and for debugging the candidate
+     * engines themselves, fast wins in the sparse regime, batch in
+     * the dense one.
      */
     SimEngine engine = SimEngine::Fast;
 

@@ -6,7 +6,8 @@ namespace turnnet {
 
 FlitStore::FlitStore(std::size_t units, std::size_t depth)
     : units_(units), depth_(depth), flits_(units * depth),
-      arrivals_(units * depth, 0), head_(units, 0), count_(units, 0)
+      arrivals_(units * depth, 0), head_(units, 0), count_(units, 0),
+      route_(units, kNoRoute), resident_(units, 0)
 {
     TN_ASSERT(depth >= 1, "buffers hold at least one flit");
 }

@@ -9,6 +9,15 @@
  * chasing one std::deque allocation per buffer, and the store
  * maintains a running total so "flits in flight anywhere" is O(1).
  *
+ * The store also holds the per-unit switching state (the output
+ * unit the resident packet has been switched to, and that packet's
+ * id) as two more columns: the batch engine's route / link-winner /
+ * move sweeps read occupancy and route assignments as contiguous
+ * arrays (counts() / routes()) instead of striding across InputUnit
+ * objects. InputUnit delegates its assignedOutput()/residentPacket()
+ * accessors here, so there is exactly one copy of the state
+ * whichever engine iterates it.
+ *
  * FlitBuffer (buffer.hpp) is the per-unit FIFO view over this store;
  * router and simulator code keeps using that interface unchanged.
  */
@@ -78,10 +87,63 @@ class FlitStore
     /** Flits buffered across every unit (maintained, not scanned). */
     std::uint64_t totalFlits() const { return total_; }
 
+    /** Output unit held by @p unit's resident packet (kNoRoute =
+     *  none). Stored as the raw unit id; InputUnit interprets it. */
+    std::int32_t routeOf(std::size_t unit) const
+    {
+        return route_[unit];
+    }
+
+    /** Packet owning the route of @p unit; 0 when unrouted. */
+    PacketId residentOf(std::size_t unit) const
+    {
+        return resident_[unit];
+    }
+
+    void
+    setRoute(std::size_t unit, std::int32_t out, PacketId packet)
+    {
+        route_[unit] = out;
+        resident_[unit] = packet;
+    }
+
+    void
+    clearRoute(std::size_t unit)
+    {
+        route_[unit] = kNoRoute;
+        resident_[unit] = 0;
+    }
+
+    /** "No assigned output" sentinel of the route column (matches
+     *  kNoUnit). */
+    static constexpr std::int32_t kNoRoute = -1;
+
+    // Raw column views for the batch engine's flat sweeps. Indexed
+    // by unit id; sized units().
+    const std::uint32_t *counts() const { return count_.data(); }
+    const std::uint32_t *heads() const { return head_.data(); }
+    const std::int32_t *routes() const { return route_.data(); }
+    const Flit *flitSlots() const { return flits_.data(); }
+    const Cycle *arrivalSlots() const { return arrivals_.data(); }
+
+    /** Flat slot index of @p unit's front entry (no bounds check —
+     *  callers of the batch sweeps guard on counts()). */
+    std::size_t
+    frontSlot(std::size_t unit) const
+    {
+        return unit * depth_ + head_[unit];
+    }
+
   private:
     std::size_t slot(std::size_t unit, std::size_t i) const
     {
-        return unit * depth_ + (head_[unit] + i) % depth_;
+        // head < depth and i < depth, so one conditional subtract
+        // replaces the modulo (integer division in the hottest
+        // loads of every engine).
+        std::size_t off = head_[unit] + i;
+        if (off >= depth_)
+            off -= depth_;
+        return unit * depth_ + off;
     }
 
     std::size_t units_ = 0;
@@ -92,6 +154,10 @@ class FlitStore
     std::vector<std::uint32_t> head_;
     /** Occupied slots of each unit. */
     std::vector<std::uint32_t> count_;
+    /** Assigned output unit per unit (kNoRoute = unrouted). */
+    std::vector<std::int32_t> route_;
+    /** Packet owning the assigned output per unit (0 = none). */
+    std::vector<PacketId> resident_;
     std::uint64_t total_ = 0;
 };
 

@@ -35,7 +35,7 @@ class InputUnit
     InputUnit(NodeId node, Direction in_dir, int vc,
               FlitStore &store, std::size_t unit)
         : node_(node), inDir_(in_dir), vc_(vc),
-          buffer_(store, unit)
+          buffer_(store, unit), store_(&store), unit_(unit)
     {
     }
 
@@ -51,8 +51,12 @@ class InputUnit
     FlitBuffer &buffer() { return buffer_; }
     const FlitBuffer &buffer() const { return buffer_; }
 
-    /** Output unit the resident packet holds, or kNoUnit. */
-    UnitId assignedOutput() const { return assignedOutput_; }
+    /**
+     * Output unit the resident packet holds, or kNoUnit. The state
+     * itself lives in the FlitStore route column so the batch
+     * engine's flat sweeps and this accessor read the same array.
+     */
+    UnitId assignedOutput() const { return store_->routeOf(unit_); }
 
     /**
      * Record that @p packet (the packet of the current front header)
@@ -63,19 +67,13 @@ class InputUnit
     void
     assignOutput(UnitId out, PacketId packet)
     {
-        assignedOutput_ = out;
-        residentPacket_ = packet;
+        store_->setRoute(unit_, out, packet);
     }
 
-    void
-    clearOutput()
-    {
-        assignedOutput_ = kNoUnit;
-        residentPacket_ = 0;
-    }
+    void clearOutput() { store_->clearRoute(unit_); }
 
     /** Packet owning the assigned output; 0 when unassigned. */
-    PacketId residentPacket() const { return residentPacket_; }
+    PacketId residentPacket() const { return store_->residentOf(unit_); }
 
     /** Reset to the post-construction state. */
     void
@@ -90,8 +88,8 @@ class InputUnit
     Direction inDir_;
     int vc_;
     FlitBuffer buffer_;
-    UnitId assignedOutput_ = kNoUnit;
-    PacketId residentPacket_ = 0;
+    FlitStore *store_;
+    std::size_t unit_;
 };
 
 } // namespace turnnet

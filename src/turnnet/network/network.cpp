@@ -69,9 +69,10 @@ Network::allocateAll(const AllocationContext &ctx)
 }
 
 void
-Network::allocateAt(NodeId node, const AllocationContext &ctx)
+Network::allocateAt(NodeId node, const AllocationContext &ctx,
+                    RouteCache *cache, const std::uint8_t *pending)
 {
-    routers_[node].allocate(inputs_, outputs_, ctx);
+    routers_[node].allocate(inputs_, outputs_, ctx, cache, pending);
 }
 
 std::vector<std::uint8_t>
@@ -308,6 +309,120 @@ Network::resolveMovableFor(Cycle now,
         for (const UnitId id : chainScratch_)
             memoState_[id] = verdict;
         out[idx] = verdict == Yes;
+    }
+}
+
+void
+Network::resolveMovableBatch(Cycle now,
+                             std::vector<std::uint8_t> &out) const
+{
+    enum : std::uint8_t { Unknown, InProgress, Yes, No };
+    const std::uint32_t *cnt = store_.counts();
+    const std::int32_t *rt = store_.routes();
+    const std::uint32_t depth =
+        static_cast<std::uint32_t>(store_.depth());
+    const UnitId units = static_cast<UnitId>(inputs_.size());
+    const UnitId channelUnits =
+        static_cast<UnitId>(topo_->numChannels()) * numVcs_;
+
+    // Link arbitration straight off the route column. The reference
+    // scan collects each channel's candidate pool in ascending unit
+    // id; collecting (channel, id) pairs in id order and sorting by
+    // channel (ids are distinct, so the pair sort is stable in id)
+    // restores exactly that pool order and hence the same rotating
+    // winner.
+    if (numVcs_ > 1) {
+        linkWinner_.assign(topo_->numChannels(), kNoUnit);
+        wantScratch_.clear();
+        for (UnitId id = 0; id < units; ++id) {
+            if (cnt[id] == 0 || rt[id] < 0 || rt[id] >= channelUnits)
+                continue;
+            wantScratch_.emplace_back(
+                static_cast<ChannelId>(rt[id] / numVcs_), id);
+        }
+        std::sort(wantScratch_.begin(), wantScratch_.end());
+        for (std::size_t i = 0; i < wantScratch_.size();) {
+            const ChannelId c = wantScratch_[i].first;
+            std::size_t end = i;
+            while (end < wantScratch_.size() &&
+                   wantScratch_[end].first == c) {
+                ++end;
+            }
+            // Prefer candidates that can make progress right away.
+            candScratch_.clear();
+            readyScratch_.clear();
+            for (std::size_t k = i; k < end; ++k) {
+                const UnitId id = wantScratch_[k].second;
+                candScratch_.push_back(id);
+                if (cnt[rt[id]] < depth)
+                    readyScratch_.push_back(id);
+            }
+            const auto &pool = readyScratch_.empty() ? candScratch_
+                                                     : readyScratch_;
+            linkWinner_[c] =
+                pool[static_cast<std::size_t>(now) % pool.size()];
+            i = end;
+        }
+    }
+
+    // The memoized chain walk of resolveMovableFor(), flat over
+    // every unit: empty units are skipped outright (they resolve No
+    // in the full scan and nothing ever chains into them — chains
+    // only recurse into full buffers).
+    memoState_.assign(inputs_.size(), Unknown);
+    std::uint8_t *state = memoState_.data();
+    out.assign(inputs_.size(), 0);
+    for (UnitId start = 0; start < units; ++start) {
+        if (cnt[start] == 0)
+            continue;
+        if (state[start] == Yes || state[start] == No) {
+            out[start] = state[start] == Yes;
+            continue;
+        }
+        chainScratch_.clear();
+        UnitId cur = start;
+        std::uint8_t verdict = No;
+        for (;;) {
+            std::uint8_t &st = state[cur];
+            if (st == Yes || st == No) {
+                verdict = st;
+                break;
+            }
+            if (st == InProgress) {
+                // Closed a waiting cycle: a deadlock configuration.
+                verdict = No;
+                break;
+            }
+            const std::int32_t route = rt[cur];
+            if (cnt[cur] == 0 || route < 0) {
+                verdict = No;
+                st = No;
+                break;
+            }
+            if (route >= channelUnits) {
+                // Ejection always drains.
+                verdict = Yes;
+                st = Yes;
+                break;
+            }
+            if (numVcs_ > 1 &&
+                linkWinner_[route / numVcs_] != cur) {
+                verdict = No;
+                st = No;
+                break;
+            }
+            if (cnt[route] < depth) {
+                verdict = Yes;
+                st = Yes;
+                break;
+            }
+            st = InProgress;
+            chainScratch_.push_back(cur);
+            cur = route;
+        }
+        for (const UnitId id : chainScratch_)
+            state[id] = verdict;
+        out[start] = verdict == Yes;
     }
 }
 

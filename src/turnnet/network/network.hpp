@@ -99,8 +99,12 @@ class Network
     /** Run the allocation stage of every router. */
     void allocateAll(const AllocationContext &ctx);
 
-    /** Run the allocation stage of one router. */
-    void allocateAt(NodeId node, const AllocationContext &ctx);
+    /** Run the allocation stage of one router. @p cache optionally
+     *  memoizes the routing relation and @p pending optionally
+     *  pre-filters the input scan (see Router::allocate). */
+    void allocateAt(NodeId node, const AllocationContext &ctx,
+                    RouteCache *cache = nullptr,
+                    const std::uint8_t *pending = nullptr);
 
     /**
      * Chain-resolve which input units' front flits can advance this
@@ -123,6 +127,22 @@ class Network
     void resolveMovableFor(Cycle now,
                            const std::vector<UnitId> &active,
                            std::vector<std::uint8_t> &out) const;
+
+    /**
+     * Batch-engine variant of resolveMovable(): same verdicts (out
+     * sized numInputs(), entry i for unit i), computed by flat
+     * sweeps over the FlitStore occupancy and route columns instead
+     * of walking InputUnit/OutputUnit objects. Relies on the unit
+     * numbering identity that a channel output's id doubles as its
+     * downstream input's id and ids past the channel block are
+     * ejections, so the whole dependency graph is the route column.
+     */
+    void resolveMovableBatch(Cycle now,
+                             std::vector<std::uint8_t> &out) const;
+
+    /** Read-only view of the fabric's SoA flit storage, for the
+     *  batch engine's flat sweeps. */
+    const FlitStore &store() const { return store_; }
 
     /** Clear all buffers and reservations. */
     void reset();

@@ -54,7 +54,8 @@ Router::ejectionOutput() const
 void
 Router::allocate(std::vector<InputUnit> &inputs,
                  std::vector<OutputUnit> &outputs,
-                 const AllocationContext &ctx)
+                 const AllocationContext &ctx, RouteCache *cache,
+                 const std::uint8_t *pending)
 {
     scratch_.clear();
 
@@ -71,6 +72,9 @@ Router::allocate(std::vector<InputUnit> &inputs,
     int port_order = 0;
     for (const UnitId in_id : inputs_) {
         const int port = port_order++;
+        if (pending != nullptr && pending[in_id] == 0)
+            continue; // promised empty-or-routed; same outcome as
+                      // the two checks below, without the loads
         InputUnit &iu = inputs[in_id];
         if (iu.buffer().empty())
             continue;
@@ -91,15 +95,33 @@ Router::allocate(std::vector<InputUnit> &inputs,
             continue;
         }
 
-        candidateScratch_.clear();
-        ctx.routing.route(ctx.topo, node_, dest, iu.inDir(),
-                          iu.vc(), candidateScratch_);
+        // The relation query is pure in (unit, dest), so a blocked
+        // header retrying every cycle can be served from the memo
+        // instead of re-deriving the relation each time.
+        const std::vector<VcCandidate> *cands;
+        if (cache != nullptr) {
+            if (cache->dest[in_id] != dest) {
+                cache->candidates[in_id].clear();
+                ctx.routing.route(ctx.topo, node_, dest, iu.inDir(),
+                                  iu.vc(),
+                                  cache->candidates[in_id]);
+                cache->minimal[in_id] =
+                    ctx.topo.minimalDirections(node_, dest);
+                cache->dest[in_id] = dest;
+            }
+            cands = &cache->candidates[in_id];
+        } else {
+            candidateScratch_.clear();
+            ctx.routing.route(ctx.topo, node_, dest, iu.inDir(),
+                              iu.vc(), candidateScratch_);
+            cands = &candidateScratch_;
+        }
 
         // Directions with at least one usable permitted (dir, vc);
         // failed outputs are dead hardware and never eligible, even
         // when a fault-oblivious relation offers them.
         DirectionSet available;
-        for (const VcCandidate &c : candidateScratch_) {
+        for (const VcCandidate &c : *cands) {
             const UnitId out = outputFor(c.dir, c.vc);
             if (out != kNoUnit && outputs[out].usable())
                 available.insert(c.dir);
@@ -118,7 +140,10 @@ Router::allocate(std::vector<InputUnit> &inputs,
         // only when no productive one is free and the header has
         // waited long enough to justify the detour.
         const DirectionSet productive =
-            available & ctx.topo.minimalDirections(node_, dest);
+            available & (cache != nullptr
+                             ? cache->minimal[in_id]
+                             : ctx.topo.minimalDirections(node_,
+                                                          dest));
         DirectionSet eligible = productive;
         if (eligible.empty()) {
             const Cycle waited = ctx.now - entry.arrival;
@@ -140,7 +165,7 @@ Router::allocate(std::vector<InputUnit> &inputs,
         // Lowest free permitted VC of the chosen direction.
         UnitId target = kNoUnit;
         int best_vc = numVcs_;
-        for (const VcCandidate &c : candidateScratch_) {
+        for (const VcCandidate &c : *cands) {
             if (c.dir != chosen || c.vc >= best_vc)
                 continue;
             const UnitId out = outputFor(c.dir, c.vc);

@@ -51,6 +51,35 @@ struct AllocationContext
     EventTrace *events = nullptr;
 };
 
+/**
+ * Memoized routing-relation queries, one entry per input unit.
+ *
+ * route(topo, node, dest, inDir, vc) and minimalDirections(node,
+ * dest) are pure: every argument except dest is a constant of the
+ * input unit, and the relations themselves are static (fault-aware
+ * variants bake their FaultSet in at construction; runtime fault
+ * injection only flips OutputUnit usability, which stays a
+ * per-cycle check). So a cache keyed by destination alone is exact
+ * and never needs invalidating. The batch engine uses this to stop
+ * re-deriving the relation for headers that stay blocked across
+ * cycles — the dominant cost of the dense regime.
+ */
+struct RouteCache
+{
+    /** Cached destination per input unit; kInvalidNode = empty. */
+    std::vector<NodeId> dest;
+    std::vector<std::vector<VcCandidate>> candidates;
+    std::vector<DirectionSet> minimal;
+
+    void
+    resize(std::size_t units)
+    {
+        dest.assign(units, kInvalidNode);
+        candidates.resize(units);
+        minimal.resize(units);
+    }
+};
+
 /** One node's switching logic. */
 class Router
 {
@@ -86,10 +115,28 @@ class Router
      * The routing/allocation stage: assign free output units to
      * waiting header flits according to the routing relation and
      * the selection policies.
+     *
+     * @param cache Optional routing-relation memo (batch engine);
+     *              when set, repeated relation queries for a unit's
+     *              current destination are served from it. Decisions
+     *              are bit-identical with or without the cache — it
+     *              only elides recomputing a pure function.
+     * @param pending Optional per-unit filter indexed by global
+     *              input-unit id (batch engine): a zero entry
+     *              promises the input holds no unrouted front
+     *              header, so the scan skips it without touching
+     *              the flit store. Entries may only be conservative
+     *              in the 1 direction (a 1 for a non-pending input
+     *              just costs the normal checks); a 0 for a pending
+     *              input would change the trajectory. Port
+     *              numbering for the selection policies is
+     *              unaffected by the filter.
      */
     void allocate(std::vector<InputUnit> &inputs,
                   std::vector<OutputUnit> &outputs,
-                  const AllocationContext &ctx);
+                  const AllocationContext &ctx,
+                  RouteCache *cache = nullptr,
+                  const std::uint8_t *pending = nullptr);
 
   private:
     NodeId node_;

@@ -9,7 +9,15 @@ namespace turnnet {
 const char *
 simEngineName(SimEngine engine)
 {
-    return engine == SimEngine::Reference ? "reference" : "fast";
+    switch (engine) {
+    case SimEngine::Reference:
+        return "reference";
+    case SimEngine::Batch:
+        return "batch";
+    case SimEngine::Fast:
+        break;
+    }
+    return "fast";
 }
 
 SimEngine
@@ -19,7 +27,10 @@ parseSimEngine(const std::string &name)
         return SimEngine::Reference;
     if (name == "fast")
         return SimEngine::Fast;
-    TN_FATAL("unknown engine '", name, "' (use reference or fast)");
+    if (name == "batch")
+        return SimEngine::Batch;
+    TN_FATAL("unknown engine '", name,
+             "' (use reference, fast, or batch)");
 }
 
 std::vector<std::string>
@@ -112,6 +123,26 @@ Simulator::Simulator(const Topology &topo, VcRoutingPtr routing,
     if (fast_) {
         unitActive_.assign(network_.numInputs(), 0);
         nodeActive_.assign(topo.numNodes(), 0);
+    }
+    batch_ = config_.engine == SimEngine::Batch;
+    if (batch_) {
+        routeCache_.resize(network_.numInputs());
+        nodePending_.assign(topo.numNodes(), 0);
+        unitPending_.assign(network_.numInputs(), 0);
+        // Channel input units come first, numVcs per channel and
+        // owned by the channel's destination router; the rest are
+        // injection inputs of their own node.
+        const auto channel_units =
+            static_cast<UnitId>(topo.numChannels()) *
+            network_.numVcs();
+        unitNode_.resize(network_.numInputs());
+        for (UnitId u = 0;
+             u < static_cast<UnitId>(network_.numInputs()); ++u) {
+            unitNode_[u] =
+                u < channel_units
+                    ? topo.channel(u / network_.numVcs()).dst
+                    : u - channel_units;
+        }
     }
 }
 
@@ -543,6 +574,91 @@ Simulator::moveFlitsFast()
 }
 
 void
+Simulator::allocateBatch(const AllocationContext &ctx)
+{
+    // A router's allocate() is a no-op — no RNG draw, no counter or
+    // event, no assignment — unless some input of it holds an
+    // unrouted front header, so visiting only those routers (in
+    // ascending node order, as the full scan does) is trajectory-
+    // preserving. The pending sweep reads two contiguous columns.
+    const FlitStore &store = network_.store();
+    const std::uint32_t *cnt = store.counts();
+    const std::int32_t *rt = store.routes();
+    const auto units = static_cast<UnitId>(network_.numInputs());
+    std::fill(unitPending_.begin(), unitPending_.end(),
+              std::uint8_t{0});
+    for (UnitId u = 0; u < units; ++u) {
+        if (cnt[u] != 0 && rt[u] == FlitStore::kNoRoute) {
+            unitPending_[u] = 1;
+            nodePending_[unitNode_[u]] = 1;
+        }
+    }
+    for (NodeId n = 0; n < topo_->numNodes(); ++n) {
+        if (nodePending_[n]) {
+            nodePending_[n] = 0;
+            network_.allocateAt(n, ctx, &routeCache_,
+                                unitPending_.data());
+        }
+    }
+}
+
+void
+Simulator::moveFlitsBatch()
+{
+    network_.resolveMovableBatch(cycle_, movableScratch_);
+
+    const FlitStore &store = network_.store();
+    const std::uint32_t *cnt = store.counts();
+    const std::int32_t *rt = store.routes();
+    const auto units = static_cast<UnitId>(network_.numInputs());
+
+    if (counters_) {
+        // Empty units would add zero occupancy, as in the fast
+        // engine's worklist pass.
+        for (UnitId in = 0; in < units; ++in) {
+            if (cnt[in] != 0) {
+                counters_->occupancy(static_cast<std::size_t>(in),
+                                     cnt[in]);
+            }
+        }
+    }
+
+    moveScratch_.clear();
+    Cycle max_stall = 0;
+    for (UnitId in = 0; in < units; ++in) {
+        // Empty buffers keep their zero stall without a visit (the
+        // invariant the fast engine relies on too: movement and the
+        // fault purge zero the counter whenever a buffer drains).
+        if (cnt[in] == 0)
+            continue;
+        if (!movableScratch_[in]) {
+            ++frontStall_[in];
+            max_stall = std::max(max_stall, frontStall_[in]);
+            if (counters_ && rt[in] != FlitStore::kNoRoute)
+                counters_->downstreamFull(unitNode_[in]);
+            if (events_ && frontStall_[in] == 1) {
+                const InputUnit &iu = network_.input(in);
+                events_->record(TraceEventType::Block, cycle_,
+                                iu.buffer().front().flit.packet,
+                                iu.node(), unitChannel(in));
+            }
+            continue;
+        }
+        frontStall_[in] = 0;
+        InputUnit &iu = network_.input(in);
+        const UnitId out = iu.assignedOutput();
+        moveScratch_.push_back(Move{in, iu.buffer().pop(), out});
+        if (moveScratch_.back().entry.flit.tail) {
+            network_.output(out).release();
+            iu.clearOutput();
+        }
+    }
+    lastMaxStall_ = max_stall;
+
+    applyMoves();
+}
+
+void
 Simulator::injectFromQueues()
 {
     for (NodeId n = 0; n < topo_->numNodes(); ++n) {
@@ -611,6 +727,11 @@ Simulator::step()
         for (const NodeId n : routerScratch_)
             network_.allocateAt(n, ctx);
         moveFlitsFast();
+        injectFromQueues();
+        stalled = lastMaxStall_;
+    } else if (batch_) {
+        allocateBatch(ctx);
+        moveFlitsBatch();
         injectFromQueues();
         stalled = lastMaxStall_;
     } else {

@@ -70,10 +70,10 @@ struct TraceConfig
 };
 
 /**
- * Execution engine of the cycle loop. Both engines simulate the
+ * Execution engine of the cycle loop. Every engine simulates the
  * identical machine — same RNG draws, same allocation and movement
- * order, bit-identical trajectories — and differ only in what they
- * iterate over per cycle:
+ * order, bit-identical trajectories — and differs only in what it
+ * iterates over per cycle:
  *
  *  - Reference walks every router and every input buffer, exactly
  *    as the original simulator did.
@@ -81,19 +81,28 @@ struct TraceConfig
  *    flit (worms whose head may move, plus channels drained last
  *    cycle) and the routers they sit on are visited, which is where
  *    low-load sweeps spend their time.
+ *  - Batch targets the dense (near-saturation) regime, where almost
+ *    every unit is active and a worklist buys nothing: each phase is
+ *    a flat sweep over the FlitStore struct-of-arrays columns
+ *    (occupancy and route assignments as contiguous arrays) in
+ *    ascending unit order, and the routing relation's pure
+ *    per-destination answers are memoized so blocked headers
+ *    retrying every cycle stop re-deriving them.
  *
- * The differential oracle (harness/differential.hpp) steps both in
- * lockstep and asserts identical (cycle, event) streams; fast is
- * the default, reference is the oracle's baseline and a debugging
- * fallback.
+ * The differential oracle (harness/differential.hpp) steps a
+ * candidate engine against reference in lockstep and asserts
+ * identical (cycle, event) streams; fast is the default, reference
+ * is the oracle's baseline and a debugging fallback, batch is for
+ * loaded sweeps (the paper's throughput regime).
  */
 enum class SimEngine : std::uint8_t
 {
     Reference,
     Fast,
+    Batch,
 };
 
-/** CLI name of an engine ("reference" / "fast"). */
+/** CLI name of an engine ("reference" / "fast" / "batch"). */
 const char *simEngineName(SimEngine engine);
 
 /** Parse an --engine value; fatal on anything unknown. */
@@ -345,7 +354,18 @@ class Simulator
     void buildWorklist();
     /** Worklist counterpart of moveFlits(). */
     void moveFlitsFast();
-    /** Apply the collected moves (shared by both engines). */
+
+    // Batch-engine machinery (see SimEngine).
+    /** Flat-sweep allocation: one pass over the occupancy / route
+     *  columns finds the routers holding unrouted front headers
+     *  (the only routers whose allocate() does anything — draws
+     *  RNG, bumps counters, or assigns outputs), then visits
+     *  exactly those in ascending node order with the route memo. */
+    void allocateBatch(const AllocationContext &ctx);
+    /** Flat-sweep counterpart of moveFlits(). */
+    void moveFlitsBatch();
+
+    /** Apply the collected moves (shared by all engines). */
     void applyMoves();
 
     /** One-shot physical fault activation (see SimConfig::faults). */
@@ -378,6 +398,8 @@ class Simulator
     bool faultsActive_ = false;
     /** Cached config_.engine == SimEngine::Fast. */
     bool fast_ = false;
+    /** Cached config_.engine == SimEngine::Batch. */
+    bool batch_ = false;
     /** Consecutive cycles each input unit's front flit has been
      *  stuck. A true deadlock permanently stalls specific buffers,
      *  which this catches even while unrelated traffic keeps
@@ -443,6 +465,20 @@ class Simulator
      *  maxFrontStall() because every unit off the list is empty and
      *  carries a zero stall counter. */
     Cycle lastMaxStall_ = 0;
+
+    // Batch-engine state (see SimEngine).
+    /** Memoized routing-relation answers per input unit. */
+    RouteCache routeCache_;
+    /** Router owning each input unit (channel inputs live at the
+     *  channel's destination), precomputed for the flat sweeps. */
+    std::vector<NodeId> unitNode_;
+    /** Per-node "has an unrouted front header" flags, set by the
+     *  pending sweep and consumed by the ordered router visit. */
+    std::vector<std::uint8_t> nodePending_;
+    /** The same flags per input unit, handed to Router::allocate so
+     *  the router's input scan skips non-pending inputs without
+     *  touching the flit store. */
+    std::vector<std::uint8_t> unitPending_;
 };
 
 /**

@@ -354,5 +354,10 @@ TEST(CertifyForensics, WitnessMatchesWedgedRunFastEngine)
     expectWitnessMatchesForensics(SimEngine::Fast);
 }
 
+TEST(CertifyForensics, WitnessMatchesWedgedRunBatchEngine)
+{
+    expectWitnessMatchesForensics(SimEngine::Batch);
+}
+
 } // namespace
 } // namespace turnnet

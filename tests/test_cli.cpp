@@ -68,6 +68,40 @@ TEST(Cli, ListsSplitOnCommas)
     EXPECT_EQ(list[2], "0.3");
 }
 
+TEST(Cli, DoubleListParsesStrictly)
+{
+    const CliOptions opts = parse({"--loads=0.01,0.06,0.20"});
+    const auto loads = opts.getDoubleList("loads");
+    ASSERT_EQ(loads.size(), 3u);
+    EXPECT_DOUBLE_EQ(loads[0], 0.01);
+    EXPECT_DOUBLE_EQ(loads[1], 0.06);
+    EXPECT_DOUBLE_EQ(loads[2], 0.20);
+}
+
+TEST(Cli, DoubleListDefaultsWhenAbsent)
+{
+    const CliOptions opts = parse({});
+    const auto loads = opts.getDoubleList("loads", {0.5, 1.0});
+    ASSERT_EQ(loads.size(), 2u);
+    EXPECT_DOUBLE_EQ(loads[0], 0.5);
+    EXPECT_DOUBLE_EQ(loads[1], 1.0);
+}
+
+TEST(CliDeath, DoubleListRejectsGarbage)
+{
+    // atof would have silently mapped each of these to 0.0 — a load
+    // sweep of zeros that "passes" every gate. They must be fatal.
+    EXPECT_DEATH(parse({"--loads=0.1,oops,0.3"})
+                     .getDoubleList("loads"),
+                 "comma-separated numbers");
+    EXPECT_DEATH(parse({"--loads=0.1,,0.3"})
+                     .getDoubleList("loads"),
+                 "comma-separated numbers");
+    EXPECT_DEATH(parse({"--loads=0.1x,0.3"})
+                     .getDoubleList("loads"),
+                 "comma-separated numbers");
+}
+
 TEST(Cli, PositionalArgumentsKeptInOrder)
 {
     const CliOptions opts = parse({"first", "--k", "v", "second"});

@@ -1,11 +1,14 @@
 /**
  * @file
- * Differential-oracle tests: the fast active-worm worklist engine
- * must be bit-identical to the reference full-scan engine — same
- * (cycle, event) stream, same counters, same fabric state after
- * every cycle — across the full matrix of routing algorithms,
- * traffic patterns, arbitration policies, buffer depths, fault
- * activations, virtual-channel configurations, and trace settings.
+ * Differential-oracle tests: every candidate engine (the fast
+ * active-worm worklist and the batch flat-sweep engine) must be
+ * bit-identical to the reference full-scan engine — same (cycle,
+ * event) stream, same counters, same fabric state after every
+ * cycle — across the full matrix of routing algorithms, traffic
+ * patterns, arbitration policies, buffer depths, fault activations,
+ * virtual-channel configurations, and trace settings. The whole
+ * file is parameterized over the candidate, so the matrix runs once
+ * per engine.
  */
 
 #include <gtest/gtest.h>
@@ -41,7 +44,26 @@ expectIdentical(const DifferentialReport &report)
     EXPECT_GT(report.eventsCompared, 0u);
 }
 
-TEST(Differential, MeshAlgorithmByTrafficMatrix)
+/** Candidate engine under oracle (reference is always the other
+ *  side). */
+class Differential : public ::testing::TestWithParam<SimEngine>
+{
+  protected:
+    SimEngine candidate() const { return GetParam(); }
+};
+
+std::string
+engineParamName(const ::testing::TestParamInfo<SimEngine> &param)
+{
+    return simEngineName(param.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, Differential,
+    ::testing::Values(SimEngine::Fast, SimEngine::Batch),
+    engineParamName);
+
+TEST_P(Differential, MeshAlgorithmByTrafficMatrix)
 {
     // Every mesh routing algorithm crossed with structurally
     // different traffic patterns. 600 cycles at load 0.2 keeps each
@@ -55,14 +77,15 @@ TEST(Differential, MeshAlgorithmByTrafficMatrix)
         for (const char *pattern : patterns) {
             const DifferentialReport report = runDifferential(
                 mesh, makeVcRouting({.name = algo}),
-                makeTraffic(pattern, mesh), loadedConfig(), 600);
+                makeTraffic(pattern, mesh), loadedConfig(), 600,
+                candidate());
             SCOPED_TRACE(std::string(algo) + " / " + pattern);
             expectIdentical(report);
         }
     }
 }
 
-TEST(Differential, NonminimalAndMisrouteWaits)
+TEST_P(Differential, NonminimalAndMisrouteWaits)
 {
     // Nonminimal relations add the misroute-wait machinery to the
     // allocation path; sweep the wait knob including misroute-now.
@@ -75,7 +98,8 @@ TEST(Differential, NonminimalAndMisrouteWaits)
             const DifferentialReport report = runDifferential(
                 mesh,
                 makeVcRouting({.name = algo, .minimal = false}),
-                makeTraffic("uniform", mesh), config, 600);
+                makeTraffic("uniform", mesh), config, 600,
+                candidate());
             SCOPED_TRACE(std::string(algo) + "-nm wait " +
                          std::to_string(wait));
             expectIdentical(report);
@@ -83,7 +107,7 @@ TEST(Differential, NonminimalAndMisrouteWaits)
     }
 }
 
-TEST(Differential, RandomArbitrationConsumesIdenticalRngStreams)
+TEST_P(Differential, RandomArbitrationConsumesIdenticalRngStreams)
 {
     // Random input/output policies draw from the arbiter RNG during
     // allocation; the engines agree only if they visit the same
@@ -94,15 +118,15 @@ TEST(Differential, RandomArbitrationConsumesIdenticalRngStreams)
     config.outputPolicy = OutputPolicy::Random;
     const DifferentialReport report = runDifferential(
         mesh, makeVcRouting({.name = "odd-even"}),
-        makeTraffic("uniform", mesh), config, 800);
+        makeTraffic("uniform", mesh), config, 800, candidate());
     expectIdentical(report);
 }
 
-TEST(Differential, DeepBuffersAndCountersTelemetry)
+TEST_P(Differential, DeepBuffersAndCountersTelemetry)
 {
     // Deeper buffers change which worms extend versus stall;
     // counters telemetry exercises the occupancy/utilization feeds
-    // that the fast engine only touches for worklist units.
+    // that the candidate engines only touch for non-empty units.
     const Mesh mesh(4, 4);
     for (const std::size_t depth : {std::size_t{1}, std::size_t{4}}) {
         for (const bool counters : {false, true}) {
@@ -111,7 +135,8 @@ TEST(Differential, DeepBuffersAndCountersTelemetry)
             config.trace.counters = counters;
             const DifferentialReport report = runDifferential(
                 mesh, makeVcRouting({.name = "north-last"}),
-                makeTraffic("transpose", mesh), config, 600);
+                makeTraffic("transpose", mesh), config, 600,
+                candidate());
             SCOPED_TRACE("depth " + std::to_string(depth) +
                          (counters ? " +counters" : ""));
             expectIdentical(report);
@@ -119,7 +144,7 @@ TEST(Differential, DeepBuffersAndCountersTelemetry)
     }
 }
 
-TEST(Differential, TorusWraparoundAlgorithms)
+TEST_P(Differential, TorusWraparoundAlgorithms)
 {
     const Torus torus(std::vector<int>{4, 4});
     for (const char *algo :
@@ -127,41 +152,45 @@ TEST(Differential, TorusWraparoundAlgorithms)
         const DifferentialReport report = runDifferential(
             torus, makeVcRouting({.name = algo}),
             makeTraffic("uniform", torus), loadedConfig(0.15, 41),
-            600);
+            600, candidate());
         SCOPED_TRACE(algo);
         expectIdentical(report);
     }
 }
 
-TEST(Differential, HypercubePCube)
+TEST_P(Differential, HypercubePCube)
 {
     const Hypercube cube(4);
     const DifferentialReport report = runDifferential(
         cube, makeVcRouting({.name = "p-cube", .dims = 4}),
-        makeTraffic("uniform", cube), loadedConfig(0.15, 7), 600);
+        makeTraffic("uniform", cube), loadedConfig(0.15, 7), 600,
+        candidate());
     expectIdentical(report);
 }
 
-TEST(Differential, VirtualChannelLinkArbitration)
+TEST_P(Differential, VirtualChannelLinkArbitration)
 {
     // numVcs > 1 engages per-link arbitration among virtual
-    // channels — the subtlest piece of the worklist engine, which
-    // must rebuild the full scan's candidate pools from active
-    // units only.
+    // channels — the subtlest piece of both candidate engines,
+    // which must rebuild the full scan's candidate pools (the fast
+    // engine from active units only, the batch engine from the raw
+    // route column).
     const Torus torus(std::vector<int>{4, 4});
     const DifferentialReport dateline = runDifferential(
         torus, makeVcRouting({.name = "dateline"}),
-        makeTraffic("uniform", torus), loadedConfig(0.25, 13), 800);
+        makeTraffic("uniform", torus), loadedConfig(0.25, 13), 800,
+        candidate());
     expectIdentical(dateline);
 
     const Mesh mesh(5, 5);
     const DifferentialReport doubley = runDifferential(
         mesh, makeVcRouting({.name = "double-y"}),
-        makeTraffic("transpose", mesh), loadedConfig(0.3, 19), 800);
+        makeTraffic("transpose", mesh), loadedConfig(0.3, 19), 800,
+        candidate());
     expectIdentical(doubley);
 }
 
-TEST(Differential, MidRunFaultActivationWithPurges)
+TEST_P(Differential, MidRunFaultActivationWithPurges)
 {
     // Fault activation purges worms mid-flight and flags queued
     // unreachable packets; both engines must sever, drop, and keep
@@ -175,19 +204,19 @@ TEST(Differential, MidRunFaultActivationWithPurges)
         mesh,
         makeVcRouting({.name = "negative-first-ft",
                        .fault_set = faults}),
-        makeTraffic("uniform", mesh), config);
+        makeTraffic("uniform", mesh), config, candidate());
     const DifferentialReport report = harness.run(800);
     expectIdentical(report);
     EXPECT_TRUE(harness.reference().faultsActive());
     EXPECT_EQ(harness.reference().flitsDropped(),
-              harness.fast().flitsDropped());
+              harness.candidate().flitsDropped());
 }
 
-TEST(Differential, FaultObliviousContrastRun)
+TEST_P(Differential, FaultObliviousContrastRun)
 {
     // A fault-oblivious relation piles worms up behind the dead
     // link; the permanently stalled fabric is the stress case for
-    // the worklist's stall bookkeeping.
+    // the stall bookkeeping of both candidate engines.
     const Mesh mesh(4, 4);
     FaultSet faults;
     faults.failLink(mesh, mesh.nodeOf({1, 0}),
@@ -197,11 +226,11 @@ TEST(Differential, FaultObliviousContrastRun)
     config.faultCycle = 100;
     const DifferentialReport report = runDifferential(
         mesh, makeVcRouting({.name = "xy"}),
-        makeTraffic("uniform", mesh), config, 800);
+        makeTraffic("uniform", mesh), config, 800, candidate());
     expectIdentical(report);
 }
 
-TEST(Differential, DeadlockProneBaselineAgreesOnTheVerdict)
+TEST_P(Differential, DeadlockProneBaselineAgreesOnTheVerdict)
 {
     // The fully adaptive baseline deadlocks under pressure; the
     // engines must agree cycle-for-cycle through wait-cycle
@@ -211,14 +240,14 @@ TEST(Differential, DeadlockProneBaselineAgreesOnTheVerdict)
     config.watchdogCycles = 300;
     DifferentialHarness harness(
         mesh, makeVcRouting({.name = "fully-adaptive"}),
-        makeTraffic("uniform", mesh), config);
+        makeTraffic("uniform", mesh), config, candidate());
     const DifferentialReport report = harness.run(2500);
     expectIdentical(report);
     EXPECT_EQ(harness.reference().deadlockDetected(),
-              harness.fast().deadlockDetected());
+              harness.candidate().deadlockDetected());
 }
 
-TEST(Differential, ScriptedWormsAndIdleCycles)
+TEST_P(Differential, ScriptedWormsAndIdleCycles)
 {
     // Scripted mode: long worms crossing shared links, idle gaps
     // where the worklist goes empty, and late re-injection into a
@@ -228,7 +257,7 @@ TEST(Differential, ScriptedWormsAndIdleCycles)
     config.load = 0.0;
     DifferentialHarness harness(mesh,
                                 makeVcRouting({.name = "xy"}),
-                                nullptr, config);
+                                nullptr, config, candidate());
     harness.injectBoth(mesh.nodeOf({0, 0}), mesh.nodeOf({3, 3}), 8);
     harness.injectBoth(mesh.nodeOf({0, 3}), mesh.nodeOf({3, 0}), 8);
     harness.injectBoth(mesh.nodeOf({2, 0}), mesh.nodeOf({2, 3}), 8);
@@ -237,13 +266,13 @@ TEST(Differential, ScriptedWormsAndIdleCycles)
     // The fabric drains well before cycle 120; step through the
     // idle stretch, then wake it again.
     ASSERT_TRUE(harness.reference().idle());
-    ASSERT_TRUE(harness.fast().idle());
+    ASSERT_TRUE(harness.candidate().idle());
     harness.injectBoth(mesh.nodeOf({1, 1}), mesh.nodeOf({3, 2}), 5);
     for (int i = 0; i < 60 && !harness.diverged(); ++i)
         harness.stepBoth();
     expectIdentical(harness.report());
     EXPECT_EQ(harness.reference().packetsDelivered(), 4u);
-    EXPECT_EQ(harness.fast().packetsDelivered(), 4u);
+    EXPECT_EQ(harness.candidate().packetsDelivered(), 4u);
 }
 
 TEST(Differential, ReferenceSimulatorClassForcesTheEngine)
@@ -260,13 +289,17 @@ TEST(Differential, EngineNamesRoundTrip)
 {
     EXPECT_STREQ(simEngineName(SimEngine::Reference), "reference");
     EXPECT_STREQ(simEngineName(SimEngine::Fast), "fast");
+    EXPECT_STREQ(simEngineName(SimEngine::Batch), "batch");
     EXPECT_EQ(parseSimEngine("reference"), SimEngine::Reference);
     EXPECT_EQ(parseSimEngine("fast"), SimEngine::Fast);
+    EXPECT_EQ(parseSimEngine("batch"), SimEngine::Batch);
 }
 
 TEST(DifferentialDeath, UnknownEngineNameIsFatal)
 {
     EXPECT_DEATH(parseSimEngine("turbo"), "unknown engine");
+    // "batched" must not silently alias "batch".
+    EXPECT_DEATH(parseSimEngine("batched"), "unknown engine");
 }
 
 } // namespace

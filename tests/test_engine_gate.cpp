@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Regression tests for the engine speedup gate
+ * (evaluateSpeedupGate in harness/bench_report): the gate must be
+ * evaluated over EVERY load point of the sweep. The original
+ * bench/engine_speedup gate read only entries.front(), so a
+ * dense-regime (high-load) collapse passed as long as the low-load
+ * point looked healthy — these tests feed synthetic multi-load
+ * sweeps through the gate logic and pin that bug as fixed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/harness/bench_report.hpp"
+
+namespace turnnet {
+namespace {
+
+EngineBenchEntry
+entry(double load, const char *engine, double rate)
+{
+    EngineBenchEntry e;
+    e.load = load;
+    e.engine = engine;
+    e.cyclesPerSec = rate;
+    return e;
+}
+
+TEST(EngineGate, DenseLoadOnlyRegressionFailsTheGate)
+{
+    // Low load is spectacular (5.0x), the dense point has collapsed
+    // to 1.1x. This is exactly the shape the old front()-only gate
+    // waved through.
+    const std::vector<EngineBenchEntry> entries = {
+        entry(0.01, "reference", 100.0),
+        entry(0.01, "fast", 500.0),
+        entry(0.20, "reference", 100.0),
+        entry(0.20, "fast", 105.0),
+        entry(0.20, "batch", 110.0),
+    };
+
+    // Pin the old behavior as the bug: the front load point alone
+    // clears the threshold, so a front()-only check would pass.
+    const double front_speedup = 500.0 / 100.0;
+    ASSERT_GE(front_speedup, 1.5);
+
+    const SpeedupGateResult gate =
+        evaluateSpeedupGate(entries, 1.5);
+    EXPECT_FALSE(gate.pass)
+        << "gate must fail on the dense-load regression even "
+           "though the first load point passes";
+    EXPECT_EQ(gate.loadsEvaluated, 2u);
+    EXPECT_DOUBLE_EQ(gate.minSpeedup, 1.1);
+    EXPECT_DOUBLE_EQ(gate.minLoad, 0.20);
+    EXPECT_EQ(gate.minEngine, "batch");
+}
+
+TEST(EngineGate, BestEnginePerLoadCarriesTheSweep)
+{
+    // The fast engine wins the sparse regime, the batch engine the
+    // dense one; neither dominates everywhere but the per-load best
+    // clears the bar at every point — the gate must take the max
+    // over candidate engines before taking the min over loads.
+    const std::vector<EngineBenchEntry> entries = {
+        entry(0.01, "reference", 100.0),
+        entry(0.01, "fast", 480.0),
+        entry(0.01, "batch", 150.0),
+        entry(0.20, "reference", 100.0),
+        entry(0.20, "fast", 103.0),
+        entry(0.20, "batch", 220.0),
+    };
+    const SpeedupGateResult gate =
+        evaluateSpeedupGate(entries, 2.0);
+    EXPECT_TRUE(gate.pass);
+    EXPECT_EQ(gate.loadsEvaluated, 2u);
+    EXPECT_DOUBLE_EQ(gate.minSpeedup, 2.2);
+    EXPECT_DOUBLE_EQ(gate.minLoad, 0.20);
+    EXPECT_EQ(gate.minEngine, "batch");
+}
+
+TEST(EngineGate, EveryLoadPointIsChecked)
+{
+    // A middle load point below the bar fails the sweep even when
+    // both ends pass — the minimum is a true minimum, not an
+    // endpoint check in disguise.
+    const std::vector<EngineBenchEntry> entries = {
+        entry(0.01, "reference", 100.0),
+        entry(0.01, "fast", 300.0),
+        entry(0.06, "reference", 100.0),
+        entry(0.06, "fast", 120.0),
+        entry(0.20, "reference", 100.0),
+        entry(0.20, "batch", 250.0),
+    };
+    const SpeedupGateResult gate =
+        evaluateSpeedupGate(entries, 1.3);
+    EXPECT_FALSE(gate.pass);
+    EXPECT_EQ(gate.loadsEvaluated, 3u);
+    EXPECT_DOUBLE_EQ(gate.minSpeedup, 1.2);
+    EXPECT_DOUBLE_EQ(gate.minLoad, 0.06);
+    EXPECT_EQ(gate.minEngine, "fast");
+}
+
+TEST(EngineGate, ZeroThresholdDisablesTheGateButStillReports)
+{
+    const std::vector<EngineBenchEntry> entries = {
+        entry(0.20, "reference", 100.0),
+        entry(0.20, "batch", 50.0),
+    };
+    const SpeedupGateResult gate =
+        evaluateSpeedupGate(entries, 0.0);
+    EXPECT_TRUE(gate.pass);
+    EXPECT_EQ(gate.loadsEvaluated, 1u);
+    EXPECT_DOUBLE_EQ(gate.minSpeedup, 0.5);
+    EXPECT_EQ(gate.minEngine, "batch");
+}
+
+TEST(EngineGate, EmptyOrIncomparableSweepFailsAnEnabledGate)
+{
+    // An enabled gate with nothing to evaluate proves nothing and
+    // must not report success.
+    const SpeedupGateResult empty = evaluateSpeedupGate({}, 1.3);
+    EXPECT_FALSE(empty.pass);
+    EXPECT_EQ(empty.loadsEvaluated, 0u);
+
+    // Reference-only entries (no candidate rates) are likewise not
+    // comparable load points.
+    const SpeedupGateResult ref_only = evaluateSpeedupGate(
+        {entry(0.01, "reference", 100.0)}, 1.3);
+    EXPECT_FALSE(ref_only.pass);
+    EXPECT_EQ(ref_only.loadsEvaluated, 0u);
+}
+
+TEST(EngineGate, EntryOrderDoesNotMatter)
+{
+    // The verdict is a function of the set of entries, not the
+    // order the bench happened to emit them in.
+    const std::vector<EngineBenchEntry> entries = {
+        entry(0.20, "batch", 120.0),
+        entry(0.01, "fast", 500.0),
+        entry(0.20, "reference", 100.0),
+        entry(0.01, "reference", 100.0),
+    };
+    const SpeedupGateResult gate =
+        evaluateSpeedupGate(entries, 1.5);
+    EXPECT_FALSE(gate.pass);
+    EXPECT_DOUBLE_EQ(gate.minSpeedup, 1.2);
+    EXPECT_DOUBLE_EQ(gate.minLoad, 0.20);
+}
+
+} // namespace
+} // namespace turnnet

@@ -78,15 +78,22 @@ expectMatchesGolden(const std::string &name,
 
 /** Short, fully deterministic schedule shared by every fixture. */
 SimConfig
-fixtureConfig()
+fixtureConfig(SimEngine engine = SimEngine::Fast)
 {
     SimConfig config;
     config.warmupCycles = 200;
     config.measureCycles = 800;
     config.drainCycles = 600;
     config.seed = 21;
+    config.engine = engine;
     return config;
 }
+
+/** The three-way engine matrix: every fixture document must render
+ *  byte-identically whichever cycle-loop engine produced it, so the
+ *  committed fixture doubles as a cross-engine oracle. */
+constexpr SimEngine kEngines[] = {SimEngine::Reference,
+                                  SimEngine::Fast, SimEngine::Batch};
 
 TEST(Golden, CountersExport)
 {
@@ -96,34 +103,41 @@ TEST(Golden, CountersExport)
     opts.collectCounters = true;
     const std::vector<double> loads = {0.05, 0.15};
 
-    std::vector<CountersExportEntry> entries;
-    for (const char *alg : {"xy", "west-first"}) {
-        const auto sweep =
-            runLoadSweep(mesh, makeRouting({.name = alg}), traffic,
-                         loads, fixtureConfig(), opts);
-        appendCounterEntries(entries, alg, mesh.name(), "uniform",
-                             sweep);
+    for (const SimEngine engine : kEngines) {
+        SCOPED_TRACE(simEngineName(engine));
+        std::vector<CountersExportEntry> entries;
+        for (const char *alg : {"xy", "west-first"}) {
+            const auto sweep = runLoadSweep(
+                mesh, makeRouting({.name = alg}), traffic, loads,
+                fixtureConfig(engine), opts);
+            appendCounterEntries(entries, alg, mesh.name(),
+                                 "uniform", sweep);
+        }
+        expectMatchesGolden("counters.json",
+                            countersJson(entries));
     }
-    expectMatchesGolden("counters.json", countersJson(entries));
 }
 
 TEST(Golden, FaultSweepExport)
 {
     const Mesh mesh(4, 4);
     const TrafficPtr traffic = makeTraffic("uniform", mesh);
-    SimConfig base = fixtureConfig();
-    base.load = 0.1;
     SweepOptions opts;
     opts.faultCounts = {0, 2};
     opts.replicates = 2;
     opts.faultSeed = 5;
     opts.faultCycle = 150;
 
-    const auto sweep = runFaultSweep(mesh, "negative-first-ft",
-                                     traffic, base, opts);
-    expectMatchesGolden(
-        "fault_sweep.json",
-        faultSweepJson("negative-first-ft", mesh, sweep));
+    for (const SimEngine engine : kEngines) {
+        SCOPED_TRACE(simEngineName(engine));
+        SimConfig base = fixtureConfig(engine);
+        base.load = 0.1;
+        const auto sweep = runFaultSweep(mesh, "negative-first-ft",
+                                         traffic, base, opts);
+        expectMatchesGolden(
+            "fault_sweep.json",
+            faultSweepJson("negative-first-ft", mesh, sweep));
+    }
 }
 
 TEST(Golden, ChannelHeatExport)
@@ -134,17 +148,20 @@ TEST(Golden, ChannelHeatExport)
     opts.collectCounters = true;
     const std::vector<double> loads = {0.15};
 
-    std::vector<ChannelHeatEntry> entries;
-    for (const char *alg : {"xy", "negative-first"}) {
-        const auto sweep =
-            runLoadSweep(mesh, makeRouting({.name = alg}), traffic,
-                         loads, fixtureConfig(), opts);
-        ASSERT_NE(sweep.front().counters, nullptr);
-        entries.push_back({alg, sweep.front().counters});
+    for (const SimEngine engine : kEngines) {
+        SCOPED_TRACE(simEngineName(engine));
+        std::vector<ChannelHeatEntry> entries;
+        for (const char *alg : {"xy", "negative-first"}) {
+            const auto sweep = runLoadSweep(
+                mesh, makeRouting({.name = alg}), traffic, loads,
+                fixtureConfig(engine), opts);
+            ASSERT_NE(sweep.front().counters, nullptr);
+            entries.push_back({alg, sweep.front().counters});
+        }
+        expectMatchesGolden(
+            "channel_heat.json",
+            channelHeatJson(mesh, "transpose", 0.15, entries));
     }
-    expectMatchesGolden(
-        "channel_heat.json",
-        channelHeatJson(mesh, "transpose", 0.15, entries));
 }
 
 TEST(Golden, CertifyExport)

@@ -136,7 +136,8 @@ TEST(Invariants, RandomizedMeshSweepsBothEngines)
     };
     for (const Case &c : cases) {
         for (const SimEngine engine :
-             {SimEngine::Reference, SimEngine::Fast}) {
+             {SimEngine::Reference, SimEngine::Fast,
+          SimEngine::Batch}) {
             SCOPED_TRACE(std::string(c.algorithm) + " seed " +
                          std::to_string(c.seed) + " engine " +
                          simEngineName(engine));
@@ -155,7 +156,8 @@ TEST(Invariants, TorusSweepBothEngines)
 {
     const Torus torus(std::vector<int>{4, 4});
     for (const SimEngine engine :
-         {SimEngine::Reference, SimEngine::Fast}) {
+         {SimEngine::Reference, SimEngine::Fast,
+          SimEngine::Batch}) {
         SCOPED_TRACE(simEngineName(engine));
         SimConfig config;
         config.load = 0.15;
@@ -175,7 +177,8 @@ TEST(Invariants, ConservationHoldsThroughFaultPurges)
     const Mesh mesh(5, 5);
     const FaultSet faults = FaultSet::randomLinks(mesh, 3, 99);
     for (const SimEngine engine :
-         {SimEngine::Reference, SimEngine::Fast}) {
+         {SimEngine::Reference, SimEngine::Fast,
+          SimEngine::Batch}) {
         SCOPED_TRACE(simEngineName(engine));
         SimConfig config;
         config.load = 0.2;
@@ -203,7 +206,8 @@ TEST(Invariants, ScriptedWormOrderAcrossContention)
     // must still arrive in order and gap-free.
     const Mesh mesh(4, 4);
     for (const SimEngine engine :
-         {SimEngine::Reference, SimEngine::Fast}) {
+         {SimEngine::Reference, SimEngine::Fast,
+          SimEngine::Batch}) {
         SCOPED_TRACE(simEngineName(engine));
         SimConfig config;
         config.load = 0.0;

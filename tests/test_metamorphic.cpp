@@ -87,11 +87,13 @@ struct RunRecord
 
 void
 runScripted(const Topology &topo, const RoutingPtr &routing,
-            const std::vector<Event> &events, RunRecord &record)
+            const std::vector<Event> &events, SimEngine engine,
+            RunRecord &record)
 {
     SimConfig config;
     config.load = 0.0;
     config.trace.counters = true;
+    config.engine = engine;
     Simulator sim(topo, routing, nullptr, config);
     sim.onDelivered = [&](const PacketInfo &info, Cycle now) {
         record.latencies.push_back(now - info.created);
@@ -109,8 +111,10 @@ runScripted(const Topology &topo, const RoutingPtr &routing,
     std::sort(record.latencies.begin(), record.latencies.end());
 }
 
-/** Run the workload and its image under @p map; assert permuted
- *  counters and identical aggregates. */
+/** Run the workload and its image under @p map on every cycle-loop
+ *  engine; assert permuted counters and identical aggregates. The
+ *  symmetry must survive each engine's iteration scheme on its own,
+ *  not just on the oracle-checked default. */
 void
 expectEquivariant(const Topology &topo, const std::string &algorithm,
                   const std::vector<Event> &events,
@@ -123,32 +127,40 @@ expectEquivariant(const Topology &topo, const std::string &algorithm,
         mapped.push_back(
             Event{e.at, map(e.src), map(e.dst), e.length});
 
-    RunRecord base;
-    RunRecord image;
-    runScripted(topo,
-                makeRouting({.name = algorithm,
-                             .dims = topo.numDims()}),
-                events, base);
-    runScripted(topo,
-                makeRouting({.name = algorithm,
-                             .dims = topo.numDims()}),
-                mapped, image);
+    for (const SimEngine engine :
+         {SimEngine::Reference, SimEngine::Fast,
+          SimEngine::Batch}) {
+        SCOPED_TRACE(simEngineName(engine));
+        RunRecord base;
+        RunRecord image;
+        runScripted(topo,
+                    makeRouting({.name = algorithm,
+                                 .dims = topo.numDims()}),
+                    events, engine, base);
+        runScripted(topo,
+                    makeRouting({.name = algorithm,
+                                 .dims = topo.numDims()}),
+                    mapped, engine, image);
 
-    // Aggregates are bit-identical (integer cycle counts, so
-    // "bit-identical" and "equal" coincide; no FP averaging here).
-    EXPECT_EQ(base.latencies, image.latencies);
-    EXPECT_EQ(base.flitsDelivered, image.flitsDelivered);
-    EXPECT_EQ(base.packetsDelivered, image.packetsDelivered);
-    EXPECT_EQ(base.drainedAt, image.drainedAt);
+        // Aggregates are bit-identical (integer cycle counts, so
+        // "bit-identical" and "equal" coincide; no FP averaging
+        // here).
+        EXPECT_EQ(base.latencies, image.latencies);
+        EXPECT_EQ(base.flitsDelivered, image.flitsDelivered);
+        EXPECT_EQ(base.packetsDelivered, image.packetsDelivered);
+        EXPECT_EQ(base.drainedAt, image.drainedAt);
 
-    // Per-channel counters permute exactly.
-    const std::vector<ChannelId> perm =
-        channelPermutation(topo, map);
-    ASSERT_EQ(base.channelFlits.size(), image.channelFlits.size());
-    for (ChannelId c = 0; c < topo.numChannels(); ++c) {
-        EXPECT_EQ(base.channelFlits[c], image.channelFlits[perm[c]])
-            << "channel " << c << " (image " << perm[c]
-            << ") under " << label;
+        // Per-channel counters permute exactly.
+        const std::vector<ChannelId> perm =
+            channelPermutation(topo, map);
+        ASSERT_EQ(base.channelFlits.size(),
+                  image.channelFlits.size());
+        for (ChannelId c = 0; c < topo.numChannels(); ++c) {
+            EXPECT_EQ(base.channelFlits[c],
+                      image.channelFlits[perm[c]])
+                << "channel " << c << " (image " << perm[c]
+                << ") under " << label;
+        }
     }
 }
 

@@ -65,7 +65,8 @@ TEST(TorusStress, WraparoundAlgorithmsSurviveSaturation)
     for (const char *alg :
          {"nf-torus", "xy-first-hop-wrap", "nf-first-hop-wrap"}) {
         for (const SimEngine engine :
-             {SimEngine::Reference, SimEngine::Fast}) {
+             {SimEngine::Reference, SimEngine::Fast,
+          SimEngine::Batch}) {
             SCOPED_TRACE(std::string(alg) + " engine " +
                          simEngineName(engine));
             Simulator sim(torus, makeRouting({.name = alg}),
@@ -82,7 +83,8 @@ TEST(TorusStress, DatelineVcSchemeSurvivesSaturation)
     // dependency with a second virtual channel at the dateline.
     const Torus torus(std::vector<int>{4, 4});
     for (const SimEngine engine :
-         {SimEngine::Reference, SimEngine::Fast}) {
+         {SimEngine::Reference, SimEngine::Fast,
+          SimEngine::Batch}) {
         SCOPED_TRACE(simEngineName(engine));
         Simulator sim(torus, makeVcRouting({.name = "dateline"}),
                       makeTraffic("uniform", torus),
