@@ -26,6 +26,7 @@
 
 #include "turnnet/common/cli.hpp"
 #include "turnnet/common/csv.hpp"
+#include "turnnet/network/engine.hpp"
 #include "turnnet/network/simulator.hpp"
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/topology/mesh.hpp"
@@ -59,7 +60,13 @@ main(int argc, char **argv)
     config.trace.counters = true;
     config.trace.events = trace;
     config.engine =
-        parseSimEngine(opts.getString("engine", "fast"));
+        EngineRegistry::instance()
+            .parse(opts.getString(
+                "engine",
+                EngineRegistry::instance()
+                    .at(SimEngine::Fast)
+                    .name))
+            .id;
 
     const std::vector<std::string> errors = config.validate();
     if (!errors.empty()) {

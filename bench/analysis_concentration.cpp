@@ -21,6 +21,7 @@
 
 #include "turnnet/common/cli.hpp"
 #include "turnnet/common/csv.hpp"
+#include "turnnet/network/engine.hpp"
 #include "turnnet/network/simulator.hpp"
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/topology/mesh.hpp"
@@ -107,7 +108,13 @@ main(int argc, char **argv)
     const auto seed =
         static_cast<std::uint64_t>(opts.getInt("seed", 1));
     const SimEngine engine =
-        parseSimEngine(opts.getString("engine", "fast"));
+        EngineRegistry::instance()
+            .parse(opts.getString(
+                "engine",
+                EngineRegistry::instance()
+                    .at(SimEngine::Fast)
+                    .name))
+            .id;
 
     for (const char *pattern : {"transpose", "uniform"}) {
         Table table(std::string("Channel-load concentration: ") +

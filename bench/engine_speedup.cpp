@@ -1,9 +1,10 @@
 /**
  * @file
- * Engine speedup gate: time all three cycle-loop engines — the
- * reference full scan, the fast active-worm worklist, and the batch
- * flat-sweep dense-regime engine — on the micro_turnnet simulator
- * workload (16x16 mesh, uniform traffic, west-first) across a load
+ * Engine speedup gate: time every cycle-loop engine the
+ * EngineRegistry flags as a bench candidate (currently the fast
+ * active-worm worklist, the batch flat-sweep engine, and the
+ * sharded data-parallel engine) against the reference full scan on
+ * the micro_turnnet simulator workload (16x16 mesh, uniform traffic, west-first) across a load
  * sweep that covers both the sparse and the saturated regime.
  * Before timing anything, each candidate engine is proven
  * bit-identical to reference at every load with a short lockstep
@@ -54,6 +55,7 @@
 #include "turnnet/common/logging.hpp"
 #include "turnnet/harness/bench_report.hpp"
 #include "turnnet/harness/differential.hpp"
+#include "turnnet/network/engine.hpp"
 #include "turnnet/network/simulator.hpp"
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/topology/mesh.hpp"
@@ -91,6 +93,8 @@ cyclesPerSec(const Mesh &mesh, double load, std::uint64_t seed,
     config.load = load;
     config.seed = seed;
     config.engine = engine;
+    // Sharded runs with its default team (one shard per hardware
+    // thread); on a single-core host that is an honest 1-shard run.
     Simulator sim(mesh, makeRouting({.name = "west-first"}),
                   makeTraffic("uniform", mesh), config);
     double occupancy_first = 0.0;
@@ -107,7 +111,8 @@ cyclesPerSec(const Mesh &mesh, double load, std::uint64_t seed,
         // 25% + slack tolerates stochastic drift around equilibrium
         // while still catching a window that ends mid-ramp.
         if (occupancy_second > 1.25 * occupancy_first + 8.0)
-            TN_WARN("load ", load, " engine ", simEngineName(engine),
+            TN_WARN("load ", load, " engine ",
+                EngineRegistry::instance().at(engine).name,
                     ": occupancy still climbing after ", warmup,
                     "-cycle warm-in (", occupancy_first, " -> ",
                     occupancy_second,
@@ -139,13 +144,21 @@ main(int argc, char **argv)
 
     const Mesh mesh(16, 16);
     const Cycle oracle_cycles = 400;
-    const SimEngine candidates[] = {SimEngine::Fast,
-                                    SimEngine::Batch};
+    // Candidate engines come from the registry — a new engine
+    // registered there is timed and oracle-checked automatically.
+    const std::vector<const EngineDescriptor *> candidates =
+        EngineRegistry::instance().benchCandidates();
 
     Table table("Engine speedup: " + mesh.name() +
                 ", uniform traffic, west-first");
-    table.setHeader({"load", "reference (cyc/s)", "fast (cyc/s)",
-                     "batch (cyc/s)", "best speedup", "oracle"});
+    std::vector<std::string> header = {"load",
+                                       "reference (cyc/s)"};
+    for (const EngineDescriptor *candidate : candidates)
+        header.push_back(std::string(candidate->name) +
+                         " (cyc/s)");
+    header.emplace_back("best speedup");
+    header.emplace_back("oracle");
+    table.setHeader(header);
 
     std::vector<EngineBenchEntry> entries;
     bool all_identical = true;
@@ -153,20 +166,20 @@ main(int argc, char **argv)
     for (const double load : loads) {
         // Bit-identity first, for every candidate engine.
         bool identical_here = true;
-        for (const SimEngine candidate : candidates) {
+        for (const EngineDescriptor *candidate : candidates) {
             SimConfig oracle_config;
             oracle_config.load = load;
             oracle_config.seed = seed;
             const DifferentialReport oracle = runDifferential(
                 mesh, makeVcRouting({.name = "west-first"}),
                 makeTraffic("uniform", mesh), oracle_config,
-                oracle_cycles, candidate);
+                oracle_cycles, candidate->id);
             if (!oracle.identical) {
                 std::fprintf(
                     stderr,
                     "error: %s diverged from reference at load "
                     "%.3f, cycle %llu: %s\n",
-                    simEngineName(candidate), load,
+                    candidate->name, load,
                     static_cast<unsigned long long>(
                         oracle.divergenceCycle),
                     oracle.detail.c_str());
@@ -182,25 +195,29 @@ main(int argc, char **argv)
         const double ref_rate =
             cyclesPerSec(mesh, load, seed, SimEngine::Reference,
                          cycles, warmup);
-        const double fast_rate =
-            cyclesPerSec(mesh, load, seed, SimEngine::Fast, cycles,
-                         warmup);
-        const double batch_rate =
-            cyclesPerSec(mesh, load, seed, SimEngine::Batch, cycles,
-                         warmup);
         entries.push_back(
-            {load, "reference", ref_rate, true});
-        entries.push_back(
-            {load, "fast", fast_rate, identical_here});
-        entries.push_back(
-            {load, "batch", batch_rate, identical_here});
+            {load,
+             EngineRegistry::instance()
+                 .at(SimEngine::Reference)
+                 .name,
+             ref_rate, true});
+        double best_rate = 0.0;
+        std::vector<double> rates;
+        for (const EngineDescriptor *candidate : candidates) {
+            const double rate = cyclesPerSec(
+                mesh, load, seed, candidate->id, cycles, warmup);
+            rates.push_back(rate);
+            best_rate = std::max(best_rate, rate);
+            entries.push_back(
+                {load, candidate->name, rate, identical_here});
+        }
 
         table.beginRow();
         table.cell(load, 3);
         table.cell(ref_rate, 0);
-        table.cell(fast_rate, 0);
-        table.cell(batch_rate, 0);
-        table.cell(std::max(fast_rate, batch_rate) / ref_rate, 2);
+        for (const double rate : rates)
+            table.cell(rate, 0);
+        table.cell(best_rate / ref_rate, 2);
         table.cell(std::string(identical_here ? "identical"
                                               : "DIVERGED"));
     }

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Shard scaling bench and gate for the sharded cycle engine: time
+ * ONE simulation at increasing worker-team widths (--shards
+ * 1,2,4,8) on the fabrics intra-simulation parallelism exists for —
+ * a 64x64 mesh, a 256x256 mesh, and a 16-ary 3-cube — and report
+ * cycles/sec per (topology, shard count). The baseline of a scaling
+ * curve is the 1-shard run of the SAME engine, not the reference
+ * scan: sweep-level parallelism already covers many-small-runs, and
+ * this bench answers the orthogonal question "does one huge run go
+ * faster when its cycle is split across cores?".
+ *
+ * Before timing, each gated topology with at most --oracle-max-nodes
+ * nodes (default 4096; the 256x256 mesh is over it) is proven
+ * bit-identical to the reference engine at every requested shard
+ * count with a short lockstep differential-oracle run — a scaling
+ * win on a different machine is worthless.
+ *
+ * The gate (--min-scaling X) requires the run at --gate-shards
+ * (default 4) to reach X times the 1-shard rate on EVERY topology
+ * point, reusing evaluateSpeedupGate with the topology index as the
+ * load axis (appendShardGateEntries in harness/bench_report owns
+ * the encoding so tests can pin it). On a host with fewer hardware
+ * threads than --gate-shards the gate is untestable rather than
+ * failed: the binary exits 77 (the autotools/ctest skip code)
+ * before timing anything, so `ctest -L bench` reports a skip, not a
+ * pass, and a real multi-core regression can never hide behind a
+ * small CI box.
+ *
+ * Writes the machine-readable "turnnet.shard_bench/1" record
+ * (default BENCH_shard.json):
+ *
+ *   {
+ *     "schema": "turnnet.shard_bench/1",
+ *     "load": 0.20,
+ *     "entries": [
+ *       {"topology": "mesh(64x64)", "shards": 4, "cycles": 8000,
+ *        "cycles_per_sec": ..., "scaling_vs_1shard": ...,
+ *        "oracle_identical": true}   // null when not oracle-checked
+ *     ]
+ *   }
+ *
+ * Options: --topos mesh64,mesh256,cube16, --load X, --cycles N (per
+ * shard count per topology), --shards A,B,..., --gate-shards N,
+ * --min-scaling X (0 disables the gate), --oracle-max-nodes N,
+ * --oracle-cycles N, --seed N, --warmup N, --out PATH ("off"
+ * disables the JSON).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/cli.hpp"
+#include "turnnet/common/csv.hpp"
+#include "turnnet/common/logging.hpp"
+#include "turnnet/common/thread_pool.hpp"
+#include "turnnet/harness/bench_report.hpp"
+#include "turnnet/harness/differential.hpp"
+#include "turnnet/network/engine.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+using namespace turnnet;
+
+namespace {
+
+/** One benched fabric: the huge-run shapes sharding exists for. */
+struct TopoPoint
+{
+    std::unique_ptr<Topology> topo;
+    /** Routing algorithm name (resolved via the registries). */
+    const char *routing;
+};
+
+TopoPoint
+makeTopoPoint(const std::string &key)
+{
+    if (key == "mesh64")
+        return {std::make_unique<Mesh>(64, 64), "west-first"};
+    if (key == "mesh256")
+        return {std::make_unique<Mesh>(256, 256), "west-first"};
+    if (key == "cube16")
+        return {std::make_unique<Torus>(16, 3), "nf-torus"};
+    TN_FATAL("unknown topology key '", key,
+             "' (one of: mesh64, mesh256, cube16)");
+}
+
+/** Strictly parsed --shards list (garbage is fatal, not 0). */
+std::vector<unsigned>
+parseShards(const CliOptions &opts)
+{
+    std::vector<unsigned> shards;
+    for (const std::string &s :
+         opts.getList("shards", {"1", "2", "4", "8"})) {
+        char *end = nullptr;
+        const long v = std::strtol(s.c_str(), &end, 10);
+        if (end == s.c_str() || *end != '\0' || v < 1)
+            TN_FATAL("bad --shards entry '", s, "'");
+        shards.push_back(static_cast<unsigned>(v));
+    }
+    return shards;
+}
+
+SimConfig
+benchConfig(double load, std::uint64_t seed, unsigned shards)
+{
+    SimConfig config;
+    config.load = load;
+    config.seed = seed;
+    config.engine = SimEngine::Sharded;
+    config.shards = shards;
+    return config;
+}
+
+/**
+ * Steady-state cycles/sec of the sharded engine at one team width.
+ * Same warm-in discipline as bench/engine_speedup: warm until the
+ * in-network population stops climbing, then time a fixed window.
+ */
+double
+cyclesPerSec(const TopoPoint &point, double load,
+             std::uint64_t seed, unsigned shards, Cycle cycles,
+             Cycle warmup)
+{
+    Simulator sim(*point.topo,
+                  makeRouting({.name = point.routing}),
+                  makeTraffic("uniform", *point.topo),
+                  benchConfig(load, seed, shards));
+    double occupancy_first = 0.0;
+    double occupancy_second = 0.0;
+    const Cycle half = warmup / 2;
+    for (Cycle i = 0; i < warmup; ++i) {
+        sim.step();
+        (i < half ? occupancy_first : occupancy_second) +=
+            static_cast<double>(sim.flitsInNetwork());
+    }
+    if (half > 0) {
+        occupancy_first /= static_cast<double>(half);
+        occupancy_second /= static_cast<double>(warmup - half);
+        if (occupancy_second > 1.25 * occupancy_first + 8.0)
+            TN_WARN(point.topo->name(), " shards ", shards,
+                    ": occupancy still climbing after ", warmup,
+                    "-cycle warm-in (", occupancy_first, " -> ",
+                    occupancy_second,
+                    " mean flits); raise --warmup");
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (Cycle i = 0; i < cycles; ++i)
+        sim.step();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    return static_cast<double>(cycles) / wall.count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = CliOptions::parse(argc, argv);
+    const double load = opts.getDouble("load", 0.20);
+    const auto cycles =
+        static_cast<Cycle>(opts.getInt("cycles", 8000));
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    const std::vector<unsigned> shard_counts = parseShards(opts);
+    const auto gate_shards = static_cast<unsigned>(
+        std::max<std::int64_t>(1, opts.getInt("gate-shards", 4)));
+    const double min_scaling = opts.getDouble("min-scaling", 0.0);
+    const auto oracle_max_nodes = static_cast<std::size_t>(
+        std::max<std::int64_t>(0,
+                               opts.getInt("oracle-max-nodes",
+                                           4096)));
+    const auto oracle_cycles =
+        static_cast<Cycle>(opts.getInt("oracle-cycles", 300));
+    const std::string out =
+        opts.getString("out", "BENCH_shard.json");
+    const std::vector<std::string> topo_keys = opts.getList(
+        "topos", {"mesh64", "mesh256", "cube16"});
+
+    // An enabled gate needs gate-shards genuinely concurrent
+    // workers; on a smaller host the measurement would be a
+    // time-slicing artifact, so skip (exit 77) instead of passing
+    // or failing on noise. The ungated bench still runs anywhere.
+    if (min_scaling > 0.0 &&
+        ThreadPool::hardwareWorkers() < gate_shards) {
+        std::printf("SKIP: --min-scaling gate needs %u hardware "
+                    "threads, host has %u (exit 77)\n",
+                    gate_shards, ThreadPool::hardwareWorkers());
+        return 77;
+    }
+
+    const auto warmup = static_cast<Cycle>(opts.getInt(
+        "warmup",
+        static_cast<std::int64_t>(2000 +
+                                  static_cast<Cycle>(load *
+                                                     20000.0))));
+
+    std::vector<ShardBenchEntry> entries;
+    bool all_identical = true;
+
+    for (const std::string &key : topo_keys) {
+        const TopoPoint point = makeTopoPoint(key);
+        const std::size_t nodes =
+            static_cast<std::size_t>(point.topo->numNodes());
+
+        // Bit-identity versus the reference engine first, at every
+        // requested shard count, unless the fabric is too large for
+        // a lockstep full-scan run to be worth the wall time.
+        const bool oracle_here = nodes <= oracle_max_nodes;
+        bool identical_here = true;
+        if (oracle_here) {
+            for (const unsigned shards : shard_counts) {
+                const DifferentialReport oracle = runDifferential(
+                    *point.topo,
+                    makeVcRouting({.name = point.routing}),
+                    makeTraffic("uniform", *point.topo),
+                    benchConfig(load, seed, shards),
+                    oracle_cycles, SimEngine::Sharded);
+                if (!oracle.identical) {
+                    std::fprintf(
+                        stderr,
+                        "error: sharded(%u) diverged from "
+                        "reference on %s at cycle %llu: %s\n",
+                        shards, point.topo->name().c_str(),
+                        static_cast<unsigned long long>(
+                            oracle.divergenceCycle),
+                        oracle.detail.c_str());
+                    identical_here = false;
+                    all_identical = false;
+                }
+            }
+        }
+
+        Table table("Shard scaling: " + point.topo->name() +
+                    ", uniform traffic, " + point.routing +
+                    ", load " + std::to_string(load));
+        table.setHeader({"shards", "cycles/sec", "scaling",
+                         "oracle"});
+        double base_rate = 0.0;
+        for (const unsigned shards : shard_counts) {
+            const double rate = cyclesPerSec(point, load, seed,
+                                             shards, cycles,
+                                             warmup);
+            if (shards == 1)
+                base_rate = rate;
+            entries.push_back(ShardBenchEntry{
+                point.topo->name(), shards, rate, identical_here,
+                oracle_here});
+            table.beginRow();
+            table.cell(static_cast<double>(shards), 0);
+            table.cell(rate, 0);
+            table.cell(base_rate > 0.0 ? rate / base_rate : 0.0,
+                       2);
+            table.cell(std::string(
+                oracle_here
+                    ? (identical_here ? "identical" : "DIVERGED")
+                    : "skipped"));
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    if (out != "off" && out != "none" && !out.empty()) {
+        // Per-topology 1-shard rate, for the scaling field.
+        std::ofstream f(out);
+        f << "{\n  \"schema\": \"turnnet.shard_bench/1\",\n";
+        char head[64];
+        std::snprintf(head, sizeof(head), "  \"load\": %.4f,\n",
+                      load);
+        f << head << "  \"entries\": [\n";
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const ShardBenchEntry &e = entries[i];
+            double base_rate = e.cyclesPerSec;
+            for (const ShardBenchEntry &b : entries)
+                if (b.topology == e.topology && b.shards == 1)
+                    base_rate = b.cyclesPerSec;
+            char buf[256];
+            std::snprintf(
+                buf, sizeof(buf),
+                "    {\"topology\": \"%s\", \"shards\": %u, "
+                "\"cycles\": %llu, \"cycles_per_sec\": %.0f, "
+                "\"scaling_vs_1shard\": %.3f, "
+                "\"oracle_identical\": %s}%s\n",
+                e.topology.c_str(), e.shards,
+                static_cast<unsigned long long>(cycles),
+                e.cyclesPerSec,
+                base_rate > 0.0 ? e.cyclesPerSec / base_rate
+                                : 0.0,
+                e.oracleChecked
+                    ? (e.oracleIdentical ? "true" : "false")
+                    : "null",
+                i + 1 < entries.size() ? "," : "");
+            f << buf;
+        }
+        f << "  ]\n}\n";
+        std::printf("wrote %s (turnnet.shard_bench/1)\n",
+                    out.c_str());
+    }
+
+    if (!all_identical)
+        return 1;
+    std::vector<EngineBenchEntry> gate_entries;
+    const std::vector<std::string> axis_topos =
+        appendShardGateEntries(gate_entries, entries,
+                               gate_shards);
+    const SpeedupGateResult gate =
+        evaluateSpeedupGate(gate_entries, min_scaling);
+    if (min_scaling > 0.0) {
+        if (!gate.pass) {
+            const auto axis =
+                static_cast<std::size_t>(gate.minLoad + 0.5);
+            std::fprintf(
+                stderr,
+                "error: %ux-shard scaling %.2fx on %s is below "
+                "the %.2fx gate\n",
+                gate_shards, gate.minSpeedup,
+                axis < axis_topos.size()
+                    ? axis_topos[axis].c_str()
+                    : "<no evaluable topology>",
+                min_scaling);
+            return 1;
+        }
+        std::printf("minimum %ux-shard scaling %.2fx meets the "
+                    "%.2fx gate across %zu topology points\n",
+                    gate_shards, gate.minSpeedup, min_scaling,
+                    gate.loadsEvaluated);
+    }
+    return 0;
+}

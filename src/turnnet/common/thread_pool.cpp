@@ -82,4 +82,96 @@ ThreadPool::parallelFor(std::size_t count,
     }
 }
 
+WorkSpan::WorkSpan(unsigned team_size)
+    : teamSize_(team_size == 0 ? 1 : team_size)
+{
+    workers_.reserve(teamSize_ - 1);
+    for (unsigned slot = 1; slot < teamSize_; ++slot)
+        workers_.emplace_back([this, slot] { workerLoop(slot); });
+}
+
+WorkSpan::~WorkSpan()
+{
+    stop_.store(true);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+WorkSpan::workerLoop(unsigned slot)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        // Spin a little (epoch bumps are typically microseconds
+        // apart mid-simulation), yield a while (oversubscribed
+        // hosts), then sleep until run() notifies.
+        int spins = 0;
+        while (epoch_.load(std::memory_order_acquire) == seen &&
+               !stop_.load(std::memory_order_acquire)) {
+            if (++spins < 256)
+                continue;
+            if (spins < 4096) {
+                std::this_thread::yield();
+                continue;
+            }
+            sleepers_.fetch_add(1);
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                // Re-check under the lock: run() bumps the epoch
+                // before reading sleepers_, so either it sees our
+                // increment and notifies, or we see its bump here.
+                if (epoch_.load(std::memory_order_acquire) == seen &&
+                    !stop_.load(std::memory_order_acquire)) {
+                    cv_.wait(lock);
+                }
+            }
+            sleepers_.fetch_sub(1);
+            spins = 0;
+        }
+        if (epoch_.load(std::memory_order_acquire) == seen)
+            return; // stopped with no pending epoch
+        seen = epoch_.load(std::memory_order_acquire);
+        try {
+            (*body_)(slot);
+        } catch (...) {
+            const std::lock_guard<std::mutex> guard(errorMutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        arrived_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+WorkSpan::run(const std::function<void(unsigned)> &body)
+{
+    if (teamSize_ <= 1) {
+        body(0);
+        return;
+    }
+    body_ = &body;
+    arrived_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1); // seq_cst: orders against sleepers_ reads
+    if (sleepers_.load() > 0) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        cv_.notify_all();
+    }
+    body(0);
+    while (arrived_.load(std::memory_order_acquire) != teamSize_ - 1)
+        std::this_thread::yield();
+    body_ = nullptr;
+    std::exception_ptr error;
+    {
+        const std::lock_guard<std::mutex> guard(errorMutex_);
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
 } // namespace turnnet

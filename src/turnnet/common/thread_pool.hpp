@@ -20,8 +20,10 @@
 #ifndef TURNNET_COMMON_THREAD_POOL_HPP
 #define TURNNET_COMMON_THREAD_POOL_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -88,6 +90,73 @@ class ThreadPool
     std::size_t count_ = 0;
     std::size_t next_ = 0;
     std::size_t pending_ = 0;
+    std::exception_ptr error_;
+};
+
+/**
+ * A persistent worker team for per-cycle data-parallel spans.
+ *
+ * ThreadPool::parallelFor pays one mutex handoff per task, which is
+ * irrelevant for millisecond-scale sweep points but fatal for a span
+ * that runs three times per simulated cycle. WorkSpan keeps its
+ * workers alive across calls and synchronizes through an atomic
+ * epoch: run(body) executes body(slot) exactly once for every slot
+ * in [0, teamSize), slot 0 on the calling thread, and returns only
+ * after every slot finished — each call is a barrier.
+ *
+ * Workers spin briefly on the epoch, then yield, then sleep on a
+ * condition variable, so an oversubscribed host (more slots than
+ * hardware threads) degrades to cooperative scheduling instead of
+ * burning whole quanta. With teamSize <= 1 no threads are spawned
+ * and run() is a plain call.
+ *
+ * One thread drives the span (calls run() and destroys it). The body
+ * must be safe to call concurrently for different slots; if any slot
+ * throws, the remaining slots still run and the first exception is
+ * rethrown from run().
+ */
+class WorkSpan
+{
+  public:
+    /** @param team_size Total slots per run, including the calling
+     *        thread; team_size - 1 workers are spawned. 0 counts as
+     *        1. */
+    explicit WorkSpan(unsigned team_size);
+
+    /** Joins all workers; must not run during a run(). */
+    ~WorkSpan();
+
+    WorkSpan(const WorkSpan &) = delete;
+    WorkSpan &operator=(const WorkSpan &) = delete;
+
+    /** Slots executed per run (workers + the calling thread). */
+    unsigned teamSize() const { return teamSize_; }
+
+    /** Execute body(0) .. body(teamSize()-1), blocking until all
+     *  slots finish. */
+    void run(const std::function<void(unsigned)> &body);
+
+  private:
+    void workerLoop(unsigned slot);
+
+    unsigned teamSize_;
+    std::vector<std::thread> workers_;
+
+    /** Bumped once per run(); workers detect work by comparing
+     *  against the last epoch they completed. */
+    std::atomic<std::uint64_t> epoch_{0};
+    /** Workers done with the current epoch. */
+    std::atomic<unsigned> arrived_{0};
+    std::atomic<bool> stop_{false};
+    /** Workers currently blocked on cv_ (run() only takes the mutex
+     *  to notify when this is nonzero). */
+    std::atomic<int> sleepers_{0};
+    const std::function<void(unsigned)> *body_ = nullptr;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+
+    std::mutex errorMutex_;
     std::exception_ptr error_;
 };
 

@@ -91,6 +91,39 @@ sweepBenchJson(const std::vector<SweepBenchEntry> &entries)
     return os.str();
 }
 
+std::vector<std::string>
+appendShardGateEntries(std::vector<EngineBenchEntry> &gate,
+                       const std::vector<ShardBenchEntry> &entries,
+                       unsigned gateShards)
+{
+    std::vector<std::string> order;
+    const auto axisOf = [&order](const std::string &topology) {
+        for (std::size_t i = 0; i < order.size(); ++i)
+            if (order[i] == topology)
+                return i;
+        order.push_back(topology);
+        return order.size() - 1;
+    };
+    for (const ShardBenchEntry &e : entries) {
+        const auto axis =
+            static_cast<double>(axisOf(e.topology));
+        if (e.shards == 1) {
+            gate.push_back(EngineBenchEntry{
+                axis, "reference", e.cyclesPerSec,
+                e.oracleIdentical});
+        }
+        // Deliberately not `else`: with gateShards == 1 the run is
+        // only the baseline, never a candidate (see header).
+        if (e.shards == gateShards && gateShards > 1) {
+            gate.push_back(EngineBenchEntry{
+                axis,
+                "sharded@" + std::to_string(gateShards),
+                e.cyclesPerSec, e.oracleIdentical});
+        }
+    }
+    return order;
+}
+
 SpeedupGateResult
 evaluateSpeedupGate(const std::vector<EngineBenchEntry> &entries,
                     double minSpeedup)

@@ -84,6 +84,48 @@ struct EngineBenchEntry
     bool oracleIdentical = true;
 };
 
+/**
+ * One (topology, shard count) throughput measurement of the sharded
+ * engine, as serialized into BENCH_shard.json
+ * ("turnnet.shard_bench/1"). A scaling report measures the SAME
+ * engine at increasing team widths, so its baseline is the 1-shard
+ * run, not the reference engine.
+ */
+struct ShardBenchEntry
+{
+    std::string topology;
+    unsigned shards = 1;
+    double cyclesPerSec = 0.0;
+    /** Lockstep oracle verdict versus the reference engine; stays
+     *  true when the oracle was skipped (oracleChecked false). */
+    bool oracleIdentical = true;
+    /** True when a lockstep oracle run was actually executed. */
+    bool oracleChecked = false;
+};
+
+/**
+ * Re-encode a shard-scaling sweep so evaluateSpeedupGate can judge
+ * it at EVERY topology point: each topology (in order of first
+ * appearance) becomes one value of the gate's load axis, its
+ * 1-shard run becomes the "reference" rate, and its run at
+ * @p gateShards becomes the sole candidate (named
+ * "sharded@<gateShards>"). Other shard counts are reported in the
+ * JSON but deliberately NOT gated — a 2-shard run beating the bar
+ * must not excuse a 4-shard run that collapsed.
+ *
+ * Returns the topologies in axis order, so a caller can turn the
+ * gate's minLoad back into the failing topology's name. A topology
+ * missing either its 1-shard or its gateShards run contributes no
+ * evaluable point (an enabled gate then fails if NO topology is
+ * evaluable — evaluateSpeedupGate's empty-sweep rule); gateShards
+ * of 1 likewise yields no candidates, because gating the baseline
+ * against itself proves nothing.
+ */
+std::vector<std::string>
+appendShardGateEntries(std::vector<EngineBenchEntry> &gate,
+                       const std::vector<ShardBenchEntry> &entries,
+                       unsigned gateShards);
+
 /** Verdict of the engine speedup gate over a whole load sweep. */
 struct SpeedupGateResult
 {

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "turnnet/common/logging.hpp"
+#include "turnnet/network/engine.hpp"
 
 namespace turnnet {
 namespace {
@@ -51,7 +52,7 @@ DifferentialHarness::DifferentialHarness(const Topology &topo,
                        static_cast<std::size_t>(topo.numChannels()) *
                                routing->numVcs() +
                            topo.numNodes())),
-      candName_(simEngineName(candidate))
+      candName_(EngineRegistry::instance().at(candidate).name)
 {
 }
 
@@ -68,7 +69,7 @@ DifferentialHarness::DifferentialHarness(const Topology &topo,
             withEngine(base, candidate,
                        static_cast<std::size_t>(topo.numChannels()) +
                            topo.numNodes())),
-      candName_(simEngineName(candidate))
+      candName_(EngineRegistry::instance().at(candidate).name)
 {
 }
 

@@ -5,6 +5,7 @@
 
 #include "turnnet/common/logging.hpp"
 #include "turnnet/common/thread_pool.hpp"
+#include "turnnet/network/engine.hpp"
 
 namespace turnnet {
 
@@ -32,8 +33,14 @@ SweepOptions::fromCli(const CliOptions &opts)
     out.collectCounters = !out.countersJson.empty();
     out.trace = opts.getBool("trace", false);
     out.traceOut = opts.getString("trace-out", out.traceOut);
-    out.engine = parseSimEngine(
-        opts.getString("engine", simEngineName(out.engine)));
+    const EngineRegistry &engines = EngineRegistry::instance();
+    out.engine =
+        engines
+            .parse(opts.getString("engine",
+                                  engines.at(out.engine).name))
+            .id;
+    out.shards = static_cast<unsigned>(
+        std::max<std::int64_t>(0, opts.getInt("shards", 0)));
     return out;
 }
 
@@ -99,6 +106,7 @@ runSweep(const Topology &topo, const RoutingHandle &routing,
         config.trace.counters |= opts.collectCounters;
         config.trace.events |= opts.trace;
         config.engine = opts.engine;
+        config.shards = opts.shards;
         Simulator sim(topo, routing, traffic, config);
         results[t] = sim.run();
         if (opts.collectCounters)

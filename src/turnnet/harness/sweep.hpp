@@ -101,21 +101,29 @@ struct SweepOptions
     std::string traceOut = "trace.jsonl";
 
     /**
-     * Cycle-loop engine for every simulation of the sweep
-     * (--engine reference|fast|batch). Bit-identical results
-     * whichever loop runs (see SimEngine); reference exists for
-     * the differential oracle and for debugging the candidate
-     * engines themselves, fast wins in the sparse regime, batch in
-     * the dense one.
+     * Cycle-loop engine for every simulation of the sweep. The
+     * --engine value is resolved through EngineRegistry (the single
+     * source of engine names). Bit-identical results whichever loop
+     * runs (see SimEngine); reference exists for the differential
+     * oracle and for debugging the candidate engines themselves,
+     * fast wins in the sparse regime, batch in the dense one,
+     * sharded on multi-core hosts with huge fabrics.
      */
     SimEngine engine = SimEngine::Fast;
+
+    /**
+     * Worker-team width for engines that support sharding
+     * (--shards; 0 = one shard per hardware thread). Forwarded to
+     * SimConfig::shards; serial engines ignore it.
+     */
+    unsigned shards = 0;
 
     /**
      * Parse the flags every bench driver shares — --jobs (0 or
      * "auto" = hardware threads), --replicates, --compare-serial,
      * --bench-json, --faults, --fault-seed, --fault-cycle,
-     * --counters-json, --trace, --trace-out, --engine — so the
-     * fifteen drivers stop hand-rolling the same block.
+     * --counters-json, --trace, --trace-out, --engine, --shards —
+     * so the fifteen drivers stop hand-rolling the same block.
      */
     static SweepOptions fromCli(const CliOptions &opts);
 };

@@ -77,6 +77,19 @@ class FlitBuffer
     }
 
     /**
+     * pop() minus the store-wide total update (the sharded engine's
+     * per-worker move pass; see FlitStore::popDeferred). The caller
+     * owes the store an adjustTotal().
+     */
+    Entry
+    popDeferred()
+    {
+        const Entry e = front();
+        store_->popDeferred(unit_);
+        return e;
+    }
+
+    /**
      * Discard every flit of @p packet (fault purge); returns the
      * number removed. Other packets' entries keep their order.
      */

@@ -1,0 +1,528 @@
+#include "turnnet/network/engine.hpp"
+
+#include <algorithm>
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/network/sharded_engine.hpp"
+
+namespace turnnet {
+
+/**
+ * The preserved full-scan engine: walks every router and every
+ * input buffer, exactly as the original simulator did. The
+ * differential oracle's baseline.
+ */
+class ReferenceEngine : public CycleEngine
+{
+  public:
+    explicit ReferenceEngine(Simulator &sim) : sim_(sim) {}
+
+    Cycle
+    runCycle(const AllocationContext &ctx) override
+    {
+        sim_.network_.allocateAll(ctx);
+        moveFlits();
+        return sim_.maxFrontStall();
+    }
+
+  private:
+    void moveFlits();
+
+    Simulator &sim_;
+};
+
+void
+ReferenceEngine::moveFlits()
+{
+    Network &network = sim_.network_;
+    const Cycle cycle = sim_.cycle_;
+    const std::vector<std::uint8_t> movable =
+        network.resolveMovable(cycle);
+
+    // Occupancy sampling lives outside the movement loop so a run
+    // with counters disabled pays one branch per cycle here, not
+    // one per input unit.
+    if (sim_.counters_) {
+        for (UnitId in = 0;
+             in < static_cast<UnitId>(network.numInputs()); ++in) {
+            sim_.counters_->occupancy(
+                static_cast<std::size_t>(in),
+                network.input(in).buffer().size());
+        }
+    }
+
+    sim_.moveScratch_.clear();
+    for (UnitId in = 0;
+         in < static_cast<UnitId>(network.numInputs()); ++in) {
+        if (!movable[in]) {
+            // A buffered flit that cannot move accumulates stall
+            // time; empty buffers are never stalled.
+            const InputUnit &iu = network.input(in);
+            if (iu.buffer().empty()) {
+                sim_.frontStall_[in] = 0;
+            } else {
+                ++sim_.frontStall_[in];
+                // A stalled flit that already holds an output is
+                // waiting on buffer space downstream; unallocated
+                // headers were charged by the router instead.
+                if (sim_.counters_ && iu.assignedOutput() != kNoUnit)
+                    sim_.counters_->downstreamFull(iu.node());
+                if (sim_.events_ && sim_.frontStall_[in] == 1) {
+                    sim_.events_->record(
+                        TraceEventType::Block, cycle,
+                        iu.buffer().front().flit.packet, iu.node(),
+                        sim_.unitChannel(in));
+                }
+            }
+            continue;
+        }
+        sim_.frontStall_[in] = 0;
+        InputUnit &iu = network.input(in);
+        const UnitId out = iu.assignedOutput();
+        sim_.moveScratch_.push_back(
+            Simulator::Move{in, iu.buffer().pop(), out});
+        if (sim_.moveScratch_.back().entry.flit.tail) {
+            network.output(out).release();
+            iu.clearOutput();
+        }
+    }
+
+    sim_.applyMoves();
+}
+
+/**
+ * The active-worm worklist engine: only units with a buffered flit
+ * (worms whose head may move, plus channels drained last cycle) and
+ * the routers they sit on are visited — where low-load sweeps spend
+ * their time.
+ */
+class FastEngine : public CycleEngine
+{
+  public:
+    explicit FastEngine(Simulator &sim) : sim_(sim)
+    {
+        unitActive_.assign(sim.network_.numInputs(), 0);
+        nodeActive_.assign(sim.topo_->numNodes(), 0);
+    }
+
+    Cycle
+    runCycle(const AllocationContext &ctx) override
+    {
+        buildWorklist();
+        for (const NodeId n : routerScratch_)
+            sim_.network_.allocateAt(n, ctx);
+        return moveFlitsFast();
+    }
+
+    void
+    onFlitPushed(UnitId unit) override
+    {
+        if (unitActive_[unit])
+            return;
+        unitActive_[unit] = 1;
+        activeScratch_.push_back(unit);
+    }
+
+  private:
+    void buildWorklist();
+    Cycle moveFlitsFast();
+
+    Simulator &sim_;
+
+    // activeScratch_ is the persistent membership list (sorted
+    // prefix of length sortedPrefix_, plus units touched since the
+    // last rebuild); unitActive_ flags membership so a unit is
+    // appended at most once. buildWorklist() filters it into
+    // activeUnits_ (non-empty buffers, ascending) and routerScratch_
+    // (their routers, ascending).
+    std::vector<std::uint8_t> unitActive_;
+    /** Per-node "has an active unit" flags, set during the merge
+     *  pass and consumed (cleared) by the ordered router scan. */
+    std::vector<std::uint8_t> nodeActive_;
+    std::vector<UnitId> activeScratch_;
+    std::size_t sortedPrefix_ = 0;
+    std::vector<UnitId> activeUnits_;
+    std::vector<NodeId> routerScratch_;
+    std::vector<std::uint8_t> movableScratch_;
+};
+
+void
+FastEngine::buildWorklist()
+{
+    // Last cycle's list survives sorted as a prefix; only the units
+    // touched since then need sorting before the merge.
+    const auto mid = activeScratch_.begin() +
+                     static_cast<std::ptrdiff_t>(sortedPrefix_);
+    std::sort(mid, activeScratch_.end());
+
+    // One pass merges prefix and suffix (disjoint by the
+    // unitActive_ guard), drops units that drained since their last
+    // visit (lazy deactivation), and flags the survivors' routers.
+    Network &network = sim_.network_;
+    activeUnits_.clear();
+    const auto keep = [&](UnitId u) {
+        if (network.input(u).buffer().empty()) {
+            unitActive_[u] = 0;
+            return;
+        }
+        activeUnits_.push_back(u);
+        nodeActive_[network.input(u).node()] = 1;
+    };
+    std::size_t a = 0;
+    std::size_t b = sortedPrefix_;
+    const std::size_t total = activeScratch_.size();
+    while (a < sortedPrefix_ && b < total) {
+        if (activeScratch_[a] < activeScratch_[b])
+            keep(activeScratch_[a++]);
+        else
+            keep(activeScratch_[b++]);
+    }
+    while (a < sortedPrefix_)
+        keep(activeScratch_[a++]);
+    while (b < total)
+        keep(activeScratch_[b++]);
+    activeScratch_ = activeUnits_;
+    sortedPrefix_ = activeScratch_.size();
+
+    // The allocation pass must visit routers in ascending node
+    // order to reproduce the full scan's RNG draw order, and unit
+    // ids ascending does not imply node ids ascending (a channel
+    // input's router is the channel's destination). One ordered
+    // scan over the flag array beats sorting the router list.
+    routerScratch_.clear();
+    for (NodeId n = 0; n < sim_.topo_->numNodes(); ++n) {
+        if (nodeActive_[n]) {
+            nodeActive_[n] = 0;
+            routerScratch_.push_back(n);
+        }
+    }
+}
+
+Cycle
+FastEngine::moveFlitsFast()
+{
+    Network &network = sim_.network_;
+    const Cycle cycle = sim_.cycle_;
+    network.resolveMovableFor(cycle, activeUnits_, movableScratch_);
+
+    if (sim_.counters_) {
+        // Units off the worklist are empty and would add zero.
+        for (const UnitId in : activeUnits_) {
+            sim_.counters_->occupancy(
+                static_cast<std::size_t>(in),
+                network.input(in).buffer().size());
+        }
+    }
+
+    sim_.moveScratch_.clear();
+    Cycle max_stall = 0;
+    for (std::size_t i = 0; i < activeUnits_.size(); ++i) {
+        const UnitId in = activeUnits_[i];
+        InputUnit &iu = network.input(in);
+        if (!movableScratch_[i]) {
+            // Worklist units are never empty, so this buffer holds
+            // a stalled flit; empty buffers keep their zero stall
+            // without a visit.
+            ++sim_.frontStall_[in];
+            max_stall = std::max(max_stall, sim_.frontStall_[in]);
+            if (sim_.counters_ && iu.assignedOutput() != kNoUnit)
+                sim_.counters_->downstreamFull(iu.node());
+            if (sim_.events_ && sim_.frontStall_[in] == 1) {
+                sim_.events_->record(TraceEventType::Block, cycle,
+                                     iu.buffer().front().flit.packet,
+                                     iu.node(), sim_.unitChannel(in));
+            }
+            continue;
+        }
+        sim_.frontStall_[in] = 0;
+        const UnitId out = iu.assignedOutput();
+        sim_.moveScratch_.push_back(
+            Simulator::Move{in, iu.buffer().pop(), out});
+        if (sim_.moveScratch_.back().entry.flit.tail) {
+            network.output(out).release();
+            iu.clearOutput();
+        }
+    }
+
+    sim_.applyMoves();
+    // This cycle's longest stall among worklist units equals
+    // maxFrontStall(): every unit off the list is empty and carries
+    // a zero stall counter.
+    return max_stall;
+}
+
+/**
+ * The dense-regime engine: each phase is a flat sweep over the
+ * FlitStore struct-of-arrays columns in ascending unit order, with
+ * the routing relation's pure per-destination answers memoized.
+ */
+class BatchEngine : public CycleEngine
+{
+  public:
+    explicit BatchEngine(Simulator &sim)
+        : sim_(sim), unitNode_(computeUnitNodes(sim))
+    {
+        routeCache_.resize(sim.network_.numInputs());
+        nodePending_.assign(sim.topo_->numNodes(), 0);
+        unitPending_.assign(sim.network_.numInputs(), 0);
+    }
+
+    Cycle
+    runCycle(const AllocationContext &ctx) override
+    {
+        allocateBatch(ctx);
+        return moveFlitsBatch();
+    }
+
+    /**
+     * Router owning each input unit (channel inputs live at the
+     * channel's destination), precomputed for the flat sweeps.
+     * Shared with the sharded engine, which partitions units by it.
+     */
+    static std::vector<NodeId>
+    computeUnitNodes(const Simulator &sim)
+    {
+        const Topology &topo = *sim.topo_;
+        const Network &network = sim.network_;
+        // Channel input units come first, numVcs per channel and
+        // owned by the channel's destination router; the rest are
+        // injection inputs of their own node.
+        const auto channel_units =
+            static_cast<UnitId>(topo.numChannels()) *
+            network.numVcs();
+        std::vector<NodeId> unit_node(network.numInputs());
+        for (UnitId u = 0;
+             u < static_cast<UnitId>(network.numInputs()); ++u) {
+            unit_node[u] =
+                u < channel_units
+                    ? topo.channel(u / network.numVcs()).dst
+                    : u - channel_units;
+        }
+        return unit_node;
+    }
+
+  private:
+    void allocateBatch(const AllocationContext &ctx);
+    Cycle moveFlitsBatch();
+
+    Simulator &sim_;
+
+    /** Memoized routing-relation answers per input unit. */
+    RouteCache routeCache_;
+    std::vector<NodeId> unitNode_;
+    /** Per-node "has an unrouted front header" flags, set by the
+     *  pending sweep and consumed by the ordered router visit. */
+    std::vector<std::uint8_t> nodePending_;
+    /** The same flags per input unit, handed to Router::allocate so
+     *  the router's input scan skips non-pending inputs without
+     *  touching the flit store. */
+    std::vector<std::uint8_t> unitPending_;
+    std::vector<std::uint8_t> movableScratch_;
+};
+
+void
+BatchEngine::allocateBatch(const AllocationContext &ctx)
+{
+    // A router's allocate() is a no-op — no RNG draw, no counter or
+    // event, no assignment — unless some input of it holds an
+    // unrouted front header, so visiting only those routers (in
+    // ascending node order, as the full scan does) is trajectory-
+    // preserving. The pending sweep reads two contiguous columns.
+    Network &network = sim_.network_;
+    const FlitStore &store = network.store();
+    const std::uint32_t *cnt = store.counts();
+    const std::int32_t *rt = store.routes();
+    const auto units = static_cast<UnitId>(network.numInputs());
+    std::fill(unitPending_.begin(), unitPending_.end(),
+              std::uint8_t{0});
+    for (UnitId u = 0; u < units; ++u) {
+        if (cnt[u] != 0 && rt[u] == FlitStore::kNoRoute) {
+            unitPending_[u] = 1;
+            nodePending_[unitNode_[u]] = 1;
+        }
+    }
+    for (NodeId n = 0; n < sim_.topo_->numNodes(); ++n) {
+        if (nodePending_[n]) {
+            nodePending_[n] = 0;
+            network.allocateAt(n, ctx, &routeCache_,
+                               unitPending_.data());
+        }
+    }
+}
+
+Cycle
+BatchEngine::moveFlitsBatch()
+{
+    Network &network = sim_.network_;
+    const Cycle cycle = sim_.cycle_;
+    network.resolveMovableBatch(cycle, movableScratch_);
+
+    const FlitStore &store = network.store();
+    const std::uint32_t *cnt = store.counts();
+    const std::int32_t *rt = store.routes();
+    const auto units = static_cast<UnitId>(network.numInputs());
+
+    if (sim_.counters_) {
+        // Empty units would add zero occupancy, as in the fast
+        // engine's worklist pass.
+        for (UnitId in = 0; in < units; ++in) {
+            if (cnt[in] != 0) {
+                sim_.counters_->occupancy(
+                    static_cast<std::size_t>(in), cnt[in]);
+            }
+        }
+    }
+
+    sim_.moveScratch_.clear();
+    Cycle max_stall = 0;
+    for (UnitId in = 0; in < units; ++in) {
+        // Empty buffers keep their zero stall without a visit (the
+        // invariant the fast engine relies on too: movement and the
+        // fault purge zero the counter whenever a buffer drains).
+        if (cnt[in] == 0)
+            continue;
+        if (!movableScratch_[in]) {
+            ++sim_.frontStall_[in];
+            max_stall = std::max(max_stall, sim_.frontStall_[in]);
+            if (sim_.counters_ && rt[in] != FlitStore::kNoRoute)
+                sim_.counters_->downstreamFull(unitNode_[in]);
+            if (sim_.events_ && sim_.frontStall_[in] == 1) {
+                const InputUnit &iu = network.input(in);
+                sim_.events_->record(TraceEventType::Block, cycle,
+                                     iu.buffer().front().flit.packet,
+                                     iu.node(), sim_.unitChannel(in));
+            }
+            continue;
+        }
+        sim_.frontStall_[in] = 0;
+        InputUnit &iu = network.input(in);
+        const UnitId out = iu.assignedOutput();
+        sim_.moveScratch_.push_back(
+            Simulator::Move{in, iu.buffer().pop(), out});
+        if (sim_.moveScratch_.back().entry.flit.tail) {
+            network.output(out).release();
+            iu.clearOutput();
+        }
+    }
+
+    sim_.applyMoves();
+    return max_stall;
+}
+
+std::vector<NodeId>
+computeUnitNodesFor(const Simulator &sim)
+{
+    return BatchEngine::computeUnitNodes(sim);
+}
+
+namespace {
+
+std::unique_ptr<CycleEngine>
+makeReference(Simulator &sim)
+{
+    return std::make_unique<ReferenceEngine>(sim);
+}
+
+std::unique_ptr<CycleEngine>
+makeFast(Simulator &sim)
+{
+    return std::make_unique<FastEngine>(sim);
+}
+
+std::unique_ptr<CycleEngine>
+makeBatch(Simulator &sim)
+{
+    return std::make_unique<BatchEngine>(sim);
+}
+
+std::unique_ptr<CycleEngine>
+makeSharded(Simulator &sim)
+{
+    return std::make_unique<ShardedEngine>(sim);
+}
+
+} // namespace
+
+EngineRegistry::EngineRegistry()
+{
+    engines_.push_back(EngineDescriptor{
+        SimEngine::Reference, "reference",
+        /*supportsSharding=*/false,
+        /*benchCandidate=*/false, &makeReference});
+    engines_.push_back(EngineDescriptor{
+        SimEngine::Fast, "fast",
+        /*supportsSharding=*/false,
+        /*benchCandidate=*/true, &makeFast});
+    engines_.push_back(EngineDescriptor{
+        SimEngine::Batch, "batch",
+        /*supportsSharding=*/false,
+        /*benchCandidate=*/true, &makeBatch});
+    engines_.push_back(EngineDescriptor{
+        SimEngine::Sharded, "sharded",
+        /*supportsSharding=*/true,
+        /*benchCandidate=*/true, &makeSharded});
+}
+
+const EngineRegistry &
+EngineRegistry::instance()
+{
+    static const EngineRegistry registry;
+    return registry;
+}
+
+const EngineDescriptor &
+EngineRegistry::at(SimEngine id) const
+{
+    for (const EngineDescriptor &engine : engines_) {
+        if (engine.id == id)
+            return engine;
+    }
+    TN_FATAL("engine enum value ",
+             static_cast<int>(id), " is not registered");
+}
+
+const EngineDescriptor *
+EngineRegistry::find(const std::string &name) const
+{
+    for (const EngineDescriptor &engine : engines_) {
+        if (name == engine.name)
+            return &engine;
+    }
+    return nullptr;
+}
+
+const EngineDescriptor &
+EngineRegistry::parse(const std::string &name) const
+{
+    const EngineDescriptor *engine = find(name);
+    if (engine == nullptr) {
+        TN_FATAL("unknown engine '", name, "' (one of: ",
+                 usageNames(), ")");
+    }
+    return *engine;
+}
+
+std::vector<const EngineDescriptor *>
+EngineRegistry::benchCandidates() const
+{
+    std::vector<const EngineDescriptor *> candidates;
+    for (const EngineDescriptor &engine : engines_) {
+        if (engine.benchCandidate)
+            candidates.push_back(&engine);
+    }
+    return candidates;
+}
+
+std::string
+EngineRegistry::usageNames() const
+{
+    std::string names;
+    for (const EngineDescriptor &engine : engines_) {
+        if (!names.empty())
+            names += ", ";
+        names += engine.name;
+    }
+    return names;
+}
+
+} // namespace turnnet

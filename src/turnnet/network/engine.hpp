@@ -1,0 +1,128 @@
+/**
+ * @file
+ * First-class cycle engines: the strategy objects behind
+ * SimConfig::engine, and the registry that is the single source of
+ * truth for engine names, factories, and capabilities.
+ *
+ * A CycleEngine owns the allocation and movement phases of one
+ * simulator cycle plus whatever scratch state its iteration strategy
+ * needs (the fast engine's worklist, the batch engine's route memo,
+ * the sharded engine's worker team). The Simulator keeps everything
+ * engine-independent — traffic generation, injection, delivery,
+ * fault handling, accounting — and dispatches the per-cycle core
+ * through the engine it built from the registry.
+ *
+ * EngineRegistry replaces the old stringly-typed plumbing
+ * (simEngineName / parseSimEngine free functions plus hand-
+ * maintained "--engine reference|fast|batch" lists in every driver):
+ * CLI parsing, bench candidate enumeration, and the differential
+ * harness all read this table, so a new engine registers exactly
+ * once.
+ */
+
+#ifndef TURNNET_NETWORK_ENGINE_HPP
+#define TURNNET_NETWORK_ENGINE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/types.hpp"
+#include "turnnet/network/input_unit.hpp"
+#include "turnnet/network/simulator.hpp"
+
+namespace turnnet {
+
+/**
+ * The per-cycle allocation + movement core of one engine. Every
+ * engine simulates the identical machine (same RNG draws, same
+ * allocation and movement order, bit-identical trajectories); see
+ * SimEngine for what each one iterates over.
+ *
+ * Engines are constructed by their EngineDescriptor factory against
+ * a fully-built Simulator and hold a reference to it; the simulator
+ * outlives its engine.
+ */
+class CycleEngine
+{
+  public:
+    virtual ~CycleEngine() = default;
+
+    CycleEngine() = default;
+    CycleEngine(const CycleEngine &) = delete;
+    CycleEngine &operator=(const CycleEngine &) = delete;
+
+    /**
+     * Run the allocation and movement phases of one cycle. Returns
+     * the cycle's stall watermark — the longest current per-buffer
+     * stall, equal to Simulator::maxFrontStall() — which feeds the
+     * deadlock watchdog.
+     */
+    virtual Cycle runCycle(const AllocationContext &ctx) = 0;
+
+    /**
+     * A flit entered @p unit's buffer (channel push or injection).
+     * Engines that keep an active-unit worklist hook membership
+     * here; the default is a no-op.
+     */
+    virtual void
+    onFlitPushed(UnitId unit)
+    {
+        (void)unit;
+    }
+};
+
+/** One engine's registry entry. */
+struct EngineDescriptor
+{
+    SimEngine id;
+    /** CLI name ("reference", "fast", "batch", "sharded"). */
+    const char *name;
+    /** Honors SimConfig::shards with a per-simulator worker team. */
+    bool supportsSharding;
+    /** Timed as a speedup candidate by bench/engine_speedup. */
+    bool benchCandidate;
+    /** Build the engine for @p sim (called at the end of Simulator
+     *  construction, once the fabric exists). */
+    std::unique_ptr<CycleEngine> (*factory)(Simulator &sim);
+};
+
+/**
+ * The immutable table of every cycle engine. The only place engine
+ * names live; --engine parsing, usage strings, and bench/differential
+ * candidate lists must all come from here.
+ */
+class EngineRegistry
+{
+  public:
+    static const EngineRegistry &instance();
+
+    const std::vector<EngineDescriptor> &all() const
+    {
+        return engines_;
+    }
+
+    /** Descriptor of @p id (every SimEngine value is registered). */
+    const EngineDescriptor &at(SimEngine id) const;
+
+    /** Descriptor named @p name, or null when unknown. */
+    const EngineDescriptor *find(const std::string &name) const;
+
+    /** Descriptor named @p name; fatal on anything unknown. */
+    const EngineDescriptor &parse(const std::string &name) const;
+
+    /** Engines flagged benchCandidate, in registration order. */
+    std::vector<const EngineDescriptor *> benchCandidates() const;
+
+    /** Comma-separated engine names for usage/error messages. */
+    std::string usageNames() const;
+
+  private:
+    EngineRegistry();
+
+    std::vector<EngineDescriptor> engines_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_ENGINE_HPP

@@ -61,6 +61,15 @@ FlitStore::pop(std::size_t unit)
     --total_;
 }
 
+void
+FlitStore::popDeferred(std::size_t unit)
+{
+    TN_ASSERT(!empty(unit), "pop() on empty flit buffer");
+    head_[unit] = static_cast<std::uint32_t>(
+        (head_[unit] + 1) % depth_);
+    --count_[unit];
+}
+
 std::size_t
 FlitStore::removePacket(std::size_t unit, PacketId packet)
 {

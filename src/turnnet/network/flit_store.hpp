@@ -75,6 +75,23 @@ class FlitStore
     void pop(std::size_t unit);
 
     /**
+     * pop() without the store-wide running total update. The total
+     * is the one piece of state pop() shares across units, so the
+     * sharded engine's workers pop their own units through this and
+     * settle the total with one adjustTotal() after the barrier.
+     */
+    void popDeferred(std::size_t unit);
+
+    /** Fold deferred pops into the running total (negative delta
+     *  for pops). */
+    void
+    adjustTotal(std::int64_t delta)
+    {
+        total_ = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(total_) + delta);
+    }
+
+    /**
      * Discard every flit of @p packet buffered at @p unit (fault
      * purge); other packets keep their order. Returns the number of
      * flits removed.

@@ -144,6 +144,10 @@ class Network
      *  batch engine's flat sweeps. */
     const FlitStore &store() const { return store_; }
 
+    /** Mutable store access (the sharded engine settles deferred
+     *  pop totals via FlitStore::adjustTotal). */
+    FlitStore &store() { return store_; }
+
     /** Clear all buffers and reservations. */
     void reset();
 

@@ -160,7 +160,8 @@ Router::allocate(std::vector<InputUnit> &inputs,
 
         const Direction chosen =
             selectOutput(ctx.outputPolicy, eligible, iu.inDir(),
-                         ctx.topo, node_, dest, ctx.rng);
+                         ctx.topo, node_, dest,
+                         ctx.nodeRngs[node_]);
 
         // Lowest free permitted VC of the chosen direction.
         UnitId target = kNoUnit;
@@ -181,15 +182,21 @@ Router::allocate(std::vector<InputUnit> &inputs,
 
     for (const PendingRequests &p : scratch_) {
         const InputRequest &winner =
-            selectInput(ctx.inputPolicy, p.requests, ctx.rng);
+            selectInput(ctx.inputPolicy, p.requests,
+                        ctx.nodeRngs[node_]);
         InputUnit &win = inputs[winner.input];
         win.assignOutput(p.output, win.buffer().front().flit.packet);
         outputs[p.output].acquire(winner.input);
         if (ctx.counters) {
             // The winner's switch is a turn-class event; every loser
             // spent this cycle blocked on a busy output.
-            ctx.counters->turnTaken(win.inDir(),
-                                    outputs[p.output].dir());
+            if (ctx.turnScratch != nullptr) {
+                ++ctx.turnScratch[ctx.counters->turnSlotIndex(
+                    win.inDir(), outputs[p.output].dir())];
+            } else {
+                ctx.counters->turnTaken(win.inDir(),
+                                        outputs[p.output].dir());
+            }
             for (std::size_t i = 1; i < p.requests.size(); ++i)
                 ctx.counters->outputBusy(node_);
         }

@@ -34,7 +34,16 @@ struct AllocationContext
     const VcRoutingFunction &routing;
     InputPolicy inputPolicy;
     OutputPolicy outputPolicy;
-    Rng &rng;
+    /**
+     * Per-node arbiter RNG streams, indexed by node id (router @p n
+     * draws only from nodeRngs[n]). Streams are seeded
+     * deriveSeed(seed, node), so the draw sequence each router sees
+     * depends only on its own allocation history — never on which
+     * thread or shard runs it — and serial and sharded runs stay
+     * bit-identical. Only the Random selection policies draw; the
+     * default Fcfs/LowestDim policies never touch the streams.
+     */
+    Rng *nodeRngs;
     /** Current cycle (for misroute wait accounting). */
     Cycle now = 0;
     /**
@@ -49,6 +58,15 @@ struct AllocationContext
      *  they must never influence an allocation decision. */
     TraceCounters *counters = nullptr;
     EventTrace *events = nullptr;
+
+    /**
+     * When set (sharded engine), turn-histogram telemetry
+     * accumulates into this TraceCounters::turnSlotCount()^2 scratch
+     * instead of counters->turnTaken() — the histogram is global
+     * state that parallel allocation workers cannot bump in place.
+     * The engine folds each worker's scratch back via addTurns().
+     */
+    std::uint64_t *turnScratch = nullptr;
 };
 
 /**

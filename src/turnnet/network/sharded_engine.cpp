@@ -1,0 +1,402 @@
+#include "turnnet/network/sharded_engine.hpp"
+
+#include <algorithm>
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/trace/counters.hpp"
+
+namespace turnnet {
+
+unsigned
+ShardedEngine::resolveShardCount(const Simulator &sim)
+{
+    const auto num_nodes =
+        static_cast<unsigned>(sim.topo_->numNodes());
+    unsigned shards = sim.config_.shards;
+    if (shards == 0)
+        shards = ThreadPool::hardwareWorkers();
+    if (shards == 0)
+        shards = 1;
+    return std::max(1u, std::min(shards, num_nodes));
+}
+
+ShardedEngine::ShardedEngine(Simulator &sim)
+    : sim_(sim), span_(resolveShardCount(sim))
+{
+    const Network &network = sim.network_;
+    const NodeId num_nodes = sim.topo_->numNodes();
+    channelUnits_ =
+        static_cast<UnitId>(sim.topo_->numChannels()) *
+        network.numVcs();
+    unitNode_ = computeUnitNodesFor(sim);
+    routeCache_.resize(network.numInputs());
+    nodePending_.assign(static_cast<std::size_t>(num_nodes), 0);
+    unitPending_.assign(network.numInputs(), 0);
+    linkWinner_.assign(
+        static_cast<std::size_t>(sim.topo_->numChannels()), kNoUnit);
+
+    // Contiguous node ranges, balanced to within one node.
+    const unsigned count = span_.teamSize();
+    shards_.resize(count);
+    mergePos_.resize(count);
+    const NodeId base = num_nodes / static_cast<NodeId>(count);
+    const NodeId rem = num_nodes % static_cast<NodeId>(count);
+    std::vector<unsigned> node_shard(
+        static_cast<std::size_t>(num_nodes));
+    NodeId begin = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        Shard &shard = shards_[i];
+        shard.nodeBegin = begin;
+        shard.nodeEnd =
+            begin + base + (static_cast<NodeId>(i) < rem ? 1 : 0);
+        for (NodeId n = shard.nodeBegin; n < shard.nodeEnd; ++n)
+            node_shard[static_cast<std::size_t>(n)] = i;
+        begin = shard.nodeEnd;
+    }
+    for (UnitId u = 0;
+         u < static_cast<UnitId>(network.numInputs()); ++u) {
+        shards_[node_shard[static_cast<std::size_t>(unitNode_[u])]]
+            .units.push_back(u);
+    }
+
+    for (Shard &shard : shards_) {
+        if (sim.counters_ != nullptr) {
+            const auto slots = static_cast<std::size_t>(
+                sim.counters_->turnSlotCount());
+            shard.turnScratch.assign(slots * slots, 0);
+        }
+        if (sim.events_ != nullptr) {
+            // A unit's front header routes at most once per cycle,
+            // so one cycle records at most |units| Route events —
+            // this capacity guarantees the merge never loses one
+            // to ring eviction.
+            shard.events = std::make_unique<EventTrace>(
+                shard.units.size() + 16);
+        }
+    }
+}
+
+Cycle
+ShardedEngine::runCycle(const AllocationContext &ctx)
+{
+    span_.run([&](unsigned slot) { allocShard(shards_[slot], ctx); });
+    mergeAllocation();
+    span_.run([&](unsigned slot) { scanShard(shards_[slot]); });
+    mergeBlocks();
+    span_.run([&](unsigned slot) { popShard(shards_[slot]); });
+    return finishMoves();
+}
+
+void
+ShardedEngine::allocShard(Shard &shard, const AllocationContext &ctx)
+{
+    Network &network = sim_.network_;
+    const FlitStore &store = network.store();
+    const std::uint32_t *cnt = store.counts();
+    const std::int32_t *rt = store.routes();
+
+    // The shard's private view of the context: Route events land in
+    // its own ring, turn counts in its own scratch histogram; both
+    // are folded in shard order by mergeAllocation(). RNG streams
+    // are per-node already, so the shared pointer is race-free.
+    AllocationContext shard_ctx{ctx};
+    shard_ctx.events = shard.events.get();
+    shard_ctx.turnScratch =
+        shard.turnScratch.empty() ? nullptr : shard.turnScratch.data();
+
+    // Pending sweep over own units only (the batch engine's sweep,
+    // sharded; every flag written here is owned by this shard).
+    for (const UnitId u : shard.units) {
+        const bool pending =
+            cnt[u] != 0 && rt[u] == FlitStore::kNoRoute;
+        unitPending_[static_cast<std::size_t>(u)] = pending ? 1 : 0;
+        if (pending)
+            nodePending_[static_cast<std::size_t>(unitNode_[u])] = 1;
+    }
+    for (NodeId n = shard.nodeBegin; n < shard.nodeEnd; ++n) {
+        if (nodePending_[static_cast<std::size_t>(n)]) {
+            nodePending_[static_cast<std::size_t>(n)] = 0;
+            network.allocateAt(n, shard_ctx, &routeCache_,
+                               unitPending_.data());
+        }
+    }
+
+    // Link arbitration. Every input routed to a virtual channel of
+    // physical channel c lives at src(c) — an output of node n
+    // drives a channel sourced at n — so this shard's units form
+    // the complete pool for every channel it writes, and no other
+    // shard writes those entries. Pool order (ascending unit id)
+    // and the ready preference replicate Network's batch sweep.
+    if (network.numVcs() > 1) {
+        const auto depth = static_cast<std::uint32_t>(store.depth());
+        shard.want.clear();
+        for (const UnitId id : shard.units) {
+            if (cnt[id] == 0 || rt[id] < 0 || rt[id] >= channelUnits_)
+                continue;
+            shard.want.emplace_back(
+                static_cast<ChannelId>(rt[id] / network.numVcs()),
+                id);
+        }
+        std::sort(shard.want.begin(), shard.want.end());
+        for (std::size_t i = 0; i < shard.want.size();) {
+            const ChannelId c = shard.want[i].first;
+            std::size_t end = i;
+            while (end < shard.want.size() &&
+                   shard.want[end].first == c) {
+                ++end;
+            }
+            // Prefer candidates that can make progress right away.
+            shard.cand.clear();
+            shard.ready.clear();
+            for (std::size_t k = i; k < end; ++k) {
+                const UnitId id = shard.want[k].second;
+                shard.cand.push_back(id);
+                if (cnt[rt[id]] < depth)
+                    shard.ready.push_back(id);
+            }
+            const auto &pool = shard.ready.empty() ? shard.cand
+                                                   : shard.ready;
+            linkWinner_[static_cast<std::size_t>(c)] =
+                pool[static_cast<std::size_t>(sim_.cycle_) %
+                     pool.size()];
+            i = end;
+        }
+    }
+}
+
+void
+ShardedEngine::mergeAllocation()
+{
+    // Shard order is ascending node order, so concatenating the
+    // per-shard rings replays allocateAll()'s Route event sequence.
+    if (sim_.events_ != nullptr) {
+        for (Shard &shard : shards_) {
+            EventTrace &ring = *shard.events;
+            const std::uint64_t fresh =
+                ring.recorded() - shard.eventsSeen;
+            const std::size_t size = ring.size();
+            TN_ASSERT(fresh <= size,
+                      "shard event ring evicted events recorded "
+                      "this cycle");
+            for (std::size_t i = size - fresh; i < size; ++i) {
+                const TraceEvent &e = ring.at(i);
+                sim_.events_->record(e.type, e.cycle, e.packet,
+                                     e.node, e.channel);
+            }
+            shard.eventsSeen = ring.recorded();
+        }
+    }
+    if (sim_.counters_ != nullptr) {
+        for (Shard &shard : shards_) {
+            sim_.counters_->addTurns(shard.turnScratch.data());
+            std::fill(shard.turnScratch.begin(),
+                      shard.turnScratch.end(), 0);
+        }
+    }
+}
+
+void
+ShardedEngine::scanShard(Shard &shard)
+{
+    enum : std::uint8_t { Unknown, InProgress, Yes, No };
+    const Network &network = sim_.network_;
+    const FlitStore &store = network.store();
+    const std::uint32_t *cnt = store.counts();
+    const std::int32_t *rt = store.routes();
+    const auto depth = static_cast<std::uint32_t>(store.depth());
+    const int num_vcs = network.numVcs();
+
+    if (sim_.counters_) {
+        // Empty units would add zero occupancy; occupancySum_ is
+        // per-unit, so concurrent shards never touch one entry.
+        for (const UnitId in : shard.units) {
+            if (cnt[in] != 0) {
+                sim_.counters_->occupancy(
+                    static_cast<std::size_t>(in), cnt[in]);
+            }
+        }
+    }
+
+    // The batch engine's memoized chain walk, restarted from this
+    // shard's units only. The memo is shard-local because chains
+    // cross shard boundaries; the verdicts are pure functions of
+    // the frozen occupancy/route columns and link winners, so every
+    // shard derives the same verdict for any shared chain suffix.
+    shard.memo.assign(network.numInputs(), Unknown);
+    std::uint8_t *state = shard.memo.data();
+
+    shard.blocked.clear();
+    shard.movers.clear();
+    shard.maxStall = 0;
+    for (const UnitId start : shard.units) {
+        // Empty buffers keep their zero stall without a visit (the
+        // serial engines rely on the same invariant: movement and
+        // the fault purge zero the counter whenever a buffer
+        // drains).
+        if (cnt[start] == 0)
+            continue;
+        std::uint8_t verdict;
+        if (state[start] == Yes || state[start] == No) {
+            verdict = state[start];
+        } else {
+            shard.chain.clear();
+            UnitId cur = start;
+            verdict = No;
+            for (;;) {
+                std::uint8_t &st = state[cur];
+                if (st == Yes || st == No) {
+                    verdict = st;
+                    break;
+                }
+                if (st == InProgress) {
+                    // Closed a waiting cycle: a deadlock
+                    // configuration.
+                    verdict = No;
+                    break;
+                }
+                const std::int32_t route = rt[cur];
+                if (cnt[cur] == 0 || route < 0) {
+                    verdict = No;
+                    st = No;
+                    break;
+                }
+                if (route >= channelUnits_) {
+                    // Ejection always drains.
+                    verdict = Yes;
+                    st = Yes;
+                    break;
+                }
+                if (num_vcs > 1 &&
+                    linkWinner_[static_cast<std::size_t>(
+                        route / num_vcs)] != cur) {
+                    verdict = No;
+                    st = No;
+                    break;
+                }
+                if (cnt[route] < depth) {
+                    verdict = Yes;
+                    st = Yes;
+                    break;
+                }
+                st = InProgress;
+                shard.chain.push_back(cur);
+                cur = route;
+            }
+            for (const UnitId id : shard.chain)
+                state[id] = verdict;
+        }
+
+        if (verdict == Yes) {
+            sim_.frontStall_[start] = 0;
+            shard.movers.push_back(start);
+            continue;
+        }
+        ++sim_.frontStall_[start];
+        shard.maxStall =
+            std::max(shard.maxStall, sim_.frontStall_[start]);
+        // blocked_ is per-node and this unit's node is ours.
+        if (sim_.counters_ && rt[start] != FlitStore::kNoRoute)
+            sim_.counters_->downstreamFull(unitNode_[start]);
+        if (sim_.events_ && sim_.frontStall_[start] == 1) {
+            shard.blocked.push_back(BlockRec{
+                start, store.flitSlots()[store.frontSlot(
+                           static_cast<std::size_t>(start))].packet,
+                unitNode_[start], sim_.unitChannel(start)});
+        }
+    }
+}
+
+void
+ShardedEngine::mergeBlocks()
+{
+    // The serial engines record Block events in ascending unit id;
+    // each shard's list is ascending already, so a k-way merge
+    // replays that order.
+    if (sim_.events_ == nullptr)
+        return;
+    std::fill(mergePos_.begin(), mergePos_.end(), std::size_t{0});
+    for (;;) {
+        std::size_t best = shards_.size();
+        UnitId best_unit = 0;
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            const std::vector<BlockRec> &list = shards_[i].blocked;
+            if (mergePos_[i] >= list.size())
+                continue;
+            const UnitId u = list[mergePos_[i]].unit;
+            if (best == shards_.size() || u < best_unit) {
+                best = i;
+                best_unit = u;
+            }
+        }
+        if (best == shards_.size())
+            break;
+        const BlockRec &rec = shards_[best].blocked[mergePos_[best]];
+        ++mergePos_[best];
+        sim_.events_->record(TraceEventType::Block, sim_.cycle_,
+                             rec.packet, rec.node, rec.channel);
+    }
+}
+
+void
+ShardedEngine::popShard(Shard &shard)
+{
+    Network &network = sim_.network_;
+    shard.moves.clear();
+    shard.popped = 0;
+    for (const UnitId in : shard.movers) {
+        InputUnit &iu = network.input(in);
+        const UnitId out = iu.assignedOutput();
+        // popDeferred leaves the store's shared flit total alone;
+        // finishMoves() settles the sum once, serially.
+        shard.moves.push_back(
+            Move{in, iu.buffer().popDeferred(), out});
+        ++shard.popped;
+        if (shard.moves.back().entry.flit.tail) {
+            network.output(out).release();
+            iu.clearOutput();
+        }
+    }
+}
+
+Cycle
+ShardedEngine::finishMoves()
+{
+    std::int64_t popped = 0;
+    for (const Shard &shard : shards_)
+        popped += static_cast<std::int64_t>(shard.popped);
+    if (popped != 0)
+        sim_.network_.store().adjustTotal(-popped);
+
+    // K-way merge by ascending input unit id: applyMoves() then
+    // sees exactly the serial engines' move order, so downstream
+    // pushes, deliveries, and their events replay bit-identically.
+    sim_.moveScratch_.clear();
+    std::fill(mergePos_.begin(), mergePos_.end(), std::size_t{0});
+    for (;;) {
+        std::size_t best = shards_.size();
+        UnitId best_unit = 0;
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            const std::vector<Move> &list = shards_[i].moves;
+            if (mergePos_[i] >= list.size())
+                continue;
+            const UnitId u = list[mergePos_[i]].input;
+            if (best == shards_.size() || u < best_unit) {
+                best = i;
+                best_unit = u;
+            }
+        }
+        if (best == shards_.size())
+            break;
+        sim_.moveScratch_.push_back(
+            shards_[best].moves[mergePos_[best]]);
+        ++mergePos_[best];
+    }
+    sim_.applyMoves();
+
+    Cycle max_stall = 0;
+    for (const Shard &shard : shards_)
+        max_stall = std::max(max_stall, shard.maxStall);
+    return max_stall;
+}
+
+} // namespace turnnet

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ShardedEngine: intra-simulation parallelism for huge fabrics.
+ *
+ * The fabric is partitioned into contiguous node ranges, one per
+ * worker of a persistent per-simulator team (common/thread_pool's
+ * WorkSpan). Each cycle runs three data-parallel spans separated by
+ * barriers, with a serial deterministic merge after each:
+ *
+ *   1. allocate — each shard sweeps its own units for pending
+ *      headers, runs its routers' allocation (per-node RNG streams,
+ *      shared route memo with disjoint per-unit entries), and elects
+ *      its channels' link winners. Merge: per-shard event rings are
+ *      appended to the global trace in shard order (= ascending node
+ *      order, the serial scan order) and per-shard turn histograms
+ *      fold into TraceCounters.
+ *   2. scan — each shard chain-resolves movability for its own
+ *      units with a shard-local memo (verdicts are pure over the
+ *      occupancy/route columns and link winners, all frozen during
+ *      the span, so every shard computes the same answer for any
+ *      unit a chain crosses) and does the stall bookkeeping. Merge:
+ *      per-shard Block records are k-way merged by ascending unit id
+ *      into the global trace.
+ *   3. pop — each shard pops its movers' front flits (deferring the
+ *      shared store total, settled once afterwards). Merge: the
+ *      per-shard move lists are k-way merged by ascending input unit
+ *      id and applied serially via Simulator::applyMoves().
+ *
+ * Every write during a span is shard-disjoint: a shard touches only
+ * the buffers, routers, outputs, per-unit counters, and per-node
+ * counters of its own node range (an input unit lives at the
+ * destination of its channel; every contender for a physical link
+ * lives at the link's source, so a link's whole arbitration pool
+ * belongs to one shard). The merges replay the serial engines' event
+ * order exactly, so a sharded run is bit-identical to a reference
+ * run at every shard count — the lockstep differential oracle and
+ * golden fixtures enforce this.
+ */
+
+#ifndef TURNNET_NETWORK_SHARDED_ENGINE_HPP
+#define TURNNET_NETWORK_SHARDED_ENGINE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "turnnet/common/thread_pool.hpp"
+#include "turnnet/network/engine.hpp"
+#include "turnnet/trace/event_trace.hpp"
+
+namespace turnnet {
+
+/** Router owning each input unit, in unit-id order (shared with the
+ *  batch engine's precomputation; defined in engine.cpp). */
+std::vector<NodeId> computeUnitNodesFor(const Simulator &sim);
+
+/** The sharded cycle engine (see file comment). */
+class ShardedEngine : public CycleEngine
+{
+  public:
+    explicit ShardedEngine(Simulator &sim);
+
+    Cycle runCycle(const AllocationContext &ctx) override;
+
+    /** Worker-team width this engine actually runs with. */
+    unsigned shardCount() const { return span_.teamSize(); }
+
+    /**
+     * Shard count for @p sim's configuration: SimConfig::shards
+     * clamped to [1, numNodes], or one shard per hardware thread
+     * (again capped at the node count) when it is 0.
+     */
+    static unsigned resolveShardCount(const Simulator &sim);
+
+  private:
+    using Move = Simulator::Move;
+
+    /** A Block-event record deferred until the serial merge. */
+    struct BlockRec
+    {
+        UnitId unit;
+        PacketId packet;
+        NodeId node;
+        ChannelId channel;
+    };
+
+    /** One worker's node range plus all its scratch state. */
+    struct Shard
+    {
+        NodeId nodeBegin = 0;
+        NodeId nodeEnd = 0;
+        /** Input units owned by [nodeBegin, nodeEnd), ascending. */
+        std::vector<UnitId> units;
+        /** Shard-local movability memo over all units (chains may
+         *  cross shards; verdicts agree wherever they overlap). */
+        std::vector<std::uint8_t> memo;
+        // Link-arbitration scratch (mirrors Network's batch sweep).
+        std::vector<std::pair<ChannelId, UnitId>> want;
+        std::vector<UnitId> cand;
+        std::vector<UnitId> ready;
+        /** Chain-walk scratch. */
+        std::vector<UnitId> chain;
+        /** Turn-histogram scratch folded into TraceCounters at the
+         *  allocation merge (empty when counters are off). */
+        std::vector<std::uint64_t> turnScratch;
+        /** Private event ring for this shard's Route events (null
+         *  when tracing is off); sized so one cycle never evicts. */
+        std::unique_ptr<EventTrace> events;
+        /** Events already drained from the ring by earlier merges. */
+        std::uint64_t eventsSeen = 0;
+        std::vector<BlockRec> blocked;
+        /** Units whose front flit moves this cycle, ascending. */
+        std::vector<UnitId> movers;
+        std::vector<Move> moves;
+        /** Deferred-pop count settled into FlitStore::adjustTotal. */
+        std::uint64_t popped = 0;
+        Cycle maxStall = 0;
+    };
+
+    void allocShard(Shard &shard, const AllocationContext &ctx);
+    void mergeAllocation();
+    void scanShard(Shard &shard);
+    void mergeBlocks();
+    void popShard(Shard &shard);
+    Cycle finishMoves();
+
+    Simulator &sim_;
+    std::vector<Shard> shards_;
+    WorkSpan span_;
+    /** Routing-relation memo shared across shards (each unit's
+     *  entries are written only by its owner shard). */
+    RouteCache routeCache_;
+    std::vector<NodeId> unitNode_;
+    /** Per-node / per-unit pending flags (each entry written only
+     *  by its owner shard, like the batch engine's). */
+    std::vector<std::uint8_t> nodePending_;
+    std::vector<std::uint8_t> unitPending_;
+    /** Per-channel link winners; entry c is written by the shard
+     *  owning src(c) during allocation and read by any shard during
+     *  the scan span. Never cleared: every entry the scan reads was
+     *  freshly written this cycle (the scan only consults channels
+     *  some full buffer routes to, and that buffer's shard entered
+     *  it into the pool). */
+    std::vector<UnitId> linkWinner_;
+    /** K-way merge cursors (one per shard). */
+    std::vector<std::size_t> mergePos_;
+    UnitId channelUnits_ = 0;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_NETWORK_SHARDED_ENGINE_HPP

@@ -3,34 +3,22 @@
 #include <algorithm>
 
 #include "turnnet/common/logging.hpp"
+#include "turnnet/network/engine.hpp"
 
 namespace turnnet {
 
+// Deprecated shims kept for one PR; the registry is the source of
+// truth (see engine.hpp).
 const char *
 simEngineName(SimEngine engine)
 {
-    switch (engine) {
-    case SimEngine::Reference:
-        return "reference";
-    case SimEngine::Batch:
-        return "batch";
-    case SimEngine::Fast:
-        break;
-    }
-    return "fast";
+    return EngineRegistry::instance().at(engine).name;
 }
 
 SimEngine
 parseSimEngine(const std::string &name)
 {
-    if (name == "reference")
-        return SimEngine::Reference;
-    if (name == "fast")
-        return SimEngine::Fast;
-    if (name == "batch")
-        return SimEngine::Batch;
-    TN_FATAL("unknown engine '", name,
-             "' (use reference, fast, or batch)");
+    return EngineRegistry::instance().parse(name).id;
 }
 
 std::vector<std::string>
@@ -88,7 +76,6 @@ Simulator::Simulator(const Topology &topo, VcRoutingPtr routing,
       queues_(topo.numNodes()),
       generator_(topo, std::move(traffic), config_.load,
                  config_.lengths, config_.seed * 0x10001 + 7),
-      arbiterRng_(config_.seed),
       latencyHistogram_(Histogram::logSpaced(
           config_.latencyHistMinUs, config_.latencyHistMaxUs,
           config_.latencyHistBins))
@@ -119,32 +106,19 @@ Simulator::Simulator(const Topology &topo, VcRoutingPtr routing,
                  routing_->name(), " is purely virtual-channel");
     }
     frontStall_.assign(network_.numInputs(), 0);
-    fast_ = config_.engine == SimEngine::Fast;
-    if (fast_) {
-        unitActive_.assign(network_.numInputs(), 0);
-        nodeActive_.assign(topo.numNodes(), 0);
+    // One arbiter stream per node, seeded by node id: the draw
+    // sequence a router sees depends only on its own allocation
+    // history, never on which thread or shard runs it.
+    nodeRng_.reserve(static_cast<std::size_t>(topo.numNodes()));
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        nodeRng_.emplace_back(
+            deriveSeed(config_.seed, static_cast<std::uint64_t>(n)));
     }
-    batch_ = config_.engine == SimEngine::Batch;
-    if (batch_) {
-        routeCache_.resize(network_.numInputs());
-        nodePending_.assign(topo.numNodes(), 0);
-        unitPending_.assign(network_.numInputs(), 0);
-        // Channel input units come first, numVcs per channel and
-        // owned by the channel's destination router; the rest are
-        // injection inputs of their own node.
-        const auto channel_units =
-            static_cast<UnitId>(topo.numChannels()) *
-            network_.numVcs();
-        unitNode_.resize(network_.numInputs());
-        for (UnitId u = 0;
-             u < static_cast<UnitId>(network_.numInputs()); ++u) {
-            unitNode_[u] =
-                u < channel_units
-                    ? topo.channel(u / network_.numVcs()).dst
-                    : u - channel_units;
-        }
-    }
+    engine_ = EngineRegistry::instance().at(config_.engine)
+                  .factory(*this);
 }
+
+Simulator::~Simulator() = default;
 
 bool
 Simulator::servable(NodeId src, NodeId dest) const
@@ -364,64 +338,6 @@ Simulator::unitChannel(UnitId unit) const
 }
 
 void
-Simulator::moveFlits()
-{
-    const std::vector<std::uint8_t> movable =
-        network_.resolveMovable(cycle_);
-
-    if (frontStall_.size() != network_.numInputs())
-        frontStall_.assign(network_.numInputs(), 0);
-
-    // Occupancy sampling lives outside the movement loop so a run
-    // with counters disabled pays one branch per cycle here, not
-    // one per input unit.
-    if (counters_) {
-        for (UnitId in = 0;
-             in < static_cast<UnitId>(network_.numInputs()); ++in) {
-            counters_->occupancy(
-                static_cast<std::size_t>(in),
-                network_.input(in).buffer().size());
-        }
-    }
-
-    moveScratch_.clear();
-    for (UnitId in = 0;
-         in < static_cast<UnitId>(network_.numInputs()); ++in) {
-        if (!movable[in]) {
-            // A buffered flit that cannot move accumulates stall
-            // time; empty buffers are never stalled.
-            const InputUnit &iu = network_.input(in);
-            if (iu.buffer().empty()) {
-                frontStall_[in] = 0;
-            } else {
-                ++frontStall_[in];
-                // A stalled flit that already holds an output is
-                // waiting on buffer space downstream; unallocated
-                // headers were charged by the router instead.
-                if (counters_ && iu.assignedOutput() != kNoUnit)
-                    counters_->downstreamFull(iu.node());
-                if (events_ && frontStall_[in] == 1) {
-                    events_->record(TraceEventType::Block, cycle_,
-                                    iu.buffer().front().flit.packet,
-                                    iu.node(), unitChannel(in));
-                }
-            }
-            continue;
-        }
-        frontStall_[in] = 0;
-        InputUnit &iu = network_.input(in);
-        const UnitId out = iu.assignedOutput();
-        moveScratch_.push_back(Move{in, iu.buffer().pop(), out});
-        if (moveScratch_.back().entry.flit.tail) {
-            network_.output(out).release();
-            iu.clearOutput();
-        }
-    }
-
-    applyMoves();
-}
-
-void
 Simulator::applyMoves()
 {
     for (const Move &m : moveScratch_) {
@@ -432,7 +348,7 @@ Simulator::applyMoves()
             const UnitId down =
                 network_.channelInput(out.channel(), out.vc());
             network_.input(down).buffer().push(m.entry.flit, cycle_);
-            touchUnit(down);
+            engine_->onFlitPushed(down);
             if (counters_)
                 counters_->flitCrossed(out.channel());
             if (events_) {
@@ -466,199 +382,6 @@ Simulator::applyMoves()
 }
 
 void
-Simulator::touchUnit(UnitId unit)
-{
-    if (!fast_ || unitActive_[unit])
-        return;
-    unitActive_[unit] = 1;
-    activeScratch_.push_back(unit);
-}
-
-void
-Simulator::buildWorklist()
-{
-    // Last cycle's list survives sorted as a prefix; only the units
-    // touched since then need sorting before the merge.
-    const auto mid = activeScratch_.begin() +
-                     static_cast<std::ptrdiff_t>(sortedPrefix_);
-    std::sort(mid, activeScratch_.end());
-
-    // One pass merges prefix and suffix (disjoint by the
-    // unitActive_ guard), drops units that drained since their last
-    // visit (lazy deactivation), and flags the survivors' routers.
-    activeUnits_.clear();
-    const auto keep = [&](UnitId u) {
-        if (network_.input(u).buffer().empty()) {
-            unitActive_[u] = 0;
-            return;
-        }
-        activeUnits_.push_back(u);
-        nodeActive_[network_.input(u).node()] = 1;
-    };
-    std::size_t a = 0;
-    std::size_t b = sortedPrefix_;
-    const std::size_t total = activeScratch_.size();
-    while (a < sortedPrefix_ && b < total) {
-        if (activeScratch_[a] < activeScratch_[b])
-            keep(activeScratch_[a++]);
-        else
-            keep(activeScratch_[b++]);
-    }
-    while (a < sortedPrefix_)
-        keep(activeScratch_[a++]);
-    while (b < total)
-        keep(activeScratch_[b++]);
-    activeScratch_ = activeUnits_;
-    sortedPrefix_ = activeScratch_.size();
-
-    // The allocation pass must visit routers in ascending node
-    // order to reproduce the full scan's RNG draw order, and unit
-    // ids ascending does not imply node ids ascending (a channel
-    // input's router is the channel's destination). One ordered
-    // scan over the flag array beats sorting the router list.
-    routerScratch_.clear();
-    for (NodeId n = 0; n < topo_->numNodes(); ++n) {
-        if (nodeActive_[n]) {
-            nodeActive_[n] = 0;
-            routerScratch_.push_back(n);
-        }
-    }
-}
-
-void
-Simulator::moveFlitsFast()
-{
-    network_.resolveMovableFor(cycle_, activeUnits_,
-                               movableScratch_);
-
-    if (counters_) {
-        // Units off the worklist are empty and would add zero.
-        for (const UnitId in : activeUnits_) {
-            counters_->occupancy(
-                static_cast<std::size_t>(in),
-                network_.input(in).buffer().size());
-        }
-    }
-
-    moveScratch_.clear();
-    Cycle max_stall = 0;
-    for (std::size_t i = 0; i < activeUnits_.size(); ++i) {
-        const UnitId in = activeUnits_[i];
-        InputUnit &iu = network_.input(in);
-        if (!movableScratch_[i]) {
-            // Worklist units are never empty, so this buffer holds
-            // a stalled flit; empty buffers keep their zero stall
-            // without a visit.
-            ++frontStall_[in];
-            max_stall = std::max(max_stall, frontStall_[in]);
-            if (counters_ && iu.assignedOutput() != kNoUnit)
-                counters_->downstreamFull(iu.node());
-            if (events_ && frontStall_[in] == 1) {
-                events_->record(TraceEventType::Block, cycle_,
-                                iu.buffer().front().flit.packet,
-                                iu.node(), unitChannel(in));
-            }
-            continue;
-        }
-        frontStall_[in] = 0;
-        const UnitId out = iu.assignedOutput();
-        moveScratch_.push_back(Move{in, iu.buffer().pop(), out});
-        if (moveScratch_.back().entry.flit.tail) {
-            network_.output(out).release();
-            iu.clearOutput();
-        }
-    }
-    lastMaxStall_ = max_stall;
-
-    applyMoves();
-}
-
-void
-Simulator::allocateBatch(const AllocationContext &ctx)
-{
-    // A router's allocate() is a no-op — no RNG draw, no counter or
-    // event, no assignment — unless some input of it holds an
-    // unrouted front header, so visiting only those routers (in
-    // ascending node order, as the full scan does) is trajectory-
-    // preserving. The pending sweep reads two contiguous columns.
-    const FlitStore &store = network_.store();
-    const std::uint32_t *cnt = store.counts();
-    const std::int32_t *rt = store.routes();
-    const auto units = static_cast<UnitId>(network_.numInputs());
-    std::fill(unitPending_.begin(), unitPending_.end(),
-              std::uint8_t{0});
-    for (UnitId u = 0; u < units; ++u) {
-        if (cnt[u] != 0 && rt[u] == FlitStore::kNoRoute) {
-            unitPending_[u] = 1;
-            nodePending_[unitNode_[u]] = 1;
-        }
-    }
-    for (NodeId n = 0; n < topo_->numNodes(); ++n) {
-        if (nodePending_[n]) {
-            nodePending_[n] = 0;
-            network_.allocateAt(n, ctx, &routeCache_,
-                                unitPending_.data());
-        }
-    }
-}
-
-void
-Simulator::moveFlitsBatch()
-{
-    network_.resolveMovableBatch(cycle_, movableScratch_);
-
-    const FlitStore &store = network_.store();
-    const std::uint32_t *cnt = store.counts();
-    const std::int32_t *rt = store.routes();
-    const auto units = static_cast<UnitId>(network_.numInputs());
-
-    if (counters_) {
-        // Empty units would add zero occupancy, as in the fast
-        // engine's worklist pass.
-        for (UnitId in = 0; in < units; ++in) {
-            if (cnt[in] != 0) {
-                counters_->occupancy(static_cast<std::size_t>(in),
-                                     cnt[in]);
-            }
-        }
-    }
-
-    moveScratch_.clear();
-    Cycle max_stall = 0;
-    for (UnitId in = 0; in < units; ++in) {
-        // Empty buffers keep their zero stall without a visit (the
-        // invariant the fast engine relies on too: movement and the
-        // fault purge zero the counter whenever a buffer drains).
-        if (cnt[in] == 0)
-            continue;
-        if (!movableScratch_[in]) {
-            ++frontStall_[in];
-            max_stall = std::max(max_stall, frontStall_[in]);
-            if (counters_ && rt[in] != FlitStore::kNoRoute)
-                counters_->downstreamFull(unitNode_[in]);
-            if (events_ && frontStall_[in] == 1) {
-                const InputUnit &iu = network_.input(in);
-                events_->record(TraceEventType::Block, cycle_,
-                                iu.buffer().front().flit.packet,
-                                iu.node(), unitChannel(in));
-            }
-            continue;
-        }
-        frontStall_[in] = 0;
-        InputUnit &iu = network_.input(in);
-        const UnitId out = iu.assignedOutput();
-        moveScratch_.push_back(Move{in, iu.buffer().pop(), out});
-        if (moveScratch_.back().entry.flit.tail) {
-            network_.output(out).release();
-            iu.clearOutput();
-        }
-    }
-    lastMaxStall_ = max_stall;
-
-    applyMoves();
-}
-
-void
 Simulator::injectFromQueues()
 {
     for (NodeId n = 0; n < topo_->numNodes(); ++n) {
@@ -670,7 +393,7 @@ Simulator::injectFromQueues()
             continue;
         const Flit flit = q.nextFlit();
         iu.buffer().push(flit, cycle_);
-        touchUnit(network_.injectionInput(n));
+        engine_->onFlitPushed(network_.injectionInput(n));
         if (flit.head) {
             packets_.at(flit.packet).injected = cycle_;
             if (events_) {
@@ -716,30 +439,13 @@ Simulator::step()
                                 *routing_,
                                 config_.inputPolicy,
                                 config_.outputPolicy,
-                                arbiterRng_,
+                                nodeRng_.data(),
                                 cycle_,
                                 config_.misrouteAfterWait,
                                 counters_.get(),
                                 events_.get()};
-    Cycle stalled;
-    if (fast_) {
-        buildWorklist();
-        for (const NodeId n : routerScratch_)
-            network_.allocateAt(n, ctx);
-        moveFlitsFast();
-        injectFromQueues();
-        stalled = lastMaxStall_;
-    } else if (batch_) {
-        allocateBatch(ctx);
-        moveFlitsBatch();
-        injectFromQueues();
-        stalled = lastMaxStall_;
-    } else {
-        network_.allocateAll(ctx);
-        moveFlits();
-        injectFromQueues();
-        stalled = maxFrontStall();
-    }
+    const Cycle stalled = engine_->runCycle(ctx);
+    injectFromQueues();
     if (counters_)
         counters_->tick();
 

@@ -50,6 +50,8 @@
 
 namespace turnnet {
 
+class CycleEngine;
+
 /**
  * Telemetry switches. Everything here is purely observational: the
  * simulated trajectory (RNG draws, allocation order, SimResult) is
@@ -88,24 +90,39 @@ struct TraceConfig
  *    ascending unit order, and the routing relation's pure
  *    per-destination answers are memoized so blocked headers
  *    retrying every cycle stop re-deriving them.
+ *  - Sharded is the batch sweep split across a per-simulator worker
+ *    team: the fabric is partitioned into contiguous node ranges
+ *    (SimConfig::shards) and each cycle phase runs data-parallel
+ *    over the disjoint shards, with deterministic ascending-order
+ *    merges at the phase barriers so the trajectory stays
+ *    bit-identical at every shard count. For fabrics too large to
+ *    sweep on one core (256x256 meshes, 16-ary 3-cubes).
  *
- * The differential oracle (harness/differential.hpp) steps a
+ * Engine names, factories, and capability flags live in
+ * EngineRegistry (network/engine.hpp) — the enum is only the typed
+ * key. The differential oracle (harness/differential.hpp) steps a
  * candidate engine against reference in lockstep and asserts
  * identical (cycle, event) streams; fast is the default, reference
- * is the oracle's baseline and a debugging fallback, batch is for
- * loaded sweeps (the paper's throughput regime).
+ * is the oracle's baseline and a debugging fallback, batch and
+ * sharded are for loaded sweeps (the paper's throughput regime).
  */
 enum class SimEngine : std::uint8_t
 {
     Reference,
     Fast,
     Batch,
+    Sharded,
 };
 
-/** CLI name of an engine ("reference" / "fast" / "batch"). */
+/** CLI name of an engine.
+ *  @deprecated Names live in the engine registry now; use
+ *  EngineRegistry::instance().at(engine).name. */
+[[deprecated("use EngineRegistry::instance().at(engine).name")]]
 const char *simEngineName(SimEngine engine);
 
-/** Parse an --engine value; fatal on anything unknown. */
+/** Parse an --engine value; fatal on anything unknown.
+ *  @deprecated Use EngineRegistry::instance().parse(name).id. */
+[[deprecated("use EngineRegistry::instance().parse(name).id")]]
 SimEngine parseSimEngine(const std::string &name);
 
 /** Configuration of one simulation run. */
@@ -201,6 +218,17 @@ struct SimConfig
     /** Cycle-loop engine (see SimEngine); bit-identical either way. */
     SimEngine engine = SimEngine::Fast;
 
+    /**
+     * Worker shards for engines with EngineDescriptor::
+     * supportsSharding (currently sharded): the fabric is split into
+     * this many contiguous node ranges, each driven by one worker of
+     * a per-simulator team, per cycle phase. 0 = one shard per
+     * hardware thread; always capped at the node count. The
+     * trajectory is bit-identical at every shard count; engines
+     * without sharding support ignore this.
+     */
+    unsigned shards = 0;
+
     std::uint64_t seed = 1;
 
     /**
@@ -235,6 +263,9 @@ class Simulator
      */
     Simulator(const Topology &topo, VcRoutingPtr routing,
               TrafficPtr traffic, SimConfig config);
+
+    /** Out of line: the engine strategy type is incomplete here. */
+    ~Simulator();
 
     /** Run the full warmup / measure / drain schedule. */
     SimResult run();
@@ -339,31 +370,20 @@ class Simulator
     }
 
   private:
+    // The engine strategies run the allocation/movement core of each
+    // cycle against the simulator's internals (engine.hpp,
+    // sharded_engine.hpp); their scratch state lives with them, not
+    // here.
+    friend class ReferenceEngine;
+    friend class FastEngine;
+    friend class BatchEngine;
+    friend class ShardedEngine;
+
     void generateTraffic();
     void createPacket(NodeId src, NodeId dest, std::uint32_t length);
-    void moveFlits();
     void injectFromQueues();
     void deliverFlit(const Flit &flit);
     void checkConservation() const;
-
-    // Fast-engine worklist machinery (see SimEngine).
-    /** Note a buffer gained a flit: membership in the worklist. */
-    void touchUnit(UnitId unit);
-    /** Rebuild this cycle's worklist (active units + their routers)
-     *  from last cycle's list plus the units touched since. */
-    void buildWorklist();
-    /** Worklist counterpart of moveFlits(). */
-    void moveFlitsFast();
-
-    // Batch-engine machinery (see SimEngine).
-    /** Flat-sweep allocation: one pass over the occupancy / route
-     *  columns finds the routers holding unrouted front headers
-     *  (the only routers whose allocate() does anything — draws
-     *  RNG, bumps counters, or assigns outputs), then visits
-     *  exactly those in ascending node order with the route memo. */
-    void allocateBatch(const AllocationContext &ctx);
-    /** Flat-sweep counterpart of moveFlits(). */
-    void moveFlitsBatch();
 
     /** Apply the collected moves (shared by all engines). */
     void applyMoves();
@@ -390,16 +410,18 @@ class Simulator
     PacketTable packets_;
     std::vector<SourceQueue> queues_;
     MessageGenerator generator_;
-    Rng arbiterRng_;
+    /** Per-node arbiter RNG streams (AllocationContext::nodeRngs),
+     *  seeded deriveSeed(seed, node) so draws are attributable to
+     *  nodes, not to whichever thread runs the allocation. */
+    std::vector<Rng> nodeRng_;
+    /** The cycle-loop strategy, built from the EngineRegistry
+     *  factory for config_.engine. */
+    std::unique_ptr<CycleEngine> engine_;
 
     Cycle cycle_ = 0;
     bool measuring_ = false;
     bool deadlocked_ = false;
     bool faultsActive_ = false;
-    /** Cached config_.engine == SimEngine::Fast. */
-    bool fast_ = false;
-    /** Cached config_.engine == SimEngine::Batch. */
-    bool batch_ = false;
     /** Consecutive cycles each input unit's front flit has been
      *  stuck. A true deadlock permanently stalls specific buffers,
      *  which this catches even while unrelated traffic keeps
@@ -445,40 +467,6 @@ class Simulator
         UnitId output;
     };
     std::vector<Move> moveScratch_;
-
-    // Fast-engine worklist state. activeScratch_ is the persistent
-    // membership list (sorted prefix of length sortedPrefix_, plus
-    // units touched since the last rebuild); unitActive_ flags
-    // membership so a unit is appended at most once. buildWorklist()
-    // filters it into activeUnits_ (non-empty buffers, ascending)
-    // and routerScratch_ (their routers, ascending).
-    std::vector<std::uint8_t> unitActive_;
-    /** Per-node "has an active unit" flags, set during the merge
-     *  pass and consumed (cleared) by the ordered router scan. */
-    std::vector<std::uint8_t> nodeActive_;
-    std::vector<UnitId> activeScratch_;
-    std::size_t sortedPrefix_ = 0;
-    std::vector<UnitId> activeUnits_;
-    std::vector<NodeId> routerScratch_;
-    std::vector<std::uint8_t> movableScratch_;
-    /** This cycle's longest stall among worklist units; equals
-     *  maxFrontStall() because every unit off the list is empty and
-     *  carries a zero stall counter. */
-    Cycle lastMaxStall_ = 0;
-
-    // Batch-engine state (see SimEngine).
-    /** Memoized routing-relation answers per input unit. */
-    RouteCache routeCache_;
-    /** Router owning each input unit (channel inputs live at the
-     *  channel's destination), precomputed for the flat sweeps. */
-    std::vector<NodeId> unitNode_;
-    /** Per-node "has an unrouted front header" flags, set by the
-     *  pending sweep and consumed by the ordered router visit. */
-    std::vector<std::uint8_t> nodePending_;
-    /** The same flags per input unit, handed to Router::allocate so
-     *  the router's input scan skips non-pending inputs without
-     *  touching the flit store. */
-    std::vector<std::uint8_t> unitPending_;
 };
 
 /**

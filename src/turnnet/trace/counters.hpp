@@ -122,9 +122,29 @@ class TraceCounters
      */
     void turnTaken(Direction from, Direction to)
     {
-        ++turns_[static_cast<std::size_t>(slot(from)) *
-                     static_cast<std::size_t>(numSlots_) +
-                 static_cast<std::size_t>(slot(to))];
+        ++turns_[turnSlotIndex(from, to)];
+    }
+
+    /** Slots per axis of the turn histogram; a scratch histogram
+     *  (sharded-engine workers) is turnSlotCount()^2 entries. */
+    int turnSlotCount() const { return numSlots_; }
+
+    /** Flat row-major [from][to] slot of the turn histogram. */
+    std::size_t turnSlotIndex(Direction from, Direction to) const
+    {
+        return static_cast<std::size_t>(slot(from)) *
+                   static_cast<std::size_t>(numSlots_) +
+               static_cast<std::size_t>(slot(to));
+    }
+
+    /** Fold a turnSlotCount()^2 scratch histogram into the turn
+     *  counts (the turn histogram is the one counter the parallel
+     *  allocation pass cannot write in place — every other feed is
+     *  per-node or per-unit and lands on a single worker). */
+    void addTurns(const std::uint64_t *scratch)
+    {
+        for (std::size_t i = 0; i < turns_.size(); ++i)
+            turns_[i] += scratch[i];
     }
 
     // -- Queries. --

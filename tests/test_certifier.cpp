@@ -299,7 +299,7 @@ reachableFrom(const CdgGraph &graph, ChannelId from)
  * unrelated artifacts).
  */
 void
-expectWitnessMatchesForensics(SimEngine engine)
+expectWitnessMatchesForensics(SimEngine engine, unsigned shards = 0)
 {
     const Mesh mesh(4, 4);
     const RoutingPtr fa = makeRouting({.name = "fully-adaptive"});
@@ -320,6 +320,7 @@ expectWitnessMatchesForensics(SimEngine engine)
     config.drainCycles = 100;
     config.seed = 3;
     config.engine = engine;
+    config.shards = shards;
     Simulator sim(mesh, fa, makeTraffic("uniform", mesh), config);
     ASSERT_TRUE(sim.run().deadlocked);
     const DeadlockReport forensics = collectDeadlockForensics(sim);
@@ -357,6 +358,14 @@ TEST(CertifyForensics, WitnessMatchesWedgedRunFastEngine)
 TEST(CertifyForensics, WitnessMatchesWedgedRunBatchEngine)
 {
     expectWitnessMatchesForensics(SimEngine::Batch);
+}
+
+TEST(CertifyForensics, WitnessMatchesWedgedRunShardedEngine)
+{
+    // An uneven 3-way split of the 16-node mesh: the wedged (fully
+    // stalled) fabric is the stress case for the sharded engine's
+    // cross-shard chain walks.
+    expectWitnessMatchesForensics(SimEngine::Sharded, 3);
 }
 
 } // namespace

@@ -1,19 +1,21 @@
 /**
  * @file
  * Differential-oracle tests: every candidate engine (the fast
- * active-worm worklist and the batch flat-sweep engine) must be
+ * active-worm worklist, the batch flat-sweep engine, and the sharded
+ * data-parallel engine at several shard counts) must be
  * bit-identical to the reference full-scan engine — same (cycle,
  * event) stream, same counters, same fabric state after every
  * cycle — across the full matrix of routing algorithms, traffic
  * patterns, arbitration policies, buffer depths, fault activations,
  * virtual-channel configurations, and trace settings. The whole
- * file is parameterized over the candidate, so the matrix runs once
- * per engine.
+ * file is parameterized over (candidate, shard count), so the
+ * matrix runs once per engine configuration.
  */
 
 #include <gtest/gtest.h>
 
 #include "turnnet/harness/differential.hpp"
+#include "turnnet/network/engine.hpp"
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/routing/vc_routing.hpp"
 #include "turnnet/topology/hypercube.hpp"
@@ -44,23 +46,53 @@ expectIdentical(const DifferentialReport &report)
     EXPECT_GT(report.eventsCompared, 0u);
 }
 
-/** Candidate engine under oracle (reference is always the other
- *  side). */
-class Differential : public ::testing::TestWithParam<SimEngine>
+/** One candidate configuration: an engine plus, for engines that
+ *  support sharding, the worker-team width to force. */
+struct EngineParam
+{
+    SimEngine engine;
+    /** SimConfig::shards for both simulators (serial engines
+     *  ignore it; 0 would mean one shard per hardware thread). */
+    unsigned shards;
+};
+
+/** Candidate engine configuration under oracle (reference is always
+ *  the other side). */
+class Differential : public ::testing::TestWithParam<EngineParam>
 {
   protected:
-    SimEngine candidate() const { return GetParam(); }
+    SimEngine candidate() const { return GetParam().engine; }
+
+    /** Apply the parameterized shard count to a test's config. */
+    SimConfig
+    cfg(SimConfig config) const
+    {
+        config.shards = GetParam().shards;
+        return config;
+    }
 };
 
 std::string
-engineParamName(const ::testing::TestParamInfo<SimEngine> &param)
+engineParamName(const ::testing::TestParamInfo<EngineParam> &param)
 {
-    return simEngineName(param.param);
+    std::string name =
+        EngineRegistry::instance().at(param.param.engine).name;
+    if (param.param.shards != 0)
+        name += "_s" + std::to_string(param.param.shards);
+    return name;
 }
 
+// Shard counts probe the partition edge cases: 1 (sharded code path,
+// serial team), 2 and 4 (even splits), 7 (uneven split that does not
+// divide the 25- and 16-node fabrics used below).
 INSTANTIATE_TEST_SUITE_P(
     Engines, Differential,
-    ::testing::Values(SimEngine::Fast, SimEngine::Batch),
+    ::testing::Values(EngineParam{SimEngine::Fast, 0},
+                      EngineParam{SimEngine::Batch, 0},
+                      EngineParam{SimEngine::Sharded, 1},
+                      EngineParam{SimEngine::Sharded, 2},
+                      EngineParam{SimEngine::Sharded, 4},
+                      EngineParam{SimEngine::Sharded, 7}),
     engineParamName);
 
 TEST_P(Differential, MeshAlgorithmByTrafficMatrix)
@@ -77,7 +109,7 @@ TEST_P(Differential, MeshAlgorithmByTrafficMatrix)
         for (const char *pattern : patterns) {
             const DifferentialReport report = runDifferential(
                 mesh, makeVcRouting({.name = algo}),
-                makeTraffic(pattern, mesh), loadedConfig(), 600,
+                makeTraffic(pattern, mesh), cfg(loadedConfig()), 600,
                 candidate());
             SCOPED_TRACE(std::string(algo) + " / " + pattern);
             expectIdentical(report);
@@ -98,7 +130,7 @@ TEST_P(Differential, NonminimalAndMisrouteWaits)
             const DifferentialReport report = runDifferential(
                 mesh,
                 makeVcRouting({.name = algo, .minimal = false}),
-                makeTraffic("uniform", mesh), config, 600,
+                makeTraffic("uniform", mesh), cfg(config), 600,
                 candidate());
             SCOPED_TRACE(std::string(algo) + "-nm wait " +
                          std::to_string(wait));
@@ -118,7 +150,8 @@ TEST_P(Differential, RandomArbitrationConsumesIdenticalRngStreams)
     config.outputPolicy = OutputPolicy::Random;
     const DifferentialReport report = runDifferential(
         mesh, makeVcRouting({.name = "odd-even"}),
-        makeTraffic("uniform", mesh), config, 800, candidate());
+        makeTraffic("uniform", mesh), cfg(config), 800,
+        candidate());
     expectIdentical(report);
 }
 
@@ -135,7 +168,7 @@ TEST_P(Differential, DeepBuffersAndCountersTelemetry)
             config.trace.counters = counters;
             const DifferentialReport report = runDifferential(
                 mesh, makeVcRouting({.name = "north-last"}),
-                makeTraffic("transpose", mesh), config, 600,
+                makeTraffic("transpose", mesh), cfg(config), 600,
                 candidate());
             SCOPED_TRACE("depth " + std::to_string(depth) +
                          (counters ? " +counters" : ""));
@@ -151,8 +184,8 @@ TEST_P(Differential, TorusWraparoundAlgorithms)
          {"nf-torus", "xy-first-hop-wrap", "nf-first-hop-wrap"}) {
         const DifferentialReport report = runDifferential(
             torus, makeVcRouting({.name = algo}),
-            makeTraffic("uniform", torus), loadedConfig(0.15, 41),
-            600, candidate());
+            makeTraffic("uniform", torus),
+            cfg(loadedConfig(0.15, 41)), 600, candidate());
         SCOPED_TRACE(algo);
         expectIdentical(report);
     }
@@ -163,8 +196,8 @@ TEST_P(Differential, HypercubePCube)
     const Hypercube cube(4);
     const DifferentialReport report = runDifferential(
         cube, makeVcRouting({.name = "p-cube", .dims = 4}),
-        makeTraffic("uniform", cube), loadedConfig(0.15, 7), 600,
-        candidate());
+        makeTraffic("uniform", cube), cfg(loadedConfig(0.15, 7)),
+        600, candidate());
     expectIdentical(report);
 }
 
@@ -178,15 +211,15 @@ TEST_P(Differential, VirtualChannelLinkArbitration)
     const Torus torus(std::vector<int>{4, 4});
     const DifferentialReport dateline = runDifferential(
         torus, makeVcRouting({.name = "dateline"}),
-        makeTraffic("uniform", torus), loadedConfig(0.25, 13), 800,
-        candidate());
+        makeTraffic("uniform", torus), cfg(loadedConfig(0.25, 13)),
+        800, candidate());
     expectIdentical(dateline);
 
     const Mesh mesh(5, 5);
     const DifferentialReport doubley = runDifferential(
         mesh, makeVcRouting({.name = "double-y"}),
-        makeTraffic("transpose", mesh), loadedConfig(0.3, 19), 800,
-        candidate());
+        makeTraffic("transpose", mesh), cfg(loadedConfig(0.3, 19)),
+        800, candidate());
     expectIdentical(doubley);
 }
 
@@ -204,7 +237,7 @@ TEST_P(Differential, MidRunFaultActivationWithPurges)
         mesh,
         makeVcRouting({.name = "negative-first-ft",
                        .fault_set = faults}),
-        makeTraffic("uniform", mesh), config, candidate());
+        makeTraffic("uniform", mesh), cfg(config), candidate());
     const DifferentialReport report = harness.run(800);
     expectIdentical(report);
     EXPECT_TRUE(harness.reference().faultsActive());
@@ -226,7 +259,8 @@ TEST_P(Differential, FaultObliviousContrastRun)
     config.faultCycle = 100;
     const DifferentialReport report = runDifferential(
         mesh, makeVcRouting({.name = "xy"}),
-        makeTraffic("uniform", mesh), config, 800, candidate());
+        makeTraffic("uniform", mesh), cfg(config), 800,
+        candidate());
     expectIdentical(report);
 }
 
@@ -240,7 +274,7 @@ TEST_P(Differential, DeadlockProneBaselineAgreesOnTheVerdict)
     config.watchdogCycles = 300;
     DifferentialHarness harness(
         mesh, makeVcRouting({.name = "fully-adaptive"}),
-        makeTraffic("uniform", mesh), config, candidate());
+        makeTraffic("uniform", mesh), cfg(config), candidate());
     const DifferentialReport report = harness.run(2500);
     expectIdentical(report);
     EXPECT_EQ(harness.reference().deadlockDetected(),
@@ -257,7 +291,7 @@ TEST_P(Differential, ScriptedWormsAndIdleCycles)
     config.load = 0.0;
     DifferentialHarness harness(mesh,
                                 makeVcRouting({.name = "xy"}),
-                                nullptr, config, candidate());
+                                nullptr, cfg(config), candidate());
     harness.injectBoth(mesh.nodeOf({0, 0}), mesh.nodeOf({3, 3}), 8);
     harness.injectBoth(mesh.nodeOf({0, 3}), mesh.nodeOf({3, 0}), 8);
     harness.injectBoth(mesh.nodeOf({2, 0}), mesh.nodeOf({2, 3}), 8);
@@ -285,21 +319,47 @@ TEST(Differential, ReferenceSimulatorClassForcesTheEngine)
     EXPECT_EQ(sim.config().engine, SimEngine::Reference);
 }
 
-TEST(Differential, EngineNamesRoundTrip)
+TEST(Differential, RegistryIsTheSingleSourceOfEngineNames)
 {
-    EXPECT_STREQ(simEngineName(SimEngine::Reference), "reference");
-    EXPECT_STREQ(simEngineName(SimEngine::Fast), "fast");
-    EXPECT_STREQ(simEngineName(SimEngine::Batch), "batch");
-    EXPECT_EQ(parseSimEngine("reference"), SimEngine::Reference);
-    EXPECT_EQ(parseSimEngine("fast"), SimEngine::Fast);
-    EXPECT_EQ(parseSimEngine("batch"), SimEngine::Batch);
+    const EngineRegistry &reg = EngineRegistry::instance();
+    EXPECT_EQ(reg.all().size(), 4u);
+    EXPECT_STREQ(reg.at(SimEngine::Reference).name, "reference");
+    EXPECT_STREQ(reg.at(SimEngine::Fast).name, "fast");
+    EXPECT_STREQ(reg.at(SimEngine::Batch).name, "batch");
+    EXPECT_STREQ(reg.at(SimEngine::Sharded).name, "sharded");
+    for (const EngineDescriptor &engine : reg.all()) {
+        EXPECT_EQ(reg.parse(engine.name).id, engine.id);
+        EXPECT_EQ(reg.find(engine.name), &reg.at(engine.id));
+    }
+    EXPECT_EQ(reg.find("turbo"), nullptr);
+}
+
+TEST(Differential, RegistryCapabilitiesDriveCandidateLists)
+{
+    const EngineRegistry &reg = EngineRegistry::instance();
+    // The reference engine is the oracle baseline, never a speedup
+    // candidate; every other engine is timed against it.
+    EXPECT_FALSE(reg.at(SimEngine::Reference).benchCandidate);
+    const auto candidates = reg.benchCandidates();
+    EXPECT_EQ(candidates.size(), reg.all().size() - 1);
+    // Only the sharded engine honors SimConfig::shards.
+    for (const EngineDescriptor &engine : reg.all()) {
+        EXPECT_EQ(engine.supportsSharding,
+                  engine.id == SimEngine::Sharded);
+    }
+    // The usage string names every engine, for CLI errors.
+    const std::string usage = reg.usageNames();
+    for (const EngineDescriptor &engine : reg.all())
+        EXPECT_NE(usage.find(engine.name), std::string::npos);
 }
 
 TEST(DifferentialDeath, UnknownEngineNameIsFatal)
 {
-    EXPECT_DEATH(parseSimEngine("turbo"), "unknown engine");
+    EXPECT_DEATH(EngineRegistry::instance().parse("turbo"),
+                 "unknown engine");
     // "batched" must not silently alias "batch".
-    EXPECT_DEATH(parseSimEngine("batched"), "unknown engine");
+    EXPECT_DEATH(EngineRegistry::instance().parse("batched"),
+                 "unknown engine");
 }
 
 } // namespace

@@ -26,6 +26,7 @@
 
 #include "turnnet/harness/fault_sweep.hpp"
 #include "turnnet/harness/sweep.hpp"
+#include "turnnet/network/engine.hpp"
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/topology/mesh.hpp"
 #include "turnnet/trace/counters.hpp"
@@ -76,7 +77,10 @@ expectMatchesGolden(const std::string &name,
         << "review the diff";
 }
 
-/** Short, fully deterministic schedule shared by every fixture. */
+/** Short, fully deterministic schedule shared by every fixture.
+ *  The sharded engine runs with a fixed 3-shard team (an uneven
+ *  split of the 16-node fixture meshes) so the fixture bytes do not
+ *  depend on the host's core count. */
 SimConfig
 fixtureConfig(SimEngine engine = SimEngine::Fast)
 {
@@ -86,14 +90,17 @@ fixtureConfig(SimEngine engine = SimEngine::Fast)
     config.drainCycles = 600;
     config.seed = 21;
     config.engine = engine;
+    if (engine == SimEngine::Sharded)
+        config.shards = 3;
     return config;
 }
 
-/** The three-way engine matrix: every fixture document must render
+/** The four-way engine matrix: every fixture document must render
  *  byte-identically whichever cycle-loop engine produced it, so the
  *  committed fixture doubles as a cross-engine oracle. */
 constexpr SimEngine kEngines[] = {SimEngine::Reference,
-                                  SimEngine::Fast, SimEngine::Batch};
+                                  SimEngine::Fast, SimEngine::Batch,
+                                  SimEngine::Sharded};
 
 TEST(Golden, CountersExport)
 {
@@ -104,7 +111,9 @@ TEST(Golden, CountersExport)
     const std::vector<double> loads = {0.05, 0.15};
 
     for (const SimEngine engine : kEngines) {
-        SCOPED_TRACE(simEngineName(engine));
+        SCOPED_TRACE(EngineRegistry::instance().at(engine).name);
+        opts.engine = engine;
+        opts.shards = fixtureConfig(engine).shards;
         std::vector<CountersExportEntry> entries;
         for (const char *alg : {"xy", "west-first"}) {
             const auto sweep = runLoadSweep(
@@ -129,7 +138,9 @@ TEST(Golden, FaultSweepExport)
     opts.faultCycle = 150;
 
     for (const SimEngine engine : kEngines) {
-        SCOPED_TRACE(simEngineName(engine));
+        SCOPED_TRACE(EngineRegistry::instance().at(engine).name);
+        opts.engine = engine;
+        opts.shards = fixtureConfig(engine).shards;
         SimConfig base = fixtureConfig(engine);
         base.load = 0.1;
         const auto sweep = runFaultSweep(mesh, "negative-first-ft",
@@ -149,7 +160,9 @@ TEST(Golden, ChannelHeatExport)
     const std::vector<double> loads = {0.15};
 
     for (const SimEngine engine : kEngines) {
-        SCOPED_TRACE(simEngineName(engine));
+        SCOPED_TRACE(EngineRegistry::instance().at(engine).name);
+        opts.engine = engine;
+        opts.shards = fixtureConfig(engine).shards;
         std::vector<ChannelHeatEntry> entries;
         for (const char *alg : {"xy", "negative-first"}) {
             const auto sweep = runLoadSweep(

@@ -21,6 +21,7 @@
 #include <map>
 #include <vector>
 
+#include "turnnet/network/engine.hpp"
 #include "turnnet/network/simulator.hpp"
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/topology/mesh.hpp"
@@ -79,6 +80,31 @@ class WormOrderChecker
     std::uint64_t flitsSeen_ = 0;
 };
 
+/** Engine configurations every invariant sweep runs under: the
+ *  three serial engines plus the sharded engine at an even and an
+ *  uneven shard count (7 does not divide the 16- and 25-node
+ *  fabrics used here, exercising the boundary merges). */
+struct EngineCase
+{
+    SimEngine engine;
+    unsigned shards;
+};
+
+constexpr EngineCase kEngineCases[] = {{SimEngine::Reference, 0},
+                                       {SimEngine::Fast, 0},
+                                       {SimEngine::Batch, 0},
+                                       {SimEngine::Sharded, 2},
+                                       {SimEngine::Sharded, 7}};
+
+std::string
+engineCaseName(const EngineCase &c)
+{
+    std::string name = EngineRegistry::instance().at(c.engine).name;
+    if (c.shards != 0)
+        name += "/s" + std::to_string(c.shards);
+    return name;
+}
+
 /** Conservation ledger checked after every cycle. */
 void
 expectConserved(const Simulator &sim)
@@ -94,9 +120,10 @@ expectConserved(const Simulator &sim)
 void
 runInvariantSweep(const Topology &topo, const RoutingPtr &routing,
                   const TrafficPtr &traffic, SimConfig config,
-                  SimEngine engine, Cycle cycles)
+                  EngineCase engine, Cycle cycles)
 {
-    config.engine = engine;
+    config.engine = engine.engine;
+    config.shards = engine.shards;
     Simulator sim(topo, routing, traffic, config);
     WormOrderChecker order;
     order.attach(sim);
@@ -135,12 +162,10 @@ TEST(Invariants, RandomizedMeshSweepsBothEngines)
         {"odd-even", uniform, 0.35, 1, 55},
     };
     for (const Case &c : cases) {
-        for (const SimEngine engine :
-             {SimEngine::Reference, SimEngine::Fast,
-          SimEngine::Batch}) {
+        for (const EngineCase &engine : kEngineCases) {
             SCOPED_TRACE(std::string(c.algorithm) + " seed " +
                          std::to_string(c.seed) + " engine " +
-                         simEngineName(engine));
+                         engineCaseName(engine));
             SimConfig config;
             config.load = c.load;
             config.bufferDepth = c.depth;
@@ -155,10 +180,8 @@ TEST(Invariants, RandomizedMeshSweepsBothEngines)
 TEST(Invariants, TorusSweepBothEngines)
 {
     const Torus torus(std::vector<int>{4, 4});
-    for (const SimEngine engine :
-         {SimEngine::Reference, SimEngine::Fast,
-          SimEngine::Batch}) {
-        SCOPED_TRACE(simEngineName(engine));
+    for (const EngineCase &engine : kEngineCases) {
+        SCOPED_TRACE(engineCaseName(engine));
         SimConfig config;
         config.load = 0.15;
         config.seed = 7;
@@ -176,16 +199,15 @@ TEST(Invariants, ConservationHoldsThroughFaultPurges)
     // every cycle after.
     const Mesh mesh(5, 5);
     const FaultSet faults = FaultSet::randomLinks(mesh, 3, 99);
-    for (const SimEngine engine :
-         {SimEngine::Reference, SimEngine::Fast,
-          SimEngine::Batch}) {
-        SCOPED_TRACE(simEngineName(engine));
+    for (const EngineCase &engine : kEngineCases) {
+        SCOPED_TRACE(engineCaseName(engine));
         SimConfig config;
         config.load = 0.2;
         config.seed = 13;
         config.faults = faults;
         config.faultCycle = 300;
-        config.engine = engine;
+        config.engine = engine.engine;
+        config.shards = engine.shards;
         Simulator sim(mesh,
                       makeRouting({.name = "negative-first-ft",
                                    .fault_set = faults}),
@@ -205,13 +227,12 @@ TEST(Invariants, ScriptedWormOrderAcrossContention)
     // the same destination; whatever the interleaving, each packet
     // must still arrive in order and gap-free.
     const Mesh mesh(4, 4);
-    for (const SimEngine engine :
-         {SimEngine::Reference, SimEngine::Fast,
-          SimEngine::Batch}) {
-        SCOPED_TRACE(simEngineName(engine));
+    for (const EngineCase &engine : kEngineCases) {
+        SCOPED_TRACE(engineCaseName(engine));
         SimConfig config;
         config.load = 0.0;
-        config.engine = engine;
+        config.engine = engine.engine;
+        config.shards = engine.shards;
         Simulator sim(mesh, makeRouting({.name = "xy"}), nullptr,
                       config);
         WormOrderChecker order;

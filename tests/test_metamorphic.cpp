@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "turnnet/network/engine.hpp"
 #include "turnnet/network/simulator.hpp"
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/topology/hypercube.hpp"
@@ -85,15 +86,33 @@ struct RunRecord
     Cycle drainedAt = 0;
 };
 
+/** Engine configurations the symmetry must survive: the serial
+ *  engines plus the sharded engine at an even and an uneven
+ *  (non-dividing) width. */
+constexpr std::pair<SimEngine, unsigned> kEngineCases[] = {
+    {SimEngine::Reference, 0}, {SimEngine::Fast, 0},
+    {SimEngine::Batch, 0},     {SimEngine::Sharded, 2},
+    {SimEngine::Sharded, 7}};
+
+std::string
+engineCaseName(SimEngine engine, unsigned shards)
+{
+    std::string name = EngineRegistry::instance().at(engine).name;
+    if (shards != 0)
+        name += "/s" + std::to_string(shards);
+    return name;
+}
+
 void
 runScripted(const Topology &topo, const RoutingPtr &routing,
             const std::vector<Event> &events, SimEngine engine,
-            RunRecord &record)
+            unsigned shards, RunRecord &record)
 {
     SimConfig config;
     config.load = 0.0;
     config.trace.counters = true;
     config.engine = engine;
+    config.shards = shards;
     Simulator sim(topo, routing, nullptr, config);
     sim.onDelivered = [&](const PacketInfo &info, Cycle now) {
         record.latencies.push_back(now - info.created);
@@ -127,20 +146,18 @@ expectEquivariant(const Topology &topo, const std::string &algorithm,
         mapped.push_back(
             Event{e.at, map(e.src), map(e.dst), e.length});
 
-    for (const SimEngine engine :
-         {SimEngine::Reference, SimEngine::Fast,
-          SimEngine::Batch}) {
-        SCOPED_TRACE(simEngineName(engine));
+    for (const auto &[engine, shards] : kEngineCases) {
+        SCOPED_TRACE(engineCaseName(engine, shards));
         RunRecord base;
         RunRecord image;
         runScripted(topo,
                     makeRouting({.name = algorithm,
                                  .dims = topo.numDims()}),
-                    events, engine, base);
+                    events, engine, shards, base);
         runScripted(topo,
                     makeRouting({.name = algorithm,
                                  .dims = topo.numDims()}),
-                    mapped, engine, image);
+                    mapped, engine, shards, image);
 
         // Aggregates are bit-identical (integer cycle counts, so
         // "bit-identical" and "equal" coincide; no FP averaging

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Regression tests for the shard-scaling gate encoding
+ * (appendShardGateEntries in harness/bench_report): the
+ * bench/shard_scaling gate reuses evaluateSpeedupGate by mapping
+ * each topology to one value of the gate's load axis, the 1-shard
+ * run to the "reference" rate, and the --gate-shards run to the
+ * sole candidate. These tests pin that encoding — in particular
+ * that EVERY topology point is gated, that non-gated shard counts
+ * cannot carry the verdict, and that a missing baseline or gated
+ * run makes the gate fail rather than silently pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/harness/bench_report.hpp"
+
+namespace turnnet {
+namespace {
+
+ShardBenchEntry
+entry(const char *topology, unsigned shards, double rate)
+{
+    ShardBenchEntry e;
+    e.topology = topology;
+    e.shards = shards;
+    e.cyclesPerSec = rate;
+    return e;
+}
+
+TEST(ShardGate, EveryTopologyPointIsGated)
+{
+    // The cube scales (3.1x) but the big mesh collapsed to 1.4x —
+    // the gate must take the minimum over topology points, exactly
+    // like the engine gate takes it over load points.
+    const std::vector<ShardBenchEntry> entries = {
+        entry("mesh(64x64)", 1, 100.0),
+        entry("mesh(64x64)", 4, 320.0),
+        entry("mesh(256x256)", 1, 10.0),
+        entry("mesh(256x256)", 4, 14.0),
+        entry("torus(16x16x16)", 1, 50.0),
+        entry("torus(16x16x16)", 4, 155.0),
+    };
+    std::vector<EngineBenchEntry> gate_entries;
+    const std::vector<std::string> order =
+        appendShardGateEntries(gate_entries, entries, 4);
+
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], "mesh(64x64)");
+    EXPECT_EQ(order[1], "mesh(256x256)");
+    EXPECT_EQ(order[2], "torus(16x16x16)");
+
+    const SpeedupGateResult gate =
+        evaluateSpeedupGate(gate_entries, 2.5);
+    EXPECT_FALSE(gate.pass);
+    EXPECT_EQ(gate.loadsEvaluated, 3u);
+    EXPECT_DOUBLE_EQ(gate.minSpeedup, 1.4);
+    EXPECT_EQ(gate.minEngine, "sharded@4");
+    // minLoad is the failing topology's axis index — the bench maps
+    // it back through the returned order to name the fabric.
+    const auto axis = static_cast<std::size_t>(gate.minLoad + 0.5);
+    ASSERT_LT(axis, order.size());
+    EXPECT_EQ(order[axis], "mesh(256x256)");
+}
+
+TEST(ShardGate, OnlyTheGatedShardCountIsACandidate)
+{
+    // A spectacular 2-shard run must not excuse a collapsed 4-shard
+    // run: the gate asks about the configured team width, nothing
+    // else.
+    const std::vector<ShardBenchEntry> entries = {
+        entry("mesh(64x64)", 1, 100.0),
+        entry("mesh(64x64)", 2, 900.0),
+        entry("mesh(64x64)", 4, 120.0),
+        entry("mesh(64x64)", 8, 800.0),
+    };
+    std::vector<EngineBenchEntry> gate_entries;
+    appendShardGateEntries(gate_entries, entries, 4);
+
+    // Exactly two gate entries: the 1-shard baseline and the
+    // 4-shard candidate. The 2- and 8-shard runs are absent.
+    ASSERT_EQ(gate_entries.size(), 2u);
+
+    const SpeedupGateResult gate =
+        evaluateSpeedupGate(gate_entries, 2.5);
+    EXPECT_FALSE(gate.pass);
+    EXPECT_DOUBLE_EQ(gate.minSpeedup, 1.2);
+}
+
+TEST(ShardGate, PassingSweepReportsTheMinimum)
+{
+    const std::vector<ShardBenchEntry> entries = {
+        entry("mesh(64x64)", 1, 100.0),
+        entry("mesh(64x64)", 4, 340.0),
+        entry("torus(16x16x16)", 1, 50.0),
+        entry("torus(16x16x16)", 4, 130.0),
+    };
+    std::vector<EngineBenchEntry> gate_entries;
+    const std::vector<std::string> order =
+        appendShardGateEntries(gate_entries, entries, 4);
+    const SpeedupGateResult gate =
+        evaluateSpeedupGate(gate_entries, 2.5);
+    EXPECT_TRUE(gate.pass);
+    EXPECT_EQ(gate.loadsEvaluated, 2u);
+    EXPECT_DOUBLE_EQ(gate.minSpeedup, 2.6);
+    const auto axis = static_cast<std::size_t>(gate.minLoad + 0.5);
+    ASSERT_LT(axis, order.size());
+    EXPECT_EQ(order[axis], "torus(16x16x16)");
+}
+
+TEST(ShardGate, MissingBaselineIsNotEvaluable)
+{
+    // A topology without its 1-shard run proves nothing; if no
+    // topology is evaluable, an enabled gate must fail (the
+    // engine gate's empty-sweep rule).
+    const std::vector<ShardBenchEntry> entries = {
+        entry("mesh(64x64)", 4, 320.0),
+    };
+    std::vector<EngineBenchEntry> gate_entries;
+    appendShardGateEntries(gate_entries, entries, 4);
+    const SpeedupGateResult gate =
+        evaluateSpeedupGate(gate_entries, 2.5);
+    EXPECT_FALSE(gate.pass);
+    EXPECT_EQ(gate.loadsEvaluated, 0u);
+}
+
+TEST(ShardGate, MissingGatedRunIsNotEvaluable)
+{
+    const std::vector<ShardBenchEntry> entries = {
+        entry("mesh(64x64)", 1, 100.0),
+        entry("mesh(64x64)", 2, 190.0),
+    };
+    std::vector<EngineBenchEntry> gate_entries;
+    appendShardGateEntries(gate_entries, entries, 4);
+    const SpeedupGateResult gate =
+        evaluateSpeedupGate(gate_entries, 2.5);
+    EXPECT_FALSE(gate.pass);
+    EXPECT_EQ(gate.loadsEvaluated, 0u);
+}
+
+TEST(ShardGate, GateShardsOfOneYieldsNoCandidates)
+{
+    // Gating the baseline against itself would always "pass" at
+    // 1.0x; the encoding refuses to produce a candidate instead.
+    const std::vector<ShardBenchEntry> entries = {
+        entry("mesh(64x64)", 1, 100.0),
+        entry("mesh(64x64)", 4, 320.0),
+    };
+    std::vector<EngineBenchEntry> gate_entries;
+    appendShardGateEntries(gate_entries, entries, 1);
+    ASSERT_EQ(gate_entries.size(), 1u);
+    EXPECT_EQ(gate_entries[0].engine, "reference");
+    EXPECT_FALSE(evaluateSpeedupGate(gate_entries, 2.5).pass);
+}
+
+TEST(ShardGate, OracleVerdictRidesIntoTheGateEntries)
+{
+    std::vector<ShardBenchEntry> entries = {
+        entry("mesh(64x64)", 1, 100.0),
+        entry("mesh(64x64)", 4, 320.0),
+    };
+    entries[1].oracleIdentical = false;
+    entries[1].oracleChecked = true;
+    std::vector<EngineBenchEntry> gate_entries;
+    appendShardGateEntries(gate_entries, entries, 4);
+    ASSERT_EQ(gate_entries.size(), 2u);
+    EXPECT_TRUE(gate_entries[0].oracleIdentical);
+    EXPECT_FALSE(gate_entries[1].oracleIdentical);
+}
+
+} // namespace
+} // namespace turnnet

@@ -2,7 +2,10 @@
  * @file
  * Tests for the deterministic thread pool: exactly-once execution,
  * exception propagation, reuse across task grids, and degenerate
- * shapes (empty grids, more workers than tasks).
+ * shapes (empty grids, more workers than tasks) — plus the WorkSpan
+ * persistent worker team the sharded cycle engine runs its
+ * per-cycle spans on (every run() a barrier, slot 0 inline, many
+ * runs per team lifetime).
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +14,7 @@
 #include <cstddef>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "turnnet/common/thread_pool.hpp"
@@ -96,6 +100,114 @@ TEST(ThreadPool, HardwareWorkersIsPositive)
     EXPECT_GE(ThreadPool::hardwareWorkers(), 1u);
     const ThreadPool pool(0);
     EXPECT_EQ(pool.workerCount(), ThreadPool::hardwareWorkers());
+}
+
+TEST(WorkSpan, EverySlotRunsExactlyOncePerRun)
+{
+    WorkSpan span(4);
+    EXPECT_EQ(span.teamSize(), 4u);
+    std::vector<std::atomic<int>> hits(4);
+    span.run([&](unsigned slot) { ++hits[slot]; });
+    for (std::size_t s = 0; s < hits.size(); ++s)
+        EXPECT_EQ(hits[s].load(), 1) << s;
+}
+
+TEST(WorkSpan, TeamOfOneRunsInlineWithoutThreads)
+{
+    // teamSize <= 1 must not spawn workers: the sharded engine at
+    // --shards 1 degenerates to a plain serial call.
+    WorkSpan span(1);
+    EXPECT_EQ(span.teamSize(), 1u);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id ran_on;
+    span.run([&](unsigned slot) {
+        EXPECT_EQ(slot, 0u);
+        ran_on = std::this_thread::get_id();
+    });
+    EXPECT_EQ(ran_on, caller);
+}
+
+TEST(WorkSpan, ZeroTeamSizeCountsAsOne)
+{
+    WorkSpan span(0);
+    EXPECT_EQ(span.teamSize(), 1u);
+    int runs = 0;
+    span.run([&](unsigned) { ++runs; });
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(WorkSpan, SlotZeroStaysOnTheCallingThread)
+{
+    // The engine drives the span from the simulator's thread and
+    // gives slot 0 the first shard; that shard's writes need no
+    // handoff before the serial merge that follows the barrier.
+    WorkSpan span(3);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id slot0;
+    span.run([&](unsigned slot) {
+        if (slot == 0)
+            slot0 = std::this_thread::get_id();
+    });
+    EXPECT_EQ(slot0, caller);
+}
+
+TEST(WorkSpan, RunIsABarrier)
+{
+    // run() must not return before every slot finished: writes made
+    // by any slot are visible to the caller afterwards without
+    // synchronization — the property the per-cycle merges rely on.
+    WorkSpan span(4);
+    std::vector<std::size_t> out(4, 0);
+    for (std::size_t round = 1; round <= 50; ++round) {
+        span.run([&](unsigned slot) { out[slot] = round; });
+        for (std::size_t s = 0; s < out.size(); ++s)
+            ASSERT_EQ(out[s], round) << "slot " << s;
+    }
+}
+
+TEST(WorkSpan, ReusableForManyRunsPerTeam)
+{
+    // Three spans per simulated cycle, thousands of cycles per run:
+    // the team must survive many epochs without drift or deadlock.
+    WorkSpan span(3);
+    std::vector<std::atomic<long>> sums(3);
+    const int rounds = 3000;
+    for (int round = 0; round < rounds; ++round)
+        span.run([&](unsigned slot) { sums[slot] += 1; });
+    for (std::size_t s = 0; s < sums.size(); ++s)
+        EXPECT_EQ(sums[s].load(), rounds) << s;
+}
+
+TEST(WorkSpan, FirstExceptionIsRethrownAndSpanStaysUsable)
+{
+    WorkSpan span(4);
+    std::vector<std::atomic<int>> hits(4);
+    EXPECT_THROW(span.run([&](unsigned slot) {
+        ++hits[slot];
+        if (slot == 2)
+            throw std::runtime_error("slot failed");
+    }),
+                 std::runtime_error);
+    // Every slot still ran despite the failure...
+    for (std::size_t s = 0; s < hits.size(); ++s)
+        EXPECT_EQ(hits[s].load(), 1) << s;
+    // ...and the team survives a poisoned epoch.
+    std::atomic<int> ok{0};
+    span.run([&](unsigned) { ++ok; });
+    EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(WorkSpan, OversubscribedTeamStillCompletes)
+{
+    // More slots than hardware threads degrades to cooperative
+    // scheduling (yield/sleep), never to livelock — the shape every
+    // --shards N > nproc run has.
+    WorkSpan span(ThreadPool::hardwareWorkers() * 2 + 1);
+    std::vector<std::atomic<int>> hits(span.teamSize());
+    for (int round = 0; round < 20; ++round)
+        span.run([&](unsigned slot) { ++hits[slot]; });
+    for (std::size_t s = 0; s < hits.size(); ++s)
+        EXPECT_EQ(hits[s].load(), 20) << s;
 }
 
 } // namespace

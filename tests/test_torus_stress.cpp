@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "turnnet/network/engine.hpp"
 #include "turnnet/network/simulator.hpp"
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/routing/vc_routing.hpp"
@@ -26,10 +27,27 @@ namespace {
 /** Near-saturation workload: long worms at half injection rate, a
  *  tight watchdog, and a measurement window several watchdog
  *  periods long (the deadlock_demo stress, pointed at a torus). */
+/** Every engine configuration under stress: serial engines plus the
+ *  sharded engine at an even and an uneven (non-dividing) width. */
+constexpr std::pair<SimEngine, unsigned> kEngineCases[] = {
+    {SimEngine::Reference, 0}, {SimEngine::Fast, 0},
+    {SimEngine::Batch, 0},     {SimEngine::Sharded, 2},
+    {SimEngine::Sharded, 7}};
+
+std::string
+engineCaseName(SimEngine engine, unsigned shards)
+{
+    std::string name = EngineRegistry::instance().at(engine).name;
+    if (shards != 0)
+        name += "/s" + std::to_string(shards);
+    return name;
+}
+
 SimConfig
-stressConfig(SimEngine engine)
+stressConfig(SimEngine engine, unsigned shards = 0)
 {
     SimConfig config;
+    config.shards = shards;
     config.load = 0.5;
     config.lengths = MessageLengthMix::fixed(200);
     config.watchdogCycles = 8000;
@@ -64,14 +82,12 @@ TEST(TorusStress, WraparoundAlgorithmsSurviveSaturation)
     const Torus torus(std::vector<int>{4, 4});
     for (const char *alg :
          {"nf-torus", "xy-first-hop-wrap", "nf-first-hop-wrap"}) {
-        for (const SimEngine engine :
-             {SimEngine::Reference, SimEngine::Fast,
-          SimEngine::Batch}) {
+        for (const auto &[engine, shards] : kEngineCases) {
             SCOPED_TRACE(std::string(alg) + " engine " +
-                         simEngineName(engine));
+                         engineCaseName(engine, shards));
             Simulator sim(torus, makeRouting({.name = alg}),
                           makeTraffic("uniform", torus),
-                          stressConfig(engine));
+                          stressConfig(engine, shards));
             expectSurvivesSaturation(torus, sim, alg);
         }
     }
@@ -82,13 +98,11 @@ TEST(TorusStress, DatelineVcSchemeSurvivesSaturation)
     // The classic alternative to restricting turns: break the wrap
     // dependency with a second virtual channel at the dateline.
     const Torus torus(std::vector<int>{4, 4});
-    for (const SimEngine engine :
-         {SimEngine::Reference, SimEngine::Fast,
-          SimEngine::Batch}) {
-        SCOPED_TRACE(simEngineName(engine));
+    for (const auto &[engine, shards] : kEngineCases) {
+        SCOPED_TRACE(engineCaseName(engine, shards));
         Simulator sim(torus, makeVcRouting({.name = "dateline"}),
                       makeTraffic("uniform", torus),
-                      stressConfig(engine));
+                      stressConfig(engine, shards));
         expectSurvivesSaturation(torus, sim, "dateline");
     }
 }
