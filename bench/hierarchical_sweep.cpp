@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Hierarchical-topology load sweep: run the dragonfly and fat-tree
+ * fabrics under their registered routing schemes and report the
+ * latency/throughput series plus the max sustainable throughput of
+ * every (topology, algorithm) pair — the hierarchical counterpart of
+ * the fig* mesh/hypercube drivers.
+ *
+ * Topologies come from --topos (registry grammar, default
+ * "dragonfly(4,2,2),fat-tree(2,3)"), or a single --topology override
+ * replaces the list. Algorithms are chosen per family: dragonfly
+ * sweeps minimal, Valiant, and UGAL-L (Valiant runs with
+ * misrouteAfterWait = 0 — the misroute IS the route); fat-tree
+ * sweeps NCA up*-down*; the direct families fall back to their
+ * deadlock-free defaults so --topology mesh(8x8) still works.
+ *
+ * Writes the machine-readable "turnnet.hier_bench/1" record
+ * (default BENCH_hier.json):
+ *
+ *   {
+ *     "schema": "turnnet.hier_bench/1",
+ *     "traffic": "uniform",
+ *     "entries": [
+ *       {"topology": "dragonfly(4,2,2)",
+ *        "algorithm": "dragonfly-min",
+ *        "max_sustainable": 12.3,       // flits/usec; 0 if none
+ *        "points": [
+ *          {"offered": 0.05, "accepted": 4.1, "latency_us": 0.31,
+ *           "hops": 1.62, "deadlocked": false, "sustainable": true}
+ *        ]}
+ *     ]
+ *   }
+ *
+ * Options: --topos LIST, --loads a,b,c, --warmup N, --measure N,
+ * --drain N, --seed N, --out PATH ("off" disables the JSON), plus
+ * the shared sweep flags of SweepOptions::fromCli (--jobs,
+ * --replicates, --engine, --shards, --topology, ...). A malformed
+ * schedule or topology is rejected up front with every problem
+ * listed.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/cli.hpp"
+#include "turnnet/common/csv.hpp"
+#include "turnnet/common/logging.hpp"
+#include "turnnet/harness/bench_report.hpp"
+#include "turnnet/harness/sweep.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/topology_registry.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+using namespace turnnet;
+
+namespace {
+
+/** Algorithms swept for one topology family, in plotting order. */
+std::vector<std::string>
+algorithmsFor(const std::string &family)
+{
+    if (family == "dragonfly")
+        return {"dragonfly-min", "dragonfly-val", "dragonfly-ugal"};
+    if (family == "fat-tree")
+        return {"fattree-nca"};
+    if (family == "mesh")
+        return {"west-first"};
+    if (family == "torus")
+        return {"nf-torus"};
+    if (family == "hypercube")
+        return {"p-cube"};
+    TN_FATAL("no swept algorithms for topology family '", family,
+             "'");
+}
+
+/** Re-encode one sweep as its report entry. */
+HierBenchEntry
+toBenchEntry(const std::string &topology,
+             const std::string &algorithm,
+             const std::vector<SweepPoint> &sweep)
+{
+    HierBenchEntry entry;
+    entry.topology = topology;
+    entry.algorithm = algorithm;
+    entry.maxSustainable = maxSustainableThroughput(sweep);
+    for (const SweepPoint &p : sweep) {
+        entry.points.push_back(HierBenchPoint{
+            p.offered, p.result.acceptedFlitsPerUsec,
+            p.result.avgTotalLatencyUs, p.result.avgHops,
+            p.result.deadlocked, p.result.sustainable});
+    }
+    return entry;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = CliOptions::parse(argc, argv);
+    const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
+
+    std::vector<std::string> topos = opts.getList(
+        "topos", {"dragonfly(4,2,2)", "fat-tree(2,3)"});
+    if (!sweep_opts.topology.empty())
+        topos = {sweep_opts.topology};
+
+    std::vector<double> loads = {0.05, 0.10, 0.15, 0.20,
+                                 0.30, 0.40};
+    if (opts.has("loads"))
+        loads = opts.getDoubleList("loads");
+
+    SimConfig base;
+    base.warmupCycles =
+        static_cast<Cycle>(opts.getInt("warmup", 4000));
+    base.measureCycles =
+        static_cast<Cycle>(opts.getInt("measure", 15000));
+    base.drainCycles =
+        static_cast<Cycle>(opts.getInt("drain", 15000));
+    base.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    const std::string out =
+        opts.getString("out", "BENCH_hier.json");
+    const std::string traffic_name = "uniform";
+
+    // Fail fast at the CLI surface with every problem listed (the
+    // schedule here; --topology was already validated by fromCli).
+    {
+        SimConfig probe = base;
+        probe.load = loads.empty() ? 0.0 : loads.front();
+        const std::vector<std::string> errors = probe.validate();
+        if (!errors.empty()) {
+            for (const std::string &e : errors)
+                std::fprintf(stderr, "error: %s\n", e.c_str());
+            TN_FATAL("invalid options for hierarchical_sweep (",
+                     errors.size(), " problem(s) above)");
+        }
+    }
+
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+    std::vector<HierBenchEntry> entries;
+    bool any_deadlock = false;
+    for (const std::string &text : topos) {
+        TopologySpec spec = reg.parseSpec(text);
+        {
+            const std::vector<std::string> errors =
+                reg.validate(spec);
+            if (!errors.empty()) {
+                for (const std::string &e : errors)
+                    std::fprintf(stderr, "error: %s\n", e.c_str());
+                TN_FATAL("invalid --topos entry '", text, "' (",
+                         errors.size(), " problem(s) above)");
+            }
+        }
+        const std::vector<std::string> schemes =
+            reg.parse(spec.family).vcSchemes;
+        for (const std::string &alg : algorithmsFor(spec.family)) {
+            // A registered VC scheme must be named in the spec so
+            // the fabric provisions its channels; other algorithms
+            // run on the family's plain build.
+            TopologySpec alg_spec = spec;
+            alg_spec.vc_scheme.clear();
+            for (const std::string &s : schemes) {
+                if (s == alg)
+                    alg_spec.vc_scheme = alg;
+            }
+            const std::unique_ptr<Topology> topo =
+                reg.build(alg_spec);
+            const VcRoutingPtr routing =
+                makeVcRouting({.name = alg});
+            const TrafficPtr traffic =
+                makeTraffic(traffic_name, *topo);
+            SimConfig config = base;
+            if (alg == "dragonfly-val") {
+                // Valiant's detour IS the route; a misroute wait
+                // would stall every packet at injection.
+                config.misrouteAfterWait = 0;
+            }
+            const std::vector<SweepPoint> sweep = runLoadSweep(
+                *topo, routing, traffic, loads, config,
+                sweep_opts);
+            sweepTable("Hierarchical sweep -- " + alg + " on " +
+                           topo->name() + ", " + traffic_name +
+                           " traffic",
+                       sweep)
+                .print();
+            std::printf("max sustainable: %.2f flits/usec\n\n",
+                        maxSustainableThroughput(sweep));
+            for (const SweepPoint &p : sweep) {
+                if (p.result.deadlocked) {
+                    std::fprintf(stderr,
+                                 "error: %s on %s deadlocked at "
+                                 "load %.3f\n",
+                                 alg.c_str(), text.c_str(),
+                                 p.offered);
+                    any_deadlock = true;
+                }
+            }
+            entries.push_back(toBenchEntry(text, alg, sweep));
+        }
+    }
+
+    if (out != "off" && out != "none" && !out.empty() &&
+        writeHierBenchJson(out, traffic_name, entries))
+        std::printf("wrote %s (turnnet.hier_bench/1)\n",
+                    out.c_str());
+
+    return any_deadlock ? 1 : 0;
+}

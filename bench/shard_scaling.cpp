@@ -40,7 +40,10 @@
  *     ]
  *   }
  *
- * Options: --topos mesh64,mesh256,cube16, --load X, --cycles N (per
+ * Options: --topos LIST (registry-grammar shapes such as
+ * "mesh(64x64)" or "dragonfly(8,4,4)", plus the historical
+ * shorthands mesh64/mesh256/cube16; default all three shorthands),
+ * --load X, --cycles N (per
  * shard count per topology), --shards A,B,..., --gate-shards N,
  * --min-scaling X (0 disables the gate), --oracle-max-nodes N,
  * --oracle-cycles N, --seed N, --warmup N, --out PATH ("off"
@@ -66,8 +69,7 @@
 #include "turnnet/network/engine.hpp"
 #include "turnnet/network/simulator.hpp"
 #include "turnnet/routing/registry.hpp"
-#include "turnnet/topology/mesh.hpp"
-#include "turnnet/topology/torus.hpp"
+#include "turnnet/topology/topology_registry.hpp"
 #include "turnnet/traffic/pattern.hpp"
 
 using namespace turnnet;
@@ -79,20 +81,46 @@ struct TopoPoint
 {
     std::unique_ptr<Topology> topo;
     /** Routing algorithm name (resolved via the registries). */
-    const char *routing;
+    std::string routing;
 };
 
+/** Deadlock-free default algorithm for each registered family. */
+std::string
+defaultRoutingFor(const std::string &family)
+{
+    if (family == "mesh")
+        return "west-first";
+    if (family == "torus")
+        return "nf-torus";
+    if (family == "hypercube")
+        return "p-cube";
+    if (family == "dragonfly")
+        return "dragonfly-min";
+    if (family == "fat-tree")
+        return "fattree-nca";
+    TN_FATAL("no default routing for topology family '", family,
+             "'");
+}
+
+/**
+ * Resolve one --topos entry: either a registry-grammar shape
+ * ("mesh(64x64)", "dragonfly(8,4,4)") or one of the historical
+ * shorthands mesh64/mesh256/cube16. The routing algorithm is the
+ * family's deadlock-free default.
+ */
 TopoPoint
 makeTopoPoint(const std::string &key)
 {
+    std::string text = key;
     if (key == "mesh64")
-        return {std::make_unique<Mesh>(64, 64), "west-first"};
-    if (key == "mesh256")
-        return {std::make_unique<Mesh>(256, 256), "west-first"};
-    if (key == "cube16")
-        return {std::make_unique<Torus>(16, 3), "nf-torus"};
-    TN_FATAL("unknown topology key '", key,
-             "' (one of: mesh64, mesh256, cube16)");
+        text = "mesh(64x64)";
+    else if (key == "mesh256")
+        text = "mesh(256x256)";
+    else if (key == "cube16")
+        text = "torus(16x16x16)";
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+    const TopologySpec spec = reg.parseSpec(text);
+    return {reg.build(spec), defaultRoutingFor(spec.family)};
 }
 
 /** Strictly parsed --shards list (garbage is fatal, not 0). */
@@ -133,7 +161,7 @@ cyclesPerSec(const TopoPoint &point, double load,
              Cycle warmup)
 {
     Simulator sim(*point.topo,
-                  makeRouting({.name = point.routing}),
+                  makeVcRouting({.name = point.routing}),
                   makeTraffic("uniform", *point.topo),
                   benchConfig(load, seed, shards));
     double occupancy_first = 0.0;

@@ -120,11 +120,11 @@ countPaths(const Topology &topo, const RoutingFunction &routing,
     // Memoized DFS over (node, arrival-direction) states. Minimal
     // routing strictly decreases the distance, so the state graph is
     // acyclic.
-    const int dirs = 2 * topo.numDims() + 1;
+    const int dirs = topo.numPorts() + 1;
     std::unordered_map<int, double> memo;
 
     auto state_of = [&](NodeId node, Direction in_dir) {
-        const int idx = in_dir.isLocal() ? 2 * topo.numDims()
+        const int idx = in_dir.isLocal() ? topo.numPorts()
                                          : in_dir.index();
         return node * dirs + idx;
     };

@@ -15,8 +15,7 @@ CdgReport::cycleToString(const Topology &topo) const
         const Channel &ch = topo.channel(id);
         if (!out.empty())
             out += " -> ";
-        out += topo.shape().coordToString(topo.coordOf(ch.src)) +
-               "-" + ch.dir.toString();
+        out += topo.nodeName(ch.src) + "-" + topo.dirName(ch.dir);
     }
     return out;
 }
@@ -50,12 +49,14 @@ buildCdg(const Topology &topo, const RoutingFunction &routing)
 
     // For every destination, walk the channels a packet bound there
     // can legally occupy, starting from every possible injection.
+    // Only endpoints source or sink packets — on an indirect network
+    // the switch nodes are never traffic destinations.
     std::vector<bool> seen(num_channels);
-    for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
+    for (const NodeId dest : topo.endpoints()) {
         std::fill(seen.begin(), seen.end(), false);
         std::deque<ChannelId> queue;
 
-        for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        for (const NodeId src : topo.endpoints()) {
             if (src == dest)
                 continue;
             routing.route(topo, src, dest, Direction::local())

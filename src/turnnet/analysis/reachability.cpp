@@ -18,8 +18,8 @@ int
 ReachabilityOracle::stateIndex(const Topology &topo, NodeId node,
                                Direction in_dir) const
 {
-    const int dirs = 2 * topo.numDims() + 1; // +1 for local
-    const int dir_idx = in_dir.isLocal() ? 2 * topo.numDims()
+    const int dirs = topo.numPorts() + 1; // +1 for local
+    const int dir_idx = in_dir.isLocal() ? topo.numPorts()
                                          : in_dir.index();
     return node * dirs + dir_idx;
 }
@@ -50,8 +50,8 @@ ReachabilityOracle::table(const Topology &topo, NodeId dest) const
     // two threads racing to the same destination just compute the
     // same table twice (the first insert wins).
 
-    const int n = topo.numDims();
-    const int dirs = 2 * n + 1;
+    const int ports = topo.numPorts();
+    const int dirs = ports + 1;
     std::vector<bool> reach(
         static_cast<std::size_t>(topo.numNodes()) * dirs, false);
 
@@ -68,7 +68,7 @@ ReachabilityOracle::table(const Topology &topo, NodeId dest) const
     };
 
     for (int d = 0; d < dirs; ++d) {
-        const Direction in_dir = (d == 2 * n)
+        const Direction in_dir = (d == ports)
                                      ? Direction::local()
                                      : Direction::fromIndex(d);
         mark(dest, in_dir);
@@ -79,20 +79,27 @@ ReachabilityOracle::table(const Topology &topo, NodeId dest) const
         queue.pop_front();
         const NodeId w = static_cast<NodeId>(idx / dirs);
         const int d = idx % dirs;
-        if (d == 2 * n)
+        if (d == ports)
             continue; // local arrival states have no predecessors
         const Direction o = Direction::fromIndex(d);
 
-        // The hop v -> w travelled in direction o.
-        const NodeId v = topo.neighbor(w, o.reversed());
-        if (v == kInvalidNode || topo.neighbor(v, o) != w)
-            continue;
-        for (int f = 0; f <= 2 * n; ++f) {
-            const Direction in_dir = (f == 2 * n)
-                                         ? Direction::local()
-                                         : Direction::fromIndex(f);
-            if (legal_(topo, v, in_dir, o, dest))
-                mark(v, in_dir);
+        // Predecessors of state (w, o): every channel into w whose
+        // travel direction is o. Walking the channel table (rather
+        // than guessing v = neighbor(w, o.reversed())) stays correct
+        // on hierarchical fabrics where port numbering is not
+        // symmetric between endpoints.
+        for (const ChannelId ch : topo.channelsInto(w)) {
+            const Channel &info = topo.channel(ch);
+            if (info.dir != o)
+                continue;
+            const NodeId v = info.src;
+            for (int f = 0; f <= ports; ++f) {
+                const Direction in_dir = (f == ports)
+                                             ? Direction::local()
+                                             : Direction::fromIndex(f);
+                if (legal_(topo, v, in_dir, o, dest))
+                    mark(v, in_dir);
+            }
         }
     }
 

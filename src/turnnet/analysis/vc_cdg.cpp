@@ -32,13 +32,15 @@ buildVcCdg(const Topology &topo, const VcRoutingFunction &routing)
         }
     };
 
+    // Packets originate and terminate only at endpoints; switch
+    // nodes of an indirect network never inject or eject.
     std::vector<VcCandidate> candidates;
     std::vector<bool> seen(vertices);
-    for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
+    for (const NodeId dest : topo.endpoints()) {
         std::fill(seen.begin(), seen.end(), false);
         std::deque<int> queue;
 
-        for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        for (const NodeId src : topo.endpoints()) {
             if (src == dest)
                 continue;
             candidates.clear();

@@ -10,10 +10,17 @@ namespace turnnet {
 std::vector<std::string>
 splitString(const std::string &s, char sep)
 {
+    // Separators inside parentheses do not split: a list entry may
+    // itself be a parenthesized shape such as "dragonfly(4,2,2)".
     std::vector<std::string> out;
     std::string cur;
+    int depth = 0;
     for (char ch : s) {
-        if (ch == sep) {
+        if (ch == '(')
+            ++depth;
+        else if (ch == ')' && depth > 0)
+            --depth;
+        if (ch == sep && depth == 0) {
             out.push_back(cur);
             cur.clear();
         } else {

@@ -74,7 +74,12 @@ class CliOptions
     std::vector<std::string> positional_;
 };
 
-/** Split a string on a separator character. */
+/**
+ * Split a string on a separator character. Separators nested inside
+ * parentheses do not split, so a list element can itself be a
+ * parenthesized topology shape ("mesh(8x8),dragonfly(4,2,2)" is two
+ * elements).
+ */
 std::vector<std::string> splitString(const std::string &s, char sep);
 
 /**

@@ -168,6 +168,59 @@ evaluateSpeedupGate(const std::vector<EngineBenchEntry> &entries,
     return result;
 }
 
+std::string
+hierBenchJson(const std::string &traffic,
+              const std::vector<HierBenchEntry> &entries)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"turnnet.hier_bench/1\",\n"
+       << "  \"traffic\": \"" << jsonEscape(traffic) << "\",\n"
+       << "  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const HierBenchEntry &e = entries[i];
+        os << "    {\"topology\": \"" << jsonEscape(e.topology)
+           << "\", \"algorithm\": \"" << jsonEscape(e.algorithm)
+           << "\", \"max_sustainable\": "
+           << jsonNumber(e.maxSustainable) << ",\n"
+           << "     \"points\": [\n";
+        for (std::size_t p = 0; p < e.points.size(); ++p) {
+            const HierBenchPoint &pt = e.points[p];
+            os << "      {\"offered\": " << jsonNumber(pt.offered)
+               << ", \"accepted\": " << jsonNumber(pt.accepted)
+               << ", \"latency_us\": " << jsonNumber(pt.latencyUs)
+               << ", \"hops\": " << jsonNumber(pt.hops)
+               << ", \"deadlocked\": "
+               << (pt.deadlocked ? "true" : "false")
+               << ", \"sustainable\": "
+               << (pt.sustainable ? "true" : "false") << "}"
+               << (p + 1 < e.points.size() ? "," : "") << "\n";
+        }
+        os << "     ]}" << (i + 1 < entries.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+bool
+writeHierBenchJson(const std::string &path,
+                   const std::string &traffic,
+                   const std::vector<HierBenchEntry> &entries)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        TN_WARN("cannot write hier bench report to '", path, "'");
+        return false;
+    }
+    const std::string doc = hierBenchJson(traffic, entries);
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        TN_WARN("short write of hier bench report '", path, "'");
+    return ok;
+}
+
 bool
 writeSweepBenchJson(const std::string &path,
                     const std::vector<SweepBenchEntry> &entries)

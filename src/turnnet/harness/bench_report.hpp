@@ -126,6 +126,57 @@ appendShardGateEntries(std::vector<EngineBenchEntry> &gate,
                        const std::vector<ShardBenchEntry> &entries,
                        unsigned gateShards);
 
+/** One load point of a hierarchical-topology sweep entry. */
+struct HierBenchPoint
+{
+    double offered = 0.0;
+    /** Accepted throughput, flits/usec. */
+    double accepted = 0.0;
+    double latencyUs = 0.0;
+    double hops = 0.0;
+    bool deadlocked = false;
+    bool sustainable = false;
+};
+
+/**
+ * One (topology, algorithm) sweep of bench/hierarchical_sweep, as
+ * serialized into BENCH_hier.json ("turnnet.hier_bench/1").
+ */
+struct HierBenchEntry
+{
+    std::string topology;
+    std::string algorithm;
+    /** Highest sustainable accepted throughput, flits/usec; 0 when
+     *  no point is sustainable. */
+    double maxSustainable = 0.0;
+    std::vector<HierBenchPoint> points;
+};
+
+/**
+ * Render the "turnnet.hier_bench/1" document:
+ *
+ *   {
+ *     "schema": "turnnet.hier_bench/1",
+ *     "traffic": "uniform",
+ *     "entries": [
+ *       {"topology": "dragonfly(4,2,2)",
+ *        "algorithm": "dragonfly-min", "max_sustainable": 12.3,
+ *        "points": [
+ *          {"offered": 0.05, "accepted": 4.1, "latency_us": 0.31,
+ *           "hops": 1.62, "deadlocked": false,
+ *           "sustainable": true}]}
+ *     ]
+ *   }
+ */
+std::string hierBenchJson(const std::string &traffic,
+                          const std::vector<HierBenchEntry> &entries);
+
+/** Write hierBenchJson() to @p path; warns and returns false on I/O
+ *  failure. */
+bool writeHierBenchJson(const std::string &path,
+                        const std::string &traffic,
+                        const std::vector<HierBenchEntry> &entries);
+
 /** Verdict of the engine speedup gate over a whole load sweep. */
 struct SpeedupGateResult
 {

@@ -116,7 +116,7 @@ class DifferentialHarness
 
     Simulator ref_;
     Simulator cand_;
-    /** simEngineName of the candidate, for divergence messages. */
+    /** Registry name of the candidate, for divergence messages. */
     const char *candName_;
     std::uint64_t refSeen_ = 0;
     std::uint64_t candSeen_ = 0;

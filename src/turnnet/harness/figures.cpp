@@ -7,9 +7,7 @@
 #include "turnnet/common/logging.hpp"
 #include "turnnet/harness/bench_report.hpp"
 #include "turnnet/routing/registry.hpp"
-#include "turnnet/topology/hypercube.hpp"
-#include "turnnet/topology/mesh.hpp"
-#include "turnnet/topology/torus.hpp"
+#include "turnnet/topology/topology_registry.hpp"
 #include "turnnet/traffic/pattern.hpp"
 
 namespace turnnet {
@@ -17,37 +15,20 @@ namespace turnnet {
 std::unique_ptr<Topology>
 makeTopology(const std::string &spec)
 {
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+    // The registry grammar — mesh(8x8), dragonfly(4,2,2) — passes
+    // straight through; the figure drivers' historical colon
+    // shorthand ("mesh:16x16", "cube:8") is rewritten into it.
+    if (spec.find('(') != std::string::npos)
+        return reg.build(spec);
     const auto colon = spec.find(':');
     if (colon == std::string::npos)
         TN_FATAL("topology spec '", spec,
-                 "' must look like mesh:16x16, cube:8, or torus:8x8");
+                 "' is neither the registry grammar (one of: ",
+                 reg.usageNames(), ") nor the mesh:16x16 shorthand");
     const std::string kind = spec.substr(0, colon);
-    const std::string args = spec.substr(colon + 1);
-
-    auto parse_dims = [&](const std::string &s) {
-        std::vector<int> dims;
-        for (const std::string &part : splitString(s, 'x')) {
-            char *end = nullptr;
-            const long v = std::strtol(part.c_str(), &end, 10);
-            if (end == part.c_str() || *end != '\0' || v < 2)
-                TN_FATAL("bad topology dimensions '", s, "'");
-            dims.push_back(static_cast<int>(v));
-        }
-        return dims;
-    };
-
-    if (kind == "mesh")
-        return std::make_unique<Mesh>(parse_dims(args));
-    if (kind == "torus")
-        return std::make_unique<Torus>(parse_dims(args));
-    if (kind == "cube") {
-        char *end = nullptr;
-        const long n = std::strtol(args.c_str(), &end, 10);
-        if (end == args.c_str() || *end != '\0' || n < 1)
-            TN_FATAL("bad hypercube dimension '", args, "'");
-        return std::make_unique<Hypercube>(static_cast<int>(n));
-    }
-    TN_FATAL("unknown topology kind '", kind, "'");
+    return reg.build((kind == "cube" ? "hypercube" : kind) + "(" +
+                     spec.substr(colon + 1) + ")");
 }
 
 FigureSpec
@@ -237,6 +218,14 @@ runFigureMain(const std::string &figure_id, int argc,
     if (opts.has("loads"))
         spec.loads = opts.getDoubleList("loads");
 
+    const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
+    if (!sweep_opts.topology.empty()) {
+        // Registry-validated override; the figure's algorithms must
+        // still apply to the substituted fabric (checkTopology is
+        // fatal on a mismatch).
+        spec.topology = sweep_opts.topology;
+    }
+
     SimConfig base;
     base.warmupCycles =
         static_cast<Cycle>(opts.getInt("warmup", 8000));
@@ -260,8 +249,6 @@ runFigureMain(const std::string &figure_id, int argc,
                      errors.size(), " problem(s) above)");
         }
     }
-
-    const SweepOptions sweep_opts = SweepOptions::fromCli(opts);
 
     using Clock = std::chrono::steady_clock;
     const auto seconds_since = [](Clock::time_point start) {

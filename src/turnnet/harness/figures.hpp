@@ -33,8 +33,11 @@ struct FigureSpec
 };
 
 /**
- * Construct a topology from a spec string: "mesh:16x16",
- * "cube:8", "torus:8x8". Fatal on malformed specs.
+ * Construct a topology from a spec string, resolved through
+ * TopologyRegistry: either the registry grammar ("mesh(16x16)",
+ * "dragonfly(4,2,2)", "fat-tree(2,3)") or the figure drivers'
+ * historical colon shorthand ("mesh:16x16", "cube:8", "torus:8x8").
+ * Fatal on malformed specs.
  */
 std::unique_ptr<Topology> makeTopology(const std::string &spec);
 

@@ -1,11 +1,13 @@
 #include "turnnet/harness/sweep.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "turnnet/common/logging.hpp"
 #include "turnnet/common/thread_pool.hpp"
 #include "turnnet/network/engine.hpp"
+#include "turnnet/topology/topology_registry.hpp"
 
 namespace turnnet {
 
@@ -41,6 +43,20 @@ SweepOptions::fromCli(const CliOptions &opts)
             .id;
     out.shards = static_cast<unsigned>(
         std::max<std::int64_t>(0, opts.getInt("shards", 0)));
+    out.topology = opts.getString("topology", "");
+    if (!out.topology.empty()) {
+        // Fail fast with every problem listed, before any worker
+        // thread touches the value.
+        const TopologyRegistry &reg = TopologyRegistry::instance();
+        const std::vector<std::string> errors =
+            reg.validate(reg.parseSpec(out.topology));
+        if (!errors.empty()) {
+            for (const std::string &e : errors)
+                std::fprintf(stderr, "error: %s\n", e.c_str());
+            TN_FATAL("invalid --topology '", out.topology, "' (",
+                     errors.size(), " problem(s) above)");
+        }
+    }
     return out;
 }
 

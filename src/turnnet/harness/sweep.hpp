@@ -119,11 +119,22 @@ struct SweepOptions
     unsigned shards = 0;
 
     /**
+     * Topology override in the registry grammar (--topology
+     * mesh(8x8) / dragonfly(4,2,2) / fat-tree(2,3)); empty means the
+     * driver's own default fabric. fromCli() validates the value
+     * through TopologyRegistry — unknown families and malformed or
+     * out-of-range shapes are fatal at the CLI surface — so a driver
+     * can hand it to TopologyRegistry::instance().build() untouched
+     * and never switches on family strings itself.
+     */
+    std::string topology;
+
+    /**
      * Parse the flags every bench driver shares — --jobs (0 or
      * "auto" = hardware threads), --replicates, --compare-serial,
      * --bench-json, --faults, --fault-seed, --fault-cycle,
-     * --counters-json, --trace, --trace-out, --engine, --shards —
-     * so the fifteen drivers stop hand-rolling the same block.
+     * --counters-json, --trace, --trace-out, --engine, --shards,
+     * --topology — so the drivers stop hand-rolling the same block.
      */
     static SweepOptions fromCli(const CliOptions &opts);
 };

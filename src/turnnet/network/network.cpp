@@ -25,7 +25,7 @@ Network::Network(const Topology &topo, std::size_t buffer_depth,
     routers_.reserve(nodes);
 
     for (NodeId n = 0; n < nodes; ++n)
-        routers_.emplace_back(n, topo.numDims(), num_vcs);
+        routers_.emplace_back(n, topo.numPorts(), num_vcs);
 
     // Channel-attached units: for each virtual channel of channel c,
     // an input unit at its dst buffering arrivals and an output unit

@@ -6,10 +6,9 @@
 
 namespace turnnet {
 
-Router::Router(NodeId node, int num_dims, int num_vcs)
+Router::Router(NodeId node, int num_ports, int num_vcs)
     : node_(node), numVcs_(num_vcs),
-      outputByDir_(static_cast<std::size_t>(2 * num_dims) *
-                       num_vcs + 1,
+      outputByDir_(static_cast<std::size_t>(num_ports) * num_vcs + 1,
                    kNoUnit)
 {
     TN_ASSERT(num_vcs >= 1, "routers need at least one VC");

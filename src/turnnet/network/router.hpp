@@ -104,10 +104,10 @@ class Router
   public:
     /**
      * @param node Node id.
-     * @param num_dims Topology dimensionality.
+     * @param num_ports Port slots per node (Topology::numPorts()).
      * @param num_vcs Virtual channels per physical channel.
      */
-    Router(NodeId node, int num_dims, int num_vcs);
+    Router(NodeId node, int num_ports, int num_vcs);
 
     NodeId node() const { return node_; }
 

@@ -7,20 +7,6 @@
 
 namespace turnnet {
 
-// Deprecated shims kept for one PR; the registry is the source of
-// truth (see engine.hpp).
-const char *
-simEngineName(SimEngine engine)
-{
-    return EngineRegistry::instance().at(engine).name;
-}
-
-SimEngine
-parseSimEngine(const std::string &name)
-{
-    return EngineRegistry::instance().parse(name).id;
-}
-
 std::vector<std::string>
 SimConfig::validate() const
 {
@@ -540,7 +526,9 @@ Simulator::run()
     result.cycles = cycle_;
     result.deadlocked = deadlocked_;
 
-    const auto nodes = static_cast<double>(topo_->numNodes());
+    // Per-node figures normalize by generating endpoints; pure
+    // switch nodes of an indirect network source no traffic.
+    const auto nodes = static_cast<double>(topo_->numEndpoints());
     const auto window = static_cast<double>(config_.measureCycles);
     result.generatedLoad =
         static_cast<double>(measuredFlitsGenerated_) /

@@ -114,17 +114,6 @@ enum class SimEngine : std::uint8_t
     Sharded,
 };
 
-/** CLI name of an engine.
- *  @deprecated Names live in the engine registry now; use
- *  EngineRegistry::instance().at(engine).name. */
-[[deprecated("use EngineRegistry::instance().at(engine).name")]]
-const char *simEngineName(SimEngine engine);
-
-/** Parse an --engine value; fatal on anything unknown.
- *  @deprecated Use EngineRegistry::instance().parse(name).id. */
-[[deprecated("use EngineRegistry::instance().parse(name).id")]]
-SimEngine parseSimEngine(const std::string &name);
-
 /** Configuration of one simulation run. */
 struct SimConfig
 {

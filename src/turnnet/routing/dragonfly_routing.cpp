@@ -1,0 +1,152 @@
+#include "turnnet/routing/dragonfly_routing.hpp"
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/topology/dragonfly.hpp"
+
+namespace turnnet {
+
+std::string
+DragonflyRouting::name() const
+{
+    switch (mode_) {
+    case Mode::Min:
+        return "dragonfly-min";
+    case Mode::Val:
+        return "dragonfly-val";
+    case Mode::Ugal:
+        return "dragonfly-ugal";
+    case Mode::NoVc:
+        return "dragonfly-novc";
+    }
+    return "dragonfly";
+}
+
+int
+DragonflyRouting::numVcs() const
+{
+    switch (mode_) {
+    case Mode::Min:
+        return 2;
+    case Mode::Val:
+    case Mode::Ugal:
+        return 3;
+    case Mode::NoVc:
+        return 1;
+    }
+    return 1;
+}
+
+void
+DragonflyRouting::route(const Topology &topo, NodeId current,
+                        NodeId dest, Direction in_dir, int in_vc,
+                        std::vector<VcCandidate> &out) const
+{
+    const auto &df = static_cast<const Dragonfly &>(topo);
+    if (current == dest)
+        return;
+    const int g = df.groupOf(current);
+    const int r = df.routerInGroup(current);
+    const int gd = df.groupOf(dest);
+    const int rd = df.routerInGroup(dest);
+
+    // Destination group: the final local hop, on the highest VC.
+    if (g == gd) {
+        const int vc = mode_ == Mode::NoVc ? 0 : numVcs() - 1;
+        out.push_back({df.localDirTo(r, rd), vc});
+        return;
+    }
+
+    const int gw = df.gatewayRouter(g, gd);
+    const Direction to_dest_group = df.globalDir(df.gatewayPort(g, gd));
+    // The minimal next hop toward the destination group, on the VC
+    // the minimal phase runs at.
+    auto minimalHop = [&](int vc) {
+        if (r == gw)
+            out.push_back({to_dest_group, vc});
+        else
+            out.push_back({df.localDirTo(r, gw), vc});
+    };
+    // The Valiant spread: first hops toward some intermediate group
+    // — every global link not aimed at the destination group, and
+    // every local peer other than the minimal gateway.
+    auto spread = [&] {
+        const std::size_t before = out.size();
+        for (int j = 0; j < df.globalsPerRouter(); ++j) {
+            const Direction dir = df.globalDir(j);
+            const NodeId peer = df.neighbor(current, dir);
+            if (df.groupOf(peer) != gd)
+                out.push_back({dir, 0});
+        }
+        for (int r2 = 0; r2 < df.routersPerGroup(); ++r2)
+            if (r2 != r && r2 != gw)
+                out.push_back({df.localDirTo(r, r2), 0});
+        return out.size() > before;
+    };
+
+    switch (mode_) {
+    case Mode::Min:
+        minimalHop(0);
+        return;
+    case Mode::NoVc:
+        minimalHop(0);
+        return;
+    case Mode::Val:
+        if (in_dir.isLocal()) {
+            // Injection: strictly misroute. Degenerate fabrics with
+            // no non-minimal first hop fall back to the minimal one.
+            if (!spread())
+                minimalHop(1);
+            return;
+        }
+        if (df.isGlobalPort(in_dir.index())) {
+            // Arrived in the intermediate group: minimal from here.
+            minimalHop(1);
+            return;
+        }
+        if (in_vc == 0) {
+            // Spread local hop taken: commit to some global link.
+            for (int j = 0; j < df.globalsPerRouter(); ++j)
+                out.push_back({df.globalDir(j), 0});
+            return;
+        }
+        // Minimal-phase local hop taken: this is the gateway.
+        out.push_back({to_dest_group, 1});
+        return;
+    case Mode::Ugal:
+        if (in_dir.isLocal()) {
+            // The minimal candidate competes with the Valiant
+            // spread; the router's misroute threshold is the
+            // UGAL-L local-queue decision.
+            minimalHop(1);
+            spread();
+            return;
+        }
+        if (df.isGlobalPort(in_dir.index())) {
+            minimalHop(1);
+            return;
+        }
+        if (in_vc == 0) {
+            // Spread local hop taken: any global link; aiming at
+            // the destination group enters the minimal phase.
+            for (int j = 0; j < df.globalsPerRouter(); ++j) {
+                const Direction dir = df.globalDir(j);
+                const NodeId peer = df.neighbor(current, dir);
+                out.push_back(
+                    {dir, df.groupOf(peer) == gd ? 1 : 0});
+            }
+            return;
+        }
+        out.push_back({to_dest_group, 1});
+        return;
+    }
+}
+
+void
+DragonflyRouting::checkTopology(const Topology &topo) const
+{
+    if (dynamic_cast<const Dragonfly *>(&topo) == nullptr)
+        TN_FATAL(name(), " requires a dragonfly topology, got ",
+                 topo.name());
+}
+
+} // namespace turnnet

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Dragonfly routing relations (Kim et al., ISCA 2008): minimal,
+ * Valiant, and UGAL-L, all deadlock-free by virtual-channel level
+ * escalation — every hop moves to a (channel-kind, VC) class of
+ * strictly higher rank, the hierarchical analogue of the Dally–Seitz
+ * dateline numbering:
+ *
+ *     local·VC0 < global·VC0 < local·VC1 < global·VC1 < local·VC2
+ *
+ * Minimal uses two VCs (local->global->local is the longest minimal
+ * path); Valiant and UGAL add a third for the extra misroute phase
+ * through a random intermediate group. The deliberately broken
+ * "dragonfly-novc" variant routes minimally on a single VC, whose
+ * local->global chains close a cycle across three groups — the
+ * certifier's negative case for this family.
+ *
+ * Adaptivity follows the library's split: the relation returns every
+ * legal (direction, VC) candidate, the router's selection policy
+ * picks among the free ones, preferring distance-reducing channels
+ * and taking a misroute only after SimConfig::misrouteAfterWait
+ * blocked cycles — which is exactly UGAL-L's local-queue threshold:
+ * the minimal candidate wins while its queue drains, the Valiant
+ * spread wins when the minimal path is backed up.
+ */
+
+#ifndef TURNNET_ROUTING_DRAGONFLY_ROUTING_HPP
+#define TURNNET_ROUTING_DRAGONFLY_ROUTING_HPP
+
+#include "turnnet/routing/vc_routing.hpp"
+
+namespace turnnet {
+
+/** The dragonfly relations, distinguished by mode. */
+class DragonflyRouting : public VcRoutingFunction
+{
+  public:
+    enum class Mode
+    {
+        /** Minimal local-global-local, 2 VCs. */
+        Min,
+        /** Valiant: always misroute through a random intermediate
+         *  group, 3 VCs. Run with misrouteAfterWait = 0 — the
+         *  injection candidates are all deliberately unproductive. */
+        Val,
+        /** UGAL-L: minimal candidate plus the Valiant spread; the
+         *  router's misroute threshold arbitrates. 3 VCs. */
+        Ugal,
+        /** Minimal on one VC — deliberately deadlock-prone, kept as
+         *  the certifier's rejection witness for this family. */
+        NoVc,
+    };
+
+    explicit DragonflyRouting(Mode mode) : mode_(mode) {}
+
+    std::string name() const override;
+    int numVcs() const override;
+
+    void route(const Topology &topo, NodeId current, NodeId dest,
+               Direction in_dir, int in_vc,
+               std::vector<VcCandidate> &out) const override;
+
+    void checkTopology(const Topology &topo) const override;
+
+    Mode mode() const { return mode_; }
+
+  private:
+    Mode mode_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_DRAGONFLY_ROUTING_HPP

@@ -1,0 +1,52 @@
+#include "turnnet/routing/fattree_routing.hpp"
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/topology/fat_tree.hpp"
+
+namespace turnnet {
+
+DirectionSet
+FatTreeNca::route(const Topology &topo, NodeId current, NodeId dest,
+                  Direction in_dir) const
+{
+    (void)in_dir; // Position-pure: the legal set never narrows.
+    const auto &tree = static_cast<const FatTree &>(topo);
+    DirectionSet set = DirectionSet::none();
+    if (current == dest)
+        return set;
+    TN_ASSERT(tree.isTerminal(dest),
+              "fat-tree destinations are terminals");
+    if (tree.isTerminal(current)) {
+        set.insert(tree.upDir(0));
+        return set;
+    }
+    const int level = tree.switchLevel(current);
+    const int pos = tree.switchPos(current);
+    if (tree.isAncestor(level, pos, dest)) {
+        // The down path is unique: rank 0 picks the terminal,
+        // higher ranks pick the destination's leaf digit below.
+        const int c =
+            level == 0
+                ? static_cast<int>(dest) % tree.arity()
+                : tree.digit(static_cast<int>(dest / tree.arity()),
+                             level - 1);
+        set.insert(tree.downDir(c));
+        return set;
+    }
+    // Not an ancestor: every up port strictly approaches the NCA
+    // rank (the top rank is an ancestor of everything, so up ports
+    // always exist here).
+    for (int c = 0; c < tree.arity(); ++c)
+        set.insert(tree.upDir(c));
+    return set;
+}
+
+void
+FatTreeNca::checkTopology(const Topology &topo) const
+{
+    if (dynamic_cast<const FatTree *>(&topo) == nullptr)
+        TN_FATAL("fattree-nca requires a fat-tree topology, got ",
+                 topo.name());
+}
+
+} // namespace turnnet

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Nearest-common-ancestor "up*-down*" routing for k-ary n-trees.
+ *
+ * The classic fat-tree algorithm: a packet climbs until it reaches
+ * an ancestor of its destination — any ancestor, so every up port is
+ * offered and the adaptivity lives in the router's selection policy,
+ * exactly like the turn-model algorithms — then descends along the
+ * unique down path. Every up channel at a non-ancestor switch
+ * strictly reduces distance, so the relation is minimal, and the
+ * up-then-down discipline gives the channels an obvious acyclic
+ * numbering (down channels after all up channels), which the
+ * certifier re-derives from the reachable CDG.
+ */
+
+#ifndef TURNNET_ROUTING_FATTREE_ROUTING_HPP
+#define TURNNET_ROUTING_FATTREE_ROUTING_HPP
+
+#include "turnnet/routing/routing_function.hpp"
+
+namespace turnnet {
+
+/** Adaptive NCA up*-down* routing on a FatTree. */
+class FatTreeNca : public RoutingFunction
+{
+  public:
+    std::string name() const override { return "fattree-nca"; }
+
+    DirectionSet route(const Topology &topo, NodeId current,
+                       NodeId dest, Direction in_dir) const override;
+
+    bool isMinimal() const override { return true; }
+
+    void checkTopology(const Topology &topo) const override;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_FATTREE_ROUTING_HPP

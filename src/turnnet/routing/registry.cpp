@@ -4,6 +4,7 @@
 #include "turnnet/routing/abonf.hpp"
 #include "turnnet/routing/abopl.hpp"
 #include "turnnet/routing/dimension_order.hpp"
+#include "turnnet/routing/fattree_routing.hpp"
 #include "turnnet/routing/fault_aware.hpp"
 #include "turnnet/routing/fully_adaptive.hpp"
 #include "turnnet/routing/negative_first.hpp"
@@ -101,6 +102,8 @@ makeRouting(const RoutingSpec &spec)
         return std::make_shared<OddEven>(minimal);
     if (name == "nf-torus")
         return std::make_shared<NegativeFirstTorus>();
+    if (name == "fattree-nca")
+        return std::make_shared<FatTreeNca>();
     if (name == "xy-first-hop-wrap") {
         return std::make_shared<FirstHopWrapTorus>(
             "xy", dimensionOrderTurns(spec.dims));
@@ -149,7 +152,7 @@ routingNames()
             "abonf",       "abopl",          "p-cube",
             "odd-even",    "fully-adaptive", "nf-torus",
             "xy-first-hop-wrap", "nf-first-hop-wrap",
-            "negative-first-ft", "p-cube-ft"};
+            "negative-first-ft", "p-cube-ft",  "fattree-nca"};
 }
 
 } // namespace turnnet

@@ -2,6 +2,7 @@
 
 #include "turnnet/routing/dateline_torus.hpp"
 #include "turnnet/routing/double_y.hpp"
+#include "turnnet/routing/dragonfly_routing.hpp"
 #include "turnnet/routing/registry.hpp"
 
 namespace turnnet {
@@ -13,6 +14,22 @@ makeVcRouting(const RoutingSpec &spec)
         return std::make_shared<DatelineTorus>();
     if (spec.name == "double-y")
         return std::make_shared<DoubleY>();
+    if (spec.name == "dragonfly-min") {
+        return std::make_shared<DragonflyRouting>(
+            DragonflyRouting::Mode::Min);
+    }
+    if (spec.name == "dragonfly-val") {
+        return std::make_shared<DragonflyRouting>(
+            DragonflyRouting::Mode::Val);
+    }
+    if (spec.name == "dragonfly-ugal") {
+        return std::make_shared<DragonflyRouting>(
+            DragonflyRouting::Mode::Ugal);
+    }
+    if (spec.name == "dragonfly-novc") {
+        return std::make_shared<DragonflyRouting>(
+            DragonflyRouting::Mode::NoVc);
+    }
     return std::make_shared<SingleVcAdapter>(makeRouting(spec));
 }
 

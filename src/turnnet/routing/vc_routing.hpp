@@ -143,10 +143,13 @@ class SingleVcAdapter : public VcRoutingFunction
 
 /**
  * Create a VC routing algorithm from a spec: "dateline"
- * (Dally-Seitz 2-VC minimal dimension-order routing for tori) or
+ * (Dally-Seitz 2-VC minimal dimension-order routing for tori),
  * "double-y" (fully adaptive minimal 2D-mesh routing with two VCs
- * on the y channels, the scheme of the paper's reference [18]). Any
- * other name is resolved through makeRouting() and wrapped in a
+ * on the y channels, the scheme of the paper's reference [18]), or
+ * one of the dragonfly schemes ("dragonfly-min", "dragonfly-val",
+ * "dragonfly-ugal", plus the deliberately broken "dragonfly-novc"
+ * certifier witness — see routing/dragonfly_routing.hpp). Any other
+ * name is resolved through makeRouting() and wrapped in a
  * SingleVcAdapter.
  */
 VcRoutingPtr makeVcRouting(const RoutingSpec &spec);

@@ -1,0 +1,146 @@
+#include "turnnet/topology/dragonfly.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+namespace {
+
+std::string
+dragonflyName(int a, int p, int h)
+{
+    return "dragonfly(" + std::to_string(a) + "," +
+           std::to_string(p) + "," + std::to_string(h) + ")";
+}
+
+} // namespace
+
+Dragonfly::Dragonfly(int a, int p, int h)
+    : Topology(dragonflyName(a, p, h), Shape({a, a * h + 1})),
+      a_(a), p_(p), h_(h), g_(a * h + 1)
+{
+    TN_ASSERT(a >= 2, "dragonfly needs >= 2 routers per group");
+    TN_ASSERT(p >= 1, "dragonfly needs >= 1 terminal per router");
+    TN_ASSERT(h >= 1, "dragonfly needs >= 1 global link per router");
+    buildChannelTable();
+}
+
+int
+Dragonfly::gatewayRouter(int group, int target) const
+{
+    TN_ASSERT(group != target, "no gateway within one group");
+    return (target < group ? target : target - 1) / h_;
+}
+
+int
+Dragonfly::gatewayPort(int group, int target) const
+{
+    TN_ASSERT(group != target, "no gateway within one group");
+    return (target < group ? target : target - 1) % h_;
+}
+
+Direction
+Dragonfly::localDirTo(int from_r, int to_r) const
+{
+    TN_ASSERT(from_r != to_r, "no local channel to self");
+    return Direction::fromIndex(to_r < from_r ? to_r : to_r - 1);
+}
+
+ChannelClass
+Dragonfly::channelClass(ChannelId id) const
+{
+    const Channel &ch = channel(id);
+    const int idx = ch.dir.index();
+    ChannelClass cc;
+    if (isGlobalPort(idx)) {
+        cc.level = 1;
+        cc.direction = idx - (a_ - 1);
+        cc.tag = "global";
+    } else {
+        cc.level = 0;
+        cc.direction = idx;
+        cc.tag = "local";
+    }
+    return cc;
+}
+
+std::string
+Dragonfly::dirName(Direction dir) const
+{
+    if (dir.isLocal())
+        return dir.toString();
+    const int idx = dir.index();
+    if (idx >= numPorts())
+        return dir.toString();
+    if (isGlobalPort(idx))
+        return "global" + std::to_string(idx - (a_ - 1));
+    return "local" + std::to_string(idx);
+}
+
+std::string
+Dragonfly::nodeName(NodeId node) const
+{
+    return "g" + std::to_string(groupOf(node)) + ".r" +
+           std::to_string(routerInGroup(node));
+}
+
+NodeId
+Dragonfly::neighbor(NodeId node, Direction dir) const
+{
+    if (dir.isLocal())
+        return kInvalidNode;
+    const int idx = dir.index();
+    if (idx >= numPorts())
+        return kInvalidNode;
+    const int g = groupOf(node);
+    const int r = routerInGroup(node);
+    if (!isGlobalPort(idx)) {
+        const int peer = idx < r ? idx : idx + 1;
+        return nodeAt(g, peer);
+    }
+    const int j = idx - (a_ - 1);
+    // Global link k = r*h + j of group g: skipping g itself, the
+    // k-th other group. The peer end is channel k' of the target
+    // group, numbered the same way back.
+    const int k = r * h_ + j;
+    const int target = k < g ? k : k + 1;
+    const int back = g < target ? g : g - 1;
+    return nodeAt(target, back / h_);
+}
+
+int
+Dragonfly::distance(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return 0;
+    const int ga = groupOf(a);
+    const int gb = groupOf(b);
+    const int ra = routerInGroup(a);
+    const int rb = routerInGroup(b);
+    if (ga == gb)
+        return 1;
+    // Exactly one global link joins the two groups; the minimal
+    // route hops to its gateway, crosses, and hops to the target.
+    const int gw_src = gatewayRouter(ga, gb);
+    const int gw_dst = gatewayRouter(gb, ga);
+    return (ra != gw_src ? 1 : 0) + 1 + (gw_dst != rb ? 1 : 0);
+}
+
+DirectionSet
+Dragonfly::minimalDirections(NodeId cur, NodeId dest) const
+{
+    DirectionSet set = DirectionSet::none();
+    if (cur == dest)
+        return set;
+    const int d = distance(cur, dest);
+    const int ports = numPorts();
+    for (int idx = 0; idx < ports; ++idx) {
+        const Direction dir = Direction::fromIndex(idx);
+        const NodeId nbr = neighbor(cur, dir);
+        if (nbr != kInvalidNode && distance(nbr, dest) < d)
+            set.insert(dir);
+    }
+    return set;
+}
+
+} // namespace turnnet

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Dragonfly topology (Kim, Dally, Scott, Abts, ISCA 2008), the
+ * canonical hierarchical fabric: groups of @c a routers, each group a
+ * local all-to-all, and every pair of groups joined by exactly one
+ * global channel pair.
+ *
+ * The standard parameterization dragonfly(a, p, h) gives every router
+ * @c p terminals and @c h global links, and builds the balanced
+ * maximum-size fabric of g = a*h + 1 groups (so the a*h global links
+ * of one group reach every other group exactly once). Nodes here are
+ * the routers; @c p is carried as metadata (per-router concentration)
+ * since the simulator injects at routers.
+ *
+ * Port layout (see Topology::numPorts): ports 0 .. a-2 are the local
+ * all-to-all (port q at router r leads to router q if q < r, else
+ * q+1 — the "skip self" encoding), ports a-1 .. a-2+h are the global
+ * links. Channel classes: level 0 = local, level 1 = global.
+ */
+
+#ifndef TURNNET_TOPOLOGY_DRAGONFLY_HPP
+#define TURNNET_TOPOLOGY_DRAGONFLY_HPP
+
+#include <string>
+
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** A balanced dragonfly(a, p, h) with g = a*h + 1 groups. */
+class Dragonfly : public Topology
+{
+  public:
+    /**
+     * @param a Routers per group (>= 2).
+     * @param p Terminals per router (>= 1; metadata only).
+     * @param h Global links per router (>= 1).
+     */
+    Dragonfly(int a, int p, int h);
+
+    int routersPerGroup() const { return a_; }
+    int terminalsPerRouter() const { return p_; }
+    int globalsPerRouter() const { return h_; }
+    int numGroups() const { return g_; }
+
+    int groupOf(NodeId node) const { return node / a_; }
+    int routerInGroup(NodeId node) const { return node % a_; }
+    NodeId
+    nodeAt(int group, int router) const
+    {
+        return static_cast<NodeId>(group) * a_ + router;
+    }
+
+    /** True when port index @p idx is a global link. */
+    bool isGlobalPort(int idx) const { return idx >= a_ - 1; }
+
+    /**
+     * Router within @p group that owns the (unique) global link to
+     * @p target group; the two groups must differ.
+     */
+    int gatewayRouter(int group, int target) const;
+
+    /** Global-port index (0 .. h-1) of that link at the gateway. */
+    int gatewayPort(int group, int target) const;
+
+    /** Direction of the local hop from router @p from_r to router
+     *  @p to_r of the same group (from_r != to_r). */
+    Direction localDirTo(int from_r, int to_r) const;
+
+    /** Direction of global port @p j (0 .. h-1). */
+    Direction
+    globalDir(int j) const
+    {
+        return Direction::fromIndex(a_ - 1 + j);
+    }
+
+    int numPorts() const override { return a_ - 1 + h_; }
+    ChannelClass channelClass(ChannelId id) const override;
+    std::string dirName(Direction dir) const override;
+    std::string nodeName(NodeId node) const override;
+
+    NodeId neighbor(NodeId node, Direction dir) const override;
+    int distance(NodeId a, NodeId b) const override;
+    DirectionSet minimalDirections(NodeId cur,
+                                   NodeId dest) const override;
+
+  private:
+    int a_;
+    int p_;
+    int h_;
+    int g_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TOPOLOGY_DRAGONFLY_HPP

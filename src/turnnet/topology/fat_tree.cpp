@@ -1,0 +1,184 @@
+#include "turnnet/topology/fat_tree.hpp"
+
+#include <cstdint>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+namespace {
+
+std::string
+fatTreeName(int k, int n)
+{
+    return "fat-tree(" + std::to_string(k) + "," +
+           std::to_string(n) + ")";
+}
+
+NodeId
+fatTreeNodes(int k, int n)
+{
+    std::int64_t terminals = 1;
+    for (int i = 0; i < n; ++i)
+        terminals *= k;
+    const std::int64_t total = terminals + n * (terminals / k);
+    TN_ASSERT(total <= 1 << 26, "fat-tree too large for NodeId");
+    return static_cast<NodeId>(total);
+}
+
+} // namespace
+
+FatTree::FatTree(int k, int n)
+    : Topology(fatTreeName(k, n), Shape({fatTreeNodes(k, n)})),
+      k_(k), n_(n)
+{
+    TN_ASSERT(k >= 2, "fat-tree needs arity >= 2");
+    TN_ASSERT(n >= 1, "fat-tree needs height >= 1");
+    pow_.assign(static_cast<std::size_t>(n) + 1, 1);
+    for (int i = 1; i <= n; ++i)
+        pow_[i] = pow_[i - 1] * k;
+    stride_ = pow_[n - 1];
+    terminals_ = pow_[n];
+    buildChannelTable();
+}
+
+int
+FatTree::ncaLevel(NodeId a, NodeId b) const
+{
+    int wa = static_cast<int>(a / k_);
+    int wb = static_cast<int>(b / k_);
+    int m = 0;
+    while (wa != wb) {
+        wa /= k_;
+        wb /= k_;
+        ++m;
+    }
+    return m;
+}
+
+ChannelClass
+FatTree::channelClass(ChannelId id) const
+{
+    const Channel &ch = channel(id);
+    ChannelClass cc;
+    const bool up = isUpPort(ch.dir.index());
+    cc.direction = up ? +1 : -1;
+    cc.tag = up ? "up" : "down";
+    // Rank of the switch the hop enters (up) or leaves (down).
+    cc.level = isTerminal(ch.src) ? 0
+                                  : switchLevel(ch.src) + (up ? 1 : 0);
+    return cc;
+}
+
+std::string
+FatTree::dirName(Direction dir) const
+{
+    if (dir.isLocal())
+        return dir.toString();
+    const int idx = dir.index();
+    if (idx >= numPorts())
+        return dir.toString();
+    if (isUpPort(idx))
+        return "up" + std::to_string(idx - k_);
+    return "down" + std::to_string(idx);
+}
+
+std::string
+FatTree::nodeName(NodeId node) const
+{
+    if (isTerminal(node))
+        return "t" + std::to_string(node);
+    return "s" + std::to_string(switchLevel(node)) + "." +
+           std::to_string(switchPos(node));
+}
+
+NodeId
+FatTree::neighbor(NodeId node, Direction dir) const
+{
+    if (dir.isLocal())
+        return kInvalidNode;
+    const int idx = dir.index();
+    if (idx >= numPorts())
+        return kInvalidNode;
+    if (isTerminal(node)) {
+        // A terminal wires exactly one port, up port 0.
+        if (idx != k_)
+            return kInvalidNode;
+        return switchId(0, static_cast<int>(node / k_));
+    }
+    const int l = switchLevel(node);
+    const int w = switchPos(node);
+    auto setDigit = [&](int pos, int i, int c) {
+        return pos + (c - digit(pos, i)) * pow_[i];
+    };
+    if (!isUpPort(idx)) {
+        if (l == 0)
+            return static_cast<NodeId>(w) * k_ + idx;
+        return switchId(l - 1, setDigit(w, l - 1, idx));
+    }
+    if (l == n_ - 1)
+        return kInvalidNode;
+    return switchId(l + 1, setDigit(w, l, idx - k_));
+}
+
+int
+FatTree::switchDistance(int l1, int w1, int l2, int w2) const
+{
+    // Minimal paths are down-up-down (possibly with empty legs):
+    // drop to rank j rewriting digits [j, l1), climb to rank m
+    // rewriting [j, m), drop to rank l2 rewriting [l2, m). Feasible
+    // iff the positions agree below j and at or above m; the legs
+    // cost 2(m - j) - |l1 - l2| at the extremal feasible j and m.
+    const int lo = l1 < l2 ? l1 : l2;
+    const int hi = l1 < l2 ? l2 : l1;
+    int j = 0;
+    while (j < lo && digit(w1, j) == digit(w2, j))
+        ++j;
+    int m = hi;
+    while (w1 / pow_[m] != w2 / pow_[m])
+        ++m;
+    return 2 * (m - j) - (hi - lo);
+}
+
+int
+FatTree::distance(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return 0;
+    const bool ta = isTerminal(a);
+    const bool tb = isTerminal(b);
+    if (ta && tb)
+        return 2 * ncaLevel(a, b) + 2;
+    if (ta || tb) {
+        const NodeId t = ta ? a : b;
+        const NodeId s = ta ? b : a;
+        const int l = switchLevel(s);
+        const int w = switchPos(s);
+        const int wt = static_cast<int>(t / k_);
+        int m = l;
+        while (w / pow_[m] != wt / pow_[m])
+            ++m;
+        return 1 + 2 * m - l;
+    }
+    return switchDistance(switchLevel(a), switchPos(a),
+                          switchLevel(b), switchPos(b));
+}
+
+DirectionSet
+FatTree::minimalDirections(NodeId cur, NodeId dest) const
+{
+    DirectionSet set = DirectionSet::none();
+    if (cur == dest)
+        return set;
+    const int d = distance(cur, dest);
+    const int ports = numPorts();
+    for (int idx = 0; idx < ports; ++idx) {
+        const Direction dir = Direction::fromIndex(idx);
+        const NodeId nbr = neighbor(cur, dir);
+        if (nbr != kInvalidNode && distance(nbr, dest) < d)
+            set.insert(dir);
+    }
+    return set;
+}
+
+} // namespace turnnet

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * k-ary n-tree fat-tree (Petrini & Vanneschi's parameterization):
+ * k^n terminals served by n ranks of k^(n-1) switches, every switch
+ * with k down ports and (except the top rank) k up ports.
+ *
+ * This is the library's first *indirect* network: terminals (the
+ * endpoints) occupy node ids 0 .. k^n-1, and switch (l, w) — rank l,
+ * position w written as n-1 base-k digits — occupies id
+ * k^n + l*k^(n-1) + w. A switch is an ancestor of terminal d iff its
+ * position agrees with d/k on every digit at or above its rank; the
+ * nearest common ancestor rank of two terminals is where their leaf
+ * positions first agree under repeated division by k.
+ *
+ * Port layout (see Topology::numPorts): ports 0 .. k-1 go down
+ * (digit choice c), ports k .. 2k-1 go up. A terminal wires only
+ * port k, to leaf switch (0, t/k). Channel classes: level = the
+ * switch rank the hop enters going up / leaves going down, direction
+ * +1 up, -1 down.
+ */
+
+#ifndef TURNNET_TOPOLOGY_FAT_TREE_HPP
+#define TURNNET_TOPOLOGY_FAT_TREE_HPP
+
+#include <string>
+#include <vector>
+
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** A k-ary n-tree. Terminals are the endpoints; switches route. */
+class FatTree : public Topology
+{
+  public:
+    /**
+     * @param k Arity (>= 2): down/up ports per switch.
+     * @param n Tree height (>= 1): k^n terminals.
+     */
+    FatTree(int k, int n);
+
+    int arity() const { return k_; }
+    int height() const { return n_; }
+
+    NodeId numTerminals() const { return terminals_; }
+    /** Switches per rank (k^(n-1)). */
+    NodeId switchesPerLevel() const { return stride_; }
+
+    bool isTerminal(NodeId node) const { return node < terminals_; }
+    int switchLevel(NodeId node) const
+    {
+        return static_cast<int>((node - terminals_) / stride_);
+    }
+    int switchPos(NodeId node) const
+    {
+        return static_cast<int>((node - terminals_) % stride_);
+    }
+    NodeId
+    switchId(int level, int pos) const
+    {
+        return terminals_ + static_cast<NodeId>(level) * stride_ +
+               pos;
+    }
+
+    /** Digit @p i (base k) of switch position @p w. */
+    int digit(int w, int i) const { return (w / pow_[i]) % k_; }
+
+    /** True when switch (level, pos) is an ancestor of terminal d. */
+    bool
+    isAncestor(int level, int pos, NodeId dest) const
+    {
+        return pos / pow_[level] ==
+               static_cast<int>(dest / k_) / pow_[level];
+    }
+
+    /** Nearest-common-ancestor rank of two terminals. */
+    int ncaLevel(NodeId a, NodeId b) const;
+
+    Direction downDir(int c) const { return Direction::fromIndex(c); }
+    Direction upDir(int c) const
+    {
+        return Direction::fromIndex(k_ + c);
+    }
+    bool isUpPort(int idx) const { return idx >= k_; }
+
+    int numPorts() const override { return 2 * k_; }
+    ChannelClass channelClass(ChannelId id) const override;
+    std::string dirName(Direction dir) const override;
+    std::string nodeName(NodeId node) const override;
+    bool isEndpoint(NodeId node) const override
+    {
+        return isTerminal(node);
+    }
+
+    NodeId neighbor(NodeId node, Direction dir) const override;
+    int distance(NodeId a, NodeId b) const override;
+    DirectionSet minimalDirections(NodeId cur,
+                                   NodeId dest) const override;
+
+  private:
+    int switchDistance(int l1, int w1, int l2, int w2) const;
+
+    int k_;
+    int n_;
+    NodeId terminals_; // k^n
+    NodeId stride_;    // k^(n-1)
+    std::vector<int> pow_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TOPOLOGY_FAT_TREE_HPP

@@ -1,0 +1,19 @@
+#include "turnnet/topology/spec.hpp"
+
+#include "turnnet/topology/topology_registry.hpp"
+
+namespace turnnet {
+
+std::vector<std::string>
+TopologySpec::validate() const
+{
+    return TopologyRegistry::instance().validate(*this);
+}
+
+std::unique_ptr<Topology>
+makeTopology(const TopologySpec &spec)
+{
+    return TopologyRegistry::instance().build(spec);
+}
+
+} // namespace turnnet

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Designated-initializer construction of topologies.
+ *
+ * TopologySpec is to topologies what RoutingSpec is to routing
+ * algorithms and SimConfig to the simulator: one options struct
+ * naming every knob at the call site, with fail-fast validation,
+ * replacing the positional Mesh/Torus/Hypercube constructors and the
+ * per-driver stringly `--topology` switches:
+ *
+ *     makeTopology({.family = "mesh", .radices = {8, 8}});
+ *     makeTopology({.family = "dragonfly", .group_routers = 4,
+ *                   .group_terminals = 2, .global_links = 2});
+ *     makeTopology({.family = "fat-tree", .arity = 2, .levels = 3});
+ *
+ * Validation and construction are table-driven through
+ * TopologyRegistry (topology_registry.hpp), the single source of
+ * family names — validate() and makeTopology() are thin forwards.
+ */
+
+#ifndef TURNNET_TOPOLOGY_SPEC_HPP
+#define TURNNET_TOPOLOGY_SPEC_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/** Options for constructing a topology by family. */
+struct TopologySpec
+{
+    /**
+     * Family name. Registered: "mesh", "torus", "hypercube",
+     * "dragonfly", "fat-tree" (alias "fattree"). The registry owns
+     * this list; TopologyRegistry::usageNames() renders it for CLI
+     * errors.
+     */
+    std::string family;
+
+    /** Mesh/torus: nodes per dimension (mesh >= 2, torus >= 3). */
+    std::vector<int> radices;
+
+    /** Hypercube: dimensionality (2^dims nodes). */
+    int dims = 0;
+
+    /** Fat-tree: arity k (>= 2, down/up ports per switch). */
+    int arity = 0;
+
+    /** Fat-tree: height n (>= 1, k^n terminals). */
+    int levels = 0;
+
+    /** Dragonfly: routers per group a (>= 2). */
+    int group_routers = 0;
+
+    /** Dragonfly: terminals per router p (>= 1). */
+    int group_terminals = 0;
+
+    /** Dragonfly: global links per router h (>= 1). */
+    int global_links = 0;
+
+    /**
+     * Virtual-channel scheme this topology will run under, or empty
+     * for single-channel routing. Validated against the family's
+     * registered schemes ("dateline" is a torus scheme, the
+     * "dragonfly-*" schemes are dragonfly ones); a mismatched pair
+     * would deadlock or misroute, so it is rejected here instead.
+     */
+    std::string vc_scheme;
+
+    /**
+     * Every reason this spec cannot build, as human-readable
+     * messages; empty when valid. makeTopology() is fatal on a
+     * non-empty list, mirroring SimConfig::validate().
+     */
+    std::vector<std::string> validate() const;
+};
+
+/** Build a topology from a validated spec; fatal on an invalid one. */
+std::unique_ptr<Topology> makeTopology(const TopologySpec &spec);
+
+} // namespace turnnet
+
+#endif // TURNNET_TOPOLOGY_SPEC_HPP

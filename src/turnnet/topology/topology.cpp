@@ -13,17 +13,26 @@ void
 Topology::buildChannelTable()
 {
     const NodeId nodes = numNodes();
-    const int dirs = 2 * numDims();
+    const int ports = numPorts();
+    TN_ASSERT(ports > 0 && ports <= 2 * kMaxDims,
+              "port count out of Direction index range");
 
     channels_.clear();
-    channelLookup_.assign(static_cast<std::size_t>(nodes) * dirs,
+    channelLookup_.assign(static_cast<std::size_t>(nodes) * ports,
                           kInvalidChannel);
     fromNode_.assign(nodes, {});
     intoNode_.assign(nodes, {});
     outDirs_.assign(nodes, DirectionSet::none());
+    endpoints_.clear();
+    endpointIndex_.assign(nodes, kInvalidNode);
 
     for (NodeId node = 0; node < nodes; ++node) {
-        for (int idx = 0; idx < dirs; ++idx) {
+        if (isEndpoint(node)) {
+            endpointIndex_[node] =
+                static_cast<NodeId>(endpoints_.size());
+            endpoints_.push_back(node);
+        }
+        for (int idx = 0; idx < ports; ++idx) {
             const Direction dir = Direction::fromIndex(idx);
             const NodeId nbr = neighbor(node, dir);
             if (nbr == kInvalidNode)
@@ -35,7 +44,7 @@ Topology::buildChannelTable()
             ch.dir = dir;
             ch.wrap = isWrapHop(node, dir);
             hasWrap_ = hasWrap_ || ch.wrap;
-            channelLookup_[static_cast<std::size_t>(node) * dirs +
+            channelLookup_[static_cast<std::size_t>(node) * ports +
                            idx] = ch.id;
             fromNode_[node].push_back(ch.id);
             intoNode_[nbr].push_back(ch.id);
@@ -45,17 +54,29 @@ Topology::buildChannelTable()
     }
 }
 
+ChannelClass
+Topology::channelClass(ChannelId id) const
+{
+    const Channel &ch = channel(id);
+    ChannelClass cc;
+    cc.level = 0;
+    cc.direction = ch.dir.sign();
+    cc.tag = dirName(ch.dir);
+    return cc;
+}
+
 ChannelId
 Topology::channelFrom(NodeId node, Direction dir) const
 {
     TN_ASSERT(node >= 0 && node < numNodes(), "node out of range");
     if (dir.isLocal())
         return kInvalidChannel;
-    const int dirs = 2 * numDims();
+    const int ports = numPorts();
     const int idx = dir.index();
-    if (idx >= dirs)
+    if (idx >= ports)
         return kInvalidChannel;
-    return channelLookup_[static_cast<std::size_t>(node) * dirs + idx];
+    return channelLookup_[static_cast<std::size_t>(node) * ports +
+                          idx];
 }
 
 } // namespace turnnet

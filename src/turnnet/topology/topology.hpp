@@ -1,12 +1,21 @@
 /**
  * @file
- * Abstract direct-network topology with an explicit table of
- * unidirectional channels.
+ * Abstract network topology with an explicit table of unidirectional
+ * channels.
  *
  * Every pair of neighboring routers is connected by a pair of
  * unidirectional channels (one per direction), as in the paper's
  * simulation setup. The channel table is the substrate for both the
  * wormhole simulator and the channel-dependency-graph analysis.
+ *
+ * Directions double as *port indices*: a grid topology uses the
+ * classic (dimension, sign) encoding with 2n ports per node, while a
+ * hierarchical topology (dragonfly, fat-tree) declares its own port
+ * count via numPorts() and maps each port to Direction::fromIndex().
+ * The semantic grouping of ports — which hierarchy level a channel
+ * belongs to, and where it points within that level — lives in
+ * channelClass(), which generalizes the fixed (dim, sign) vocabulary
+ * of direction.hpp.
  */
 
 #ifndef TURNNET_TOPOLOGY_TOPOLOGY_HPP
@@ -34,9 +43,29 @@ struct Channel
 };
 
 /**
- * Base class for direct-network topologies (meshes, tori,
- * hypercubes). Provides coordinate arithmetic and the channel table;
- * derived classes define adjacency and distance.
+ * Semantic class of a channel within the topology's hierarchy.
+ *
+ * Grid topologies have one level (0) and use the signed dimension as
+ * the within-level direction. Hierarchical fabrics assign levels
+ * bottom-up — dragonfly: 0 = intra-group local, 1 = inter-group
+ * global; fat-tree: the switch level the channel leaves, with
+ * direction -1 for downward and +1 for upward hops. Certification
+ * and witness rendering key off this instead of raw (dim, sign).
+ */
+struct ChannelClass
+{
+    /** Hierarchy level, 0 = innermost. */
+    int level = 0;
+    /** Within-level orientation: -1, +1, or a dimension-specific code. */
+    int direction = 0;
+    /** Human-readable tag, e.g. "local", "global", "up", "down". */
+    std::string tag;
+};
+
+/**
+ * Base class for network topologies (meshes, tori, hypercubes,
+ * dragonflies, fat-trees). Provides coordinate arithmetic and the
+ * channel table; derived classes define adjacency and distance.
  */
 class Topology
 {
@@ -52,6 +81,64 @@ class Topology
     NodeId numNodes() const { return shape_.numNodes(); }
     Coord coordOf(NodeId node) const { return shape_.coordOf(node); }
     NodeId nodeOf(const Coord &c) const { return shape_.nodeOf(c); }
+
+    /**
+     * Number of port slots per node. Ports are addressed as
+     * Direction::fromIndex(0 .. numPorts()-1); not every slot need
+     * be wired at every node. Grid topologies use the default
+     * 2 * numDims(); hierarchical topologies override.
+     */
+    virtual int numPorts() const { return 2 * numDims(); }
+
+    /**
+     * Semantic class of a channel — its hierarchy level and
+     * within-level orientation. Grid default: level 0, direction =
+     * the channel's sign, tag = the direction name.
+     */
+    virtual ChannelClass channelClass(ChannelId id) const;
+
+    /**
+     * Topology-aware name for a port direction, e.g. "west" on a
+     * mesh, "local2" / "global0" on a dragonfly, "up" / "down3" on a
+     * fat-tree. Defaults to Direction::toString().
+     */
+    virtual std::string dirName(Direction dir) const
+    {
+        return dir.toString();
+    }
+
+    /** Topology-aware node label for witnesses and forensics. */
+    virtual std::string
+    nodeName(NodeId node) const
+    {
+        return shape_.coordToString(shape_.coordOf(node));
+    }
+
+    /**
+     * True when @p node attaches a processor (injects/ejects
+     * traffic). Direct networks attach one everywhere; indirect
+     * networks (fat-tree) have pure switch nodes.
+     */
+    virtual bool
+    isEndpoint(NodeId node) const
+    {
+        (void)node;
+        return true;
+    }
+
+    /** Nodes with isEndpoint() true, ascending. */
+    const std::vector<NodeId> &endpoints() const { return endpoints_; }
+
+    NodeId numEndpoints() const
+    {
+        return static_cast<NodeId>(endpoints_.size());
+    }
+
+    /** Position of @p node in endpoints(), or -1 for switches. */
+    NodeId endpointIndex(NodeId node) const
+    {
+        return endpointIndex_[static_cast<std::size_t>(node)];
+    }
 
     /**
      * Neighbor of @p node in direction @p dir, or kInvalidNode when
@@ -136,6 +223,8 @@ class Topology
     std::vector<std::vector<ChannelId>> fromNode_;
     std::vector<std::vector<ChannelId>> intoNode_;
     std::vector<DirectionSet> outDirs_;
+    std::vector<NodeId> endpoints_;
+    std::vector<NodeId> endpointIndex_;
     bool hasWrap_ = false;
 };
 

@@ -1,0 +1,354 @@
+#include "turnnet/topology/topology_registry.hpp"
+
+#include <cstdlib>
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/topology/dragonfly.hpp"
+#include "turnnet/topology/fat_tree.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/torus.hpp"
+
+namespace turnnet {
+
+namespace {
+
+/** Parse a strictly positive integer; false on anything else. */
+bool
+parseInt(const std::string &text, int &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || v <= 0 || v > 1 << 26)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+/** Split on @p sep and parse every piece as a positive integer. */
+bool
+parseIntList(const std::string &text, char sep, std::vector<int> &out)
+{
+    out.clear();
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t stop = text.find(sep, start);
+        const std::string piece =
+            text.substr(start, stop == std::string::npos
+                                   ? std::string::npos
+                                   : stop - start);
+        int v = 0;
+        if (!parseInt(piece, v))
+            return false;
+        out.push_back(v);
+        if (stop == std::string::npos)
+            break;
+        start = stop + 1;
+    }
+    return !out.empty();
+}
+
+// -- mesh --------------------------------------------------------
+
+void
+validateMesh(const TopologySpec &spec,
+             std::vector<std::string> &errors)
+{
+    if (spec.radices.empty())
+        errors.push_back("mesh needs at least one radix");
+    for (const int r : spec.radices)
+        if (r < 2)
+            errors.push_back("mesh radix " + std::to_string(r) +
+                             " is below the minimum of 2");
+    if (spec.vc_scheme == "double-y" && spec.radices.size() != 2)
+        errors.push_back("the double-y scheme is 2D-only, got " +
+                         std::to_string(spec.radices.size()) +
+                         " dimensions");
+}
+
+std::unique_ptr<Topology>
+buildMesh(const TopologySpec &spec)
+{
+    return std::make_unique<Mesh>(spec.radices);
+}
+
+bool
+parseMeshArgs(const std::string &args, TopologySpec &spec)
+{
+    return parseIntList(args, 'x', spec.radices);
+}
+
+// -- torus -------------------------------------------------------
+
+void
+validateTorus(const TopologySpec &spec,
+              std::vector<std::string> &errors)
+{
+    if (spec.radices.empty())
+        errors.push_back("torus needs at least one radix");
+    for (const int r : spec.radices)
+        if (r < 3)
+            errors.push_back("torus radix " + std::to_string(r) +
+                             " is below the minimum of 3 (a 2-ary "
+                             "cube is the hypercube family)");
+}
+
+std::unique_ptr<Topology>
+buildTorus(const TopologySpec &spec)
+{
+    return std::make_unique<Torus>(spec.radices);
+}
+
+bool
+parseTorusArgs(const std::string &args, TopologySpec &spec)
+{
+    return parseIntList(args, 'x', spec.radices);
+}
+
+// -- hypercube ---------------------------------------------------
+
+void
+validateHypercube(const TopologySpec &spec,
+                  std::vector<std::string> &errors)
+{
+    if (spec.dims < 1 || spec.dims >= kMaxDims)
+        errors.push_back("hypercube dimensionality " +
+                         std::to_string(spec.dims) +
+                         " is outside 1 .. " +
+                         std::to_string(kMaxDims - 1));
+}
+
+std::unique_ptr<Topology>
+buildHypercube(const TopologySpec &spec)
+{
+    return std::make_unique<Hypercube>(spec.dims);
+}
+
+bool
+parseHypercubeArgs(const std::string &args, TopologySpec &spec)
+{
+    return parseInt(args, spec.dims);
+}
+
+// -- dragonfly ---------------------------------------------------
+
+void
+validateDragonfly(const TopologySpec &spec,
+                  std::vector<std::string> &errors)
+{
+    if (spec.group_routers < 2)
+        errors.push_back("dragonfly group size " +
+                         std::to_string(spec.group_routers) +
+                         " is below the minimum of 2 routers");
+    if (spec.group_terminals < 1)
+        errors.push_back("dragonfly needs >= 1 terminal per router, "
+                         "got " +
+                         std::to_string(spec.group_terminals));
+    if (spec.global_links < 1)
+        errors.push_back("dragonfly needs >= 1 global link per "
+                         "router, got " +
+                         std::to_string(spec.global_links));
+    const int ports = spec.group_routers - 1 + spec.global_links;
+    if (ports > 2 * kMaxDims)
+        errors.push_back("dragonfly router degree " +
+                         std::to_string(ports) +
+                         " exceeds the port limit of " +
+                         std::to_string(2 * kMaxDims));
+}
+
+std::unique_ptr<Topology>
+buildDragonfly(const TopologySpec &spec)
+{
+    return std::make_unique<Dragonfly>(spec.group_routers,
+                                       spec.group_terminals,
+                                       spec.global_links);
+}
+
+bool
+parseDragonflyArgs(const std::string &args, TopologySpec &spec)
+{
+    std::vector<int> v;
+    if (!parseIntList(args, ',', v) || v.size() != 3)
+        return false;
+    spec.group_routers = v[0];
+    spec.group_terminals = v[1];
+    spec.global_links = v[2];
+    return true;
+}
+
+// -- fat-tree ----------------------------------------------------
+
+void
+validateFatTree(const TopologySpec &spec,
+                std::vector<std::string> &errors)
+{
+    if (spec.arity < 2 || spec.arity > kMaxDims)
+        errors.push_back("fat-tree arity " +
+                         std::to_string(spec.arity) +
+                         " is outside 2 .. " +
+                         std::to_string(kMaxDims));
+    if (spec.levels < 1)
+        errors.push_back("fat-tree height " +
+                         std::to_string(spec.levels) +
+                         " is below the minimum of 1");
+    if (spec.arity >= 2 && spec.levels >= 1) {
+        std::int64_t terminals = 1;
+        for (int i = 0; i < spec.levels && terminals <= (1 << 26);
+             ++i)
+            terminals *= spec.arity;
+        const std::int64_t total =
+            terminals + std::int64_t(spec.levels) *
+                            (terminals / spec.arity);
+        if (total > 1 << 26)
+            errors.push_back("fat-tree(" +
+                             std::to_string(spec.arity) + "," +
+                             std::to_string(spec.levels) +
+                             ") exceeds the node-count limit");
+    }
+}
+
+std::unique_ptr<Topology>
+buildFatTree(const TopologySpec &spec)
+{
+    return std::make_unique<FatTree>(spec.arity, spec.levels);
+}
+
+bool
+parseFatTreeArgs(const std::string &args, TopologySpec &spec)
+{
+    std::vector<int> v;
+    if (!parseIntList(args, ',', v) || v.size() != 2)
+        return false;
+    spec.arity = v[0];
+    spec.levels = v[1];
+    return true;
+}
+
+} // namespace
+
+TopologyRegistry::TopologyRegistry()
+{
+    families_.push_back({"mesh", nullptr, "mesh(WxH[x...])",
+                         {"double-y"}, &validateMesh, &buildMesh,
+                         &parseMeshArgs});
+    families_.push_back({"torus", nullptr, "torus(WxH[x...])",
+                         {"dateline"}, &validateTorus, &buildTorus,
+                         &parseTorusArgs});
+    families_.push_back({"hypercube", nullptr, "hypercube(N)",
+                         {}, &validateHypercube, &buildHypercube,
+                         &parseHypercubeArgs});
+    families_.push_back({"dragonfly", nullptr, "dragonfly(a,p,h)",
+                         {"dragonfly-min", "dragonfly-val",
+                          "dragonfly-ugal", "dragonfly-novc"},
+                         &validateDragonfly, &buildDragonfly,
+                         &parseDragonflyArgs});
+    families_.push_back({"fat-tree", "fattree", "fat-tree(k,n)",
+                         {}, &validateFatTree, &buildFatTree,
+                         &parseFatTreeArgs});
+}
+
+const TopologyRegistry &
+TopologyRegistry::instance()
+{
+    static const TopologyRegistry registry;
+    return registry;
+}
+
+const TopologyDescriptor *
+TopologyRegistry::find(const std::string &family) const
+{
+    for (const TopologyDescriptor &d : families_)
+        if (family == d.family ||
+            (d.alias != nullptr && family == d.alias))
+            return &d;
+    return nullptr;
+}
+
+const TopologyDescriptor &
+TopologyRegistry::parse(const std::string &family) const
+{
+    const TopologyDescriptor *d = find(family);
+    if (d == nullptr)
+        TN_FATAL("unknown topology family '", family,
+                 "' (known: ", usageNames(), ")");
+    return *d;
+}
+
+TopologySpec
+TopologyRegistry::parseSpec(const std::string &text) const
+{
+    const std::size_t open = text.find('(');
+    if (open == std::string::npos || text.back() != ')')
+        TN_FATAL("malformed topology '", text,
+                 "' (expected one of: ", usageNames(), ")");
+    const TopologyDescriptor &d = parse(text.substr(0, open));
+    TopologySpec spec;
+    spec.family = d.family;
+    const std::string args =
+        text.substr(open + 1, text.size() - open - 2);
+    if (!d.parseArgs(args, spec))
+        TN_FATAL("malformed arguments in '", text, "' (expected ",
+                 d.usage, ")");
+    return spec;
+}
+
+std::vector<std::string>
+TopologyRegistry::validate(const TopologySpec &spec) const
+{
+    std::vector<std::string> errors;
+    const TopologyDescriptor *d = find(spec.family);
+    if (d == nullptr) {
+        errors.push_back("unknown topology family '" + spec.family +
+                         "' (known: " + usageNames() + ")");
+        return errors;
+    }
+    d->validate(spec, errors);
+    if (!spec.vc_scheme.empty()) {
+        bool known = false;
+        for (const std::string &s : d->vcSchemes)
+            known = known || s == spec.vc_scheme;
+        if (!known)
+            errors.push_back("VC scheme '" + spec.vc_scheme +
+                             "' does not apply to the " +
+                             std::string(d->family) + " family");
+    }
+    return errors;
+}
+
+std::unique_ptr<Topology>
+TopologyRegistry::build(const TopologySpec &spec) const
+{
+    const std::vector<std::string> errors = validate(spec);
+    if (!errors.empty()) {
+        std::string all;
+        for (const std::string &e : errors) {
+            if (!all.empty())
+                all += "; ";
+            all += e;
+        }
+        TN_FATAL("invalid topology spec: ", all);
+    }
+    return find(spec.family)->build(spec);
+}
+
+std::unique_ptr<Topology>
+TopologyRegistry::build(const std::string &text) const
+{
+    return build(parseSpec(text));
+}
+
+std::string
+TopologyRegistry::usageNames() const
+{
+    std::string out;
+    for (const TopologyDescriptor &d : families_) {
+        if (!out.empty())
+            out += ", ";
+        out += d.usage;
+    }
+    return out;
+}
+
+} // namespace turnnet

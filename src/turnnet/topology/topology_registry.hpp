@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The topology registry: the single source of truth for topology
+ * family names, their argument grammars, their validation rules, and
+ * their factories — the same redesign EngineRegistry applied to
+ * cycle engines.
+ *
+ * Every `--topology` value in a bench or CLI resolves here, through
+ * the compact text grammar
+ *
+ *     mesh(8x8)   torus(8x8x8)   hypercube(6)
+ *     dragonfly(4,2,2)           fat-tree(2,3)
+ *
+ * which parseSpec() turns into a TopologySpec; drivers never switch
+ * on family strings themselves. The registry also records which
+ * named virtual-channel schemes apply to each family, so a
+ * (topology, VC-scheme) mismatch is rejected at the API surface
+ * instead of deadlocking in the fabric.
+ */
+
+#ifndef TURNNET_TOPOLOGY_TOPOLOGY_REGISTRY_HPP
+#define TURNNET_TOPOLOGY_TOPOLOGY_REGISTRY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/topology/spec.hpp"
+
+namespace turnnet {
+
+/** One topology family's registry entry. */
+struct TopologyDescriptor
+{
+    /** Canonical family name ("mesh", "dragonfly", ...). */
+    const char *family;
+
+    /** Accepted alias, or null ("fattree" for "fat-tree"). */
+    const char *alias;
+
+    /** Argument grammar for usage strings, e.g. "mesh(WxH[x...])". */
+    const char *usage;
+
+    /** Named VC schemes that apply to this family (empty scheme —
+     *  single-channel routing — is always accepted). */
+    std::vector<std::string> vcSchemes;
+
+    /** Append every problem with @p spec to @p errors. */
+    void (*validate)(const TopologySpec &spec,
+                     std::vector<std::string> &errors);
+
+    /** Build the topology; the spec has already validated clean. */
+    std::unique_ptr<Topology> (*build)(const TopologySpec &spec);
+
+    /**
+     * Parse the text between the parentheses of the compact grammar
+     * into @p spec (family already set). Returns false on malformed
+     * arguments.
+     */
+    bool (*parseArgs)(const std::string &args, TopologySpec &spec);
+};
+
+/**
+ * The immutable table of every topology family. The only place
+ * family names live; --topology parsing, certify-case construction,
+ * and usage strings must all come from here.
+ */
+class TopologyRegistry
+{
+  public:
+    static const TopologyRegistry &instance();
+
+    const std::vector<TopologyDescriptor> &all() const
+    {
+        return families_;
+    }
+
+    /** Descriptor of @p family (canonical name or alias), or null
+     *  when unknown. */
+    const TopologyDescriptor *find(const std::string &family) const;
+
+    /** Descriptor of @p family; fatal on anything unknown. */
+    const TopologyDescriptor &parse(const std::string &family) const;
+
+    /**
+     * Parse a compact topology string — "mesh(8x8)", "torus(4x4)",
+     * "hypercube(6)", "dragonfly(4,2,2)", "fat-tree(2,3)" — into a
+     * spec; fatal on an unknown family or malformed arguments,
+     * naming the family's grammar.
+     */
+    TopologySpec parseSpec(const std::string &text) const;
+
+    /** Every problem with @p spec (unknown family, bad shape
+     *  arguments, VC-scheme mismatch); empty when valid. */
+    std::vector<std::string> validate(const TopologySpec &spec) const;
+
+    /** Validate and build; fatal on an invalid spec, listing every
+     *  problem. */
+    std::unique_ptr<Topology> build(const TopologySpec &spec) const;
+
+    /** Build straight from the compact grammar (parseSpec + build). */
+    std::unique_ptr<Topology> build(const std::string &text) const;
+
+    /** Comma-separated family grammars for usage/error messages. */
+    std::string usageNames() const;
+
+  private:
+    TopologyRegistry();
+
+    std::vector<TopologyDescriptor> families_;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_TOPOLOGY_TOPOLOGY_REGISTRY_HPP

@@ -10,7 +10,7 @@
 namespace turnnet {
 
 TraceCounters::TraceCounters(const Topology &topo, int num_vcs)
-    : numDims_(topo.numDims()), numSlots_(2 * topo.numDims() + 1),
+    : numPorts_(topo.numPorts()), numSlots_(topo.numPorts() + 1),
       channelFlits_(static_cast<std::size_t>(topo.numChannels()), 0),
       occupancySum_(static_cast<std::size_t>(topo.numChannels()) *
                             static_cast<std::size_t>(num_vcs) +
@@ -76,12 +76,12 @@ TraceCounters::turnCount(Direction from, Direction to) const
 std::uint64_t
 TraceCounters::injectionTurns() const
 {
-    const std::size_t local = static_cast<std::size_t>(2 * numDims_);
+    const std::size_t local = static_cast<std::size_t>(numPorts_);
     std::uint64_t total = 0;
     for (int s = 0; s < numSlots_; ++s) {
         total += turns_[local * static_cast<std::size_t>(numSlots_) +
                         static_cast<std::size_t>(s)];
-        if (s != 2 * numDims_) {
+        if (s != numPorts_) {
             total += turns_[static_cast<std::size_t>(s) *
                                 static_cast<std::size_t>(numSlots_) +
                             local];
@@ -94,8 +94,11 @@ std::uint64_t
 TraceCounters::prohibitedTurnEvents(const TurnSet &allowed) const
 {
     std::uint64_t violations = 0;
-    for (int f = 0; f < 2 * numDims_; ++f) {
-        for (int t = 0; t < 2 * numDims_; ++t) {
+    // The declared set covers 2*dims grid directions; a fabric with
+    // more ports than that (hierarchical) has no declared turn sets.
+    const int dirs = std::min(numPorts_, 2 * allowed.numDims());
+    for (int f = 0; f < dirs; ++f) {
+        for (int t = 0; t < dirs; ++t) {
             const Direction from = Direction::fromIndex(f);
             const Direction to = Direction::fromIndex(t);
             if (from == to)
@@ -144,9 +147,9 @@ namespace {
 
 /** Direction name of a dense turn-histogram slot. */
 std::string
-slotName(int slot, int num_dims)
+slotName(int slot, int num_ports)
 {
-    if (slot == 2 * num_dims)
+    if (slot == num_ports)
         return "local";
     return Direction::fromIndex(slot).toString();
 }
@@ -204,21 +207,22 @@ appendCountersEntry(std::ostringstream &os,
 
     os << "      \"turns\": [";
     bool first = true;
-    const int slots = 2 * c.numDims() + 1;
+    const int ports = c.numPorts();
+    const int slots = ports + 1;
     for (int f = 0; f < slots; ++f) {
         for (int t = 0; t < slots; ++t) {
-            const Direction from =
-                f == 2 * c.numDims() ? Direction::local()
-                                     : Direction::fromIndex(f);
-            const Direction to =
-                t == 2 * c.numDims() ? Direction::local()
+            const Direction from = f == ports
+                                       ? Direction::local()
+                                       : Direction::fromIndex(f);
+            const Direction to = t == ports
+                                     ? Direction::local()
                                      : Direction::fromIndex(t);
             const std::uint64_t n = c.turnCount(from, to);
             if (n == 0)
                 continue;
             os << (first ? "" : ",") << "\n        { \"from\": \""
-               << slotName(f, c.numDims()) << "\", \"to\": \""
-               << slotName(t, c.numDims()) << "\", \"count\": " << n
+               << slotName(f, ports) << "\", \"to\": \""
+               << slotName(t, ports) << "\", \"count\": " << n
                << " }";
             first = false;
         }
@@ -336,10 +340,9 @@ channelHeatJson(const Topology &topo, const std::string &traffic,
             const ChannelId ch = order[k];
             const Channel &info = topo.channel(ch);
             os << "        { \"id\": " << ch << ", \"src\": \""
-               << json::escape(topo.shape().coordToString(
-                      topo.coordOf(info.src)))
+               << json::escape(topo.nodeName(info.src))
                << "\", \"dir\": \""
-               << json::escape(info.dir.toString())
+               << json::escape(topo.dirName(info.dir))
                << "\", \"flits\": "
                << flits[static_cast<std::size_t>(ch)]
                << ", \"utilization\": "

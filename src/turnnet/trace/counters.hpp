@@ -149,7 +149,9 @@ class TraceCounters
 
     // -- Queries. --
 
-    int numDims() const { return numDims_; }
+    /** Port slots per node of the counted fabric (the turn
+     *  histogram's network-direction axis). */
+    int numPorts() const { return numPorts_; }
     Cycle cyclesObserved() const { return cycles_; }
 
     /** Flits that crossed each channel (index = ChannelId), whole
@@ -201,10 +203,10 @@ class TraceCounters
      *  last slot for local. */
     int slot(Direction d) const
     {
-        return d.isLocal() ? 2 * numDims_ : d.index();
+        return d.isLocal() ? numPorts_ : d.index();
     }
 
-    int numDims_;
+    int numPorts_;
     int numSlots_;
     Cycle cycles_ = 0;
     std::vector<std::uint64_t> channelFlits_;

@@ -66,7 +66,8 @@ MessageGenerator::MessageGenerator(const Topology &topo,
         TN_ASSERT(pattern_ != nullptr,
                   "a positive load needs a traffic pattern");
         meanInterarrival_ = mix_.mean() / load_;
-        next_.resize(topo.numNodes());
+        sources_ = topo.endpoints();
+        next_.resize(sources_.size());
         for (double &t : next_)
             t = rng_.nextExponential(meanInterarrival_);
     } else {

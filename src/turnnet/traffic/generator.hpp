@@ -64,7 +64,9 @@ class MessageGenerator
      * Produce every message whose arrival time is <= @p cycle.
      * @p emit is called as emit(src, dest, length); messages whose
      * pattern destination equals the source are skipped (the node
-     * idles), but still consume an arrival slot.
+     * idles), but still consume an arrival slot. Only endpoint nodes
+     * generate — pure switch nodes of an indirect network have no
+     * attached processor.
      */
     template <typename Fn>
     void
@@ -73,10 +75,10 @@ class MessageGenerator
         if (load_ <= 0.0)
             return;
         const double now = static_cast<double>(cycle);
-        for (NodeId n = 0; n < static_cast<NodeId>(next_.size());
-             ++n) {
-            while (next_[n] <= now) {
-                next_[n] += rng_.nextExponential(meanInterarrival_);
+        for (std::size_t i = 0; i < sources_.size(); ++i) {
+            const NodeId n = sources_[i];
+            while (next_[i] <= now) {
+                next_[i] += rng_.nextExponential(meanInterarrival_);
                 const NodeId dst = pattern_->dest(n, rng_);
                 if (dst == n)
                     continue;
@@ -93,6 +95,9 @@ class MessageGenerator
     double load_;
     MessageLengthMix mix_;
     double meanInterarrival_;
+    /** Generating nodes (the topology's endpoints). */
+    std::vector<NodeId> sources_;
+    /** Next arrival time per sources_ slot. */
     std::vector<double> next_;
     Rng rng_;
 };

@@ -20,14 +20,33 @@ hypercubeDims(const Topology &topo, const char *pattern)
 
 } // namespace
 
+namespace {
+
+/**
+ * Uniform draw over the endpoints other than @p src. The draw is in
+ * endpoint-index space with the source's slot skipped; on direct
+ * networks (every node an endpoint) indices equal node ids, so this
+ * consumes exactly the RNG stream the pre-endpoint code did.
+ */
+NodeId
+uniformOtherEndpoint(const Topology &topo, NodeId src, Rng &rng)
+{
+    const NodeId n = topo.numEndpoints();
+    TN_ASSERT(n >= 2, "uniform traffic needs two endpoints");
+    const NodeId src_idx = topo.endpointIndex(src);
+    TN_ASSERT(src_idx != kInvalidNode,
+              "traffic source must be an endpoint");
+    const auto pick = static_cast<NodeId>(
+        rng.nextBounded(static_cast<std::uint64_t>(n - 1)));
+    return topo.endpoints()[pick >= src_idx ? pick + 1 : pick];
+}
+
+} // namespace
+
 NodeId
 UniformTraffic::dest(NodeId src, Rng &rng) const
 {
-    TN_ASSERT(numNodes_ >= 2, "uniform traffic needs two nodes");
-    // Uniform over the other nodes: skip the source.
-    const auto pick = static_cast<NodeId>(
-        rng.nextBounded(static_cast<std::uint64_t>(numNodes_ - 1)));
-    return pick >= src ? pick + 1 : pick;
+    return uniformOtherEndpoint(*topo_, src, rng);
 }
 
 MeshTransposeTraffic::MeshTransposeTraffic(const Topology &topo)
@@ -137,9 +156,11 @@ TornadoTraffic::map(NodeId src) const
 
 HotspotTraffic::HotspotTraffic(const Topology &topo, NodeId hot,
                                double fraction)
-    : numNodes_(topo.numNodes()), hot_(hot), fraction_(fraction)
+    : topo_(&topo), hot_(hot), fraction_(fraction)
 {
-    TN_ASSERT(hot >= 0 && hot < numNodes_, "hot node out of range");
+    TN_ASSERT(hot >= 0 && hot < topo.numNodes() &&
+                  topo.endpointIndex(hot) != kInvalidNode,
+              "hot node must be an endpoint");
     TN_ASSERT(fraction >= 0.0 && fraction <= 1.0,
               "hotspot fraction must be a probability");
 }
@@ -149,9 +170,7 @@ HotspotTraffic::dest(NodeId src, Rng &rng) const
 {
     if (src != hot_ && rng.nextBernoulli(fraction_))
         return hot_;
-    const auto pick = static_cast<NodeId>(
-        rng.nextBounded(static_cast<std::uint64_t>(numNodes_ - 1)));
-    return pick >= src ? pick + 1 : pick;
+    return uniformOtherEndpoint(*topo_, src, rng);
 }
 
 TrafficPtr

@@ -44,20 +44,17 @@ class TrafficPattern
 
 using TrafficPtr = std::shared_ptr<const TrafficPattern>;
 
-/** Every message goes to a uniformly random other node. */
+/** Every message goes to a uniformly random other endpoint. */
 class UniformTraffic : public TrafficPattern
 {
   public:
-    explicit UniformTraffic(const Topology &topo)
-        : numNodes_(topo.numNodes())
-    {
-    }
+    explicit UniformTraffic(const Topology &topo) : topo_(&topo) {}
 
     std::string name() const override { return "uniform"; }
     NodeId dest(NodeId src, Rng &rng) const override;
 
   private:
-    NodeId numNodes_;
+    const Topology *topo_;
 };
 
 /** Base class for fixed permutations. */
@@ -187,7 +184,7 @@ class TornadoTraffic : public PermutationTraffic
 
 /**
  * Hotspot: with probability @p fraction a message goes to the fixed
- * hot node, otherwise to a uniformly random other node.
+ * hot endpoint, otherwise to a uniformly random other endpoint.
  */
 class HotspotTraffic : public TrafficPattern
 {
@@ -198,7 +195,7 @@ class HotspotTraffic : public TrafficPattern
     NodeId dest(NodeId src, Rng &rng) const override;
 
   private:
-    NodeId numNodes_;
+    const Topology *topo_;
     NodeId hot_;
     double fraction_;
 };

@@ -147,8 +147,7 @@ DeadlockCertificate::witnessToString(const Topology &topo) const
     auto render = [&](ChannelId id, int vc) {
         const Channel &ch = topo.channel(id);
         std::string s =
-            topo.shape().coordToString(topo.coordOf(ch.src)) + "-" +
-            ch.dir.toString();
+            topo.nodeName(ch.src) + "-" + topo.dirName(ch.dir);
         if (numVcs > 1)
             s += "[vc" + std::to_string(vc) + "]";
         return s;

@@ -5,75 +5,83 @@
 #include "turnnet/common/json.hpp"
 #include "turnnet/common/logging.hpp"
 #include "turnnet/routing/vc_routing.hpp"
-#include "turnnet/topology/hypercube.hpp"
-#include "turnnet/topology/mesh.hpp"
-#include "turnnet/topology/torus.hpp"
+#include "turnnet/topology/topology_registry.hpp"
 
 namespace turnnet {
 
 std::unique_ptr<Topology>
 makeCaseTopology(const CertifyCase &c)
 {
-    if (c.topology == "mesh")
-        return std::make_unique<Mesh>(c.radices);
-    if (c.topology == "torus")
-        return std::make_unique<Torus>(c.radices);
-    if (c.topology == "hypercube") {
-        TN_ASSERT(c.radices.size() == 1,
-                  "hypercube case takes {n} as its radices");
-        return std::make_unique<Hypercube>(c.radices[0]);
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+    TopologySpec spec = reg.parseSpec(c.topology);
+    if (c.vc) {
+        for (const std::string &s :
+             reg.parse(spec.family).vcSchemes) {
+            if (s == c.algorithm)
+                spec.vc_scheme = c.algorithm;
+        }
     }
-    TN_FATAL("unknown certify topology '", c.topology, "'");
+    return reg.build(spec);
 }
 
 std::vector<CertifyCase>
 defaultCertifyCases()
 {
     std::vector<CertifyCase> cases;
-    auto add = [&](std::string topo, std::vector<int> radices,
-                   std::string algo, bool vc = false,
-                   bool expect_free = true) {
-        cases.push_back({std::move(topo), std::move(radices),
-                         std::move(algo), vc, expect_free});
+    auto add = [&](std::string topo, std::string algo,
+                   bool vc = false, bool expect_free = true) {
+        cases.push_back(
+            {std::move(topo), std::move(algo), vc, expect_free});
     };
 
     // The paper's 2D mesh algorithms, their nonminimal variants,
     // and the generic turn-set router over the same sets.
-    const std::vector<int> mesh2{4, 4};
     for (const char *algo :
          {"xy", "ecube", "dimension-order", "west-first",
           "north-last", "negative-first", "abonf", "abopl",
           "odd-even", "west-first-nm", "north-last-nm",
           "negative-first-nm", "negative-first-ft",
           "turnset:west-first", "turnset:negative-first"})
-        add("mesh", mesh2, algo);
-    add("mesh", mesh2, "double-y", /*vc=*/true);
-    add("mesh", mesh2, "fully-adaptive", /*vc=*/false,
+        add("mesh(4x4)", algo);
+    add("mesh(4x4)", "double-y", /*vc=*/true);
+    add("mesh(4x4)", "fully-adaptive", /*vc=*/false,
         /*expect_free=*/false);
 
     // The n-dimensional generalizations on a 3D mesh.
-    const std::vector<int> mesh3{3, 3, 3};
     for (const char *algo :
          {"ecube", "negative-first", "abonf", "abopl"})
-        add("mesh", mesh3, algo);
+        add("mesh(3x3x3)", algo);
 
     // Tori: the wrap-aware extensions and the VC dateline scheme.
-    const std::vector<int> torus2{4, 4};
     for (const char *algo :
          {"nf-torus", "xy-first-hop-wrap", "nf-first-hop-wrap"})
-        add("torus", torus2, algo);
-    add("torus", torus2, "dateline", /*vc=*/true);
-    add("torus", torus2, "fully-adaptive", /*vc=*/false,
+        add("torus(4x4)", algo);
+    add("torus(4x4)", "dateline", /*vc=*/true);
+    add("torus(4x4)", "fully-adaptive", /*vc=*/false,
         /*expect_free=*/false);
 
     // Hypercubes: p-cube and the general algorithms it specializes.
-    const std::vector<int> cube{3};
     for (const char *algo : {"p-cube", "p-cube-nm", "p-cube-ft",
                              "ecube", "negative-first", "abonf",
                              "abopl"})
-        add("hypercube", cube, algo);
-    add("hypercube", cube, "fully-adaptive", /*vc=*/false,
+        add("hypercube(3)", algo);
+    add("hypercube(3)", "fully-adaptive", /*vc=*/false,
         /*expect_free=*/false);
+
+    // Dragonfly: every VC scheme must certify over the extended
+    // (channel, vc) CDG, and the deliberately single-VC variant must
+    // be rejected — its l-g-l chain around three groups closes a
+    // cycle that two virtual channels are exactly what breaks.
+    for (const char *algo :
+         {"dragonfly-min", "dragonfly-val", "dragonfly-ugal"})
+        add("dragonfly(4,2,2)", algo, /*vc=*/true);
+    add("dragonfly(2,1,1)", "dragonfly-novc", /*vc=*/true,
+        /*expect_free=*/false);
+
+    // Fat-trees: NCA up*-down* is cycle-free on the tree's single
+    // channel class split by direction, at two different shapes.
+    add("fat-tree(2,3)", "fattree-nca");
+    add("fat-tree(4,2)", "fattree-nca");
 
     return cases;
 }
@@ -251,10 +259,9 @@ CertifyReport::toJson() const
                        std::to_string(hop.first) +
                        ", \"vc\": " + std::to_string(hop.second) +
                        ", \"src\": \"" +
-                       json::escape(topo->shape().coordToString(
-                           topo->coordOf(ch.src))) +
+                       json::escape(topo->nodeName(ch.src)) +
                        "\", \"dir\": \"" +
-                       json::escape(ch.dir.toString()) + "\" }";
+                       json::escape(topo->dirName(ch.dir)) + "\" }";
             }
             out += "\n      ";
         }

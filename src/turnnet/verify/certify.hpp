@@ -35,11 +35,10 @@ namespace turnnet {
 /** One (topology, algorithm) certification obligation. */
 struct CertifyCase
 {
-    /** Topology family: "mesh", "torus", or "hypercube". */
+    /** Topology in the registry's compact grammar — "mesh(4x4)",
+     *  "dragonfly(4,2,2)", "fat-tree(2,3)" — resolved through
+     *  TopologyRegistry::parseSpec(). */
     std::string topology;
-
-    /** Radices; a hypercube uses {n} (its dimension count). */
-    std::vector<int> radices;
 
     /** Algorithm name, resolved through the routing registry
      *  (or the VC registry when vc is true). */
@@ -122,13 +121,21 @@ struct CertifyReport
     bool writeJson(const std::string &path) const;
 };
 
-/** Construct the case's topology. */
+/**
+ * Construct the case's topology through the topology registry. When
+ * the case is a VC algorithm whose name is a registered VC scheme of
+ * the family (double-y, dateline, the dragonfly schemes), the spec
+ * carries it, so the (topology, VC-scheme) pairing is validated too.
+ */
 std::unique_ptr<Topology> makeCaseTopology(const CertifyCase &c);
 
 /**
  * The default obligation table: the registry's algorithms paired
- * with their paper topologies, plus the expected rejections of
- * fully adaptive routing on mesh, torus, and hypercube.
+ * with their paper topologies, the hierarchical families (dragonfly
+ * minimal/Valiant/UGAL, fat-tree NCA), plus the expected rejections —
+ * fully adaptive routing on mesh, torus, and hypercube, and the
+ * single-VC dragonfly strawman whose global cycle the certifier must
+ * refute with a concrete witness.
  */
 std::vector<CertifyCase> defaultCertifyCases();
 

@@ -18,10 +18,9 @@ ProgressResult::violationsToString(const Topology &topo) const
                    std::to_string(violations.size() - 8) + " more)\n";
             break;
         }
-        out += "at " +
-               topo.shape().coordToString(topo.coordOf(v.node)) +
-               " arriving " + v.in.toString() + " for dest " +
-               topo.shape().coordToString(topo.coordOf(v.dest)) +
+        out += "at " + topo.nodeName(v.node) + " arriving " +
+               topo.dirName(v.in) + " for dest " +
+               topo.nodeName(v.dest) +
                ": no permitted path to delivery\n";
     }
     return out;
@@ -37,7 +36,9 @@ checkProgress(const Topology &topo, const RoutingFunction &routing)
     std::vector<std::vector<ChannelId>> succ(num_channels);
     std::vector<bool> can_deliver(num_channels);
 
-    for (NodeId dest = 0; dest < topo.numNodes(); ++dest) {
+    // Traffic flows endpoint to endpoint; switch nodes of an
+    // indirect network are transit-only.
+    for (const NodeId dest : topo.endpoints()) {
         std::fill(reachable.begin(), reachable.end(), false);
         for (auto &row : succ)
             row.clear();
@@ -45,7 +46,7 @@ checkProgress(const Topology &topo, const RoutingFunction &routing)
         // Forward walk: channels a packet bound for dest can occupy,
         // and the per-state successor relation.
         std::deque<ChannelId> queue;
-        for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        for (const NodeId src : topo.endpoints()) {
             if (src == dest)
                 continue;
             routing.route(topo, src, dest, Direction::local())
@@ -117,7 +118,7 @@ checkProgress(const Topology &topo, const RoutingFunction &routing)
         }
 
         // Injection states: some offered first hop must deliver.
-        for (NodeId src = 0; src < topo.numNodes(); ++src) {
+        for (const NodeId src : topo.endpoints()) {
             if (src == dest)
                 continue;
             ++result.statesChecked;

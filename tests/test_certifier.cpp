@@ -262,7 +262,10 @@ TEST(CertifySweep, EveryDefaultCaseMeetsItsExpectedVerdict)
             rejected_on.insert(r.spec.topology);
         }
     }
-    EXPECT_EQ(rejected_on.size(), 3u);
+    // fully-adaptive on mesh/torus/hypercube plus the no-VC
+    // dragonfly witness.
+    EXPECT_EQ(rejected_on.size(), 4u);
+    EXPECT_TRUE(rejected_on.count("dragonfly(2,1,1)"));
 
     const std::string text = report.toString();
     EXPECT_NE(text.find("rejected, minimal cycle"),

@@ -20,6 +20,7 @@
 #include "turnnet/routing/vc_routing.hpp"
 #include "turnnet/topology/hypercube.hpp"
 #include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/topology_registry.hpp"
 #include "turnnet/topology/torus.hpp"
 #include "turnnet/traffic/pattern.hpp"
 
@@ -197,6 +198,44 @@ TEST_P(Differential, HypercubePCube)
     const DifferentialReport report = runDifferential(
         cube, makeVcRouting({.name = "p-cube", .dims = 4}),
         makeTraffic("uniform", cube), cfg(loadedConfig(0.15, 7)),
+        600, candidate());
+    expectIdentical(report);
+}
+
+TEST_P(Differential, DragonflySchemes)
+{
+    // The hierarchical port layout (asymmetric local all-to-all plus
+    // global links) and the VC-rank escalation of the dragonfly
+    // schemes; 36 routers do not divide evenly by any of the shard
+    // counts, so the span partitioner's remainders are exercised
+    // too. Valiant misroutes from injection, so run it misroute-now.
+    const std::unique_ptr<Topology> df =
+        TopologyRegistry::instance().build("dragonfly(4,2,2)");
+    for (const char *algo :
+         {"dragonfly-min", "dragonfly-val", "dragonfly-ugal"}) {
+        SimConfig config = loadedConfig(0.2, 37);
+        if (std::string(algo) == "dragonfly-val")
+            config.misrouteAfterWait = 0;
+        const DifferentialReport report = runDifferential(
+            *df, makeVcRouting({.name = algo}),
+            makeTraffic("uniform", *df), cfg(config), 600,
+            candidate());
+        SCOPED_TRACE(algo);
+        expectIdentical(report);
+    }
+}
+
+TEST_P(Differential, FatTreeNcaWithSwitchNodes)
+{
+    // The first indirect fabric: non-endpoint switch nodes must
+    // never inject, and up/down port asymmetry stresses the
+    // engines' channel walks. 20 nodes (8 terminals + 12 switches)
+    // leave a remainder at shard counts 7 and 4.
+    const std::unique_ptr<Topology> ft =
+        TopologyRegistry::instance().build("fat-tree(2,3)");
+    const DifferentialReport report = runDifferential(
+        *ft, makeVcRouting({.name = "fattree-nca"}),
+        makeTraffic("uniform", *ft), cfg(loadedConfig(0.2, 43)),
         600, candidate());
     expectIdentical(report);
 }

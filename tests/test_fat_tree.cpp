@@ -1,0 +1,161 @@
+/**
+ * @file
+ * k-ary n-tree fat-tree tests: terminal/switch id layout, ancestor
+ * and NCA arithmetic, up/down port wiring, endpoint classification
+ * (the library's first indirect network), and minimal distances
+ * through the nearest common ancestor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "turnnet/topology/fat_tree.hpp"
+
+namespace turnnet {
+namespace {
+
+TEST(FatTree, LayoutAndEndpoints)
+{
+    const FatTree ft(2, 3);
+    EXPECT_EQ(ft.numTerminals(), 8); // k^n
+    EXPECT_EQ(ft.switchesPerLevel(), 4);
+    EXPECT_EQ(ft.numNodes(), 20); // 8 + 3*4
+    EXPECT_EQ(ft.numPorts(), 4);  // k down + k up
+    EXPECT_EQ(ft.name(), "fat-tree(2,3)");
+
+    // Terminals are the endpoints; switches are pure routers.
+    EXPECT_EQ(ft.numEndpoints(), 8);
+    for (NodeId n = 0; n < ft.numNodes(); ++n) {
+        EXPECT_EQ(ft.isEndpoint(n), n < 8);
+        if (n < 8) {
+            EXPECT_EQ(ft.endpointIndex(n), n);
+        } else {
+            EXPECT_EQ(ft.endpointIndex(n), kInvalidNode);
+        }
+    }
+    // Switch id round trip.
+    for (int l = 0; l < 3; ++l) {
+        for (int w = 0; w < 4; ++w) {
+            const NodeId s = ft.switchId(l, w);
+            EXPECT_FALSE(ft.isTerminal(s));
+            EXPECT_EQ(ft.switchLevel(s), l);
+            EXPECT_EQ(ft.switchPos(s), w);
+        }
+    }
+}
+
+TEST(FatTree, TerminalWiring)
+{
+    const FatTree ft(2, 3);
+    for (NodeId t = 0; t < ft.numTerminals(); ++t) {
+        // A terminal wires only its single up port, to leaf switch
+        // (0, t/k); the switch reaches back down through digit t%k.
+        const NodeId leaf = ft.switchId(0, static_cast<int>(t) / 2);
+        EXPECT_EQ(ft.neighbor(t, ft.upDir(0)), leaf);
+        EXPECT_EQ(ft.neighbor(t, ft.downDir(0)), kInvalidNode);
+        EXPECT_EQ(ft.neighbor(t, ft.downDir(1)), kInvalidNode);
+        EXPECT_EQ(
+            ft.neighbor(leaf, ft.downDir(static_cast<int>(t) % 2)),
+            t);
+    }
+}
+
+TEST(FatTree, AncestryAndNca)
+{
+    const FatTree ft(2, 3);
+    // The leaf switch of terminal 0 covers terminals 0-1; the rank-1
+    // switch above covers 0-3; rank 2 covers everything.
+    EXPECT_TRUE(ft.isAncestor(0, 0, 0));
+    EXPECT_TRUE(ft.isAncestor(0, 0, 1));
+    EXPECT_FALSE(ft.isAncestor(0, 0, 2));
+    EXPECT_TRUE(ft.isAncestor(1, 0, 3));
+    EXPECT_FALSE(ft.isAncestor(1, 0, 4));
+    EXPECT_TRUE(ft.isAncestor(2, 0, 7));
+
+    EXPECT_EQ(ft.ncaLevel(0, 1), 0);
+    EXPECT_EQ(ft.ncaLevel(0, 2), 1);
+    EXPECT_EQ(ft.ncaLevel(0, 3), 1);
+    EXPECT_EQ(ft.ncaLevel(0, 4), 2);
+    EXPECT_EQ(ft.ncaLevel(3, 7), 2);
+    EXPECT_EQ(ft.ncaLevel(6, 7), 0);
+}
+
+TEST(FatTree, UpDownSymmetryBetweenSwitchRanks)
+{
+    const FatTree ft(2, 3);
+    // Every wired up channel has the matching down channel back.
+    for (int l = 0; l + 1 < 3; ++l) {
+        for (int w = 0; w < 4; ++w) {
+            const NodeId lower = ft.switchId(l, w);
+            for (int c = 0; c < 2; ++c) {
+                const NodeId upper = ft.neighbor(lower, ft.upDir(c));
+                ASSERT_NE(upper, kInvalidNode);
+                EXPECT_EQ(ft.switchLevel(upper), l + 1);
+                bool back = false;
+                for (int d = 0; d < 2; ++d)
+                    back = back ||
+                           ft.neighbor(upper, ft.downDir(d)) ==
+                               lower;
+                EXPECT_TRUE(back);
+            }
+        }
+    }
+    // The top rank has no up channels.
+    for (int w = 0; w < 4; ++w) {
+        const NodeId top = ft.switchId(2, w);
+        EXPECT_EQ(ft.neighbor(top, ft.upDir(0)), kInvalidNode);
+        EXPECT_EQ(ft.neighbor(top, ft.upDir(1)), kInvalidNode);
+    }
+}
+
+TEST(FatTree, TerminalDistancesGoThroughTheNca)
+{
+    const FatTree ft(2, 3);
+    for (NodeId a = 0; a < ft.numTerminals(); ++a) {
+        for (NodeId b = 0; b < ft.numTerminals(); ++b) {
+            if (a == b) {
+                EXPECT_EQ(ft.distance(a, b), 0);
+                continue;
+            }
+            // Up to the NCA rank and back down; the terminal links
+            // are the rank-0 hops of that climb.
+            EXPECT_EQ(ft.distance(a, b),
+                      2 * (ft.ncaLevel(a, b) + 1));
+            // Progress property of minimalDirections.
+            const int d = ft.distance(a, b);
+            ft.minimalDirections(a, b).forEach([&](Direction dir) {
+                const NodeId next = ft.neighbor(a, dir);
+                ASSERT_NE(next, kInvalidNode);
+                EXPECT_EQ(ft.distance(next, b), d - 1);
+            });
+        }
+    }
+}
+
+TEST(FatTree, ChannelClassesAndNames)
+{
+    const FatTree ft(2, 2);
+    for (ChannelId c = 0; c < ft.numChannels(); ++c) {
+        const ChannelClass cc = ft.channelClass(c);
+        EXPECT_TRUE(cc.tag == "up" || cc.tag == "down");
+        EXPECT_EQ(cc.direction, cc.tag == "up" ? 1 : -1);
+        EXPECT_GE(cc.level, 0);
+        EXPECT_LT(cc.level, 2);
+    }
+    EXPECT_EQ(ft.dirName(ft.downDir(1)), "down1");
+    EXPECT_EQ(ft.dirName(ft.upDir(0)), "up0");
+    // Terminals and switches render distinctly.
+    EXPECT_EQ(ft.nodeName(0), "t0");
+    EXPECT_EQ(ft.nodeName(ft.switchId(1, 0)), "s1.0");
+}
+
+TEST(FatTree, SingleLevelDegenerateTree)
+{
+    // fat-tree(2,1): 2 terminals under one switch.
+    const FatTree ft(2, 1);
+    EXPECT_EQ(ft.numTerminals(), 2);
+    EXPECT_EQ(ft.numNodes(), 3);
+    EXPECT_EQ(ft.distance(0, 1), 2);
+}
+
+} // namespace
+} // namespace turnnet

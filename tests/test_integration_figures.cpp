@@ -54,13 +54,19 @@ TEST(MakeTopology, ParsesSpecs)
     EXPECT_EQ(makeTopology("cube:8")->numNodes(), 256);
     EXPECT_EQ(makeTopology("torus:4x4")->numNodes(), 16);
     EXPECT_EQ(makeTopology("mesh:4x3x2")->numDims(), 3);
+    // The registry grammar passes straight through.
+    EXPECT_EQ(makeTopology("mesh(16x16)")->numNodes(), 256);
+    EXPECT_EQ(makeTopology("dragonfly(4,2,2)")->numNodes(), 36);
+    EXPECT_EQ(makeTopology("fat-tree(2,3)")->numEndpoints(), 8);
 }
 
 TEST(MakeTopologyDeath, RejectsBadSpecs)
 {
-    EXPECT_DEATH(makeTopology("grid"), "must look like");
-    EXPECT_DEATH(makeTopology("mesh:0x4"), "bad topology");
-    EXPECT_DEATH(makeTopology("blob:4"), "unknown topology kind");
+    EXPECT_DEATH(makeTopology("grid"),
+                 "neither the registry grammar");
+    EXPECT_DEATH(makeTopology("mesh:0x4"), "malformed arguments");
+    EXPECT_DEATH(makeTopology("blob:4"),
+                 "unknown topology family");
 }
 
 TEST(Fig13Quick, LowLoadLatenciesAreSimilarAcrossAlgorithms)

@@ -237,6 +237,41 @@ TEST(Schemas, BenchSweepReport)
     EXPECT_TRUE(e.find("bit_identical_to_serial")->asBool());
 }
 
+TEST(Schemas, HierBenchReport)
+{
+    HierBenchEntry entry;
+    entry.topology = "dragonfly(4,2,2)";
+    entry.algorithm = "dragonfly-min";
+    entry.maxSustainable = 12.5;
+    entry.points.push_back(
+        HierBenchPoint{0.05, 4.1, 0.31, 1.62, false, true});
+    entry.points.push_back(
+        HierBenchPoint{0.40, 12.5, 1.20, 1.70, false, false});
+
+    const json::Value doc = parseWithSchema(
+        hierBenchJson("uniform", {entry}), "turnnet.hier_bench/1");
+    EXPECT_EQ(doc.find("traffic")->asString(), "uniform");
+    const json::Value *list = doc.find("entries");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->size(), 1u);
+    const json::Value &e = list->items()[0];
+    EXPECT_EQ(e.find("topology")->asString(), "dragonfly(4,2,2)");
+    EXPECT_EQ(e.find("algorithm")->asString(), "dragonfly-min");
+    EXPECT_DOUBLE_EQ(e.find("max_sustainable")->asNumber(), 12.5);
+    const json::Value *points = e.find("points");
+    ASSERT_NE(points, nullptr);
+    ASSERT_EQ(points->size(), 2u);
+    for (const json::Value &p : points->items()) {
+        EXPECT_NE(p.find("offered"), nullptr);
+        EXPECT_NE(p.find("accepted"), nullptr);
+        EXPECT_NE(p.find("latency_us"), nullptr);
+        EXPECT_NE(p.find("hops"), nullptr);
+        EXPECT_FALSE(p.find("deadlocked")->asBool());
+    }
+    EXPECT_TRUE(points->items()[0].find("sustainable")->asBool());
+    EXPECT_FALSE(points->items()[1].find("sustainable")->asBool());
+}
+
 TEST(Schemas, FaultSweepReport)
 {
     const Mesh mesh(4, 4);
@@ -276,7 +311,7 @@ TEST(Schemas, CertifyReport)
     // expected rejection (whose witness array must be populated).
     std::vector<CertifyCase> cases;
     for (const CertifyCase &c : defaultCertifyCases()) {
-        if (c.topology != "mesh" || c.radices != std::vector<int>{4, 4})
+        if (c.topology != "mesh(4x4)")
             continue;
         if (c.algorithm == "west-first" ||
             c.algorithm == "double-y" ||

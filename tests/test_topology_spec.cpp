@@ -1,0 +1,203 @@
+/**
+ * @file
+ * TopologySpec / TopologyRegistry tests: the designated-initializer
+ * construction surface, its fail-fast validation (every problem
+ * listed, mirroring SimConfig::validate()), the compact text grammar
+ * behind every --topology flag, and the (family, VC-scheme) pairing
+ * rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "turnnet/topology/spec.hpp"
+#include "turnnet/topology/topology_registry.hpp"
+
+namespace turnnet {
+namespace {
+
+bool
+mentions(const std::vector<std::string> &errors, const char *needle)
+{
+    return std::any_of(errors.begin(), errors.end(),
+                       [&](const std::string &e) {
+                           return e.find(needle) !=
+                                  std::string::npos;
+                       });
+}
+
+TEST(TopologySpec, ValidSpecsBuildEveryFamily)
+{
+    EXPECT_EQ(makeTopology({.family = "mesh", .radices = {4, 4}})
+                  ->numNodes(),
+              16);
+    EXPECT_EQ(makeTopology({.family = "torus", .radices = {4, 4}})
+                  ->numNodes(),
+              16);
+    EXPECT_EQ(makeTopology({.family = "hypercube", .dims = 4})
+                  ->numNodes(),
+              16);
+    const auto df = makeTopology({.family = "dragonfly",
+                                  .group_routers = 4,
+                                  .group_terminals = 2,
+                                  .global_links = 2});
+    EXPECT_EQ(df->numNodes(), 36); // g = 4*2+1 = 9 groups of 4
+    EXPECT_EQ(df->numPorts(), 5);  // 3 local + 2 global
+    const auto ft = makeTopology(
+        {.family = "fat-tree", .arity = 2, .levels = 3});
+    EXPECT_EQ(ft->numNodes(), 20); // 8 terminals + 3*4 switches
+    EXPECT_EQ(ft->numEndpoints(), 8);
+}
+
+TEST(TopologySpec, ValidateListsEveryProblemAtOnce)
+{
+    // One spec, two independent problems: both must be reported.
+    const TopologySpec spec{.family = "dragonfly",
+                            .group_routers = 0,
+                            .group_terminals = 0,
+                            .global_links = 1};
+    const std::vector<std::string> errors =
+        TopologyRegistry::instance().validate(spec);
+    EXPECT_EQ(errors.size(), 2u);
+    EXPECT_TRUE(mentions(errors, "group size"));
+    EXPECT_TRUE(mentions(errors, "terminal per router"));
+}
+
+TEST(TopologySpec, RejectsBadShapes)
+{
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+    EXPECT_TRUE(mentions(
+        reg.validate({.family = "mesh", .radices = {1, 4}}),
+        "below the minimum of 2"));
+    EXPECT_TRUE(mentions(
+        reg.validate({.family = "torus", .radices = {2, 4}}),
+        "below the minimum of 3"));
+    EXPECT_TRUE(
+        mentions(reg.validate({.family = "hypercube", .dims = 0}),
+                 "outside 1"));
+    EXPECT_TRUE(mentions(
+        reg.validate({.family = "fat-tree", .arity = 1,
+                      .levels = 2}),
+        "arity 1 is outside 2"));
+    EXPECT_TRUE(mentions(
+        reg.validate({.family = "fat-tree", .arity = 2,
+                      .levels = 0}),
+        "height 0 is below the minimum"));
+    EXPECT_TRUE(mentions(reg.validate({.family = "banyan"}),
+                         "unknown topology family"));
+}
+
+TEST(TopologySpec, RejectsVcSchemeMismatches)
+{
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+    // dateline is a torus scheme; it cannot ride a mesh.
+    EXPECT_TRUE(mentions(reg.validate({.family = "mesh",
+                                       .radices = {4, 4},
+                                       .vc_scheme = "dateline"}),
+                         "does not apply to the mesh family"));
+    // double-y is mesh-only and 2D-only.
+    EXPECT_TRUE(mentions(reg.validate({.family = "torus",
+                                       .radices = {4, 4},
+                                       .vc_scheme = "double-y"}),
+                         "does not apply to the torus family"));
+    EXPECT_TRUE(mentions(reg.validate({.family = "mesh",
+                                       .radices = {4, 4, 4},
+                                       .vc_scheme = "double-y"}),
+                         "2D-only"));
+    // The dragonfly schemes belong to the dragonfly family.
+    EXPECT_TRUE(
+        mentions(reg.validate({.family = "mesh",
+                               .radices = {4, 4},
+                               .vc_scheme = "dragonfly-min"}),
+                 "does not apply to the mesh family"));
+    EXPECT_TRUE(reg.validate({.family = "dragonfly",
+                              .group_routers = 4,
+                              .group_terminals = 2,
+                              .global_links = 2,
+                              .vc_scheme = "dragonfly-ugal"})
+                    .empty());
+}
+
+TEST(TopologySpecDeath, MakeTopologyIsFatalOnInvalidSpecs)
+{
+    EXPECT_DEATH(
+        makeTopology({.family = "dragonfly",
+                      .group_routers = 0,
+                      .group_terminals = 1,
+                      .global_links = 1}),
+        "group size");
+    EXPECT_DEATH(makeTopology({.family = "banyan"}),
+                 "unknown topology family");
+    EXPECT_DEATH(makeTopology({.family = "mesh",
+                               .radices = {4, 4},
+                               .vc_scheme = "dateline"}),
+                 "does not apply");
+}
+
+TEST(TopologyRegistry, ParsesTheCompactGrammar)
+{
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+    const TopologySpec mesh = reg.parseSpec("mesh(8x8)");
+    EXPECT_EQ(mesh.family, "mesh");
+    EXPECT_EQ(mesh.radices, (std::vector<int>{8, 8}));
+
+    const TopologySpec torus = reg.parseSpec("torus(4x4x4)");
+    EXPECT_EQ(torus.family, "torus");
+    EXPECT_EQ(torus.radices, (std::vector<int>{4, 4, 4}));
+
+    EXPECT_EQ(reg.parseSpec("hypercube(6)").dims, 6);
+
+    const TopologySpec df = reg.parseSpec("dragonfly(4,2,2)");
+    EXPECT_EQ(df.family, "dragonfly");
+    EXPECT_EQ(df.group_routers, 4);
+    EXPECT_EQ(df.group_terminals, 2);
+    EXPECT_EQ(df.global_links, 2);
+
+    const TopologySpec ft = reg.parseSpec("fat-tree(2,3)");
+    EXPECT_EQ(ft.family, "fat-tree");
+    EXPECT_EQ(ft.arity, 2);
+    EXPECT_EQ(ft.levels, 3);
+
+    // The alias resolves to the canonical family name.
+    EXPECT_EQ(reg.parseSpec("fattree(2,2)").family, "fat-tree");
+}
+
+TEST(TopologyRegistry, FindAndUsage)
+{
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+    EXPECT_EQ(reg.all().size(), 5u);
+    EXPECT_NE(reg.find("mesh"), nullptr);
+    EXPECT_NE(reg.find("fattree"), nullptr);
+    EXPECT_EQ(reg.find("fattree"), reg.find("fat-tree"));
+    EXPECT_EQ(reg.find("banyan"), nullptr);
+    const std::string usage = reg.usageNames();
+    for (const TopologyDescriptor &d : reg.all())
+        EXPECT_NE(usage.find(d.family), std::string::npos);
+}
+
+TEST(TopologyRegistry, BuildFromTextNamesTheFabric)
+{
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+    EXPECT_EQ(reg.build("mesh(4x4)")->name(), "mesh(4x4)");
+    EXPECT_EQ(reg.build("dragonfly(2,1,1)")->numNodes(), 6);
+    EXPECT_EQ(reg.build("fat-tree(2,2)")->numEndpoints(), 4);
+}
+
+TEST(TopologyRegistryDeath, MalformedTextIsFatal)
+{
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+    EXPECT_DEATH(reg.parseSpec("mesh"), "malformed topology");
+    EXPECT_DEATH(reg.parseSpec("mesh(8x8"), "malformed topology");
+    EXPECT_DEATH(reg.parseSpec("banyan(4)"),
+                 "unknown topology family");
+    EXPECT_DEATH(reg.parseSpec("mesh(0x4)"),
+                 "malformed arguments");
+    EXPECT_DEATH(reg.parseSpec("dragonfly(4,2)"),
+                 "malformed arguments");
+    EXPECT_DEATH(reg.parseSpec("fat-tree(2,3,4)"),
+                 "malformed arguments");
+}
+
+} // namespace
+} // namespace turnnet

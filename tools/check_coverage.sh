@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Line-coverage floor for the simulator core (src/turnnet/network/,
-# src/turnnet/routing/, and the static certifier src/turnnet/verify/).
+# src/turnnet/routing/, the static certifier src/turnnet/verify/,
+# and the topology layer src/turnnet/topology/ — fabrics, the
+# TopologySpec/TopologyRegistry construction surface, and the
+# hierarchical dragonfly/fat-tree families).
 #
 # Usage: check_coverage.sh <build-dir> [source-dir]
 #
@@ -37,7 +40,8 @@ trap 'rm -f "$summary"' EXIT
     find . -path '*turnnet.dir*' -name '*.gcda' \
         \( -path '*/turnnet/network/*' -o \
            -path '*/turnnet/routing/*' -o \
-           -path '*/turnnet/verify/*' \) -exec gcov -n {} +
+           -path '*/turnnet/verify/*' -o \
+           -path '*/turnnet/topology/*' \) -exec gcov -n {} +
 ) >"$summary" 2>/dev/null
 
 python3 - "$FLOOR" "$summary" <<'PYEOF'
@@ -52,7 +56,8 @@ best = {}
 for m in re.finditer(
         r"File '([^']+)'\nLines executed:([0-9.]+)% of (\d+)", data):
     path, pct, lines = m.group(1), float(m.group(2)), int(m.group(3))
-    if not re.search(r"src/turnnet/(network|routing|verify)/", path):
+    if not re.search(
+            r"src/turnnet/(network|routing|verify|topology)/", path):
         continue
     covered = pct * lines / 100.0
     if path not in best or covered > best[path][0]:
@@ -60,8 +65,8 @@ for m in re.finditer(
 
 total = sum(lines for _, lines in best.values())
 if total == 0:
-    sys.exit("no coverage data for src/turnnet/{network,routing,verify} "
-             "— "
+    sys.exit("no coverage data for "
+             "src/turnnet/{network,routing,verify,topology} — "
              "is the build configured with the coverage preset?")
 covered = sum(c for c, _ in best.values())
 pct = 100.0 * covered / total

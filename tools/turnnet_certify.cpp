@@ -12,8 +12,10 @@
  *
  * Options: --out PATH (default CERTIFY_report.json; "off" disables
  * the JSON report), --algo NAME (restrict to one algorithm),
- * --topo FAMILY (restrict to mesh/torus/hypercube), --witness (print
- * the held/wanted chain of every rejection).
+ * --topo FAMILY (restrict to one registered topology family — mesh,
+ * torus, hypercube, dragonfly, fat-tree — or one exact shape such as
+ * "dragonfly(4,2,2)"), --witness (print the held/wanted chain of
+ * every rejection).
  */
 
 #include <cstdio>
@@ -39,7 +41,9 @@ main(int argc, char **argv)
     for (const CertifyCase &c : defaultCertifyCases()) {
         if (!algo_filter.empty() && c.algorithm != algo_filter)
             continue;
-        if (!topo_filter.empty() && c.topology != topo_filter)
+        // --topo matches either the exact shape or its family.
+        if (!topo_filter.empty() && c.topology != topo_filter &&
+            c.topology.rfind(topo_filter + "(", 0) != 0)
             continue;
         cases.push_back(c);
     }
