@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Trace-replay bench: replay one dependency-ordered trace workload
+ * under several routing algorithms and every cycle engine, and
+ * report the application makespan of each combination — the
+ * closed-loop counterpart of the open-loop load sweeps. Because the
+ * replay source runs in the serial generation phase, every engine
+ * must reproduce the identical trajectory; the binary cross-checks
+ * makespan and packet counts across engines per algorithm and fails
+ * on any divergence.
+ *
+ * The trace comes from --trace FILE (turnnet.trace_workload/1), or
+ * is synthesized in-process from --gen stencil|allreduce|fft (the
+ * deterministic synthesizers of workload/tracegen.hpp); the default
+ * stencil grid matches the fabric's endpoint count, so the bare
+ * binary replays a full-fabric halo exchange on mesh(8x8).
+ *
+ * Writes the machine-readable "turnnet.trace_bench/1" record
+ * (default BENCH_trace.json) — every field deterministic, no
+ * wall-clock figures, so the document can be golden-pinned.
+ *
+ * Options: --topology SPEC, --trace FILE | --gen KIND, --iters N,
+ * --flits N, --algos a,b,c, --engines a,b,c, --shards N, --cap N
+ * (hard cycle cap for a wedged replay), --max-makespan N (gate:
+ * fail when any replay is incomplete or exceeds the bound, 0
+ * disables), --seed N, --out PATH ("off" disables the JSON).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/cli.hpp"
+#include "turnnet/common/csv.hpp"
+#include "turnnet/common/logging.hpp"
+#include "turnnet/harness/bench_report.hpp"
+#include "turnnet/network/engine.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/topology_registry.hpp"
+#include "turnnet/workload/tracegen.hpp"
+
+using namespace turnnet;
+
+namespace {
+
+/** Build or load the replayed trace. */
+TraceWorkloadPtr
+resolveTrace(const CliOptions &opts, const Topology &topo)
+{
+    const std::string file = opts.getString("trace", "");
+    if (!file.empty())
+        return loadTraceWorkload(file);
+    const std::string kind = opts.getString("gen", "stencil");
+    const auto flits = static_cast<std::uint32_t>(
+        opts.getInt("flits", 8));
+    if (kind == "stencil") {
+        // Default grid: one rank per endpoint, as square as the
+        // fabric allows (endpoint counts here are powers of two).
+        StencilTraceSpec spec;
+        const NodeId endpoints = topo.numEndpoints();
+        int nx = 1;
+        while (nx * nx < endpoints)
+            nx *= 2;
+        spec.nx = nx;
+        spec.ny = static_cast<int>(endpoints) / nx;
+        spec.iterations = static_cast<int>(opts.getInt("iters", 2));
+        spec.periodic = opts.getBool("periodic", false);
+        spec.messageFlits = flits;
+        return makeStencilTrace(spec);
+    }
+    if (kind == "allreduce") {
+        AllReduceTraceSpec spec;
+        spec.endpoints = topo.numEndpoints();
+        spec.arity = static_cast<int>(opts.getInt("arity", 4));
+        spec.messageFlits = flits;
+        return makeAllReduceTrace(spec);
+    }
+    if (kind == "fft") {
+        FftTraceSpec spec;
+        spec.endpoints = topo.numEndpoints();
+        spec.messageFlits = flits;
+        return makeFftTrace(spec);
+    }
+    TN_FATAL("unknown --gen kind '", kind,
+             "' (known: stencil, allreduce, fft)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = CliOptions::parse(argc, argv);
+
+    const std::string topo_text =
+        opts.getString("topology", "mesh(8x8)");
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+    {
+        const std::vector<std::string> errors =
+            reg.validate(reg.parseSpec(topo_text));
+        if (!errors.empty()) {
+            for (const std::string &e : errors)
+                std::fprintf(stderr, "error: %s\n", e.c_str());
+            TN_FATAL("invalid --topology '", topo_text, "' (",
+                     errors.size(), " problem(s) above)");
+        }
+    }
+    const std::unique_ptr<Topology> topo =
+        reg.build(reg.parseSpec(topo_text));
+
+    const TraceWorkloadPtr trace = resolveTrace(opts, *topo);
+
+    const std::vector<std::string> algos = opts.getList(
+        "algos", {"xy", "west-first", "negative-first"});
+    const std::vector<std::string> engine_names = opts.getList(
+        "engines", {"reference", "fast", "batch", "sharded"});
+    const EngineRegistry &engines = EngineRegistry::instance();
+
+    SimConfig base;
+    base.traceWorkload = trace;
+    // The warmup/measure/drain schedule only caps a wedged replay.
+    base.warmupCycles = 0;
+    base.measureCycles =
+        static_cast<Cycle>(opts.getInt("cap", 200000));
+    base.drainCycles = 0;
+    base.seed = static_cast<std::uint64_t>(opts.getInt("seed", 1));
+    base.shards = static_cast<unsigned>(
+        std::max<std::int64_t>(0, opts.getInt("shards", 2)));
+    const auto max_makespan =
+        static_cast<Cycle>(opts.getInt("max-makespan", 0));
+    const std::string out =
+        opts.getString("out", "BENCH_trace.json");
+
+    std::printf("replaying %s (%zu records, %llu flits) on %s\n\n",
+                trace->name().c_str(), trace->records().size(),
+                static_cast<unsigned long long>(trace->totalFlits()),
+                topo->name().c_str());
+
+    Table table("Trace replay -- application makespan (cycles)");
+    table.setHeader({"algorithm", "engine", "makespan", "delivered",
+                     "dropped", "status"});
+
+    std::vector<TraceBenchEntry> entries;
+    bool failed = false;
+    for (const std::string &alg : algos) {
+        // One entry per engine; all of them must agree bit for bit.
+        TraceBenchEntry first;
+        bool have_first = false;
+        for (const std::string &ename : engine_names) {
+            SimConfig config = base;
+            config.engine = engines.parse(ename).id;
+            Simulator sim(*topo, makeVcRouting({.name = alg}),
+                          nullptr, config);
+            const SimResult r = sim.run();
+
+            TraceBenchEntry e;
+            e.algorithm = alg;
+            e.engine = ename;
+            e.makespanCycles = r.makespanCycles;
+            e.complete = r.replayComplete;
+            e.packetsDelivered = r.packetsFinished;
+            e.packetsDropped = r.packetsDropped;
+            e.packetsUnreachable = r.packetsUnreachable;
+            entries.push_back(e);
+            const TraceBenchEntry &stored = entries.back();
+
+            std::string status = stored.complete ? "ok" : "CAPPED";
+            if (!have_first) {
+                first = stored;
+                have_first = true;
+            } else if (stored.makespanCycles !=
+                           first.makespanCycles ||
+                       stored.packetsDelivered !=
+                           first.packetsDelivered ||
+                       stored.packetsDropped !=
+                           first.packetsDropped ||
+                       stored.packetsUnreachable !=
+                           first.packetsUnreachable) {
+                status = "DIVERGED";
+                std::fprintf(stderr,
+                             "error: engine %s diverged from %s on "
+                             "%s (makespan %llu vs %llu)\n",
+                             ename.c_str(), first.engine.c_str(),
+                             alg.c_str(),
+                             static_cast<unsigned long long>(
+                                 stored.makespanCycles),
+                             static_cast<unsigned long long>(
+                                 first.makespanCycles));
+                failed = true;
+            }
+            if (!stored.complete) {
+                std::fprintf(stderr,
+                             "error: %s/%s hit the %llu-cycle cap "
+                             "with records pending\n",
+                             alg.c_str(), ename.c_str(),
+                             static_cast<unsigned long long>(
+                                 base.measureCycles));
+                failed = true;
+            }
+            if (max_makespan > 0 &&
+                stored.makespanCycles > max_makespan) {
+                std::fprintf(stderr,
+                             "error: %s/%s makespan %llu exceeds "
+                             "--max-makespan %llu\n",
+                             alg.c_str(), ename.c_str(),
+                             static_cast<unsigned long long>(
+                                 stored.makespanCycles),
+                             static_cast<unsigned long long>(
+                                 max_makespan));
+                failed = true;
+            }
+
+            table.beginRow();
+            table.cell(alg);
+            table.cell(ename);
+            table.cell(static_cast<double>(stored.makespanCycles),
+                       0);
+            table.cell(static_cast<double>(stored.packetsDelivered),
+                       0);
+            table.cell(static_cast<double>(
+                           stored.packetsDropped +
+                           stored.packetsUnreachable),
+                       0);
+            table.cell(status);
+        }
+    }
+    table.print();
+
+    if (out != "off" && out != "none" && !out.empty() &&
+        writeTraceBenchJson(out, trace->name(), topo->name(),
+                            trace->records().size(),
+                            trace->totalFlits(), entries))
+        std::printf("wrote %s (turnnet.trace_bench/1)\n",
+                    out.c_str());
+
+    return failed ? 1 : 0;
+}

@@ -169,6 +169,55 @@ evaluateSpeedupGate(const std::vector<EngineBenchEntry> &entries,
 }
 
 std::string
+traceBenchJson(const std::string &trace,
+               const std::string &topology, std::size_t records,
+               std::uint64_t flits,
+               const std::vector<TraceBenchEntry> &entries)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"turnnet.trace_bench/1\",\n"
+       << "  \"trace\": \"" << jsonEscape(trace) << "\",\n"
+       << "  \"topology\": \"" << jsonEscape(topology) << "\",\n"
+       << "  \"records\": " << records << ",\n"
+       << "  \"flits\": " << flits << ",\n"
+       << "  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const TraceBenchEntry &e = entries[i];
+        os << "    {\"algorithm\": \"" << jsonEscape(e.algorithm)
+           << "\", \"engine\": \"" << jsonEscape(e.engine)
+           << "\",\n     \"makespan_cycles\": " << e.makespanCycles
+           << ", \"complete\": " << (e.complete ? "true" : "false")
+           << ",\n     \"packets_delivered\": " << e.packetsDelivered
+           << ", \"packets_dropped\": " << e.packetsDropped
+           << ", \"packets_unreachable\": " << e.packetsUnreachable
+           << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+bool
+writeTraceBenchJson(const std::string &path, const std::string &trace,
+                    const std::string &topology, std::size_t records,
+                    std::uint64_t flits,
+                    const std::vector<TraceBenchEntry> &entries)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        TN_WARN("cannot write trace bench report to '", path, "'");
+        return false;
+    }
+    const std::string doc =
+        traceBenchJson(trace, topology, records, flits, entries);
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        TN_WARN("short write of trace bench report '", path, "'");
+    return ok;
+}
+
+std::string
 hierBenchJson(const std::string &traffic,
               const std::vector<HierBenchEntry> &entries)
 {

@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "turnnet/common/types.hpp"
+
 namespace turnnet {
 
 /** One timed sweep, as serialized into BENCH_sweep.json. */
@@ -176,6 +178,59 @@ std::string hierBenchJson(const std::string &traffic,
 bool writeHierBenchJson(const std::string &path,
                         const std::string &traffic,
                         const std::vector<HierBenchEntry> &entries);
+
+/**
+ * One (algorithm, engine) replay of a trace workload, as serialized
+ * into BENCH_trace.json ("turnnet.trace_bench/1"). Every field is a
+ * deterministic property of the replayed trajectory — no wall-clock
+ * figures — so the document can be golden-pinned byte for byte.
+ */
+struct TraceBenchEntry
+{
+    std::string algorithm;
+    std::string engine;
+    /** Application completion time in cycles (SimResult::
+     *  makespanCycles); a lower bound when complete is false. */
+    Cycle makespanCycles = 0;
+    /** The DAG drained before the hard cycle cap. */
+    bool complete = true;
+    std::uint64_t packetsDelivered = 0;
+    std::uint64_t packetsDropped = 0;
+    std::uint64_t packetsUnreachable = 0;
+};
+
+/**
+ * Render the "turnnet.trace_bench/1" document:
+ *
+ *   {
+ *     "schema": "turnnet.trace_bench/1",
+ *     "trace": "stencil(8x8,iters=4)",
+ *     "topology": "mesh(8x8)",
+ *     "records": 448,
+ *     "flits": 3584,
+ *     "entries": [
+ *       {"algorithm": "west-first", "engine": "fast",
+ *        "makespan_cycles": 812, "complete": true,
+ *        "packets_delivered": 448, "packets_dropped": 0,
+ *        "packets_unreachable": 0}
+ *     ]
+ *   }
+ *
+ * @p records and @p flits describe the replayed trace (record count
+ * and total payload flits).
+ */
+std::string traceBenchJson(const std::string &trace,
+                           const std::string &topology,
+                           std::size_t records, std::uint64_t flits,
+                           const std::vector<TraceBenchEntry> &entries);
+
+/** Write traceBenchJson() to @p path; warns and returns false on
+ *  I/O failure. */
+bool writeTraceBenchJson(const std::string &path,
+                         const std::string &trace,
+                         const std::string &topology,
+                         std::size_t records, std::uint64_t flits,
+                         const std::vector<TraceBenchEntry> &entries);
 
 /** Verdict of the engine speedup gate over a whole load sweep. */
 struct SpeedupGateResult

@@ -9,6 +9,7 @@
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/topology/topology_registry.hpp"
 #include "turnnet/traffic/pattern.hpp"
+#include "turnnet/workload/workload.hpp"
 
 namespace turnnet {
 
@@ -132,8 +133,15 @@ runFigure(const FigureSpec &spec, const SimConfig &base,
             // several never overwrites a ring dump.
             alg_opts.traceOut = alg + "." + sweep_opts.traceOut;
         }
-        sweeps.push_back(runLoadSweep(*topo, routing, traffic,
-                                      spec.loads, base, alg_opts));
+        // --workload replaces the figure's own pattern; bound per
+        // algorithm because `adversarial` keys off the algorithm
+        // name and a trace binds into this algorithm's SimConfig.
+        SimConfig alg_base = base;
+        const TrafficPtr alg_traffic = resolveWorkload(
+            sweep_opts, *topo, alg, traffic, alg_base);
+        sweeps.push_back(runLoadSweep(*topo, routing, alg_traffic,
+                                      spec.loads, alg_base,
+                                      alg_opts));
         if (print_tables) {
             sweepTable(spec.title + " -- " + routing->name() +
                            " on " + topo->name(),
@@ -301,11 +309,19 @@ runFigureMain(const std::string &figure_id, int argc,
     if (!sweep_opts.countersJson.empty()) {
         const std::unique_ptr<Topology> topo =
             makeTopology(spec.topology);
+        // Label counters with the workload actually driven, in
+        // canonical grammar form when --workload overrode the
+        // figure's own pattern.
+        const std::string traffic_label =
+            sweep_opts.workload.empty()
+                ? spec.traffic
+                : WorkloadSpec::parseOrDie(sweep_opts.workload)
+                      .canonical();
         std::vector<CountersExportEntry> counter_entries;
         for (std::size_t i = 0; i < spec.algorithms.size(); ++i) {
             for (const SweepPoint &p : sweeps[i]) {
                 counter_entries.push_back(CountersExportEntry{
-                    spec.algorithms[i], topo->name(), spec.traffic,
+                    spec.algorithms[i], topo->name(), traffic_label,
                     p.offered, p.counters});
             }
         }

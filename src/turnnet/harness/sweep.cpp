@@ -8,6 +8,7 @@
 #include "turnnet/common/thread_pool.hpp"
 #include "turnnet/network/engine.hpp"
 #include "turnnet/topology/topology_registry.hpp"
+#include "turnnet/workload/workload.hpp"
 
 namespace turnnet {
 
@@ -43,6 +44,12 @@ SweepOptions::fromCli(const CliOptions &opts)
             .id;
     out.shards = static_cast<unsigned>(
         std::max<std::int64_t>(0, opts.getInt("shards", 0)));
+    out.workload = opts.getString("workload", "");
+    if (!out.workload.empty()) {
+        // Grammar problems die here with every error listed;
+        // binding (files, fabrics) happens in the driver.
+        (void)WorkloadSpec::parseOrDie(out.workload);
+    }
     out.topology = opts.getString("topology", "");
     if (!out.topology.empty()) {
         // Fail fast with every problem listed, before any worker
@@ -58,6 +65,17 @@ SweepOptions::fromCli(const CliOptions &opts)
         }
     }
     return out;
+}
+
+TrafficPtr
+resolveWorkload(const SweepOptions &opts, const Topology &topo,
+                const std::string &algorithm,
+                const TrafficPtr &fallback, SimConfig &config)
+{
+    if (opts.workload.empty())
+        return fallback;
+    return bindWorkload(WorkloadSpec::parseOrDie(opts.workload),
+                        topo, algorithm, config);
 }
 
 std::uint64_t
@@ -116,7 +134,10 @@ runSweep(const Topology &topo, const RoutingHandle &routing,
         const auto replicate =
             static_cast<unsigned>(t % replicates);
         SimConfig config = base;
-        config.load = loads[point];
+        // A trace-replay base is paced by its DAG: the load grid
+        // degenerates to replicate seeds over the same replay.
+        config.load =
+            config.traceWorkload ? 0.0 : loads[point];
         config.seed = sweepTaskSeed(base.seed, point, replicate,
                                     replicates);
         config.trace.counters |= opts.collectCounters;

@@ -130,14 +130,45 @@ struct SweepOptions
     std::string topology;
 
     /**
+     * Workload override in the --workload grammar
+     * (workload/workload.hpp): a plain pattern name, trace:<file>,
+     * bursty:<pattern>[,on=<f>][,dwell=<c>], or
+     * adversarial[:<algorithm>]; empty means the driver's own
+     * default traffic. fromCli() validates the grammar (unknown
+     * kinds, unknown patterns, malformed burst parameters are fatal
+     * at the CLI surface); drivers bind it to their fabric with
+     * resolveWorkload() — per algorithm, inside the sweep loop.
+     */
+    std::string workload;
+
+    /**
      * Parse the flags every bench driver shares — --jobs (0 or
      * "auto" = hardware threads), --replicates, --compare-serial,
      * --bench-json, --faults, --fault-seed, --fault-cycle,
      * --counters-json, --trace, --trace-out, --engine, --shards,
-     * --topology — so the drivers stop hand-rolling the same block.
+     * --topology, --workload — so the drivers stop hand-rolling the
+     * same block.
      */
     static SweepOptions fromCli(const CliOptions &opts);
 };
+
+/**
+ * Resolve the traffic source for one algorithm of a sweep. When
+ * @p opts.workload is empty the driver's own @p fallback pattern is
+ * returned untouched; otherwise the validated --workload spec is
+ * bound to @p topo (writing trace-replay or burst state into
+ * @p config) and the bound pattern returned — null for trace replay,
+ * where runSweep() collapses the load grid to replicate seeds over
+ * the same DAG-paced replay. Call it per algorithm, inside the
+ * sweep loop: an `adversarial` workload binds against
+ * @p algorithm, so one resolution must never be shared across a
+ * multi-algorithm figure.
+ */
+TrafficPtr resolveWorkload(const SweepOptions &opts,
+                           const Topology &topo,
+                           const std::string &algorithm,
+                           const TrafficPtr &fallback,
+                           SimConfig &config);
 
 /**
  * Seed of one simulation of a sweep grid: splitmix64-derived from

@@ -62,8 +62,12 @@ mergeReplicates(const std::vector<SimResult> &replicates)
         merged.packetsUnreachable += r.packetsUnreachable;
         merged.flitsDropped += r.flitsDropped;
         merged.cycles = std::max(merged.cycles, r.cycles);
+        merged.makespanCycles =
+            std::max(merged.makespanCycles, r.makespanCycles);
         merged.deadlocked = merged.deadlocked || r.deadlocked;
         merged.sustainable = merged.sustainable && r.sustainable;
+        merged.replayComplete =
+            merged.replayComplete && r.replayComplete;
     }
 
     merged.generatedLoad /= n;

@@ -83,6 +83,17 @@ struct SimResult
     Cycle cycles = 0;
 
     /**
+     * Trace-replay figures (zero / true unless the run replayed a
+     * trace workload). Makespan is the application-level completion
+     * time: cycles from the start of the run until every trace
+     * record resolved and the fabric drained. replayComplete is
+     * false when the run hit its hard cycle cap with records still
+     * pending — that makespan is a lower bound, not a measurement.
+     */
+    Cycle makespanCycles = 0;
+    bool replayComplete = true;
+
+    /**
      * Sample-level accumulators behind the scalar summaries above
      * (latencies in usec, hops per measured packet, sampled queue
      * depths, and the latency histogram the percentiles are read

@@ -36,6 +36,18 @@ SimConfig::validate() const
     if (trace.events && trace.eventCapacity == 0)
         errors.push_back("trace.eventCapacity must be positive when "
                          "the event trace is enabled");
+    if (traceWorkload != nullptr && load > 0.0)
+        errors.push_back("a trace workload and a generated load are "
+                         "exclusive: replay paces injection by the "
+                         "dependency DAG, not by a rate");
+    if (traceWorkload != nullptr && burst.has_value())
+        errors.push_back("a trace workload and a burst model are "
+                         "exclusive: replay does not use the "
+                         "arrival process");
+    if (burst) {
+        for (const std::string &e : burst->validate())
+            errors.push_back(e);
+    }
     if (!faults.empty() && faultCycle >=
                                warmupCycles + measureCycles +
                                    drainCycles)
@@ -57,11 +69,14 @@ Simulator::Simulator(const Topology &topo, VcRoutingPtr routing,
                      TrafficPtr traffic, SimConfig config)
     : topo_(&topo), routing_(std::move(routing)),
       config_(std::move(config)),
-      trafficName_(traffic ? traffic->name() : "scripted"),
+      trafficName_(config_.traceWorkload
+                       ? "trace:" + config_.traceWorkload->name()
+                       : (traffic ? traffic->name() : "scripted")),
       network_(topo, config_.bufferDepth, routing_->numVcs()),
       queues_(topo.numNodes()),
       generator_(topo, std::move(traffic), config_.load,
-                 config_.lengths, config_.seed * 0x10001 + 7),
+                 config_.lengths, config_.seed * 0x10001 + 7,
+                 config_.burst),
       latencyHistogram_(Histogram::logSpaced(
           config_.latencyHistMinUs, config_.latencyHistMaxUs,
           config_.latencyHistBins))
@@ -90,6 +105,10 @@ Simulator::Simulator(const Topology &topo, VcRoutingPtr routing,
         TN_FATAL("fault injection needs a single-channel routing "
                  "core for reachability accounting; ",
                  routing_->name(), " is purely virtual-channel");
+    }
+    if (config_.traceWorkload) {
+        replay_ = std::make_unique<TraceReplaySource>(
+            config_.traceWorkload, topo);
     }
     frontStall_.assign(network_.numInputs(), 0);
     // One arbiter stream per node, seeded by node id: the draw
@@ -151,6 +170,19 @@ Simulator::purgePacket(PacketId id, bool unreachable)
         ++packetsDropped_;
     if (info.measured)
         ++measuredUnserved_;
+    if (replay_) {
+        // Loss is terminal: the record resolves so its successors
+        // inject anyway (see replay.hpp's drop semantics).
+        const std::size_t idx = replay_->recordOfPacket(id);
+        if (idx != TraceReplaySource::kNoRecord) {
+            replay_->resolve(
+                idx,
+                unreachable
+                    ? TraceReplaySource::RecordFate::Unreachable
+                    : TraceReplaySource::RecordFate::Dropped,
+                cycle_);
+        }
+    }
     packets_.erase(id);
     if (config_.recordPaths)
         paths_.erase(id);
@@ -269,10 +301,51 @@ Simulator::createPacket(NodeId src, NodeId dest,
 void
 Simulator::generateTraffic()
 {
+    if (replay_ != nullptr) {
+        replayGenerate();
+        return;
+    }
     generator_.generate(cycle_, [this](NodeId src, NodeId dest,
                                        int length) {
         createPacket(src, dest, static_cast<std::uint32_t>(length));
     });
+}
+
+void
+Simulator::replayGenerate()
+{
+    // Serial by design: eligibility, packet creation, and queueing
+    // all happen here, so every cycle engine sees the identical
+    // injection stream. A predecessor resolving during this drain
+    // (an unreachable record) releases its successors immediately —
+    // the heap hands them out in the same pass.
+    while (replay_->hasEligible()) {
+        const std::size_t idx = replay_->popEligible();
+        const TraceRecord &rec = replay_->record(idx);
+        const NodeId src = replay_->srcNode(idx);
+        const NodeId dest = replay_->dstNode(idx);
+        if (faultsActive_ && (config_.faults.nodeFailed(src) ||
+                              !servable(src, dest))) {
+            // The rank died or no surviving path serves the peer; a
+            // real application would time out and move on, so the
+            // record resolves unreachable and its successors are
+            // not wedged behind it.
+            ++packetsUnreachable_;
+            replay_->resolve(
+                idx, TraceReplaySource::RecordFate::Unreachable,
+                cycle_);
+            continue;
+        }
+        // Every replayed record is measured: makespan covers the
+        // whole DAG, there is no warmup to exclude.
+        PacketInfo &info =
+            packets_.create(src, dest, rec.size, cycle_, true);
+        queues_[src].enqueue(info.id, dest, rec.size);
+        flitsCreated_ += rec.size;
+        ++measuredCreated_;
+        measuredFlitsGenerated_ += rec.size;
+        replay_->bindPacket(idx, info.id, cycle_);
+    }
 }
 
 void
@@ -305,6 +378,14 @@ Simulator::deliverFlit(const Flit &flit)
     }
     if (onDelivered)
         onDelivered(info, cycle_);
+    if (replay_) {
+        const std::size_t idx = replay_->recordOfPacket(flit.packet);
+        if (idx != TraceReplaySource::kNoRecord) {
+            replay_->resolve(
+                idx, TraceReplaySource::RecordFate::Delivered,
+                cycle_);
+        }
+    }
     packets_.erase(flit.packet);
     if (config_.recordPaths)
         paths_.erase(flit.packet);
@@ -495,6 +576,9 @@ Simulator::totalQueuedPackets() const
 SimResult
 Simulator::run()
 {
+    if (replay_ != nullptr)
+        return runReplay();
+
     const Cycle measure_start = config_.warmupCycles;
     const Cycle measure_end =
         config_.warmupCycles + config_.measureCycles;
@@ -518,6 +602,43 @@ Simulator::run()
         }
     }
 
+    return buildResult(static_cast<double>(config_.measureCycles));
+}
+
+SimResult
+Simulator::runReplay()
+{
+    // Application makespan: every cycle counts (no warmup — the
+    // trace's prologue IS part of the application), and the run ends
+    // when the dependency DAG has drained and the fabric is empty.
+    // The configured schedule only caps a wedged replay (a
+    // fault-oblivious relation stalling behind dead hardware).
+    const Cycle hard_end = config_.warmupCycles +
+                           config_.measureCycles +
+                           config_.drainCycles;
+    measuring_ = true;
+    while (!deadlocked_ && cycle_ < hard_end) {
+        if ((cycle_ % config_.queueSampleInterval) == 0) {
+            const auto queued =
+                static_cast<double>(totalQueuedPackets());
+            queueSamples_.add(queued);
+            queueTrend_.add(queued);
+        }
+        step();
+        if (replay_->allResolved() && idle())
+            break;
+    }
+
+    SimResult result = buildResult(
+        static_cast<double>(std::max<Cycle>(cycle_, 1)));
+    result.makespanCycles = cycle_;
+    result.replayComplete = replay_->allResolved() && idle();
+    return result;
+}
+
+SimResult
+Simulator::buildResult(double window) const
+{
     SimResult result;
     result.topology = topo_->name();
     result.algorithm = routing_->name();
@@ -529,7 +650,6 @@ Simulator::run()
     // Per-node figures normalize by generating endpoints; pure
     // switch nodes of an indirect network source no traffic.
     const auto nodes = static_cast<double>(topo_->numEndpoints());
-    const auto window = static_cast<double>(config_.measureCycles);
     result.generatedLoad =
         static_cast<double>(measuredFlitsGenerated_) /
         (nodes * window);
@@ -540,7 +660,7 @@ Simulator::run()
     result.acceptedPerNodeCycle =
         result.acceptedFlitsPerCycle / nodes;
 
-    if (!channelFlits_.empty() && config_.measureCycles > 0) {
+    if (!channelFlits_.empty() && window > 0) {
         std::uint64_t busiest = 0;
         std::uint64_t total = 0;
         for (const std::uint64_t flits : channelFlits_) {

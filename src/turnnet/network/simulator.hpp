@@ -47,6 +47,7 @@
 #include "turnnet/trace/event_trace.hpp"
 #include "turnnet/traffic/generator.hpp"
 #include "turnnet/traffic/pattern.hpp"
+#include "turnnet/workload/replay.hpp"
 
 namespace turnnet {
 
@@ -201,6 +202,26 @@ struct SimConfig
     /** Cycle at which @ref faults become physical. */
     Cycle faultCycle = 0;
 
+    /**
+     * Trace-replay workload (workload/trace.hpp): when set, the
+     * generation phase is driven by the causal replay source instead
+     * of the Poisson generator — records inject once their
+     * predecessors resolved — and run() measures application
+     * makespan from cycle 0 until the dependency DAG drains.
+     * Exclusive with load > 0 and with a burst model; the normal
+     * warmup/measure/drain schedule only serves as the hard cap for
+     * a wedged replay.
+     */
+    TraceWorkloadPtr traceWorkload;
+
+    /**
+     * Markov-modulated (bursty on/off) arrival modulation for the
+     * generated-traffic path (see BurstModel). The long-run offered
+     * load still equals @ref load; only the short-run variance
+     * changes. Ignored when load == 0.
+     */
+    std::optional<BurstModel> burst;
+
     /** Telemetry switches (see TraceConfig). */
     TraceConfig trace;
 
@@ -309,6 +330,10 @@ class Simulator
     /** Event trace ring; null unless config.trace.events. */
     const EventTrace *trace() const { return events_.get(); }
 
+    /** Causal replay bookkeeping; null unless
+     *  config.traceWorkload is set. */
+    const TraceReplaySource *replay() const { return replay_.get(); }
+
     std::uint64_t flitsCreated() const { return flitsCreated_; }
     std::uint64_t flitsDelivered() const { return flitsDelivered_; }
     std::uint64_t packetsDelivered() const { return packetsDelivered_; }
@@ -369,6 +394,13 @@ class Simulator
     friend class ShardedEngine;
 
     void generateTraffic();
+    /** Drain eligible trace records into the source queues. */
+    void replayGenerate();
+    /** Makespan schedule for trace replay (run() delegates). */
+    SimResult runReplay();
+    /** Fill a SimResult from the current counters, normalizing the
+     *  rate figures by @p window cycles. */
+    SimResult buildResult(double window) const;
     void createPacket(NodeId src, NodeId dest, std::uint32_t length);
     void injectFromQueues();
     void deliverFlit(const Flit &flit);
@@ -424,6 +456,11 @@ class Simulator
      *  hot-path feed is guarded by one null check). */
     std::shared_ptr<TraceCounters> counters_;
     std::unique_ptr<EventTrace> events_;
+
+    /** Causal replay state (null without a trace workload). Only
+     *  ever touched from the serial phases of the cycle, so every
+     *  engine replays the identical trajectory. */
+    std::unique_ptr<TraceReplaySource> replay_;
 
     // Counters.
     std::uint64_t flitsCreated_ = 0;

@@ -53,25 +53,83 @@ MessageLengthMix::validate() const
               "length mix probabilities must sum to 1");
 }
 
+std::vector<std::string>
+BurstModel::validate() const
+{
+    std::vector<std::string> errors;
+    if (!(onFraction > 0.0) || onFraction > 1.0)
+        errors.push_back("burst onFraction must lie in (0, 1]");
+    if (!(meanOnCycles > 0.0))
+        errors.push_back("burst meanOnCycles must be positive");
+    return errors;
+}
+
 MessageGenerator::MessageGenerator(const Topology &topo,
                                    TrafficPtr pattern, double load,
                                    MessageLengthMix mix,
-                                   std::uint64_t seed)
+                                   std::uint64_t seed,
+                                   std::optional<BurstModel> burst)
     : pattern_(std::move(pattern)), load_(load), mix_(std::move(mix)),
-      rng_(seed)
+      burst_(burst), rng_(seed)
 {
     TN_ASSERT(load >= 0.0, "offered load must be nonnegative");
     mix_.validate();
+    if (burst_) {
+        const std::vector<std::string> errors = burst_->validate();
+        if (!errors.empty())
+            TN_FATAL("invalid burst model: ", errors.front());
+    }
     if (load_ > 0.0) {
         TN_ASSERT(pattern_ != nullptr,
                   "a positive load needs a traffic pattern");
         meanInterarrival_ = mix_.mean() / load_;
         sources_ = topo.endpoints();
+        if (burst_) {
+            // Arrivals happen only during on-bursts, so the on-rate
+            // must be load / onFraction for the long-run mean to
+            // stay at the requested load.
+            onInterarrival_ = meanInterarrival_ * burst_->onFraction;
+            on_.assign(sources_.size(), 1);
+            stateEnd_.resize(sources_.size());
+            for (double &end : stateEnd_)
+                end = rng_.nextExponential(burst_->meanOnCycles);
+        }
         next_.resize(sources_.size());
-        for (double &t : next_)
-            t = rng_.nextExponential(meanInterarrival_);
+        for (std::size_t i = 0; i < next_.size(); ++i) {
+            next_[i] = burst_
+                           ? nextArrival(i, 0.0)
+                           : rng_.nextExponential(meanInterarrival_);
+        }
     } else {
         meanInterarrival_ = 0.0;
+    }
+}
+
+double
+MessageGenerator::nextArrival(std::size_t i, double from)
+{
+    if (!burst_)
+        return from + rng_.nextExponential(meanInterarrival_);
+    // Walk the on/off chain forward from the last arrival. A draw
+    // that overshoots its on-window is discarded and redrawn in the
+    // next window — exact for exponential interarrivals
+    // (memorylessness), and it keeps the per-node draw order a pure
+    // function of that node's own history.
+    double at = from;
+    for (;;) {
+        if (on_[i] == 0) {
+            at = stateEnd_[i];
+            on_[i] = 1;
+            stateEnd_[i] =
+                at + rng_.nextExponential(burst_->meanOnCycles);
+        }
+        const double draw = rng_.nextExponential(onInterarrival_);
+        if (at + draw <= stateEnd_[i])
+            return at + draw;
+        at = stateEnd_[i];
+        on_[i] = 0;
+        stateEnd_[i] =
+            at + rng_.nextExponential(burst_->meanOffCycles());
     }
 }
 

@@ -9,6 +9,7 @@
 #ifndef TURNNET_TRAFFIC_GENERATOR_HPP
 #define TURNNET_TRAFFIC_GENERATOR_HPP
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -42,8 +43,41 @@ struct MessageLengthMix
 };
 
 /**
+ * Markov-modulated (bursty on/off) arrival modulation: every node
+ * flips independently between an "on" state, where it generates at
+ * rate load / onFraction, and a silent "off" state, with
+ * exponentially distributed dwell times. The long-run on fraction
+ * is exactly @ref onFraction, so the mean offered load matches the
+ * plain Poisson source at the same load setting — the burstiness
+ * moves variance, not the mean. (This is the interrupted-Poisson /
+ * 2-state MMPP source of the queueing literature.)
+ */
+struct BurstModel
+{
+    /** Long-run fraction of time a node spends generating
+     *  (0 < onFraction <= 1; 1 degenerates to plain Poisson). */
+    double onFraction = 0.25;
+
+    /** Mean length of one on-burst, in cycles (> 0). */
+    double meanOnCycles = 256.0;
+
+    /** Mean off-dwell that balances @ref onFraction. */
+    double
+    meanOffCycles() const
+    {
+        return meanOnCycles * (1.0 - onFraction) / onFraction;
+    }
+
+    /** Every problem with the parameters; empty when valid. */
+    std::vector<std::string> validate() const;
+};
+
+/**
  * Per-node Poisson message source. Offered load is specified in
  * flits per node per cycle; the message rate is load / mean-length.
+ * With a BurstModel the per-node rate is modulated by the on/off
+ * chain; without one the draw sequence is exactly the historical
+ * plain-Poisson stream (golden fixtures pin it).
  */
 class MessageGenerator
 {
@@ -55,10 +89,12 @@ class MessageGenerator
      * @param mix Message length distribution.
      * @param seed RNG seed (generator draws are independent of the
      *        simulator's arbitration draws).
+     * @param burst Optional bursty (on/off) modulation.
      */
     MessageGenerator(const Topology &topo, TrafficPtr pattern,
                      double load, MessageLengthMix mix,
-                     std::uint64_t seed);
+                     std::uint64_t seed,
+                     std::optional<BurstModel> burst = std::nullopt);
 
     /**
      * Produce every message whose arrival time is <= @p cycle.
@@ -78,7 +114,7 @@ class MessageGenerator
         for (std::size_t i = 0; i < sources_.size(); ++i) {
             const NodeId n = sources_[i];
             while (next_[i] <= now) {
-                next_[i] += rng_.nextExponential(meanInterarrival_);
+                next_[i] = nextArrival(i, next_[i]);
                 const NodeId dst = pattern_->dest(n, rng_);
                 if (dst == n)
                     continue;
@@ -89,16 +125,28 @@ class MessageGenerator
 
     double load() const { return load_; }
     const MessageLengthMix &mix() const { return mix_; }
+    const std::optional<BurstModel> &burst() const { return burst_; }
 
   private:
+    /** Arrival after time @p from at node slot @p i (walks the
+     *  on/off chain when a BurstModel is set). */
+    double nextArrival(std::size_t i, double from);
+
     TrafficPtr pattern_;
     double load_;
     MessageLengthMix mix_;
     double meanInterarrival_;
+    std::optional<BurstModel> burst_;
+    /** Mean interarrival during an on-burst (burst mode only). */
+    double onInterarrival_ = 0.0;
     /** Generating nodes (the topology's endpoints). */
     std::vector<NodeId> sources_;
     /** Next arrival time per sources_ slot. */
     std::vector<double> next_;
+    /** Per-node modulation state (burst mode only): whether the
+     *  node is in an on-burst and when that state ends. */
+    std::vector<char> on_;
+    std::vector<double> stateEnd_;
     Rng rng_;
 };
 

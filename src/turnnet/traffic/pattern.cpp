@@ -197,4 +197,24 @@ makeTraffic(const std::string &name, const Topology &topo)
     TN_FATAL("unknown traffic pattern '", name, "'");
 }
 
+const std::vector<std::string> &
+trafficPatternNames()
+{
+    static const std::vector<std::string> names = {
+        "uniform",        "transpose",   "transpose-cube",
+        "reverse-flip",   "bit-complement", "bit-reverse",
+        "shuffle",        "tornado",     "hotspot"};
+    return names;
+}
+
+bool
+isKnownTrafficPattern(const std::string &name)
+{
+    for (const std::string &known : trafficPatternNames()) {
+        if (name == known)
+            return true;
+    }
+    return false;
+}
+
 } // namespace turnnet

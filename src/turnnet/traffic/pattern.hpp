@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "turnnet/common/rng.hpp"
 #include "turnnet/common/types.hpp"
@@ -207,6 +208,13 @@ class HotspotTraffic : public TrafficPattern
  * topology mismatch.
  */
 TrafficPtr makeTraffic(const std::string &name, const Topology &topo);
+
+/** Every name makeTraffic accepts, in its dispatch order. */
+const std::vector<std::string> &trafficPatternNames();
+
+/** True when makeTraffic accepts @p name (topology checks aside) —
+ *  lets CLI surfaces validate a pattern before a fabric exists. */
+bool isKnownTrafficPattern(const std::string &name);
 
 } // namespace turnnet
 

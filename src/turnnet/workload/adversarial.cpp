@@ -1,0 +1,240 @@
+#include "turnnet/workload/adversarial.hpp"
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/topology/dragonfly.hpp"
+
+namespace turnnet {
+
+namespace {
+
+/** The pattern needs 2D coordinates; fatal otherwise. */
+void
+require2d(const Topology &topo, const char *pattern)
+{
+    if (topo.numDims() != 2)
+        TN_FATAL(pattern, " traffic needs a 2D fabric, not ",
+                 topo.name());
+}
+
+/**
+ * West-shift: (x, y) -> ((x + ceil(W/2)) mod W, (y + 1) mod H).
+ * Half the nodes travel ~W/2 hops westward with a one-row offset;
+ * west-first must complete every west hop in the source row before
+ * the row change, so the central westbound channels of each row
+ * carry the whole half-width worm train with zero adaptivity.
+ */
+class WestShiftTraffic : public PermutationTraffic
+{
+  public:
+    explicit WestShiftTraffic(const Topology &topo) : topo_(&topo)
+    {
+        require2d(topo, "west-shift");
+    }
+
+    std::string name() const override { return "west-shift"; }
+
+    NodeId
+    map(NodeId src) const override
+    {
+        Coord c = topo_->coordOf(src);
+        const int w = topo_->radix(0);
+        const int h = topo_->radix(1);
+        c[0] = (c[0] + (w + 1) / 2) % w;
+        c[1] = (c[1] + 1) % h;
+        return topo_->nodeOf(c);
+    }
+
+  private:
+    const Topology *topo_;
+};
+
+/**
+ * North-shift: (x, y) -> ((x + 1) mod W, (y + ceil(H/2)) mod H).
+ * The column-mirror of west-shift: half the nodes travel ~H/2 hops
+ * northward with a one-column offset, and north-last must postpone
+ * every north hop until the destination column, so each column's
+ * northbound channels carry the whole half-height worm train with
+ * zero adaptivity.
+ */
+class NorthShiftTraffic : public PermutationTraffic
+{
+  public:
+    explicit NorthShiftTraffic(const Topology &topo) : topo_(&topo)
+    {
+        require2d(topo, "north-shift");
+    }
+
+    std::string name() const override { return "north-shift"; }
+
+    NodeId
+    map(NodeId src) const override
+    {
+        Coord c = topo_->coordOf(src);
+        const int w = topo_->radix(0);
+        const int h = topo_->radix(1);
+        c[0] = (c[0] + 1) % w;
+        c[1] = (c[1] + (h + 1) / 2) % h;
+        return topo_->nodeOf(c);
+    }
+
+  private:
+    const Topology *topo_;
+};
+
+/**
+ * Sign-mix: (x, y) -> ((x + W/2) mod W, (y + H/2) mod H). Half of
+ * all displacements pair one negative with one positive component —
+ * exactly the quadrants where negative-first permits a single
+ * L-shaped path (all negative hops strictly first), so the
+ * serialized corners congest while a fully adaptive router would
+ * spread the same demand over every staircase.
+ */
+class SignMixTraffic : public PermutationTraffic
+{
+  public:
+    explicit SignMixTraffic(const Topology &topo) : topo_(&topo)
+    {
+        require2d(topo, "sign-mix");
+    }
+
+    std::string name() const override { return "sign-mix"; }
+
+    NodeId
+    map(NodeId src) const override
+    {
+        Coord c = topo_->coordOf(src);
+        const int w = topo_->radix(0);
+        const int h = topo_->radix(1);
+        c[0] = (c[0] + w / 2) % w;
+        c[1] = (c[1] + h / 2) % h;
+        return topo_->nodeOf(c);
+    }
+
+  private:
+    const Topology *topo_;
+};
+
+/**
+ * Next-group: every dragonfly router sends to its positional twin in
+ * the following group. All minimal routes between adjacent groups
+ * share the single global channel joining them, so the per-group
+ * offered load concentrates onto one global link — the case minimal
+ * routing cannot spread and Valiant/UGAL exist to fix.
+ */
+class NextGroupTraffic : public PermutationTraffic
+{
+  public:
+    explicit NextGroupTraffic(const Topology &topo)
+        : dragonfly_(dynamic_cast<const Dragonfly *>(&topo))
+    {
+        if (dragonfly_ == nullptr) {
+            TN_FATAL("next-group traffic needs a dragonfly, not ",
+                     topo.name());
+        }
+    }
+
+    std::string name() const override { return "next-group"; }
+
+    NodeId
+    map(NodeId src) const override
+    {
+        const int g = dragonfly_->groupOf(src);
+        const int next = (g + 1) % dragonfly_->numGroups();
+        return dragonfly_->nodeAt(next,
+                                  dragonfly_->routerInGroup(src));
+    }
+
+  private:
+    const Dragonfly *dragonfly_;
+};
+
+const std::vector<AdversarialWorkload> &
+registry()
+{
+    static const std::vector<AdversarialWorkload> entries = {
+        {"xy", "transpose", "mesh",
+         "dimension reversal: every (i,j)->(j,i) packet turns at "
+         "the diagonal, so x-y concentrates each quadrant's load "
+         "onto the few column channels crossing it",
+         [](const Topology &topo) -> TrafficPtr {
+             return std::make_shared<MeshTransposeTraffic>(topo);
+         }},
+        {"west-first", "west-shift", "mesh",
+         "westbound displacements have zero adaptivity under "
+         "west-first (all west hops strictly first), so the "
+         "half-width west shift serializes every row's westbound "
+         "channels",
+         [](const Topology &topo) -> TrafficPtr {
+             return std::make_shared<WestShiftTraffic>(topo);
+         }},
+        {"north-last", "north-shift", "mesh",
+         "northbound displacements have zero adaptivity under "
+         "north-last (all north hops strictly last), so the "
+         "half-height north shift serializes every destination "
+         "column's northbound channels",
+         [](const Topology &topo) -> TrafficPtr {
+             return std::make_shared<NorthShiftTraffic>(topo);
+         }},
+        {"negative-first", "sign-mix", "mesh",
+         "mixed-sign displacements leave negative-first exactly one "
+         "legal L-path (negative hops strictly first); the "
+         "half-extent shift puts half of all packets in those "
+         "quadrants",
+         [](const Topology &topo) -> TrafficPtr {
+             return std::make_shared<SignMixTraffic>(topo);
+         }},
+        {"nf-torus", "tornado", "torus",
+         "halfway-around-the-ring traffic keeps every packet on its "
+         "row and loads one rotation direction's channels to the "
+         "theoretical limit",
+         [](const Topology &topo) -> TrafficPtr {
+             return std::make_shared<TornadoTraffic>(topo);
+         }},
+        {"dragonfly-min", "next-group", "dragonfly",
+         "adjacent groups share exactly one global channel, so "
+         "group-shifted traffic drives every group's offered load "
+         "through a single global link under minimal routing",
+         [](const Topology &topo) -> TrafficPtr {
+             return std::make_shared<NextGroupTraffic>(topo);
+         }},
+    };
+    return entries;
+}
+
+} // namespace
+
+const std::vector<AdversarialWorkload> &
+adversarialWorkloads()
+{
+    return registry();
+}
+
+bool
+hasAdversarialWorkload(const std::string &algorithm)
+{
+    for (const AdversarialWorkload &entry : registry()) {
+        if (algorithm == entry.algorithm)
+            return true;
+    }
+    return false;
+}
+
+TrafficPtr
+makeAdversarialTraffic(const std::string &algorithm,
+                       const Topology &topo)
+{
+    for (const AdversarialWorkload &entry : registry()) {
+        if (algorithm == entry.algorithm)
+            return entry.make(topo);
+    }
+    std::string known;
+    for (const AdversarialWorkload &entry : registry()) {
+        if (!known.empty())
+            known += ", ";
+        known += entry.algorithm;
+    }
+    TN_FATAL("no adversarial workload registered for algorithm '",
+             algorithm, "' (registered: ", known, ")");
+}
+
+} // namespace turnnet

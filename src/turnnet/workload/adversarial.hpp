@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-algorithm adversarial workloads: for each partially adaptive
+ * algorithm, a registered traffic pattern constructed to sit in the
+ * algorithm's blind spot — the region of displacement space where
+ * its prohibited turns leave zero adaptivity — so its worst case is
+ * one `--workload adversarial` away instead of folklore.
+ *
+ * These are stress inputs, not proofs of pessimality: each entry
+ * documents the mechanism (rationale) and the bench shows the
+ * per-algorithm degradation.
+ */
+
+#ifndef TURNNET_WORKLOAD_ADVERSARIAL_HPP
+#define TURNNET_WORKLOAD_ADVERSARIAL_HPP
+
+#include <string>
+#include <vector>
+
+#include "turnnet/topology/topology.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+
+/** One registered worst-case workload. */
+struct AdversarialWorkload
+{
+    /** Routing algorithm the pattern targets (registry name). */
+    const char *algorithm;
+    /** Pattern identifier (also the TrafficPattern::name()). */
+    const char *pattern;
+    /** Topology family the pattern is defined on. */
+    const char *family;
+    /** Why this stresses exactly this algorithm. */
+    const char *rationale;
+    /** Build the pattern (fatal on an incompatible topology). */
+    TrafficPtr (*make)(const Topology &topo);
+};
+
+/** All registered adversaries, in registration order. */
+const std::vector<AdversarialWorkload> &adversarialWorkloads();
+
+/** True when @p algorithm has a registered adversary. */
+bool hasAdversarialWorkload(const std::string &algorithm);
+
+/** The registered worst case for @p algorithm on @p topo; fatal on
+ *  unknown algorithms (listing the registered ones). */
+TrafficPtr makeAdversarialTraffic(const std::string &algorithm,
+                                  const Topology &topo);
+
+} // namespace turnnet
+
+#endif // TURNNET_WORKLOAD_ADVERSARIAL_HPP

@@ -1,0 +1,95 @@
+#include "turnnet/workload/replay.hpp"
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+TraceReplaySource::TraceReplaySource(TraceWorkloadPtr trace,
+                                     const Topology &topo)
+    : trace_(std::move(trace))
+{
+    TN_ASSERT(trace_ != nullptr, "replay needs a trace workload");
+    if (trace_->endpoints() > topo.numEndpoints()) {
+        TN_FATAL("trace '", trace_->name(), "' addresses ",
+                 trace_->endpoints(), " endpoints but ", topo.name(),
+                 " has only ", topo.numEndpoints());
+    }
+
+    const std::vector<TraceRecord> &records = trace_->records();
+    const std::vector<NodeId> &endpoints = topo.endpoints();
+    const std::size_t n = records.size();
+    srcNode_.resize(n);
+    dstNode_.resize(n);
+    remainingDeps_.resize(n);
+    successors_.resize(n);
+    fate_.assign(n, RecordFate::Pending);
+    packet_.assign(n, 0);
+    emitted_.assign(n, kNever);
+    resolvedCycle_.assign(n, kNever);
+    for (std::size_t i = 0; i < n; ++i) {
+        srcNode_[i] =
+            endpoints[static_cast<std::size_t>(records[i].src)];
+        dstNode_[i] =
+            endpoints[static_cast<std::size_t>(records[i].dst)];
+        remainingDeps_[i] =
+            static_cast<std::uint32_t>(records[i].deps.size());
+        for (const std::uint64_t dep : records[i].deps) {
+            successors_[trace_->indexOfId(dep)].push_back(
+                static_cast<std::uint32_t>(i));
+        }
+        if (remainingDeps_[i] == 0)
+            ready_.push(i);
+    }
+}
+
+std::size_t
+TraceReplaySource::popEligible()
+{
+    TN_ASSERT(!ready_.empty(), "no eligible trace record");
+    const std::size_t idx = ready_.top();
+    ready_.pop();
+    return idx;
+}
+
+void
+TraceReplaySource::bindPacket(std::size_t idx, PacketId id,
+                              Cycle cycle)
+{
+    TN_ASSERT(packet_[idx] == 0 && emitted_[idx] == kNever,
+              "trace record injected twice");
+    packet_[idx] = id;
+    emitted_[idx] = cycle;
+    byPacket_.emplace(id, idx);
+}
+
+void
+TraceReplaySource::resolve(std::size_t idx, RecordFate fate,
+                           Cycle cycle)
+{
+    TN_ASSERT(fate_[idx] == RecordFate::Pending,
+              "trace record resolved twice");
+    TN_ASSERT(fate != RecordFate::Pending,
+              "cannot resolve to Pending");
+    fate_[idx] = fate;
+    resolvedCycle_[idx] = cycle;
+    ++resolved_;
+    if (fate == RecordFate::Delivered)
+        ++delivered_;
+    if (packet_[idx] != 0)
+        byPacket_.erase(packet_[idx]);
+    for (const std::uint32_t succ : successors_[idx]) {
+        TN_ASSERT(remainingDeps_[succ] > 0,
+                  "dependency count underflow");
+        if (--remainingDeps_[succ] == 0)
+            ready_.push(succ);
+    }
+}
+
+std::size_t
+TraceReplaySource::recordOfPacket(PacketId id) const
+{
+    const auto it = byPacket_.find(id);
+    return it == byPacket_.end() ? kNoRecord : it->second;
+}
+
+} // namespace turnnet

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Causal trace replay: the scheduler that turns a TraceWorkload DAG
+ * into injections. A record becomes *eligible* only once every
+ * predecessor has resolved; the simulator drains eligible records
+ * in its (serial) generation phase, so replay trajectories are
+ * bit-identical across all cycle engines by construction.
+ *
+ * Drop semantics: a record resolves when its packet reaches ANY
+ * terminal state — delivered, purged by fault activation (dropped),
+ * or flagged unreachable. An application would time out and retry a
+ * lost message rather than hang, so the dependency DAG treats loss
+ * as completion: dropped predecessors never wedge their successors,
+ * and a faulted replay still drains (successors of a lost halo run,
+ * they just never receive its payload).
+ *
+ * Timing: a predecessor resolving at cycle C makes its successors
+ * eligible from the cycle C+1 generation phase (delivery and purge
+ * happen after generation within a cycle), so no successor's head
+ * flit can enter a source queue before the predecessor's tail left
+ * the network — the causal-ordering invariant the test battery
+ * asserts against the event trace.
+ */
+
+#ifndef TURNNET_WORKLOAD_REPLAY_HPP
+#define TURNNET_WORKLOAD_REPLAY_HPP
+
+#include <cstddef>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "turnnet/topology/topology.hpp"
+#include "turnnet/workload/trace.hpp"
+
+namespace turnnet {
+
+/** Replay state machine over one TraceWorkload (one per Simulator
+ *  run; all calls happen in the serial phases of the cycle). */
+class TraceReplaySource
+{
+  public:
+    /** Terminal state of a record (Pending = not yet resolved). */
+    enum class RecordFate : std::uint8_t
+    {
+        Pending,
+        Delivered,
+        Dropped,
+        Unreachable,
+    };
+
+    static constexpr std::size_t kNoRecord = ~std::size_t{0};
+    static constexpr Cycle kNever = ~Cycle{0};
+
+    /**
+     * @param trace The workload; endpoint index i binds to
+     *        topo.endpoints()[i]. Fatal when the topology has fewer
+     *        endpoints than the trace addresses.
+     */
+    TraceReplaySource(TraceWorkloadPtr trace, const Topology &topo);
+
+    /** Records whose predecessors have all resolved and that have
+     *  not been handed out yet. */
+    bool hasEligible() const { return !ready_.empty(); }
+
+    /** Next eligible record (ascending record index among those
+     *  currently ready — deterministic whatever resolved them). */
+    std::size_t popEligible();
+
+    const TraceRecord &record(std::size_t idx) const
+    {
+        return trace_->records()[idx];
+    }
+    NodeId srcNode(std::size_t idx) const { return srcNode_[idx]; }
+    NodeId dstNode(std::size_t idx) const { return dstNode_[idx]; }
+
+    /** Record that @p idx entered the network as packet @p id at
+     *  cycle @p cycle. */
+    void bindPacket(std::size_t idx, PacketId id, Cycle cycle);
+
+    /** Mark @p idx terminal; unblocks its successors. */
+    void resolve(std::size_t idx, RecordFate fate, Cycle cycle);
+
+    /** Record slot bound to @p id, or kNoRecord. */
+    std::size_t recordOfPacket(PacketId id) const;
+
+    bool allResolved() const
+    {
+        return resolved_ == trace_->records().size();
+    }
+    std::size_t resolvedCount() const { return resolved_; }
+    std::size_t deliveredCount() const { return delivered_; }
+
+    // Per-record bookkeeping (tests and telemetry).
+    RecordFate fate(std::size_t idx) const { return fate_[idx]; }
+    /** Packet the record rode as; 0 when it was never injected. */
+    PacketId packetOf(std::size_t idx) const { return packet_[idx]; }
+    /** Cycle the record was handed to the injection path; kNever
+     *  when it never became servable. */
+    Cycle emittedAt(std::size_t idx) const { return emitted_[idx]; }
+    /** Cycle the record resolved; kNever while Pending. */
+    Cycle resolvedAt(std::size_t idx) const
+    {
+        return resolvedCycle_[idx];
+    }
+
+    const TraceWorkload &trace() const { return *trace_; }
+
+  private:
+    TraceWorkloadPtr trace_;
+    std::vector<NodeId> srcNode_;
+    std::vector<NodeId> dstNode_;
+    std::vector<std::uint32_t> remainingDeps_;
+    std::vector<std::vector<std::uint32_t>> successors_;
+    std::priority_queue<std::size_t, std::vector<std::size_t>,
+                        std::greater<>>
+        ready_;
+    std::unordered_map<PacketId, std::size_t> byPacket_;
+    std::vector<RecordFate> fate_;
+    std::vector<PacketId> packet_;
+    std::vector<Cycle> emitted_;
+    std::vector<Cycle> resolvedCycle_;
+    std::size_t resolved_ = 0;
+    std::size_t delivered_ = 0;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_WORKLOAD_REPLAY_HPP

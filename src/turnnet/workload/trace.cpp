@@ -1,0 +1,411 @@
+#include "turnnet/workload/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "turnnet/common/json.hpp"
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+namespace {
+
+/** Endpoint-count ceiling: far above any fabric we build, low
+ *  enough that a corrupt header cannot drive allocation sizes. */
+constexpr NodeId kMaxEndpoints = 1 << 22;
+
+/**
+ * Read member @p key of @p obj as a non-negative integer <= @p max.
+ * Returns false and fills @p error (never fatal — the parser must
+ * survive arbitrary input).
+ */
+bool
+readInteger(const json::Value &obj, const char *key,
+            std::uint64_t max, std::size_t line, std::uint64_t &out,
+            std::string &error)
+{
+    const json::Value *v = obj.find(key);
+    if (v == nullptr) {
+        error = "line " + std::to_string(line) +
+                ": missing field \"" + key + "\"";
+        return false;
+    }
+    if (!v->isNumber()) {
+        error = "line " + std::to_string(line) + ": field \"" + key +
+                "\" must be a number";
+        return false;
+    }
+    const double d = v->asNumber();
+    if (!(d >= 0.0) || d > static_cast<double>(max) ||
+        d != std::floor(d)) {
+        error = "line " + std::to_string(line) + ": field \"" + key +
+                "\" must be an integer in [0, " +
+                std::to_string(max) + "]";
+        return false;
+    }
+    out = static_cast<std::uint64_t>(d);
+    return true;
+}
+
+/** Every member key of @p obj must appear in @p allowed. */
+bool
+checkKeys(const json::Value &obj,
+          const std::vector<std::string> &allowed, std::size_t line,
+          std::string &error)
+{
+    for (const auto &member : obj.members()) {
+        bool known = false;
+        for (const std::string &key : allowed)
+            known = known || key == member.first;
+        if (!known) {
+            error = "line " + std::to_string(line) +
+                    ": unknown field \"" + member.first + "\"";
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Ids below 2^53 round-trip exactly through the double-backed JSON
+ *  number representation. */
+constexpr std::uint64_t kMaxId = 1ULL << 53;
+
+} // namespace
+
+std::string
+TraceWorkload::checkRecords(NodeId endpoints,
+                            const std::vector<TraceRecord> &records)
+{
+    if (endpoints < 2 || endpoints > kMaxEndpoints) {
+        return "a trace needs between 2 and " +
+               std::to_string(kMaxEndpoints) +
+               " endpoints, not " + std::to_string(endpoints);
+    }
+    if (records.empty())
+        return "a trace needs at least one record";
+
+    std::unordered_map<std::uint64_t, std::size_t> index;
+    index.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (!index.emplace(records[i].id, i).second) {
+            return "duplicate record id " +
+                   std::to_string(records[i].id);
+        }
+    }
+
+    for (const TraceRecord &rec : records) {
+        const std::string where =
+            "record " + std::to_string(rec.id) + ": ";
+        if (rec.src < 0 || rec.src >= endpoints) {
+            return where + "src " + std::to_string(rec.src) +
+                   " is not an endpoint index (trace declares " +
+                   std::to_string(endpoints) + " endpoints)";
+        }
+        if (rec.dst < 0 || rec.dst >= endpoints) {
+            return where + "dst " + std::to_string(rec.dst) +
+                   " is not an endpoint index (trace declares " +
+                   std::to_string(endpoints) + " endpoints)";
+        }
+        if (rec.src == rec.dst) {
+            return where + "src and dst are both endpoint " +
+                   std::to_string(rec.src) +
+                   " — a message must leave its source";
+        }
+        if (rec.size == 0)
+            return where + "zero-size message (size is flits, >= 1)";
+        std::unordered_set<std::uint64_t> seen;
+        for (const std::uint64_t dep : rec.deps) {
+            if (dep == rec.id)
+                return where + "depends on itself";
+            if (index.find(dep) == index.end()) {
+                return where + "dangling predecessor id " +
+                       std::to_string(dep);
+            }
+            if (!seen.insert(dep).second) {
+                return where + "duplicate predecessor id " +
+                       std::to_string(dep);
+            }
+        }
+    }
+
+    // Kahn's algorithm: the records the peel never reaches sit on a
+    // dependency cycle and could never become eligible for replay.
+    std::vector<std::uint32_t> remaining(records.size(), 0);
+    std::vector<std::vector<std::size_t>> successors(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        remaining[i] =
+            static_cast<std::uint32_t>(records[i].deps.size());
+        for (const std::uint64_t dep : records[i].deps)
+            successors[index.at(dep)].push_back(i);
+    }
+    std::deque<std::size_t> frontier;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (remaining[i] == 0)
+            frontier.push_back(i);
+    }
+    std::size_t processed = 0;
+    while (!frontier.empty()) {
+        const std::size_t i = frontier.front();
+        frontier.pop_front();
+        ++processed;
+        for (const std::size_t s : successors[i]) {
+            if (--remaining[s] == 0)
+                frontier.push_back(s);
+        }
+    }
+    if (processed < records.size()) {
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            if (remaining[i] > 0) {
+                return "cyclic dependency edges: record " +
+                       std::to_string(records[i].id) +
+                       " can never become eligible";
+            }
+        }
+    }
+    return "";
+}
+
+TraceWorkload::TraceWorkload(std::string name, NodeId endpoints,
+                             std::vector<TraceRecord> records)
+    : name_(std::move(name)), endpoints_(endpoints),
+      records_(std::move(records))
+{
+    const std::string error = checkRecords(endpoints_, records_);
+    if (!error.empty())
+        TN_FATAL("invalid trace workload '", name_, "': ", error);
+    index_.reserve(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i)
+        index_.emplace(records_[i].id, i);
+}
+
+std::size_t
+TraceWorkload::indexOfId(std::uint64_t id) const
+{
+    const auto it = index_.find(id);
+    TN_ASSERT(it != index_.end(), "unknown trace record id ", id);
+    return it->second;
+}
+
+std::uint64_t
+TraceWorkload::totalFlits() const
+{
+    std::uint64_t total = 0;
+    for (const TraceRecord &rec : records_)
+        total += rec.size;
+    return total;
+}
+
+TraceWorkload::ParseOutcome
+TraceWorkload::parse(const std::string &text)
+{
+    ParseOutcome out;
+    std::string name = "trace";
+    std::uint64_t endpoints = 0;
+    std::uint64_t declared = 0;
+    bool have_header = false;
+    std::vector<TraceRecord> records;
+
+    std::istringstream stream(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        const json::ParseResult parsed = json::parse(line);
+        if (!parsed.ok) {
+            out.error = "line " + std::to_string(line_no) + ": " +
+                        parsed.error;
+            return out;
+        }
+        if (!parsed.value.isObject()) {
+            out.error = "line " + std::to_string(line_no) +
+                        ": every trace line must be a JSON object";
+            return out;
+        }
+        const json::Value &obj = parsed.value;
+
+        if (!have_header) {
+            // The first line must be the schema header.
+            const json::Value *schema = obj.find("schema");
+            if (schema == nullptr || !schema->isString() ||
+                schema->asString() != kTraceWorkloadSchema) {
+                out.error =
+                    "line " + std::to_string(line_no) +
+                    ": the first line must be a header with "
+                    "\"schema\": \"" +
+                    std::string(kTraceWorkloadSchema) + "\"";
+                return out;
+            }
+            if (!checkKeys(obj,
+                           {"schema", "name", "endpoints",
+                            "records"},
+                           line_no, out.error)) {
+                return out;
+            }
+            if (!readInteger(obj, "endpoints",
+                             static_cast<std::uint64_t>(
+                                 kMaxEndpoints),
+                             line_no, endpoints, out.error) ||
+                !readInteger(obj, "records", kMaxId, line_no,
+                             declared, out.error)) {
+                return out;
+            }
+            const json::Value *n = obj.find("name");
+            if (n != nullptr) {
+                if (!n->isString()) {
+                    out.error = "line " + std::to_string(line_no) +
+                                ": field \"name\" must be a string";
+                    return out;
+                }
+                name = n->asString();
+            }
+            have_header = true;
+            continue;
+        }
+
+        if (!checkKeys(obj, {"id", "src", "dst", "size", "deps"},
+                       line_no, out.error)) {
+            return out;
+        }
+        TraceRecord rec;
+        std::uint64_t id = 0;
+        std::uint64_t src = 0;
+        std::uint64_t dst = 0;
+        std::uint64_t size = 0;
+        if (!readInteger(obj, "id", kMaxId, line_no, id,
+                         out.error) ||
+            !readInteger(obj, "src",
+                         static_cast<std::uint64_t>(kMaxEndpoints),
+                         line_no, src, out.error) ||
+            !readInteger(obj, "dst",
+                         static_cast<std::uint64_t>(kMaxEndpoints),
+                         line_no, dst, out.error) ||
+            !readInteger(obj, "size", 0xFFFFFFFFULL, line_no, size,
+                         out.error)) {
+            return out;
+        }
+        rec.id = id;
+        rec.src = static_cast<NodeId>(src);
+        rec.dst = static_cast<NodeId>(dst);
+        rec.size = static_cast<std::uint32_t>(size);
+        const json::Value *deps = obj.find("deps");
+        if (deps == nullptr || !deps->isArray()) {
+            out.error = "line " + std::to_string(line_no) +
+                        ": field \"deps\" must be an array of "
+                        "record ids";
+            return out;
+        }
+        for (const json::Value &d : deps->items()) {
+            if (!d.isNumber() || !(d.asNumber() >= 0.0) ||
+                d.asNumber() > static_cast<double>(kMaxId) ||
+                d.asNumber() != std::floor(d.asNumber())) {
+                out.error = "line " + std::to_string(line_no) +
+                            ": \"deps\" entries must be integer "
+                            "record ids";
+                return out;
+            }
+            rec.deps.push_back(
+                static_cast<std::uint64_t>(d.asNumber()));
+        }
+        records.push_back(std::move(rec));
+    }
+
+    if (!have_header) {
+        out.error = "empty trace: expected a \"" +
+                    std::string(kTraceWorkloadSchema) +
+                    "\" header line";
+        return out;
+    }
+    if (records.size() != declared) {
+        out.error = "header declares " + std::to_string(declared) +
+                    " records but the file carries " +
+                    std::to_string(records.size());
+        return out;
+    }
+    const std::string semantic =
+        checkRecords(static_cast<NodeId>(endpoints), records);
+    if (!semantic.empty()) {
+        out.error = semantic;
+        return out;
+    }
+
+    auto trace = std::shared_ptr<TraceWorkload>(new TraceWorkload());
+    trace->name_ = std::move(name);
+    trace->endpoints_ = static_cast<NodeId>(endpoints);
+    trace->records_ = std::move(records);
+    trace->index_.reserve(trace->records_.size());
+    for (std::size_t i = 0; i < trace->records_.size(); ++i)
+        trace->index_.emplace(trace->records_[i].id, i);
+    out.ok = true;
+    out.trace = std::move(trace);
+    return out;
+}
+
+TraceWorkload::ParseOutcome
+TraceWorkload::parseFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ParseOutcome out;
+        out.error = "cannot read trace file '" + path + "'";
+        return out;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str());
+}
+
+std::string
+TraceWorkload::toJsonl() const
+{
+    std::string out = "{\"schema\": \"";
+    out += kTraceWorkloadSchema;
+    out += "\", \"name\": \"" + json::escape(name_) +
+           "\", \"endpoints\": " + std::to_string(endpoints_) +
+           ", \"records\": " + std::to_string(records_.size()) +
+           "}\n";
+    for (const TraceRecord &rec : records_) {
+        out += "{\"id\": " + std::to_string(rec.id) +
+               ", \"src\": " + std::to_string(rec.src) +
+               ", \"dst\": " + std::to_string(rec.dst) +
+               ", \"size\": " + std::to_string(rec.size) +
+               ", \"deps\": [";
+        for (std::size_t i = 0; i < rec.deps.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += std::to_string(rec.deps[i]);
+        }
+        out += "]}\n";
+    }
+    return out;
+}
+
+bool
+TraceWorkload::writeJsonl(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        TN_WARN("cannot write trace workload to '", path, "'");
+        return false;
+    }
+    out << toJsonl();
+    return true;
+}
+
+TraceWorkloadPtr
+loadTraceWorkload(const std::string &path)
+{
+    TraceWorkload::ParseOutcome outcome =
+        TraceWorkload::parseFile(path);
+    if (!outcome.ok)
+        TN_FATAL("invalid trace workload '", path, "': ",
+                 outcome.error);
+    return outcome.trace;
+}
+
+} // namespace turnnet

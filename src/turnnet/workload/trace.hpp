@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Application trace workloads: a compact JSONL schema
+ * ("turnnet.trace_workload/1") describing dependency-ordered
+ * message traces — the MPINET-style alternative to synthetic
+ * arrivals. A trace is a DAG of message records; the replay source
+ * (workload/replay.hpp) injects a record only after every
+ * predecessor resolved, so the simulator reports application
+ * makespan instead of open-loop latency.
+ *
+ * File format — one JSON object per line:
+ *
+ *   {"schema": "turnnet.trace_workload/1", "name": "stencil(4x4)",
+ *    "endpoints": 16, "records": 96}
+ *   {"id": 0, "src": 0, "dst": 1, "size": 8, "deps": []}
+ *   {"id": 1, "src": 1, "dst": 0, "size": 8, "deps": [0]}
+ *   ...
+ *
+ * The header line is mandatory and first; "records" must equal the
+ * number of record lines. Records address *endpoint indices*
+ * 0 .. endpoints-1, not node ids — a trace written for 16 ranks
+ * replays on any fabric with at least 16 endpoint nodes (the replay
+ * source binds index i to Topology::endpoints()[i]).
+ *
+ * Parsing never crashes on malformed input: every structural or
+ * semantic problem (bad JSON, dangling predecessor ids, cyclic
+ * dependency edges, non-endpoint src/dst, zero-size messages) comes
+ * back as a descriptive ParseOutcome error naming the line or
+ * record. The fatal convenience wrapper loadTraceWorkload() is the
+ * CLI surface.
+ */
+
+#ifndef TURNNET_WORKLOAD_TRACE_HPP
+#define TURNNET_WORKLOAD_TRACE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "turnnet/common/types.hpp"
+
+namespace turnnet {
+
+/** Schema tag of the trace-workload JSONL format. */
+inline constexpr const char *kTraceWorkloadSchema =
+    "turnnet.trace_workload/1";
+
+/** One message of a trace: @p size flits from endpoint @p src to
+ *  endpoint @p dst, eligible once every record in @p deps resolved. */
+struct TraceRecord
+{
+    std::uint64_t id = 0;
+    /** Source endpoint index (0 .. endpoints-1). */
+    NodeId src = 0;
+    /** Destination endpoint index. */
+    NodeId dst = 0;
+    /** Message length in flits (>= 1). */
+    std::uint32_t size = 0;
+    /** Ids of the records that must resolve before this one may be
+     *  injected. */
+    std::vector<std::uint64_t> deps;
+};
+
+/**
+ * A validated dependency-ordered message trace. Construction from
+ * in-memory records is fatal on an invalid DAG (the synthesizers
+ * build through that path, so an invalid trace is a library bug);
+ * parsing external text reports every problem as a ParseOutcome
+ * error instead.
+ */
+class TraceWorkload
+{
+  public:
+    /** @param name Display name ("stencil(4x4,iters=2)", ...).
+     *  @param endpoints Rank count the records address.
+     *  @param records The messages; fatal unless checkRecords passes. */
+    TraceWorkload(std::string name, NodeId endpoints,
+                  std::vector<TraceRecord> records);
+
+    /** Outcome of parsing external trace text: a trace or a
+     *  descriptive error naming the offending line/record. */
+    struct ParseOutcome
+    {
+        bool ok = false;
+        std::shared_ptr<const TraceWorkload> trace;
+        std::string error;
+    };
+
+    /** Parse a full JSONL document. Never fatal, never crashes. */
+    static ParseOutcome parse(const std::string &text);
+
+    /** Read and parse @p path (I/O failure is a ParseOutcome error). */
+    static ParseOutcome parseFile(const std::string &path);
+
+    /**
+     * First problem with (@p endpoints, @p records), as a
+     * human-readable message; empty when the set forms a valid
+     * trace. Checks endpoint bounds, src != dst, positive sizes,
+     * unique ids, resolvable dependency edges, and acyclicity.
+     */
+    static std::string
+    checkRecords(NodeId endpoints,
+                 const std::vector<TraceRecord> &records);
+
+    const std::string &name() const { return name_; }
+    NodeId endpoints() const { return endpoints_; }
+    const std::vector<TraceRecord> &records() const
+    {
+        return records_;
+    }
+
+    /** Slot in records() holding @p id (ids are validated unique). */
+    std::size_t indexOfId(std::uint64_t id) const;
+
+    /** Sum of record sizes (payload flits of the whole trace). */
+    std::uint64_t totalFlits() const;
+
+    /** Serialize back to the JSONL format (byte-stable; golden
+     *  fixtures pin it). */
+    std::string toJsonl() const;
+
+    /** Write toJsonl() to @p path; warns and returns false on I/O
+     *  failure. */
+    bool writeJsonl(const std::string &path) const;
+
+  private:
+    TraceWorkload() = default;
+
+    std::string name_;
+    NodeId endpoints_ = 0;
+    std::vector<TraceRecord> records_;
+    /** id -> records_ slot. */
+    std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+/** Handle shared between SimConfig and the sweep options. */
+using TraceWorkloadPtr = std::shared_ptr<const TraceWorkload>;
+
+/** Load @p path or die with the parse error (the CLI surface behind
+ *  --workload trace:<file>). */
+TraceWorkloadPtr loadTraceWorkload(const std::string &path);
+
+} // namespace turnnet
+
+#endif // TURNNET_WORKLOAD_TRACE_HPP

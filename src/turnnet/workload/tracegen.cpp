@@ -1,0 +1,220 @@
+#include "turnnet/workload/tracegen.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+namespace {
+
+/** Grid neighbors of rank (x, y), in fixed -x, +x, -y, +y order so
+ *  record ids are stable. Wraps (skipping self-loops on extents of
+ *  1) when periodic; drops edge neighbors otherwise. */
+std::vector<NodeId>
+stencilNeighbors(const StencilTraceSpec &spec, int x, int y)
+{
+    std::vector<NodeId> out;
+    const auto rank = [&spec](int cx, int cy) {
+        return static_cast<NodeId>(cy * spec.nx + cx);
+    };
+    const auto add = [&](int cx, int cy) {
+        if (cx == x && cy == y)
+            return; // periodic wrap on an extent of 1
+        out.push_back(rank(cx, cy));
+    };
+    if (x > 0)
+        add(x - 1, y);
+    else if (spec.periodic)
+        add(spec.nx - 1, y);
+    if (x < spec.nx - 1)
+        add(x + 1, y);
+    else if (spec.periodic)
+        add(0, y);
+    if (y > 0)
+        add(x, y - 1);
+    else if (spec.periodic)
+        add(x, spec.ny - 1);
+    if (y < spec.ny - 1)
+        add(x, y + 1);
+    else if (spec.periodic)
+        add(x, 0);
+    return out;
+}
+
+} // namespace
+
+TraceWorkloadPtr
+makeStencilTrace(const StencilTraceSpec &spec)
+{
+    if (spec.nx < 1 || spec.ny < 1 ||
+        spec.nx * spec.ny < 2) {
+        TN_FATAL("stencil trace needs a rank grid of at least two "
+                 "ranks, not ", spec.nx, "x", spec.ny);
+    }
+    if (spec.iterations < 1)
+        TN_FATAL("stencil trace needs >= 1 iteration");
+
+    const NodeId endpoints =
+        static_cast<NodeId>(spec.nx) * spec.ny;
+    std::vector<TraceRecord> records;
+    // received[r] = ids of the previous iteration's messages whose
+    // dst is rank r — the halos r must hold before it can start the
+    // next exchange.
+    std::vector<std::vector<std::uint64_t>> received(
+        static_cast<std::size_t>(endpoints));
+    std::uint64_t next_id = 0;
+    for (int iter = 0; iter < spec.iterations; ++iter) {
+        std::vector<std::vector<std::uint64_t>> incoming(
+            static_cast<std::size_t>(endpoints));
+        for (int y = 0; y < spec.ny; ++y) {
+            for (int x = 0; x < spec.nx; ++x) {
+                const NodeId src =
+                    static_cast<NodeId>(y * spec.nx + x);
+                for (const NodeId dst :
+                     stencilNeighbors(spec, x, y)) {
+                    TraceRecord rec;
+                    rec.id = next_id++;
+                    rec.src = src;
+                    rec.dst = dst;
+                    rec.size = spec.messageFlits;
+                    rec.deps = received[static_cast<std::size_t>(
+                        src)];
+                    incoming[static_cast<std::size_t>(dst)]
+                        .push_back(rec.id);
+                    records.push_back(std::move(rec));
+                }
+            }
+        }
+        received = std::move(incoming);
+    }
+
+    std::string name = "stencil(" + std::to_string(spec.nx) + "x" +
+                       std::to_string(spec.ny);
+    if (spec.periodic)
+        name += ",periodic";
+    name += ",iters=" + std::to_string(spec.iterations) + ")";
+    return std::make_shared<const TraceWorkload>(
+        std::move(name), endpoints, std::move(records));
+}
+
+TraceWorkloadPtr
+makeAllReduceTrace(const AllReduceTraceSpec &spec)
+{
+    if (spec.endpoints < 2)
+        TN_FATAL("all-reduce trace needs >= 2 ranks");
+    if (spec.arity < 2)
+        TN_FATAL("all-reduce trace needs tree arity >= 2");
+
+    const NodeId p = spec.endpoints;
+    const auto parent = [&spec](NodeId v) {
+        return (v - 1) / spec.arity;
+    };
+    const auto children = [&spec, p](NodeId v) {
+        std::vector<NodeId> out;
+        for (int c = 1; c <= spec.arity; ++c) {
+            const NodeId child =
+                v * spec.arity + static_cast<NodeId>(c);
+            if (child < p)
+                out.push_back(child);
+        }
+        return out;
+    };
+
+    std::vector<TraceRecord> records;
+    // Reduce sweep: up(v) carries v's partial sum to its parent and
+    // waits for every child's contribution. Ids: up(v) = v - 1.
+    std::vector<std::uint64_t> up(static_cast<std::size_t>(p), 0);
+    for (NodeId v = 1; v < p; ++v) {
+        TraceRecord rec;
+        rec.id = static_cast<std::uint64_t>(v - 1);
+        rec.src = v;
+        rec.dst = parent(v);
+        rec.size = spec.messageFlits;
+        for (const NodeId c : children(v))
+            rec.deps.push_back(static_cast<std::uint64_t>(c - 1));
+        up[static_cast<std::size_t>(v)] = rec.id;
+        records.push_back(std::move(rec));
+    }
+    // Broadcast sweep: down(v -> c) waits for the message v itself
+    // received — the full sum at the root, the parent's broadcast
+    // below it. Ids continue after the p-1 reduce records.
+    std::uint64_t next_id = static_cast<std::uint64_t>(p - 1);
+    std::vector<std::uint64_t> down(static_cast<std::size_t>(p), 0);
+    std::vector<NodeId> frontier = {0};
+    while (!frontier.empty()) {
+        std::vector<NodeId> next;
+        for (const NodeId v : frontier) {
+            for (const NodeId c : children(v)) {
+                TraceRecord rec;
+                rec.id = next_id++;
+                rec.src = v;
+                rec.dst = c;
+                rec.size = spec.messageFlits;
+                if (v == 0) {
+                    for (const NodeId rc : children(0)) {
+                        rec.deps.push_back(
+                            up[static_cast<std::size_t>(rc)]);
+                    }
+                } else {
+                    rec.deps.push_back(
+                        down[static_cast<std::size_t>(v)]);
+                }
+                down[static_cast<std::size_t>(c)] = rec.id;
+                records.push_back(std::move(rec));
+                next.push_back(c);
+            }
+        }
+        frontier = std::move(next);
+    }
+
+    return std::make_shared<const TraceWorkload>(
+        "allreduce(" + std::to_string(p) + ",k=" +
+            std::to_string(spec.arity) + ")",
+        p, std::move(records));
+}
+
+TraceWorkloadPtr
+makeFftTrace(const FftTraceSpec &spec)
+{
+    const NodeId p = spec.endpoints;
+    if (p < 2 || (p & (p - 1)) != 0) {
+        TN_FATAL("FFT trace needs a power-of-two rank count, not ",
+                 p);
+    }
+    int stages = 0;
+    while ((NodeId{1} << stages) < p)
+        ++stages;
+
+    // Stage s exchanges at stride 2^s; record id = s * p + rank.
+    // Rank r's stage-s send waits for the stage-(s-1) message it
+    // received, which came from partner r ^ 2^(s-1).
+    std::vector<TraceRecord> records;
+    for (int s = 0; s < stages; ++s) {
+        for (NodeId r = 0; r < p; ++r) {
+            TraceRecord rec;
+            rec.id = static_cast<std::uint64_t>(s) *
+                         static_cast<std::uint64_t>(p) +
+                     static_cast<std::uint64_t>(r);
+            rec.src = r;
+            rec.dst = r ^ (NodeId{1} << s);
+            rec.size = spec.messageFlits;
+            if (s > 0) {
+                const NodeId prev_partner =
+                    r ^ (NodeId{1} << (s - 1));
+                rec.deps.push_back(
+                    static_cast<std::uint64_t>(s - 1) *
+                        static_cast<std::uint64_t>(p) +
+                    static_cast<std::uint64_t>(prev_partner));
+            }
+            records.push_back(std::move(rec));
+        }
+    }
+
+    return std::make_shared<const TraceWorkload>(
+        "fft(" + std::to_string(p) + ")", p, std::move(records));
+}
+
+} // namespace turnnet

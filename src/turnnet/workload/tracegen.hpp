@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic trace synthesizers: the communication skeletons of
+ * the three classic HPC kernels, emitted as validated TraceWorkload
+ * DAGs at arbitrary endpoint counts. No RNG anywhere — the same
+ * spec always yields byte-identical JSONL, so synthesized traces can
+ * be golden-pinned and regenerated on any host.
+ *
+ *  - Stencil halo exchange: an nx x ny rank grid; each iteration
+ *    every rank sends one halo message to each grid neighbor, and an
+ *    iteration-k message waits for every halo its sender *received*
+ *    in iteration k-1 (the classic exchange barrier per rank).
+ *  - k-ary all-reduce tree: a reduce sweep up the tree (a parent's
+ *    contribution waits for all children) followed by a broadcast
+ *    sweep down (each hop waits for the hop above).
+ *  - FFT butterfly: log2(P) stages of pairwise exchanges at stride
+ *    2^s; the stage-s message of rank r waits for the stage-(s-1)
+ *    message r received from its previous partner. Permutation-heavy
+ *    — every stage is a perfect matching at a different distance.
+ */
+
+#ifndef TURNNET_WORKLOAD_TRACEGEN_HPP
+#define TURNNET_WORKLOAD_TRACEGEN_HPP
+
+#include "turnnet/workload/trace.hpp"
+
+namespace turnnet {
+
+/** Stencil halo-exchange shape. */
+struct StencilTraceSpec
+{
+    /** Rank-grid extents; endpoints = nx * ny. */
+    int nx = 4;
+    int ny = 4;
+    /** Wrap the grid edges (a ring/torus of ranks). */
+    bool periodic = false;
+    /** Exchange iterations (>= 1). */
+    int iterations = 1;
+    /** Flits per halo message. */
+    std::uint32_t messageFlits = 8;
+};
+
+TraceWorkloadPtr makeStencilTrace(const StencilTraceSpec &spec);
+
+/** k-ary reduce-then-broadcast tree shape. */
+struct AllReduceTraceSpec
+{
+    /** Participating ranks (>= 2); rank 0 is the root. */
+    NodeId endpoints = 16;
+    /** Tree arity (>= 2). */
+    int arity = 2;
+    /** Flits per tree message. */
+    std::uint32_t messageFlits = 8;
+};
+
+TraceWorkloadPtr makeAllReduceTrace(const AllReduceTraceSpec &spec);
+
+/** Butterfly-exchange FFT shape. */
+struct FftTraceSpec
+{
+    /** Participating ranks; must be a power of two >= 2. */
+    NodeId endpoints = 16;
+    /** Flits per butterfly message. */
+    std::uint32_t messageFlits = 8;
+};
+
+TraceWorkloadPtr makeFftTrace(const FftTraceSpec &spec);
+
+} // namespace turnnet
+
+#endif // TURNNET_WORKLOAD_TRACEGEN_HPP

@@ -1,0 +1,184 @@
+#include "turnnet/workload/workload.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/workload/adversarial.hpp"
+#include "turnnet/workload/trace.hpp"
+
+namespace turnnet {
+
+namespace {
+
+/** Parse "key=value" burst parameters after the bursty pattern. */
+void
+parseBurstParam(const std::string &param, BurstModel &burst,
+                std::vector<std::string> &errors)
+{
+    const std::size_t eq = param.find('=');
+    if (eq == std::string::npos) {
+        errors.push_back("bursty parameter '" + param +
+                         "' is not key=value (want on=<fraction> or "
+                         "dwell=<cycles>)");
+        return;
+    }
+    const std::string key = param.substr(0, eq);
+    const std::string value = param.substr(eq + 1);
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+        errors.push_back("bursty parameter '" + key +
+                         "' has non-numeric value '" + value + "'");
+        return;
+    }
+    if (key == "on")
+        burst.onFraction = v;
+    else if (key == "dwell")
+        burst.meanOnCycles = v;
+    else
+        errors.push_back("unknown bursty parameter '" + key +
+                         "' (known: on, dwell)");
+}
+
+} // namespace
+
+std::vector<std::string>
+WorkloadSpec::parse(const std::string &text, WorkloadSpec &out)
+{
+    std::vector<std::string> errors;
+    out = WorkloadSpec{};
+    if (text.empty()) {
+        errors.push_back("empty workload (want a pattern name, "
+                         "trace:<file>, bursty:<pattern>[,on=<f>]"
+                         "[,dwell=<c>], or adversarial[:<alg>])");
+        return errors;
+    }
+    const std::size_t colon = text.find(':');
+    const std::string head = text.substr(0, colon);
+    const std::string rest =
+        colon == std::string::npos ? "" : text.substr(colon + 1);
+
+    if (head == "trace") {
+        out.kind = Kind::Trace;
+        out.pattern.clear();
+        out.tracePath = rest;
+        if (rest.empty())
+            errors.push_back("trace: needs a file path "
+                             "(trace:<file>)");
+        return errors;
+    }
+    if (head == "adversarial") {
+        out.kind = Kind::Adversarial;
+        out.pattern = rest; // empty = the run's own algorithm
+        if (colon != std::string::npos && rest.empty())
+            errors.push_back("adversarial: names no algorithm; "
+                             "drop the colon to target the run's "
+                             "own algorithm");
+        return errors;
+    }
+    if (head == "bursty") {
+        out.kind = Kind::Bursty;
+        if (rest.empty()) {
+            errors.push_back("bursty: needs a pattern "
+                             "(bursty:<pattern>[,on=<f>]"
+                             "[,dwell=<c>])");
+            return errors;
+        }
+        std::size_t start = 0;
+        bool first = true;
+        while (start <= rest.size()) {
+            const std::size_t comma = rest.find(',', start);
+            const std::string piece = rest.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start);
+            if (first) {
+                out.pattern = piece;
+                if (!isKnownTrafficPattern(piece)) {
+                    errors.push_back("unknown bursty pattern '" +
+                                     piece + "'");
+                }
+                first = false;
+            } else {
+                parseBurstParam(piece, out.burst, errors);
+            }
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        for (const std::string &e : out.burst.validate())
+            errors.push_back(e);
+        return errors;
+    }
+    if (colon != std::string::npos) {
+        errors.push_back("unknown workload kind '" + head +
+                         "' (known: trace, bursty, adversarial, or "
+                         "a plain pattern name)");
+        return errors;
+    }
+    out.kind = Kind::Pattern;
+    out.pattern = text;
+    if (!isKnownTrafficPattern(text))
+        errors.push_back("unknown traffic pattern '" + text + "'");
+    return errors;
+}
+
+WorkloadSpec
+WorkloadSpec::parseOrDie(const std::string &text)
+{
+    WorkloadSpec spec;
+    const std::vector<std::string> errors = parse(text, spec);
+    if (!errors.empty()) {
+        for (const std::string &e : errors)
+            std::fprintf(stderr, "error: %s\n", e.c_str());
+        TN_FATAL("invalid --workload '", text, "' (", errors.size(),
+                 " problem(s) above)");
+    }
+    return spec;
+}
+
+std::string
+WorkloadSpec::canonical() const
+{
+    switch (kind) {
+    case Kind::Pattern:
+        return pattern;
+    case Kind::Trace:
+        return "trace:" + tracePath;
+    case Kind::Bursty: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), ",on=%g,dwell=%g",
+                      burst.onFraction, burst.meanOnCycles);
+        return "bursty:" + pattern + buf;
+    }
+    case Kind::Adversarial:
+        return pattern.empty() ? "adversarial"
+                               : "adversarial:" + pattern;
+    }
+    TN_PANIC("unhandled workload kind");
+}
+
+TrafficPtr
+bindWorkload(const WorkloadSpec &spec, const Topology &topo,
+             const std::string &algorithm, SimConfig &config)
+{
+    switch (spec.kind) {
+    case WorkloadSpec::Kind::Pattern:
+        return makeTraffic(spec.pattern, topo);
+    case WorkloadSpec::Kind::Trace:
+        config.traceWorkload = loadTraceWorkload(spec.tracePath);
+        // Replay paces injection by the DAG, not by a rate.
+        config.load = 0.0;
+        config.burst.reset();
+        return nullptr;
+    case WorkloadSpec::Kind::Bursty:
+        config.burst = spec.burst;
+        return makeTraffic(spec.pattern, topo);
+    case WorkloadSpec::Kind::Adversarial:
+        return makeAdversarialTraffic(
+            spec.pattern.empty() ? algorithm : spec.pattern, topo);
+    }
+    TN_PANIC("unhandled workload kind");
+}
+
+} // namespace turnnet

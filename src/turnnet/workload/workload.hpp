@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The --workload grammar: one string names everything a simulation
+ * can be driven by, so every bench driver accepts the same surface
+ * and none of them hand-roll a dispatch.
+ *
+ *   <pattern>                      a generated pattern by name
+ *                                  ("uniform", "transpose", ...)
+ *   trace:<file>                   causal replay of a
+ *                                  turnnet.trace_workload/1 file
+ *   bursty:<pattern>[,on=<f>][,dwell=<c>]
+ *                                  the pattern under Markov-
+ *                                  modulated (on/off) arrivals;
+ *                                  on = long-run on fraction,
+ *                                  dwell = mean on-burst cycles
+ *   adversarial[:<algorithm>]      the registered worst-case
+ *                                  pattern for the (named or
+ *                                  current) routing algorithm
+ *
+ * parse() is non-fatal and returns every grammar problem it can see
+ * without a topology or filesystem; binding to a fabric (and fatal
+ * validation of files, algorithms, and topology families) happens in
+ * bindWorkload().
+ */
+
+#ifndef TURNNET_WORKLOAD_WORKLOAD_HPP
+#define TURNNET_WORKLOAD_WORKLOAD_HPP
+
+#include <string>
+#include <vector>
+
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/traffic/generator.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+
+/** One parsed --workload value. */
+struct WorkloadSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        /** A plain generated pattern (the historical default). */
+        Pattern,
+        /** Causal trace replay (workload/trace.hpp). */
+        Trace,
+        /** A generated pattern under bursty (on/off) arrivals. */
+        Bursty,
+        /** The adversarial registry's pattern for an algorithm. */
+        Adversarial,
+    };
+
+    Kind kind = Kind::Pattern;
+
+    /** Pattern name (Pattern / Bursty), or the explicitly named
+     *  algorithm (Adversarial; empty = the run's own algorithm). */
+    std::string pattern = "uniform";
+
+    /** Trace file path (Trace only). */
+    std::string tracePath;
+
+    /** Arrival modulation (Bursty only). */
+    BurstModel burst;
+
+    /** Every problem with @p text; empty when it parsed into
+     *  @p out. Never fatal, never throws — CLI surfaces print the
+     *  list, tests probe the grammar directly. */
+    static std::vector<std::string> parse(const std::string &text,
+                                          WorkloadSpec &out);
+
+    /** parse() or die with every problem listed (CLI surfaces). */
+    static WorkloadSpec parseOrDie(const std::string &text);
+
+    /** The spec back in grammar form (round-trips through parse). */
+    std::string canonical() const;
+};
+
+/**
+ * Bind a parsed spec to a fabric: loads the trace file / builds the
+ * pattern / looks up the adversarial registry, and writes the
+ * trace-replay or burst configuration into @p config. Returns the
+ * traffic pattern to hand the Simulator (null for Kind::Trace —
+ * replay does not draw destinations). @p algorithm is the routing
+ * algorithm of the run, used when an Adversarial spec does not name
+ * one. Fatal on missing files, unknown patterns or algorithms, and
+ * topology mismatches — by then the value came from a validated
+ * spec, so every remaining failure is environmental.
+ */
+TrafficPtr bindWorkload(const WorkloadSpec &spec, const Topology &topo,
+                        const std::string &algorithm,
+                        SimConfig &config);
+
+} // namespace turnnet
+
+#endif // TURNNET_WORKLOAD_WORKLOAD_HPP

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * The causal-ordering battery for trace replay: on every cycle
+ * engine, no record's head flit may enter the fabric before every
+ * predecessor resolved — delivered predecessors strictly earlier
+ * (their tail left the network on an earlier cycle), lost
+ * predecessors no later than the successor's emission. Verified two
+ * ways at once: against the replay source's own bookkeeping and
+ * against the independent flit-level event trace. The same battery
+ * runs under mid-run fault activation, where dropped predecessors
+ * must release (not wedge) their successors and the replay must
+ * still drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "turnnet/network/engine.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/fault.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/workload/tracegen.hpp"
+
+namespace turnnet {
+namespace {
+
+/** One engine configuration of the replay matrix. */
+struct EngineCase
+{
+    SimEngine engine;
+    unsigned shards;
+};
+
+/** Every cycle engine, with the sharded engine at an even and an
+ *  uneven (16-node mesh) worker split. */
+const EngineCase kEngineCases[] = {{SimEngine::Reference, 0},
+                                   {SimEngine::Fast, 0},
+                                   {SimEngine::Batch, 0},
+                                   {SimEngine::Sharded, 2},
+                                   {SimEngine::Sharded, 7}};
+
+std::string
+caseName(const EngineCase &c)
+{
+    std::string name = EngineRegistry::instance().at(c.engine).name;
+    if (c.shards != 0)
+        name += "_s" + std::to_string(c.shards);
+    return name;
+}
+
+SimConfig
+replayConfig(TraceWorkloadPtr trace, const EngineCase &c)
+{
+    SimConfig config;
+    config.traceWorkload = std::move(trace);
+    config.warmupCycles = 0;
+    config.measureCycles = 20000; // hard cap for a wedged replay
+    config.drainCycles = 0;
+    config.seed = 1;
+    config.engine = c.engine;
+    config.shards = c.shards;
+    config.trace.events = true;
+    config.trace.eventCapacity = std::size_t{1} << 17;
+    return config;
+}
+
+constexpr Cycle kNever = TraceReplaySource::kNever;
+
+/**
+ * The invariant itself, checked record by record:
+ *  - a Delivered predecessor resolved strictly before the successor
+ *    was emitted (tail consumed at cycle C => successor eligible no
+ *    earlier than the C+1 generation phase), and the successor's
+ *    Inject event postdates the predecessor's last Deliver event;
+ *  - a lost predecessor (Dropped/Unreachable) resolved no later
+ *    than the successor's emission — loss releases successors in
+ *    the same generation pass, it never wedges them.
+ */
+void
+expectCausalOrder(const Simulator &sim)
+{
+    const TraceReplaySource *replay = sim.replay();
+    ASSERT_NE(replay, nullptr);
+    ASSERT_NE(sim.trace(), nullptr);
+    // The cross-check needs the full event history.
+    ASSERT_EQ(sim.trace()->dropped(), 0u)
+        << "event ring too small for this replay";
+
+    std::unordered_map<PacketId, Cycle> first_inject;
+    std::unordered_map<PacketId, Cycle> last_deliver;
+    for (const TraceEvent &e : sim.trace()->events()) {
+        if (e.type == TraceEventType::Inject)
+            first_inject.emplace(e.packet, e.cycle);
+        if (e.type == TraceEventType::Deliver)
+            last_deliver[e.packet] = e.cycle;
+    }
+
+    const std::vector<TraceRecord> &records =
+        replay->trace().records();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (replay->emittedAt(i) == kNever)
+            continue; // never became servable; nothing injected
+        for (const std::uint64_t dep : records[i].deps) {
+            const std::size_t d = replay->trace().indexOfId(dep);
+            ASSERT_NE(replay->resolvedAt(d), kNever)
+                << "record " << records[i].id
+                << " emitted before predecessor " << dep
+                << " resolved";
+            if (replay->fate(d) ==
+                TraceReplaySource::RecordFate::Delivered) {
+                EXPECT_GT(replay->emittedAt(i),
+                          replay->resolvedAt(d))
+                    << "record " << records[i].id
+                    << " emitted in the same cycle its "
+                       "predecessor's tail delivered";
+                // Independent witness: the flit-level events.
+                const PacketId succ = replay->packetOf(i);
+                const PacketId pred = replay->packetOf(d);
+                ASSERT_NE(pred, 0u);
+                ASSERT_TRUE(last_deliver.count(pred));
+                if (succ != 0 && first_inject.count(succ)) {
+                    EXPECT_GT(first_inject.at(succ),
+                              last_deliver.at(pred))
+                        << "packet of record " << records[i].id
+                        << " injected before predecessor " << dep
+                        << "'s tail delivered";
+                }
+            } else {
+                EXPECT_GE(replay->emittedAt(i),
+                          replay->resolvedAt(d));
+            }
+        }
+    }
+}
+
+TEST(Causal, EveryKernelOnEveryEngine)
+{
+    const Mesh mesh(4, 4);
+    const TraceWorkloadPtr kernels[] = {
+        makeStencilTrace({.nx = 4, .ny = 4, .iterations = 2}),
+        makeAllReduceTrace({.endpoints = 16, .arity = 2}),
+        makeFftTrace({.endpoints = 16}),
+    };
+    for (const TraceWorkloadPtr &trace : kernels) {
+        Cycle first_makespan = 0;
+        bool have_first = false;
+        for (const EngineCase &c : kEngineCases) {
+            SCOPED_TRACE(trace->name() + " on " + caseName(c));
+            Simulator sim(mesh, makeVcRouting({.name = "xy"}),
+                          nullptr, replayConfig(trace, c));
+            const SimResult result = sim.run();
+
+            EXPECT_TRUE(result.replayComplete);
+            EXPECT_FALSE(result.deadlocked);
+            EXPECT_GT(result.makespanCycles, 0u);
+            EXPECT_EQ(result.makespanCycles, sim.now());
+            ASSERT_NE(sim.replay(), nullptr);
+            EXPECT_TRUE(sim.replay()->allResolved());
+            EXPECT_EQ(sim.replay()->deliveredCount(),
+                      trace->records().size());
+            EXPECT_EQ(sim.packetsDelivered(),
+                      trace->records().size());
+            EXPECT_EQ(sim.packetsDropped(), 0u);
+            EXPECT_EQ(sim.packetsUnreachable(), 0u);
+            expectCausalOrder(sim);
+
+            // All engines replay the identical trajectory.
+            if (!have_first) {
+                first_makespan = result.makespanCycles;
+                have_first = true;
+            } else {
+                EXPECT_EQ(result.makespanCycles, first_makespan);
+            }
+        }
+    }
+}
+
+TEST(Causal, LostPredecessorsReleaseSuccessorsUnderFaults)
+{
+    // A router dies mid-replay: records to or from the dead rank
+    // resolve as losses (purged in flight, or unreachable at
+    // emission), and their successors must inject anyway — the DAG
+    // drains to completion with the causal order intact.
+    const Mesh mesh(4, 4);
+    const NodeId dead = mesh.nodeOf({1, 1});
+    FaultSet faults;
+    faults.failNode(mesh, dead);
+    const TraceWorkloadPtr trace =
+        makeStencilTrace({.nx = 4, .ny = 4, .iterations = 3});
+
+    Cycle first_makespan = 0;
+    std::vector<TraceReplaySource::RecordFate> first_fates;
+    for (const EngineCase &c : kEngineCases) {
+        SCOPED_TRACE(caseName(c));
+        SimConfig config = replayConfig(trace, c);
+        config.faults = faults;
+        config.faultCycle = 55;
+        Simulator sim(mesh,
+                      makeVcRouting({.name = "negative-first-ft",
+                                     .fault_set = faults}),
+                      nullptr, config);
+        const SimResult result = sim.run();
+
+        // Losses happened, yet the replay still drained.
+        EXPECT_TRUE(result.replayComplete);
+        EXPECT_TRUE(sim.idle());
+        ASSERT_NE(sim.replay(), nullptr);
+        EXPECT_TRUE(sim.replay()->allResolved());
+        EXPECT_GT(sim.packetsUnreachable(), 0u);
+        EXPECT_LT(sim.replay()->deliveredCount(),
+                  trace->records().size());
+        expectCausalOrder(sim);
+
+        std::vector<TraceReplaySource::RecordFate> fates;
+        bool lossy_pred_released_successor = false;
+        for (std::size_t i = 0; i < trace->records().size(); ++i) {
+            const auto fate = sim.replay()->fate(i);
+            ASSERT_NE(fate, TraceReplaySource::RecordFate::Pending)
+                << "record " << trace->records()[i].id;
+            fates.push_back(fate);
+            if (fate != TraceReplaySource::RecordFate::Delivered)
+                continue;
+            for (const std::uint64_t dep :
+                 trace->records()[i].deps) {
+                const std::size_t d = trace->indexOfId(dep);
+                if (sim.replay()->fate(d) !=
+                    TraceReplaySource::RecordFate::Delivered)
+                    lossy_pred_released_successor = true;
+            }
+        }
+        // The non-wedging semantics in action: at least one
+        // delivered record rode over a lost predecessor.
+        EXPECT_TRUE(lossy_pred_released_successor);
+        // Ranks with a surviving peer keep exchanging: losses stay
+        // confined to the dead rank's neighborhood.
+        EXPECT_GT(sim.replay()->deliveredCount(),
+                  trace->records().size() / 2);
+
+        // Fault handling is part of the replayed trajectory: every
+        // engine agrees on makespan and per-record fates.
+        if (first_fates.empty()) {
+            first_makespan = result.makespanCycles;
+            first_fates = fates;
+        } else {
+            EXPECT_EQ(result.makespanCycles, first_makespan);
+            EXPECT_EQ(fates, first_fates);
+        }
+    }
+}
+
+TEST(Causal, WedgedReplayIsCappedNotHung)
+{
+    // A cap far below the makespan: run() must return (not spin),
+    // flag the replay incomplete, and report the cap as the lower
+    // bound on makespan.
+    const Mesh mesh(4, 4);
+    const TraceWorkloadPtr trace =
+        makeStencilTrace({.nx = 4, .ny = 4, .iterations = 2});
+    for (const EngineCase &c : kEngineCases) {
+        SCOPED_TRACE(caseName(c));
+        SimConfig config = replayConfig(trace, c);
+        config.measureCycles = 12;
+        Simulator sim(mesh, makeVcRouting({.name = "xy"}), nullptr,
+                      config);
+        const SimResult result = sim.run();
+        EXPECT_FALSE(result.replayComplete);
+        EXPECT_EQ(result.makespanCycles, 12u);
+        ASSERT_NE(sim.replay(), nullptr);
+        EXPECT_FALSE(sim.replay()->allResolved());
+        EXPECT_GT(sim.replay()->resolvedCount(), 0u);
+    }
+}
+
+TEST(Causal, ReplayRejectsATooSmallFabric)
+{
+    // A 16-rank trace cannot bind to a 9-endpoint mesh; the replay
+    // source refuses at construction rather than aliasing ranks.
+    const Mesh small(3, 3);
+    SimConfig config;
+    config.traceWorkload = makeFftTrace({.endpoints = 16});
+    EXPECT_DEATH(Simulator(small, makeVcRouting({.name = "xy"}),
+                           nullptr, config),
+                 "endpoints");
+}
+
+} // namespace
+} // namespace turnnet

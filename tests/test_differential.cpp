@@ -23,6 +23,7 @@
 #include "turnnet/topology/topology_registry.hpp"
 #include "turnnet/topology/torus.hpp"
 #include "turnnet/traffic/pattern.hpp"
+#include "turnnet/workload/tracegen.hpp"
 
 namespace turnnet {
 namespace {
@@ -260,6 +261,62 @@ TEST_P(Differential, VirtualChannelLinkArbitration)
         makeTraffic("transpose", mesh), cfg(loadedConfig(0.3, 19)),
         800, candidate());
     expectIdentical(doubley);
+}
+
+TEST_P(Differential, TraceReplayWorkload)
+{
+    // Causal trace replay drives injection from the serial
+    // generation phase: dependency waves of contention, then idle
+    // gaps while successors wait on tails — the engines must agree
+    // through both. 400 cycles covers the full stencil makespan
+    // plus a drained-idle stretch.
+    const Mesh mesh(4, 4);
+    SimConfig config;
+    config.traceWorkload =
+        makeStencilTrace({.nx = 4, .ny = 4, .iterations = 2});
+    config.seed = 11;
+    const DifferentialReport report = runDifferential(
+        mesh, makeVcRouting({.name = "west-first"}), nullptr,
+        cfg(config), 400, candidate());
+    expectIdentical(report);
+}
+
+TEST_P(Differential, TraceReplayUnderFaultActivation)
+{
+    // Mid-replay fault activation resolves records out of the
+    // delivery path (purges and unreachable flags), which feeds the
+    // eligibility heap — the whole chain must stay lockstep.
+    const Mesh mesh(4, 4);
+    FaultSet faults;
+    faults.failNode(mesh, mesh.nodeOf({1, 1}));
+    SimConfig config;
+    config.traceWorkload =
+        makeStencilTrace({.nx = 4, .ny = 4, .iterations = 3});
+    config.faults = faults;
+    config.faultCycle = 55;
+    config.seed = 13;
+    const DifferentialReport report = runDifferential(
+        mesh,
+        makeVcRouting({.name = "negative-first-ft",
+                       .fault_set = faults}),
+        nullptr, cfg(config), 500, candidate());
+    expectIdentical(report);
+}
+
+TEST_P(Differential, BurstyArrivals)
+{
+    // The MMPP source threads per-node on/off dwell draws through
+    // the generator RNG; the engines agree only if the modulated
+    // arrival stream (and the load spikes it causes) is identical.
+    const Mesh mesh(5, 5);
+    SimConfig config = loadedConfig(0.2, 53);
+    config.burst =
+        BurstModel{.onFraction = 0.3, .meanOnCycles = 64.0};
+    const DifferentialReport report = runDifferential(
+        mesh, makeVcRouting({.name = "odd-even"}),
+        makeTraffic("uniform", mesh), cfg(config), 800,
+        candidate());
+    expectIdentical(report);
 }
 
 TEST_P(Differential, MidRunFaultActivationWithPurges)

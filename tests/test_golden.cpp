@@ -24,14 +24,17 @@
 #include <string>
 #include <vector>
 
+#include "turnnet/harness/bench_report.hpp"
 #include "turnnet/harness/fault_sweep.hpp"
 #include "turnnet/harness/sweep.hpp"
 #include "turnnet/network/engine.hpp"
+#include "turnnet/network/simulator.hpp"
 #include "turnnet/routing/registry.hpp"
 #include "turnnet/topology/mesh.hpp"
 #include "turnnet/trace/counters.hpp"
 #include "turnnet/traffic/pattern.hpp"
 #include "turnnet/verify/certify.hpp"
+#include "turnnet/workload/tracegen.hpp"
 
 namespace turnnet {
 namespace {
@@ -175,6 +178,85 @@ TEST(Golden, ChannelHeatExport)
             "channel_heat.json",
             channelHeatJson(mesh, "transpose", 0.15, entries));
     }
+}
+
+TEST(Golden, TraceWorkloadFixture)
+{
+    // The synthesized periodic ring stencil is pinned byte for byte:
+    // any drift in the synthesizer's record ordering, dependency
+    // edges, or JSONL rendering shows up as a fixture diff. 8 ranks
+    // in a ring, 4 iterations, 2 halos per rank per iteration = 64
+    // records.
+    const TraceWorkloadPtr trace =
+        makeStencilTrace({.nx = 8,
+                          .ny = 1,
+                          .periodic = true,
+                          .iterations = 4,
+                          .messageFlits = 6});
+    ASSERT_EQ(trace->records().size(), 64u);
+    expectMatchesGolden("stencil64.trace.jsonl", trace->toJsonl());
+
+    // The committed fixture parses back to the identical trace, so
+    // the canned file is usable as a --workload trace:<file> input.
+    if (!regenRequested()) {
+        std::ifstream in(goldenPath("stencil64.trace.jsonl"),
+                         std::ios::binary);
+        ASSERT_TRUE(in.good());
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const TraceWorkload::ParseOutcome outcome =
+            TraceWorkload::parse(buf.str());
+        ASSERT_TRUE(outcome.ok) << outcome.error;
+        EXPECT_EQ(outcome.trace->toJsonl(), trace->toJsonl());
+    }
+}
+
+TEST(Golden, TraceBenchExport)
+{
+    // Replay makespans land in one turnnet.trace_bench/1 document
+    // covering the whole (algorithm, engine) matrix; pinning it
+    // certifies both cross-engine bit-identity (an algorithm's four
+    // rows must agree) and the makespans themselves against drift.
+    const Mesh mesh(4, 4);
+    const TraceWorkloadPtr trace =
+        makeStencilTrace({.nx = 4, .ny = 4, .iterations = 2});
+    std::vector<TraceBenchEntry> entries;
+    for (const char *alg : {"xy", "west-first", "negative-first"}) {
+        for (const SimEngine engine : kEngines) {
+            SCOPED_TRACE(
+                std::string(alg) + " on " +
+                EngineRegistry::instance().at(engine).name);
+            SimConfig config;
+            config.traceWorkload = trace;
+            config.load = 0.0;
+            config.warmupCycles = 0;
+            config.measureCycles = 20000;
+            config.drainCycles = 0;
+            config.seed = 21;
+            config.engine = engine;
+            if (engine == SimEngine::Sharded)
+                config.shards = 3;
+            Simulator sim(mesh, makeRouting({.name = alg}), nullptr,
+                          config);
+            const SimResult result = sim.run();
+            ASSERT_TRUE(result.replayComplete);
+            TraceBenchEntry entry;
+            entry.algorithm = alg;
+            entry.engine =
+                EngineRegistry::instance().at(engine).name;
+            entry.makespanCycles = result.makespanCycles;
+            entry.complete = result.replayComplete;
+            entry.packetsDelivered = sim.packetsDelivered();
+            entry.packetsDropped = sim.packetsDropped();
+            entry.packetsUnreachable = sim.packetsUnreachable();
+            entries.push_back(entry);
+        }
+    }
+    expectMatchesGolden(
+        "trace_bench.json",
+        traceBenchJson(trace->name(), mesh.name(),
+                       trace->records().size(), trace->totalFlits(),
+                       entries));
 }
 
 TEST(Golden, CertifyExport)

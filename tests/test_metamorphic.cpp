@@ -25,8 +25,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -38,6 +40,7 @@
 #include "turnnet/topology/mesh.hpp"
 #include "turnnet/trace/counters.hpp"
 #include "turnnet/traffic/pattern.hpp"
+#include "turnnet/workload/trace.hpp"
 
 namespace turnnet {
 namespace {
@@ -290,6 +293,117 @@ TEST(Metamorphic, NegativeFirstUnderTransposition)
     };
     expectEquivariant(mesh, "negative-first", events,
                       transpose(mesh), "transpose");
+}
+
+/** The scripted messages as a fully serialized trace chain: record
+ *  i depends on record i-1, so exactly one worm is ever in flight
+ *  and FCFS arbitration ties cannot break equivariance. Endpoint
+ *  indices are relabeled through @p map (on a mesh every node is an
+ *  endpoint, so endpointIndex is the identity on node ids). */
+TraceWorkloadPtr
+chainTrace(const Topology &topo, const std::vector<Event> &events,
+           const NodeMap &map)
+{
+    std::vector<TraceRecord> records;
+    records.reserve(events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        TraceRecord r;
+        r.id = i;
+        r.src = topo.endpointIndex(map(events[i].src));
+        r.dst = topo.endpointIndex(map(events[i].dst));
+        r.size = events[i].length;
+        if (i > 0)
+            r.deps = {i - 1};
+        records.push_back(std::move(r));
+    }
+    return std::make_shared<const TraceWorkload>(
+        "chain", topo.numEndpoints(), std::move(records));
+}
+
+void
+runReplay(const Topology &topo, const RoutingPtr &routing,
+          TraceWorkloadPtr trace, SimEngine engine, unsigned shards,
+          RunRecord &record)
+{
+    SimConfig config;
+    config.traceWorkload = std::move(trace);
+    config.load = 0.0;
+    config.warmupCycles = 0;
+    config.measureCycles = 20000;
+    config.drainCycles = 0;
+    config.trace.counters = true;
+    config.engine = engine;
+    config.shards = shards;
+    Simulator sim(topo, routing, nullptr, config);
+    sim.onDelivered = [&](const PacketInfo &info, Cycle now) {
+        record.latencies.push_back(now - info.created);
+    };
+    const SimResult result = sim.run();
+    ASSERT_TRUE(result.replayComplete);
+    record.drainedAt = result.makespanCycles;
+    record.flitsDelivered = sim.flitsDelivered();
+    record.packetsDelivered = sim.packetsDelivered();
+    record.channelFlits = sim.counters()->channelFlits();
+    std::sort(record.latencies.begin(), record.latencies.end());
+}
+
+/** Replay the chain trace and its relabeled image on every cycle
+ *  engine; assert permuted counters and identical aggregates —
+ *  the trace path (causal replay, makespan accounting) must be as
+ *  symmetry-blind as the open-loop path. */
+void
+expectEquivariantReplay(const Topology &topo,
+                        const std::string &algorithm,
+                        const std::vector<Event> &events,
+                        const NodeMap &map, const std::string &label)
+{
+    SCOPED_TRACE(algorithm + " replay under " + label);
+    const NodeMap identity = [](NodeId n) { return n; };
+    for (const auto &[engine, shards] : kEngineCases) {
+        SCOPED_TRACE(engineCaseName(engine, shards));
+        RunRecord base;
+        RunRecord image;
+        runReplay(topo,
+                  makeRouting({.name = algorithm,
+                               .dims = topo.numDims()}),
+                  chainTrace(topo, events, identity), engine, shards,
+                  base);
+        runReplay(topo,
+                  makeRouting({.name = algorithm,
+                               .dims = topo.numDims()}),
+                  chainTrace(topo, events, map), engine, shards,
+                  image);
+
+        EXPECT_EQ(base.latencies, image.latencies);
+        EXPECT_EQ(base.flitsDelivered, image.flitsDelivered);
+        EXPECT_EQ(base.packetsDelivered, image.packetsDelivered);
+        EXPECT_EQ(base.drainedAt, image.drainedAt);
+
+        const std::vector<ChannelId> perm =
+            channelPermutation(topo, map);
+        ASSERT_EQ(base.channelFlits.size(),
+                  image.channelFlits.size());
+        for (ChannelId c = 0; c < topo.numChannels(); ++c) {
+            EXPECT_EQ(base.channelFlits[c],
+                      image.channelFlits[perm[c]])
+                << "channel " << c << " (image " << perm[c]
+                << ") under " << label;
+        }
+    }
+}
+
+TEST(Metamorphic, TraceReplayUnderRelabeling)
+{
+    // Endpoint relabeling by a topology automorphism applied to a
+    // trace workload: the dependency chain serializes the replay,
+    // so the per-channel counters must permute exactly and the
+    // makespan must be bit-identical.
+    const Mesh mesh(5, 5);
+    const std::vector<Event> events = meshWorkload(mesh);
+    expectEquivariantReplay(mesh, "xy", events, rotate180(mesh),
+                            "rotate-180");
+    expectEquivariantReplay(mesh, "west-first", events,
+                            reflect(mesh, 1), "reflect-y");
 }
 
 TEST(Metamorphic, PCubeUnderHypercubeRelabeling)

@@ -25,6 +25,7 @@
 #include "turnnet/trace/forensics.hpp"
 #include "turnnet/traffic/pattern.hpp"
 #include "turnnet/verify/certify.hpp"
+#include "turnnet/workload/tracegen.hpp"
 
 namespace turnnet {
 namespace {
@@ -270,6 +271,78 @@ TEST(Schemas, HierBenchReport)
     }
     EXPECT_TRUE(points->items()[0].find("sustainable")->asBool());
     EXPECT_FALSE(points->items()[1].find("sustainable")->asBool());
+}
+
+TEST(Schemas, TraceWorkloadJsonl)
+{
+    const TraceWorkloadPtr trace =
+        makeStencilTrace({.nx = 4, .ny = 4, .iterations = 2});
+    std::istringstream lines(trace->toJsonl());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    const json::Value header =
+        parseWithSchema(line, "turnnet.trace_workload/1");
+    EXPECT_EQ(header.find("name")->asString(), trace->name());
+    EXPECT_DOUBLE_EQ(header.find("endpoints")->asNumber(), 16.0);
+    EXPECT_DOUBLE_EQ(header.find("records")->asNumber(),
+                     static_cast<double>(trace->records().size()));
+
+    std::size_t records = 0;
+    while (std::getline(lines, line)) {
+        const json::ParseResult parsed = json::parse(line);
+        ASSERT_TRUE(parsed.ok) << parsed.error << ": " << line;
+        const json::Value &r = parsed.value;
+        ASSERT_NE(r.find("id"), nullptr);
+        EXPECT_GE(r.find("src")->asNumber(), 0.0);
+        EXPECT_LT(r.find("src")->asNumber(), 16.0);
+        EXPECT_GE(r.find("dst")->asNumber(), 0.0);
+        EXPECT_LT(r.find("dst")->asNumber(), 16.0);
+        EXPECT_GE(r.find("size")->asNumber(), 1.0);
+        ASSERT_NE(r.find("deps"), nullptr);
+        EXPECT_TRUE(r.find("deps")->isArray());
+        ++records;
+    }
+    EXPECT_EQ(records, trace->records().size());
+
+    // The serialization is itself a valid trace document.
+    const TraceWorkload::ParseOutcome roundtrip =
+        TraceWorkload::parse(trace->toJsonl());
+    ASSERT_TRUE(roundtrip.ok) << roundtrip.error;
+    EXPECT_EQ(roundtrip.trace->records().size(),
+              trace->records().size());
+}
+
+TEST(Schemas, TraceBenchReport)
+{
+    std::vector<TraceBenchEntry> entries;
+    entries.push_back(
+        TraceBenchEntry{"west-first", "fast", 812, true, 448, 0, 0});
+    entries.push_back(
+        TraceBenchEntry{"xy", "sharded/2", 20000, false, 410, 6, 32});
+
+    const json::Value doc = parseWithSchema(
+        traceBenchJson("stencil(8x8,iters=4)", "mesh(8x8)", 448,
+                       3584, entries),
+        "turnnet.trace_bench/1");
+    EXPECT_EQ(doc.find("trace")->asString(), "stencil(8x8,iters=4)");
+    EXPECT_EQ(doc.find("topology")->asString(), "mesh(8x8)");
+    EXPECT_DOUBLE_EQ(doc.find("records")->asNumber(), 448.0);
+    EXPECT_DOUBLE_EQ(doc.find("flits")->asNumber(), 3584.0);
+    const json::Value *list = doc.find("entries");
+    ASSERT_NE(list, nullptr);
+    ASSERT_EQ(list->size(), 2u);
+    const json::Value &e = list->items()[0];
+    EXPECT_EQ(e.find("algorithm")->asString(), "west-first");
+    EXPECT_EQ(e.find("engine")->asString(), "fast");
+    EXPECT_DOUBLE_EQ(e.find("makespan_cycles")->asNumber(), 812.0);
+    EXPECT_TRUE(e.find("complete")->asBool());
+    EXPECT_DOUBLE_EQ(e.find("packets_delivered")->asNumber(), 448.0);
+    EXPECT_DOUBLE_EQ(e.find("packets_dropped")->asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(e.find("packets_unreachable")->asNumber(), 0.0);
+    const json::Value &capped = list->items()[1];
+    EXPECT_FALSE(capped.find("complete")->asBool());
+    EXPECT_DOUBLE_EQ(capped.find("packets_unreachable")->asNumber(),
+                     32.0);
 }
 
 TEST(Schemas, FaultSweepReport)

@@ -1,0 +1,780 @@
+/**
+ * @file
+ * The workload subsystem under test: the trace-workload JSONL parser
+ * (which must reject every malformed document with a descriptive
+ * error and never crash — probed with targeted corruptions and a
+ * mutation fuzzer), the deterministic kernel-trace synthesizers, the
+ * bursty arrival model, the per-algorithm adversarial registry, and
+ * the --workload grammar that ties them all to one CLI surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/rng.hpp"
+#include "turnnet/harness/sweep.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/topology/hypercube.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/topology_registry.hpp"
+#include "turnnet/topology/torus.hpp"
+#include "turnnet/traffic/generator.hpp"
+#include "turnnet/traffic/pattern.hpp"
+#include "turnnet/workload/adversarial.hpp"
+#include "turnnet/workload/trace.hpp"
+#include "turnnet/workload/tracegen.hpp"
+#include "turnnet/workload/workload.hpp"
+
+namespace turnnet {
+namespace {
+
+/** A small hand-built valid trace document. */
+std::string
+validDoc()
+{
+    return std::string("{\"schema\": \"") + kTraceWorkloadSchema +
+           "\", \"name\": \"tiny\", \"endpoints\": 4, "
+           "\"records\": 3}\n"
+           "{\"id\": 0, \"src\": 0, \"dst\": 1, \"size\": 8, "
+           "\"deps\": []}\n"
+           "{\"id\": 1, \"src\": 1, \"dst\": 2, \"size\": 4, "
+           "\"deps\": [0]}\n"
+           "{\"id\": 2, \"src\": 2, \"dst\": 0, \"size\": 2, "
+           "\"deps\": [0, 1]}\n";
+}
+
+/** Expect parse() to fail with @p fragment in the error. */
+void
+expectRejected(const std::string &doc, const std::string &fragment)
+{
+    const TraceWorkload::ParseOutcome out = TraceWorkload::parse(doc);
+    EXPECT_FALSE(out.ok) << "accepted: " << doc;
+    EXPECT_EQ(out.trace, nullptr);
+    EXPECT_NE(out.error.find(fragment), std::string::npos)
+        << "error '" << out.error << "' lacks '" << fragment << "'";
+}
+
+TEST(TraceParse, ValidDocumentRoundTrips)
+{
+    const TraceWorkload::ParseOutcome out =
+        TraceWorkload::parse(validDoc());
+    ASSERT_TRUE(out.ok) << out.error;
+    ASSERT_NE(out.trace, nullptr);
+    EXPECT_EQ(out.trace->name(), "tiny");
+    EXPECT_EQ(out.trace->endpoints(), 4);
+    ASSERT_EQ(out.trace->records().size(), 3u);
+    EXPECT_EQ(out.trace->totalFlits(), 14u);
+    EXPECT_EQ(out.trace->indexOfId(2), 2u);
+    ASSERT_EQ(out.trace->records()[2].deps.size(), 2u);
+
+    // Serialization is byte-stable: parse(toJsonl) reproduces the
+    // exact bytes, which is what lets golden fixtures pin traces.
+    const std::string rendered = out.trace->toJsonl();
+    const TraceWorkload::ParseOutcome again =
+        TraceWorkload::parse(rendered);
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(again.trace->toJsonl(), rendered);
+}
+
+TEST(TraceParse, SynthesizedTraceRoundTrips)
+{
+    const TraceWorkloadPtr trace =
+        makeStencilTrace({.nx = 4, .ny = 4, .iterations = 2});
+    const TraceWorkload::ParseOutcome out =
+        TraceWorkload::parse(trace->toJsonl());
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.trace->name(), trace->name());
+    EXPECT_EQ(out.trace->endpoints(), trace->endpoints());
+    ASSERT_EQ(out.trace->records().size(), trace->records().size());
+    for (std::size_t i = 0; i < trace->records().size(); ++i) {
+        EXPECT_EQ(out.trace->records()[i].id,
+                  trace->records()[i].id);
+        EXPECT_EQ(out.trace->records()[i].deps,
+                  trace->records()[i].deps);
+    }
+}
+
+TEST(TraceParse, StructuralCorruptionsAreDescriptiveErrors)
+{
+    // Bad JSON on a record line names the line.
+    expectRejected("{\"schema\": \"turnnet.trace_workload/1\", "
+                   "\"endpoints\": 4, \"records\": 1}\n"
+                   "{\"id\": 0, \"src\": ,}\n",
+                   "line 2");
+    // The header must come first.
+    expectRejected("{\"id\": 0, \"src\": 0, \"dst\": 1, "
+                   "\"size\": 8, \"deps\": []}\n",
+                   "first line must be a header");
+    // Wrong schema tag.
+    expectRejected("{\"schema\": \"turnnet.trace_workload/9\", "
+                   "\"endpoints\": 4, \"records\": 0}\n",
+                   "header");
+    // Unknown and missing fields.
+    expectRejected("{\"schema\": \"turnnet.trace_workload/1\", "
+                   "\"endpoints\": 4, \"records\": 1}\n"
+                   "{\"id\": 0, \"src\": 0, \"dst\": 1, "
+                   "\"size\": 8, \"deps\": [], \"color\": 3}\n",
+                   "unknown field \"color\"");
+    expectRejected("{\"schema\": \"turnnet.trace_workload/1\", "
+                   "\"endpoints\": 4, \"records\": 1}\n"
+                   "{\"id\": 0, \"src\": 0, \"dst\": 1, "
+                   "\"deps\": []}\n",
+                   "missing field \"size\"");
+    // Non-array deps, non-integer dep entries.
+    expectRejected("{\"schema\": \"turnnet.trace_workload/1\", "
+                   "\"endpoints\": 4, \"records\": 1}\n"
+                   "{\"id\": 0, \"src\": 0, \"dst\": 1, "
+                   "\"size\": 8, \"deps\": 0}\n",
+                   "\"deps\" must be an array");
+    expectRejected("{\"schema\": \"turnnet.trace_workload/1\", "
+                   "\"endpoints\": 4, \"records\": 1}\n"
+                   "{\"id\": 0, \"src\": 0, \"dst\": 1, "
+                   "\"size\": 8, \"deps\": [0.5]}\n",
+                   "integer record ids");
+    // Header/record count mismatch, both directions.
+    expectRejected("{\"schema\": \"turnnet.trace_workload/1\", "
+                   "\"endpoints\": 4, \"records\": 2}\n"
+                   "{\"id\": 0, \"src\": 0, \"dst\": 1, "
+                   "\"size\": 8, \"deps\": []}\n",
+                   "header declares 2 records");
+    // Empty document.
+    expectRejected("", "empty trace");
+    expectRejected("\n   \n\t\n", "empty trace");
+}
+
+TEST(TraceParse, SemanticCorruptionsAreDescriptiveErrors)
+{
+    const auto doc = [](const std::string &records_part,
+                        int count) {
+        return "{\"schema\": \"turnnet.trace_workload/1\", "
+               "\"endpoints\": 4, \"records\": " +
+               std::to_string(count) + "}\n" + records_part;
+    };
+    // Zero-size message.
+    expectRejected(doc("{\"id\": 0, \"src\": 0, \"dst\": 1, "
+                       "\"size\": 0, \"deps\": []}\n",
+                       1),
+                   "zero-size");
+    // A message to itself.
+    expectRejected(doc("{\"id\": 0, \"src\": 2, \"dst\": 2, "
+                       "\"size\": 8, \"deps\": []}\n",
+                       1),
+                   "must leave its source");
+    // src/dst beyond the declared endpoint count.
+    expectRejected(doc("{\"id\": 0, \"src\": 4, \"dst\": 1, "
+                       "\"size\": 8, \"deps\": []}\n",
+                       1),
+                   "not an endpoint index");
+    expectRejected(doc("{\"id\": 0, \"src\": 0, \"dst\": 9, "
+                       "\"size\": 8, \"deps\": []}\n",
+                       1),
+                   "not an endpoint index");
+    // Dangling, duplicate, and self predecessors.
+    expectRejected(doc("{\"id\": 0, \"src\": 0, \"dst\": 1, "
+                       "\"size\": 8, \"deps\": [7]}\n",
+                       1),
+                   "dangling predecessor id 7");
+    expectRejected(doc("{\"id\": 0, \"src\": 0, \"dst\": 1, "
+                       "\"size\": 8, \"deps\": []}\n"
+                       "{\"id\": 1, \"src\": 1, \"dst\": 2, "
+                       "\"size\": 8, \"deps\": [0, 0]}\n",
+                       2),
+                   "duplicate predecessor id 0");
+    expectRejected(doc("{\"id\": 0, \"src\": 0, \"dst\": 1, "
+                       "\"size\": 8, \"deps\": [0]}\n",
+                       1),
+                   "depends on itself");
+    // Duplicate record ids.
+    expectRejected(doc("{\"id\": 3, \"src\": 0, \"dst\": 1, "
+                       "\"size\": 8, \"deps\": []}\n"
+                       "{\"id\": 3, \"src\": 1, \"dst\": 2, "
+                       "\"size\": 8, \"deps\": []}\n",
+                       2),
+                   "duplicate record id 3");
+    // A dependency cycle no record of which can ever inject.
+    expectRejected(doc("{\"id\": 0, \"src\": 0, \"dst\": 1, "
+                       "\"size\": 8, \"deps\": [1]}\n"
+                       "{\"id\": 1, \"src\": 1, \"dst\": 2, "
+                       "\"size\": 8, \"deps\": [0]}\n",
+                       2),
+                   "cyclic dependency");
+    // Too few endpoints to ever carry a message.
+    expectRejected("{\"schema\": \"turnnet.trace_workload/1\", "
+                   "\"endpoints\": 1, \"records\": 1}\n"
+                   "{\"id\": 0, \"src\": 0, \"dst\": 0, "
+                   "\"size\": 8, \"deps\": []}\n",
+                   "between 2 and");
+}
+
+TEST(TraceParse, MissingFileIsAnOutcomeNotACrash)
+{
+    const TraceWorkload::ParseOutcome out =
+        TraceWorkload::parseFile("/nonexistent/void.jsonl");
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("cannot read"), std::string::npos);
+}
+
+TEST(TraceParse, MutationFuzzNeverCrashes)
+{
+    // Deterministic mutation fuzzing over the valid document: byte
+    // flips, truncations, line drops/duplications, and random-junk
+    // splices. Every outcome must be either a valid trace or a
+    // non-empty error — never a crash, hang, or empty-error reject.
+    const std::string base = validDoc();
+    std::mt19937 rng(0xC0FFEE);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string doc = base;
+        const int mode = static_cast<int>(rng() % 5);
+        if (mode == 0) {
+            // Flip a handful of bytes.
+            for (int i = 0; i < 4; ++i)
+                doc[rng() % doc.size()] =
+                    static_cast<char>(rng() % 256);
+        } else if (mode == 1) {
+            doc = doc.substr(0, rng() % doc.size());
+        } else if (mode == 2) {
+            // Drop one line.
+            std::vector<std::string> lines;
+            std::istringstream in(doc);
+            std::string line;
+            while (std::getline(in, line))
+                lines.push_back(line);
+            lines.erase(lines.begin() +
+                        static_cast<long>(rng() % lines.size()));
+            doc.clear();
+            for (const std::string &l : lines)
+                doc += l + "\n";
+        } else if (mode == 3) {
+            // Duplicate one line (header or record).
+            std::istringstream in(doc);
+            std::string line;
+            std::vector<std::string> lines;
+            while (std::getline(in, line))
+                lines.push_back(line);
+            doc += lines[rng() % lines.size()] + "\n";
+        } else {
+            // Splice random junk somewhere.
+            std::string junk;
+            for (int i = 0; i < 16; ++i)
+                junk += static_cast<char>(rng() % 96 + 32);
+            doc.insert(rng() % doc.size(), junk);
+        }
+        const TraceWorkload::ParseOutcome out =
+            TraceWorkload::parse(doc);
+        if (!out.ok) {
+            EXPECT_FALSE(out.error.empty())
+                << "silent rejection of: " << doc;
+        } else {
+            ASSERT_NE(out.trace, nullptr);
+            EXPECT_TRUE(TraceWorkload::checkRecords(
+                            out.trace->endpoints(),
+                            out.trace->records())
+                            .empty());
+        }
+    }
+}
+
+TEST(TraceParseDeath, FatalSurfacesDieWithTheParseError)
+{
+    const std::string path =
+        testing::TempDir() + "/corrupt.trace.jsonl";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "{\"schema\": \"turnnet.trace_workload/1\", "
+               "\"endpoints\": 4, \"records\": 1}\n"
+               "{\"id\": 0, \"src\": 0, \"dst\": 1, \"size\": 0, "
+               "\"deps\": []}\n";
+    }
+    EXPECT_DEATH(loadTraceWorkload(path), "zero-size");
+    EXPECT_DEATH(loadTraceWorkload("/nonexistent/void.jsonl"),
+                 "cannot read");
+    // In-memory construction with an invalid DAG is a library bug.
+    EXPECT_DEATH(
+        TraceWorkload("bad", 4,
+                      {TraceRecord{0, 1, 1, 8, {}}}),
+        "must leave its source");
+}
+
+TEST(TraceGen, StencilShapeAndDependencies)
+{
+    // 4x4 open grid: interior ranks have 4 neighbors, edges 3,
+    // corners 2 — 48 halo messages per iteration.
+    const TraceWorkloadPtr trace = makeStencilTrace(
+        {.nx = 4, .ny = 4, .iterations = 2, .messageFlits = 8});
+    EXPECT_EQ(trace->endpoints(), 16);
+    ASSERT_EQ(trace->records().size(), 96u);
+    EXPECT_EQ(trace->totalFlits(), 96u * 8u);
+    EXPECT_EQ(trace->name(), "stencil(4x4,iters=2)");
+
+    // Iteration 1 (first 48 records) starts unconditionally;
+    // iteration 2 waits for exactly the halos its sender received.
+    std::vector<std::vector<std::uint64_t>> received(16);
+    for (std::size_t i = 0; i < 48; ++i) {
+        EXPECT_TRUE(trace->records()[i].deps.empty());
+        received[trace->records()[i].dst].push_back(
+            trace->records()[i].id);
+    }
+    for (std::size_t i = 48; i < 96; ++i) {
+        const TraceRecord &rec = trace->records()[i];
+        EXPECT_EQ(rec.deps, received[rec.src])
+            << "record " << rec.id;
+    }
+}
+
+TEST(TraceGen, PeriodicRingStencil)
+{
+    // The golden-fixture shape: an 8-rank periodic ring exchanged
+    // for 4 iterations — 2 neighbors per rank, 16 messages per
+    // iteration, 64 records total.
+    const TraceWorkloadPtr trace =
+        makeStencilTrace({.nx = 8,
+                          .ny = 1,
+                          .periodic = true,
+                          .iterations = 4,
+                          .messageFlits = 6});
+    EXPECT_EQ(trace->endpoints(), 8);
+    EXPECT_EQ(trace->records().size(), 64u);
+    // Every rank of a periodic ring sends both ways each iteration.
+    for (const TraceRecord &rec : trace->records()) {
+        const NodeId left = (rec.src + 7) % 8;
+        const NodeId right = (rec.src + 1) % 8;
+        EXPECT_TRUE(rec.dst == left || rec.dst == right)
+            << "record " << rec.id;
+    }
+}
+
+TEST(TraceGen, AllReduceTreeShape)
+{
+    const TraceWorkloadPtr trace =
+        makeAllReduceTrace({.endpoints = 16, .arity = 2});
+    EXPECT_EQ(trace->endpoints(), 16);
+    // Up and down sweeps each carry one message per non-root rank.
+    ASSERT_EQ(trace->records().size(), 30u);
+    std::set<NodeId> reduced;
+    std::set<NodeId> broadcast;
+    for (std::size_t i = 0; i < 15; ++i) {
+        const TraceRecord &rec = trace->records()[i];
+        EXPECT_EQ(rec.dst, (rec.src - 1) / 2);
+        reduced.insert(rec.src);
+        // Leaves start unconditionally; interior ranks wait for
+        // every child's contribution.
+        const bool leaf = 2 * rec.src + 1 >= 16;
+        EXPECT_EQ(rec.deps.empty(), leaf) << "rank " << rec.src;
+    }
+    for (std::size_t i = 15; i < 30; ++i) {
+        const TraceRecord &rec = trace->records()[i];
+        EXPECT_EQ(rec.src, (rec.dst - 1) / 2);
+        broadcast.insert(rec.dst);
+        EXPECT_FALSE(rec.deps.empty());
+    }
+    EXPECT_EQ(reduced.size(), 15u);
+    EXPECT_EQ(broadcast.size(), 15u);
+}
+
+TEST(TraceGen, FftButterflyShape)
+{
+    const TraceWorkloadPtr trace = makeFftTrace({.endpoints = 16});
+    EXPECT_EQ(trace->endpoints(), 16);
+    ASSERT_EQ(trace->records().size(), 64u); // 4 stages x 16 ranks
+    for (int s = 0; s < 4; ++s) {
+        for (NodeId r = 0; r < 16; ++r) {
+            const TraceRecord &rec =
+                trace->records()[static_cast<std::size_t>(s) * 16 +
+                                 r];
+            EXPECT_EQ(rec.src, r);
+            EXPECT_EQ(rec.dst, r ^ (1 << s));
+            if (s == 0) {
+                EXPECT_TRUE(rec.deps.empty());
+            } else {
+                // Waits for the message received from the previous
+                // stage's partner.
+                ASSERT_EQ(rec.deps.size(), 1u);
+                EXPECT_EQ(rec.deps[0],
+                          static_cast<std::uint64_t>(s - 1) * 16 +
+                              (r ^ (1 << (s - 1))));
+            }
+        }
+    }
+}
+
+TEST(TraceGen, SynthesisIsDeterministic)
+{
+    EXPECT_EQ(makeStencilTrace({.nx = 3, .ny = 5, .iterations = 3})
+                  ->toJsonl(),
+              makeStencilTrace({.nx = 3, .ny = 5, .iterations = 3})
+                  ->toJsonl());
+    EXPECT_EQ(
+        makeAllReduceTrace({.endpoints = 27, .arity = 3})->toJsonl(),
+        makeAllReduceTrace({.endpoints = 27, .arity = 3})->toJsonl());
+    EXPECT_EQ(makeFftTrace({.endpoints = 32})->toJsonl(),
+              makeFftTrace({.endpoints = 32})->toJsonl());
+}
+
+TEST(TraceGenDeath, InvalidSpecsAreFatal)
+{
+    EXPECT_DEATH(makeStencilTrace({.nx = 1, .ny = 1}),
+                 "at least two");
+    EXPECT_DEATH(makeStencilTrace({.nx = 4, .ny = 4,
+                                   .iterations = 0}),
+                 "iteration");
+    EXPECT_DEATH(makeAllReduceTrace({.endpoints = 1}), ">= 2 ranks");
+    EXPECT_DEATH(makeAllReduceTrace({.endpoints = 8, .arity = 1}),
+                 "arity");
+    EXPECT_DEATH(makeFftTrace({.endpoints = 12}), "power-of-two");
+    EXPECT_DEATH(makeFftTrace({.endpoints = 1}), "power-of-two");
+}
+
+TEST(Burst, ValidationCatchesBadParameters)
+{
+    EXPECT_TRUE(BurstModel{}.validate().empty());
+    EXPECT_TRUE((BurstModel{.onFraction = 1.0,
+                            .meanOnCycles = 1.0})
+                    .validate()
+                    .empty());
+    EXPECT_FALSE(BurstModel{.onFraction = 0.0}.validate().empty());
+    EXPECT_FALSE(BurstModel{.onFraction = 1.5}.validate().empty());
+    EXPECT_FALSE(BurstModel{.onFraction = -0.2}.validate().empty());
+    EXPECT_FALSE(
+        BurstModel{.meanOnCycles = 0.0}.validate().empty());
+    EXPECT_FALSE(
+        BurstModel{.meanOnCycles = -64.0}.validate().empty());
+}
+
+TEST(Burst, OffDwellBalancesTheOnFraction)
+{
+    const BurstModel burst{.onFraction = 0.25,
+                           .meanOnCycles = 300.0};
+    EXPECT_DOUBLE_EQ(burst.meanOffCycles(), 900.0);
+    const BurstModel always{.onFraction = 1.0,
+                            .meanOnCycles = 64.0};
+    EXPECT_DOUBLE_EQ(always.meanOffCycles(), 0.0);
+}
+
+TEST(Burst, LongRunOfferedLoadMatchesPlainPoisson)
+{
+    // The MMPP source moves variance, not the mean: over a long
+    // horizon the bursty generator must offer the same load as the
+    // plain Poisson source (here +/- 10%, far beyond the statistical
+    // wobble of ~800 expected bursts).
+    const Mesh mesh(4, 4);
+    const TrafficPtr uniform = makeTraffic("uniform", mesh);
+    const double load = 0.2;
+    const MessageLengthMix mix = MessageLengthMix::fixed(4);
+    const Cycle horizon = 100000;
+
+    const auto countFlits = [&](std::optional<BurstModel> burst) {
+        MessageGenerator gen(mesh, uniform, load, mix, 99, burst);
+        std::uint64_t flits = 0;
+        for (Cycle c = 0; c < horizon; ++c) {
+            gen.generate(c, [&](NodeId, NodeId, int length) {
+                flits += static_cast<std::uint64_t>(length);
+            });
+        }
+        return flits;
+    };
+
+    const double expected =
+        load * 16.0 * static_cast<double>(horizon);
+    const auto plain = static_cast<double>(countFlits(std::nullopt));
+    const auto bursty = static_cast<double>(countFlits(
+        BurstModel{.onFraction = 0.25, .meanOnCycles = 256.0}));
+    // (Skipped self-destined slots shave a sliver below expected.)
+    EXPECT_NEAR(plain, expected, 0.10 * expected);
+    EXPECT_NEAR(bursty, expected, 0.10 * expected);
+    EXPECT_NEAR(bursty, plain, 0.10 * plain);
+}
+
+TEST(Burst, TraceWorkloadExcludesLoadAndBurst)
+{
+    // SimConfig::validate ties the knot: replay paces injection by
+    // the DAG, so a load or a burst model alongside a trace is a
+    // configuration error, caught at the API surface.
+    SimConfig config;
+    config.traceWorkload = makeFftTrace({.endpoints = 4});
+    config.load = 0.2;
+    EXPECT_FALSE(config.validate().empty());
+    config.load = 0.0;
+    EXPECT_TRUE(config.validate().empty());
+    config.burst = BurstModel{};
+    EXPECT_FALSE(config.validate().empty());
+    config.traceWorkload = nullptr;
+    config.load = 0.2;
+    EXPECT_TRUE(config.validate().empty());
+    config.burst = BurstModel{.onFraction = 2.0};
+    EXPECT_FALSE(config.validate().empty());
+}
+
+TEST(Adversarial, RegistryEntriesAreComplete)
+{
+    const std::vector<AdversarialWorkload> &all =
+        adversarialWorkloads();
+    ASSERT_GE(all.size(), 5u);
+    std::set<std::string> algorithms;
+    for (const AdversarialWorkload &entry : all) {
+        EXPECT_NE(entry.algorithm, nullptr);
+        EXPECT_STRNE(entry.pattern, "");
+        EXPECT_STRNE(entry.family, "");
+        EXPECT_GT(std::string(entry.rationale).size(), 20u)
+            << entry.algorithm
+            << ": the rationale must explain the mechanism";
+        EXPECT_NE(entry.make, nullptr);
+        EXPECT_TRUE(algorithms.insert(entry.algorithm).second)
+            << "duplicate adversary for " << entry.algorithm;
+        EXPECT_TRUE(hasAdversarialWorkload(entry.algorithm));
+    }
+    EXPECT_FALSE(hasAdversarialWorkload("fully-adaptive"));
+    EXPECT_FALSE(hasAdversarialWorkload(""));
+}
+
+TEST(Adversarial, MeshAdversariesArePermutations)
+{
+    const Mesh mesh(8, 8);
+    Rng rng(1);
+    for (const char *alg :
+         {"xy", "west-first", "north-last", "negative-first"}) {
+        const TrafficPtr traffic =
+            makeAdversarialTraffic(alg, mesh);
+        ASSERT_NE(traffic, nullptr);
+        EXPECT_TRUE(traffic->isPermutation());
+        std::set<NodeId> image;
+        for (NodeId n = 0; n < mesh.numNodes(); ++n)
+            image.insert(traffic->dest(n, rng));
+        EXPECT_EQ(image.size(),
+                  static_cast<std::size_t>(mesh.numNodes()))
+            << alg << " adversary is not a bijection";
+    }
+    // The registered mesh patterns carry their documented names.
+    EXPECT_EQ(makeAdversarialTraffic("xy", mesh)->name(),
+              "transpose");
+    EXPECT_EQ(makeAdversarialTraffic("west-first", mesh)->name(),
+              "west-shift");
+    EXPECT_EQ(makeAdversarialTraffic("north-last", mesh)->name(),
+              "north-shift");
+    EXPECT_EQ(
+        makeAdversarialTraffic("negative-first", mesh)->name(),
+        "sign-mix");
+}
+
+TEST(Adversarial, TorusAndDragonflyFamilies)
+{
+    const Torus torus(std::vector<int>{8, 8});
+    EXPECT_EQ(makeAdversarialTraffic("nf-torus", torus)->name(),
+              "tornado");
+
+    const std::unique_ptr<Topology> df =
+        TopologyRegistry::instance().build("dragonfly(4,2,2)");
+    const TrafficPtr next_group =
+        makeAdversarialTraffic("dragonfly-min", *df);
+    EXPECT_EQ(next_group->name(), "next-group");
+    Rng rng(1);
+    std::set<NodeId> image;
+    for (const NodeId n : df->endpoints())
+        image.insert(next_group->dest(n, rng));
+    EXPECT_EQ(image.size(), df->endpoints().size());
+}
+
+TEST(AdversarialDeath, UnknownAlgorithmAndFamilyMismatch)
+{
+    const Mesh mesh(4, 4);
+    EXPECT_DEATH(makeAdversarialTraffic("fully-adaptive", mesh),
+                 "no adversarial workload registered");
+    // The error lists what IS registered.
+    EXPECT_DEATH(makeAdversarialTraffic("bogus", mesh),
+                 "west-first");
+    EXPECT_DEATH(
+        makeAdversarialTraffic("west-first", Hypercube(4)), "2D");
+    EXPECT_DEATH(makeAdversarialTraffic("dragonfly-min", mesh),
+                 "dragonfly");
+}
+
+TEST(WorkloadGrammar, PatternNamesAreTheRegistry)
+{
+    const std::vector<std::string> &names = trafficPatternNames();
+    EXPECT_GE(names.size(), 9u);
+    for (const std::string &name : names)
+        EXPECT_TRUE(isKnownTrafficPattern(name)) << name;
+    EXPECT_TRUE(isKnownTrafficPattern("uniform"));
+    EXPECT_FALSE(isKnownTrafficPattern("no-such-pattern"));
+    EXPECT_FALSE(isKnownTrafficPattern(""));
+}
+
+TEST(WorkloadGrammar, AllFourKindsParse)
+{
+    WorkloadSpec spec;
+    EXPECT_TRUE(WorkloadSpec::parse("transpose", spec).empty());
+    EXPECT_EQ(spec.kind, WorkloadSpec::Kind::Pattern);
+    EXPECT_EQ(spec.pattern, "transpose");
+
+    EXPECT_TRUE(
+        WorkloadSpec::parse("trace:runs/fft.jsonl", spec).empty());
+    EXPECT_EQ(spec.kind, WorkloadSpec::Kind::Trace);
+    EXPECT_EQ(spec.tracePath, "runs/fft.jsonl");
+
+    EXPECT_TRUE(
+        WorkloadSpec::parse("bursty:uniform,on=0.5,dwell=128", spec)
+            .empty());
+    EXPECT_EQ(spec.kind, WorkloadSpec::Kind::Bursty);
+    EXPECT_EQ(spec.pattern, "uniform");
+    EXPECT_DOUBLE_EQ(spec.burst.onFraction, 0.5);
+    EXPECT_DOUBLE_EQ(spec.burst.meanOnCycles, 128.0);
+    // Parameters are optional; defaults hold.
+    EXPECT_TRUE(WorkloadSpec::parse("bursty:tornado", spec).empty());
+    EXPECT_DOUBLE_EQ(spec.burst.onFraction,
+                     BurstModel{}.onFraction);
+
+    EXPECT_TRUE(WorkloadSpec::parse("adversarial", spec).empty());
+    EXPECT_EQ(spec.kind, WorkloadSpec::Kind::Adversarial);
+    EXPECT_TRUE(spec.pattern.empty());
+    EXPECT_TRUE(
+        WorkloadSpec::parse("adversarial:west-first", spec).empty());
+    EXPECT_EQ(spec.pattern, "west-first");
+}
+
+TEST(WorkloadGrammar, CanonicalRoundTrips)
+{
+    for (const char *text :
+         {"uniform", "transpose", "trace:runs/fft.jsonl",
+          "bursty:uniform,on=0.5,dwell=128", "adversarial",
+          "adversarial:xy"}) {
+        WorkloadSpec spec;
+        ASSERT_TRUE(WorkloadSpec::parse(text, spec).empty())
+            << text;
+        const std::string canon = spec.canonical();
+        WorkloadSpec again;
+        ASSERT_TRUE(WorkloadSpec::parse(canon, again).empty())
+            << canon;
+        EXPECT_EQ(again.canonical(), canon) << text;
+        EXPECT_EQ(again.kind, spec.kind);
+    }
+}
+
+TEST(WorkloadGrammar, EveryMalformedSpecIsACollectedError)
+{
+    for (const char *text :
+         {"", "trace:", "bursty:", "bursty:nope",
+          "bursty:uniform,on=zero", "bursty:uniform,frob=1",
+          "bursty:uniform,on", "bursty:uniform,on=0",
+          "bursty:uniform,dwell=-3", "adversarial:", "bogus:x",
+          "no-such-pattern"}) {
+        WorkloadSpec spec;
+        const std::vector<std::string> errors =
+            WorkloadSpec::parse(text, spec);
+        EXPECT_FALSE(errors.empty()) << "accepted: '" << text << "'";
+        for (const std::string &e : errors)
+            EXPECT_FALSE(e.empty());
+    }
+    // Multiple problems are all reported, not just the first.
+    WorkloadSpec spec;
+    EXPECT_GE(
+        WorkloadSpec::parse("bursty:nope,on=0,frob=1", spec).size(),
+        3u);
+}
+
+TEST(WorkloadGrammarDeath, ParseOrDieListsTheProblems)
+{
+    EXPECT_DEATH(WorkloadSpec::parseOrDie("bogus:x"),
+                 "invalid --workload");
+}
+
+TEST(WorkloadBind, PatternAndBurstyBindToTraffic)
+{
+    const Mesh mesh(4, 4);
+    SimConfig config;
+    const TrafficPtr plain = bindWorkload(
+        WorkloadSpec::parseOrDie("transpose"), mesh, "xy", config);
+    ASSERT_NE(plain, nullptr);
+    EXPECT_EQ(plain->name(), "transpose");
+    EXPECT_FALSE(config.burst.has_value());
+
+    const TrafficPtr bursty = bindWorkload(
+        WorkloadSpec::parseOrDie("bursty:uniform,on=0.5,dwell=64"),
+        mesh, "xy", config);
+    ASSERT_NE(bursty, nullptr);
+    ASSERT_TRUE(config.burst.has_value());
+    EXPECT_DOUBLE_EQ(config.burst->onFraction, 0.5);
+    EXPECT_DOUBLE_EQ(config.burst->meanOnCycles, 64.0);
+}
+
+TEST(WorkloadBind, TraceBindsTheFileAndSilencesTheGenerator)
+{
+    const std::string path =
+        testing::TempDir() + "/bind.trace.jsonl";
+    ASSERT_TRUE(
+        makeStencilTrace({.nx = 4, .ny = 4})->writeJsonl(path));
+
+    const Mesh mesh(4, 4);
+    SimConfig config;
+    config.load = 0.3;
+    config.burst = BurstModel{};
+    const TrafficPtr traffic =
+        bindWorkload(WorkloadSpec::parseOrDie("trace:" + path),
+                     mesh, "xy", config);
+    EXPECT_EQ(traffic, nullptr); // replay draws no destinations
+    ASSERT_NE(config.traceWorkload, nullptr);
+    EXPECT_EQ(config.traceWorkload->records().size(), 48u);
+    EXPECT_DOUBLE_EQ(config.load, 0.0);
+    EXPECT_FALSE(config.burst.has_value());
+    EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(WorkloadBind, AdversarialDefaultsToTheRunAlgorithm)
+{
+    const Mesh mesh(4, 4);
+    SimConfig config;
+    const TrafficPtr own =
+        bindWorkload(WorkloadSpec::parseOrDie("adversarial"), mesh,
+                     "west-first", config);
+    EXPECT_EQ(own->name(), "west-shift");
+    const TrafficPtr named = bindWorkload(
+        WorkloadSpec::parseOrDie("adversarial:negative-first"),
+        mesh, "west-first", config);
+    EXPECT_EQ(named->name(), "sign-mix");
+}
+
+TEST(WorkloadBind, ResolveWorkloadFallsBackWhenEmpty)
+{
+    const Mesh mesh(4, 4);
+    const TrafficPtr fallback = makeTraffic("transpose", mesh);
+    SweepOptions opts;
+    SimConfig config;
+    config.load = 0.25;
+    EXPECT_EQ(resolveWorkload(opts, mesh, "xy", fallback, config),
+              fallback);
+    EXPECT_DOUBLE_EQ(config.load, 0.25); // untouched
+    EXPECT_EQ(config.traceWorkload, nullptr);
+}
+
+TEST(WorkloadBind, ResolveWorkloadBindsPerAlgorithm)
+{
+    const Mesh mesh(4, 4);
+    const TrafficPtr fallback = makeTraffic("uniform", mesh);
+    SweepOptions opts;
+    opts.workload = "adversarial";
+    SimConfig config;
+    const TrafficPtr wf =
+        resolveWorkload(opts, mesh, "west-first", fallback, config);
+    const TrafficPtr nf = resolveWorkload(opts, mesh,
+                                          "negative-first", fallback,
+                                          config);
+    EXPECT_EQ(wf->name(), "west-shift");
+    EXPECT_EQ(nf->name(), "sign-mix");
+
+    opts.workload = "bursty:uniform,on=0.5,dwell=32";
+    SimConfig bursty_config;
+    const TrafficPtr bursty = resolveWorkload(
+        opts, mesh, "xy", fallback, bursty_config);
+    ASSERT_NE(bursty, nullptr);
+    ASSERT_TRUE(bursty_config.burst.has_value());
+    EXPECT_DOUBLE_EQ(bursty_config.burst->onFraction, 0.5);
+}
+
+} // namespace
+} // namespace turnnet

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Line-coverage floor for the simulator core (src/turnnet/network/,
 # src/turnnet/routing/, the static certifier src/turnnet/verify/,
-# and the topology layer src/turnnet/topology/ — fabrics, the
+# the topology layer src/turnnet/topology/ — fabrics, the
 # TopologySpec/TopologyRegistry construction surface, and the
-# hierarchical dragonfly/fat-tree families).
+# hierarchical dragonfly/fat-tree families — and the workload layer
+# src/turnnet/workload/: trace parsing/synthesis, causal replay,
+# and the adversarial pattern registry).
 #
 # Usage: check_coverage.sh <build-dir> [source-dir]
 #
@@ -41,7 +43,8 @@ trap 'rm -f "$summary"' EXIT
         \( -path '*/turnnet/network/*' -o \
            -path '*/turnnet/routing/*' -o \
            -path '*/turnnet/verify/*' -o \
-           -path '*/turnnet/topology/*' \) -exec gcov -n {} +
+           -path '*/turnnet/topology/*' -o \
+           -path '*/turnnet/workload/*' \) -exec gcov -n {} +
 ) >"$summary" 2>/dev/null
 
 python3 - "$FLOOR" "$summary" <<'PYEOF'
@@ -57,7 +60,8 @@ for m in re.finditer(
         r"File '([^']+)'\nLines executed:([0-9.]+)% of (\d+)", data):
     path, pct, lines = m.group(1), float(m.group(2)), int(m.group(3))
     if not re.search(
-            r"src/turnnet/(network|routing|verify|topology)/", path):
+            r"src/turnnet/(network|routing|verify|topology"
+            r"|workload)/", path):
         continue
     covered = pct * lines / 100.0
     if path not in best or covered > best[path][0]:
@@ -65,8 +69,8 @@ for m in re.finditer(
 
 total = sum(lines for _, lines in best.values())
 if total == 0:
-    sys.exit("no coverage data for "
-             "src/turnnet/{network,routing,verify,topology} — "
+    sys.exit("no coverage data for src/turnnet/"
+             "{network,routing,verify,topology,workload} — "
              "is the build configured with the coverage preset?")
 covered = sum(c for c, _ in best.values())
 pct = 100.0 * covered / total

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trace synthesizer CLI: emit the deterministic kernel traces of
+ * workload/tracegen.hpp as "turnnet.trace_workload/1" JSONL files
+ * for --workload trace:<file> and the golden fixtures. The same
+ * invocation always produces byte-identical output.
+ *
+ * Usage:
+ *   turnnet-tracegen --kind stencil --nx 8 --ny 8 --iters 4
+ *                    --out stencil.trace.jsonl
+ *   turnnet-tracegen --kind allreduce --endpoints 64 --arity 4
+ *                    --out allreduce.trace.jsonl
+ *   turnnet-tracegen --kind fft --endpoints 64
+ *                    --out fft.trace.jsonl
+ *
+ * Shared options: --flits N (message size, default 8), --out PATH
+ * (default trace.jsonl); stencil adds --periodic.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "turnnet/common/cli.hpp"
+#include "turnnet/common/logging.hpp"
+#include "turnnet/workload/tracegen.hpp"
+
+using namespace turnnet;
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = CliOptions::parse(argc, argv);
+    const std::string kind = opts.getString("kind", "stencil");
+    const auto flits =
+        static_cast<std::uint32_t>(opts.getInt("flits", 8));
+    const std::string out = opts.getString("out", "trace.jsonl");
+
+    TraceWorkloadPtr trace;
+    if (kind == "stencil") {
+        StencilTraceSpec spec;
+        spec.nx = static_cast<int>(opts.getInt("nx", 4));
+        spec.ny = static_cast<int>(opts.getInt("ny", 4));
+        spec.periodic = opts.getBool("periodic", false);
+        spec.iterations =
+            static_cast<int>(opts.getInt("iters", 1));
+        spec.messageFlits = flits;
+        trace = makeStencilTrace(spec);
+    } else if (kind == "allreduce") {
+        AllReduceTraceSpec spec;
+        spec.endpoints =
+            static_cast<NodeId>(opts.getInt("endpoints", 16));
+        spec.arity = static_cast<int>(opts.getInt("arity", 2));
+        spec.messageFlits = flits;
+        trace = makeAllReduceTrace(spec);
+    } else if (kind == "fft") {
+        FftTraceSpec spec;
+        spec.endpoints =
+            static_cast<NodeId>(opts.getInt("endpoints", 16));
+        spec.messageFlits = flits;
+        trace = makeFftTrace(spec);
+    } else {
+        TN_FATAL("unknown --kind '", kind,
+                 "' (known: stencil, allreduce, fft)");
+    }
+
+    if (!trace->writeJsonl(out))
+        return 1;
+    std::printf("wrote %s: %s, %zu records, %llu flits, %d ranks\n",
+                out.c_str(), trace->name().c_str(),
+                trace->records().size(),
+                static_cast<unsigned long long>(trace->totalFlits()),
+                static_cast<int>(trace->endpoints()));
+    return 0;
+}
