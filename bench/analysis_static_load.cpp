@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Static channel-load prediction versus the simulator, and the
+ * adversarial amplification table.
+ *
+ *  1. Predicted-vs-measured: the analyzer's per-channel load
+ *     prediction on the figure-scale mesh against the measured
+ *     TraceCounters channel utilization at low offered load, for
+ *     the paper's deterministic and partially adaptive algorithms.
+ *     At low load the two must agree within the gate tolerance on
+ *     every significant channel — the static model earns its place
+ *     in CI by being checkable against the simulator it predicts.
+ *  2. Amplification: for every registered adversarial workload, the
+ *     predicted max channel load under the adversary versus under
+ *     uniform traffic, and the corresponding saturation-load drop —
+ *     the analyzer's static reproduction of the PR's adversarial
+ *     battery (tornado runs on the 16-ary 1-cube, where the classic
+ *     ring mechanism applies; see defaultLoadCases()).
+ *
+ * Options: --seed N, --load F (offered load for the measured run,
+ * default 0.02), --out PATH (turnnet.analyze/1 report with the
+ * measured validation blocks attached; default
+ * ANALYZE_static_load.json, "off" disables).
+ */
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/cli.hpp"
+#include "turnnet/common/csv.hpp"
+#include "turnnet/harness/analyze_report.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/topology/topology_registry.hpp"
+#include "turnnet/verify/analyze.hpp"
+#include "turnnet/workload/adversarial.hpp"
+
+using namespace turnnet;
+
+namespace {
+
+/** The measured-run shape: short fixed messages and a long window
+ *  keep the counter noise well under the comparison tolerance. */
+SimConfig
+measureConfig(std::uint64_t seed, double load)
+{
+    SimConfig config;
+    config.load = load;
+    config.lengths = MessageLengthMix::fixed(2);
+    config.warmupCycles = 2000;
+    config.measureCycles = 120000;
+    config.drainCycles = 20000;
+    config.outputPolicy = OutputPolicy::LowestDim;
+    config.trace.counters = true;
+    config.seed = seed;
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = CliOptions::parse(argc, argv);
+    const auto seed =
+        static_cast<std::uint64_t>(opts.getInt("seed", 20260807));
+    const double load = opts.getDouble("load", 0.02);
+    const std::string out =
+        opts.getString("out", "ANALYZE_static_load.json");
+
+    AnalyzeReport report;
+    std::map<std::size_t, LoadValidation> measured;
+    bool all_within = true;
+
+    // Study 1: predicted per-channel load against the simulator's
+    // measured channel utilization on the figure-scale mesh.
+    const std::string topology = "mesh(8x8)";
+    const std::unique_ptr<Topology> topo =
+        TopologyRegistry::instance().build(topology);
+    Table predicted("Static prediction vs measured utilization: " +
+                    topo->name() + ", uniform, offered load " +
+                    std::to_string(load));
+    predicted.setHeader({"algorithm", "pred max load", "pred sat",
+                         "channels", "max rel err", "mean rel err",
+                         "within 10%"});
+    for (const char *alg : {"xy", "west-first", "negative-first"}) {
+        const LoadCaseOutcome outcome = runLoadCase(
+            {topology, alg, "lowest-dim", "uniform"});
+
+        Simulator sim(*topo, makeRouting({.name = alg, .dims = 2}),
+                      makeTraffic("uniform", *topo),
+                      measureConfig(seed, load));
+        sim.run();
+        const LoadValidation v = validatePredictionAgainstCounters(
+            outcome.prediction, *sim.counters(), load, 0.10, 0.02);
+        all_within &= v.withinTolerance;
+
+        predicted.beginRow();
+        predicted.cell(std::string(alg));
+        predicted.cell(outcome.prediction.maxLoad, 3);
+        predicted.cell(outcome.prediction.saturationLoad, 3);
+        predicted.cell(static_cast<double>(v.channelsCompared), 0);
+        predicted.cell(v.maxRelError, 3);
+        predicted.cell(v.meanRelError, 3);
+        predicted.cell(std::string(v.withinTolerance ? "yes"
+                                                     : "NO"));
+
+        measured[report.load.size()] = v;
+        report.load.push_back(outcome);
+    }
+    predicted.print();
+    std::printf("\n");
+
+    // Study 2: every registered adversary against uniform, as the
+    // analyzer predicts it.
+    Table amp("Adversarial amplification (predicted max channel "
+              "load; saturation = 1/max)");
+    amp.setHeader({"algorithm", "pattern", "topology", "uniform",
+                   "adversarial", "amplification", "sat drop"});
+    bool all_amplified = true;
+    for (const AdversarialWorkload &adv : adversarialWorkloads()) {
+        const std::string family = adv.family;
+        std::string shape;
+        bool vc = false;
+        if (family == "mesh") {
+            shape = "mesh(8x8)";
+        } else if (family == "torus") {
+            shape = "torus(16)";
+        } else if (family == "dragonfly") {
+            shape = "dragonfly(4,2,2)";
+            vc = true;
+        } else {
+            std::fprintf(stderr,
+                         "no analyzer shape for family %s\n",
+                         adv.family);
+            return 2;
+        }
+        const LoadCaseOutcome uniform = runLoadCase(
+            {shape, adv.algorithm, "lowest-dim", "uniform", vc});
+        const LoadCaseOutcome attack = runLoadCase(
+            {shape, adv.algorithm, "lowest-dim", "adversarial",
+             vc});
+        const double factor = attack.prediction.maxLoad /
+                              uniform.prediction.maxLoad;
+        all_amplified &= factor > 1.0;
+
+        amp.beginRow();
+        amp.cell(std::string(adv.algorithm));
+        amp.cell(std::string(adv.pattern));
+        amp.cell(shape);
+        amp.cell(uniform.prediction.maxLoad, 3);
+        amp.cell(attack.prediction.maxLoad, 3);
+        amp.cell(factor, 2);
+        amp.cell(uniform.prediction.saturationLoad -
+                     attack.prediction.saturationLoad,
+                 3);
+
+        report.load.push_back(uniform);
+        report.load.push_back(attack);
+    }
+    amp.print();
+    std::printf("\nevery adversary predicted above uniform: %s\n",
+                all_amplified ? "yes" : "NO");
+
+    if (out != "off" && !writeAnalyzeJson(out, report, measured))
+        return 2;
+    if (out != "off")
+        std::printf("report written to %s\n", out.c_str());
+
+    return all_within && all_amplified ? 0 : 1;
+}

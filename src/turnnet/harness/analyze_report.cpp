@@ -1,0 +1,258 @@
+#include "turnnet/harness/analyze_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "turnnet/common/json.hpp"
+#include "turnnet/common/logging.hpp"
+#include "turnnet/verify/certify.hpp"
+
+namespace turnnet {
+
+LoadValidation
+validatePredictionAgainstCounters(
+    const ChannelLoadPrediction &prediction,
+    const TraceCounters &counters, double offered_load,
+    double tolerance, double min_predicted_util)
+{
+    LoadValidation v;
+    v.offeredLoad = offered_load;
+    v.cycles = counters.cyclesObserved();
+    v.tolerance = tolerance;
+
+    double total_err = 0.0;
+    for (std::size_t ch = 0; ch < prediction.channelLoad.size();
+         ++ch) {
+        const double predicted =
+            offered_load * prediction.channelLoad[ch];
+        if (predicted < min_predicted_util)
+            continue;
+        const double measured = counters.channelUtilization(
+            static_cast<ChannelId>(ch));
+        const double rel_err =
+            std::abs(predicted - measured) / predicted;
+        ++v.channelsCompared;
+        total_err += rel_err;
+        v.maxRelError = std::max(v.maxRelError, rel_err);
+    }
+    if (v.channelsCompared > 0)
+        v.meanRelError =
+            total_err / static_cast<double>(v.channelsCompared);
+    v.withinTolerance = v.maxRelError <= tolerance;
+    return v;
+}
+
+namespace {
+
+/** Hotspot channels listed per load case. */
+constexpr std::size_t kReportHotspots = 10;
+
+std::string
+refinementCaseJson(const RefinementCaseOutcome &r)
+{
+    std::string out = "    {\n";
+    out += "      \"topology\": \"" +
+           json::escape(r.topologyName) + "\",\n";
+    out += "      \"algorithm\": \"" +
+           json::escape(r.spec.algorithm) + "\",\n";
+    out += "      \"policy\": \"" + json::escape(r.spec.policy) +
+           "\",\n";
+    out += std::string("      \"expect_refines\": ") +
+           (r.spec.expectRefines ? "true" : "false") + ",\n";
+    out += std::string("      \"refines\": ") +
+           (r.result.refines ? "true" : "false") + ",\n";
+    out += "      \"states_checked\": " +
+           std::to_string(r.result.statesChecked) + ",\n";
+    out += "      \"contexts_checked\": " +
+           std::to_string(r.result.contextsChecked) + ",\n";
+
+    out += "      \"witness\": ";
+    if (r.result.refines) {
+        out += "null";
+    } else {
+        // The witness needs node/direction names; rebuild the
+        // fabric exactly as the certifier's writer does.
+        CertifyCase shape;
+        shape.topology = r.spec.topology;
+        shape.algorithm = r.spec.algorithm;
+        const std::unique_ptr<Topology> topo =
+            makeCaseTopology(shape);
+        const RefinementWitness &w = r.result.witness;
+        out += "{ \"node\": \"" +
+               json::escape(topo->nodeName(w.node)) +
+               "\", \"header\": \"" +
+               json::escape(topo->nodeName(w.header)) +
+               "\", \"in_dir\": \"" +
+               json::escape(w.inDir.isLocal()
+                                ? "local"
+                                : topo->dirName(w.inDir)) +
+               "\", \"chosen\": \"" +
+               json::escape(topo->dirName(w.chosen)) +
+               "\", \"legal\": [";
+        bool first = true;
+        w.legal.forEach([&](Direction d) {
+            out += first ? "" : ", ";
+            first = false;
+            out += "\"" + json::escape(topo->dirName(d)) + "\"";
+        });
+        out += "], \"context\": \"" + json::escape(w.context) +
+               "\", \"text\": \"" + json::escape(r.witnessText) +
+               "\" }";
+    }
+    out += ",\n";
+
+    out += std::string("      \"pass\": ") +
+           (r.pass ? "true" : "false") + "\n";
+    out += "    }";
+    return out;
+}
+
+std::string
+loadCaseJson(const LoadCaseOutcome &r,
+             const LoadValidation *validation)
+{
+    CertifyCase shape;
+    shape.topology = r.spec.topology;
+    shape.algorithm = r.spec.algorithm;
+    shape.vc = r.spec.vc;
+    const std::unique_ptr<Topology> topo = makeCaseTopology(shape);
+
+    std::string out = "    {\n";
+    out += "      \"topology\": \"" +
+           json::escape(r.topologyName) + "\",\n";
+    out += "      \"algorithm\": \"" +
+           json::escape(r.spec.algorithm) + "\",\n";
+    out += "      \"policy\": \"" + json::escape(r.spec.policy) +
+           "\",\n";
+    out += "      \"traffic\": \"" + json::escape(r.trafficName) +
+           "\",\n";
+    out += "      \"vcs\": " + std::to_string(r.vcs) + ",\n";
+    out += "      \"num_flows\": " +
+           std::to_string(r.prediction.numFlows) + ",\n";
+    out += std::string("      \"sampled_matrix\": ") +
+           (r.sampledMatrix ? "true" : "false") + ",\n";
+    out += "      \"offered_mass\": " +
+           json::number(r.offeredMass) + ",\n";
+    out += "      \"residual_mass\": " +
+           json::number(r.prediction.residualMass) + ",\n";
+    out += "      \"max_load\": " +
+           json::number(r.prediction.maxLoad) + ",\n";
+    out += "      \"mean_load\": " +
+           json::number(r.prediction.meanLoad) + ",\n";
+    out += "      \"saturation_load\": " +
+           json::number(r.prediction.saturationLoad) + ",\n";
+
+    out += "      \"hotspots\": [";
+    const std::size_t spots =
+        std::min(kReportHotspots, r.prediction.hotspots.size());
+    for (std::size_t i = 0; i < spots; ++i) {
+        const ChannelId id = r.prediction.hotspots[i];
+        const Channel &ch = topo->channel(id);
+        out += i == 0 ? "\n" : ",\n";
+        out += "        { \"channel\": " + std::to_string(id) +
+               ", \"src\": \"" +
+               json::escape(topo->nodeName(ch.src)) +
+               "\", \"dir\": \"" +
+               json::escape(topo->dirName(ch.dir)) +
+               "\", \"load\": " +
+               json::number(r.prediction.channelLoad
+                                [static_cast<std::size_t>(id)]) +
+               " }";
+    }
+    out += spots > 0 ? "\n      ],\n" : "],\n";
+
+    out += "      \"channel_load\": [";
+    for (std::size_t ch = 0; ch < r.prediction.channelLoad.size();
+         ++ch) {
+        out += ch == 0 ? "" : ", ";
+        out += json::number(r.prediction.channelLoad[ch]);
+    }
+    out += "],\n";
+
+    out += "      \"measured\": ";
+    if (validation == nullptr) {
+        out += "null";
+    } else {
+        out += "{ \"offered_load\": " +
+               json::number(validation->offeredLoad) +
+               ", \"cycles\": " +
+               std::to_string(validation->cycles) +
+               ", \"channels_compared\": " +
+               std::to_string(validation->channelsCompared) +
+               ", \"max_rel_error\": " +
+               json::number(validation->maxRelError) +
+               ", \"mean_rel_error\": " +
+               json::number(validation->meanRelError) +
+               ", \"tolerance\": " +
+               json::number(validation->tolerance) +
+               ", \"within_tolerance\": " +
+               (validation->withinTolerance ? "true" : "false") +
+               " }";
+    }
+    out += ",\n";
+
+    out += std::string("      \"pass\": ") +
+           (r.pass ? "true" : "false") + "\n";
+    out += "    }";
+    return out;
+}
+
+} // namespace
+
+std::string
+analyzeJson(const AnalyzeReport &report,
+            const std::map<std::size_t, LoadValidation> &measured)
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"turnnet.analyze/1\",\n";
+    out += std::string("  \"all_passed\": ") +
+           (report.allPassed() ? "true" : "false") + ",\n";
+    out += "  \"num_refinement_cases\": " +
+           std::to_string(report.refinement.size()) + ",\n";
+    out += "  \"num_refinement_passed\": " +
+           std::to_string(report.numRefinementPassed()) + ",\n";
+    out += "  \"num_load_cases\": " +
+           std::to_string(report.load.size()) + ",\n";
+    out += "  \"num_load_passed\": " +
+           std::to_string(report.numLoadPassed()) + ",\n";
+
+    out += "  \"refinement\": [";
+    for (std::size_t i = 0; i < report.refinement.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += refinementCaseJson(report.refinement[i]);
+    }
+    out += report.refinement.empty() ? "],\n" : "\n  ],\n";
+
+    out += "  \"load\": [";
+    for (std::size_t i = 0; i < report.load.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        const auto it = measured.find(i);
+        out += loadCaseJson(report.load[i],
+                            it == measured.end() ? nullptr
+                                                 : &it->second);
+    }
+    out += report.load.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+writeAnalyzeJson(const std::string &path,
+                 const AnalyzeReport &report,
+                 const std::map<std::size_t, LoadValidation> &measured)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        TN_WARN("cannot write analyze report to '", path, "'");
+        return false;
+    }
+    const std::string doc = analyzeJson(report, measured);
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        TN_WARN("short write of analyze report '", path, "'");
+    return ok;
+}
+
+} // namespace turnnet

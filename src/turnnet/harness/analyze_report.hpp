@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The "turnnet.analyze/1" report writer and the prediction-vs-
+ * telemetry cross-validation that keeps the static analyzer honest:
+ * at low offered load the predicted per-channel utilization must
+ * match what the simulator's TraceCounters actually measured.
+ */
+
+#ifndef TURNNET_HARNESS_ANALYZE_REPORT_HPP
+#define TURNNET_HARNESS_ANALYZE_REPORT_HPP
+
+#include <map>
+#include <string>
+
+#include "turnnet/trace/counters.hpp"
+#include "turnnet/verify/analyze.hpp"
+
+namespace turnnet {
+
+/** Outcome of one prediction-vs-measurement comparison. */
+struct LoadValidation
+{
+    /** Offered load (flits/node/cycle) of the measured run. */
+    double offeredLoad = 0.0;
+
+    /** Cycles the counters observed. */
+    Cycle cycles = 0;
+
+    /** Channels above the prediction floor that were compared. */
+    std::size_t channelsCompared = 0;
+
+    /** Worst relative error |pred - meas| / pred over them. */
+    double maxRelError = 0.0;
+
+    /** Mean relative error over them. */
+    double meanRelError = 0.0;
+
+    /** The gate: maxRelError <= tolerance. */
+    double tolerance = 0.0;
+    bool withinTolerance = false;
+};
+
+/**
+ * Compare @p prediction (per-channel load at unit offered load)
+ * against the measured @p counters of a run at @p offered_load.
+ * Channels whose predicted utilization (offered_load x load_c)
+ * falls below @p min_predicted_util are skipped: their expected
+ * flit counts are too small for the counter noise floor, and a
+ * relative error there measures the RNG, not the analyzer.
+ */
+LoadValidation
+validatePredictionAgainstCounters(
+    const ChannelLoadPrediction &prediction,
+    const TraceCounters &counters, double offered_load,
+    double tolerance = 0.10, double min_predicted_util = 0.01);
+
+/**
+ * Render an AnalyzeReport as "turnnet.analyze/1" JSON.
+ *
+ * Schema:
+ *
+ *   {
+ *     "schema": "turnnet.analyze/1",
+ *     "all_passed": true,
+ *     "num_refinement_cases": 163, "num_refinement_passed": 163,
+ *     "num_load_cases": 14, "num_load_passed": 14,
+ *     "refinement": [
+ *       { "topology": "mesh(4x4)", "algorithm": "west-first",
+ *         "policy": "congestion-aware", "expect_refines": true,
+ *         "refines": true, "states_checked": 1104,
+ *         "contexts_checked": 6624, "witness": null,
+ *         "pass": true },
+ *       { ..., "expect_refines": false, "refines": false,
+ *         "witness": { "node": "(2,1)", "header": "(0,3)",
+ *                      "in_dir": "east", "chosen": "north",
+ *                      "legal": ["west"], "context": "uniform:1.0",
+ *                      "text": "at (2,1) header (0,3) ..." },
+ *         "pass": true }, ...
+ *     ],
+ *     "load": [
+ *       { "topology": "mesh(8x8)", "algorithm": "west-first",
+ *         "policy": "lowest-dim", "traffic": "uniform", "vcs": 1,
+ *         "num_flows": 4032, "sampled_matrix": false,
+ *         "offered_mass": 64.000000, "residual_mass": 0.000000,
+ *         "max_load": 3.500000, "mean_load": 1.166667,
+ *         "saturation_load": 0.285714,
+ *         "hotspots": [ { "channel": 12, "src": "(3,0)",
+ *                         "dir": "east", "load": 3.500000 }, ... ],
+ *         "channel_load": [ 0.437500, ... ],
+ *         "measured": null | {
+ *           "offered_load": 0.040000, "cycles": 60000,
+ *           "channels_compared": 112, "max_rel_error": 0.031210,
+ *           "mean_rel_error": 0.008933, "tolerance": 0.100000,
+ *           "within_tolerance": true }, "pass": true }, ...
+ *     ]
+ *   }
+ *
+ * "hotspots" lists the ten hottest channels; "channel_load" is the
+ * full per-channel vector at unit offered load. @p measured maps a
+ * load-case index to its cross-validation outcome; cases without an
+ * entry emit "measured": null.
+ */
+std::string
+analyzeJson(const AnalyzeReport &report,
+            const std::map<std::size_t, LoadValidation> &measured =
+                {});
+
+/** Write analyzeJson() to @p path; warns and returns false on I/O
+ *  failure. */
+bool writeAnalyzeJson(
+    const std::string &path, const AnalyzeReport &report,
+    const std::map<std::size_t, LoadValidation> &measured = {});
+
+} // namespace turnnet
+
+#endif // TURNNET_HARNESS_ANALYZE_REPORT_HPP

@@ -1,0 +1,314 @@
+#include "turnnet/routing/selection_policy.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "turnnet/common/logging.hpp"
+
+namespace turnnet {
+
+CongestionContext
+CongestionContext::uncongested()
+{
+    return CongestionContext{};
+}
+
+CongestionContext
+CongestionContext::uniform(int num_ports, double backlog)
+{
+    CongestionContext c;
+    c.level.assign(static_cast<std::size_t>(num_ports), backlog);
+    c.label = "uniform:" + std::to_string(backlog);
+    return c;
+}
+
+CongestionContext
+CongestionContext::hot(int num_ports, Direction d,
+                       const std::string &name)
+{
+    CongestionContext c;
+    c.level.assign(static_cast<std::size_t>(num_ports), 0.0);
+    c.level[static_cast<std::size_t>(d.index())] = 1.0;
+    c.label = "hot:" + name;
+    return c;
+}
+
+void
+SelectionPolicy::loadSplit(const Topology &topo, NodeId current,
+                           NodeId dest, Direction in_dir,
+                           DirectionSet legal,
+                           std::vector<double> &weights) const
+{
+    weights.assign(std::max(weights.size(),
+                            static_cast<std::size_t>(
+                                topo.numPorts())),
+                   0.0);
+    const DirectionSet picked =
+        choices(topo, current, dest, in_dir, legal,
+                CongestionContext::uncongested());
+    TN_ASSERT(!picked.empty(),
+              "policy '", name(), "' chose nothing at ",
+              topo.nodeName(current));
+    const double share = 1.0 / picked.size();
+    picked.forEach([&](Direction d) {
+        weights[static_cast<std::size_t>(d.index())] = share;
+    });
+}
+
+namespace {
+
+/**
+ * The router's default: always the lowest-indexed legal direction.
+ * Congestion-blind and deterministic, so its choice set is a
+ * singleton everywhere.
+ */
+class LowestDimPolicy : public SelectionPolicy
+{
+  public:
+    std::string name() const override { return "lowest-dim"; }
+
+    DirectionSet
+    choices(const Topology &, NodeId, NodeId, Direction,
+            DirectionSet legal,
+            const CongestionContext &) const override
+    {
+        return DirectionSet(legal.first());
+    }
+};
+
+/** Uniformly random among the legal set: the closure is the set. */
+class RandomPolicy : public SelectionPolicy
+{
+  public:
+    std::string name() const override { return "random"; }
+
+    DirectionSet
+    choices(const Topology &, NodeId, NodeId, Direction,
+            DirectionSet legal,
+            const CongestionContext &) const override
+    {
+        return legal;
+    }
+};
+
+/**
+ * Keep travelling the arrival direction when legal (minimizing
+ * in-body turns), else fall back to the lowest-indexed choice.
+ */
+class StraightFirstPolicy : public SelectionPolicy
+{
+  public:
+    std::string name() const override { return "straight-first"; }
+
+    DirectionSet
+    choices(const Topology &, NodeId, NodeId, Direction in_dir,
+            DirectionSet legal,
+            const CongestionContext &) const override
+    {
+        if (!in_dir.isLocal() && legal.contains(in_dir))
+            return DirectionSet(in_dir);
+        return DirectionSet(legal.first());
+    }
+};
+
+/**
+ * Prefer the dimension with the most remaining distance (the
+ * classic "balance the corner turns" heuristic). Coordinate
+ * arithmetic only makes sense where ports are the grid's
+ * (dimension, sign) slots; on hierarchical fabrics the policy
+ * degrades to lowest-dim, mirroring the simulator's use of
+ * OutputPolicy::MostRemaining on grids only.
+ */
+class MostRemainingPolicy : public SelectionPolicy
+{
+  public:
+    std::string name() const override { return "most-remaining"; }
+
+    DirectionSet
+    choices(const Topology &topo, NodeId current, NodeId dest,
+            Direction, DirectionSet legal,
+            const CongestionContext &) const override
+    {
+        if (topo.numPorts() != 2 * topo.numDims())
+            return DirectionSet(legal.first());
+        const Coord cc = topo.coordOf(current);
+        const Coord cd = topo.coordOf(dest);
+        Direction best = legal.first();
+        int best_remaining = -1;
+        legal.forEach([&](Direction d) {
+            const int remaining =
+                std::abs(cd[d.dim()] - cc[d.dim()]);
+            if (remaining > best_remaining) {
+                best_remaining = remaining;
+                best = d;
+            }
+        });
+        return DirectionSet(best);
+    }
+};
+
+/**
+ * The PR 11 seam: pick the least-backlogged legal direction, ties
+ * broken toward the lowest index. This is the shape every
+ * self-healing policy of the ROADMAP item must take — reorder
+ * *within* the legal set, never outside it — and the refinement
+ * verifier proves that property over the full congestion battery.
+ */
+class CongestionAwarePolicy : public SelectionPolicy
+{
+  public:
+    std::string name() const override { return "congestion-aware"; }
+
+    DirectionSet
+    choices(const Topology &, NodeId, NodeId, Direction,
+            DirectionSet legal,
+            const CongestionContext &congestion) const override
+    {
+        Direction best = legal.first();
+        double best_backlog = congestion.of(best);
+        legal.forEach([&](Direction d) {
+            const double backlog = congestion.of(d);
+            if (backlog < best_backlog) {
+                best_backlog = backlog;
+                best = d;
+            }
+        });
+        return DirectionSet(best);
+    }
+
+    /**
+     * Under live backpressure the argmin wanders over the whole
+     * legal set; the stationary low-load split is uniform, not the
+     * all-mass-on-first split the uncongested choice set would
+     * suggest.
+     */
+    void
+    loadSplit(const Topology &topo, NodeId, NodeId, Direction,
+              DirectionSet legal,
+              std::vector<double> &weights) const override
+    {
+        weights.assign(std::max(weights.size(),
+                                static_cast<std::size_t>(
+                                    topo.numPorts())),
+                       0.0);
+        const double share = 1.0 / legal.size();
+        legal.forEach([&](Direction d) {
+            weights[static_cast<std::size_t>(d.index())] = share;
+        });
+    }
+};
+
+/**
+ * Negative control: under heavy congestion it "escapes" onto any
+ * distance-reducing direction, certified or not — exactly the bug a
+ * hand-written adaptive escape path would introduce. Must be
+ * refuted by the refinement verifier with a concrete witness.
+ */
+class UnsafeEscapePolicy : public SelectionPolicy
+{
+  public:
+    std::string name() const override { return "unsafe-escape"; }
+
+    DirectionSet
+    choices(const Topology &topo, NodeId current, NodeId dest,
+            Direction, DirectionSet legal,
+            const CongestionContext &congestion) const override
+    {
+        double least = 1.0;
+        legal.forEach([&](Direction d) {
+            const double backlog = congestion.of(d);
+            if (backlog < least)
+                least = backlog;
+        });
+        if (least > 0.5) {
+            const DirectionSet greedy =
+                topo.minimalDirections(current, dest);
+            if (!greedy.empty())
+                return greedy;
+        }
+        return DirectionSet(legal.first());
+    }
+};
+
+template <typename Policy>
+SelectionPolicyPtr
+make()
+{
+    return std::make_shared<const Policy>();
+}
+
+const std::vector<SelectionPolicyEntry> &
+registry()
+{
+    static const std::vector<SelectionPolicyEntry> entries = {
+        {"lowest-dim",
+         "the router default: deterministic lowest-index choice, the "
+         "paper's fixed dimension order",
+         true, make<LowestDimPolicy>},
+        {"random",
+         "uniform among the legal set; its choice closure is the "
+         "whole set, the worst case for refinement",
+         true, make<RandomPolicy>},
+        {"straight-first",
+         "keep the arrival direction when legal, minimizing in-body "
+         "turns",
+         true, make<StraightFirstPolicy>},
+        {"most-remaining",
+         "prefer the dimension with the most remaining hops, "
+         "balancing corner turns",
+         true, make<MostRemainingPolicy>},
+        {"congestion-aware",
+         "least-backlogged legal direction: the self-healing seam — "
+         "reorders within the certified set only",
+         true, make<CongestionAwarePolicy>},
+        {"unsafe-escape",
+         "negative control: greedily misroutes onto uncertified "
+         "minimal directions under congestion; the verifier must "
+         "refute it",
+         false, make<UnsafeEscapePolicy>},
+    };
+    return entries;
+}
+
+} // namespace
+
+const std::vector<SelectionPolicyEntry> &
+selectionPolicies()
+{
+    return registry();
+}
+
+bool
+isKnownSelectionPolicy(const std::string &name)
+{
+    for (const SelectionPolicyEntry &entry : registry()) {
+        if (name == entry.name)
+            return true;
+    }
+    return false;
+}
+
+std::string
+knownSelectionPolicyNames()
+{
+    std::string known;
+    for (const SelectionPolicyEntry &entry : registry()) {
+        if (!known.empty())
+            known += ", ";
+        known += entry.name;
+    }
+    return known;
+}
+
+SelectionPolicyPtr
+makeSelectionPolicy(const std::string &name)
+{
+    for (const SelectionPolicyEntry &entry : registry()) {
+        if (name == entry.name)
+            return entry.make();
+    }
+    TN_FATAL("unknown selection policy '", name,
+             "' (registered: ", knownSelectionPolicyNames(), ")");
+}
+
+} // namespace turnnet

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Selection policies as first-class, statically analyzable objects.
+ *
+ * The paper splits adaptive routing into two layers: the routing
+ * *relation* (which outputs are legal — the turn model's subject)
+ * and the *selection* among legal outputs (which of them to prefer —
+ * "adaptivity" proper). The simulator's OutputPolicy enum hard-wires
+ * the second layer into the router hot path; this module lifts it
+ * into an interface the verifier can enumerate: a SelectionPolicy
+ * exposes the *set* of outputs it may choose in a routing state
+ * under a given congestion estimate, plus the stationary low-load
+ * split of offered mass across them.
+ *
+ * That shape makes the ROADMAP safety invariant machine-checkable:
+ * a policy is safe exactly when, at every reachable routing state
+ * and under every congestion estimate, its choice set is a subset of
+ * the relation's legal set (verify/refinement.hpp), so the
+ * turnnet-certify verdict transfers to the dynamic policy by a
+ * refinement argument instead of by convention. The registry below
+ * also carries a deliberately unsafe mock ("unsafe-escape") that
+ * greedily misroutes under congestion — the negative control the
+ * refinement verifier must refute with a concrete witness.
+ */
+
+#ifndef TURNNET_ROUTING_SELECTION_POLICY_HPP
+#define TURNNET_ROUTING_SELECTION_POLICY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/topology/topology.hpp"
+
+namespace turnnet {
+
+/**
+ * A static stand-in for the live congestion estimate a dynamic
+ * policy would read from telemetry: one backlog level in [0, 1] per
+ * output port slot (indexed by Direction::index()). The refinement
+ * verifier drives each policy through a battery of these contexts —
+ * uncongested, uniformly loaded, and one-hot per port — so a policy
+ * whose misbehavior only triggers under congestion cannot hide.
+ */
+struct CongestionContext
+{
+    /** Backlog per port slot; empty means uncongested everywhere. */
+    std::vector<double> level;
+
+    /** Label for witnesses, e.g. "uncongested", "hot:west". */
+    std::string label = "uncongested";
+
+    /** Backlog of @p d (0 when unset). */
+    double of(Direction d) const
+    {
+        const auto idx = static_cast<std::size_t>(d.index());
+        return idx < level.size() ? level[idx] : 0.0;
+    }
+
+    /** No backlog anywhere. */
+    static CongestionContext uncongested();
+
+    /** Every port of an @p num_ports-slot node at @p backlog. */
+    static CongestionContext uniform(int num_ports, double backlog);
+
+    /** One saturated port, all others free. */
+    static CongestionContext hot(int num_ports, Direction d,
+                                 const std::string &name);
+};
+
+/**
+ * A selection policy over a routing relation's legal output set.
+ * Implementations must be stateless and thread-compatible, like the
+ * routing functions they sit on top of.
+ */
+class SelectionPolicy
+{
+  public:
+    virtual ~SelectionPolicy() = default;
+
+    /** Short identifier, e.g. "straight-first". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Every direction the policy may hand the router for a packet at
+     * @p current bound for @p dest that arrived travelling @p in_dir
+     * when the relation permits @p legal and the congestion estimate
+     * reads @p congestion — the closure over the policy's internal
+     * randomness and tie-breaking. The refinement verifier checks
+     * exactly this set for containment in @p legal, so a policy must
+     * not under-report: any output it could ever emit in this state
+     * belongs in the result.
+     */
+    virtual DirectionSet choices(const Topology &topo, NodeId current,
+                                 NodeId dest, Direction in_dir,
+                                 DirectionSet legal,
+                                 const CongestionContext &congestion)
+        const = 0;
+
+    /**
+     * Stationary split of offered mass across @p legal at low load,
+     * written as weights[Direction::index()] summing to 1 over the
+     * legal set (all other slots zeroed). The static load analyzer
+     * propagates per-channel mass with exactly this distribution.
+     * @p weights is grown to topo.numPorts() entries if smaller and
+     * zeroed before the split is written. The
+     * default splits uniformly over choices() under an uncongested
+     * context — correct for any policy whose low-load behavior is a
+     * symmetric tie-break.
+     */
+    virtual void loadSplit(const Topology &topo, NodeId current,
+                           NodeId dest, Direction in_dir,
+                           DirectionSet legal,
+                           std::vector<double> &weights) const;
+};
+
+using SelectionPolicyPtr = std::shared_ptr<const SelectionPolicy>;
+
+/** One registered selection policy and its safety expectation. */
+struct SelectionPolicyEntry
+{
+    const char *name;
+
+    /** Why the policy exists / what it models. */
+    const char *rationale;
+
+    /**
+     * True when the policy must pass refinement against every
+     * certified relation (turnnet-analyze gates on this); false for
+     * the deliberately unsafe negative controls.
+     */
+    bool expectRefines;
+
+    SelectionPolicyPtr (*make)();
+};
+
+/**
+ * The policy registry: the four router output policies
+ * (lowest-dim, random, straight-first, most-remaining) lifted to the
+ * analyzable interface, the congestion-aware policy that seams the
+ * ROADMAP self-healing work, and the unsafe-escape negative control.
+ */
+const std::vector<SelectionPolicyEntry> &selectionPolicies();
+
+/** True when @p name is a registered policy. */
+bool isKnownSelectionPolicy(const std::string &name);
+
+/** All registered names, comma-separated (for error messages). */
+std::string knownSelectionPolicyNames();
+
+/** Instantiate a registered policy; fatal on unknown names. */
+SelectionPolicyPtr makeSelectionPolicy(const std::string &name);
+
+} // namespace turnnet
+
+#endif // TURNNET_ROUTING_SELECTION_POLICY_HPP

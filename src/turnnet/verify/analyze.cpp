@@ -1,0 +1,536 @@
+#include "turnnet/verify/analyze.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "turnnet/common/json.hpp"
+#include "turnnet/common/logging.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/topology/topology_registry.hpp"
+#include "turnnet/verify/certify.hpp"
+#include "turnnet/workload/adversarial.hpp"
+
+namespace turnnet {
+
+namespace {
+
+/** Family prefix of a compact topology string ("mesh(8x8)" ->
+ *  "mesh"), canonicalized through the registry when known. */
+std::string
+familyOf(const std::string &topology)
+{
+    const std::size_t open = topology.find('(');
+    const std::string family =
+        open == std::string::npos ? topology
+                                  : topology.substr(0, open);
+    const TopologyDescriptor *d =
+        TopologyRegistry::instance().find(family);
+    return d != nullptr ? d->family : family;
+}
+
+/** True when @p name resolves through makeVcRouting's named VC
+ *  schemes (any family's registered scheme list). */
+bool
+isVcAlgorithm(const std::string &name)
+{
+    for (const TopologyDescriptor &d :
+         TopologyRegistry::instance().all()) {
+        for (const std::string &scheme : d.vcSchemes)
+            if (scheme == name)
+                return true;
+    }
+    return false;
+}
+
+/** True when @p name resolves through makeRouting. */
+bool
+isSingleChannelAlgorithm(const std::string &name)
+{
+    if (name.rfind("turnset:", 0) == 0)
+        return true;
+    for (const std::string &known : routingNames())
+        if (known == name)
+            return true;
+    return false;
+}
+
+/** The certifier's certified (family, algorithm) pairings — the
+ *  authority on which algorithm runs on which family. */
+const std::vector<CertifyCase> &
+certifiedCases()
+{
+    static const std::vector<CertifyCase> cases = [] {
+        std::vector<CertifyCase> certified;
+        for (const CertifyCase &c : defaultCertifyCases())
+            if (c.expectDeadlockFree)
+                certified.push_back(c);
+        return certified;
+    }();
+    return cases;
+}
+
+bool
+isCertifiedPairing(const std::string &family,
+                   const std::string &algorithm)
+{
+    for (const CertifyCase &c : certifiedCases())
+        if (c.algorithm == algorithm && familyOf(c.topology) == family)
+            return true;
+    return false;
+}
+
+std::string
+knownAlgorithmNames()
+{
+    std::string known;
+    for (const std::string &name : routingNames()) {
+        if (!known.empty())
+            known += ", ";
+        known += name;
+    }
+    for (const TopologyDescriptor &d :
+         TopologyRegistry::instance().all()) {
+        for (const std::string &scheme : d.vcSchemes) {
+            known += ", ";
+            known += scheme;
+        }
+    }
+    return known;
+}
+
+} // namespace
+
+std::vector<RefinementCase>
+defaultRefinementCases()
+{
+    std::vector<RefinementCase> cases;
+
+    // Every certified single-channel relation crossed with every
+    // policy that must refine.
+    for (const CertifyCase &c : certifiedCases()) {
+        if (c.vc)
+            continue;
+        for (const SelectionPolicyEntry &p : selectionPolicies()) {
+            if (p.expectRefines)
+                cases.push_back(
+                    {c.topology, c.algorithm, p.name, true});
+        }
+    }
+
+    // The negative control, on the strongly restricted algorithms
+    // where some reachable state has a legal set strictly inside
+    // the minimal set — there the greedy escape is provably
+    // illegal, and the verifier must say so with a witness.
+    const struct
+    {
+        const char *topology;
+        const char *algorithm;
+    } unsafe[] = {
+        {"mesh(4x4)", "xy"},          {"mesh(4x4)", "west-first"},
+        {"mesh(4x4)", "north-last"},  {"mesh(4x4)", "negative-first"},
+        {"mesh(3x3x3)", "ecube"},     {"torus(4x4)", "nf-torus"},
+        {"hypercube(3)", "ecube"},    {"hypercube(3)", "p-cube"},
+    };
+    for (const auto &u : unsafe)
+        cases.push_back(
+            {u.topology, u.algorithm, "unsafe-escape", false});
+
+    return cases;
+}
+
+std::vector<LoadCase>
+defaultLoadCases()
+{
+    std::vector<LoadCase> cases;
+
+    // The paper's mesh algorithms at the figure scale, each under
+    // uniform and its registered adversary.
+    for (const char *algo :
+         {"xy", "west-first", "north-last", "negative-first"}) {
+        cases.push_back({"mesh(8x8)", algo, "lowest-dim", "uniform"});
+        cases.push_back(
+            {"mesh(8x8)", algo, "lowest-dim", "adversarial"});
+    }
+    // A second policy on the most adaptive mesh algorithm, so the
+    // report shows the split actually moving load.
+    cases.push_back({"mesh(8x8)", "west-first", "random", "uniform"});
+
+    cases.push_back(
+        {"torus(8x8)", "nf-torus", "lowest-dim", "uniform"});
+    // Tornado is the classic *ring* adversary: every node sends
+    // (k-1)/2 hops the same way around, serializing one direction.
+    // On a 2D torus negative-first's own asymmetry under uniform
+    // already exceeds the single-dimension tornado load, so the
+    // adversarial row runs on the 16-ary 1-cube where the pattern
+    // actually bites (predicted 7.00 vs 4.27 under uniform).
+    cases.push_back(
+        {"torus(16)", "nf-torus", "lowest-dim", "uniform"});
+    cases.push_back(
+        {"torus(16)", "nf-torus", "lowest-dim", "adversarial"});
+
+    cases.push_back(
+        {"hypercube(4)", "p-cube", "lowest-dim", "uniform"});
+
+    // Hierarchical fabrics run through the VC relations.
+    cases.push_back({"dragonfly(4,2,2)", "dragonfly-min",
+                     "lowest-dim", "uniform", /*vc=*/true});
+    cases.push_back({"dragonfly(4,2,2)", "dragonfly-min",
+                     "lowest-dim", "adversarial", /*vc=*/true});
+    cases.push_back({"dragonfly(4,2,2)", "dragonfly-ugal",
+                     "lowest-dim", "uniform", /*vc=*/true});
+
+    cases.push_back(
+        {"fat-tree(2,3)", "fattree-nca", "lowest-dim", "uniform"});
+
+    return cases;
+}
+
+RefinementCaseOutcome
+runRefinementCase(const RefinementCase &c)
+{
+    RefinementCaseOutcome outcome;
+    outcome.spec = c;
+
+    const std::unique_ptr<Topology> topo =
+        TopologyRegistry::instance().build(c.topology);
+    outcome.topologyName = topo->name();
+
+    RoutingSpec spec;
+    spec.name = c.algorithm;
+    spec.dims = topo->numDims();
+    const RoutingPtr routing = makeRouting(spec);
+    routing->checkTopology(*topo);
+
+    const SelectionPolicyPtr policy = makeSelectionPolicy(c.policy);
+    outcome.result = checkPolicyRefinement(*topo, *routing, *policy);
+    if (!outcome.result.refines)
+        outcome.witnessText = outcome.result.witnessToString(*topo);
+    outcome.pass = outcome.result.refines == c.expectRefines;
+    return outcome;
+}
+
+LoadCaseOutcome
+runLoadCase(const LoadCase &c)
+{
+    LoadCaseOutcome outcome;
+    outcome.spec = c;
+
+    CertifyCase shape;
+    shape.topology = c.topology;
+    shape.algorithm = c.algorithm;
+    shape.vc = c.vc;
+    const std::unique_ptr<Topology> topo = makeCaseTopology(shape);
+    outcome.topologyName = topo->name();
+
+    const TrafficPtr traffic =
+        c.traffic == "adversarial"
+            ? makeAdversarialTraffic(c.algorithm, *topo)
+            : makeTraffic(c.traffic, *topo);
+    outcome.trafficName = traffic->name();
+
+    const TrafficMatrix matrix = buildTrafficMatrix(*topo, *traffic);
+    outcome.sampledMatrix = matrix.sampled;
+    for (const TrafficFlow &flow : matrix.flows)
+        outcome.offeredMass += flow.weight;
+
+    const SelectionPolicyPtr policy = makeSelectionPolicy(c.policy);
+
+    RoutingSpec spec;
+    spec.name = c.algorithm;
+    spec.dims = topo->numDims();
+    if (c.vc) {
+        const VcRoutingPtr routing = makeVcRouting(spec);
+        routing->checkTopology(*topo);
+        outcome.vcs = routing->numVcs();
+        outcome.prediction =
+            predictChannelLoad(*topo, *routing, *policy, matrix);
+    } else {
+        const RoutingPtr routing = makeRouting(spec);
+        routing->checkTopology(*topo);
+        outcome.prediction =
+            predictChannelLoad(*topo, *routing, *policy, matrix);
+    }
+
+    outcome.pass =
+        outcome.prediction.maxLoad > 0.0 &&
+        outcome.prediction.residualMass <=
+            1e-9 * outcome.offeredMass + 1e-12;
+    return outcome;
+}
+
+AnalyzeReport
+runAnalysis(const std::vector<RefinementCase> &refine,
+            const std::vector<LoadCase> &load)
+{
+    AnalyzeReport report;
+    report.refinement.reserve(refine.size());
+    for (const RefinementCase &c : refine)
+        report.refinement.push_back(runRefinementCase(c));
+    report.load.reserve(load.size());
+    for (const LoadCase &c : load)
+        report.load.push_back(runLoadCase(c));
+    return report;
+}
+
+std::size_t
+AnalyzeReport::numRefinementPassed() const
+{
+    std::size_t n = 0;
+    for (const RefinementCaseOutcome &r : refinement)
+        n += r.pass ? 1 : 0;
+    return n;
+}
+
+std::size_t
+AnalyzeReport::numLoadPassed() const
+{
+    std::size_t n = 0;
+    for (const LoadCaseOutcome &r : load)
+        n += r.pass ? 1 : 0;
+    return n;
+}
+
+bool
+AnalyzeReport::allPassed() const
+{
+    return numRefinementPassed() == refinement.size() &&
+           numLoadPassed() == load.size();
+}
+
+std::string
+AnalyzeReport::toString() const
+{
+    std::string out;
+    for (const RefinementCaseOutcome &r : refinement) {
+        out += r.pass ? "PASS " : "FAIL ";
+        out += r.topologyName + " " + r.spec.algorithm + " + " +
+               r.spec.policy + ": ";
+        if (r.result.refines) {
+            out += "refines (" +
+                   std::to_string(r.result.statesChecked) +
+                   " states, " +
+                   std::to_string(r.result.contextsChecked) +
+                   " probes)";
+        } else {
+            out += "refuted";
+            out += r.spec.expectRefines ? "" : " (as expected)";
+            out += ": " + r.witnessText;
+        }
+        out += "\n";
+    }
+    for (const LoadCaseOutcome &r : load) {
+        out += r.pass ? "PASS " : "FAIL ";
+        out += r.topologyName + " " + r.spec.algorithm + "/" +
+               r.trafficName + " + " + r.spec.policy + ": max " +
+               json::number(r.prediction.maxLoad) + ", sat " +
+               json::number(r.prediction.saturationLoad) + " (" +
+               std::to_string(r.prediction.numFlows) + " flows)";
+        out += "\n";
+    }
+    out += std::to_string(numRefinementPassed() + numLoadPassed()) +
+           "/" + std::to_string(refinement.size() + load.size()) +
+           " cases passed\n";
+    return out;
+}
+
+std::vector<std::string>
+AnalyzeRequest::validate() const
+{
+    std::vector<std::string> errors;
+    const TopologyRegistry &reg = TopologyRegistry::instance();
+
+    // Topologies: family, shape grammar, and shape range — all
+    // collected non-fatally, unlike parseSpec().
+    std::vector<std::string> valid_families;
+    for (const std::string &t : topologies) {
+        const std::size_t open = t.find('(');
+        if (open == std::string::npos || t.empty() ||
+            t.back() != ')') {
+            errors.push_back("malformed topology '" + t +
+                             "' (expected one of: " +
+                             reg.usageNames() + ")");
+            continue;
+        }
+        const TopologyDescriptor *d = reg.find(t.substr(0, open));
+        if (d == nullptr) {
+            errors.push_back("unknown topology family '" +
+                             t.substr(0, open) +
+                             "' (known: " + reg.usageNames() + ")");
+            continue;
+        }
+        TopologySpec spec;
+        spec.family = d->family;
+        if (!d->parseArgs(t.substr(open + 1, t.size() - open - 2),
+                          spec)) {
+            errors.push_back("malformed arguments in '" + t +
+                             "' (expected " + d->usage + ")");
+            continue;
+        }
+        bool shape_ok = true;
+        for (const std::string &e : reg.validate(spec)) {
+            errors.push_back("topology '" + t + "': " + e);
+            shape_ok = false;
+        }
+        if (shape_ok)
+            valid_families.push_back(d->family);
+    }
+
+    // Algorithms.
+    std::vector<std::string> valid_algorithms;
+    for (const std::string &a : algorithms) {
+        if (!isSingleChannelAlgorithm(a) && !isVcAlgorithm(a)) {
+            errors.push_back("unknown algorithm '" + a +
+                             "' (known: " + knownAlgorithmNames() +
+                             ")");
+            continue;
+        }
+        valid_algorithms.push_back(a);
+    }
+
+    // Policies.
+    for (const std::string &p : policies) {
+        if (!isKnownSelectionPolicy(p))
+            errors.push_back("unknown selection policy '" + p +
+                             "' (registered: " +
+                             knownSelectionPolicyNames() + ")");
+    }
+
+    // Traffic names.
+    bool wants_adversarial = false;
+    for (const std::string &w : traffics) {
+        if (w == "adversarial") {
+            wants_adversarial = true;
+            continue;
+        }
+        if (!isKnownTrafficPattern(w)) {
+            std::string known = "adversarial";
+            for (const std::string &name : trafficPatternNames())
+                known += ", " + name;
+            errors.push_back("unknown traffic '" + w +
+                             "' (known: " + known + ")");
+        }
+    }
+
+    // Cross checks on the individually valid components: the
+    // certifier's obligation table is the authority on which
+    // algorithm belongs to which family, and adversarial traffic
+    // needs a registered adversary.
+    for (const std::string &f : valid_families) {
+        for (const std::string &a : valid_algorithms) {
+            if (!isCertifiedPairing(f, a))
+                errors.push_back(
+                    "algorithm '" + a + "' is not in the " +
+                    "certifier's obligation table for the " + f +
+                    " family");
+        }
+    }
+    if (wants_adversarial) {
+        for (const std::string &a : valid_algorithms) {
+            if (!hasAdversarialWorkload(a))
+                errors.push_back(
+                    "no adversarial workload is registered for "
+                    "algorithm '" +
+                    a + "'");
+        }
+    }
+    return errors;
+}
+
+void
+AnalyzeRequest::validateOrDie() const
+{
+    const std::vector<std::string> errors = validate();
+    if (errors.empty())
+        return;
+    std::string all;
+    for (const std::string &e : errors)
+        all += "\n  - " + e;
+    TN_FATAL("invalid analyze request (", errors.size(),
+             " problems):", all);
+}
+
+void
+AnalyzeRequest::buildCases(std::vector<RefinementCase> &refine,
+                           std::vector<LoadCase> &load) const
+{
+    refine.clear();
+    load.clear();
+    if (empty()) {
+        refine = defaultRefinementCases();
+        load = defaultLoadCases();
+        return;
+    }
+
+    // The (topology, algorithm) pair list: an explicit cross
+    // product when both components are given; otherwise the missing
+    // side is filled from the certifier's obligation table.
+    struct Pair
+    {
+        std::string topology;
+        std::string algorithm;
+        bool vc;
+    };
+    std::vector<Pair> pairs;
+    std::set<std::string> pair_seen;
+    auto addPair = [&](const std::string &t, const std::string &a) {
+        if (pair_seen.insert(t + "|" + a).second)
+            pairs.push_back({t, a, isVcAlgorithm(a)});
+    };
+
+    if (!topologies.empty() && !algorithms.empty()) {
+        for (const std::string &t : topologies)
+            for (const std::string &a : algorithms)
+                addPair(t, a);
+    } else if (!topologies.empty()) {
+        for (const std::string &t : topologies) {
+            const std::string family = familyOf(t);
+            for (const CertifyCase &c : certifiedCases())
+                if (familyOf(c.topology) == family)
+                    addPair(t, c.algorithm);
+        }
+    } else if (!algorithms.empty()) {
+        for (const std::string &a : algorithms)
+            for (const CertifyCase &c : certifiedCases())
+                if (c.algorithm == a)
+                    addPair(c.topology, a);
+    } else {
+        for (const CertifyCase &c : certifiedCases())
+            addPair(c.topology, c.algorithm);
+    }
+
+    // When the request leaves policies open, run the ones that must
+    // refine; the negative controls only make sense on their curated
+    // default rows or by explicit request.
+    std::vector<std::string> use_policies = policies;
+    if (use_policies.empty()) {
+        for (const SelectionPolicyEntry &p : selectionPolicies())
+            if (p.expectRefines)
+                use_policies.push_back(p.name);
+    }
+    const std::vector<std::string> use_traffics =
+        traffics.empty() ? std::vector<std::string>{"uniform"}
+                         : traffics;
+
+    for (const Pair &pair : pairs) {
+        for (const std::string &p : use_policies) {
+            bool expect_refines = true;
+            for (const SelectionPolicyEntry &entry :
+                 selectionPolicies()) {
+                if (p == entry.name)
+                    expect_refines = entry.expectRefines;
+            }
+            if (!pair.vc)
+                refine.push_back({pair.topology, pair.algorithm, p,
+                                  expect_refines});
+            for (const std::string &w : use_traffics) {
+                if (w == "adversarial" &&
+                    !hasAdversarialWorkload(pair.algorithm))
+                    continue;
+                load.push_back({pair.topology, pair.algorithm, p, w,
+                                pair.vc});
+            }
+        }
+    }
+}
+
+} // namespace turnnet

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The static-analysis sweep behind tools/turnnet-analyze: refinement
+ * obligations (verify/refinement.hpp) and channel-load predictions
+ * (verify/load_analysis.hpp) over explicit case tables, mirroring
+ * the certifier sweep's shape (verify/certify.hpp).
+ *
+ * The default refinement table pairs every certified single-channel
+ * relation of the certifier's registry sweep with every registered
+ * selection policy expected to refine, plus curated rows for the
+ * unsafe-escape negative control on the strongly restricted
+ * algorithms where a greedy escape is provably illegal — a sweep
+ * that cannot produce the refutation would prove nothing. The
+ * default load table covers the paper meshes, the torus and
+ * hypercube generalizations, and the hierarchical fabrics, each
+ * under uniform and (where registered) adversarial traffic.
+ *
+ * CLI requests are validated with the workload parser's multi-error
+ * discipline: every invalid (topology, algorithm, policy, traffic)
+ * component of a request is reported in one descriptive error
+ * instead of fatal-on-first.
+ */
+
+#ifndef TURNNET_VERIFY_ANALYZE_HPP
+#define TURNNET_VERIFY_ANALYZE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "turnnet/verify/load_analysis.hpp"
+#include "turnnet/verify/refinement.hpp"
+
+namespace turnnet {
+
+/** One (topology, algorithm, policy) refinement obligation. */
+struct RefinementCase
+{
+    /** Topology in the registry's compact grammar. */
+    std::string topology;
+
+    /** Single-channel algorithm name (VC relations carry their
+     *  safety argument in the extended CDG, not in a policy). */
+    std::string algorithm;
+
+    /** Registered selection policy name. */
+    std::string policy;
+
+    /** Expected verdict; false for the unsafe negative controls. */
+    bool expectRefines = true;
+};
+
+/** Outcome of one refinement case. */
+struct RefinementCaseOutcome
+{
+    RefinementCase spec;
+
+    /** Topology display name, e.g. "mesh(4x4)". */
+    std::string topologyName;
+
+    RefinementResult result;
+
+    /** Rendered witness when the policy strayed. */
+    std::string witnessText;
+
+    /** Verdict matches the expectation. */
+    bool pass = false;
+};
+
+/** One (topology, algorithm, policy, traffic) load prediction. */
+struct LoadCase
+{
+    std::string topology;
+    std::string algorithm;
+    std::string policy;
+
+    /** Pattern name, or "adversarial" for the algorithm's
+     *  registered adversary. */
+    std::string traffic;
+
+    /** Resolve the algorithm through makeVcRouting. */
+    bool vc = false;
+};
+
+/** Outcome of one load case. */
+struct LoadCaseOutcome
+{
+    LoadCase spec;
+    std::string topologyName;
+
+    /** Resolved pattern name ("west-shift" for adversarial). */
+    std::string trafficName;
+
+    /** Virtual channels of the relation (1 for single-channel). */
+    int vcs = 1;
+
+    /** Total offered mass of the matrix (sum of flow weights). */
+    double offeredMass = 0.0;
+
+    /** True when the matrix was sampled rather than exact. */
+    bool sampledMatrix = false;
+
+    ChannelLoadPrediction prediction;
+
+    /** Mass conserved and some channel carries load. */
+    bool pass = false;
+};
+
+/** The full static-analysis sweep outcome. */
+struct AnalyzeReport
+{
+    std::vector<RefinementCaseOutcome> refinement;
+    std::vector<LoadCaseOutcome> load;
+
+    std::size_t numRefinementPassed() const;
+    std::size_t numLoadPassed() const;
+    bool allPassed() const;
+
+    /** One line per case, for terminals and logs. */
+    std::string toString() const;
+};
+
+/**
+ * The default refinement table: every certified single-channel
+ * (topology, algorithm) pair of defaultCertifyCases() crossed with
+ * the expectRefines policies, plus the curated unsafe-escape rows.
+ */
+std::vector<RefinementCase> defaultRefinementCases();
+
+/** The default load table (see file comment). */
+std::vector<LoadCase> defaultLoadCases();
+
+/** Run one refinement case. */
+RefinementCaseOutcome runRefinementCase(const RefinementCase &c);
+
+/** Run one load case. */
+LoadCaseOutcome runLoadCase(const LoadCase &c);
+
+/** Run a full sweep. */
+AnalyzeReport runAnalysis(const std::vector<RefinementCase> &refine,
+                          const std::vector<LoadCase> &load);
+
+/**
+ * A CLI request: component name lists whose cross product defines
+ * the cases to run. Empty lists fall back to the default tables.
+ */
+struct AnalyzeRequest
+{
+    std::vector<std::string> topologies;
+    std::vector<std::string> algorithms;
+    std::vector<std::string> policies;
+    std::vector<std::string> traffics;
+
+    bool empty() const
+    {
+        return topologies.empty() && algorithms.empty() &&
+               policies.empty() && traffics.empty();
+    }
+
+    /**
+     * Every problem with the request — unknown topology families or
+     * malformed shapes, unknown algorithms, unknown policies,
+     * unknown traffic names, (family, algorithm) pairings outside
+     * the certifier's obligation table, and `adversarial` traffic
+     * for algorithms without a registered adversary. Empty when the
+     * request is valid. Name- and family-level only: shape-level
+     * mismatches (e.g. a 2D-only algorithm on a 3D mesh) stay fatal
+     * at build time, as everywhere else.
+     */
+    std::vector<std::string> validate() const;
+
+    /** Fatal with *all* problems when validate() is non-empty. */
+    void validateOrDie() const;
+
+    /**
+     * Expand into case tables (request components defaulting the
+     * empty lists: all registered policies, uniform traffic, and —
+     * with no topologies/algorithms at all — the default tables).
+     * Call validateOrDie() first; expansion assumes a valid request.
+     */
+    void buildCases(std::vector<RefinementCase> &refine,
+                    std::vector<LoadCase> &load) const;
+};
+
+} // namespace turnnet
+
+#endif // TURNNET_VERIFY_ANALYZE_HPP

@@ -1,0 +1,287 @@
+#include "turnnet/verify/load_analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "turnnet/common/logging.hpp"
+#include "turnnet/common/rng.hpp"
+
+namespace turnnet {
+
+namespace {
+
+/** Sample draws per source when a pattern has no exact matrix. */
+constexpr int kMatrixSamples = 512;
+
+/** Mass below this is dropped (and accounted) instead of queued. */
+constexpr double kMassQuantum = 1e-12;
+
+} // namespace
+
+TrafficMatrix
+buildTrafficMatrix(const Topology &topo,
+                   const TrafficPattern &pattern)
+{
+    TrafficMatrix matrix;
+    const auto &endpoints = topo.endpoints();
+
+    if (pattern.isPermutation()) {
+        Rng rng; // permutations ignore the stream
+        for (const NodeId src : endpoints) {
+            const NodeId dst = pattern.dest(src, rng);
+            if (dst != src)
+                matrix.flows.push_back({src, dst, 1.0});
+        }
+        return matrix;
+    }
+
+    if (pattern.name() == "uniform") {
+        const double share =
+            1.0 / static_cast<double>(endpoints.size() - 1);
+        for (const NodeId src : endpoints) {
+            for (const NodeId dst : endpoints) {
+                if (dst != src)
+                    matrix.flows.push_back({src, dst, share});
+            }
+        }
+        return matrix;
+    }
+
+    // No closed form: estimate each row by sampling the pattern
+    // under a fixed stream. Self-directed draws are idle slots and
+    // drop out, exactly as in the generator.
+    matrix.sampled = true;
+    Rng rng;
+    std::vector<int> counts(
+        static_cast<std::size_t>(topo.numNodes()));
+    for (const NodeId src : endpoints) {
+        std::fill(counts.begin(), counts.end(), 0);
+        for (int i = 0; i < kMatrixSamples; ++i)
+            ++counts[static_cast<std::size_t>(
+                pattern.dest(src, rng))];
+        for (const NodeId dst : endpoints) {
+            const int n = counts[static_cast<std::size_t>(dst)];
+            if (dst != src && n > 0) {
+                matrix.flows.push_back(
+                    {src, dst,
+                     static_cast<double>(n) / kMatrixSamples});
+            }
+        }
+    }
+    return matrix;
+}
+
+namespace {
+
+/**
+ * Split @p mass over @p candidates according to the policy's
+ * stationary weights: loadSplit() distributes over the candidate
+ * *directions*, and same-direction VC candidates share their
+ * direction's mass uniformly. Calls @p sink(candidate, share) for
+ * every positive share; anything the policy left on the floor
+ * (weights not summing to 1 over the offered set) is returned as
+ * residual.
+ */
+template <typename Sink>
+double
+splitMass(const Topology &topo, const SelectionPolicy &policy,
+          NodeId current, NodeId dest, Direction in_dir,
+          const std::vector<VcCandidate> &candidates, double mass,
+          std::vector<double> &weights, std::vector<int> &fanout,
+          Sink &&sink)
+{
+    DirectionSet legal;
+    std::fill(fanout.begin(), fanout.end(), 0);
+    for (const VcCandidate &c : candidates) {
+        legal.insert(c.dir);
+        ++fanout[static_cast<std::size_t>(c.dir.index())];
+    }
+
+    policy.loadSplit(topo, current, dest, in_dir, legal, weights);
+
+    double spent = 0.0;
+    for (const VcCandidate &c : candidates) {
+        const auto idx = static_cast<std::size_t>(c.dir.index());
+        const double share = mass * weights[idx] / fanout[idx];
+        if (share <= 0.0)
+            continue;
+        spent += share;
+        sink(c, share);
+    }
+    return std::max(0.0, mass - spent);
+}
+
+ChannelLoadPrediction
+predictVc(const Topology &topo, const VcRoutingFunction &routing,
+          const SelectionPolicy &policy, const TrafficMatrix &matrix)
+{
+    const int num_channels = topo.numChannels();
+    const int vcs = routing.numVcs();
+    const auto num_states =
+        static_cast<std::size_t>(num_channels) *
+        static_cast<std::size_t>(vcs);
+
+    ChannelLoadPrediction out;
+    out.channelLoad.assign(
+        static_cast<std::size_t>(num_channels), 0.0);
+
+    // Flows grouped by destination: each destination's path space
+    // is walked once, with every source's mass seeded into it.
+    std::vector<std::vector<TrafficFlow>> byDest(
+        static_cast<std::size_t>(topo.numNodes()));
+    for (const TrafficFlow &flow : matrix.flows) {
+        if (flow.weight > 0.0) {
+            ++out.numFlows;
+            byDest[static_cast<std::size_t>(flow.dst)].push_back(
+                flow);
+        }
+    }
+
+    std::vector<double> pending(num_states);
+    std::vector<bool> queued(num_states);
+    std::vector<double> weights(
+        static_cast<std::size_t>(topo.numPorts()));
+    std::vector<int> fanout(
+        static_cast<std::size_t>(topo.numPorts()));
+    std::vector<VcCandidate> candidates;
+    std::deque<std::size_t> queue;
+
+    // Worklist iteration cap: certified relations induce a DAG per
+    // destination and finish in one pass; a cyclic relation decays
+    // its looping mass below the quantum instead of spinning, and
+    // anything still pending at the cap is flushed to the residual.
+    const std::size_t max_pops = 64 * num_states + 1024;
+
+    for (const NodeId dest : topo.endpoints()) {
+        const auto &flows = byDest[static_cast<std::size_t>(dest)];
+        if (flows.empty())
+            continue;
+        std::fill(pending.begin(), pending.end(), 0.0);
+        std::fill(queued.begin(), queued.end(), false);
+        queue.clear();
+
+        auto inject = [&](const VcCandidate &cand, double share,
+                          NodeId from) {
+            const ChannelId ch = topo.channelFrom(from, cand.dir);
+            if (ch == kInvalidChannel) {
+                out.residualMass += share;
+                return;
+            }
+            out.channelLoad[static_cast<std::size_t>(ch)] += share;
+            const std::size_t state =
+                static_cast<std::size_t>(ch) *
+                    static_cast<std::size_t>(vcs) +
+                static_cast<std::size_t>(
+                    std::max(0, cand.vc));
+            pending[state] += share;
+            if (!queued[state]) {
+                queued[state] = true;
+                queue.push_back(state);
+            }
+        };
+
+        for (const TrafficFlow &flow : flows) {
+            candidates.clear();
+            routing.route(topo, flow.src, dest, Direction::local(),
+                          kNoVc, candidates);
+            if (candidates.empty()) {
+                out.residualMass += flow.weight;
+                continue;
+            }
+            out.residualMass += splitMass(
+                topo, policy, flow.src, dest, Direction::local(),
+                candidates, flow.weight, weights, fanout,
+                [&](const VcCandidate &c, double share) {
+                    inject(c, share, flow.src);
+                });
+        }
+
+        std::size_t pops = 0;
+        while (!queue.empty()) {
+            if (++pops > max_pops) {
+                out.residualMass += std::accumulate(
+                    pending.begin(), pending.end(), 0.0);
+                break;
+            }
+            const std::size_t state = queue.front();
+            queue.pop_front();
+            queued[state] = false;
+            const double mass = pending[state];
+            pending[state] = 0.0;
+            if (mass <= kMassQuantum) {
+                out.residualMass += mass;
+                continue;
+            }
+
+            const auto ch = static_cast<ChannelId>(
+                state / static_cast<std::size_t>(vcs));
+            const int vc =
+                static_cast<int>(state %
+                                 static_cast<std::size_t>(vcs));
+            const Channel &in_ch = topo.channel(ch);
+            if (in_ch.dst == dest)
+                continue; // delivered
+
+            candidates.clear();
+            routing.route(topo, in_ch.dst, dest, in_ch.dir, vc,
+                          candidates);
+            if (candidates.empty()) {
+                out.residualMass += mass; // stuck state
+                continue;
+            }
+            out.residualMass += splitMass(
+                topo, policy, in_ch.dst, dest, in_ch.dir,
+                candidates, mass, weights, fanout,
+                [&](const VcCandidate &c, double share) {
+                    inject(c, share, in_ch.dst);
+                });
+        }
+    }
+
+    for (const double load : out.channelLoad) {
+        out.maxLoad = std::max(out.maxLoad, load);
+        out.meanLoad += load;
+    }
+    if (num_channels > 0)
+        out.meanLoad /= num_channels;
+    if (out.maxLoad > 0.0)
+        out.saturationLoad = 1.0 / out.maxLoad;
+
+    out.hotspots.resize(static_cast<std::size_t>(num_channels));
+    std::iota(out.hotspots.begin(), out.hotspots.end(), 0);
+    std::sort(out.hotspots.begin(), out.hotspots.end(),
+              [&](ChannelId a, ChannelId b) {
+                  const double la =
+                      out.channelLoad[static_cast<std::size_t>(a)];
+                  const double lb =
+                      out.channelLoad[static_cast<std::size_t>(b)];
+                  return la != lb ? la > lb : a < b;
+              });
+    return out;
+}
+
+} // namespace
+
+ChannelLoadPrediction
+predictChannelLoad(const Topology &topo,
+                   const RoutingFunction &routing,
+                   const SelectionPolicy &policy,
+                   const TrafficMatrix &matrix)
+{
+    // Non-owning handle: the adapter only borrows the relation for
+    // the duration of this call.
+    const SingleVcAdapter adapter(RoutingPtr(RoutingPtr(), &routing));
+    return predictVc(topo, adapter, policy, matrix);
+}
+
+ChannelLoadPrediction
+predictChannelLoad(const Topology &topo,
+                   const VcRoutingFunction &routing,
+                   const SelectionPolicy &policy,
+                   const TrafficMatrix &matrix)
+{
+    return predictVc(topo, routing, policy, matrix);
+}
+
+} // namespace turnnet

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Static channel-load prediction: the paper's pencil-and-paper path
+ * counting, mechanized.
+ *
+ * Given a (topology, routing relation, selection policy, traffic
+ * matrix) tuple, the analyzer enumerates the legal path space per
+ * source/destination pair — the same per-destination reachable
+ * channel walk the certifier's CDG construction uses — and
+ * propagates each pair's offered mass across the adaptive choices
+ * under the policy's stationary load split. The result is the
+ * expected flits/cycle on every channel at unit offered load (one
+ * flit per endpoint per cycle), from which follow the predicted
+ * saturation load `1 / max_c(load_c)` and the ranked hotspot
+ * channels — all without running a single simulated cycle. At low
+ * load the prediction matches the simulator's measured
+ * TraceCounters channel utilization (harness/analyze_report.hpp
+ * cross-validates the two).
+ */
+
+#ifndef TURNNET_VERIFY_LOAD_ANALYSIS_HPP
+#define TURNNET_VERIFY_LOAD_ANALYSIS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "turnnet/routing/selection_policy.hpp"
+#include "turnnet/routing/vc_routing.hpp"
+#include "turnnet/traffic/pattern.hpp"
+
+namespace turnnet {
+
+/** One source/destination flow of a traffic matrix. */
+struct TrafficFlow
+{
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+
+    /** Fraction of the source's offered flits bound for dst. */
+    double weight = 0.0;
+};
+
+/**
+ * An offered-load matrix: each endpoint's message-slot mass split
+ * over destinations. Rows sum to at most 1; self-directed slots
+ * (e.g. the transpose diagonal) generate no traffic and are
+ * omitted, matching the generator's idle-slot behavior.
+ */
+struct TrafficMatrix
+{
+    std::vector<TrafficFlow> flows;
+
+    /** True when the matrix was estimated by sampling dest() rather
+     *  than derived exactly (permutations, uniform). */
+    bool sampled = false;
+};
+
+/**
+ * Derive the matrix of @p pattern on @p topo: exact for
+ * permutations (one deterministic flow per source) and for uniform
+ * traffic (1/(E-1) to every other endpoint); any other pattern is
+ * estimated by deterministic sampling and flagged `sampled`.
+ */
+TrafficMatrix buildTrafficMatrix(const Topology &topo,
+                                 const TrafficPattern &pattern);
+
+/** The static prediction for one configuration. */
+struct ChannelLoadPrediction
+{
+    /** Expected flits/cycle per channel at unit offered load. */
+    std::vector<double> channelLoad;
+
+    double maxLoad = 0.0;
+    double meanLoad = 0.0;
+
+    /**
+     * Predicted saturation: the offered load (flits/node/cycle) at
+     * which the hottest channel reaches a full flit every cycle.
+     * Zero when no channel carries load.
+     */
+    double saturationLoad = 0.0;
+
+    /** Flows propagated (matrix entries with positive weight). */
+    std::size_t numFlows = 0;
+
+    /**
+     * Offered mass lost to the convergence guards (quantum floor,
+     * cyclic-relation iteration cap, dead-end states). Essentially
+     * zero for certified relations.
+     */
+    double residualMass = 0.0;
+
+    /** Channel ids ranked by predicted load, hottest first (load
+     *  ties broken by id for determinism). */
+    std::vector<ChannelId> hotspots;
+};
+
+/**
+ * Predict per-channel load for a single-channel relation under
+ * @p policy and @p matrix. Mass is propagated per destination over
+ * the reachable channel states; at each state the policy's
+ * loadSplit() distributes the incoming mass over the relation's
+ * legal outputs.
+ */
+ChannelLoadPrediction
+predictChannelLoad(const Topology &topo,
+                   const RoutingFunction &routing,
+                   const SelectionPolicy &policy,
+                   const TrafficMatrix &matrix);
+
+/**
+ * Virtual-channel variant: states are (channel, vc) pairs exactly
+ * as in the certifier's extended CDG; a physical channel's load is
+ * the sum over its virtual channels. The policy splits mass across
+ * the candidate *directions* (same-direction VC candidates share
+ * their direction's mass uniformly).
+ */
+ChannelLoadPrediction
+predictChannelLoad(const Topology &topo,
+                   const VcRoutingFunction &routing,
+                   const SelectionPolicy &policy,
+                   const TrafficMatrix &matrix);
+
+} // namespace turnnet
+
+#endif // TURNNET_VERIFY_LOAD_ANALYSIS_HPP

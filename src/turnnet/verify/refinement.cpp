@@ -1,0 +1,146 @@
+#include "turnnet/verify/refinement.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace turnnet {
+
+std::string
+RefinementResult::witnessToString(const Topology &topo) const
+{
+    if (refines)
+        return "";
+    std::string out = "at " + topo.nodeName(witness.node) +
+                      " header " + topo.nodeName(witness.header) +
+                      " in ";
+    out += witness.inDir.isLocal() ? "local"
+                                   : topo.dirName(witness.inDir);
+    out += ": chose " + topo.dirName(witness.chosen) + " outside ";
+
+    std::string legal;
+    witness.legal.forEach([&](Direction d) {
+        if (!legal.empty())
+            legal += ", ";
+        legal += topo.dirName(d);
+    });
+    out += "{" + legal + "} under " + witness.context;
+    return out;
+}
+
+namespace {
+
+/**
+ * Probe one reachable state under the congestion battery. Returns
+ * false (and fills the witness) on the first illegal choice.
+ */
+bool
+probeState(const Topology &topo, const SelectionPolicy &policy,
+           NodeId node, NodeId dest, Direction in_dir,
+           DirectionSet legal,
+           const std::vector<CongestionContext> &battery,
+           RefinementResult &result)
+{
+    ++result.statesChecked;
+    for (const CongestionContext &context : battery) {
+        ++result.contextsChecked;
+        const DirectionSet chosen =
+            policy.choices(topo, node, dest, in_dir, legal, context);
+        const DirectionSet illegal = chosen - legal;
+        if (illegal.empty())
+            continue;
+        result.refines = false;
+        result.witness.node = node;
+        result.witness.header = dest;
+        result.witness.inDir = in_dir;
+        result.witness.chosen = illegal.first();
+        result.witness.legal = legal;
+        result.witness.context = context.label;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+RefinementResult
+checkPolicyRefinement(const Topology &topo,
+                      const RoutingFunction &routing,
+                      const SelectionPolicy &policy)
+{
+    RefinementResult result;
+    const int num_channels = topo.numChannels();
+
+    // One congestion battery per node: uncongested, uniform
+    // backpressure, and every single-port hotspot of that node.
+    std::vector<std::vector<CongestionContext>> batteries(
+        static_cast<std::size_t>(topo.numNodes()));
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        auto &battery = batteries[static_cast<std::size_t>(n)];
+        battery.push_back(CongestionContext::uncongested());
+        battery.push_back(
+            CongestionContext::uniform(topo.numPorts(), 1.0));
+        topo.directionsFrom(n).forEach([&](Direction d) {
+            battery.push_back(CongestionContext::hot(
+                topo.numPorts(), d, topo.dirName(d)));
+        });
+    }
+
+    // Per destination, walk the states a packet bound there can
+    // reach — the same seeding and channel BFS as the certifier's
+    // CDG construction (analysis/cdg.cpp), with the policy probed
+    // at every state instead of edges collected.
+    std::vector<bool> seen(static_cast<std::size_t>(num_channels));
+    for (const NodeId dest : topo.endpoints()) {
+        std::fill(seen.begin(), seen.end(), false);
+        std::deque<ChannelId> queue;
+
+        for (const NodeId src : topo.endpoints()) {
+            if (src == dest)
+                continue;
+            const DirectionSet legal =
+                routing.route(topo, src, dest, Direction::local());
+            if (legal.empty())
+                continue;
+            if (!probeState(topo, policy, src, dest,
+                            Direction::local(), legal,
+                            batteries[static_cast<std::size_t>(src)],
+                            result))
+                return result;
+            legal.forEach([&](Direction d) {
+                const ChannelId ch = topo.channelFrom(src, d);
+                if (ch != kInvalidChannel && !seen[ch]) {
+                    seen[ch] = true;
+                    queue.push_back(ch);
+                }
+            });
+        }
+
+        while (!queue.empty()) {
+            const ChannelId in = queue.front();
+            queue.pop_front();
+            const Channel &in_ch = topo.channel(in);
+            if (in_ch.dst == dest)
+                continue; // delivered; no further selection
+            const DirectionSet legal =
+                routing.route(topo, in_ch.dst, dest, in_ch.dir);
+            if (legal.empty())
+                continue;
+            if (!probeState(
+                    topo, policy, in_ch.dst, dest, in_ch.dir, legal,
+                    batteries[static_cast<std::size_t>(in_ch.dst)],
+                    result))
+                return result;
+            legal.forEach([&](Direction d) {
+                const ChannelId out = topo.channelFrom(in_ch.dst, d);
+                if (out != kInvalidChannel && !seen[out]) {
+                    seen[out] = true;
+                    queue.push_back(out);
+                }
+            });
+        }
+    }
+    return result;
+}
+
+} // namespace turnnet

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Policy-safety refinement: proves that a selection policy only
+ * ever picks outputs the certified routing relation permits.
+ *
+ * The certifier (certifier.hpp) proves a *relation* deadlock-free;
+ * a live router runs a *policy* on top of it. The verdict transfers
+ * exactly when the policy is a refinement of the relation: at every
+ * reachable routing state (node, destination, arrival direction),
+ * under every congestion estimate, the policy's choice set is a
+ * subset of the relation's legal output set. This module checks
+ * that by exhaustive enumeration — the reachable states are walked
+ * with the same per-destination channel BFS the certifier's CDG
+ * construction uses, and each state is probed under a battery of
+ * congestion contexts (uncongested, uniform backpressure, one-hot
+ * per port of the node), so congestion-triggered misbehavior
+ * cannot hide behind the uncongested fast path.
+ *
+ * A violation produces a concrete (node, header, illegal turn)
+ * witness mirroring the certifier's cycle witnesses: the state, the
+ * congestion context, the choice the policy made, and the legal set
+ * it escaped from.
+ */
+
+#ifndef TURNNET_VERIFY_REFINEMENT_HPP
+#define TURNNET_VERIFY_REFINEMENT_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "turnnet/routing/routing_function.hpp"
+#include "turnnet/routing/selection_policy.hpp"
+
+namespace turnnet {
+
+/** One concrete refinement violation. */
+struct RefinementWitness
+{
+    /** Node where the policy strayed. */
+    NodeId node = kInvalidNode;
+
+    /** The packet header's destination. */
+    NodeId header = kInvalidNode;
+
+    /** Arrival direction of the state (local at injection). */
+    Direction inDir;
+
+    /** The illegal direction the policy chose. */
+    Direction chosen;
+
+    /** What the relation actually permits in this state. */
+    DirectionSet legal;
+
+    /** Label of the congestion context that triggered it. */
+    std::string context;
+};
+
+/** Outcome of one (relation, policy) refinement check. */
+struct RefinementResult
+{
+    /** True when every choice at every state stayed legal. */
+    bool refines = true;
+
+    /** Reachable (node, dest, in_dir) states enumerated. */
+    std::size_t statesChecked = 0;
+
+    /** Total (state, congestion context) probes. */
+    std::size_t contextsChecked = 0;
+
+    /** First violation found; meaningful when !refines. */
+    RefinementWitness witness;
+
+    /** Render the witness like the certifier renders cycles, e.g.
+     *  "at (2,1) header (0,3) in east: chose north outside {west}
+     *   under hot:west". Empty when the check passed. */
+    std::string witnessToString(const Topology &topo) const;
+};
+
+/**
+ * Exhaustively check that @p policy refines @p routing on @p topo.
+ * Walks every reachable routing state per destination endpoint
+ * (injection states included) and probes the policy under the full
+ * congestion battery at each. Stops at the first violation.
+ */
+RefinementResult checkPolicyRefinement(const Topology &topo,
+                                       const RoutingFunction &routing,
+                                       const SelectionPolicy &policy);
+
+} // namespace turnnet
+
+#endif // TURNNET_VERIFY_REFINEMENT_HPP

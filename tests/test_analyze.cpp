@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Tests for the static path-space analyzer: the selection-policy
+ * registry, the refinement verifier (safe policies refine, the
+ * unsafe-escape mock is refuted with a checkable witness), the
+ * channel-load predictor (hand-computed loads, hop-mass
+ * conservation, adversaries beating uniform), the prediction's
+ * cross-validation against the simulator's measured channel
+ * utilization at low load, and the multi-error request validation
+ * behind tools/turnnet-analyze.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "turnnet/harness/analyze_report.hpp"
+#include "turnnet/network/simulator.hpp"
+#include "turnnet/routing/registry.hpp"
+#include "turnnet/routing/selection_policy.hpp"
+#include "turnnet/topology/mesh.hpp"
+#include "turnnet/topology/topology_registry.hpp"
+#include "turnnet/verify/analyze.hpp"
+#include "turnnet/verify/load_analysis.hpp"
+#include "turnnet/verify/refinement.hpp"
+#include "turnnet/workload/adversarial.hpp"
+
+namespace turnnet {
+namespace {
+
+bool
+sameSet(DirectionSet a, DirectionSet b)
+{
+    return (a - b).empty() && (b - a).empty();
+}
+
+TEST(SelectionPolicies, RegistryIsSaneAndInstantiable)
+{
+    const std::vector<SelectionPolicyEntry> &entries =
+        selectionPolicies();
+    ASSERT_GE(entries.size(), 6u);
+
+    std::set<std::string> names;
+    bool has_negative_control = false;
+    for (const SelectionPolicyEntry &e : entries) {
+        EXPECT_TRUE(names.insert(e.name).second)
+            << "duplicate policy name " << e.name;
+        EXPECT_NE(std::string(e.rationale), "");
+        has_negative_control |= !e.expectRefines;
+
+        EXPECT_TRUE(isKnownSelectionPolicy(e.name));
+        const SelectionPolicyPtr p = makeSelectionPolicy(e.name);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->name(), e.name);
+    }
+    // The registry must carry the deliberately unsafe mock; a
+    // refinement gate with no refutable input proves nothing.
+    EXPECT_TRUE(has_negative_control);
+    EXPECT_EQ(names.count("unsafe-escape"), 1u);
+    EXPECT_FALSE(isKnownSelectionPolicy("no-such-policy"));
+}
+
+TEST(SelectionPolicies, LoadSplitIsAStochasticVector)
+{
+    // Every policy's stationary split must be a distribution over
+    // the legal set: non-negative, zero outside it, summing to 1.
+    const Mesh mesh(4, 4);
+    const RoutingPtr routing =
+        makeRouting({.name = "west-first", .dims = 2});
+    const NodeId src = mesh.nodeOf({0, 0});
+    const NodeId dst = mesh.nodeOf({3, 3});
+    const DirectionSet legal =
+        routing->route(mesh, src, dst, Direction::local());
+    ASSERT_GT(legal.size(), 1);
+
+    for (const SelectionPolicyEntry &e : selectionPolicies()) {
+        const SelectionPolicyPtr p = makeSelectionPolicy(e.name);
+        std::vector<double> w;
+        p->loadSplit(mesh, src, dst, Direction::local(), legal, w);
+        ASSERT_GE(w.size(),
+                  static_cast<std::size_t>(mesh.numPorts()));
+        double total = 0.0;
+        for (int i = 0; i < mesh.numPorts(); ++i) {
+            EXPECT_GE(w[static_cast<std::size_t>(i)], 0.0)
+                << e.name;
+            if (!legal.contains(Direction::fromIndex(i))) {
+                EXPECT_EQ(w[static_cast<std::size_t>(i)], 0.0)
+                    << e.name << " puts mass outside the legal set";
+            }
+            total += w[static_cast<std::size_t>(i)];
+        }
+        EXPECT_NEAR(total, 1.0, 1e-12) << e.name;
+    }
+}
+
+TEST(Refinement, SafePoliciesRefineTheRestrictedRelations)
+{
+    // The strongly restricted algorithms are where an unsound
+    // policy would be caught; every expectRefines policy must hold.
+    const Mesh mesh(4, 4);
+    for (const char *alg : {"xy", "west-first", "negative-first"}) {
+        const RoutingPtr routing =
+            makeRouting({.name = alg, .dims = 2});
+        for (const SelectionPolicyEntry &e : selectionPolicies()) {
+            if (!e.expectRefines)
+                continue;
+            const RefinementResult r = checkPolicyRefinement(
+                mesh, *routing, *makeSelectionPolicy(e.name));
+            EXPECT_TRUE(r.refines) << alg << " + " << e.name << ": "
+                                   << r.witnessToString(mesh);
+            EXPECT_GT(r.statesChecked, 0u);
+            // Battery: uncongested + uniform + one hot context per
+            // port, so strictly more probes than states.
+            EXPECT_GT(r.contextsChecked, r.statesChecked);
+        }
+    }
+}
+
+TEST(Refinement, UnsafeEscapeIsRefutedWithACheckableWitness)
+{
+    const Mesh mesh(4, 4);
+    const RoutingPtr routing = makeRouting({.name = "xy", .dims = 2});
+    const RefinementResult r = checkPolicyRefinement(
+        mesh, *routing, *makeSelectionPolicy("unsafe-escape"));
+    ASSERT_FALSE(r.refines);
+
+    // The witness must replay: at the witnessed state the relation's
+    // legal set matches what the witness recorded, and the chosen
+    // direction really is outside it.
+    const DirectionSet legal = routing->route(
+        mesh, r.witness.node, r.witness.header, r.witness.inDir);
+    EXPECT_TRUE(sameSet(legal, r.witness.legal));
+    EXPECT_FALSE(legal.contains(r.witness.chosen));
+    EXPECT_FALSE(r.witness.context.empty());
+
+    const std::string text = r.witnessToString(mesh);
+    EXPECT_NE(text.find("chose"), std::string::npos);
+    EXPECT_NE(text.find(r.witness.context), std::string::npos);
+}
+
+TEST(Refinement, EscapeOnlyMisbehavesUnderCongestion)
+{
+    // The unsafe mock is well-behaved on the uncongested fast path —
+    // exactly why the verifier needs the congestion battery. xy at
+    // (1,1) bound for (0,0) permits only west; the minimal set also
+    // holds south.
+    const Mesh mesh(4, 4);
+    const RoutingPtr routing = makeRouting({.name = "xy", .dims = 2});
+    const SelectionPolicyPtr policy =
+        makeSelectionPolicy("unsafe-escape");
+    const NodeId node = mesh.nodeOf({1, 1});
+    const NodeId dest = mesh.nodeOf({0, 0});
+    const DirectionSet legal =
+        routing->route(mesh, node, dest, Direction::local());
+    ASSERT_EQ(legal.size(), 1);
+
+    const DirectionSet calm = policy->choices(
+        mesh, node, dest, Direction::local(), legal,
+        CongestionContext::uncongested());
+    EXPECT_TRUE((calm - legal).empty());
+
+    const DirectionSet stressed = policy->choices(
+        mesh, node, dest, Direction::local(), legal,
+        CongestionContext::uniform(mesh.numPorts(), 1.0));
+    EXPECT_FALSE((stressed - legal).empty());
+}
+
+TEST(LoadAnalysis, HandComputedTinyMesh)
+{
+    // mesh(2x2), xy, uniform: every node offers 1/3 to each of the
+    // other three. Each x channel carries its source's two
+    // column-crossing flows (2/3); each y channel carries the two
+    // flows xy funnels through it (2/3). All eight channels at 2/3,
+    // saturation at 1.5 flits/node/cycle.
+    const Mesh mesh(2, 2);
+    const RoutingPtr routing = makeRouting({.name = "xy", .dims = 2});
+    const SelectionPolicyPtr policy =
+        makeSelectionPolicy("lowest-dim");
+    const TrafficMatrix matrix =
+        buildTrafficMatrix(mesh, *makeTraffic("uniform", mesh));
+    EXPECT_FALSE(matrix.sampled);
+    ASSERT_EQ(matrix.flows.size(), 12u);
+
+    const ChannelLoadPrediction p =
+        predictChannelLoad(mesh, *routing, *policy, matrix);
+    ASSERT_EQ(p.channelLoad.size(),
+              static_cast<std::size_t>(mesh.numChannels()));
+    for (const double load : p.channelLoad)
+        EXPECT_NEAR(load, 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(p.maxLoad, 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(p.saturationLoad, 1.5, 1e-12);
+    EXPECT_NEAR(p.residualMass, 0.0, 1e-12);
+    EXPECT_EQ(p.numFlows, 12u);
+    EXPECT_EQ(p.hotspots.size(),
+              static_cast<std::size_t>(mesh.numChannels()));
+}
+
+TEST(LoadAnalysis, ChannelMassEqualsHopMassForMinimalDeterministic)
+{
+    // For a deterministic minimal relation every unit of offered
+    // mass crosses exactly hops(src,dst) channels, so the summed
+    // channel load must equal the matrix's hop mass.
+    const Mesh mesh(4, 4);
+    const RoutingPtr routing = makeRouting({.name = "xy", .dims = 2});
+    const SelectionPolicyPtr policy =
+        makeSelectionPolicy("lowest-dim");
+    const TrafficMatrix matrix =
+        buildTrafficMatrix(mesh, *makeTraffic("uniform", mesh));
+
+    double hop_mass = 0.0;
+    for (const TrafficFlow &f : matrix.flows) {
+        const Coord a = mesh.coordOf(f.src);
+        const Coord b = mesh.coordOf(f.dst);
+        hop_mass +=
+            f.weight * (std::abs(a[0] - b[0]) + std::abs(a[1] - b[1]));
+    }
+
+    const ChannelLoadPrediction p =
+        predictChannelLoad(mesh, *routing, *policy, matrix);
+    double channel_mass = 0.0;
+    for (const double load : p.channelLoad)
+        channel_mass += load;
+    EXPECT_NEAR(channel_mass, hop_mass, 1e-9 * hop_mass);
+    EXPECT_NEAR(p.residualMass, 0.0, 1e-12);
+}
+
+TEST(LoadAnalysis, SplitPoliciesConserveMassOnAdaptiveRelations)
+{
+    // Adaptive relations fan mass out; whatever the split, nothing
+    // may leak. west-first on uniform under every safe policy.
+    const Mesh mesh(4, 4);
+    const RoutingPtr routing =
+        makeRouting({.name = "west-first", .dims = 2});
+    const TrafficMatrix matrix =
+        buildTrafficMatrix(mesh, *makeTraffic("uniform", mesh));
+
+    double min_hop_mass = 0.0;
+    for (const TrafficFlow &f : matrix.flows) {
+        const Coord a = mesh.coordOf(f.src);
+        const Coord b = mesh.coordOf(f.dst);
+        min_hop_mass +=
+            f.weight * (std::abs(a[0] - b[0]) + std::abs(a[1] - b[1]));
+    }
+
+    for (const SelectionPolicyEntry &e : selectionPolicies()) {
+        if (!e.expectRefines)
+            continue;
+        const ChannelLoadPrediction p = predictChannelLoad(
+            mesh, *routing, *makeSelectionPolicy(e.name), matrix);
+        EXPECT_NEAR(p.residualMass, 0.0, 1e-12) << e.name;
+        // west-first is minimal: the summed channel load is the
+        // minimal hop mass no matter how the policy splits.
+        double channel_mass = 0.0;
+        for (const double load : p.channelLoad)
+            channel_mass += load;
+        EXPECT_NEAR(channel_mass, min_hop_mass,
+                    1e-9 * min_hop_mass)
+            << e.name;
+    }
+}
+
+TEST(LoadAnalysis, EveryRegisteredAdversaryBeatsUniform)
+{
+    // The adversarial registry's whole claim is "worse than
+    // uniform"; the static analyzer must reproduce it for every
+    // entry, on the shape where the pattern is defined (tornado is
+    // the ring adversary — see defaultLoadCases()).
+    for (const AdversarialWorkload &adv : adversarialWorkloads()) {
+        const std::string family = adv.family;
+        std::string topology;
+        bool vc = false;
+        if (family == "mesh") {
+            topology = "mesh(8x8)";
+        } else if (family == "torus") {
+            topology = "torus(16)";
+        } else if (family == "dragonfly") {
+            topology = "dragonfly(4,2,2)";
+            vc = true;
+        } else {
+            ADD_FAILURE() << "no analyzer shape for adversarial "
+                             "family "
+                          << family << " (algorithm "
+                          << adv.algorithm << ")";
+            continue;
+        }
+        const LoadCaseOutcome uniform = runLoadCase(
+            {topology, adv.algorithm, "lowest-dim", "uniform", vc});
+        const LoadCaseOutcome attack = runLoadCase(
+            {topology, adv.algorithm, "lowest-dim", "adversarial",
+             vc});
+        EXPECT_TRUE(uniform.pass) << adv.algorithm;
+        EXPECT_TRUE(attack.pass) << adv.algorithm;
+        EXPECT_EQ(attack.trafficName, adv.pattern);
+        EXPECT_GT(attack.prediction.maxLoad,
+                  uniform.prediction.maxLoad)
+            << adv.pattern << " does not beat uniform for "
+            << adv.algorithm << " on " << topology;
+        EXPECT_LT(attack.prediction.saturationLoad,
+                  uniform.prediction.saturationLoad)
+            << adv.algorithm;
+    }
+}
+
+TEST(LoadAnalysis, PredictionMatchesMeasuredUtilizationAtLowLoad)
+{
+    // The cross-validation bar: at <= 5% offered load the simulated
+    // channel utilization must agree with offered * predicted load
+    // within 10% on every channel the analyzer calls significant.
+    // 3% keeps the busy-channel diversion of the router's LowestDim
+    // arbitration (a first-order-in-load effect the stationary
+    // split deliberately ignores) inside the tolerance.
+    const double offered = 0.02;
+    const std::string topology = "mesh(8x8)";
+    const std::unique_ptr<Topology> topo =
+        TopologyRegistry::instance().build(topology);
+
+    for (const char *alg : {"xy", "west-first", "negative-first"}) {
+        const RoutingPtr routing =
+            makeRouting({.name = alg, .dims = 2});
+        const SelectionPolicyPtr policy =
+            makeSelectionPolicy("lowest-dim");
+        const TrafficMatrix matrix = buildTrafficMatrix(
+            *topo, *makeTraffic("uniform", *topo));
+        const ChannelLoadPrediction prediction =
+            predictChannelLoad(*topo, *routing, *policy, matrix);
+
+        // Short fixed messages keep the drain tail (which dilutes
+        // the utilization denominator) negligible next to the
+        // measurement window, and maximize the message count per
+        // channel — the per-channel Poisson noise shrinks as
+        // 1/sqrt(messages), and the max over ~200 channels sits
+        // several sigma out. LowestDim mirrors the analyzed policy.
+        SimConfig config;
+        config.load = offered;
+        config.lengths = MessageLengthMix::fixed(2);
+        config.warmupCycles = 2000;
+        config.measureCycles = 360000;
+        config.drainCycles = 20000;
+        config.outputPolicy = OutputPolicy::LowestDim;
+        config.trace.counters = true;
+        config.seed = 20260807;
+        Simulator sim(*topo, routing,
+                      makeTraffic("uniform", *topo), config);
+        sim.run();
+        ASSERT_NE(sim.counters(), nullptr) << alg;
+
+        // Compare channels predicted at >= 2% utilization: below
+        // that the finite sample, not the model, dominates the
+        // relative error.
+        const LoadValidation v = validatePredictionAgainstCounters(
+            prediction, *sim.counters(), offered, 0.10, 0.02);
+        EXPECT_GT(v.channelsCompared, 0u) << alg;
+        EXPECT_TRUE(v.withinTolerance)
+            << alg << ": max rel error " << v.maxRelError << " over "
+            << v.channelsCompared << " channels (mean "
+            << v.meanRelError << ")";
+    }
+}
+
+TEST(Analyze, DefaultTablesAreWiredToTheRegistries)
+{
+    // Every safe policy appears in the refinement table against
+    // every certified single-channel relation, and the curated
+    // negative-control rows are present.
+    const std::vector<RefinementCase> refine =
+        defaultRefinementCases();
+    std::size_t negative = 0;
+    for (const RefinementCase &c : refine) {
+        EXPECT_TRUE(isKnownSelectionPolicy(c.policy));
+        if (!c.expectRefines) {
+            ++negative;
+            EXPECT_EQ(c.policy, "unsafe-escape");
+        }
+    }
+    EXPECT_GE(negative, 8u);
+
+    const std::vector<LoadCase> load = defaultLoadCases();
+    bool has_adversarial = false;
+    bool has_vc = false;
+    for (const LoadCase &c : load) {
+        has_adversarial |= c.traffic == "adversarial";
+        has_vc |= c.vc;
+    }
+    EXPECT_TRUE(has_adversarial);
+    EXPECT_TRUE(has_vc);
+}
+
+TEST(Analyze, RefinementCaseOutcomeMatchesExpectation)
+{
+    const RefinementCaseOutcome good = runRefinementCase(
+        {"mesh(4x4)", "west-first", "straight-first", true});
+    EXPECT_TRUE(good.pass);
+    EXPECT_TRUE(good.result.refines);
+    EXPECT_TRUE(good.witnessText.empty());
+
+    const RefinementCaseOutcome bad = runRefinementCase(
+        {"mesh(4x4)", "negative-first", "unsafe-escape", false});
+    EXPECT_TRUE(bad.pass);
+    EXPECT_FALSE(bad.result.refines);
+    EXPECT_FALSE(bad.witnessText.empty());
+
+    // And an expectation mismatch is a FAIL, not a crash.
+    const RefinementCaseOutcome mismatch = runRefinementCase(
+        {"mesh(4x4)", "west-first", "unsafe-escape", true});
+    EXPECT_FALSE(mismatch.pass);
+}
+
+TEST(AnalyzeRequest, ValidRequestBuildsTheCrossProduct)
+{
+    AnalyzeRequest request;
+    request.topologies = {"mesh(4x4)"};
+    request.algorithms = {"west-first"};
+    request.traffics = {"uniform", "adversarial"};
+    EXPECT_TRUE(request.validate().empty());
+
+    std::vector<RefinementCase> refine;
+    std::vector<LoadCase> load;
+    request.buildCases(refine, load);
+
+    // Policies defaulted to the safe registry entries only: an
+    // implicit sweep must not inject the negative control on
+    // arbitrary shapes.
+    std::size_t safe_policies = 0;
+    for (const SelectionPolicyEntry &e : selectionPolicies())
+        safe_policies += e.expectRefines ? 1 : 0;
+    EXPECT_EQ(refine.size(), safe_policies);
+    for (const RefinementCase &c : refine) {
+        EXPECT_TRUE(c.expectRefines);
+        EXPECT_NE(c.policy, "unsafe-escape");
+    }
+    EXPECT_EQ(load.size(), 2 * safe_policies);
+}
+
+TEST(AnalyzeRequest, ValidationCollectsEveryProblem)
+{
+    // One request, six distinct mistakes: the gate must report all
+    // of them in one pass instead of dying on the first.
+    AnalyzeRequest request;
+    request.topologies = {"mesh", "blob(4x4)", "mesh(4x4)"};
+    request.algorithms = {"warp-speed", "nf-torus"};
+    request.policies = {"greedy"};
+    request.traffics = {"noise", "adversarial"};
+
+    const std::vector<std::string> errors = request.validate();
+    std::string all;
+    for (const std::string &e : errors)
+        all += e + "\n";
+
+    EXPECT_GE(errors.size(), 5u) << all;
+    EXPECT_NE(all.find("malformed topology 'mesh'"),
+              std::string::npos)
+        << all;
+    EXPECT_NE(all.find("unknown topology family 'blob'"),
+              std::string::npos)
+        << all;
+    EXPECT_NE(all.find("unknown algorithm 'warp-speed'"),
+              std::string::npos)
+        << all;
+    // nf-torus is real but not certified for the mesh family.
+    EXPECT_NE(all.find("obligation table"), std::string::npos)
+        << all;
+    EXPECT_NE(all.find("unknown selection policy 'greedy'"),
+              std::string::npos)
+        << all;
+    EXPECT_NE(all.find("unknown traffic 'noise'"),
+              std::string::npos)
+        << all;
+}
+
+TEST(AnalyzeRequest, AdversarialNeedsARegisteredAdversary)
+{
+    AnalyzeRequest request;
+    request.topologies = {"hypercube(3)"};
+    request.algorithms = {"p-cube"};
+    request.traffics = {"adversarial"};
+    const std::vector<std::string> errors = request.validate();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("no adversarial workload"),
+              std::string::npos);
+}
+
+using AnalyzeDeathTest = ::testing::Test;
+
+TEST(AnalyzeDeathTest, ValidateOrDieReportsAllProblemsAtOnce)
+{
+    // The fatal surface carries the same multi-error report as the
+    // non-fatal one: both named problems must appear in one message.
+    AnalyzeRequest request;
+    request.algorithms = {"warp-speed"};
+    request.policies = {"greedy"};
+    EXPECT_DEATH(request.validateOrDie(),
+                 "2 problems(.|\n)*warp-speed(.|\n)*greedy");
+}
+
+TEST(AnalyzeDeathTest, UnknownPolicyNameIsFatalWithTheRegistry)
+{
+    EXPECT_DEATH(makeSelectionPolicy("no-such-policy"),
+                 "unknown selection policy(.|\n)*lowest-dim");
+}
+
+} // namespace
+} // namespace turnnet

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "turnnet/harness/analyze_report.hpp"
 #include "turnnet/harness/bench_report.hpp"
 #include "turnnet/harness/fault_sweep.hpp"
 #include "turnnet/harness/sweep.hpp"
@@ -33,6 +34,7 @@
 #include "turnnet/topology/mesh.hpp"
 #include "turnnet/trace/counters.hpp"
 #include "turnnet/traffic/pattern.hpp"
+#include "turnnet/verify/analyze.hpp"
 #include "turnnet/verify/certify.hpp"
 #include "turnnet/workload/tracegen.hpp"
 
@@ -257,6 +259,30 @@ TEST(Golden, TraceBenchExport)
         traceBenchJson(trace->name(), mesh.name(),
                        trace->records().size(), trace->totalFlits(),
                        entries));
+}
+
+TEST(Golden, AnalyzeExport)
+{
+    // The static path-space analysis is likewise RNG-free: the
+    // refinement walk, the load propagation, and the hotspot
+    // ranking are deterministic functions of the registries. The
+    // fixture pins a figure-scale mesh case (with its adversary and
+    // the refuted negative control) plus a hierarchical VC case, so
+    // drift in the legal path space, the policy split, or the
+    // report rendering is a byte diff.
+    const std::vector<RefinementCase> refine = {
+        {"mesh(8x8)", "west-first", "straight-first", true},
+        {"mesh(8x8)", "west-first", "unsafe-escape", false},
+    };
+    const std::vector<LoadCase> load = {
+        {"mesh(8x8)", "west-first", "lowest-dim", "uniform"},
+        {"mesh(8x8)", "west-first", "lowest-dim", "adversarial"},
+        {"dragonfly(4,2,2)", "dragonfly-ugal", "lowest-dim",
+         "uniform", /*vc=*/true},
+    };
+    const AnalyzeReport report = runAnalysis(refine, load);
+    ASSERT_TRUE(report.allPassed());
+    expectMatchesGolden("analyze.json", analyzeJson(report));
 }
 
 TEST(Golden, CertifyExport)

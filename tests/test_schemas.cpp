@@ -10,11 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "turnnet/common/json.hpp"
+#include "turnnet/harness/analyze_report.hpp"
 #include "turnnet/harness/bench_report.hpp"
 #include "turnnet/harness/fault_sweep.hpp"
 #include "turnnet/network/simulator.hpp"
@@ -24,6 +26,7 @@
 #include "turnnet/trace/event_trace.hpp"
 #include "turnnet/trace/forensics.hpp"
 #include "turnnet/traffic/pattern.hpp"
+#include "turnnet/verify/analyze.hpp"
 #include "turnnet/verify/certify.hpp"
 #include "turnnet/workload/tracegen.hpp"
 
@@ -435,6 +438,111 @@ TEST(Schemas, CertifyReport)
             EXPECT_NE(hop.find("dir"), nullptr);
         }
     }
+}
+
+TEST(Schemas, AnalyzeReport)
+{
+    // A slice of the analyzer sweep with one of each outcome shape:
+    // a refinement pass (null witness), the refuted negative
+    // control (populated witness object), a load case with an
+    // attached measured-validation block, and one without.
+    std::vector<RefinementCase> refine = {
+        {"mesh(4x4)", "west-first", "straight-first", true},
+        {"mesh(4x4)", "xy", "unsafe-escape", false},
+    };
+    std::vector<LoadCase> load = {
+        {"mesh(4x4)", "xy", "lowest-dim", "uniform"},
+        {"mesh(4x4)", "west-first", "random", "transpose"},
+    };
+    const AnalyzeReport report = runAnalysis(refine, load);
+    ASSERT_TRUE(report.allPassed());
+
+    const Mesh mesh(4, 4);
+    std::map<std::size_t, LoadValidation> measured;
+    measured[0] = validatePredictionAgainstCounters(
+        report.load[0].prediction,
+        *countersFromRun(mesh, "xy", 0.05), 0.05);
+
+    const json::Value doc = parseWithSchema(
+        analyzeJson(report, measured), "turnnet.analyze/1");
+    EXPECT_TRUE(doc.find("all_passed")->asBool());
+    EXPECT_EQ(doc.find("num_refinement_cases")->asNumber(), 2.0);
+    EXPECT_EQ(doc.find("num_refinement_passed")->asNumber(), 2.0);
+    EXPECT_EQ(doc.find("num_load_cases")->asNumber(), 2.0);
+    EXPECT_EQ(doc.find("num_load_passed")->asNumber(), 2.0);
+
+    const json::Value *rlist = doc.find("refinement");
+    ASSERT_NE(rlist, nullptr);
+    ASSERT_EQ(rlist->size(), 2u);
+    for (const json::Value &e : rlist->items()) {
+        ASSERT_NE(e.find("topology"), nullptr);
+        ASSERT_NE(e.find("algorithm"), nullptr);
+        ASSERT_NE(e.find("policy"), nullptr);
+        ASSERT_NE(e.find("expect_refines"), nullptr);
+        ASSERT_NE(e.find("refines"), nullptr);
+        ASSERT_NE(e.find("states_checked"), nullptr);
+        ASSERT_NE(e.find("contexts_checked"), nullptr);
+        ASSERT_NE(e.find("witness"), nullptr);
+        EXPECT_TRUE(e.find("pass")->asBool());
+
+        if (e.find("policy")->asString() == "unsafe-escape") {
+            const json::Value &w = *e.find("witness");
+            ASSERT_TRUE(w.isObject());
+            EXPECT_NE(w.find("node"), nullptr);
+            EXPECT_NE(w.find("header"), nullptr);
+            EXPECT_NE(w.find("in_dir"), nullptr);
+            EXPECT_NE(w.find("chosen"), nullptr);
+            EXPECT_TRUE(w.find("legal")->isArray());
+            EXPECT_NE(w.find("context"), nullptr);
+            EXPECT_NE(w.find("text"), nullptr);
+        } else {
+            EXPECT_TRUE(e.find("witness")->isNull());
+        }
+    }
+
+    const json::Value *llist = doc.find("load");
+    ASSERT_NE(llist, nullptr);
+    ASSERT_EQ(llist->size(), 2u);
+    for (const json::Value &e : llist->items()) {
+        ASSERT_NE(e.find("topology"), nullptr);
+        ASSERT_NE(e.find("algorithm"), nullptr);
+        ASSERT_NE(e.find("policy"), nullptr);
+        ASSERT_NE(e.find("traffic"), nullptr);
+        ASSERT_NE(e.find("vcs"), nullptr);
+        ASSERT_NE(e.find("num_flows"), nullptr);
+        ASSERT_NE(e.find("sampled_matrix"), nullptr);
+        ASSERT_NE(e.find("offered_mass"), nullptr);
+        ASSERT_NE(e.find("residual_mass"), nullptr);
+        ASSERT_NE(e.find("max_load"), nullptr);
+        ASSERT_NE(e.find("mean_load"), nullptr);
+        ASSERT_NE(e.find("saturation_load"), nullptr);
+        ASSERT_TRUE(e.find("hotspots")->isArray());
+        ASSERT_GT(e.find("hotspots")->size(), 0u);
+        const json::Value &spot = e.find("hotspots")->items()[0];
+        EXPECT_NE(spot.find("channel"), nullptr);
+        EXPECT_NE(spot.find("src"), nullptr);
+        EXPECT_NE(spot.find("dir"), nullptr);
+        EXPECT_NE(spot.find("load"), nullptr);
+        ASSERT_TRUE(e.find("channel_load")->isArray());
+        EXPECT_EQ(e.find("channel_load")->size(),
+                  static_cast<std::size_t>(mesh.numChannels()));
+        EXPECT_TRUE(e.find("pass")->asBool());
+    }
+
+    // The measured block rides case 0 only.
+    const json::Value &with = llist->items()[0];
+    ASSERT_TRUE(with.find("measured")->isObject());
+    EXPECT_NE(with.find("measured")->find("offered_load"), nullptr);
+    EXPECT_NE(with.find("measured")->find("cycles"), nullptr);
+    EXPECT_NE(with.find("measured")->find("channels_compared"),
+              nullptr);
+    EXPECT_NE(with.find("measured")->find("max_rel_error"), nullptr);
+    EXPECT_NE(with.find("measured")->find("mean_rel_error"),
+              nullptr);
+    EXPECT_NE(with.find("measured")->find("tolerance"), nullptr);
+    EXPECT_NE(with.find("measured")->find("within_tolerance"),
+              nullptr);
+    EXPECT_TRUE(llist->items()[1].find("measured")->isNull());
 }
 
 } // namespace

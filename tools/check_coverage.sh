@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Line-coverage floor for the simulator core (src/turnnet/network/,
-# src/turnnet/routing/, the static certifier src/turnnet/verify/,
+# src/turnnet/routing/ — relations, registry, and the selection-
+# policy layer — the static passes in src/turnnet/verify/: the
+# certifier plus the turnnet-analyze passes (policy-refinement
+# checking, channel-load prediction, and the request validator),
 # the topology layer src/turnnet/topology/ — fabrics, the
 # TopologySpec/TopologyRegistry construction surface, and the
 # hierarchical dragonfly/fat-tree families — and the workload layer

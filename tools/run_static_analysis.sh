@@ -11,10 +11,11 @@
 #
 # Phase 2: clang-tidy over src/ with the repo's .clang-tidy profile,
 # using the build tree's compile_commands.json. The build image does
-# not ship clang-tidy; when no binary is found the phase is SKIPPED
-# with a notice (exit 0) so the gate degrades to phase 1 instead of
-# failing on a missing tool. CI images that do carry clang-tidy get
-# the full gate automatically.
+# not ship clang-tidy; when no binary is found the script exits 77 —
+# the conventional skip code, registered with SKIP_RETURN_CODE on
+# the tool_clang_tidy ctest entry (mirroring bench_shard_gate) — so
+# CI records an honest SKIP instead of a fake PASS. CI images that
+# do carry clang-tidy get the full gate automatically.
 set -euo pipefail
 
 TIDY_ONLY=0
@@ -48,9 +49,10 @@ for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
     fi
 done
 if [ -z "$TIDY_BIN" ]; then
-    echo "NOTICE: no clang-tidy binary in PATH; skipping the tidy"
-    echo "phase (the certify sweep above is the effective gate)."
-    exit 0
+    echo "SKIP: no clang-tidy binary in PATH; the tidy phase cannot"
+    echo "run here (tool_certify_gate and tool_analyze_gate remain"
+    echo "the effective static gates)."
+    exit 77
 fi
 
 COMPDB=$BUILD_DIR/compile_commands.json

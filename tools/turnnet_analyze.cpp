@@ -1,0 +1,109 @@
+/**
+ * @file
+ * turnnet-analyze: the static path-space analysis gate.
+ *
+ * Runs the two analyses of verify/analyze.hpp — policy-safety
+ * refinement proofs and static channel-load prediction — over the
+ * default case tables (the certifier's registry sweep crossed with
+ * the selection-policy registry) or over an explicit request, and
+ * exits nonzero on any miss: a policy that strays outside its
+ * certified legal set, an expected refutation that did not happen,
+ * or a load case that fails mass conservation. CI runs it under
+ * `ctest -L static` next to turnnet-certify.
+ *
+ * Options: --out PATH (default ANALYZE_report.json; "off" disables
+ * the JSON report), --topo CSV, --algo CSV, --policy CSV,
+ * --traffic CSV (each a comma-separated component list; their cross
+ * product defines the cases, with missing components filled from
+ * the certifier's obligation table, the refining policies, and
+ * uniform traffic), --witness (print every refutation's witness).
+ * An invalid request reports *every* bad component in one
+ * descriptive error (exit 2), not just the first.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "turnnet/common/cli.hpp"
+#include "turnnet/harness/analyze_report.hpp"
+#include "turnnet/verify/analyze.hpp"
+
+using namespace turnnet;
+
+namespace {
+
+/** Split a comma-separated option value; empty value, empty list. */
+std::vector<std::string>
+splitCsv(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size() && !text.empty()) {
+        const std::size_t stop = text.find(',', start);
+        out.push_back(text.substr(
+            start, stop == std::string::npos ? std::string::npos
+                                             : stop - start));
+        if (stop == std::string::npos)
+            break;
+        start = stop + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opts = CliOptions::parse(argc, argv);
+    const std::string out =
+        opts.getString("out", "ANALYZE_report.json");
+    const bool show_witness = opts.getBool("witness", false);
+
+    AnalyzeRequest request;
+    request.topologies = splitCsv(opts.getString("topo", ""));
+    request.algorithms = splitCsv(opts.getString("algo", ""));
+    request.policies = splitCsv(opts.getString("policy", ""));
+    request.traffics = splitCsv(opts.getString("traffic", ""));
+
+    const std::vector<std::string> errors = request.validate();
+    if (!errors.empty()) {
+        std::fprintf(stderr,
+                     "invalid analyze request (%zu problems):\n",
+                     errors.size());
+        for (const std::string &e : errors)
+            std::fprintf(stderr, "  - %s\n", e.c_str());
+        return 2;
+    }
+
+    std::vector<RefinementCase> refine;
+    std::vector<LoadCase> load;
+    request.buildCases(refine, load);
+    if (refine.empty() && load.empty()) {
+        std::fprintf(stderr, "no cases match the given request\n");
+        return 2;
+    }
+
+    const AnalyzeReport report = runAnalysis(refine, load);
+    std::fputs(report.toString().c_str(), stdout);
+
+    if (show_witness) {
+        for (const RefinementCaseOutcome &r : report.refinement) {
+            if (r.witnessText.empty())
+                continue;
+            std::printf("\nwitness for %s + %s on %s:\n%s\n",
+                        r.spec.algorithm.c_str(),
+                        r.spec.policy.c_str(),
+                        r.topologyName.c_str(),
+                        r.witnessText.c_str());
+        }
+    }
+
+    if (out != "off" && !writeAnalyzeJson(out, report))
+        return 2;
+    if (out != "off")
+        std::printf("report written to %s\n", out.c_str());
+
+    return report.allPassed() ? 0 : 1;
+}
